@@ -1,0 +1,741 @@
+//! **Ablations** — the design choices DESIGN.md calls out:
+//!
+//! 1. GP latency surrogate vs the exact accelerator model (accuracy of the
+//!    paper's §3.5.1 shortcut: RMSE, rank correlation, argmin agreement),
+//! 2. the dataflow-bottleneck latency law vs a naive additive law (why a
+//!    hybrid design is dragged to its slowest dropout unit — Table 1's
+//!    shape),
+//! 3. datapath precision: float vs Q11.4 / Q7.8 / Q3.12 accuracy through
+//!    the functional simulator,
+//! 4. Masksembles overlap scale: mask overlap, ROM bits and the
+//!    latency-free hardware footprint.
+//!
+//! Run with: `cargo bench --bench ablation`
+
+use nds_bench::{dataset_splits, spearman, write_csv, BenchScale};
+use nds_data::DatasetKind;
+use nds_dropout::masksembles::MaskSet;
+use nds_dropout::mc::mc_predict;
+use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
+use nds_hw::simulator::{quantize_network, quantized_mc_predict};
+use nds_metrics::accuracy;
+use nds_nn::optim::LrSchedule;
+use nds_nn::train::TrainConfig;
+use nds_nn::zoo;
+use nds_quant::{FixedFormat, Q11_4, Q3_12, Q7_8};
+use nds_search::{encode_config, fit_latency_gp};
+use nds_supernet::{Supernet, SupernetSpec};
+use nds_tensor::rng::Rng64;
+
+fn main() {
+    gp_vs_exact();
+    latency_law();
+    precision_sweep();
+    masksembles_scale();
+    mc_mapping();
+    sampling_number_sweep();
+    ea_vs_random_search();
+    ranking_fidelity();
+    sparsity_codesign();
+    transformer_space();
+    aim_weight_sweep();
+}
+
+/// Ablation 1: how good is the GP surrogate the paper puts in the loop?
+fn gp_vs_exact() {
+    println!("=== Ablation 1: GP latency surrogate vs exact model (ResNet space) ===\n");
+    let spec = SupernetSpec::paper_default(zoo::resnet18(4), 9).expect("valid");
+    let arch = zoo::resnet18_paper();
+    let model = AcceleratorModel::new(AcceleratorConfig::resnet_paper());
+    let mut csv = Vec::new();
+    for train_points in [8usize, 16, 32, 64] {
+        let (gp, rmse) = fit_latency_gp(&model, &arch, &spec, train_points, 32, 17)
+            .expect("GP fits");
+        // Evaluate over the full space: exact vs predicted.
+        let slots = spec.slots().to_vec();
+        let mut exact = Vec::new();
+        let mut predicted = Vec::new();
+        for config in spec.enumerate() {
+            exact.push(model.latency_ms(&arch, &config).expect("analysis runs"));
+            predicted.push(gp.predict(&encode_config(&config, &slots)).0);
+        }
+        let rho = spearman(&exact, &predicted);
+        let argmin_exact = (0..exact.len())
+            .min_by(|&a, &b| exact[a].total_cmp(&exact[b]))
+            .expect("non-empty");
+        let argmin_gp = (0..predicted.len())
+            .min_by(|&a, &b| predicted[a].total_cmp(&predicted[b]))
+            .expect("non-empty");
+        let agree = exact[argmin_gp] <= exact.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-9;
+        println!(
+            "{train_points:>3} training points: held-out RMSE {rmse:.4} ms, Spearman rho {rho:.3}, GP argmin {} exact-optimal",
+            if agree { "IS" } else { "IS NOT" }
+        );
+        csv.push(format!("{train_points},{rmse},{rho},{agree}"));
+        let _ = argmin_exact;
+    }
+    write_csv("ablation_gp.csv", "train_points,rmse_ms,spearman,argmin_agrees", &csv);
+    println!();
+}
+
+/// Ablation 2: the latency law. The dataflow model pins a hybrid design to
+/// its slowest dropout stage; an additive model would spread the cost.
+fn latency_law() {
+    println!("=== Ablation 2: dataflow-bottleneck vs additive latency law ===\n");
+    let arch = zoo::resnet18_paper();
+    let spec = SupernetSpec::paper_default(zoo::resnet18(4), 9).expect("valid");
+    let model = AcceleratorModel::new(AcceleratorConfig::resnet_paper());
+    let mut csv = Vec::new();
+    println!("{:<10} {:>14} {:>16}", "config", "dataflow (ms)", "additive (ms)");
+    for code in ["BBBB", "MMMM", "RRRR", "KKKK", "KMBM", "BMMM", "MKMM"] {
+        let config = code.parse().expect("valid code");
+        let report = model.analyze(&arch, &config).expect("analysis runs");
+        // Additive law: fill + S * (sum of per-stage totals) / stages — a
+        // model without a pipeline, every stage serialised.
+        let sum: f64 = report.stages.iter().map(|s| s.total_cycles()).sum();
+        let additive_cycles = report.samples as f64 * sum;
+        let additive_ms = additive_cycles / (report.clock_mhz * 1e3);
+        println!("{code:<10} {:>14.3} {:>16.3}", report.latency_ms, additive_ms);
+        csv.push(format!("{code},{},{}", report.latency_ms, additive_ms));
+    }
+    write_csv("ablation_latency_law.csv", "config,dataflow_ms,additive_ms", &csv);
+    let hybrid = model.analyze(&arch, &"KMBM".parse().expect("valid")).expect("runs");
+    let all_block = model.analyze(&arch, &"KKKK".parse().expect("valid")).expect("runs");
+    println!(
+        "\nhybrid K-M-B-M sits at {:.1}% of all-Block latency under the dataflow law (paper: 18.671/18.674 = 99.98%)",
+        100.0 * hybrid.latency_ms / all_block.latency_ms
+    );
+    let _ = spec;
+    println!();
+}
+
+/// Ablation 3: precision sweep through the functional simulator.
+fn precision_sweep() {
+    println!("=== Ablation 3: datapath precision (LeNet, MC-3) ===\n");
+    let scale = BenchScale { train: 1024, val: 64, ood: 64, epochs: 4 };
+    let splits = dataset_splits(DatasetKind::MnistLike, scale, 31);
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 31).expect("valid");
+    let mut supernet = Supernet::build(&spec).expect("builds");
+    let mut rng = Rng64::new(31);
+    supernet
+        .train_spos(
+            &splits.train,
+            &TrainConfig {
+                epochs: scale.epochs,
+                batch_size: 32,
+                schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+                momentum: 0.9,
+                weight_decay: 5e-4,
+                ..TrainConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("training succeeds");
+    supernet.set_config(&"BBB".parse().expect("valid")).expect("in space");
+
+    let (images, labels) = splits.test.full_batch();
+    let float_pred = mc_predict(supernet.net_mut(), &images, 3, 64).expect("runs");
+    let float_acc = accuracy(&float_pred.mean_probs, &labels).expect("valid");
+    println!("{:<8} {:>10} {:>12}", "format", "accuracy", "drop vs f32");
+    println!("{:<8} {:>9.2}% {:>12}", "float32", 100.0 * float_acc, "-");
+    let mut csv = vec![format!("float32,{float_acc},0")];
+    for (name, format) in [("Q11.4", Q11_4), ("Q7.8", Q7_8), ("Q3.12", Q3_12)] {
+        // Fresh copy of the trained weights per format: re-quantising an
+        // already-quantised net would compound errors.
+        let mut clone_net = Supernet::build(&spec).expect("builds");
+        copy_params(&mut supernet, &mut clone_net);
+        clone_net.set_config(&"BBB".parse().expect("valid")).expect("in space");
+        let _ = quantize_network(clone_net.net_mut(), format);
+        let probs = quantized_mc_predict(clone_net.net_mut(), &images, format, 3).expect("runs");
+        let acc = accuracy(&probs, &labels).expect("valid");
+        println!("{:<8} {:>9.2}% {:>11.2}pp", name, 100.0 * acc, 100.0 * (float_acc - acc));
+        csv.push(format!("{name},{acc},{}", float_acc - acc));
+        format_marker(format);
+    }
+    write_csv("ablation_precision.csv", "format,accuracy,drop_vs_float", &csv);
+    println!("\n(the paper deploys at Q7.8; the reproduction target is a small gap at Q7.8 and a");
+    println!(" larger one at the 4-fraction-bit format)\n");
+}
+
+fn format_marker(_: FixedFormat) {}
+
+fn copy_params(from: &mut Supernet, to: &mut Supernet) {
+    use nds_nn::Layer as _;
+    let values: Vec<_> = from
+        .net_mut()
+        .params()
+        .iter()
+        .map(|p| p.value.clone())
+        .collect();
+    for (dst, src) in to.net_mut().params_mut().into_iter().zip(values) {
+        dst.value = src;
+    }
+}
+
+/// Ablation 4: the Masksembles overlap scale.
+fn masksembles_scale() {
+    println!("=== Ablation 4: Masksembles overlap scale (64-channel slot, S=3) ===\n");
+    let mut csv = Vec::new();
+    println!("{:<7} {:>13} {:>10}", "scale", "mean overlap", "ROM bits");
+    for scale in [1.0, 1.5, 2.0, 3.0, 4.0] {
+        let mut rng = Rng64::new(5);
+        let set = MaskSet::generate(3, 64, scale, &mut rng);
+        println!("{scale:<7} {:>13.3} {:>10}", set.mean_overlap(), set.rom_bits());
+        csv.push(format!("{scale},{},{}", set.mean_overlap(), set.rom_bits()));
+    }
+    write_csv("ablation_masksembles.csv", "scale,mean_overlap,rom_bits", &csv);
+    println!("\n(overlap falls with scale — more diverse ensemble members — while the BRAM ROM cost");
+    println!(" stays fixed at S x features bits; the paper fixes S = 3)");
+}
+
+/// Ablation 5 (extension): temporal vs spatial Monte-Carlo mapping — the
+/// optimisation direction of the paper's reference [7], modelled on top of
+/// the same accelerator.
+fn mc_mapping() {
+    use nds_hw::accel::McMapping;
+    println!("\n=== Ablation 5: temporal vs spatial MC mapping (ResNet-18, S=3) ===\n");
+    let arch = zoo::resnet18_paper();
+    let mut csv = Vec::new();
+    println!(
+        "{:<10} {:>9} {:>13} {:>8} {:>8} {:>10} {:>12}",
+        "config", "mapping", "latency (ms)", "DSP %", "BRAM %", "power (W)", "energy (mJ)"
+    );
+    for code in ["BBBB", "KKKK"] {
+        let config = code.parse().expect("valid code");
+        for mapping in [McMapping::Temporal, McMapping::Spatial] {
+            let mut accel = AcceleratorConfig::resnet_paper();
+            accel.mapping = mapping;
+            let model = AcceleratorModel::new(accel);
+            let report = model.analyze(&arch, &config).expect("analysis runs");
+            println!(
+                "{:<10} {:>9} {:>13.3} {:>7.1}% {:>7.1}% {:>10.3} {:>12.3}",
+                code,
+                format!("{mapping:?}"),
+                report.latency_ms,
+                report.dsp.percent(),
+                report.bram.percent(),
+                report.power.total_w(),
+                1000.0 * report.energy_per_image_j()
+            );
+            csv.push(format!(
+                "{code},{mapping:?},{},{},{},{},{}",
+                report.latency_ms,
+                report.dsp.percent(),
+                report.bram.percent(),
+                report.power.total_w(),
+                report.energy_per_image_j()
+            ));
+        }
+    }
+    write_csv(
+        "ablation_mc_mapping.csv",
+        "config,mapping,latency_ms,dsp_pct,bram_pct,power_w,energy_j",
+        &csv,
+    );
+    println!("\n(spatial mapping replicates the engines: ~S x DSP for ~S x throughput — the");
+    println!(" paper's temporal designs fit the 5% DSP budget instead; both obey the same");
+    println!(" dropout stall model, so Block still costs latency under either mapping)");
+}
+
+/// Ablation 6 (extension): the MC sampling number S. The paper fixes
+/// S = 3; this sweep shows the algorithmic return (aPE stabilises) against
+/// the hardware cost (latency grows as fill + S x bottleneck).
+fn sampling_number_sweep() {
+    use nds_dropout::mc::mc_predict;
+    use nds_metrics::average_predictive_entropy;
+    println!("\n=== Ablation 6: MC sampling number S (LeNet, all-Bernoulli) ===\n");
+    let scale = BenchScale { train: 1024, val: 64, ood: 128, epochs: 3 };
+    let splits = dataset_splits(DatasetKind::MnistLike, scale, 61);
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 61).expect("valid");
+    let mut supernet = Supernet::build(&spec).expect("builds");
+    let mut rng = Rng64::new(61);
+    supernet
+        .train_spos(
+            &splits.train,
+            &TrainConfig {
+                epochs: scale.epochs,
+                batch_size: 32,
+                schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+                momentum: 0.9,
+                weight_decay: 5e-4,
+                ..TrainConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("training succeeds");
+    supernet.set_config(&"BBB".parse().expect("valid")).expect("in space");
+    let (images, labels) = splits.test.full_batch();
+    let ood = splits.train.ood_noise(128, &mut rng);
+
+    let mut csv = Vec::new();
+    println!("{:<4} {:>10} {:>12} {:>14}", "S", "accuracy", "aPE (nats)", "latency (ms)");
+    for samples in [1usize, 2, 3, 5, 8] {
+        let pred = mc_predict(supernet.net_mut(), &images, samples, 64).expect("runs");
+        let acc = accuracy(&pred.mean_probs, &labels).expect("valid");
+        let ood_pred = mc_predict(supernet.net_mut(), &ood, samples, 64).expect("runs");
+        let ape = average_predictive_entropy(&ood_pred.mean_probs).expect("valid");
+        let mut accel = AcceleratorConfig::lenet_paper();
+        accel.samples = samples;
+        let model = AcceleratorModel::new(accel);
+        let latency = model
+            .latency_ms(&zoo::lenet(), &"BBB".parse().expect("valid"))
+            .expect("analysis runs");
+        println!("{samples:<4} {:>9.2}% {:>12.3} {:>14.3}", 100.0 * acc, ape, latency);
+        csv.push(format!("{samples},{acc},{ape},{latency}"));
+    }
+    write_csv("ablation_sampling.csv", "samples,accuracy,ape,latency_ms", &csv);
+    println!("\n(the paper fixes S = 3: the knee where extra samples stop buying aPE but keep");
+    println!(" buying latency — visible as the latency column growing ~linearly in S)");
+}
+
+/// Ablation 7 (extension): the evolutionary algorithm vs uniform random
+/// search at equal evaluation budgets, replayed over the exhaustively
+/// evaluated ResNet space (so both strategies see identical ground truth).
+fn ea_vs_random_search() {
+    use nds_bench::{resnet_space, ReplayEvaluator};
+    use nds_search::pareto::{figure4_objectives, hypervolume};
+    use nds_search::{evolve, random_search, EvolutionConfig, RandomSearchConfig, SearchAim};
+
+    println!("\n=== Ablation 7: evolutionary search vs random search (ResNet space, replay) ===\n");
+    let space = resnet_space(2024);
+    let aim = SearchAim::weighted("balanced", 1.0, 1.0, 0.5, 0.02);
+    let objectives = figure4_objectives();
+    // Reference point: the worst value of each objective over the space.
+    let reference = [
+        space.archive.iter().map(|c| c.metrics.accuracy).fold(f64::INFINITY, f64::min),
+        space.archive.iter().map(|c| c.metrics.ece).fold(f64::NEG_INFINITY, f64::max),
+        space.archive.iter().map(|c| c.metrics.ape).fold(f64::INFINITY, f64::min),
+    ];
+    let exhaustive_best = space
+        .archive
+        .iter()
+        .map(|c| aim.score(c))
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let mut csv = Vec::new();
+    println!(
+        "{:<8} {:>6} {:>6} {:>12} {:>12} {:>10}",
+        "strategy", "seed", "evals", "best score", "regret", "hypervol"
+    );
+    for seed in [1u64, 2, 3, 4, 5] {
+        // EA first; its fresh-evaluation count sets the random budget.
+        let mut ea_eval = ReplayEvaluator::new(&space.archive);
+        let ea = evolve(
+            &space.spec,
+            &mut ea_eval,
+            &aim,
+            &EvolutionConfig { population: 12, generations: 5, parents: 4, seed, ..Default::default() },
+        )
+        .expect("EA runs");
+        let budget = nds_search::Evaluator::fresh_evaluations(&ea_eval);
+        let mut rs_eval = ReplayEvaluator::new(&space.archive);
+        let rs = random_search(
+            &space.spec,
+            &mut rs_eval,
+            &aim,
+            &RandomSearchConfig { budget, seed },
+        )
+        .expect("random search runs");
+        for (name, result) in [("EA", &ea), ("random", &rs)] {
+            let best = aim.score(&result.best);
+            let hv = hypervolume(&result.archive, &objectives, &reference);
+            println!(
+                "{name:<8} {seed:>6} {budget:>6} {best:>12.4} {:>12.4} {hv:>10.4}",
+                exhaustive_best - best
+            );
+            csv.push(format!("{name},{seed},{budget},{best},{},{hv}", exhaustive_best - best));
+        }
+    }
+    write_csv(
+        "ablation_ea_vs_random.csv",
+        "strategy,seed,budget,best_score,regret,hypervolume",
+        &csv,
+    );
+    println!("\n(regret = exhaustive-optimal aim score minus the strategy's best; the EA should");
+    println!(" match or beat random search at equal budget, with lower variance across seeds)");
+}
+
+/// Ablation 8 (extension): is the one-shot supernet a faithful proxy?
+/// Correlates shared-weight evaluation against dedicated per-config
+/// training (the ground truth the SPOS paradigm approximates).
+fn ranking_fidelity() {
+    use nds_data::{mnist_like, DatasetConfig};
+    use nds_dropout::DropoutSettings;
+    use nds_supernet::{train_standalone, Supernet};
+
+    println!("\n=== Ablation 8: supernet ranking fidelity (LeNet, 8 configs) ===\n");
+    // A deliberately unsaturated operating point: at the 4-epoch benchmark
+    // scale every config hits ~100% accuracy and ranks degenerate to
+    // tie-break noise, so this experiment trains shorter on noisier data.
+    let splits = mnist_like(&DatasetConfig {
+        train: 768,
+        val: 256,
+        test: 64,
+        seed: 0x8A,
+        noise: 0.20,
+    });
+    let mut rng = Rng64::new(0xF1DE);
+    let ood = splits.train.ood_noise(128, &mut rng);
+    let train_config = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: 2 },
+        momentum: 0.9,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    };
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 0x8A).expect("valid");
+    let mut supernet = Supernet::build(&spec).expect("builds");
+    supernet
+        .train_spos(&splits.train, &train_config, &mut rng)
+        .expect("training succeeds");
+    supernet.set_calibration_from(&splits.train, 4, 64, &mut rng);
+    // A spread of uniform and hybrid configurations.
+    let probes = ["BBB", "RRB", "KKM", "MMM", "BKB", "MRB", "KMM", "RMB"];
+
+    let mut csv = Vec::new();
+    let mut supernet_acc = Vec::new();
+    let mut standalone_acc = Vec::new();
+    let mut supernet_ape = Vec::new();
+    let mut standalone_ape = Vec::new();
+    println!(
+        "{:<6} {:>14} {:>16} {:>12} {:>14}",
+        "config", "supernet acc%", "standalone acc%", "supernet aPE", "standalone aPE"
+    );
+    for code in probes {
+        let config = code.parse().expect("valid code");
+        let proxy = supernet
+            .evaluate(&config, &splits.val, &ood, 64)
+            .expect("supernet evaluation runs");
+        // Average two dedicated trainings per config: single-run seed
+        // variance at this scale would otherwise drown the ranking signal.
+        let mut truth = nds_supernet::CandidateMetrics { accuracy: 0.0, ece: 0.0, ape: 0.0 };
+        let runs = 3u32;
+        for run in 0..runs {
+            let seed = code
+                .bytes()
+                .fold(0xBEEFu64 ^ u64::from(run), |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+            let m = train_standalone(
+                &zoo::lenet(),
+                &config,
+                &DropoutSettings::default(),
+                &splits.train,
+                &splits.val,
+                &ood,
+                &train_config,
+                3,
+                64,
+                seed,
+            )
+            .expect("standalone training runs")
+            .metrics;
+            truth.accuracy += m.accuracy / f64::from(runs);
+            truth.ece += m.ece / f64::from(runs);
+            truth.ape += m.ape / f64::from(runs);
+        }
+        println!(
+            "{code:<6} {:>13.2}% {:>15.2}% {:>12.3} {:>14.3}",
+            100.0 * proxy.accuracy,
+            100.0 * truth.accuracy,
+            proxy.ape,
+            truth.ape
+        );
+        csv.push(format!(
+            "{code},{},{},{},{},{},{}",
+            proxy.accuracy, truth.accuracy, proxy.ece, truth.ece, proxy.ape, truth.ape
+        ));
+        supernet_acc.push(proxy.accuracy);
+        standalone_acc.push(truth.accuracy);
+        supernet_ape.push(proxy.ape);
+        standalone_ape.push(truth.ape);
+    }
+    let rho_acc = spearman(&supernet_acc, &standalone_acc);
+    let rho_ape = spearman(&supernet_ape, &standalone_ape);
+    println!("\nSpearman rho: accuracy {rho_acc:.3}, aPE {rho_ape:.3}");
+    csv.push(format!("spearman,{rho_acc},,,,{rho_ape},"));
+    write_csv(
+        "ablation_ranking.csv",
+        "config,supernet_acc,standalone_acc,supernet_ece,standalone_ece,supernet_ape,standalone_ape",
+        &csv,
+    );
+    // The coarse uncertainty contrast the search exploits: the static
+    // mask set (all-Masksembles) sits at the entropy bottom in both worlds.
+    let rank_of = |xs: &[f64], target: usize| {
+        1 + xs.iter().filter(|&&v| v < xs[target]).count()
+    };
+    let mmm = probes.iter().position(|&c| c == "MMM").expect("MMM probed");
+    println!(
+        "all-Masksembles aPE rank (1 = lowest entropy of {}): supernet #{} / standalone #{}",
+        probes.len(),
+        rank_of(&supernet_ape, mmm),
+        rank_of(&standalone_ape, mmm)
+    );
+    println!("(the SPOS proxy preserves accuracy ranks moderately (positive rho) and the");
+    println!(" coarse uncertainty contrast — the static mask set lands at or near the");
+    println!(" entropy bottom in both worlds — while fine aPE ranks inside the stochastic");
+    println!(" cluster are noise-dominated; the same caveat is reported for one-shot NAS");
+    println!(" proxies generally)");
+}
+
+/// Ablation 9 (extension): sparsity co-design — the paper's future-work
+/// item. Magnitude/channel pruning of a trained standalone LeNet against
+/// the sparse accelerator model's latency and memory.
+fn sparsity_codesign() {
+    use nds_dropout::DropoutSettings;
+    use nds_hw::accel::SparsitySupport;
+    use nds_nn::loss::softmax_cross_entropy;
+    use nds_nn::optim::Sgd;
+    use nds_nn::prune::{measured_sparsity, prune_channels, prune_magnitude, PruneMask};
+    use nds_nn::Layer as _;
+    use nds_supernet::train_standalone;
+
+    println!("\n=== Ablation 9: sparsity co-design (LeNet all-Bernoulli, Q7.8 design point) ===\n");
+    let scale = BenchScale { train: 1536, epochs: 4, ..BenchScale::default() };
+    let splits = dataset_splits(DatasetKind::MnistLike, scale, 91);
+    let mut rng = Rng64::new(91);
+    let ood = splits.train.ood_noise(scale.ood, &mut rng);
+    let config: nds_supernet::DropoutConfig = "BBB".parse().expect("valid");
+    let mut result = train_standalone(
+        &zoo::lenet(),
+        &config,
+        &DropoutSettings::default(),
+        &splits.train,
+        &splits.val,
+        &ood,
+        &TrainConfig {
+            epochs: scale.epochs,
+            batch_size: 32,
+            schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            ..TrainConfig::default()
+        },
+        3,
+        64,
+        91,
+    )
+    .expect("standalone training runs");
+    let dense_acc = result.metrics.accuracy;
+    let snapshot: Vec<_> = result.net.params().iter().map(|p| p.value.clone()).collect();
+    let (test_images, test_labels) = splits.test.full_batch();
+
+    let mut csv = Vec::new();
+    println!(
+        "{:<13} {:>9} {:>10} {:>10} {:>13} {:>8}",
+        "scheme", "sparsity", "raw acc%", "tuned acc%", "latency (ms)", "BRAM %"
+    );
+    for structured in [false, true] {
+        let scheme = if structured { "structured" } else { "unstructured" };
+        for target in [0.0, 0.25, 0.5, 0.75, 0.9] {
+            // Restore the dense weights, prune, measure, fine-tune, measure.
+            for (dst, src) in result.net.params_mut().into_iter().zip(&snapshot) {
+                dst.value = src.clone();
+            }
+            if structured {
+                prune_channels(&mut result.net, target);
+            } else {
+                prune_magnitude(&mut result.net, target);
+            }
+            let sparsity = measured_sparsity(&result.net);
+            let raw = mc_predict(&mut result.net, &test_images, 3, 64).expect("runs");
+            let raw_acc = accuracy(&raw.mean_probs, &test_labels).expect("valid");
+            // One fine-tuning epoch with the mask re-applied per step.
+            let mask = PruneMask::capture(&result.net);
+            let sgd = Sgd::with_momentum(0.01, 0.9, 5e-4);
+            let mut tune_rng = rng.fork(0x7E * (1 + (target * 100.0) as u64));
+            for (images, labels) in splits.train.iter_batches(32, &mut tune_rng) {
+                let logits = result.net.forward(&images, nds_nn::Mode::Train).expect("runs");
+                let (_, dlogits) = softmax_cross_entropy(&logits, &labels).expect("runs");
+                result.net.backward(&dlogits).expect("runs");
+                let mut params = result.net.params_mut();
+                sgd.step(&mut params);
+                sgd.zero_grad(&mut params);
+                mask.reapply(&mut result.net);
+            }
+            let tuned = mc_predict(&mut result.net, &test_images, 3, 64).expect("runs");
+            let tuned_acc = accuracy(&tuned.mean_probs, &test_labels).expect("valid");
+            // Hardware side: the sparse accelerator at this operating point.
+            let mut accel = AcceleratorConfig::lenet_paper();
+            accel.sparsity = if structured {
+                SparsitySupport::structured(sparsity)
+            } else {
+                SparsitySupport::unstructured(sparsity)
+            };
+            let report = AcceleratorModel::new(accel)
+                .analyze(&zoo::lenet(), &config)
+                .expect("analysis runs");
+            println!(
+                "{scheme:<13} {sparsity:>9.2} {:>9.2}% {:>9.2}% {:>13.3} {:>7.1}%",
+                100.0 * raw_acc,
+                100.0 * tuned_acc,
+                report.latency_ms,
+                report.bram.percent()
+            );
+            csv.push(format!(
+                "{scheme},{sparsity},{raw_acc},{tuned_acc},{},{}",
+                report.latency_ms,
+                report.bram.percent()
+            ));
+        }
+    }
+    write_csv(
+        "ablation_sparsity.csv",
+        "scheme,sparsity,raw_accuracy,finetuned_accuracy,latency_ms,bram_pct",
+        &csv,
+    );
+    println!("\n(dense accuracy {:.2}%; the co-design story: structured pruning buys", 100.0 * dense_acc);
+    println!(" proportional latency, unstructured buys less per zero and pays index BRAM —");
+    println!(" while fine-tuning recovers most of the accuracy at moderate sparsity)");
+}
+
+/// Ablation 10 (extension): the framework generalised to a transformer —
+/// the paper's future-work item. Exhaustively evaluates the tiny-ViT
+/// dropout space (2 slots × 4 kinds) and reports the per-kind structure.
+fn transformer_space() {
+    use nds_data::mnist_like;
+    use nds_data::DatasetConfig;
+    use nds_hw::accel::{AcceleratorConfig as AC, AcceleratorModel as AM};
+    use nds_search::{evaluate_all, LatencyProvider, SupernetEvaluator};
+    use nds_supernet::Supernet;
+
+    println!("\n=== Ablation 10: dropout search over a tiny vision transformer ===\n");
+    let arch = zoo::tiny_vit(16, 4, 2);
+    let spec = SupernetSpec::paper_default(arch.clone(), 101).expect("valid");
+    let splits = mnist_like(&DatasetConfig {
+        train: 1024,
+        val: 192,
+        test: 64,
+        seed: 101,
+        noise: 0.08,
+    });
+    let mut supernet = Supernet::build(&spec).expect("builds");
+    let mut rng = Rng64::new(101);
+    supernet
+        .train_spos(
+            &splits.train,
+            &TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                schedule: LrSchedule::Cosine { base: 0.08, floor: 0.008, total: 6 },
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                ..TrainConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("training succeeds");
+    let ood = splits.train.ood_noise(96, &mut rng);
+    let model = AM::new(AC::lenet_paper());
+    let latency = LatencyProvider::Exact { model, arch: arch.clone() };
+    let mut evaluator = SupernetEvaluator::new(&mut supernet, &splits.val, ood, latency, 64);
+    let archive = evaluate_all(&spec, &mut evaluator).expect("evaluation runs");
+
+    let mut csv = Vec::new();
+    println!("{:<8} {:>9} {:>8} {:>11} {:>13}", "config", "acc%", "ECE%", "aPE (nats)", "latency (ms)");
+    for candidate in &archive {
+        println!(
+            "{:<8} {:>8.1}% {:>7.1}% {:>11.3} {:>13.3}",
+            candidate.config.compact(),
+            100.0 * candidate.metrics.accuracy,
+            100.0 * candidate.metrics.ece,
+            candidate.metrics.ape,
+            candidate.latency_ms
+        );
+        csv.push(format!(
+            "{},{},{},{},{}",
+            candidate.config.compact(),
+            candidate.metrics.accuracy,
+            candidate.metrics.ece,
+            candidate.metrics.ape,
+            candidate.latency_ms
+        ));
+    }
+    write_csv("ablation_transformer.csv", "config,accuracy,ece,ape,latency_ms", &csv);
+
+    // Structure checks mirroring the CNN experiments.
+    let by = |code: &str| {
+        archive
+            .iter()
+            .find(|c| c.config.compact() == code)
+            .unwrap_or_else(|| panic!("{code} missing"))
+    };
+    let (bb, mm, kk, rr) = (by("BB"), by("MM"), by("KK"), by("RR"));
+    println!(
+        "\nlatency: BB {:.3} = MM {:.3} < RR {:.3} <= KK {:.3} ms (stall-free vs stalling kinds)",
+        bb.latency_ms, mm.latency_ms, rr.latency_ms, kk.latency_ms
+    );
+    let acc_best = archive
+        .iter()
+        .max_by(|a, b| a.metrics.accuracy.total_cmp(&b.metrics.accuracy))
+        .expect("non-empty");
+    println!(
+        "accuracy-optimal config: {} ({:.1}%), uniform: {}",
+        acc_best.config,
+        100.0 * acc_best.metrics.accuracy,
+        acc_best.config.is_uniform()
+    );
+    println!("(token-granular dropout: Masksembles drops whole tokens, Block drops");
+    println!(" embedding spans — the same search machinery, metrics and latency law");
+    println!(" apply unchanged, which is the claim behind the paper's future-work item)");
+}
+
+
+/// Ablation 11 (extension): aim-weight sensitivity. The paper states that
+/// adjusting the Eq.-2 weights recovers different Pareto-optimal designs;
+/// this sweeps a grid of weightings over the exhaustively-evaluated ResNet
+/// space and verifies every scalarised optimum lands on the reference
+/// frontier (and that distinct weightings reach distinct frontier points).
+fn aim_weight_sweep() {
+    use nds_bench::resnet_space;
+    use nds_search::pareto::{figure4_objectives, on_frontier};
+    use nds_search::SearchAim;
+    use std::collections::HashSet;
+
+    println!("\n=== Ablation 11: aim-weight sensitivity (replayed ResNet space) ===\n");
+    let space = resnet_space(2024);
+    let objectives = figure4_objectives();
+    let mut csv = Vec::new();
+    let mut winners: HashSet<String> = HashSet::new();
+    let mut all_on_frontier = true;
+    println!("{:<24} {:>8} {:>9} {:>7} {:>11} {:>9}", "aim (eta,mu,beta)", "winner", "acc%", "ECE%", "aPE (nats)", "frontier");
+    for eta in [0.0, 1.0, 4.0] {
+        for mu in [0.0, 1.0, 4.0] {
+            for beta in [0.0, 0.5, 2.0] {
+                if eta == 0.0 && mu == 0.0 && beta == 0.0 {
+                    continue; // degenerate constant aim
+                }
+                let aim = SearchAim::weighted(format!("{eta}/{mu}/{beta}"), eta, mu, beta, 0.0);
+                let best = space.best_by(|c| aim.score(c));
+                let on = on_frontier(best, &space.archive, &objectives);
+                all_on_frontier &= on;
+                winners.insert(best.config.compact());
+                println!(
+                    "{:<24} {:>8} {:>8.1}% {:>6.1}% {:>11.3} {:>9}",
+                    format!("({eta}, {mu}, {beta})"),
+                    best.config.compact(),
+                    100.0 * best.metrics.accuracy,
+                    100.0 * best.metrics.ece,
+                    best.metrics.ape,
+                    if on { "ON" } else { "OFF" }
+                );
+                csv.push(format!(
+                    "{eta},{mu},{beta},{},{},{},{},{on}",
+                    best.config.compact(),
+                    best.metrics.accuracy,
+                    best.metrics.ece,
+                    best.metrics.ape
+                ));
+            }
+        }
+    }
+    write_csv("ablation_aim_weights.csv", "eta,mu,beta,winner,accuracy,ece,ape,on_frontier", &csv);
+    println!(
+        "\n{} distinct weightings -> {} distinct frontier designs; all on the reference frontier: {}",
+        csv.len(),
+        winners.len(),
+        all_on_frontier
+    );
+    println!("(positively-weighted scalarisation is Pareto-optimal by construction; the sweep");
+    println!(" shows the practical flexibility claim of Section 4.1 — different priorities recover");
+    println!(" genuinely different designs, not one point relabelled)");
+}

@@ -1,0 +1,96 @@
+//! **Figure 5** — Power breakdown of the Accuracy-Optimal and ECE-Optimal
+//! searched designs (static plus IO / Logic&Signal / DSP / Clocking /
+//! BRAM), post-place-and-route in the paper, post-model here.
+//!
+//! Reproduction: the two configurations come from the exhaustive ResNet
+//! archive when available (falling back to the paper's published configs
+//! K-M-B-M and M-M-M-M); the breakdown comes from the calibrated power
+//! model of the paper-scale ResNet-18 design point.
+//!
+//! Run with: `cargo bench --bench figure5`
+
+use nds_bench::{resnet_space, write_csv};
+use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
+use nds_hw::power::PowerBreakdown;
+use nds_nn::zoo;
+use nds_search::SearchAim;
+use nds_supernet::DropoutConfig;
+
+fn main() {
+    println!("=== Figure 5: power breakdown of the searched designs ===\n");
+    let space = resnet_space(2024);
+    let accuracy_config = space
+        .archive
+        .iter()
+        .max_by(|a, b| a.metrics.accuracy.total_cmp(&b.metrics.accuracy))
+        .map(|c| c.config.clone())
+        .unwrap_or_else(|| "KMBM".parse().expect("valid fallback"));
+    let ece_config = space
+        .archive
+        .iter()
+        .min_by(|a, b| a.metrics.ece.total_cmp(&b.metrics.ece))
+        .map(|c| c.config.clone())
+        .unwrap_or_else(|| "MMMM".parse().expect("valid fallback"));
+    let _ = SearchAim::table1_presets(); // documents the aim provenance
+
+    let model = AcceleratorModel::new(AcceleratorConfig::resnet_paper());
+    let arch = zoo::resnet18_paper();
+    let mut csv = Vec::new();
+    let mut breakdowns: Vec<(String, DropoutConfig, PowerBreakdown)> = Vec::new();
+    for (label, config) in [
+        ("Accuracy Optimal", accuracy_config),
+        ("ECE Optimal", ece_config),
+    ] {
+        let report = model.analyze(&arch, &config).expect("analysis succeeds");
+        breakdowns.push((label.to_string(), config, report.power));
+    }
+
+    for (label, config, power) in &breakdowns {
+        println!("-- {label} ({config}) --");
+        println!("{power}");
+        println!();
+        csv.push(format!(
+            "{},{},{},{},{},{},{},{},{}",
+            label,
+            config.compact(),
+            power.static_w,
+            power.clocking_w,
+            power.logic_signal_w,
+            power.bram_w,
+            power.dsp_w,
+            power.io_w,
+            power.total_w()
+        ));
+    }
+    write_csv(
+        "figure5.csv",
+        "design,config,static_w,clocking_w,logic_signal_w,bram_w,dsp_w,io_w,total_w",
+        &csv,
+    );
+
+    let (_, _, acc_power) = &breakdowns[0];
+    let (_, _, ece_power) = &breakdowns[1];
+    println!("-- structural checks against the paper's Figure 5 --");
+    println!(
+        "Logic&Signal share: accuracy-opt {:.1}% vs ECE-opt {:.1}%   [paper: 39.2% vs 31.7%]",
+        100.0 * acc_power.share(acc_power.logic_signal_w),
+        100.0 * ece_power.share(ece_power.logic_signal_w)
+    );
+    println!(
+        "totals: accuracy-opt {:.3} W vs ECE-opt {:.3} W   [paper: 4.378 W vs 3.905 W]",
+        acc_power.total_w(),
+        ece_power.total_w()
+    );
+    println!(
+        "BRAM share: accuracy-opt {:.1}% vs ECE-opt {:.1}%   [paper: 11.3% vs 12.1%]",
+        100.0 * acc_power.share(acc_power.bram_w),
+        100.0 * ece_power.share(ece_power.bram_w)
+    );
+    if acc_power.total_w() > ece_power.total_w() {
+        println!("\nresult: dynamic-dropout design costs more power than the static-mask design (matches §4.3:");
+        println!("\"The high consumption is due to the comparing operations in dynamic dropout layers.\")");
+    } else {
+        println!("\nresult: power ordering differs from the paper — the searched accuracy optimum used no dynamic dropout");
+        println!("(possible on synthetic data; the mechanism is still visible in the per-config model, see ablation bench)");
+    }
+}

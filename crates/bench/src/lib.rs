@@ -1,0 +1,441 @@
+//! Shared infrastructure for the table/figure regeneration harnesses.
+//!
+//! Each `[[bench]]` target in this crate regenerates one table or figure
+//! of the paper (see `DESIGN.md` for the index). Training-based artefacts
+//! (the exhaustively-evaluated ResNet/LeNet archives) are cached under
+//! `results/.cache/` so that re-running one harness does not re-train the
+//! supernet; delete that directory to force a fresh run.
+
+use nds_data::{generate, DatasetConfig, DatasetKind, Splits};
+use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
+use nds_nn::arch::Architecture;
+use nds_nn::optim::LrSchedule;
+use nds_nn::train::TrainConfig;
+use nds_nn::zoo;
+use nds_search::{evaluate_all, Candidate, LatencyProvider, SupernetEvaluator};
+use nds_supernet::{CandidateMetrics, DropoutConfig, Supernet, SupernetSpec};
+use nds_tensor::rng::Rng64;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Workspace-level `results/` directory (created on first use).
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = results_dir().join(".cache");
+    fs::create_dir_all(&dir).expect("cache directory is creatable");
+    dir
+}
+
+/// Locates the workspace root by walking up from the crate dir.
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    while !dir.join("Cargo.toml").exists()
+        || !fs::read_to_string(dir.join("Cargo.toml"))
+            .map(|s| s.contains("[workspace]"))
+            .unwrap_or(false)
+    {
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+    dir
+}
+
+/// Writes a CSV file into `results/` and reports the path on stdout.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(name);
+    let mut contents = String::from(header);
+    contents.push('\n');
+    for row in rows {
+        contents.push_str(row);
+        contents.push('\n');
+    }
+    fs::write(&path, contents).expect("results CSV is writable");
+    println!("[csv] wrote {}", path.display());
+}
+
+/// One experiment context: a supernet spec plus the exhaustively-evaluated
+/// archive of its whole search space.
+#[derive(Debug)]
+pub struct EvaluatedSpace {
+    /// The spec whose space was evaluated.
+    pub spec: SupernetSpec,
+    /// Every configuration with its metrics (validation set + OOD + HW).
+    pub archive: Vec<Candidate>,
+    /// Wall-clock seconds spent training the supernet (0 when cached).
+    pub train_seconds: f64,
+    /// Wall-clock seconds spent evaluating the space (0 when cached).
+    pub eval_seconds: f64,
+}
+
+impl EvaluatedSpace {
+    /// The candidate for an exact configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not in the archive.
+    pub fn candidate(&self, config: &DropoutConfig) -> &Candidate {
+        self.archive
+            .iter()
+            .find(|c| &c.config == config)
+            .unwrap_or_else(|| panic!("config {config} missing from archive"))
+    }
+
+    /// The archive candidate maximising `key` (use negation to minimise).
+    pub fn best_by(&self, key: impl Fn(&Candidate) -> f64) -> &Candidate {
+        self.archive
+            .iter()
+            .max_by(|a, b| key(a).total_cmp(&key(b)))
+            .expect("archive is non-empty")
+    }
+}
+
+/// Experiment scale shared by the harnesses: small enough for one core,
+/// large enough for stable metric orderings.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Training set size.
+    pub train: usize,
+    /// Validation subset used for candidate scoring.
+    pub val: usize,
+    /// OOD probe size.
+    pub ood: usize,
+    /// Supernet training epochs.
+    pub epochs: usize,
+}
+
+impl Default for BenchScale {
+    fn default() -> Self {
+        BenchScale { train: 1280, val: 96, ood: 96, epochs: 3 }
+    }
+}
+
+/// Trains the ResNet experiment supernet (width-4 ResNet-18 on the
+/// CIFAR-like set, the paper's §4.1 pairing) and exhaustively evaluates
+/// all 256 configurations, with hardware numbers from the *paper-scale*
+/// ResNet-18 design point. Cached on disk.
+pub fn resnet_space(seed: u64) -> EvaluatedSpace {
+    evaluated_space(
+        "resnet",
+        zoo::resnet18(4),
+        zoo::resnet18_paper(),
+        DatasetKind::CifarLike,
+        AcceleratorConfig::resnet_paper(),
+        BenchScale::default(),
+        seed,
+    )
+}
+
+/// Trains the LeNet experiment supernet on the MNIST-like set and
+/// exhaustively evaluates all 32 configurations. Cached on disk.
+pub fn lenet_space(seed: u64) -> EvaluatedSpace {
+    evaluated_space(
+        "lenet",
+        zoo::lenet(),
+        zoo::lenet(),
+        DatasetKind::MnistLike,
+        AcceleratorConfig::lenet_paper(),
+        BenchScale { train: 1536, epochs: 4, ..BenchScale::default() },
+        seed,
+    )
+}
+
+/// Generic cached space evaluation.
+pub fn evaluated_space(
+    tag: &str,
+    train_arch: Architecture,
+    hw_arch: Architecture,
+    dataset: DatasetKind,
+    accel: AcceleratorConfig,
+    scale: BenchScale,
+    seed: u64,
+) -> EvaluatedSpace {
+    let spec = SupernetSpec::paper_default(train_arch, seed).expect("zoo architectures are valid");
+    // v2: per-candidate batch-norm recalibration (SPOS) before evaluation.
+    let cache = cache_dir().join(format!("space_{tag}_s{seed}_v2.csv"));
+    if let Some(archive) = load_archive(&cache, &spec) {
+        println!("[cache] loaded {} candidates from {}", archive.len(), cache.display());
+        return EvaluatedSpace { spec, archive, train_seconds: 0.0, eval_seconds: 0.0 };
+    }
+
+    let splits = dataset_splits(dataset, scale, seed);
+    let mut supernet = Supernet::build(&spec).expect("supernet builds");
+    let mut rng = Rng64::new(seed);
+    let train_config = TrainConfig {
+        epochs: scale.epochs,
+        batch_size: 32,
+        schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+        momentum: 0.9,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    };
+    println!(
+        "[train] SPOS on {} ({} images, {} epochs)…",
+        spec.arch.name, scale.train, scale.epochs
+    );
+    let t0 = std::time::Instant::now();
+    let history = supernet
+        .train_spos(&splits.train, &train_config, &mut rng)
+        .expect("training succeeds");
+    let train_seconds = t0.elapsed().as_secs_f64();
+    if let Some(last) = history.last() {
+        println!(
+            "[train] done in {train_seconds:.1}s (final loss {:.4}, accuracy {:.1}%)",
+            last.loss,
+            100.0 * last.accuracy
+        );
+    }
+
+    // SPOS batch-norm recalibration: per-candidate statistics re-estimated
+    // from these batches before every evaluation (Guo et al., 2020).
+    supernet.set_calibration_from(&splits.train, 4, 64, &mut rng);
+    let val = splits.val.subset(&(0..scale.val.min(splits.val.len())).collect::<Vec<_>>());
+    let ood = splits.train.ood_noise(scale.ood, &mut rng);
+    let model = AcceleratorModel::new(accel);
+    let latency = LatencyProvider::Exact { model, arch: hw_arch };
+    let mut evaluator = SupernetEvaluator::new(&mut supernet, &val, ood, latency, 64);
+    println!("[eval] exhaustively evaluating {} configurations…", spec.space_size());
+    let t0 = std::time::Instant::now();
+    let archive = evaluate_all(&spec, &mut evaluator).expect("evaluation succeeds");
+    let eval_seconds = t0.elapsed().as_secs_f64();
+    println!("[eval] done in {eval_seconds:.1}s");
+
+    store_archive(&cache, &archive);
+    EvaluatedSpace { spec, archive, train_seconds, eval_seconds }
+}
+
+/// Regenerates the dataset splits a harness uses (deterministic).
+pub fn dataset_splits(dataset: DatasetKind, scale: BenchScale, seed: u64) -> Splits {
+    generate(
+        dataset,
+        &DatasetConfig {
+            train: scale.train,
+            val: scale.val.max(64),
+            test: 256,
+            seed: seed ^ 0xDA7A,
+            noise: 0.08,
+        },
+    )
+}
+
+fn store_archive(path: &Path, archive: &[Candidate]) {
+    let mut contents = String::from("config,accuracy,ece,ape,latency_ms\n");
+    for candidate in archive {
+        contents.push_str(&format!(
+            "{},{},{},{},{}\n",
+            candidate.config.compact(),
+            candidate.metrics.accuracy,
+            candidate.metrics.ece,
+            candidate.metrics.ape,
+            candidate.latency_ms
+        ));
+    }
+    fs::write(path, contents).expect("cache is writable");
+}
+
+fn load_archive(path: &Path, spec: &SupernetSpec) -> Option<Vec<Candidate>> {
+    let contents = fs::read_to_string(path).ok()?;
+    let mut archive = Vec::new();
+    for line in contents.lines().skip(1) {
+        let mut parts = line.split(',');
+        let config: DropoutConfig = parts.next()?.parse().ok()?;
+        let accuracy: f64 = parts.next()?.parse().ok()?;
+        let ece: f64 = parts.next()?.parse().ok()?;
+        let ape: f64 = parts.next()?.parse().ok()?;
+        let latency_ms: f64 = parts.next()?.parse().ok()?;
+        archive.push(Candidate {
+            config,
+            metrics: CandidateMetrics { accuracy, ece, ape },
+            latency_ms,
+        });
+    }
+    if archive.len() == spec.space_size() {
+        Some(archive)
+    } else {
+        None
+    }
+}
+
+/// An [`Evaluator`](nds_search::Evaluator) that replays a pre-computed
+/// archive (e.g. the exhaustively-evaluated spaces cached by
+/// [`resnet_space`]) — lets search-strategy experiments run thousands of
+/// "evaluations" without touching the supernet.
+#[derive(Debug)]
+pub struct ReplayEvaluator {
+    table: std::collections::HashMap<String, Candidate>,
+    fresh: std::collections::HashSet<String>,
+}
+
+impl ReplayEvaluator {
+    /// Wraps an archive for replay.
+    pub fn new(archive: &[Candidate]) -> Self {
+        ReplayEvaluator {
+            table: archive.iter().map(|c| (c.config.compact(), c.clone())).collect(),
+            fresh: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl nds_search::Evaluator for ReplayEvaluator {
+    fn evaluate(&mut self, config: &DropoutConfig) -> nds_search::Result<Candidate> {
+        let key = config.compact();
+        let hit = self.table.get(&key).cloned().ok_or_else(|| {
+            nds_search::SearchError::BadConfig(format!("config {config} not in replay archive"))
+        })?;
+        self.fresh.insert(key);
+        Ok(hit)
+    }
+
+    fn fresh_evaluations(&self) -> usize {
+        self.fresh.len()
+    }
+}
+
+/// Spearman rank correlation between two equally-long samples.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two points are supplied.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman needs paired samples");
+    assert!(a.len() >= 2, "spearman needs at least two points");
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
+        let mut ranks = vec![0.0; xs.len()];
+        for (r, &i) in order.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..a.len() {
+        let da = ra[i] - mean;
+        let db = rb[i] - mean;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        0.0
+    } else {
+        cov / (var_a.sqrt() * var_b.sqrt())
+    }
+}
+
+/// A minimal ASCII scatter plot (x right, y up) for terminal figures.
+pub fn ascii_scatter(
+    points: &[(f64, f64, char)],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    if points.is_empty() {
+        return String::from("(no points)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_max - y_min).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y, glyph) in points {
+        let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+        let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - row;
+        // Searched markers win over baseline markers on collisions.
+        if grid[row][col] == ' ' || glyph != '·' {
+            grid[row][col] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label}\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        " {x_label}: {x_min:.3} .. {x_max:.3}   (y: {y_min:.3} .. {y_max:.3})\n"
+    ));
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}", 100.0 * fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_detects_monotone_relations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_scatter_places_points() {
+        let plot = ascii_scatter(
+            &[(0.0, 0.0, 'A'), (1.0, 1.0, 'B')],
+            20,
+            10,
+            "x",
+            "y",
+        );
+        assert!(plot.contains('A'));
+        assert!(plot.contains('B'));
+    }
+
+    #[test]
+    fn workspace_root_has_results() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+        assert!(dir.exists());
+    }
+
+    #[test]
+    fn replay_evaluator_replays_and_rejects_unknowns() {
+        use nds_search::Evaluator as _;
+        let config: DropoutConfig = "BBB".parse().unwrap();
+        let candidate = Candidate {
+            config: config.clone(),
+            metrics: CandidateMetrics { accuracy: 0.9, ece: 0.1, ape: 0.5 },
+            latency_ms: 1.0,
+        };
+        let mut replay = ReplayEvaluator::new(std::slice::from_ref(&candidate));
+        let hit = replay.evaluate(&config).unwrap();
+        assert_eq!(hit.metrics.accuracy, 0.9);
+        // Re-evaluating the same config does not inflate the budget count.
+        let _ = replay.evaluate(&config).unwrap();
+        assert_eq!(replay.fresh_evaluations(), 1);
+        let missing: DropoutConfig = "MMM".parse().unwrap();
+        let err = replay.evaluate(&missing).unwrap_err().to_string();
+        assert!(err.contains("not in replay archive"), "{err}");
+    }
+}

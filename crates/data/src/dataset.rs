@@ -1,0 +1,347 @@
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor};
+
+/// A labelled image dataset held fully in memory.
+///
+/// Images are stored as one rank-4 NCHW tensor; labels are class indices.
+/// Datasets are immutable after construction — augmentation happens at
+/// generation time so that every consumer sees identical data.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Dataset {
+    /// Builds a dataset from a stacked image tensor and labels.
+    ///
+    /// Per-channel mean/std are computed here once and reused for
+    /// normalisation and OOD-noise generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank 4, the batch dimension does not match
+    /// `labels.len()`, or any label is `>= classes`.
+    pub fn new(name: impl Into<String>, images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        let (n, c, h, w) = images
+            .shape()
+            .as_nchw()
+            .expect("dataset images must be rank-4 NCHW");
+        assert_eq!(n, labels.len(), "image/label count mismatch");
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        // Per-channel statistics.
+        let data = images.as_slice();
+        let mut mean = vec![0.0f64; c];
+        let mut sq = vec![0.0f64; c];
+        let per_chan = (n * h * w).max(1) as f64;
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for &v in &data[base..base + h * w] {
+                    mean[ci] += v as f64;
+                    sq[ci] += (v as f64) * (v as f64);
+                }
+            }
+        }
+        let mean_f: Vec<f32> = mean.iter().map(|&m| (m / per_chan) as f32).collect();
+        let std_f: Vec<f32> = mean_f
+            .iter()
+            .zip(sq.iter())
+            .map(|(&m, &s)| {
+                let var = (s / per_chan) - (m as f64) * (m as f64);
+                (var.max(1e-12).sqrt()) as f32
+            })
+            .collect();
+        Dataset {
+            name: name.into(),
+            images,
+            labels,
+            classes,
+            mean: mean_f,
+            std: std_f,
+        }
+    }
+
+    /// Dataset name (e.g. `"mnist-like"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image shape of one sample as `(channels, height, width)`.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        let (_, c, h, w) = self.images.shape().as_nchw().expect("rank-4 by construction");
+        (c, h, w)
+    }
+
+    /// All labels in sample order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The full image tensor `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Per-channel means of the raw data.
+    pub fn channel_mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Per-channel standard deviations of the raw data.
+    pub fn channel_std(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// Gathers the given sample indices into a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let (_, c, h, w) = self.images.shape().as_nchw().expect("rank-4 by construction");
+        let item = c * h * w;
+        let src = self.images.as_slice();
+        let mut data = Vec::with_capacity(indices.len() * item);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &ix in indices {
+            assert!(ix < self.len(), "batch index {ix} out of range");
+            data.extend_from_slice(&src[ix * item..(ix + 1) * item]);
+            labels.push(self.labels[ix]);
+        }
+        let images = Tensor::from_vec(data, Shape::d4(indices.len(), c, h, w))
+            .expect("batch construction is shape-consistent");
+        (images, labels)
+    }
+
+    /// The whole dataset as one batch.
+    pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
+        let all: Vec<usize> = (0..self.len()).collect();
+        self.batch(&all)
+    }
+
+    /// Iterator over shuffled mini-batches.
+    pub fn iter_batches(&self, batch_size: usize, rng: &mut Rng64) -> BatchIter<'_> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        BatchIter {
+            dataset: self,
+            order,
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
+    }
+
+    /// A subset view materialised as a new dataset (used for quick
+    /// validation subsets in the search loop).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let (images, labels) = self.batch(indices);
+        Dataset::new(self.name.clone(), images, labels, self.classes)
+    }
+
+    /// Out-of-distribution probe data: Gaussian noise with this dataset's
+    /// per-channel mean and standard deviation — exactly the construction
+    /// the paper uses to measure aPE (§4.1).
+    pub fn ood_noise(&self, n: usize, rng: &mut Rng64) -> Tensor {
+        let (c, h, w) = self.image_shape();
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for _ in 0..n {
+            for ci in 0..c {
+                for _ in 0..h * w {
+                    data.push(rng.normal_with(self.mean[ci], self.std[ci]));
+                }
+            }
+        }
+        Tensor::from_vec(data, Shape::d4(n, c, h, w)).expect("shape-consistent noise")
+    }
+
+    /// Standardises the dataset in place: per channel, subtract the mean and
+    /// divide by the standard deviation, then reset the stored stats to
+    /// (0, 1).
+    pub fn normalize(&mut self) {
+        let (_, c, h, w) = self.images.shape().as_nchw().expect("rank-4 by construction");
+        let n = self.labels.len();
+        let mean = self.mean.clone();
+        let std = self.std.clone();
+        let data = self.images.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let m = mean[ci];
+                let s = std[ci].max(1e-6);
+                for v in &mut data[base..base + h * w] {
+                    *v = (*v - m) / s;
+                }
+            }
+        }
+        self.mean = vec![0.0; c];
+        self.std = vec![1.0; c];
+    }
+
+    /// Per-class sample counts — used by tests to confirm class balance.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+/// Train / validation / test partition of a generated dataset.
+#[derive(Debug, Clone)]
+pub struct Splits {
+    /// Training split (supernet weights are fit on this).
+    pub train: Dataset,
+    /// Validation split (the evolutionary search scores candidates here).
+    pub val: Dataset,
+    /// Held-out test split (final tables report this).
+    pub test: Dataset,
+}
+
+/// Iterator over shuffled mini-batches of a [`Dataset`].
+///
+/// Produced by [`Dataset::iter_batches`]. The final batch may be smaller
+/// than `batch_size`.
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.dataset.batch(&self.order[self.cursor..end]);
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let mut rng = Rng64::new(1);
+        let images = Tensor::rand_uniform(Shape::d4(n, 2, 4, 4), 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        Dataset::new("toy", images, labels, 3)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy_dataset(9);
+        assert_eq!(d.len(), 9);
+        assert_eq!(d.classes(), 3);
+        assert_eq!(d.image_shape(), (2, 4, 4));
+        assert_eq!(d.class_histogram(), vec![3, 3, 3]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let images = Tensor::zeros(Shape::d4(1, 1, 2, 2));
+        Dataset::new("bad", images, vec![5], 3);
+    }
+
+    #[test]
+    fn batch_gathers_requested_samples() {
+        let d = toy_dataset(6);
+        let (images, labels) = d.batch(&[4, 0]);
+        assert_eq!(images.shape(), &Shape::d4(2, 2, 4, 4));
+        assert_eq!(labels, vec![d.labels()[4], d.labels()[0]]);
+        let item0 = images.batch_item(0).unwrap();
+        let expect = d.images().batch_item(4).unwrap();
+        assert_eq!(item0, expect);
+    }
+
+    #[test]
+    fn batch_iter_covers_everything_once() {
+        let d = toy_dataset(10);
+        let mut rng = Rng64::new(7);
+        let mut seen = 0;
+        let mut sizes = Vec::new();
+        for (images, labels) in d.iter_batches(4, &mut rng) {
+            assert_eq!(images.shape().dim(0), labels.len());
+            sizes.push(labels.len());
+            seen += labels.len();
+        }
+        assert_eq!(seen, 10);
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn batch_iter_shuffles_deterministically() {
+        let d = toy_dataset(16);
+        let mut rng1 = Rng64::new(3);
+        let mut rng2 = Rng64::new(3);
+        let a: Vec<Vec<usize>> = d.iter_batches(8, &mut rng1).map(|(_, l)| l).collect();
+        let b: Vec<Vec<usize>> = d.iter_batches(8, &mut rng2).map(|(_, l)| l).collect();
+        assert_eq!(a, b, "same seed, same order");
+        let mut rng3 = Rng64::new(4);
+        let c: Vec<Vec<usize>> = d.iter_batches(8, &mut rng3).map(|(_, l)| l).collect();
+        assert_ne!(a, c, "different seed should (almost surely) reorder");
+    }
+
+    #[test]
+    fn normalize_zeroes_mean_unit_variance() {
+        let mut d = toy_dataset(32);
+        d.normalize();
+        // Recompute stats from raw data.
+        let rebuilt = Dataset::new("check", d.images().clone(), d.labels().to_vec(), 3);
+        for ci in 0..2 {
+            assert!(rebuilt.channel_mean()[ci].abs() < 1e-4);
+            assert!((rebuilt.channel_std()[ci] - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ood_noise_matches_dataset_stats() {
+        let d = toy_dataset(64);
+        let mut rng = Rng64::new(9);
+        let noise = d.ood_noise(256, &mut rng);
+        assert_eq!(noise.shape().dims(), &[256, 2, 4, 4]);
+        let m = noise.mean();
+        let expect = d.channel_mean().iter().sum::<f32>() as f64 / 2.0;
+        assert!((m - expect).abs() < 0.05, "noise mean {m} vs expected {expect}");
+    }
+
+    #[test]
+    fn subset_preserves_content() {
+        let d = toy_dataset(8);
+        let s = d.subset(&[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[d.labels()[1], d.labels()[3], d.labels()[5]]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Plain-text image export (PGM/PPM) for visual inspection of the
+//! synthetic datasets.
+//!
+//! The generators in this crate are procedural stand-ins for MNIST / SVHN /
+//! CIFAR-10; being able to *look* at them is the fastest way to judge
+//! whether a training failure is a data problem. PGM (grayscale) and PPM
+//! (colour) are chosen because they are human-readable, dependency-free
+//! and openable by every image viewer.
+
+use crate::dataset::Dataset;
+use nds_tensor::Tensor;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders one `[C, H, W]` image tensor as PGM (1 channel) or PPM
+/// (3 channels) text. Pixel values are clamped to `[0, 1]` and quantised
+/// to 8 bits.
+///
+/// # Errors
+///
+/// Returns a message when the tensor is not rank-3 or has an unsupported
+/// channel count.
+pub fn image_to_pnm(image: &Tensor) -> Result<String, String> {
+    let dims = image.shape().dims();
+    if dims.len() != 3 {
+        return Err(format!("expected [C, H, W] tensor, got {}", image.shape()));
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let data = image.as_slice();
+    let to_byte = |v: f32| -> u32 { (v.clamp(0.0, 1.0) * 255.0).round() as u32 };
+    let mut out = String::new();
+    match c {
+        1 => {
+            let _ = writeln!(out, "P2\n{w} {h}\n255");
+            for y in 0..h {
+                for x in 0..w {
+                    if x > 0 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "{}", to_byte(data[y * w + x]));
+                }
+                out.push('\n');
+            }
+        }
+        3 => {
+            let _ = writeln!(out, "P3\n{w} {h}\n255");
+            let plane = h * w;
+            for y in 0..h {
+                for x in 0..w {
+                    if x > 0 {
+                        out.push(' ');
+                    }
+                    let _ = write!(
+                        out,
+                        "{} {} {}",
+                        to_byte(data[y * w + x]),
+                        to_byte(data[plane + y * w + x]),
+                        to_byte(data[2 * plane + y * w + x])
+                    );
+                }
+                out.push('\n');
+            }
+        }
+        other => return Err(format!("unsupported channel count {other} (need 1 or 3)")),
+    }
+    Ok(out)
+}
+
+/// Writes the first `count` samples of a dataset as `<label>_<index>.pgm`
+/// / `.ppm` files under `dir`, returning the written paths.
+///
+/// # Errors
+///
+/// Returns a message on conversion or filesystem failure.
+pub fn export_samples(
+    dataset: &Dataset,
+    count: usize,
+    dir: &Path,
+) -> Result<Vec<std::path::PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let (c, _, _) = dataset.image_shape();
+    let ext = if c == 1 { "pgm" } else { "ppm" };
+    let mut written = Vec::new();
+    for i in 0..count.min(dataset.len()) {
+        let image = dataset
+            .images()
+            .batch_item(i)
+            .map_err(|e| e.to_string())?;
+        let contents = image_to_pnm(&image)?;
+        let path = dir.join(format!("{}_{i}.{ext}", dataset.labels()[i]));
+        std::fs::write(&path, contents).map_err(|e| e.to_string())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{mnist_like, svhn_like, DatasetConfig};
+    use nds_tensor::Shape;
+
+    #[test]
+    fn grayscale_pgm_structure() {
+        let image = Tensor::from_vec(vec![0.0, 0.5, 1.0, 2.0], Shape::d3(1, 2, 2)).unwrap();
+        let pgm = image_to_pnm(&image).unwrap();
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("2 2"));
+        assert_eq!(lines.next(), Some("255"));
+        assert_eq!(lines.next(), Some("0 128"));
+        // 2.0 clamps to 255.
+        assert_eq!(lines.next(), Some("255 255"));
+    }
+
+    #[test]
+    fn color_ppm_structure() {
+        let image = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0], // R plane then G then B, 1x2 img
+            Shape::d3(3, 1, 2),
+        )
+        .unwrap();
+        let ppm = image_to_pnm(&image).unwrap();
+        assert!(ppm.starts_with("P3\n2 1\n255\n"));
+        // Pixel 0: R=255 G=0 B=0; pixel 1: R=0 G=0 B=255.
+        assert!(ppm.contains("255 0 0 0 0 255"), "{ppm}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(image_to_pnm(&Tensor::zeros(Shape::d2(2, 2))).is_err());
+        assert!(image_to_pnm(&Tensor::zeros(Shape::d3(2, 2, 2))).is_err());
+    }
+
+    #[test]
+    fn export_writes_expected_files() {
+        let dir = std::env::temp_dir().join("nds_data_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let splits = mnist_like(&DatasetConfig::tiny(5));
+        let paths = export_samples(&splits.train, 3, &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        for path in &paths {
+            assert!(path.exists());
+            let contents = std::fs::read_to_string(path).unwrap();
+            assert!(contents.starts_with("P2"));
+        }
+        // Colour datasets produce PPM.
+        let splits = svhn_like(&DatasetConfig::tiny(6));
+        let paths = export_samples(&splits.train, 1, &dir).unwrap();
+        assert!(paths[0].extension().unwrap() == "ppm");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

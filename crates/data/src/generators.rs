@@ -1,0 +1,383 @@
+//! Procedural dataset generators.
+//!
+//! Every generator is a pure function of a [`DatasetConfig`]: same config,
+//! same bytes. The three generators deliberately differ in difficulty the
+//! same way their namesakes do — MNIST-like is the easiest (clean glyphs),
+//! SVHN-like adds colour and clutter, CIFAR-like is texture/shape
+//! classification with the most intra-class variation.
+
+use crate::dataset::{Dataset, Splits};
+use crate::glyphs::{digit_glyph, GLYPH_COLS, GLYPH_ROWS};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor};
+use std::fmt;
+
+/// Which synthetic dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// `1×28×28` grayscale digit glyphs (stands in for MNIST).
+    MnistLike,
+    /// `3×32×32` colored digits on clutter (stands in for SVHN).
+    SvhnLike,
+    /// `3×32×32` textured shapes (stands in for CIFAR-10).
+    CifarLike,
+}
+
+impl DatasetKind {
+    /// Image shape `(channels, height, width)` for this dataset kind.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        match self {
+            DatasetKind::MnistLike => (1, 28, 28),
+            DatasetKind::SvhnLike => (3, 32, 32),
+            DatasetKind::CifarLike => (3, 32, 32),
+        }
+    }
+
+    /// All kinds, in the order the paper pairs them with LeNet / VGG11 /
+    /// ResNet18.
+    pub fn all() -> [DatasetKind; 3] {
+        [DatasetKind::MnistLike, DatasetKind::SvhnLike, DatasetKind::CifarLike]
+    }
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DatasetKind::MnistLike => "mnist-like",
+            DatasetKind::SvhnLike => "svhn-like",
+            DatasetKind::CifarLike => "cifar-like",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Sizing and seeding for a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of training samples.
+    pub train: usize,
+    /// Number of validation samples.
+    pub val: usize,
+    /// Number of test samples.
+    pub test: usize,
+    /// Master seed; train/val/test derive decorrelated streams from it.
+    pub seed: u64,
+    /// Per-pixel Gaussian noise amplitude (0 disables).
+    pub noise: f32,
+}
+
+impl DatasetConfig {
+    /// A tiny configuration for unit tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        DatasetConfig { train: 64, val: 32, test: 32, seed, noise: 0.08 }
+    }
+
+    /// The default experiment scale used by the bench harnesses: small
+    /// enough for a single CPU core, large enough for stable metrics.
+    pub fn experiment(seed: u64) -> Self {
+        DatasetConfig { train: 1536, val: 384, test: 384, seed, noise: 0.08 }
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig::experiment(0xDA7A)
+    }
+}
+
+/// Generates the MNIST-like splits: grayscale digit glyphs with random
+/// shift, scale jitter and pixel noise.
+pub fn mnist_like(config: &DatasetConfig) -> Splits {
+    generate(DatasetKind::MnistLike, config)
+}
+
+/// Generates the SVHN-like splits: colored digits over textured clutter.
+pub fn svhn_like(config: &DatasetConfig) -> Splits {
+    generate(DatasetKind::SvhnLike, config)
+}
+
+/// Generates the CIFAR-like splits: oriented gratings and shape masks with
+/// class-dependent palettes.
+pub fn cifar_like(config: &DatasetConfig) -> Splits {
+    generate(DatasetKind::CifarLike, config)
+}
+
+/// Generates any dataset kind with the given config.
+pub fn generate(kind: DatasetKind, config: &DatasetConfig) -> Splits {
+    let base = Rng64::new(config.seed ^ kind_tag(kind));
+    Splits {
+        train: generate_split(kind, config, "train", config.train, base.fork(1)),
+        val: generate_split(kind, config, "val", config.val, base.fork(2)),
+        test: generate_split(kind, config, "test", config.test, base.fork(3)),
+    }
+}
+
+fn kind_tag(kind: DatasetKind) -> u64 {
+    match kind {
+        DatasetKind::MnistLike => 0x11,
+        DatasetKind::SvhnLike => 0x22,
+        DatasetKind::CifarLike => 0x33,
+    }
+}
+
+fn generate_split(
+    kind: DatasetKind,
+    config: &DatasetConfig,
+    split: &str,
+    n: usize,
+    mut rng: Rng64,
+) -> Dataset {
+    let (c, h, w) = kind.image_shape();
+    let mut data = vec![0.0f32; n * c * h * w];
+    let mut labels = Vec::with_capacity(n);
+    for (i, img) in data.chunks_mut(c * h * w).enumerate() {
+        // Balanced classes with a shuffled remainder.
+        let label = if i < (n / 10) * 10 { i % 10 } else { rng.below(10) };
+        labels.push(label);
+        match kind {
+            DatasetKind::MnistLike => draw_mnist(img, h, w, label, config.noise, &mut rng),
+            DatasetKind::SvhnLike => draw_svhn(img, h, w, label, config.noise, &mut rng),
+            DatasetKind::CifarLike => draw_cifar(img, h, w, label, config.noise, &mut rng),
+        }
+    }
+    let images = Tensor::from_vec(data, Shape::d4(n, c, h, w)).expect("consistent shape");
+    Dataset::new(format!("{kind}/{split}"), images, labels, 10)
+}
+
+/// Rasterises a glyph into a single-channel buffer with sub-glyph-cell
+/// anti-aliasing, random shift and per-pixel noise.
+fn draw_mnist(img: &mut [f32], h: usize, w: usize, label: usize, noise: f32, rng: &mut Rng64) {
+    let scale_y = (h as f32 * 0.75) / GLYPH_ROWS as f32 * rng.uniform_in(0.85, 1.1);
+    let scale_x = (w as f32 * 0.75) / GLYPH_COLS as f32 * rng.uniform_in(0.85, 1.1);
+    let off_y = (h as f32 - GLYPH_ROWS as f32 * scale_y) / 2.0 + rng.uniform_in(-2.0, 2.0);
+    let off_x = (w as f32 - GLYPH_COLS as f32 * scale_x) / 2.0 + rng.uniform_in(-2.0, 2.0);
+    let intensity = rng.uniform_in(0.75, 1.0);
+    for y in 0..h {
+        for x in 0..w {
+            let gy = (y as f32 - off_y) / scale_y;
+            let gx = (x as f32 - off_x) / scale_x;
+            let mut v = 0.0;
+            if gy >= 0.0 && gx >= 0.0 {
+                let (ry, cx) = (gy as usize, gx as usize);
+                if ry < GLYPH_ROWS && cx < GLYPH_COLS && digit_glyph(label, ry, cx) {
+                    v = intensity;
+                }
+            }
+            let n = if noise > 0.0 { rng.normal_with(0.0, noise) } else { 0.0 };
+            img[y * w + x] = (v + n).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Colored digit over a textured, edge-cluttered background.
+fn draw_svhn(img: &mut [f32], h: usize, w: usize, label: usize, noise: f32, rng: &mut Rng64) {
+    let plane = h * w;
+    // Background: a smooth two-tone gradient plus random bars.
+    let bg: [f32; 3] = [rng.uniform_f32(), rng.uniform_f32(), rng.uniform_f32()];
+    let bg2: [f32; 3] = [rng.uniform_f32(), rng.uniform_f32(), rng.uniform_f32()];
+    let angle = rng.uniform_in(0.0, std::f32::consts::PI);
+    let (sin_a, cos_a) = angle.sin_cos();
+    for y in 0..h {
+        for x in 0..w {
+            let t = ((x as f32 * cos_a + y as f32 * sin_a) / (h + w) as f32 + 0.5).clamp(0.0, 1.0);
+            for ch in 0..3 {
+                img[ch * plane + y * w + x] = bg[ch] * (1.0 - t) + bg2[ch] * t;
+            }
+        }
+    }
+    // Distractor bars.
+    for _ in 0..3 {
+        let bar_x = rng.below(w);
+        let bar_w = 1 + rng.below(3);
+        let shade = rng.uniform_f32() * 0.6;
+        for y in 0..h {
+            for x in bar_x..(bar_x + bar_w).min(w) {
+                for ch in 0..3 {
+                    img[ch * plane + y * w + x] =
+                        (img[ch * plane + y * w + x] * 0.5 + shade * 0.5).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+    // Foreground digit in a contrasting colour.
+    let fg: [f32; 3] = [
+        (bg[0] + 0.5).rem_euclid(1.0),
+        (bg[1] + 0.5).rem_euclid(1.0),
+        (bg[2] + 0.5).rem_euclid(1.0),
+    ];
+    let scale_y = (h as f32 * 0.7) / GLYPH_ROWS as f32 * rng.uniform_in(0.8, 1.1);
+    let scale_x = (w as f32 * 0.7) / GLYPH_COLS as f32 * rng.uniform_in(0.8, 1.1);
+    let off_y = (h as f32 - GLYPH_ROWS as f32 * scale_y) / 2.0 + rng.uniform_in(-3.0, 3.0);
+    let off_x = (w as f32 - GLYPH_COLS as f32 * scale_x) / 2.0 + rng.uniform_in(-3.0, 3.0);
+    for y in 0..h {
+        for x in 0..w {
+            let gy = (y as f32 - off_y) / scale_y;
+            let gx = (x as f32 - off_x) / scale_x;
+            if gy >= 0.0 && gx >= 0.0 {
+                let (ry, cx) = (gy as usize, gx as usize);
+                if ry < GLYPH_ROWS && cx < GLYPH_COLS && digit_glyph(label, ry, cx) {
+                    for ch in 0..3 {
+                        img[ch * plane + y * w + x] = fg[ch];
+                    }
+                }
+            }
+        }
+    }
+    // Pixel noise.
+    if noise > 0.0 {
+        for v in img.iter_mut() {
+            *v = (*v + rng.normal_with(0.0, noise)).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Class-coded texture composite: orientation/frequency of a grating plus a
+/// shape mask, with a class-dependent palette perturbed per sample.
+fn draw_cifar(img: &mut [f32], h: usize, w: usize, label: usize, noise: f32, rng: &mut Rng64) {
+    let plane = h * w;
+    // Class determines grating orientation & frequency and a base palette.
+    let angle = label as f32 * (std::f32::consts::PI / 10.0) + rng.uniform_in(-0.08, 0.08);
+    let freq = 0.25 + 0.09 * (label % 5) as f32 + rng.uniform_in(-0.015, 0.015);
+    let (sin_a, cos_a) = angle.sin_cos();
+    let palette: [f32; 3] = [
+        0.15 + 0.08 * ((label * 3) % 10) as f32,
+        0.15 + 0.08 * ((label * 7 + 2) % 10) as f32,
+        0.15 + 0.08 * ((label * 5 + 4) % 10) as f32,
+    ];
+    let phase = rng.uniform_in(0.0, std::f32::consts::TAU);
+    for y in 0..h {
+        for x in 0..w {
+            let u = x as f32 * cos_a + y as f32 * sin_a;
+            let g = (u * freq + phase).sin() * 0.5 + 0.5;
+            for ch in 0..3 {
+                img[ch * plane + y * w + x] = (palette[ch] * 0.8 + g * 0.55).clamp(0.0, 1.0);
+            }
+        }
+    }
+    // Shape mask: even classes carry a filled disc, odd classes a square,
+    // with random centre — a second, spatial cue besides the texture.
+    let cy = rng.uniform_in(h as f32 * 0.3, h as f32 * 0.7);
+    let cx = rng.uniform_in(w as f32 * 0.3, w as f32 * 0.7);
+    let r = rng.uniform_in(w as f32 * 0.15, w as f32 * 0.28);
+    let shade = rng.uniform_in(0.55, 0.9);
+    for y in 0..h {
+        for x in 0..w {
+            let dy = y as f32 - cy;
+            let dx = x as f32 - cx;
+            let inside = if label.is_multiple_of(2) {
+                dy * dy + dx * dx <= r * r
+            } else {
+                dy.abs() <= r * 0.9 && dx.abs() <= r * 0.9
+            };
+            if inside {
+                for ch in 0..3 {
+                    let v = &mut img[ch * plane + y * w + x];
+                    *v = (*v * 0.35 + shade * palette[(ch + 1) % 3] * 1.3).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+    if noise > 0.0 {
+        for v in img.iter_mut() {
+            *v = (*v + rng.normal_with(0.0, noise)).clamp(0.0, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_kind() {
+        let cfg = DatasetConfig::tiny(1);
+        let m = mnist_like(&cfg);
+        assert_eq!(m.train.image_shape(), (1, 28, 28));
+        let s = svhn_like(&cfg);
+        assert_eq!(s.train.image_shape(), (3, 32, 32));
+        let c = cifar_like(&cfg);
+        assert_eq!(c.train.image_shape(), (3, 32, 32));
+    }
+
+    #[test]
+    fn split_sizes_match_config() {
+        let cfg = DatasetConfig { train: 50, val: 20, test: 10, seed: 2, noise: 0.0 };
+        let splits = mnist_like(&cfg);
+        assert_eq!(splits.train.len(), 50);
+        assert_eq!(splits.val.len(), 20);
+        assert_eq!(splits.test.len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DatasetConfig::tiny(33);
+        let a = cifar_like(&cfg);
+        let b = cifar_like(&cfg);
+        assert_eq!(a.train.images().as_slice(), b.train.images().as_slice());
+        assert_eq!(a.train.labels(), b.train.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = mnist_like(&DatasetConfig::tiny(1));
+        let b = mnist_like(&DatasetConfig::tiny(2));
+        assert_ne!(a.train.images().as_slice(), b.train.images().as_slice());
+    }
+
+    #[test]
+    fn splits_are_decorrelated() {
+        let s = mnist_like(&DatasetConfig { train: 32, val: 32, test: 32, seed: 5, noise: 0.05 });
+        assert_ne!(s.train.images().as_slice(), s.val.images().as_slice());
+        assert_ne!(s.val.images().as_slice(), s.test.images().as_slice());
+    }
+
+    #[test]
+    fn classes_are_roughly_balanced() {
+        let s = mnist_like(&DatasetConfig { train: 100, val: 10, test: 10, seed: 6, noise: 0.0 });
+        let hist = s.train.class_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), 100);
+        assert!(hist.iter().all(|&c| c == 10), "histogram {hist:?}");
+    }
+
+    #[test]
+    fn pixels_are_in_unit_range() {
+        for kind in DatasetKind::all() {
+            let s = generate(kind, &DatasetConfig::tiny(7));
+            for &v in s.train.images().iter() {
+                assert!((0.0..=1.0).contains(&v), "{kind}: pixel {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn same_class_images_are_more_similar_than_cross_class() {
+        // Sanity-check learnability: mean intra-class L2 distance should be
+        // smaller than inter-class distance for the clean MNIST-like set.
+        let s = mnist_like(&DatasetConfig { train: 100, val: 10, test: 10, seed: 8, noise: 0.0 });
+        let imgs = s.train.images();
+        let labels = s.train.labels();
+        let dist = |a: usize, b: usize| -> f64 {
+            let ia = imgs.batch_item(a).unwrap();
+            let ib = imgs.batch_item(b).unwrap();
+            ia.sub(&ib).unwrap().norm_sq()
+        };
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for a in 0..40 {
+            for b in (a + 1)..40 {
+                let d = dist(a, b);
+                if labels[a] == labels[b] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1.max(1) as f64;
+        let inter_mean = inter.0 / inter.1.max(1) as f64;
+        assert!(
+            intra_mean < inter_mean,
+            "intra {intra_mean} should be < inter {inter_mean}"
+        );
+    }
+}

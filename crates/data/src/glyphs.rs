@@ -1,0 +1,74 @@
+//! A 5×7 bitmap digit font used by the MNIST-like and SVHN-like generators.
+
+/// Rows in a digit glyph bitmap.
+pub const GLYPH_ROWS: usize = 7;
+/// Columns in a digit glyph bitmap.
+pub const GLYPH_COLS: usize = 5;
+
+/// 5×7 bitmaps for the digits 0–9; each row is the low 5 bits of a byte,
+/// most-significant bit leftmost.
+const FONT: [[u8; GLYPH_ROWS]; 10] = [
+    // 0
+    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+    // 1
+    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+    // 2
+    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+    // 3
+    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+    // 4
+    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+    // 5
+    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+    // 6
+    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+    // 7
+    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+    // 8
+    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+    // 9
+    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+];
+
+/// Returns whether pixel `(row, col)` of the glyph for `digit` is set.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`, `row >= GLYPH_ROWS` or `col >= GLYPH_COLS`.
+pub fn digit_glyph(digit: usize, row: usize, col: usize) -> bool {
+    assert!(digit < 10, "digit {digit} out of range");
+    assert!(row < GLYPH_ROWS && col < GLYPH_COLS, "glyph index out of range");
+    (FONT[digit][row] >> (GLYPH_COLS - 1 - col)) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let same = (0..GLYPH_ROWS)
+                    .all(|r| (0..GLYPH_COLS).all(|c| digit_glyph(a, r, c) == digit_glyph(b, r, c)));
+                assert!(!same, "glyphs {a} and {b} are identical");
+            }
+        }
+    }
+
+    #[test]
+    fn every_glyph_has_ink() {
+        for d in 0..10 {
+            let ink = (0..GLYPH_ROWS)
+                .map(|r| (0..GLYPH_COLS).filter(|&c| digit_glyph(d, r, c)).count())
+                .sum::<usize>();
+            assert!(ink >= 7, "glyph {d} has only {ink} pixels");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_digit() {
+        digit_glyph(10, 0, 0);
+    }
+}

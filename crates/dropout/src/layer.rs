@@ -1,0 +1,434 @@
+use crate::masks::{self, bernoulli_mask, block_mask, random_mask};
+use crate::masksembles::MaskSet;
+use crate::{DropoutError, DropoutKind};
+use nds_nn::arch::{FeatureShape, SlotInfo};
+use nds_nn::{Layer, Mode, NnError, Result as NnResult};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor};
+
+/// Tunable parameters shared by the dropout designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropoutSettings {
+    /// Drop probability for the dynamic designs.
+    pub rate: f32,
+    /// DropBlock patch size.
+    pub block_size: usize,
+    /// Number of Masksembles masks — the paper's MC sampling number S
+    /// (set to 3 in §4.1).
+    pub n_masks: usize,
+    /// Masksembles overlap scale (≥ 1).
+    pub scale: f64,
+}
+
+impl Default for DropoutSettings {
+    fn default() -> Self {
+        // The Masksembles scale is matched to the dynamic designs' drop
+        // rate: a mask keeps ~1/scale of its features, so scale = 1/(1-p)
+        // gives all four designs the same effective drop fraction — the
+        // fair comparison the paper's search assumes.
+        let rate = 0.25f32;
+        DropoutSettings {
+            rate,
+            block_size: 3,
+            n_masks: 3,
+            scale: 1.0 / (1.0 - rate as f64),
+        }
+    }
+}
+
+/// One concrete dropout layer occupying a dropout slot.
+///
+/// All four designs share this type so the supernet can swap them without
+/// touching the surrounding network. In [`Mode::Train`] and
+/// [`Mode::McInference`] a mask is applied; in [`Mode::Standard`] the layer
+/// is the identity (deterministic single-pass inference).
+///
+/// For Masksembles, training picks a random mask per forward pass and MC
+/// inference cycles deterministically through the mask set, so S MC passes
+/// use each of the S masks exactly once — the intended semantics.
+#[derive(Debug)]
+pub struct DropoutLayer {
+    kind: DropoutKind,
+    settings: DropoutSettings,
+    slot: SlotInfo,
+    mask_set: Option<MaskSet>,
+    rng: Rng64,
+    mc_cursor: usize,
+    cache: Option<Tensor>,
+}
+
+impl DropoutLayer {
+    /// Creates the dropout layer of `kind` for a given slot.
+    ///
+    /// Granularity follows the paper's Figure 1: Bernoulli and Random act
+    /// pointwise, Block acts on spatial patches per channel, and
+    /// Masksembles acts channel-wise after convolutions and pointwise after
+    /// FC layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DropoutError::UnsupportedPosition`] when the kind is
+    /// illegal at the slot position (Block after FC) and
+    /// [`DropoutError::BadParameter`] for out-of-range settings.
+    pub fn for_slot(
+        kind: DropoutKind,
+        slot: &SlotInfo,
+        settings: &DropoutSettings,
+        seed: u64,
+    ) -> Result<Self, DropoutError> {
+        if !kind.supports(slot.position) {
+            return Err(DropoutError::UnsupportedPosition { kind, position: slot.position });
+        }
+        if !(0.0..1.0).contains(&settings.rate) {
+            return Err(DropoutError::BadParameter(format!(
+                "rate {} must be in [0, 1)",
+                settings.rate
+            )));
+        }
+        if settings.n_masks == 0 {
+            return Err(DropoutError::BadParameter("n_masks must be positive".into()));
+        }
+        if settings.scale < 1.0 {
+            return Err(DropoutError::BadParameter(format!(
+                "masksembles scale {} must be >= 1.0",
+                settings.scale
+            )));
+        }
+        let mut rng = Rng64::new(seed ^ (slot.id as u64).wrapping_mul(0x9E37_79B9));
+        let mask_set = if kind == DropoutKind::Masksembles {
+            let features = match slot.shape {
+                // Channel-granular after convolutions.
+                FeatureShape::Map { c, .. } => c,
+                FeatureShape::Vector { features } => features,
+            };
+            Some(MaskSet::generate(settings.n_masks, features, settings.scale, &mut rng))
+        } else {
+            None
+        };
+        Ok(DropoutLayer {
+            kind,
+            settings: *settings,
+            slot: slot.clone(),
+            mask_set,
+            rng,
+            mc_cursor: 0,
+            cache: None,
+        })
+    }
+
+    /// The design occupying this slot.
+    pub fn kind(&self) -> DropoutKind {
+        self.kind
+    }
+
+    /// The slot metadata this layer was built for.
+    pub fn slot(&self) -> &SlotInfo {
+        &self.slot
+    }
+
+    /// The layer's settings.
+    pub fn settings(&self) -> &DropoutSettings {
+        &self.settings
+    }
+
+    /// The offline mask set (Masksembles only).
+    pub fn mask_set(&self) -> Option<&MaskSet> {
+        self.mask_set.as_ref()
+    }
+
+    /// Resets the Masksembles MC cursor so the next MC pass uses mask 0.
+    /// The MC driver calls this before each prediction so results do not
+    /// depend on how many passes ran before.
+    pub fn reset_mc_cursor(&mut self) {
+        self.mc_cursor = 0;
+    }
+
+    /// Builds the per-sample mask for one forward pass.
+    fn sample_mask(&mut self, mode: Mode) -> Vec<f32> {
+        let per_sample = self.slot.shape.len();
+        match self.kind {
+            DropoutKind::Bernoulli => bernoulli_mask(per_sample, self.settings.rate, &mut self.rng),
+            DropoutKind::Random => random_mask(per_sample, self.settings.rate, &mut self.rng),
+            DropoutKind::Gaussian => {
+                masks::gaussian_mask(per_sample, self.settings.rate, &mut self.rng)
+            }
+            DropoutKind::Block => match self.slot.shape {
+                FeatureShape::Map { c, h, w } => {
+                    let mut mask = Vec::with_capacity(c * h * w);
+                    for _ in 0..c {
+                        mask.extend(block_mask(h, w, self.settings.rate, self.settings.block_size, &mut self.rng));
+                    }
+                    mask
+                }
+                // Unreachable by construction (Block is conv-only), but a
+                // pointwise fallback keeps the function total.
+                FeatureShape::Vector { features } => {
+                    bernoulli_mask(features, self.settings.rate, &mut self.rng)
+                }
+            },
+            DropoutKind::Masksembles => {
+                let set = self.mask_set.as_ref().expect("mask set exists for masksembles");
+                let index = match mode {
+                    Mode::McInference => {
+                        let i = self.mc_cursor % set.len();
+                        self.mc_cursor += 1;
+                        i
+                    }
+                    _ => self.rng.below(set.len()),
+                };
+                let unit = set.mask(index);
+                match self.slot.shape {
+                    FeatureShape::Map { c, h, w } => {
+                        // Channel mask broadcast over the spatial plane.
+                        debug_assert_eq!(unit.len(), c);
+                        let mut mask = Vec::with_capacity(c * h * w);
+                        for &m in unit {
+                            mask.extend(std::iter::repeat_n(m, h * w));
+                        }
+                        mask
+                    }
+                    FeatureShape::Vector { .. } => unit.to_vec(),
+                }
+            }
+        }
+    }
+}
+
+impl Layer for DropoutLayer {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> NnResult<Tensor> {
+        let per_sample = self.slot.shape.len();
+        let n = input.shape().dim(0);
+        if input.len() != n * per_sample {
+            return Err(NnError::BadConfig(format!(
+                "dropout slot {} expected {} features/sample, input is {}",
+                self.slot.id,
+                per_sample,
+                input.shape()
+            )));
+        }
+        if !mode.dropout_active() {
+            self.cache = None;
+            return Ok(input.clone());
+        }
+        // One independent mask per batch sample, matching framework
+        // semantics (masks differ across MC samples *and* batch items).
+        let mut mask = Vec::with_capacity(input.len());
+        for _ in 0..n {
+            mask.extend(self.sample_mask(mode));
+        }
+        let mask = Tensor::from_vec(mask, input.shape().clone())?;
+        let out = input.mul(&mask)?;
+        self.cache = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> NnResult<Tensor> {
+        match self.cache.take() {
+            Some(mask) => grad.mul(&mask).map_err(Into::into),
+            // Identity path (Standard mode or never forwarded in an active
+            // mode): gradient passes through unchanged.
+            None => Ok(grad.clone()),
+        }
+    }
+
+    fn begin_mc_round(&mut self) {
+        self.reset_mc_cursor();
+    }
+
+    fn name(&self) -> String {
+        format!("dropout[{}](slot {}, p={})", self.kind, self.slot.id, self.settings.rate)
+    }
+
+    fn out_shape(&self, input: &Shape) -> NnResult<Shape> {
+        Ok(input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::arch::SlotPosition;
+
+    fn conv_slot(c: usize, h: usize, w: usize) -> SlotInfo {
+        SlotInfo {
+            id: 0,
+            shape: FeatureShape::Map { c, h, w },
+            position: SlotPosition::Conv,
+        }
+    }
+
+    fn fc_slot(features: usize) -> SlotInfo {
+        SlotInfo {
+            id: 1,
+            shape: FeatureShape::Vector { features },
+            position: SlotPosition::FullyConnected,
+        }
+    }
+
+    #[test]
+    fn standard_mode_is_identity() {
+        for kind in DropoutKind::all() {
+            let slot = conv_slot(4, 6, 6);
+            let mut layer =
+                DropoutLayer::for_slot(kind, &slot, &DropoutSettings::default(), 1).unwrap();
+            let x = Tensor::ones(Shape::d4(2, 4, 6, 6));
+            let y = layer.forward(&x, Mode::Standard).unwrap();
+            assert_eq!(y, x, "{kind} should be identity in Standard mode");
+        }
+    }
+
+    #[test]
+    fn active_modes_drop_something() {
+        for kind in DropoutKind::all() {
+            let slot = conv_slot(8, 8, 8);
+            let settings = DropoutSettings { rate: 0.5, ..DropoutSettings::default() };
+            let mut layer = DropoutLayer::for_slot(kind, &slot, &settings, 2).unwrap();
+            let x = Tensor::ones(Shape::d4(1, 8, 8, 8));
+            let y = layer.forward(&x, Mode::McInference).unwrap();
+            let zeros = y.iter().filter(|&&v| v == 0.0).count();
+            assert!(zeros > 0, "{kind} dropped nothing");
+            assert!(zeros < y.len(), "{kind} dropped everything");
+        }
+    }
+
+    #[test]
+    fn block_rejected_after_fc() {
+        let slot = fc_slot(32);
+        let err = DropoutLayer::for_slot(DropoutKind::Block, &slot, &DropoutSettings::default(), 3);
+        assert!(matches!(err, Err(DropoutError::UnsupportedPosition { .. })));
+    }
+
+    #[test]
+    fn masksembles_cycles_masks_in_mc_mode() {
+        let slot = conv_slot(16, 4, 4);
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Masksembles,
+            &slot,
+            &DropoutSettings::default(),
+            4,
+        )
+        .unwrap();
+        let x = Tensor::ones(Shape::d4(1, 16, 4, 4));
+        let y0 = layer.forward(&x, Mode::McInference).unwrap();
+        let y1 = layer.forward(&x, Mode::McInference).unwrap();
+        let y2 = layer.forward(&x, Mode::McInference).unwrap();
+        layer.reset_mc_cursor();
+        let y0_again = layer.forward(&x, Mode::McInference).unwrap();
+        assert_eq!(y0, y0_again, "cursor reset must restart the cycle");
+        // The three masks differ pairwise (scale 2.0 on 16 channels).
+        assert_ne!(y0, y1);
+        assert_ne!(y1, y2);
+    }
+
+    #[test]
+    fn masksembles_channel_granularity_on_conv() {
+        let slot = conv_slot(8, 4, 4);
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Masksembles,
+            &slot,
+            &DropoutSettings::default(),
+            5,
+        )
+        .unwrap();
+        let x = Tensor::ones(Shape::d4(1, 8, 4, 4));
+        let y = layer.forward(&x, Mode::McInference).unwrap();
+        // Each channel is uniformly kept or dropped.
+        for c in 0..8 {
+            let plane = &y.as_slice()[c * 16..(c + 1) * 16];
+            let first = plane[0];
+            assert!(plane.iter().all(|&v| v == first), "channel {c} not uniform");
+        }
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let slot = conv_slot(4, 4, 4);
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Bernoulli,
+            &slot,
+            &DropoutSettings { rate: 0.5, ..DropoutSettings::default() },
+            6,
+        )
+        .unwrap();
+        let x = Tensor::ones(Shape::d4(1, 4, 4, 4));
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(Shape::d4(1, 4, 4, 4));
+        let dx = layer.backward(&g).unwrap();
+        // Gradient is zero exactly where the activation was dropped.
+        for (out, din) in y.iter().zip(dx.iter()) {
+            assert_eq!(*out == 0.0, *din == 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_without_active_forward_is_identity() {
+        let slot = fc_slot(8);
+        let mut layer =
+            DropoutLayer::for_slot(DropoutKind::Bernoulli, &slot, &DropoutSettings::default(), 7)
+                .unwrap();
+        let x = Tensor::ones(Shape::d2(2, 8));
+        let _ = layer.forward(&x, Mode::Standard).unwrap();
+        let g = Tensor::arange(16).reshape(Shape::d2(2, 8)).unwrap();
+        assert_eq!(layer.backward(&g).unwrap(), g);
+    }
+
+    #[test]
+    fn per_batch_item_masks_differ() {
+        let slot = conv_slot(4, 8, 8);
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Bernoulli,
+            &slot,
+            &DropoutSettings { rate: 0.5, ..DropoutSettings::default() },
+            8,
+        )
+        .unwrap();
+        let x = Tensor::ones(Shape::d4(2, 4, 8, 8));
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        let a = y.batch_item(0).unwrap();
+        let b = y.batch_item(1).unwrap();
+        assert_ne!(a, b, "batch items should receive independent masks");
+    }
+
+    #[test]
+    fn settings_validation() {
+        let slot = fc_slot(8);
+        let bad_rate = DropoutSettings { rate: 1.0, ..DropoutSettings::default() };
+        assert!(DropoutLayer::for_slot(DropoutKind::Bernoulli, &slot, &bad_rate, 9).is_err());
+        let bad_masks = DropoutSettings { n_masks: 0, ..DropoutSettings::default() };
+        assert!(DropoutLayer::for_slot(DropoutKind::Masksembles, &slot, &bad_masks, 9).is_err());
+        let bad_scale = DropoutSettings { scale: 0.5, ..DropoutSettings::default() };
+        assert!(DropoutLayer::for_slot(DropoutKind::Masksembles, &slot, &bad_scale, 9).is_err());
+    }
+
+    #[test]
+    fn gaussian_layer_perturbs_but_preserves_scale() {
+        let slot = conv_slot(8, 8, 8);
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Gaussian,
+            &slot,
+            &DropoutSettings::default(),
+            12,
+        )
+        .unwrap();
+        let x = Tensor::ones(Shape::d4(1, 8, 8, 8));
+        let y = layer.forward(&x, Mode::McInference).unwrap();
+        assert_ne!(y, x, "gaussian noise must perturb activations");
+        assert!(y.iter().all(|&v| v >= 0.0), "noise is clamped at zero");
+        // Multiplicative N(1, sigma^2): the mean stays near one.
+        assert!((y.mean() - 1.0).abs() < 0.1, "mean {}", y.mean());
+        // Backward applies the same multiplicative mask.
+        let g = Tensor::ones(Shape::d4(1, 8, 8, 8));
+        let dx = layer.backward(&g).unwrap();
+        assert_eq!(dx, y, "for all-ones input and grad, dx equals the mask");
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let slot = conv_slot(4, 4, 4);
+        let mut layer =
+            DropoutLayer::for_slot(DropoutKind::Bernoulli, &slot, &DropoutSettings::default(), 10)
+                .unwrap();
+        let wrong = Tensor::ones(Shape::d4(1, 4, 4, 5));
+        assert!(layer.forward(&wrong, Mode::Train).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! The four dropout designs of the paper, as network layers, plus
+//! Monte-Carlo dropout inference.
+//!
+//! Figure 1 of the paper compares four dropout families by granularity and
+//! sampling dynamics; all four are implemented here with the same
+//! [`nds_nn::Layer`] interface so the supernet can mix them freely:
+//!
+//! | Kind | Granularity | Dynamics | Placement |
+//! |------|-------------|----------|-----------|
+//! | [`DropoutKind::Bernoulli`] | point | dynamic (fresh mask per pass) | conv + FC |
+//! | [`DropoutKind::Random`] | point, exact count | dynamic | conv + FC |
+//! | [`DropoutKind::Block`] | contiguous patch (DropBlock) | dynamic | conv only |
+//! | [`DropoutKind::Masksembles`] | channel (conv) / point (FC) | **static** — S masks generated offline | conv + FC |
+//! | [`DropoutKind::Gaussian`] *(extension)* | point, multiplicative noise | dynamic | conv + FC |
+//!
+//! The static/dynamic split matters for hardware: dynamic kinds need an
+//! on-chip RNG plus comparators every pass, while Masksembles reads its
+//! pre-generated masks from BRAM (see `nds-hw`).
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+//! use nds_nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+//! use nds_nn::{Layer, Mode};
+//! use nds_tensor::{Tensor, Shape};
+//!
+//! let slot = SlotInfo {
+//!     id: 0,
+//!     shape: FeatureShape::Map { c: 4, h: 8, w: 8 },
+//!     position: SlotPosition::Conv,
+//! };
+//! let mut layer = DropoutLayer::for_slot(
+//!     DropoutKind::Bernoulli, &slot, &DropoutSettings::default(), 42)?;
+//! let x = Tensor::ones(Shape::d4(2, 4, 8, 8));
+//! let y = layer.forward(&x, Mode::McInference)?;
+//! // Some activations are dropped, the rest are scaled up.
+//! assert!(y.iter().any(|&v| v == 0.0));
+//! # Ok::<(), nds_dropout::DropoutError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+pub mod masks;
+pub mod masksembles;
+pub mod mc;
+
+pub use layer::{DropoutLayer, DropoutSettings};
+
+use nds_nn::arch::SlotPosition;
+use nds_nn::NnError;
+use std::error::Error as StdError;
+use std::fmt;
+use std::str::FromStr;
+
+/// The dropout designs searched over by the framework.
+///
+/// The paper's space holds the first four; [`DropoutKind::Gaussian`]
+/// implements its stated future-work direction ("incorporating additional
+/// dropout designs into our search space") and is offered by the
+/// *extended* spaces only — [`DropoutKind::all`] remains the paper's four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DropoutKind {
+    /// I.i.d. pointwise Bernoulli dropout (Gal & Ghahramani, 2016).
+    Bernoulli,
+    /// Drops an *exact* fraction of units, chosen uniformly without
+    /// replacement each pass.
+    Random,
+    /// DropBlock (Ghiasi et al., 2018): zeroes contiguous spatial patches.
+    Block,
+    /// Masksembles (Durasov et al., 2021): a fixed set of complementary
+    /// masks generated offline; pass *k* uses mask *k*.
+    Masksembles,
+    /// Multiplicative Gaussian dropout (Srivastava et al., 2014): each
+    /// activation is scaled by `N(1, p/(1−p))` noise. Extension beyond the
+    /// paper's four designs.
+    Gaussian,
+}
+
+impl DropoutKind {
+    /// The paper's four designs, in its table order.
+    pub fn all() -> [DropoutKind; 4] {
+        [
+            DropoutKind::Bernoulli,
+            DropoutKind::Random,
+            DropoutKind::Block,
+            DropoutKind::Masksembles,
+        ]
+    }
+
+    /// The extended design set: the paper's four plus Gaussian dropout.
+    pub fn extended() -> [DropoutKind; 5] {
+        [
+            DropoutKind::Bernoulli,
+            DropoutKind::Random,
+            DropoutKind::Block,
+            DropoutKind::Masksembles,
+            DropoutKind::Gaussian,
+        ]
+    }
+
+    /// The single-letter code used by the paper's Table 2
+    /// (B, R, K, M — "K" for Block; G is this crate's extension).
+    pub fn code(&self) -> char {
+        match self {
+            DropoutKind::Bernoulli => 'B',
+            DropoutKind::Random => 'R',
+            DropoutKind::Block => 'K',
+            DropoutKind::Masksembles => 'M',
+            DropoutKind::Gaussian => 'G',
+        }
+    }
+
+    /// Parses a Table-2 code letter.
+    pub fn from_code(code: char) -> Option<DropoutKind> {
+        match code.to_ascii_uppercase() {
+            'B' => Some(DropoutKind::Bernoulli),
+            'R' => Some(DropoutKind::Random),
+            'K' => Some(DropoutKind::Block),
+            'M' => Some(DropoutKind::Masksembles),
+            'G' => Some(DropoutKind::Gaussian),
+            _ => None,
+        }
+    }
+
+    /// Whether this design can occupy a slot at the given position.
+    /// Block dropout needs spatial structure, so it is convolutional-only;
+    /// the other three work after both conv and FC layers.
+    pub fn supports(&self, position: SlotPosition) -> bool {
+        match self {
+            DropoutKind::Block => position == SlotPosition::Conv,
+            _ => true,
+        }
+    }
+
+    /// Whether masks are generated afresh each forward pass (`true`) or
+    /// fixed offline (`false`, Masksembles only). Dynamic kinds cost RNG +
+    /// comparator logic in hardware; the static kind costs BRAM.
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, DropoutKind::Masksembles)
+    }
+}
+
+impl fmt::Display for DropoutKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DropoutKind::Bernoulli => "bernoulli",
+            DropoutKind::Random => "random",
+            DropoutKind::Block => "block",
+            DropoutKind::Masksembles => "masksembles",
+            DropoutKind::Gaussian => "gaussian",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for DropoutKind {
+    type Err = DropoutError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "bernoulli" | "b" => Ok(DropoutKind::Bernoulli),
+            "random" | "r" => Ok(DropoutKind::Random),
+            "block" | "dropblock" | "k" => Ok(DropoutKind::Block),
+            "masksembles" | "m" => Ok(DropoutKind::Masksembles),
+            "gaussian" | "g" => Ok(DropoutKind::Gaussian),
+            other => Err(DropoutError::UnknownKind(other.to_string())),
+        }
+    }
+}
+
+/// Errors from dropout configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DropoutError {
+    /// A dropout-kind name failed to parse.
+    UnknownKind(String),
+    /// The kind is not legal at the requested slot position.
+    UnsupportedPosition {
+        /// The offending kind.
+        kind: DropoutKind,
+        /// The slot position it was asked to fill.
+        position: SlotPosition,
+    },
+    /// A parameter was outside its legal domain.
+    BadParameter(String),
+    /// An underlying network error.
+    Nn(NnError),
+}
+
+impl fmt::Display for DropoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropoutError::UnknownKind(s) => write!(f, "unknown dropout kind `{s}`"),
+            DropoutError::UnsupportedPosition { kind, position } => {
+                write!(f, "{kind} dropout cannot be placed at a {position:?} slot")
+            }
+            DropoutError::BadParameter(msg) => write!(f, "bad dropout parameter: {msg}"),
+            DropoutError::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl StdError for DropoutError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            DropoutError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for DropoutError {
+    fn from(e: NnError) -> Self {
+        DropoutError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for kind in DropoutKind::extended() {
+            assert_eq!(DropoutKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(DropoutKind::from_code('x'), None);
+    }
+
+    #[test]
+    fn names_parse() {
+        assert_eq!("bernoulli".parse::<DropoutKind>().unwrap(), DropoutKind::Bernoulli);
+        assert_eq!("K".parse::<DropoutKind>().unwrap(), DropoutKind::Block);
+        assert_eq!("Masksembles".parse::<DropoutKind>().unwrap(), DropoutKind::Masksembles);
+        assert_eq!("gaussian".parse::<DropoutKind>().unwrap(), DropoutKind::Gaussian);
+        assert!("alpha-dropout".parse::<DropoutKind>().is_err());
+    }
+
+    #[test]
+    fn block_is_conv_only() {
+        assert!(DropoutKind::Block.supports(SlotPosition::Conv));
+        assert!(!DropoutKind::Block.supports(SlotPosition::FullyConnected));
+        for kind in [DropoutKind::Bernoulli, DropoutKind::Random, DropoutKind::Masksembles] {
+            assert!(kind.supports(SlotPosition::FullyConnected), "{kind}");
+        }
+    }
+
+    #[test]
+    fn only_masksembles_is_static() {
+        assert!(!DropoutKind::Masksembles.is_dynamic());
+        assert!(DropoutKind::Bernoulli.is_dynamic());
+        assert!(DropoutKind::Random.is_dynamic());
+        assert!(DropoutKind::Block.is_dynamic());
+        assert!(DropoutKind::Gaussian.is_dynamic());
+    }
+
+    #[test]
+    fn extended_set_adds_gaussian_only() {
+        let base: std::collections::HashSet<_> = DropoutKind::all().into_iter().collect();
+        let ext: std::collections::HashSet<_> = DropoutKind::extended().into_iter().collect();
+        let extra: Vec<_> = ext.difference(&base).collect();
+        assert_eq!(extra, vec![&DropoutKind::Gaussian]);
+        assert!(DropoutKind::Gaussian.supports(SlotPosition::FullyConnected));
+        assert!(DropoutKind::Gaussian.supports(SlotPosition::Conv));
+        assert_eq!("g".parse::<DropoutKind>().unwrap(), DropoutKind::Gaussian);
+    }
+}

@@ -1,0 +1,296 @@
+//! Dynamic mask generators for the three per-pass dropout designs.
+//!
+//! Each generator returns a multiplicative mask: dropped positions are
+//! `0.0`, kept positions carry the inverse-keep-rate rescaling so that the
+//! expected activation magnitude is preserved ("inverted dropout").
+
+use nds_tensor::rng::Rng64;
+
+/// I.i.d. Bernoulli mask over `n` positions with drop probability `rate`.
+///
+/// Kept positions are scaled by `1 / (1 - rate)`.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)`.
+pub fn bernoulli_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&rate), "bernoulli rate {rate} must be in [0, 1)");
+    let scale = 1.0 / (1.0 - rate);
+    (0..n)
+        .map(|_| if rng.bernoulli(rate as f64) { 0.0 } else { scale })
+        .collect()
+}
+
+/// Random-dropout mask: drops *exactly* `floor(rate * n)` positions chosen
+/// uniformly without replacement. The deterministic drop count is the
+/// design's hardware appeal — the paper's Random dropout unit reserves a
+/// fixed shuffle budget per pass.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)`.
+pub fn random_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&rate), "random rate {rate} must be in [0, 1)");
+    let drop = ((rate as f64) * n as f64).floor() as usize;
+    let kept = n - drop;
+    let scale = if kept > 0 { n as f32 / kept as f32 } else { 0.0 };
+    let mut mask = vec![scale; n];
+    if drop > 0 {
+        for ix in rng.sample_indices(n, drop) {
+            mask[ix] = 0.0;
+        }
+    }
+    mask
+}
+
+/// DropBlock mask over one `h × w` feature-map channel.
+///
+/// Seeds are drawn with the DropBlock-adjusted rate
+/// `γ = rate·h·w / (bₕ·b_w·(h−bₕ+1)·(w−b_w+1))` inside the valid seed
+/// region, and every seed zeroes a `bₕ × b_w` patch, where the nominal
+/// `b × b` block is clamped to the grid (`bₕ = min(b, h)`,
+/// `b_w = min(b, w)`). On square feature maps this is exactly DropBlock;
+/// on unit-height token grids (transformer sequences) the clamped block
+/// becomes a contiguous **span** of embedding dimensions. Kept positions
+/// are rescaled by `total / kept` (feature normalisation, as in the
+/// DropBlock paper).
+///
+/// Falls back to [`bernoulli_mask`] when the clamped block degenerates to
+/// a single element (a 1×1 "patch" is just point dropout).
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)` or `block == 0`.
+pub fn block_mask(h: usize, w: usize, rate: f32, block: usize, rng: &mut Rng64) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&rate), "block rate {rate} must be in [0, 1)");
+    assert!(block > 0, "block size must be positive");
+    let n = h * w;
+    let bh = block.min(h);
+    let bw = block.min(w);
+    if bh * bw <= 1 {
+        return bernoulli_mask(n, rate, rng);
+    }
+    let valid_h = h - bh + 1;
+    let valid_w = w - bw + 1;
+    let gamma = (rate as f64) * (n as f64) / ((bh * bw) as f64 * (valid_h * valid_w) as f64);
+    let mut dropped = vec![false; n];
+    for sy in 0..valid_h {
+        for sx in 0..valid_w {
+            if rng.bernoulli(gamma) {
+                for dy in 0..bh {
+                    for dx in 0..bw {
+                        dropped[(sy + dy) * w + (sx + dx)] = true;
+                    }
+                }
+            }
+        }
+    }
+    let kept = dropped.iter().filter(|&&d| !d).count();
+    let scale = if kept > 0 { n as f32 / kept as f32 } else { 0.0 };
+    dropped
+        .into_iter()
+        .map(|d| if d { 0.0 } else { scale })
+        .collect()
+}
+
+/// Multiplicative Gaussian dropout mask (Srivastava et al., 2014): each
+/// position carries `N(1, σ²)` noise with `σ² = rate / (1 − rate)` — the
+/// variance that matches Bernoulli dropout of probability `rate`. Noise is
+/// clamped at zero (activations may vanish but never flip sign), matching
+/// a hardware unit built from an unsigned noise magnitude.
+///
+/// The mask mean is 1 by construction, so no rescaling is applied.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)`.
+pub fn gaussian_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&rate), "gaussian rate {rate} must be in [0, 1)");
+    let sigma = (rate / (1.0 - rate)).sqrt();
+    (0..n)
+        .map(|_| rng.normal_with(1.0, sigma).max(0.0))
+        .collect()
+}
+
+/// Fraction of zeroed entries in a mask — a test/diagnostic helper.
+pub fn drop_fraction(mask: &[f32]) -> f64 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    mask.iter().filter(|&&v| v == 0.0).count() as f64 / mask.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_statistics() {
+        let mut rng = Rng64::new(1);
+        let mask = bernoulli_mask(20_000, 0.3, &mut rng);
+        let frac = drop_fraction(&mask);
+        assert!((frac - 0.3).abs() < 0.02, "drop fraction {frac}");
+        // Kept entries carry the inverted-dropout scale.
+        let scale = 1.0 / 0.7;
+        assert!(mask.iter().all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
+        // Expected value preserved.
+        let mean: f64 = mask.iter().map(|&v| v as f64).sum::<f64>() / mask.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_zero_rate_keeps_everything() {
+        let mut rng = Rng64::new(2);
+        let mask = bernoulli_mask(100, 0.0, &mut rng);
+        assert!(mask.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn random_mask_exact_count() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..20 {
+            let mask = random_mask(40, 0.25, &mut rng);
+            let dropped = mask.iter().filter(|&&v| v == 0.0).count();
+            assert_eq!(dropped, 10, "exactly 25% of 40 dropped");
+        }
+    }
+
+    #[test]
+    fn random_mask_preserves_mean_exactly() {
+        let mut rng = Rng64::new(4);
+        let mask = random_mask(64, 0.25, &mut rng);
+        let mean: f64 = mask.iter().map(|&v| v as f64).sum::<f64>() / mask.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    fn block_mask_zeroes_contiguous_patches() {
+        let mut rng = Rng64::new(5);
+        // High rate so at least one block appears.
+        let (h, w, b) = (12, 12, 3);
+        let mut found_block = false;
+        for _ in 0..50 {
+            let mask = block_mask(h, w, 0.3, b, &mut rng);
+            // Find a dropped pixel and check a bxb neighbourhood exists
+            // fully dropped around some seed.
+            for sy in 0..=(h - b) {
+                for sx in 0..=(w - b) {
+                    let all_dropped = (0..b)
+                        .all(|dy| (0..b).all(|dx| mask[(sy + dy) * w + (sx + dx)] == 0.0));
+                    if all_dropped {
+                        found_block = true;
+                    }
+                }
+            }
+            if found_block {
+                break;
+            }
+        }
+        assert!(found_block, "block dropout should produce bxb zero patches");
+    }
+
+    #[test]
+    fn block_mask_average_drop_tracks_rate() {
+        let mut rng = Rng64::new(6);
+        let mut total = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let mask = block_mask(16, 16, 0.2, 3, &mut rng);
+            total += drop_fraction(&mask);
+        }
+        let avg = total / trials as f64;
+        assert!((avg - 0.2).abs() < 0.05, "average drop fraction {avg}");
+    }
+
+    #[test]
+    fn block_mask_clamps_oversized_blocks_to_the_grid() {
+        // A 5-block on a 2x2 grid clamps to 2x2: any drop takes the whole
+        // grid, otherwise everything is kept at unit scale.
+        let mut rng = Rng64::new(7);
+        for _ in 0..20 {
+            let mask = block_mask(2, 2, 0.5, 5, &mut rng);
+            assert_eq!(mask.len(), 4);
+            let dropped = mask.iter().filter(|&&v| v == 0.0).count();
+            assert!(dropped == 0 || dropped == 4, "clamped block is all-or-nothing");
+        }
+    }
+
+    #[test]
+    fn block_mask_on_token_rows_drops_contiguous_spans() {
+        // Unit-height grid (a transformer token): blocks become spans of
+        // `block` consecutive embedding dimensions.
+        let mut rng = Rng64::new(8);
+        let mut saw_span = false;
+        for _ in 0..100 {
+            let mask = block_mask(1, 16, 0.25, 3, &mut rng);
+            let mut run = 0usize;
+            let mut best = 0usize;
+            for &v in &mask {
+                if v == 0.0 {
+                    run += 1;
+                    best = best.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+            if best >= 3 {
+                saw_span = true;
+            }
+            // All drops occur in runs whose length is a multiple of
+            // overlapping 3-spans — at minimum 3 when anything dropped.
+            if mask.contains(&0.0) {
+                assert!(best >= 3, "token-row drops must form >=3-long spans");
+            }
+        }
+        assert!(saw_span, "a 25% rate should produce spans within 100 draws");
+    }
+
+    #[test]
+    fn block_mask_degenerates_to_bernoulli_on_single_element_grids() {
+        let mut rng = Rng64::new(9);
+        let mask = block_mask(1, 1, 0.5, 3, &mut rng);
+        assert_eq!(mask.len(), 1);
+    }
+
+    #[test]
+    fn masks_are_deterministic_per_seed() {
+        let a = bernoulli_mask(100, 0.4, &mut Rng64::new(9));
+        let b = bernoulli_mask(100, 0.4, &mut Rng64::new(9));
+        assert_eq!(a, b);
+        let c = random_mask(100, 0.4, &mut Rng64::new(9));
+        let d = random_mask(100, 0.4, &mut Rng64::new(9));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn rejects_rate_one() {
+        bernoulli_mask(10, 1.0, &mut Rng64::new(1));
+    }
+
+    #[test]
+    fn gaussian_mask_statistics() {
+        let mut rng = Rng64::new(11);
+        let rate = 0.25f32;
+        let mask = gaussian_mask(50_000, rate, &mut rng);
+        let mean: f64 = mask.iter().map(|&v| v as f64).sum::<f64>() / mask.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        let var: f64 = mask
+            .iter()
+            .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+            .sum::<f64>()
+            / mask.len() as f64;
+        let expect = (rate / (1.0 - rate)) as f64;
+        // Clamping at zero trims ~4% of the lower tail, shrinking the
+        // variance a little below the nominal sigma^2.
+        assert!((var - expect).abs() < 0.04, "var {var} vs {expect}");
+        assert!(mask.iter().all(|&v| v >= 0.0), "clamped at zero");
+    }
+
+    #[test]
+    fn gaussian_mask_rate_zero_is_identity() {
+        let mut rng = Rng64::new(12);
+        let mask = gaussian_mask(64, 0.0, &mut rng);
+        assert!(mask.iter().all(|&v| v == 1.0));
+    }
+}

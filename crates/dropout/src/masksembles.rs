@@ -1,0 +1,215 @@
+//! Masksembles mask-set generation (Durasov et al., CVPR 2021).
+//!
+//! Masksembles replaces per-pass random masks with a *fixed set of S
+//! complementary binary masks* generated offline; inference pass *k*
+//! applies mask *k*. The `scale` parameter controls mask overlap: scale 1
+//! makes all masks all-ones (an ensemble of identical nets), larger scales
+//! reduce overlap until the masks partition the features.
+//!
+//! Because the masks are data-independent and known at synthesis time, the
+//! FPGA implementation stores them in BRAM instead of instantiating an RNG
+//! — the hardware trade-off the paper's §4.3 power breakdown shows.
+
+use nds_tensor::rng::Rng64;
+
+/// A fixed set of binary masks over `features` positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskSet {
+    masks: Vec<Vec<f32>>,
+    features: usize,
+}
+
+impl MaskSet {
+    /// Generates `n_masks` masks over `features` positions with the given
+    /// overlap `scale`, following the reference algorithm: draw masks with
+    /// `features` ones inside a widened position pool of
+    /// `ceil(features * scale)` slots, drop all-zero columns, retry with a
+    /// wider pool until at least `features` columns survive, then trim.
+    ///
+    /// Kept positions are rescaled by `features / ones(mask)` so activation
+    /// magnitude is preserved per mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_masks == 0`, `features == 0` or `scale < 1.0`.
+    pub fn generate(n_masks: usize, features: usize, scale: f64, rng: &mut Rng64) -> Self {
+        assert!(n_masks > 0, "need at least one mask");
+        assert!(features > 0, "need at least one feature");
+        assert!(scale >= 1.0, "masksembles scale must be >= 1.0");
+        let mut pool = ((features as f64) * scale).ceil() as usize;
+        loop {
+            // Draw each mask: `features` ones inside the pool.
+            let ones_per_mask = features.min(pool);
+            let drawn: Vec<Vec<bool>> = (0..n_masks)
+                .map(|_| {
+                    let mut mask = vec![false; pool];
+                    for ix in rng.sample_indices(pool, ones_per_mask) {
+                        mask[ix] = true;
+                    }
+                    mask
+                })
+                .collect();
+            // Keep only columns covered by at least one mask.
+            let covered: Vec<usize> = (0..pool)
+                .filter(|&col| drawn.iter().any(|m| m[col]))
+                .collect();
+            if covered.len() >= features {
+                let masks = drawn
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| {
+                        let mut bits: Vec<f32> = covered[..features]
+                            .iter()
+                            .map(|&col| if m[col] { 1.0 } else { 0.0 })
+                            .collect();
+                        // Column trimming can strand a mask with zero kept
+                        // positions (small feature counts, large scale); an
+                        // all-zero mask would silence its MC sample
+                        // entirely, so guarantee one survivor per mask.
+                        if bits.iter().all(|&b| b == 0.0) {
+                            bits[i % features] = 1.0;
+                        }
+                        let kept: f32 = bits.iter().sum();
+                        let scale = features as f32 / kept;
+                        bits.into_iter().map(|b| b * scale).collect()
+                    })
+                    .collect();
+                return MaskSet { masks, features };
+            }
+            // Pool too tight: widen and retry (terminates because coverage
+            // grows monotonically with the pool).
+            pool += features.max(1);
+        }
+    }
+
+    /// Number of masks in the set (the MC sampling number S).
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// `true` when the set holds no masks (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Number of feature positions each mask covers.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Mask `index` (scaled: kept positions carry `features / kept`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn mask(&self, index: usize) -> &[f32] {
+        &self.masks[index]
+    }
+
+    /// Mean pairwise overlap between masks: fraction of positions kept by
+    /// both masks of a pair, averaged over pairs. Diagnostic for the
+    /// `scale` parameter (overlap falls as scale grows).
+    pub fn mean_overlap(&self) -> f64 {
+        if self.masks.len() < 2 {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for a in 0..self.masks.len() {
+            for b in (a + 1)..self.masks.len() {
+                let both = self.masks[a]
+                    .iter()
+                    .zip(self.masks[b].iter())
+                    .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+                    .count();
+                total += both as f64 / self.features as f64;
+                pairs += 1;
+            }
+        }
+        total / pairs as f64
+    }
+
+    /// Total number of bits a hardware mask ROM must store
+    /// (`n_masks × features`), used by the `nds-hw` BRAM model.
+    pub fn rom_bits(&self) -> usize {
+        self.masks.len() * self.features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mask_has_expected_shape_and_scaling() {
+        let mut rng = Rng64::new(1);
+        let set = MaskSet::generate(3, 64, 2.0, &mut rng);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.features(), 64);
+        for i in 0..3 {
+            let mask = set.mask(i);
+            assert_eq!(mask.len(), 64);
+            let kept = mask.iter().filter(|&&v| v > 0.0).count();
+            assert!(kept > 0, "mask {i} must keep something");
+            // Kept entries all share the features/kept scale.
+            let expect = 64.0 / kept as f32;
+            for &v in mask {
+                assert!(v == 0.0 || (v - expect).abs() < 1e-5);
+            }
+            // Mean activation preserved exactly.
+            let mean: f64 = mask.iter().map(|&v| v as f64).sum::<f64>() / 64.0;
+            assert!((mean - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scale_one_keeps_everything() {
+        let mut rng = Rng64::new(2);
+        let set = MaskSet::generate(4, 32, 1.0, &mut rng);
+        for i in 0..4 {
+            assert!(set.mask(i).iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        }
+        assert!((set.mean_overlap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_decreases_with_scale() {
+        let mut rng = Rng64::new(3);
+        let tight = MaskSet::generate(3, 128, 1.5, &mut rng).mean_overlap();
+        let loose = MaskSet::generate(3, 128, 3.0, &mut rng).mean_overlap();
+        assert!(
+            loose < tight,
+            "overlap should fall with scale: {tight} -> {loose}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MaskSet::generate(3, 50, 2.0, &mut Rng64::new(7));
+        let b = MaskSet::generate(3, 50, 2.0, &mut Rng64::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn masks_differ_from_each_other() {
+        let mut rng = Rng64::new(8);
+        let set = MaskSet::generate(3, 64, 2.0, &mut rng);
+        assert_ne!(set.mask(0), set.mask(1));
+        assert_ne!(set.mask(1), set.mask(2));
+    }
+
+    #[test]
+    fn rom_bits_counts_all_masks() {
+        let mut rng = Rng64::new(9);
+        let set = MaskSet::generate(3, 40, 2.0, &mut rng);
+        assert_eq!(set.rom_bits(), 120);
+    }
+
+    #[test]
+    fn tiny_feature_counts_work() {
+        let mut rng = Rng64::new(10);
+        let set = MaskSet::generate(2, 1, 2.0, &mut rng);
+        assert_eq!(set.features(), 1);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Monte-Carlo dropout inference.
+//!
+//! A dropout-based BayesNN produces its predictive distribution by running
+//! the forward pass S times with dropout *enabled* and averaging the
+//! softmax outputs (paper §2.1.2). The paper fixes the sampling number to
+//! S = 3 (§4.1).
+
+use nds_nn::layers::Sequential;
+use nds_nn::train::predict_probs;
+use nds_nn::{Layer, Mode, Result};
+use nds_metrics::entropy_nats;
+use nds_tensor::{Shape, Tensor};
+
+/// Result of a Monte-Carlo prediction round.
+#[derive(Debug, Clone)]
+pub struct McPrediction {
+    /// Mean softmax probabilities `[n, classes]` across the S samples —
+    /// the BayesNN's predictive distribution.
+    pub mean_probs: Tensor,
+    /// The individual per-sample probability tensors (length S).
+    pub sample_probs: Vec<Tensor>,
+}
+
+impl McPrediction {
+    /// Number of MC samples that produced this prediction.
+    pub fn samples(&self) -> usize {
+        self.sample_probs.len()
+    }
+
+    /// Predictive entropy (nats) of each input's mean distribution —
+    /// the quantity averaged into the paper's aPE metric.
+    pub fn predictive_entropy(&self) -> Vec<f64> {
+        let (n, c) = (self.mean_probs.shape().dim(0), self.mean_probs.shape().dim(1));
+        let data = self.mean_probs.as_slice();
+        (0..n).map(|i| entropy_nats(&data[i * c..(i + 1) * c])).collect()
+    }
+
+    /// Mutual information (BALD): `H(mean) − mean(H(sample))`, the
+    /// epistemic part of the predictive uncertainty. Not used by the
+    /// paper's search aim but a standard companion diagnostic.
+    pub fn mutual_information(&self) -> Vec<f64> {
+        let (n, c) = (self.mean_probs.shape().dim(0), self.mean_probs.shape().dim(1));
+        let mean_data = self.mean_probs.as_slice();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let total = entropy_nats(&mean_data[i * c..(i + 1) * c]);
+            let aleatoric: f64 = self
+                .sample_probs
+                .iter()
+                .map(|s| entropy_nats(&s.as_slice()[i * c..(i + 1) * c]))
+                .sum::<f64>()
+                / self.sample_probs.len().max(1) as f64;
+            out.push((total - aleatoric).max(0.0));
+        }
+        out
+    }
+
+    /// Per-input disagreement: variance of the predicted class probability
+    /// across samples, averaged over classes.
+    pub fn predictive_variance(&self) -> Vec<f64> {
+        let (n, c) = (self.mean_probs.shape().dim(0), self.mean_probs.shape().dim(1));
+        let s = self.sample_probs.len().max(1) as f64;
+        let mean = self.mean_probs.as_slice();
+        (0..n)
+            .map(|i| {
+                let mut var = 0.0;
+                for j in 0..c {
+                    let m = mean[i * c + j] as f64;
+                    for sample in &self.sample_probs {
+                        let d = sample.as_slice()[i * c + j] as f64 - m;
+                        var += d * d;
+                    }
+                }
+                var / (s * c as f64)
+            })
+            .collect()
+    }
+}
+
+/// Runs `samples` stochastic forward passes over `images` and averages the
+/// probabilities.
+///
+/// Calls [`Layer::begin_mc_round`] first, so Masksembles layers always use
+/// masks `0..S` in order — predictions are reproducible regardless of what
+/// ran before.
+///
+/// # Errors
+///
+/// Propagates network execution errors.
+pub fn mc_predict(
+    net: &mut Sequential,
+    images: &Tensor,
+    samples: usize,
+    batch_size: usize,
+) -> Result<McPrediction> {
+    let samples = samples.max(1);
+    net.begin_mc_round();
+    let mut sample_probs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let probs = predict_probs(net, images, Mode::McInference, batch_size)?;
+        sample_probs.push(probs);
+    }
+    let (n, c) = (
+        sample_probs[0].shape().dim(0),
+        sample_probs[0].shape().dim(1),
+    );
+    let mut mean = vec![0.0f32; n * c];
+    for probs in &sample_probs {
+        for (m, &p) in mean.iter_mut().zip(probs.as_slice()) {
+            *m += p;
+        }
+    }
+    let inv = 1.0 / samples as f32;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    Ok(McPrediction {
+        mean_probs: Tensor::from_vec(mean, Shape::d2(n, c))?,
+        sample_probs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DropoutKind, DropoutLayer, DropoutSettings};
+    use nds_nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+    use nds_nn::layers::{Flatten, Linear};
+    use nds_tensor::rng::Rng64;
+
+    fn stochastic_net(kind: DropoutKind, seed: u64) -> Sequential {
+        let mut rng = Rng64::new(seed);
+        let mut net = Sequential::new();
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(16, 12, true, &mut rng)));
+        let slot = SlotInfo {
+            id: 0,
+            shape: FeatureShape::Vector { features: 12 },
+            position: SlotPosition::FullyConnected,
+        };
+        net.push(Box::new(
+            DropoutLayer::for_slot(
+                kind,
+                &slot,
+                &DropoutSettings { rate: 0.5, ..DropoutSettings::default() },
+                seed,
+            )
+            .unwrap(),
+        ));
+        net.push(Box::new(Linear::new(12, 4, true, &mut rng)));
+        net
+    }
+
+    #[test]
+    fn mean_probs_are_a_distribution() {
+        let mut net = stochastic_net(DropoutKind::Bernoulli, 1);
+        let mut rng = Rng64::new(2);
+        let x = Tensor::rand_normal(Shape::d4(6, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let pred = mc_predict(&mut net, &x, 5, 3).unwrap();
+        assert_eq!(pred.samples(), 5);
+        assert_eq!(pred.mean_probs.shape(), &Shape::d2(6, 4));
+        for i in 0..6 {
+            let s: f32 = pred.mean_probs.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn samples_differ_under_dynamic_dropout() {
+        let mut net = stochastic_net(DropoutKind::Bernoulli, 3);
+        let mut rng = Rng64::new(4);
+        let x = Tensor::rand_normal(Shape::d4(2, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let pred = mc_predict(&mut net, &x, 3, 2).unwrap();
+        assert_ne!(pred.sample_probs[0], pred.sample_probs[1]);
+    }
+
+    #[test]
+    fn masksembles_predictions_are_reproducible() {
+        let mut net = stochastic_net(DropoutKind::Masksembles, 5);
+        let mut rng = Rng64::new(6);
+        let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let a = mc_predict(&mut net, &x, 3, 3).unwrap();
+        let b = mc_predict(&mut net, &x, 3, 3).unwrap();
+        // Static masks + cursor reset: identical prediction rounds.
+        assert_eq!(a.mean_probs, b.mean_probs);
+    }
+
+    #[test]
+    fn mc_entropy_exceeds_single_pass_confidence_on_noise() {
+        // On pure-noise inputs, MC averaging should not *reduce* entropy
+        // below the per-sample average.
+        let mut net = stochastic_net(DropoutKind::Bernoulli, 7);
+        let mut rng = Rng64::new(8);
+        let x = Tensor::rand_normal(Shape::d4(16, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let pred = mc_predict(&mut net, &x, 8, 8).unwrap();
+        let mean_entropy: f64 =
+            pred.predictive_entropy().iter().sum::<f64>() / 16.0;
+        let per_sample: f64 = pred
+            .sample_probs
+            .iter()
+            .map(|s| {
+                (0..16)
+                    .map(|i| entropy_nats(&s.as_slice()[i * 4..(i + 1) * 4]))
+                    .sum::<f64>()
+                    / 16.0
+            })
+            .sum::<f64>()
+            / 8.0;
+        assert!(
+            mean_entropy >= per_sample - 1e-9,
+            "Jensen: H(mean) {mean_entropy} >= mean(H) {per_sample}"
+        );
+        // And mutual information is the (non-negative) gap.
+        let mi: f64 = pred.mutual_information().iter().sum::<f64>() / 16.0;
+        assert!((mi - (mean_entropy - per_sample)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_zero_without_stochasticity() {
+        // Standard-mode network (no dropout active): use a plain net and
+        // sample twice — variance must be ~0 only if dropout is static...
+        // here we exercise the McPrediction math directly.
+        let probs = Tensor::from_vec(vec![0.7, 0.3], Shape::d2(1, 2)).unwrap();
+        let pred = McPrediction {
+            mean_probs: probs.clone(),
+            sample_probs: vec![probs.clone(), probs],
+        };
+        assert!(pred.predictive_variance()[0] < 1e-12);
+        assert!(pred.mutual_information()[0] < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_allowed() {
+        let mut net = stochastic_net(DropoutKind::Random, 9);
+        let x = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        let pred = mc_predict(&mut net, &x, 0, 1).unwrap(); // clamped to 1
+        assert_eq!(pred.samples(), 1);
+    }
+}

@@ -1,0 +1,542 @@
+//! Gaussian-process regression for hardware cost modelling.
+//!
+//! Phase 4 of the paper replaces slow FPGA synthesis runs inside the
+//! search loop with "a machine learning-based hardware cost model …
+//! We employ Gaussian process for regression … We choose Matérn kernel and
+//! constant mean function" (§3.5.1). This crate is that model:
+//!
+//! * [`Kernel`] — RBF and Matérn 3/2 & 5/2 covariance functions,
+//! * [`GpRegressor`] — exact GP regression with a constant mean, jittered
+//!   Cholesky factorisation, predictive mean/variance and log marginal
+//!   likelihood,
+//! * [`GpRegressor::fit_hyperparameters`] — grid-search model selection by
+//!   marginal likelihood, so the latency model tunes itself to the
+//!   synthetic dataset exactly once (dataset construction and training
+//!   "are only required once", §3.5.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_gp::{GpRegressor, Kernel};
+//!
+//! // y = 2x with a little structure; the GP should interpolate closely.
+//! let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 10.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+//! let kernel = Kernel::Matern52 { lengthscale: 0.5, variance: 1.0 };
+//! let gp = GpRegressor::fit(&xs, &ys, kernel, 1e-6)?;
+//! let (mean, var) = gp.predict(&[0.55]);
+//! assert!((mean - 1.1).abs() < 0.05);
+//! assert!(var >= 0.0);
+//! # Ok::<(), nds_gp::GpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from GP construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Training inputs were empty or inconsistent.
+    BadTrainingData(String),
+    /// The kernel matrix was not positive definite even after jitter.
+    NotPositiveDefinite,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::BadTrainingData(msg) => write!(f, "bad GP training data: {msg}"),
+            GpError::NotPositiveDefinite => {
+                write!(f, "kernel matrix not positive definite (after jitter)")
+            }
+        }
+    }
+}
+
+impl StdError for GpError {}
+
+/// Covariance functions over feature vectors.
+///
+/// The paper selects the Matérn kernel; RBF is provided for the ablation
+/// bench. All kernels are isotropic with a shared `lengthscale` and signal
+/// `variance`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Squared-exponential kernel.
+    Rbf {
+        /// Isotropic lengthscale (> 0).
+        lengthscale: f64,
+        /// Signal variance (> 0).
+        variance: f64,
+    },
+    /// Matérn ν=3/2.
+    Matern32 {
+        /// Isotropic lengthscale (> 0).
+        lengthscale: f64,
+        /// Signal variance (> 0).
+        variance: f64,
+    },
+    /// Matérn ν=5/2 — the paper's choice.
+    Matern52 {
+        /// Isotropic lengthscale (> 0).
+        lengthscale: f64,
+        /// Signal variance (> 0).
+        variance: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the covariance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have different dimensions.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "kernel points must share dimensionality");
+        let d2: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum();
+        let d = d2.sqrt();
+        match *self {
+            Kernel::Rbf { lengthscale, variance } => {
+                variance * (-0.5 * d2 / (lengthscale * lengthscale)).exp()
+            }
+            Kernel::Matern32 { lengthscale, variance } => {
+                let s = 3f64.sqrt() * d / lengthscale;
+                variance * (1.0 + s) * (-s).exp()
+            }
+            Kernel::Matern52 { lengthscale, variance } => {
+                let s = 5f64.sqrt() * d / lengthscale;
+                variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+
+    /// The kernel's signal variance (its value at zero distance).
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Kernel::Rbf { variance, .. }
+            | Kernel::Matern32 { variance, .. }
+            | Kernel::Matern52 { variance, .. } => variance,
+        }
+    }
+
+    /// Returns the same kernel family with new hyperparameters.
+    pub fn with_params(&self, lengthscale: f64, variance: f64) -> Kernel {
+        match self {
+            Kernel::Rbf { .. } => Kernel::Rbf { lengthscale, variance },
+            Kernel::Matern32 { .. } => Kernel::Matern32 { lengthscale, variance },
+            Kernel::Matern52 { .. } => Kernel::Matern52 { lengthscale, variance },
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kernel::Rbf { lengthscale, variance } => {
+                write!(f, "RBF(l={lengthscale:.3}, v={variance:.3})")
+            }
+            Kernel::Matern32 { lengthscale, variance } => {
+                write!(f, "Matern32(l={lengthscale:.3}, v={variance:.3})")
+            }
+            Kernel::Matern52 { lengthscale, variance } => {
+                write!(f, "Matern52(l={lengthscale:.3}, v={variance:.3})")
+            }
+        }
+    }
+}
+
+/// In-place Cholesky factorisation of a row-major symmetric matrix.
+/// Returns the lower-triangular factor, or `None` if not positive
+/// definite.
+fn cholesky(mut a: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                a[i * n + j] = sum.sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+        for j in (i + 1)..n {
+            a[i * n + j] = 0.0;
+        }
+    }
+    Some(a)
+}
+
+/// Solves `L y = b` (forward substitution) for lower-triangular `L`.
+fn solve_lower(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    y
+}
+
+/// Solves `Lᵀ x = y` (back substitution) for lower-triangular `L`.
+fn solve_upper_t(l: &[f64], n: usize, y: &[f64]) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+/// An exact Gaussian-process regressor with constant mean.
+#[derive(Debug, Clone)]
+pub struct GpRegressor {
+    kernel: Kernel,
+    noise: f64,
+    mean: f64,
+    x_train: Vec<Vec<f64>>,
+    chol: Vec<f64>,
+    alpha: Vec<f64>,
+    log_marginal: f64,
+}
+
+impl GpRegressor {
+    /// Fits the GP to `(xs, ys)` with observation-noise variance `noise`.
+    ///
+    /// The constant mean is set to the empirical mean of `ys` (the standard
+    /// "constant mean function" treatment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::BadTrainingData`] for empty or ragged inputs and
+    /// [`GpError::NotPositiveDefinite`] when factorisation fails.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], kernel: Kernel, noise: f64) -> Result<Self, GpError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(GpError::BadTrainingData(format!(
+                "{} inputs vs {} targets",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let dim = xs[0].len();
+        if xs.iter().any(|x| x.len() != dim) {
+            return Err(GpError::BadTrainingData("ragged input dimensions".to_string()));
+        }
+        let n = xs.len();
+        let mean = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|&y| y - mean).collect();
+        // K + noise*I with escalating jitter until PD.
+        let mut jitter = noise.max(1e-10);
+        for _attempt in 0..6 {
+            let mut k = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = kernel.eval(&xs[i], &xs[j]);
+                    k[i * n + j] = v;
+                    k[j * n + i] = v;
+                }
+                k[i * n + i] += jitter;
+            }
+            if let Some(chol) = cholesky(k, n) {
+                let y1 = solve_lower(&chol, n, &centered);
+                let alpha = solve_upper_t(&chol, n, &y1);
+                // log p(y) = -0.5 yᵀα − Σ log L_ii − n/2 log 2π
+                let log_det: f64 = (0..n).map(|i| chol[i * n + i].ln()).sum();
+                let fit_term: f64 = centered.iter().zip(alpha.iter()).map(|(&y, &a)| y * a).sum();
+                let log_marginal = -0.5 * fit_term
+                    - log_det
+                    - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+                return Ok(GpRegressor {
+                    kernel,
+                    noise: jitter,
+                    mean,
+                    x_train: xs.to_vec(),
+                    chol,
+                    alpha,
+                    log_marginal,
+                });
+            }
+            jitter *= 100.0;
+        }
+        Err(GpError::NotPositiveDefinite)
+    }
+
+    /// Predictive mean and variance at a query point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has a different dimension than the training inputs.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let n = self.x_train.len();
+        let kstar: Vec<f64> = self.x_train.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean = self.mean
+            + kstar
+                .iter()
+                .zip(self.alpha.iter())
+                .map(|(&k, &a)| k * a)
+                .sum::<f64>();
+        // var = k(x,x) - vᵀv with v = L⁻¹ k*
+        let v = solve_lower(&self.chol, n, &kstar);
+        let var = self.kernel.eval(x, x) + self.noise - v.iter().map(|&vi| vi * vi).sum::<f64>();
+        (mean, var.max(0.0))
+    }
+
+    /// Predictive means for a batch of query points.
+    pub fn predict_mean_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x).0).collect()
+    }
+
+    /// The log marginal likelihood of the training data under this model.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal
+    }
+
+    /// The fitted kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The constant mean in use.
+    pub fn mean_const(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of training points.
+    pub fn train_len(&self) -> usize {
+        self.x_train.len()
+    }
+
+    /// Grid-search model selection: fits one GP per (lengthscale, variance,
+    /// noise) combination and keeps the highest marginal likelihood.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no grid combination produces a valid fit.
+    pub fn fit_hyperparameters(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        family: Kernel,
+        lengthscales: &[f64],
+        variances: &[f64],
+        noises: &[f64],
+    ) -> Result<Self, GpError> {
+        let mut best: Option<GpRegressor> = None;
+        for &l in lengthscales {
+            for &v in variances {
+                for &s in noises {
+                    if let Ok(gp) = GpRegressor::fit(xs, ys, family.with_params(l, v), s) {
+                        let better = best
+                            .as_ref()
+                            .map(|b| gp.log_marginal > b.log_marginal)
+                            .unwrap_or(true);
+                        if better {
+                            best = Some(gp);
+                        }
+                    }
+                }
+            }
+        }
+        best.ok_or(GpError::NotPositiveDefinite)
+    }
+
+    /// Root-mean-square error of the predictive mean on a held-out set.
+    pub fn rmse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let se: f64 = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(x, &y)| {
+                let (m, _) = self.predict(x);
+                (m - y) * (m - y)
+            })
+            .sum();
+        (se / xs.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_1d(n: usize, f: impl Fn(f64) -> f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f(x[0])).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn kernels_peak_at_zero_distance() {
+        let a = vec![0.3, -0.2];
+        for kernel in [
+            Kernel::Rbf { lengthscale: 1.0, variance: 2.0 },
+            Kernel::Matern32 { lengthscale: 1.0, variance: 2.0 },
+            Kernel::Matern52 { lengthscale: 1.0, variance: 2.0 },
+        ] {
+            assert!((kernel.eval(&a, &a) - 2.0).abs() < 1e-12, "{kernel}");
+            let far = kernel.eval(&a, &[10.0, 10.0]);
+            assert!(far < 0.01, "{kernel} should decay, got {far}");
+            // Symmetry.
+            let b = vec![0.5, 0.1];
+            assert!((kernel.eval(&a, &b) - kernel.eval(&b, &a)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn matern52_decays_slower_than_rbf_far_out() {
+        let rbf = Kernel::Rbf { lengthscale: 1.0, variance: 1.0 };
+        let m52 = Kernel::Matern52 { lengthscale: 1.0, variance: 1.0 };
+        let a = [0.0];
+        let b = [3.0];
+        assert!(m52.eval(&a, &b) > rbf.eval(&a, &b));
+    }
+
+    #[test]
+    fn gp_interpolates_smooth_function() {
+        let (xs, ys) = toy_1d(25, |x| (3.0 * x).sin());
+        let gp = GpRegressor::fit(
+            &xs,
+            &ys,
+            Kernel::Matern52 { lengthscale: 0.3, variance: 1.0 },
+            1e-8,
+        )
+        .unwrap();
+        for probe in [0.13, 0.41, 0.77] {
+            let (mean, var) = gp.predict(&[probe]);
+            let truth = (3.0 * probe).sin();
+            assert!(
+                (mean - truth).abs() < 0.02,
+                "at {probe}: mean {mean} vs truth {truth}"
+            );
+            assert!(var < 0.01, "interpolation variance should be small, got {var}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (xs, ys) = toy_1d(10, |x| x);
+        let gp = GpRegressor::fit(
+            &xs,
+            &ys,
+            Kernel::Matern52 { lengthscale: 0.2, variance: 1.0 },
+            1e-8,
+        )
+        .unwrap();
+        let (_, var_in) = gp.predict(&[0.5]);
+        let (_, var_out) = gp.predict(&[5.0]);
+        assert!(var_out > var_in * 10.0, "in {var_in} vs out {var_out}");
+        // Far from data the mean reverts towards the constant mean.
+        let (mean_out, _) = gp.predict(&[50.0]);
+        assert!((mean_out - gp.mean_const()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exact_recovery_at_training_points_with_tiny_noise() {
+        let (xs, ys) = toy_1d(8, |x| 2.0 * x + 1.0);
+        let gp = GpRegressor::fit(
+            &xs,
+            &ys,
+            Kernel::Matern52 { lengthscale: 0.5, variance: 1.0 },
+            1e-9,
+        )
+        .unwrap();
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let (mean, _) = gp.predict(x);
+            assert!((mean - y).abs() < 1e-3, "train point {x:?}: {mean} vs {y}");
+        }
+    }
+
+    #[test]
+    fn hyperparameter_search_beats_bad_fixed_choice() {
+        let (xs, ys) = toy_1d(20, |x| (6.0 * x).sin());
+        let bad = GpRegressor::fit(
+            &xs,
+            &ys,
+            Kernel::Matern52 { lengthscale: 100.0, variance: 0.01 },
+            1e-4,
+        )
+        .unwrap();
+        let tuned = GpRegressor::fit_hyperparameters(
+            &xs,
+            &ys,
+            Kernel::Matern52 { lengthscale: 1.0, variance: 1.0 },
+            &[0.05, 0.1, 0.3, 1.0],
+            &[0.5, 1.0, 2.0],
+            &[1e-6, 1e-4],
+        )
+        .unwrap();
+        assert!(tuned.log_marginal_likelihood() > bad.log_marginal_likelihood());
+        assert!(tuned.rmse(&xs, &ys) < bad.rmse(&xs, &ys));
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(GpRegressor::fit(
+            &[],
+            &[],
+            Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+            1e-6
+        )
+        .is_err());
+        assert!(GpRegressor::fit(
+            &[vec![1.0], vec![2.0, 3.0]],
+            &[1.0, 2.0],
+            Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+            1e-6
+        )
+        .is_err());
+        assert!(GpRegressor::fit(
+            &[vec![1.0]],
+            &[1.0, 2.0],
+            Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+            1e-6
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        // Identical inputs make K singular without jitter.
+        let xs = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let ys = vec![3.0, 3.0, 5.0];
+        let gp = GpRegressor::fit(
+            &xs,
+            &ys,
+            Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+            0.0, // ask for zero noise; fit escalates jitter internally
+        )
+        .unwrap();
+        let (mean, _) = gp.predict(&[1.0]);
+        assert!((mean - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn rmse_on_train_is_small_for_good_fit() {
+        let (xs, ys) = toy_1d(15, |x| x * x);
+        let gp = GpRegressor::fit(
+            &xs,
+            &ys,
+            Kernel::Matern52 { lengthscale: 0.4, variance: 1.0 },
+            1e-8,
+        )
+        .unwrap();
+        assert!(gp.rmse(&xs, &ys) < 1e-3);
+    }
+}

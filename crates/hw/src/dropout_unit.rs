@@ -1,0 +1,178 @@
+//! Hardware profiles of the four dropout units.
+//!
+//! Each dropout design maps to a different micro-architecture, and the
+//! differences drive everything the search cares about:
+//!
+//! | Unit | Mask source | II (cycles/elem) | Extra resources |
+//! |------|-------------|------------------|-----------------|
+//! | Bernoulli | LFSR + comparator per lane | 1 (fully pipelined, hidden) | comparator LUTs |
+//! | Random | LFSR + index queue + two-pass apply | ≈ 3.5 | comparator + index FIFO |
+//! | Block | LFSR + line buffer + patch expander | ≈ 3.8 | comparators + line-buffer BRAM |
+//! | Masksembles | mask ROM in BRAM | 1 (ROM read, hidden) | mask ROM BRAM |
+//!
+//! An II of 1 means mask application hides completely behind the
+//! surrounding dataflow pipeline, so Bernoulli and Masksembles add no
+//! latency — exactly the Table-1 pattern (both at 15.401 ms, Random
+//! 18.396 ms, Block 18.674 ms).
+
+use nds_dropout::DropoutKind;
+use nds_nn::arch::{FeatureShape, SlotInfo};
+
+/// The hardware cost profile of one dropout unit design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropoutUnitProfile {
+    /// Initiation interval in cycles per activation element. Values above
+    /// 1.0 stall the dataflow stage the unit is fused into.
+    pub ii: f64,
+    /// Whether the unit instantiates the LFSR + comparator chain
+    /// (dynamic designs) — drives Logic&Signal power.
+    pub uses_rng: bool,
+    /// LUTs per parallel lane for mask generation/application logic.
+    pub lut_per_lane: u64,
+    /// FFs per parallel lane.
+    pub ff_per_lane: u64,
+    /// Fixed BRAM bits needed beyond per-lane logic (line buffers).
+    pub fixed_bram_bits: u64,
+}
+
+/// Returns the profile of a dropout unit for the given design.
+///
+/// II values are calibrated against Table 1 of the paper: with S = 3
+/// samples on the ResNet design, Block's stall over the conv bottleneck
+/// reproduces the 18.674 vs 15.401 ms split (see `accel` tests).
+pub fn unit_profile(kind: DropoutKind) -> DropoutUnitProfile {
+    match kind {
+        DropoutKind::Bernoulli => DropoutUnitProfile {
+            ii: 1.0,
+            uses_rng: true,
+            // LFSR (16 FF) + 16-bit comparator + AND gate per lane.
+            lut_per_lane: 24,
+            ff_per_lane: 20,
+            fixed_bram_bits: 0,
+        },
+        DropoutKind::Random => DropoutUnitProfile {
+            // Two-pass: draw/sort indices, then apply. Effective stall ~3.5
+            // cycles per element at one lane (calibrated to Table 1's
+            // 18.396 ms all-Random row).
+            ii: 3.5,
+            uses_rng: true,
+            lut_per_lane: 64,
+            ff_per_lane: 48,
+            // Index FIFO sized for the largest masked tile.
+            fixed_bram_bits: 16 * 1024,
+        },
+        DropoutKind::Block => DropoutUnitProfile {
+            // Patch expansion needs a (block-1)-row line buffer and
+            // serialises patch writes (calibrated to Table 1's 18.674 ms
+            // all-Block row).
+            ii: 3.8,
+            uses_rng: true,
+            lut_per_lane: 96,
+            ff_per_lane: 64,
+            fixed_bram_bits: 32 * 1024,
+        },
+        DropoutKind::Masksembles => DropoutUnitProfile {
+            // Pure ROM lookup, fully pipelined.
+            ii: 1.0,
+            uses_rng: false,
+            lut_per_lane: 8,
+            ff_per_lane: 8,
+            fixed_bram_bits: 0, // ROM sized separately from the mask set
+        },
+        DropoutKind::Gaussian => DropoutUnitProfile {
+            // CLT noise generator (sum of LFSR words) + one multiplier per
+            // lane; fully pipelined like Bernoulli, but with a wider
+            // datapath (extension design, not in the paper).
+            ii: 1.0,
+            uses_rng: true,
+            lut_per_lane: 140,
+            ff_per_lane: 96,
+            fixed_bram_bits: 0,
+        },
+    }
+}
+
+/// BRAM bits needed to store the Masksembles mask ROM for a slot:
+/// `S × features` bits (features = channels after conv, units after FC).
+/// Zero for the dynamic designs.
+pub fn mask_rom_bits(kind: DropoutKind, slot: &SlotInfo, samples: usize) -> u64 {
+    if kind != DropoutKind::Masksembles {
+        return 0;
+    }
+    let features = match slot.shape {
+        FeatureShape::Map { c, .. } => c,
+        FeatureShape::Vector { features } => features,
+    };
+    (samples * features) as u64
+}
+
+/// Stall cycles the unit adds to its dataflow stage for one sample:
+/// `elements × (II − 1)` — an II of 1 hides entirely behind the pipeline.
+pub fn stall_cycles(kind: DropoutKind, slot: &SlotInfo) -> f64 {
+    let profile = unit_profile(kind);
+    let elements = slot.shape.len() as f64;
+    elements * (profile.ii - 1.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::arch::SlotPosition;
+
+    fn conv_slot(c: usize, h: usize, w: usize) -> SlotInfo {
+        SlotInfo {
+            id: 0,
+            shape: FeatureShape::Map { c, h, w },
+            position: SlotPosition::Conv,
+        }
+    }
+
+    #[test]
+    fn pipelined_units_add_no_stall() {
+        let slot = conv_slot(64, 32, 32);
+        assert_eq!(stall_cycles(DropoutKind::Bernoulli, &slot), 0.0);
+        assert_eq!(stall_cycles(DropoutKind::Masksembles, &slot), 0.0);
+    }
+
+    #[test]
+    fn stall_ordering_matches_table1() {
+        let slot = conv_slot(64, 32, 32);
+        let random = stall_cycles(DropoutKind::Random, &slot);
+        let block = stall_cycles(DropoutKind::Block, &slot);
+        assert!(block > random, "block {block} should stall more than random {random}");
+        assert!(random > 0.0);
+    }
+
+    #[test]
+    fn only_dynamic_units_use_rng() {
+        assert!(unit_profile(DropoutKind::Bernoulli).uses_rng);
+        assert!(unit_profile(DropoutKind::Random).uses_rng);
+        assert!(unit_profile(DropoutKind::Block).uses_rng);
+        assert!(!unit_profile(DropoutKind::Masksembles).uses_rng);
+        assert!(unit_profile(DropoutKind::Gaussian).uses_rng);
+    }
+
+    #[test]
+    fn gaussian_unit_is_pipelined_but_heavier_than_bernoulli() {
+        let slot = conv_slot(64, 32, 32);
+        assert_eq!(stall_cycles(DropoutKind::Gaussian, &slot), 0.0);
+        let g = unit_profile(DropoutKind::Gaussian);
+        let b = unit_profile(DropoutKind::Bernoulli);
+        assert!(g.lut_per_lane > b.lut_per_lane);
+        assert_eq!(mask_rom_bits(DropoutKind::Gaussian, &slot, 3), 0);
+    }
+
+    #[test]
+    fn mask_rom_only_for_masksembles() {
+        let slot = conv_slot(64, 32, 32);
+        assert_eq!(mask_rom_bits(DropoutKind::Bernoulli, &slot, 3), 0);
+        // Channel-granular: 3 masks x 64 channels.
+        assert_eq!(mask_rom_bits(DropoutKind::Masksembles, &slot, 3), 192);
+        let fc = SlotInfo {
+            id: 1,
+            shape: FeatureShape::Vector { features: 120 },
+            position: SlotPosition::FullyConnected,
+        };
+        assert_eq!(mask_rom_bits(DropoutKind::Masksembles, &fc, 3), 360);
+    }
+}

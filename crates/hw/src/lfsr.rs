@@ -1,0 +1,103 @@
+//! The on-chip pseudo-random number generator block.
+//!
+//! Dynamic dropout units generate their masks in hardware from a linear
+//! feedback shift register: one 16-bit Fibonacci LFSR per lane, compared
+//! against a drop-rate threshold each cycle. This module implements that
+//! block *functionally* so the simulator's dynamic masks come from the same
+//! bitstream a real design would produce, and so the comparator activity
+//! feeding the power model is grounded in an actual circuit.
+
+/// A 16-bit Fibonacci LFSR with taps (16, 15, 13, 4) — a maximal-length
+/// polynomial giving a period of 2¹⁶ − 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+impl Lfsr16 {
+    /// Creates an LFSR from a non-zero seed (zero is the lock-up state and
+    /// is mapped to 1).
+    pub fn new(seed: u16) -> Self {
+        Lfsr16 {
+            state: if seed == 0 { 1 } else { seed },
+        }
+    }
+
+    /// Advances one cycle and returns the new 16-bit state.
+    #[inline]
+    pub fn next_word(&mut self) -> u16 {
+        let s = self.state;
+        let bit = ((s >> 15) ^ (s >> 14) ^ (s >> 12) ^ (s >> 3)) & 1;
+        self.state = (s << 1) | bit;
+        self.state
+    }
+
+    /// The current state.
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+
+    /// One hardware dropout decision: advance and compare against a 16-bit
+    /// threshold. Returns `true` when the unit drops the value (state below
+    /// threshold, i.e. drop with probability `threshold / 65536`).
+    #[inline]
+    pub fn drop_decision(&mut self, threshold: u16) -> bool {
+        self.next_word() < threshold
+    }
+
+    /// The threshold word for a drop probability.
+    pub fn threshold_for_rate(rate: f32) -> u16 {
+        (rate.clamp(0.0, 1.0) * 65536.0).round().min(65535.0) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let l = Lfsr16::new(0);
+        assert_ne!(l.state(), 0);
+    }
+
+    #[test]
+    fn never_reaches_zero() {
+        let mut l = Lfsr16::new(0xACE1);
+        for _ in 0..100_000 {
+            assert_ne!(l.next_word(), 0);
+        }
+    }
+
+    #[test]
+    fn full_period() {
+        // Maximal-length 16-bit LFSR: revisits the seed after 2^16 - 1 steps
+        // and not before (checked via set cardinality).
+        let seed = 0x1u16;
+        let mut l = Lfsr16::new(seed);
+        let mut seen = std::collections::HashSet::with_capacity(1 << 16);
+        seen.insert(l.state());
+        for _ in 0..(65535 - 1) {
+            assert!(seen.insert(l.next_word()), "state repeated early");
+        }
+        assert_eq!(l.next_word(), seed, "period must be exactly 2^16 - 1");
+    }
+
+    #[test]
+    fn drop_rate_tracks_threshold() {
+        let mut l = Lfsr16::new(0xBEEF);
+        let threshold = Lfsr16::threshold_for_rate(0.25);
+        let n = 65_535;
+        let drops = (0..n).filter(|_| l.drop_decision(threshold)).count();
+        let rate = drops as f64 / n as f64;
+        // Over a full period the rate is within one LSB of the target.
+        assert!((rate - 0.25).abs() < 0.01, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn threshold_mapping_edges() {
+        assert_eq!(Lfsr16::threshold_for_rate(0.0), 0);
+        assert_eq!(Lfsr16::threshold_for_rate(1.0), 65535);
+        assert_eq!(Lfsr16::threshold_for_rate(-3.0), 0);
+    }
+}

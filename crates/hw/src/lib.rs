@@ -1,0 +1,94 @@
+//! FPGA accelerator model: latency, resources and power for dropout-based
+//! BayesNN accelerators, plus CPU/GPU reference platforms.
+//!
+//! The paper implements its accelerators in Vivado-HLS 2020.1 and reports
+//! C-synthesis latency/resources and post-place-and-route power on a Xilinx
+//! Kintex **XCKU115** at 181 MHz with Q7.8 fixed point (§4). No FPGA
+//! toolchain exists in this reproduction, so this crate models the same
+//! design analytically — and encodes the *mechanisms* the paper's numbers
+//! come from:
+//!
+//! * a dataflow pipeline of per-layer engines; S Monte-Carlo samples stream
+//!   through it, so `latency = fill + (S−1) × bottleneck_stage` — which is
+//!   why a single Block-dropout slot drags a hybrid design to all-Block
+//!   latency in Table 1,
+//! * dynamic dropout units (Bernoulli / Random / Block) built from an
+//!   on-chip [`lfsr::Lfsr16`] plus comparators — extra Logic&Signal power,
+//! * the static Masksembles unit reading pre-generated masks from BRAM —
+//!   extra BRAM, no comparator tree (Figure 5's power split),
+//! * Q7.8 datapath emulation ([`simulator`]) for quantised-accuracy checks.
+//!
+//! Calibration constants are tuned so the paper-scale designs land near the
+//! published numbers (documented per-constant in [`accel::Calibration`]);
+//! the *orderings and ratios* are what the model guarantees.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
+//! use nds_hw::device::FpgaDevice;
+//! use nds_nn::zoo;
+//! use nds_supernet::DropoutConfig;
+//! use nds_dropout::DropoutKind;
+//!
+//! let model = AcceleratorModel::new(AcceleratorConfig::resnet_paper());
+//! let arch = zoo::resnet18_paper();
+//! let all_bernoulli = DropoutConfig::uniform(DropoutKind::Bernoulli, 4);
+//! let all_block = DropoutConfig::uniform(DropoutKind::Block, 4);
+//! let fast = model.analyze(&arch, &all_bernoulli)?;
+//! let slow = model.analyze(&arch, &all_block)?;
+//! assert!(fast.latency_ms < slow.latency_ms); // Table 1 ordering
+//! # Ok::<(), nds_hw::HwError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod device;
+pub mod dropout_unit;
+pub mod lfsr;
+pub mod platform;
+pub mod power;
+pub mod report;
+pub mod simulator;
+
+use nds_nn::NnError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from hardware modelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// The architecture/config pair was inconsistent (e.g. wrong slot count).
+    BadDesign(String),
+    /// An underlying network error (shape inference, execution).
+    Nn(NnError),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::BadDesign(msg) => write!(f, "bad accelerator design: {msg}"),
+            HwError::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl StdError for HwError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            HwError::Nn(e) => Some(e),
+            HwError::BadDesign(_) => None,
+        }
+    }
+}
+
+impl From<NnError> for HwError {
+    fn from(e: NnError) -> Self {
+        HwError::Nn(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, HwError>;

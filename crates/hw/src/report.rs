@@ -1,0 +1,172 @@
+//! C-synthesis-style design reports.
+
+use crate::device::Utilization;
+use crate::power::PowerBreakdown;
+use std::fmt;
+
+/// A per-stage latency entry of the dataflow pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Engine name (e.g. `conv2d(64->64, 3x3/s1 p1)`).
+    pub name: String,
+    /// Compute cycles for one MC sample.
+    pub compute_cycles: f64,
+    /// Extra stall cycles from a fused dropout unit (0 when hidden).
+    pub dropout_stall_cycles: f64,
+    /// Dropout design fused into this stage, as a Table-2 code letter.
+    pub dropout: Option<char>,
+}
+
+impl StageReport {
+    /// Total cycles this stage occupies per sample.
+    pub fn total_cycles(&self) -> f64 {
+        self.compute_cycles + self.dropout_stall_cycles
+    }
+}
+
+/// The analyzer's output for one (architecture, dropout-config) design —
+/// the analogue of a Vivado-HLS C-synthesis report plus post-route power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsynthReport {
+    /// Design name (`<arch>/<config>`).
+    pub design: String,
+    /// Clock frequency (MHz).
+    pub clock_mhz: f64,
+    /// Number of MC samples per prediction (S).
+    pub samples: usize,
+    /// End-to-end latency per prediction, in cycles.
+    pub latency_cycles: f64,
+    /// End-to-end latency per prediction, in milliseconds.
+    pub latency_ms: f64,
+    /// The bottleneck stage interval (cycles) — the dataflow II.
+    pub bottleneck_cycles: f64,
+    /// Per-stage detail.
+    pub stages: Vec<StageReport>,
+    /// BRAM utilisation.
+    pub bram: Utilization,
+    /// DSP utilisation.
+    pub dsp: Utilization,
+    /// FF utilisation.
+    pub ff: Utilization,
+    /// LUT utilisation.
+    pub lut: Utilization,
+    /// Power estimate with the Figure-5 breakdown.
+    pub power: PowerBreakdown,
+}
+
+impl CsynthReport {
+    /// Throughput in images per second.
+    pub fn throughput_img_s(&self) -> f64 {
+        if self.latency_ms > 0.0 {
+            1000.0 / self.latency_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Energy per image in joules (the paper's Table-3 efficiency metric).
+    pub fn energy_per_image_j(&self) -> f64 {
+        self.power.total_w() * self.latency_ms / 1000.0
+    }
+
+    /// Whether the design fits the device in every resource class.
+    pub fn fits_device(&self) -> bool {
+        self.bram.fits() && self.dsp.fits() && self.ff.fits() && self.lut.fits()
+    }
+}
+
+impl fmt::Display for CsynthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== C-synthesis report: {} ==", self.design)?;
+        writeln!(
+            f,
+            "clock {:.0} MHz | S = {} samples | latency {:.3} ms ({:.0} cycles, bottleneck {:.0})",
+            self.clock_mhz, self.samples, self.latency_ms, self.latency_cycles, self.bottleneck_cycles
+        )?;
+        writeln!(
+            f,
+            "resources: BRAM {} | DSP {} | FF {} | LUT {}",
+            self.bram, self.dsp, self.ff, self.lut
+        )?;
+        writeln!(
+            f,
+            "throughput {:.1} img/s | energy {:.4} J/image",
+            self.throughput_img_s(),
+            self.energy_per_image_j()
+        )?;
+        writeln!(f, "{}", self.power)?;
+        writeln!(f, "stages:")?;
+        for stage in &self.stages {
+            write!(
+                f,
+                "  {:<44} {:>12.0} cycles",
+                stage.name,
+                stage.compute_cycles
+            )?;
+            if let Some(code) = stage.dropout {
+                write!(f, "  [dropout {} +{:.0}]", code, stage.dropout_stall_cycles)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report() -> CsynthReport {
+        CsynthReport {
+            design: "test/BB".to_string(),
+            clock_mhz: 181.0,
+            samples: 3,
+            latency_cycles: 181_000.0,
+            latency_ms: 1.0,
+            bottleneck_cycles: 50_000.0,
+            stages: vec![StageReport {
+                name: "conv".to_string(),
+                compute_cycles: 50_000.0,
+                dropout_stall_cycles: 100.0,
+                dropout: Some('B'),
+            }],
+            bram: Utilization::new(100, 4320),
+            dsp: Utilization::new(276, 5520),
+            ff: Utilization::new(1000, 1_326_720),
+            lut: Utilization::new(1000, 663_360),
+            power: PowerBreakdown {
+                static_w: 1.29,
+                clocking_w: 0.4,
+                logic_signal_w: 1.5,
+                bram_w: 0.5,
+                dsp_w: 0.2,
+                io_w: 0.2,
+            },
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = dummy_report();
+        assert!((r.throughput_img_s() - 1000.0).abs() < 1e-9);
+        // 4.09 W x 1 ms = 4.09 mJ.
+        assert!((r.energy_per_image_j() - 0.00409).abs() < 1e-6);
+        assert!(r.fits_device());
+    }
+
+    #[test]
+    fn display_includes_key_sections() {
+        let s = dummy_report().to_string();
+        assert!(s.contains("C-synthesis report"));
+        assert!(s.contains("latency 1.000 ms"));
+        assert!(s.contains("dropout B"));
+        assert!(s.contains("Total power"));
+    }
+
+    #[test]
+    fn overflowing_design_does_not_fit() {
+        let mut r = dummy_report();
+        r.dsp = Utilization::new(9999, 5520);
+        assert!(!r.fits_device());
+    }
+}

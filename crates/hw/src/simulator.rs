@@ -1,0 +1,197 @@
+//! Functional Q7.8 datapath emulation.
+//!
+//! The accelerator computes in 16-bit fixed point (1 sign + 7 integer + 8
+//! fraction bits, §4). This module emulates that datapath on a trained
+//! network so the quantised accuracy drop can be measured without an FPGA:
+//!
+//! * [`quantize_network`] rounds every weight to the target format in
+//!   place (what loading weights into on-chip memory does),
+//! * [`quantized_forward`] additionally rounds the activations flowing
+//!   between layer engines to the same format — the standard
+//!   fake-quantisation emulation of a fixed-point pipeline. (Inside one
+//!   engine, accumulation is wide — see [`nds_quant::MacUnit`] — so only
+//!   inter-engine activations quantise, which is what this models.)
+
+use crate::Result;
+use nds_nn::layers::Sequential;
+use nds_nn::{Layer, Mode};
+use nds_quant::{fake_quantize, FixedFormat};
+use nds_tensor::{Shape, Tensor};
+
+/// Quantises every parameter of the network to `format`, in place.
+/// Returns the number of scalars that changed value.
+pub fn quantize_network(net: &mut Sequential, format: FixedFormat) -> usize {
+    let mut changed = 0;
+    for param in net.params_mut() {
+        let before = param.value.as_slice().to_vec();
+        let quant = fake_quantize(&before, format);
+        for (b, q) in before.iter().zip(quant.iter()) {
+            if b != q {
+                changed += 1;
+            }
+        }
+        param.value = Tensor::from_vec(quant, param.value.shape().clone())
+            .expect("quantisation preserves shape");
+    }
+    changed
+}
+
+/// Runs a forward pass with activations rounded to `format` between
+/// layers, returning softmax probabilities `[n, classes]`.
+///
+/// Weights should already be quantised (see [`quantize_network`]) for a
+/// faithful emulation.
+///
+/// # Errors
+///
+/// Propagates network execution errors.
+pub fn quantized_forward(
+    net: &mut Sequential,
+    images: &Tensor,
+    format: FixedFormat,
+    mode: Mode,
+) -> Result<Tensor> {
+    let mut x = Tensor::from_vec(
+        fake_quantize(images.as_slice(), format),
+        images.shape().clone(),
+    )
+    .expect("quantisation preserves shape");
+    let n_layers = net.layers_mut().len();
+    for i in 0..n_layers {
+        let layer = &mut net.layers_mut()[i];
+        let y = layer.forward(&x, mode)?;
+        x = Tensor::from_vec(fake_quantize(y.as_slice(), format), y.shape().clone())
+            .expect("quantisation preserves shape");
+    }
+    // Softmax runs at full precision on the host/output stage.
+    let (n, c) = (x.shape().dim(0), x.shape().dim(1));
+    let probs = x.reshape(Shape::d2(n, c)).map_err(nds_nn::NnError::from)?;
+    Ok(probs.softmax_rows().map_err(nds_nn::NnError::from)?)
+}
+
+/// Convenience: Monte-Carlo prediction through the quantised datapath
+/// (S stochastic passes, mean probabilities).
+///
+/// # Errors
+///
+/// Propagates network execution errors.
+pub fn quantized_mc_predict(
+    net: &mut Sequential,
+    images: &Tensor,
+    format: FixedFormat,
+    samples: usize,
+) -> Result<Tensor> {
+    let samples = samples.max(1);
+    net.begin_mc_round();
+    let n = images.shape().dim(0);
+    let mut mean: Option<Vec<f32>> = None;
+    let mut classes = 0;
+    for _ in 0..samples {
+        let probs = quantized_forward(net, images, format, Mode::McInference)?;
+        classes = probs.shape().dim(1);
+        match &mut mean {
+            None => mean = Some(probs.as_slice().to_vec()),
+            Some(m) => {
+                for (a, &b) in m.iter_mut().zip(probs.as_slice()) {
+                    *a += b;
+                }
+            }
+        }
+    }
+    let mut mean = mean.expect("at least one sample");
+    let inv = 1.0 / samples as f32;
+    for v in &mut mean {
+        *v *= inv;
+    }
+    Ok(Tensor::from_vec(mean, Shape::d2(n, classes))
+        .expect("shape-consistent by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::layers::{Flatten, Linear, Relu};
+    use nds_quant::{Q3_12, Q7_8};
+    use nds_tensor::rng::Rng64;
+
+    fn toy_net(rng: &mut Rng64) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(8, 16, true, rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Linear::new(16, 4, true, rng)));
+        net
+    }
+
+    #[test]
+    fn quantize_network_reports_changes() {
+        let mut rng = Rng64::new(1);
+        let mut net = toy_net(&mut rng);
+        let changed = quantize_network(&mut net, Q7_8);
+        assert!(changed > 0, "random weights rarely sit on the Q7.8 grid");
+        // Second quantisation is a fixed point (idempotent).
+        let changed_again = quantize_network(&mut net, Q7_8);
+        assert_eq!(changed_again, 0);
+    }
+
+    #[test]
+    fn quantized_forward_is_close_to_float() {
+        let mut rng = Rng64::new(2);
+        let mut net = toy_net(&mut rng);
+        let x = Tensor::rand_normal(Shape::d4(5, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let float_probs = {
+            let logits = net.forward(&x, Mode::Standard).unwrap();
+            logits.softmax_rows().unwrap()
+        };
+        quantize_network(&mut net, Q7_8);
+        let q_probs = quantized_forward(&mut net, &x, Q7_8, Mode::Standard).unwrap();
+        // Probabilities should agree to within a few percent.
+        let max_err = float_probs
+            .as_slice()
+            .iter()
+            .zip(q_probs.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.06, "max prob deviation {max_err}");
+    }
+
+    #[test]
+    fn finer_format_is_closer() {
+        let mut rng = Rng64::new(3);
+        let x = Tensor::rand_normal(Shape::d4(8, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let probs_for = |format| {
+            let mut rng = Rng64::new(3); // fresh identical net
+            let mut net = toy_net(&mut rng);
+            let float = {
+                let logits = net.forward(&x, Mode::Standard).unwrap();
+                logits.softmax_rows().unwrap()
+            };
+            quantize_network(&mut net, format);
+            let q = quantized_forward(&mut net, &x, format, Mode::Standard).unwrap();
+            let err: f32 = float
+                .as_slice()
+                .iter()
+                .zip(q.as_slice())
+                .map(|(&a, &b)| (a - b).abs())
+                .sum();
+            err
+        };
+        let coarse = probs_for(Q7_8);
+        let fine = probs_for(Q3_12);
+        assert!(fine < coarse, "Q3.12 error {fine} should beat Q7.8 {coarse}");
+    }
+
+    #[test]
+    fn quantized_mc_rows_sum_to_one() {
+        let mut rng = Rng64::new(4);
+        let mut net = toy_net(&mut rng);
+        quantize_network(&mut net, Q7_8);
+        let x = Tensor::rand_normal(Shape::d4(3, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let probs = quantized_mc_predict(&mut net, &x, Q7_8, 3).unwrap();
+        assert_eq!(probs.shape(), &Shape::d2(3, 4));
+        for i in 0..3 {
+            let s: f32 = probs.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Post-hoc confidence calibration: temperature scaling.
+//!
+//! The paper optimises ECE by *searching dropout designs*; temperature
+//! scaling (Guo et al., ICML 2017) is the standard post-hoc alternative
+//! and therefore the natural baseline for judging how much calibration the
+//! dropout search actually buys. A single scalar `T` rescales the logits
+//! (`softmax(z / T)`); `T` is fit on validation data by minimising NLL,
+//! which provably cannot change accuracy (argmax is scale-invariant).
+
+use crate::{MetricError, Result};
+use nds_tensor::Tensor;
+
+/// Applies temperature `t` to logits and returns the softmax
+/// probabilities.
+///
+/// # Errors
+///
+/// Returns [`MetricError::BadInput`] for non-rank-2 logits or a
+/// non-positive temperature.
+pub fn apply_temperature(logits: &Tensor, t: f64) -> Result<Tensor> {
+    if logits.shape().rank() != 2 {
+        return Err(MetricError::BadInput(format!(
+            "temperature scaling expects rank-2 logits, got {}",
+            logits.shape()
+        )));
+    }
+    if !(t.is_finite() && t > 0.0) {
+        return Err(MetricError::BadInput(format!("temperature {t} must be positive")));
+    }
+    let scaled = logits.scale((1.0 / t) as f32);
+    scaled.softmax_rows().map_err(MetricError::from)
+}
+
+/// Mean NLL of temperature-scaled logits.
+fn nll_at(logits: &Tensor, labels: &[usize], t: f64) -> Result<f64> {
+    let probs = apply_temperature(logits, t)?;
+    crate::nll(&probs, labels)
+}
+
+/// Fits the temperature minimising validation NLL by golden-section
+/// search over `log T ∈ [ln 0.05, ln 20]` (NLL is unimodal in `T` for
+/// fixed logits).
+///
+/// Returns the fitted temperature.
+///
+/// # Errors
+///
+/// Returns [`MetricError::BadInput`] for malformed inputs.
+pub fn fit_temperature(logits: &Tensor, labels: &[usize], iterations: usize) -> Result<f64> {
+    // Validate once up front (and handle the empty batch).
+    let _ = nll_at(logits, labels, 1.0)?;
+    if labels.is_empty() {
+        return Ok(1.0);
+    }
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut lo, mut hi) = (0.05f64.ln(), 20f64.ln());
+    let mut x1 = hi - phi * (hi - lo);
+    let mut x2 = lo + phi * (hi - lo);
+    let mut f1 = nll_at(logits, labels, x1.exp())?;
+    let mut f2 = nll_at(logits, labels, x2.exp())?;
+    for _ in 0..iterations.max(8) {
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = nll_at(logits, labels, x1.exp())?;
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = nll_at(logits, labels, x2.exp())?;
+        }
+    }
+    Ok(((lo + hi) / 2.0).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, ece, EceConfig};
+    use nds_tensor::rng::Rng64;
+    use nds_tensor::Shape;
+
+    /// Synthetic overconfident classifier: logits point at the right class
+    /// but with inflated magnitude, so confidence ≫ accuracy.
+    fn overconfident_logits(n: usize, classes: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Rng64::new(seed);
+        let mut data = Vec::with_capacity(n * classes);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label = rng.below(classes);
+            // The model is right only ~70% of the time but always shouts.
+            let predicted = if rng.bernoulli(0.7) { label } else { rng.below(classes) };
+            for j in 0..classes {
+                let base = if j == predicted { 8.0 } else { 0.0 };
+                data.push(base + rng.normal_with(0.0, 0.3));
+            }
+            labels.push(label);
+        }
+        (Tensor::from_vec(data, Shape::d2(n, classes)).unwrap(), labels)
+    }
+
+    #[test]
+    fn fitted_temperature_reduces_ece_of_overconfident_model() {
+        let (logits, labels) = overconfident_logits(400, 5, 1);
+        let raw = apply_temperature(&logits, 1.0).unwrap();
+        let raw_ece = ece(&raw, &labels, EceConfig::default()).unwrap();
+        let t = fit_temperature(&logits, &labels, 40).unwrap();
+        assert!(t > 1.5, "overconfident model needs T > 1, got {t}");
+        let cooled = apply_temperature(&logits, t).unwrap();
+        let cooled_ece = ece(&cooled, &labels, EceConfig::default()).unwrap();
+        assert!(
+            cooled_ece < raw_ece / 2.0,
+            "ECE should drop sharply: {raw_ece} -> {cooled_ece}"
+        );
+    }
+
+    #[test]
+    fn temperature_never_changes_accuracy() {
+        let (logits, labels) = overconfident_logits(200, 4, 2);
+        let before = accuracy(&apply_temperature(&logits, 1.0).unwrap(), &labels).unwrap();
+        for t in [0.1, 0.7, 3.0, 15.0] {
+            let after = accuracy(&apply_temperature(&logits, t).unwrap(), &labels).unwrap();
+            assert_eq!(before, after, "T = {t}");
+        }
+    }
+
+    #[test]
+    fn well_calibrated_model_keeps_t_near_one() {
+        // Logits whose softmax confidence matches the true correctness
+        // rate: temperature should stay in a moderate band around 1.
+        let mut rng = Rng64::new(3);
+        let n = 500;
+        let classes = 2;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let label = rng.below(classes);
+            // Confidence ~0.73 and correct ~73% of the time.
+            let logit_gap = 1.0f32;
+            let correct = rng.bernoulli(0.731);
+            let predicted = if correct { label } else { 1 - label };
+            for j in 0..classes {
+                data.push(if j == predicted { logit_gap } else { 0.0 });
+            }
+            labels.push(label);
+        }
+        let logits = Tensor::from_vec(data, Shape::d2(n, classes)).unwrap();
+        let t = fit_temperature(&logits, &labels, 40).unwrap();
+        assert!((0.5..2.0).contains(&t), "calibrated model got T = {t}");
+    }
+
+    #[test]
+    fn validation_and_edge_cases() {
+        let logits = Tensor::zeros(Shape::d2(2, 3));
+        assert!(apply_temperature(&logits, 0.0).is_err());
+        assert!(apply_temperature(&logits, f64::NAN).is_err());
+        let bad = Tensor::zeros(Shape::d1(3));
+        assert!(apply_temperature(&bad, 1.0).is_err());
+        // Empty batch: T defaults to 1.
+        let empty = Tensor::zeros(Shape::d2(0, 3));
+        assert_eq!(fit_temperature(&empty, &[], 20).unwrap(), 1.0);
+    }
+}

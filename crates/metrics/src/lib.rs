@@ -1,0 +1,480 @@
+//! Algorithmic and uncertainty metrics.
+//!
+//! The search phase of the framework (paper §3.4) scores every candidate
+//! configuration with four metrics; three of them are algorithmic and live
+//! here:
+//!
+//! * [`accuracy`] — top-1 classification accuracy,
+//! * [`ece`] — Expected Calibration Error over confidence bins,
+//! * [`average_predictive_entropy`] — the paper's *aPE* (nats), computed on
+//!   out-of-distribution inputs to measure how clearly a model signals "I
+//!   don't know".
+//!
+//! [`nll`], [`brier_score`] and [`ReliabilityDiagram`] are provided as
+//! supporting diagnostics. All functions take a rank-2 probability tensor
+//! `[n_samples, n_classes]` (rows summing to one, e.g. the mean of several
+//! Monte-Carlo softmax passes) and, where needed, integer labels.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_tensor::{Tensor, Shape};
+//! use nds_metrics::{accuracy, ece, EceConfig};
+//!
+//! let probs = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], Shape::d2(2, 2))?;
+//! let labels = [0usize, 1];
+//! assert_eq!(accuracy(&probs, &labels)?, 1.0);
+//! let e = ece(&probs, &labels, EceConfig::default())?;
+//! assert!(e < 0.2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibration;
+
+pub use calibration::{apply_temperature, fit_temperature};
+
+use nds_tensor::{Shape, Tensor, TensorError};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by metric computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// Probability tensor was not rank 2, or labels mismatched row count.
+    BadInput(String),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::BadInput(msg) => write!(f, "bad metric input: {msg}"),
+            MetricError::Tensor(e) => write!(f, "tensor error in metric: {e}"),
+        }
+    }
+}
+
+impl StdError for MetricError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            MetricError::Tensor(e) => Some(e),
+            MetricError::BadInput(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for MetricError {
+    fn from(e: TensorError) -> Self {
+        MetricError::Tensor(e)
+    }
+}
+
+/// Result alias for metric computations.
+pub type Result<T> = std::result::Result<T, MetricError>;
+
+fn validate(probs: &Tensor, labels: Option<&[usize]>) -> Result<(usize, usize)> {
+    if probs.shape().rank() != 2 {
+        return Err(MetricError::BadInput(format!(
+            "probabilities must be rank-2 [n, classes], got shape {}",
+            probs.shape()
+        )));
+    }
+    let n = probs.shape().dim(0);
+    let c = probs.shape().dim(1);
+    if c == 0 {
+        return Err(MetricError::BadInput("zero classes".to_string()));
+    }
+    if let Some(labels) = labels {
+        if labels.len() != n {
+            return Err(MetricError::BadInput(format!(
+                "{} probability rows but {} labels",
+                n,
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+            return Err(MetricError::BadInput(format!(
+                "label {bad} out of range for {c} classes"
+            )));
+        }
+    }
+    Ok((n, c))
+}
+
+/// Top-1 accuracy: fraction of rows whose argmax equals the label.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Errors
+///
+/// Returns [`MetricError::BadInput`] for malformed inputs.
+pub fn accuracy(probs: &Tensor, labels: &[usize]) -> Result<f64> {
+    let (n, c) = validate(probs, Some(labels))?;
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let data = probs.as_slice();
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &data[i * c..(i + 1) * c];
+        let mut best = 0;
+        for (j, &p) in row.iter().enumerate() {
+            if p > row[best] {
+                best = j;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / n as f64)
+}
+
+/// Configuration for [`ece`]: the number of equal-width confidence bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EceConfig {
+    /// Number of confidence bins over `[0, 1]`. The paper's tooling (and
+    /// most of the literature) uses 10 or 15.
+    pub bins: usize,
+}
+
+impl Default for EceConfig {
+    fn default() -> Self {
+        EceConfig { bins: 15 }
+    }
+}
+
+/// Expected Calibration Error.
+///
+/// Samples are binned by their confidence (max probability); the ECE is the
+/// sample-weighted mean absolute gap between per-bin accuracy and per-bin
+/// confidence. Reported as a fraction in `[0, 1]` (the paper's tables show
+/// it in percent).
+///
+/// # Errors
+///
+/// Returns [`MetricError::BadInput`] for malformed inputs or zero bins.
+pub fn ece(probs: &Tensor, labels: &[usize], config: EceConfig) -> Result<f64> {
+    let diagram = ReliabilityDiagram::compute(probs, labels, config)?;
+    Ok(diagram.ece())
+}
+
+/// Per-bin calibration statistics backing an ECE value — the data behind a
+/// classic reliability diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityDiagram {
+    bins: Vec<BinStats>,
+    total: usize,
+}
+
+/// Statistics of a single confidence bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinStats {
+    /// Inclusive lower edge of the bin.
+    pub lo: f64,
+    /// Exclusive upper edge of the bin (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of samples whose confidence fell in this bin.
+    pub count: usize,
+    /// Mean confidence of those samples.
+    pub mean_confidence: f64,
+    /// Fraction of those samples that were classified correctly.
+    pub accuracy: f64,
+}
+
+impl ReliabilityDiagram {
+    /// Bins predictions by confidence and records per-bin accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::BadInput`] for malformed inputs or zero bins.
+    pub fn compute(probs: &Tensor, labels: &[usize], config: EceConfig) -> Result<Self> {
+        let (n, c) = validate(probs, Some(labels))?;
+        if config.bins == 0 {
+            return Err(MetricError::BadInput("ECE needs at least one bin".to_string()));
+        }
+        let nbins = config.bins;
+        let mut counts = vec![0usize; nbins];
+        let mut conf_sums = vec![0.0f64; nbins];
+        let mut correct = vec![0usize; nbins];
+        let data = probs.as_slice();
+        for (i, &label) in labels.iter().enumerate() {
+            let row = &data[i * c..(i + 1) * c];
+            let mut best = 0;
+            for (j, &p) in row.iter().enumerate() {
+                if p > row[best] {
+                    best = j;
+                }
+            }
+            let conf = row[best] as f64;
+            let mut bin = ((conf * nbins as f64) as usize).min(nbins - 1);
+            if conf < 0.0 {
+                bin = 0;
+            }
+            counts[bin] += 1;
+            conf_sums[bin] += conf;
+            if best == label {
+                correct[bin] += 1;
+            }
+        }
+        let bins = (0..nbins)
+            .map(|b| {
+                let count = counts[b];
+                BinStats {
+                    lo: b as f64 / nbins as f64,
+                    hi: (b + 1) as f64 / nbins as f64,
+                    count,
+                    mean_confidence: if count > 0 { conf_sums[b] / count as f64 } else { 0.0 },
+                    accuracy: if count > 0 { correct[b] as f64 / count as f64 } else { 0.0 },
+                }
+            })
+            .collect();
+        Ok(ReliabilityDiagram { bins, total: n })
+    }
+
+    /// The bins in ascending confidence order.
+    pub fn bins(&self) -> &[BinStats] {
+        &self.bins
+    }
+
+    /// Total number of samples across all bins.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The Expected Calibration Error implied by this diagram.
+    pub fn ece(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.bins
+            .iter()
+            .filter(|b| b.count > 0)
+            .map(|b| (b.count as f64 / self.total as f64) * (b.accuracy - b.mean_confidence).abs())
+            .sum()
+    }
+
+    /// Maximum Calibration Error: the worst per-bin accuracy/confidence gap.
+    pub fn mce(&self) -> f64 {
+        self.bins
+            .iter()
+            .filter(|b| b.count > 0)
+            .map(|b| (b.accuracy - b.mean_confidence).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Predictive (Shannon) entropy of one probability row, in nats.
+///
+/// Zero probabilities contribute zero (the `p ln p → 0` limit).
+pub fn entropy_nats(row: &[f32]) -> f64 {
+    row.iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| {
+            let p = p as f64;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Average predictive entropy (the paper's **aPE**, nats).
+///
+/// The paper evaluates this on synthetic out-of-distribution data (Gaussian
+/// noise with the training set's mean and standard deviation); a *higher*
+/// value means the model more clearly flags OOD inputs as uncertain.
+///
+/// # Errors
+///
+/// Returns [`MetricError::BadInput`] for malformed inputs.
+pub fn average_predictive_entropy(probs: &Tensor) -> Result<f64> {
+    let (n, c) = validate(probs, None)?;
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let data = probs.as_slice();
+    let sum: f64 = (0..n).map(|i| entropy_nats(&data[i * c..(i + 1) * c])).sum();
+    Ok(sum / n as f64)
+}
+
+/// Negative log-likelihood (mean, nats). Probabilities are floored at
+/// `1e-12` to keep mislabeled-with-certainty samples finite.
+///
+/// # Errors
+///
+/// Returns [`MetricError::BadInput`] for malformed inputs.
+pub fn nll(probs: &Tensor, labels: &[usize]) -> Result<f64> {
+    let (n, c) = validate(probs, Some(labels))?;
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let data = probs.as_slice();
+    let sum: f64 = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| -((data[i * c + l] as f64).max(1e-12)).ln())
+        .sum();
+    Ok(sum / n as f64)
+}
+
+/// Mean multi-class Brier score (squared distance between the probability
+/// row and the one-hot label), in `[0, 2]`.
+///
+/// # Errors
+///
+/// Returns [`MetricError::BadInput`] for malformed inputs.
+pub fn brier_score(probs: &Tensor, labels: &[usize]) -> Result<f64> {
+    let (n, c) = validate(probs, Some(labels))?;
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let data = probs.as_slice();
+    let mut total = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        for j in 0..c {
+            let target = if j == label { 1.0 } else { 0.0 };
+            let d = data[i * c + j] as f64 - target;
+            total += d * d;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// The maximum possible entropy for `classes` classes (uniform), in nats.
+/// Useful as a normaliser when comparing aPE across datasets.
+pub fn max_entropy_nats(classes: usize) -> f64 {
+    if classes == 0 {
+        0.0
+    } else {
+        (classes as f64).ln()
+    }
+}
+
+/// Builds a uniform probability tensor (each row `1/classes`) — a handy
+/// reference point in tests and calibration plots.
+pub fn uniform_probs(n: usize, classes: usize) -> Tensor {
+    Tensor::full(Shape::d2(n, classes), 1.0 / classes.max(1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(rows: &[&[f32]]) -> Tensor {
+        let c = rows[0].len();
+        let flat: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(flat, Shape::d2(rows.len(), c)).unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let p = probs(&[&[0.9, 0.1], &[0.4, 0.6], &[0.7, 0.3]]);
+        assert_eq!(accuracy(&p, &[0, 1, 1]).unwrap(), 2.0 / 3.0);
+        assert_eq!(accuracy(&p, &[0, 1, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_validates_inputs() {
+        let p = probs(&[&[0.9, 0.1]]);
+        assert!(accuracy(&p, &[0, 1]).is_err()); // label count
+        assert!(accuracy(&p, &[2]).is_err()); // label range
+        let bad = Tensor::zeros(Shape::d1(4));
+        assert!(accuracy(&bad, &[0]).is_err()); // rank
+    }
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        // Confidence 1.0 predictions that are always right.
+        let p = probs(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let e = ece(&p, &[0, 1], EceConfig::default()).unwrap();
+        assert!(e < 1e-9, "ece = {e}");
+    }
+
+    #[test]
+    fn overconfident_wrong_predictions_have_high_ece() {
+        // Confidence ~1.0 but always wrong -> ECE ~1.
+        let p = probs(&[&[0.99, 0.01], &[0.99, 0.01]]);
+        let e = ece(&p, &[1, 1], EceConfig::default()).unwrap();
+        assert!(e > 0.9, "ece = {e}");
+    }
+
+    #[test]
+    fn ece_mixed_bins() {
+        // Two samples at confidence 0.8: one right, one wrong -> bin accuracy
+        // 0.5, confidence 0.8 -> ECE = 0.3.
+        let p = probs(&[&[0.8, 0.2], &[0.8, 0.2]]);
+        let e = ece(&p, &[0, 1], EceConfig { bins: 10 }).unwrap();
+        assert!((e - 0.3).abs() < 1e-6, "ece = {e}");
+    }
+
+    #[test]
+    fn reliability_diagram_structure() {
+        let p = probs(&[&[0.95, 0.05], &[0.55, 0.45]]);
+        let d = ReliabilityDiagram::compute(&p, &[0, 1], EceConfig { bins: 10 }).unwrap();
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.bins().len(), 10);
+        let occupied: Vec<_> = d.bins().iter().filter(|b| b.count > 0).collect();
+        assert_eq!(occupied.len(), 2);
+        assert!(d.mce() >= d.ece());
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy_nats(&[1.0, 0.0]), 0.0);
+        let uniform = entropy_nats(&[0.25; 4]);
+        assert!((uniform - 4.0f64.ln()).abs() < 1e-9);
+        // Entropy never exceeds ln(C).
+        assert!(entropy_nats(&[0.7, 0.1, 0.1, 0.1]) < max_entropy_nats(4));
+    }
+
+    #[test]
+    fn ape_of_uniform_is_max_entropy() {
+        let p = uniform_probs(5, 10);
+        let ape = average_predictive_entropy(&p).unwrap();
+        assert!((ape - 10.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ape_of_confident_predictions_is_low() {
+        let p = probs(&[&[0.999, 0.001], &[0.001, 0.999]]);
+        let ape = average_predictive_entropy(&p).unwrap();
+        assert!(ape < 0.01, "aPE = {ape}");
+    }
+
+    #[test]
+    fn nll_matches_hand_computation() {
+        let p = probs(&[&[0.5, 0.5], &[0.25, 0.75]]);
+        let got = nll(&p, &[0, 1]).unwrap();
+        let expect = -(0.5f64.ln() + 0.75f64.ln()) / 2.0;
+        assert!((got - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nll_is_finite_for_zero_probability() {
+        let p = probs(&[&[0.0, 1.0]]);
+        assert!(nll(&p, &[0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn brier_extremes() {
+        let perfect = probs(&[&[1.0, 0.0]]);
+        assert_eq!(brier_score(&perfect, &[0]).unwrap(), 0.0);
+        let worst = probs(&[&[1.0, 0.0]]);
+        assert_eq!(brier_score(&worst, &[1]).unwrap(), 2.0);
+        let uniform = probs(&[&[0.5, 0.5]]);
+        assert!((brier_score(&uniform, &[0]).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let p = Tensor::zeros(Shape::d2(0, 3));
+        assert_eq!(accuracy(&p, &[]).unwrap(), 0.0);
+        assert_eq!(average_predictive_entropy(&p).unwrap(), 0.0);
+        assert_eq!(nll(&p, &[]).unwrap(), 0.0);
+        assert_eq!(brier_score(&p, &[]).unwrap(), 0.0);
+        assert_eq!(ece(&p, &[], EceConfig::default()).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,820 @@
+//! Declarative architecture descriptions with dropout slots.
+//!
+//! The paper's framework takes "the network architecture, heterogeneous
+//! dropout methods, and specified dropout layer positions" as input
+//! (Phase 1). [`Architecture`] captures exactly that: a layer list in which
+//! [`LayerDef::DropoutSlot`] marks each specified dropout position. The
+//! supernet crate later *builds* the architecture, supplying a concrete
+//! layer for every slot; building with [`Identity`] layers yields the plain
+//! deterministic network.
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Identity, Linear, MaxPool2d, MultiHeadAttention,
+    PatchEmbed, PreNorm, Relu, Residual, Sequential, TokenMeanPool, TokenMlp,
+};
+use crate::{Layer, NnError, Result};
+use nds_tensor::conv::ConvGeometry;
+use nds_tensor::rng::Rng64;
+use nds_tensor::Shape;
+use std::fmt;
+
+/// Per-sample feature shape flowing between layers (batch dim omitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureShape {
+    /// Convolutional feature map `[channels, height, width]`.
+    Map {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// Flat feature vector.
+    Vector {
+        /// Feature count.
+        features: usize,
+    },
+}
+
+impl FeatureShape {
+    /// Total number of elements per sample.
+    pub fn len(&self) -> usize {
+        match *self {
+            FeatureShape::Map { c, h, w } => c * h * w,
+            FeatureShape::Vector { features } => features,
+        }
+    }
+
+    /// `true` if the shape holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The batched tensor shape for `n` samples.
+    pub fn batched(&self, n: usize) -> Shape {
+        match *self {
+            FeatureShape::Map { c, h, w } => Shape::d4(n, c, h, w),
+            FeatureShape::Vector { features } => Shape::d2(n, features),
+        }
+    }
+}
+
+impl fmt::Display for FeatureShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FeatureShape::Map { c, h, w } => write!(f, "{c}x{h}x{w}"),
+            FeatureShape::Vector { features } => write!(f, "{features}"),
+        }
+    }
+}
+
+/// One entry in an architecture's layer list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerDef {
+    /// 2-D convolution (input channels inferred from the incoming shape).
+    Conv2d {
+        /// Output channels.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+        /// Whether a bias vector is learned.
+        bias: bool,
+    },
+    /// Batch normalisation over the current channel count.
+    BatchNorm2d,
+    /// ReLU activation.
+    Relu,
+    /// Max pooling.
+    MaxPool2d {
+        /// Square window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling (map → vector).
+    GlobalAvgPool,
+    /// Flatten (map → vector).
+    Flatten,
+    /// Fully-connected layer (input features inferred).
+    Linear {
+        /// Output features.
+        out_features: usize,
+        /// Whether a bias vector is learned.
+        bias: bool,
+    },
+    /// A dropout slot: the position where the supernet inserts one of the
+    /// candidate dropout designs. `id` is the slot index used everywhere
+    /// else in the framework.
+    DropoutSlot {
+        /// Slot index (0-based, unique within the architecture).
+        id: usize,
+    },
+    /// Residual block `relu(main(x) + shortcut(x))`; an empty shortcut is
+    /// the identity connection.
+    Residual {
+        /// Main path.
+        main: Vec<LayerDef>,
+        /// Shortcut path (empty = identity).
+        shortcut: Vec<LayerDef>,
+    },
+    /// Patch embedding: tiles the image into `patch × patch` blocks and
+    /// projects each to a `dim`-wide token. Output is a token sequence
+    /// represented as `[tokens, 1, dim]`.
+    PatchEmbed {
+        /// Square tile size (must divide both image dimensions).
+        patch: usize,
+        /// Token embedding width.
+        dim: usize,
+    },
+    /// Pre-norm multi-head self-attention block:
+    /// `x + attention(layer_norm(x))`. Token-sequence shapes only.
+    EncoderAttention {
+        /// Number of attention heads (must divide the embedding width).
+        heads: usize,
+    },
+    /// Pre-norm token-wise MLP block: `x + mlp(layer_norm(x))` with a
+    /// `hidden`-wide ReLU middle. Token-sequence shapes only.
+    EncoderMlp {
+        /// Hidden width of the two-layer MLP.
+        hidden: usize,
+    },
+    /// Mean pooling over tokens (`[tokens, 1, dim] → dim` vector) — the
+    /// transformer classification head's input.
+    TokenMeanPool,
+}
+
+/// Where a dropout slot sits in the network — the paper restricts some
+/// dropout designs by position (Block dropout is convolutional-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotPosition {
+    /// The slot follows a convolutional stage (rank-4 activations).
+    Conv,
+    /// The slot follows a fully-connected stage (rank-2 activations).
+    FullyConnected,
+}
+
+/// Metadata about one dropout slot, produced by shape inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotInfo {
+    /// Slot index.
+    pub id: usize,
+    /// Per-sample activation shape entering the slot.
+    pub shape: FeatureShape,
+    /// Whether the slot follows conv or FC processing.
+    pub position: SlotPosition,
+}
+
+/// Aggregate profile of one built layer: shapes plus MAC/parameter counts.
+///
+/// The hardware model consumes this to derive latency and resource
+/// estimates without re-implementing shape inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerProfile {
+    /// Human-readable layer description.
+    pub name: String,
+    /// Coarse layer category.
+    pub kind: LayerKind,
+    /// Incoming per-sample shape.
+    pub in_shape: FeatureShape,
+    /// Outgoing per-sample shape.
+    pub out_shape: FeatureShape,
+    /// Multiply-accumulate operations per sample.
+    pub macs: u64,
+    /// Trainable parameter count.
+    pub params: u64,
+    /// Slot id when this entry is a dropout slot.
+    pub slot: Option<usize>,
+}
+
+/// Coarse layer category used by the hardware model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolution.
+    Conv,
+    /// Fully connected.
+    Linear,
+    /// Pooling (max / global average).
+    Pool,
+    /// Normalisation.
+    Norm,
+    /// Activation.
+    Activation,
+    /// Shape plumbing (flatten).
+    Reshape,
+    /// Dropout slot.
+    Slot,
+    /// Residual join (elementwise add + ReLU).
+    ResidualJoin,
+    /// Transformer block (attention or token MLP, including its norm and
+    /// residual join).
+    Attention,
+}
+
+/// A declarative network: input geometry, class count and layer list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Architecture {
+    /// Architecture name (e.g. `"lenet"`).
+    pub name: String,
+    /// Input shape `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Number of output classes.
+    pub classes: usize,
+    /// The layer list.
+    pub defs: Vec<LayerDef>,
+}
+
+impl Architecture {
+    /// The input feature shape.
+    pub fn input_shape(&self) -> FeatureShape {
+        let (c, h, w) = self.input;
+        FeatureShape::Map { c, h, w }
+    }
+
+    /// Shape-infers the architecture and returns every dropout slot with
+    /// its activation shape, ordered by position in the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the layer list is inconsistent
+    /// (e.g. a conv applied to a vector).
+    pub fn slots(&self) -> Result<Vec<SlotInfo>> {
+        let mut slots = Vec::new();
+        let mut profiles = Vec::new();
+        infer_defs(&self.defs, self.input_shape(), &mut slots, &mut profiles)?;
+        Ok(slots)
+    }
+
+    /// Full per-layer profile (shapes, MACs, params), residual blocks
+    /// flattened, with a final entry per residual join.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the layer list is inconsistent.
+    pub fn profile(&self) -> Result<Vec<LayerProfile>> {
+        let mut slots = Vec::new();
+        let mut profiles = Vec::new();
+        infer_defs(&self.defs, self.input_shape(), &mut slots, &mut profiles)?;
+        Ok(profiles)
+    }
+
+    /// Per-sample multiply-accumulate count of the whole network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the layer list is inconsistent.
+    pub fn total_macs(&self) -> Result<u64> {
+        Ok(self.profile()?.iter().map(|p| p.macs).sum())
+    }
+
+    /// Total trainable parameter count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the layer list is inconsistent.
+    pub fn total_params(&self) -> Result<u64> {
+        Ok(self.profile()?.iter().map(|p| p.params).sum())
+    }
+
+    /// Builds an executable network, asking `slot_factory` for the layer to
+    /// install in each dropout slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the layer list is inconsistent.
+    pub fn build(
+        &self,
+        rng: &mut Rng64,
+        slot_factory: &mut dyn FnMut(&SlotInfo) -> Box<dyn Layer>,
+    ) -> Result<Sequential> {
+        let (seq, _out) = build_defs(&self.defs, self.input_shape(), rng, slot_factory)?;
+        Ok(seq)
+    }
+
+    /// Builds the network with [`Identity`] in every dropout slot — the
+    /// plain deterministic baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the layer list is inconsistent.
+    pub fn build_with_identity_slots(&self, rng: &mut Rng64) -> Result<Sequential> {
+        self.build(rng, &mut |_| Box::new(Identity::new()))
+    }
+}
+
+fn shape_after(def: &LayerDef, shape: FeatureShape) -> Result<FeatureShape> {
+    match def {
+        LayerDef::Conv2d { out_channels, kernel, stride, padding, .. } => match shape {
+            FeatureShape::Map { h, w, .. } => {
+                let g = ConvGeometry::new(*kernel, *stride, *padding);
+                let oh = g.out_dim(h);
+                let ow = g.out_dim(w);
+                if oh == 0 || ow == 0 {
+                    return Err(NnError::BadConfig(format!(
+                        "conv kernel {kernel} does not fit {h}x{w} input"
+                    )));
+                }
+                Ok(FeatureShape::Map { c: *out_channels, h: oh, w: ow })
+            }
+            FeatureShape::Vector { .. } => Err(NnError::BadConfig(
+                "conv2d applied to a flat vector".to_string(),
+            )),
+        },
+        LayerDef::BatchNorm2d | LayerDef::Relu | LayerDef::DropoutSlot { .. } => Ok(shape),
+        LayerDef::MaxPool2d { kernel, stride } => match shape {
+            FeatureShape::Map { c, h, w } => {
+                let g = ConvGeometry::new(*kernel, *stride, 0);
+                let oh = g.out_dim(h);
+                let ow = g.out_dim(w);
+                if oh == 0 || ow == 0 {
+                    return Err(NnError::BadConfig(format!(
+                        "pool window {kernel} does not fit {h}x{w} input"
+                    )));
+                }
+                Ok(FeatureShape::Map { c, h: oh, w: ow })
+            }
+            FeatureShape::Vector { .. } => Err(NnError::BadConfig(
+                "max_pool applied to a flat vector".to_string(),
+            )),
+        },
+        LayerDef::GlobalAvgPool => match shape {
+            FeatureShape::Map { c, .. } => Ok(FeatureShape::Vector { features: c }),
+            FeatureShape::Vector { .. } => Err(NnError::BadConfig(
+                "global_avg_pool applied to a flat vector".to_string(),
+            )),
+        },
+        LayerDef::Flatten => Ok(FeatureShape::Vector { features: shape.len() }),
+        LayerDef::Linear { out_features, .. } => match shape {
+            FeatureShape::Vector { .. } => Ok(FeatureShape::Vector { features: *out_features }),
+            FeatureShape::Map { .. } => Err(NnError::BadConfig(
+                "linear applied to an unflattened feature map".to_string(),
+            )),
+        },
+        LayerDef::Residual { main, shortcut } => {
+            let mut s1 = Vec::new();
+            let mut p1 = Vec::new();
+            let main_out = infer_defs(main, shape, &mut s1, &mut p1)?;
+            let short_out = if shortcut.is_empty() {
+                shape
+            } else {
+                infer_defs(shortcut, shape, &mut s1, &mut p1)?
+            };
+            if main_out != short_out {
+                return Err(NnError::BadConfig(format!(
+                    "residual paths disagree: main {main_out} vs shortcut {short_out}"
+                )));
+            }
+            Ok(main_out)
+        }
+        LayerDef::PatchEmbed { patch, dim } => match shape {
+            FeatureShape::Map { h, w, .. } => {
+                if *patch == 0 || *dim == 0 || h % patch != 0 || w % patch != 0 {
+                    return Err(NnError::BadConfig(format!(
+                        "patch size {patch} does not tile a {h}x{w} image"
+                    )));
+                }
+                Ok(FeatureShape::Map { c: (h / patch) * (w / patch), h: 1, w: *dim })
+            }
+            FeatureShape::Vector { .. } => Err(NnError::BadConfig(
+                "patch_embed applied to a flat vector".to_string(),
+            )),
+        },
+        LayerDef::EncoderAttention { heads } => {
+            let (_, dim) = token_shape(shape, "encoder_attention")?;
+            if *heads == 0 || dim % heads != 0 {
+                return Err(NnError::BadConfig(format!(
+                    "{heads} heads do not divide embedding width {dim}"
+                )));
+            }
+            Ok(shape)
+        }
+        LayerDef::EncoderMlp { hidden } => {
+            token_shape(shape, "encoder_mlp")?;
+            if *hidden == 0 {
+                return Err(NnError::BadConfig("encoder_mlp hidden width is zero".to_string()));
+            }
+            Ok(shape)
+        }
+        LayerDef::TokenMeanPool => {
+            let (_, dim) = token_shape(shape, "token_mean_pool")?;
+            Ok(FeatureShape::Vector { features: dim })
+        }
+    }
+}
+
+/// Interprets a feature shape as a token sequence `[tokens, 1, dim]`.
+fn token_shape(shape: FeatureShape, op: &str) -> Result<(usize, usize)> {
+    match shape {
+        FeatureShape::Map { c, h: 1, w } => Ok((c, w)),
+        other => Err(NnError::BadConfig(format!(
+            "{op} expects a token sequence [tokens, 1, dim], got {other}"
+        ))),
+    }
+}
+
+fn def_profile(def: &LayerDef, in_shape: FeatureShape, out_shape: FeatureShape) -> LayerProfile {
+    let (kind, name, macs, params, slot) = match def {
+        LayerDef::Conv2d { out_channels, kernel, stride, padding, bias } => {
+            let in_c = match in_shape {
+                FeatureShape::Map { c, .. } => c,
+                FeatureShape::Vector { .. } => 0,
+            };
+            let (oh, ow) = match out_shape {
+                FeatureShape::Map { h, w, .. } => (h, w),
+                FeatureShape::Vector { .. } => (0, 0),
+            };
+            let macs = (oh * ow * out_channels * in_c * kernel * kernel) as u64;
+            let params =
+                (out_channels * in_c * kernel * kernel + if *bias { *out_channels } else { 0 }) as u64;
+            (
+                LayerKind::Conv,
+                format!("conv2d({in_c}->{out_channels}, {kernel}x{kernel}/s{stride} p{padding})"),
+                macs,
+                params,
+                None,
+            )
+        }
+        LayerDef::BatchNorm2d => {
+            let c = match in_shape {
+                FeatureShape::Map { c, .. } => c,
+                FeatureShape::Vector { features } => features,
+            };
+            (
+                LayerKind::Norm,
+                format!("batch_norm({c})"),
+                in_shape.len() as u64,
+                (2 * c) as u64,
+                None,
+            )
+        }
+        LayerDef::Relu => (LayerKind::Activation, "relu".to_string(), 0, 0, None),
+        LayerDef::MaxPool2d { kernel, stride } => (
+            LayerKind::Pool,
+            format!("max_pool({kernel}x{kernel}/s{stride})"),
+            0,
+            0,
+            None,
+        ),
+        LayerDef::GlobalAvgPool => (
+            LayerKind::Pool,
+            "global_avg_pool".to_string(),
+            in_shape.len() as u64,
+            0,
+            None,
+        ),
+        LayerDef::Flatten => (LayerKind::Reshape, "flatten".to_string(), 0, 0, None),
+        LayerDef::Linear { out_features, bias } => {
+            let in_f = in_shape.len();
+            (
+                LayerKind::Linear,
+                format!("linear({in_f}->{out_features})"),
+                (in_f * out_features) as u64,
+                (in_f * out_features + if *bias { *out_features } else { 0 }) as u64,
+                None,
+            )
+        }
+        LayerDef::DropoutSlot { id } => (
+            LayerKind::Slot,
+            format!("dropout_slot({id})"),
+            0,
+            0,
+            Some(*id),
+        ),
+        LayerDef::Residual { .. } => (
+            LayerKind::ResidualJoin,
+            "residual_join".to_string(),
+            out_shape.len() as u64,
+            0,
+            None,
+        ),
+        LayerDef::PatchEmbed { patch, dim } => {
+            let in_c = match in_shape {
+                FeatureShape::Map { c, .. } => c,
+                FeatureShape::Vector { .. } => 0,
+            };
+            let tokens = match out_shape {
+                FeatureShape::Map { c, .. } => c,
+                FeatureShape::Vector { .. } => 0,
+            };
+            let patch_len = in_c * patch * patch;
+            (
+                LayerKind::Conv, // it is a stride-`patch` convolution
+                format!("patch_embed({patch}px -> {dim})"),
+                (tokens * dim * patch_len) as u64,
+                // projection + bias + learned positional embedding
+                (dim * patch_len + dim + tokens * dim) as u64,
+                None,
+            )
+        }
+        LayerDef::EncoderAttention { heads } => {
+            let (t, d) = match in_shape {
+                FeatureShape::Map { c, w, .. } => (c, w),
+                FeatureShape::Vector { .. } => (0, 0),
+            };
+            // 4 projections (t·d²) + scores and context (2·t²·d).
+            let macs = (4 * t * d * d + 2 * t * t * d) as u64;
+            let params = (4 * d * d + 2 * d) as u64; // Q/K/V/O + LN affine
+            (
+                LayerKind::Attention,
+                format!("encoder_attention({d}d, {heads}h)"),
+                macs,
+                params,
+                None,
+            )
+        }
+        LayerDef::EncoderMlp { hidden } => {
+            let (t, d) = match in_shape {
+                FeatureShape::Map { c, w, .. } => (c, w),
+                FeatureShape::Vector { .. } => (0, 0),
+            };
+            let macs = (2 * t * d * hidden) as u64;
+            let params = (2 * d * hidden + hidden + d + 2 * d) as u64;
+            (
+                LayerKind::Attention,
+                format!("encoder_mlp({d}->{hidden}->{d})"),
+                macs,
+                params,
+                None,
+            )
+        }
+        LayerDef::TokenMeanPool => (
+            LayerKind::Pool,
+            "token_mean_pool".to_string(),
+            in_shape.len() as u64,
+            0,
+            None,
+        ),
+    };
+    LayerProfile { name, kind, in_shape, out_shape, macs, params, slot }
+}
+
+fn infer_defs(
+    defs: &[LayerDef],
+    mut shape: FeatureShape,
+    slots: &mut Vec<SlotInfo>,
+    profiles: &mut Vec<LayerProfile>,
+) -> Result<FeatureShape> {
+    for def in defs {
+        let out = shape_after(def, shape)?;
+        if let LayerDef::DropoutSlot { id } = def {
+            let position = match shape {
+                FeatureShape::Map { .. } => SlotPosition::Conv,
+                FeatureShape::Vector { .. } => SlotPosition::FullyConnected,
+            };
+            slots.push(SlotInfo { id: *id, shape, position });
+        }
+        if let LayerDef::Residual { main, shortcut } = def {
+            // Recurse so nested layers (and slots) contribute profiles.
+            let mut inner_profiles = Vec::new();
+            infer_defs(main, shape, slots, &mut inner_profiles)?;
+            if !shortcut.is_empty() {
+                infer_defs(shortcut, shape, slots, &mut inner_profiles)?;
+            }
+            profiles.extend(inner_profiles);
+        }
+        profiles.push(def_profile(def, shape, out));
+        shape = out;
+    }
+    Ok(shape)
+}
+
+fn build_defs(
+    defs: &[LayerDef],
+    mut shape: FeatureShape,
+    rng: &mut Rng64,
+    slot_factory: &mut dyn FnMut(&SlotInfo) -> Box<dyn Layer>,
+) -> Result<(Sequential, FeatureShape)> {
+    let mut seq = Sequential::new();
+    for def in defs {
+        let out = shape_after(def, shape)?;
+        let layer: Box<dyn Layer> = match def {
+            LayerDef::Conv2d { out_channels, kernel, stride, padding, bias } => {
+                let in_c = match shape {
+                    FeatureShape::Map { c, .. } => c,
+                    FeatureShape::Vector { .. } => {
+                        return Err(NnError::BadConfig("conv2d on vector".to_string()))
+                    }
+                };
+                Box::new(Conv2d::new(
+                    in_c,
+                    *out_channels,
+                    ConvGeometry::new(*kernel, *stride, *padding),
+                    *bias,
+                    rng,
+                ))
+            }
+            LayerDef::BatchNorm2d => {
+                let c = match shape {
+                    FeatureShape::Map { c, .. } => c,
+                    FeatureShape::Vector { .. } => {
+                        return Err(NnError::BadConfig("batch_norm on vector".to_string()))
+                    }
+                };
+                Box::new(BatchNorm2d::new(c))
+            }
+            LayerDef::Relu => Box::new(Relu::new()),
+            LayerDef::MaxPool2d { kernel, stride } => Box::new(MaxPool2d::new(*kernel, *stride)),
+            LayerDef::GlobalAvgPool => Box::new(GlobalAvgPool::new()),
+            LayerDef::Flatten => Box::new(Flatten::new()),
+            LayerDef::Linear { out_features, bias } => {
+                Box::new(Linear::new(shape.len(), *out_features, *bias, rng))
+            }
+            LayerDef::DropoutSlot { id } => {
+                let position = match shape {
+                    FeatureShape::Map { .. } => SlotPosition::Conv,
+                    FeatureShape::Vector { .. } => SlotPosition::FullyConnected,
+                };
+                slot_factory(&SlotInfo { id: *id, shape, position })
+            }
+            LayerDef::Residual { main, shortcut } => {
+                let (main_seq, _) = build_defs(main, shape, rng, slot_factory)?;
+                let short_seq = if shortcut.is_empty() {
+                    Sequential::new()
+                } else {
+                    build_defs(shortcut, shape, rng, slot_factory)?.0
+                };
+                Box::new(Residual::new(main_seq, short_seq))
+            }
+            LayerDef::PatchEmbed { patch, dim } => {
+                let in_c = match shape {
+                    FeatureShape::Map { c, .. } => c,
+                    FeatureShape::Vector { .. } => {
+                        return Err(NnError::BadConfig("patch_embed on vector".to_string()))
+                    }
+                };
+                let tokens = match out {
+                    FeatureShape::Map { c, .. } => c,
+                    FeatureShape::Vector { .. } => 0,
+                };
+                Box::new(PatchEmbed::with_positions(in_c, *patch, *dim, tokens, rng))
+            }
+            LayerDef::EncoderAttention { heads } => {
+                let (_, dim) = token_shape(shape, "encoder_attention")?;
+                Box::new(PreNorm::new(dim, MultiHeadAttention::new(dim, *heads, rng)))
+            }
+            LayerDef::EncoderMlp { hidden } => {
+                let (_, dim) = token_shape(shape, "encoder_mlp")?;
+                Box::new(PreNorm::new(dim, TokenMlp::new(dim, *hidden, rng)))
+            }
+            LayerDef::TokenMeanPool => Box::new(TokenMeanPool::new()),
+        };
+        seq.push(layer);
+        shape = out;
+    }
+    Ok((seq, shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use nds_tensor::Tensor;
+
+    fn tiny_arch() -> Architecture {
+        Architecture {
+            name: "tiny".to_string(),
+            input: (1, 8, 8),
+            classes: 4,
+            defs: vec![
+                LayerDef::Conv2d { out_channels: 4, kernel: 3, stride: 1, padding: 1, bias: false },
+                LayerDef::BatchNorm2d,
+                LayerDef::Relu,
+                LayerDef::DropoutSlot { id: 0 },
+                LayerDef::MaxPool2d { kernel: 2, stride: 2 },
+                LayerDef::Flatten,
+                LayerDef::Linear { out_features: 16, bias: true },
+                LayerDef::Relu,
+                LayerDef::DropoutSlot { id: 1 },
+                LayerDef::Linear { out_features: 4, bias: true },
+            ],
+        }
+    }
+
+    #[test]
+    fn slot_inference() {
+        let slots = tiny_arch().slots().unwrap();
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].id, 0);
+        assert_eq!(slots[0].position, SlotPosition::Conv);
+        assert_eq!(slots[0].shape, FeatureShape::Map { c: 4, h: 8, w: 8 });
+        assert_eq!(slots[1].position, SlotPosition::FullyConnected);
+        assert_eq!(slots[1].shape, FeatureShape::Vector { features: 16 });
+    }
+
+    #[test]
+    fn build_and_run() {
+        let arch = tiny_arch();
+        let mut rng = Rng64::new(1);
+        let mut net = arch.build_with_identity_slots(&mut rng).unwrap();
+        let x = Tensor::zeros(Shape::d4(3, 1, 8, 8));
+        let y = net.forward(&x, Mode::Standard).unwrap();
+        assert_eq!(y.shape(), &Shape::d2(3, 4));
+    }
+
+    #[test]
+    fn slot_factory_receives_each_slot_once() {
+        let arch = tiny_arch();
+        let mut rng = Rng64::new(2);
+        let mut seen = Vec::new();
+        let _net = arch
+            .build(&mut rng, &mut |info| {
+                seen.push(info.id);
+                Box::new(Identity::new())
+            })
+            .unwrap();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn profile_counts_macs_and_params() {
+        let arch = tiny_arch();
+        let profile = arch.profile().unwrap();
+        let conv = profile.iter().find(|p| p.kind == LayerKind::Conv).unwrap();
+        // 8*8 output positions x 4 out x 1 in x 3x3 kernel.
+        assert_eq!(conv.macs, 8 * 8 * 4 * 9);
+        assert_eq!(conv.params, 4 * 9);
+        let lin = profile.iter().find(|p| p.kind == LayerKind::Linear).unwrap();
+        // First linear: (4*4*4=64) -> 16.
+        assert_eq!(lin.macs, 64 * 16);
+        assert_eq!(lin.params, 64 * 16 + 16);
+        let slots: Vec<_> = profile.iter().filter(|p| p.kind == LayerKind::Slot).collect();
+        assert_eq!(slots.len(), 2);
+    }
+
+    #[test]
+    fn total_params_matches_built_network() {
+        let arch = tiny_arch();
+        let mut rng = Rng64::new(3);
+        let net = arch.build_with_identity_slots(&mut rng).unwrap();
+        assert_eq!(net.param_count() as u64, arch.total_params().unwrap());
+    }
+
+    #[test]
+    fn residual_def_with_downsample_shortcut() {
+        let arch = Architecture {
+            name: "res".to_string(),
+            input: (2, 8, 8),
+            classes: 2,
+            defs: vec![
+                LayerDef::Residual {
+                    main: vec![
+                        LayerDef::Conv2d { out_channels: 4, kernel: 3, stride: 2, padding: 1, bias: false },
+                        LayerDef::BatchNorm2d,
+                        LayerDef::Relu,
+                        LayerDef::Conv2d { out_channels: 4, kernel: 3, stride: 1, padding: 1, bias: false },
+                        LayerDef::BatchNorm2d,
+                    ],
+                    shortcut: vec![
+                        LayerDef::Conv2d { out_channels: 4, kernel: 1, stride: 2, padding: 0, bias: false },
+                        LayerDef::BatchNorm2d,
+                    ],
+                },
+                LayerDef::GlobalAvgPool,
+                LayerDef::Linear { out_features: 2, bias: true },
+            ],
+        };
+        let mut rng = Rng64::new(4);
+        let mut net = arch.build_with_identity_slots(&mut rng).unwrap();
+        let x = Tensor::zeros(Shape::d4(1, 2, 8, 8));
+        let y = net.forward(&x, Mode::Standard).unwrap();
+        assert_eq!(y.shape(), &Shape::d2(1, 2));
+    }
+
+    #[test]
+    fn mismatched_residual_is_rejected() {
+        let arch = Architecture {
+            name: "bad".to_string(),
+            input: (2, 8, 8),
+            classes: 2,
+            defs: vec![LayerDef::Residual {
+                main: vec![LayerDef::Conv2d {
+                    out_channels: 4,
+                    kernel: 3,
+                    stride: 2,
+                    padding: 1,
+                    bias: false,
+                }],
+                shortcut: vec![],
+            }],
+        };
+        assert!(arch.slots().is_err());
+    }
+
+    #[test]
+    fn conv_on_vector_is_rejected() {
+        let arch = Architecture {
+            name: "bad".to_string(),
+            input: (1, 4, 4),
+            classes: 2,
+            defs: vec![
+                LayerDef::Flatten,
+                LayerDef::Conv2d { out_channels: 2, kernel: 3, stride: 1, padding: 1, bias: false },
+            ],
+        };
+        assert!(arch.profile().is_err());
+    }
+}

@@ -1,0 +1,82 @@
+use crate::{Layer, Mode, NnError, Result};
+use nds_tensor::{Shape, Tensor};
+
+/// Rectified linear unit.
+///
+/// Stateless apart from the backward mask cached during forward.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        self.mask = Some(input.iter().map(|&v| v > 0.0).collect());
+        Ok(input.relu())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        if mask.len() != grad.len() {
+            return Err(NnError::BadConfig(format!(
+                "relu backward: cached {} elements, grad has {}",
+                mask.len(),
+                grad.len()
+            )));
+        }
+        let mut out = grad.clone();
+        for (v, &keep) in out.iter_mut().zip(mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> String {
+        "relu".to_string()
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        Ok(input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_backward_masks() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], Shape::d1(3)).unwrap();
+        let y = relu.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let g = Tensor::from_vec(vec![1.0, 1.0, 1.0], Shape::d1(3)).unwrap();
+        let dx = relu.backward(&g).unwrap();
+        // Gradient passes only where input was strictly positive.
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(Shape::d1(1))).is_err());
+    }
+
+    #[test]
+    fn out_shape_is_identity() {
+        let relu = Relu::new();
+        let s = Shape::d4(1, 2, 3, 4);
+        assert_eq!(relu.out_shape(&s).unwrap(), s);
+    }
+}

@@ -1,0 +1,1188 @@
+//! Transformer encoder layers — the paper's third future-work item
+//! ("extending the proposed framework to cover other kinds of neural
+//! networks such as Transformer").
+//!
+//! Token sequences ride the existing shape system as feature maps with a
+//! unit height: `[tokens, 1, dim]`. That convention is what lets the four
+//! dropout designs drop into a transformer unchanged, with a natural
+//! granularity mapping:
+//!
+//! * Bernoulli / Random — point dropout over token activations,
+//! * Block — contiguous *spans* of embedding dimensions,
+//! * Masksembles — whole-**token** masks (channel granularity = tokens).
+//!
+//! The blocks are pre-norm (`x + f(layer_norm(x))`), the standard
+//! trainable arrangement. Everything backpropagates by hand, like the
+//! rest of the crate, and is verified against finite differences in the
+//! tests.
+
+use crate::{Layer, Mode, NnError, Param, Result};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor, TensorError};
+
+fn as_tokens(shape: &Shape, op: &'static str) -> Result<(usize, usize, usize)> {
+    let (n, t, h, d) = shape.as_nchw().ok_or(TensorError::RankMismatch {
+        op,
+        expected: 4,
+        actual: shape.rank(),
+    })?;
+    if h != 1 {
+        return Err(NnError::BadConfig(format!(
+            "{op}: token tensors are [n, tokens, 1, dim], got height {h}"
+        )));
+    }
+    Ok((n, t, d))
+}
+
+/// Layer normalisation over the embedding axis of `[n, tokens, 1, dim]`
+/// tensors, with learned per-dimension gain and shift.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    dim: usize,
+    eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug)]
+struct LnCache {
+    x_hat: Vec<f32>,
+    inv_std: Vec<f32>, // one per row
+    shape: Shape,
+}
+
+impl LayerNorm {
+    /// A layer norm over `dim`-wide embeddings.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::ones(Shape::d1(dim)), false),
+            beta: Param::new(Tensor::zeros(Shape::d1(dim)), false),
+            dim,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// The normalised embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let (n, t, d) = as_tokens(input.shape(), "layer_norm forward")?;
+        if d != self.dim {
+            return Err(NnError::BadConfig(format!(
+                "layer_norm({}) applied to dim-{d} tokens",
+                self.dim
+            )));
+        }
+        let x = input.as_slice();
+        let rows = n * t;
+        let mut out = vec![0.0f32; x.len()];
+        let mut x_hat = vec![0.0f32; x.len()];
+        let mut inv_std = vec![0.0f32; rows];
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        for r in 0..rows {
+            let row = &x[r * d..(r + 1) * d];
+            let mean = row.iter().map(|&v| v as f64).sum::<f64>() / d as f64;
+            let var = row
+                .iter()
+                .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+                .sum::<f64>()
+                / d as f64;
+            let istd = 1.0 / (var + self.eps as f64).sqrt();
+            inv_std[r] = istd as f32;
+            for k in 0..d {
+                let xh = ((row[k] as f64 - mean) * istd) as f32;
+                x_hat[r * d + k] = xh;
+                out[r * d + k] = gamma[k] * xh + beta[k];
+            }
+        }
+        self.cache = Some(LnCache { x_hat, inv_std, shape: input.shape().clone() });
+        Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        if grad.shape() != &cache.shape {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "layer_norm backward",
+                lhs: cache.shape.clone(),
+                rhs: grad.shape().clone(),
+            }));
+        }
+        let d = self.dim;
+        let g = grad.as_slice();
+        let rows = g.len() / d;
+        let gamma = self.gamma.value.as_slice();
+        let mut dgamma = vec![0.0f32; d];
+        let mut dbeta = vec![0.0f32; d];
+        let mut dx = vec![0.0f32; g.len()];
+        for r in 0..rows {
+            let gr = &g[r * d..(r + 1) * d];
+            let xh = &cache.x_hat[r * d..(r + 1) * d];
+            let mut sum_dxhat = 0.0f64;
+            let mut sum_dxhat_xhat = 0.0f64;
+            for k in 0..d {
+                dgamma[k] += gr[k] * xh[k];
+                dbeta[k] += gr[k];
+                let dxh = (gr[k] * gamma[k]) as f64;
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xh[k] as f64;
+            }
+            let istd = cache.inv_std[r] as f64;
+            for k in 0..d {
+                let dxh = (gr[k] * gamma[k]) as f64;
+                dx[r * d + k] = (istd / d as f64
+                    * (d as f64 * dxh - sum_dxhat - xh[k] as f64 * sum_dxhat_xhat))
+                    as f32;
+            }
+        }
+        self.gamma
+            .grad
+            .add_scaled(&Tensor::from_vec(dgamma, Shape::d1(d))?, 1.0)?;
+        self.beta
+            .grad
+            .add_scaled(&Tensor::from_vec(dbeta, Shape::d1(d))?, 1.0)?;
+        Tensor::from_vec(dx, cache.shape).map_err(NnError::from)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn name(&self) -> String {
+        format!("layer_norm({})", self.dim)
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        Ok(input.clone())
+    }
+}
+
+/// Non-overlapping patch embedding: `[n, c, h, w]` images to
+/// `[n, tokens, 1, dim]` token sequences via a learned linear projection
+/// of each `patch × patch` tile (equivalent to a stride-`patch`
+/// convolution).
+#[derive(Debug)]
+pub struct PatchEmbed {
+    weight: Param, // [dim, c * p * p]
+    bias: Param,   // [dim]
+    /// Learned positional embedding `[tokens, dim]`, added to the token
+    /// sequence (attention alone is permutation-equivariant and cannot
+    /// see patch positions without it).
+    pos: Option<Param>,
+    in_channels: usize,
+    patch: usize,
+    dim: usize,
+    cache: Option<(Tensor, Shape)>, // input, input shape
+}
+
+impl PatchEmbed {
+    /// Creates the embedding for `in_channels` images, `patch`-pixel tiles
+    /// and `dim`-wide tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch` or `dim` is zero.
+    pub fn new(in_channels: usize, patch: usize, dim: usize, rng: &mut Rng64) -> Self {
+        assert!(patch > 0 && dim > 0, "patch and dim must be positive");
+        let fan_in = in_channels * patch * patch;
+        PatchEmbed {
+            weight: Param::new(
+                Tensor::kaiming_normal(Shape::d2(dim, fan_in), fan_in, rng),
+                true,
+            ),
+            bias: Param::new(Tensor::zeros(Shape::d1(dim)), false),
+            pos: None,
+            in_channels,
+            patch,
+            dim,
+            cache: None,
+        }
+    }
+
+    /// Like [`PatchEmbed::new`], plus a learned positional embedding for
+    /// exactly `tokens` patches (initialised `N(0, 0.02)`, the ViT
+    /// convention). Without it, self-attention cannot distinguish patch
+    /// positions at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch`, `dim` or `tokens` is zero.
+    pub fn with_positions(
+        in_channels: usize,
+        patch: usize,
+        dim: usize,
+        tokens: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(tokens > 0, "token count must be positive");
+        let mut embed = PatchEmbed::new(in_channels, patch, dim, rng);
+        embed.pos = Some(Param::new(
+            Tensor::rand_normal(Shape::d2(tokens, dim), 0.0, 0.02, rng),
+            false,
+        ));
+        embed
+    }
+
+    fn geometry(&self, shape: &Shape) -> Result<(usize, usize, usize, usize)> {
+        let (n, c, h, w) = shape.as_nchw().ok_or(TensorError::RankMismatch {
+            op: "patch_embed",
+            expected: 4,
+            actual: shape.rank(),
+        })?;
+        if c != self.in_channels || h % self.patch != 0 || w % self.patch != 0 {
+            return Err(NnError::BadConfig(format!(
+                "patch_embed({}ch, {}px) cannot tile a {c}x{h}x{w} input",
+                self.in_channels, self.patch
+            )));
+        }
+        Ok((n, c, h / self.patch, w / self.patch))
+    }
+}
+
+impl Layer for PatchEmbed {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let (n, c, th, tw) = self.geometry(input.shape())?;
+        let p = self.patch;
+        let d = self.dim;
+        let tokens = th * tw;
+        let patch_len = c * p * p;
+        let (_, _, h, w) = input.shape().as_nchw().expect("checked by geometry");
+        let x = input.as_slice();
+        let wgt = self.weight.value.as_slice();
+        let b = self.bias.value.as_slice();
+        let mut out = vec![0.0f32; n * tokens * d];
+        let mut patch_buf = vec![0.0f32; patch_len];
+        for ni in 0..n {
+            for ty in 0..th {
+                for tx in 0..tw {
+                    // Gather the patch in (c, dy, dx) order.
+                    let mut ix = 0;
+                    for ci in 0..c {
+                        for dy in 0..p {
+                            let row = (ni * c + ci) * h * w + (ty * p + dy) * w + tx * p;
+                            patch_buf[ix..ix + p].copy_from_slice(&x[row..row + p]);
+                            ix += p;
+                        }
+                    }
+                    let token = ty * tw + tx;
+                    let out_row = (ni * tokens + token) * d;
+                    for j in 0..d {
+                        let wrow = &wgt[j * patch_len..(j + 1) * patch_len];
+                        let mut acc = b[j];
+                        for k in 0..patch_len {
+                            acc += wrow[k] * patch_buf[k];
+                        }
+                        out[out_row + j] = acc;
+                    }
+                }
+            }
+        }
+        if let Some(pos) = &self.pos {
+            let pv = pos.value.as_slice();
+            if pv.len() != tokens * d {
+                return Err(NnError::BadConfig(format!(
+                    "positional embedding sized for {} values, input produces {} tokens x {d}",
+                    pv.len(),
+                    tokens
+                )));
+            }
+            for ni in 0..n {
+                let base = ni * tokens * d;
+                for (o, &pe) in out[base..base + tokens * d].iter_mut().zip(pv.iter()) {
+                    *o += pe;
+                }
+            }
+        }
+        self.cache = Some((input.clone(), input.shape().clone()));
+        Tensor::from_vec(out, Shape::d4(n, tokens, 1, d)).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let (input, in_shape) = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        let (n, c, th, tw) = self.geometry(&in_shape)?;
+        let p = self.patch;
+        let d = self.dim;
+        let tokens = th * tw;
+        let patch_len = c * p * p;
+        let (_, _, h, w) = in_shape.as_nchw().expect("checked by geometry");
+        let g = grad.as_slice();
+        let x = input.as_slice();
+        let wgt = self.weight.value.as_slice();
+        let mut dw = vec![0.0f32; d * patch_len];
+        let mut db = vec![0.0f32; d];
+        let mut dx = vec![0.0f32; x.len()];
+        let mut patch_buf = vec![0.0f32; patch_len];
+        let mut dpatch = vec![0.0f32; patch_len];
+        for ni in 0..n {
+            for ty in 0..th {
+                for tx in 0..tw {
+                    let mut ix = 0;
+                    for ci in 0..c {
+                        for dy in 0..p {
+                            let row = (ni * c + ci) * h * w + (ty * p + dy) * w + tx * p;
+                            patch_buf[ix..ix + p].copy_from_slice(&x[row..row + p]);
+                            ix += p;
+                        }
+                    }
+                    let token = ty * tw + tx;
+                    let grow = &g[(ni * tokens + token) * d..(ni * tokens + token + 1) * d];
+                    dpatch.iter_mut().for_each(|v| *v = 0.0);
+                    for j in 0..d {
+                        let gj = grow[j];
+                        db[j] += gj;
+                        let wrow = &wgt[j * patch_len..(j + 1) * patch_len];
+                        let dwrow = &mut dw[j * patch_len..(j + 1) * patch_len];
+                        for k in 0..patch_len {
+                            dwrow[k] += gj * patch_buf[k];
+                            dpatch[k] += gj * wrow[k];
+                        }
+                    }
+                    let mut ix = 0;
+                    for ci in 0..c {
+                        for dy in 0..p {
+                            let row = (ni * c + ci) * h * w + (ty * p + dy) * w + tx * p;
+                            for dxp in 0..p {
+                                dx[row + dxp] += dpatch[ix + dxp];
+                            }
+                            ix += p;
+                        }
+                    }
+                }
+            }
+        }
+        self.weight
+            .grad
+            .add_scaled(&Tensor::from_vec(dw, Shape::d2(d, patch_len))?, 1.0)?;
+        self.bias
+            .grad
+            .add_scaled(&Tensor::from_vec(db, Shape::d1(d))?, 1.0)?;
+        if let Some(pos) = &mut self.pos {
+            // d(pos) = sum over the batch of the token-sequence gradient.
+            let mut dpos = vec![0.0f32; tokens * d];
+            for ni in 0..n {
+                let base = ni * tokens * d;
+                for (dp, &gv) in dpos.iter_mut().zip(g[base..base + tokens * d].iter()) {
+                    *dp += gv;
+                }
+            }
+            pos.grad
+                .add_scaled(&Tensor::from_vec(dpos, Shape::d2(tokens, d))?, 1.0)?;
+        }
+        Tensor::from_vec(dx, in_shape).map_err(NnError::from)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![&mut self.weight, &mut self.bias];
+        if let Some(pos) = &mut self.pos {
+            ps.push(pos);
+        }
+        ps
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps = vec![&self.weight, &self.bias];
+        if let Some(pos) = &self.pos {
+            ps.push(pos);
+        }
+        ps
+    }
+
+    fn name(&self) -> String {
+        format!("patch_embed({}ch, {}px -> {})", self.in_channels, self.patch, self.dim)
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        let (n, _, th, tw) = self.geometry(input)?;
+        Ok(Shape::d4(n, th * tw, 1, self.dim))
+    }
+}
+
+/// Multi-head scaled-dot-product self-attention over
+/// `[n, tokens, 1, dim]` sequences (bias-free Q/K/V/O projections).
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    dim: usize,
+    heads: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug)]
+struct AttnCache {
+    x: Tensor,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn: Vec<f32>, // [n, heads, t, t] softmax rows
+    o: Vec<f32>,    // concatenated head outputs [n, t, d]
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer over `dim`-wide tokens with `heads`
+    /// heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is zero or does not divide `dim`.
+    pub fn new(dim: usize, heads: usize, rng: &mut Rng64) -> Self {
+        assert!(heads > 0 && dim.is_multiple_of(heads), "heads must divide dim");
+        let proj = |rng: &mut Rng64| {
+            Param::new(Tensor::kaiming_normal(Shape::d2(dim, dim), dim, rng), true)
+        };
+        MultiHeadAttention {
+            wq: proj(rng),
+            wk: proj(rng),
+            wv: proj(rng),
+            wo: proj(rng),
+            dim,
+            heads,
+            cache: None,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+/// `out[i,j] = sum_k x[i,k] w[j,k]` for row-major `x: rows×d_in`,
+/// `w: d_out×d_in` (a right-multiplication by `wᵀ`).
+fn project(x: &[f32], w: &[f32], rows: usize, d_in: usize, d_out: usize, out: &mut [f32]) {
+    for i in 0..rows {
+        let xr = &x[i * d_in..(i + 1) * d_in];
+        let or = &mut out[i * d_out..(i + 1) * d_out];
+        for j in 0..d_out {
+            let wr = &w[j * d_in..(j + 1) * d_in];
+            let mut acc = 0.0f32;
+            for k in 0..d_in {
+                acc += xr[k] * wr[k];
+            }
+            or[j] = acc;
+        }
+    }
+}
+
+/// Accumulates `dw[j,k] += sum_i dy[i,j] x[i,k]` and
+/// `dx[i,k] += sum_j dy[i,j] w[j,k]` — the backward of [`project`].
+#[allow(clippy::too_many_arguments)] // a kernel, mirrors `project`'s operands
+fn project_backward(
+    dy: &[f32],
+    x: &[f32],
+    w: &[f32],
+    rows: usize,
+    d_in: usize,
+    d_out: usize,
+    dw: &mut [f32],
+    dx: &mut [f32],
+) {
+    for i in 0..rows {
+        let dyr = &dy[i * d_out..(i + 1) * d_out];
+        let xr = &x[i * d_in..(i + 1) * d_in];
+        let dxr = &mut dx[i * d_in..(i + 1) * d_in];
+        for j in 0..d_out {
+            let g = dyr[j];
+            if g == 0.0 {
+                continue;
+            }
+            let wr = &w[j * d_in..(j + 1) * d_in];
+            let dwr = &mut dw[j * d_in..(j + 1) * d_in];
+            for k in 0..d_in {
+                dwr[k] += g * xr[k];
+                dxr[k] += g * wr[k];
+            }
+        }
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let (n, t, d) = as_tokens(input.shape(), "attention forward")?;
+        if d != self.dim {
+            return Err(NnError::BadConfig(format!(
+                "attention({}) applied to dim-{d} tokens",
+                self.dim
+            )));
+        }
+        let heads = self.heads;
+        let dh = d / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let rows = n * t;
+        let x = input.as_slice();
+        let mut q = vec![0.0f32; rows * d];
+        let mut k = vec![0.0f32; rows * d];
+        let mut v = vec![0.0f32; rows * d];
+        project(x, self.wq.value.as_slice(), rows, d, d, &mut q);
+        project(x, self.wk.value.as_slice(), rows, d, d, &mut k);
+        project(x, self.wv.value.as_slice(), rows, d, d, &mut v);
+
+        let mut attn = vec![0.0f32; n * heads * t * t];
+        let mut o = vec![0.0f32; rows * d];
+        for ni in 0..n {
+            for h in 0..heads {
+                let col = h * dh;
+                for i in 0..t {
+                    let qrow = &q[(ni * t + i) * d + col..(ni * t + i) * d + col + dh];
+                    let arow =
+                        &mut attn[((ni * heads + h) * t + i) * t..((ni * heads + h) * t + i + 1) * t];
+                    let mut max = f32::NEG_INFINITY;
+                    for (j, a) in arow.iter_mut().enumerate() {
+                        let krow = &k[(ni * t + j) * d + col..(ni * t + j) * d + col + dh];
+                        let mut s = 0.0f32;
+                        for z in 0..dh {
+                            s += qrow[z] * krow[z];
+                        }
+                        *a = s * scale;
+                        max = max.max(*a);
+                    }
+                    let mut denom = 0.0f32;
+                    for a in arow.iter_mut() {
+                        *a = (*a - max).exp();
+                        denom += *a;
+                    }
+                    for a in arow.iter_mut() {
+                        *a /= denom;
+                    }
+                    // Context: o_i = sum_j a_ij v_j (head columns only).
+                    let orow = &mut o[(ni * t + i) * d + col..(ni * t + i) * d + col + dh];
+                    for j in 0..t {
+                        let a = arow[j];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let vrow = &v[(ni * t + j) * d + col..(ni * t + j) * d + col + dh];
+                        for z in 0..dh {
+                            orow[z] += a * vrow[z];
+                        }
+                    }
+                }
+            }
+        }
+        let mut y = vec![0.0f32; rows * d];
+        project(&o, self.wo.value.as_slice(), rows, d, d, &mut y);
+        self.cache = Some(AttnCache { x: input.clone(), q, k, v, attn, o });
+        Tensor::from_vec(y, input.shape().clone()).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        let (n, t, d) = as_tokens(cache.x.shape(), "attention backward")?;
+        let heads = self.heads;
+        let dh = d / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let rows = n * t;
+        let g = grad.as_slice();
+        let x = cache.x.as_slice();
+
+        // Through the output projection.
+        let mut dwo = vec![0.0f32; d * d];
+        let mut do_ = vec![0.0f32; rows * d];
+        project_backward(g, &cache.o, self.wo.value.as_slice(), rows, d, d, &mut dwo, &mut do_);
+
+        // Through attention per head.
+        let mut dq = vec![0.0f32; rows * d];
+        let mut dk = vec![0.0f32; rows * d];
+        let mut dv = vec![0.0f32; rows * d];
+        let mut da = vec![0.0f32; t];
+        for ni in 0..n {
+            for h in 0..heads {
+                let col = h * dh;
+                for i in 0..t {
+                    let dorow = &do_[(ni * t + i) * d + col..(ni * t + i) * d + col + dh];
+                    let arow =
+                        &cache.attn[((ni * heads + h) * t + i) * t..((ni * heads + h) * t + i + 1) * t];
+                    // dA_ij = dO_i · V_j ; dV_j += A_ij dO_i.
+                    for j in 0..t {
+                        let vrow = &cache.v[(ni * t + j) * d + col..(ni * t + j) * d + col + dh];
+                        let dvrow = &mut dv[(ni * t + j) * d + col..(ni * t + j) * d + col + dh];
+                        let mut acc = 0.0f32;
+                        let a = arow[j];
+                        for z in 0..dh {
+                            acc += dorow[z] * vrow[z];
+                            dvrow[z] += a * dorow[z];
+                        }
+                        da[j] = acc;
+                    }
+                    // Softmax backward: dS = A ⊙ (dA − (dA·A)).
+                    let dot: f32 = da.iter().zip(arow.iter()).map(|(&a, &b)| a * b).sum();
+                    // dQ_i += dS_ij * scale * K_j ; dK_j += dS_ij * scale * Q_i.
+                    let qrow = &cache.q[(ni * t + i) * d + col..(ni * t + i) * d + col + dh];
+                    let dqrow_base = (ni * t + i) * d + col;
+                    for j in 0..t {
+                        let ds = arow[j] * (da[j] - dot) * scale;
+                        if ds == 0.0 {
+                            continue;
+                        }
+                        let krow = &cache.k[(ni * t + j) * d + col..(ni * t + j) * d + col + dh];
+                        let dkrow = &mut dk[(ni * t + j) * d + col..(ni * t + j) * d + col + dh];
+                        for z in 0..dh {
+                            dkrow[z] += ds * qrow[z];
+                        }
+                        let dqrow = &mut dq[dqrow_base..dqrow_base + dh];
+                        for z in 0..dh {
+                            dqrow[z] += ds * krow[z];
+                        }
+                    }
+                }
+            }
+        }
+
+        // Through the input projections.
+        let mut dwq = vec![0.0f32; d * d];
+        let mut dwk = vec![0.0f32; d * d];
+        let mut dwv = vec![0.0f32; d * d];
+        let mut dx = vec![0.0f32; rows * d];
+        project_backward(&dq, x, self.wq.value.as_slice(), rows, d, d, &mut dwq, &mut dx);
+        project_backward(&dk, x, self.wk.value.as_slice(), rows, d, d, &mut dwk, &mut dx);
+        project_backward(&dv, x, self.wv.value.as_slice(), rows, d, d, &mut dwv, &mut dx);
+
+        self.wq.grad.add_scaled(&Tensor::from_vec(dwq, Shape::d2(d, d))?, 1.0)?;
+        self.wk.grad.add_scaled(&Tensor::from_vec(dwk, Shape::d2(d, d))?, 1.0)?;
+        self.wv.grad.add_scaled(&Tensor::from_vec(dwv, Shape::d2(d, d))?, 1.0)?;
+        self.wo.grad.add_scaled(&Tensor::from_vec(dwo, Shape::d2(d, d))?, 1.0)?;
+        Tensor::from_vec(dx, cache.x.shape().clone()).map_err(NnError::from)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wq, &self.wk, &self.wv, &self.wo]
+    }
+
+    fn name(&self) -> String {
+        format!("attention({}d, {}h)", self.dim, self.heads)
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        as_tokens(input, "attention out_shape")?;
+        Ok(input.clone())
+    }
+}
+
+/// Token-wise two-layer MLP (`dim → hidden → dim` with ReLU), applied
+/// independently to every token of `[n, tokens, 1, dim]`.
+#[derive(Debug)]
+pub struct TokenMlp {
+    w1: Param, // [hidden, dim]
+    b1: Param,
+    w2: Param, // [dim, hidden]
+    b2: Param,
+    dim: usize,
+    hidden: usize,
+    cache: Option<MlpCache>,
+}
+
+#[derive(Debug)]
+struct MlpCache {
+    x: Tensor,
+    h: Vec<f32>, // post-ReLU activations
+}
+
+impl TokenMlp {
+    /// Creates the MLP for `dim`-wide tokens with a `hidden`-wide middle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is zero.
+    pub fn new(dim: usize, hidden: usize, rng: &mut Rng64) -> Self {
+        assert!(hidden > 0, "hidden width must be positive");
+        TokenMlp {
+            w1: Param::new(Tensor::kaiming_normal(Shape::d2(hidden, dim), dim, rng), true),
+            b1: Param::new(Tensor::zeros(Shape::d1(hidden)), false),
+            w2: Param::new(Tensor::kaiming_normal(Shape::d2(dim, hidden), hidden, rng), true),
+            b2: Param::new(Tensor::zeros(Shape::d1(dim)), false),
+            dim,
+            hidden,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for TokenMlp {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let (n, t, d) = as_tokens(input.shape(), "token_mlp forward")?;
+        if d != self.dim {
+            return Err(NnError::BadConfig(format!(
+                "token_mlp({}) applied to dim-{d} tokens",
+                self.dim
+            )));
+        }
+        let rows = n * t;
+        let hid = self.hidden;
+        let x = input.as_slice();
+        let mut h = vec![0.0f32; rows * hid];
+        project(x, self.w1.value.as_slice(), rows, d, hid, &mut h);
+        let b1 = self.b1.value.as_slice();
+        for r in 0..rows {
+            for j in 0..hid {
+                let v = h[r * hid + j] + b1[j];
+                h[r * hid + j] = if v > 0.0 { v } else { 0.0 };
+            }
+        }
+        let mut y = vec![0.0f32; rows * d];
+        project(&h, self.w2.value.as_slice(), rows, hid, d, &mut y);
+        let b2 = self.b2.value.as_slice();
+        for r in 0..rows {
+            for j in 0..d {
+                y[r * d + j] += b2[j];
+            }
+        }
+        self.cache = Some(MlpCache { x: input.clone(), h });
+        Tensor::from_vec(y, input.shape().clone()).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        let (n, t, d) = as_tokens(cache.x.shape(), "token_mlp backward")?;
+        let rows = n * t;
+        let hid = self.hidden;
+        let g = grad.as_slice();
+        // Second layer.
+        let mut db2 = vec![0.0f32; d];
+        for r in 0..rows {
+            for j in 0..d {
+                db2[j] += g[r * d + j];
+            }
+        }
+        let mut dw2 = vec![0.0f32; d * hid];
+        let mut dh = vec![0.0f32; rows * hid];
+        project_backward(g, &cache.h, self.w2.value.as_slice(), rows, hid, d, &mut dw2, &mut dh);
+        // ReLU gate.
+        for (dhv, &hv) in dh.iter_mut().zip(cache.h.iter()) {
+            if hv == 0.0 {
+                *dhv = 0.0;
+            }
+        }
+        // First layer.
+        let mut db1 = vec![0.0f32; hid];
+        for r in 0..rows {
+            for j in 0..hid {
+                db1[j] += dh[r * hid + j];
+            }
+        }
+        let mut dw1 = vec![0.0f32; hid * d];
+        let mut dx = vec![0.0f32; rows * d];
+        project_backward(
+            &dh,
+            cache.x.as_slice(),
+            self.w1.value.as_slice(),
+            rows,
+            d,
+            hid,
+            &mut dw1,
+            &mut dx,
+        );
+        self.w1.grad.add_scaled(&Tensor::from_vec(dw1, Shape::d2(hid, d))?, 1.0)?;
+        self.b1.grad.add_scaled(&Tensor::from_vec(db1, Shape::d1(hid))?, 1.0)?;
+        self.w2.grad.add_scaled(&Tensor::from_vec(dw2, Shape::d2(d, hid))?, 1.0)?;
+        self.b2.grad.add_scaled(&Tensor::from_vec(db2, Shape::d1(d))?, 1.0)?;
+        Tensor::from_vec(dx, cache.x.shape().clone()).map_err(NnError::from)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w1, &self.b1, &self.w2, &self.b2]
+    }
+
+    fn name(&self) -> String {
+        format!("token_mlp({}->{}->{})", self.dim, self.hidden, self.dim)
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        as_tokens(input, "token_mlp out_shape")?;
+        Ok(input.clone())
+    }
+}
+
+/// Pre-norm residual wrapper: `y = x + inner(layer_norm(x))` — the
+/// standard transformer encoder arrangement (no ReLU on the residual
+/// stream, unlike [`super::Residual`]).
+#[derive(Debug)]
+pub struct PreNorm<L> {
+    norm: LayerNorm,
+    inner: L,
+}
+
+impl<L: Layer> PreNorm<L> {
+    /// Wraps `inner` with a fresh layer norm over `dim`-wide tokens.
+    pub fn new(dim: usize, inner: L) -> Self {
+        PreNorm { norm: LayerNorm::new(dim), inner }
+    }
+
+    /// The wrapped layer.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: Layer> Layer for PreNorm<L> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let normed = self.norm.forward(input, mode)?;
+        let fx = self.inner.forward(&normed, mode)?;
+        input.add(&fx).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let through = self.norm.backward(&self.inner.backward(grad)?)?;
+        grad.add(&through).map_err(NnError::from)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.norm.params_mut();
+        ps.extend(self.inner.params_mut());
+        ps
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps = self.norm.params();
+        ps.extend(self.inner.params());
+        ps
+    }
+
+    fn begin_mc_round(&mut self) {
+        self.inner.begin_mc_round();
+    }
+
+    fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut super::BatchNorm2d)) {
+        self.inner.visit_batch_norms(f);
+    }
+
+    fn name(&self) -> String {
+        format!("pre_norm({})", self.inner.name())
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        self.inner.out_shape(input)
+    }
+}
+
+/// Mean pooling over the token axis: `[n, tokens, 1, dim] → [n, dim]` —
+/// the classification head's input.
+#[derive(Debug, Default)]
+pub struct TokenMeanPool {
+    cache: Option<Shape>,
+}
+
+impl TokenMeanPool {
+    /// Creates the pool.
+    pub fn new() -> Self {
+        TokenMeanPool { cache: None }
+    }
+}
+
+impl Layer for TokenMeanPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let (n, t, d) = as_tokens(input.shape(), "token_mean_pool forward")?;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * d];
+        for ni in 0..n {
+            for ti in 0..t {
+                let row = &x[(ni * t + ti) * d..(ni * t + ti + 1) * d];
+                for k in 0..d {
+                    out[ni * d + k] += row[k] / t as f32;
+                }
+            }
+        }
+        self.cache = Some(input.shape().clone());
+        Tensor::from_vec(out, Shape::d2(n, d)).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let shape = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        let (n, t, d) = as_tokens(&shape, "token_mean_pool backward")?;
+        let g = grad.as_slice();
+        let mut dx = vec![0.0f32; n * t * d];
+        for ni in 0..n {
+            for ti in 0..t {
+                for k in 0..d {
+                    dx[(ni * t + ti) * d + k] = g[ni * d + k] / t as f32;
+                }
+            }
+        }
+        Tensor::from_vec(dx, shape).map_err(NnError::from)
+    }
+
+    fn name(&self) -> String {
+        "token_mean_pool".to_string()
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        let (n, _, d) = as_tokens(input, "token_mean_pool out_shape")?;
+        Ok(Shape::d2(n, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_input(layer: &mut dyn Layer, x: &Tensor, probes: &[usize]) {
+        let y = layer.forward(x, Mode::Train).unwrap();
+        let upstream = Tensor::ones(y.shape().clone());
+        let dx = layer.backward(&upstream).unwrap();
+        let eps = 1e-2f32;
+        for &i in probes {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fp = layer.forward(&plus, Mode::Train).unwrap().sum();
+            let fm = layer.forward(&minus, Mode::Train).unwrap().sum();
+            let numeric = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            let analytic = dx.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 4e-2 * (1.0 + analytic.abs()),
+                "dx[{i}]: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    fn finite_diff_params(layer: &mut dyn Layer, x: &Tensor, param_ix: usize, probes: &[usize]) {
+        // Gradients accumulate across backward calls; start clean.
+        for p in layer.params_mut() {
+            p.zero_grad();
+        }
+        let y = layer.forward(x, Mode::Train).unwrap();
+        let upstream = Tensor::ones(y.shape().clone());
+        layer.backward(&upstream).unwrap();
+        let analytic: Vec<f32> = layer.params()[param_ix].grad.as_slice().to_vec();
+        let eps = 1e-2f32;
+        for &i in probes {
+            let original = layer.params()[param_ix].value.as_slice()[i];
+            layer.params_mut()[param_ix].value.as_mut_slice()[i] = original + eps;
+            let fp = layer.forward(x, Mode::Train).unwrap().sum();
+            layer.params_mut()[param_ix].value.as_mut_slice()[i] = original - eps;
+            let fm = layer.forward(x, Mode::Train).unwrap().sum();
+            layer.params_mut()[param_ix].value.as_mut_slice()[i] = original;
+            let numeric = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - analytic[i]).abs() < 4e-2 * (1.0 + analytic[i].abs()),
+                "param {param_ix} grad[{i}]: numeric {numeric} analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn layer_norm_rows_are_normalized() {
+        let mut ln = LayerNorm::new(8);
+        let mut rng = Rng64::new(1);
+        let x = Tensor::rand_normal(Shape::d4(2, 3, 1, 8), 4.0, 3.0, &mut rng);
+        let y = ln.forward(&x, Mode::Train).unwrap();
+        for r in 0..6 {
+            let row = &y.as_slice()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_gradients_match_finite_differences() {
+        let mut ln = LayerNorm::new(6);
+        let mut rng = Rng64::new(2);
+        // Non-trivial affine parameters.
+        ln.params_mut()[0].value =
+            Tensor::rand_normal(Shape::d1(6), 1.0, 0.3, &mut rng);
+        ln.params_mut()[1].value =
+            Tensor::rand_normal(Shape::d1(6), 0.0, 0.3, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(2, 2, 1, 6), 0.0, 1.5, &mut rng);
+        // Note: sum-loss makes per-row LN input grads near zero (the mean
+        // shift cancels); probe the gamma/beta path instead plus inputs.
+        finite_diff_params(&mut ln, &x, 0, &[0, 3, 5]);
+        finite_diff_params(&mut ln, &x, 1, &[0, 2, 4]);
+    }
+
+    #[test]
+    fn patch_embed_shapes_and_gradients() {
+        let mut rng = Rng64::new(3);
+        let mut pe = PatchEmbed::new(2, 2, 5, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(2, 2, 4, 4), 0.0, 1.0, &mut rng);
+        let y = pe.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &Shape::d4(2, 4, 1, 5));
+        finite_diff_input(&mut pe, &x, &[0, 13, 31, 63]);
+        finite_diff_params(&mut pe, &x, 0, &[0, 11, 39]);
+        finite_diff_params(&mut pe, &x, 1, &[0, 4]);
+    }
+
+    #[test]
+    fn positional_embedding_breaks_patch_symmetry_and_backpropagates() {
+        let mut rng = Rng64::new(12);
+        let mut pe = PatchEmbed::with_positions(1, 2, 4, 4, &mut rng);
+        assert_eq!(pe.params().len(), 3, "weight, bias, positions");
+        // Identical patches: without positions every token would be equal;
+        // with them, tokens must differ.
+        let x = Tensor::ones(Shape::d4(1, 1, 4, 4));
+        let y = pe.forward(&x, Mode::Train).unwrap();
+        let rows: Vec<&[f32]> = y.as_slice().chunks(4).collect();
+        assert!(
+            (1..4).any(|t| rows[t] != rows[0]),
+            "positions must distinguish identical patches"
+        );
+        // Position gradient: sum-loss makes d(pos) = batch count per slot.
+        let x2 = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let y2 = pe.forward(&x2, Mode::Train).unwrap();
+        pe.backward(&Tensor::ones(y2.shape().clone())).unwrap();
+        let dpos = pe.params()[2].grad.as_slice();
+        assert!(dpos.iter().all(|&v| (v - 3.0).abs() < 1e-5), "{dpos:?}");
+        // Token-count mismatch is rejected (8x8 input -> 16 tokens != 4).
+        let wrong = Tensor::zeros(Shape::d4(1, 1, 8, 8));
+        assert!(pe.forward(&wrong, Mode::Train).is_err());
+    }
+
+    #[test]
+    fn patch_embed_rejects_untileable_inputs() {
+        let mut rng = Rng64::new(4);
+        let mut pe = PatchEmbed::new(1, 3, 4, &mut rng);
+        let x = Tensor::zeros(Shape::d4(1, 1, 8, 8)); // 8 % 3 != 0
+        assert!(pe.forward(&x, Mode::Train).is_err());
+        let wrong_c = Tensor::zeros(Shape::d4(1, 2, 9, 9));
+        assert!(pe.forward(&wrong_c, Mode::Train).is_err());
+    }
+
+    #[test]
+    fn attention_is_permutation_equivariant() {
+        // Self-attention without positional encoding commutes with token
+        // permutations: permuting input tokens permutes outputs identically.
+        let mut rng = Rng64::new(5);
+        let mut attn = MultiHeadAttention::new(6, 2, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(1, 4, 1, 6), 0.0, 1.0, &mut rng);
+        let y = attn.forward(&x, Mode::Train).unwrap();
+        // Swap tokens 1 and 2.
+        let mut xp = x.clone();
+        let (a, b) = (1usize, 2usize);
+        for k in 0..6 {
+            let va = x.as_slice()[a * 6 + k];
+            let vb = x.as_slice()[b * 6 + k];
+            xp.as_mut_slice()[a * 6 + k] = vb;
+            xp.as_mut_slice()[b * 6 + k] = va;
+        }
+        let yp = attn.forward(&xp, Mode::Train).unwrap();
+        for k in 0..6 {
+            assert!((y.as_slice()[a * 6 + k] - yp.as_slice()[b * 6 + k]).abs() < 1e-5);
+            assert!((y.as_slice()[b * 6 + k] - yp.as_slice()[a * 6 + k]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attention_rows_attend_with_unit_mass() {
+        let mut rng = Rng64::new(6);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(2, 3, 1, 4), 0.0, 1.0, &mut rng);
+        attn.forward(&x, Mode::Train).unwrap();
+        let cache = attn.cache.as_ref().expect("forward caches");
+        for row in cache.attn.chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "attention row sums to {sum}");
+            assert!(row.iter().all(|&a| a >= 0.0));
+        }
+    }
+
+    #[test]
+    fn attention_gradients_match_finite_differences() {
+        let mut rng = Rng64::new(7);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(1, 3, 1, 4), 0.0, 1.0, &mut rng);
+        finite_diff_input(&mut attn, &x, &[0, 5, 11]);
+        for p in 0..4 {
+            finite_diff_params(&mut attn, &x, p, &[0, 7, 15]);
+        }
+    }
+
+    #[test]
+    fn token_mlp_gradients_match_finite_differences() {
+        let mut rng = Rng64::new(8);
+        let mut mlp = TokenMlp::new(4, 7, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(1, 3, 1, 4), 0.0, 1.0, &mut rng);
+        finite_diff_input(&mut mlp, &x, &[0, 5, 11]);
+        finite_diff_params(&mut mlp, &x, 0, &[0, 13, 27]);
+        finite_diff_params(&mut mlp, &x, 2, &[0, 13, 27]);
+    }
+
+    #[test]
+    fn pre_norm_adds_residual_stream() {
+        let mut rng = Rng64::new(9);
+        let mut block = PreNorm::new(4, TokenMlp::new(4, 8, &mut rng));
+        // Zero the MLP's output projection: block must act as identity.
+        for p in block.params_mut() {
+            if p.value.shape() == &Shape::d2(4, 8) {
+                p.value.map_inplace(|_| 0.0);
+            }
+        }
+        let zero_b2 = Shape::d1(4);
+        for p in block.params_mut() {
+            if p.value.shape() == &zero_b2 && p.value.iter().all(|&v| v == 0.0) {
+                // biases already zero
+            }
+        }
+        let x = Tensor::rand_normal(Shape::d4(1, 2, 1, 4), 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-6, "residual stream must pass through");
+        }
+    }
+
+    #[test]
+    fn pre_norm_gradients_match_finite_differences() {
+        let mut rng = Rng64::new(10);
+        let mut block = PreNorm::new(4, MultiHeadAttention::new(4, 2, &mut rng));
+        let x = Tensor::rand_normal(Shape::d4(1, 3, 1, 4), 0.0, 1.0, &mut rng);
+        finite_diff_input(&mut block, &x, &[0, 5, 11]);
+    }
+
+    #[test]
+    fn token_mean_pool_averages_and_backpropagates() {
+        let mut pool = TokenMeanPool::new();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            Shape::d4(1, 3, 1, 2),
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &Shape::d2(1, 2));
+        assert!((y.as_slice()[0] - 3.0).abs() < 1e-6);
+        assert!((y.as_slice()[1] - 4.0).abs() < 1e-6);
+        let dx = pool.backward(&Tensor::ones(Shape::d2(1, 2))).unwrap();
+        assert!(dx.iter().all(|&v| (v - 1.0 / 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn rejects_non_token_shapes() {
+        let mut rng = Rng64::new(11);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
+        let spatial = Tensor::zeros(Shape::d4(1, 4, 3, 4)); // h != 1
+        assert!(attn.forward(&spatial, Mode::Train).is_err());
+        let mut ln = LayerNorm::new(4);
+        assert!(ln.forward(&spatial, Mode::Train).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+use crate::{Layer, Mode, NnError, Param, Result};
+use nds_tensor::conv::{col2im, conv2d, im2col, ConvGeometry};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor, TensorError};
+
+/// 2-D convolution layer with optional bias.
+///
+/// Weights have shape `[out_channels, in_channels, k, k]` and are
+/// He-initialised. The forward pass lowers to im2col + matmul (the same
+/// dataflow the `nds-hw` accelerator model assumes).
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    geometry: ConvGeometry,
+    in_channels: usize,
+    out_channels: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    cols: Tensor,
+    input_shape: Shape,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-normal weights and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        geometry: ConvGeometry,
+        bias: bool,
+        rng: &mut Rng64,
+    ) -> Self {
+        let k = geometry.kernel;
+        let fan_in = in_channels * k * k;
+        let weight = Tensor::kaiming_normal(Shape::d4(out_channels, in_channels, k, k), fan_in, rng);
+        Conv2d {
+            weight: Param::new(weight, true),
+            bias: bias.then(|| Param::new(Tensor::zeros(Shape::d1(out_channels)), false)),
+            geometry,
+            in_channels,
+            out_channels,
+            cache: None,
+        }
+    }
+
+    /// The layer's convolution geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geometry
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = conv2d(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.geometry,
+        )?;
+        // Cache the unrolled input for the weight gradient.
+        let cols = im2col(input, self.geometry)?;
+        self.cache = Some(Cache { cols, input_shape: input.shape().clone() });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        let (n, _c, h, w) = cache
+            .input_shape
+            .as_nchw()
+            .expect("cached input shape is rank-4");
+        let g = self.geometry;
+        let oh = g.out_dim(h);
+        let ow = g.out_dim(w);
+        let oc = self.out_channels;
+        // grad: [N, OC, OH, OW] -> matrix [OC, N*OH*OW] matching im2col cols.
+        let (gn, goc, goh, gow) = grad.shape().as_nchw().ok_or(TensorError::RankMismatch {
+            op: "conv2d backward",
+            expected: 4,
+            actual: grad.shape().rank(),
+        })?;
+        if gn != n || goc != oc || goh != oh || gow != ow {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "conv2d backward",
+                lhs: Shape::d4(n, oc, oh, ow),
+                rhs: grad.shape().clone(),
+            }));
+        }
+        let spatial = oh * ow;
+        let gsrc = grad.as_slice();
+        let mut gmat = vec![0.0f32; oc * n * spatial];
+        for o in 0..oc {
+            for ni in 0..n {
+                let src_base = (ni * oc + o) * spatial;
+                let dst_base = o * (n * spatial) + ni * spatial;
+                gmat[dst_base..dst_base + spatial]
+                    .copy_from_slice(&gsrc[src_base..src_base + spatial]);
+            }
+        }
+        let gmat = Tensor::from_vec(gmat, Shape::d2(oc, n * spatial))?;
+        // dW = gmat x cols^T, reshaped to [OC, C, K, K].
+        let cols_t = cache.cols.transpose()?;
+        let dw = gmat.matmul(&cols_t)?;
+        let k = g.kernel;
+        let dw = dw.reshape(Shape::d4(oc, self.in_channels, k, k))?;
+        self.weight.grad.add_scaled(&dw, 1.0)?;
+        // dBias = sum of gmat rows.
+        if let Some(bias) = &mut self.bias {
+            let gb = gmat.transpose()?.sum_rows()?;
+            bias.grad.add_scaled(&gb, 1.0)?;
+        }
+        // dX = col2im(W^T x gmat).
+        let wmat = self
+            .weight
+            .value
+            .reshape(Shape::d2(oc, self.in_channels * k * k))?;
+        let dcols = wmat.transpose()?.matmul(&gmat)?;
+        let dx = col2im(&dcols, &cache.input_shape, g)?;
+        Ok(dx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            ps.push(b);
+        }
+        ps
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            ps.push(b);
+        }
+        ps
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "conv2d({}->{}, {}x{}/s{} p{})",
+            self.in_channels,
+            self.out_channels,
+            self.geometry.kernel,
+            self.geometry.kernel,
+            self.geometry.stride,
+            self.geometry.padding
+        )
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        let (n, c, h, w) = input.as_nchw().ok_or(TensorError::RankMismatch {
+            op: "conv2d out_shape",
+            expected: 4,
+            actual: input.rank(),
+        })?;
+        if c != self.in_channels {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "conv2d out_shape",
+                lhs: Shape::d4(n, self.in_channels, h, w),
+                rhs: input.clone(),
+            }));
+        }
+        Ok(Shape::d4(
+            n,
+            self.out_channels,
+            self.geometry.out_dim(h),
+            self.geometry.out_dim(w),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(layer: &mut Conv2d, input: &Tensor) {
+        // Loss = sum(output); analytic input gradient must match finite
+        // differences.
+        let out = layer.forward(input, Mode::Train).unwrap();
+        let ones = Tensor::ones(out.shape().clone());
+        let dx = layer.backward(&ones).unwrap();
+        let eps = 1e-2f32;
+        for i in [0usize, input.len() / 2, input.len() - 1] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f_plus = layer.forward(&plus, Mode::Train).unwrap().sum();
+            let f_minus = layer.forward(&minus, Mode::Train).unwrap().sum();
+            let numeric = ((f_plus - f_minus) / (2.0 * eps as f64)) as f32;
+            let analytic = dx.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                "index {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Rng64::new(1);
+        let mut conv = Conv2d::new(3, 8, ConvGeometry::new(3, 1, 1), true, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(2, 3, 8, 8), 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &Shape::d4(2, 8, 8, 8));
+        assert_eq!(conv.out_shape(x.shape()).unwrap(), *y.shape());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = Rng64::new(2);
+        let mut conv = Conv2d::new(2, 3, ConvGeometry::new(3, 1, 1), true, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(1, 2, 5, 5), 0.0, 1.0, &mut rng);
+        finite_diff_check(&mut conv, &x);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = Rng64::new(3);
+        let mut conv = Conv2d::new(1, 2, ConvGeometry::new(3, 1, 0), false, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(1, 1, 5, 5), 0.0, 1.0, &mut rng);
+        let _ = conv.forward(&x, Mode::Train).unwrap();
+        let out_shape = conv.out_shape(x.shape()).unwrap();
+        let ones = Tensor::ones(out_shape);
+        let _ = conv.backward(&ones).unwrap();
+        let analytic = conv.params()[0].grad.clone();
+        let eps = 1e-2f32;
+        for i in [0usize, 5, analytic.len() - 1] {
+            let orig = conv.params()[0].value.as_slice()[i];
+            conv.params_mut()[0].value.as_mut_slice()[i] = orig + eps;
+            let f_plus = conv.forward(&x, Mode::Train).unwrap().sum();
+            conv.params_mut()[0].value.as_mut_slice()[i] = orig - eps;
+            let f_minus = conv.forward(&x, Mode::Train).unwrap().sum();
+            conv.params_mut()[0].value.as_mut_slice()[i] = orig;
+            let numeric = ((f_plus - f_minus) / (2.0 * eps as f64)) as f32;
+            let got = analytic.as_slice()[i];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + got.abs()),
+                "weight {i}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let mut rng = Rng64::new(4);
+        let conv = Conv2d::new(1, 1, ConvGeometry::new(3, 2, 1), false, &mut rng);
+        let out = conv.out_shape(&Shape::d4(1, 1, 8, 8)).unwrap();
+        assert_eq!(out, Shape::d4(1, 1, 4, 4));
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut rng = Rng64::new(5);
+        let mut conv = Conv2d::new(1, 1, ConvGeometry::new(1, 1, 0), false, &mut rng);
+        let grad = Tensor::zeros(Shape::d4(1, 1, 2, 2));
+        assert!(matches!(
+            conv.backward(&grad),
+            Err(NnError::NoForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_input_channels() {
+        let mut rng = Rng64::new(6);
+        let conv = Conv2d::new(3, 4, ConvGeometry::new(3, 1, 1), false, &mut rng);
+        assert!(conv.out_shape(&Shape::d4(1, 2, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = Rng64::new(7);
+        let mut conv = Conv2d::new(1, 1, ConvGeometry::new(1, 1, 0), false, &mut rng);
+        let x = Tensor::ones(Shape::d4(1, 1, 2, 2));
+        let g = Tensor::ones(Shape::d4(1, 1, 2, 2));
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        let first = conv.params()[0].grad.as_slice()[0];
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        assert_eq!(conv.params()[0].grad.as_slice()[0], 2.0 * first);
+        conv.params_mut()[0].zero_grad();
+        assert_eq!(conv.params()[0].grad.as_slice()[0], 0.0);
+    }
+}

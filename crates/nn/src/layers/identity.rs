@@ -1,0 +1,48 @@
+use crate::{Layer, Mode, Result};
+use nds_tensor::{Shape, Tensor};
+
+/// Pass-through layer.
+///
+/// Used as the default occupant of a dropout slot (equivalent to "no
+/// dropout") and as the shortcut path of residual blocks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates an identity layer.
+    pub fn new() -> Self {
+        Identity
+    }
+}
+
+impl Layer for Identity {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        Ok(input.clone())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        Ok(grad.clone())
+    }
+
+    fn name(&self) -> String {
+        "identity".to_string()
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        Ok(input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_transparent_both_ways() {
+        let mut id = Identity::new();
+        let x = Tensor::arange(4);
+        assert_eq!(id.forward(&x, Mode::Train).unwrap(), x);
+        assert_eq!(id.backward(&x).unwrap(), x);
+        assert!(id.params().is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+use crate::{Layer, Mode, NnError, Param, Result};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor, TensorError};
+
+/// Fully-connected layer: `y = x · Wᵀ + b`.
+///
+/// Weights have shape `[out_features, in_features]` (He-initialised);
+/// inputs are `[batch, in_features]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a fully-connected layer with He-normal weights.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut Rng64) -> Self {
+        let weight =
+            Tensor::kaiming_normal(Shape::d2(out_features, in_features), in_features, rng);
+        Linear {
+            weight: Param::new(weight, true),
+            bias: bias.then(|| Param::new(Tensor::zeros(Shape::d1(out_features)), false)),
+            in_features,
+            out_features,
+            cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.shape().rank() != 2 || input.shape().dim(1) != self.in_features {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "linear forward",
+                lhs: Shape::d2(input.shape().dim(0), self.in_features),
+                rhs: input.shape().clone(),
+            }));
+        }
+        let wt = self.weight.value.transpose()?;
+        let mut out = input.matmul(&wt)?;
+        if let Some(b) = &self.bias {
+            out = out.add_row_bias(&b.value)?;
+        }
+        self.cache = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let input = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        // dW = gradᵀ · x  ([out, batch] x [batch, in] = [out, in])
+        let dw = grad.transpose()?.matmul(&input)?;
+        self.weight.grad.add_scaled(&dw, 1.0)?;
+        if let Some(b) = &mut self.bias {
+            let db = grad.sum_rows()?;
+            b.grad.add_scaled(&db, 1.0)?;
+        }
+        // dX = grad · W  ([batch, out] x [out, in] = [batch, in])
+        let dx = grad.matmul(&self.weight.value)?;
+        Ok(dx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            ps.push(b);
+        }
+        ps
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            ps.push(b);
+        }
+        ps
+    }
+
+    fn name(&self) -> String {
+        format!("linear({}->{})", self.in_features, self.out_features)
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        if input.rank() != 2 || input.dim(1) != self.in_features {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "linear out_shape",
+                lhs: Shape::d2(0, self.in_features),
+                rhs: input.clone(),
+            }));
+        }
+        Ok(Shape::d2(input.dim(0), self.out_features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = Rng64::new(1);
+        let mut lin = Linear::new(2, 2, true, &mut rng);
+        // Overwrite with known values: W = [[1, 2], [3, 4]], b = [10, 20].
+        lin.params_mut()[0].value =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2)).unwrap();
+        lin.params_mut()[1].value = Tensor::from_vec(vec![10.0, 20.0], Shape::d1(2)).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], Shape::d2(1, 2)).unwrap();
+        let y = lin.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng64::new(2);
+        let mut lin = Linear::new(3, 2, true, &mut rng);
+        let x = Tensor::rand_normal(Shape::d2(4, 3), 0.0, 1.0, &mut rng);
+        let y = lin.forward(&x, Mode::Train).unwrap();
+        let ones = Tensor::ones(y.shape().clone());
+        let dx = lin.backward(&ones).unwrap();
+        let eps = 1e-2f32;
+        // Input gradient.
+        for i in 0..x.len() {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fp = lin.forward(&plus, Mode::Train).unwrap().sum();
+            let fm = lin.forward(&minus, Mode::Train).unwrap().sum();
+            let numeric = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - dx.as_slice()[i]).abs() < 1e-2,
+                "dx[{i}] numeric {numeric} analytic {}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_and_bias_gradients() {
+        let mut rng = Rng64::new(3);
+        let mut lin = Linear::new(2, 2, true, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2)).unwrap();
+        lin.forward(&x, Mode::Train).unwrap();
+        let grad = Tensor::ones(Shape::d2(2, 2));
+        lin.backward(&grad).unwrap();
+        // dW[o][i] = sum_b grad[b][o] * x[b][i] = x[0][i] + x[1][i].
+        let dw = &lin.params()[0].grad;
+        assert_eq!(dw.as_slice(), &[4.0, 6.0, 4.0, 6.0]);
+        // dB[o] = sum_b grad[b][o] = 2.
+        assert_eq!(lin.params()[1].grad.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut rng = Rng64::new(4);
+        let mut lin = Linear::new(3, 2, false, &mut rng);
+        let bad = Tensor::zeros(Shape::d2(1, 4));
+        assert!(lin.forward(&bad, Mode::Train).is_err());
+        assert!(lin.out_shape(&Shape::d1(3)).is_err());
+        assert_eq!(lin.out_shape(&Shape::d2(5, 3)).unwrap(), Shape::d2(5, 2));
+    }
+
+    #[test]
+    fn backward_needs_forward() {
+        let mut rng = Rng64::new(5);
+        let mut lin = Linear::new(2, 2, false, &mut rng);
+        assert!(lin.backward(&Tensor::zeros(Shape::d2(1, 2))).is_err());
+    }
+}

@@ -1,0 +1,443 @@
+use crate::{Layer, Mode, NnError, Param, Result};
+use nds_tensor::{Shape, Tensor, TensorError};
+
+/// 2-D batch normalisation over the channel axis of NCHW tensors.
+///
+/// Training mode normalises with per-batch statistics and maintains
+/// exponential running estimates; inference modes use the running
+/// estimates, as usual.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    cache: Option<Cache>,
+    accumulator: Option<StatAccumulator>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    centered: Tensor,
+}
+
+/// Pooled-statistics accumulator for SPOS recalibration: exact per-channel
+/// mean and variance over all batches seen between `begin` and `finish`,
+/// combined with the law of total variance.
+#[derive(Debug)]
+struct StatAccumulator {
+    /// Total elements per channel accumulated so far.
+    count: f64,
+    /// Σ batch_mean·m per channel.
+    mean_sum: Vec<f64>,
+    /// Σ (batch_var + batch_mean²)·m per channel (the raw second moment).
+    sq_sum: Vec<f64>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(Shape::d1(channels)), false),
+            beta: Param::new(Tensor::zeros(Shape::d1(channels)), false),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+            accumulator: None,
+        }
+    }
+
+    /// The number of channels this layer normalises.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Current running mean estimates (one per channel).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Current running variance estimates (one per channel).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// Starts exact statistics accumulation (SPOS recalibration).
+    ///
+    /// While accumulation is active, training-mode forward passes pool
+    /// exact per-channel statistics instead of updating the exponential
+    /// running estimates. Call [`BatchNorm2d::finish_stat_accumulation`]
+    /// to commit the pooled statistics as the new running estimates.
+    pub fn begin_stat_accumulation(&mut self) {
+        self.accumulator = Some(StatAccumulator {
+            count: 0.0,
+            mean_sum: vec![0.0; self.channels],
+            sq_sum: vec![0.0; self.channels],
+        });
+    }
+
+    /// Commits accumulated statistics into the running estimates and
+    /// leaves accumulation mode.
+    ///
+    /// Returns `false` — leaving the running estimates untouched — when
+    /// accumulation was never started or no batch was seen.
+    pub fn finish_stat_accumulation(&mut self) -> bool {
+        let Some(acc) = self.accumulator.take() else {
+            return false;
+        };
+        if acc.count == 0.0 {
+            return false;
+        }
+        for ci in 0..self.channels {
+            let mean = acc.mean_sum[ci] / acc.count;
+            let var = (acc.sq_sum[ci] / acc.count - mean * mean).max(0.0);
+            self.running_mean[ci] = mean as f32;
+            self.running_var[ci] = var as f32;
+        }
+        true
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+            op: "batch_norm forward",
+            expected: 4,
+            actual: input.shape().rank(),
+        })?;
+        if c != self.channels {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "batch_norm forward",
+                lhs: Shape::d4(n, self.channels, h, w),
+                rhs: input.shape().clone(),
+            }));
+        }
+        let m = (n * h * w) as f32;
+        let x = input.as_slice();
+        // Select statistics.
+        let (mean, var) = if mode.batch_stats() {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for (ci, mu) in mean.iter_mut().enumerate() {
+                let mut sum = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &x[base..base + h * w] {
+                        sum += v as f64;
+                    }
+                }
+                *mu = (sum / m as f64) as f32;
+            }
+            for (ci, vr) in var.iter_mut().enumerate() {
+                let mut sum = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &x[base..base + h * w] {
+                        let d = v - mean[ci];
+                        sum += (d * d) as f64;
+                    }
+                }
+                *vr = (sum / m as f64) as f32;
+            }
+            if let Some(acc) = &mut self.accumulator {
+                // Recalibration: pool exact statistics instead of EMA.
+                let mf = m as f64;
+                acc.count += mf;
+                for (ci, &mu) in mean.iter().enumerate() {
+                    let mu = mu as f64;
+                    acc.mean_sum[ci] += mu * mf;
+                    acc.sq_sum[ci] += (var[ci] as f64 + mu * mu) * mf;
+                }
+            } else {
+                // Update running estimates.
+                for ci in 0..c {
+                    self.running_mean[ci] =
+                        (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                    self.running_var[ci] =
+                        (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+                }
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut centered = vec![0.0f32; x.len()];
+        let mut x_hat = vec![0.0f32; x.len()];
+        let mut out = vec![0.0f32; x.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for s in 0..h * w {
+                    let idx = base + s;
+                    let cen = x[idx] - mean[ci];
+                    let xh = cen * inv_std[ci];
+                    centered[idx] = cen;
+                    x_hat[idx] = xh;
+                    out[idx] = gamma[ci] * xh + beta[ci];
+                }
+            }
+        }
+        if mode.batch_stats() {
+            self.cache = Some(Cache {
+                x_hat: Tensor::from_vec(x_hat, input.shape().clone())?,
+                inv_std,
+                centered: Tensor::from_vec(centered, input.shape().clone())?,
+            });
+        } else {
+            // Inference backward is not needed; drop any stale cache.
+            self.cache = None;
+        }
+        Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        let (n, c, h, w) = grad.shape().as_nchw().ok_or(TensorError::RankMismatch {
+            op: "batch_norm backward",
+            expected: 4,
+            actual: grad.shape().rank(),
+        })?;
+        let m = (n * h * w) as f32;
+        let g = grad.as_slice();
+        let x_hat = cache.x_hat.as_slice();
+        let gamma = self.gamma.value.as_slice();
+        // Parameter gradients.
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for s in 0..h * w {
+                    dgamma[ci] += g[base + s] * x_hat[base + s];
+                    dbeta[ci] += g[base + s];
+                }
+            }
+        }
+        self.gamma
+            .grad
+            .add_scaled(&Tensor::from_vec(dgamma.clone(), Shape::d1(c))?, 1.0)?;
+        self.beta
+            .grad
+            .add_scaled(&Tensor::from_vec(dbeta.clone(), Shape::d1(c))?, 1.0)?;
+        // Input gradient, standard closed form:
+        // dx = gamma * inv_std / m * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+        let mut dx = vec![0.0f32; g.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let k = gamma[ci] * cache.inv_std[ci] / m;
+                for s in 0..h * w {
+                    let idx = base + s;
+                    dx[idx] = k * (m * g[idx] - dbeta[ci] - x_hat[idx] * dgamma[ci]);
+                }
+            }
+        }
+        let _ = cache.centered; // kept for symmetry / future affine-free mode
+        Tensor::from_vec(dx, grad.shape().clone()).map_err(NnError::from)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(self);
+    }
+
+    fn name(&self) -> String {
+        format!("batch_norm({})", self.channels)
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        Ok(input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_tensor::rng::Rng64;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = Rng64::new(1);
+        let x = Tensor::rand_normal(Shape::d4(8, 2, 4, 4), 3.0, 2.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per-channel mean ~0, var ~1 after normalisation with unit gamma.
+        let data = y.as_slice();
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..8 {
+                let base = (ni * 2 + ci) * 16;
+                vals.extend_from_slice(&data[base..base + 16]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_data_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = Rng64::new(2);
+        for _ in 0..200 {
+            let x = Tensor::rand_normal(Shape::d4(16, 1, 2, 2), 5.0, 3.0, &mut rng);
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        assert!((bn.running_mean()[0] - 5.0).abs() < 0.3);
+        assert!((bn.running_var()[0] - 9.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // With default running stats (mean 0, var 1), inference ~ identity.
+        let x = Tensor::from_vec(vec![1.0, -1.0, 0.5, 2.0], Shape::d4(1, 1, 2, 2)).unwrap();
+        let y = bn.forward(&x, Mode::Standard).unwrap();
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = Rng64::new(3);
+        let x = Tensor::rand_normal(Shape::d4(4, 2, 2, 2), 0.0, 1.0, &mut rng);
+        // Non-trivial gamma/beta so the test covers the affine part.
+        bn.params_mut()[0].value =
+            Tensor::from_vec(vec![1.5, 0.7], Shape::d1(2)).unwrap();
+        bn.params_mut()[1].value =
+            Tensor::from_vec(vec![0.3, -0.2], Shape::d1(2)).unwrap();
+        // Weighted-sum loss for a non-uniform upstream gradient.
+        let weights = Tensor::rand_normal(Shape::d4(4, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let _ = bn.forward(&x, Mode::Train).unwrap();
+        let dx = bn.backward(&weights).unwrap();
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f64 {
+            let y = bn.forward(x, Mode::Train).unwrap();
+            y.mul(&weights).unwrap().sum()
+        };
+        let eps = 1e-2f32;
+        for i in [0usize, 7, 15, 31] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = ((loss(&mut bn, &plus) - loss(&mut bn, &minus)) / (2.0 * eps as f64)) as f32;
+            let analytic = dx.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + analytic.abs()),
+                "dx[{i}] numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::zeros(Shape::d4(1, 2, 2, 2));
+        assert!(bn.forward(&x, Mode::Train).is_err());
+    }
+
+    #[test]
+    fn accumulation_pools_exact_statistics() {
+        // Two batches accumulated must equal the statistics of their
+        // concatenation (law of total variance).
+        let mut rng = Rng64::new(11);
+        let a = Tensor::rand_normal(Shape::d4(4, 2, 3, 3), 1.0, 2.0, &mut rng);
+        let b = Tensor::rand_normal(Shape::d4(6, 2, 3, 3), -2.0, 0.5, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        bn.begin_stat_accumulation();
+        bn.forward(&a, Mode::Train).unwrap();
+        bn.forward(&b, Mode::Train).unwrap();
+        assert!(bn.finish_stat_accumulation());
+        // Direct statistics over the concatenated data.
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for (t, n) in [(&a, 4usize), (&b, 6usize)] {
+                let data = t.as_slice();
+                for ni in 0..n {
+                    let base = (ni * 2 + ci) * 9;
+                    vals.extend_from_slice(&data[base..base + 9]);
+                }
+            }
+            let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+            let var: f64 = vals
+                .iter()
+                .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+                .sum::<f64>()
+                / vals.len() as f64;
+            assert!(
+                (bn.running_mean()[ci] as f64 - mean).abs() < 1e-4,
+                "channel {ci}: pooled mean {} direct {mean}",
+                bn.running_mean()[ci]
+            );
+            assert!(
+                (bn.running_var()[ci] as f64 - var).abs() < 1e-3,
+                "channel {ci}: pooled var {} direct {var}",
+                bn.running_var()[ci]
+            );
+        }
+    }
+
+    #[test]
+    fn accumulation_suspends_ema_updates() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = Rng64::new(12);
+        let x = Tensor::rand_normal(Shape::d4(8, 1, 2, 2), 4.0, 1.0, &mut rng);
+        bn.begin_stat_accumulation();
+        bn.forward(&x, Mode::Train).unwrap();
+        // While accumulating, the running estimates stay at their priors.
+        assert_eq!(bn.running_mean()[0], 0.0);
+        assert_eq!(bn.running_var()[0], 1.0);
+        assert!(bn.finish_stat_accumulation());
+        // After finish they jump straight to the pooled statistics.
+        assert!((bn.running_mean()[0] - 4.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn finish_without_batches_is_a_noop() {
+        let mut bn = BatchNorm2d::new(1);
+        assert!(!bn.finish_stat_accumulation(), "never started");
+        bn.begin_stat_accumulation();
+        assert!(!bn.finish_stat_accumulation(), "no batches seen");
+        assert_eq!(bn.running_mean()[0], 0.0);
+        assert_eq!(bn.running_var()[0], 1.0);
+    }
+
+    #[test]
+    fn visitor_reaches_nested_batch_norms() {
+        use crate::layers::{Residual, Sequential};
+        let mut main = Sequential::new();
+        main.push(Box::new(BatchNorm2d::new(2)));
+        let mut shortcut = Sequential::new();
+        shortcut.push(Box::new(BatchNorm2d::new(2)));
+        let mut outer = Sequential::new();
+        outer.push(Box::new(Residual::new(main, shortcut)));
+        outer.push(Box::new(BatchNorm2d::new(4)));
+        let mut seen = Vec::new();
+        outer.visit_batch_norms(&mut |bn| seen.push(bn.channels()));
+        assert_eq!(seen, vec![2, 2, 4]);
+    }
+}

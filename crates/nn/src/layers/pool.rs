@@ -1,0 +1,185 @@
+use crate::{Layer, Mode, NnError, Result};
+use nds_tensor::conv::{global_avg_pool, max_pool2d, ConvGeometry};
+use nds_tensor::{Shape, Tensor, TensorError};
+
+/// Max pooling layer.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    geometry: ConvGeometry,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    argmax: Vec<usize>,
+    input_shape: Shape,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a square window.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            geometry: ConvGeometry::new(kernel, stride, 0),
+            cache: None,
+        }
+    }
+
+    /// The pooling geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geometry
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let pooled = max_pool2d(input, self.geometry)?;
+        self.cache = Some(Cache {
+            argmax: pooled.argmax,
+            input_shape: input.shape().clone(),
+        });
+        Ok(pooled.output)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        if grad.len() != cache.argmax.len() {
+            return Err(NnError::BadConfig(format!(
+                "max_pool backward: {} cached argmax entries, grad has {} elements",
+                cache.argmax.len(),
+                grad.len()
+            )));
+        }
+        let mut dx = Tensor::zeros(cache.input_shape.clone());
+        let dxs = dx.as_mut_slice();
+        for (&src, &g) in cache.argmax.iter().zip(grad.iter()) {
+            dxs[src] += g;
+        }
+        Ok(dx)
+    }
+
+    fn name(&self) -> String {
+        format!("max_pool({}x{}/s{})", self.geometry.kernel, self.geometry.kernel, self.geometry.stride)
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        let (n, c, h, w) = input.as_nchw().ok_or(TensorError::RankMismatch {
+            op: "max_pool out_shape",
+            expected: 4,
+            actual: input.rank(),
+        })?;
+        Ok(Shape::d4(n, c, self.geometry.out_dim(h), self.geometry.out_dim(w)))
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Option<Shape>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = global_avg_pool(input)?;
+        self.input_shape = Some(input.shape().clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let shape = self.input_shape.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        let (n, c, h, w) = shape.as_nchw().expect("cached shape is rank-4");
+        if grad.shape() != &Shape::d2(n, c) {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "global_avg_pool backward",
+                lhs: Shape::d2(n, c),
+                rhs: grad.shape().clone(),
+            }));
+        }
+        let scale = 1.0 / (h * w) as f32;
+        let g = grad.as_slice();
+        let mut dx = Tensor::zeros(shape.clone());
+        let dxs = dx.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let v = g[ni * c + ci] * scale;
+                let base = (ni * c + ci) * h * w;
+                for s in 0..h * w {
+                    dxs[base + s] = v;
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn name(&self) -> String {
+        "global_avg_pool".to_string()
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        let (n, c, _h, _w) = input.as_nchw().ok_or(TensorError::RankMismatch {
+            op: "global_avg_pool out_shape",
+            expected: 4,
+            actual: input.rank(),
+        })?;
+        Ok(Shape::d2(n, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_routes_gradient_to_maxima() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0],
+            Shape::d4(1, 1, 2, 2),
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        let dx = pool.backward(&Tensor::ones(Shape::d4(1, 1, 1, 1))).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_spreads_gradient_evenly() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::arange(8).reshape(Shape::d4(1, 2, 2, 2)).unwrap();
+        let y = gap.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &Shape::d2(1, 2));
+        let g = Tensor::from_vec(vec![4.0, 8.0], Shape::d2(1, 2)).unwrap();
+        let dx = gap.backward(&g).unwrap();
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pools_require_forward_before_backward() {
+        let mut pool = MaxPool2d::new(2, 2);
+        assert!(pool.backward(&Tensor::zeros(Shape::d4(1, 1, 1, 1))).is_err());
+        let mut gap = GlobalAvgPool::new();
+        assert!(gap.backward(&Tensor::zeros(Shape::d2(1, 1))).is_err());
+    }
+
+    #[test]
+    fn out_shapes() {
+        let pool = MaxPool2d::new(2, 2);
+        assert_eq!(
+            pool.out_shape(&Shape::d4(1, 3, 8, 8)).unwrap(),
+            Shape::d4(1, 3, 4, 4)
+        );
+        let gap = GlobalAvgPool::new();
+        assert_eq!(gap.out_shape(&Shape::d4(2, 5, 7, 7)).unwrap(), Shape::d2(2, 5));
+    }
+}

@@ -1,0 +1,71 @@
+use crate::{Layer, Mode, NnError, Result};
+use nds_tensor::{Shape, Tensor};
+
+/// Flattens `[N, C, H, W]` (or any rank ≥ 2) to `[N, features]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_shape: None }
+    }
+
+    fn flat_shape(input: &Shape) -> Result<Shape> {
+        if input.rank() < 2 {
+            return Err(NnError::BadConfig(format!(
+                "flatten needs rank >= 2, got {input}"
+            )));
+        }
+        let n = input.dim(0);
+        let features: usize = input.dims()[1..].iter().product();
+        Ok(Shape::d2(n, features))
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let target = Self::flat_shape(input.shape())?;
+        self.input_shape = Some(input.shape().clone());
+        input.reshape(target).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let shape = self.input_shape.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        grad.reshape(shape).map_err(NnError::from)
+    }
+
+    fn name(&self) -> String {
+        "flatten".to_string()
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        Self::flat_shape(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut flat = Flatten::new();
+        let x = Tensor::arange(24).reshape(Shape::d4(2, 3, 2, 2)).unwrap();
+        let y = flat.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &Shape::d2(2, 12));
+        let dx = flat.backward(&y).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn rejects_rank_one() {
+        let flat = Flatten::new();
+        assert!(flat.out_shape(&Shape::d1(4)).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+use crate::layers::Sequential;
+use crate::{Layer, Mode, NnError, Param, Result};
+use nds_tensor::{Shape, Tensor, TensorError};
+
+/// A residual block: `y = relu(main(x) + shortcut(x))`.
+///
+/// The shortcut defaults to identity (empty [`Sequential`]); downsampling
+/// blocks use a 1×1 stride-2 convolution there, as in ResNet-18.
+#[derive(Debug)]
+pub struct Residual {
+    main: Sequential,
+    shortcut: Sequential,
+    relu_mask: Option<Vec<bool>>,
+}
+
+impl Residual {
+    /// Creates a residual block from a main path and a shortcut path.
+    ///
+    /// An empty `shortcut` acts as the identity connection.
+    pub fn new(main: Sequential, shortcut: Sequential) -> Self {
+        Residual {
+            main,
+            shortcut,
+            relu_mask: None,
+        }
+    }
+
+    /// The main (residual) path.
+    pub fn main(&self) -> &Sequential {
+        &self.main
+    }
+
+    /// The shortcut path (empty = identity).
+    pub fn shortcut(&self) -> &Sequential {
+        &self.shortcut
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let main_out = self.main.forward(input, mode)?;
+        let short_out = self.shortcut.forward(input, mode)?;
+        if main_out.shape() != short_out.shape() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "residual add",
+                lhs: main_out.shape().clone(),
+                rhs: short_out.shape().clone(),
+            }));
+        }
+        let sum = main_out.add(&short_out)?;
+        self.relu_mask = Some(sum.iter().map(|&v| v > 0.0).collect());
+        Ok(sum.relu())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let mask = self.relu_mask.take().ok_or_else(|| NnError::NoForwardCache {
+            layer: self.name(),
+        })?;
+        if mask.len() != grad.len() {
+            return Err(NnError::BadConfig(format!(
+                "residual backward: cached {} elements, grad has {}",
+                mask.len(),
+                grad.len()
+            )));
+        }
+        let mut gated = grad.clone();
+        for (v, &keep) in gated.iter_mut().zip(mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        let d_main = self.main.backward(&gated)?;
+        let d_short = self.shortcut.backward(&gated)?;
+        d_main.add(&d_short).map_err(NnError::from)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.main.params_mut();
+        ps.extend(self.shortcut.params_mut());
+        ps
+    }
+
+    fn begin_mc_round(&mut self) {
+        self.main.begin_mc_round();
+        self.shortcut.begin_mc_round();
+    }
+
+    fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {
+        self.main.visit_batch_norms(f);
+        self.shortcut.visit_batch_norms(f);
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut ps = self.main.params();
+        ps.extend(self.shortcut.params());
+        ps
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "residual(main[{}], shortcut[{}])",
+            self.main.len(),
+            self.shortcut.len()
+        )
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        let main = self.main.out_shape(input)?;
+        let short = self.shortcut.out_shape(input)?;
+        if main != short {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "residual out_shape",
+                lhs: main,
+                rhs: short,
+            }));
+        }
+        Ok(main)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d};
+    use nds_tensor::conv::ConvGeometry;
+    use nds_tensor::rng::Rng64;
+
+    fn identity_block(rng: &mut Rng64, channels: usize) -> Residual {
+        let mut main = Sequential::new();
+        main.push(Box::new(Conv2d::new(
+            channels,
+            channels,
+            ConvGeometry::new(3, 1, 1),
+            false,
+            rng,
+        )));
+        main.push(Box::new(BatchNorm2d::new(channels)));
+        Residual::new(main, Sequential::new())
+    }
+
+    #[test]
+    fn identity_shortcut_preserves_shape() {
+        let mut rng = Rng64::new(1);
+        let mut block = identity_block(&mut rng, 4);
+        let x = Tensor::rand_normal(Shape::d4(2, 4, 6, 6), 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        // Output of a ReLU is non-negative.
+        assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn zero_main_path_behaves_like_plain_relu() {
+        let mut rng = Rng64::new(2);
+        let mut block = identity_block(&mut rng, 2);
+        // Zero the conv weights -> main path contributes only BN shift,
+        // which for zero input is zero -> y = relu(x).
+        for p in block.params_mut() {
+            if p.value.shape().rank() == 4 {
+                p.value.map_inplace(|_| 0.0);
+            }
+        }
+        let x = Tensor::from_vec(
+            vec![1.0, -2.0, 0.5, -0.5, 3.0, -1.0, 2.0, -3.0],
+            Shape::d4(1, 2, 2, 2),
+        )
+        .unwrap();
+        let y = block.forward(&x, Mode::Standard).unwrap();
+        assert_eq!(y.as_slice(), x.relu().as_slice());
+    }
+
+    #[test]
+    fn gradient_flows_through_both_paths() {
+        let mut rng = Rng64::new(3);
+        let mut block = identity_block(&mut rng, 2);
+        let x = Tensor::rand_normal(Shape::d4(1, 2, 4, 4), 0.5, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        let dx = block.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let eps = 1e-2f32;
+        for i in [0usize, 10, 20, 31] {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fp = block.forward(&plus, Mode::Train).unwrap().sum();
+            let fm = block.forward(&minus, Mode::Train).unwrap().sum();
+            let numeric = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            let analytic = dx.as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < 5e-2 * (1.0 + analytic.abs()),
+                "dx[{i}] numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_paths_error() {
+        let mut rng = Rng64::new(4);
+        let mut main = Sequential::new();
+        main.push(Box::new(Conv2d::new(
+            2,
+            4, // channel change without matching shortcut
+            ConvGeometry::new(3, 1, 1),
+            false,
+            &mut rng,
+        )));
+        let mut block = Residual::new(main, Sequential::new());
+        let x = Tensor::zeros(Shape::d4(1, 2, 4, 4));
+        assert!(block.forward(&x, Mode::Train).is_err());
+        assert!(block.out_shape(x.shape()).is_err());
+    }
+}

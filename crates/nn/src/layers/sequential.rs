@@ -1,0 +1,207 @@
+use crate::{Layer, Mode, Param, Result};
+use nds_tensor::{Shape, Tensor};
+
+/// An ordered chain of layers executed front to back.
+///
+/// `Sequential` is itself a [`Layer`], so chains nest (residual blocks use
+/// nested `Sequential`s for their main and shortcut paths).
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty chain (acts as identity).
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer, builder-style.
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the chain has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the contained layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the contained layers (used by the supernet to
+    /// reach dropout slots).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Total scalar parameter count across all layers.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// A one-line-per-layer summary, useful for debugging architectures.
+    pub fn summary(&self, input: &Shape) -> String {
+        let mut out = String::new();
+        let mut shape = input.clone();
+        for layer in &self.layers {
+            let next = layer
+                .out_shape(&shape)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|e| format!("<error: {e}>"));
+            out.push_str(&format!("{:<40} {} -> {}\n", layer.name(), shape, next));
+            if let Ok(s) = layer.out_shape(&shape) {
+                shape = s;
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Box<dyn Layer>> for Sequential {
+    fn from_iter<I: IntoIterator<Item = Box<dyn Layer>>>(iter: I) -> Self {
+        Sequential {
+            layers: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn begin_mc_round(&mut self) {
+        for layer in &mut self.layers {
+            layer.begin_mc_round();
+        }
+    }
+
+    fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {
+        for layer in &mut self.layers {
+            layer.visit_batch_norms(f);
+        }
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("sequential[{}]", self.layers.len())
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        let mut shape = input.clone();
+        for layer in &self.layers {
+            shape = layer.out_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear, Relu};
+    use nds_tensor::rng::Rng64;
+
+    fn tiny_mlp(rng: &mut Rng64) -> Sequential {
+        let mut seq = Sequential::new();
+        seq.push(Box::new(Flatten::new()));
+        seq.push(Box::new(Linear::new(4, 8, true, rng)));
+        seq.push(Box::new(Relu::new()));
+        seq.push(Box::new(Linear::new(8, 3, true, rng)));
+        seq
+    }
+
+    #[test]
+    fn forward_chains_shapes() {
+        let mut rng = Rng64::new(1);
+        let mut mlp = tiny_mlp(&mut rng);
+        let x = Tensor::rand_normal(Shape::d4(5, 1, 2, 2), 0.0, 1.0, &mut rng);
+        let y = mlp.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &Shape::d2(5, 3));
+        assert_eq!(mlp.out_shape(x.shape()).unwrap(), *y.shape());
+    }
+
+    #[test]
+    fn params_are_collected_from_all_layers() {
+        let mut rng = Rng64::new(2);
+        let mlp = tiny_mlp(&mut rng);
+        // Two linear layers x (weight + bias) = 4 params.
+        assert_eq!(mlp.params().len(), 4);
+        assert_eq!(mlp.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn end_to_end_gradient_matches_finite_differences() {
+        let mut rng = Rng64::new(3);
+        let mut mlp = tiny_mlp(&mut rng);
+        let x = Tensor::rand_normal(Shape::d4(2, 1, 2, 2), 0.0, 1.0, &mut rng);
+        let y = mlp.forward(&x, Mode::Train).unwrap();
+        let dx = mlp.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fp = mlp.forward(&plus, Mode::Train).unwrap().sum();
+            let fm = mlp.forward(&minus, Mode::Train).unwrap().sum();
+            let numeric = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - dx.as_slice()[i]).abs() < 2e-2 * (1.0 + dx.as_slice()[i].abs()),
+                "dx[{i}]: numeric {numeric} vs analytic {}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut seq = Sequential::new();
+        let x = Tensor::arange(4);
+        assert_eq!(seq.forward(&x, Mode::Train).unwrap(), x);
+        assert_eq!(seq.backward(&x).unwrap(), x);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn summary_mentions_every_layer() {
+        let mut rng = Rng64::new(4);
+        let mlp = tiny_mlp(&mut rng);
+        let s = mlp.summary(&Shape::d4(1, 1, 2, 2));
+        assert!(s.contains("flatten"));
+        assert!(s.contains("linear(4->8)"));
+        assert!(s.contains("relu"));
+        assert!(s.contains("linear(8->3)"));
+    }
+}

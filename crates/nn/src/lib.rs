@@ -1,0 +1,229 @@
+//! From-scratch neural network substrate.
+//!
+//! The paper trains dropout-based Bayesian CNNs (LeNet, VGG11, ResNet18) in
+//! PyTorch; this crate is the Rust stand-in: a small but complete
+//! define-by-layer CNN library with manual backpropagation, an SGD
+//! optimizer, and a model zoo of the three paper architectures with
+//! **dropout slots** — the marked positions where the supernet inserts one
+//! of the four candidate dropout designs.
+//!
+//! Key types:
+//!
+//! * [`Layer`] — the forward/backward contract every layer implements,
+//! * [`Mode`] — distinguishes training, Monte-Carlo inference (dropout kept
+//!   **on**, as MC-dropout requires) and standard inference,
+//! * [`Param`] — a value/gradient/momentum triple updated by [`optim::Sgd`],
+//! * [`arch::Architecture`] — a declarative layer list with dropout slots,
+//!   built into an executable [`layers::Sequential`] via a slot factory,
+//! * [`zoo`] — LeNet / VGG11 / ResNet18 definitions matching the paper's
+//!   slot placement (§4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_nn::{zoo, Layer, Mode};
+//! use nds_tensor::{Tensor, Shape, rng::Rng64};
+//!
+//! let arch = zoo::lenet();
+//! let mut rng = Rng64::new(0);
+//! // Build with identity layers in the dropout slots.
+//! let mut net = arch.build_with_identity_slots(&mut rng)?;
+//! let x = Tensor::zeros(Shape::d4(2, 1, 28, 28));
+//! let logits = net.forward(&x, Mode::Standard)?;
+//! assert_eq!(logits.shape().dims(), &[2, 10]);
+//! # Ok::<(), nds_nn::NnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod prune;
+pub mod train;
+pub mod zoo;
+
+use nds_tensor::{Shape, Tensor, TensorError};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from network construction, execution and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// `backward` was called without a preceding `forward`.
+    NoForwardCache {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// A layer or architecture was configured inconsistently.
+    BadConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called on `{layer}` before forward")
+            }
+            NnError::BadConfig(msg) => write!(f, "bad network configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for NnError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+/// Execution mode threaded through every forward pass.
+///
+/// MC-dropout (Gal & Ghahramani, 2016) requires dropout to stay *active at
+/// inference time*; batch-norm, by contrast, must switch to running
+/// statistics. The three modes capture the combinations the framework
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: dropout active, batch-norm uses (and updates) batch stats.
+    Train,
+    /// Monte-Carlo inference: dropout **active**, batch-norm uses running
+    /// stats. One forward pass per MC sample.
+    McInference,
+    /// Conventional inference: dropout inactive, batch-norm running stats.
+    Standard,
+}
+
+impl Mode {
+    /// Whether dropout layers should apply their masks in this mode.
+    pub fn dropout_active(&self) -> bool {
+        matches!(self, Mode::Train | Mode::McInference)
+    }
+
+    /// Whether batch-norm should use per-batch statistics.
+    pub fn batch_stats(&self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A trainable parameter: value, accumulated gradient, and momentum buffer.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Tensor,
+    /// Momentum buffer owned by the optimizer.
+    pub velocity: Tensor,
+    /// Whether weight decay applies (off for biases and norm parameters,
+    /// following standard practice).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps an initial value, zeroing gradient and momentum.
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        let velocity = Tensor::zeros(value.shape().clone());
+        Param { value, grad, velocity, decay }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// The contract every network layer implements.
+///
+/// Layers own their parameters and forward-pass caches. The usual call
+/// pattern is `forward` → (loss gradient) → `backward` → optimizer step.
+/// `backward` consumes the cache written by the most recent `forward`.
+pub trait Layer: fmt::Debug {
+    /// Computes the layer output for `input` under the given [`Mode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Propagates `grad` (∂loss/∂output) backwards, accumulating parameter
+    /// gradients and returning ∂loss/∂input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when called before `forward`, or
+    /// a shape error when `grad` does not match the cached output shape.
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor>;
+
+    /// Mutable access to this layer's trainable parameters (empty for
+    /// stateless layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Immutable access to this layer's trainable parameters.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Hook invoked once before each Monte-Carlo prediction round.
+    ///
+    /// Container layers must forward the call to their children. Stateful
+    /// MC layers (Masksembles) use it to restart their mask cycle so that
+    /// the S samples of a round always use masks `0..S` in order.
+    fn begin_mc_round(&mut self) {}
+
+    /// Visits every [`layers::BatchNorm2d`] in this layer's subtree.
+    ///
+    /// Container layers must forward the call to their children;
+    /// [`layers::BatchNorm2d`] invokes `f` on itself; every other layer is
+    /// a no-op. The supernet uses this hook for SPOS per-candidate
+    /// statistics recalibration (Guo et al., 2020): running statistics
+    /// accumulated while training across *random* paths misrepresent any
+    /// individual path, so they are re-estimated per candidate before
+    /// evaluation.
+    fn visit_batch_norms(&mut self, _f: &mut dyn FnMut(&mut layers::BatchNorm2d)) {}
+
+    /// Short human-readable layer name (e.g. `conv2d(16,3x3)`).
+    fn name(&self) -> String;
+
+    /// Shape of the output this layer produces for a given input shape,
+    /// without executing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible.
+    fn out_shape(&self, input: &Shape) -> Result<Shape>;
+}
+
+/// Total scalar parameter count of a layer (helper over [`Layer::params`]).
+pub fn param_count(layer: &dyn Layer) -> usize {
+    layer.params().iter().map(|p| p.len()).sum()
+}

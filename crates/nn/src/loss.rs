@@ -1,0 +1,138 @@
+//! Loss functions.
+
+use crate::{NnError, Result};
+use nds_tensor::{Shape, Tensor};
+
+/// Softmax cross-entropy over logits, averaged across the batch.
+///
+/// Returns the scalar loss and ∂loss/∂logits (the usual
+/// `(softmax − one_hot) / batch` form), ready to feed into
+/// [`crate::Layer::backward`].
+///
+/// # Errors
+///
+/// Returns [`NnError::BadConfig`] when logits are not rank-2 or the label
+/// count / values are inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use nds_nn::loss::softmax_cross_entropy;
+/// use nds_tensor::{Tensor, Shape};
+///
+/// let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0], Shape::d2(2, 2))?;
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1])?;
+/// assert!(loss < 0.01); // confident and correct
+/// assert_eq!(grad.shape().dims(), &[2, 2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f64, Tensor)> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::BadConfig(format!(
+            "cross-entropy expects rank-2 logits, got {}",
+            logits.shape()
+        )));
+    }
+    let (n, c) = (logits.shape().dim(0), logits.shape().dim(1));
+    if labels.len() != n {
+        return Err(NnError::BadConfig(format!(
+            "{n} logit rows but {} labels",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(NnError::BadConfig(format!(
+            "label {bad} out of range for {c} classes"
+        )));
+    }
+    if n == 0 {
+        return Ok((0.0, Tensor::zeros(Shape::d2(0, c))));
+    }
+    let log_probs = logits.log_softmax_rows()?;
+    let probs = logits.softmax_rows()?;
+    let lp = log_probs.as_slice();
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    let g = grad.as_mut_slice();
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        loss -= lp[i * c + label] as f64;
+        g[i * c + label] -= 1.0;
+    }
+    for v in g.iter_mut() {
+        *v *= inv_n;
+    }
+    Ok((loss / n as f64, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_ln_c() {
+        let logits = Tensor::zeros(Shape::d2(3, 10));
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 5, 9]).unwrap();
+        assert!((loss - 10.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits =
+            Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], Shape::d2(2, 3)).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for i in 0..2 {
+            let row_sum: f32 = grad.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(row_sum.abs() < 1e-6, "row {i} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits =
+            Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.9, -0.4], Shape::d2(2, 3)).unwrap();
+        let labels = [1usize, 2];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels).unwrap();
+            let (lm, _) = softmax_cross_entropy(&minus, &labels).unwrap();
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - grad.as_slice()[i]).abs() < 1e-4,
+                "grad[{i}] numeric {numeric} analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_correct_confidence() {
+        let weak = Tensor::from_vec(vec![0.1, 0.0], Shape::d2(1, 2)).unwrap();
+        let strong = Tensor::from_vec(vec![5.0, 0.0], Shape::d2(1, 2)).unwrap();
+        let (lw, _) = softmax_cross_entropy(&weak, &[0]).unwrap();
+        let (ls, _) = softmax_cross_entropy(&strong, &[0]).unwrap();
+        assert!(ls < lw);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let logits = Tensor::zeros(Shape::d2(2, 3));
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        let bad = Tensor::zeros(Shape::d1(3));
+        assert!(softmax_cross_entropy(&bad, &[0]).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_zero_loss() {
+        let logits = Tensor::zeros(Shape::d2(0, 3));
+        let (loss, grad) = softmax_cross_entropy(&logits, &[]).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.shape(), &Shape::d2(0, 3));
+    }
+}

@@ -1,0 +1,243 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::Param;
+
+/// Stochastic gradient descent with classical momentum and decoupled
+/// weight decay.
+///
+/// The update per parameter `p` with gradient `g` is
+/// `v ← μ·v + g + wd·p` (wd only where [`Param::decay`] is set), then
+/// `p ← p − lr·v`.
+///
+/// # Examples
+///
+/// ```
+/// use nds_nn::optim::Sgd;
+/// use nds_nn::Param;
+/// use nds_tensor::{Tensor, Shape};
+///
+/// let mut p = Param::new(Tensor::ones(Shape::d1(1)), false);
+/// p.grad = Tensor::full(Shape::d1(1), 0.5);
+/// let sgd = Sgd::new(0.1);
+/// sgd.step(&mut [&mut p]);
+/// assert!((p.value.as_slice()[0] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient μ (0 disables momentum).
+    pub momentum: f32,
+    /// Weight decay coefficient (applies only to params with `decay`).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0 }
+    }
+
+    /// The configuration used by the paper-style training runs.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay }
+    }
+
+    /// Applies one update step to the given parameters, in place.
+    pub fn step(&self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let wd = if p.decay { self.weight_decay } else { 0.0 };
+            let momentum = self.momentum;
+            let lr = self.lr;
+            let value = p.value.as_slice().to_vec();
+            let grad = p.grad.as_slice().to_vec();
+            let vel = p.velocity.as_mut_slice();
+            for i in 0..vel.len() {
+                vel[i] = momentum * vel[i] + grad[i] + wd * value[i];
+            }
+            let vel_copy = p.velocity.as_slice().to_vec();
+            let val = p.value.as_mut_slice();
+            for i in 0..val.len() {
+                val[i] -= lr * vel_copy[i];
+            }
+        }
+    }
+
+    /// Zeroes the gradients of all parameters.
+    pub fn zero_grad(&self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Rescales all gradients so their global L2 norm does not exceed
+/// `max_norm`, returning the pre-clip norm. A `max_norm` of zero or less
+/// disables clipping.
+///
+/// SPOS training samples a different dropout path every step; occasional
+/// high-variance paths can produce gradient spikes that kill the shared
+/// weights, so the trainers clip by default.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let norm_sq: f64 = params.iter().map(|p| p.grad.norm_sq()).sum();
+    let norm = norm_sq.sqrt() as f32;
+    if max_norm > 0.0 && norm > max_norm {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.map_inplace(|g| g * scale);
+        }
+    }
+    norm
+}
+
+/// Learning-rate schedule evaluated per epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant(f32),
+    /// Step decay: multiply by `gamma` every `every` epochs.
+    Step {
+        /// Initial learning rate.
+        base: f32,
+        /// Decay factor applied at each step boundary.
+        gamma: f32,
+        /// Number of epochs between decays.
+        every: usize,
+    },
+    /// Cosine annealing from `base` to `floor` over `total` epochs.
+    Cosine {
+        /// Initial learning rate.
+        base: f32,
+        /// Final learning rate.
+        floor: f32,
+        /// Total epochs of the schedule.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate for the given (0-based) epoch.
+    pub fn at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::Step { base, gamma, every } => {
+                base * gamma.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { base, floor, total } => {
+                if total == 0 {
+                    return floor;
+                }
+                let t = (epoch.min(total) as f32) / total as f32;
+                floor + 0.5 * (base - floor) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_tensor::{Shape, Tensor};
+
+    fn param(v: f32, decay: bool) -> Param {
+        Param::new(Tensor::full(Shape::d1(1), v), decay)
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut p = param(1.0, false);
+        p.grad = Tensor::full(Shape::d1(1), 2.0);
+        Sgd::new(0.1).step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut p = param(0.0, false);
+        let sgd = Sgd::with_momentum(1.0, 0.5, 0.0);
+        p.grad = Tensor::full(Shape::d1(1), 1.0);
+        sgd.step(&mut [&mut p]); // v=1, p=-1
+        sgd.step(&mut [&mut p]); // v=1.5, p=-2.5
+        assert!((p.value.as_slice()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_only_on_flagged_params() {
+        let sgd = Sgd::with_momentum(0.1, 0.0, 0.1);
+        let mut decayed = param(1.0, true);
+        let mut plain = param(1.0, false);
+        // Zero gradients: only decay moves the value.
+        sgd.step(&mut [&mut decayed, &mut plain]);
+        assert!(decayed.value.as_slice()[0] < 1.0);
+        assert_eq!(plain.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = param(1.0, false);
+        p.grad = Tensor::full(Shape::d1(1), 3.0);
+        Sgd::new(0.1).zero_grad(&mut [&mut p]);
+        assert_eq!(p.grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        // f(p) = (p - 3)^2, gradient 2(p - 3).
+        let mut p = param(0.0, false);
+        let sgd = Sgd::with_momentum(0.1, 0.9, 0.0);
+        for _ in 0..100 {
+            let v = p.value.as_slice()[0];
+            p.grad = Tensor::full(Shape::d1(1), 2.0 * (v - 3.0));
+            sgd.step(&mut [&mut p]);
+        }
+        assert!((p.value.as_slice()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_to_threshold() {
+        let mut p = param(0.0, false);
+        p.grad = Tensor::full(Shape::d1(1), 30.0); // norm 30
+        let mut q = param(0.0, false);
+        q.grad = Tensor::full(Shape::d1(1), 40.0); // joint norm 50
+        let pre = {
+            let mut params = [&mut p, &mut q];
+            clip_grad_norm(&mut params, 5.0)
+        };
+        assert!((pre - 50.0).abs() < 1e-4, "reported pre-clip norm {pre}");
+        // Post-clip joint norm is the threshold; direction preserved.
+        let n = (p.grad.norm_sq() + q.grad.norm_sq()).sqrt();
+        assert!((n - 5.0).abs() < 1e-4, "post-clip norm {n}");
+        assert!((p.grad.as_slice()[0] / q.grad.as_slice()[0] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_is_noop_below_threshold_or_disabled() {
+        let mut p = param(0.0, false);
+        p.grad = Tensor::full(Shape::d1(1), 3.0);
+        {
+            let mut params = [&mut p];
+            clip_grad_norm(&mut params, 10.0);
+        }
+        assert_eq!(p.grad.as_slice()[0], 3.0, "below threshold untouched");
+        p.grad = Tensor::full(Shape::d1(1), 1e6);
+        {
+            let mut params = [&mut p];
+            clip_grad_norm(&mut params, 0.0); // disabled
+        }
+        assert_eq!(p.grad.as_slice()[0], 1e6, "zero threshold disables clipping");
+    }
+
+    #[test]
+    fn schedules() {
+        assert_eq!(LrSchedule::Constant(0.1).at(100), 0.1);
+        let step = LrSchedule::Step { base: 1.0, gamma: 0.1, every: 10 };
+        assert_eq!(step.at(0), 1.0);
+        assert!((step.at(10) - 0.1).abs() < 1e-7);
+        assert!((step.at(25) - 0.01).abs() < 1e-8);
+        let cos = LrSchedule::Cosine { base: 1.0, floor: 0.0, total: 10 };
+        assert!((cos.at(0) - 1.0).abs() < 1e-6);
+        assert!(cos.at(5) < cos.at(1));
+        assert!(cos.at(10) < 1e-6);
+        assert!(cos.at(20) < 1e-6, "clamps past the end");
+    }
+}

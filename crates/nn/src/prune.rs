@@ -1,0 +1,332 @@
+//! Weight pruning for sparsity-aware accelerator design.
+//!
+//! The paper lists "providing sparsity support for hardware design" as
+//! future work; this module supplies the algorithmic half. Two standard
+//! schemes are implemented:
+//!
+//! * **Unstructured magnitude pruning** — zero the smallest-magnitude
+//!   fraction of each weight tensor. Maximises accuracy retention but the
+//!   hardware must zero-skip irregular patterns (see
+//!   `nds-hw`'s sparsity model for the efficiency penalty).
+//! * **Structured channel pruning** — zero entire output channels (conv)
+//!   or rows (linear) with the smallest L2 norm. Coarser, costs more
+//!   accuracy at equal sparsity, but maps to hardware as smaller dense
+//!   engines with no indexing overhead.
+//!
+//! [`PruneMask`] records which weights were zeroed so fine-tuning can
+//! re-apply the mask after every optimizer step (pruned weights stay
+//! pruned).
+
+use crate::layers::Sequential;
+use crate::Layer;
+
+/// Outcome of a pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Weights set to zero by this pass.
+    pub pruned: usize,
+    /// Weights eligible for pruning (rank ≥ 2 tensors).
+    pub total: usize,
+}
+
+impl PruneStats {
+    /// Achieved sparsity over the eligible weights (0 when none).
+    pub fn sparsity(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.total as f64
+        }
+    }
+}
+
+/// Returns `true` for parameters that pruning may touch: weight matrices
+/// and convolution kernels (rank ≥ 2). Biases and normalisation
+/// parameters are left alone, following standard practice.
+fn prunable(param: &crate::Param) -> bool {
+    param.value.shape().rank() >= 2
+}
+
+/// Unstructured magnitude pruning: in every eligible tensor, zeroes the
+/// `sparsity` fraction of weights with the smallest absolute value
+/// (per-tensor thresholds, the usual "local" variant).
+///
+/// Returns the achieved counts. `sparsity` is clamped to `[0, 1]`.
+pub fn prune_magnitude(net: &mut Sequential, sparsity: f64) -> PruneStats {
+    let sparsity = sparsity.clamp(0.0, 1.0);
+    let mut stats = PruneStats { pruned: 0, total: 0 };
+    for param in net.params_mut() {
+        if !prunable(param) {
+            continue;
+        }
+        let n = param.value.len();
+        stats.total += n;
+        let k = (sparsity * n as f64).floor() as usize;
+        if k == 0 {
+            continue;
+        }
+        // Threshold = k-th smallest |w| (selection via sort of magnitudes).
+        let mut magnitudes: Vec<f32> = param.value.iter().map(|v| v.abs()).collect();
+        magnitudes.sort_by(f32::total_cmp);
+        let threshold = magnitudes[k - 1];
+        let mut pruned = 0usize;
+        for v in param.value.iter_mut() {
+            if v.abs() <= threshold && pruned < k {
+                *v = 0.0;
+                pruned += 1;
+            }
+        }
+        stats.pruned += pruned;
+    }
+    stats
+}
+
+/// Structured channel pruning: zeroes the `sparsity` fraction of output
+/// channels (first-axis slices) with the smallest L2 norm in every
+/// eligible tensor.
+///
+/// Returns the achieved counts (in *weights*, not channels, so the figure
+/// is directly comparable with [`prune_magnitude`]). `sparsity` is clamped
+/// to `[0, 1]`.
+pub fn prune_channels(net: &mut Sequential, sparsity: f64) -> PruneStats {
+    let sparsity = sparsity.clamp(0.0, 1.0);
+    let mut stats = PruneStats { pruned: 0, total: 0 };
+    for param in net.params_mut() {
+        if !prunable(param) {
+            continue;
+        }
+        let channels = param.value.shape().dim(0);
+        let per_channel = param.value.len() / channels.max(1);
+        stats.total += param.value.len();
+        let k = (sparsity * channels as f64).floor() as usize;
+        if k == 0 || per_channel == 0 {
+            continue;
+        }
+        let data = param.value.as_slice();
+        let mut norms: Vec<(f64, usize)> = (0..channels)
+            .map(|c| {
+                let slice = &data[c * per_channel..(c + 1) * per_channel];
+                let norm: f64 = slice.iter().map(|&v| (v as f64) * (v as f64)).sum();
+                (norm, c)
+            })
+            .collect();
+        norms.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let victims: Vec<usize> = norms.iter().take(k).map(|&(_, c)| c).collect();
+        let data = param.value.as_mut_slice();
+        for &c in &victims {
+            for v in &mut data[c * per_channel..(c + 1) * per_channel] {
+                *v = 0.0;
+            }
+        }
+        stats.pruned += k * per_channel;
+    }
+    stats
+}
+
+/// A snapshot of the zero pattern of every prunable tensor, used to keep
+/// pruned weights at zero across fine-tuning steps.
+#[derive(Debug, Clone)]
+pub struct PruneMask {
+    masks: Vec<Vec<bool>>, // true = keep
+}
+
+impl PruneMask {
+    /// Captures the current zero pattern of `net`'s prunable tensors.
+    pub fn capture(net: &Sequential) -> Self {
+        let masks = net
+            .params()
+            .iter()
+            .filter(|p| prunable(p))
+            .map(|p| p.value.iter().map(|&v| v != 0.0).collect())
+            .collect();
+        PruneMask { masks }
+    }
+
+    /// Re-applies the captured pattern: weights masked at capture time are
+    /// forced back to zero (call after each optimizer step while
+    /// fine-tuning a pruned network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net`'s parameter structure changed since capture.
+    pub fn reapply(&self, net: &mut Sequential) {
+        let mut params = net.params_mut();
+        let mut prunable_params: Vec<_> = params.iter_mut().filter(|p| prunable(p)).collect();
+        assert_eq!(
+            prunable_params.len(),
+            self.masks.len(),
+            "network structure changed since mask capture"
+        );
+        for (param, mask) in prunable_params.iter_mut().zip(&self.masks) {
+            assert_eq!(param.value.len(), mask.len(), "tensor size changed since capture");
+            for (v, &keep) in param.value.iter_mut().zip(mask.iter()) {
+                if !keep {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+
+    /// The fraction of weights the mask holds at zero.
+    pub fn sparsity(&self) -> f64 {
+        let total: usize = self.masks.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let zeros: usize = self
+            .masks
+            .iter()
+            .map(|m| m.iter().filter(|&&keep| !keep).count())
+            .sum();
+        zeros as f64 / total as f64
+    }
+}
+
+/// Measured sparsity of `net`'s prunable tensors (fraction of exact
+/// zeroes).
+pub fn measured_sparsity(net: &Sequential) -> f64 {
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    for param in net.params() {
+        if !prunable(param) {
+            continue;
+        }
+        total += param.value.len();
+        zeros += param.value.iter().filter(|&&v| v == 0.0).count();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d, Flatten, Linear};
+    use crate::Mode;
+    use nds_tensor::conv::ConvGeometry;
+    use nds_tensor::rng::Rng64;
+    use nds_tensor::{Shape, Tensor};
+
+    fn test_net(rng: &mut Rng64) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Box::new(Conv2d::new(2, 8, ConvGeometry::new(3, 1, 1), true, rng)));
+        net.push(Box::new(BatchNorm2d::new(8)));
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(8 * 4 * 4, 10, true, rng)));
+        net
+    }
+
+    #[test]
+    fn magnitude_pruning_hits_the_requested_fraction() {
+        let mut rng = Rng64::new(1);
+        let mut net = test_net(&mut rng);
+        let stats = prune_magnitude(&mut net, 0.5);
+        assert!(stats.total > 0);
+        assert!(
+            (stats.sparsity() - 0.5).abs() < 0.01,
+            "achieved {:.3}",
+            stats.sparsity()
+        );
+        assert!((measured_sparsity(&net) - stats.sparsity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_pruning_removes_the_smallest_weights() {
+        let mut rng = Rng64::new(2);
+        let mut net = test_net(&mut rng);
+        // Remember the largest |w| in the linear layer; it must survive.
+        let max_before: f32 = net
+            .params()
+            .iter()
+            .filter(|p| p.value.shape().rank() >= 2)
+            .flat_map(|p| p.value.iter().map(|v| v.abs()).collect::<Vec<_>>())
+            .fold(0.0, f32::max);
+        prune_magnitude(&mut net, 0.7);
+        let max_after: f32 = net
+            .params()
+            .iter()
+            .filter(|p| p.value.shape().rank() >= 2)
+            .flat_map(|p| p.value.iter().map(|v| v.abs()).collect::<Vec<_>>())
+            .fold(0.0, f32::max);
+        assert_eq!(max_before, max_after, "largest weight must survive pruning");
+    }
+
+    #[test]
+    fn biases_and_norm_parameters_are_untouched() {
+        let mut rng = Rng64::new(3);
+        let mut net = test_net(&mut rng);
+        // Make biases/gammas distinctive non-zeros.
+        for p in net.params_mut() {
+            if p.value.shape().rank() < 2 {
+                p.value.map_inplace(|_| 0.75);
+            }
+        }
+        prune_magnitude(&mut net, 0.9);
+        for p in net.params() {
+            if p.value.shape().rank() < 2 {
+                assert!(p.value.iter().all(|&v| v == 0.75), "rank-1 param modified");
+            }
+        }
+    }
+
+    #[test]
+    fn channel_pruning_zeroes_whole_channels() {
+        let mut rng = Rng64::new(4);
+        let mut net = test_net(&mut rng);
+        let stats = prune_channels(&mut net, 0.5);
+        assert!(stats.pruned > 0);
+        // Conv weight: [8, 2, 3, 3] → exactly 4 channels of 18 weights zeroed.
+        let conv_w = &net.params()[0].value;
+        assert_eq!(conv_w.shape().dim(0), 8);
+        let per = conv_w.len() / 8;
+        let zero_channels = (0..8)
+            .filter(|&c| conv_w.as_slice()[c * per..(c + 1) * per].iter().all(|&v| v == 0.0))
+            .count();
+        assert_eq!(zero_channels, 4);
+    }
+
+    #[test]
+    fn mask_reapply_restores_zero_pattern() {
+        let mut rng = Rng64::new(5);
+        let mut net = test_net(&mut rng);
+        prune_magnitude(&mut net, 0.6);
+        let mask = PruneMask::capture(&net);
+        assert!((mask.sparsity() - 0.6).abs() < 0.01);
+        // Simulate an optimizer step perturbing everything.
+        for p in net.params_mut() {
+            p.value.map_inplace(|v| v + 0.01);
+        }
+        assert!(measured_sparsity(&net) < 0.01, "perturbation filled zeroes");
+        mask.reapply(&mut net);
+        assert!((measured_sparsity(&net) - mask.sparsity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruned_network_still_runs_forward() {
+        let mut rng = Rng64::new(6);
+        let mut net = test_net(&mut rng);
+        prune_channels(&mut net, 0.25);
+        let x = Tensor::rand_normal(Shape::d4(2, 2, 4, 4), 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Standard).unwrap();
+        assert_eq!(y.shape(), &Shape::d2(2, 10));
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_and_full_sparsity_edge_cases() {
+        let mut rng = Rng64::new(7);
+        let mut net = test_net(&mut rng);
+        let none = prune_magnitude(&mut net, 0.0);
+        assert_eq!(none.pruned, 0);
+        let all = prune_magnitude(&mut net, 1.0);
+        assert_eq!(all.pruned, all.total);
+        assert!((measured_sparsity(&net) - 1.0).abs() < 1e-12);
+        // Out-of-range values clamp instead of panicking.
+        let mut net = test_net(&mut rng);
+        let clamped = prune_magnitude(&mut net, 1.7);
+        assert_eq!(clamped.pruned, clamped.total);
+    }
+}

@@ -1,0 +1,297 @@
+//! Training and evaluation loops.
+//!
+//! Thin, deterministic helpers shared by the supernet trainer and the
+//! examples: mini-batch SGD epochs with cross-entropy loss, plus batched
+//! probability evaluation.
+
+use crate::layers::Sequential;
+use crate::loss::softmax_cross_entropy;
+use crate::optim::{LrSchedule, Sgd};
+use crate::{Layer, Mode, Result};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor};
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule (evaluated per epoch).
+    pub schedule: LrSchedule,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Weight decay for decaying parameters.
+    pub weight_decay: f32,
+    /// Linear learning-rate warmup over this many initial epochs
+    /// (stabilises SPOS path sampling; 0 disables).
+    pub warmup_epochs: usize,
+    /// Global gradient-norm clip (0 disables).
+    pub clip_norm: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            schedule: LrSchedule::Cosine { base: 0.05, floor: 0.001, total: 3 },
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            warmup_epochs: 1,
+            clip_norm: 2.0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The learning rate for an epoch, including warmup scaling.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let base = self.schedule.at(epoch);
+        if epoch < self.warmup_epochs {
+            base * (epoch + 1) as f32 / (self.warmup_epochs + 1) as f32
+        } else {
+            base
+        }
+    }
+}
+
+/// Per-epoch training statistics returned by [`fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f64,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+}
+
+/// Trains `net` on `(images, labels)` batches drawn from the provided
+/// sampler for the configured number of epochs.
+///
+/// The sampler abstraction keeps this crate independent of `nds-data`:
+/// callers pass a closure that, given an RNG, yields the epoch's batches.
+/// Returns per-epoch statistics.
+///
+/// # Errors
+///
+/// Propagates forward/backward errors from the network.
+pub fn fit<I>(
+    net: &mut Sequential,
+    config: &TrainConfig,
+    rng: &mut Rng64,
+    mut epoch_batches: impl FnMut(&mut Rng64) -> I,
+) -> Result<Vec<EpochStats>>
+where
+    I: Iterator<Item = (Tensor, Vec<usize>)>,
+{
+    let mut history = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let lr = config.lr_at(epoch);
+        let sgd = Sgd::with_momentum(lr, config.momentum, config.weight_decay);
+        let mut loss_sum = 0.0f64;
+        let mut seen = 0usize;
+        let mut correct = 0usize;
+        for (images, labels) in epoch_batches(rng) {
+            let logits = net.forward(&images, Mode::Train)?;
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &labels)?;
+            net.backward(&dlogits)?;
+            let mut params = net.params_mut();
+            crate::optim::clip_grad_norm(&mut params, config.clip_norm);
+            sgd.step(&mut params);
+            sgd.zero_grad(&mut params);
+            loss_sum += loss * labels.len() as f64;
+            seen += labels.len();
+            correct += count_correct(&logits, &labels);
+        }
+        history.push(EpochStats {
+            epoch,
+            loss: if seen > 0 { loss_sum / seen as f64 } else { 0.0 },
+            accuracy: if seen > 0 { correct as f64 / seen as f64 } else { 0.0 },
+            lr,
+        });
+    }
+    Ok(history)
+}
+
+fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
+    let c = logits.shape().dim(1);
+    let data = logits.as_slice();
+    labels
+        .iter()
+        .enumerate()
+        .filter(|(i, &label)| {
+            let row = &data[i * c..(i + 1) * c];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best == label
+        })
+        .count()
+}
+
+/// Runs the network over `images` in batches and returns softmax
+/// probabilities `[n, classes]` under the given mode.
+///
+/// # Errors
+///
+/// Propagates forward errors from the network.
+pub fn predict_probs(
+    net: &mut Sequential,
+    images: &Tensor,
+    mode: Mode,
+    batch_size: usize,
+) -> Result<Tensor> {
+    let n = images.shape().dim(0);
+    let mut rows: Vec<f32> = Vec::new();
+    let mut classes = 0;
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_size.max(1)).min(n);
+        let batch = slice_batch(images, start, end)?;
+        let logits = net.forward(&batch, mode)?;
+        let probs = logits.softmax_rows()?;
+        classes = probs.shape().dim(1);
+        rows.extend_from_slice(probs.as_slice());
+        start = end;
+    }
+    Tensor::from_vec(rows, Shape::d2(n, classes.max(1))).map_err(Into::into)
+}
+
+/// Extracts samples `[start, end)` of an NCHW tensor as a new batch.
+///
+/// # Errors
+///
+/// Returns a tensor error when `images` is not rank 4 or the range is out
+/// of bounds.
+pub fn slice_batch(images: &Tensor, start: usize, end: usize) -> Result<Tensor> {
+    let (n, c, h, w) = images.shape().as_nchw().ok_or_else(|| {
+        crate::NnError::BadConfig(format!("slice_batch needs rank-4, got {}", images.shape()))
+    })?;
+    if start > end || end > n {
+        return Err(crate::NnError::BadConfig(format!(
+            "slice range {start}..{end} out of bounds for batch of {n}"
+        )));
+    }
+    let item = c * h * w;
+    let data = images.as_slice()[start * item..end * item].to_vec();
+    Tensor::from_vec(data, Shape::d4(end - start, c, h, w)).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear, Relu};
+
+    /// A linearly-separable toy problem: class = argmax of two pixel sums.
+    fn toy_batch(rng: &mut Rng64, n: usize) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::with_capacity(n * 8);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label = rng.below(2);
+            for i in 0..8 {
+                let base = if (i < 4) == (label == 0) { 1.0 } else { 0.0 };
+                data.push(base + rng.normal_with(0.0, 0.2));
+            }
+            labels.push(label);
+        }
+        (
+            Tensor::from_vec(data, Shape::d4(n, 2, 2, 2)).unwrap(),
+            labels,
+        )
+    }
+
+    fn toy_net(rng: &mut Rng64) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(8, 16, true, rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Linear::new(16, 2, true, rng)));
+        net
+    }
+
+    #[test]
+    fn warmup_scales_early_epochs() {
+        let config = TrainConfig {
+            schedule: LrSchedule::Constant(0.1),
+            warmup_epochs: 2,
+            ..TrainConfig::default()
+        };
+        assert!((config.lr_at(0) - 0.1 / 3.0).abs() < 1e-7);
+        assert!((config.lr_at(1) - 0.2 / 3.0).abs() < 1e-7);
+        assert_eq!(config.lr_at(2), 0.1, "past warmup: full rate");
+        let no_warmup = TrainConfig { warmup_epochs: 0, ..config };
+        assert_eq!(no_warmup.lr_at(0), 0.1);
+    }
+
+    #[test]
+    fn fit_learns_separable_problem() {
+        let mut rng = Rng64::new(42);
+        let mut net = toy_net(&mut rng);
+        let config = TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            schedule: LrSchedule::Constant(0.1),
+            momentum: 0.9,
+            weight_decay: 0.0,
+            warmup_epochs: 0,
+            clip_norm: 0.0,
+        };
+        let history = fit(&mut net, &config, &mut rng, |rng| {
+            let batches: Vec<_> = (0..8).map(|_| toy_batch(rng, 16)).collect();
+            batches.into_iter()
+        })
+        .unwrap();
+        assert_eq!(history.len(), 5);
+        let first = history.first().unwrap();
+        let last = history.last().unwrap();
+        assert!(
+            last.loss < first.loss,
+            "loss should fall: {} -> {}",
+            first.loss,
+            last.loss
+        );
+        assert!(last.accuracy > 0.9, "final accuracy {}", last.accuracy);
+    }
+
+    #[test]
+    fn predict_probs_rows_sum_to_one() {
+        let mut rng = Rng64::new(1);
+        let mut net = toy_net(&mut rng);
+        let (images, _) = toy_batch(&mut rng, 10);
+        let probs = predict_probs(&mut net, &images, Mode::Standard, 4).unwrap();
+        assert_eq!(probs.shape(), &Shape::d2(10, 2));
+        for i in 0..10 {
+            let s: f32 = probs.as_slice()[i * 2..(i + 1) * 2].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn predict_probs_batch_size_does_not_change_result() {
+        let mut rng = Rng64::new(2);
+        let mut net = toy_net(&mut rng);
+        let (images, _) = toy_batch(&mut rng, 7);
+        let a = predict_probs(&mut net, &images, Mode::Standard, 3).unwrap();
+        let b = predict_probs(&mut net, &images, Mode::Standard, 7).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn slice_batch_bounds() {
+        let images = Tensor::zeros(Shape::d4(4, 1, 2, 2));
+        assert!(slice_batch(&images, 0, 5).is_err());
+        assert!(slice_batch(&images, 3, 2).is_err());
+        let ok = slice_batch(&images, 1, 3).unwrap();
+        assert_eq!(ok.shape(), &Shape::d4(2, 1, 2, 2));
+    }
+}

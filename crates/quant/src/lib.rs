@@ -1,0 +1,521 @@
+//! 16-bit fixed-point arithmetic substrate.
+//!
+//! The paper's FPGA designs compute in a 16-bit fixed-point format with
+//! **1 sign bit, 7 integer bits and 8 fraction bits** (here called
+//! [`Q7_8`]). This crate provides:
+//!
+//! * [`Fixed`] — a runtime-parameterised fixed-point value with saturating,
+//!   round-to-nearest arithmetic matching typical `ap_fixed<16, 8>` HLS
+//!   semantics,
+//! * [`FixedFormat`] — the format descriptor (`Q7_8` is the paper's),
+//! * [`quantize_slice`] / [`dequantize_slice`] — bulk conversions used when
+//!   loading trained weights into the simulated accelerator,
+//! * [`MacUnit`] — a wide-accumulator multiply-accumulate unit mirroring a
+//!   DSP slice,
+//! * [`sqnr_db`] — signal-to-quantisation-noise ratio, used by tests and the
+//!   quantisation ablation bench.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_quant::{Fixed, Q7_8};
+//!
+//! let a = Fixed::from_f32(1.5, Q7_8);
+//! let b = Fixed::from_f32(-0.25, Q7_8);
+//! assert_eq!((a * b).to_f32(), -0.375);
+//! // Values outside the representable range saturate instead of wrapping:
+//! let big = Fixed::from_f32(1000.0, Q7_8);
+//! assert!((big.to_f32() - 127.99609375).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Describes a signed fixed-point format with a 16-bit container.
+///
+/// `int_bits + frac_bits` must equal 15 (one bit is the sign).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedFormat {
+    /// Number of integer (magnitude) bits.
+    pub int_bits: u32,
+    /// Number of fractional bits.
+    pub frac_bits: u32,
+}
+
+/// The paper's format: 1 sign bit, 7 integer bits, 8 fraction bits.
+pub const Q7_8: FixedFormat = FixedFormat { int_bits: 7, frac_bits: 8 };
+
+/// A higher-precision alternative used by the ablation bench.
+pub const Q3_12: FixedFormat = FixedFormat { int_bits: 3, frac_bits: 12 };
+
+/// A lower-precision alternative used by the ablation bench.
+pub const Q11_4: FixedFormat = FixedFormat { int_bits: 11, frac_bits: 4 };
+
+impl FixedFormat {
+    /// Creates a format, validating that it fits a 16-bit signed container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadFormat`] unless `int_bits + frac_bits == 15`.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self, QuantError> {
+        if int_bits + frac_bits != 15 {
+            return Err(QuantError::BadFormat { int_bits, frac_bits });
+        }
+        Ok(FixedFormat { int_bits, frac_bits })
+    }
+
+    /// The quantisation step (value of one LSB).
+    pub fn resolution(&self) -> f32 {
+        1.0 / (1u32 << self.frac_bits) as f32
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f32 {
+        (i16::MAX as f32) * self.resolution()
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(&self) -> f32 {
+        (i16::MIN as f32) * self.resolution()
+    }
+
+    /// Total container width in bits (always 16 here).
+    pub fn total_bits(&self) -> u32 {
+        16
+    }
+}
+
+impl fmt::Display for FixedFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+/// Errors from fixed-point construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantError {
+    /// The requested format does not fit the 16-bit container.
+    BadFormat {
+        /// Requested integer bits.
+        int_bits: u32,
+        /// Requested fraction bits.
+        frac_bits: u32,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::BadFormat { int_bits, frac_bits } => write!(
+                f,
+                "format Q{int_bits}.{frac_bits} does not fit a 16-bit signed container"
+            ),
+        }
+    }
+}
+
+impl StdError for QuantError {}
+
+/// A 16-bit signed fixed-point number.
+///
+/// Arithmetic saturates on overflow and rounds to nearest (ties away from
+/// zero) on precision loss, matching the HLS `AP_SAT`/`AP_RND` modes the
+/// paper's accelerators use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    raw: i16,
+    format: FixedFormat,
+}
+
+impl Fixed {
+    /// Zero in the given format.
+    pub fn zero(format: FixedFormat) -> Self {
+        Fixed { raw: 0, format }
+    }
+
+    /// One in the given format.
+    pub fn one(format: FixedFormat) -> Self {
+        Fixed::from_f32(1.0, format)
+    }
+
+    /// Quantises an `f32`, saturating to the representable range and
+    /// rounding to nearest.
+    pub fn from_f32(value: f32, format: FixedFormat) -> Self {
+        let scaled = (value as f64) * f64::from(1u32 << format.frac_bits);
+        let rounded = scaled.round();
+        let clamped = rounded.clamp(i16::MIN as f64, i16::MAX as f64);
+        Fixed {
+            raw: clamped as i16,
+            format,
+        }
+    }
+
+    /// Reinterprets a raw 16-bit pattern in the given format.
+    pub fn from_raw(raw: i16, format: FixedFormat) -> Self {
+        Fixed { raw, format }
+    }
+
+    /// The raw 16-bit two's-complement pattern.
+    pub fn raw(&self) -> i16 {
+        self.raw
+    }
+
+    /// The value's format.
+    pub fn format(&self) -> FixedFormat {
+        self.format
+    }
+
+    /// Converts back to `f32` (exact: f32 has enough mantissa for 16 bits).
+    pub fn to_f32(&self) -> f32 {
+        self.raw as f32 * self.format.resolution()
+    }
+
+    /// Saturating addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ — mixing formats is a
+    /// programming error, not a data error.
+    pub fn saturating_add(self, other: Fixed) -> Fixed {
+        assert_eq!(self.format, other.format, "fixed-point format mismatch in add");
+        Fixed {
+            raw: self.raw.saturating_add(other.raw),
+            format: self.format,
+        }
+    }
+
+    /// Saturating subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    pub fn saturating_sub(self, other: Fixed) -> Fixed {
+        assert_eq!(self.format, other.format, "fixed-point format mismatch in sub");
+        Fixed {
+            raw: self.raw.saturating_sub(other.raw),
+            format: self.format,
+        }
+    }
+
+    /// Saturating, round-to-nearest multiplication.
+    ///
+    /// The 32-bit intermediate product is shifted right by `frac_bits` with
+    /// rounding, then saturated back into 16 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    pub fn saturating_mul(self, other: Fixed) -> Fixed {
+        assert_eq!(self.format, other.format, "fixed-point format mismatch in mul");
+        let prod = i32::from(self.raw) * i32::from(other.raw);
+        let shift = self.format.frac_bits;
+        // Round to nearest, ties away from zero. Shift the magnitude (an
+        // arithmetic right shift of a negative value floors instead of
+        // rounding toward zero).
+        let bias = 1i32 << (shift - 1);
+        let rounded = if prod >= 0 {
+            (prod + bias) >> shift
+        } else {
+            -((-prod + bias) >> shift)
+        };
+        Fixed {
+            raw: rounded.clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+            format: self.format,
+        }
+    }
+
+    /// `true` if the value sits at either saturation rail.
+    pub fn is_saturated(&self) -> bool {
+        self.raw == i16::MAX || self.raw == i16::MIN
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Fixed) -> Fixed {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Fixed) -> Fixed {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul for Fixed {
+    type Output = Fixed;
+    fn mul(self, rhs: Fixed) -> Fixed {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+    fn neg(self) -> Fixed {
+        Fixed {
+            raw: self.raw.saturating_neg(),
+            format: self.format,
+        }
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.to_f32(), self.format)
+    }
+}
+
+/// A fixed-point multiply-accumulate unit with a wide (64-bit) accumulator.
+///
+/// Mirrors the DSP-slice behaviour modelled by `nds-hw`: products are
+/// accumulated at full precision and only the final read-out rounds and
+/// saturates. This is how HLS `ap_fixed` dot products behave when the
+/// accumulator is sized generously.
+#[derive(Debug, Clone, Copy)]
+pub struct MacUnit {
+    acc: i64,
+    format: FixedFormat,
+}
+
+impl MacUnit {
+    /// A cleared accumulator in the given format.
+    pub fn new(format: FixedFormat) -> Self {
+        MacUnit { acc: 0, format }
+    }
+
+    /// Accumulates `a * b` at full precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand formats differ from the accumulator's.
+    pub fn mac(&mut self, a: Fixed, b: Fixed) {
+        assert_eq!(a.format(), self.format, "MAC operand format mismatch");
+        assert_eq!(b.format(), self.format, "MAC operand format mismatch");
+        self.acc += i64::from(a.raw()) * i64::from(b.raw());
+    }
+
+    /// Adds a bias term (interpreted in the accumulator's format).
+    pub fn add_bias(&mut self, bias: Fixed) {
+        assert_eq!(bias.format(), self.format, "MAC bias format mismatch");
+        self.acc += i64::from(bias.raw()) << self.format.frac_bits;
+    }
+
+    /// Rounds, saturates and returns the accumulated value.
+    pub fn readout(&self) -> Fixed {
+        let shift = self.format.frac_bits;
+        let bias = 1i64 << (shift - 1);
+        let rounded = if self.acc >= 0 {
+            (self.acc + bias) >> shift
+        } else {
+            -((-self.acc + bias) >> shift)
+        };
+        Fixed::from_raw(
+            rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16,
+            self.format,
+        )
+    }
+
+    /// Clears the accumulator for reuse.
+    pub fn clear(&mut self) {
+        self.acc = 0;
+    }
+}
+
+/// Quantises a slice of `f32` into raw 16-bit words.
+pub fn quantize_slice(values: &[f32], format: FixedFormat) -> Vec<i16> {
+    values
+        .iter()
+        .map(|&v| Fixed::from_f32(v, format).raw())
+        .collect()
+}
+
+/// Dequantises raw 16-bit words back to `f32`.
+pub fn dequantize_slice(raw: &[i16], format: FixedFormat) -> Vec<f32> {
+    raw.iter()
+        .map(|&r| Fixed::from_raw(r, format).to_f32())
+        .collect()
+}
+
+/// Round-trips a slice through the fixed-point format (quantise then
+/// dequantise), the standard way to emulate quantised inference on floats.
+pub fn fake_quantize(values: &[f32], format: FixedFormat) -> Vec<f32> {
+    values
+        .iter()
+        .map(|&v| Fixed::from_f32(v, format).to_f32())
+        .collect()
+}
+
+/// Signal-to-quantisation-noise ratio in dB between a reference signal and
+/// its quantised reconstruction.
+///
+/// Returns `f64::INFINITY` for a perfect reconstruction and 0 for empty or
+/// mismatched inputs.
+pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
+    if reference.is_empty() || reference.len() != quantized.len() {
+        return 0.0;
+    }
+    let signal: f64 = reference.iter().map(|&v| (v as f64).powi(2)).sum();
+    let noise: f64 = reference
+        .iter()
+        .zip(quantized.iter())
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q78_range_and_resolution() {
+        assert_eq!(Q7_8.resolution(), 1.0 / 256.0);
+        assert!((Q7_8.max_value() - 127.996_09).abs() < 1e-7);
+        assert_eq!(Q7_8.min_value(), -128.0);
+    }
+
+    #[test]
+    fn format_validation() {
+        assert!(FixedFormat::new(7, 8).is_ok());
+        assert!(FixedFormat::new(8, 8).is_err());
+        assert!(FixedFormat::new(15, 0).is_ok());
+    }
+
+    #[test]
+    fn round_trip_exact_values() {
+        for v in [-1.0f32, 0.0, 0.5, 1.0, 2.25, -3.125, 100.0] {
+            let q = Fixed::from_f32(v, Q7_8);
+            assert_eq!(q.to_f32(), v, "value {v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn rounding_to_nearest() {
+        // 1/512 is exactly half an LSB of Q7.8 -> rounds away from zero.
+        let q = Fixed::from_f32(1.0 / 512.0, Q7_8);
+        assert_eq!(q.raw(), 1);
+        let q = Fixed::from_f32(-1.0 / 512.0, Q7_8);
+        assert_eq!(q.raw(), -1);
+        // Just below half an LSB rounds to zero.
+        let q = Fixed::from_f32(0.9 / 512.0, Q7_8);
+        assert_eq!(q.raw(), 0);
+    }
+
+    #[test]
+    fn saturation_on_construction() {
+        assert_eq!(Fixed::from_f32(1e6, Q7_8).raw(), i16::MAX);
+        assert_eq!(Fixed::from_f32(-1e6, Q7_8).raw(), i16::MIN);
+        assert!(Fixed::from_f32(1e6, Q7_8).is_saturated());
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let max = Fixed::from_raw(i16::MAX, Q7_8);
+        let one = Fixed::one(Q7_8);
+        assert_eq!((max + one).raw(), i16::MAX);
+        let min = Fixed::from_raw(i16::MIN, Q7_8);
+        assert_eq!((min - one).raw(), i16::MIN);
+        // 100 * 100 = 10000 > 127.996 -> saturates.
+        let hundred = Fixed::from_f32(100.0, Q7_8);
+        assert_eq!((hundred * hundred).raw(), i16::MAX);
+    }
+
+    #[test]
+    fn multiplication_known_values() {
+        let a = Fixed::from_f32(1.5, Q7_8);
+        let b = Fixed::from_f32(2.0, Q7_8);
+        assert_eq!((a * b).to_f32(), 3.0);
+        let c = Fixed::from_f32(-0.5, Q7_8);
+        assert_eq!((b * c).to_f32(), -1.0);
+    }
+
+    #[test]
+    fn negation_saturates_min() {
+        let min = Fixed::from_raw(i16::MIN, Q7_8);
+        assert_eq!((-min).raw(), i16::MAX);
+        let v = Fixed::from_f32(1.25, Q7_8);
+        assert_eq!((-v).to_f32(), -1.25);
+    }
+
+    #[test]
+    fn mac_unit_matches_float_dot_product_when_in_range() {
+        let xs = [0.5f32, -0.25, 1.0, 0.125];
+        let ws = [1.0f32, 2.0, -0.5, 4.0];
+        let mut mac = MacUnit::new(Q7_8);
+        for (&x, &w) in xs.iter().zip(ws.iter()) {
+            mac.mac(Fixed::from_f32(x, Q7_8), Fixed::from_f32(w, Q7_8));
+        }
+        let expect: f32 = xs.iter().zip(ws.iter()).map(|(&x, &w)| x * w).sum();
+        assert_eq!(mac.readout().to_f32(), expect);
+    }
+
+    #[test]
+    fn mac_unit_wide_accumulator_avoids_intermediate_overflow() {
+        // The running sum exceeds the Q7.8 rail (127.996) midway, then comes
+        // back into range; a wide accumulator must not clip it.
+        let mut mac = MacUnit::new(Q7_8);
+        let ten = Fixed::from_f32(10.0, Q7_8);
+        let one = Fixed::from_f32(1.0, Q7_8);
+        for _ in 0..20 {
+            mac.mac(ten, one); // sum reaches 200 > 127.996
+        }
+        let minus_ten = Fixed::from_f32(-10.0, Q7_8);
+        for _ in 0..10 {
+            mac.mac(minus_ten, one); // back down to 100
+        }
+        assert_eq!(mac.readout().to_f32(), 100.0);
+    }
+
+    #[test]
+    fn mac_bias_and_clear() {
+        let mut mac = MacUnit::new(Q7_8);
+        mac.add_bias(Fixed::from_f32(2.5, Q7_8));
+        assert_eq!(mac.readout().to_f32(), 2.5);
+        mac.clear();
+        assert_eq!(mac.readout().to_f32(), 0.0);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let xs = vec![0.1f32, -0.7, 3.2, 90.0];
+        let raw = quantize_slice(&xs, Q7_8);
+        let back = dequantize_slice(&raw, Q7_8);
+        for (&orig, &rec) in xs.iter().zip(back.iter()) {
+            assert!((orig - rec).abs() <= Q7_8.resolution() / 2.0 + 1e-7);
+        }
+        assert_eq!(back, fake_quantize(&xs, Q7_8));
+    }
+
+    #[test]
+    fn sqnr_increases_with_precision() {
+        let xs: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.013).sin()).collect();
+        let q78 = fake_quantize(&xs, Q7_8);
+        let q312 = fake_quantize(&xs, Q3_12);
+        let coarse = sqnr_db(&xs, &q78);
+        let fine = sqnr_db(&xs, &q312);
+        assert!(fine > coarse + 10.0, "Q3.12 ({fine} dB) should beat Q7.8 ({coarse} dB)");
+    }
+
+    #[test]
+    fn sqnr_perfect_is_infinite() {
+        let xs = vec![1.0f32, 2.0];
+        assert_eq!(sqnr_db(&xs, &xs), f64::INFINITY);
+        assert_eq!(sqnr_db(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn q11_4_trades_range_for_precision() {
+        assert!(Q11_4.max_value() > 2000.0);
+        assert_eq!(Q11_4.resolution(), 1.0 / 16.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The evolutionary algorithm of Figure 3.
+
+use crate::{Candidate, Evaluator, Result, SearchAim, SearchError};
+use nds_supernet::{DropoutConfig, SupernetSpec};
+use nds_tensor::rng::Rng64;
+use std::collections::HashSet;
+
+/// Hyperparameters of the evolutionary loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Parent pool size (top-k by aim score).
+    pub parents: usize,
+    /// Per-slot mutation probability for mutated offspring.
+    pub mutation_prob: f64,
+    /// Fraction of offspring produced by crossover (the rest mutate).
+    pub crossover_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            population: 16,
+            generations: 8,
+            parents: 6,
+            mutation_prob: 0.3,
+            crossover_fraction: 0.5,
+            seed: 0xEA,
+        }
+    }
+}
+
+/// Summary of one generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// 0-based generation index.
+    pub generation: usize,
+    /// Best aim score in the population.
+    pub best_score: f64,
+    /// Mean aim score in the population.
+    pub mean_score: f64,
+    /// Best configuration so far.
+    pub best_config: DropoutConfig,
+}
+
+/// Output of [`evolve`].
+#[derive(Debug, Clone)]
+pub struct EvolutionResult {
+    /// The best candidate found, by aim score.
+    pub best: Candidate,
+    /// Every distinct candidate evaluated during the search.
+    pub archive: Vec<Candidate>,
+    /// Per-generation progress.
+    pub history: Vec<GenerationStats>,
+}
+
+/// Runs the evolutionary search of Figure 3: random population →
+/// evaluation on the validation set → top-k selection → crossover &
+/// mutation → repeat.
+///
+/// # Errors
+///
+/// Returns [`SearchError::BadConfig`] for degenerate hyperparameters and
+/// propagates evaluation errors.
+pub fn evolve(
+    spec: &SupernetSpec,
+    evaluator: &mut dyn Evaluator,
+    aim: &SearchAim,
+    config: &EvolutionConfig,
+) -> Result<EvolutionResult> {
+    if config.population == 0 || config.generations == 0 {
+        return Err(SearchError::BadConfig(
+            "population and generations must be positive".to_string(),
+        ));
+    }
+    if config.parents == 0 || config.parents > config.population {
+        return Err(SearchError::BadConfig(format!(
+            "parent pool {} must be in 1..={}",
+            config.parents, config.population
+        )));
+    }
+    let mut rng = Rng64::new(config.seed);
+    let space = spec.space_size();
+    let population_target = config.population.min(space);
+
+    // --- Population initialisation (distinct configs). ---
+    let mut population: Vec<DropoutConfig> = Vec::with_capacity(population_target);
+    let mut seen = HashSet::new();
+    let mut guard = 0;
+    while population.len() < population_target && guard < population_target * 200 {
+        guard += 1;
+        let candidate = spec.sample_config(&mut rng);
+        if seen.insert(candidate.compact()) {
+            population.push(candidate);
+        }
+    }
+
+    let mut archive: Vec<Candidate> = Vec::new();
+    let mut archived: HashSet<String> = HashSet::new();
+    let mut history = Vec::with_capacity(config.generations);
+    let mut best: Option<(f64, Candidate)> = None;
+
+    for generation in 0..config.generations {
+        // --- Evaluation. ---
+        let mut scored: Vec<(f64, Candidate)> = Vec::with_capacity(population.len());
+        for member in &population {
+            let candidate = evaluator.evaluate(member)?;
+            let score = aim.score(&candidate);
+            if archived.insert(candidate.config.compact()) {
+                archive.push(candidate.clone());
+            }
+            if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                best = Some((score, candidate.clone()));
+            }
+            scored.push((score, candidate));
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mean_score = scored.iter().map(|(s, _)| s).sum::<f64>() / scored.len().max(1) as f64;
+        let (top_score, top) = &scored[0];
+        history.push(GenerationStats {
+            generation,
+            best_score: *top_score,
+            mean_score,
+            best_config: top.config.clone(),
+        });
+
+        if generation + 1 == config.generations {
+            break;
+        }
+
+        // --- Selection: top-k parents. ---
+        let parents: Vec<DropoutConfig> = scored
+            .iter()
+            .take(config.parents.min(scored.len()))
+            .map(|(_, c)| c.config.clone())
+            .collect();
+
+        // --- Crossover & mutation produce the next population. ---
+        let mut next: Vec<DropoutConfig> = Vec::with_capacity(population_target);
+        let mut next_seen = HashSet::new();
+        // Elitism: carry the best forward unchanged.
+        next_seen.insert(parents[0].compact());
+        next.push(parents[0].clone());
+        let mut attempts = 0;
+        while next.len() < population_target && attempts < population_target * 300 {
+            attempts += 1;
+            let child = if rng.uniform() < config.crossover_fraction && parents.len() >= 2 {
+                crossover(&parents, &mut rng)
+            } else {
+                mutate(spec, &parents, config.mutation_prob, &mut rng)
+            };
+            if next_seen.insert(child.compact()) {
+                next.push(child);
+            }
+        }
+        // Fallback: pad with fresh random samples if diversity ran dry.
+        while next.len() < population_target {
+            let child = spec.sample_config(&mut rng);
+            if next_seen.insert(child.compact()) {
+                next.push(child);
+            }
+        }
+        population = next;
+    }
+
+    let (_, best) = best.expect("at least one generation evaluated");
+    Ok(EvolutionResult { best, archive, history })
+}
+
+/// Uniform crossover: for each slot, inherit the gene from one of two
+/// random parents (genes are per-slot valid by construction, so children
+/// always remain inside the search space).
+fn crossover(parents: &[DropoutConfig], rng: &mut Rng64) -> DropoutConfig {
+    let a = &parents[rng.below(parents.len())];
+    let b = &parents[rng.below(parents.len())];
+    DropoutConfig::new(
+        a.kinds()
+            .iter()
+            .zip(b.kinds().iter())
+            .map(|(&ka, &kb)| if rng.bernoulli(0.5) { ka } else { kb })
+            .collect(),
+    )
+}
+
+/// Mutation: start from a random parent and, with `prob` per slot, replace
+/// the gene with a random *valid* choice for that slot.
+fn mutate(
+    spec: &SupernetSpec,
+    parents: &[DropoutConfig],
+    prob: f64,
+    rng: &mut Rng64,
+) -> DropoutConfig {
+    let base = &parents[rng.below(parents.len())];
+    DropoutConfig::new(
+        base.kinds()
+            .iter()
+            .enumerate()
+            .map(|(slot, &kind)| {
+                if rng.bernoulli(prob) {
+                    *rng.choose(&spec.choices[slot]).expect("choice lists are non-empty")
+                } else {
+                    kind
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_supernet::CandidateMetrics;
+    use nds_nn::zoo;
+
+    /// A synthetic evaluator with a planted optimum: score peaks when the
+    /// config matches a target string.
+    struct PlantedEvaluator {
+        target: DropoutConfig,
+        fresh: usize,
+        cache: std::collections::HashMap<String, Candidate>,
+    }
+
+    impl PlantedEvaluator {
+        fn new(target: &str) -> Self {
+            PlantedEvaluator {
+                target: target.parse().unwrap(),
+                fresh: 0,
+                cache: std::collections::HashMap::new(),
+            }
+        }
+    }
+
+    impl Evaluator for PlantedEvaluator {
+        fn evaluate(&mut self, config: &DropoutConfig) -> Result<Candidate> {
+            if let Some(hit) = self.cache.get(&config.compact()) {
+                return Ok(hit.clone());
+            }
+            self.fresh += 1;
+            let matches = config
+                .kinds()
+                .iter()
+                .zip(self.target.kinds())
+                .filter(|(a, b)| a == b)
+                .count();
+            let accuracy = matches as f64 / config.len() as f64;
+            let candidate = Candidate {
+                config: config.clone(),
+                metrics: CandidateMetrics { accuracy, ece: 0.1, ape: 0.5 },
+                latency_ms: 1.0,
+            };
+            self.cache.insert(config.compact(), candidate.clone());
+            Ok(candidate)
+        }
+
+        fn fresh_evaluations(&self) -> usize {
+            self.fresh
+        }
+    }
+
+    fn lenet_spec() -> SupernetSpec {
+        SupernetSpec::paper_default(zoo::lenet(), 1).unwrap()
+    }
+
+    #[test]
+    fn finds_planted_optimum() {
+        let spec = lenet_spec();
+        let mut evaluator = PlantedEvaluator::new("KRM");
+        let result = evolve(
+            &spec,
+            &mut evaluator,
+            &SearchAim::accuracy_optimal(),
+            &EvolutionConfig { population: 12, generations: 10, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(result.best.config.compact(), "KRM");
+        assert!(result.best.metrics.accuracy == 1.0);
+    }
+
+    #[test]
+    fn best_score_is_monotone_nondecreasing() {
+        let spec = lenet_spec();
+        let mut evaluator = PlantedEvaluator::new("BBM");
+        let result = evolve(
+            &spec,
+            &mut evaluator,
+            &SearchAim::accuracy_optimal(),
+            &EvolutionConfig::default(),
+        )
+        .unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for gen in &result.history {
+            assert!(gen.best_score >= last - 1e-12, "generation {}", gen.generation);
+            last = gen.best_score;
+        }
+    }
+
+    #[test]
+    fn memoisation_bounds_fresh_evaluations() {
+        let spec = lenet_spec();
+        let mut evaluator = PlantedEvaluator::new("MKB");
+        let config = EvolutionConfig { population: 16, generations: 20, ..Default::default() };
+        let _ = evolve(&spec, &mut evaluator, &SearchAim::accuracy_optimal(), &config).unwrap();
+        // The whole space only has 32 configs; fresh evals cannot exceed it.
+        assert!(
+            evaluator.fresh_evaluations() <= spec.space_size(),
+            "{} fresh evals > space {}",
+            evaluator.fresh_evaluations(),
+            spec.space_size()
+        );
+    }
+
+    #[test]
+    fn archive_is_deduplicated() {
+        let spec = lenet_spec();
+        let mut evaluator = PlantedEvaluator::new("BBB");
+        let result = evolve(
+            &spec,
+            &mut evaluator,
+            &SearchAim::accuracy_optimal(),
+            &EvolutionConfig::default(),
+        )
+        .unwrap();
+        let unique: HashSet<String> =
+            result.archive.iter().map(|c| c.config.compact()).collect();
+        assert_eq!(unique.len(), result.archive.len());
+    }
+
+    #[test]
+    fn children_stay_inside_the_space() {
+        let spec = lenet_spec();
+        let mut evaluator = PlantedEvaluator::new("RRB");
+        let result = evolve(
+            &spec,
+            &mut evaluator,
+            &SearchAim::accuracy_optimal(),
+            &EvolutionConfig { population: 16, generations: 12, ..Default::default() },
+        )
+        .unwrap();
+        for candidate in &result.archive {
+            assert!(spec.contains(&candidate.config), "{}", candidate.config);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        let spec = lenet_spec();
+        let mut evaluator = PlantedEvaluator::new("BBB");
+        let bad = EvolutionConfig { population: 0, ..Default::default() };
+        assert!(evolve(&spec, &mut evaluator, &SearchAim::accuracy_optimal(), &bad).is_err());
+        let bad = EvolutionConfig { parents: 99, population: 8, ..Default::default() };
+        assert!(evolve(&spec, &mut evaluator, &SearchAim::accuracy_optimal(), &bad).is_err());
+    }
+}

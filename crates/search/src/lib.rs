@@ -1,0 +1,229 @@
+//! Evolutionary neural dropout search (Phase 3 of the framework).
+//!
+//! The paper casts dropout design as a search over layer-wise dropout
+//! configurations, scored by the scalarised aim (Eq. 2):
+//!
+//! ```text
+//! aim = η·Accuracy − μ·ECE + β·aPE − λ·Latency
+//! ```
+//!
+//! and explored with an evolutionary algorithm over the supernet's shared
+//! weights (population → evaluation → selection → crossover & mutation,
+//! Figure 3). This crate provides:
+//!
+//! * [`SearchAim`] — the weighted aim with the four single-metric presets
+//!   used by Table 1 (Accuracy / ECE / aPE / Latency optimal),
+//! * [`Evaluator`] / [`SupernetEvaluator`] — candidate scoring on the
+//!   validation set plus a latency provider that is either the exact
+//!   accelerator model or the paper's GP surrogate,
+//! * [`evolve`] — the evolutionary loop, with memoised evaluations,
+//! * [`random_search`] — the budget-matched uniform baseline,
+//! * [`evaluate_all`] — exhaustive enumeration (the paper's Figure-4
+//!   reference frontier),
+//! * [`pareto::pareto_front`] — non-dominated filtering and the
+//!   [`pareto::hypervolume`] quality indicator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evaluator;
+mod evolution;
+pub mod pareto;
+mod random;
+
+pub use evaluator::{
+    encode_config, evaluate_all, fit_latency_gp, Evaluator, LatencyProvider, SupernetEvaluator,
+};
+pub use evolution::{evolve, EvolutionConfig, EvolutionResult, GenerationStats};
+pub use random::{random_search, RandomSearchConfig};
+
+use nds_hw::HwError;
+use nds_supernet::{CandidateMetrics, DropoutConfig, SupernetError};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from the search phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// Supernet evaluation failed.
+    Supernet(SupernetError),
+    /// Hardware modelling failed.
+    Hw(HwError),
+    /// GP surrogate construction failed.
+    Gp(String),
+    /// The search was configured inconsistently.
+    BadConfig(String),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Supernet(e) => write!(f, "supernet error: {e}"),
+            SearchError::Hw(e) => write!(f, "hardware model error: {e}"),
+            SearchError::Gp(msg) => write!(f, "GP surrogate error: {msg}"),
+            SearchError::BadConfig(msg) => write!(f, "bad search configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for SearchError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SearchError::Supernet(e) => Some(e),
+            SearchError::Hw(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SupernetError> for SearchError {
+    fn from(e: SupernetError) -> Self {
+        SearchError::Supernet(e)
+    }
+}
+
+impl From<HwError> for SearchError {
+    fn from(e: HwError) -> Self {
+        SearchError::Hw(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SearchError>;
+
+/// The scalarised search aim of Eq. (2).
+///
+/// Accuracy and ECE enter as fractions, aPE in nats, latency in
+/// milliseconds; the weights trade them off. "The weight parameters in the
+/// search aim represent the importance of different metrics" (§4.1) — the
+/// presets put all weight on one metric each, matching Table 1's four
+/// searched rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchAim {
+    /// Display name (e.g. `Accuracy Optimal`).
+    pub name: String,
+    /// Weight η on accuracy.
+    pub eta: f64,
+    /// Weight μ on ECE (entered negatively).
+    pub mu: f64,
+    /// Weight β on aPE.
+    pub beta: f64,
+    /// Weight λ on latency in ms (entered negatively).
+    pub lambda: f64,
+}
+
+impl SearchAim {
+    /// Accuracy-optimal preset (η = 1, rest 0).
+    pub fn accuracy_optimal() -> Self {
+        SearchAim { name: "Accuracy Optimal".into(), eta: 1.0, mu: 0.0, beta: 0.0, lambda: 0.0 }
+    }
+
+    /// ECE-optimal preset (μ = 1, rest 0).
+    pub fn ece_optimal() -> Self {
+        SearchAim { name: "ECE Optimal".into(), eta: 0.0, mu: 1.0, beta: 0.0, lambda: 0.0 }
+    }
+
+    /// aPE-optimal preset (β = 1, rest 0).
+    pub fn ape_optimal() -> Self {
+        SearchAim { name: "aPE Optimal".into(), eta: 0.0, mu: 0.0, beta: 1.0, lambda: 0.0 }
+    }
+
+    /// Latency-optimal preset (λ = 1, rest 0).
+    pub fn latency_optimal() -> Self {
+        SearchAim { name: "Latency Optimal".into(), eta: 0.0, mu: 0.0, beta: 0.0, lambda: 1.0 }
+    }
+
+    /// The four Table-1 presets in table order.
+    pub fn table1_presets() -> [SearchAim; 4] {
+        [
+            SearchAim::accuracy_optimal(),
+            SearchAim::ece_optimal(),
+            SearchAim::ape_optimal(),
+            SearchAim::latency_optimal(),
+        ]
+    }
+
+    /// A custom weighted aim.
+    pub fn weighted(name: impl Into<String>, eta: f64, mu: f64, beta: f64, lambda: f64) -> Self {
+        SearchAim { name: name.into(), eta, mu, beta, lambda }
+    }
+
+    /// Evaluates Eq. (2) for a candidate (higher is better).
+    pub fn score(&self, candidate: &Candidate) -> f64 {
+        self.eta * candidate.metrics.accuracy - self.mu * candidate.metrics.ece
+            + self.beta * candidate.metrics.ape
+            - self.lambda * candidate.latency_ms
+    }
+}
+
+impl fmt::Display for SearchAim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (η={}, μ={}, β={}, λ={})",
+            self.name, self.eta, self.mu, self.beta, self.lambda
+        )
+    }
+}
+
+/// A fully-evaluated search candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The dropout configuration.
+    pub config: DropoutConfig,
+    /// Validation-set algorithmic metrics.
+    pub metrics: CandidateMetrics,
+    /// Modelled (or GP-predicted) latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_dropout::DropoutKind;
+
+    fn candidate(acc: f64, ece: f64, ape: f64, lat: f64) -> Candidate {
+        Candidate {
+            config: DropoutConfig::uniform(DropoutKind::Bernoulli, 2),
+            metrics: CandidateMetrics { accuracy: acc, ece, ape },
+            latency_ms: lat,
+        }
+    }
+
+    #[test]
+    fn aim_scores_follow_eq2_signs() {
+        let better_acc = candidate(0.9, 0.1, 0.5, 10.0);
+        let worse_acc = candidate(0.8, 0.1, 0.5, 10.0);
+        let aim = SearchAim::accuracy_optimal();
+        assert!(aim.score(&better_acc) > aim.score(&worse_acc));
+
+        let low_ece = candidate(0.9, 0.05, 0.5, 10.0);
+        let high_ece = candidate(0.9, 0.20, 0.5, 10.0);
+        let aim = SearchAim::ece_optimal();
+        assert!(aim.score(&low_ece) > aim.score(&high_ece), "lower ECE wins");
+
+        let fast = candidate(0.9, 0.1, 0.5, 5.0);
+        let slow = candidate(0.9, 0.1, 0.5, 50.0);
+        let aim = SearchAim::latency_optimal();
+        assert!(aim.score(&fast) > aim.score(&slow), "lower latency wins");
+    }
+
+    #[test]
+    fn weighted_aim_combines_metrics() {
+        let a = candidate(0.9, 0.10, 0.3, 10.0);
+        let b = candidate(0.85, 0.02, 0.3, 10.0);
+        // Pure accuracy prefers a; leaning on ECE flips the ranking.
+        assert!(SearchAim::accuracy_optimal().score(&a) > SearchAim::accuracy_optimal().score(&b));
+        let blended = SearchAim::weighted("blend", 1.0, 3.0, 0.0, 0.0);
+        assert!(blended.score(&b) > blended.score(&a));
+    }
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let names: std::collections::HashSet<String> = SearchAim::table1_presets()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,350 @@
+//! Pareto-dominance utilities for the Figure-4 analysis.
+//!
+//! The paper plots every configuration in (ECE, aPE, accuracy) space and
+//! shows that the searched designs sit on the reference Pareto frontier.
+//! [`pareto_front`] reproduces that filtering for arbitrary objective
+//! sets.
+
+use crate::Candidate;
+
+/// Whether an objective should be maximised or minimised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values dominate.
+    Maximize,
+    /// Smaller values dominate.
+    Minimize,
+}
+
+/// One objective: an extractor plus its direction.
+pub struct Objective {
+    /// Human-readable name (for reports).
+    pub name: &'static str,
+    /// Extracts the objective value from a candidate.
+    pub value: fn(&Candidate) -> f64,
+    /// Optimisation direction.
+    pub direction: Direction,
+}
+
+impl std::fmt::Debug for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Objective({}, {:?})", self.name, self.direction)
+    }
+}
+
+/// The paper's Figure-4 objective set: maximise accuracy and aPE, minimise
+/// ECE.
+pub fn figure4_objectives() -> Vec<Objective> {
+    vec![
+        Objective { name: "accuracy", value: |c| c.metrics.accuracy, direction: Direction::Maximize },
+        Objective { name: "ece", value: |c| c.metrics.ece, direction: Direction::Minimize },
+        Objective { name: "ape", value: |c| c.metrics.ape, direction: Direction::Maximize },
+    ]
+}
+
+/// The full four-objective set including latency.
+pub fn full_objectives() -> Vec<Objective> {
+    let mut objectives = figure4_objectives();
+    objectives.push(Objective {
+        name: "latency",
+        value: |c| c.latency_ms,
+        direction: Direction::Minimize,
+    });
+    objectives
+}
+
+fn oriented(objective: &Objective, candidate: &Candidate) -> f64 {
+    let v = (objective.value)(candidate);
+    match objective.direction {
+        Direction::Maximize => v,
+        Direction::Minimize => -v,
+    }
+}
+
+/// `true` when `a` Pareto-dominates `b` under the objectives: at least as
+/// good everywhere and strictly better somewhere.
+pub fn dominates(a: &Candidate, b: &Candidate, objectives: &[Objective]) -> bool {
+    let mut strictly_better = false;
+    for objective in objectives {
+        let va = oriented(objective, a);
+        let vb = oriented(objective, b);
+        if va < vb {
+            return false;
+        }
+        if va > vb {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Extracts the non-dominated subset (the Pareto frontier), preserving
+/// input order.
+pub fn pareto_front<'a>(
+    candidates: &'a [Candidate],
+    objectives: &[Objective],
+) -> Vec<&'a Candidate> {
+    candidates
+        .iter()
+        .filter(|a| !candidates.iter().any(|b| dominates(b, a, objectives)))
+        .collect()
+}
+
+/// `true` when `candidate` lies on the frontier of `reference` (i.e. no
+/// reference point dominates it) — the Figure-4 claim checked for every
+/// searched design.
+pub fn on_frontier(candidate: &Candidate, reference: &[Candidate], objectives: &[Objective]) -> bool {
+    !reference.iter().any(|b| dominates(b, candidate, objectives))
+}
+
+/// The hypervolume indicator: the volume of oriented objective space
+/// dominated by `candidates`, measured from `reference` (a point that every
+/// candidate must dominate, e.g. the worst value per objective).
+///
+/// Larger is better; it is the standard scalar quality measure for a
+/// multi-objective search outcome and what the `ablation` bench uses to
+/// compare the evolutionary search against random search.
+///
+/// Both values in `reference` and the candidate values are taken in the
+/// *natural* direction of each objective (the orientation flip for
+/// `Minimize` happens internally). Candidates that fail to dominate the
+/// reference point contribute nothing.
+///
+/// Supports 1, 2 or 3 objectives — the dimensionalities the paper's metric
+/// sets use (exact sweep in 2-D, slicing in 3-D).
+///
+/// # Panics
+///
+/// Panics if `objectives` is empty or has more than three entries, or if
+/// `reference.len() != objectives.len()`.
+pub fn hypervolume(candidates: &[Candidate], objectives: &[Objective], reference: &[f64]) -> f64 {
+    assert!(
+        (1..=3).contains(&objectives.len()),
+        "hypervolume supports 1-3 objectives, got {}",
+        objectives.len()
+    );
+    assert_eq!(reference.len(), objectives.len(), "reference/objective arity mismatch");
+    // Orient every point (and the reference) so that larger is better.
+    let orient = |v: f64, o: &Objective| match o.direction {
+        Direction::Maximize => v,
+        Direction::Minimize => -v,
+    };
+    let reference: Vec<f64> = reference
+        .iter()
+        .zip(objectives)
+        .map(|(&r, o)| orient(r, o))
+        .collect();
+    let mut points: Vec<Vec<f64>> = candidates
+        .iter()
+        .map(|c| {
+            objectives
+                .iter()
+                .map(|o| orient((o.value)(c), o))
+                .collect::<Vec<f64>>()
+        })
+        .filter(|p| p.iter().zip(&reference).all(|(v, r)| v > r))
+        .collect();
+    if points.is_empty() {
+        return 0.0;
+    }
+    hv_oriented(&mut points, &reference)
+}
+
+/// Hypervolume of oriented (maximise-everything) points above `reference`.
+fn hv_oriented(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
+    match reference.len() {
+        1 => {
+            let best = points.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max);
+            (best - reference[0]).max(0.0)
+        }
+        2 => {
+            // Sweep: sort by first objective descending; each point adds a
+            // rectangle strip above the best second-objective seen so far.
+            points.sort_by(|a, b| b[0].total_cmp(&a[0]));
+            let mut volume = 0.0;
+            let mut best_y = reference[1];
+            for p in points.iter() {
+                if p[1] > best_y {
+                    volume += (p[0] - reference[0]) * (p[1] - best_y);
+                    best_y = p[1];
+                }
+            }
+            volume
+        }
+        3 => {
+            // Slice along the third objective: between consecutive cut
+            // heights, the dominated area is the 2-D hypervolume of the
+            // points reaching at least the slice ceiling.
+            let mut cuts: Vec<f64> = points.iter().map(|p| p[2]).collect();
+            cuts.push(reference[2]);
+            cuts.sort_by(f64::total_cmp);
+            cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+            let mut volume = 0.0;
+            for pair in cuts.windows(2) {
+                let (lo, hi) = (pair[0], pair[1]);
+                let mut slab: Vec<Vec<f64>> = points
+                    .iter()
+                    .filter(|p| p[2] >= hi)
+                    .map(|p| vec![p[0], p[1]])
+                    .collect();
+                if slab.is_empty() {
+                    continue;
+                }
+                volume += (hi - lo) * hv_oriented(&mut slab, &reference[..2]);
+            }
+            volume
+        }
+        _ => unreachable!("arity checked by hypervolume()"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_dropout::DropoutKind;
+    use nds_supernet::{CandidateMetrics, DropoutConfig};
+
+    fn candidate(acc: f64, ece: f64, ape: f64, lat: f64) -> Candidate {
+        Candidate {
+            config: DropoutConfig::uniform(DropoutKind::Bernoulli, 1),
+            metrics: CandidateMetrics { accuracy: acc, ece, ape },
+            latency_ms: lat,
+        }
+    }
+
+    #[test]
+    fn dominance_basics() {
+        let objectives = figure4_objectives();
+        let strong = candidate(0.9, 0.05, 0.8, 1.0);
+        let weak = candidate(0.8, 0.10, 0.5, 1.0);
+        assert!(dominates(&strong, &weak, &objectives));
+        assert!(!dominates(&weak, &strong, &objectives));
+        // Equal points do not dominate each other.
+        assert!(!dominates(&strong, &strong.clone(), &objectives));
+    }
+
+    #[test]
+    fn trade_offs_do_not_dominate() {
+        let objectives = figure4_objectives();
+        let calibrated = candidate(0.85, 0.03, 0.4, 1.0);
+        let entropic = candidate(0.85, 0.08, 0.9, 1.0);
+        assert!(!dominates(&calibrated, &entropic, &objectives));
+        assert!(!dominates(&entropic, &calibrated, &objectives));
+    }
+
+    #[test]
+    fn frontier_extraction() {
+        let objectives = figure4_objectives();
+        let points = vec![
+            candidate(0.90, 0.05, 0.5, 1.0), // frontier
+            candidate(0.85, 0.03, 0.4, 1.0), // frontier (best ECE)
+            candidate(0.80, 0.10, 0.9, 1.0), // frontier (best aPE)
+            candidate(0.80, 0.10, 0.4, 1.0), // dominated by #0 and #2
+            candidate(0.84, 0.04, 0.39, 1.0), // dominated by #1
+        ];
+        let front = pareto_front(&points, &objectives);
+        assert_eq!(front.len(), 3);
+        assert!(on_frontier(&points[0], &points, &objectives));
+        assert!(!on_frontier(&points[3], &points, &objectives));
+    }
+
+    #[test]
+    fn latency_objective_changes_the_front() {
+        let fig4 = figure4_objectives();
+        let full = full_objectives();
+        let points = vec![
+            candidate(0.9, 0.05, 0.5, 10.0),
+            candidate(0.9, 0.05, 0.5, 2.0), // same algo metrics, faster
+        ];
+        // Under Figure-4 objectives neither dominates (identical), both on
+        // the front; with latency the fast one dominates.
+        assert_eq!(pareto_front(&points, &fig4).len(), 2);
+        let front = pareto_front(&points, &full);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].latency_ms, 2.0);
+    }
+
+    #[test]
+    fn all_equal_points_are_all_on_front() {
+        let objectives = figure4_objectives();
+        let points = vec![candidate(0.5, 0.1, 0.3, 1.0); 3];
+        assert_eq!(pareto_front(&points, &objectives).len(), 3);
+    }
+
+    fn acc_objective() -> Vec<Objective> {
+        vec![Objective {
+            name: "accuracy",
+            value: |c| c.metrics.accuracy,
+            direction: Direction::Maximize,
+        }]
+    }
+
+    fn acc_ece_objectives() -> Vec<Objective> {
+        vec![
+            Objective {
+                name: "accuracy",
+                value: |c| c.metrics.accuracy,
+                direction: Direction::Maximize,
+            },
+            Objective { name: "ece", value: |c| c.metrics.ece, direction: Direction::Minimize },
+        ]
+    }
+
+    #[test]
+    fn hypervolume_1d_is_best_minus_reference() {
+        let points = vec![candidate(0.6, 0.1, 0.3, 1.0), candidate(0.9, 0.2, 0.1, 1.0)];
+        let hv = hypervolume(&points, &acc_objective(), &[0.5]);
+        assert!((hv - 0.4).abs() < 1e-12, "hv {hv}");
+    }
+
+    #[test]
+    fn hypervolume_2d_union_of_rectangles() {
+        // Oriented: accuracy up, ECE down (reference ECE 0.5 → oriented -0.5).
+        // Point A (acc .9, ece .4): rect (0.9-0.5)·(0.5-0.4) = 0.04.
+        // Point B (acc .6, ece .1): rect (0.6-0.5)·(0.5-0.1) = 0.04.
+        // Overlap (acc .6, ece .4): 0.1·0.1 = 0.01 → union 0.07.
+        let points = vec![candidate(0.9, 0.4, 0.0, 1.0), candidate(0.6, 0.1, 0.0, 1.0)];
+        let hv = hypervolume(&points, &acc_ece_objectives(), &[0.5, 0.5]);
+        assert!((hv - 0.07).abs() < 1e-12, "hv {hv}");
+    }
+
+    #[test]
+    fn hypervolume_3d_matches_inclusion_exclusion() {
+        // Two boxes above reference (0,1,0):
+        // A: acc .2, ece .9 (→.1 below ref), ape .1 → box .2 × .1 × .1 = 0.002
+        // B: acc .1, ece .8 (→.2), ape .2 → 0.1·0.2·0.2 = 0.004
+        // overlap: .1 × .1 × .1 = 0.001 → union 0.005.
+        let points = vec![candidate(0.2, 0.9, 0.1, 1.0), candidate(0.1, 0.8, 0.2, 1.0)];
+        let hv = hypervolume(&points, &figure4_objectives(), &[0.0, 1.0, 0.0]);
+        assert!((hv - 0.005).abs() < 1e-12, "hv {hv}");
+    }
+
+    #[test]
+    fn dominated_points_do_not_change_hypervolume() {
+        let strong = candidate(0.9, 0.1, 0.8, 1.0);
+        let dominated = candidate(0.7, 0.2, 0.5, 1.0);
+        let objectives = figure4_objectives();
+        let reference = [0.0, 1.0, 0.0];
+        let alone = hypervolume(std::slice::from_ref(&strong), &objectives, &reference);
+        let both = hypervolume(&[strong, dominated], &objectives, &reference);
+        assert!((alone - both).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nondominated_point_strictly_increases_hypervolume() {
+        let a = candidate(0.9, 0.1, 0.2, 1.0);
+        let b = candidate(0.5, 0.05, 0.9, 1.0);
+        let objectives = figure4_objectives();
+        let reference = [0.0, 1.0, 0.0];
+        let one = hypervolume(std::slice::from_ref(&a), &objectives, &reference);
+        let two = hypervolume(&[a, b], &objectives, &reference);
+        assert!(two > one, "adding a non-dominated point must grow HV: {one} -> {two}");
+    }
+
+    #[test]
+    fn points_below_reference_contribute_nothing() {
+        let weak = candidate(0.1, 0.9, 0.1, 1.0);
+        let hv = hypervolume(&[weak], &acc_objective(), &[0.5]);
+        assert_eq!(hv, 0.0);
+    }
+}

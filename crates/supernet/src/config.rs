@@ -1,0 +1,163 @@
+use crate::SupernetError;
+use nds_dropout::DropoutKind;
+use std::fmt;
+use std::str::FromStr;
+
+/// One point of the dropout search space: the design chosen for each slot.
+///
+/// Displays in the paper's Table-2 notation, e.g. `B - K - M` for
+/// Bernoulli / Block / Masksembles.
+///
+/// # Examples
+///
+/// ```
+/// use nds_supernet::DropoutConfig;
+/// use nds_dropout::DropoutKind;
+///
+/// let config: DropoutConfig = "B - K - M".parse()?;
+/// assert_eq!(config.kinds()[1], DropoutKind::Block);
+/// assert_eq!(config.to_string(), "B - K - M");
+/// # Ok::<(), nds_supernet::SupernetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DropoutConfig {
+    kinds: Vec<DropoutKind>,
+}
+
+impl DropoutConfig {
+    /// Creates a configuration from per-slot kinds.
+    pub fn new(kinds: Vec<DropoutKind>) -> Self {
+        DropoutConfig { kinds }
+    }
+
+    /// A uniform configuration (`kind` in every one of `slots` slots) —
+    /// the baselines of the paper's Table 1.
+    pub fn uniform(kind: DropoutKind, slots: usize) -> Self {
+        DropoutConfig { kinds: vec![kind; slots] }
+    }
+
+    /// Per-slot kinds, in slot order.
+    pub fn kinds(&self) -> &[DropoutKind] {
+        &self.kinds
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` for a zero-slot configuration.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// `true` when every slot uses the same design.
+    pub fn is_uniform(&self) -> bool {
+        self.kinds.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The kind at `slot`, or `None` out of range.
+    pub fn kind_at(&self, slot: usize) -> Option<DropoutKind> {
+        self.kinds.get(slot).copied()
+    }
+
+    /// Returns a copy with `slot` replaced by `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn with_kind(&self, slot: usize, kind: DropoutKind) -> Self {
+        let mut kinds = self.kinds.clone();
+        kinds[slot] = kind;
+        DropoutConfig { kinds }
+    }
+
+    /// Compact code string without separators, e.g. `BKM` — handy as a map
+    /// key or file name.
+    pub fn compact(&self) -> String {
+        self.kinds.iter().map(|k| k.code()).collect()
+    }
+}
+
+impl fmt::Display for DropoutConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " - ")?;
+            }
+            write!(f, "{}", kind.code())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DropoutConfig {
+    type Err = SupernetError;
+
+    /// Parses both the Table-2 notation (`B - K - M`) and compact codes
+    /// (`BKM`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let cleaned: String = s.chars().filter(|c| !c.is_whitespace() && *c != '-').collect();
+        if cleaned.is_empty() {
+            return Err(SupernetError::BadSpec(format!("empty dropout config `{s}`")));
+        }
+        let kinds = cleaned
+            .chars()
+            .map(|c| {
+                DropoutKind::from_code(c).ok_or_else(|| {
+                    SupernetError::BadSpec(format!("unknown dropout code `{c}` in `{s}`"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DropoutConfig { kinds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_table2_notation() {
+        let c = DropoutConfig::new(vec![
+            DropoutKind::Bernoulli,
+            DropoutKind::Block,
+            DropoutKind::Masksembles,
+        ]);
+        assert_eq!(c.to_string(), "B - K - M");
+        assert_eq!(c.compact(), "BKM");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["B - K - M", "BKM", "b-k-m", "RRRR"] {
+            let c: DropoutConfig = s.parse().unwrap();
+            let again: DropoutConfig = c.to_string().parse().unwrap();
+            assert_eq!(c, again);
+        }
+        assert!("BX".parse::<DropoutConfig>().is_err());
+        assert!("".parse::<DropoutConfig>().is_err());
+    }
+
+    #[test]
+    fn uniform_detection() {
+        assert!(DropoutConfig::uniform(DropoutKind::Random, 4).is_uniform());
+        assert!(!"BKMM".parse::<DropoutConfig>().unwrap().is_uniform());
+        assert!(DropoutConfig::new(vec![]).is_uniform());
+    }
+
+    #[test]
+    fn with_kind_replaces_one_slot() {
+        let c: DropoutConfig = "BBBB".parse().unwrap();
+        let d = c.with_kind(2, DropoutKind::Masksembles);
+        assert_eq!(d.to_string(), "B - B - M - B");
+        assert_eq!(c.to_string(), "B - B - B - B", "original untouched");
+    }
+
+    #[test]
+    fn kind_at_bounds() {
+        let c: DropoutConfig = "BR".parse().unwrap();
+        assert_eq!(c.kind_at(1), Some(DropoutKind::Random));
+        assert_eq!(c.kind_at(2), None);
+    }
+}

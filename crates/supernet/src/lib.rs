@@ -1,0 +1,400 @@
+//! One-shot supernet with layer-wise dropout choice (SPOS training).
+//!
+//! Phase 2 of the paper trains a *supernet* containing every candidate
+//! dropout design in every specified slot. Following the Single Path
+//! One-Shot paradigm (Guo et al., ECCV 2020), each training step uniformly
+//! samples one design per slot and updates the shared weights through that
+//! single path, so the cost of training the whole `∏ Mᵢ`-sized space is the
+//! cost of training one network (§3.3).
+//!
+//! Key types:
+//!
+//! * [`SupernetSpec`] — architecture + per-slot choice lists (the `Mᵢ`),
+//! * [`DropoutConfig`] — one point of the search space (one kind per slot),
+//!   displayed in the paper's Table-2 notation (`B - K - M`),
+//! * [`Supernet`] — the built network with switchable slots, SPOS training
+//!   and candidate evaluation (accuracy / ECE / aPE via MC-dropout).
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_supernet::{SupernetSpec, Supernet};
+//! use nds_nn::zoo;
+//! use nds_tensor::rng::Rng64;
+//!
+//! let spec = SupernetSpec::paper_default(zoo::lenet(), 42)?;
+//! assert_eq!(spec.space_size(), 4 * 4 * 2); // paper's LeNet space
+//! let mut supernet = Supernet::build(&spec)?;
+//! let mut rng = Rng64::new(7);
+//! let config = supernet.sample_uniform(&mut rng);
+//! assert_eq!(config.len(), 3);
+//! # Ok::<(), nds_supernet::SupernetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod slot_layer;
+mod standalone;
+mod supernet;
+
+pub use config::DropoutConfig;
+pub use slot_layer::{SelectionState, SlotLayer};
+pub use standalone::{build_standalone, train_standalone, StandaloneResult};
+pub use supernet::{CandidateMetrics, SposStats, Supernet};
+
+use nds_dropout::{DropoutError, DropoutKind, DropoutSettings};
+use nds_nn::arch::{Architecture, SlotInfo, SlotPosition};
+use nds_nn::NnError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from supernet specification, construction and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupernetError {
+    /// The choice lists do not match the architecture's slots.
+    BadSpec(String),
+    /// An underlying dropout error.
+    Dropout(DropoutError),
+    /// An underlying network error.
+    Nn(NnError),
+}
+
+impl fmt::Display for SupernetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupernetError::BadSpec(msg) => write!(f, "bad supernet spec: {msg}"),
+            SupernetError::Dropout(e) => write!(f, "dropout error: {e}"),
+            SupernetError::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl StdError for SupernetError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SupernetError::Dropout(e) => Some(e),
+            SupernetError::Nn(e) => Some(e),
+            SupernetError::BadSpec(_) => None,
+        }
+    }
+}
+
+impl From<DropoutError> for SupernetError {
+    fn from(e: DropoutError) -> Self {
+        SupernetError::Dropout(e)
+    }
+}
+
+impl From<NnError> for SupernetError {
+    fn from(e: NnError) -> Self {
+        SupernetError::Nn(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SupernetError>;
+
+/// The supernet specification: Phase-1 inputs of the framework.
+#[derive(Debug, Clone)]
+pub struct SupernetSpec {
+    /// The base architecture (with dropout slots).
+    pub arch: Architecture,
+    /// Per-slot candidate lists (`choices[i]` is slot *i*'s `Mᵢ` designs).
+    pub choices: Vec<Vec<DropoutKind>>,
+    /// Shared dropout hyperparameters (rate, block size, S, scale).
+    pub settings: DropoutSettings,
+    /// Seed for weight init and mask streams.
+    pub seed: u64,
+    /// Cached slot metadata from shape inference.
+    slots: Vec<SlotInfo>,
+}
+
+impl SupernetSpec {
+    /// Creates and validates a specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError::BadSpec`] when the choice-list count does
+    /// not match the slot count, a list is empty, a kind is illegal at its
+    /// slot position, or a list contains duplicates.
+    pub fn new(
+        arch: Architecture,
+        choices: Vec<Vec<DropoutKind>>,
+        settings: DropoutSettings,
+        seed: u64,
+    ) -> Result<Self> {
+        let slots = arch.slots()?;
+        if choices.len() != slots.len() {
+            return Err(SupernetError::BadSpec(format!(
+                "{} choice lists for {} slots",
+                choices.len(),
+                slots.len()
+            )));
+        }
+        for (slot, list) in slots.iter().zip(choices.iter()) {
+            if list.is_empty() {
+                return Err(SupernetError::BadSpec(format!(
+                    "slot {} has no candidate designs",
+                    slot.id
+                )));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for kind in list {
+                if !kind.supports(slot.position) {
+                    return Err(SupernetError::BadSpec(format!(
+                        "{kind} dropout is illegal at slot {} ({:?})",
+                        slot.id, slot.position
+                    )));
+                }
+                if !seen.insert(*kind) {
+                    return Err(SupernetError::BadSpec(format!(
+                        "slot {} lists {kind} twice",
+                        slot.id
+                    )));
+                }
+            }
+        }
+        Ok(SupernetSpec { arch, choices, settings, seed, slots })
+    }
+
+    /// The paper's default choice assignment (§4.1): every conv slot gets
+    /// all four designs; every FC slot gets Bernoulli and Masksembles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture shape-inference errors.
+    pub fn paper_default(arch: Architecture, seed: u64) -> Result<Self> {
+        let slots = arch.slots()?;
+        let choices = slots
+            .iter()
+            .map(|slot| match slot.position {
+                SlotPosition::Conv => DropoutKind::all().to_vec(),
+                SlotPosition::FullyConnected => {
+                    vec![DropoutKind::Bernoulli, DropoutKind::Masksembles]
+                }
+            })
+            .collect();
+        SupernetSpec::new(arch, choices, DropoutSettings::default(), seed)
+    }
+
+    /// The extended search space implementing the paper's future-work
+    /// direction: the paper's four designs **plus Gaussian dropout** at
+    /// every conv slot, and Bernoulli / Masksembles / Gaussian at FC slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture shape-inference errors.
+    pub fn extended_default(arch: Architecture, seed: u64) -> Result<Self> {
+        let slots = arch.slots()?;
+        let choices = slots
+            .iter()
+            .map(|slot| match slot.position {
+                SlotPosition::Conv => DropoutKind::extended().to_vec(),
+                SlotPosition::FullyConnected => vec![
+                    DropoutKind::Bernoulli,
+                    DropoutKind::Masksembles,
+                    DropoutKind::Gaussian,
+                ],
+            })
+            .collect();
+        SupernetSpec::new(arch, choices, DropoutSettings::default(), seed)
+    }
+
+    /// Slot metadata (id, shape, position), ordered by network position.
+    pub fn slots(&self) -> &[SlotInfo] {
+        &self.slots
+    }
+
+    /// Number of dropout slots `N`.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total search-space size `∏ Mᵢ`.
+    pub fn space_size(&self) -> usize {
+        self.choices.iter().map(|c| c.len()).product()
+    }
+
+    /// Enumerates the entire search space in lexicographic order.
+    pub fn enumerate(&self) -> Vec<DropoutConfig> {
+        let mut out = Vec::with_capacity(self.space_size());
+        let mut current = Vec::with_capacity(self.choices.len());
+        self.enumerate_rec(0, &mut current, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        slot: usize,
+        current: &mut Vec<DropoutKind>,
+        out: &mut Vec<DropoutConfig>,
+    ) {
+        if slot == self.choices.len() {
+            out.push(DropoutConfig::new(current.clone()));
+            return;
+        }
+        for &kind in &self.choices[slot] {
+            current.push(kind);
+            self.enumerate_rec(slot + 1, current, out);
+            current.pop();
+        }
+    }
+
+    /// Uniformly samples one configuration (the SPOS path sampler).
+    pub fn sample_config(&self, rng: &mut nds_tensor::rng::Rng64) -> DropoutConfig {
+        DropoutConfig::new(
+            self.choices
+                .iter()
+                .map(|list| *rng.choose(list).expect("choice lists are non-empty"))
+                .collect(),
+        )
+    }
+
+    /// Validates that a configuration is a member of this space.
+    pub fn contains(&self, config: &DropoutConfig) -> bool {
+        config.len() == self.choices.len()
+            && config
+                .kinds()
+                .iter()
+                .zip(self.choices.iter())
+                .all(|(kind, list)| list.contains(kind))
+    }
+
+    /// The uniform baseline configs ("All Bernoulli", …) that exist in this
+    /// space — a uniform config is included only if every slot offers the
+    /// kind (paper Table 1 compares against exactly these).
+    pub fn uniform_configs(&self) -> Vec<DropoutConfig> {
+        DropoutKind::all()
+            .into_iter()
+            .filter(|kind| self.choices.iter().all(|list| list.contains(kind)))
+            .map(|kind| DropoutConfig::new(vec![kind; self.choices.len()]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::zoo;
+
+    #[test]
+    fn paper_default_lenet_space() {
+        let spec = SupernetSpec::paper_default(zoo::lenet(), 1).unwrap();
+        assert_eq!(spec.slot_count(), 3);
+        assert_eq!(spec.space_size(), 32);
+        assert_eq!(spec.enumerate().len(), 32);
+    }
+
+    #[test]
+    fn paper_default_resnet_space() {
+        let spec = SupernetSpec::paper_default(zoo::resnet18(4), 1).unwrap();
+        assert_eq!(spec.slot_count(), 4);
+        assert_eq!(spec.space_size(), 256);
+    }
+
+    #[test]
+    fn enumerate_is_exhaustive_and_unique() {
+        let spec = SupernetSpec::paper_default(zoo::lenet(), 1).unwrap();
+        let all = spec.enumerate();
+        let unique: std::collections::HashSet<String> =
+            all.iter().map(|c| c.to_string()).collect();
+        assert_eq!(unique.len(), all.len());
+        assert!(all.iter().all(|c| spec.contains(c)));
+    }
+
+    #[test]
+    fn sampling_stays_in_space() {
+        let spec = SupernetSpec::paper_default(zoo::lenet(), 1).unwrap();
+        let mut rng = nds_tensor::rng::Rng64::new(2);
+        for _ in 0..50 {
+            let c = spec.sample_config(&mut rng);
+            assert!(spec.contains(&c));
+        }
+    }
+
+    #[test]
+    fn sampling_covers_space() {
+        let spec = SupernetSpec::paper_default(zoo::lenet(), 1).unwrap();
+        let mut rng = nds_tensor::rng::Rng64::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(spec.sample_config(&mut rng).to_string());
+        }
+        assert_eq!(seen.len(), 32, "uniform sampling should hit all 32 configs");
+    }
+
+    #[test]
+    fn extended_space_adds_gaussian() {
+        let spec = SupernetSpec::extended_default(zoo::lenet(), 1).unwrap();
+        // Conv slots: 5 choices; FC slot: 3 choices.
+        assert_eq!(spec.space_size(), 5 * 5 * 3);
+        assert!(spec.contains(&"GGG".parse().unwrap()));
+        assert!(spec.contains(&"GKB".parse().unwrap()));
+        // The paper space does not contain Gaussian configs.
+        let paper = SupernetSpec::paper_default(zoo::lenet(), 1).unwrap();
+        assert!(!paper.contains(&"GBB".parse().unwrap()));
+    }
+
+    #[test]
+    fn rejects_wrong_choice_count() {
+        let err = SupernetSpec::new(
+            zoo::lenet(),
+            vec![vec![DropoutKind::Bernoulli]],
+            DropoutSettings::default(),
+            1,
+        );
+        assert!(matches!(err, Err(SupernetError::BadSpec(_))));
+    }
+
+    #[test]
+    fn rejects_block_on_fc_slot() {
+        // LeNet slot 2 is FC; offering Block there must fail.
+        let err = SupernetSpec::new(
+            zoo::lenet(),
+            vec![
+                DropoutKind::all().to_vec(),
+                DropoutKind::all().to_vec(),
+                vec![DropoutKind::Block],
+            ],
+            DropoutSettings::default(),
+            1,
+        );
+        assert!(matches!(err, Err(SupernetError::BadSpec(_))));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let dup = SupernetSpec::new(
+            zoo::lenet(),
+            vec![
+                vec![DropoutKind::Bernoulli, DropoutKind::Bernoulli],
+                DropoutKind::all().to_vec(),
+                vec![DropoutKind::Bernoulli],
+            ],
+            DropoutSettings::default(),
+            1,
+        );
+        assert!(dup.is_err());
+        let empty = SupernetSpec::new(
+            zoo::lenet(),
+            vec![vec![], DropoutKind::all().to_vec(), vec![DropoutKind::Bernoulli]],
+            DropoutSettings::default(),
+            1,
+        );
+        assert!(empty.is_err());
+    }
+
+    #[test]
+    fn uniform_configs_respect_fc_restrictions() {
+        let spec = SupernetSpec::paper_default(zoo::lenet(), 1).unwrap();
+        // FC slot only offers B and M, so only all-B and all-M exist.
+        let uniforms = spec.uniform_configs();
+        let names: Vec<String> = uniforms.iter().map(|c| c.to_string()).collect();
+        assert_eq!(uniforms.len(), 2, "{names:?}");
+        // ResNet offers all four everywhere.
+        let spec = SupernetSpec::paper_default(zoo::resnet18(4), 1).unwrap();
+        assert_eq!(spec.uniform_configs().len(), 4);
+    }
+}

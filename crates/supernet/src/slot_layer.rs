@@ -1,0 +1,224 @@
+use nds_dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+use nds_nn::arch::SlotInfo;
+use nds_nn::{Layer, Mode, Result as NnResult};
+use nds_tensor::{Shape, Tensor};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared per-slot selection indices, read by every [`SlotLayer`] at
+/// forward time and written by the supernet when a configuration is
+/// activated.
+///
+/// A cheap `Rc<RefCell<…>>` is deliberate: the supernet is a single-threaded
+/// training construct, and sharing the selection vector lets the owning
+/// [`crate::Supernet`] switch paths without walking the layer tree.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionState {
+    inner: Rc<RefCell<Vec<usize>>>,
+}
+
+impl SelectionState {
+    /// A selection vector for `slots` slots, all starting at candidate 0.
+    pub fn new(slots: usize) -> Self {
+        SelectionState {
+            inner: Rc::new(RefCell::new(vec![0; slots])),
+        }
+    }
+
+    /// The active candidate index for `slot`.
+    pub fn get(&self, slot: usize) -> usize {
+        self.inner.borrow()[slot]
+    }
+
+    /// Sets the active candidate index for `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn set(&self, slot: usize, candidate: usize) {
+        self.inner.borrow_mut()[slot] = candidate;
+    }
+
+    /// Number of slots tracked.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` when no slots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+/// A dropout slot of the supernet: all `Mᵢ` candidate dropout layers plus
+/// the shared selection state choosing which one runs.
+///
+/// Weight sharing is automatic — dropout layers own no weights, so every
+/// candidate path reuses the surrounding network's parameters, which is
+/// exactly the SPOS weight-sharing property the paper relies on.
+pub struct SlotLayer {
+    slot: SlotInfo,
+    kinds: Vec<DropoutKind>,
+    candidates: Vec<DropoutLayer>,
+    selection: SelectionState,
+}
+
+impl SlotLayer {
+    /// Builds the slot's candidate layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dropout-construction errors (illegal kind/position or
+    /// bad settings).
+    pub fn new(
+        slot: &SlotInfo,
+        kinds: &[DropoutKind],
+        settings: &DropoutSettings,
+        selection: SelectionState,
+        seed: u64,
+    ) -> Result<Self, nds_dropout::DropoutError> {
+        let candidates = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                DropoutLayer::for_slot(kind, slot, settings, seed ^ ((i as u64) << 32))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SlotLayer {
+            slot: slot.clone(),
+            kinds: kinds.to_vec(),
+            candidates,
+            selection,
+        })
+    }
+
+    /// The candidate kinds offered by this slot.
+    pub fn kinds(&self) -> &[DropoutKind] {
+        &self.kinds
+    }
+
+    /// The kind currently active.
+    pub fn active_kind(&self) -> DropoutKind {
+        self.kinds[self.selection.get(self.slot.id)]
+    }
+
+    /// The slot metadata.
+    pub fn slot(&self) -> &SlotInfo {
+        &self.slot
+    }
+
+    fn active_index(&self) -> usize {
+        let ix = self.selection.get(self.slot.id);
+        debug_assert!(ix < self.candidates.len(), "selection out of range");
+        ix.min(self.candidates.len() - 1)
+    }
+}
+
+impl fmt::Debug for SlotLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotLayer")
+            .field("slot", &self.slot.id)
+            .field("kinds", &self.kinds)
+            .field("active", &self.active_kind())
+            .finish()
+    }
+}
+
+impl Layer for SlotLayer {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> NnResult<Tensor> {
+        let ix = self.active_index();
+        self.candidates[ix].forward(input, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> NnResult<Tensor> {
+        let ix = self.active_index();
+        self.candidates[ix].backward(grad)
+    }
+
+    fn begin_mc_round(&mut self) {
+        for candidate in &mut self.candidates {
+            candidate.begin_mc_round();
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "slot({}: [{}], active {})",
+            self.slot.id,
+            self.kinds
+                .iter()
+                .map(|k| k.code().to_string())
+                .collect::<Vec<_>>()
+                .join(""),
+            self.active_kind().code()
+        )
+    }
+
+    fn out_shape(&self, input: &Shape) -> NnResult<Shape> {
+        Ok(input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::arch::{FeatureShape, SlotPosition};
+
+    fn slot_info() -> SlotInfo {
+        SlotInfo {
+            id: 0,
+            shape: FeatureShape::Map { c: 4, h: 4, w: 4 },
+            position: SlotPosition::Conv,
+        }
+    }
+
+    #[test]
+    fn selection_switches_candidates() {
+        let selection = SelectionState::new(1);
+        let mut layer = SlotLayer::new(
+            &slot_info(),
+            &DropoutKind::all(),
+            &DropoutSettings::default(),
+            selection.clone(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(layer.active_kind(), DropoutKind::Bernoulli);
+        selection.set(0, 3);
+        assert_eq!(layer.active_kind(), DropoutKind::Masksembles);
+        // Standard mode stays identity through any candidate.
+        let x = Tensor::ones(Shape::d4(1, 4, 4, 4));
+        assert_eq!(layer.forward(&x, Mode::Standard).unwrap(), x);
+    }
+
+    #[test]
+    fn forward_uses_active_candidate() {
+        let selection = SelectionState::new(1);
+        let mut layer = SlotLayer::new(
+            &slot_info(),
+            &[DropoutKind::Bernoulli, DropoutKind::Masksembles],
+            &DropoutSettings { rate: 0.5, ..DropoutSettings::default() },
+            selection.clone(),
+            2,
+        )
+        .unwrap();
+        let x = Tensor::ones(Shape::d4(1, 4, 4, 4));
+        // Masksembles (channel-granular): whole channels are zeroed.
+        selection.set(0, 1);
+        let y = layer.forward(&x, Mode::McInference).unwrap();
+        for c in 0..4 {
+            let plane = &y.as_slice()[c * 16..(c + 1) * 16];
+            assert!(plane.iter().all(|&v| v == plane[0]), "channel {c} uniform");
+        }
+    }
+
+    #[test]
+    fn shared_state_controls_many_slots() {
+        let selection = SelectionState::new(2);
+        assert_eq!(selection.len(), 2);
+        selection.set(1, 3);
+        assert_eq!(selection.get(0), 0);
+        assert_eq!(selection.get(1), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Standalone (non-supernet) networks with one fixed dropout configuration.
+//!
+//! The one-shot supernet scores every candidate with *shared* weights —
+//! the paper's efficiency claim rests on those scores ranking candidates
+//! the same way dedicated training would. This module provides the ground
+//! truth side of that comparison: build a network with the dropout design
+//! of a single [`DropoutConfig`] permanently installed, train it from
+//! scratch, and evaluate the same accuracy/ECE/aPE metrics. The `ablation`
+//! bench correlates the two rankings (Spearman) to validate the proxy.
+
+use crate::{CandidateMetrics, DropoutConfig, SupernetError};
+use nds_data::Dataset;
+use nds_dropout::mc::mc_predict;
+use nds_dropout::{DropoutLayer, DropoutSettings};
+use nds_metrics::{accuracy, average_predictive_entropy, ece, EceConfig};
+use nds_nn::arch::Architecture;
+use nds_nn::layers::Sequential;
+use nds_nn::train::{fit, EpochStats, TrainConfig};
+use nds_tensor::rng::Rng64;
+use nds_tensor::Tensor;
+
+/// Builds a plain network with `config`'s dropout design installed in each
+/// slot — no slot switching, no weight sharing.
+///
+/// # Errors
+///
+/// Returns [`SupernetError::BadSpec`] when `config` has the wrong arity
+/// for the architecture, and propagates dropout/network construction
+/// errors (e.g. a kind that is illegal at its slot position).
+pub fn build_standalone(
+    arch: &Architecture,
+    config: &DropoutConfig,
+    settings: &DropoutSettings,
+    seed: u64,
+) -> Result<Sequential, SupernetError> {
+    let slots = arch.slots()?;
+    if slots.len() != config.len() {
+        return Err(SupernetError::BadSpec(format!(
+            "config {config} has {} kinds but `{}` has {} slots",
+            config.len(),
+            arch.name,
+            slots.len()
+        )));
+    }
+    let mut rng = Rng64::new(seed);
+    let mut build_err: Option<SupernetError> = None;
+    let net = arch.build(&mut rng, &mut |slot| {
+        let kind = config
+            .kind_at(slot.id)
+            .expect("arity checked above; slot ids are 0..len");
+        match DropoutLayer::for_slot(kind, slot, settings, seed ^ 0x57A_0000 ^ slot.id as u64) {
+            Ok(layer) => Box::new(layer),
+            Err(e) => {
+                build_err = Some(e.into());
+                Box::new(nds_nn::layers::Identity::new())
+            }
+        }
+    })?;
+    if let Some(e) = build_err {
+        return Err(e);
+    }
+    Ok(net)
+}
+
+/// Output of [`train_standalone`].
+#[derive(Debug)]
+pub struct StandaloneResult {
+    /// The trained network.
+    pub net: Sequential,
+    /// Per-epoch training statistics.
+    pub history: Vec<EpochStats>,
+    /// Validation metrics, measured exactly as the supernet measures them
+    /// (MC-dropout with `samples` forward passes; aPE on the OOD probe).
+    pub metrics: CandidateMetrics,
+}
+
+/// Builds, trains and evaluates a standalone network for one dropout
+/// configuration — the dedicated-training ground truth the supernet's
+/// shared-weight evaluation approximates.
+///
+/// Batch-norm statistics need no recalibration here: they are accumulated
+/// under the *one* path the network ever runs, which is the whole point of
+/// the comparison.
+///
+/// # Errors
+///
+/// Propagates construction, training and metric errors.
+#[allow(clippy::too_many_arguments)]
+pub fn train_standalone(
+    arch: &Architecture,
+    config: &DropoutConfig,
+    settings: &DropoutSettings,
+    train: &Dataset,
+    val: &Dataset,
+    ood: &Tensor,
+    train_config: &TrainConfig,
+    samples: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Result<StandaloneResult, SupernetError> {
+    let mut net = build_standalone(arch, config, settings, seed)?;
+    let mut rng = Rng64::new(seed ^ 0xF17);
+    let history = fit(&mut net, train_config, &mut rng, |rng| {
+        train
+            .iter_batches(train_config.batch_size, rng)
+            .collect::<Vec<_>>()
+            .into_iter()
+    })?;
+    let (images, labels) = val.full_batch();
+    let pred = mc_predict(&mut net, &images, samples.max(1), batch_size)?;
+    let acc = accuracy(&pred.mean_probs, &labels)
+        .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
+    let cal = ece(&pred.mean_probs, &labels, EceConfig::default())
+        .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
+    let ood_pred = mc_predict(&mut net, ood, samples.max(1), batch_size)?;
+    let ape = average_predictive_entropy(&ood_pred.mean_probs)
+        .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
+    Ok(StandaloneResult {
+        net,
+        history,
+        metrics: CandidateMetrics { accuracy: acc, ece: cal, ape },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_data::{mnist_like, DatasetConfig};
+    use nds_nn::optim::LrSchedule;
+    use nds_nn::zoo;
+    use nds_nn::{Layer, Mode};
+    use nds_tensor::Shape;
+
+    #[test]
+    fn builds_with_each_legal_config() {
+        let arch = zoo::lenet();
+        for code in ["BBB", "RKM", "MMB", "KKM"] {
+            let config: DropoutConfig = code.parse().unwrap();
+            let mut net =
+                build_standalone(&arch, &config, &DropoutSettings::default(), 1).unwrap();
+            let x = Tensor::zeros(Shape::d4(2, 1, 28, 28));
+            let y = net.forward(&x, Mode::Standard).unwrap();
+            assert_eq!(y.shape(), &Shape::d2(2, 10), "{code}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let arch = zoo::lenet();
+        let config: DropoutConfig = "BB".parse().unwrap();
+        assert!(build_standalone(&arch, &config, &DropoutSettings::default(), 1).is_err());
+    }
+
+    #[test]
+    fn rejects_illegal_kind_at_slot() {
+        let arch = zoo::lenet();
+        // Block dropout needs spatial structure; the FC slot rejects it.
+        let config: DropoutConfig = "BBK".parse().unwrap();
+        assert!(build_standalone(&arch, &config, &DropoutSettings::default(), 1).is_err());
+    }
+
+    #[test]
+    fn standalone_training_learns_and_reports_metrics() {
+        let splits =
+            mnist_like(&DatasetConfig { train: 192, val: 48, test: 16, seed: 3, noise: 0.05 });
+        let mut rng = Rng64::new(4);
+        let ood = splits.train.ood_noise(24, &mut rng);
+        let result = train_standalone(
+            &zoo::lenet(),
+            &"BBB".parse().unwrap(),
+            &DropoutSettings::default(),
+            &splits.train,
+            &splits.val,
+            &ood,
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                schedule: LrSchedule::Constant(0.05),
+                warmup_epochs: 0,
+                ..TrainConfig::default()
+            },
+            3,
+            32,
+            5,
+        )
+        .unwrap();
+        assert_eq!(result.history.len(), 2);
+        assert!(
+            result.history[1].loss < result.history[0].loss,
+            "loss {} -> {}",
+            result.history[0].loss,
+            result.history[1].loss
+        );
+        assert!((0.0..=1.0).contains(&result.metrics.accuracy));
+        assert!((0.0..=1.0).contains(&result.metrics.ece));
+        assert!(result.metrics.ape >= 0.0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_networks() {
+        let arch = zoo::lenet();
+        let config: DropoutConfig = "BBB".parse().unwrap();
+        let a = build_standalone(&arch, &config, &DropoutSettings::default(), 1).unwrap();
+        let b = build_standalone(&arch, &config, &DropoutSettings::default(), 2).unwrap();
+        let wa: Vec<f32> = a.params().iter().flat_map(|p| p.value.as_slice().to_vec()).collect();
+        let wb: Vec<f32> = b.params().iter().flat_map(|p| p.value.as_slice().to_vec()).collect();
+        assert_eq!(wa.len(), wb.len());
+        assert_ne!(wa, wb);
+    }
+}

@@ -1,0 +1,491 @@
+//! Convolution and pooling kernels.
+//!
+//! The 2-D convolution is implemented with the classic im2col lowering:
+//! patches of the input feature map are unrolled into the columns of a
+//! matrix so that the convolution becomes one matrix multiplication. This is
+//! both reasonably fast on a CPU and — usefully for this project — exactly
+//! the dataflow that the `nds-hw` accelerator model assumes for its
+//! latency/resource estimates.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Spatial geometry of a convolution or pooling window.
+///
+/// # Examples
+///
+/// ```
+/// use nds_tensor::conv::ConvGeometry;
+/// let g = ConvGeometry::new(3, 1, 1); // 3x3 kernel, stride 1, pad 1: "same"
+/// assert_eq!(g.out_dim(32), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Kernel height and width (square kernels only).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        ConvGeometry { kernel, stride, padding }
+    }
+
+    /// Output spatial size for an input of size `dim`.
+    ///
+    /// Returns 0 when the kernel does not fit.
+    pub fn out_dim(&self, dim: usize) -> usize {
+        let padded = dim + 2 * self.padding;
+        if padded < self.kernel {
+            0
+        } else {
+            (padded - self.kernel) / self.stride + 1
+        }
+    }
+}
+
+/// Unrolls an NCHW batch into an im2col matrix.
+///
+/// For an input `[N, C, H, W]` and geometry `g`, the result is a matrix of
+/// shape `[C*K*K, N*OH*OW]`: each column holds one receptive-field patch.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 inputs and
+/// [`TensorError::InvalidArgument`] when the kernel does not fit.
+pub fn im2col(input: &Tensor, g: ConvGeometry) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        op: "im2col",
+        expected: 4,
+        actual: input.shape().rank(),
+    })?;
+    let oh = g.out_dim(h);
+    let ow = g.out_dim(w);
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "im2col",
+            msg: format!("kernel {}x{} does not fit input {h}x{w} with padding {}", g.kernel, g.kernel, g.padding),
+        });
+    }
+    let k = g.kernel;
+    let rows = c * k * k;
+    let cols = n * oh * ow;
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; rows * cols];
+    // Row-major output: out[row * cols + col].
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for ni in 0..n {
+                    let img = &x[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                    for oy in 0..oh {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        let col_base = (ni * oh + oy) * ow;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding: leave zeros in place
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out_row[col_base + ox] = img[iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::d2(rows, cols))
+}
+
+/// Scatters an im2col-shaped gradient back onto the input feature map
+/// (the adjoint of [`im2col`]).
+///
+/// `cols` must have shape `[C*K*K, N*OH*OW]`; the result has shape
+/// `[N, C, H, W]` given by `input_shape`.
+///
+/// # Errors
+///
+/// Returns shape errors mirroring [`im2col`].
+pub fn col2im(cols: &Tensor, input_shape: &Shape, g: ConvGeometry) -> Result<Tensor> {
+    let (n, c, h, w) = input_shape.as_nchw().ok_or(TensorError::RankMismatch {
+        op: "col2im",
+        expected: 4,
+        actual: input_shape.rank(),
+    })?;
+    let oh = g.out_dim(h);
+    let ow = g.out_dim(w);
+    let k = g.kernel;
+    let rows = c * k * k;
+    let ncols = n * oh * ow;
+    if cols.shape() != &Shape::d2(rows, ncols) {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: Shape::d2(rows, ncols),
+            rhs: cols.shape().clone(),
+        });
+    }
+    let src = cols.as_slice();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let src_row = &src[row * ncols..(row + 1) * ncols];
+                for ni in 0..n {
+                    let img_base = (ni * c + ci) * h * w;
+                    for oy in 0..oh {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        let col_base = (ni * oh + oy) * ow;
+                        for ox in 0..ow {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[img_base + iy * w + ix as usize] += src_row[col_base + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, input_shape.clone())
+}
+
+/// Direct 2-D convolution: weights `[OC, C, K, K]`, input `[N, C, H, W]`,
+/// optional bias `[OC]`, producing `[N, OC, OH, OW]`.
+///
+/// Lowered through [`im2col`] + matmul.
+///
+/// # Errors
+///
+/// Returns shape errors when operand dimensions are inconsistent.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, g: ConvGeometry) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        op: "conv2d",
+        expected: 4,
+        actual: input.shape().rank(),
+    })?;
+    let (oc, wc, kh, kw) = weight.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        op: "conv2d(weight)",
+        expected: 4,
+        actual: weight.shape().rank(),
+    })?;
+    if wc != c || kh != g.kernel || kw != g.kernel {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: Shape::d4(oc, c, g.kernel, g.kernel),
+            rhs: weight.shape().clone(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != oc {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d(bias)",
+                lhs: Shape::d1(oc),
+                rhs: b.shape().clone(),
+            });
+        }
+    }
+    let oh = g.out_dim(h);
+    let ow = g.out_dim(w);
+    let cols = im2col(input, g)?;
+    let wmat = weight.reshape(Shape::d2(oc, c * g.kernel * g.kernel))?;
+    // [OC, CKK] x [CKK, N*OH*OW] = [OC, N*OH*OW]
+    let prod = wmat.matmul(&cols)?;
+    // Rearrange [OC, N*OH*OW] -> [N, OC, OH, OW], adding bias as we go.
+    let src = prod.as_slice();
+    let spatial = oh * ow;
+    let mut out = vec![0.0f32; n * oc * spatial];
+    for o in 0..oc {
+        let badd = bias.map(|b| b.as_slice()[o]).unwrap_or(0.0);
+        for ni in 0..n {
+            let src_base = o * (n * spatial) + ni * spatial;
+            let dst_base = (ni * oc + o) * spatial;
+            for s in 0..spatial {
+                out[dst_base + s] = src[src_base + s] + badd;
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::d4(n, oc, oh, ow))
+}
+
+/// Result of a max-pool forward pass: outputs plus argmax indices for the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled feature map `[N, C, OH, OW]`.
+    pub output: Tensor,
+    /// Flat input index of the winning element for each output element.
+    pub argmax: Vec<usize>,
+}
+
+/// Max pooling over an NCHW tensor.
+///
+/// # Errors
+///
+/// Returns shape errors when the window does not fit.
+pub fn max_pool2d(input: &Tensor, g: ConvGeometry) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        op: "max_pool2d",
+        expected: 4,
+        actual: input.shape().rank(),
+    })?;
+    let oh = g.out_dim(h);
+    let ow = g.out_dim(w);
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "max_pool2d",
+            msg: format!("window {} does not fit input {h}x{w}", g.kernel),
+        });
+    }
+    let x = input.as_slice();
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            let img_base = (ni * c + ci) * h * w;
+            let out_base = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = img_base + iy as usize * w + ix as usize;
+                            // NaN wins and sticks: a poisoned window must
+                            // report NaN, not silently pick a finite value.
+                            if x[idx] > best || x[idx].is_nan() {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[out_base + oy * ow + ox] = best;
+                    argmax[out_base + oy * ow + ox] = best_idx;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: Tensor::from_vec(out, Shape::d4(n, c, oh, ow))?,
+        argmax,
+    })
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 inputs.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        op: "global_avg_pool",
+        expected: 4,
+        actual: input.shape().rank(),
+    })?;
+    let x = input.as_slice();
+    let spatial = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let sum: f32 = x[base..base + h * w].iter().sum();
+            out[ni * c + ci] = sum / spatial;
+        }
+    }
+    Tensor::from_vec(out, Shape::d2(n, c))
+}
+
+/// Average pooling over an NCHW tensor (counts padding as zeros, divides by
+/// the full window area, matching common "count_include_pad" semantics).
+///
+/// # Errors
+///
+/// Returns shape errors when the window does not fit.
+pub fn avg_pool2d(input: &Tensor, g: ConvGeometry) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        op: "avg_pool2d",
+        expected: 4,
+        actual: input.shape().rank(),
+    })?;
+    let oh = g.out_dim(h);
+    let ow = g.out_dim(w);
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "avg_pool2d",
+            msg: format!("window {} does not fit input {h}x{w}", g.kernel),
+        });
+    }
+    let x = input.as_slice();
+    let area = (g.kernel * g.kernel) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            let img_base = (ni * c + ci) * h * w;
+            let out_base = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut sum = 0.0f32;
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            sum += x[img_base + iy as usize * w + ix as usize];
+                        }
+                    }
+                    out[out_base + oy * ow + ox] = sum / area;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::d4(n, c, oh, ow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        let g = ConvGeometry::new(3, 1, 1);
+        assert_eq!(g.out_dim(32), 32);
+        let g = ConvGeometry::new(2, 2, 0);
+        assert_eq!(g.out_dim(32), 16);
+        let g = ConvGeometry::new(5, 1, 0);
+        assert_eq!(g.out_dim(28), 24);
+        assert_eq!(g.out_dim(3), 0); // kernel larger than padded input
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // A 1x1 kernel with weight 1 reproduces the input.
+        let input = Tensor::arange(3 * 3)
+            .reshape(Shape::d4(1, 1, 3, 3))
+            .unwrap();
+        let weight = Tensor::ones(Shape::d4(1, 1, 1, 1));
+        let out = conv2d(&input, &weight, None, ConvGeometry::new(1, 1, 0)).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv2d_known_3x3() {
+        // All-ones 3x3 kernel over a 3x3 all-ones image, no padding: sum = 9.
+        let input = Tensor::ones(Shape::d4(1, 1, 3, 3));
+        let weight = Tensor::ones(Shape::d4(1, 1, 3, 3));
+        let out = conv2d(&input, &weight, None, ConvGeometry::new(3, 1, 0)).unwrap();
+        assert_eq!(out.shape(), &Shape::d4(1, 1, 1, 1));
+        assert_eq!(out.as_slice(), &[9.0]);
+        // With padding 1 the corner receptive fields see only 4 ones.
+        let out = conv2d(&input, &weight, None, ConvGeometry::new(3, 1, 1)).unwrap();
+        assert_eq!(out.shape(), &Shape::d4(1, 1, 3, 3));
+        assert_eq!(out.get(&[0, 0, 0, 0]), Some(4.0));
+        assert_eq!(out.get(&[0, 0, 1, 1]), Some(9.0));
+        assert_eq!(out.get(&[0, 0, 0, 1]), Some(6.0));
+    }
+
+    #[test]
+    fn conv2d_bias_is_added_per_channel() {
+        let input = Tensor::zeros(Shape::d4(2, 1, 2, 2));
+        let weight = Tensor::zeros(Shape::d4(3, 1, 1, 1));
+        let bias = Tensor::from_vec(vec![1.0, 2.0, 3.0], Shape::d1(3)).unwrap();
+        let out = conv2d(&input, &weight, Some(&bias), ConvGeometry::new(1, 1, 0)).unwrap();
+        for ni in 0..2 {
+            for o in 0..3 {
+                assert_eq!(out.get(&[ni, o, 0, 0]), Some((o + 1) as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_multi_channel_sums_channels() {
+        // Two input channels, kernel picks each with weight 1: output = c0 + c1.
+        let mut input = Tensor::zeros(Shape::d4(1, 2, 2, 2));
+        input.set(&[0, 0, 0, 0], 3.0).unwrap();
+        input.set(&[0, 1, 0, 0], 4.0).unwrap();
+        let weight = Tensor::ones(Shape::d4(1, 2, 1, 1));
+        let out = conv2d(&input, &weight, None, ConvGeometry::new(1, 1, 0)).unwrap();
+        assert_eq!(out.get(&[0, 0, 0, 0]), Some(7.0));
+    }
+
+    #[test]
+    fn conv2d_rejects_wrong_weight_channels() {
+        let input = Tensor::zeros(Shape::d4(1, 3, 4, 4));
+        let weight = Tensor::zeros(Shape::d4(2, 2, 3, 3));
+        assert!(conv2d(&input, &weight, None, ConvGeometry::new(3, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property() {
+        // col2im(im2col(x)) counts each input position once per receptive
+        // field it participates in; with a 1x1 kernel it is exactly x.
+        let input = Tensor::arange(2 * 3 * 3)
+            .reshape(Shape::d4(1, 2, 3, 3))
+            .unwrap();
+        let g = ConvGeometry::new(1, 1, 0);
+        let cols = im2col(&input, g).unwrap();
+        let back = col2im(&cols, input.shape(), g).unwrap();
+        assert_eq!(back.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn max_pool_picks_maxima_and_argmax() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            Shape::d4(1, 1, 4, 4),
+        )
+        .unwrap();
+        let MaxPoolOutput { output, argmax } = max_pool2d(&input, ConvGeometry::new(2, 2, 0)).unwrap();
+        assert_eq!(output.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], Shape::d4(1, 1, 2, 2)).unwrap();
+        let out = avg_pool2d(&input, ConvGeometry::new(2, 2, 0)).unwrap();
+        assert_eq!(out.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_spatial() {
+        let input = Tensor::arange(2 * 3 * 2 * 2)
+            .reshape(Shape::d4(2, 3, 2, 2))
+            .unwrap();
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape(), &Shape::d2(2, 3));
+        // Channel 0 of batch 0 holds 0,1,2,3 -> mean 1.5.
+        assert_eq!(out.get(&[0, 0]), Some(1.5));
+    }
+}

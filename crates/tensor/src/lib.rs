@@ -1,0 +1,114 @@
+//! Dense tensor substrate for the neural dropout search framework.
+//!
+//! This crate provides the numeric foundation used by every other crate in
+//! the workspace:
+//!
+//! * [`Tensor`] — a dense, row-major `f32` tensor with NCHW conventions for
+//!   image data and a rich set of elementwise / linear-algebra operations,
+//! * [`Shape`] — a lightweight dimension descriptor,
+//! * [`rng::Rng64`] — a deterministic, seedable PRNG (SplitMix64-seeded
+//!   Xoshiro256\*\*) used for *all* randomness in the workspace so that every
+//!   experiment is reproducible from a single seed,
+//! * [`conv`] — im2col-based 2-D convolution and pooling kernels,
+//! * [`parallel`] — a tiny scoped-thread helper used to parallelise batch
+//!   loops where more than one core is available.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_tensor::{Tensor, Shape};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2)).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod ops;
+pub mod parallel;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Carries enough context to diagnose shape mismatches without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to be compatible were not.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Left-hand / expected shape.
+        lhs: Shape,
+        /// Right-hand / actual shape.
+        rhs: Shape,
+    },
+    /// The number of data elements does not match the product of the shape.
+    LengthMismatch {
+        /// Expected element count (product of dimensions).
+        expected: usize,
+        /// Actual element count supplied.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat or per-axis index.
+        index: usize,
+        /// The bound that was violated.
+        bound: usize,
+    },
+    /// The operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// A parameter was outside its legal domain (e.g. zero-sized kernel).
+    InvalidArgument {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Description of the violated precondition.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (bound {bound})")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "rank mismatch in {op}: expected rank {expected}, got {actual}")
+            }
+            TensorError::InvalidArgument { op, msg } => {
+                write!(f, "invalid argument to {op}: {msg}")
+            }
+        }
+    }
+}
+
+impl StdError for TensorError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,346 @@
+//! Linear-algebra and activation operations on [`Tensor`].
+//!
+//! These free-standing kernels are deliberately simple, cache-friendly
+//! implementations: the workspace targets reproducibility and clarity over
+//! BLAS-level throughput, and the hardware crate models performance
+//! analytically rather than by timing these routines.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix multiplication of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Uses an ikj loop order so the inner loop streams both the `b` row and
+    /// the output row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] when the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        if other.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: other.shape().rank(),
+            });
+        }
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (other.shape().dim(0), other.shape().dim(1));
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape().clone(),
+                rhs: other.shape().clone(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, Shape::d2(n, m))
+    }
+
+    /// Matrix–vector product: `[m, k] × [k] → [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank or shape error when the operands are incompatible.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matvec",
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        if v.shape().rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "matvec",
+                expected: 1,
+                actual: v.shape().rank(),
+            });
+        }
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        if v.len() != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape().clone(),
+                rhs: v.shape().clone(),
+            });
+        }
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x.iter()).map(|(&r, &xv)| r * xv).sum();
+        }
+        Tensor::from_vec(out, Shape::d1(m))
+    }
+
+    /// Rectified linear unit, elementwise `max(0, x)`.
+    ///
+    /// NaN inputs propagate to the output (Rust's `f32::max` would launder
+    /// them to zero, hiding numerical blow-ups from downstream checks).
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| if v > 0.0 || v.is_nan() { v } else { 0.0 })
+    }
+
+    /// Numerically-stable softmax along the last axis of a rank-2 tensor.
+    ///
+    /// Each row is shifted by its max before exponentiation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 inputs.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "softmax_rows",
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &a[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f64;
+            for j in 0..n {
+                let e = (row[j] - max).exp();
+                out[i * n + j] = e;
+                sum += e as f64;
+            }
+            let inv = (1.0 / sum) as f32;
+            for j in 0..n {
+                out[i * n + j] *= inv;
+            }
+        }
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+
+    /// Log-softmax along the last axis of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 inputs.
+    pub fn log_softmax_rows(&self) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "log_softmax_rows",
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &a[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum: f64 = row
+                .iter()
+                .map(|&v| ((v - max) as f64).exp())
+                .sum::<f64>()
+                .ln();
+            for j in 0..n {
+                out[i * n + j] = row[j] - max - log_sum as f32;
+            }
+        }
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+
+    /// Sums a rank-2 tensor over its rows, producing a `[cols]` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 inputs.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "sum_rows",
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j] += a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, Shape::d1(n))
+    }
+
+    /// Adds a `[cols]` bias vector to every row of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank/shape error when operands are incompatible.
+    pub fn add_row_bias(&self, bias: &Tensor) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "add_row_bias",
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        if bias.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row_bias",
+                lhs: self.shape().clone(),
+                rhs: bias.shape().clone(),
+            });
+        }
+        let a = self.as_slice();
+        let b = bias.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = a[i * n + j] + b[j];
+            }
+        }
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), Shape::d2(rows, cols)).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t2(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let c = a.matmul(&Tensor::eye(2)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_validates_shapes() {
+        let a = t2(2, 3, &[0.0; 6]);
+        let b = t2(2, 3, &[0.0; 6]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(Shape::d1(3));
+        assert!(v.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = a.transpose().unwrap();
+        assert_eq!(at.shape(), &Shape::d2(3, 2));
+        assert_eq!(at.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(at.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let v = Tensor::from_vec(vec![1.0, 0.0, -1.0], Shape::d1(3)).unwrap();
+        let got = a.matvec(&v).unwrap();
+        assert_eq!(got.as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = Tensor::from_vec(vec![-1.0, 0.0, 2.0], Shape::d1(3)).unwrap();
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = a.softmax_rows().unwrap();
+        for i in 0..2 {
+            let row_sum: f32 = s.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5, "row {i} sums to {row_sum}");
+        }
+        // The huge-logit row must not overflow to NaN.
+        assert!(s.all_finite());
+        // Equal logits give the uniform distribution.
+        for j in 0..3 {
+            assert!((s.get(&[1, j]).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let a = t2(1, 4, &[0.5, -0.5, 2.0, 0.0]);
+        let s = a.softmax_rows().unwrap();
+        let ls = a.log_softmax_rows().unwrap();
+        for j in 0..4 {
+            let expect = s.get(&[0, j]).unwrap().ln();
+            assert!((ls.get(&[0, j]).unwrap() - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sum_rows_and_bias() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sum_rows().unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        let bias = Tensor::from_vec(vec![10.0, 20.0, 30.0], Shape::d1(3)).unwrap();
+        let c = a.add_row_bias(&bias).unwrap();
+        assert_eq!(c.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal data-parallel helper built on crossbeam's scoped threads.
+//!
+//! The workspace's training loops are embarrassingly parallel over batch
+//! items; [`chunked_for`] splits an index range across the available cores.
+//! On a single-core machine it degrades to a plain serial loop with no
+//! thread overhead, which keeps results byte-identical regardless of core
+//! count (each chunk owns disjoint output).
+
+/// Number of worker threads to use: the machine's available parallelism,
+/// capped to keep per-chunk work meaningful.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs `body(start, end)` over disjoint sub-ranges covering `0..n`,
+/// potentially in parallel.
+///
+/// `body` must be safe to run concurrently on disjoint ranges (the usual
+/// pattern is indexing into disjoint slices via `chunks_mut`). Because the
+/// closure is `Fn` and receives only the range, interior mutability or
+/// pre-split buffers are the caller's responsibility; for the common
+/// slice-chunking case prefer [`for_each_chunk_mut`].
+pub fn chunked_for(n: usize, body: impl Fn(usize, usize) + Sync) {
+    let workers = worker_count();
+    if workers <= 1 || n < 2 {
+        body(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let body = &body;
+            scope.spawn(move |_| body(start, end));
+            start = end;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Applies `body` to equally-sized mutable chunks of `out`, each paired with
+/// its chunk index, potentially in parallel.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `chunk_len`.
+pub fn for_each_chunk_mut<T: Send>(
+    out: &mut [T],
+    chunk_len: usize,
+    body: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(
+        chunk_len > 0 && out.len().is_multiple_of(chunk_len),
+        "output length {} must be a positive multiple of chunk length {}",
+        out.len(),
+        chunk_len
+    );
+    let workers = worker_count();
+    if workers <= 1 {
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            body(i, chunk);
+        }
+        return;
+    }
+    crossbeam::scope(|scope| {
+        let nchunks = out.len() / chunk_len;
+        let per_worker = nchunks.div_ceil(workers);
+        for (wi, worker_slice) in out.chunks_mut(per_worker * chunk_len).enumerate() {
+            let body = &body;
+            scope.spawn(move |_| {
+                for (ci, chunk) in worker_slice.chunks_mut(chunk_len).enumerate() {
+                    body(wi * per_worker + ci, chunk);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunked_for_covers_range_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        chunked_for(1000, |start, end| {
+            counter.fetch_add(end - start, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn chunked_for_handles_empty_and_tiny() {
+        let counter = AtomicUsize::new(0);
+        chunked_for(0, |s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        chunked_for(1, |s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_all_chunks() {
+        let mut out = vec![0usize; 12];
+        for_each_chunk_mut(&mut out, 3, |i, chunk| {
+            for v in chunk {
+                *v = i + 1;
+            }
+        });
+        assert_eq!(out, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn for_each_chunk_mut_rejects_ragged() {
+        let mut out = vec![0usize; 10];
+        for_each_chunk_mut(&mut out, 3, |_, _| {});
+    }
+}

@@ -1,0 +1,304 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! All randomness in the workspace flows through [`Rng64`], a
+//! SplitMix64-seeded Xoshiro256\*\* generator. Implementing the PRNG in-house
+//! (rather than depending on `rand`) keeps dropout-mask generation
+//! bit-reproducible across toolchain updates and mirrors the hardware LFSR
+//! unit modelled by the `nds-hw` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_tensor::rng::Rng64;
+//!
+//! let mut a = Rng64::new(42);
+//! let mut b = Rng64::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+//! let x = a.uniform(); // in [0, 1)
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+/// SplitMix64 step, used for seeding and as a cheap stateless mixer.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic Xoshiro256\*\* pseudo-random number generator.
+///
+/// Statistically strong, tiny, and `Copy`-cheap to fork: [`Rng64::fork`]
+/// derives an independent stream, which the supernet trainer uses to give
+/// every dropout slot its own reproducible stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Derives an independent generator keyed by `stream`.
+    ///
+    /// Forked generators are decorrelated from the parent and from each
+    /// other; the parent's state is not advanced.
+    pub fn fork(&self, stream: u64) -> Self {
+        let mut sm = self.s[0] ^ self.s[3] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper bits of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f32(&mut self) -> f32 {
+        self.uniform() as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform_in requires lo <= hi");
+        lo + (hi - lo) * self.uniform_f32()
+    }
+
+    /// Unbiased integer in `[0, bound)` via Lemire's rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below requires a non-zero bound");
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal draw via the Box–Muller transform.
+    pub fn normal(&mut self) -> f64 {
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation, as `f32`.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal() as f32
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (a uniform k-subset),
+    /// returned in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        // Partial Fisher-Yates over an index vector; O(n) memory, O(n) time,
+        // which is fine for the feature-map sizes we handle.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        let mut out = idx[..k].to_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Picks a uniformly random element of a slice.
+    ///
+    /// Returns `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len())])
+        }
+    }
+}
+
+impl Default for Rng64 {
+    /// Default generator with a fixed seed — deterministic like everything
+    /// else in the crate.
+    fn default() -> Self {
+        Rng64::new(0x5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds should differ");
+    }
+
+    #[test]
+    fn fork_is_independent_and_stable() {
+        let parent = Rng64::new(9);
+        let mut f1 = parent.fork(1);
+        let mut f1b = parent.fork(1);
+        let mut f2 = parent.fork(2);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..1000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng64::new(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.below(10);
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = Rng64::new(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn bernoulli_frequency_tracks_p() {
+        let mut rng = Rng64::new(6);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        let freq = hits as f64 / 10_000.0;
+        assert!((freq - 0.3).abs() < 0.03, "freq {freq}");
+    }
+
+    #[test]
+    fn sample_indices_unique_sorted_in_range() {
+        let mut rng = Rng64::new(8);
+        for _ in 0..100 {
+            let ix = rng.sample_indices(20, 7);
+            assert_eq!(ix.len(), 7);
+            assert!(ix.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            assert!(ix.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_set() {
+        let mut rng = Rng64::new(8);
+        let ix = rng.sample_indices(5, 5);
+        assert_eq!(ix, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::new(10);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = Rng64::new(11);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert!(rng.choose(&[1, 2, 3]).is_some());
+    }
+}

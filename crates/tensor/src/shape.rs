@@ -1,0 +1,210 @@
+use std::fmt;
+
+/// A tensor shape: an ordered list of dimension sizes.
+///
+/// Shapes are cheap to clone (they are a small `Vec<usize>`) and compare by
+/// value. Image tensors follow the NCHW convention `[batch, channels,
+/// height, width]`.
+///
+/// # Examples
+///
+/// ```
+/// use nds_tensor::Shape;
+/// let s = Shape::d4(8, 3, 32, 32);
+/// assert_eq!(s.len(), 8 * 3 * 32 * 32);
+/// assert_eq!(s.rank(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// A rank-1 shape.
+    pub fn d1(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// A rank-2 shape `[rows, cols]`.
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// A rank-3 shape `[channels, height, width]`.
+    pub fn d3(c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![c, h, w])
+    }
+
+    /// A rank-4 NCHW shape `[batch, channels, height, width]`.
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![n, c, h, w])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// ```
+    /// use nds_tensor::Shape;
+    /// assert_eq!(Shape::d3(2, 3, 4).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// Returns `None` if the index rank does not match or any coordinate is
+    /// out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.0.len() {
+            return None;
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for (i, (&ix, &bound)) in index.iter().zip(self.0.iter()).enumerate() {
+            if ix >= bound {
+                return None;
+            }
+            off += ix * strides[i];
+        }
+        Some(off)
+    }
+
+    /// Interprets the shape as NCHW, returning `(n, c, h, w)`.
+    ///
+    /// Returns `None` unless the rank is exactly 4.
+    pub fn as_nchw(&self) -> Option<(usize, usize, usize, usize)> {
+        if self.0.len() == 4 {
+            Some((self.0[0], self.0[1], self.0[2], self.0[3]))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::d4(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape::scalar().len(), 1);
+        assert_eq!(Shape::d1(0).len(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::d2(3, 4).strides(), vec![4, 1]);
+        assert_eq!(Shape::d4(2, 3, 4, 5).strides(), vec![60, 20, 5, 1]);
+        assert_eq!(Shape::d1(7).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_round_trips() {
+        let s = Shape::d3(2, 3, 4);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..2 {
+            for h in 0..3 {
+                for w in 0..4 {
+                    let off = s.offset(&[c, h, w]).unwrap();
+                    assert!(off < s.len());
+                    assert!(seen.insert(off), "offsets must be unique");
+                }
+            }
+        }
+        assert_eq!(seen.len(), s.len());
+    }
+
+    #[test]
+    fn offset_rejects_bad_indices() {
+        let s = Shape::d2(2, 2);
+        assert_eq!(s.offset(&[2, 0]), None);
+        assert_eq!(s.offset(&[0]), None);
+        assert_eq!(s.offset(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        assert_eq!(Shape::d3(1, 2, 3).to_string(), "[1, 2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn as_nchw_requires_rank_4() {
+        assert_eq!(Shape::d4(1, 2, 3, 4).as_nchw(), Some((1, 2, 3, 4)));
+        assert_eq!(Shape::d3(2, 3, 4).as_nchw(), None);
+    }
+}

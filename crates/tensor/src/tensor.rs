@@ -1,0 +1,536 @@
+use crate::rng::Rng64;
+use crate::{Result, Shape, TensorError};
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+///
+/// The workhorse value type of the workspace. Image batches use NCHW layout
+/// (`[batch, channels, height, width]`); weight matrices for linear layers
+/// are `[out_features, in_features]`.
+///
+/// # Examples
+///
+/// ```
+/// use nds_tensor::{Tensor, Shape};
+///
+/// let x = Tensor::zeros(Shape::d2(2, 3));
+/// assert_eq!(x.len(), 6);
+/// let y = x.map(|v| v + 1.0);
+/// assert!(y.iter().all(|&v| v == 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the product of the dimensions.
+    pub fn from_vec(data: Vec<f32>, shape: Shape) -> Result<Self> {
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// An all-zeros tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// An all-ones tensor of the given shape.
+    pub fn ones(shape: Shape) -> Self {
+        Tensor {
+            data: vec![1.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(Shape::d2(n, n));
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A rank-1 tensor holding `0, 1, ..., n-1`.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            data: (0..n).map(|i| i as f32).collect(),
+            shape: Shape::d1(n),
+        }
+    }
+
+    /// I.i.d. uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(shape: Shape, lo: f32, hi: f32, rng: &mut Rng64) -> Self {
+        let data = (0..shape.len()).map(|_| rng.uniform_in(lo, hi)).collect();
+        Tensor { data, shape }
+    }
+
+    /// I.i.d. normal samples with the given mean and standard deviation.
+    pub fn rand_normal(shape: Shape, mean: f32, std: f32, rng: &mut Rng64) -> Self {
+        let data = (0..shape.len())
+            .map(|_| rng.normal_with(mean, std))
+            .collect();
+        Tensor { data, shape }
+    }
+
+    /// Kaiming/He-normal initialisation for a layer with `fan_in` inputs.
+    ///
+    /// Standard deviation is `sqrt(2 / fan_in)`, the usual choice for
+    /// ReLU networks.
+    pub fn kaiming_normal(shape: Shape, fan_in: usize, rng: &mut Rng64) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Self::rand_normal(shape, 0.0, std, rng)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+
+    /// Mutable iterator over elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f32> {
+        self.data.iter_mut()
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// Returns `None` when the index is invalid for this shape.
+    pub fn get(&self, index: &[usize]) -> Option<f32> {
+        self.shape.offset(index).map(|o| self.data[o])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index is invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        match self.shape.offset(index) {
+            Some(o) => {
+                self.data[o] = value;
+                Ok(())
+            }
+            None => Err(TensorError::IndexOutOfBounds {
+                index: *index.last().unwrap_or(&0),
+                bound: self.shape.len(),
+            }),
+        }
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: Shape) -> Result<Tensor> {
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_map",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_scaled",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by a scalar, producing a new tensor.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|v| v * alpha)
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Arithmetic mean of all elements; 0 for empty tensors.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Population variance of all elements; 0 for empty tensors.
+    pub fn variance(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.data
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.data.len() as f64
+    }
+
+    /// Maximum element; `None` for empty tensors.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(m) => Some(m.max(v)),
+        })
+    }
+
+    /// Minimum element; `None` for empty tensors.
+    pub fn min(&self) -> Option<f32> {
+        self.data.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(m) => Some(m.min(v)),
+        })
+    }
+
+    /// Index of the maximum element (first on ties); `None` if empty.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Extracts batch item `n` of an NCHW tensor as a `[C, H, W]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 tensors and
+    /// [`TensorError::IndexOutOfBounds`] for a bad batch index.
+    pub fn batch_item(&self, n: usize) -> Result<Tensor> {
+        let (nb, c, h, w) = self.shape.as_nchw().ok_or(TensorError::RankMismatch {
+            op: "batch_item",
+            expected: 4,
+            actual: self.shape.rank(),
+        })?;
+        if n >= nb {
+            return Err(TensorError::IndexOutOfBounds { index: n, bound: nb });
+        }
+        let item = c * h * w;
+        let start = n * item;
+        Tensor::from_vec(self.data[start..start + item].to_vec(), Shape::d3(c, h, w))
+    }
+
+    /// Stacks rank-3 `[C, H, W]` tensors into a rank-4 `[N, C, H, W]` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] when `items` is empty and
+    /// [`TensorError::ShapeMismatch`] when item shapes differ.
+    pub fn stack_batch(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or_else(|| TensorError::InvalidArgument {
+            op: "stack_batch",
+            msg: "cannot stack an empty list".to_string(),
+        })?;
+        let mut data = Vec::with_capacity(items.len() * first.len());
+        for item in items {
+            if item.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack_batch",
+                    lhs: first.shape.clone(),
+                    rhs: item.shape.clone(),
+                });
+            }
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.shape.dims());
+        Tensor::from_vec(data, Shape::from(dims))
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// `true` when every element is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        const MAX_SHOWN: usize = 8;
+        for (i, v) in self.data.iter().take(MAX_SHOWN).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > MAX_SHOWN {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], Shape::d2(2, 3)).is_ok());
+        let err = Tensor::from_vec(vec![1.0; 5], Shape::d2(2, 3)).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { expected: 6, actual: 5 }));
+    }
+
+    #[test]
+    fn constructors_fill_correctly() {
+        assert!(Tensor::zeros(Shape::d1(4)).iter().all(|&v| v == 0.0));
+        assert!(Tensor::ones(Shape::d1(4)).iter().all(|&v| v == 1.0));
+        assert!(Tensor::full(Shape::d1(4), 2.5).iter().all(|&v| v == 2.5));
+        let eye = Tensor::eye(3);
+        assert_eq!(eye.get(&[1, 1]), Some(1.0));
+        assert_eq!(eye.get(&[0, 1]), Some(0.0));
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], Shape::d1(3)).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], Shape::d1(3)).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn arithmetic_rejects_shape_mismatch() {
+        let a = Tensor::zeros(Shape::d1(3));
+        let b = Tensor::zeros(Shape::d1(4));
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+        let mut c = Tensor::zeros(Shape::d1(3));
+        assert!(c.add_scaled(&b, 1.0).is_err());
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Tensor::ones(Shape::d1(3));
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], Shape::d1(3)).unwrap();
+        a.add_scaled(&b, 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2)).unwrap();
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), Some(4.0));
+        assert_eq!(t.min(), Some(1.0));
+        assert_eq!(t.argmax(), Some(3));
+        assert!((t.variance() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_reductions_are_safe() {
+        let t = Tensor::zeros(Shape::d1(0));
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.argmax(), None);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6);
+        let r = t.reshape(Shape::d2(2, 3)).unwrap();
+        assert_eq!(r.get(&[1, 2]), Some(5.0));
+        assert!(t.reshape(Shape::d2(2, 4)).is_err());
+    }
+
+    #[test]
+    fn batch_item_extracts_correct_slice() {
+        let t = Tensor::arange(2 * 3 * 2 * 2)
+            .reshape(Shape::d4(2, 3, 2, 2))
+            .unwrap();
+        let item1 = t.batch_item(1).unwrap();
+        assert_eq!(item1.shape(), &Shape::d3(3, 2, 2));
+        assert_eq!(item1.as_slice()[0], 12.0);
+        assert!(t.batch_item(2).is_err());
+    }
+
+    #[test]
+    fn stack_batch_round_trips_batch_item() {
+        let a = Tensor::full(Shape::d3(1, 2, 2), 1.0);
+        let b = Tensor::full(Shape::d3(1, 2, 2), 2.0);
+        let batch = Tensor::stack_batch(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(batch.shape(), &Shape::d4(2, 1, 2, 2));
+        assert_eq!(batch.batch_item(0).unwrap(), a);
+        assert_eq!(batch.batch_item(1).unwrap(), b);
+    }
+
+    #[test]
+    fn stack_batch_validates() {
+        assert!(Tensor::stack_batch(&[]).is_err());
+        let a = Tensor::zeros(Shape::d3(1, 2, 2));
+        let b = Tensor::zeros(Shape::d3(1, 2, 3));
+        assert!(Tensor::stack_batch(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn rand_normal_moments() {
+        let mut rng = Rng64::new(1);
+        let t = Tensor::rand_normal(Shape::d1(20_000), 1.0, 2.0, &mut rng);
+        assert!((t.mean() - 1.0).abs() < 0.1);
+        assert!((t.variance() - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::ones(Shape::d1(3));
+        assert!(t.all_finite());
+        t.as_mut_slice()[1] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based algebra laws for the tensor substrate.
+//!
+//! These pin down the linear-algebra identities the backprop
+//! implementations silently rely on (e.g. conv-as-matmul lowering and the
+//! transpose rules used in the gradient derivations).
+
+use nds_tensor::conv::{conv2d, im2col, ConvGeometry};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_2d(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_uniform(Shape::d2(rows, cols), -2.0, 2.0, &mut rng)
+}
+
+fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C == A·(B·C)
+    #[test]
+    fn matmul_is_associative(m in 1usize..6, k in 1usize..6, n in 1usize..6, p in 1usize..6, seed in 0u64..500) {
+        let a = tensor_2d(m, k, seed);
+        let b = tensor_2d(k, n, seed ^ 1);
+        let c = tensor_2d(n, p, seed ^ 2);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(approx_eq(&left, &right, 1e-4));
+    }
+
+    /// A·(B + C) == A·B + A·C
+    #[test]
+    fn matmul_distributes_over_addition(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..500) {
+        let a = tensor_2d(m, k, seed);
+        let b = tensor_2d(k, n, seed ^ 3);
+        let c = tensor_2d(k, n, seed ^ 4);
+        let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(approx_eq(&left, &right, 1e-4));
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ
+    #[test]
+    fn transpose_reverses_products(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..500) {
+        let a = tensor_2d(m, k, seed);
+        let b = tensor_2d(k, n, seed ^ 5);
+        let left = a.matmul(&b).unwrap().transpose().unwrap();
+        let right = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(approx_eq(&left, &right, 1e-4));
+    }
+
+    /// Transposition is an involution.
+    #[test]
+    fn transpose_involution(m in 1usize..8, n in 1usize..8, seed in 0u64..500) {
+        let a = tensor_2d(m, n, seed);
+        prop_assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    /// Convolution is linear in its input: conv(x + y) == conv(x) + conv(y).
+    #[test]
+    fn conv2d_is_linear(c in 1usize..3, hw in 4usize..8, oc in 1usize..3, seed in 0u64..300) {
+        let mut rng = Rng64::new(seed);
+        let g = ConvGeometry::new(3, 1, 1);
+        let x = Tensor::rand_uniform(Shape::d4(1, c, hw, hw), -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform(Shape::d4(1, c, hw, hw), -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(Shape::d4(oc, c, 3, 3), -1.0, 1.0, &mut rng);
+        let sum_then_conv = conv2d(&x.add(&y).unwrap(), &w, None, g).unwrap();
+        let conv_then_sum = conv2d(&x, &w, None, g)
+            .unwrap()
+            .add(&conv2d(&y, &w, None, g).unwrap())
+            .unwrap();
+        prop_assert!(approx_eq(&sum_then_conv, &conv_then_sum, 1e-4));
+    }
+
+    /// im2col column count equals N*OH*OW and row count C*K*K.
+    #[test]
+    fn im2col_shape_law(n in 1usize..3, c in 1usize..4, hw in 3usize..9, k in 1usize..4, seed in 0u64..300) {
+        prop_assume!(k <= hw);
+        let mut rng = Rng64::new(seed);
+        let g = ConvGeometry::new(k, 1, 0);
+        let x = Tensor::rand_uniform(Shape::d4(n, c, hw, hw), -1.0, 1.0, &mut rng);
+        let cols = im2col(&x, g).unwrap();
+        let od = g.out_dim(hw);
+        prop_assert_eq!(cols.shape(), &Shape::d2(c * k * k, n * od * od));
+    }
+
+    /// Softmax rows are invariant to per-row logit shifts.
+    #[test]
+    fn softmax_shift_invariance(n in 1usize..5, c in 2usize..8, shift in -50.0f32..50.0, seed in 0u64..500) {
+        let a = tensor_2d(n, c, seed);
+        let shifted = a.map(|v| v + shift);
+        let p1 = a.softmax_rows().unwrap();
+        let p2 = shifted.softmax_rows().unwrap();
+        prop_assert!(approx_eq(&p1, &p2, 1e-4));
+    }
+
+    /// Scaling commutes with summation: sum(αx) == α·sum(x).
+    #[test]
+    fn scale_sum_commute(n in 1usize..64, alpha in -3.0f32..3.0, seed in 0u64..500) {
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::rand_uniform(Shape::d1(n), -1.0, 1.0, &mut rng);
+        let lhs = x.scale(alpha).sum();
+        let rhs = alpha as f64 * x.sum();
+        prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + rhs.abs()));
+    }
+}

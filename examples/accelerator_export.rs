@@ -1,0 +1,68 @@
+//! Accelerator export: analyze a chosen dropout design on the modelled
+//! XCKU115, compare float vs Q7.8 fixed-point accuracy through the
+//! functional simulator, and write the generated hls4ml-style project to
+//! `target/hls_export/`.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_export
+//! ```
+
+use neural_dropout_search::core::Specification;
+use neural_dropout_search::data::generate;
+use neural_dropout_search::dropout::mc::mc_predict;
+use neural_dropout_search::hls::generate_project;
+use neural_dropout_search::hw::accel::{AcceleratorConfig, AcceleratorModel};
+use neural_dropout_search::hw::simulator::{quantize_network, quantized_mc_predict};
+use neural_dropout_search::metrics::accuracy;
+use neural_dropout_search::quant::Q7_8;
+use neural_dropout_search::supernet::{DropoutConfig, Supernet};
+use neural_dropout_search::tensor::rng::Rng64;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = Specification::lenet_demo(11);
+    spec.train.epochs = 2;
+    let config: DropoutConfig = "RRB".parse()?; // the paper's aPE-optimal LeNet
+
+    // Train the supernet and activate the chosen configuration.
+    let supernet_spec = spec.supernet_spec()?;
+    let splits = generate(spec.dataset, &spec.dataset_config);
+    let mut supernet = Supernet::build(&supernet_spec)?;
+    let mut rng = Rng64::new(spec.seed);
+    supernet.train_spos(&splits.train, &spec.train, &mut rng)?;
+    supernet.set_config(&config)?;
+
+    // Float vs fixed-point accuracy through the functional simulator.
+    let (images, labels) = splits.test.full_batch();
+    let float_pred = mc_predict(supernet.net_mut(), &images, 3, 64)?;
+    let float_acc = accuracy(&float_pred.mean_probs, &labels)?;
+    let changed = quantize_network(supernet.net_mut(), Q7_8);
+    let q_probs = quantized_mc_predict(supernet.net_mut(), &images, Q7_8, 3)?;
+    let q_acc = accuracy(&q_probs, &labels)?;
+    println!("design {config}: float accuracy {:.2}%, Q7.8 accuracy {:.2}%", 100.0 * float_acc, 100.0 * q_acc);
+    println!("({changed} weight scalars moved when snapping to the Q7.8 grid)");
+
+    // Hardware analysis on the paper-scale design point.
+    let accel = AcceleratorConfig::lenet_paper();
+    let model = AcceleratorModel::new(accel.clone());
+    let report = model.analyze(&spec.arch, &config)?;
+    println!("\n{report}");
+
+    // Emit the HLS project (with quantised weights) to disk.
+    let out_dir = Path::new("target/hls_export");
+    let project = generate_project(&spec.arch, &config, &accel, Some(supernet.net_mut()))?;
+    project.write_to(out_dir)?;
+    println!(
+        "wrote {} files ({} bytes) to {}",
+        project.files().len(),
+        project.total_bytes(),
+        out_dir.display()
+    );
+    for (path, _) in project.files().iter().take(8) {
+        println!("  {path}");
+    }
+    if project.files().len() > 8 {
+        println!("  … and {} more", project.files().len() - 8);
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: the full four-phase framework on LeNet / MNIST-like data.
+//!
+//! Runs Specification → SPOS supernet training → evolutionary search →
+//! accelerator generation, then prints the winning dropout configuration,
+//! its metrics, and the csynth-style hardware report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use neural_dropout_search::core::{run, LatencySource, Specification};
+use neural_dropout_search::search::SearchAim;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A demo-scale specification: LeNet (the paper pairs it with MNIST),
+    // three dropout slots, the paper's default per-slot candidates, and
+    // the GP latency surrogate in the search loop.
+    let spec = Specification::lenet_demo(42)
+        .with_aim(SearchAim::accuracy_optimal())
+        .with_latency_source(LatencySource::Gp { train_points: 24 });
+
+    println!("== Phase 1: Specification ==");
+    let supernet_spec = spec.supernet_spec()?;
+    println!("architecture : {}", spec.arch.name);
+    println!("dropout slots: {}", supernet_spec.slot_count());
+    println!("search space : {} configurations", supernet_spec.space_size());
+
+    let outcome = run(&spec)?;
+
+    println!("\n== Phase 2: SPOS supernet training ==");
+    for epoch in &outcome.training {
+        println!(
+            "epoch {}: loss {:.4}, accuracy {:.1}%, {} distinct paths sampled",
+            epoch.epoch,
+            epoch.loss,
+            100.0 * epoch.accuracy,
+            epoch.distinct_paths
+        );
+    }
+
+    println!("\n== Phase 3: evolutionary search ({}) ==", spec.aim.name);
+    if let Some(rmse) = outcome.gp_rmse_ms {
+        println!("GP latency surrogate RMSE: {:.4} ms", rmse);
+    }
+    for generation in &outcome.search.history {
+        println!(
+            "generation {}: best score {:.4} (config {})",
+            generation.generation, generation.best_score, generation.best_config
+        );
+    }
+    let best = &outcome.best;
+    println!(
+        "\nwinner: {}  (accuracy {:.1}%, ECE {:.1}%, aPE {:.3} nats, latency {:.3} ms)",
+        best.config,
+        100.0 * best.metrics.accuracy,
+        100.0 * best.metrics.ece,
+        best.metrics.ape,
+        best.latency_ms
+    );
+
+    println!("\n== Phase 4: accelerator generation ==");
+    println!("{}", outcome.report);
+    println!(
+        "HLS project: {} files, {} bytes (write with HlsProject::write_to)",
+        outcome.hls.files().len(),
+        outcome.hls.total_bytes()
+    );
+    println!(
+        "\nphase timings: spec {:.2}s | train {:.2}s | search {:.2}s | generate {:.2}s",
+        outcome.timings.specification_s,
+        outcome.timings.training_s,
+        outcome.timings.search_s,
+        outcome.timings.generation_s
+    );
+    Ok(())
+}

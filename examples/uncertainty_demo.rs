@@ -1,0 +1,103 @@
+//! Uncertainty demo: why dropout-based BayesNNs matter.
+//!
+//! Trains the same LeNet twice — once as a plain deterministic network and
+//! once with MC-dropout (Bernoulli) — and compares how clearly each flags
+//! out-of-distribution inputs (Gaussian noise with the training set's
+//! statistics, exactly the paper's aPE probe). The MC-dropout network
+//! should assign markedly higher predictive entropy to OOD inputs, which
+//! is the trustworthiness property motivating the whole framework.
+//!
+//! ```sh
+//! cargo run --release --example uncertainty_demo
+//! ```
+
+use neural_dropout_search::data::{mnist_like, DatasetConfig};
+use neural_dropout_search::dropout::mc::mc_predict;
+use neural_dropout_search::dropout::DropoutKind;
+use neural_dropout_search::metrics::{accuracy, average_predictive_entropy, ece, EceConfig};
+use neural_dropout_search::nn::train::TrainConfig;
+use neural_dropout_search::nn::zoo;
+use neural_dropout_search::supernet::{DropoutConfig, Supernet, SupernetSpec};
+use neural_dropout_search::tensor::rng::Rng64;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let splits = mnist_like(&DatasetConfig::experiment(99));
+    let mut rng = Rng64::new(99);
+
+    // One supernet gives us both networks: all-Bernoulli and, for the
+    // deterministic baseline, Standard-mode inference (dropout off, one
+    // pass).
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 99)?;
+    let mut supernet = Supernet::build(&spec)?;
+    let train_config = TrainConfig { epochs: 3, ..TrainConfig::default() };
+    println!("training LeNet supernet (SPOS, {} epochs)…", train_config.epochs);
+    for epoch in supernet.train_spos(&splits.train, &train_config, &mut rng)? {
+        println!(
+            "  epoch {}: loss {:.4}, accuracy {:.1}%",
+            epoch.epoch,
+            epoch.loss,
+            100.0 * epoch.accuracy
+        );
+    }
+
+    let config = DropoutConfig::uniform(DropoutKind::Bernoulli, 3);
+    supernet.set_config(&config)?;
+    let (test_images, test_labels) = splits.test.full_batch();
+    let ood = splits.train.ood_noise(512, &mut rng);
+
+    // Deterministic single-pass baseline: dropout disabled.
+    let det_probs = neural_dropout_search::nn::train::predict_probs(
+        supernet.net_mut(),
+        &test_images,
+        neural_dropout_search::nn::Mode::Standard,
+        64,
+    )?;
+    let det_ood = neural_dropout_search::nn::train::predict_probs(
+        supernet.net_mut(),
+        &ood,
+        neural_dropout_search::nn::Mode::Standard,
+        64,
+    )?;
+
+    // MC-dropout BayesNN: S = 3 stochastic passes, averaged.
+    let mc_test = mc_predict(supernet.net_mut(), &test_images, 3, 64)?;
+    let mc_ood = mc_predict(supernet.net_mut(), &ood, 3, 64)?;
+
+    let det_acc = accuracy(&det_probs, &test_labels)?;
+    let mc_acc = accuracy(&mc_test.mean_probs, &test_labels)?;
+    let det_ece = ece(&det_probs, &test_labels, EceConfig::default())?;
+    let mc_ece = ece(&mc_test.mean_probs, &test_labels, EceConfig::default())?;
+    let det_id_entropy = average_predictive_entropy(&det_probs)?;
+    let det_ood_entropy = average_predictive_entropy(&det_ood)?;
+    let mc_id_entropy = average_predictive_entropy(&mc_test.mean_probs)?;
+    let mc_ood_entropy = average_predictive_entropy(&mc_ood.mean_probs)?;
+
+    println!("\n                      deterministic   MC-dropout (S=3)");
+    println!("test accuracy         {:>10.2}%   {:>10.2}%", 100.0 * det_acc, 100.0 * mc_acc);
+    println!("test ECE              {:>10.2}%   {:>10.2}%", 100.0 * det_ece, 100.0 * mc_ece);
+    println!("entropy in-dist       {:>10.3}    {:>10.3}  (nats)", det_id_entropy, mc_id_entropy);
+    println!("entropy OOD (aPE)     {:>10.3}    {:>10.3}  (nats)", det_ood_entropy, mc_ood_entropy);
+    println!(
+        "OOD/in-dist entropy gap {:>8.3}    {:>10.3}",
+        det_ood_entropy - det_id_entropy,
+        mc_ood_entropy - mc_id_entropy
+    );
+
+    // Epistemic/aleatoric decomposition: mutual information between the
+    // prediction and the (dropout-sampled) weights is the *epistemic*
+    // share of the predictive entropy; the remainder is aleatoric.
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let mi_id = mean(&mc_test.mutual_information());
+    let mi_ood = mean(&mc_ood.mutual_information());
+    println!("\nMC-dropout uncertainty decomposition (nats):");
+    println!("                      in-dist      OOD");
+    println!("epistemic (MI)        {:>7.4}  {:>7.4}", mi_id, mi_ood);
+    println!(
+        "aleatoric (H - MI)    {:>7.4}  {:>7.4}",
+        mc_id_entropy - mi_id,
+        mc_ood_entropy - mi_ood
+    );
+    println!("(the epistemic share grows off-distribution — the model knows what it");
+    println!(" does not know; a deterministic network cannot produce this signal)");
+    Ok(())
+}

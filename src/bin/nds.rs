@@ -1,0 +1,259 @@
+//! `nds` — command-line front end to the neural dropout search framework.
+//!
+//! ```text
+//! nds run     --arch lenet|vgg|resnet|vit [--aim accuracy|ece|ape|latency]
+//!             [--seed N] [--gp N] [--extended]
+//! nds analyze --arch lenet|vgg|resnet|vit --config BKM [--spatial] [--samples S]
+//! nds hls     --arch lenet|vgg|resnet|vit --config BKM --out DIR
+//! nds space   --arch lenet|vgg|resnet|vit [--extended]
+//! ```
+//!
+//! `run` executes the full four-phase framework; `analyze` prints the
+//! csynth-style report for one design point; `hls` writes the generated
+//! project to disk; `space` lists the search space.
+
+use neural_dropout_search::core::{run, LatencySource, Specification};
+use neural_dropout_search::hls::generate_project;
+use neural_dropout_search::hw::accel::{AcceleratorConfig, AcceleratorModel, McMapping};
+use neural_dropout_search::nn::zoo;
+use neural_dropout_search::search::SearchAim;
+use neural_dropout_search::supernet::{DropoutConfig, SupernetSpec};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nds — hardware-aware neural dropout search (DAC'24 reproduction)
+
+USAGE:
+    nds run     --arch <lenet|vgg|resnet|vit> [--aim <accuracy|ece|ape|latency>]
+                [--seed <N>] [--gp <train-points>] [--extended]
+    nds analyze --arch <lenet|vgg|resnet|vit> --config <CODES> [--spatial] [--samples <S>]
+    nds hls     --arch <lenet|vgg|resnet|vit> --config <CODES> --out <DIR>
+    nds space   --arch <lenet|vgg|resnet|vit> [--extended]
+
+CONFIG CODES: one letter per dropout slot —
+    B Bernoulli, R Random, K Block, M Masksembles, G Gaussian (extension)
+
+EXAMPLES:
+    nds run --arch lenet --aim ece --seed 7
+    nds analyze --arch resnet --config KMBM
+    nds hls --arch lenet --config RRB --out ./hls_out
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".to_string());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "run" => cmd_run(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "hls" => cmd_hls(&flags),
+        "space" => cmd_space(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+        // Boolean flags take no value.
+        if matches!(key, "extended" | "spatial") {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, String> {
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(42);
+    let arch = flags.get("arch").map(String::as_str).unwrap_or("lenet");
+    let mut spec = match arch {
+        "lenet" => Specification::lenet_demo(seed),
+        "vgg" | "vgg11" => Specification::vgg_demo(seed),
+        "resnet" | "resnet18" => Specification::resnet_demo(seed),
+        "vit" | "transformer" => {
+            let mut spec = Specification::lenet_demo(seed);
+            spec.arch = zoo::tiny_vit(16, 4, 2);
+            spec
+        }
+        other => return Err(format!("unknown arch `{other}` (lenet | vgg | resnet | vit)")),
+    };
+    if let Some(aim) = flags.get("aim") {
+        spec.aim = match aim.as_str() {
+            "accuracy" | "acc" => SearchAim::accuracy_optimal(),
+            "ece" => SearchAim::ece_optimal(),
+            "ape" => SearchAim::ape_optimal(),
+            "latency" | "lat" => SearchAim::latency_optimal(),
+            other => return Err(format!("unknown aim `{other}`")),
+        };
+    }
+    if let Some(points) = flags.get("gp") {
+        let train_points = points.parse().map_err(|_| format!("bad --gp value `{points}`"))?;
+        spec.latency_source = LatencySource::Gp { train_points };
+    }
+    if flags.contains_key("extended") {
+        let supernet_spec = SupernetSpec::extended_default(spec.arch.clone(), seed)
+            .map_err(|e| e.to_string())?;
+        spec.choices = Some(supernet_spec.choices);
+    }
+    Ok(spec)
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = spec_for(flags)?;
+    println!(
+        "running 4-phase search: arch={} dataset={} aim={}",
+        spec.arch.name, spec.dataset, spec.aim.name
+    );
+    let outcome = run(&spec).map_err(|e| e.to_string())?;
+    for epoch in &outcome.training {
+        println!(
+            "  train epoch {}: loss {:.4}, accuracy {:.1}%",
+            epoch.epoch,
+            epoch.loss,
+            100.0 * epoch.accuracy
+        );
+    }
+    let best = &outcome.best;
+    println!(
+        "\nwinner {}  acc {:.1}%  ECE {:.1}%  aPE {:.3}  latency {:.3} ms",
+        best.config,
+        100.0 * best.metrics.accuracy,
+        100.0 * best.metrics.ece,
+        best.metrics.ape,
+        best.latency_ms
+    );
+    println!("\n{}", outcome.report);
+    println!(
+        "timings: train {:.1}s, search {:.1}s",
+        outcome.timings.training_s, outcome.timings.search_s
+    );
+    Ok(())
+}
+
+fn hw_arch_for(flags: &HashMap<String, String>) -> Result<neural_dropout_search::nn::arch::Architecture, String> {
+    match flags.get("arch").map(String::as_str).unwrap_or("lenet") {
+        "lenet" => Ok(zoo::lenet()),
+        "vgg" | "vgg11" => Ok(zoo::vgg11_paper()),
+        "resnet" | "resnet18" => Ok(zoo::resnet18_paper()),
+        "vit" | "transformer" => Ok(zoo::tiny_vit(16, 4, 2)),
+        other => Err(format!("unknown arch `{other}`")),
+    }
+}
+
+fn config_for(flags: &HashMap<String, String>) -> Result<DropoutConfig, String> {
+    flags
+        .get("config")
+        .ok_or_else(|| "--config is required".to_string())?
+        .parse()
+        .map_err(|e: neural_dropout_search::supernet::SupernetError| e.to_string())
+}
+
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+    let arch = hw_arch_for(flags)?;
+    let config = config_for(flags)?;
+    let mut accel = AcceleratorConfig::for_arch(&arch);
+    if flags.contains_key("spatial") {
+        accel.mapping = McMapping::Spatial;
+    }
+    if let Some(samples) = flags.get("samples") {
+        accel.samples = samples.parse().map_err(|_| format!("bad --samples `{samples}`"))?;
+    }
+    let model = AcceleratorModel::new(accel);
+    let report = model.analyze(&arch, &config).map_err(|e| e.to_string())?;
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_hls(flags: &HashMap<String, String>) -> Result<(), String> {
+    let arch = hw_arch_for(flags)?;
+    let config = config_for(flags)?;
+    let out: PathBuf = flags
+        .get("out")
+        .ok_or_else(|| "--out is required".to_string())?
+        .into();
+    let accel = AcceleratorConfig::for_arch(&arch);
+    let project = generate_project(&arch, &config, &accel, None).map_err(|e| e.to_string())?;
+    project.write_to(&out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} files ({} bytes) to {}",
+        project.files().len(),
+        project.total_bytes(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_space(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = 0;
+    let arch = match flags.get("arch").map(String::as_str).unwrap_or("lenet") {
+        "lenet" => zoo::lenet(),
+        "vgg" | "vgg11" => zoo::vgg11(8),
+        "resnet" | "resnet18" => zoo::resnet18(8),
+        "vit" | "transformer" => zoo::tiny_vit(16, 4, 2),
+        other => return Err(format!("unknown arch `{other}`")),
+    };
+    let spec = if flags.contains_key("extended") {
+        SupernetSpec::extended_default(arch, seed)
+    } else {
+        SupernetSpec::paper_default(arch, seed)
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "architecture {}: {} dropout slots, {} configurations",
+        spec.arch.name,
+        spec.slot_count(),
+        spec.space_size()
+    );
+    for slot in spec.slots() {
+        let choices: String = spec.choices[slot.id]
+            .iter()
+            .map(|k| k.code().to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "  slot {}: {:?} position, shape {}, choices {}",
+            slot.id, slot.position, slot.shape, choices
+        );
+    }
+    if spec.space_size() <= 64 {
+        println!("\nall configurations:");
+        for config in spec.enumerate() {
+            println!("  {config}");
+        }
+    }
+    Ok(())
+}

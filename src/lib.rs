@@ -1,0 +1,54 @@
+//! # neural-dropout-search
+//!
+//! A from-scratch Rust reproduction of *"Hardware-Aware Neural Dropout
+//! Search for Reliable Uncertainty Prediction on FPGA"* (DAC 2024): a
+//! framework that jointly optimises dropout-based Bayesian neural networks
+//! and their FPGA accelerators.
+//!
+//! The facade re-exports every workspace crate under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`tensor`] | `nds-tensor` | dense tensors, deterministic RNG, conv kernels |
+//! | [`quant`] | `nds-quant` | Q7.8 fixed point, MAC unit, SQNR |
+//! | [`metrics`] | `nds-metrics` | accuracy, ECE, aPE, NLL, Brier |
+//! | [`data`] | `nds-data` | synthetic MNIST/SVHN/CIFAR-like datasets + OOD |
+//! | [`nn`] | `nds-nn` | layers, backprop, SGD, LeNet/VGG11/ResNet18 zoo |
+//! | [`dropout`] | `nds-dropout` | the four dropout designs + MC inference |
+//! | [`gp`] | `nds-gp` | Gaussian-process regression (Matérn kernels) |
+//! | [`hw`] | `nds-hw` | FPGA accelerator model, power, CPU/GPU platforms |
+//! | [`hls`] | `nds-hls` | hls4ml-style project generation |
+//! | [`supernet`] | `nds-supernet` | SPOS supernet with dropout slots |
+//! | [`search`] | `nds-search` | evolutionary search, aims, Pareto tools |
+//! | [`core`] | `nds-core` | the four-phase framework entry point |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use neural_dropout_search::core::{run, Specification};
+//!
+//! let spec = Specification::lenet_demo(42);
+//! let outcome = run(&spec)?;
+//! println!("best dropout configuration: {}", outcome.best.config);
+//! println!("modelled FPGA latency: {:.3} ms", outcome.best.latency_ms);
+//! # Ok::<(), neural_dropout_search::core::FrameworkError>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the harnesses that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nds_core as core;
+pub use nds_data as data;
+pub use nds_dropout as dropout;
+pub use nds_gp as gp;
+pub use nds_hls as hls;
+pub use nds_hw as hw;
+pub use nds_metrics as metrics;
+pub use nds_nn as nn;
+pub use nds_quant as quant;
+pub use nds_search as search;
+pub use nds_supernet as supernet;
+pub use nds_tensor as tensor;

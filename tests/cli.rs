@@ -1,0 +1,91 @@
+//! Smoke tests for the `nds` command-line binary.
+
+use std::process::Command;
+
+fn nds(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_nds"))
+        .args(args)
+        .output()
+        .expect("nds binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).to_string(),
+        String::from_utf8_lossy(&output.stderr).to_string(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = nds(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("analyze"));
+}
+
+#[test]
+fn space_lists_the_paper_space() {
+    let (ok, stdout, _) = nds(&["space", "--arch", "lenet"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("32 configurations"), "{stdout}");
+    assert!(stdout.contains("slot 2"), "{stdout}");
+    // Extended space is bigger and mentions G.
+    let (ok, stdout, _) = nds(&["space", "--arch", "lenet", "--extended"]);
+    assert!(ok);
+    assert!(stdout.contains("75 configurations"), "{stdout}");
+    assert!(stdout.contains("G"), "{stdout}");
+}
+
+#[test]
+fn analyze_prints_a_report() {
+    let (ok, stdout, _) = nds(&["analyze", "--arch", "lenet", "--config", "RRB"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("C-synthesis report"), "{stdout}");
+    assert!(stdout.contains("Total power"), "{stdout}");
+    // Spatial mapping flag is accepted and lowers latency.
+    let (ok, spatial, _) = nds(&["analyze", "--arch", "lenet", "--config", "RRB", "--spatial"]);
+    assert!(ok);
+    let latency = |s: &str| -> f64 {
+        s.lines()
+            .find(|l| l.contains("latency"))
+            .and_then(|l| l.split("latency ").nth(1))
+            .and_then(|l| l.split(" ms").next())
+            .and_then(|v| v.parse().ok())
+            .expect("report contains a latency figure")
+    };
+    assert!(latency(&spatial) < latency(&stdout));
+}
+
+#[test]
+fn hls_writes_a_project() {
+    let dir = std::env::temp_dir().join("nds_cli_hls_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (ok, stdout, _) = nds(&["hls", "--arch", "lenet", "--config", "BBB", "--out", dir.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(dir.join("firmware/nnet_dropout.h").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn vit_space_and_analysis_work() {
+    let (ok, stdout, _) = nds(&["space", "--arch", "vit"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("16 configurations"), "{stdout}");
+    assert!(stdout.contains("16x1x16"), "token-sequence slot shape: {stdout}");
+    let (ok, stdout, _) = nds(&["analyze", "--arch", "vit", "--config", "KM"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("encoder_attention"), "{stdout}");
+    assert!(stdout.contains("patch_embed"), "{stdout}");
+}
+
+#[test]
+fn bad_input_fails_with_usage() {
+    let (ok, _, stderr) = nds(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    let (ok, _, stderr) = nds(&["analyze", "--arch", "lenet"]);
+    assert!(!ok);
+    assert!(stderr.contains("--config is required"), "{stderr}");
+    let (ok, _, stderr) = nds(&["analyze", "--arch", "lenet", "--config", "XYZ"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown dropout code"), "{stderr}");
+}

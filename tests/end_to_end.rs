@@ -1,0 +1,121 @@
+//! Cross-crate integration: the full four-phase framework.
+
+use neural_dropout_search::core::{run, LatencySource, Specification};
+use neural_dropout_search::data::DatasetConfig;
+use neural_dropout_search::search::{EvolutionConfig, SearchAim};
+
+fn tiny_spec(seed: u64) -> Specification {
+    let mut spec = Specification::lenet_demo(seed);
+    spec.dataset_config = DatasetConfig { train: 128, val: 64, test: 64, seed, noise: 0.05 };
+    spec.train.epochs = 2;
+    spec.evolution = EvolutionConfig {
+        population: 8,
+        generations: 3,
+        parents: 4,
+        ..EvolutionConfig::default()
+    };
+    spec.ood_samples = 64;
+    spec
+}
+
+#[test]
+fn full_pipeline_produces_consistent_artifacts() {
+    let spec = tiny_spec(101);
+    let outcome = run(&spec).unwrap();
+
+    // Phase 2 evidence: losses recorded and finite.
+    assert_eq!(outcome.training.len(), 2);
+    assert!(outcome.training.iter().all(|e| e.loss.is_finite()));
+
+    // Phase 3: every archived candidate is a member of the search space
+    // with sane metric ranges.
+    let supernet_spec = spec.supernet_spec().unwrap();
+    assert!(!outcome.search.archive.is_empty());
+    for candidate in &outcome.search.archive {
+        assert!(supernet_spec.contains(&candidate.config), "{}", candidate.config);
+        assert!((0.0..=1.0).contains(&candidate.metrics.accuracy));
+        assert!((0.0..=1.0).contains(&candidate.metrics.ece));
+        assert!(candidate.metrics.ape >= 0.0);
+        assert!(candidate.metrics.ape <= 10.0f64.ln() + 1e-9);
+        assert!(candidate.latency_ms > 0.0);
+    }
+
+    // The winner maximises the aim over the archive.
+    let best_score = spec.aim.score(&outcome.best);
+    for candidate in &outcome.search.archive {
+        assert!(
+            spec.aim.score(candidate) <= best_score + 1e-12,
+            "archive contains a better candidate than the reported winner"
+        );
+    }
+
+    // Phase 4: hardware report consistent with the winner.
+    assert!(outcome.report.design.ends_with(&outcome.best.config.compact()));
+    assert!(outcome.report.fits_device());
+    assert!((outcome.report.latency_ms - outcome.best.latency_ms).abs() < 1e-9);
+
+    // HLS project exists and mentions the architecture.
+    assert!(outcome.hls.file("firmware/lenet.cpp").is_some());
+}
+
+#[test]
+fn same_seed_reproduces_the_same_winner() {
+    let a = run(&tiny_spec(202)).unwrap();
+    let b = run(&tiny_spec(202)).unwrap();
+    assert_eq!(a.best.config, b.best.config);
+    assert_eq!(a.best.metrics, b.best.metrics);
+    assert_eq!(a.best.latency_ms, b.best.latency_ms);
+    // Full archives agree, not just the winner.
+    let keys = |o: &neural_dropout_search::core::FrameworkOutcome| {
+        let mut v: Vec<String> = o.search.archive.iter().map(|c| c.config.compact()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(keys(&a), keys(&b));
+}
+
+#[test]
+fn latency_optimal_search_avoids_stalling_dropout() {
+    // With the latency aim, the winner must not contain Block or Random —
+    // they are the only designs that stall the pipeline (Table 1).
+    let spec = tiny_spec(303).with_aim(SearchAim::latency_optimal());
+    let outcome = run(&spec).unwrap();
+    for kind in outcome.best.config.kinds() {
+        assert!(
+            !matches!(
+                kind,
+                neural_dropout_search::dropout::DropoutKind::Block
+                    | neural_dropout_search::dropout::DropoutKind::Random
+            ),
+            "latency-optimal winner {} contains a stalling dropout",
+            outcome.best.config
+        );
+    }
+}
+
+#[test]
+fn gp_and_exact_latency_agree_on_ranking() {
+    let exact = run(&tiny_spec(404)).unwrap();
+    let gp = run(&tiny_spec(404).with_latency_source(LatencySource::Gp { train_points: 20 }))
+        .unwrap();
+    // Same algorithmic metrics (same training seed); latency figures may
+    // differ slightly but must stay close on every shared archive config.
+    let rmse = gp.gp_rmse_ms.unwrap();
+    assert!(rmse < 0.05, "GP RMSE {rmse} ms too large for LeNet");
+    for candidate in &gp.search.archive {
+        let twin = exact
+            .search
+            .archive
+            .iter()
+            .find(|c| c.config == candidate.config);
+        if let Some(twin) = twin {
+            assert!(
+                (twin.latency_ms - candidate.latency_ms).abs() < 0.1,
+                "GP latency {} vs exact {} for {}",
+                candidate.latency_ms,
+                twin.latency_ms,
+                candidate.config
+            );
+        }
+    }
+}

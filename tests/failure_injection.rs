@@ -1,0 +1,266 @@
+//! Failure-injection integration tests: every cross-crate error path a
+//! user can realistically hit must fail loudly and descriptively, never
+//! silently corrupt results.
+
+use neural_dropout_search::data::{mnist_like, DatasetConfig};
+use neural_dropout_search::dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+use neural_dropout_search::gp::{GpRegressor, Kernel};
+use neural_dropout_search::hw::accel::{AcceleratorConfig, AcceleratorModel};
+use neural_dropout_search::metrics::{accuracy, ece, EceConfig};
+use neural_dropout_search::nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+use neural_dropout_search::nn::zoo;
+use neural_dropout_search::nn::{Layer, Mode};
+use neural_dropout_search::supernet::{DropoutConfig, Supernet, SupernetSpec};
+use neural_dropout_search::tensor::rng::Rng64;
+use neural_dropout_search::tensor::{Shape, Tensor};
+
+#[test]
+fn error_messages_carry_context() {
+    // Shape mismatch names the op and both shapes.
+    let a = Tensor::zeros(Shape::d1(3));
+    let b = Tensor::zeros(Shape::d1(4));
+    let msg = a.add(&b).unwrap_err().to_string();
+    assert!(msg.contains("[3]") && msg.contains("[4]"), "{msg}");
+
+    // Metric errors name the inconsistency.
+    let probs = Tensor::zeros(Shape::d2(2, 3));
+    let msg = accuracy(&probs, &[0]).unwrap_err().to_string();
+    assert!(msg.contains("2") && msg.contains("1"), "{msg}");
+
+    // Supernet spec errors name the slot.
+    let err = SupernetSpec::new(
+        zoo::lenet(),
+        vec![
+            vec![DropoutKind::Bernoulli],
+            vec![DropoutKind::Bernoulli],
+            vec![DropoutKind::Block], // Block illegal at the FC slot (id 2)
+        ],
+        DropoutSettings::default(),
+        1,
+    );
+    let msg = err.unwrap_err().to_string();
+    assert!(msg.contains("slot 2"), "{msg}");
+}
+
+#[test]
+fn nan_inputs_are_detectable_not_silent() {
+    // A NaN pixel must propagate to the output where `all_finite` flags it
+    // (the framework's invariant checks rely on this).
+    let mut rng = Rng64::new(1);
+    let mut net = zoo::lenet().build_with_identity_slots(&mut rng).unwrap();
+    let mut images = Tensor::zeros(Shape::d4(1, 1, 28, 28));
+    images.as_mut_slice()[5] = f32::NAN;
+    let out = net.forward(&images, Mode::Standard).unwrap();
+    assert!(!out.all_finite(), "NaN must not vanish silently");
+}
+
+#[test]
+fn evaluating_a_foreign_config_fails() {
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 2).unwrap();
+    let mut supernet = Supernet::build(&spec).unwrap();
+    // 4 slots for a 3-slot network.
+    let foreign: DropoutConfig = "BBBB".parse().unwrap();
+    assert!(supernet.set_config(&foreign).is_err());
+    // Block at the FC slot: in-kind but out-of-space.
+    let illegal: DropoutConfig = "BBK".parse().unwrap();
+    assert!(supernet.set_config(&illegal).is_err());
+    // The supernet remains usable afterwards.
+    assert!(supernet.set_config(&"BBB".parse().unwrap()).is_ok());
+}
+
+#[test]
+fn accelerator_rejects_mismatched_designs_and_stays_usable() {
+    let model = AcceleratorModel::new(AcceleratorConfig::resnet_paper());
+    let arch = zoo::resnet18_paper();
+    assert!(model.analyze(&arch, &"BB".parse().unwrap()).is_err());
+    // Same model instance still works for a valid design.
+    assert!(model.analyze(&arch, &"BBBB".parse().unwrap()).is_ok());
+}
+
+#[test]
+fn degenerate_accelerator_budgets_do_not_divide_by_zero() {
+    let mut config = AcceleratorConfig::resnet_paper();
+    config.dsp_budget = 0; // clamped internally
+    let model = AcceleratorModel::new(config);
+    let report = model
+        .analyze(&zoo::resnet18_paper(), &"BBBB".parse().unwrap())
+        .unwrap();
+    assert!(report.latency_ms.is_finite());
+    assert!(report.latency_ms > 0.0);
+}
+
+#[test]
+fn gp_handles_degenerate_training_sets() {
+    // A single training point is legal.
+    let gp = GpRegressor::fit(
+        &[vec![1.0]],
+        &[2.0],
+        Kernel::Matern52 { lengthscale: 1.0, variance: 1.0 },
+        1e-6,
+    )
+    .unwrap();
+    let (mean, var) = gp.predict(&[1.0]);
+    assert!((mean - 2.0).abs() < 1e-3);
+    assert!(var >= 0.0);
+    // Constant targets: predictions revert to that constant.
+    let gp = GpRegressor::fit(
+        &[vec![0.0], vec![1.0], vec![2.0]],
+        &[5.0, 5.0, 5.0],
+        Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+        1e-6,
+    )
+    .unwrap();
+    assert!((gp.predict(&[0.5]).0 - 5.0).abs() < 1e-6);
+}
+
+#[test]
+fn dropout_layer_survives_batch_of_one_and_large_rates() {
+    let slot = SlotInfo {
+        id: 0,
+        shape: FeatureShape::Map { c: 2, h: 3, w: 3 },
+        position: SlotPosition::Conv,
+    };
+    let settings = DropoutSettings { rate: 0.9, ..DropoutSettings::default() };
+    for kind in DropoutKind::all() {
+        let mut layer = DropoutLayer::for_slot(kind, &slot, &settings, 3).unwrap();
+        let x = Tensor::ones(Shape::d4(1, 2, 3, 3));
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        assert!(y.all_finite(), "{kind} produced non-finite values at rate 0.9");
+        let g = Tensor::ones(Shape::d4(1, 2, 3, 3));
+        assert!(layer.backward(&g).unwrap().all_finite());
+    }
+}
+
+#[test]
+fn training_with_single_sample_dataset_does_not_panic() {
+    let splits = mnist_like(&DatasetConfig { train: 1, val: 1, test: 1, seed: 4, noise: 0.0 });
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 4).unwrap();
+    let mut supernet = Supernet::build(&spec).unwrap();
+    let mut rng = Rng64::new(4);
+    let config = neural_dropout_search::nn::train::TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        ..Default::default()
+    };
+    let history = supernet.train_spos(&splits.train, &config, &mut rng).unwrap();
+    assert_eq!(history.len(), 1);
+    assert!(history[0].loss.is_finite());
+}
+
+#[test]
+fn ece_with_more_bins_than_samples_is_stable() {
+    let probs = Tensor::from_vec(vec![0.9, 0.1], Shape::d2(1, 2)).unwrap();
+    let value = ece(&probs, &[0], EceConfig { bins: 1000 }).unwrap();
+    assert!((0.0..=1.0).contains(&value));
+}
+
+#[test]
+fn hls_write_to_rejects_bad_target() {
+    use neural_dropout_search::hls::generate_project;
+    let project = generate_project(
+        &zoo::lenet(),
+        &"BBB".parse().unwrap(),
+        &AcceleratorConfig::lenet_paper(),
+        None,
+    )
+    .unwrap();
+    // Writing under a path that exists as a *file* must error, not panic.
+    let bogus = std::env::temp_dir().join("nds_failure_injection_file");
+    std::fs::write(&bogus, "occupied").unwrap();
+    let err = project.write_to(&bogus.join("sub"));
+    assert!(err.is_err());
+    let _ = std::fs::remove_file(&bogus);
+}
+
+#[test]
+fn standalone_builder_rejects_bad_configs() {
+    use neural_dropout_search::supernet::build_standalone;
+    // Wrong arity.
+    let err = build_standalone(
+        &zoo::lenet(),
+        &"BB".parse().unwrap(),
+        &DropoutSettings::default(),
+        1,
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("3 slots"), "{err}");
+    // Illegal kind at the FC slot.
+    assert!(build_standalone(
+        &zoo::lenet(),
+        &"BBK".parse().unwrap(),
+        &DropoutSettings::default(),
+        1,
+    )
+    .is_err());
+}
+
+#[test]
+#[should_panic(expected = "hypervolume supports 1-3 objectives")]
+fn hypervolume_rejects_too_many_objectives() {
+    use neural_dropout_search::search::pareto::{full_objectives, hypervolume};
+    let _ = hypervolume(&[], &full_objectives(), &[0.0, 1.0, 0.0, 100.0]);
+    // full_objectives has 4 entries -> must panic before returning.
+    let _ = hypervolume(&[], &full_objectives()[..0], &[]);
+}
+
+#[test]
+#[should_panic(expected = "reference/objective arity mismatch")]
+fn hypervolume_rejects_reference_arity_mismatch() {
+    use neural_dropout_search::search::pareto::{figure4_objectives, hypervolume};
+    let _ = hypervolume(&[], &figure4_objectives(), &[0.0]);
+}
+
+#[test]
+fn transformer_arch_rejects_bad_geometry() {
+    use neural_dropout_search::nn::arch::{Architecture, LayerDef};
+    // 5px patches do not tile 28x28.
+    let bad_patch = Architecture {
+        name: "bad-vit".into(),
+        input: (1, 28, 28),
+        classes: 10,
+        defs: vec![LayerDef::PatchEmbed { patch: 5, dim: 16 }],
+    };
+    assert!(bad_patch.slots().is_err() || bad_patch.profile().is_err());
+    // 3 heads do not divide a 16-wide embedding.
+    let bad_heads = Architecture {
+        name: "bad-heads".into(),
+        input: (1, 28, 28),
+        classes: 10,
+        defs: vec![
+            LayerDef::PatchEmbed { patch: 7, dim: 16 },
+            LayerDef::EncoderAttention { heads: 3 },
+        ],
+    };
+    let err = bad_heads.profile().unwrap_err().to_string();
+    assert!(err.contains("heads"), "{err}");
+    // Attention before patch embedding (spatial input) is rejected.
+    let no_tokens = Architecture {
+        name: "no-tokens".into(),
+        input: (1, 28, 28),
+        classes: 10,
+        defs: vec![LayerDef::EncoderAttention { heads: 2 }],
+    };
+    let err = no_tokens.profile().unwrap_err().to_string();
+    assert!(err.contains("token sequence"), "{err}");
+}
+
+#[test]
+fn pruning_mask_detects_structure_changes() {
+    use neural_dropout_search::nn::layers::{Flatten, Linear, Sequential};
+    use neural_dropout_search::nn::prune::{prune_magnitude, PruneMask};
+    let mut rng = Rng64::new(3);
+    let mut net = Sequential::new();
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Linear::new(8, 4, true, &mut rng)));
+    prune_magnitude(&mut net, 0.5);
+    let mask = PruneMask::capture(&net);
+    let mut other = Sequential::new();
+    other.push(Box::new(Flatten::new()));
+    other.push(Box::new(Linear::new(8, 4, true, &mut rng)));
+    other.push(Box::new(Linear::new(4, 2, true, &mut rng)));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        mask.reapply(&mut other);
+    }));
+    assert!(outcome.is_err(), "mismatched structure must panic, not corrupt");
+}

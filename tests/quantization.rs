@@ -1,0 +1,66 @@
+//! Cross-crate integration: the Q7.8 functional simulator on a trained
+//! network — the fixed-point datapath must not wreck accuracy (the paper
+//! deploys all designs at 16-bit fixed point).
+
+use neural_dropout_search::data::{mnist_like, DatasetConfig};
+use neural_dropout_search::dropout::mc::mc_predict;
+use neural_dropout_search::hw::simulator::{quantize_network, quantized_mc_predict};
+use neural_dropout_search::metrics::accuracy;
+use neural_dropout_search::nn::train::TrainConfig;
+use neural_dropout_search::nn::zoo;
+use neural_dropout_search::quant::{Q7_8};
+use neural_dropout_search::supernet::{Supernet, SupernetSpec};
+use neural_dropout_search::tensor::rng::Rng64;
+
+#[test]
+fn q78_inference_tracks_float_inference() {
+    let splits = mnist_like(&DatasetConfig { train: 768, val: 64, test: 128, seed: 77, noise: 0.05 });
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 77).unwrap();
+    let mut supernet = Supernet::build(&spec).unwrap();
+    let mut rng = Rng64::new(77);
+    let schedule = neural_dropout_search::nn::optim::LrSchedule::Cosine {
+        base: 0.05,
+        floor: 0.005,
+        total: 5,
+    };
+    supernet
+        .train_spos(
+            &splits.train,
+            &TrainConfig { epochs: 5, schedule, ..TrainConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+    supernet.set_config(&"BBB".parse().unwrap()).unwrap();
+
+    let (images, labels) = splits.test.full_batch();
+    let float_pred = mc_predict(supernet.net_mut(), &images, 3, 64).unwrap();
+    let float_acc = accuracy(&float_pred.mean_probs, &labels).unwrap();
+
+    let changed = quantize_network(supernet.net_mut(), Q7_8);
+    assert!(changed > 0, "weights should move when snapped to Q7.8");
+    let q_probs = quantized_mc_predict(supernet.net_mut(), &images, Q7_8, 3).unwrap();
+    let q_acc = accuracy(&q_probs, &labels).unwrap();
+
+    assert!(float_acc > 0.4, "float model too weak for the comparison ({float_acc})");
+    assert!(
+        (float_acc - q_acc).abs() < 0.10,
+        "Q7.8 accuracy {q_acc} strays too far from float accuracy {float_acc}"
+    );
+}
+
+#[test]
+fn quantized_predictions_are_valid_distributions() {
+    let splits = mnist_like(&DatasetConfig { train: 64, val: 16, test: 32, seed: 78, noise: 0.05 });
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 78).unwrap();
+    let mut supernet = Supernet::build(&spec).unwrap();
+    supernet.set_config(&"MMM".parse().unwrap()).unwrap();
+    quantize_network(supernet.net_mut(), Q7_8);
+    let (images, _) = splits.test.full_batch();
+    let probs = quantized_mc_predict(supernet.net_mut(), &images, Q7_8, 3).unwrap();
+    assert!(probs.all_finite());
+    let c = probs.shape().dim(1);
+    for i in 0..probs.shape().dim(0) {
+        let row_sum: f32 = probs.as_slice()[i * c..(i + 1) * c].iter().sum();
+        assert!((row_sum - 1.0).abs() < 1e-4, "row {i} sums to {row_sum}");
+    }
+}
