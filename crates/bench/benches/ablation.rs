@@ -49,8 +49,8 @@ fn gp_vs_exact() {
     let model = AcceleratorModel::new(AcceleratorConfig::resnet_paper());
     let mut csv = Vec::new();
     for train_points in [8usize, 16, 32, 64] {
-        let (gp, rmse) = fit_latency_gp(&model, &arch, &spec, train_points, 32, 17)
-            .expect("GP fits");
+        let (gp, rmse) =
+            fit_latency_gp(&model, &arch, &spec, train_points, 32, 17).expect("GP fits");
         // Evaluate over the full space: exact vs predicted.
         let slots = spec.slots().to_vec();
         let mut exact = Vec::new();
@@ -74,7 +74,11 @@ fn gp_vs_exact() {
         csv.push(format!("{train_points},{rmse},{rho},{agree}"));
         let _ = argmin_exact;
     }
-    write_csv("ablation_gp.csv", "train_points,rmse_ms,spearman,argmin_agrees", &csv);
+    write_csv(
+        "ablation_gp.csv",
+        "train_points,rmse_ms,spearman,argmin_agrees",
+        &csv,
+    );
     println!();
 }
 
@@ -86,7 +90,10 @@ fn latency_law() {
     let spec = SupernetSpec::paper_default(zoo::resnet18(4), 9).expect("valid");
     let model = AcceleratorModel::new(AcceleratorConfig::resnet_paper());
     let mut csv = Vec::new();
-    println!("{:<10} {:>14} {:>16}", "config", "dataflow (ms)", "additive (ms)");
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "config", "dataflow (ms)", "additive (ms)"
+    );
     for code in ["BBBB", "MMMM", "RRRR", "KKKK", "KMBM", "BMMM", "MKMM"] {
         let config = code.parse().expect("valid code");
         let report = model.analyze(&arch, &config).expect("analysis runs");
@@ -95,12 +102,23 @@ fn latency_law() {
         let sum: f64 = report.stages.iter().map(|s| s.total_cycles()).sum();
         let additive_cycles = report.samples as f64 * sum;
         let additive_ms = additive_cycles / (report.clock_mhz * 1e3);
-        println!("{code:<10} {:>14.3} {:>16.3}", report.latency_ms, additive_ms);
+        println!(
+            "{code:<10} {:>14.3} {:>16.3}",
+            report.latency_ms, additive_ms
+        );
         csv.push(format!("{code},{},{}", report.latency_ms, additive_ms));
     }
-    write_csv("ablation_latency_law.csv", "config,dataflow_ms,additive_ms", &csv);
-    let hybrid = model.analyze(&arch, &"KMBM".parse().expect("valid")).expect("runs");
-    let all_block = model.analyze(&arch, &"KKKK".parse().expect("valid")).expect("runs");
+    write_csv(
+        "ablation_latency_law.csv",
+        "config,dataflow_ms,additive_ms",
+        &csv,
+    );
+    let hybrid = model
+        .analyze(&arch, &"KMBM".parse().expect("valid"))
+        .expect("runs");
+    let all_block = model
+        .analyze(&arch, &"KKKK".parse().expect("valid"))
+        .expect("runs");
     println!(
         "\nhybrid K-M-B-M sits at {:.1}% of all-Block latency under the dataflow law (paper: 18.671/18.674 = 99.98%)",
         100.0 * hybrid.latency_ms / all_block.latency_ms
@@ -112,7 +130,12 @@ fn latency_law() {
 /// Ablation 3: precision sweep through the functional simulator.
 fn precision_sweep() {
     println!("=== Ablation 3: datapath precision (LeNet, MC-3) ===\n");
-    let scale = BenchScale { train: 1024, val: 64, ood: 64, epochs: 4 };
+    let scale = BenchScale {
+        train: 1024,
+        val: 64,
+        ood: 64,
+        epochs: 4,
+    };
     let splits = dataset_splits(DatasetKind::MnistLike, scale, 31);
     let spec = SupernetSpec::paper_default(zoo::lenet(), 31).expect("valid");
     let mut supernet = Supernet::build(&spec).expect("builds");
@@ -123,7 +146,11 @@ fn precision_sweep() {
             &TrainConfig {
                 epochs: scale.epochs,
                 batch_size: 32,
-                schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+                schedule: LrSchedule::Cosine {
+                    base: 0.05,
+                    floor: 0.005,
+                    total: scale.epochs,
+                },
                 momentum: 0.9,
                 weight_decay: 5e-4,
                 ..TrainConfig::default()
@@ -131,7 +158,9 @@ fn precision_sweep() {
             &mut rng,
         )
         .expect("training succeeds");
-    supernet.set_config(&"BBB".parse().expect("valid")).expect("in space");
+    supernet
+        .set_config(&"BBB".parse().expect("valid"))
+        .expect("in space");
 
     let (images, labels) = splits.test.full_batch();
     let float_pred = mc_predict(supernet.net_mut(), &images, 3, 64).expect("runs");
@@ -144,15 +173,26 @@ fn precision_sweep() {
         // already-quantised net would compound errors.
         let mut clone_net = Supernet::build(&spec).expect("builds");
         copy_params(&mut supernet, &mut clone_net);
-        clone_net.set_config(&"BBB".parse().expect("valid")).expect("in space");
+        clone_net
+            .set_config(&"BBB".parse().expect("valid"))
+            .expect("in space");
         let _ = quantize_network(clone_net.net_mut(), format);
         let probs = quantized_mc_predict(clone_net.net_mut(), &images, format, 3).expect("runs");
         let acc = accuracy(&probs, &labels).expect("valid");
-        println!("{:<8} {:>9.2}% {:>11.2}pp", name, 100.0 * acc, 100.0 * (float_acc - acc));
+        println!(
+            "{:<8} {:>9.2}% {:>11.2}pp",
+            name,
+            100.0 * acc,
+            100.0 * (float_acc - acc)
+        );
         csv.push(format!("{name},{acc},{}", float_acc - acc));
         format_marker(format);
     }
-    write_csv("ablation_precision.csv", "format,accuracy,drop_vs_float", &csv);
+    write_csv(
+        "ablation_precision.csv",
+        "format,accuracy,drop_vs_float",
+        &csv,
+    );
     println!("\n(the paper deploys at Q7.8; the reproduction target is a small gap at Q7.8 and a");
     println!(" larger one at the 4-fraction-bit format)\n");
 }
@@ -180,11 +220,21 @@ fn masksembles_scale() {
     for scale in [1.0, 1.5, 2.0, 3.0, 4.0] {
         let mut rng = Rng64::new(5);
         let set = MaskSet::generate(3, 64, scale, &mut rng);
-        println!("{scale:<7} {:>13.3} {:>10}", set.mean_overlap(), set.rom_bits());
+        println!(
+            "{scale:<7} {:>13.3} {:>10}",
+            set.mean_overlap(),
+            set.rom_bits()
+        );
         csv.push(format!("{scale},{},{}", set.mean_overlap(), set.rom_bits()));
     }
-    write_csv("ablation_masksembles.csv", "scale,mean_overlap,rom_bits", &csv);
-    println!("\n(overlap falls with scale — more diverse ensemble members — while the BRAM ROM cost");
+    write_csv(
+        "ablation_masksembles.csv",
+        "scale,mean_overlap,rom_bits",
+        &csv,
+    );
+    println!(
+        "\n(overlap falls with scale — more diverse ensemble members — while the BRAM ROM cost"
+    );
     println!(" stays fixed at S x features bits; the paper fixes S = 3)");
 }
 
@@ -244,7 +294,12 @@ fn sampling_number_sweep() {
     use nds_dropout::mc::mc_predict;
     use nds_metrics::average_predictive_entropy;
     println!("\n=== Ablation 6: MC sampling number S (LeNet, all-Bernoulli) ===\n");
-    let scale = BenchScale { train: 1024, val: 64, ood: 128, epochs: 3 };
+    let scale = BenchScale {
+        train: 1024,
+        val: 64,
+        ood: 128,
+        epochs: 3,
+    };
     let splits = dataset_splits(DatasetKind::MnistLike, scale, 61);
     let spec = SupernetSpec::paper_default(zoo::lenet(), 61).expect("valid");
     let mut supernet = Supernet::build(&spec).expect("builds");
@@ -255,7 +310,11 @@ fn sampling_number_sweep() {
             &TrainConfig {
                 epochs: scale.epochs,
                 batch_size: 32,
-                schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+                schedule: LrSchedule::Cosine {
+                    base: 0.05,
+                    floor: 0.005,
+                    total: scale.epochs,
+                },
                 momentum: 0.9,
                 weight_decay: 5e-4,
                 ..TrainConfig::default()
@@ -263,12 +322,17 @@ fn sampling_number_sweep() {
             &mut rng,
         )
         .expect("training succeeds");
-    supernet.set_config(&"BBB".parse().expect("valid")).expect("in space");
+    supernet
+        .set_config(&"BBB".parse().expect("valid"))
+        .expect("in space");
     let (images, labels) = splits.test.full_batch();
     let ood = splits.train.ood_noise(128, &mut rng);
 
     let mut csv = Vec::new();
-    println!("{:<4} {:>10} {:>12} {:>14}", "S", "accuracy", "aPE (nats)", "latency (ms)");
+    println!(
+        "{:<4} {:>10} {:>12} {:>14}",
+        "S", "accuracy", "aPE (nats)", "latency (ms)"
+    );
     for samples in [1usize, 2, 3, 5, 8] {
         let pred = mc_predict(supernet.net_mut(), &images, samples, 64).expect("runs");
         let acc = accuracy(&pred.mean_probs, &labels).expect("valid");
@@ -280,10 +344,19 @@ fn sampling_number_sweep() {
         let latency = model
             .latency_ms(&zoo::lenet(), &"BBB".parse().expect("valid"))
             .expect("analysis runs");
-        println!("{samples:<4} {:>9.2}% {:>12.3} {:>14.3}", 100.0 * acc, ape, latency);
+        println!(
+            "{samples:<4} {:>9.2}% {:>12.3} {:>14.3}",
+            100.0 * acc,
+            ape,
+            latency
+        );
         csv.push(format!("{samples},{acc},{ape},{latency}"));
     }
-    write_csv("ablation_sampling.csv", "samples,accuracy,ape,latency_ms", &csv);
+    write_csv(
+        "ablation_sampling.csv",
+        "samples,accuracy,ape,latency_ms",
+        &csv,
+    );
     println!("\n(the paper fixes S = 3: the knee where extra samples stop buying aPE but keep");
     println!(" buying latency — visible as the latency column growing ~linearly in S)");
 }
@@ -302,9 +375,21 @@ fn ea_vs_random_search() {
     let objectives = figure4_objectives();
     // Reference point: the worst value of each objective over the space.
     let reference = [
-        space.archive.iter().map(|c| c.metrics.accuracy).fold(f64::INFINITY, f64::min),
-        space.archive.iter().map(|c| c.metrics.ece).fold(f64::NEG_INFINITY, f64::max),
-        space.archive.iter().map(|c| c.metrics.ape).fold(f64::INFINITY, f64::min),
+        space
+            .archive
+            .iter()
+            .map(|c| c.metrics.accuracy)
+            .fold(f64::INFINITY, f64::min),
+        space
+            .archive
+            .iter()
+            .map(|c| c.metrics.ece)
+            .fold(f64::NEG_INFINITY, f64::max),
+        space
+            .archive
+            .iter()
+            .map(|c| c.metrics.ape)
+            .fold(f64::INFINITY, f64::min),
     ];
     let exhaustive_best = space
         .archive
@@ -324,7 +409,13 @@ fn ea_vs_random_search() {
             &space.spec,
             &mut ea_eval,
             &aim,
-            &EvolutionConfig { population: 12, generations: 5, parents: 4, seed, ..Default::default() },
+            &EvolutionConfig {
+                population: 12,
+                generations: 5,
+                parents: 4,
+                seed,
+                ..Default::default()
+            },
         )
         .expect("EA runs");
         let budget = nds_search::Evaluator::fresh_evaluations(&ea_eval);
@@ -343,7 +434,10 @@ fn ea_vs_random_search() {
                 "{name:<8} {seed:>6} {budget:>6} {best:>12.4} {:>12.4} {hv:>10.4}",
                 exhaustive_best - best
             );
-            csv.push(format!("{name},{seed},{budget},{best},{},{hv}", exhaustive_best - best));
+            csv.push(format!(
+                "{name},{seed},{budget},{best},{},{hv}",
+                exhaustive_best - best
+            ));
         }
     }
     write_csv(
@@ -379,7 +473,11 @@ fn ranking_fidelity() {
     let train_config = TrainConfig {
         epochs: 2,
         batch_size: 32,
-        schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: 2 },
+        schedule: LrSchedule::Cosine {
+            base: 0.05,
+            floor: 0.005,
+            total: 2,
+        },
         momentum: 0.9,
         weight_decay: 5e-4,
         ..TrainConfig::default()
@@ -409,12 +507,16 @@ fn ranking_fidelity() {
             .expect("supernet evaluation runs");
         // Average two dedicated trainings per config: single-run seed
         // variance at this scale would otherwise drown the ranking signal.
-        let mut truth = nds_supernet::CandidateMetrics { accuracy: 0.0, ece: 0.0, ape: 0.0 };
+        let mut truth = nds_supernet::CandidateMetrics {
+            accuracy: 0.0,
+            ece: 0.0,
+            ape: 0.0,
+        };
         let runs = 3u32;
         for run in 0..runs {
-            let seed = code
-                .bytes()
-                .fold(0xBEEFu64 ^ u64::from(run), |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+            let seed = code.bytes().fold(0xBEEFu64 ^ u64::from(run), |h, b| {
+                h.wrapping_mul(31).wrapping_add(b as u64)
+            });
             let m = train_standalone(
                 &zoo::lenet(),
                 &config,
@@ -460,9 +562,7 @@ fn ranking_fidelity() {
     );
     // The coarse uncertainty contrast the search exploits: the static
     // mask set (all-Masksembles) sits at the entropy bottom in both worlds.
-    let rank_of = |xs: &[f64], target: usize| {
-        1 + xs.iter().filter(|&&v| v < xs[target]).count()
-    };
+    let rank_of = |xs: &[f64], target: usize| 1 + xs.iter().filter(|&&v| v < xs[target]).count();
     let mmm = probes.iter().position(|&c| c == "MMM").expect("MMM probed");
     println!(
         "all-Masksembles aPE rank (1 = lowest entropy of {}): supernet #{} / standalone #{}",
@@ -490,7 +590,11 @@ fn sparsity_codesign() {
     use nds_supernet::train_standalone;
 
     println!("\n=== Ablation 9: sparsity co-design (LeNet all-Bernoulli, Q7.8 design point) ===\n");
-    let scale = BenchScale { train: 1536, epochs: 4, ..BenchScale::default() };
+    let scale = BenchScale {
+        train: 1536,
+        epochs: 4,
+        ..BenchScale::default()
+    };
     let splits = dataset_splits(DatasetKind::MnistLike, scale, 91);
     let mut rng = Rng64::new(91);
     let ood = splits.train.ood_noise(scale.ood, &mut rng);
@@ -505,7 +609,11 @@ fn sparsity_codesign() {
         &TrainConfig {
             epochs: scale.epochs,
             batch_size: 32,
-            schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+            schedule: LrSchedule::Cosine {
+                base: 0.05,
+                floor: 0.005,
+                total: scale.epochs,
+            },
             momentum: 0.9,
             weight_decay: 5e-4,
             ..TrainConfig::default()
@@ -516,7 +624,12 @@ fn sparsity_codesign() {
     )
     .expect("standalone training runs");
     let dense_acc = result.metrics.accuracy;
-    let snapshot: Vec<_> = result.net.params().iter().map(|p| p.value.clone()).collect();
+    let snapshot: Vec<_> = result
+        .net
+        .params()
+        .iter()
+        .map(|p| p.value.clone())
+        .collect();
     let (test_images, test_labels) = splits.test.full_batch();
 
     let mut csv = Vec::new();
@@ -525,7 +638,11 @@ fn sparsity_codesign() {
         "scheme", "sparsity", "raw acc%", "tuned acc%", "latency (ms)", "BRAM %"
     );
     for structured in [false, true] {
-        let scheme = if structured { "structured" } else { "unstructured" };
+        let scheme = if structured {
+            "structured"
+        } else {
+            "unstructured"
+        };
         for target in [0.0, 0.25, 0.5, 0.75, 0.9] {
             // Restore the dense weights, prune, measure, fine-tune, measure.
             for (dst, src) in result.net.params_mut().into_iter().zip(&snapshot) {
@@ -544,7 +661,10 @@ fn sparsity_codesign() {
             let sgd = Sgd::with_momentum(0.01, 0.9, 5e-4);
             let mut tune_rng = rng.fork(0x7E * (1 + (target * 100.0) as u64));
             for (images, labels) in splits.train.iter_batches(32, &mut tune_rng) {
-                let logits = result.net.forward(&images, nds_nn::Mode::Train).expect("runs");
+                let logits = result
+                    .net
+                    .forward(&images, nds_nn::Mode::Train)
+                    .expect("runs");
                 let (_, dlogits) = softmax_cross_entropy(&logits, &labels).expect("runs");
                 result.net.backward(&dlogits).expect("runs");
                 let mut params = result.net.params_mut();
@@ -583,7 +703,10 @@ fn sparsity_codesign() {
         "scheme,sparsity,raw_accuracy,finetuned_accuracy,latency_ms,bram_pct",
         &csv,
     );
-    println!("\n(dense accuracy {:.2}%; the co-design story: structured pruning buys", 100.0 * dense_acc);
+    println!(
+        "\n(dense accuracy {:.2}%; the co-design story: structured pruning buys",
+        100.0 * dense_acc
+    );
     println!(" proportional latency, unstructured buys less per zero and pays index BRAM —");
     println!(" while fine-tuning recovers most of the accuracy at moderate sparsity)");
 }
@@ -616,7 +739,11 @@ fn transformer_space() {
             &TrainConfig {
                 epochs: 6,
                 batch_size: 32,
-                schedule: LrSchedule::Cosine { base: 0.08, floor: 0.008, total: 6 },
+                schedule: LrSchedule::Cosine {
+                    base: 0.08,
+                    floor: 0.008,
+                    total: 6,
+                },
                 momentum: 0.9,
                 weight_decay: 1e-4,
                 ..TrainConfig::default()
@@ -626,12 +753,18 @@ fn transformer_space() {
         .expect("training succeeds");
     let ood = splits.train.ood_noise(96, &mut rng);
     let model = AM::new(AC::lenet_paper());
-    let latency = LatencyProvider::Exact { model, arch: arch.clone() };
+    let latency = LatencyProvider::Exact {
+        model,
+        arch: arch.clone(),
+    };
     let mut evaluator = SupernetEvaluator::new(&mut supernet, &splits.val, ood, latency, 64);
     let archive = evaluate_all(&spec, &mut evaluator).expect("evaluation runs");
 
     let mut csv = Vec::new();
-    println!("{:<8} {:>9} {:>8} {:>11} {:>13}", "config", "acc%", "ECE%", "aPE (nats)", "latency (ms)");
+    println!(
+        "{:<8} {:>9} {:>8} {:>11} {:>13}",
+        "config", "acc%", "ECE%", "aPE (nats)", "latency (ms)"
+    );
     for candidate in &archive {
         println!(
             "{:<8} {:>8.1}% {:>7.1}% {:>11.3} {:>13.3}",
@@ -650,7 +783,11 @@ fn transformer_space() {
             candidate.latency_ms
         ));
     }
-    write_csv("ablation_transformer.csv", "config,accuracy,ece,ape,latency_ms", &csv);
+    write_csv(
+        "ablation_transformer.csv",
+        "config,accuracy,ece,ape,latency_ms",
+        &csv,
+    );
 
     // Structure checks mirroring the CNN experiments.
     let by = |code: &str| {
@@ -679,7 +816,6 @@ fn transformer_space() {
     println!(" apply unchanged, which is the claim behind the paper's future-work item)");
 }
 
-
 /// Ablation 11 (extension): aim-weight sensitivity. The paper states that
 /// adjusting the Eq.-2 weights recovers different Pareto-optimal designs;
 /// this sweeps a grid of weightings over the exhaustively-evaluated ResNet
@@ -697,7 +833,10 @@ fn aim_weight_sweep() {
     let mut csv = Vec::new();
     let mut winners: HashSet<String> = HashSet::new();
     let mut all_on_frontier = true;
-    println!("{:<24} {:>8} {:>9} {:>7} {:>11} {:>9}", "aim (eta,mu,beta)", "winner", "acc%", "ECE%", "aPE (nats)", "frontier");
+    println!(
+        "{:<24} {:>8} {:>9} {:>7} {:>11} {:>9}",
+        "aim (eta,mu,beta)", "winner", "acc%", "ECE%", "aPE (nats)", "frontier"
+    );
     for eta in [0.0, 1.0, 4.0] {
         for mu in [0.0, 1.0, 4.0] {
             for beta in [0.0, 0.5, 2.0] {
@@ -728,7 +867,11 @@ fn aim_weight_sweep() {
             }
         }
     }
-    write_csv("ablation_aim_weights.csv", "eta,mu,beta,winner,accuracy,ece,ape,on_frontier", &csv);
+    write_csv(
+        "ablation_aim_weights.csv",
+        "eta,mu,beta,winner,accuracy,ece,ape,on_frontier",
+        &csv,
+    );
     println!(
         "\n{} distinct weightings -> {} distinct frontier designs; all on the reference frontier: {}",
         csv.len(),
@@ -736,6 +879,8 @@ fn aim_weight_sweep() {
         all_on_frontier
     );
     println!("(positively-weighted scalarisation is Pareto-optimal by construction; the sweep");
-    println!(" shows the practical flexibility claim of Section 4.1 — different priorities recover");
+    println!(
+        " shows the practical flexibility claim of Section 4.1 — different priorities recover"
+    );
     println!(" genuinely different designs, not one point relabelled)");
 }

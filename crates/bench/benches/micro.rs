@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use nds_dropout::masks::{bernoulli_mask, block_mask, random_mask};
 use nds_dropout::masksembles::MaskSet;
-use nds_dropout::mc::mc_predict;
+use nds_dropout::mc::{mc_predict, mc_predict_with_workers};
 use nds_gp::{GpRegressor, Kernel};
 use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
 use nds_hw::lfsr::Lfsr16;
@@ -26,6 +26,20 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     let b = Tensor::rand_normal(Shape::d2(128, 128), 0.0, 1.0, &mut rng);
     c.bench_function("matmul_128x128", |bench| {
         bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+
+    // The perf-trajectory headliner: 256³, optimised vs the seed kernel.
+    let a256 = Tensor::rand_normal(Shape::d2(256, 256), 0.0, 1.0, &mut rng);
+    let b256 = Tensor::rand_normal(Shape::d2(256, 256), 0.0, 1.0, &mut rng);
+    let bt256 = b256.transpose().unwrap();
+    c.bench_function("matmul_256x256", |bench| {
+        bench.iter(|| black_box(a256.matmul(&b256).unwrap()))
+    });
+    c.bench_function("matmul_naive_256x256", |bench| {
+        bench.iter(|| black_box(a256.matmul_naive(&b256).unwrap()))
+    });
+    c.bench_function("matmul_transb_256x256", |bench| {
+        bench.iter(|| black_box(a256.matmul_transb(&bt256).unwrap()))
     });
 
     let input = Tensor::rand_normal(Shape::d4(1, 16, 32, 32), 0.0, 1.0, &mut rng);
@@ -70,11 +84,27 @@ fn bench_mask_generators(c: &mut Criterion) {
 fn bench_inference(c: &mut Criterion) {
     let spec = SupernetSpec::paper_default(zoo::lenet(), 6).expect("valid");
     let mut supernet = Supernet::build(&spec).expect("builds");
-    supernet.set_config(&"BBB".parse().expect("valid")).expect("in space");
+    supernet
+        .set_config(&"BBB".parse().expect("valid"))
+        .expect("in space");
     let mut rng = Rng64::new(7);
     let images = Tensor::rand_normal(Shape::d4(8, 1, 28, 28), 0.0, 1.0, &mut rng);
     c.bench_function("mc_predict_lenet_s3_b8", |bench| {
         bench.iter(|| black_box(mc_predict(supernet.net_mut(), &images, 3, 8).unwrap()))
+    });
+
+    // End-to-end MC throughput at a heavier batch, with a reused
+    // workspace — the shape of the supernet-evaluation inner loop.
+    let big = Tensor::rand_normal(Shape::d4(32, 1, 28, 28), 0.0, 1.0, &mut rng);
+    let mut ws = nds_tensor::Workspace::new();
+    let workers = nds_tensor::parallel::worker_count();
+    c.bench_function("mc_predict_lenet_s3_b32_pooled", |bench| {
+        bench.iter(|| {
+            let pred =
+                mc_predict_with_workers(supernet.net_mut(), &big, 3, 32, workers, &mut ws).unwrap();
+            ws.recycle_tensor(pred.mean_probs);
+            black_box(pred.sample_probs.len())
+        })
     });
 }
 
@@ -91,7 +121,10 @@ fn bench_models(c: &mut Criterion) {
                 GpRegressor::fit(
                     &xs,
                     &ys,
-                    Kernel::Matern52 { lengthscale: 2.0, variance: 1.0 },
+                    Kernel::Matern52 {
+                        lengthscale: 2.0,
+                        variance: 1.0,
+                    },
                     1e-6,
                 )
                 .unwrap(),
@@ -101,7 +134,10 @@ fn bench_models(c: &mut Criterion) {
     let gp = GpRegressor::fit(
         &xs,
         &ys,
-        Kernel::Matern52 { lengthscale: 2.0, variance: 1.0 },
+        Kernel::Matern52 {
+            lengthscale: 2.0,
+            variance: 1.0,
+        },
         1e-6,
     )
     .unwrap();

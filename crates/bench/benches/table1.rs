@@ -26,10 +26,7 @@ fn main() {
     let mut rows: Vec<(String, Candidate)> = Vec::new();
     for kind in DropoutKind::all() {
         let config = DropoutConfig::uniform(kind, 4);
-        rows.push((
-            format!("All {kind}"),
-            space.candidate(&config).clone(),
-        ));
+        rows.push((format!("All {kind}"), space.candidate(&config).clone()));
     }
     // Searched rows: per-aim optimum over the exhaustive archive (the
     // paper's iterate-all protocol).
@@ -45,7 +42,15 @@ fn main() {
 
     println!(
         "{:<22} {:>8} {:>9} {:>6} {:>6} {:>11} {:>6} {:>5} {:>5}",
-        "ResNet configuration", "config", "Acc(%)", "ECE(%)", "aPE", "Latency(ms)", "BRAM", "DSP", "FF"
+        "ResNet configuration",
+        "config",
+        "Acc(%)",
+        "ECE(%)",
+        "aPE",
+        "Latency(ms)",
+        "BRAM",
+        "DSP",
+        "FF"
     );
     let mut csv = Vec::new();
     for (name, candidate) in &rows {
@@ -105,12 +110,18 @@ fn main() {
         }
     }
     for aim in &aims {
-        let mut evaluator = ArchiveEvaluator { archive: &space.archive, fresh: 0 };
+        let mut evaluator = ArchiveEvaluator {
+            archive: &space.archive,
+            fresh: 0,
+        };
         let result = evolve(
             &space.spec,
             &mut evaluator,
             aim,
-            &EvolutionConfig { seed: 7, ..EvolutionConfig::default() },
+            &EvolutionConfig {
+                seed: 7,
+                ..EvolutionConfig::default()
+            },
         )
         .expect("EA runs");
         let exhaustive_best = space

@@ -59,7 +59,12 @@ fn main() {
         },
     ];
 
-    let scale = BenchScale { train: 1024, val: 64, ood: 64, epochs: 3 };
+    let scale = BenchScale {
+        train: 1024,
+        val: 64,
+        ood: 64,
+        epochs: 3,
+    };
     let mut csv = Vec::new();
     for case in cases {
         let seed = 4242;
@@ -75,7 +80,11 @@ fn main() {
                 &TrainConfig {
                     epochs: scale.epochs,
                     batch_size: 32,
-                    schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+                    schedule: LrSchedule::Cosine {
+                        base: 0.05,
+                        floor: 0.005,
+                        total: scale.epochs,
+                    },
                     momentum: 0.9,
                     weight_decay: 5e-4,
                     ..TrainConfig::default()
@@ -85,10 +94,15 @@ fn main() {
             .expect("training succeeds");
         let train_s = t0.elapsed().as_secs_f64();
 
-        let val = splits.val.subset(&(0..scale.val.min(splits.val.len())).collect::<Vec<_>>());
+        let val = splits
+            .val
+            .subset(&(0..scale.val.min(splits.val.len())).collect::<Vec<_>>());
         let ood = splits.train.ood_noise(scale.ood, &mut rng);
         let model = AcceleratorModel::new(case.accel.clone());
-        let latency = LatencyProvider::Exact { model, arch: case.hw_arch.clone() };
+        let latency = LatencyProvider::Exact {
+            model,
+            arch: case.hw_arch.clone(),
+        };
         let mut evaluator = SupernetEvaluator::new(&mut supernet, &val, ood, latency, 64);
 
         let t0 = Instant::now();
@@ -119,7 +133,11 @@ fn main() {
             println!("         {:<18} {}", format!("{aim}:"), config);
             csv.push(format!(
                 "{},{},{},{:.2},{:.2}",
-                case.label, aim, config.compact(), train_s, search_s
+                case.label,
+                aim,
+                config.compact(),
+                train_s,
+                search_s
             ));
         }
         println!();

@@ -76,7 +76,14 @@ fn main() {
         };
         println!(
             "{:<28} {:<20} {:>9.0} {:>5}nm {:>8.2} {:>9} {:>12} {:>14}  {src}",
-            row.name, row.platform, row.frequency_mhz, row.technology_nm, row.power_w, ape, latency, energy
+            row.name,
+            row.platform,
+            row.frequency_mhz,
+            row.technology_nm,
+            row.power_w,
+            ape,
+            latency,
+            energy
         );
         csv.push(format!(
             "{},{},{},{},{},{},{},{},{}",

@@ -1,0 +1,90 @@
+//! Emits `BENCH_inference.json` — the inference-engine perf baseline.
+//!
+//! Times the kernels the high-throughput inference engine optimises
+//! (blocked/parallel matmul, fused transposed matmul, end-to-end
+//! MC-dropout prediction) against the retained naive reference kernel,
+//! and writes the numbers as JSON at the workspace root so future PRs
+//! can track the perf trajectory.
+//!
+//! Run with: `cargo run --release -p nds-bench --bin perf_baseline`
+
+use nds_dropout::mc::mc_predict_with_workers;
+use nds_supernet::{Supernet, SupernetSpec};
+use nds_tensor::parallel::worker_count;
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor, Workspace};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median seconds per call over `reps` calls, after one warm-up call.
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..reps.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let workers = worker_count();
+    let mut rng = Rng64::new(1);
+    let a = Tensor::rand_normal(Shape::d2(256, 256), 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(Shape::d2(256, 256), 0.0, 1.0, &mut rng);
+    let bt = b.transpose().unwrap();
+
+    let naive = time_median(15, || a.matmul_naive(&b).unwrap());
+    let blocked = time_median(15, || a.matmul(&b).unwrap());
+    let transb = time_median(15, || a.matmul_transb(&bt).unwrap());
+
+    let spec = SupernetSpec::paper_default(nds_nn::zoo::lenet(), 6).expect("valid spec");
+    let mut supernet = Supernet::build(&spec).expect("builds");
+    supernet
+        .set_config(&"BBB".parse().expect("valid"))
+        .expect("in space");
+    let images = Tensor::rand_normal(Shape::d4(32, 1, 28, 28), 0.0, 1.0, &mut rng);
+    let mut ws = Workspace::new();
+    let mc_serial = time_median(5, || {
+        mc_predict_with_workers(supernet.net_mut(), &images, 3, 32, 1, &mut ws).unwrap()
+    });
+    let mc_parallel = time_median(5, || {
+        mc_predict_with_workers(supernet.net_mut(), &images, 3, 32, workers, &mut ws).unwrap()
+    });
+
+    let json = format!(
+        "{{\n  \
+         \"bench\": \"inference-engine baseline\",\n  \
+         \"workers\": {workers},\n  \
+         \"matmul_256\": {{\n    \
+         \"naive_ms\": {:.4},\n    \
+         \"blocked_ms\": {:.4},\n    \
+         \"transb_ms\": {:.4},\n    \
+         \"speedup_blocked\": {:.3},\n    \
+         \"speedup_transb\": {:.3}\n  }},\n  \
+         \"mc_predict_lenet_s3_b32\": {{\n    \
+         \"serial_ms\": {:.3},\n    \
+         \"parallel_ms\": {:.3},\n    \
+         \"speedup\": {:.3},\n    \
+         \"images_per_sec\": {:.1}\n  }}\n}}\n",
+        naive * 1e3,
+        blocked * 1e3,
+        transb * 1e3,
+        naive / blocked,
+        naive / transb,
+        mc_serial * 1e3,
+        mc_parallel * 1e3,
+        mc_serial / mc_parallel,
+        32.0 / mc_parallel,
+    );
+    let path = nds_bench::results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .join("BENCH_inference.json");
+    std::fs::write(&path, &json).expect("baseline file is writable");
+    println!("{json}");
+    println!("wrote {}", path.display());
+}

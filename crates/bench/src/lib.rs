@@ -111,7 +111,12 @@ pub struct BenchScale {
 
 impl Default for BenchScale {
     fn default() -> Self {
-        BenchScale { train: 1280, val: 96, ood: 96, epochs: 3 }
+        BenchScale {
+            train: 1280,
+            val: 96,
+            ood: 96,
+            epochs: 3,
+        }
     }
 }
 
@@ -140,7 +145,11 @@ pub fn lenet_space(seed: u64) -> EvaluatedSpace {
         zoo::lenet(),
         DatasetKind::MnistLike,
         AcceleratorConfig::lenet_paper(),
-        BenchScale { train: 1536, epochs: 4, ..BenchScale::default() },
+        BenchScale {
+            train: 1536,
+            epochs: 4,
+            ..BenchScale::default()
+        },
         seed,
     )
 }
@@ -159,8 +168,17 @@ pub fn evaluated_space(
     // v2: per-candidate batch-norm recalibration (SPOS) before evaluation.
     let cache = cache_dir().join(format!("space_{tag}_s{seed}_v2.csv"));
     if let Some(archive) = load_archive(&cache, &spec) {
-        println!("[cache] loaded {} candidates from {}", archive.len(), cache.display());
-        return EvaluatedSpace { spec, archive, train_seconds: 0.0, eval_seconds: 0.0 };
+        println!(
+            "[cache] loaded {} candidates from {}",
+            archive.len(),
+            cache.display()
+        );
+        return EvaluatedSpace {
+            spec,
+            archive,
+            train_seconds: 0.0,
+            eval_seconds: 0.0,
+        };
     }
 
     let splits = dataset_splits(dataset, scale, seed);
@@ -169,7 +187,11 @@ pub fn evaluated_space(
     let train_config = TrainConfig {
         epochs: scale.epochs,
         batch_size: 32,
-        schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: scale.epochs },
+        schedule: LrSchedule::Cosine {
+            base: 0.05,
+            floor: 0.005,
+            total: scale.epochs,
+        },
         momentum: 0.9,
         weight_decay: 5e-4,
         ..TrainConfig::default()
@@ -194,19 +216,32 @@ pub fn evaluated_space(
     // SPOS batch-norm recalibration: per-candidate statistics re-estimated
     // from these batches before every evaluation (Guo et al., 2020).
     supernet.set_calibration_from(&splits.train, 4, 64, &mut rng);
-    let val = splits.val.subset(&(0..scale.val.min(splits.val.len())).collect::<Vec<_>>());
+    let val = splits
+        .val
+        .subset(&(0..scale.val.min(splits.val.len())).collect::<Vec<_>>());
     let ood = splits.train.ood_noise(scale.ood, &mut rng);
     let model = AcceleratorModel::new(accel);
-    let latency = LatencyProvider::Exact { model, arch: hw_arch };
+    let latency = LatencyProvider::Exact {
+        model,
+        arch: hw_arch,
+    };
     let mut evaluator = SupernetEvaluator::new(&mut supernet, &val, ood, latency, 64);
-    println!("[eval] exhaustively evaluating {} configurations…", spec.space_size());
+    println!(
+        "[eval] exhaustively evaluating {} configurations…",
+        spec.space_size()
+    );
     let t0 = std::time::Instant::now();
     let archive = evaluate_all(&spec, &mut evaluator).expect("evaluation succeeds");
     let eval_seconds = t0.elapsed().as_secs_f64();
     println!("[eval] done in {eval_seconds:.1}s");
 
     store_archive(&cache, &archive);
-    EvaluatedSpace { spec, archive, train_seconds, eval_seconds }
+    EvaluatedSpace {
+        spec,
+        archive,
+        train_seconds,
+        eval_seconds,
+    }
 }
 
 /// Regenerates the dataset splits a harness uses (deterministic).
@@ -275,7 +310,10 @@ impl ReplayEvaluator {
     /// Wraps an archive for replay.
     pub fn new(archive: &[Candidate]) -> Self {
         ReplayEvaluator {
-            table: archive.iter().map(|c| (c.config.compact(), c.clone())).collect(),
+            table: archive
+                .iter()
+                .map(|c| (c.config.compact(), c.clone()))
+                .collect(),
             fresh: std::collections::HashSet::new(),
         }
     }
@@ -401,13 +439,7 @@ mod tests {
 
     #[test]
     fn ascii_scatter_places_points() {
-        let plot = ascii_scatter(
-            &[(0.0, 0.0, 'A'), (1.0, 1.0, 'B')],
-            20,
-            10,
-            "x",
-            "y",
-        );
+        let plot = ascii_scatter(&[(0.0, 0.0, 'A'), (1.0, 1.0, 'B')], 20, 10, "x", "y");
         assert!(plot.contains('A'));
         assert!(plot.contains('B'));
     }
@@ -425,7 +457,11 @@ mod tests {
         let config: DropoutConfig = "BBB".parse().unwrap();
         let candidate = Candidate {
             config: config.clone(),
-            metrics: CandidateMetrics { accuracy: 0.9, ece: 0.1, ape: 0.5 },
+            metrics: CandidateMetrics {
+                accuracy: 0.9,
+                ece: 0.1,
+                ape: 0.5,
+            },
             latency_ms: 1.0,
         };
         let mut replay = ReplayEvaluator::new(std::slice::from_ref(&candidate));

@@ -41,7 +41,7 @@ use nds_search::{
     evolve, fit_latency_gp, Candidate, EvolutionConfig, EvolutionResult, LatencyProvider,
     SearchAim, SearchError, SupernetEvaluator,
 };
-use nds_supernet::{Supernet, SupernetError, SupernetSpec, SposStats};
+use nds_supernet::{SposStats, Supernet, SupernetError, SupernetSpec};
 use nds_tensor::rng::Rng64;
 use std::error::Error as StdError;
 use std::fmt;
@@ -176,10 +176,17 @@ impl Specification {
             train: TrainConfig {
                 epochs: 3,
                 batch_size: 32,
-                schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: 3 },
+                schedule: LrSchedule::Cosine {
+                    base: 0.05,
+                    floor: 0.005,
+                    total: 3,
+                },
                 ..TrainConfig::default()
             },
-            evolution: EvolutionConfig { seed: seed ^ 0xEA, ..EvolutionConfig::default() },
+            evolution: EvolutionConfig {
+                seed: seed ^ 0xEA,
+                ..EvolutionConfig::default()
+            },
             aim: SearchAim::accuracy_optimal(),
             accel: AcceleratorConfig::lenet_paper(),
             latency_source: LatencySource::Exact,
@@ -323,7 +330,10 @@ pub fn run(specification: &Specification) -> Result<FrameworkOutcome> {
     let model = AcceleratorModel::new(specification.accel.clone());
     let (latency, gp_rmse_ms) = match specification.latency_source {
         LatencySource::Exact => (
-            LatencyProvider::Exact { model: model.clone(), arch: hw_arch.clone() },
+            LatencyProvider::Exact {
+                model: model.clone(),
+                arch: hw_arch.clone(),
+            },
             None,
         ),
         LatencySource::Gp { train_points } => {
@@ -336,7 +346,10 @@ pub fn run(specification: &Specification) -> Result<FrameworkOutcome> {
                 specification.seed ^ 0x69,
             )?;
             (
-                LatencyProvider::Gp { gp, slots: spec.slots().to_vec() },
+                LatencyProvider::Gp {
+                    gp,
+                    slots: spec.slots().to_vec(),
+                },
                 Some(rmse),
             )
         }
@@ -359,7 +372,12 @@ pub fn run(specification: &Specification) -> Result<FrameworkOutcome> {
         latency,
         specification.batch_size,
     );
-    let search = evolve(&spec, &mut evaluator, &specification.aim, &specification.evolution)?;
+    let search = evolve(
+        &spec,
+        &mut evaluator,
+        &specification.aim,
+        &specification.evolution,
+    )?;
     timings.search_s = t0.elapsed().as_secs_f64();
 
     // Phase 4: Accelerator generation.
@@ -406,7 +424,13 @@ mod tests {
 
     fn tiny_spec(seed: u64) -> Specification {
         let mut spec = Specification::lenet_demo(seed);
-        spec.dataset_config = DatasetConfig { train: 96, val: 48, test: 32, seed, noise: 0.05 };
+        spec.dataset_config = DatasetConfig {
+            train: 96,
+            val: 48,
+            test: 32,
+            seed,
+            noise: 0.05,
+        };
         spec.train.epochs = 1;
         spec.evolution = EvolutionConfig {
             population: 6,

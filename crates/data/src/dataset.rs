@@ -26,7 +26,12 @@ impl Dataset {
     ///
     /// Panics if `images` is not rank 4, the batch dimension does not match
     /// `labels.len()`, or any label is `>= classes`.
-    pub fn new(name: impl Into<String>, images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        images: Tensor,
+        labels: Vec<usize>,
+        classes: usize,
+    ) -> Self {
         let (n, c, h, w) = images
             .shape()
             .as_nchw()
@@ -91,7 +96,11 @@ impl Dataset {
 
     /// Image shape of one sample as `(channels, height, width)`.
     pub fn image_shape(&self) -> (usize, usize, usize) {
-        let (_, c, h, w) = self.images.shape().as_nchw().expect("rank-4 by construction");
+        let (_, c, h, w) = self
+            .images
+            .shape()
+            .as_nchw()
+            .expect("rank-4 by construction");
         (c, h, w)
     }
 
@@ -121,7 +130,11 @@ impl Dataset {
     ///
     /// Panics if any index is out of range.
     pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
-        let (_, c, h, w) = self.images.shape().as_nchw().expect("rank-4 by construction");
+        let (_, c, h, w) = self
+            .images
+            .shape()
+            .as_nchw()
+            .expect("rank-4 by construction");
         let item = c * h * w;
         let src = self.images.as_slice();
         let mut data = Vec::with_capacity(indices.len() * item);
@@ -181,7 +194,11 @@ impl Dataset {
     /// divide by the standard deviation, then reset the stored stats to
     /// (0, 1).
     pub fn normalize(&mut self) {
-        let (_, c, h, w) = self.images.shape().as_nchw().expect("rank-4 by construction");
+        let (_, c, h, w) = self
+            .images
+            .shape()
+            .as_nchw()
+            .expect("rank-4 by construction");
         let n = self.labels.len();
         let mean = self.mean.clone();
         let std = self.std.clone();
@@ -334,7 +351,10 @@ mod tests {
         assert_eq!(noise.shape().dims(), &[256, 2, 4, 4]);
         let m = noise.mean();
         let expect = d.channel_mean().iter().sum::<f32>() as f64 / 2.0;
-        assert!((m - expect).abs() < 0.05, "noise mean {m} vs expected {expect}");
+        assert!(
+            (m - expect).abs() < 0.05,
+            "noise mean {m} vs expected {expect}"
+        );
     }
 
     #[test]

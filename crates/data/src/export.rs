@@ -82,10 +82,7 @@ pub fn export_samples(
     let ext = if c == 1 { "pgm" } else { "ppm" };
     let mut written = Vec::new();
     for i in 0..count.min(dataset.len()) {
-        let image = dataset
-            .images()
-            .batch_item(i)
-            .map_err(|e| e.to_string())?;
+        let image = dataset.images().batch_item(i).map_err(|e| e.to_string())?;
         let contents = image_to_pnm(&image)?;
         let path = dir.join(format!("{}_{i}.{ext}", dataset.labels()[i]));
         std::fs::write(&path, contents).map_err(|e| e.to_string())?;

@@ -36,7 +36,11 @@ impl DatasetKind {
     /// All kinds, in the order the paper pairs them with LeNet / VGG11 /
     /// ResNet18.
     pub fn all() -> [DatasetKind; 3] {
-        [DatasetKind::MnistLike, DatasetKind::SvhnLike, DatasetKind::CifarLike]
+        [
+            DatasetKind::MnistLike,
+            DatasetKind::SvhnLike,
+            DatasetKind::CifarLike,
+        ]
     }
 }
 
@@ -69,13 +73,25 @@ pub struct DatasetConfig {
 impl DatasetConfig {
     /// A tiny configuration for unit tests and doc examples.
     pub fn tiny(seed: u64) -> Self {
-        DatasetConfig { train: 64, val: 32, test: 32, seed, noise: 0.08 }
+        DatasetConfig {
+            train: 64,
+            val: 32,
+            test: 32,
+            seed,
+            noise: 0.08,
+        }
     }
 
     /// The default experiment scale used by the bench harnesses: small
     /// enough for a single CPU core, large enough for stable metrics.
     pub fn experiment(seed: u64) -> Self {
-        DatasetConfig { train: 1536, val: 384, test: 384, seed, noise: 0.08 }
+        DatasetConfig {
+            train: 1536,
+            val: 384,
+            test: 384,
+            seed,
+            noise: 0.08,
+        }
     }
 }
 
@@ -132,7 +148,11 @@ fn generate_split(
     let mut labels = Vec::with_capacity(n);
     for (i, img) in data.chunks_mut(c * h * w).enumerate() {
         // Balanced classes with a shuffled remainder.
-        let label = if i < (n / 10) * 10 { i % 10 } else { rng.below(10) };
+        let label = if i < (n / 10) * 10 {
+            i % 10
+        } else {
+            rng.below(10)
+        };
         labels.push(label);
         match kind {
             DatasetKind::MnistLike => draw_mnist(img, h, w, label, config.noise, &mut rng),
@@ -163,7 +183,11 @@ fn draw_mnist(img: &mut [f32], h: usize, w: usize, label: usize, noise: f32, rng
                     v = intensity;
                 }
             }
-            let n = if noise > 0.0 { rng.normal_with(0.0, noise) } else { 0.0 };
+            let n = if noise > 0.0 {
+                rng.normal_with(0.0, noise)
+            } else {
+                0.0
+            };
             img[y * w + x] = (v + n).clamp(0.0, 1.0);
         }
     }
@@ -301,7 +325,13 @@ mod tests {
 
     #[test]
     fn split_sizes_match_config() {
-        let cfg = DatasetConfig { train: 50, val: 20, test: 10, seed: 2, noise: 0.0 };
+        let cfg = DatasetConfig {
+            train: 50,
+            val: 20,
+            test: 10,
+            seed: 2,
+            noise: 0.0,
+        };
         let splits = mnist_like(&cfg);
         assert_eq!(splits.train.len(), 50);
         assert_eq!(splits.val.len(), 20);
@@ -326,14 +356,26 @@ mod tests {
 
     #[test]
     fn splits_are_decorrelated() {
-        let s = mnist_like(&DatasetConfig { train: 32, val: 32, test: 32, seed: 5, noise: 0.05 });
+        let s = mnist_like(&DatasetConfig {
+            train: 32,
+            val: 32,
+            test: 32,
+            seed: 5,
+            noise: 0.05,
+        });
         assert_ne!(s.train.images().as_slice(), s.val.images().as_slice());
         assert_ne!(s.val.images().as_slice(), s.test.images().as_slice());
     }
 
     #[test]
     fn classes_are_roughly_balanced() {
-        let s = mnist_like(&DatasetConfig { train: 100, val: 10, test: 10, seed: 6, noise: 0.0 });
+        let s = mnist_like(&DatasetConfig {
+            train: 100,
+            val: 10,
+            test: 10,
+            seed: 6,
+            noise: 0.0,
+        });
         let hist = s.train.class_histogram();
         assert_eq!(hist.iter().sum::<usize>(), 100);
         assert!(hist.iter().all(|&c| c == 10), "histogram {hist:?}");
@@ -353,7 +395,13 @@ mod tests {
     fn same_class_images_are_more_similar_than_cross_class() {
         // Sanity-check learnability: mean intra-class L2 distance should be
         // smaller than inter-class distance for the clean MNIST-like set.
-        let s = mnist_like(&DatasetConfig { train: 100, val: 10, test: 10, seed: 8, noise: 0.0 });
+        let s = mnist_like(&DatasetConfig {
+            train: 100,
+            val: 10,
+            test: 10,
+            seed: 8,
+            noise: 0.0,
+        });
         let imgs = s.train.images();
         let labels = s.train.labels();
         let dist = |a: usize, b: usize| -> f64 {

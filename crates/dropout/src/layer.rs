@@ -46,12 +46,25 @@ impl Default for DropoutSettings {
 /// For Masksembles, training picks a random mask per forward pass and MC
 /// inference cycles deterministically through the mask set, so S MC passes
 /// use each of the S masks exactly once — the intended semantics.
-#[derive(Debug)]
+///
+/// # Monte-Carlo sample streams
+///
+/// [`Layer::begin_mc_sample`] re-derives the layer's RNG from its
+/// construction seed and the sample index, and points the Masksembles
+/// cursor at mask `sample`. Every MC pass therefore draws its masks from
+/// a stream determined solely by `(seed, slot, sample)` — independent of
+/// pass ordering and of the thread executing it — which is what lets
+/// [`crate::mc::mc_predict`] fan samples out across workers while
+/// staying bit-identical to a serial run. Within a pass the stream
+/// advances once per batch *item*, so chunking the batch differently
+/// doesn't move it either (covered by the crate's tests).
+#[derive(Debug, Clone)]
 pub struct DropoutLayer {
     kind: DropoutKind,
     settings: DropoutSettings,
     slot: SlotInfo,
     mask_set: Option<MaskSet>,
+    stream_seed: u64,
     rng: Rng64,
     mc_cursor: usize,
     cache: Option<Tensor>,
@@ -77,7 +90,10 @@ impl DropoutLayer {
         seed: u64,
     ) -> Result<Self, DropoutError> {
         if !kind.supports(slot.position) {
-            return Err(DropoutError::UnsupportedPosition { kind, position: slot.position });
+            return Err(DropoutError::UnsupportedPosition {
+                kind,
+                position: slot.position,
+            });
         }
         if !(0.0..1.0).contains(&settings.rate) {
             return Err(DropoutError::BadParameter(format!(
@@ -86,7 +102,9 @@ impl DropoutLayer {
             )));
         }
         if settings.n_masks == 0 {
-            return Err(DropoutError::BadParameter("n_masks must be positive".into()));
+            return Err(DropoutError::BadParameter(
+                "n_masks must be positive".into(),
+            ));
         }
         if settings.scale < 1.0 {
             return Err(DropoutError::BadParameter(format!(
@@ -94,14 +112,20 @@ impl DropoutLayer {
                 settings.scale
             )));
         }
-        let mut rng = Rng64::new(seed ^ (slot.id as u64).wrapping_mul(0x9E37_79B9));
+        let stream_seed = seed ^ (slot.id as u64).wrapping_mul(0x9E37_79B9);
+        let mut rng = Rng64::new(stream_seed);
         let mask_set = if kind == DropoutKind::Masksembles {
             let features = match slot.shape {
                 // Channel-granular after convolutions.
                 FeatureShape::Map { c, .. } => c,
                 FeatureShape::Vector { features } => features,
             };
-            Some(MaskSet::generate(settings.n_masks, features, settings.scale, &mut rng))
+            Some(MaskSet::generate(
+                settings.n_masks,
+                features,
+                settings.scale,
+                &mut rng,
+            ))
         } else {
             None
         };
@@ -110,6 +134,7 @@ impl DropoutLayer {
             settings: *settings,
             slot: slot.clone(),
             mask_set,
+            stream_seed,
             rng,
             mc_cursor: 0,
             cache: None,
@@ -156,7 +181,13 @@ impl DropoutLayer {
                 FeatureShape::Map { c, h, w } => {
                     let mut mask = Vec::with_capacity(c * h * w);
                     for _ in 0..c {
-                        mask.extend(block_mask(h, w, self.settings.rate, self.settings.block_size, &mut self.rng));
+                        mask.extend(block_mask(
+                            h,
+                            w,
+                            self.settings.rate,
+                            self.settings.block_size,
+                            &mut self.rng,
+                        ));
                     }
                     mask
                 }
@@ -167,7 +198,10 @@ impl DropoutLayer {
                 }
             },
             DropoutKind::Masksembles => {
-                let set = self.mask_set.as_ref().expect("mask set exists for masksembles");
+                let set = self
+                    .mask_set
+                    .as_ref()
+                    .expect("mask set exists for masksembles");
                 let index = match mode {
                     Mode::McInference => {
                         let i = self.mc_cursor % set.len();
@@ -235,8 +269,22 @@ impl Layer for DropoutLayer {
         self.reset_mc_cursor();
     }
 
+    fn begin_mc_sample(&mut self, sample: u64) {
+        // Derive this pass's mask stream purely from (seed, slot, sample):
+        // history-free, so serial and parallel MC sampling coincide.
+        self.rng = Rng64::new(self.stream_seed).fork(sample ^ 0x4D43_5341_4D50);
+        self.mc_cursor = sample as usize;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
-        format!("dropout[{}](slot {}, p={})", self.kind, self.slot.id, self.settings.rate)
+        format!(
+            "dropout[{}](slot {}, p={})",
+            self.kind, self.slot.id, self.settings.rate
+        )
     }
 
     fn out_shape(&self, input: &Shape) -> NnResult<Shape> {
@@ -281,7 +329,10 @@ mod tests {
     fn active_modes_drop_something() {
         for kind in DropoutKind::all() {
             let slot = conv_slot(8, 8, 8);
-            let settings = DropoutSettings { rate: 0.5, ..DropoutSettings::default() };
+            let settings = DropoutSettings {
+                rate: 0.5,
+                ..DropoutSettings::default()
+            };
             let mut layer = DropoutLayer::for_slot(kind, &slot, &settings, 2).unwrap();
             let x = Tensor::ones(Shape::d4(1, 8, 8, 8));
             let y = layer.forward(&x, Mode::McInference).unwrap();
@@ -346,7 +397,10 @@ mod tests {
         let mut layer = DropoutLayer::for_slot(
             DropoutKind::Bernoulli,
             &slot,
-            &DropoutSettings { rate: 0.5, ..DropoutSettings::default() },
+            &DropoutSettings {
+                rate: 0.5,
+                ..DropoutSettings::default()
+            },
             6,
         )
         .unwrap();
@@ -363,9 +417,13 @@ mod tests {
     #[test]
     fn backward_without_active_forward_is_identity() {
         let slot = fc_slot(8);
-        let mut layer =
-            DropoutLayer::for_slot(DropoutKind::Bernoulli, &slot, &DropoutSettings::default(), 7)
-                .unwrap();
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Bernoulli,
+            &slot,
+            &DropoutSettings::default(),
+            7,
+        )
+        .unwrap();
         let x = Tensor::ones(Shape::d2(2, 8));
         let _ = layer.forward(&x, Mode::Standard).unwrap();
         let g = Tensor::arange(16).reshape(Shape::d2(2, 8)).unwrap();
@@ -378,7 +436,10 @@ mod tests {
         let mut layer = DropoutLayer::for_slot(
             DropoutKind::Bernoulli,
             &slot,
-            &DropoutSettings { rate: 0.5, ..DropoutSettings::default() },
+            &DropoutSettings {
+                rate: 0.5,
+                ..DropoutSettings::default()
+            },
             8,
         )
         .unwrap();
@@ -392,11 +453,20 @@ mod tests {
     #[test]
     fn settings_validation() {
         let slot = fc_slot(8);
-        let bad_rate = DropoutSettings { rate: 1.0, ..DropoutSettings::default() };
+        let bad_rate = DropoutSettings {
+            rate: 1.0,
+            ..DropoutSettings::default()
+        };
         assert!(DropoutLayer::for_slot(DropoutKind::Bernoulli, &slot, &bad_rate, 9).is_err());
-        let bad_masks = DropoutSettings { n_masks: 0, ..DropoutSettings::default() };
+        let bad_masks = DropoutSettings {
+            n_masks: 0,
+            ..DropoutSettings::default()
+        };
         assert!(DropoutLayer::for_slot(DropoutKind::Masksembles, &slot, &bad_masks, 9).is_err());
-        let bad_scale = DropoutSettings { scale: 0.5, ..DropoutSettings::default() };
+        let bad_scale = DropoutSettings {
+            scale: 0.5,
+            ..DropoutSettings::default()
+        };
         assert!(DropoutLayer::for_slot(DropoutKind::Masksembles, &slot, &bad_scale, 9).is_err());
     }
 
@@ -425,9 +495,13 @@ mod tests {
     #[test]
     fn shape_mismatch_is_rejected() {
         let slot = conv_slot(4, 4, 4);
-        let mut layer =
-            DropoutLayer::for_slot(DropoutKind::Bernoulli, &slot, &DropoutSettings::default(), 10)
-                .unwrap();
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Bernoulli,
+            &slot,
+            &DropoutSettings::default(),
+            10,
+        )
+        .unwrap();
         let wrong = Tensor::ones(Shape::d4(1, 4, 4, 5));
         assert!(layer.forward(&wrong, Mode::Train).is_err());
     }

@@ -231,10 +231,19 @@ mod tests {
 
     #[test]
     fn names_parse() {
-        assert_eq!("bernoulli".parse::<DropoutKind>().unwrap(), DropoutKind::Bernoulli);
+        assert_eq!(
+            "bernoulli".parse::<DropoutKind>().unwrap(),
+            DropoutKind::Bernoulli
+        );
         assert_eq!("K".parse::<DropoutKind>().unwrap(), DropoutKind::Block);
-        assert_eq!("Masksembles".parse::<DropoutKind>().unwrap(), DropoutKind::Masksembles);
-        assert_eq!("gaussian".parse::<DropoutKind>().unwrap(), DropoutKind::Gaussian);
+        assert_eq!(
+            "Masksembles".parse::<DropoutKind>().unwrap(),
+            DropoutKind::Masksembles
+        );
+        assert_eq!(
+            "gaussian".parse::<DropoutKind>().unwrap(),
+            DropoutKind::Gaussian
+        );
         assert!("alpha-dropout".parse::<DropoutKind>().is_err());
     }
 
@@ -242,7 +251,11 @@ mod tests {
     fn block_is_conv_only() {
         assert!(DropoutKind::Block.supports(SlotPosition::Conv));
         assert!(!DropoutKind::Block.supports(SlotPosition::FullyConnected));
-        for kind in [DropoutKind::Bernoulli, DropoutKind::Random, DropoutKind::Masksembles] {
+        for kind in [
+            DropoutKind::Bernoulli,
+            DropoutKind::Random,
+            DropoutKind::Masksembles,
+        ] {
             assert!(kind.supports(SlotPosition::FullyConnected), "{kind}");
         }
     }

@@ -14,10 +14,19 @@ use nds_tensor::rng::Rng64;
 ///
 /// Panics if `rate` is outside `[0, 1)`.
 pub fn bernoulli_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
-    assert!((0.0..1.0).contains(&rate), "bernoulli rate {rate} must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&rate),
+        "bernoulli rate {rate} must be in [0, 1)"
+    );
     let scale = 1.0 / (1.0 - rate);
     (0..n)
-        .map(|_| if rng.bernoulli(rate as f64) { 0.0 } else { scale })
+        .map(|_| {
+            if rng.bernoulli(rate as f64) {
+                0.0
+            } else {
+                scale
+            }
+        })
         .collect()
 }
 
@@ -30,10 +39,17 @@ pub fn bernoulli_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
 ///
 /// Panics if `rate` is outside `[0, 1)`.
 pub fn random_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
-    assert!((0.0..1.0).contains(&rate), "random rate {rate} must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&rate),
+        "random rate {rate} must be in [0, 1)"
+    );
     let drop = ((rate as f64) * n as f64).floor() as usize;
     let kept = n - drop;
-    let scale = if kept > 0 { n as f32 / kept as f32 } else { 0.0 };
+    let scale = if kept > 0 {
+        n as f32 / kept as f32
+    } else {
+        0.0
+    };
     let mut mask = vec![scale; n];
     if drop > 0 {
         for ix in rng.sample_indices(n, drop) {
@@ -62,7 +78,10 @@ pub fn random_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
 ///
 /// Panics if `rate` is outside `[0, 1)` or `block == 0`.
 pub fn block_mask(h: usize, w: usize, rate: f32, block: usize, rng: &mut Rng64) -> Vec<f32> {
-    assert!((0.0..1.0).contains(&rate), "block rate {rate} must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&rate),
+        "block rate {rate} must be in [0, 1)"
+    );
     assert!(block > 0, "block size must be positive");
     let n = h * w;
     let bh = block.min(h);
@@ -86,7 +105,11 @@ pub fn block_mask(h: usize, w: usize, rate: f32, block: usize, rng: &mut Rng64) 
         }
     }
     let kept = dropped.iter().filter(|&&d| !d).count();
-    let scale = if kept > 0 { n as f32 / kept as f32 } else { 0.0 };
+    let scale = if kept > 0 {
+        n as f32 / kept as f32
+    } else {
+        0.0
+    };
     dropped
         .into_iter()
         .map(|d| if d { 0.0 } else { scale })
@@ -105,7 +128,10 @@ pub fn block_mask(h: usize, w: usize, rate: f32, block: usize, rng: &mut Rng64) 
 ///
 /// Panics if `rate` is outside `[0, 1)`.
 pub fn gaussian_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
-    assert!((0.0..1.0).contains(&rate), "gaussian rate {rate} must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&rate),
+        "gaussian rate {rate} must be in [0, 1)"
+    );
     let sigma = (rate / (1.0 - rate)).sqrt();
     (0..n)
         .map(|_| rng.normal_with(1.0, sigma).max(0.0))
@@ -175,8 +201,8 @@ mod tests {
             // fully dropped around some seed.
             for sy in 0..=(h - b) {
                 for sx in 0..=(w - b) {
-                    let all_dropped = (0..b)
-                        .all(|dy| (0..b).all(|dx| mask[(sy + dy) * w + (sx + dx)] == 0.0));
+                    let all_dropped =
+                        (0..b).all(|dy| (0..b).all(|dx| mask[(sy + dy) * w + (sx + dx)] == 0.0));
                     if all_dropped {
                         found_block = true;
                     }
@@ -211,7 +237,10 @@ mod tests {
             let mask = block_mask(2, 2, 0.5, 5, &mut rng);
             assert_eq!(mask.len(), 4);
             let dropped = mask.iter().filter(|&&v| v == 0.0).count();
-            assert!(dropped == 0 || dropped == 4, "clamped block is all-or-nothing");
+            assert!(
+                dropped == 0 || dropped == 4,
+                "clamped block is all-or-nothing"
+            );
         }
     }
 

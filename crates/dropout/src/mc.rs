@@ -4,12 +4,25 @@
 //! the forward pass S times with dropout *enabled* and averaging the
 //! softmax outputs (paper §2.1.2). The paper fixes the sampling number to
 //! S = 3 (§4.1).
+//!
+//! # Parallel sampling
+//!
+//! The S passes are independent given the per-sample RNG streams that
+//! [`nds_nn::Layer::begin_mc_sample`] derives from `(seed, sample index)`,
+//! so [`mc_predict`] fans them out across worker threads, each running a
+//! clone of the network. Because every sample's masks depend only on its
+//! index — never on execution order or thread assignment — the parallel
+//! result is **bit-identical** to a serial run (see
+//! [`mc_predict_with_workers`] and the crate's tests). Scratch buffers for
+//! the mean reduction come from a [`Workspace`] so steady-state prediction
+//! rounds allocate nothing beyond the per-pass activations.
 
+use nds_metrics::entropy_nats;
 use nds_nn::layers::Sequential;
 use nds_nn::train::predict_probs;
 use nds_nn::{Layer, Mode, Result};
-use nds_metrics::entropy_nats;
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::parallel::worker_count;
+use nds_tensor::{Shape, Tensor, Workspace};
 
 /// Result of a Monte-Carlo prediction round.
 #[derive(Debug, Clone)]
@@ -30,16 +43,24 @@ impl McPrediction {
     /// Predictive entropy (nats) of each input's mean distribution —
     /// the quantity averaged into the paper's aPE metric.
     pub fn predictive_entropy(&self) -> Vec<f64> {
-        let (n, c) = (self.mean_probs.shape().dim(0), self.mean_probs.shape().dim(1));
+        let (n, c) = (
+            self.mean_probs.shape().dim(0),
+            self.mean_probs.shape().dim(1),
+        );
         let data = self.mean_probs.as_slice();
-        (0..n).map(|i| entropy_nats(&data[i * c..(i + 1) * c])).collect()
+        (0..n)
+            .map(|i| entropy_nats(&data[i * c..(i + 1) * c]))
+            .collect()
     }
 
     /// Mutual information (BALD): `H(mean) − mean(H(sample))`, the
     /// epistemic part of the predictive uncertainty. Not used by the
     /// paper's search aim but a standard companion diagnostic.
     pub fn mutual_information(&self) -> Vec<f64> {
-        let (n, c) = (self.mean_probs.shape().dim(0), self.mean_probs.shape().dim(1));
+        let (n, c) = (
+            self.mean_probs.shape().dim(0),
+            self.mean_probs.shape().dim(1),
+        );
         let mean_data = self.mean_probs.as_slice();
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
@@ -58,7 +79,10 @@ impl McPrediction {
     /// Per-input disagreement: variance of the predicted class probability
     /// across samples, averaged over classes.
     pub fn predictive_variance(&self) -> Vec<f64> {
-        let (n, c) = (self.mean_probs.shape().dim(0), self.mean_probs.shape().dim(1));
+        let (n, c) = (
+            self.mean_probs.shape().dim(0),
+            self.mean_probs.shape().dim(1),
+        );
         let s = self.sample_probs.len().max(1) as f64;
         let mean = self.mean_probs.as_slice();
         (0..n)
@@ -78,11 +102,10 @@ impl McPrediction {
 }
 
 /// Runs `samples` stochastic forward passes over `images` and averages the
-/// probabilities.
+/// probabilities, parallelising across samples when workers are available.
 ///
-/// Calls [`Layer::begin_mc_round`] first, so Masksembles layers always use
-/// masks `0..S` in order — predictions are reproducible regardless of what
-/// ran before.
+/// Equivalent to [`mc_predict_with_workers`] with the pool size from
+/// [`worker_count`] and a throwaway [`Workspace`].
 ///
 /// # Errors
 ///
@@ -93,18 +116,94 @@ pub fn mc_predict(
     samples: usize,
     batch_size: usize,
 ) -> Result<McPrediction> {
+    let mut ws = Workspace::new();
+    mc_predict_with_workers(net, images, samples, batch_size, worker_count(), &mut ws)
+}
+
+/// Runs `samples` stochastic forward passes over `images` with an explicit
+/// worker count and scratch workspace, and averages the probabilities.
+///
+/// Every pass draws its dropout masks from a stream derived purely from
+/// the sample index (via [`Layer::begin_mc_sample`]), so results are
+/// **bit-identical for any `workers` value** — a serial run and an 8-way
+/// parallel run produce the same bytes. Workers beyond `samples` are
+/// idle; each busy worker runs a [`Layer::clone_box`] copy of the net.
+///
+/// The `workspace` supplies the mean-reduction buffer; drivers that call
+/// this in a loop (the supernet evaluator, the search) thread one
+/// workspace through every round to stop per-round allocations.
+///
+/// # Errors
+///
+/// Propagates network execution errors.
+pub fn mc_predict_with_workers(
+    net: &mut Sequential,
+    images: &Tensor,
+    samples: usize,
+    batch_size: usize,
+    workers: usize,
+    workspace: &mut Workspace,
+) -> Result<McPrediction> {
     let samples = samples.max(1);
-    net.begin_mc_round();
-    let mut sample_probs = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let probs = predict_probs(net, images, Mode::McInference, batch_size)?;
-        sample_probs.push(probs);
-    }
+    // Degrade to serial when already inside a parallel region (e.g. a
+    // population-evaluation worker) instead of nesting thread fan-outs.
+    let workers = nds_tensor::parallel::effective_workers(workers);
+    // All passes run on clones, so the caller's network keeps its
+    // stochastic state (dropout RNGs, mask cursors) untouched — a
+    // training loop or manual MC forward that follows a prediction round
+    // behaves the same on every machine, whatever the worker count.
+    // begin_mc_round therefore also fires on the clones, not the caller.
+    let sample_probs: Vec<Tensor> = if workers <= 1 || samples <= 1 {
+        let mut worker_net = net.clone();
+        worker_net.begin_mc_round();
+        let mut probs = Vec::with_capacity(samples);
+        for s in 0..samples {
+            worker_net.begin_mc_sample(s as u64);
+            probs.push(predict_probs(
+                &mut worker_net,
+                images,
+                Mode::McInference,
+                batch_size,
+            )?);
+        }
+        probs
+    } else {
+        // Fan samples out across workers, each on its own clone of the
+        // network. Slot ordering keeps the output order equal to the
+        // serial path's.
+        let mut slots: Vec<Option<Result<Tensor>>> = (0..samples).map(|_| None).collect();
+        let per_worker = samples.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, chunk) in slots.chunks_mut(per_worker).enumerate() {
+                let net_ref: &Sequential = net;
+                scope.spawn(move || {
+                    nds_tensor::parallel::enter_worker(|| {
+                        let mut worker_net = net_ref.clone();
+                        worker_net.begin_mc_round();
+                        for (i, slot) in chunk.iter_mut().enumerate() {
+                            let s = (w * per_worker + i) as u64;
+                            worker_net.begin_mc_sample(s);
+                            *slot = Some(predict_probs(
+                                &mut worker_net,
+                                images,
+                                Mode::McInference,
+                                batch_size,
+                            ));
+                        }
+                    })
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every sample slot is filled"))
+            .collect::<Result<Vec<_>>>()?
+    };
     let (n, c) = (
         sample_probs[0].shape().dim(0),
         sample_probs[0].shape().dim(1),
     );
-    let mut mean = vec![0.0f32; n * c];
+    let mut mean = workspace.take(n * c);
     for probs in &sample_probs {
         for (m, &p) in mean.iter_mut().zip(probs.as_slice()) {
             *m += p;
@@ -142,7 +241,10 @@ mod tests {
             DropoutLayer::for_slot(
                 kind,
                 &slot,
-                &DropoutSettings { rate: 0.5, ..DropoutSettings::default() },
+                &DropoutSettings {
+                    rate: 0.5,
+                    ..DropoutSettings::default()
+                },
                 seed,
             )
             .unwrap(),
@@ -193,8 +295,7 @@ mod tests {
         let mut rng = Rng64::new(8);
         let x = Tensor::rand_normal(Shape::d4(16, 1, 4, 4), 0.0, 1.0, &mut rng);
         let pred = mc_predict(&mut net, &x, 8, 8).unwrap();
-        let mean_entropy: f64 =
-            pred.predictive_entropy().iter().sum::<f64>() / 16.0;
+        let mean_entropy: f64 = pred.predictive_entropy().iter().sum::<f64>() / 16.0;
         let per_sample: f64 = pred
             .sample_probs
             .iter()
@@ -227,6 +328,98 @@ mod tests {
         };
         assert!(pred.predictive_variance()[0] < 1e-12);
         assert!(pred.mutual_information()[0] < 1e-12);
+    }
+
+    #[test]
+    fn parallel_sampling_is_bit_identical_to_serial() {
+        for kind in [
+            DropoutKind::Bernoulli,
+            DropoutKind::Random,
+            DropoutKind::Gaussian,
+            DropoutKind::Masksembles,
+        ] {
+            let mut serial_net = stochastic_net(kind, 11);
+            let mut parallel_net = stochastic_net(kind, 11);
+            let mut rng = Rng64::new(12);
+            let x = Tensor::rand_normal(Shape::d4(5, 1, 4, 4), 0.0, 1.0, &mut rng);
+            let mut ws = Workspace::new();
+            let serial = mc_predict_with_workers(&mut serial_net, &x, 4, 2, 1, &mut ws).unwrap();
+            for workers in [2, 3, 4, 8] {
+                let parallel =
+                    mc_predict_with_workers(&mut parallel_net, &x, 4, 2, workers, &mut ws).unwrap();
+                assert_eq!(
+                    serial.sample_probs, parallel.sample_probs,
+                    "{kind}: sample probs diverged at {workers} workers"
+                );
+                assert_eq!(
+                    serial.mean_probs, parallel.mean_probs,
+                    "{kind}: mean probs diverged at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_reuse_workspace_buffers() {
+        let mut net = stochastic_net(DropoutKind::Bernoulli, 21);
+        let x = Tensor::zeros(Shape::d4(4, 1, 4, 4));
+        let mut ws = Workspace::new();
+        let first = mc_predict_with_workers(&mut net, &x, 3, 4, 1, &mut ws).unwrap();
+        ws.recycle_tensor(first.mean_probs);
+        let allocations = ws.allocations();
+        let second = mc_predict_with_workers(&mut net, &x, 3, 4, 1, &mut ws).unwrap();
+        assert_eq!(
+            ws.allocations(),
+            allocations,
+            "second round must not allocate"
+        );
+        assert!(ws.reuses() >= 1);
+        // Same seed-derived streams: the two rounds agree exactly.
+        assert_eq!(second.samples(), 3);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_mc_results() {
+        // Masks are drawn per batch *item* in item order, so chunking the
+        // batch differently must not move the stream.
+        for kind in [DropoutKind::Bernoulli, DropoutKind::Masksembles] {
+            let mut net_a = stochastic_net(kind, 31);
+            let mut net_b = stochastic_net(kind, 31);
+            let mut rng = Rng64::new(32);
+            let x = Tensor::rand_normal(Shape::d4(6, 1, 4, 4), 0.0, 1.0, &mut rng);
+            let a = mc_predict(&mut net_a, &x, 3, 2).unwrap();
+            let b = mc_predict(&mut net_b, &x, 3, 6).unwrap();
+            assert_eq!(a.sample_probs, b.sample_probs, "{kind}");
+        }
+    }
+
+    #[test]
+    fn original_net_state_is_untouched_by_mc_rounds() {
+        // mc_predict runs passes on clones: a Train-mode forward after an
+        // MC round draws the same masks whether or not the round ran, so
+        // downstream training cannot depend on the machine's core count.
+        let mut with_mc = stochastic_net(DropoutKind::Bernoulli, 41);
+        let mut without_mc = stochastic_net(DropoutKind::Bernoulli, 41);
+        let mut rng = Rng64::new(42);
+        let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let _ = mc_predict(&mut with_mc, &x, 4, 3).unwrap();
+        let a = with_mc.forward(&x, Mode::Train).unwrap();
+        let b = without_mc.forward(&x, Mode::Train).unwrap();
+        assert_eq!(a, b, "MC round must not advance the caller's RNG state");
+
+        // Same for the Masksembles cursor under manual MC forwards: an
+        // mc_predict between two of the caller's own passes must not
+        // reset or advance its cycle.
+        let mut with_mc = stochastic_net(DropoutKind::Masksembles, 43);
+        let mut without_mc = stochastic_net(DropoutKind::Masksembles, 43);
+        let x1 = Tensor::rand_normal(Shape::d4(1, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let m0 = with_mc.forward(&x1, Mode::McInference).unwrap();
+        let _ = mc_predict(&mut with_mc, &x1, 3, 1).unwrap();
+        let m1 = with_mc.forward(&x1, Mode::McInference).unwrap();
+        let n0 = without_mc.forward(&x1, Mode::McInference).unwrap();
+        let n1 = without_mc.forward(&x1, Mode::McInference).unwrap();
+        assert_eq!(m0, n0);
+        assert_eq!(m1, n1, "MC round must not move the caller's mask cursor");
     }
 
     #[test]

@@ -103,14 +103,21 @@ impl Kernel {
             .sum();
         let d = d2.sqrt();
         match *self {
-            Kernel::Rbf { lengthscale, variance } => {
-                variance * (-0.5 * d2 / (lengthscale * lengthscale)).exp()
-            }
-            Kernel::Matern32 { lengthscale, variance } => {
+            Kernel::Rbf {
+                lengthscale,
+                variance,
+            } => variance * (-0.5 * d2 / (lengthscale * lengthscale)).exp(),
+            Kernel::Matern32 {
+                lengthscale,
+                variance,
+            } => {
                 let s = 3f64.sqrt() * d / lengthscale;
                 variance * (1.0 + s) * (-s).exp()
             }
-            Kernel::Matern52 { lengthscale, variance } => {
+            Kernel::Matern52 {
+                lengthscale,
+                variance,
+            } => {
                 let s = 5f64.sqrt() * d / lengthscale;
                 variance * (1.0 + s + s * s / 3.0) * (-s).exp()
             }
@@ -129,9 +136,18 @@ impl Kernel {
     /// Returns the same kernel family with new hyperparameters.
     pub fn with_params(&self, lengthscale: f64, variance: f64) -> Kernel {
         match self {
-            Kernel::Rbf { .. } => Kernel::Rbf { lengthscale, variance },
-            Kernel::Matern32 { .. } => Kernel::Matern32 { lengthscale, variance },
-            Kernel::Matern52 { .. } => Kernel::Matern52 { lengthscale, variance },
+            Kernel::Rbf { .. } => Kernel::Rbf {
+                lengthscale,
+                variance,
+            },
+            Kernel::Matern32 { .. } => Kernel::Matern32 {
+                lengthscale,
+                variance,
+            },
+            Kernel::Matern52 { .. } => Kernel::Matern52 {
+                lengthscale,
+                variance,
+            },
         }
     }
 }
@@ -139,13 +155,22 @@ impl Kernel {
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Kernel::Rbf { lengthscale, variance } => {
+            Kernel::Rbf {
+                lengthscale,
+                variance,
+            } => {
                 write!(f, "RBF(l={lengthscale:.3}, v={variance:.3})")
             }
-            Kernel::Matern32 { lengthscale, variance } => {
+            Kernel::Matern32 {
+                lengthscale,
+                variance,
+            } => {
                 write!(f, "Matern32(l={lengthscale:.3}, v={variance:.3})")
             }
-            Kernel::Matern52 { lengthscale, variance } => {
+            Kernel::Matern52 {
+                lengthscale,
+                variance,
+            } => {
                 write!(f, "Matern52(l={lengthscale:.3}, v={variance:.3})")
             }
         }
@@ -236,7 +261,9 @@ impl GpRegressor {
         }
         let dim = xs[0].len();
         if xs.iter().any(|x| x.len() != dim) {
-            return Err(GpError::BadTrainingData("ragged input dimensions".to_string()));
+            return Err(GpError::BadTrainingData(
+                "ragged input dimensions".to_string(),
+            ));
         }
         let n = xs.len();
         let mean = ys.iter().sum::<f64>() / n as f64;
@@ -258,10 +285,13 @@ impl GpRegressor {
                 let alpha = solve_upper_t(&chol, n, &y1);
                 // log p(y) = -0.5 yᵀα − Σ log L_ii − n/2 log 2π
                 let log_det: f64 = (0..n).map(|i| chol[i * n + i].ln()).sum();
-                let fit_term: f64 = centered.iter().zip(alpha.iter()).map(|(&y, &a)| y * a).sum();
-                let log_marginal = -0.5 * fit_term
-                    - log_det
-                    - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+                let fit_term: f64 = centered
+                    .iter()
+                    .zip(alpha.iter())
+                    .map(|(&y, &a)| y * a)
+                    .sum();
+                let log_marginal =
+                    -0.5 * fit_term - log_det - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
                 return Ok(GpRegressor {
                     kernel,
                     noise: jitter,
@@ -284,7 +314,11 @@ impl GpRegressor {
     /// Panics if `x` has a different dimension than the training inputs.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
         let n = self.x_train.len();
-        let kstar: Vec<f64> = self.x_train.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let kstar: Vec<f64> = self
+            .x_train
+            .iter()
+            .map(|xi| self.kernel.eval(xi, x))
+            .collect();
         let mean = self.mean
             + kstar
                 .iter()
@@ -386,9 +420,18 @@ mod tests {
     fn kernels_peak_at_zero_distance() {
         let a = vec![0.3, -0.2];
         for kernel in [
-            Kernel::Rbf { lengthscale: 1.0, variance: 2.0 },
-            Kernel::Matern32 { lengthscale: 1.0, variance: 2.0 },
-            Kernel::Matern52 { lengthscale: 1.0, variance: 2.0 },
+            Kernel::Rbf {
+                lengthscale: 1.0,
+                variance: 2.0,
+            },
+            Kernel::Matern32 {
+                lengthscale: 1.0,
+                variance: 2.0,
+            },
+            Kernel::Matern52 {
+                lengthscale: 1.0,
+                variance: 2.0,
+            },
         ] {
             assert!((kernel.eval(&a, &a) - 2.0).abs() < 1e-12, "{kernel}");
             let far = kernel.eval(&a, &[10.0, 10.0]);
@@ -401,8 +444,14 @@ mod tests {
 
     #[test]
     fn matern52_decays_slower_than_rbf_far_out() {
-        let rbf = Kernel::Rbf { lengthscale: 1.0, variance: 1.0 };
-        let m52 = Kernel::Matern52 { lengthscale: 1.0, variance: 1.0 };
+        let rbf = Kernel::Rbf {
+            lengthscale: 1.0,
+            variance: 1.0,
+        };
+        let m52 = Kernel::Matern52 {
+            lengthscale: 1.0,
+            variance: 1.0,
+        };
         let a = [0.0];
         let b = [3.0];
         assert!(m52.eval(&a, &b) > rbf.eval(&a, &b));
@@ -414,7 +463,10 @@ mod tests {
         let gp = GpRegressor::fit(
             &xs,
             &ys,
-            Kernel::Matern52 { lengthscale: 0.3, variance: 1.0 },
+            Kernel::Matern52 {
+                lengthscale: 0.3,
+                variance: 1.0,
+            },
             1e-8,
         )
         .unwrap();
@@ -425,7 +477,10 @@ mod tests {
                 (mean - truth).abs() < 0.02,
                 "at {probe}: mean {mean} vs truth {truth}"
             );
-            assert!(var < 0.01, "interpolation variance should be small, got {var}");
+            assert!(
+                var < 0.01,
+                "interpolation variance should be small, got {var}"
+            );
         }
     }
 
@@ -435,7 +490,10 @@ mod tests {
         let gp = GpRegressor::fit(
             &xs,
             &ys,
-            Kernel::Matern52 { lengthscale: 0.2, variance: 1.0 },
+            Kernel::Matern52 {
+                lengthscale: 0.2,
+                variance: 1.0,
+            },
             1e-8,
         )
         .unwrap();
@@ -453,7 +511,10 @@ mod tests {
         let gp = GpRegressor::fit(
             &xs,
             &ys,
-            Kernel::Matern52 { lengthscale: 0.5, variance: 1.0 },
+            Kernel::Matern52 {
+                lengthscale: 0.5,
+                variance: 1.0,
+            },
             1e-9,
         )
         .unwrap();
@@ -469,14 +530,20 @@ mod tests {
         let bad = GpRegressor::fit(
             &xs,
             &ys,
-            Kernel::Matern52 { lengthscale: 100.0, variance: 0.01 },
+            Kernel::Matern52 {
+                lengthscale: 100.0,
+                variance: 0.01,
+            },
             1e-4,
         )
         .unwrap();
         let tuned = GpRegressor::fit_hyperparameters(
             &xs,
             &ys,
-            Kernel::Matern52 { lengthscale: 1.0, variance: 1.0 },
+            Kernel::Matern52 {
+                lengthscale: 1.0,
+                variance: 1.0,
+            },
             &[0.05, 0.1, 0.3, 1.0],
             &[0.5, 1.0, 2.0],
             &[1e-6, 1e-4],
@@ -491,21 +558,30 @@ mod tests {
         assert!(GpRegressor::fit(
             &[],
             &[],
-            Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+            Kernel::Rbf {
+                lengthscale: 1.0,
+                variance: 1.0
+            },
             1e-6
         )
         .is_err());
         assert!(GpRegressor::fit(
             &[vec![1.0], vec![2.0, 3.0]],
             &[1.0, 2.0],
-            Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+            Kernel::Rbf {
+                lengthscale: 1.0,
+                variance: 1.0
+            },
             1e-6
         )
         .is_err());
         assert!(GpRegressor::fit(
             &[vec![1.0]],
             &[1.0, 2.0],
-            Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+            Kernel::Rbf {
+                lengthscale: 1.0,
+                variance: 1.0
+            },
             1e-6
         )
         .is_err());
@@ -519,7 +595,10 @@ mod tests {
         let gp = GpRegressor::fit(
             &xs,
             &ys,
-            Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+            Kernel::Rbf {
+                lengthscale: 1.0,
+                variance: 1.0,
+            },
             0.0, // ask for zero noise; fit escalates jitter internally
         )
         .unwrap();
@@ -533,7 +612,10 @@ mod tests {
         let gp = GpRegressor::fit(
             &xs,
             &ys,
-            Kernel::Matern52 { lengthscale: 0.4, variance: 1.0 },
+            Kernel::Matern52 {
+                lengthscale: 0.4,
+                variance: 1.0,
+            },
             1e-8,
         )
         .unwrap();

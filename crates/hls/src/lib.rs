@@ -202,8 +202,14 @@ pub fn generate_project(
         match entry.kind {
             LayerKind::Conv => {
                 layer_ix += 1;
-                if let (FeatureShape::Map { c, h, w }, FeatureShape::Map { c: oc, h: oh, w: ow }) =
-                    (entry.in_shape, entry.out_shape)
+                if let (
+                    FeatureShape::Map { c, h, w },
+                    FeatureShape::Map {
+                        c: oc,
+                        h: oh,
+                        w: ow,
+                    },
+                ) = (entry.in_shape, entry.out_shape)
                 {
                     let _ = writeln!(params, "struct config{layer_ix} : nnet::conv2d_config {{");
                     let _ = writeln!(params, "    static const unsigned in_height = {h};");
@@ -218,13 +224,24 @@ pub fn generate_project(
             LayerKind::Linear => {
                 layer_ix += 1;
                 let _ = writeln!(params, "struct config{layer_ix} : nnet::dense_config {{");
-                let _ = writeln!(params, "    static const unsigned n_in = {};", entry.in_shape.len());
-                let _ = writeln!(params, "    static const unsigned n_out = {};", entry.out_shape.len());
+                let _ = writeln!(
+                    params,
+                    "    static const unsigned n_in = {};",
+                    entry.in_shape.len()
+                );
+                let _ = writeln!(
+                    params,
+                    "    static const unsigned n_out = {};",
+                    entry.out_shape.len()
+                );
                 let _ = writeln!(params, "}};");
             }
             LayerKind::Attention => {
                 layer_ix += 1;
-                if let FeatureShape::Map { c: tokens, w: dim, .. } = entry.in_shape {
+                if let FeatureShape::Map {
+                    c: tokens, w: dim, ..
+                } = entry.in_shape
+                {
                     let _ = writeln!(
                         params,
                         "struct config{layer_ix} : nnet::transformer_config {{"
@@ -237,11 +254,21 @@ pub fn generate_project(
             LayerKind::Slot => {
                 let id = entry.slot.expect("slot entries carry ids");
                 let kind = config.kind_at(id).expect("validated above");
-                let slot = slots.iter().find(|s| s.id == id).expect("same architecture");
+                let slot = slots
+                    .iter()
+                    .find(|s| s.id == id)
+                    .expect("same architecture");
                 let n = slot.shape.len();
-                let _ = writeln!(params, "struct dropout_config{id} : nnet::dropout_config {{");
+                let _ = writeln!(
+                    params,
+                    "struct dropout_config{id} : nnet::dropout_config {{"
+                );
                 let _ = writeln!(params, "    static const unsigned n_in = {n};");
-                let _ = writeln!(params, "    static const nnet::dropout_kind kind = nnet::{};", kind_token(kind));
+                let _ = writeln!(
+                    params,
+                    "    static const nnet::dropout_kind kind = nnet::{};",
+                    kind_token(kind)
+                );
                 if kind == DropoutKind::Masksembles {
                     let features = match slot.shape {
                         FeatureShape::Map { c, .. } => c,
@@ -299,10 +326,18 @@ pub fn generate_project(
                 );
             }
             LayerKind::Pool => {
-                let _ = writeln!(cpp, "    nnet::pooling2d<model_default_t, model_default_t>(/* {} */);", entry.name);
+                let _ = writeln!(
+                    cpp,
+                    "    nnet::pooling2d<model_default_t, model_default_t>(/* {} */);",
+                    entry.name
+                );
             }
             LayerKind::Norm => {
-                let _ = writeln!(cpp, "    nnet::normalize<model_default_t, model_default_t>(/* {} */);", entry.name);
+                let _ = writeln!(
+                    cpp,
+                    "    nnet::normalize<model_default_t, model_default_t>(/* {} */);",
+                    entry.name
+                );
             }
             LayerKind::Activation => {
                 let _ = writeln!(cpp, "    nnet::relu<model_default_t, model_default_t>();");
@@ -317,7 +352,10 @@ pub fn generate_project(
                 );
             }
             LayerKind::ResidualJoin => {
-                let _ = writeln!(cpp, "    nnet::add_relu<model_default_t, model_default_t>(/* residual join */);");
+                let _ = writeln!(
+                    cpp,
+                    "    nnet::add_relu<model_default_t, model_default_t>(/* residual join */);"
+                );
             }
             LayerKind::Attention => {
                 engine += 1;
@@ -341,7 +379,13 @@ pub fn generate_project(
         for (i, param) in net.params().iter().enumerate() {
             let raw = quantize_slice(param.value.as_slice(), accel.precision);
             let mut header = String::new();
-            let _ = writeln!(header, "// weight tensor {} ({} values, {})", i, raw.len(), accel.precision);
+            let _ = writeln!(
+                header,
+                "// weight tensor {} ({} values, {})",
+                i,
+                raw.len(),
+                accel.precision
+            );
             let _ = writeln!(header, "#include \"defines.h\"");
             let _ = write!(header, "const model_default_t w{i}[{}] = {{", raw.len());
             for (j, v) in raw.iter().enumerate() {
@@ -349,7 +393,11 @@ pub fn generate_project(
                     let _ = write!(header, "\n    ");
                 }
                 // Raw fixed-point integers scaled by the LSB at compile time.
-                let _ = write!(header, "model_default_t({v}) / {}, ", 1 << accel.precision.frac_bits);
+                let _ = write!(
+                    header,
+                    "model_default_t({v}) / {}, ",
+                    1 << accel.precision.frac_bits
+                );
             }
             let _ = writeln!(header, "\n}};");
             files.push((format!("firmware/weights/w{i}.h"), header));
@@ -573,7 +621,10 @@ mod tests {
             assert!(header.contains(template), "missing {template}");
         }
         assert!(header.contains("lfsr_step"), "dynamic units share the LFSR");
-        assert!(header.contains("ROM_1P_BRAM"), "masksembles maps to BRAM ROM");
+        assert!(
+            header.contains("ROM_1P_BRAM"),
+            "masksembles maps to BRAM ROM"
+        );
     }
 
     #[test]
@@ -608,7 +659,10 @@ mod tests {
         let params = project.file("firmware/parameters.h").unwrap();
         assert!(params.contains("DROPOUT_MASKSEMBLES"));
         // Slot 0 follows 6-channel conv output -> 6 features.
-        assert!(params.contains("static const unsigned n_features = 6;"), "{params}");
+        assert!(
+            params.contains("static const unsigned n_features = 6;"),
+            "{params}"
+        );
     }
 
     #[test]

@@ -112,17 +112,26 @@ pub struct SparsitySupport {
 impl SparsitySupport {
     /// No sparsity: the dense design of the paper.
     pub fn dense() -> Self {
-        SparsitySupport { weight_sparsity: 0.0, structured: false }
+        SparsitySupport {
+            weight_sparsity: 0.0,
+            structured: false,
+        }
     }
 
     /// Unstructured (per-weight) sparsity at fraction `s`.
     pub fn unstructured(s: f64) -> Self {
-        SparsitySupport { weight_sparsity: s.clamp(0.0, 0.99), structured: false }
+        SparsitySupport {
+            weight_sparsity: s.clamp(0.0, 0.99),
+            structured: false,
+        }
     }
 
     /// Structured (channel) sparsity at fraction `s`.
     pub fn structured(s: f64) -> Self {
-        SparsitySupport { weight_sparsity: s.clamp(0.0, 0.99), structured: true }
+        SparsitySupport {
+            weight_sparsity: s.clamp(0.0, 0.99),
+            structured: true,
+        }
     }
 
     /// The fraction of ideal zero-skip speedup the hardware realises.
@@ -296,14 +305,22 @@ impl AcceleratorModel {
 
         // --- Stage construction -----------------------------------------
         let mut stages: Vec<Stage> = Vec::new();
-        let mut current = Stage { name: "input".to_string(), macs: 0, slot: None };
+        let mut current = Stage {
+            name: "input".to_string(),
+            macs: 0,
+            slot: None,
+        };
         for entry in &profile {
             match entry.kind {
                 LayerKind::Conv | LayerKind::Linear | LayerKind::Attention => {
                     if current.macs > 0 || current.slot.is_some() {
                         stages.push(current);
                     }
-                    current = Stage { name: entry.name.clone(), macs: entry.macs, slot: None };
+                    current = Stage {
+                        name: entry.name.clone(),
+                        macs: entry.macs,
+                        slot: None,
+                    };
                 }
                 LayerKind::Slot => {
                     let id = entry.slot.expect("slot entries carry their id");
@@ -338,8 +355,7 @@ impl AcceleratorModel {
             let alloc = share.max(if stage.macs > 0 { 1 } else { 0 });
             dsp_used += alloc;
             let compute = if stage.macs > 0 {
-                stage.macs as f64 * self.config.sparsity.mac_factor()
-                    / (alloc as f64 * throughput)
+                stage.macs as f64 * self.config.sparsity.mac_factor() / (alloc as f64 * throughput)
             } else {
                 0.0
             };
@@ -376,9 +392,9 @@ impl AcceleratorModel {
         // --- Resources -------------------------------------------------------
         let bits = self.config.precision.total_bits() as u64;
         let weight_scale = self.config.sparsity.weight_bits_factor();
-        let total_weight_bits: u64 =
-            (profile.iter().map(|p| p.params).sum::<u64>() as f64 * bits as f64 * weight_scale)
-                as u64;
+        let total_weight_bits: u64 = (profile.iter().map(|p| p.params).sum::<u64>() as f64
+            * bits as f64
+            * weight_scale) as u64;
         let max_layer_bits = (profile.iter().map(|p| p.params).max().unwrap_or(0) as f64
             * bits as f64
             * weight_scale) as u64;
@@ -404,15 +420,14 @@ impl AcceleratorModel {
                 activity += 0.12 + 0.14 * share;
             }
         }
-        let buffered_weight_bits = total_weight_bits
-            .min((cal.weight_buffer_factor * max_layer_bits as f64) as u64);
+        let buffered_weight_bits =
+            total_weight_bits.min((cal.weight_buffer_factor * max_layer_bits as f64) as u64);
         // Spatial mapping replicates the datapath (weights can be shared
         // through multi-ported buffers, activations and dropout units
         // cannot).
         let r = replicas as u64;
         let dsp_used = dsp_used * r;
-        let bram_bits =
-            buffered_weight_bits + r * (2 * max_activation * bits + extra_bram_bits);
+        let bram_bits = buffered_weight_bits + r * (2 * max_activation * bits + extra_bram_bits);
         let bram_used = bram_bits.div_ceil(18 * 1024);
         let ff_used = dsp_used * cal.ff_per_dsp + r * lane_ff + cal.ff_base;
         let lut_used = dsp_used * cal.lut_per_dsp + r * lane_lut + cal.lut_base;
@@ -421,7 +436,11 @@ impl AcceleratorModel {
         let (c, h, w) = arch.input;
         let bytes_per_image = (c * h * w) as f64 * (bits as f64 / 8.0)
             + (arch.classes * samples) as f64 * (bits as f64 / 8.0);
-        let throughput_img_s = if latency_ms > 0.0 { 1000.0 / latency_ms } else { 0.0 };
+        let throughput_img_s = if latency_ms > 0.0 {
+            1000.0 / latency_ms
+        } else {
+            0.0
+        };
         let power = estimate_power(
             &PowerInputs {
                 static_w: self.config.device.static_power_w,
@@ -536,8 +555,16 @@ mod tests {
             "BRAM {:.1}%",
             r.bram.percent()
         );
-        assert!((3.0..8.0).contains(&r.dsp.percent()), "DSP {:.1}%", r.dsp.percent());
-        assert!((32.0..48.0).contains(&r.ff.percent()), "FF {:.1}%", r.ff.percent());
+        assert!(
+            (3.0..8.0).contains(&r.dsp.percent()),
+            "DSP {:.1}%",
+            r.dsp.percent()
+        );
+        assert!(
+            (32.0..48.0).contains(&r.ff.percent()),
+            "FF {:.1}%",
+            r.ff.percent()
+        );
         assert!(r.fits_device());
     }
 
@@ -545,10 +572,15 @@ mod tests {
     fn resnet_power_matches_figure5_ballpark() {
         // ECE-Optimal (all Masksembles): 3.905 W; Accuracy-Optimal
         // (K-M-B-M): 4.378 W.
-        let ece = resnet_report(&uniform(DropoutKind::Masksembles)).power.total_w();
+        let ece = resnet_report(&uniform(DropoutKind::Masksembles))
+            .power
+            .total_w();
         let acc = resnet_report(&"KMBM".parse().unwrap()).power.total_w();
         assert!((3.5..4.3).contains(&ece), "ECE-optimal power {ece:.3} W");
-        assert!((4.0..4.8).contains(&acc), "Accuracy-optimal power {acc:.3} W");
+        assert!(
+            (4.0..4.8).contains(&acc),
+            "Accuracy-optimal power {acc:.3} W"
+        );
         assert!(acc > ece, "dynamic units must cost power");
     }
 
@@ -571,7 +603,9 @@ mod tests {
     fn lenet_latency_matches_table3() {
         // Table 3 "Our Work": 0.905 ms for the aPE-optimal LeNet (R-R-B).
         let model = AcceleratorModel::new(AcceleratorConfig::lenet_paper());
-        let report = model.analyze(&zoo::lenet(), &"RRB".parse().unwrap()).unwrap();
+        let report = model
+            .analyze(&zoo::lenet(), &"RRB".parse().unwrap())
+            .unwrap();
         let got = report.latency_ms;
         assert!(
             (got - 0.905).abs() / 0.905 < 0.10,
@@ -610,7 +644,9 @@ mod tests {
         // The search runs on width-8 models: orderings must survive.
         let model = AcceleratorModel::new(AcceleratorConfig::resnet_paper());
         let arch = zoo::resnet18(8);
-        let b = model.analyze(&arch, &uniform(DropoutKind::Bernoulli)).unwrap();
+        let b = model
+            .analyze(&arch, &uniform(DropoutKind::Bernoulli))
+            .unwrap();
         let k = model.analyze(&arch, &uniform(DropoutKind::Block)).unwrap();
         assert!(k.latency_ms > b.latency_ms);
     }
@@ -647,9 +683,14 @@ mod tests {
         config.mapping = McMapping::Spatial;
         let model = AcceleratorModel::new(config);
         let arch = zoo::resnet18_paper();
-        let b = model.analyze(&arch, &uniform(DropoutKind::Bernoulli)).unwrap();
+        let b = model
+            .analyze(&arch, &uniform(DropoutKind::Bernoulli))
+            .unwrap();
         let k = model.analyze(&arch, &uniform(DropoutKind::Block)).unwrap();
-        assert!(k.latency_ms > b.latency_ms, "Block still stalls its replica");
+        assert!(
+            k.latency_ms > b.latency_ms,
+            "Block still stalls its replica"
+        );
     }
 
     #[test]
@@ -727,8 +768,11 @@ mod tests {
         assert!(report.latency_ms > 0.0);
         // Encoder blocks are their own pipeline stages: patch embed + 2
         // attention + 2 MLP + classifier = at least 6 compute stages.
-        let compute_stages =
-            report.stages.iter().filter(|s| s.compute_cycles > 0.0).count();
+        let compute_stages = report
+            .stages
+            .iter()
+            .filter(|s| s.compute_cycles > 0.0)
+            .count();
         assert!(compute_stages >= 6, "{compute_stages} stages");
         // Dropout ordering carries over: Block-stalled vit is slower.
         let block = model

@@ -104,7 +104,13 @@ impl Utilization {
 
 impl fmt::Display for Utilization {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.0}%)", self.used, self.available, self.percent())
+        write!(
+            f,
+            "{}/{} ({:.0}%)",
+            self.used,
+            self.available,
+            self.percent()
+        )
     }
 }
 

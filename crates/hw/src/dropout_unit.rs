@@ -139,7 +139,10 @@ mod tests {
         let slot = conv_slot(64, 32, 32);
         let random = stall_cycles(DropoutKind::Random, &slot);
         let block = stall_cycles(DropoutKind::Block, &slot);
-        assert!(block > random, "block {block} should stall more than random {random}");
+        assert!(
+            block > random,
+            "block {block} should stall more than random {random}"
+        );
         assert!(random > 0.0);
     }
 

@@ -210,8 +210,14 @@ mod tests {
             .unwrap();
         let e_cpu = cpu.energy_per_image_j().unwrap();
         let e_gpu = gpu.energy_per_image_j().unwrap();
-        assert!((e_cpu - 0.258).abs() / 0.258 < 0.12, "CPU energy {e_cpu:.3}");
-        assert!((e_gpu - 0.134).abs() / 0.134 < 0.12, "GPU energy {e_gpu:.3}");
+        assert!(
+            (e_cpu - 0.258).abs() / 0.258 < 0.12,
+            "CPU energy {e_cpu:.3}"
+        );
+        assert!(
+            (e_gpu - 0.134).abs() / 0.134 < 0.12,
+            "GPU energy {e_gpu:.3}"
+        );
     }
 
     #[test]

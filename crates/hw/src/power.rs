@@ -252,11 +252,27 @@ mod tests {
         // DSP 5.7%, IO 6.9%, static 33%.
         let p = estimate_power(&resnet_like_inputs(1.0), &PowerCoefficients::default());
         let pct = |w: f64| 100.0 * p.share(w);
-        assert!((25.0..40.0).contains(&pct(p.logic_signal_w)), "L&S {}", pct(p.logic_signal_w));
-        assert!((8.0..16.0).contains(&pct(p.bram_w)), "BRAM {}", pct(p.bram_w));
-        assert!((7.0..15.0).contains(&pct(p.clocking_w)), "clk {}", pct(p.clocking_w));
+        assert!(
+            (25.0..40.0).contains(&pct(p.logic_signal_w)),
+            "L&S {}",
+            pct(p.logic_signal_w)
+        );
+        assert!(
+            (8.0..16.0).contains(&pct(p.bram_w)),
+            "BRAM {}",
+            pct(p.bram_w)
+        );
+        assert!(
+            (7.0..15.0).contains(&pct(p.clocking_w)),
+            "clk {}",
+            pct(p.clocking_w)
+        );
         assert!((3.0..9.0).contains(&pct(p.dsp_w)), "DSP {}", pct(p.dsp_w));
-        assert!((28.0..38.0).contains(&pct(p.static_w)), "static {}", pct(p.static_w));
+        assert!(
+            (28.0..38.0).contains(&pct(p.static_w)),
+            "static {}",
+            pct(p.static_w)
+        );
     }
 
     #[test]

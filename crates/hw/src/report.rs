@@ -81,7 +81,11 @@ impl fmt::Display for CsynthReport {
         writeln!(
             f,
             "clock {:.0} MHz | S = {} samples | latency {:.3} ms ({:.0} cycles, bottleneck {:.0})",
-            self.clock_mhz, self.samples, self.latency_ms, self.latency_cycles, self.bottleneck_cycles
+            self.clock_mhz,
+            self.samples,
+            self.latency_ms,
+            self.latency_cycles,
+            self.bottleneck_cycles
         )?;
         writeln!(
             f,
@@ -100,8 +104,7 @@ impl fmt::Display for CsynthReport {
             write!(
                 f,
                 "  {:<44} {:>12.0} cycles",
-                stage.name,
-                stage.compute_cycles
+                stage.name, stage.compute_cycles
             )?;
             if let Some(code) = stage.dropout {
                 write!(f, "  [dropout {} +{:.0}]", code, stage.dropout_stall_cycles)?;

@@ -103,8 +103,7 @@ pub fn quantized_mc_predict(
     for v in &mut mean {
         *v *= inv;
     }
-    Ok(Tensor::from_vec(mean, Shape::d2(n, classes))
-        .expect("shape-consistent by construction"))
+    Ok(Tensor::from_vec(mean, Shape::d2(n, classes)).expect("shape-consistent by construction"))
 }
 
 #[cfg(test)]
@@ -178,7 +177,10 @@ mod tests {
         };
         let coarse = probs_for(Q7_8);
         let fine = probs_for(Q3_12);
-        assert!(fine < coarse, "Q3.12 error {fine} should beat Q7.8 {coarse}");
+        assert!(
+            fine < coarse,
+            "Q3.12 error {fine} should beat Q7.8 {coarse}"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub fn apply_temperature(logits: &Tensor, t: f64) -> Result<Tensor> {
         )));
     }
     if !(t.is_finite() && t > 0.0) {
-        return Err(MetricError::BadInput(format!("temperature {t} must be positive")));
+        return Err(MetricError::BadInput(format!(
+            "temperature {t} must be positive"
+        )));
     }
     let scaled = logits.scale((1.0 / t) as f32);
     scaled.softmax_rows().map_err(MetricError::from)
@@ -92,14 +94,21 @@ mod tests {
         for _ in 0..n {
             let label = rng.below(classes);
             // The model is right only ~70% of the time but always shouts.
-            let predicted = if rng.bernoulli(0.7) { label } else { rng.below(classes) };
+            let predicted = if rng.bernoulli(0.7) {
+                label
+            } else {
+                rng.below(classes)
+            };
             for j in 0..classes {
                 let base = if j == predicted { 8.0 } else { 0.0 };
                 data.push(base + rng.normal_with(0.0, 0.3));
             }
             labels.push(label);
         }
-        (Tensor::from_vec(data, Shape::d2(n, classes)).unwrap(), labels)
+        (
+            Tensor::from_vec(data, Shape::d2(n, classes)).unwrap(),
+            labels,
+        )
     }
 
     #[test]

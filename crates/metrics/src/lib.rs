@@ -195,7 +195,9 @@ impl ReliabilityDiagram {
     pub fn compute(probs: &Tensor, labels: &[usize], config: EceConfig) -> Result<Self> {
         let (n, c) = validate(probs, Some(labels))?;
         if config.bins == 0 {
-            return Err(MetricError::BadInput("ECE needs at least one bin".to_string()));
+            return Err(MetricError::BadInput(
+                "ECE needs at least one bin".to_string(),
+            ));
         }
         let nbins = config.bins;
         let mut counts = vec![0usize; nbins];
@@ -228,8 +230,16 @@ impl ReliabilityDiagram {
                     lo: b as f64 / nbins as f64,
                     hi: (b + 1) as f64 / nbins as f64,
                     count,
-                    mean_confidence: if count > 0 { conf_sums[b] / count as f64 } else { 0.0 },
-                    accuracy: if count > 0 { correct[b] as f64 / count as f64 } else { 0.0 },
+                    mean_confidence: if count > 0 {
+                        conf_sums[b] / count as f64
+                    } else {
+                        0.0
+                    },
+                    accuracy: if count > 0 {
+                        correct[b] as f64 / count as f64
+                    } else {
+                        0.0
+                    },
                 }
             })
             .collect();
@@ -296,7 +306,9 @@ pub fn average_predictive_entropy(probs: &Tensor) -> Result<f64> {
         return Ok(0.0);
     }
     let data = probs.as_slice();
-    let sum: f64 = (0..n).map(|i| entropy_nats(&data[i * c..(i + 1) * c])).sum();
+    let sum: f64 = (0..n)
+        .map(|i| entropy_nats(&data[i * c..(i + 1) * c]))
+        .sum();
     Ok(sum / n as f64)
 }
 

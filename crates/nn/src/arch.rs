@@ -308,7 +308,13 @@ impl Architecture {
 
 fn shape_after(def: &LayerDef, shape: FeatureShape) -> Result<FeatureShape> {
     match def {
-        LayerDef::Conv2d { out_channels, kernel, stride, padding, .. } => match shape {
+        LayerDef::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            ..
+        } => match shape {
             FeatureShape::Map { h, w, .. } => {
                 let g = ConvGeometry::new(*kernel, *stride, *padding);
                 let oh = g.out_dim(h);
@@ -318,7 +324,11 @@ fn shape_after(def: &LayerDef, shape: FeatureShape) -> Result<FeatureShape> {
                         "conv kernel {kernel} does not fit {h}x{w} input"
                     )));
                 }
-                Ok(FeatureShape::Map { c: *out_channels, h: oh, w: ow })
+                Ok(FeatureShape::Map {
+                    c: *out_channels,
+                    h: oh,
+                    w: ow,
+                })
             }
             FeatureShape::Vector { .. } => Err(NnError::BadConfig(
                 "conv2d applied to a flat vector".to_string(),
@@ -347,9 +357,13 @@ fn shape_after(def: &LayerDef, shape: FeatureShape) -> Result<FeatureShape> {
                 "global_avg_pool applied to a flat vector".to_string(),
             )),
         },
-        LayerDef::Flatten => Ok(FeatureShape::Vector { features: shape.len() }),
+        LayerDef::Flatten => Ok(FeatureShape::Vector {
+            features: shape.len(),
+        }),
         LayerDef::Linear { out_features, .. } => match shape {
-            FeatureShape::Vector { .. } => Ok(FeatureShape::Vector { features: *out_features }),
+            FeatureShape::Vector { .. } => Ok(FeatureShape::Vector {
+                features: *out_features,
+            }),
             FeatureShape::Map { .. } => Err(NnError::BadConfig(
                 "linear applied to an unflattened feature map".to_string(),
             )),
@@ -377,7 +391,11 @@ fn shape_after(def: &LayerDef, shape: FeatureShape) -> Result<FeatureShape> {
                         "patch size {patch} does not tile a {h}x{w} image"
                     )));
                 }
-                Ok(FeatureShape::Map { c: (h / patch) * (w / patch), h: 1, w: *dim })
+                Ok(FeatureShape::Map {
+                    c: (h / patch) * (w / patch),
+                    h: 1,
+                    w: *dim,
+                })
             }
             FeatureShape::Vector { .. } => Err(NnError::BadConfig(
                 "patch_embed applied to a flat vector".to_string(),
@@ -395,7 +413,9 @@ fn shape_after(def: &LayerDef, shape: FeatureShape) -> Result<FeatureShape> {
         LayerDef::EncoderMlp { hidden } => {
             token_shape(shape, "encoder_mlp")?;
             if *hidden == 0 {
-                return Err(NnError::BadConfig("encoder_mlp hidden width is zero".to_string()));
+                return Err(NnError::BadConfig(
+                    "encoder_mlp hidden width is zero".to_string(),
+                ));
             }
             Ok(shape)
         }
@@ -418,7 +438,13 @@ fn token_shape(shape: FeatureShape, op: &str) -> Result<(usize, usize)> {
 
 fn def_profile(def: &LayerDef, in_shape: FeatureShape, out_shape: FeatureShape) -> LayerProfile {
     let (kind, name, macs, params, slot) = match def {
-        LayerDef::Conv2d { out_channels, kernel, stride, padding, bias } => {
+        LayerDef::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            bias,
+        } => {
             let in_c = match in_shape {
                 FeatureShape::Map { c, .. } => c,
                 FeatureShape::Vector { .. } => 0,
@@ -428,8 +454,8 @@ fn def_profile(def: &LayerDef, in_shape: FeatureShape, out_shape: FeatureShape) 
                 FeatureShape::Vector { .. } => (0, 0),
             };
             let macs = (oh * ow * out_channels * in_c * kernel * kernel) as u64;
-            let params =
-                (out_channels * in_c * kernel * kernel + if *bias { *out_channels } else { 0 }) as u64;
+            let params = (out_channels * in_c * kernel * kernel
+                + if *bias { *out_channels } else { 0 }) as u64;
             (
                 LayerKind::Conv,
                 format!("conv2d({in_c}->{out_channels}, {kernel}x{kernel}/s{stride} p{padding})"),
@@ -549,7 +575,15 @@ fn def_profile(def: &LayerDef, in_shape: FeatureShape, out_shape: FeatureShape) 
             None,
         ),
     };
-    LayerProfile { name, kind, in_shape, out_shape, macs, params, slot }
+    LayerProfile {
+        name,
+        kind,
+        in_shape,
+        out_shape,
+        macs,
+        params,
+        slot,
+    }
 }
 
 fn infer_defs(
@@ -565,7 +599,11 @@ fn infer_defs(
                 FeatureShape::Map { .. } => SlotPosition::Conv,
                 FeatureShape::Vector { .. } => SlotPosition::FullyConnected,
             };
-            slots.push(SlotInfo { id: *id, shape, position });
+            slots.push(SlotInfo {
+                id: *id,
+                shape,
+                position,
+            });
         }
         if let LayerDef::Residual { main, shortcut } = def {
             // Recurse so nested layers (and slots) contribute profiles.
@@ -592,7 +630,13 @@ fn build_defs(
     for def in defs {
         let out = shape_after(def, shape)?;
         let layer: Box<dyn Layer> = match def {
-            LayerDef::Conv2d { out_channels, kernel, stride, padding, bias } => {
+            LayerDef::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                bias,
+            } => {
                 let in_c = match shape {
                     FeatureShape::Map { c, .. } => c,
                     FeatureShape::Vector { .. } => {
@@ -628,7 +672,11 @@ fn build_defs(
                     FeatureShape::Map { .. } => SlotPosition::Conv,
                     FeatureShape::Vector { .. } => SlotPosition::FullyConnected,
                 };
-                slot_factory(&SlotInfo { id: *id, shape, position })
+                slot_factory(&SlotInfo {
+                    id: *id,
+                    shape,
+                    position,
+                })
             }
             LayerDef::Residual { main, shortcut } => {
                 let (main_seq, _) = build_defs(main, shape, rng, slot_factory)?;
@@ -680,16 +728,31 @@ mod tests {
             input: (1, 8, 8),
             classes: 4,
             defs: vec![
-                LayerDef::Conv2d { out_channels: 4, kernel: 3, stride: 1, padding: 1, bias: false },
+                LayerDef::Conv2d {
+                    out_channels: 4,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    bias: false,
+                },
                 LayerDef::BatchNorm2d,
                 LayerDef::Relu,
                 LayerDef::DropoutSlot { id: 0 },
-                LayerDef::MaxPool2d { kernel: 2, stride: 2 },
+                LayerDef::MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                },
                 LayerDef::Flatten,
-                LayerDef::Linear { out_features: 16, bias: true },
+                LayerDef::Linear {
+                    out_features: 16,
+                    bias: true,
+                },
                 LayerDef::Relu,
                 LayerDef::DropoutSlot { id: 1 },
-                LayerDef::Linear { out_features: 4, bias: true },
+                LayerDef::Linear {
+                    out_features: 4,
+                    bias: true,
+                },
             ],
         }
     }
@@ -737,11 +800,17 @@ mod tests {
         // 8*8 output positions x 4 out x 1 in x 3x3 kernel.
         assert_eq!(conv.macs, 8 * 8 * 4 * 9);
         assert_eq!(conv.params, 4 * 9);
-        let lin = profile.iter().find(|p| p.kind == LayerKind::Linear).unwrap();
+        let lin = profile
+            .iter()
+            .find(|p| p.kind == LayerKind::Linear)
+            .unwrap();
         // First linear: (4*4*4=64) -> 16.
         assert_eq!(lin.macs, 64 * 16);
         assert_eq!(lin.params, 64 * 16 + 16);
-        let slots: Vec<_> = profile.iter().filter(|p| p.kind == LayerKind::Slot).collect();
+        let slots: Vec<_> = profile
+            .iter()
+            .filter(|p| p.kind == LayerKind::Slot)
+            .collect();
         assert_eq!(slots.len(), 2);
     }
 
@@ -762,19 +831,40 @@ mod tests {
             defs: vec![
                 LayerDef::Residual {
                     main: vec![
-                        LayerDef::Conv2d { out_channels: 4, kernel: 3, stride: 2, padding: 1, bias: false },
+                        LayerDef::Conv2d {
+                            out_channels: 4,
+                            kernel: 3,
+                            stride: 2,
+                            padding: 1,
+                            bias: false,
+                        },
                         LayerDef::BatchNorm2d,
                         LayerDef::Relu,
-                        LayerDef::Conv2d { out_channels: 4, kernel: 3, stride: 1, padding: 1, bias: false },
+                        LayerDef::Conv2d {
+                            out_channels: 4,
+                            kernel: 3,
+                            stride: 1,
+                            padding: 1,
+                            bias: false,
+                        },
                         LayerDef::BatchNorm2d,
                     ],
                     shortcut: vec![
-                        LayerDef::Conv2d { out_channels: 4, kernel: 1, stride: 2, padding: 0, bias: false },
+                        LayerDef::Conv2d {
+                            out_channels: 4,
+                            kernel: 1,
+                            stride: 2,
+                            padding: 0,
+                            bias: false,
+                        },
                         LayerDef::BatchNorm2d,
                     ],
                 },
                 LayerDef::GlobalAvgPool,
-                LayerDef::Linear { out_features: 2, bias: true },
+                LayerDef::Linear {
+                    out_features: 2,
+                    bias: true,
+                },
             ],
         };
         let mut rng = Rng64::new(4);
@@ -812,7 +902,13 @@ mod tests {
             classes: 2,
             defs: vec![
                 LayerDef::Flatten,
-                LayerDef::Conv2d { out_channels: 2, kernel: 3, stride: 1, padding: 1, bias: false },
+                LayerDef::Conv2d {
+                    out_channels: 2,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    bias: false,
+                },
             ],
         };
         assert!(arch.profile().is_err());

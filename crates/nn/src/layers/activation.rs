@@ -4,7 +4,7 @@ use nds_tensor::{Shape, Tensor};
 /// Rectified linear unit.
 ///
 /// Stateless apart from the backward mask cached during forward.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
 }
@@ -17,15 +17,19 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         self.mask = Some(input.iter().map(|&v| v > 0.0).collect());
         Ok(input.relu())
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
-        let mask = self.mask.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name(),
-        })?;
+        let mask = self
+            .mask
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         if mask.len() != grad.len() {
             return Err(NnError::BadConfig(format!(
                 "relu backward: cached {} elements, grad has {}",

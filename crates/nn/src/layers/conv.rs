@@ -8,7 +8,7 @@ use nds_tensor::{Shape, Tensor, TensorError};
 /// Weights have shape `[out_channels, in_channels, k, k]` and are
 /// He-initialised. The forward pass lowers to im2col + matmul (the same
 /// dataflow the `nds-hw` accelerator model assumes).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Option<Param>,
@@ -18,7 +18,7 @@ pub struct Conv2d {
     cache: Option<Cache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Cache {
     cols: Tensor,
     input_shape: Shape,
@@ -35,7 +35,8 @@ impl Conv2d {
     ) -> Self {
         let k = geometry.kernel;
         let fan_in = in_channels * k * k;
-        let weight = Tensor::kaiming_normal(Shape::d4(out_channels, in_channels, k, k), fan_in, rng);
+        let weight =
+            Tensor::kaiming_normal(Shape::d4(out_channels, in_channels, k, k), fan_in, rng);
         Conv2d {
             weight: Param::new(weight, true),
             bias: bias.then(|| Param::new(Tensor::zeros(Shape::d1(out_channels)), false)),
@@ -63,6 +64,9 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let out = conv2d(
             input,
@@ -72,14 +76,18 @@ impl Layer for Conv2d {
         )?;
         // Cache the unrolled input for the weight gradient.
         let cols = im2col(input, self.geometry)?;
-        self.cache = Some(Cache { cols, input_shape: input.shape().clone() });
+        self.cache = Some(Cache {
+            cols,
+            input_shape: input.shape().clone(),
+        });
         Ok(out)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name(),
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         let (n, _c, h, w) = cache
             .input_shape
             .as_nchw()

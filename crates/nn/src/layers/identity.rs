@@ -16,6 +16,9 @@ impl Identity {
 }
 
 impl Layer for Identity {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(*self)
+    }
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         Ok(input.clone())
     }

@@ -6,7 +6,7 @@ use nds_tensor::{Shape, Tensor, TensorError};
 ///
 /// Weights have shape `[out_features, in_features]` (He-initialised);
 /// inputs are `[batch, in_features]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Param,
     bias: Option<Param>,
@@ -18,8 +18,7 @@ pub struct Linear {
 impl Linear {
     /// Creates a fully-connected layer with He-normal weights.
     pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut Rng64) -> Self {
-        let weight =
-            Tensor::kaiming_normal(Shape::d2(out_features, in_features), in_features, rng);
+        let weight = Tensor::kaiming_normal(Shape::d2(out_features, in_features), in_features, rng);
         Linear {
             weight: Param::new(weight, true),
             bias: bias.then(|| Param::new(Tensor::zeros(Shape::d1(out_features)), false)),
@@ -41,6 +40,9 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         if input.shape().rank() != 2 || input.shape().dim(1) != self.in_features {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
@@ -49,21 +51,24 @@ impl Layer for Linear {
                 rhs: input.shape().clone(),
             }));
         }
-        let wt = self.weight.value.transpose()?;
-        let mut out = input.matmul(&wt)?;
-        if let Some(b) = &self.bias {
-            out = out.add_row_bias(&b.value)?;
-        }
+        // Fused kernels: weights stay in their natural [out, in] layout —
+        // no transposed copy per forward — and the bias add rides the
+        // same output traversal.
+        let out = match &self.bias {
+            Some(b) => input.matmul_transb_bias(&self.weight.value, &b.value)?,
+            None => input.matmul_transb(&self.weight.value)?,
+        };
         self.cache = Some(input.clone());
         Ok(out)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
-        let input = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name(),
-        })?;
+        let input = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         // dW = gradᵀ · x  ([out, batch] x [batch, in] = [out, in])
-        let dw = grad.transpose()?.matmul(&input)?;
+        let dw = grad.matmul_transa(&input)?;
         self.weight.grad.add_scaled(&dw, 1.0)?;
         if let Some(b) = &mut self.bias {
             let db = grad.sum_rows()?;

@@ -12,9 +12,7 @@ mod residual;
 mod sequential;
 
 pub use activation::Relu;
-pub use attention::{
-    LayerNorm, MultiHeadAttention, PatchEmbed, PreNorm, TokenMeanPool, TokenMlp,
-};
+pub use attention::{LayerNorm, MultiHeadAttention, PatchEmbed, PreNorm, TokenMeanPool, TokenMlp};
 pub use conv::Conv2d;
 pub use identity::Identity;
 pub use linear::Linear;

@@ -6,7 +6,7 @@ use nds_tensor::{Shape, Tensor, TensorError};
 /// Training mode normalises with per-batch statistics and maintains
 /// exponential running estimates; inference modes use the running
 /// estimates, as usual.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -19,7 +19,7 @@ pub struct BatchNorm2d {
     accumulator: Option<StatAccumulator>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Cache {
     x_hat: Tensor,
     inv_std: Vec<f32>,
@@ -29,7 +29,7 @@ struct Cache {
 /// Pooled-statistics accumulator for SPOS recalibration: exact per-channel
 /// mean and variance over all batches seen between `begin` and `finish`,
 /// combined with the law of total variance.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StatAccumulator {
     /// Total elements per channel accumulated so far.
     count: f64,
@@ -63,6 +63,21 @@ impl BatchNorm2d {
     /// Current running mean estimates (one per channel).
     pub fn running_mean(&self) -> &[f32] {
         &self.running_mean
+    }
+
+    /// Overwrites the running statistics with externally-computed values.
+    ///
+    /// Supernet forking uses this to transplant calibrated statistics
+    /// into a freshly-built copy of the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the channel count.
+    pub fn set_running_stats(&mut self, mean: &[f32], var: &[f32]) {
+        assert_eq!(mean.len(), self.running_mean.len(), "mean length");
+        assert_eq!(var.len(), self.running_var.len(), "var length");
+        self.running_mean.copy_from_slice(mean);
+        self.running_var.copy_from_slice(var);
     }
 
     /// Current running variance estimates (one per channel).
@@ -107,6 +122,9 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
             op: "batch_norm forward",
@@ -202,9 +220,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name(),
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         let (n, c, h, w) = grad.shape().as_nchw().ok_or(TensorError::RankMismatch {
             op: "batch_norm backward",
             expected: 4,
@@ -326,10 +345,8 @@ mod tests {
         let mut rng = Rng64::new(3);
         let x = Tensor::rand_normal(Shape::d4(4, 2, 2, 2), 0.0, 1.0, &mut rng);
         // Non-trivial gamma/beta so the test covers the affine part.
-        bn.params_mut()[0].value =
-            Tensor::from_vec(vec![1.5, 0.7], Shape::d1(2)).unwrap();
-        bn.params_mut()[1].value =
-            Tensor::from_vec(vec![0.3, -0.2], Shape::d1(2)).unwrap();
+        bn.params_mut()[0].value = Tensor::from_vec(vec![1.5, 0.7], Shape::d1(2)).unwrap();
+        bn.params_mut()[1].value = Tensor::from_vec(vec![0.3, -0.2], Shape::d1(2)).unwrap();
         // Weighted-sum loss for a non-uniform upstream gradient.
         let weights = Tensor::rand_normal(Shape::d4(4, 2, 2, 2), 0.0, 1.0, &mut rng);
         let _ = bn.forward(&x, Mode::Train).unwrap();
@@ -344,7 +361,8 @@ mod tests {
             plus.as_mut_slice()[i] += eps;
             let mut minus = x.clone();
             minus.as_mut_slice()[i] -= eps;
-            let numeric = ((loss(&mut bn, &plus) - loss(&mut bn, &minus)) / (2.0 * eps as f64)) as f32;
+            let numeric =
+                ((loss(&mut bn, &plus) - loss(&mut bn, &minus)) / (2.0 * eps as f64)) as f32;
             let analytic = dx.as_slice()[i];
             assert!(
                 (numeric - analytic).abs() < 3e-2 * (1.0 + analytic.abs()),

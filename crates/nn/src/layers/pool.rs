@@ -3,13 +3,13 @@ use nds_tensor::conv::{global_avg_pool, max_pool2d, ConvGeometry};
 use nds_tensor::{Shape, Tensor, TensorError};
 
 /// Max pooling layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     geometry: ConvGeometry,
     cache: Option<Cache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Cache {
     argmax: Vec<usize>,
     input_shape: Shape,
@@ -31,6 +31,9 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let pooled = max_pool2d(input, self.geometry)?;
         self.cache = Some(Cache {
@@ -41,9 +44,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name(),
-        })?;
+        let cache = self
+            .cache
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         if grad.len() != cache.argmax.len() {
             return Err(NnError::BadConfig(format!(
                 "max_pool backward: {} cached argmax entries, grad has {} elements",
@@ -60,7 +64,10 @@ impl Layer for MaxPool2d {
     }
 
     fn name(&self) -> String {
-        format!("max_pool({}x{}/s{})", self.geometry.kernel, self.geometry.kernel, self.geometry.stride)
+        format!(
+            "max_pool({}x{}/s{})",
+            self.geometry.kernel, self.geometry.kernel, self.geometry.stride
+        )
     }
 
     fn out_shape(&self, input: &Shape) -> Result<Shape> {
@@ -69,12 +76,17 @@ impl Layer for MaxPool2d {
             expected: 4,
             actual: input.rank(),
         })?;
-        Ok(Shape::d4(n, c, self.geometry.out_dim(h), self.geometry.out_dim(w)))
+        Ok(Shape::d4(
+            n,
+            c,
+            self.geometry.out_dim(h),
+            self.geometry.out_dim(w),
+        ))
     }
 }
 
 /// Global average pooling: `[N, C, H, W] → [N, C]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool {
     input_shape: Option<Shape>,
 }
@@ -87,6 +99,9 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let out = global_avg_pool(input)?;
         self.input_shape = Some(input.shape().clone());
@@ -94,9 +109,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
-        let shape = self.input_shape.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name(),
-        })?;
+        let shape = self
+            .input_shape
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         let (n, c, h, w) = shape.as_nchw().expect("cached shape is rank-4");
         if grad.shape() != &Shape::d2(n, c) {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
@@ -142,11 +158,7 @@ mod tests {
     #[test]
     fn max_pool_routes_gradient_to_maxima() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0],
-            Shape::d4(1, 1, 2, 2),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d4(1, 1, 2, 2)).unwrap();
         let y = pool.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.as_slice(), &[4.0]);
         let dx = pool.backward(&Tensor::ones(Shape::d4(1, 1, 1, 1))).unwrap();
@@ -167,7 +179,9 @@ mod tests {
     #[test]
     fn pools_require_forward_before_backward() {
         let mut pool = MaxPool2d::new(2, 2);
-        assert!(pool.backward(&Tensor::zeros(Shape::d4(1, 1, 1, 1))).is_err());
+        assert!(pool
+            .backward(&Tensor::zeros(Shape::d4(1, 1, 1, 1)))
+            .is_err());
         let mut gap = GlobalAvgPool::new();
         assert!(gap.backward(&Tensor::zeros(Shape::d2(1, 1))).is_err());
     }
@@ -180,6 +194,9 @@ mod tests {
             Shape::d4(1, 3, 4, 4)
         );
         let gap = GlobalAvgPool::new();
-        assert_eq!(gap.out_shape(&Shape::d4(2, 5, 7, 7)).unwrap(), Shape::d2(2, 5));
+        assert_eq!(
+            gap.out_shape(&Shape::d4(2, 5, 7, 7)).unwrap(),
+            Shape::d2(2, 5)
+        );
     }
 }

@@ -2,7 +2,7 @@ use crate::{Layer, Mode, NnError, Result};
 use nds_tensor::{Shape, Tensor};
 
 /// Flattens `[N, C, H, W]` (or any rank ≥ 2) to `[N, features]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     input_shape: Option<Shape>,
 }
@@ -26,6 +26,9 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let target = Self::flat_shape(input.shape())?;
         self.input_shape = Some(input.shape().clone());
@@ -33,9 +36,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
-        let shape = self.input_shape.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name(),
-        })?;
+        let shape = self
+            .input_shape
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         grad.reshape(shape).map_err(NnError::from)
     }
 

@@ -6,7 +6,7 @@ use nds_tensor::{Shape, Tensor, TensorError};
 ///
 /// The shortcut defaults to identity (empty [`Sequential`]); downsampling
 /// blocks use a 1×1 stride-2 convolution there, as in ResNet-18.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Residual {
     main: Sequential,
     shortcut: Sequential,
@@ -37,6 +37,9 @@ impl Residual {
 }
 
 impl Layer for Residual {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let main_out = self.main.forward(input, mode)?;
         let short_out = self.shortcut.forward(input, mode)?;
@@ -53,9 +56,10 @@ impl Layer for Residual {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
-        let mask = self.relu_mask.take().ok_or_else(|| NnError::NoForwardCache {
-            layer: self.name(),
-        })?;
+        let mask = self
+            .relu_mask
+            .take()
+            .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
         if mask.len() != grad.len() {
             return Err(NnError::BadConfig(format!(
                 "residual backward: cached {} elements, grad has {}",
@@ -83,6 +87,11 @@ impl Layer for Residual {
     fn begin_mc_round(&mut self) {
         self.main.begin_mc_round();
         self.shortcut.begin_mc_round();
+    }
+
+    fn begin_mc_sample(&mut self, sample: u64) {
+        self.main.begin_mc_sample(sample);
+        self.shortcut.begin_mc_sample(sample);
     }
 
     fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {

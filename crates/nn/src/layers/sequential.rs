@@ -5,7 +5,7 @@ use nds_tensor::{Shape, Tensor};
 ///
 /// `Sequential` is itself a [`Layer`], so chains nest (residual blocks use
 /// nested `Sequential`s for their main and shortcut paths).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -75,6 +75,9 @@ impl FromIterator<Box<dyn Layer>> for Sequential {
 }
 
 impl Layer for Sequential {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let mut x = input.clone();
         for layer in &mut self.layers {
@@ -101,6 +104,12 @@ impl Layer for Sequential {
     fn begin_mc_round(&mut self) {
         for layer in &mut self.layers {
             layer.begin_mc_round();
+        }
+    }
+
+    fn begin_mc_sample(&mut self, sample: u64) {
+        for layer in &mut self.layers {
+            layer.begin_mc_sample(sample);
         }
     }
 

@@ -141,7 +141,12 @@ impl Param {
     pub fn new(value: Tensor, decay: bool) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
         let velocity = Tensor::zeros(value.shape().clone());
-        Param { value, grad, velocity, decay }
+        Param {
+            value,
+            grad,
+            velocity,
+            decay,
+        }
     }
 
     /// Clears the accumulated gradient.
@@ -165,7 +170,11 @@ impl Param {
 /// Layers own their parameters and forward-pass caches. The usual call
 /// pattern is `forward` → (loss gradient) → `backward` → optimizer step.
 /// `backward` consumes the cache written by the most recent `forward`.
-pub trait Layer: fmt::Debug {
+///
+/// Layers are `Send + Sync` and cloneable through [`Layer::clone_box`]:
+/// the Monte-Carlo engine clones whole networks across worker threads to
+/// run stochastic forward passes in parallel.
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Computes the layer output for `input` under the given [`Mode`].
     ///
     /// # Errors
@@ -200,6 +209,23 @@ pub trait Layer: fmt::Debug {
     /// the S samples of a round always use masks `0..S` in order.
     fn begin_mc_round(&mut self) {}
 
+    /// Hook invoked before each individual Monte-Carlo forward pass,
+    /// identifying the pass by its sample index.
+    ///
+    /// Container layers must forward the call to their children.
+    /// Stochastic layers derive their RNG stream (and Masksembles its
+    /// mask cursor) from their construction seed *and* `sample`, so a
+    /// pass's masks depend only on `(seed, sample)` — never on which
+    /// passes ran before or on which thread runs this one. That property
+    /// is what makes parallel MC sampling bit-identical to serial.
+    fn begin_mc_sample(&mut self, _sample: u64) {}
+
+    /// Returns a boxed deep copy of this layer.
+    ///
+    /// The blanket `Clone for Box<dyn Layer>` impl delegates here, which
+    /// lets container layers (and whole networks) derive `Clone`.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
     /// Visits every [`layers::BatchNorm2d`] in this layer's subtree.
     ///
     /// Container layers must forward the call to their children;
@@ -221,6 +247,12 @@ pub trait Layer: fmt::Debug {
     ///
     /// Returns an error when the input shape is incompatible.
     fn out_shape(&self, input: &Shape) -> Result<Shape>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Total scalar parameter count of a layer (helper over [`Layer::params`]).

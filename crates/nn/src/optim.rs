@@ -35,12 +35,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
     }
 
     /// The configuration used by the paper-style training runs.
     pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Sgd { lr, momentum, weight_decay }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+        }
     }
 
     /// Applies one update step to the given parameters, in place.
@@ -224,17 +232,29 @@ mod tests {
             let mut params = [&mut p];
             clip_grad_norm(&mut params, 0.0); // disabled
         }
-        assert_eq!(p.grad.as_slice()[0], 1e6, "zero threshold disables clipping");
+        assert_eq!(
+            p.grad.as_slice()[0],
+            1e6,
+            "zero threshold disables clipping"
+        );
     }
 
     #[test]
     fn schedules() {
         assert_eq!(LrSchedule::Constant(0.1).at(100), 0.1);
-        let step = LrSchedule::Step { base: 1.0, gamma: 0.1, every: 10 };
+        let step = LrSchedule::Step {
+            base: 1.0,
+            gamma: 0.1,
+            every: 10,
+        };
         assert_eq!(step.at(0), 1.0);
         assert!((step.at(10) - 0.1).abs() < 1e-7);
         assert!((step.at(25) - 0.01).abs() < 1e-8);
-        let cos = LrSchedule::Cosine { base: 1.0, floor: 0.0, total: 10 };
+        let cos = LrSchedule::Cosine {
+            base: 1.0,
+            floor: 0.0,
+            total: 10,
+        };
         assert!((cos.at(0) - 1.0).abs() < 1e-6);
         assert!(cos.at(5) < cos.at(1));
         assert!(cos.at(10) < 1e-6);

@@ -54,7 +54,10 @@ fn prunable(param: &crate::Param) -> bool {
 /// Returns the achieved counts. `sparsity` is clamped to `[0, 1]`.
 pub fn prune_magnitude(net: &mut Sequential, sparsity: f64) -> PruneStats {
     let sparsity = sparsity.clamp(0.0, 1.0);
-    let mut stats = PruneStats { pruned: 0, total: 0 };
+    let mut stats = PruneStats {
+        pruned: 0,
+        total: 0,
+    };
     for param in net.params_mut() {
         if !prunable(param) {
             continue;
@@ -90,7 +93,10 @@ pub fn prune_magnitude(net: &mut Sequential, sparsity: f64) -> PruneStats {
 /// to `[0, 1]`.
 pub fn prune_channels(net: &mut Sequential, sparsity: f64) -> PruneStats {
     let sparsity = sparsity.clamp(0.0, 1.0);
-    let mut stats = PruneStats { pruned: 0, total: 0 };
+    let mut stats = PruneStats {
+        pruned: 0,
+        total: 0,
+    };
     for param in net.params_mut() {
         if !prunable(param) {
             continue;
@@ -158,7 +164,11 @@ impl PruneMask {
             "network structure changed since mask capture"
         );
         for (param, mask) in prunable_params.iter_mut().zip(&self.masks) {
-            assert_eq!(param.value.len(), mask.len(), "tensor size changed since capture");
+            assert_eq!(
+                param.value.len(),
+                mask.len(),
+                "tensor size changed since capture"
+            );
             for (v, &keep) in param.value.iter_mut().zip(mask.iter()) {
                 if !keep {
                     *v = 0.0;
@@ -212,7 +222,13 @@ mod tests {
 
     fn test_net(rng: &mut Rng64) -> Sequential {
         let mut net = Sequential::new();
-        net.push(Box::new(Conv2d::new(2, 8, ConvGeometry::new(3, 1, 1), true, rng)));
+        net.push(Box::new(Conv2d::new(
+            2,
+            8,
+            ConvGeometry::new(3, 1, 1),
+            true,
+            rng,
+        )));
         net.push(Box::new(BatchNorm2d::new(8)));
         net.push(Box::new(Flatten::new()));
         net.push(Box::new(Linear::new(8 * 4 * 4, 10, true, rng)));
@@ -283,7 +299,11 @@ mod tests {
         assert_eq!(conv_w.shape().dim(0), 8);
         let per = conv_w.len() / 8;
         let zero_channels = (0..8)
-            .filter(|&c| conv_w.as_slice()[c * per..(c + 1) * per].iter().all(|&v| v == 0.0))
+            .filter(|&c| {
+                conv_w.as_slice()[c * per..(c + 1) * per]
+                    .iter()
+                    .all(|&v| v == 0.0)
+            })
             .count();
         assert_eq!(zero_channels, 4);
     }

@@ -36,7 +36,11 @@ impl Default for TrainConfig {
         TrainConfig {
             epochs: 3,
             batch_size: 32,
-            schedule: LrSchedule::Cosine { base: 0.05, floor: 0.001, total: 3 },
+            schedule: LrSchedule::Cosine {
+                base: 0.05,
+                floor: 0.001,
+                total: 3,
+            },
             momentum: 0.9,
             weight_decay: 5e-4,
             warmup_epochs: 1,
@@ -110,8 +114,16 @@ where
         }
         history.push(EpochStats {
             epoch,
-            loss: if seen > 0 { loss_sum / seen as f64 } else { 0.0 },
-            accuracy: if seen > 0 { correct as f64 / seen as f64 } else { 0.0 },
+            loss: if seen > 0 {
+                loss_sum / seen as f64
+            } else {
+                0.0
+            },
+            accuracy: if seen > 0 {
+                correct as f64 / seen as f64
+            } else {
+                0.0
+            },
             lr,
         });
     }
@@ -227,7 +239,10 @@ mod tests {
         assert!((config.lr_at(0) - 0.1 / 3.0).abs() < 1e-7);
         assert!((config.lr_at(1) - 0.2 / 3.0).abs() < 1e-7);
         assert_eq!(config.lr_at(2), 0.1, "past warmup: full rate");
-        let no_warmup = TrainConfig { warmup_epochs: 0, ..config };
+        let no_warmup = TrainConfig {
+            warmup_epochs: 0,
+            ..config
+        };
         assert_eq!(no_warmup.lr_at(0), 0.1);
     }
 

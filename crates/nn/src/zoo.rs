@@ -15,11 +15,23 @@
 use crate::arch::{Architecture, LayerDef};
 
 fn conv(out_channels: usize, kernel: usize, stride: usize, padding: usize) -> LayerDef {
-    LayerDef::Conv2d { out_channels, kernel, stride, padding, bias: false }
+    LayerDef::Conv2d {
+        out_channels,
+        kernel,
+        stride,
+        padding,
+        bias: false,
+    }
 }
 
 fn conv_bias(out_channels: usize, kernel: usize, stride: usize, padding: usize) -> LayerDef {
-    LayerDef::Conv2d { out_channels, kernel, stride, padding, bias: true }
+    LayerDef::Conv2d {
+        out_channels,
+        kernel,
+        stride,
+        padding,
+        bias: true,
+    }
 }
 
 /// LeNet-5-style network for `1×28×28` inputs with the paper's slot layout:
@@ -33,19 +45,34 @@ pub fn lenet() -> Architecture {
         defs: vec![
             conv_bias(6, 5, 1, 0), // 28 -> 24
             LayerDef::Relu,
-            LayerDef::MaxPool2d { kernel: 2, stride: 2 }, // 24 -> 12
+            LayerDef::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            }, // 24 -> 12
             LayerDef::DropoutSlot { id: 0 },
             conv_bias(16, 5, 1, 0), // 12 -> 8
             LayerDef::Relu,
-            LayerDef::MaxPool2d { kernel: 2, stride: 2 }, // 8 -> 4
+            LayerDef::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            }, // 8 -> 4
             LayerDef::DropoutSlot { id: 1 },
             LayerDef::Flatten, // 16*4*4 = 256
-            LayerDef::Linear { out_features: 120, bias: true },
+            LayerDef::Linear {
+                out_features: 120,
+                bias: true,
+            },
             LayerDef::Relu,
             LayerDef::DropoutSlot { id: 2 },
-            LayerDef::Linear { out_features: 84, bias: true },
+            LayerDef::Linear {
+                out_features: 84,
+                bias: true,
+            },
             LayerDef::Relu,
-            LayerDef::Linear { out_features: 10, bias: true },
+            LayerDef::Linear {
+                out_features: 10,
+                bias: true,
+            },
         ],
     }
 }
@@ -69,12 +96,18 @@ pub fn vgg11(width: usize) -> Architecture {
             conv(w, 3, 1, 1),
             LayerDef::BatchNorm2d,
             LayerDef::Relu,
-            LayerDef::MaxPool2d { kernel: 2, stride: 2 },
+            LayerDef::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
             // Stage 2: conv128, pool. 16 -> 8
             conv(2 * w, 3, 1, 1),
             LayerDef::BatchNorm2d,
             LayerDef::Relu,
-            LayerDef::MaxPool2d { kernel: 2, stride: 2 },
+            LayerDef::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
             LayerDef::DropoutSlot { id: 0 },
             // Stage 3: conv256 x2, pool. 8 -> 4
             conv(4 * w, 3, 1, 1),
@@ -83,7 +116,10 @@ pub fn vgg11(width: usize) -> Architecture {
             conv(4 * w, 3, 1, 1),
             LayerDef::BatchNorm2d,
             LayerDef::Relu,
-            LayerDef::MaxPool2d { kernel: 2, stride: 2 },
+            LayerDef::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
             LayerDef::DropoutSlot { id: 1 },
             // Stage 4: conv512 x2, pool. 4 -> 2
             conv(8 * w, 3, 1, 1),
@@ -92,7 +128,10 @@ pub fn vgg11(width: usize) -> Architecture {
             conv(8 * w, 3, 1, 1),
             LayerDef::BatchNorm2d,
             LayerDef::Relu,
-            LayerDef::MaxPool2d { kernel: 2, stride: 2 },
+            LayerDef::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
             LayerDef::DropoutSlot { id: 2 },
             // Stage 5: conv512 x2, pool. 2 -> 1
             conv(8 * w, 3, 1, 1),
@@ -101,13 +140,22 @@ pub fn vgg11(width: usize) -> Architecture {
             conv(8 * w, 3, 1, 1),
             LayerDef::BatchNorm2d,
             LayerDef::Relu,
-            LayerDef::MaxPool2d { kernel: 2, stride: 2 },
+            LayerDef::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
             LayerDef::DropoutSlot { id: 3 },
             // Classifier.
             LayerDef::Flatten,
-            LayerDef::Linear { out_features: 8 * w, bias: true },
+            LayerDef::Linear {
+                out_features: 8 * w,
+                bias: true,
+            },
             LayerDef::Relu,
-            LayerDef::Linear { out_features: 10, bias: true },
+            LayerDef::Linear {
+                out_features: 10,
+                bias: true,
+            },
         ],
     }
 }
@@ -171,7 +219,10 @@ pub fn resnet18(width: usize) -> Architecture {
             basic_block(8 * w, 1, false),
             LayerDef::DropoutSlot { id: 3 },
             LayerDef::GlobalAvgPool,
-            LayerDef::Linear { out_features: 10, bias: true },
+            LayerDef::Linear {
+                out_features: 10,
+                bias: true,
+            },
         ],
     }
 }
@@ -198,7 +249,10 @@ pub fn resnet18_paper() -> Architecture {
 /// Panics if `dim` is not divisible by `heads`, or `depth` is zero.
 pub fn tiny_vit(dim: usize, heads: usize, depth: usize) -> Architecture {
     assert!(depth > 0, "tiny_vit needs at least one encoder stage");
-    assert!(heads > 0 && dim.is_multiple_of(heads), "heads must divide dim");
+    assert!(
+        heads > 0 && dim.is_multiple_of(heads),
+        "heads must divide dim"
+    );
     let mut defs = vec![LayerDef::PatchEmbed { patch: 7, dim }];
     for stage in 0..depth {
         defs.push(LayerDef::EncoderAttention { heads });
@@ -206,7 +260,10 @@ pub fn tiny_vit(dim: usize, heads: usize, depth: usize) -> Architecture {
         defs.push(LayerDef::DropoutSlot { id: stage });
     }
     defs.push(LayerDef::TokenMeanPool);
-    defs.push(LayerDef::Linear { out_features: 10, bias: true });
+    defs.push(LayerDef::Linear {
+        out_features: 10,
+        bias: true,
+    });
     Architecture {
         name: format!("tiny-vit-d{dim}h{heads}x{depth}"),
         input: (1, 28, 28),
@@ -314,7 +371,9 @@ mod tests {
     #[test]
     fn tiny_vit_forward_shape() {
         let mut rng = Rng64::new(5);
-        let mut net = tiny_vit(16, 4, 2).build_with_identity_slots(&mut rng).unwrap();
+        let mut net = tiny_vit(16, 4, 2)
+            .build_with_identity_slots(&mut rng)
+            .unwrap();
         let x = Tensor::zeros(Shape::d4(2, 1, 28, 28));
         let y = net.forward(&x, Mode::Standard).unwrap();
         assert_eq!(y.shape(), &Shape::d2(2, 10));

@@ -47,13 +47,22 @@ pub struct FixedFormat {
 }
 
 /// The paper's format: 1 sign bit, 7 integer bits, 8 fraction bits.
-pub const Q7_8: FixedFormat = FixedFormat { int_bits: 7, frac_bits: 8 };
+pub const Q7_8: FixedFormat = FixedFormat {
+    int_bits: 7,
+    frac_bits: 8,
+};
 
 /// A higher-precision alternative used by the ablation bench.
-pub const Q3_12: FixedFormat = FixedFormat { int_bits: 3, frac_bits: 12 };
+pub const Q3_12: FixedFormat = FixedFormat {
+    int_bits: 3,
+    frac_bits: 12,
+};
 
 /// A lower-precision alternative used by the ablation bench.
-pub const Q11_4: FixedFormat = FixedFormat { int_bits: 11, frac_bits: 4 };
+pub const Q11_4: FixedFormat = FixedFormat {
+    int_bits: 11,
+    frac_bits: 4,
+};
 
 impl FixedFormat {
     /// Creates a format, validating that it fits a 16-bit signed container.
@@ -63,9 +72,15 @@ impl FixedFormat {
     /// Returns [`QuantError::BadFormat`] unless `int_bits + frac_bits == 15`.
     pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self, QuantError> {
         if int_bits + frac_bits != 15 {
-            return Err(QuantError::BadFormat { int_bits, frac_bits });
+            return Err(QuantError::BadFormat {
+                int_bits,
+                frac_bits,
+            });
         }
-        Ok(FixedFormat { int_bits, frac_bits })
+        Ok(FixedFormat {
+            int_bits,
+            frac_bits,
+        })
     }
 
     /// The quantisation step (value of one LSB).
@@ -110,7 +125,10 @@ pub enum QuantError {
 impl fmt::Display for QuantError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QuantError::BadFormat { int_bits, frac_bits } => write!(
+            QuantError::BadFormat {
+                int_bits,
+                frac_bits,
+            } => write!(
                 f,
                 "format Q{int_bits}.{frac_bits} does not fit a 16-bit signed container"
             ),
@@ -181,7 +199,10 @@ impl Fixed {
     /// Panics if the operand formats differ — mixing formats is a
     /// programming error, not a data error.
     pub fn saturating_add(self, other: Fixed) -> Fixed {
-        assert_eq!(self.format, other.format, "fixed-point format mismatch in add");
+        assert_eq!(
+            self.format, other.format,
+            "fixed-point format mismatch in add"
+        );
         Fixed {
             raw: self.raw.saturating_add(other.raw),
             format: self.format,
@@ -194,7 +215,10 @@ impl Fixed {
     ///
     /// Panics if the operand formats differ.
     pub fn saturating_sub(self, other: Fixed) -> Fixed {
-        assert_eq!(self.format, other.format, "fixed-point format mismatch in sub");
+        assert_eq!(
+            self.format, other.format,
+            "fixed-point format mismatch in sub"
+        );
         Fixed {
             raw: self.raw.saturating_sub(other.raw),
             format: self.format,
@@ -210,7 +234,10 @@ impl Fixed {
     ///
     /// Panics if the operand formats differ.
     pub fn saturating_mul(self, other: Fixed) -> Fixed {
-        assert_eq!(self.format, other.format, "fixed-point format mismatch in mul");
+        assert_eq!(
+            self.format, other.format,
+            "fixed-point format mismatch in mul"
+        );
         let prod = i32::from(self.raw) * i32::from(other.raw);
         let shift = self.format.frac_bits;
         // Round to nearest, ties away from zero. Shift the magnitude (an
@@ -503,7 +530,10 @@ mod tests {
         let q312 = fake_quantize(&xs, Q3_12);
         let coarse = sqnr_db(&xs, &q78);
         let fine = sqnr_db(&xs, &q312);
-        assert!(fine > coarse + 10.0, "Q3.12 ({fine} dB) should beat Q7.8 ({coarse} dB)");
+        assert!(
+            fine > coarse + 10.0,
+            "Q3.12 ({fine} dB) should beat Q7.8 ({coarse} dB)"
+        );
     }
 
     #[test]

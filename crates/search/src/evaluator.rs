@@ -3,11 +3,11 @@
 
 use crate::{Candidate, Result, SearchError};
 use nds_data::Dataset;
+use nds_dropout::DropoutKind;
 use nds_gp::{GpRegressor, Kernel};
 use nds_hw::accel::AcceleratorModel;
 use nds_nn::arch::{Architecture, FeatureShape, SlotInfo};
 use nds_supernet::{DropoutConfig, Supernet, SupernetSpec};
-use nds_dropout::DropoutKind;
 use nds_tensor::rng::Rng64;
 use nds_tensor::Tensor;
 use std::collections::HashMap;
@@ -23,6 +23,21 @@ pub trait Evaluator {
     ///
     /// Implementations propagate their underlying model errors.
     fn evaluate(&mut self, config: &DropoutConfig) -> Result<Candidate>;
+
+    /// Evaluates a whole population, returning candidates in input order.
+    ///
+    /// The default is a serial loop over [`Evaluator::evaluate`];
+    /// implementations backed by real models override this to fan the
+    /// fresh evaluations out across worker threads (see
+    /// [`SupernetEvaluator`]). Results must be identical to the serial
+    /// path — parallelism is an execution detail, not a semantic one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error.
+    fn evaluate_many(&mut self, configs: &[DropoutConfig]) -> Result<Vec<Candidate>> {
+        configs.iter().map(|config| self.evaluate(config)).collect()
+    }
 
     /// Number of *fresh* (non-memoised) evaluations performed so far.
     fn fresh_evaluations(&self) -> usize;
@@ -140,7 +155,10 @@ pub fn fit_latency_gp(
     let gp = GpRegressor::fit_hyperparameters(
         &train_x,
         &train_y,
-        Kernel::Matern52 { lengthscale: 1.0, variance: 1.0 },
+        Kernel::Matern52 {
+            lengthscale: 1.0,
+            variance: 1.0,
+        },
         &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
         &[0.25, 1.0, 4.0, 16.0],
         &[1e-6, 1e-4, 1e-2],
@@ -202,6 +220,70 @@ impl<'a> SupernetEvaluator<'a> {
         all.sort_by(|a, b| a.config.cmp(&b.config));
         all
     }
+
+    /// [`Evaluator::evaluate_many`] with an explicit worker count (the
+    /// trait method uses [`nds_tensor::parallel::worker_count`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates supernet-fork, evaluation and latency-model errors.
+    pub fn evaluate_many_with_workers(
+        &mut self,
+        configs: &[DropoutConfig],
+        workers: usize,
+    ) -> Result<Vec<Candidate>> {
+        let mut pending: Vec<DropoutConfig> = Vec::new();
+        let mut queued: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for config in configs {
+            let key = config.compact();
+            if !self.cache.contains_key(&key) && queued.insert(key) {
+                pending.push(config.clone());
+            }
+        }
+        let workers = workers.min(pending.len());
+        if workers > 1 {
+            let chunk = pending.len().div_ceil(workers);
+            let mut forks = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                forks.push(self.supernet.fork()?);
+            }
+            let mut results: Vec<Option<CandidateMetricsResult>> =
+                (0..pending.len()).map(|_| None).collect();
+            let (val, ood, batch_size) = (self.val, &self.ood, self.batch_size);
+            std::thread::scope(|scope| {
+                for ((cfgs, slots), fork) in pending
+                    .chunks(chunk)
+                    .zip(results.chunks_mut(chunk))
+                    .zip(forks.iter_mut())
+                {
+                    scope.spawn(move || {
+                        // Mark the thread as a parallel worker so nested
+                        // MC/GEMM fan-outs degrade to serial instead of
+                        // multiplying thread counts.
+                        nds_tensor::parallel::enter_worker(|| {
+                            for (config, slot) in cfgs.iter().zip(slots.iter_mut()) {
+                                *slot = Some(fork.evaluate(config, val, ood, batch_size));
+                            }
+                        })
+                    });
+                }
+            });
+            for (config, outcome) in pending.iter().zip(results) {
+                let metrics = outcome.expect("every evaluation slot is filled")?;
+                let latency_ms = self.latency.latency_ms(config)?;
+                let candidate = Candidate {
+                    config: config.clone(),
+                    metrics,
+                    latency_ms,
+                };
+                self.cache.insert(config.compact(), candidate);
+                self.fresh += 1;
+            }
+        }
+        // Everything is cached now (or gets evaluated serially here when
+        // only one worker is available).
+        configs.iter().map(|config| self.evaluate(config)).collect()
+    }
 }
 
 impl Evaluator for SupernetEvaluator<'_> {
@@ -213,16 +295,34 @@ impl Evaluator for SupernetEvaluator<'_> {
             .supernet
             .evaluate(config, self.val, &self.ood, self.batch_size)?;
         let latency_ms = self.latency.latency_ms(config)?;
-        let candidate = Candidate { config: config.clone(), metrics, latency_ms };
+        let candidate = Candidate {
+            config: config.clone(),
+            metrics,
+            latency_ms,
+        };
         self.cache.insert(config.compact(), candidate.clone());
         self.fresh += 1;
         Ok(candidate)
+    }
+
+    /// Population evaluation with worker-thread fan-out: the distinct
+    /// cache-missing configurations are split across forked copies of the
+    /// supernet ([`Supernet::fork`]), one per worker. Because a candidate
+    /// evaluation is a pure function of the shared weights and the config
+    /// (dropout streams are derived per MC sample, batch-norm statistics
+    /// are recalibrated per candidate), the parallel results equal the
+    /// serial ones exactly.
+    fn evaluate_many(&mut self, configs: &[DropoutConfig]) -> Result<Vec<Candidate>> {
+        self.evaluate_many_with_workers(configs, nds_tensor::parallel::worker_count())
     }
 
     fn fresh_evaluations(&self) -> usize {
         self.fresh
     }
 }
+
+type CandidateMetricsResult =
+    std::result::Result<nds_supernet::CandidateMetrics, nds_supernet::SupernetError>;
 
 /// Exhaustively evaluates every configuration of the space — the paper's
 /// Figure-4 reference ("We iterate through and evaluate all configurations
@@ -263,8 +363,7 @@ mod tests {
     fn gp_surrogate_tracks_exact_model() {
         let spec = SupernetSpec::paper_default(zoo::lenet(), 2).unwrap();
         let model = AcceleratorModel::new(AcceleratorConfig::lenet_paper());
-        let (gp, rmse) =
-            fit_latency_gp(&model, &zoo::lenet(), &spec, 24, 8, 3).unwrap();
+        let (gp, rmse) = fit_latency_gp(&model, &zoo::lenet(), &spec, 24, 8, 3).unwrap();
         // LeNet latencies span ~0.9-0.95 ms; the surrogate should predict
         // within a few percent of that span.
         assert!(rmse < 0.05, "GP latency RMSE {rmse} ms too large");
@@ -275,6 +374,54 @@ mod tests {
         let (fast_ms, _) = gp.predict(&fast);
         let (slow_ms, _) = gp.predict(&slow);
         assert!(slow_ms > fast_ms, "GP should rank Block above Masksembles");
+    }
+
+    #[test]
+    fn parallel_population_evaluation_matches_serial() {
+        use nds_data::{mnist_like, DatasetConfig};
+        let splits = mnist_like(&DatasetConfig {
+            train: 48,
+            val: 16,
+            test: 8,
+            seed: 21,
+            noise: 0.05,
+        });
+        let spec = SupernetSpec::paper_default(zoo::lenet(), 31).unwrap();
+        let mut serial_net = Supernet::build(&spec).unwrap();
+        let mut parallel_net = Supernet::build(&spec).unwrap();
+        let mut rng = Rng64::new(5);
+        let ood = splits.val.ood_noise(8, &mut rng);
+        let configs: Vec<DropoutConfig> = ["BBB", "RBM", "KKB", "BBB"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let mut serial = SupernetEvaluator::new(
+            &mut serial_net,
+            &splits.val,
+            ood.clone(),
+            LatencyProvider::Constant(1.0),
+            8,
+        );
+        let expect: Vec<Candidate> = configs
+            .iter()
+            .map(|c| serial.evaluate(c).unwrap())
+            .collect();
+        let mut parallel = SupernetEvaluator::new(
+            &mut parallel_net,
+            &splits.val,
+            ood,
+            LatencyProvider::Constant(1.0),
+            8,
+        );
+        let got = parallel.evaluate_many_with_workers(&configs, 3).unwrap();
+        assert_eq!(got.len(), expect.len());
+        for (a, b) in expect.iter().zip(&got) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.metrics, b.metrics, "parallel metrics must equal serial");
+            assert_eq!(a.latency_ms, b.latency_ms);
+        }
+        // The duplicate "BBB" is deduplicated: three fresh evaluations.
+        assert_eq!(parallel.fresh_evaluations(), 3);
     }
 
     #[test]

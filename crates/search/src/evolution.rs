@@ -106,10 +106,11 @@ pub fn evolve(
     let mut best: Option<(f64, Candidate)> = None;
 
     for generation in 0..config.generations {
-        // --- Evaluation. ---
+        // --- Evaluation (parallel across the population when the
+        // evaluator supports it; results are identical to serial). ---
+        let candidates = evaluator.evaluate_many(&population)?;
         let mut scored: Vec<(f64, Candidate)> = Vec::with_capacity(population.len());
-        for member in &population {
-            let candidate = evaluator.evaluate(member)?;
+        for candidate in candidates {
             let score = aim.score(&candidate);
             if archived.insert(candidate.config.compact()) {
                 archive.push(candidate.clone());
@@ -169,7 +170,11 @@ pub fn evolve(
     }
 
     let (_, best) = best.expect("at least one generation evaluated");
-    Ok(EvolutionResult { best, archive, history })
+    Ok(EvolutionResult {
+        best,
+        archive,
+        history,
+    })
 }
 
 /// Uniform crossover: for each slot, inherit the gene from one of two
@@ -202,7 +207,8 @@ fn mutate(
             .enumerate()
             .map(|(slot, &kind)| {
                 if rng.bernoulli(prob) {
-                    *rng.choose(&spec.choices[slot]).expect("choice lists are non-empty")
+                    *rng.choose(&spec.choices[slot])
+                        .expect("choice lists are non-empty")
                 } else {
                     kind
                 }
@@ -214,8 +220,8 @@ fn mutate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nds_supernet::CandidateMetrics;
     use nds_nn::zoo;
+    use nds_supernet::CandidateMetrics;
 
     /// A synthetic evaluator with a planted optimum: score peaks when the
     /// config matches a target string.
@@ -250,7 +256,11 @@ mod tests {
             let accuracy = matches as f64 / config.len() as f64;
             let candidate = Candidate {
                 config: config.clone(),
-                metrics: CandidateMetrics { accuracy, ece: 0.1, ape: 0.5 },
+                metrics: CandidateMetrics {
+                    accuracy,
+                    ece: 0.1,
+                    ape: 0.5,
+                },
                 latency_ms: 1.0,
             };
             self.cache.insert(config.compact(), candidate.clone());
@@ -274,7 +284,11 @@ mod tests {
             &spec,
             &mut evaluator,
             &SearchAim::accuracy_optimal(),
-            &EvolutionConfig { population: 12, generations: 10, ..Default::default() },
+            &EvolutionConfig {
+                population: 12,
+                generations: 10,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(result.best.config.compact(), "KRM");
@@ -294,7 +308,11 @@ mod tests {
         .unwrap();
         let mut last = f64::NEG_INFINITY;
         for gen in &result.history {
-            assert!(gen.best_score >= last - 1e-12, "generation {}", gen.generation);
+            assert!(
+                gen.best_score >= last - 1e-12,
+                "generation {}",
+                gen.generation
+            );
             last = gen.best_score;
         }
     }
@@ -303,8 +321,18 @@ mod tests {
     fn memoisation_bounds_fresh_evaluations() {
         let spec = lenet_spec();
         let mut evaluator = PlantedEvaluator::new("MKB");
-        let config = EvolutionConfig { population: 16, generations: 20, ..Default::default() };
-        let _ = evolve(&spec, &mut evaluator, &SearchAim::accuracy_optimal(), &config).unwrap();
+        let config = EvolutionConfig {
+            population: 16,
+            generations: 20,
+            ..Default::default()
+        };
+        let _ = evolve(
+            &spec,
+            &mut evaluator,
+            &SearchAim::accuracy_optimal(),
+            &config,
+        )
+        .unwrap();
         // The whole space only has 32 configs; fresh evals cannot exceed it.
         assert!(
             evaluator.fresh_evaluations() <= spec.space_size(),
@@ -325,8 +353,7 @@ mod tests {
             &EvolutionConfig::default(),
         )
         .unwrap();
-        let unique: HashSet<String> =
-            result.archive.iter().map(|c| c.config.compact()).collect();
+        let unique: HashSet<String> = result.archive.iter().map(|c| c.config.compact()).collect();
         assert_eq!(unique.len(), result.archive.len());
     }
 
@@ -338,7 +365,11 @@ mod tests {
             &spec,
             &mut evaluator,
             &SearchAim::accuracy_optimal(),
-            &EvolutionConfig { population: 16, generations: 12, ..Default::default() },
+            &EvolutionConfig {
+                population: 16,
+                generations: 12,
+                ..Default::default()
+            },
         )
         .unwrap();
         for candidate in &result.archive {
@@ -350,9 +381,16 @@ mod tests {
     fn rejects_degenerate_config() {
         let spec = lenet_spec();
         let mut evaluator = PlantedEvaluator::new("BBB");
-        let bad = EvolutionConfig { population: 0, ..Default::default() };
+        let bad = EvolutionConfig {
+            population: 0,
+            ..Default::default()
+        };
         assert!(evolve(&spec, &mut evaluator, &SearchAim::accuracy_optimal(), &bad).is_err());
-        let bad = EvolutionConfig { parents: 99, population: 8, ..Default::default() };
+        let bad = EvolutionConfig {
+            parents: 99,
+            population: 8,
+            ..Default::default()
+        };
         assert!(evolve(&spec, &mut evaluator, &SearchAim::accuracy_optimal(), &bad).is_err());
     }
 }

@@ -115,22 +115,46 @@ pub struct SearchAim {
 impl SearchAim {
     /// Accuracy-optimal preset (η = 1, rest 0).
     pub fn accuracy_optimal() -> Self {
-        SearchAim { name: "Accuracy Optimal".into(), eta: 1.0, mu: 0.0, beta: 0.0, lambda: 0.0 }
+        SearchAim {
+            name: "Accuracy Optimal".into(),
+            eta: 1.0,
+            mu: 0.0,
+            beta: 0.0,
+            lambda: 0.0,
+        }
     }
 
     /// ECE-optimal preset (μ = 1, rest 0).
     pub fn ece_optimal() -> Self {
-        SearchAim { name: "ECE Optimal".into(), eta: 0.0, mu: 1.0, beta: 0.0, lambda: 0.0 }
+        SearchAim {
+            name: "ECE Optimal".into(),
+            eta: 0.0,
+            mu: 1.0,
+            beta: 0.0,
+            lambda: 0.0,
+        }
     }
 
     /// aPE-optimal preset (β = 1, rest 0).
     pub fn ape_optimal() -> Self {
-        SearchAim { name: "aPE Optimal".into(), eta: 0.0, mu: 0.0, beta: 1.0, lambda: 0.0 }
+        SearchAim {
+            name: "aPE Optimal".into(),
+            eta: 0.0,
+            mu: 0.0,
+            beta: 1.0,
+            lambda: 0.0,
+        }
     }
 
     /// Latency-optimal preset (λ = 1, rest 0).
     pub fn latency_optimal() -> Self {
-        SearchAim { name: "Latency Optimal".into(), eta: 0.0, mu: 0.0, beta: 0.0, lambda: 1.0 }
+        SearchAim {
+            name: "Latency Optimal".into(),
+            eta: 0.0,
+            mu: 0.0,
+            beta: 0.0,
+            lambda: 1.0,
+        }
     }
 
     /// The four Table-1 presets in table order.
@@ -145,7 +169,13 @@ impl SearchAim {
 
     /// A custom weighted aim.
     pub fn weighted(name: impl Into<String>, eta: f64, mu: f64, beta: f64, lambda: f64) -> Self {
-        SearchAim { name: name.into(), eta, mu, beta, lambda }
+        SearchAim {
+            name: name.into(),
+            eta,
+            mu,
+            beta,
+            lambda,
+        }
     }
 
     /// Evaluates Eq. (2) for a candidate (higher is better).
@@ -185,7 +215,11 @@ mod tests {
     fn candidate(acc: f64, ece: f64, ape: f64, lat: f64) -> Candidate {
         Candidate {
             config: DropoutConfig::uniform(DropoutKind::Bernoulli, 2),
-            metrics: CandidateMetrics { accuracy: acc, ece, ape },
+            metrics: CandidateMetrics {
+                accuracy: acc,
+                ece,
+                ape,
+            },
             latency_ms: lat,
         }
     }

@@ -36,9 +36,21 @@ impl std::fmt::Debug for Objective {
 /// ECE.
 pub fn figure4_objectives() -> Vec<Objective> {
     vec![
-        Objective { name: "accuracy", value: |c| c.metrics.accuracy, direction: Direction::Maximize },
-        Objective { name: "ece", value: |c| c.metrics.ece, direction: Direction::Minimize },
-        Objective { name: "ape", value: |c| c.metrics.ape, direction: Direction::Maximize },
+        Objective {
+            name: "accuracy",
+            value: |c| c.metrics.accuracy,
+            direction: Direction::Maximize,
+        },
+        Objective {
+            name: "ece",
+            value: |c| c.metrics.ece,
+            direction: Direction::Minimize,
+        },
+        Objective {
+            name: "ape",
+            value: |c| c.metrics.ape,
+            direction: Direction::Maximize,
+        },
     ]
 }
 
@@ -93,8 +105,14 @@ pub fn pareto_front<'a>(
 /// `true` when `candidate` lies on the frontier of `reference` (i.e. no
 /// reference point dominates it) — the Figure-4 claim checked for every
 /// searched design.
-pub fn on_frontier(candidate: &Candidate, reference: &[Candidate], objectives: &[Objective]) -> bool {
-    !reference.iter().any(|b| dominates(b, candidate, objectives))
+pub fn on_frontier(
+    candidate: &Candidate,
+    reference: &[Candidate],
+    objectives: &[Objective],
+) -> bool {
+    !reference
+        .iter()
+        .any(|b| dominates(b, candidate, objectives))
 }
 
 /// The hypervolume indicator: the volume of oriented objective space
@@ -123,7 +141,11 @@ pub fn hypervolume(candidates: &[Candidate], objectives: &[Objective], reference
         "hypervolume supports 1-3 objectives, got {}",
         objectives.len()
     );
-    assert_eq!(reference.len(), objectives.len(), "reference/objective arity mismatch");
+    assert_eq!(
+        reference.len(),
+        objectives.len(),
+        "reference/objective arity mismatch"
+    );
     // Orient every point (and the reference) so that larger is better.
     let orient = |v: f64, o: &Objective| match o.direction {
         Direction::Maximize => v,
@@ -154,7 +176,10 @@ pub fn hypervolume(candidates: &[Candidate], objectives: &[Objective], reference
 fn hv_oriented(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
     match reference.len() {
         1 => {
-            let best = points.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max);
+            let best = points
+                .iter()
+                .map(|p| p[0])
+                .fold(f64::NEG_INFINITY, f64::max);
             (best - reference[0]).max(0.0)
         }
         2 => {
@@ -207,7 +232,11 @@ mod tests {
     fn candidate(acc: f64, ece: f64, ape: f64, lat: f64) -> Candidate {
         Candidate {
             config: DropoutConfig::uniform(DropoutKind::Bernoulli, 1),
-            metrics: CandidateMetrics { accuracy: acc, ece, ape },
+            metrics: CandidateMetrics {
+                accuracy: acc,
+                ece,
+                ape,
+            },
             latency_ms: lat,
         }
     }
@@ -236,10 +265,10 @@ mod tests {
     fn frontier_extraction() {
         let objectives = figure4_objectives();
         let points = vec![
-            candidate(0.90, 0.05, 0.5, 1.0), // frontier
-            candidate(0.85, 0.03, 0.4, 1.0), // frontier (best ECE)
-            candidate(0.80, 0.10, 0.9, 1.0), // frontier (best aPE)
-            candidate(0.80, 0.10, 0.4, 1.0), // dominated by #0 and #2
+            candidate(0.90, 0.05, 0.5, 1.0),  // frontier
+            candidate(0.85, 0.03, 0.4, 1.0),  // frontier (best ECE)
+            candidate(0.80, 0.10, 0.9, 1.0),  // frontier (best aPE)
+            candidate(0.80, 0.10, 0.4, 1.0),  // dominated by #0 and #2
             candidate(0.84, 0.04, 0.39, 1.0), // dominated by #1
         ];
         let front = pareto_front(&points, &objectives);
@@ -286,7 +315,11 @@ mod tests {
                 value: |c| c.metrics.accuracy,
                 direction: Direction::Maximize,
             },
-            Objective { name: "ece", value: |c| c.metrics.ece, direction: Direction::Minimize },
+            Objective {
+                name: "ece",
+                value: |c| c.metrics.ece,
+                direction: Direction::Minimize,
+            },
         ]
     }
 
@@ -338,7 +371,10 @@ mod tests {
         let reference = [0.0, 1.0, 0.0];
         let one = hypervolume(std::slice::from_ref(&a), &objectives, &reference);
         let two = hypervolume(&[a, b], &objectives, &reference);
-        assert!(two > one, "adding a non-dominated point must grow HV: {one} -> {two}");
+        assert!(
+            two > one,
+            "adding a non-dominated point must grow HV: {one} -> {two}"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct RandomSearchConfig {
 
 impl Default for RandomSearchConfig {
     fn default() -> Self {
-        RandomSearchConfig { budget: 64, seed: 0x5EED }
+        RandomSearchConfig {
+            budget: 64,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -48,23 +51,31 @@ pub fn random_search(
     config: &RandomSearchConfig,
 ) -> Result<EvolutionResult> {
     if config.budget == 0 {
-        return Err(SearchError::BadConfig("random-search budget must be positive".to_string()));
+        return Err(SearchError::BadConfig(
+            "random-search budget must be positive".to_string(),
+        ));
     }
     let mut rng = Rng64::new(config.seed);
     let target = config.budget.min(spec.space_size());
 
+    // Draw the distinct configurations first, then hand the whole batch
+    // to the evaluator so it can fan out across workers.
     let mut seen = HashSet::new();
+    let mut draws = Vec::with_capacity(target);
+    let mut guard = 0usize;
+    while draws.len() < target && guard < target * 200 {
+        guard += 1;
+        let draw = spec.sample_config(&mut rng);
+        if seen.insert(draw.compact()) {
+            draws.push(draw);
+        }
+    }
+    let candidates = evaluator.evaluate_many(&draws)?;
+
     let mut archive = Vec::with_capacity(target);
     let mut history = Vec::with_capacity(target);
     let mut best: Option<(f64, crate::Candidate)> = None;
-    let mut guard = 0usize;
-    while archive.len() < target && guard < target * 200 {
-        guard += 1;
-        let draw = spec.sample_config(&mut rng);
-        if !seen.insert(draw.compact()) {
-            continue;
-        }
-        let candidate = evaluator.evaluate(&draw)?;
+    for candidate in candidates {
         let score = aim.score(&candidate);
         if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
             best = Some((score, candidate.clone()));
@@ -82,7 +93,11 @@ pub fn random_search(
     let (_, best) = best.ok_or_else(|| {
         SearchError::BadConfig("random search drew no distinct configurations".to_string())
     })?;
-    Ok(EvolutionResult { best, archive, history })
+    Ok(EvolutionResult {
+        best,
+        archive,
+        history,
+    })
 }
 
 #[cfg(test)]
@@ -153,7 +168,10 @@ mod tests {
             &spec,
             &mut evaluator,
             &SearchAim::accuracy_optimal(),
-            &RandomSearchConfig { budget: 64, seed: 3 },
+            &RandomSearchConfig {
+                budget: 64,
+                seed: 3,
+            },
         )
         .unwrap();
         assert_eq!(result.best.config.compact(), "KRM");
@@ -168,12 +186,14 @@ mod tests {
             &spec,
             &mut evaluator,
             &SearchAim::accuracy_optimal(),
-            &RandomSearchConfig { budget: 10, seed: 4 },
+            &RandomSearchConfig {
+                budget: 10,
+                seed: 4,
+            },
         )
         .unwrap();
         assert_eq!(result.archive.len(), 10);
-        let distinct: HashSet<String> =
-            result.archive.iter().map(|c| c.config.compact()).collect();
+        let distinct: HashSet<String> = result.archive.iter().map(|c| c.config.compact()).collect();
         assert_eq!(distinct.len(), 10);
         assert_eq!(evaluator.fresh_evaluations(), 10);
     }
@@ -186,7 +206,10 @@ mod tests {
             &spec,
             &mut evaluator,
             &SearchAim::accuracy_optimal(),
-            &RandomSearchConfig { budget: 20, seed: 5 },
+            &RandomSearchConfig {
+                budget: 20,
+                seed: 5,
+            },
         )
         .unwrap();
         let mut last = f64::NEG_INFINITY;

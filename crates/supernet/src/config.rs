@@ -33,7 +33,9 @@ impl DropoutConfig {
     /// A uniform configuration (`kind` in every one of `slots` slots) —
     /// the baselines of the paper's Table 1.
     pub fn uniform(kind: DropoutKind, slots: usize) -> Self {
-        DropoutConfig { kinds: vec![kind; slots] }
+        DropoutConfig {
+            kinds: vec![kind; slots],
+        }
     }
 
     /// Per-slot kinds, in slot order.
@@ -97,9 +99,14 @@ impl FromStr for DropoutConfig {
     /// Parses both the Table-2 notation (`B - K - M`) and compact codes
     /// (`BKM`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let cleaned: String = s.chars().filter(|c| !c.is_whitespace() && *c != '-').collect();
+        let cleaned: String = s
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '-')
+            .collect();
         if cleaned.is_empty() {
-            return Err(SupernetError::BadSpec(format!("empty dropout config `{s}`")));
+            return Err(SupernetError::BadSpec(format!(
+                "empty dropout config `{s}`"
+            )));
         }
         let kinds = cleaned
             .chars()

@@ -156,7 +156,13 @@ impl SupernetSpec {
                 }
             }
         }
-        Ok(SupernetSpec { arch, choices, settings, seed, slots })
+        Ok(SupernetSpec {
+            arch,
+            choices,
+            settings,
+            seed,
+            slots,
+        })
     }
 
     /// The paper's default choice assignment (§4.1): every conv slot gets
@@ -298,8 +304,7 @@ mod tests {
     fn enumerate_is_exhaustive_and_unique() {
         let spec = SupernetSpec::paper_default(zoo::lenet(), 1).unwrap();
         let all = spec.enumerate();
-        let unique: std::collections::HashSet<String> =
-            all.iter().map(|c| c.to_string()).collect();
+        let unique: std::collections::HashSet<String> = all.iter().map(|c| c.to_string()).collect();
         assert_eq!(unique.len(), all.len());
         assert!(all.iter().all(|c| spec.contains(c)));
     }
@@ -379,7 +384,11 @@ mod tests {
         assert!(dup.is_err());
         let empty = SupernetSpec::new(
             zoo::lenet(),
-            vec![vec![], DropoutKind::all().to_vec(), vec![DropoutKind::Bernoulli]],
+            vec![
+                vec![],
+                DropoutKind::all().to_vec(),
+                vec![DropoutKind::Bernoulli],
+            ],
             DropoutSettings::default(),
             1,
         );

@@ -2,33 +2,34 @@ use nds_dropout::{DropoutKind, DropoutLayer, DropoutSettings};
 use nds_nn::arch::SlotInfo;
 use nds_nn::{Layer, Mode, Result as NnResult};
 use nds_tensor::{Shape, Tensor};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Shared per-slot selection indices, read by every [`SlotLayer`] at
 /// forward time and written by the supernet when a configuration is
 /// activated.
 ///
-/// A cheap `Rc<RefCell<…>>` is deliberate: the supernet is a single-threaded
-/// training construct, and sharing the selection vector lets the owning
-/// [`crate::Supernet`] switch paths without walking the layer tree.
+/// Stored as `Arc<[AtomicUsize]>` so cloned networks can cross thread
+/// boundaries (the parallel MC engine clones the whole net per worker)
+/// and reads on the forward path stay lock-free. Writes only happen on
+/// the owning supernet's thread, so relaxed ordering suffices.
 #[derive(Debug, Clone, Default)]
 pub struct SelectionState {
-    inner: Rc<RefCell<Vec<usize>>>,
+    inner: Arc<[AtomicUsize]>,
 }
 
 impl SelectionState {
     /// A selection vector for `slots` slots, all starting at candidate 0.
     pub fn new(slots: usize) -> Self {
         SelectionState {
-            inner: Rc::new(RefCell::new(vec![0; slots])),
+            inner: (0..slots).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 
     /// The active candidate index for `slot`.
     pub fn get(&self, slot: usize) -> usize {
-        self.inner.borrow()[slot]
+        self.inner[slot].load(Ordering::Relaxed)
     }
 
     /// Sets the active candidate index for `slot`.
@@ -37,17 +38,17 @@ impl SelectionState {
     ///
     /// Panics if `slot` is out of range.
     pub fn set(&self, slot: usize, candidate: usize) {
-        self.inner.borrow_mut()[slot] = candidate;
+        self.inner[slot].store(candidate, Ordering::Relaxed);
     }
 
     /// Number of slots tracked.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.len()
     }
 
     /// `true` when no slots are tracked.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.is_empty()
     }
 }
 
@@ -57,6 +58,13 @@ impl SelectionState {
 /// Weight sharing is automatic — dropout layers own no weights, so every
 /// candidate path reuses the surrounding network's parameters, which is
 /// exactly the SPOS weight-sharing property the paper relies on.
+///
+/// Cloning a `SlotLayer` (via [`Layer::clone_box`]) keeps the *shared*
+/// selection handle: a cloned network still follows its originating
+/// supernet's active configuration, which is exactly what the parallel MC
+/// engine needs. Use [`crate::Supernet::fork`] when a copy must switch
+/// paths independently (it rebuilds fresh slots around copied weights).
+#[derive(Clone)]
 pub struct SlotLayer {
     slot: SlotInfo,
     kinds: Vec<DropoutKind>,
@@ -142,6 +150,16 @@ impl Layer for SlotLayer {
         }
     }
 
+    fn begin_mc_sample(&mut self, sample: u64) {
+        for candidate in &mut self.candidates {
+            candidate.begin_mc_sample(sample);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> String {
         format!(
             "slot({}: [{}], active {})",
@@ -198,7 +216,10 @@ mod tests {
         let mut layer = SlotLayer::new(
             &slot_info(),
             &[DropoutKind::Bernoulli, DropoutKind::Masksembles],
-            &DropoutSettings { rate: 0.5, ..DropoutSettings::default() },
+            &DropoutSettings {
+                rate: 0.5,
+                ..DropoutSettings::default()
+            },
             selection.clone(),
             2,
         )

@@ -118,7 +118,11 @@ pub fn train_standalone(
     Ok(StandaloneResult {
         net,
         history,
-        metrics: CandidateMetrics { accuracy: acc, ece: cal, ape },
+        metrics: CandidateMetrics {
+            accuracy: acc,
+            ece: cal,
+            ape,
+        },
     })
 }
 
@@ -136,8 +140,7 @@ mod tests {
         let arch = zoo::lenet();
         for code in ["BBB", "RKM", "MMB", "KKM"] {
             let config: DropoutConfig = code.parse().unwrap();
-            let mut net =
-                build_standalone(&arch, &config, &DropoutSettings::default(), 1).unwrap();
+            let mut net = build_standalone(&arch, &config, &DropoutSettings::default(), 1).unwrap();
             let x = Tensor::zeros(Shape::d4(2, 1, 28, 28));
             let y = net.forward(&x, Mode::Standard).unwrap();
             assert_eq!(y.shape(), &Shape::d2(2, 10), "{code}");
@@ -161,8 +164,13 @@ mod tests {
 
     #[test]
     fn standalone_training_learns_and_reports_metrics() {
-        let splits =
-            mnist_like(&DatasetConfig { train: 192, val: 48, test: 16, seed: 3, noise: 0.05 });
+        let splits = mnist_like(&DatasetConfig {
+            train: 192,
+            val: 48,
+            test: 16,
+            seed: 3,
+            noise: 0.05,
+        });
         let mut rng = Rng64::new(4);
         let ood = splits.train.ood_noise(24, &mut rng);
         let result = train_standalone(
@@ -202,8 +210,16 @@ mod tests {
         let config: DropoutConfig = "BBB".parse().unwrap();
         let a = build_standalone(&arch, &config, &DropoutSettings::default(), 1).unwrap();
         let b = build_standalone(&arch, &config, &DropoutSettings::default(), 2).unwrap();
-        let wa: Vec<f32> = a.params().iter().flat_map(|p| p.value.as_slice().to_vec()).collect();
-        let wb: Vec<f32> = b.params().iter().flat_map(|p| p.value.as_slice().to_vec()).collect();
+        let wa: Vec<f32> = a
+            .params()
+            .iter()
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        let wb: Vec<f32> = b
+            .params()
+            .iter()
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
         assert_eq!(wa.len(), wb.len());
         assert_ne!(wa, wb);
     }

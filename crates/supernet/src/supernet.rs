@@ -1,6 +1,6 @@
 use crate::{DropoutConfig, SelectionState, SlotLayer, SupernetError, SupernetSpec};
 use nds_data::Dataset;
-use nds_dropout::mc::mc_predict;
+use nds_dropout::mc::mc_predict_with_workers;
 use nds_metrics::{accuracy, average_predictive_entropy, ece, EceConfig};
 use nds_nn::layers::Sequential;
 use nds_nn::loss::softmax_cross_entropy;
@@ -8,7 +8,11 @@ use nds_nn::optim::Sgd;
 use nds_nn::train::TrainConfig;
 use nds_nn::Layer;
 use nds_tensor::rng::Rng64;
-use nds_tensor::Tensor;
+use nds_tensor::{Tensor, Workspace};
+
+/// Distinguished MC-sample stream used for batch-norm calibration
+/// forwards, far away from the real sample indices `0..S`.
+const CALIBRATION_STREAM: u64 = u64::MAX;
 
 /// Per-epoch statistics from SPOS supernet training.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +48,9 @@ pub struct Supernet {
     selection: SelectionState,
     sampling_number: usize,
     calibration: Vec<Tensor>,
+    /// Scratch-buffer pool threaded through every MC prediction round so
+    /// repeated candidate evaluations stop re-allocating their buffers.
+    workspace: Workspace,
 }
 
 impl Supernet {
@@ -60,19 +67,17 @@ impl Supernet {
         let choices = spec.choices.clone();
         let settings = spec.settings;
         let seed = spec.seed;
-        let net = spec.arch.build(&mut rng, &mut |slot| {
-            match SlotLayer::new(
-                slot,
-                &choices[slot.id],
-                &settings,
-                selection_for_build.clone(),
-                seed ^ 0xD20_0000 ^ slot.id as u64,
-            ) {
-                Ok(layer) => Box::new(layer),
-                Err(e) => {
-                    build_err = Some(e.into());
-                    Box::new(nds_nn::layers::Identity::new())
-                }
+        let net = spec.arch.build(&mut rng, &mut |slot| match SlotLayer::new(
+            slot,
+            &choices[slot.id],
+            &settings,
+            selection_for_build.clone(),
+            seed ^ 0xD20_0000 ^ slot.id as u64,
+        ) {
+            Ok(layer) => Box::new(layer),
+            Err(e) => {
+                build_err = Some(e.into());
+                Box::new(nds_nn::layers::Identity::new())
             }
         })?;
         if let Some(e) = build_err {
@@ -84,12 +89,49 @@ impl Supernet {
             net,
             selection,
             calibration: Vec::new(),
+            workspace: Workspace::new(),
         })
     }
 
     /// The specification this supernet was built from.
     pub fn spec(&self) -> &SupernetSpec {
         &self.spec
+    }
+
+    /// Forks an independent copy of this supernet for a worker thread:
+    /// same weights, batch-norm statistics, calibration batches and
+    /// active configuration — but its own selection state, so the fork
+    /// can switch paths without affecting the original.
+    ///
+    /// Implemented by rebuilding from the spec (which wires a fresh
+    /// [`SelectionState`] through fresh dropout slots) and transplanting
+    /// the trained state. Optimizer momentum is *not* copied: forks are
+    /// for parallel evaluation, not training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot happen for a spec that
+    /// already built once).
+    pub fn fork(&mut self) -> Result<Supernet, SupernetError> {
+        let mut fresh = Supernet::build(&self.spec)?;
+        let weights: Vec<Tensor> = self.net.params().iter().map(|p| p.value.clone()).collect();
+        for (dst, src) in fresh.net.params_mut().into_iter().zip(weights) {
+            dst.value = src;
+        }
+        let mut stats: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+        self.net.visit_batch_norms(&mut |bn| {
+            stats.push((bn.running_mean().to_vec(), bn.running_var().to_vec()));
+        });
+        let mut stats = stats.into_iter();
+        fresh.net.visit_batch_norms(&mut |bn| {
+            if let Some((mean, var)) = stats.next() {
+                bn.set_running_stats(&mean, &var);
+            }
+        });
+        fresh.sampling_number = self.sampling_number;
+        fresh.calibration = self.calibration.clone();
+        fresh.set_config(&self.active_config())?;
+        Ok(fresh)
     }
 
     /// The MC sampling number S used for evaluation (defaults to the
@@ -167,7 +209,8 @@ impl Supernet {
             // Nothing to recalibrate (e.g. LeNet) — skip the forwards.
             return Ok(false);
         }
-        self.net.visit_batch_norms(&mut |bn| bn.begin_stat_accumulation());
+        self.net
+            .visit_batch_norms(&mut |bn| bn.begin_stat_accumulation());
         let mut first_err = None;
         for images in &self.calibration {
             if let Err(e) = self.net.forward(images, nds_nn::Mode::Train) {
@@ -223,7 +266,8 @@ impl Supernet {
     /// one SPOS path draw.
     pub fn sample_uniform(&mut self, rng: &mut Rng64) -> DropoutConfig {
         let config = self.spec.sample_config(rng);
-        self.set_config(&config).expect("sampled configs are members");
+        self.set_config(&config)
+            .expect("sampled configs are members");
         config
     }
 
@@ -264,8 +308,16 @@ impl Supernet {
             }
             history.push(SposStats {
                 epoch,
-                loss: if seen > 0 { loss_sum / seen as f64 } else { 0.0 },
-                accuracy: if seen > 0 { correct as f64 / seen as f64 } else { 0.0 },
+                loss: if seen > 0 {
+                    loss_sum / seen as f64
+                } else {
+                    0.0
+                },
+                accuracy: if seen > 0 {
+                    correct as f64 / seen as f64
+                } else {
+                    0.0
+                },
                 distinct_paths: paths.len(),
             });
         }
@@ -292,18 +344,45 @@ impl Supernet {
         batch_size: usize,
     ) -> Result<CandidateMetrics, SupernetError> {
         self.set_config(config)?;
+        // Calibration forwards draw dropout masks (Train mode); pin them
+        // to a dedicated stream so the whole evaluation is a pure
+        // function of (weights, config) — independent of what ran
+        // before, and therefore identical whether candidates are
+        // evaluated serially or on forked copies across worker threads.
+        self.net.begin_mc_sample(CALIBRATION_STREAM);
         self.recalibrate()?;
         let samples = self.sampling_number;
+        let workers = nds_tensor::parallel::worker_count();
         let (images, labels) = val.full_batch();
-        let pred = mc_predict(&mut self.net, &images, samples, batch_size)?;
+        let pred = mc_predict_with_workers(
+            &mut self.net,
+            &images,
+            samples,
+            batch_size,
+            workers,
+            &mut self.workspace,
+        )?;
         let acc = accuracy(&pred.mean_probs, &labels)
             .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
         let cal = ece(&pred.mean_probs, &labels, EceConfig::default())
             .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
-        let ood_pred = mc_predict(&mut self.net, ood, samples, batch_size)?;
+        self.workspace.recycle_tensor(pred.mean_probs);
+        let ood_pred = mc_predict_with_workers(
+            &mut self.net,
+            ood,
+            samples,
+            batch_size,
+            workers,
+            &mut self.workspace,
+        )?;
         let ape = average_predictive_entropy(&ood_pred.mean_probs)
             .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
-        Ok(CandidateMetrics { accuracy: acc, ece: cal, ape })
+        self.workspace.recycle_tensor(ood_pred.mean_probs);
+        Ok(CandidateMetrics {
+            accuracy: acc,
+            ece: cal,
+            ape,
+        })
     }
 }
 
@@ -350,7 +429,13 @@ mod tests {
 
     #[test]
     fn spos_training_reduces_loss_and_visits_paths() {
-        let splits = mnist_like(&DatasetConfig { train: 128, val: 32, test: 32, seed: 3, noise: 0.05 });
+        let splits = mnist_like(&DatasetConfig {
+            train: 128,
+            val: 32,
+            test: 32,
+            seed: 3,
+            noise: 0.05,
+        });
         let mut net = lenet_supernet(2);
         let config = TrainConfig {
             epochs: 2,
@@ -370,12 +455,69 @@ mod tests {
             history[1].loss
         );
         // 8 batches/epoch from a 32-config space: expect several paths.
-        assert!(history[0].distinct_paths >= 4, "{}", history[0].distinct_paths);
+        assert!(
+            history[0].distinct_paths >= 4,
+            "{}",
+            history[0].distinct_paths
+        );
+    }
+
+    #[test]
+    fn fork_is_independent_but_evaluates_identically() {
+        let splits = mnist_like(&DatasetConfig {
+            train: 64,
+            val: 24,
+            test: 16,
+            seed: 9,
+            noise: 0.05,
+        });
+        let mut original = lenet_supernet(8);
+        let mut ood_rng = Rng64::new(77);
+        let ood = splits.val.ood_noise(8, &mut ood_rng);
+        let config: DropoutConfig = "RBM".parse().unwrap();
+        original.set_config(&config).unwrap();
+        let mut fork = original.fork().unwrap();
+        // Same weights, same active config.
+        assert_eq!(fork.active_config(), config);
+        let a = original.evaluate(&config, &splits.val, &ood, 8).unwrap();
+        let b = fork.evaluate(&config, &splits.val, &ood, 8).unwrap();
+        assert_eq!(a, b, "fork must reproduce the original's evaluation");
+        // Selection state is detached: switching the fork leaves the
+        // original untouched.
+        fork.set_config(&"BBB".parse().unwrap()).unwrap();
+        assert_eq!(original.active_config(), config);
+    }
+
+    #[test]
+    fn evaluate_is_history_free() {
+        let splits = mnist_like(&DatasetConfig {
+            train: 64,
+            val: 24,
+            test: 16,
+            seed: 10,
+            noise: 0.05,
+        });
+        let mut net = lenet_supernet(9);
+        let mut ood_rng = Rng64::new(77);
+        let ood = splits.val.ood_noise(8, &mut ood_rng);
+        let config: DropoutConfig = "BRM".parse().unwrap();
+        let first = net.evaluate(&config, &splits.val, &ood, 8).unwrap();
+        // Evaluate something else in between, then repeat.
+        net.evaluate(&"MMM".parse().unwrap(), &splits.val, &ood, 8)
+            .unwrap();
+        let second = net.evaluate(&config, &splits.val, &ood, 8).unwrap();
+        assert_eq!(first, second, "evaluation must not depend on history");
     }
 
     #[test]
     fn evaluate_produces_sane_metrics() {
-        let splits = mnist_like(&DatasetConfig { train: 96, val: 48, test: 32, seed: 5, noise: 0.05 });
+        let splits = mnist_like(&DatasetConfig {
+            train: 96,
+            val: 48,
+            test: 32,
+            seed: 5,
+            noise: 0.05,
+        });
         let mut net = lenet_supernet(6);
         let config = TrainConfig {
             epochs: 2,
@@ -433,8 +575,13 @@ mod tests {
         // every dropout slot, so different paths must pool different stats.
         let spec = SupernetSpec::paper_default(zoo::resnet18(2), 12).unwrap();
         let mut net = Supernet::build(&spec).unwrap();
-        let splits =
-            cifar_like(&DatasetConfig { train: 64, val: 16, test: 16, seed: 11, noise: 0.05 });
+        let splits = cifar_like(&DatasetConfig {
+            train: 64,
+            val: 16,
+            test: 16,
+            seed: 11,
+            noise: 0.05,
+        });
         let mut rng = Rng64::new(13);
         net.set_calibration_from(&splits.train, 2, 32, &mut rng);
         let stats = |net: &mut Supernet| -> Vec<f32> {
@@ -467,8 +614,13 @@ mod tests {
         // can fall far below training accuracy. With it, evaluation should
         // stay in the same regime as training.
         use nds_data::cifar_like;
-        let splits =
-            cifar_like(&DatasetConfig { train: 192, val: 48, test: 16, seed: 14, noise: 0.05 });
+        let splits = cifar_like(&DatasetConfig {
+            train: 192,
+            val: 48,
+            test: 16,
+            seed: 14,
+            noise: 0.05,
+        });
         let spec = SupernetSpec::paper_default(zoo::resnet18(2), 15).unwrap();
         let mut net = Supernet::build(&spec).unwrap();
         let config = TrainConfig {
@@ -500,8 +652,13 @@ mod tests {
         // a tiny vision transformer (2 slots × 4 kinds = 16 configs).
         let spec = SupernetSpec::paper_default(zoo::tiny_vit(16, 4, 2), 21).unwrap();
         assert_eq!(spec.space_size(), 16);
-        let splits =
-            mnist_like(&DatasetConfig { train: 128, val: 32, test: 16, seed: 22, noise: 0.05 });
+        let splits = mnist_like(&DatasetConfig {
+            train: 128,
+            val: 32,
+            test: 16,
+            seed: 22,
+            noise: 0.05,
+        });
         let mut net = Supernet::build(&spec).unwrap();
         let config = TrainConfig {
             epochs: 2,
@@ -521,7 +678,9 @@ mod tests {
         );
         let ood = splits.train.ood_noise(16, &mut rng);
         for code in ["BB", "MM", "KR"] {
-            let metrics = net.evaluate(&code.parse().unwrap(), &splits.val, &ood, 32).unwrap();
+            let metrics = net
+                .evaluate(&code.parse().unwrap(), &splits.val, &ood, 32)
+                .unwrap();
             assert!((0.0..=1.0).contains(&metrics.accuracy), "{code}");
             assert!(metrics.ape >= 0.0, "{code}");
         }

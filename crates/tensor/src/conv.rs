@@ -37,7 +37,11 @@ impl ConvGeometry {
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
         assert!(kernel > 0, "kernel size must be positive");
         assert!(stride > 0, "stride must be positive");
-        ConvGeometry { kernel, stride, padding }
+        ConvGeometry {
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output spatial size for an input of size `dim`.
@@ -73,7 +77,10 @@ pub fn im2col(input: &Tensor, g: ConvGeometry) -> Result<Tensor> {
     if oh == 0 || ow == 0 {
         return Err(TensorError::InvalidArgument {
             op: "im2col",
-            msg: format!("kernel {}x{} does not fit input {h}x{w} with padding {}", g.kernel, g.kernel, g.padding),
+            msg: format!(
+                "kernel {}x{} does not fit input {h}x{w} with padding {}",
+                g.kernel, g.kernel, g.padding
+            ),
         });
     }
     let k = g.kernel;
@@ -177,7 +184,12 @@ pub fn col2im(cols: &Tensor, input_shape: &Shape, g: ConvGeometry) -> Result<Ten
 /// # Errors
 ///
 /// Returns shape errors when operand dimensions are inconsistent.
-pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, g: ConvGeometry) -> Result<Tensor> {
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    g: ConvGeometry,
+) -> Result<Tensor> {
     let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
         op: "conv2d",
         expected: 4,
@@ -462,11 +474,15 @@ mod tests {
     #[test]
     fn max_pool_picks_maxima_and_argmax() {
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             Shape::d4(1, 1, 4, 4),
         )
         .unwrap();
-        let MaxPoolOutput { output, argmax } = max_pool2d(&input, ConvGeometry::new(2, 2, 0)).unwrap();
+        let MaxPoolOutput { output, argmax } =
+            max_pool2d(&input, ConvGeometry::new(2, 2, 0)).unwrap();
         assert_eq!(output.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
         assert_eq!(argmax, vec![5, 7, 13, 15]);
     }

@@ -10,8 +10,12 @@
 //!   Xoshiro256\*\*) used for *all* randomness in the workspace so that every
 //!   experiment is reproducible from a single seed,
 //! * [`conv`] — im2col-based 2-D convolution and pooling kernels,
-//! * [`parallel`] — a tiny scoped-thread helper used to parallelise batch
-//!   loops where more than one core is available.
+//! * [`ops`] — cache-blocked, row-parallel matmul kernels with fused
+//!   transposed/bias variants, bit-identical across worker counts,
+//! * [`parallel`] — scoped-thread data-parallel helpers; worker count is
+//!   configurable via the `NDS_THREADS` environment variable,
+//! * [`Workspace`] — a scratch-buffer pool the Monte-Carlo engine threads
+//!   through repeated stochastic forward passes to avoid reallocations.
 //!
 //! # Examples
 //!
@@ -33,9 +37,11 @@ pub mod parallel;
 pub mod rng;
 mod shape;
 mod tensor;
+mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 
 use std::error::Error as StdError;
 use std::fmt;
@@ -93,13 +99,23 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} elements, got {actual}"
+                )
             }
             TensorError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds (bound {bound})")
             }
-            TensorError::RankMismatch { op, expected, actual } => {
-                write!(f, "rank mismatch in {op}: expected rank {expected}, got {actual}")
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "rank mismatch in {op}: expected rank {expected}, got {actual}"
+                )
             }
             TensorError::InvalidArgument { op, msg } => {
                 write!(f, "invalid argument to {op}: {msg}")

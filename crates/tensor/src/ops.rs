@@ -1,46 +1,273 @@
 //! Linear-algebra and activation operations on [`Tensor`].
 //!
-//! These free-standing kernels are deliberately simple, cache-friendly
-//! implementations: the workspace targets reproducibility and clarity over
-//! BLAS-level throughput, and the hardware crate models performance
-//! analytically rather than by timing these routines.
+//! # Performance notes
+//!
+//! The matrix kernels here are the workspace's hottest code: one
+//! supernet evaluation runs S Monte-Carlo forward passes per input and
+//! the evolutionary search performs hundreds of such evaluations. They
+//! are therefore written as cache-blocked kernels parallelised over
+//! output rows via [`crate::parallel`]:
+//!
+//! * [`Tensor::matmul`] — `[m, k] × [k, n]`, blocked over the `j`/`k`
+//!   dimensions so a `B` panel is reused across every row of a worker's
+//!   range instead of being re-streamed from memory per row,
+//! * [`Tensor::matmul_transb`] — `A × Bᵀ` with `B` stored `[n, k]`
+//!   row-major, the natural layout of linear-layer weights; computes
+//!   contiguous dot products with unrolled accumulators and **no
+//!   transposed copy of the weights**,
+//! * [`Tensor::matmul_transa`] — `Aᵀ × B` by outer-product
+//!   accumulation, used by linear backward passes (`dW = gradᵀ · x`),
+//! * [`Tensor::matmul_bias`] / [`Tensor::matmul_transb_bias`] — fused
+//!   bias-add variants that skip the extra output traversal.
+//!
+//! All kernels partition work by *output rows*, so every output element
+//! is accumulated by exactly one thread in a fixed `k`-ascending order:
+//! results are **bit-identical for any worker count**, which the MC
+//! engine relies on for reproducible uncertainty estimates. The
+//! slice-level entry points ([`gemm`], [`gemm_transb`], …) take an
+//! explicit worker count so tests can sweep thread counts without
+//! touching the `NDS_THREADS` environment variable.
 
+use crate::parallel::{for_each_ragged_chunk_mut_workers, worker_count};
 use crate::{Result, Shape, Tensor, TensorError};
+
+/// Column-block width: output row segments of this many `f32`s (1 KiB)
+/// stay resident in L1 while a `B` panel streams through.
+const BLOCK_N: usize = 256;
+/// Depth-block: `BLOCK_K × BLOCK_N` panels of `B` (128 KiB) fit in L2.
+const BLOCK_K: usize = 128;
+/// Below this many `f32`s (~512 KiB) the whole `B` operand is assumed
+/// cache-resident and the kernels skip blocking entirely.
+const L2_FLOATS: usize = 128 * 1024;
+
+/// `out[m, n] = a[m, k] × b[k, n]` on raw row-major slices, parallelised
+/// over output rows across `workers` threads.
+///
+/// Accumulation over `k` is ascending for every output element
+/// regardless of blocking or worker count, so results are bit-identical
+/// across thread counts.
+///
+/// # Panics
+///
+/// Panics (in debug builds) when the slice lengths disagree with the
+/// dimensions; the safe [`Tensor::matmul`] wrapper validates shapes.
+pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32], workers: usize) {
+    out.fill(0.0);
+    gemm_acc(a, b, m, k, n, out, workers);
+}
+
+/// Accumulating variant of [`gemm`]: `out += a × b`. Backward passes use
+/// this to fold several gradient contributions into one buffer without
+/// temporaries.
+pub fn gemm_acc(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows_per_task = rows_per_task(m, k * n, workers);
+    // When the whole B operand is L2-resident, blocking only adds loop
+    // overhead — stream it row by row (plain ikj) instead.
+    let block = k * n > L2_FLOATS;
+    for_each_ragged_chunk_mut_workers(out, rows_per_task * n, workers, |task, out_rows| {
+        let row0 = task * rows_per_task;
+        let rows = out_rows.len() / n;
+        let (bn, bk) = if block { (BLOCK_N, BLOCK_K) } else { (n, k) };
+        for jb in (0..n).step_by(bn) {
+            let jend = (jb + bn).min(n);
+            for kb in (0..k).step_by(bk) {
+                let kend = (kb + bk).min(k);
+                for r in 0..rows {
+                    let arow = &a[(row0 + r) * k + kb..(row0 + r) * k + kend];
+                    let orow = &mut out_rows[r * n + jb..r * n + jend];
+                    for (pi, &av) in arow.iter().enumerate() {
+                        // Skipping zero A entries keeps magnitude-pruned
+                        // networks cheap and never reorders the k-sum.
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let p = kb + pi;
+                        let brow = &b[p * n + jb..p * n + jend];
+                        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `out[m, n] = a[m, k] × bt[n, k]ᵀ` on raw row-major slices — `bt` holds
+/// the *already transposed* right operand (one row per output column),
+/// so each output element is a dot product of two contiguous rows.
+///
+/// This is the linear-layer forward kernel: weights are stored
+/// `[out_features, in_features]` and never copied.
+pub fn gemm_transb(
+    a: &[f32],
+    bt: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows_per_task = rows_per_task(m, k * n, workers);
+    for_each_ragged_chunk_mut_workers(out, rows_per_task * n, workers, |task, out_rows| {
+        let row0 = task * rows_per_task;
+        for (r, orow) in out_rows.chunks_mut(n).enumerate() {
+            let arow = &a[(row0 + r) * k..(row0 + r) * k + k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot(arow, &bt[j * k..(j + 1) * k]);
+            }
+        }
+    });
+}
+
+/// `out[m, n] = at[r, m]ᵀ × b[r, n]` on raw row-major slices — the shared
+/// leading dimension `r` of both operands is reduced by outer-product
+/// accumulation. Used by linear backward passes (`dW = gradᵀ · x`)
+/// without materialising the transposed gradient.
+pub fn gemm_transa(
+    at: &[f32],
+    b: &[f32],
+    r: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+    workers: usize,
+) {
+    out.fill(0.0);
+    gemm_transa_acc(at, b, r, m, n, out, workers);
+}
+
+/// Accumulating variant of [`gemm_transa`]: `out += atᵀ × b`.
+pub fn gemm_transa_acc(
+    at: &[f32],
+    b: &[f32],
+    r: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+    workers: usize,
+) {
+    debug_assert_eq!(at.len(), r * m);
+    debug_assert_eq!(b.len(), r * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows_per_task = rows_per_task(m, r * n, workers);
+    for_each_ragged_chunk_mut_workers(out, rows_per_task * n, workers, |task, out_rows| {
+        let row0 = task * rows_per_task;
+        let rows = out_rows.len() / n;
+        for i in 0..r {
+            let brow = &b[i * n..(i + 1) * n];
+            for r_local in 0..rows {
+                let av = at[i * m + row0 + r_local];
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out_rows[r_local * n..(r_local + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+/// Contiguous dot product with eight independent accumulators (keeps the
+/// FP dependency chain short enough for the compiler to vectorise;
+/// `chunks_exact` removes the bounds checks from the hot loop).
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (mut a4, mut a5, mut a6, mut a7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut xs = a.chunks_exact(8);
+    let mut ys = b.chunks_exact(8);
+    for (x, y) in xs.by_ref().zip(ys.by_ref()) {
+        a0 += x[0] * y[0];
+        a1 += x[1] * y[1];
+        a2 += x[2] * y[2];
+        a3 += x[3] * y[3];
+        a4 += x[4] * y[4];
+        a5 += x[5] * y[5];
+        a6 += x[6] * y[6];
+        a7 += x[7] * y[7];
+    }
+    let tail: f32 = xs
+        .remainder()
+        .iter()
+        .zip(ys.remainder().iter())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7)) + tail
+}
+
+/// Picks how many output rows each parallel task should own: enough that
+/// per-task work dominates spawn overhead, while still splitting `m`
+/// across all workers. `flops_per_row` approximates the work per row.
+fn rows_per_task(m: usize, flops_per_row: usize, workers: usize) -> usize {
+    if workers <= 1 {
+        return m;
+    }
+    // Target at least ~64k mul-adds per task (tens of microseconds of
+    // compute) so spawn overhead stays a small fraction and tiny
+    // matrices run serial.
+    let min_rows = 65_536usize.div_ceil(flops_per_row.max(1));
+    m.div_ceil(workers).max(min_rows).min(m)
+}
 
 impl Tensor {
     /// Matrix multiplication of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Uses an ikj loop order so the inner loop streams both the `b` row and
-    /// the output row.
+    /// Cache-blocked and parallelised over output rows (see the module
+    /// docs); bit-identical across worker counts.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] for non-matrices and
     /// [`TensorError::ShapeMismatch`] when the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.shape().rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: self.shape().rank(),
-            });
-        }
-        if other.shape().rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: other.shape().rank(),
-            });
-        }
-        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
-        let (k2, n) = (other.shape().dim(0), other.shape().dim(1));
-        if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                lhs: self.shape().clone(),
-                rhs: other.shape().clone(),
-            });
-        }
+        let (m, k, n) = matmul_dims(self, other, "matmul")?;
+        let mut out = vec![0.0f32; m * n];
+        gemm(
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            k,
+            n,
+            &mut out,
+            worker_count(),
+        );
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+
+    /// Reference single-threaded ikj matmul — the seed kernel, kept as
+    /// the oracle the optimised kernels are property-tested against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul`].
+    pub fn matmul_naive(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = matmul_dims(self, other, "matmul")?;
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -57,6 +284,122 @@ impl Tensor {
                 }
             }
         }
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+
+    /// Fused `self × otherᵀ` where `other` is stored `[n, k]` row-major:
+    /// `[m, k] × [n, k]ᵀ → [m, n]` with **no transposed copy**.
+    ///
+    /// This is the natural orientation of linear-layer weights
+    /// (`[out_features, in_features]`), so `x.matmul_transb(&w)` replaces
+    /// the seed's `x.matmul(&w.transpose()?)` and its per-forward
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors when the operands are incompatible.
+    pub fn matmul_transb(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = matmul_transb_dims(self, other)?;
+        let mut out = vec![0.0f32; m * n];
+        gemm_transb(
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            k,
+            n,
+            &mut out,
+            worker_count(),
+        );
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+
+    /// Fused `selfᵀ × other` where both operands share their leading
+    /// dimension: `[r, m]ᵀ × [r, n] → [m, n]`.
+    ///
+    /// Linear backward uses this for `dW = gradᵀ · x` without
+    /// materialising the transposed gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors when the operands are incompatible.
+    pub fn matmul_transa(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape().rank() != 2 || other.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_transa",
+                expected: 2,
+                actual: if self.shape().rank() != 2 {
+                    self.shape().rank()
+                } else {
+                    other.shape().rank()
+                },
+            });
+        }
+        let (r, m) = (self.shape().dim(0), self.shape().dim(1));
+        let (r2, n) = (other.shape().dim(0), other.shape().dim(1));
+        if r != r2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transa",
+                lhs: self.shape().clone(),
+                rhs: other.shape().clone(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_transa(
+            self.as_slice(),
+            other.as_slice(),
+            r,
+            m,
+            n,
+            &mut out,
+            worker_count(),
+        );
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+
+    /// Fused `self × other + bias` (bias broadcast over rows), saving the
+    /// separate [`Tensor::add_row_bias`] traversal.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors when the operands are incompatible.
+    pub fn matmul_bias(&self, other: &Tensor, bias: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = matmul_dims(self, other, "matmul_bias")?;
+        check_bias(bias, n, "matmul_bias", self)?;
+        let mut out = vec![0.0f32; m * n];
+        gemm(
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            k,
+            n,
+            &mut out,
+            worker_count(),
+        );
+        add_bias_rows(&mut out, bias.as_slice(), n);
+        Tensor::from_vec(out, Shape::d2(m, n))
+    }
+
+    /// Fused `self × otherᵀ + bias` — the complete linear-layer forward
+    /// (`y = x · Wᵀ + b`) in one kernel: no weight transpose, no second
+    /// pass for the bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors when the operands are incompatible.
+    pub fn matmul_transb_bias(&self, other: &Tensor, bias: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = matmul_transb_dims(self, other)?;
+        check_bias(bias, n, "matmul_transb_bias", self)?;
+        let mut out = vec![0.0f32; m * n];
+        gemm_transb(
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            k,
+            n,
+            &mut out,
+            worker_count(),
+        );
+        add_bias_rows(&mut out, bias.as_slice(), n);
         Tensor::from_vec(out, Shape::d2(m, n))
     }
 
@@ -253,9 +596,83 @@ impl Tensor {
     }
 }
 
+fn matmul_dims(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: a.shape().rank(),
+        });
+    }
+    if b.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: b.shape().rank(),
+        });
+    }
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    Ok((m, k, n))
+}
+
+fn matmul_transb_dims(a: &Tensor, bt: &Tensor) -> Result<(usize, usize, usize)> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matmul_transb",
+            expected: 2,
+            actual: a.shape().rank(),
+        });
+    }
+    if bt.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matmul_transb",
+            expected: 2,
+            actual: bt.shape().rank(),
+        });
+    }
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, k2) = (bt.shape().dim(0), bt.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_transb",
+            lhs: a.shape().clone(),
+            rhs: bt.shape().clone(),
+        });
+    }
+    Ok((m, k, n))
+}
+
+fn check_bias(bias: &Tensor, n: usize, op: &'static str, lhs: &Tensor) -> Result<()> {
+    if bias.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: lhs.shape().clone(),
+            rhs: bias.shape().clone(),
+        });
+    }
+    Ok(())
+}
+
+fn add_bias_rows(out: &mut [f32], bias: &[f32], n: usize) {
+    for row in out.chunks_mut(n) {
+        for (o, &b) in row.iter_mut().zip(bias.iter()) {
+            *o += b;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Rng64;
 
     fn t2(rows: usize, cols: usize, data: &[f32]) -> Tensor {
         Tensor::from_vec(data.to_vec(), Shape::d2(rows, cols)).unwrap()
@@ -283,6 +700,110 @@ mod tests {
         assert!(a.matmul(&b).is_err());
         let v = Tensor::zeros(Shape::d1(3));
         assert!(v.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_block_boundaries() {
+        let mut rng = Rng64::new(7);
+        // Sizes straddling BLOCK_N / BLOCK_K boundaries and ragged shapes.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, 31, 13),
+            (64, 128, 256),
+            (65, 129, 257),
+            (130, 300, 70),
+        ] {
+            let a = Tensor::rand_normal(Shape::d2(m, k), 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(Shape::d2(k, n), 0.0, 1.0, &mut rng);
+            let fast = a.matmul(&b).unwrap();
+            let slow = a.matmul_naive(&b).unwrap();
+            for (x, y) in fast.iter().zip(slow.iter()) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_is_bit_identical_across_worker_counts() {
+        let mut rng = Rng64::new(8);
+        let (m, k, n) = (37, 53, 29);
+        let a = Tensor::rand_normal(Shape::d2(m, k), 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(Shape::d2(k, n), 0.0, 1.0, &mut rng);
+        let mut reference = vec![0.0f32; m * n];
+        gemm(a.as_slice(), b.as_slice(), m, k, n, &mut reference, 1);
+        for workers in [2, 3, 5, 8, 16] {
+            let mut out = vec![0.0f32; m * n];
+            gemm(a.as_slice(), b.as_slice(), m, k, n, &mut out, workers);
+            assert_eq!(out, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        let mut rng = Rng64::new(9);
+        for (m, k, n) in [(1, 4, 1), (5, 7, 3), (33, 65, 17)] {
+            let a = Tensor::rand_normal(Shape::d2(m, k), 0.0, 1.0, &mut rng);
+            let bt = Tensor::rand_normal(Shape::d2(n, k), 0.0, 1.0, &mut rng);
+            let fused = a.matmul_transb(&bt).unwrap();
+            let reference = a.matmul_naive(&bt.transpose().unwrap()).unwrap();
+            assert_eq!(fused.shape(), &Shape::d2(m, n));
+            for (x, y) in fused.iter().zip(reference.iter()) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn transa_matches_explicit_transpose() {
+        let mut rng = Rng64::new(10);
+        for (r, m, n) in [(1, 2, 3), (8, 5, 7), (40, 21, 11)] {
+            let at = Tensor::rand_normal(Shape::d2(r, m), 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(Shape::d2(r, n), 0.0, 1.0, &mut rng);
+            let fused = at.matmul_transa(&b).unwrap();
+            let reference = at.transpose().unwrap().matmul_naive(&b).unwrap();
+            assert_eq!(fused.shape(), &Shape::d2(m, n));
+            for (x, y) in fused.iter().zip(reference.iter()) {
+                assert!((x - y).abs() < 1e-4, "({r},{m},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_variants_match_two_step() {
+        let mut rng = Rng64::new(11);
+        let (m, k, n) = (9, 14, 6);
+        let a = Tensor::rand_normal(Shape::d2(m, k), 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(Shape::d2(k, n), 0.0, 1.0, &mut rng);
+        let bt = b.transpose().unwrap();
+        let bias = Tensor::rand_normal(Shape::d1(n), 0.0, 1.0, &mut rng);
+        let two_step = a.matmul(&b).unwrap().add_row_bias(&bias).unwrap();
+        let fused = a.matmul_bias(&b, &bias).unwrap();
+        let fused_t = a.matmul_transb_bias(&bt, &bias).unwrap();
+        for ((x, y), z) in fused.iter().zip(two_step.iter()).zip(fused_t.iter()) {
+            assert!((x - y).abs() < 1e-5);
+            assert!((z - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fused_variants_validate_shapes() {
+        let a = t2(2, 3, &[0.0; 6]);
+        let good_bt = t2(4, 3, &[0.0; 12]);
+        let bad_bt = t2(4, 2, &[0.0; 8]);
+        assert!(a.matmul_transb(&good_bt).is_ok());
+        assert!(a.matmul_transb(&bad_bt).is_err());
+        let bad_bias = Tensor::zeros(Shape::d1(3));
+        let good_bias = Tensor::zeros(Shape::d1(4));
+        assert!(a.matmul_transb_bias(&good_bt, &good_bias).is_ok());
+        assert!(a.matmul_transb_bias(&good_bt, &bad_bias).is_err());
+        let b = t2(3, 4, &[0.0; 12]);
+        assert!(a.matmul_bias(&b, &good_bias).is_ok());
+        assert!(a.matmul_bias(&b, &bad_bias).is_err());
+        // transa: leading dims must agree.
+        let at = t2(5, 2, &[0.0; 10]);
+        let bad = t2(4, 3, &[0.0; 12]);
+        assert!(at.matmul_transa(&bad).is_err());
     }
 
     #[test]

@@ -1,18 +1,88 @@
-//! Minimal data-parallel helper built on crossbeam's scoped threads.
+//! Minimal data-parallel helpers built on `std::thread::scope`.
 //!
-//! The workspace's training loops are embarrassingly parallel over batch
-//! items; [`chunked_for`] splits an index range across the available cores.
-//! On a single-core machine it degrades to a plain serial loop with no
-//! thread overhead, which keeps results byte-identical regardless of core
-//! count (each chunk owns disjoint output).
+//! The workspace's hot loops — the blocked matmul kernels, Monte-Carlo
+//! sampling and batch training — are embarrassingly parallel;
+//! [`chunked_for`] splits an index range across the available cores and
+//! [`for_each_chunk_mut`] hands out disjoint mutable chunks of an output
+//! buffer. On a single-core machine (or with `NDS_THREADS=1`) both degrade
+//! to plain serial loops with no thread overhead, and because each chunk
+//! owns disjoint output, results are byte-identical regardless of core
+//! count.
+//!
+//! # Thread-count configuration
+//!
+//! The worker count is read once from the `NDS_THREADS` environment
+//! variable: unset, empty, `0`, or unparsable values mean "use the
+//! machine's available parallelism"; any positive integer pins the pool to
+//! exactly that many workers. `NDS_THREADS=1` forces fully serial
+//! execution, which is useful for profiling and for bit-exactness
+//! comparisons.
 
-/// Number of worker threads to use: the machine's available parallelism,
-/// capped to keep per-chunk work meaningful.
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Set while the current thread is executing inside one of this
+    /// module's worker scopes (or a higher-level fan-out that opted in
+    /// via [`enter_worker`]).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when the calling thread is already a data-parallel worker.
+///
+/// Nested fan-outs check this to degrade to serial execution instead of
+/// multiplying thread counts: a population-evaluation worker running an
+/// MC sample whose forwards call the parallel matmul would otherwise
+/// stand up `W³` threads.
+pub fn in_parallel_worker() -> bool {
+    IN_WORKER.with(|flag| flag.get())
+}
+
+/// Marks the current thread as a data-parallel worker for the duration
+/// of `f`. Higher-level fan-outs (the MC engine, the population
+/// evaluator) wrap their worker bodies with this so nested kernels run
+/// serially.
+pub fn enter_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|flag| {
+        let previous = flag.replace(true);
+        let result = f();
+        flag.set(previous);
+        result
+    })
+}
+
+/// Degrades a requested worker count to 1 when already inside a
+/// parallel region.
+pub fn effective_workers(requested: usize) -> usize {
+    if in_parallel_worker() {
+        1
+    } else {
+        requested
+    }
+}
+
+/// Resolves a raw `NDS_THREADS` value against the machine's available
+/// parallelism. Factored out of [`worker_count`] so the policy is unit
+/// testable without mutating the process environment.
+pub fn resolve_worker_count(env_value: Option<&str>, available: usize) -> usize {
+    match env_value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => available.max(1),
+    }
+}
+
+/// Number of worker threads to use for data-parallel loops.
+///
+/// Controlled by the `NDS_THREADS` environment variable (see the module
+/// docs); the value is resolved once per process and cached.
 pub fn worker_count() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        resolve_worker_count(std::env::var("NDS_THREADS").ok().as_deref(), available)
+    })
 }
 
 /// Runs `body(start, end)` over disjoint sub-ranges covering `0..n`,
@@ -24,22 +94,28 @@ pub fn worker_count() -> usize {
 /// pre-split buffers are the caller's responsibility; for the common
 /// slice-chunking case prefer [`for_each_chunk_mut`].
 pub fn chunked_for(n: usize, body: impl Fn(usize, usize) + Sync) {
-    let workers = worker_count();
+    chunked_for_workers(n, worker_count(), body);
+}
+
+/// [`chunked_for`] with an explicit worker count — the building block the
+/// deterministic kernels expose so tests can sweep thread counts without
+/// touching the process environment.
+pub fn chunked_for_workers(n: usize, workers: usize, body: impl Fn(usize, usize) + Sync) {
+    let workers = effective_workers(workers);
     if workers <= 1 || n < 2 {
         body(0, n);
         return;
     }
     let chunk = n.div_ceil(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut start = 0;
         while start < n {
             let end = (start + chunk).min(n);
             let body = &body;
-            scope.spawn(move |_| body(start, end));
+            scope.spawn(move || enter_worker(|| body(start, end)));
             start = end;
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Applies `body` to equally-sized mutable chunks of `out`, each paired with
@@ -53,32 +129,86 @@ pub fn for_each_chunk_mut<T: Send>(
     chunk_len: usize,
     body: impl Fn(usize, &mut [T]) + Sync,
 ) {
+    for_each_chunk_mut_workers(out, chunk_len, worker_count(), body);
+}
+
+/// [`for_each_chunk_mut`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `chunk_len`.
+pub fn for_each_chunk_mut_workers<T: Send>(
+    out: &mut [T],
+    chunk_len: usize,
+    workers: usize,
+    body: impl Fn(usize, &mut [T]) + Sync,
+) {
     assert!(
         chunk_len > 0 && out.len().is_multiple_of(chunk_len),
         "output length {} must be a positive multiple of chunk length {}",
         out.len(),
         chunk_len
     );
-    let workers = worker_count();
-    if workers <= 1 {
+    let workers = effective_workers(workers);
+    let nchunks = out.len() / chunk_len;
+    if workers <= 1 || nchunks <= 1 {
         for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
             body(i, chunk);
         }
         return;
     }
-    crossbeam::scope(|scope| {
-        let nchunks = out.len() / chunk_len;
+    std::thread::scope(|scope| {
         let per_worker = nchunks.div_ceil(workers);
         for (wi, worker_slice) in out.chunks_mut(per_worker * chunk_len).enumerate() {
             let body = &body;
-            scope.spawn(move |_| {
-                for (ci, chunk) in worker_slice.chunks_mut(chunk_len).enumerate() {
-                    body(wi * per_worker + ci, chunk);
-                }
+            scope.spawn(move || {
+                enter_worker(|| {
+                    for (ci, chunk) in worker_slice.chunks_mut(chunk_len).enumerate() {
+                        body(wi * per_worker + ci, chunk);
+                    }
+                })
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
+}
+
+/// Like [`for_each_chunk_mut_workers`] but tolerates a short final chunk —
+/// the row-partitioned matmul kernels use this to hand each task a block
+/// of output rows even when the row count doesn't divide evenly.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+pub fn for_each_ragged_chunk_mut_workers<T: Send>(
+    out: &mut [T],
+    chunk_len: usize,
+    workers: usize,
+    body: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let workers = effective_workers(workers);
+    let nchunks = out.len().div_ceil(chunk_len);
+    // A single chunk gains nothing from a thread: run it inline (small
+    // matmuls hit this constantly — a spawn per call would dwarf them).
+    if workers <= 1 || nchunks <= 1 {
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            body(i, chunk);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let per_worker = nchunks.div_ceil(workers);
+        for (wi, worker_slice) in out.chunks_mut(per_worker * chunk_len).enumerate() {
+            let body = &body;
+            scope.spawn(move || {
+                enter_worker(|| {
+                    for (ci, chunk) in worker_slice.chunks_mut(chunk_len).enumerate() {
+                        body(wi * per_worker + ci, chunk);
+                    }
+                })
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -109,6 +239,17 @@ mod tests {
     }
 
     #[test]
+    fn explicit_worker_counts_cover_the_range() {
+        for workers in [1, 2, 3, 7, 16] {
+            let counter = AtomicUsize::new(0);
+            chunked_for_workers(997, workers, |s, e| {
+                counter.fetch_add(e - s, Ordering::SeqCst);
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 997, "workers = {workers}");
+        }
+    }
+
+    #[test]
     fn for_each_chunk_mut_writes_all_chunks() {
         let mut out = vec![0usize; 12];
         for_each_chunk_mut(&mut out, 3, |i, chunk| {
@@ -120,9 +261,54 @@ mod tests {
     }
 
     #[test]
+    fn chunk_indices_are_stable_across_worker_counts() {
+        let mut reference = vec![0usize; 30];
+        for_each_chunk_mut_workers(&mut reference, 5, 1, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = i * 100 + j;
+            }
+        });
+        for workers in [2, 3, 4, 8] {
+            let mut out = vec![0usize; 30];
+            for_each_chunk_mut_workers(&mut out, 5, workers, |i, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = i * 100 + j;
+                }
+            });
+            assert_eq!(out, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn ragged_chunks_cover_everything_for_any_worker_count() {
+        for workers in [1, 2, 3, 5, 9] {
+            let mut out = vec![0usize; 17];
+            for_each_ragged_chunk_mut_workers(&mut out, 5, workers, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = i + 1;
+                }
+            });
+            let expect: Vec<usize> = (0..17).map(|j| j / 5 + 1).collect();
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "multiple")]
     fn for_each_chunk_mut_rejects_ragged() {
         let mut out = vec![0usize; 10];
         for_each_chunk_mut(&mut out, 3, |_, _| {});
+    }
+
+    #[test]
+    fn env_policy_resolution() {
+        assert_eq!(resolve_worker_count(None, 12), 12);
+        assert_eq!(resolve_worker_count(Some(""), 12), 12);
+        assert_eq!(resolve_worker_count(Some("0"), 12), 12);
+        assert_eq!(resolve_worker_count(Some("garbage"), 12), 12);
+        assert_eq!(resolve_worker_count(Some("1"), 12), 1);
+        assert_eq!(resolve_worker_count(Some(" 6 "), 12), 6);
+        assert_eq!(resolve_worker_count(Some("32"), 4), 32);
+        assert_eq!(resolve_worker_count(None, 0), 1);
     }
 }

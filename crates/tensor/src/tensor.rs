@@ -351,7 +351,10 @@ impl Tensor {
             actual: self.shape.rank(),
         })?;
         if n >= nb {
-            return Err(TensorError::IndexOutOfBounds { index: n, bound: nb });
+            return Err(TensorError::IndexOutOfBounds {
+                index: n,
+                bound: nb,
+            });
         }
         let item = c * h * w;
         let start = n * item;
@@ -421,7 +424,13 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(vec![1.0; 6], Shape::d2(2, 3)).is_ok());
         let err = Tensor::from_vec(vec![1.0; 5], Shape::d2(2, 3)).unwrap_err();
-        assert!(matches!(err, TensorError::LengthMismatch { expected: 6, actual: 5 }));
+        assert!(matches!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        ));
     }
 
     #[test]

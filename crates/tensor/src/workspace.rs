@@ -1,0 +1,166 @@
+//! Reusable scratch-buffer pool for allocation-free hot loops.
+//!
+//! Monte-Carlo inference runs the same forward pass S times per input,
+//! and the evolutionary search repeats that for hundreds of candidates —
+//! with identical buffer shapes every time. [`Workspace`] lets those
+//! loops recycle their scratch `Vec<f32>`s (and whole [`Tensor`]s)
+//! instead of hitting the allocator once per pass per buffer.
+//!
+//! The pool is deliberately simple: buffers are keyed only by capacity,
+//! [`Workspace::take`] hands back the smallest buffer that fits (cleared
+//! and zero-filled to the requested length), and anything returned via
+//! [`Workspace::recycle`] becomes available to the next `take`. A
+//! `Workspace` is cheap to create, so per-thread pools in parallel
+//! drivers avoid any locking.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_tensor::{Shape, Tensor, Workspace};
+//!
+//! let mut ws = Workspace::new();
+//! let buf = ws.take(1024);            // fresh allocation
+//! ws.recycle(buf);
+//! let again = ws.take(512);           // reuses the 1024-capacity buffer
+//! assert!(again.capacity() >= 1024);
+//! assert_eq!(ws.allocations(), 1);    // only the first take allocated
+//! # let _ = again;
+//! ```
+
+use crate::{Shape, Tensor};
+
+/// A pool of reusable `f32` scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+    allocations: usize,
+    reuses: usize,
+}
+
+impl Workspace {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Returns a zero-filled buffer of exactly `len` elements, reusing
+    /// the smallest pooled buffer whose capacity suffices.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                self.reuses += 1;
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.allocations += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Returns a buffer of `len` elements wrapped in a [`Tensor`] of the
+    /// given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape.len()` disagrees with the requested length —
+    /// a programming error in the calling driver.
+    pub fn take_tensor(&mut self, shape: Shape) -> Tensor {
+        let buf = self.take(shape.len());
+        Tensor::from_vec(buf, shape).expect("workspace buffer length matches shape")
+    }
+
+    /// Hands a buffer back to the pool for future reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Hands a tensor's backing buffer back to the pool.
+    pub fn recycle_tensor(&mut self, tensor: Tensor) {
+        self.recycle(tensor.into_vec());
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Number of `take` calls that had to allocate fresh memory.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Number of `take` calls served from the pool.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_even_after_reuse() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(8);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        ws.recycle(buf);
+        let again = ws.take(8);
+        assert!(again.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.reuses(), 1);
+        assert_eq!(ws.allocations(), 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_buffer() {
+        let mut ws = Workspace::new();
+        let small = ws.take(4);
+        let large = ws.take(1024);
+        ws.recycle(large);
+        ws.recycle(small);
+        let got = ws.take(3);
+        assert!(got.capacity() < 1024, "should reuse the 4-element buffer");
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn undersized_buffers_are_skipped() {
+        let mut ws = Workspace::new();
+        ws.recycle(vec![0.0; 2]);
+        let got = ws.take(16);
+        assert_eq!(got.len(), 16);
+        assert_eq!(ws.allocations(), 1);
+        assert_eq!(ws.pooled(), 1, "undersized buffer stays pooled");
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let mut ws = Workspace::new();
+        let t = ws.take_tensor(Shape::d2(3, 4));
+        assert_eq!(t.len(), 12);
+        ws.recycle_tensor(t);
+        let t2 = ws.take_tensor(Shape::d2(2, 6));
+        assert_eq!(ws.reuses(), 1);
+        assert_eq!(t2.shape(), &Shape::d2(2, 6));
+    }
+
+    #[test]
+    fn zero_length_buffers_are_not_pooled() {
+        let mut ws = Workspace::new();
+        ws.recycle(Vec::new());
+        assert_eq!(ws.pooled(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based equivalence tests for the optimised matmul kernels.
+//!
+//! The blocked/parallel kernels must agree with the naive ikj reference
+//! to float tolerance on *ragged* shapes (nothing aligned to block or
+//! worker boundaries) at every worker count, and must be bit-identical
+//! to themselves across worker counts.
+
+use nds_tensor::ops::{gemm, gemm_transa, gemm_transb};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn rand_pair(seed: u64, m: usize, k: usize, n: usize, transb: bool) -> (Tensor, Tensor) {
+    let mut rng = Rng64::new(seed);
+    let a = Tensor::rand_normal(Shape::d2(m, k), 0.0, 1.0, &mut rng);
+    let b_shape = if transb {
+        Shape::d2(n, k)
+    } else {
+        Shape::d2(k, n)
+    };
+    let b = Tensor::rand_normal(b_shape, 0.0, 1.0, &mut rng);
+    (a, b)
+}
+
+fn assert_close(fast: &[f32], slow: &[f32], k: usize, what: &str) -> Result<(), String> {
+    // Tolerance scales with the reduction depth: each output element sums
+    // k products of unit-normal values.
+    let tol = 1e-5f32 * (k as f32).sqrt().max(1.0) * 8.0;
+    for (i, (x, y)) in fast.iter().zip(slow.iter()).enumerate() {
+        prop_assert!(
+            (x - y).abs() <= tol * (1.0 + y.abs()),
+            "{what}[{i}]: {x} vs {y} (k = {k})"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked parallel matmul equals the naive reference on ragged
+    /// shapes, for every worker count.
+    #[test]
+    fn matmul_matches_naive(
+        seed in 0u64..10_000,
+        m in 1usize..80,
+        k in 1usize..96,
+        n in 1usize..80,
+        workers in 1usize..9,
+    ) {
+        let (a, b) = rand_pair(seed, m, k, n, false);
+        let slow = a.matmul_naive(&b).unwrap();
+        let mut fast = vec![0.0f32; m * n];
+        gemm(a.as_slice(), b.as_slice(), m, k, n, &mut fast, workers);
+        assert_close(&fast, slow.as_slice(), k, "matmul")?;
+    }
+
+    /// `matmul_transb` equals naive-matmul-of-the-transpose on ragged
+    /// shapes, for every worker count.
+    #[test]
+    fn matmul_transb_matches_naive(
+        seed in 0u64..10_000,
+        m in 1usize..80,
+        k in 1usize..96,
+        n in 1usize..80,
+        workers in 1usize..9,
+    ) {
+        let (a, bt) = rand_pair(seed, m, k, n, true);
+        let slow = a.matmul_naive(&bt.transpose().unwrap()).unwrap();
+        let mut fast = vec![0.0f32; m * n];
+        gemm_transb(a.as_slice(), bt.as_slice(), m, k, n, &mut fast, workers);
+        assert_close(&fast, slow.as_slice(), k, "matmul_transb")?;
+    }
+
+    /// `matmul_transa` equals naive matmul of the explicit transpose.
+    #[test]
+    fn matmul_transa_matches_naive(
+        seed in 0u64..10_000,
+        r in 1usize..64,
+        m in 1usize..48,
+        n in 1usize..48,
+        workers in 1usize..9,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let at = Tensor::rand_normal(Shape::d2(r, m), 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(Shape::d2(r, n), 0.0, 1.0, &mut rng);
+        let slow = at.transpose().unwrap().matmul_naive(&b).unwrap();
+        let mut fast = vec![0.0f32; m * n];
+        gemm_transa(at.as_slice(), b.as_slice(), r, m, n, &mut fast, workers);
+        assert_close(&fast, slow.as_slice(), r, "matmul_transa")?;
+    }
+
+    /// Worker count never changes a single bit of the output.
+    #[test]
+    fn kernels_are_bit_stable_across_worker_counts(
+        seed in 0u64..10_000,
+        m in 1usize..64,
+        k in 1usize..64,
+        n in 1usize..64,
+    ) {
+        let (a, b) = rand_pair(seed, m, k, n, false);
+        let mut reference = vec![0.0f32; m * n];
+        gemm(a.as_slice(), b.as_slice(), m, k, n, &mut reference, 1);
+        for workers in [2usize, 3, 5, 8, 13] {
+            let mut out = vec![0.0f32; m * n];
+            gemm(a.as_slice(), b.as_slice(), m, k, n, &mut out, workers);
+            prop_assert_eq!(&out, &reference, "gemm diverged at {} workers", workers);
+        }
+        let (a, bt) = rand_pair(seed ^ 1, m, k, n, true);
+        let mut reference = vec![0.0f32; m * n];
+        gemm_transb(a.as_slice(), bt.as_slice(), m, k, n, &mut reference, 1);
+        for workers in [2usize, 4, 7] {
+            let mut out = vec![0.0f32; m * n];
+            gemm_transb(a.as_slice(), bt.as_slice(), m, k, n, &mut out, workers);
+            prop_assert_eq!(&out, &reference, "gemm_transb diverged at {} workers", workers);
+        }
+    }
+}

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let changed = quantize_network(supernet.net_mut(), Q7_8);
     let q_probs = quantized_mc_predict(supernet.net_mut(), &images, Q7_8, 3)?;
     let q_acc = accuracy(&q_probs, &labels)?;
-    println!("design {config}: float accuracy {:.2}%, Q7.8 accuracy {:.2}%", 100.0 * float_acc, 100.0 * q_acc);
+    println!(
+        "design {config}: float accuracy {:.2}%, Q7.8 accuracy {:.2}%",
+        100.0 * float_acc,
+        100.0 * q_acc
+    );
     println!("({changed} weight scalars moved when snapping to the Q7.8 grid)");
 
     // Hardware analysis on the paper-scale design point.

@@ -38,8 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.space_size()
     );
     let mut supernet = Supernet::build(&spec)?;
-    let train_config = TrainConfig { epochs: 4, ..TrainConfig::default() };
-    println!("training the extended supernet (SPOS, {} epochs)…", train_config.epochs);
+    let train_config = TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    };
+    println!(
+        "training the extended supernet (SPOS, {} epochs)…",
+        train_config.epochs
+    );
     supernet.train_spos(&splits.train, &train_config, &mut rng)?;
 
     // Exhaustive evaluation on the validation set.
@@ -53,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for config in spec.enumerate() {
         let metrics = supernet.evaluate(&config, &val, &ood, 64)?;
         scored.push((config.clone(), metrics.ece, metrics.accuracy));
-        if best_ece.as_ref().map(|(_, e)| metrics.ece < *e).unwrap_or(true) {
+        if best_ece
+            .as_ref()
+            .map(|(_, e)| metrics.ece < *e)
+            .unwrap_or(true)
+        {
             best_ece = Some((config, metrics.ece));
         }
     }
@@ -69,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             config.to_string(),
             100.0 * ece_val,
             100.0 * acc,
-            if has_gaussian { "   <- uses Gaussian (extension)" } else { "" }
+            if has_gaussian {
+                "   <- uses Gaussian (extension)"
+            } else {
+                ""
+            }
         );
     }
     println!("({gaussian_in_top5}/5 of the top-ECE configs use the new Gaussian design)");
@@ -96,8 +110,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let searched_acc = accuracy(&pred.mean_probs, &test_labels)?;
 
     println!("\n-- test-set ECE comparison --");
-    println!("uniform Bernoulli, single pass        : {:.2}%", 100.0 * raw_ece);
-    println!("uniform Bernoulli + temperature (T={t:.2}): {:.2}%", 100.0 * cooled_ece);
+    println!(
+        "uniform Bernoulli, single pass        : {:.2}%",
+        100.0 * raw_ece
+    );
+    println!(
+        "uniform Bernoulli + temperature (T={t:.2}): {:.2}%",
+        100.0 * cooled_ece
+    );
     println!(
         "searched {} (MC-3)            : {:.2}%  (accuracy {:.2}%)",
         winner,

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exhaustive evaluation (the paper's reference for Figure 4).
     let model = AcceleratorModel::new(AcceleratorConfig::lenet_paper());
-    let latency = LatencyProvider::Exact { model, arch: spec.arch.clone() };
+    let latency = LatencyProvider::Exact {
+        model,
+        arch: spec.arch.clone(),
+    };
     let mut evaluator =
         SupernetEvaluator::new(&mut supernet, &splits.val, ood, latency, spec.batch_size);
     let archive = evaluate_all(&supernet_spec, &mut evaluator)?;
@@ -44,25 +47,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * candidate.metrics.ece,
             candidate.metrics.ape,
             candidate.latency_ms,
-            if candidate.config.is_uniform() { "*" } else { "" }
+            if candidate.config.is_uniform() {
+                "*"
+            } else {
+                ""
+            }
         );
     }
 
     let objectives = figure4_objectives();
     let frontier = pareto_front(&archive, &objectives);
-    println!("\nPareto frontier (max accuracy, min ECE, max aPE): {} points", frontier.len());
+    println!(
+        "\nPareto frontier (max accuracy, min ECE, max aPE): {} points",
+        frontier.len()
+    );
     for point in &frontier {
         println!("  {}", point.config);
     }
 
     // The paper's Figure-4 claim: the per-aim optima all lie on the
     // exhaustive frontier. Check it for the four single-metric optima.
-    let best_by = |f: &dyn Fn(&neural_dropout_search::search::Candidate) -> f64,
-                   maximise: bool| {
+    let best_by = |f: &dyn Fn(&neural_dropout_search::search::Candidate) -> f64, maximise: bool| {
         archive
             .iter()
             .max_by(|a, b| {
-                let (va, vb) = if maximise { (f(a), f(b)) } else { (-f(a), -f(b)) };
+                let (va, vb) = if maximise {
+                    (f(a), f(b))
+                } else {
+                    (-f(a), -f(b))
+                };
                 va.partial_cmp(&vb).unwrap()
             })
             .expect("non-empty archive")

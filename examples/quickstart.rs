@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let supernet_spec = spec.supernet_spec()?;
     println!("architecture : {}", spec.arch.name);
     println!("dropout slots: {}", supernet_spec.slot_count());
-    println!("search space : {} configurations", supernet_spec.space_size());
+    println!(
+        "search space : {} configurations",
+        supernet_spec.space_size()
+    );
 
     let outcome = run(&spec)?;
 

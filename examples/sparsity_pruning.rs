@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &TrainConfig {
             epochs: 3,
             batch_size: 32,
-            schedule: LrSchedule::Cosine { base: 0.05, floor: 0.005, total: 3 },
+            schedule: LrSchedule::Cosine {
+                base: 0.05,
+                floor: 0.005,
+                total: 3,
+            },
             ..TrainConfig::default()
         },
         3,
@@ -66,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let pruned = mc_predict(&mut result.net, &test_images, 3, 64)?;
     let pruned_acc = accuracy(&pruned.mean_probs, &test_labels)?;
-    println!("pruned test accuracy (no fine-tuning): {:.2}%", 100.0 * pruned_acc);
+    println!(
+        "pruned test accuracy (no fine-tuning): {:.2}%",
+        100.0 * pruned_acc
+    );
 
     // 3. Fine-tune for one epoch with the zero pattern pinned.
     let mask = PruneMask::capture(&result.net);
@@ -76,7 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         use neural_dropout_search::nn::Layer as _;
         let sgd = Sgd::with_momentum(0.01, 0.9, 5e-4);
         for (images, labels) in splits.train.iter_batches(32, &mut rng) {
-            let logits = result.net.forward(&images, neural_dropout_search::nn::Mode::Train)?;
+            let logits = result
+                .net
+                .forward(&images, neural_dropout_search::nn::Mode::Train)?;
             let (_, dlogits) = softmax_cross_entropy(&logits, &labels)?;
             result.net.backward(&dlogits)?;
             let mut params = result.net.params_mut();
@@ -94,7 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. What the sparsity buys in hardware.
-    println!("{:<22} {:>13} {:>8} {:>10}", "design", "latency (ms)", "BRAM %", "energy (mJ)");
+    println!(
+        "{:<22} {:>13} {:>8} {:>10}",
+        "design", "latency (ms)", "BRAM %", "energy (mJ)"
+    );
     for (name, support) in [
         ("dense", SparsitySupport::dense()),
         ("unstructured 60%", SparsitySupport::unstructured(0.6)),

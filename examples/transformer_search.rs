@@ -24,9 +24,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // candidate designs (4^2 = 16 configurations).
     let mut spec = Specification::lenet_demo(33);
     spec.arch = zoo::tiny_vit(16, 4, 2);
-    spec.dataset_config = DatasetConfig { train: 768, val: 128, test: 128, seed: 33, noise: 0.06 };
+    spec.dataset_config = DatasetConfig {
+        train: 768,
+        val: 128,
+        test: 128,
+        seed: 33,
+        noise: 0.06,
+    };
     spec.train.epochs = 3;
-    spec.evolution = EvolutionConfig { population: 8, generations: 4, parents: 3, ..Default::default() };
+    spec.evolution = EvolutionConfig {
+        population: 8,
+        generations: 4,
+        parents: 3,
+        ..Default::default()
+    };
     spec.aim = SearchAim::weighted("balanced", 1.0, 1.0, 0.25, 0.0);
 
     println!("searching {} ({} configurations)...\n", spec.arch.name, {
@@ -46,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nsearch archive ({} distinct configs):", outcome.search.archive.len());
+    println!(
+        "\nsearch archive ({} distinct configs):",
+        outcome.search.archive.len()
+    );
     let mut by_score: Vec<_> = outcome.search.archive.iter().collect();
     by_score.sort_by(|a, b| spec.aim.score(b).total_cmp(&spec.aim.score(a)));
     for candidate in by_score.iter().take(5) {

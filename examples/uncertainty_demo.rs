@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pass).
     let spec = SupernetSpec::paper_default(zoo::lenet(), 99)?;
     let mut supernet = Supernet::build(&spec)?;
-    let train_config = TrainConfig { epochs: 3, ..TrainConfig::default() };
-    println!("training LeNet supernet (SPOS, {} epochs)…", train_config.epochs);
+    let train_config = TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    };
+    println!(
+        "training LeNet supernet (SPOS, {} epochs)…",
+        train_config.epochs
+    );
     for epoch in supernet.train_spos(&splits.train, &train_config, &mut rng)? {
         println!(
             "  epoch {}: loss {:.4}, accuracy {:.1}%",
@@ -73,10 +79,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mc_ood_entropy = average_predictive_entropy(&mc_ood.mean_probs)?;
 
     println!("\n                      deterministic   MC-dropout (S=3)");
-    println!("test accuracy         {:>10.2}%   {:>10.2}%", 100.0 * det_acc, 100.0 * mc_acc);
-    println!("test ECE              {:>10.2}%   {:>10.2}%", 100.0 * det_ece, 100.0 * mc_ece);
-    println!("entropy in-dist       {:>10.3}    {:>10.3}  (nats)", det_id_entropy, mc_id_entropy);
-    println!("entropy OOD (aPE)     {:>10.3}    {:>10.3}  (nats)", det_ood_entropy, mc_ood_entropy);
+    println!(
+        "test accuracy         {:>10.2}%   {:>10.2}%",
+        100.0 * det_acc,
+        100.0 * mc_acc
+    );
+    println!(
+        "test ECE              {:>10.2}%   {:>10.2}%",
+        100.0 * det_ece,
+        100.0 * mc_ece
+    );
+    println!(
+        "entropy in-dist       {:>10.3}    {:>10.3}  (nats)",
+        det_id_entropy, mc_id_entropy
+    );
+    println!(
+        "entropy OOD (aPE)     {:>10.3}    {:>10.3}  (nats)",
+        det_ood_entropy, mc_ood_entropy
+    );
     println!(
         "OOD/in-dist entropy gap {:>8.3}    {:>10.3}",
         det_ood_entropy - det_id_entropy,

@@ -109,7 +109,11 @@ fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, String> {
             spec.arch = zoo::tiny_vit(16, 4, 2);
             spec
         }
-        other => return Err(format!("unknown arch `{other}` (lenet | vgg | resnet | vit)")),
+        other => {
+            return Err(format!(
+                "unknown arch `{other}` (lenet | vgg | resnet | vit)"
+            ))
+        }
     };
     if let Some(aim) = flags.get("aim") {
         spec.aim = match aim.as_str() {
@@ -121,12 +125,14 @@ fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, String> {
         };
     }
     if let Some(points) = flags.get("gp") {
-        let train_points = points.parse().map_err(|_| format!("bad --gp value `{points}`"))?;
+        let train_points = points
+            .parse()
+            .map_err(|_| format!("bad --gp value `{points}`"))?;
         spec.latency_source = LatencySource::Gp { train_points };
     }
     if flags.contains_key("extended") {
-        let supernet_spec = SupernetSpec::extended_default(spec.arch.clone(), seed)
-            .map_err(|e| e.to_string())?;
+        let supernet_spec =
+            SupernetSpec::extended_default(spec.arch.clone(), seed).map_err(|e| e.to_string())?;
         spec.choices = Some(supernet_spec.choices);
     }
     Ok(spec)
@@ -164,7 +170,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn hw_arch_for(flags: &HashMap<String, String>) -> Result<neural_dropout_search::nn::arch::Architecture, String> {
+fn hw_arch_for(
+    flags: &HashMap<String, String>,
+) -> Result<neural_dropout_search::nn::arch::Architecture, String> {
     match flags.get("arch").map(String::as_str).unwrap_or("lenet") {
         "lenet" => Ok(zoo::lenet()),
         "vgg" | "vgg11" => Ok(zoo::vgg11_paper()),
@@ -190,7 +198,9 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         accel.mapping = McMapping::Spatial;
     }
     if let Some(samples) = flags.get("samples") {
-        accel.samples = samples.parse().map_err(|_| format!("bad --samples `{samples}`"))?;
+        accel.samples = samples
+            .parse()
+            .map_err(|_| format!("bad --samples `{samples}`"))?;
     }
     let model = AcceleratorModel::new(accel);
     let report = model.analyze(&arch, &config).map_err(|e| e.to_string())?;

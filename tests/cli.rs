@@ -59,7 +59,15 @@ fn analyze_prints_a_report() {
 fn hls_writes_a_project() {
     let dir = std::env::temp_dir().join("nds_cli_hls_test");
     let _ = std::fs::remove_dir_all(&dir);
-    let (ok, stdout, _) = nds(&["hls", "--arch", "lenet", "--config", "BBB", "--out", dir.to_str().unwrap()]);
+    let (ok, stdout, _) = nds(&[
+        "hls",
+        "--arch",
+        "lenet",
+        "--config",
+        "BBB",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
     assert!(ok, "{stdout}");
     assert!(dir.join("firmware/nnet_dropout.h").exists());
     let _ = std::fs::remove_dir_all(&dir);
@@ -70,7 +78,10 @@ fn vit_space_and_analysis_work() {
     let (ok, stdout, _) = nds(&["space", "--arch", "vit"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("16 configurations"), "{stdout}");
-    assert!(stdout.contains("16x1x16"), "token-sequence slot shape: {stdout}");
+    assert!(
+        stdout.contains("16x1x16"),
+        "token-sequence slot shape: {stdout}"
+    );
     let (ok, stdout, _) = nds(&["analyze", "--arch", "vit", "--config", "KM"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("encoder_attention"), "{stdout}");

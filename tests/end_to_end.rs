@@ -6,7 +6,13 @@ use neural_dropout_search::search::{EvolutionConfig, SearchAim};
 
 fn tiny_spec(seed: u64) -> Specification {
     let mut spec = Specification::lenet_demo(seed);
-    spec.dataset_config = DatasetConfig { train: 128, val: 64, test: 64, seed, noise: 0.05 };
+    spec.dataset_config = DatasetConfig {
+        train: 128,
+        val: 64,
+        test: 64,
+        seed,
+        noise: 0.05,
+    };
     spec.train.epochs = 2;
     spec.evolution = EvolutionConfig {
         population: 8,
@@ -32,7 +38,11 @@ fn full_pipeline_produces_consistent_artifacts() {
     let supernet_spec = spec.supernet_spec().unwrap();
     assert!(!outcome.search.archive.is_empty());
     for candidate in &outcome.search.archive {
-        assert!(supernet_spec.contains(&candidate.config), "{}", candidate.config);
+        assert!(
+            supernet_spec.contains(&candidate.config),
+            "{}",
+            candidate.config
+        );
         assert!((0.0..=1.0).contains(&candidate.metrics.accuracy));
         assert!((0.0..=1.0).contains(&candidate.metrics.ece));
         assert!(candidate.metrics.ape >= 0.0);
@@ -50,7 +60,10 @@ fn full_pipeline_produces_consistent_artifacts() {
     }
 
     // Phase 4: hardware report consistent with the winner.
-    assert!(outcome.report.design.ends_with(&outcome.best.config.compact()));
+    assert!(outcome
+        .report
+        .design
+        .ends_with(&outcome.best.config.compact()));
     assert!(outcome.report.fits_device());
     assert!((outcome.report.latency_ms - outcome.best.latency_ms).abs() < 1e-9);
 
@@ -67,7 +80,12 @@ fn same_seed_reproduces_the_same_winner() {
     assert_eq!(a.best.latency_ms, b.best.latency_ms);
     // Full archives agree, not just the winner.
     let keys = |o: &neural_dropout_search::core::FrameworkOutcome| {
-        let mut v: Vec<String> = o.search.archive.iter().map(|c| c.config.compact()).collect();
+        let mut v: Vec<String> = o
+            .search
+            .archive
+            .iter()
+            .map(|c| c.config.compact())
+            .collect();
         v.sort();
         v
     };
@@ -96,8 +114,8 @@ fn latency_optimal_search_avoids_stalling_dropout() {
 #[test]
 fn gp_and_exact_latency_agree_on_ranking() {
     let exact = run(&tiny_spec(404)).unwrap();
-    let gp = run(&tiny_spec(404).with_latency_source(LatencySource::Gp { train_points: 20 }))
-        .unwrap();
+    let gp =
+        run(&tiny_spec(404).with_latency_source(LatencySource::Gp { train_points: 20 })).unwrap();
     // Same algorithmic metrics (same training seed); latency figures may
     // differ slightly but must stay close on every shared archive config.
     let rmse = gp.gp_rmse_ms.unwrap();

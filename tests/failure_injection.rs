@@ -95,7 +95,10 @@ fn gp_handles_degenerate_training_sets() {
     let gp = GpRegressor::fit(
         &[vec![1.0]],
         &[2.0],
-        Kernel::Matern52 { lengthscale: 1.0, variance: 1.0 },
+        Kernel::Matern52 {
+            lengthscale: 1.0,
+            variance: 1.0,
+        },
         1e-6,
     )
     .unwrap();
@@ -106,7 +109,10 @@ fn gp_handles_degenerate_training_sets() {
     let gp = GpRegressor::fit(
         &[vec![0.0], vec![1.0], vec![2.0]],
         &[5.0, 5.0, 5.0],
-        Kernel::Rbf { lengthscale: 1.0, variance: 1.0 },
+        Kernel::Rbf {
+            lengthscale: 1.0,
+            variance: 1.0,
+        },
         1e-6,
     )
     .unwrap();
@@ -120,12 +126,18 @@ fn dropout_layer_survives_batch_of_one_and_large_rates() {
         shape: FeatureShape::Map { c: 2, h: 3, w: 3 },
         position: SlotPosition::Conv,
     };
-    let settings = DropoutSettings { rate: 0.9, ..DropoutSettings::default() };
+    let settings = DropoutSettings {
+        rate: 0.9,
+        ..DropoutSettings::default()
+    };
     for kind in DropoutKind::all() {
         let mut layer = DropoutLayer::for_slot(kind, &slot, &settings, 3).unwrap();
         let x = Tensor::ones(Shape::d4(1, 2, 3, 3));
         let y = layer.forward(&x, Mode::Train).unwrap();
-        assert!(y.all_finite(), "{kind} produced non-finite values at rate 0.9");
+        assert!(
+            y.all_finite(),
+            "{kind} produced non-finite values at rate 0.9"
+        );
         let g = Tensor::ones(Shape::d4(1, 2, 3, 3));
         assert!(layer.backward(&g).unwrap().all_finite());
     }
@@ -133,7 +145,13 @@ fn dropout_layer_survives_batch_of_one_and_large_rates() {
 
 #[test]
 fn training_with_single_sample_dataset_does_not_panic() {
-    let splits = mnist_like(&DatasetConfig { train: 1, val: 1, test: 1, seed: 4, noise: 0.0 });
+    let splits = mnist_like(&DatasetConfig {
+        train: 1,
+        val: 1,
+        test: 1,
+        seed: 4,
+        noise: 0.0,
+    });
     let spec = SupernetSpec::paper_default(zoo::lenet(), 4).unwrap();
     let mut supernet = Supernet::build(&spec).unwrap();
     let mut rng = Rng64::new(4);
@@ -142,7 +160,9 @@ fn training_with_single_sample_dataset_does_not_panic() {
         batch_size: 8,
         ..Default::default()
     };
-    let history = supernet.train_spos(&splits.train, &config, &mut rng).unwrap();
+    let history = supernet
+        .train_spos(&splits.train, &config, &mut rng)
+        .unwrap();
     assert_eq!(history.len(), 1);
     assert!(history[0].loss.is_finite());
 }
@@ -262,5 +282,8 @@ fn pruning_mask_detects_structure_changes() {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         mask.reapply(&mut other);
     }));
-    assert!(outcome.is_err(), "mismatched structure must panic, not corrupt");
+    assert!(
+        outcome.is_err(),
+        "mismatched structure must panic, not corrupt"
+    );
 }

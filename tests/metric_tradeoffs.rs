@@ -13,7 +13,13 @@ use neural_dropout_search::tensor::rng::Rng64;
 /// Trains one LeNet supernet and exhaustively evaluates all 32 configs.
 /// Expensive-ish (about a minute), so every qualitative check shares it.
 fn evaluated_archive() -> (SupernetSpec, Vec<neural_dropout_search::search::Candidate>) {
-    let splits = mnist_like(&DatasetConfig { train: 1280, val: 192, test: 64, seed: 55, noise: 0.06 });
+    let splits = mnist_like(&DatasetConfig {
+        train: 1280,
+        val: 192,
+        test: 64,
+        seed: 55,
+        noise: 0.06,
+    });
     let spec = SupernetSpec::paper_default(zoo::lenet(), 55).unwrap();
     let mut supernet = Supernet::build(&spec).unwrap();
     let mut rng = Rng64::new(55);
@@ -26,10 +32,15 @@ fn evaluated_archive() -> (SupernetSpec, Vec<neural_dropout_search::search::Cand
         },
         ..TrainConfig::default()
     };
-    supernet.train_spos(&splits.train, &train_config, &mut rng).unwrap();
+    supernet
+        .train_spos(&splits.train, &train_config, &mut rng)
+        .unwrap();
     let ood = splits.train.ood_noise(192, &mut rng);
     let model = AcceleratorModel::new(AcceleratorConfig::lenet_paper());
-    let latency = LatencyProvider::Exact { model, arch: zoo::lenet() };
+    let latency = LatencyProvider::Exact {
+        model,
+        arch: zoo::lenet(),
+    };
     let mut evaluator = SupernetEvaluator::new(&mut supernet, &splits.val, ood, latency, 64);
     let archive = evaluate_all(&spec, &mut evaluator).unwrap();
     (spec, archive)
@@ -54,7 +65,10 @@ fn exhaustive_archive_reproduces_paper_structure() {
         .iter()
         .map(|c| c.metrics.accuracy)
         .fold(0.0, f64::max);
-    assert!(best_acc > 0.5, "best accuracy {best_acc} too low to be meaningful");
+    assert!(
+        best_acc > 0.5,
+        "best accuracy {best_acc} too low to be meaningful"
+    );
 
     // --- Latency structure (Table 1): B and M tie at the bottom; any ---
     // --- config containing K is dragged to all-K latency.             ---
@@ -93,15 +107,18 @@ fn exhaustive_archive_reproduces_paper_structure() {
         .iter()
         .map(|c| c.metrics.ape)
         .fold(f64::NEG_INFINITY, f64::max);
-    let achieved_on_frontier = |name: &str, achieves: &dyn Fn(&neural_dropout_search::search::Candidate) -> bool| {
-        assert!(
-            archive
-                .iter()
-                .any(|c| achieves(c) && on_frontier(c, &archive, &objectives)),
-            "no {name}-optimal configuration lies on the Pareto frontier"
-        );
-    };
-    achieved_on_frontier("accuracy", &|c| c.metrics.accuracy >= best_acc_value - 1e-12);
+    let achieved_on_frontier =
+        |name: &str, achieves: &dyn Fn(&neural_dropout_search::search::Candidate) -> bool| {
+            assert!(
+                archive
+                    .iter()
+                    .any(|c| achieves(c) && on_frontier(c, &archive, &objectives)),
+                "no {name}-optimal configuration lies on the Pareto frontier"
+            );
+        };
+    achieved_on_frontier("accuracy", &|c| {
+        c.metrics.accuracy >= best_acc_value - 1e-12
+    });
     achieved_on_frontier("ECE", &|c| c.metrics.ece <= best_ece_value + 1e-12);
     achieved_on_frontier("aPE", &|c| c.metrics.ape >= best_ape_value - 1e-12);
 

@@ -364,6 +364,63 @@ proptest! {
         }
     }
 
+    // ---- Monte-Carlo inference ---------------------------------------------
+
+    /// MC prediction is byte-identical between a serial run and any
+    /// parallel fan-out, for any seed and sampling number — the
+    /// guarantee the parallel sampling engine is built around.
+    #[test]
+    fn mc_predict_parallel_equals_serial(
+        seed in 0u64..400,
+        samples in 1usize..6,
+        workers in 2usize..6,
+        kind_ix in 0usize..4,
+    ) {
+        use neural_dropout_search::dropout::mc::mc_predict_with_workers;
+        use neural_dropout_search::dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+        use neural_dropout_search::nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+        use neural_dropout_search::nn::layers::{Flatten, Linear, Sequential};
+        use neural_dropout_search::tensor::Workspace;
+
+        let kind = [
+            DropoutKind::Bernoulli,
+            DropoutKind::Random,
+            DropoutKind::Gaussian,
+            DropoutKind::Masksembles,
+        ][kind_ix];
+        let build = || {
+            let mut rng = Rng64::new(seed);
+            let mut net = Sequential::new();
+            net.push(Box::new(Flatten::new()));
+            net.push(Box::new(Linear::new(16, 10, true, &mut rng)));
+            let slot = SlotInfo {
+                id: 0,
+                shape: FeatureShape::Vector { features: 10 },
+                position: SlotPosition::FullyConnected,
+            };
+            net.push(Box::new(
+                DropoutLayer::for_slot(
+                    kind,
+                    &slot,
+                    &DropoutSettings { rate: 0.4, ..DropoutSettings::default() },
+                    seed ^ 0xD0,
+                )
+                .unwrap(),
+            ));
+            net.push(Box::new(Linear::new(10, 3, true, &mut rng)));
+            net
+        };
+        let mut rng = Rng64::new(seed ^ 0xA11CE);
+        let x = Tensor::rand_normal(Shape::d4(4, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut ws = Workspace::new();
+        let serial =
+            mc_predict_with_workers(&mut build(), &x, samples, 2, 1, &mut ws).unwrap();
+        let parallel =
+            mc_predict_with_workers(&mut build(), &x, samples, 2, workers, &mut ws).unwrap();
+        prop_assert_eq!(&serial.sample_probs, &parallel.sample_probs);
+        prop_assert_eq!(&serial.mean_probs, &parallel.mean_probs);
+    }
+
     // ---- GP --------------------------------------------------------------------
 
     /// GP predictive variance is non-negative everywhere and the mean

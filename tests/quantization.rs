@@ -8,13 +8,19 @@ use neural_dropout_search::hw::simulator::{quantize_network, quantized_mc_predic
 use neural_dropout_search::metrics::accuracy;
 use neural_dropout_search::nn::train::TrainConfig;
 use neural_dropout_search::nn::zoo;
-use neural_dropout_search::quant::{Q7_8};
+use neural_dropout_search::quant::Q7_8;
 use neural_dropout_search::supernet::{Supernet, SupernetSpec};
 use neural_dropout_search::tensor::rng::Rng64;
 
 #[test]
 fn q78_inference_tracks_float_inference() {
-    let splits = mnist_like(&DatasetConfig { train: 768, val: 64, test: 128, seed: 77, noise: 0.05 });
+    let splits = mnist_like(&DatasetConfig {
+        train: 768,
+        val: 64,
+        test: 128,
+        seed: 77,
+        noise: 0.05,
+    });
     let spec = SupernetSpec::paper_default(zoo::lenet(), 77).unwrap();
     let mut supernet = Supernet::build(&spec).unwrap();
     let mut rng = Rng64::new(77);
@@ -26,7 +32,11 @@ fn q78_inference_tracks_float_inference() {
     supernet
         .train_spos(
             &splits.train,
-            &TrainConfig { epochs: 5, schedule, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 5,
+                schedule,
+                ..TrainConfig::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -41,7 +51,10 @@ fn q78_inference_tracks_float_inference() {
     let q_probs = quantized_mc_predict(supernet.net_mut(), &images, Q7_8, 3).unwrap();
     let q_acc = accuracy(&q_probs, &labels).unwrap();
 
-    assert!(float_acc > 0.4, "float model too weak for the comparison ({float_acc})");
+    assert!(
+        float_acc > 0.4,
+        "float model too weak for the comparison ({float_acc})"
+    );
     assert!(
         (float_acc - q_acc).abs() < 0.10,
         "Q7.8 accuracy {q_acc} strays too far from float accuracy {float_acc}"
@@ -50,7 +63,13 @@ fn q78_inference_tracks_float_inference() {
 
 #[test]
 fn quantized_predictions_are_valid_distributions() {
-    let splits = mnist_like(&DatasetConfig { train: 64, val: 16, test: 32, seed: 78, noise: 0.05 });
+    let splits = mnist_like(&DatasetConfig {
+        train: 64,
+        val: 16,
+        test: 32,
+        seed: 78,
+        noise: 0.05,
+    });
     let spec = SupernetSpec::paper_default(zoo::lenet(), 78).unwrap();
     let mut supernet = Supernet::build(&spec).unwrap();
     supernet.set_config(&"MMM".parse().unwrap()).unwrap();

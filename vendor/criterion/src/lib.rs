@@ -1,0 +1,176 @@
+//! Vendored, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships the thin slice of criterion's API that the `micro`
+//! bench target actually uses: [`Criterion`] with the builder knobs,
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timing methodology is deliberately simple — warm-up, then
+//! `sample_size` samples of auto-scaled iteration batches, reporting the
+//! median with min/max bounds in criterion's familiar output format.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver: holds the measurement configuration and runs
+/// individual benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion reads CLI filters itself; cargo passes the
+        // remaining args after `--bench` through to the harness binary.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before measurement begins.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark, printing a criterion-style result line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            config: self.clone(),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Per-benchmark timing context passed to the benchmark closure.
+pub struct Bencher {
+    config: Criterion,
+    samples: Vec<f64>, // seconds per iteration
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration durations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, and estimate the per-iteration cost.
+        let warm_up = self.config.warm_up_time;
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Split the measurement budget into `sample_size` samples, each
+        // batching enough iterations to dominate timer overhead.
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        self.samples.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} no samples recorded");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            format_time(lo),
+            format_time(median),
+            format_time(hi)
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group — both the `name/config/targets` form and
+/// the positional form of upstream criterion are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
