@@ -1,15 +1,17 @@
 //! Emits `BENCH_inference.json` — the inference-engine perf baseline.
 //!
 //! Times the kernels the high-throughput inference engine optimises
-//! (blocked/parallel matmul, fused transposed matmul, end-to-end
-//! MC-dropout prediction) against the retained naive reference kernel,
-//! and writes the numbers as JSON at the workspace root so future PRs
-//! can track the perf trajectory.
+//! (blocked/parallel matmul, fused transposed matmul, gemm-lowered
+//! conv2d, end-to-end MC-dropout prediction at LeNet and ResNet scale)
+//! against the retained naive reference kernels, and writes the numbers
+//! as JSON at the workspace root so future PRs can track the perf
+//! trajectory.
 //!
 //! Run with: `cargo run --release -p nds-bench --bin perf_baseline`
 
 use nds_dropout::mc::mc_predict_with_workers;
 use nds_supernet::{Supernet, SupernetSpec};
+use nds_tensor::conv::{conv2d_direct, conv2d_ws, ConvGeometry};
 use nds_tensor::parallel::worker_count;
 use nds_tensor::rng::Rng64;
 use nds_tensor::{Shape, Tensor, Workspace};
@@ -41,6 +43,20 @@ fn main() {
     let blocked = time_median(15, || a.matmul(&b).unwrap());
     let transb = time_median(15, || a.matmul_transb(&bt).unwrap());
 
+    // Gemm-lowered conv2d at ResNet-block scale (64 -> 64 channels,
+    // 3x3/s1p1 over 16x16 maps, batch 4) against the direct oracle.
+    let conv_input = Tensor::rand_normal(Shape::d4(4, 64, 16, 16), 0.0, 1.0, &mut rng);
+    let conv_weight = Tensor::rand_normal(Shape::d4(64, 64, 3, 3), 0.0, 0.1, &mut rng);
+    let conv_bias = Tensor::rand_normal(Shape::d1(64), 0.0, 0.1, &mut rng);
+    let g = ConvGeometry::new(3, 1, 1);
+    let mut conv_ws = Workspace::new();
+    let conv_direct = time_median(5, || {
+        conv2d_direct(&conv_input, &conv_weight, Some(&conv_bias), g).unwrap()
+    });
+    let conv_gemm = time_median(15, || {
+        conv2d_ws(&conv_input, &conv_weight, Some(&conv_bias), g, &mut conv_ws).unwrap()
+    });
+
     let spec = SupernetSpec::paper_default(nds_nn::zoo::lenet(), 6).expect("valid spec");
     let mut supernet = Supernet::build(&spec).expect("builds");
     supernet
@@ -55,6 +71,23 @@ fn main() {
         mc_predict_with_workers(supernet.net_mut(), &images, 3, 32, workers, &mut ws).unwrap()
     });
 
+    // ResNet-scale MC prediction: width-8 ResNet18 supernet over
+    // CIFAR-shaped inputs — the configuration the zero-copy weight
+    // sharing and the gemm-lowered conv path are aimed at.
+    let resnet_spec = SupernetSpec::paper_default(nds_nn::zoo::resnet18(8), 7).expect("valid spec");
+    let mut resnet = Supernet::build(&resnet_spec).expect("builds");
+    resnet
+        .set_config(&"BBBB".parse().expect("valid"))
+        .expect("in space");
+    let cifar = Tensor::rand_normal(Shape::d4(16, 3, 32, 32), 0.0, 1.0, &mut rng);
+    let mut resnet_ws = Workspace::new();
+    let resnet_serial = time_median(3, || {
+        mc_predict_with_workers(resnet.net_mut(), &cifar, 3, 16, 1, &mut resnet_ws).unwrap()
+    });
+    let resnet_parallel = time_median(3, || {
+        mc_predict_with_workers(resnet.net_mut(), &cifar, 3, 16, workers, &mut resnet_ws).unwrap()
+    });
+
     let json = format!(
         "{{\n  \
          \"bench\": \"inference-engine baseline\",\n  \
@@ -65,7 +98,16 @@ fn main() {
          \"transb_ms\": {:.4},\n    \
          \"speedup_blocked\": {:.3},\n    \
          \"speedup_transb\": {:.3}\n  }},\n  \
+         \"conv2d_64x64_3x3_b4_16x16\": {{\n    \
+         \"direct_ms\": {:.3},\n    \
+         \"gemm_ms\": {:.3},\n    \
+         \"speedup_vs_direct\": {:.3}\n  }},\n  \
          \"mc_predict_lenet_s3_b32\": {{\n    \
+         \"serial_ms\": {:.3},\n    \
+         \"parallel_ms\": {:.3},\n    \
+         \"speedup\": {:.3},\n    \
+         \"images_per_sec\": {:.1}\n  }},\n  \
+         \"mc_predict_resnet18w8_s3_b16\": {{\n    \
          \"serial_ms\": {:.3},\n    \
          \"parallel_ms\": {:.3},\n    \
          \"speedup\": {:.3},\n    \
@@ -75,10 +117,17 @@ fn main() {
         transb * 1e3,
         naive / blocked,
         naive / transb,
+        conv_direct * 1e3,
+        conv_gemm * 1e3,
+        conv_direct / conv_gemm,
         mc_serial * 1e3,
         mc_parallel * 1e3,
         mc_serial / mc_parallel,
         32.0 / mc_parallel,
+        resnet_serial * 1e3,
+        resnet_parallel * 1e3,
+        resnet_serial / resnet_parallel,
+        16.0 / resnet_parallel,
     );
     let path = nds_bench::results_dir()
         .parent()

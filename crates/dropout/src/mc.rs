@@ -9,13 +9,18 @@
 //!
 //! The S passes are independent given the per-sample RNG streams that
 //! [`nds_nn::Layer::begin_mc_sample`] derives from `(seed, sample index)`,
-//! so [`mc_predict`] fans them out across worker threads, each running a
-//! clone of the network. Because every sample's masks depend only on its
-//! index — never on execution order or thread assignment — the parallel
-//! result is **bit-identical** to a serial run (see
-//! [`mc_predict_with_workers`] and the crate's tests). Scratch buffers for
-//! the mean reduction come from a [`Workspace`] so steady-state prediction
-//! rounds allocate nothing beyond the per-pass activations.
+//! so [`mc_predict`] fans them out over the persistent worker pool
+//! ([`nds_tensor::parallel::run_scoped`]), each task running a clone of
+//! the network. Clones are **zero-copy**: weights live in copy-on-write
+//! [`nds_tensor::SharedTensor`] storage, so a worker clone shares the
+//! caller's parameter buffers instead of duplicating megabytes of
+//! weights per round (see `tests/zero_copy.rs` at the workspace root).
+//! Because every sample's masks depend only on its index — never on
+//! execution order or thread assignment — the parallel result is
+//! **bit-identical** to a serial run (see [`mc_predict_with_workers`]
+//! and the crate's tests). Scratch buffers for the mean reduction come
+//! from a [`Workspace`] so steady-state prediction rounds allocate
+//! nothing beyond the per-pass activations.
 
 use nds_metrics::entropy_nats;
 use nds_nn::layers::Sequential;
@@ -145,14 +150,13 @@ pub fn mc_predict_with_workers(
     workspace: &mut Workspace,
 ) -> Result<McPrediction> {
     let samples = samples.max(1);
-    // Degrade to serial when already inside a parallel region (e.g. a
-    // population-evaluation worker) instead of nesting thread fan-outs.
-    let workers = nds_tensor::parallel::effective_workers(workers);
     // All passes run on clones, so the caller's network keeps its
     // stochastic state (dropout RNGs, mask cursors) untouched — a
     // training loop or manual MC forward that follows a prediction round
     // behaves the same on every machine, whatever the worker count.
     // begin_mc_round therefore also fires on the clones, not the caller.
+    // Cloning is cheap: weights live in copy-on-write shared storage, so
+    // a clone copies layer bookkeeping but not a single parameter.
     let sample_probs: Vec<Tensor> = if workers <= 1 || samples <= 1 {
         let mut worker_net = net.clone();
         worker_net.begin_mc_round();
@@ -168,32 +172,38 @@ pub fn mc_predict_with_workers(
         }
         probs
     } else {
-        // Fan samples out across workers, each on its own clone of the
-        // network. Slot ordering keeps the output order equal to the
-        // serial path's.
+        // Fan sample chunks out over the persistent worker pool, each
+        // task on its own clone of the network. Chunk ordering keeps the
+        // output order equal to the serial path's, and each sample's
+        // masks depend only on its index, so any chunking of any pool
+        // size produces identical bytes. When this runs nested inside a
+        // population-evaluation task, the chunks simply queue on the
+        // same pool instead of degrading to serial.
         let mut slots: Vec<Option<Result<Tensor>>> = (0..samples).map(|_| None).collect();
         let per_worker = samples.div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (w, chunk) in slots.chunks_mut(per_worker).enumerate() {
-                let net_ref: &Sequential = net;
-                scope.spawn(move || {
-                    nds_tensor::parallel::enter_worker(|| {
-                        let mut worker_net = net_ref.clone();
-                        worker_net.begin_mc_round();
-                        for (i, slot) in chunk.iter_mut().enumerate() {
-                            let s = (w * per_worker + i) as u64;
-                            worker_net.begin_mc_sample(s);
-                            *slot = Some(predict_probs(
-                                &mut worker_net,
-                                images,
-                                Mode::McInference,
-                                batch_size,
-                            ));
-                        }
-                    })
+        let net_ref: &Sequential = net;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .chunks_mut(per_worker)
+            .enumerate()
+            .map(|(w, chunk)| {
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let mut worker_net = net_ref.clone();
+                    worker_net.begin_mc_round();
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let s = (w * per_worker + i) as u64;
+                        worker_net.begin_mc_sample(s);
+                        *slot = Some(predict_probs(
+                            &mut worker_net,
+                            images,
+                            Mode::McInference,
+                            batch_size,
+                        ));
+                    }
                 });
-            }
-        });
+                task
+            })
+            .collect();
+        nds_tensor::parallel::run_scoped(tasks);
         slots
             .into_iter()
             .map(|slot| slot.expect("every sample slot is filled"))

@@ -31,7 +31,8 @@ pub fn quantize_network(net: &mut Sequential, format: FixedFormat) -> usize {
             }
         }
         param.value = Tensor::from_vec(quant, param.value.shape().clone())
-            .expect("quantisation preserves shape");
+            .expect("quantisation preserves shape")
+            .into();
     }
     changed
 }

@@ -1107,8 +1107,8 @@ mod tests {
         let mut ln = LayerNorm::new(6);
         let mut rng = Rng64::new(2);
         // Non-trivial affine parameters.
-        ln.params_mut()[0].value = Tensor::rand_normal(Shape::d1(6), 1.0, 0.3, &mut rng);
-        ln.params_mut()[1].value = Tensor::rand_normal(Shape::d1(6), 0.0, 0.3, &mut rng);
+        ln.params_mut()[0].value = Tensor::rand_normal(Shape::d1(6), 1.0, 0.3, &mut rng).into();
+        ln.params_mut()[1].value = Tensor::rand_normal(Shape::d1(6), 0.0, 0.3, &mut rng).into();
         let x = Tensor::rand_normal(Shape::d4(2, 2, 1, 6), 0.0, 1.5, &mut rng);
         // Note: sum-loss makes per-row LN input grads near zero (the mean
         // shift cancels); probe the gamma/beta path instead plus inputs.

@@ -1,14 +1,23 @@
 use crate::{Layer, Mode, NnError, Param, Result};
-use nds_tensor::conv::{col2im, conv2d, im2col, ConvGeometry};
+use nds_tensor::conv::{col2im_image, conv2d_ws, im2col_image, ConvGeometry};
+use nds_tensor::ops::{gemm_acc, gemm_transa, gemm_transb_acc};
+use nds_tensor::parallel::worker_count;
 use nds_tensor::rng::Rng64;
-use nds_tensor::{Shape, Tensor, TensorError};
+use nds_tensor::{Shape, Tensor, TensorError, Workspace};
 
 /// 2-D convolution layer with optional bias.
 ///
 /// Weights have shape `[out_channels, in_channels, k, k]` and are
-/// He-initialised. The forward pass lowers to im2col + matmul (the same
-/// dataflow the `nds-hw` accelerator model assumes).
-#[derive(Debug, Clone)]
+/// He-initialised. The forward pass lowers per image onto the blocked
+/// parallel gemm (the same dataflow the `nds-hw` accelerator model
+/// assumes), with im2col scratch recycled through a private
+/// [`Workspace`] so steady-state forwards allocate only the output.
+///
+/// The im2col patches are cached for the backward pass **only in
+/// [`Mode::Train`]**; inference-mode forwards skip the cache entirely
+/// (the Monte-Carlo engine never calls `backward`), halving their im2col
+/// work and memory traffic relative to the earlier always-cache design.
+#[derive(Debug)]
 pub struct Conv2d {
     weight: Param,
     bias: Option<Param>,
@@ -16,12 +25,32 @@ pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
     cache: Option<Cache>,
+    workspace: Workspace,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Cache {
-    cols: Tensor,
+    /// Per-image im2col patches, image-major: `n` consecutive
+    /// `[C*K*K, OH*OW]` matrices.
+    cols: Vec<f32>,
     input_shape: Shape,
+}
+
+impl Clone for Conv2d {
+    /// Clones parameters (a cheap copy-on-write share) but neither the
+    /// forward cache nor the scratch pool: clones are made to fan
+    /// inference out across workers, where both start empty anyway.
+    fn clone(&self) -> Self {
+        Conv2d {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            geometry: self.geometry,
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            cache: None,
+            workspace: Workspace::new(),
+        }
+    }
 }
 
 impl Conv2d {
@@ -44,6 +73,7 @@ impl Conv2d {
             in_channels,
             out_channels,
             cache: None,
+            workspace: Workspace::new(),
         }
     }
 
@@ -67,20 +97,60 @@ impl Layer for Conv2d {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let out = conv2d(
-            input,
-            &self.weight.value,
-            self.bias.as_ref().map(|b| &b.value),
-            self.geometry,
-        )?;
-        // Cache the unrolled input for the weight gradient.
-        let cols = im2col(input, self.geometry)?;
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        // Recycle the previous training cache before (maybe) replacing it.
+        if let Some(old) = self.cache.take() {
+            self.workspace.recycle(old.cols);
+        }
+        if !matches!(mode, Mode::Train) {
+            // Inference: no backward coming, so no patch cache — one
+            // im2col per image, scratch recycled inside conv2d_ws.
+            return conv2d_ws(
+                input,
+                &self.weight.value,
+                self.bias.as_ref().map(|b| &*b.value),
+                self.geometry,
+                &mut self.workspace,
+            )
+            .map_err(NnError::from);
+        }
+        // Training: unroll each image once into the (pooled, image-major)
+        // patch cache and gemm straight from it — the same kernel and
+        // accumulation order as conv2d_ws, so outputs are bit-identical
+        // across modes — then keep the patches for the weight gradient.
+        let out_shape = self.out_shape(input.shape())?;
+        let (n, c, h, w) = input
+            .shape()
+            .as_nchw()
+            .expect("out_shape validated a rank-4 input");
+        let g = self.geometry;
+        let oc = self.out_channels;
+        let ckk = c * g.kernel * g.kernel;
+        let spatial = g.out_dim(h) * g.out_dim(w);
+        let per_image = ckk * spatial;
+        let x = input.as_slice();
+        let wt = self.weight.value.as_slice();
+        let bias = self.bias.as_ref().map(|b| b.value.as_slice());
+        let workers = worker_count();
+        let mut cols = self.workspace.take(n * per_image);
+        let mut out = vec![0.0f32; n * oc * spatial];
+        for ni in 0..n {
+            let slab = &mut cols[ni * per_image..(ni + 1) * per_image];
+            im2col_image(&x[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, g, slab);
+            let orow = &mut out[ni * oc * spatial..(ni + 1) * oc * spatial];
+            if let Some(b) = bias {
+                for (o, row) in orow.chunks_mut(spatial).enumerate() {
+                    row.fill(b[o]);
+                }
+            }
+            gemm_acc(wt, slab, oc, ckk, spatial, orow, workers);
+        }
         self.cache = Some(Cache {
             cols,
             input_shape: input.shape().clone(),
         });
-        Ok(out)
+        Tensor::from_vec(out, out_shape).map_err(NnError::from)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
@@ -88,7 +158,7 @@ impl Layer for Conv2d {
             .cache
             .take()
             .ok_or_else(|| NnError::NoForwardCache { layer: self.name() })?;
-        let (n, _c, h, w) = cache
+        let (n, c, h, w) = cache
             .input_shape
             .as_nchw()
             .expect("cached input shape is rank-4");
@@ -96,7 +166,6 @@ impl Layer for Conv2d {
         let oh = g.out_dim(h);
         let ow = g.out_dim(w);
         let oc = self.out_channels;
-        // grad: [N, OC, OH, OW] -> matrix [OC, N*OH*OW] matching im2col cols.
         let (gn, goc, goh, gow) = grad.shape().as_nchw().ok_or(TensorError::RankMismatch {
             op: "conv2d backward",
             expected: 4,
@@ -109,37 +178,55 @@ impl Layer for Conv2d {
                 rhs: grad.shape().clone(),
             }));
         }
-        let spatial = oh * ow;
-        let gsrc = grad.as_slice();
-        let mut gmat = vec![0.0f32; oc * n * spatial];
-        for o in 0..oc {
-            for ni in 0..n {
-                let src_base = (ni * oc + o) * spatial;
-                let dst_base = o * (n * spatial) + ni * spatial;
-                gmat[dst_base..dst_base + spatial]
-                    .copy_from_slice(&gsrc[src_base..src_base + spatial]);
-            }
-        }
-        let gmat = Tensor::from_vec(gmat, Shape::d2(oc, n * spatial))?;
-        // dW = gmat x cols^T, reshaped to [OC, C, K, K].
-        let cols_t = cache.cols.transpose()?;
-        let dw = gmat.matmul(&cols_t)?;
         let k = g.kernel;
-        let dw = dw.reshape(Shape::d4(oc, self.in_channels, k, k))?;
-        self.weight.grad.add_scaled(&dw, 1.0)?;
-        // dBias = sum of gmat rows.
-        if let Some(bias) = &mut self.bias {
-            let gb = gmat.transpose()?.sum_rows()?;
-            bias.grad.add_scaled(&gb, 1.0)?;
+        let ckk = c * k * k;
+        let spatial = oh * ow;
+        let per_image = ckk * spatial;
+        let gsrc = grad.as_slice();
+        let workers = worker_count();
+        // Per image, the NCHW gradient slab is already the [OC, OH*OW]
+        // matrix the gemm kernels want — no rearrangement pass.
+        let mut dw = self.workspace.take(oc * ckk);
+        let mut dcols = self.workspace.take(per_image);
+        // dx escapes to the caller: plain allocation, not pooled scratch.
+        let mut dx = vec![0.0f32; n * c * h * w];
+        let wmat = self.weight.value.as_slice();
+        for ni in 0..n {
+            let gmat = &gsrc[ni * oc * spatial..(ni + 1) * oc * spatial];
+            let cols = &cache.cols[ni * per_image..(ni + 1) * per_image];
+            // dW += grad_i × cols_iᵀ  ([OC, S] × [CKK, S]ᵀ).
+            gemm_transb_acc(gmat, cols, oc, spatial, ckk, &mut dw, workers);
+            // dcols = Wᵀ × grad_i  ([OC, CKK]ᵀ × [OC, S]) — no transposed
+            // weight copy.
+            gemm_transa(wmat, gmat, oc, ckk, spatial, &mut dcols, workers);
+            col2im_image(
+                &dcols,
+                c,
+                h,
+                w,
+                g,
+                &mut dx[ni * c * h * w..(ni + 1) * c * h * w],
+            );
         }
-        // dX = col2im(W^T x gmat).
-        let wmat = self
-            .weight
-            .value
-            .reshape(Shape::d2(oc, self.in_channels * k * k))?;
-        let dcols = wmat.transpose()?.matmul(&gmat)?;
-        let dx = col2im(&dcols, &cache.input_shape, g)?;
-        Ok(dx)
+        let dw = Tensor::from_vec(dw, Shape::d4(oc, self.in_channels, k, k))?;
+        self.weight.grad.add_scaled(&dw, 1.0)?;
+        self.workspace.recycle_tensor(dw);
+        if let Some(bias) = &mut self.bias {
+            // dBias[o] = Σ over images and spatial positions of grad.
+            let mut db = self.workspace.take(oc);
+            for ni in 0..n {
+                for (o, d) in db.iter_mut().enumerate() {
+                    let base = (ni * oc + o) * spatial;
+                    *d += gsrc[base..base + spatial].iter().sum::<f32>();
+                }
+            }
+            let db = Tensor::from_vec(db, Shape::d1(oc))?;
+            bias.grad.add_scaled(&db, 1.0)?;
+            self.workspace.recycle_tensor(db);
+        }
+        self.workspace.recycle(dcols);
+        self.workspace.recycle(cache.cols);
+        Tensor::from_vec(dx, cache.input_shape).map_err(NnError::from)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -284,6 +371,26 @@ mod tests {
     }
 
     #[test]
+    fn inference_forwards_do_not_arm_backward() {
+        // Only Train-mode forwards cache patches for the backward pass;
+        // MC/standard inference skips the bookkeeping entirely.
+        let mut rng = Rng64::new(8);
+        let mut conv = Conv2d::new(1, 2, ConvGeometry::new(3, 1, 1), true, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(1, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let _ = conv.forward(&x, Mode::McInference).unwrap();
+        let grad = Tensor::zeros(Shape::d4(1, 2, 4, 4));
+        assert!(matches!(
+            conv.backward(&grad),
+            Err(NnError::NoForwardCache { .. })
+        ));
+        // Forward outputs are identical across modes (dropout lives in
+        // dedicated layers, not in conv).
+        let a = conv.forward(&x, Mode::Train).unwrap();
+        let b = conv.forward(&x, Mode::Standard).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn rejects_wrong_input_channels() {
         let mut rng = Rng64::new(6);
         let conv = Conv2d::new(3, 4, ConvGeometry::new(3, 1, 1), false, &mut rng);
@@ -304,5 +411,28 @@ mod tests {
         assert_eq!(conv.params()[0].grad.as_slice()[0], 2.0 * first);
         conv.params_mut()[0].zero_grad();
         assert_eq!(conv.params()[0].grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn steady_state_train_steps_reuse_scratch() {
+        let mut rng = Rng64::new(9);
+        let mut conv = Conv2d::new(2, 3, ConvGeometry::new(3, 1, 1), true, &mut rng);
+        let x = Tensor::rand_normal(Shape::d4(2, 2, 6, 6), 0.0, 1.0, &mut rng);
+        let g = Tensor::ones(Shape::d4(2, 3, 6, 6));
+        // Warm up: first round allocates the scratch set.
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        let allocations = conv.workspace.allocations();
+        for _ in 0..3 {
+            conv.forward(&x, Mode::Train).unwrap();
+            conv.backward(&g).unwrap();
+        }
+        assert_eq!(
+            conv.workspace.allocations(),
+            allocations,
+            "steady-state train steps must reuse pooled scratch"
+        );
     }
 }

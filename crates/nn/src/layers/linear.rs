@@ -43,7 +43,7 @@ impl Layer for Linear {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if input.shape().rank() != 2 || input.shape().dim(1) != self.in_features {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 op: "linear forward",
@@ -58,7 +58,9 @@ impl Layer for Linear {
             Some(b) => input.matmul_transb_bias(&self.weight.value, &b.value)?,
             None => input.matmul_transb(&self.weight.value)?,
         };
-        self.cache = Some(input.clone());
+        // Only training forwards arm the backward pass; inference skips
+        // the activation copy (the MC engine never calls backward).
+        self.cache = matches!(mode, Mode::Train).then(|| input.clone());
         Ok(out)
     }
 
@@ -120,9 +122,12 @@ mod tests {
         let mut rng = Rng64::new(1);
         let mut lin = Linear::new(2, 2, true, &mut rng);
         // Overwrite with known values: W = [[1, 2], [3, 4]], b = [10, 20].
-        lin.params_mut()[0].value =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2)).unwrap();
-        lin.params_mut()[1].value = Tensor::from_vec(vec![10.0, 20.0], Shape::d1(2)).unwrap();
+        lin.params_mut()[0].value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2))
+            .unwrap()
+            .into();
+        lin.params_mut()[1].value = Tensor::from_vec(vec![10.0, 20.0], Shape::d1(2))
+            .unwrap()
+            .into();
         let x = Tensor::from_vec(vec![1.0, 1.0], Shape::d2(1, 2)).unwrap();
         let y = lin.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.as_slice(), &[13.0, 27.0]);

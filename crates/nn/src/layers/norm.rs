@@ -345,8 +345,12 @@ mod tests {
         let mut rng = Rng64::new(3);
         let x = Tensor::rand_normal(Shape::d4(4, 2, 2, 2), 0.0, 1.0, &mut rng);
         // Non-trivial gamma/beta so the test covers the affine part.
-        bn.params_mut()[0].value = Tensor::from_vec(vec![1.5, 0.7], Shape::d1(2)).unwrap();
-        bn.params_mut()[1].value = Tensor::from_vec(vec![0.3, -0.2], Shape::d1(2)).unwrap();
+        bn.params_mut()[0].value = Tensor::from_vec(vec![1.5, 0.7], Shape::d1(2))
+            .unwrap()
+            .into();
+        bn.params_mut()[1].value = Tensor::from_vec(vec![0.3, -0.2], Shape::d1(2))
+            .unwrap()
+            .into();
         // Weighted-sum loss for a non-uniform upstream gradient.
         let weights = Tensor::rand_normal(Shape::d4(4, 2, 2, 2), 0.0, 1.0, &mut rng);
         let _ = bn.forward(&x, Mode::Train).unwrap();

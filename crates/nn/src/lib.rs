@@ -45,7 +45,7 @@ pub mod prune;
 pub mod train;
 pub mod zoo;
 
-use nds_tensor::{Shape, Tensor, TensorError};
+use nds_tensor::{Shape, SharedTensor, Tensor, TensorError};
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -123,14 +123,24 @@ impl Mode {
 }
 
 /// A trainable parameter: value, accumulated gradient, and momentum buffer.
+///
+/// All three tensors live in copy-on-write [`SharedTensor`] storage:
+/// cloning a `Param` (and therefore a layer, and therefore a whole
+/// network) is a reference-count bump, which is what lets the
+/// Monte-Carlo engine and the population evaluator hand every worker its
+/// own network clone without copying a single weight. Reads go through
+/// `Deref` (`p.value.as_slice()`); the first mutation on a handle —
+/// an SGD step, gradient accumulation, pruning — detaches a private copy
+/// via [`SharedTensor::make_mut`], so training a fork never perturbs the
+/// original's weights.
 #[derive(Debug, Clone)]
 pub struct Param {
-    /// Current parameter value.
-    pub value: Tensor,
+    /// Current parameter value (shared, copy-on-write).
+    pub value: SharedTensor,
     /// Gradient accumulated by the latest backward pass.
-    pub grad: Tensor,
+    pub grad: SharedTensor,
     /// Momentum buffer owned by the optimizer.
-    pub velocity: Tensor,
+    pub velocity: SharedTensor,
     /// Whether weight decay applies (off for biases and norm parameters,
     /// following standard practice).
     pub decay: bool,
@@ -142,9 +152,9 @@ impl Param {
         let grad = Tensor::zeros(value.shape().clone());
         let velocity = Tensor::zeros(value.shape().clone());
         Param {
-            value,
-            grad,
-            velocity,
+            value: value.into(),
+            grad: grad.into(),
+            velocity: velocity.into(),
             decay,
         }
     }

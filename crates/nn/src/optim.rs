@@ -17,7 +17,7 @@ use crate::Param;
 /// use nds_tensor::{Tensor, Shape};
 ///
 /// let mut p = Param::new(Tensor::ones(Shape::d1(1)), false);
-/// p.grad = Tensor::full(Shape::d1(1), 0.5);
+/// p.grad = Tensor::full(Shape::d1(1), 0.5).into();
 /// let sgd = Sgd::new(0.1);
 /// sgd.step(&mut [&mut p]);
 /// assert!((p.value.as_slice()[0] - 0.95).abs() < 1e-6);
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn plain_sgd_step() {
         let mut p = param(1.0, false);
-        p.grad = Tensor::full(Shape::d1(1), 2.0);
+        p.grad = Tensor::full(Shape::d1(1), 2.0).into();
         Sgd::new(0.1).step(&mut [&mut p]);
         assert!((p.value.as_slice()[0] - 0.8).abs() < 1e-6);
     }
@@ -163,7 +163,7 @@ mod tests {
     fn momentum_accumulates() {
         let mut p = param(0.0, false);
         let sgd = Sgd::with_momentum(1.0, 0.5, 0.0);
-        p.grad = Tensor::full(Shape::d1(1), 1.0);
+        p.grad = Tensor::full(Shape::d1(1), 1.0).into();
         sgd.step(&mut [&mut p]); // v=1, p=-1
         sgd.step(&mut [&mut p]); // v=1.5, p=-2.5
         assert!((p.value.as_slice()[0] + 2.5).abs() < 1e-6);
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn zero_grad_clears() {
         let mut p = param(1.0, false);
-        p.grad = Tensor::full(Shape::d1(1), 3.0);
+        p.grad = Tensor::full(Shape::d1(1), 3.0).into();
         Sgd::new(0.1).zero_grad(&mut [&mut p]);
         assert_eq!(p.grad.as_slice()[0], 0.0);
     }
@@ -195,7 +195,7 @@ mod tests {
         let sgd = Sgd::with_momentum(0.1, 0.9, 0.0);
         for _ in 0..100 {
             let v = p.value.as_slice()[0];
-            p.grad = Tensor::full(Shape::d1(1), 2.0 * (v - 3.0));
+            p.grad = Tensor::full(Shape::d1(1), 2.0 * (v - 3.0)).into();
             sgd.step(&mut [&mut p]);
         }
         assert!((p.value.as_slice()[0] - 3.0).abs() < 1e-2);
@@ -204,9 +204,9 @@ mod tests {
     #[test]
     fn clip_grad_norm_scales_to_threshold() {
         let mut p = param(0.0, false);
-        p.grad = Tensor::full(Shape::d1(1), 30.0); // norm 30
+        p.grad = Tensor::full(Shape::d1(1), 30.0).into(); // norm 30
         let mut q = param(0.0, false);
-        q.grad = Tensor::full(Shape::d1(1), 40.0); // joint norm 50
+        q.grad = Tensor::full(Shape::d1(1), 40.0).into(); // joint norm 50
         let pre = {
             let mut params = [&mut p, &mut q];
             clip_grad_norm(&mut params, 5.0)
@@ -221,13 +221,13 @@ mod tests {
     #[test]
     fn clip_grad_norm_is_noop_below_threshold_or_disabled() {
         let mut p = param(0.0, false);
-        p.grad = Tensor::full(Shape::d1(1), 3.0);
+        p.grad = Tensor::full(Shape::d1(1), 3.0).into();
         {
             let mut params = [&mut p];
             clip_grad_norm(&mut params, 10.0);
         }
         assert_eq!(p.grad.as_slice()[0], 3.0, "below threshold untouched");
-        p.grad = Tensor::full(Shape::d1(1), 1e6);
+        p.grad = Tensor::full(Shape::d1(1), 1e6).into();
         {
             let mut params = [&mut p];
             clip_grad_norm(&mut params, 0.0); // disabled

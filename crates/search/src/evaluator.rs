@@ -250,24 +250,26 @@ impl<'a> SupernetEvaluator<'a> {
             let mut results: Vec<Option<CandidateMetricsResult>> =
                 (0..pending.len()).map(|_| None).collect();
             let (val, ood, batch_size) = (self.val, &self.ood, self.batch_size);
-            std::thread::scope(|scope| {
-                for ((cfgs, slots), fork) in pending
-                    .chunks(chunk)
-                    .zip(results.chunks_mut(chunk))
-                    .zip(forks.iter_mut())
-                {
-                    scope.spawn(move || {
-                        // Mark the thread as a parallel worker so nested
-                        // MC/GEMM fan-outs degrade to serial instead of
-                        // multiplying thread counts.
-                        nds_tensor::parallel::enter_worker(|| {
-                            for (config, slot) in cfgs.iter().zip(slots.iter_mut()) {
-                                *slot = Some(fork.evaluate(config, val, ood, batch_size));
-                            }
-                        })
+            // Fan the chunks out over the persistent worker pool. Nested
+            // fan-outs inside each evaluation (MC sampling, gemm row
+            // blocks) enqueue onto the same pool, so total thread count
+            // stays bounded and idle workers help whichever level has
+            // work — even when evaluate_many itself runs inside a pool
+            // task, it keeps its parallelism instead of going serial.
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pending
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .zip(forks.iter_mut())
+                .map(|((cfgs, slots), fork)| {
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        for (config, slot) in cfgs.iter().zip(slots.iter_mut()) {
+                            *slot = Some(fork.evaluate(config, val, ood, batch_size));
+                        }
                     });
-                }
-            });
+                    task
+                })
+                .collect();
+            nds_tensor::parallel::run_scoped(tasks);
             for (config, outcome) in pending.iter().zip(results) {
                 let metrics = outcome.expect("every evaluation slot is filled")?;
                 let latency_ms = self.latency.latency_ms(config)?;

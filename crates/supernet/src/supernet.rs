@@ -105,8 +105,14 @@ impl Supernet {
     ///
     /// Implemented by rebuilding from the spec (which wires a fresh
     /// [`SelectionState`] through fresh dropout slots) and transplanting
-    /// the trained state. Optimizer momentum is *not* copied: forks are
-    /// for parallel evaluation, not training.
+    /// the trained state. Weights are **shared, not copied**: the fork's
+    /// parameters point at the original's copy-on-write
+    /// [`nds_tensor::SharedTensor`] storage, so no trained weight is
+    /// ever duplicated, and training either side afterwards detaches a
+    /// private copy without disturbing the other. (The rebuild still
+    /// He-initialises throwaway weights before the transplant — see the
+    /// ROADMAP open item on an init-free build path.) Optimizer momentum
+    /// is *not* copied: forks are for parallel evaluation, not training.
     ///
     /// # Errors
     ///
@@ -114,7 +120,8 @@ impl Supernet {
     /// already built once).
     pub fn fork(&mut self) -> Result<Supernet, SupernetError> {
         let mut fresh = Supernet::build(&self.spec)?;
-        let weights: Vec<Tensor> = self.net.params().iter().map(|p| p.value.clone()).collect();
+        let weights: Vec<nds_tensor::SharedTensor> =
+            self.net.params().iter().map(|p| p.value.clone()).collect();
         for (dst, src) in fresh.net.params_mut().into_iter().zip(weights) {
             dst.value = src;
         }

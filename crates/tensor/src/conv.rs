@@ -2,12 +2,37 @@
 //!
 //! The 2-D convolution is implemented with the classic im2col lowering:
 //! patches of the input feature map are unrolled into the columns of a
-//! matrix so that the convolution becomes one matrix multiplication. This is
-//! both reasonably fast on a CPU and — usefully for this project — exactly
-//! the dataflow that the `nds-hw` accelerator model assumes for its
+//! matrix so that the convolution becomes one matrix multiplication — the
+//! dataflow the `nds-hw` accelerator model assumes for its
 //! latency/resource estimates.
+//!
+//! # Performance notes
+//!
+//! [`conv2d`] lowers **per image** onto the cache-blocked, row-parallel
+//! [`crate::ops::gemm_acc`] kernel: for each batch item the `[C·K·K, OH·OW]`
+//! patch matrix is materialised once into a [`Workspace`]-pooled scratch
+//! buffer and multiplied against the weight matrix directly into that
+//! image's `[OC, OH·OW]` output slab. Compared to the earlier whole-batch
+//! lowering this
+//!
+//! * keeps the im2col scratch at one image (`C·K·K·OH·OW` floats) instead
+//!   of the whole batch, so it stays cache-resident and is recycled across
+//!   images and forward passes (steady-state forwards allocate only the
+//!   output),
+//! * writes gemm results straight into NCHW layout — the old
+//!   `[OC, N·OH·OW] → [N, OC, OH, OW]` rearrangement pass is gone,
+//! * parallelises over output-channel rows inside the gemm, which for the
+//!   VGG/ResNet-scale layers (64–512 channels) saturates the worker pool.
+//!
+//! The bias is folded in by seeding each output row before accumulation,
+//! and accumulation order over `(channel, ky, kx)` is fixed and ascending,
+//! so results are **bit-identical for any worker count** and bit-identical
+//! to the naive [`conv2d_direct`] oracle (property-tested in
+//! `tests/conv_props.rs`).
 
-use crate::{Result, Shape, Tensor, TensorError};
+use crate::ops::gemm_acc;
+use crate::parallel::worker_count;
+use crate::{Result, Shape, Tensor, TensorError, Workspace};
 
 /// Spatial geometry of a convolution or pooling window.
 ///
@@ -53,6 +78,92 @@ impl ConvGeometry {
             0
         } else {
             (padded - self.kernel) / self.stride + 1
+        }
+    }
+}
+
+/// Unrolls one `[C, H, W]` image into an im2col patch matrix on raw
+/// slices: `out` receives `[C*K*K, OH*OW]` row-major, every element
+/// written (padded positions as zero).
+///
+/// This is the per-image building block [`conv2d`] loops over; the
+/// whole-batch [`im2col`] remains for callers that need the batched
+/// layout.
+///
+/// # Panics
+///
+/// Panics (in debug builds) when slice lengths disagree with the
+/// dimensions.
+pub fn im2col_image(img: &[f32], c: usize, h: usize, w: usize, g: ConvGeometry, out: &mut [f32]) {
+    let k = g.kernel;
+    let oh = g.out_dim(h);
+    let ow = g.out_dim(w);
+    debug_assert_eq!(img.len(), c * h * w);
+    debug_assert_eq!(out.len(), c * k * k * oh * ow);
+    for ci in 0..c {
+        let chan = &img[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let orow = &mut out[row * oh * ow..(row + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    let dst = &mut orow[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src = &chan[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters one image's im2col-shaped gradient back onto its feature map
+/// (the per-image adjoint of [`im2col_image`]): `cols` is
+/// `[C*K*K, OH*OW]`, contributions are **accumulated** into `img`
+/// (callers zero it first).
+///
+/// # Panics
+///
+/// Panics (in debug builds) when slice lengths disagree with the
+/// dimensions.
+pub fn col2im_image(cols: &[f32], c: usize, h: usize, w: usize, g: ConvGeometry, img: &mut [f32]) {
+    let k = g.kernel;
+    let oh = g.out_dim(h);
+    let ow = g.out_dim(w);
+    debug_assert_eq!(img.len(), c * h * w);
+    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
+    for ci in 0..c {
+        let chan = &mut img[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let srow = &cols[row * oh * ow..(row + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst = &mut chan[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, &s) in srow[oy * ow..(oy + 1) * ow].iter().enumerate() {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[ix as usize] += s;
+                    }
+                }
+            }
         }
     }
 }
@@ -176,20 +287,14 @@ pub fn col2im(cols: &Tensor, input_shape: &Shape, g: ConvGeometry) -> Result<Ten
     Tensor::from_vec(out, input_shape.clone())
 }
 
-/// Direct 2-D convolution: weights `[OC, C, K, K]`, input `[N, C, H, W]`,
-/// optional bias `[OC]`, producing `[N, OC, OH, OW]`.
-///
-/// Lowered through [`im2col`] + matmul.
-///
-/// # Errors
-///
-/// Returns shape errors when operand dimensions are inconsistent.
-pub fn conv2d(
+/// Validates conv2d operand shapes, returning
+/// `(n, c, h, w, oc, oh, ow)`.
+fn conv2d_check(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     g: ConvGeometry,
-) -> Result<Tensor> {
+) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
     let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
         op: "conv2d",
         expected: 4,
@@ -218,21 +323,143 @@ pub fn conv2d(
     }
     let oh = g.out_dim(h);
     let ow = g.out_dim(w);
-    let cols = im2col(input, g)?;
-    let wmat = weight.reshape(Shape::d2(oc, c * g.kernel * g.kernel))?;
-    // [OC, CKK] x [CKK, N*OH*OW] = [OC, N*OH*OW]
-    let prod = wmat.matmul(&cols)?;
-    // Rearrange [OC, N*OH*OW] -> [N, OC, OH, OW], adding bias as we go.
-    let src = prod.as_slice();
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d",
+            msg: format!(
+                "kernel {}x{} does not fit input {h}x{w} with padding {}",
+                g.kernel, g.kernel, g.padding
+            ),
+        });
+    }
+    Ok((n, c, h, w, oc, oh, ow))
+}
+
+/// 2-D convolution: weights `[OC, C, K, K]`, input `[N, C, H, W]`,
+/// optional bias `[OC]`, producing `[N, OC, OH, OW]`.
+///
+/// Lowered per image through [`im2col_image`] + the blocked parallel
+/// [`gemm_acc`] kernel (see the module docs). Equivalent to
+/// [`conv2d_ws`] with a throwaway [`Workspace`]; hot loops should call
+/// that directly so the im2col scratch is reused across calls.
+///
+/// # Errors
+///
+/// Returns shape errors when operand dimensions are inconsistent.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    g: ConvGeometry,
+) -> Result<Tensor> {
+    conv2d_ws(input, weight, bias, g, &mut Workspace::new())
+}
+
+/// [`conv2d`] with an explicit scratch [`Workspace`]: the per-image
+/// im2col buffer is taken from (and returned to) the pool, so repeated
+/// forwards allocate nothing beyond the output tensor.
+///
+/// Accumulation order per output element is fixed (bias seed, then
+/// `(channel, ky, kx)` ascending), so results are bit-identical across
+/// worker counts and identical to [`conv2d_direct`].
+///
+/// # Errors
+///
+/// Returns shape errors when operand dimensions are inconsistent.
+pub fn conv2d_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    g: ConvGeometry,
+    workspace: &mut Workspace,
+) -> Result<Tensor> {
+    let (n, c, h, w, oc, oh, ow) = conv2d_check(input, weight, bias, g)?;
+    let k = g.kernel;
+    let ckk = c * k * k;
     let spatial = oh * ow;
+    let x = input.as_slice();
+    let wt = weight.as_slice();
+    let bias = bias.map(|b| b.as_slice());
+    let workers = worker_count();
+    let mut cols = workspace.take(ckk * spatial);
+    // The output escapes to the caller, so it is a plain allocation —
+    // pooling it would drain scratch buffers from the workspace instead.
     let mut out = vec![0.0f32; n * oc * spatial];
-    for o in 0..oc {
-        let badd = bias.map(|b| b.as_slice()[o]).unwrap_or(0.0);
-        for ni in 0..n {
-            let src_base = o * (n * spatial) + ni * spatial;
-            let dst_base = (ni * oc + o) * spatial;
-            for s in 0..spatial {
-                out[dst_base + s] = src[src_base + s] + badd;
+    for ni in 0..n {
+        im2col_image(
+            &x[ni * c * h * w..(ni + 1) * c * h * w],
+            c,
+            h,
+            w,
+            g,
+            &mut cols,
+        );
+        let slab = &mut out[ni * oc * spatial..(ni + 1) * oc * spatial];
+        if let Some(b) = bias {
+            for (o, row) in slab.chunks_mut(spatial).enumerate() {
+                row.fill(b[o]);
+            }
+        }
+        // [OC, CKK] × [CKK, OH·OW] accumulated straight into the NCHW slab.
+        gemm_acc(wt, &cols, oc, ckk, spatial, slab, workers);
+    }
+    workspace.recycle(cols);
+    Tensor::from_vec(out, Shape::d4(n, oc, oh, ow))
+}
+
+/// Naive direct convolution — the oracle the gemm-lowered [`conv2d`] is
+/// property-tested against, kept deliberately close to the textbook
+/// definition.
+///
+/// Accumulation runs over `(channel, ky, kx)` ascending from a bias seed,
+/// padded taps multiply an explicit zero, and zero weights are skipped
+/// (mirroring the gemm kernel's pruned-weight skip), so the result is
+/// **bit-for-bit** equal to [`conv2d`].
+///
+/// # Errors
+///
+/// Returns shape errors when operand dimensions are inconsistent.
+pub fn conv2d_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    g: ConvGeometry,
+) -> Result<Tensor> {
+    let (n, c, h, w, oc, oh, ow) = conv2d_check(input, weight, bias, g)?;
+    let k = g.kernel;
+    let x = input.as_slice();
+    let wt = weight.as_slice();
+    let bias = bias.map(|b| b.as_slice());
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    for ni in 0..n {
+        for o in 0..oc {
+            let seed = bias.map(|b| b[o]).unwrap_or(0.0);
+            let out_base = (ni * oc + o) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = seed;
+                    for ci in 0..c {
+                        let chan = &x[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                        for ky in 0..k {
+                            let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                            for kx in 0..k {
+                                let wv = wt[((o * c + ci) * k + ky) * k + kx];
+                                if wv == 0.0 {
+                                    continue; // mirrors the gemm zero-skip
+                                }
+                                let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                                let xv = if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize
+                                {
+                                    0.0 // padding taps multiply an explicit zero
+                                } else {
+                                    chan[iy as usize * w + ix as usize]
+                                };
+                                acc += wv * xv;
+                            }
+                        }
+                    }
+                    out[out_base + oy * ow + ox] = acc;
+                }
             }
         }
     }
@@ -388,6 +615,7 @@ pub fn avg_pool2d(input: &Tensor, g: ConvGeometry) -> Result<Tensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Rng64;
 
     #[test]
     fn out_dim_formula() {
@@ -456,6 +684,61 @@ mod tests {
         let input = Tensor::zeros(Shape::d4(1, 3, 4, 4));
         let weight = Tensor::zeros(Shape::d4(2, 2, 3, 3));
         assert!(conv2d(&input, &weight, None, ConvGeometry::new(3, 1, 1)).is_err());
+        assert!(conv2d_direct(&input, &weight, None, ConvGeometry::new(3, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn gemm_lowering_matches_direct_oracle_bitwise() {
+        let mut rng = Rng64::new(40);
+        for (n, c, oc, h, w, k, stride, pad) in [
+            (1, 1, 1, 3, 3, 1, 1, 0),
+            (2, 3, 4, 5, 7, 3, 1, 1),
+            (3, 2, 5, 8, 8, 3, 2, 1),
+            (1, 4, 2, 6, 5, 5, 1, 2),
+            (2, 1, 3, 4, 4, 2, 2, 0),
+        ] {
+            let g = ConvGeometry::new(k, stride, pad);
+            let input = Tensor::rand_normal(Shape::d4(n, c, h, w), 0.0, 1.0, &mut rng);
+            let weight = Tensor::rand_normal(Shape::d4(oc, c, k, k), 0.0, 0.5, &mut rng);
+            let bias = Tensor::rand_normal(Shape::d1(oc), 0.0, 0.5, &mut rng);
+            let fast = conv2d(&input, &weight, Some(&bias), g).unwrap();
+            let slow = conv2d_direct(&input, &weight, Some(&bias), g).unwrap();
+            assert_eq!(
+                fast.as_slice(),
+                slow.as_slice(),
+                "({n},{c},{oc},{h},{w},k{k},s{stride},p{pad})"
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_ws_reuses_the_im2col_buffer() {
+        let mut rng = Rng64::new(41);
+        let input = Tensor::rand_normal(Shape::d4(2, 3, 6, 6), 0.0, 1.0, &mut rng);
+        let weight = Tensor::rand_normal(Shape::d4(4, 3, 3, 3), 0.0, 1.0, &mut rng);
+        let g = ConvGeometry::new(3, 1, 1);
+        let mut ws = Workspace::new();
+        let first = conv2d_ws(&input, &weight, None, g, &mut ws).unwrap();
+        ws.recycle_tensor(first);
+        let allocations = ws.allocations();
+        let second = conv2d_ws(&input, &weight, None, g, &mut ws).unwrap();
+        assert_eq!(
+            ws.allocations(),
+            allocations,
+            "steady-state conv2d forward must not allocate"
+        );
+        assert_eq!(second.shape(), &Shape::d4(2, 4, 6, 6));
+    }
+
+    #[test]
+    fn im2col_image_matches_batched_im2col() {
+        let mut rng = Rng64::new(42);
+        let input = Tensor::rand_normal(Shape::d4(1, 2, 5, 4), 0.0, 1.0, &mut rng);
+        let g = ConvGeometry::new(3, 1, 1);
+        let batched = im2col(&input, g).unwrap();
+        let mut per_image = vec![7.0f32; batched.len()]; // poisoned: every slot must be written
+        im2col_image(input.as_slice(), 2, 5, 4, g, &mut per_image);
+        assert_eq!(per_image, batched.as_slice());
     }
 
     #[test]
@@ -469,6 +752,10 @@ mod tests {
         let cols = im2col(&input, g).unwrap();
         let back = col2im(&cols, input.shape(), g).unwrap();
         assert_eq!(back.as_slice(), input.as_slice());
+        // Per-image variant agrees with the batched one.
+        let mut img = vec![0.0f32; input.len()];
+        col2im_image(cols.as_slice(), 2, 3, 3, g, &mut img);
+        assert_eq!(img, back.as_slice());
     }
 
     #[test]

@@ -9,11 +9,15 @@
 //! * [`rng::Rng64`] — a deterministic, seedable PRNG (SplitMix64-seeded
 //!   Xoshiro256\*\*) used for *all* randomness in the workspace so that every
 //!   experiment is reproducible from a single seed,
-//! * [`conv`] — im2col-based 2-D convolution and pooling kernels,
+//! * [`conv`] — 2-D convolution lowered per image onto the blocked gemm
+//!   kernels (plus pooling), with a naive direct-convolution oracle,
 //! * [`ops`] — cache-blocked, row-parallel matmul kernels with fused
 //!   transposed/bias variants, bit-identical across worker counts,
-//! * [`parallel`] — scoped-thread data-parallel helpers; worker count is
-//!   configurable via the `NDS_THREADS` environment variable,
+//! * [`parallel`] — data-parallel helpers over a lazily-initialised
+//!   persistent worker pool; worker count is configurable via the
+//!   `NDS_THREADS` environment variable,
+//! * [`SharedTensor`] — copy-on-write `Arc`-backed tensor storage, used
+//!   for network weights so inference clones share instead of copying,
 //! * [`Workspace`] — a scratch-buffer pool the Monte-Carlo engine threads
 //!   through repeated stochastic forward passes to avoid reallocations.
 //!
@@ -28,7 +32,11 @@
 //! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// lifetime erasure inside `parallel::pool`, which carries its own
+// `#[allow(unsafe_code)]` and safety argument. Everything else in the
+// crate remains statically free of unsafe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conv;
@@ -36,10 +44,12 @@ pub mod ops;
 pub mod parallel;
 pub mod rng;
 mod shape;
+mod shared;
 mod tensor;
 mod workspace;
 
 pub use shape::Shape;
+pub use shared::SharedTensor;
 pub use tensor::Tensor;
 pub use workspace::Workspace;
 

@@ -27,6 +27,13 @@
 //! slice-level entry points ([`gemm`], [`gemm_transb`], …) take an
 //! explicit worker count so tests can sweep thread counts without
 //! touching the `NDS_THREADS` environment variable.
+//!
+//! Row tasks are dispatched onto the persistent worker pool in
+//! [`crate::parallel`] (no per-call thread spawns); a per-task work floor
+//! of ~64k mul-adds keeps small matrices on the inline serial path where
+//! even queueing would cost more than the multiply. `conv2d` lowers onto
+//! [`gemm_acc`] per image (see [`crate::conv`]), so the convolutional
+//! VGG/ResNet paths ride these same kernels.
 
 use crate::parallel::{for_each_ragged_chunk_mut_workers, worker_count};
 use crate::{Result, Shape, Tensor, TensorError};
@@ -140,6 +147,36 @@ pub fn gemm_transb(
     });
 }
 
+/// Accumulating variant of [`gemm_transb`]: `out += a × btᵀ`. The conv2d
+/// backward uses this to fold per-image weight-gradient contributions
+/// into one buffer without temporaries.
+pub fn gemm_transb_acc(
+    a: &[f32],
+    bt: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows_per_task = rows_per_task(m, k * n, workers);
+    for_each_ragged_chunk_mut_workers(out, rows_per_task * n, workers, |task, out_rows| {
+        let row0 = task * rows_per_task;
+        for (r, orow) in out_rows.chunks_mut(n).enumerate() {
+            let arow = &a[(row0 + r) * k..(row0 + r) * k + k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += dot(arow, &bt[j * k..(j + 1) * k]);
+            }
+        }
+    });
+}
+
 /// `out[m, n] = at[r, m]ᵀ × b[r, n]` on raw row-major slices — the shared
 /// leading dimension `r` of both operands is reduced by outer-product
 /// accumulation. Used by linear backward passes (`dW = gradᵀ · x`)
@@ -222,14 +259,14 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Picks how many output rows each parallel task should own: enough that
-/// per-task work dominates spawn overhead, while still splitting `m`
+/// per-task work dominates dispatch overhead, while still splitting `m`
 /// across all workers. `flops_per_row` approximates the work per row.
 fn rows_per_task(m: usize, flops_per_row: usize, workers: usize) -> usize {
     if workers <= 1 {
         return m;
     }
     // Target at least ~64k mul-adds per task (tens of microseconds of
-    // compute) so spawn overhead stays a small fraction and tiny
+    // compute) so pool-queue overhead stays a small fraction and tiny
     // matrices run serial.
     let min_rows = 65_536usize.div_ceil(flops_per_row.max(1));
     m.div_ceil(workers).max(min_rows).min(m)

@@ -1,65 +1,52 @@
-//! Minimal data-parallel helpers built on `std::thread::scope`.
+//! Data-parallel helpers backed by a lazily-initialised persistent
+//! worker pool.
 //!
 //! The workspace's hot loops — the blocked matmul kernels, Monte-Carlo
-//! sampling and batch training — are embarrassingly parallel;
-//! [`chunked_for`] splits an index range across the available cores and
+//! sampling and population evaluation — are embarrassingly parallel;
+//! [`chunked_for`] splits an index range across the pool and
 //! [`for_each_chunk_mut`] hands out disjoint mutable chunks of an output
-//! buffer. On a single-core machine (or with `NDS_THREADS=1`) both degrade
-//! to plain serial loops with no thread overhead, and because each chunk
-//! owns disjoint output, results are byte-identical regardless of core
-//! count.
+//! buffer. On a single-core machine (or with `NDS_THREADS=1`) everything
+//! degrades to plain serial loops with no thread or queue overhead, and
+//! because each task owns disjoint output, results are byte-identical
+//! regardless of core count.
+//!
+//! # The worker pool
+//!
+//! Earlier revisions spawned fresh threads per kernel call via
+//! `std::thread::scope`; per-task work was floored at ~64k mul-adds to
+//! bound the spawn overhead, but on high-core-count machines the
+//! spawn/join cost still dominated small kernels. [`run_scoped`] instead
+//! dispatches tasks onto `worker_count() - 1` persistent threads spawned
+//! once per process (plus the submitting thread, which always
+//! participates). Key properties:
+//!
+//! * **Nesting composes.** A population-evaluation task may fan out MC
+//!   samples, whose forwards fan out gemm row-blocks — all batches share
+//!   the one queue, so total thread count never exceeds the pool size.
+//!   No fan-out level degrades to serial; idle workers steal whatever
+//!   level has work.
+//! * **No deadlock.** A submitter first drains every still-queued task
+//!   of its *own* batch, then blocks only on tasks already claimed by
+//!   other threads — which always terminate (leaf tasks run to
+//!   completion; nested submitters can likewise finish their own
+//!   batches unaided).
+//! * **Panics propagate.** A panicking task poisons its batch; the
+//!   submitter re-raises the payload after the batch drains, matching
+//!   `std::thread::scope` semantics.
 //!
 //! # Thread-count configuration
 //!
 //! The worker count is read once from the `NDS_THREADS` environment
 //! variable: unset, empty, `0`, or unparsable values mean "use the
-//! machine's available parallelism"; any positive integer pins the pool to
-//! exactly that many workers. `NDS_THREADS=1` forces fully serial
+//! machine's available parallelism"; any positive integer pins the pool
+//! to exactly that many workers. `NDS_THREADS=1` forces fully serial
 //! execution, which is useful for profiling and for bit-exactness
-//! comparisons.
+//! comparisons. The `*_workers` helper variants take an explicit task
+//! split so tests can sweep split factors without touching the process
+//! environment; the *split* controls determinism-relevant chunk
+//! boundaries while the pool size only controls how many run at once.
 
-use std::cell::Cell;
 use std::sync::OnceLock;
-
-thread_local! {
-    /// Set while the current thread is executing inside one of this
-    /// module's worker scopes (or a higher-level fan-out that opted in
-    /// via [`enter_worker`]).
-    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
-}
-
-/// `true` when the calling thread is already a data-parallel worker.
-///
-/// Nested fan-outs check this to degrade to serial execution instead of
-/// multiplying thread counts: a population-evaluation worker running an
-/// MC sample whose forwards call the parallel matmul would otherwise
-/// stand up `W³` threads.
-pub fn in_parallel_worker() -> bool {
-    IN_WORKER.with(|flag| flag.get())
-}
-
-/// Marks the current thread as a data-parallel worker for the duration
-/// of `f`. Higher-level fan-outs (the MC engine, the population
-/// evaluator) wrap their worker bodies with this so nested kernels run
-/// serially.
-pub fn enter_worker<R>(f: impl FnOnce() -> R) -> R {
-    IN_WORKER.with(|flag| {
-        let previous = flag.replace(true);
-        let result = f();
-        flag.set(previous);
-        result
-    })
-}
-
-/// Degrades a requested worker count to 1 when already inside a
-/// parallel region.
-pub fn effective_workers(requested: usize) -> usize {
-    if in_parallel_worker() {
-        1
-    } else {
-        requested
-    }
-}
 
 /// Resolves a raw `NDS_THREADS` value against the machine's available
 /// parallelism. Factored out of [`worker_count`] so the policy is unit
@@ -85,6 +72,194 @@ pub fn worker_count() -> usize {
     })
 }
 
+/// The persistent worker pool. The single `unsafe` in the workspace lives
+/// here: erasing task lifetimes to hand borrowed closures to persistent
+/// threads, sound because [`run_scoped`] never returns before every task
+/// has finished and been dropped.
+#[allow(unsafe_code)]
+mod pool {
+    use super::worker_count;
+    use std::any::Any;
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    /// One `run_scoped` call: its not-yet-claimed jobs plus completion
+    /// state. Jobs live on the batch (not in a global task list) so the
+    /// submitting thread drains its own batch in O(1) per job without
+    /// touching — or scanning — the shared queue.
+    struct Batch {
+        /// Jobs submitted but not yet claimed by any thread.
+        jobs: Mutex<VecDeque<Job>>,
+        /// Jobs submitted but not yet finished executing.
+        remaining: Mutex<usize>,
+        done: Condvar,
+        /// First panic payload raised by a task of this batch.
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    struct Shared {
+        /// Batches that may still hold unclaimed jobs, oldest first.
+        /// Drained batches are removed lazily by the workers.
+        queue: Mutex<VecDeque<Arc<Batch>>>,
+        work: Condvar,
+    }
+
+    fn shared() -> &'static Arc<Shared> {
+        static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let shared = Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                work: Condvar::new(),
+            });
+            // The submitting thread always participates, so the pool only
+            // needs `workers - 1` threads to reach full parallelism.
+            for i in 0..worker_count().saturating_sub(1) {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nds-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns");
+            }
+            shared
+        })
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        // Tasks never run while a pool lock is held, so poisoning cannot
+        // leave the state inconsistent — recover rather than cascade.
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn worker_loop(shared: &Shared) {
+        let mut queue = lock(&shared.queue);
+        loop {
+            match claim(&mut queue) {
+                Some((batch, job)) => {
+                    drop(queue);
+                    run_job(&batch, job);
+                    queue = lock(&shared.queue);
+                }
+                None => {
+                    queue = shared.work.wait(queue).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Claims the oldest unclaimed job across all live batches, removing
+    /// batches whose jobs are exhausted (their submitter drains them
+    /// directly, so a queued batch may already be empty).
+    fn claim(queue: &mut VecDeque<Arc<Batch>>) -> Option<(Arc<Batch>, Job)> {
+        while let Some(batch) = queue.front() {
+            let mut jobs = lock(&batch.jobs);
+            match jobs.pop_front() {
+                Some(job) => {
+                    let empty = jobs.is_empty();
+                    drop(jobs);
+                    let batch = Arc::clone(batch);
+                    if empty {
+                        queue.pop_front();
+                    }
+                    return Some((batch, job));
+                }
+                None => {
+                    drop(jobs);
+                    queue.pop_front();
+                }
+            }
+        }
+        None
+    }
+
+    fn run_job(batch: &Batch, job: Job) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            let mut slot = lock(&batch.panic);
+            slot.get_or_insert(payload);
+        }
+        let mut remaining = lock(&batch.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            batch.done.notify_all();
+        }
+    }
+
+    /// Runs every task to completion, using the persistent pool when it
+    /// exists, and returns only once all tasks have finished (scoped
+    /// semantics: tasks may borrow from the caller's stack).
+    ///
+    /// The calling thread participates: it drains its own batch's queued
+    /// tasks first, then waits for any tasks claimed by pool workers.
+    /// Nested calls from inside a pool task are fine — they enqueue onto
+    /// the same pool and the submitter can always finish its own batch
+    /// unaided, so progress is guaranteed at every nesting depth.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic raised by any task, after the whole
+    /// batch has drained.
+    pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        if tasks.len() <= 1 || worker_count() <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let jobs: VecDeque<Job> = tasks
+            .into_iter()
+            .map(|task| {
+                // SAFETY: the closure may borrow data with a non-'static
+                // lifetime, but this function does not return until
+                // `remaining` hits zero — i.e. every job has run (or
+                // panicked) and been dropped — so no borrow is ever used
+                // after the caller resumes. `Box<dyn FnOnce + Send>` has
+                // the same layout for both lifetimes.
+                unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + '_>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(task)
+                }
+            })
+            .collect();
+        let batch = Arc::new(Batch {
+            remaining: Mutex::new(jobs.len()),
+            jobs: Mutex::new(jobs),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let shared = shared();
+        lock(&shared.queue).push_back(Arc::clone(&batch));
+        shared.work.notify_all();
+        // Drain our own batch — O(1) per job, no shared-queue traffic —
+        // which guarantees completion even if every pool worker is busy
+        // (or blocked submitting batches of its own).
+        loop {
+            let job = lock(&batch.jobs).pop_front();
+            match job {
+                Some(job) => run_job(&batch, job),
+                None => break,
+            }
+        }
+        let mut remaining = lock(&batch.remaining);
+        while *remaining > 0 {
+            remaining = batch
+                .done
+                .wait(remaining)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(remaining);
+        let payload = lock(&batch.panic).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+pub use pool::run_scoped;
+
 /// Runs `body(start, end)` over disjoint sub-ranges covering `0..n`,
 /// potentially in parallel.
 ///
@@ -97,25 +272,24 @@ pub fn chunked_for(n: usize, body: impl Fn(usize, usize) + Sync) {
     chunked_for_workers(n, worker_count(), body);
 }
 
-/// [`chunked_for`] with an explicit worker count — the building block the
-/// deterministic kernels expose so tests can sweep thread counts without
+/// [`chunked_for`] with an explicit split factor — the building block the
+/// deterministic kernels expose so tests can sweep split factors without
 /// touching the process environment.
 pub fn chunked_for_workers(n: usize, workers: usize, body: impl Fn(usize, usize) + Sync) {
-    let workers = effective_workers(workers);
     if workers <= 1 || n < 2 {
         body(0, n);
         return;
     }
     let chunk = n.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut start = 0;
-        while start < n {
-            let end = (start + chunk).min(n);
-            let body = &body;
-            scope.spawn(move || enter_worker(|| body(start, end)));
-            start = end;
-        }
-    });
+    let body = &body;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        tasks.push(Box::new(move || body(start, end)));
+        start = end;
+    }
+    run_scoped(tasks);
 }
 
 /// Applies `body` to equally-sized mutable chunks of `out`, each paired with
@@ -132,7 +306,7 @@ pub fn for_each_chunk_mut<T: Send>(
     for_each_chunk_mut_workers(out, chunk_len, worker_count(), body);
 }
 
-/// [`for_each_chunk_mut`] with an explicit worker count.
+/// [`for_each_chunk_mut`] with an explicit split factor.
 ///
 /// # Panics
 ///
@@ -149,27 +323,7 @@ pub fn for_each_chunk_mut_workers<T: Send>(
         out.len(),
         chunk_len
     );
-    let workers = effective_workers(workers);
-    let nchunks = out.len() / chunk_len;
-    if workers <= 1 || nchunks <= 1 {
-        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
-            body(i, chunk);
-        }
-        return;
-    }
-    std::thread::scope(|scope| {
-        let per_worker = nchunks.div_ceil(workers);
-        for (wi, worker_slice) in out.chunks_mut(per_worker * chunk_len).enumerate() {
-            let body = &body;
-            scope.spawn(move || {
-                enter_worker(|| {
-                    for (ci, chunk) in worker_slice.chunks_mut(chunk_len).enumerate() {
-                        body(wi * per_worker + ci, chunk);
-                    }
-                })
-            });
-        }
-    });
+    dispatch_chunks(out, chunk_len, workers, body);
 }
 
 /// Like [`for_each_chunk_mut_workers`] but tolerates a short final chunk —
@@ -186,29 +340,39 @@ pub fn for_each_ragged_chunk_mut_workers<T: Send>(
     body: impl Fn(usize, &mut [T]) + Sync,
 ) {
     assert!(chunk_len > 0, "chunk length must be positive");
-    let workers = effective_workers(workers);
+    dispatch_chunks(out, chunk_len, workers, body);
+}
+
+fn dispatch_chunks<T: Send>(
+    out: &mut [T],
+    chunk_len: usize,
+    workers: usize,
+    body: impl Fn(usize, &mut [T]) + Sync,
+) {
     let nchunks = out.len().div_ceil(chunk_len);
-    // A single chunk gains nothing from a thread: run it inline (small
-    // matmuls hit this constantly — a spawn per call would dwarf them).
+    // A single chunk gains nothing from the pool: run it inline (small
+    // matmuls hit this constantly — queueing per call would dwarf them).
     if workers <= 1 || nchunks <= 1 {
         for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
             body(i, chunk);
         }
         return;
     }
-    std::thread::scope(|scope| {
-        let per_worker = nchunks.div_ceil(workers);
-        for (wi, worker_slice) in out.chunks_mut(per_worker * chunk_len).enumerate() {
-            let body = &body;
-            scope.spawn(move || {
-                enter_worker(|| {
-                    for (ci, chunk) in worker_slice.chunks_mut(chunk_len).enumerate() {
-                        body(wi * per_worker + ci, chunk);
-                    }
-                })
+    let per_task = nchunks.div_ceil(workers);
+    let body = &body;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(per_task * chunk_len)
+        .enumerate()
+        .map(|(ti, task_slice)| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for (ci, chunk) in task_slice.chunks_mut(chunk_len).enumerate() {
+                    body(ti * per_task + ci, chunk);
+                }
             });
-        }
-    });
+            task
+        })
+        .collect();
+    run_scoped(tasks);
 }
 
 #[cfg(test)]
@@ -239,7 +403,7 @@ mod tests {
     }
 
     #[test]
-    fn explicit_worker_counts_cover_the_range() {
+    fn explicit_split_factors_cover_the_range() {
         for workers in [1, 2, 3, 7, 16] {
             let counter = AtomicUsize::new(0);
             chunked_for_workers(997, workers, |s, e| {
@@ -261,7 +425,7 @@ mod tests {
     }
 
     #[test]
-    fn chunk_indices_are_stable_across_worker_counts() {
+    fn chunk_indices_are_stable_across_split_factors() {
         let mut reference = vec![0usize; 30];
         for_each_chunk_mut_workers(&mut reference, 5, 1, |i, chunk| {
             for (j, v) in chunk.iter_mut().enumerate() {
@@ -280,7 +444,7 @@ mod tests {
     }
 
     #[test]
-    fn ragged_chunks_cover_everything_for_any_worker_count() {
+    fn ragged_chunks_cover_everything_for_any_split_factor() {
         for workers in [1, 2, 3, 5, 9] {
             let mut out = vec![0usize; 17];
             for_each_ragged_chunk_mut_workers(&mut out, 5, workers, |i, chunk| {
@@ -298,6 +462,73 @@ mod tests {
     fn for_each_chunk_mut_rejects_ragged() {
         let mut out = vec![0usize; 10];
         for_each_chunk_mut(&mut out, 3, |_, _| {});
+    }
+
+    #[test]
+    fn run_scoped_runs_every_task() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..37)
+            .map(|i| {
+                let counter = &counter;
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    counter.fetch_add(i + 1, Ordering::SeqCst);
+                });
+                task
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), (1..=37).sum::<usize>());
+    }
+
+    #[test]
+    fn nested_fan_outs_complete() {
+        // Every task fans out again: with a fixed-size pool this must
+        // complete (the old scoped-thread design multiplied threads; the
+        // pool just queues) and cover every (i, j) cell exactly once.
+        let grid = AtomicUsize::new(0);
+        chunked_for_workers(8, 4, |s, e| {
+            for _i in s..e {
+                chunked_for_workers(8, 4, |s2, e2| {
+                    grid.fetch_add(e2 - s2, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(grid.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn deeply_nested_fan_outs_complete() {
+        let count = AtomicUsize::new(0);
+        chunked_for_workers(4, 2, |s, e| {
+            for _ in s..e {
+                chunked_for_workers(4, 2, |s2, e2| {
+                    for _ in s2..e2 {
+                        chunked_for_workers(4, 2, |s3, e3| {
+                            count.fetch_add(e3 - s3, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn panics_in_tasks_propagate_to_the_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            chunked_for_workers(8, 4, |s, _| {
+                if s == 0 {
+                    panic!("task failure");
+                }
+            });
+        });
+        assert!(result.is_err(), "submitter must observe the task panic");
+        // The pool survives a panicked batch: later batches still run.
+        let counter = AtomicUsize::new(0);
+        chunked_for_workers(100, 4, |s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Copy-on-write shared tensor storage.
+//!
+//! Monte-Carlo inference and population evaluation clone whole networks
+//! across worker threads, but inference never *writes* weights — copying
+//! them per clone is pure memory-bandwidth waste (megabytes per fork at
+//! VGG/ResNet scale). [`SharedTensor`] wraps a [`Tensor`] in an
+//! [`Arc`] so that clones share one allocation; the first mutation
+//! through [`SharedTensor::make_mut`] (an SGD step, pruning, fake
+//! quantisation) detaches a private copy, leaving every other holder
+//! untouched.
+//!
+//! Reads go through `Deref`, so `shared.as_slice()` / `shared.shape()`
+//! work exactly as on a plain [`Tensor`]. The common in-place mutators
+//! (`as_mut_slice`, `map_inplace`, `add_scaled`, `iter_mut`) are
+//! re-exposed as inherent methods that route through `make_mut`, which
+//! keeps parameter-update code identical to the owned-tensor version.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_tensor::{SharedTensor, Tensor, Shape};
+//!
+//! let a = SharedTensor::new(Tensor::ones(Shape::d1(4)));
+//! let mut b = a.clone();              // no copy: both point at one buffer
+//! assert!(SharedTensor::ptr_eq(&a, &b));
+//! b.map_inplace(|v| v * 2.0);         // copy-on-write detaches b
+//! assert!(!SharedTensor::ptr_eq(&a, &b));
+//! assert_eq!(a.as_slice(), &[1.0; 4]);
+//! assert_eq!(b.as_slice(), &[2.0; 4]);
+//! ```
+
+use crate::{Result, Tensor};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A [`Tensor`] behind an [`Arc`] with copy-on-write mutation.
+///
+/// `Clone` is O(1) (a reference-count bump); mutation via
+/// [`SharedTensor::make_mut`] copies the buffer only while other clones
+/// are alive.
+#[derive(Debug, Clone)]
+pub struct SharedTensor(Arc<Tensor>);
+
+impl SharedTensor {
+    /// Wraps a tensor in shared storage.
+    pub fn new(tensor: Tensor) -> Self {
+        SharedTensor(Arc::new(tensor))
+    }
+
+    /// Mutable access to the underlying tensor, copying it first when the
+    /// storage is shared with other clones (copy-on-write).
+    pub fn make_mut(&mut self) -> &mut Tensor {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Consumes the handle, returning the tensor (cloning only when the
+    /// storage is shared).
+    pub fn into_tensor(self) -> Tensor {
+        Arc::try_unwrap(self.0).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Number of live handles sharing this storage.
+    pub fn strong_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+
+    /// `true` when both handles point at the same allocation.
+    pub fn ptr_eq(a: &SharedTensor, b: &SharedTensor) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Mutable view of the buffer (copy-on-write when shared).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.make_mut().as_mut_slice()
+    }
+
+    /// Applies `f` to every element in place (copy-on-write when shared).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.make_mut().map_inplace(f);
+    }
+
+    /// In-place `self += alpha * other` (copy-on-write when shared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
+        self.make_mut().add_scaled(other, alpha)
+    }
+
+    /// Mutable element iterator (copy-on-write when shared).
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f32> {
+        self.make_mut().iter_mut()
+    }
+}
+
+impl Deref for SharedTensor {
+    type Target = Tensor;
+    fn deref(&self) -> &Tensor {
+        &self.0
+    }
+}
+
+impl From<Tensor> for SharedTensor {
+    fn from(tensor: Tensor) -> Self {
+        SharedTensor::new(tensor)
+    }
+}
+
+impl PartialEq for SharedTensor {
+    fn eq(&self, other: &Self) -> bool {
+        SharedTensor::ptr_eq(self, other) || *self.0 == *other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn clone_shares_storage_without_copying() {
+        let a = SharedTensor::new(Tensor::ones(Shape::d1(8)));
+        let b = a.clone();
+        assert!(SharedTensor::ptr_eq(&a, &b));
+        assert_eq!(a.strong_count(), 2);
+        assert_eq!(b.as_slice(), &[1.0; 8]);
+    }
+
+    #[test]
+    fn make_mut_detaches_only_when_shared() {
+        let mut a = SharedTensor::new(Tensor::zeros(Shape::d1(4)));
+        // Unique handle: mutation happens in place (no new allocation).
+        a.as_mut_slice()[0] = 5.0;
+        assert_eq!(a.strong_count(), 1);
+        let b = a.clone();
+        a.as_mut_slice()[1] = 6.0; // copy-on-write
+        assert!(!SharedTensor::ptr_eq(&a, &b));
+        assert_eq!(a.as_slice(), &[5.0, 6.0, 0.0, 0.0]);
+        assert_eq!(b.as_slice(), &[5.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn writer_detaches_readers_keep_sharing() {
+        let original = SharedTensor::new(Tensor::ones(Shape::d1(4)));
+        let reader = original.clone();
+        let mut writer = original.clone();
+        writer.map_inplace(|v| v + 1.0);
+        assert!(SharedTensor::ptr_eq(&original, &reader));
+        assert_eq!(original.strong_count(), 2);
+        assert_eq!(writer.strong_count(), 1);
+        assert_eq!(writer.as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn add_scaled_routes_through_cow() {
+        let mut a = SharedTensor::new(Tensor::ones(Shape::d1(3)));
+        let keep = a.clone();
+        let delta = Tensor::from_vec(vec![1.0, 2.0, 3.0], Shape::d1(3)).unwrap();
+        a.add_scaled(&delta, 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+        assert_eq!(keep.as_slice(), &[1.0; 3]);
+        let bad = Tensor::zeros(Shape::d1(4));
+        assert!(a.add_scaled(&bad, 1.0).is_err());
+    }
+
+    #[test]
+    fn into_tensor_round_trips() {
+        let a = SharedTensor::new(Tensor::full(Shape::d1(2), 3.0));
+        let t = a.into_tensor();
+        assert_eq!(t.as_slice(), &[3.0, 3.0]);
+        // Shared: into_tensor copies, the other handle survives.
+        let a = SharedTensor::new(Tensor::full(Shape::d1(2), 4.0));
+        let b = a.clone();
+        let t = a.into_tensor();
+        assert_eq!(t.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        let a = SharedTensor::new(Tensor::ones(Shape::d1(2)));
+        let b = SharedTensor::new(Tensor::ones(Shape::d1(2)));
+        assert_eq!(a, b, "distinct allocations, equal contents");
+        assert_ne!(a, SharedTensor::new(Tensor::zeros(Shape::d1(2))));
+    }
+}

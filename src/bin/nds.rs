@@ -3,14 +3,19 @@
 //! ```text
 //! nds run     --arch lenet|vgg|resnet|vit [--aim accuracy|ece|ape|latency]
 //!             [--seed N] [--gp N] [--extended]
+//! nds eval    --arch lenet|vgg|resnet|vit --config BKM [--seed N]
+//!             [--samples S] [--val N]
 //! nds analyze --arch lenet|vgg|resnet|vit --config BKM [--spatial] [--samples S]
 //! nds hls     --arch lenet|vgg|resnet|vit --config BKM --out DIR
 //! nds space   --arch lenet|vgg|resnet|vit [--extended]
 //! ```
 //!
-//! `run` executes the full four-phase framework; `analyze` prints the
-//! csynth-style report for one design point; `hls` writes the generated
-//! project to disk; `space` lists the search space.
+//! `run` executes the full four-phase framework; `eval` runs one fast,
+//! fully deterministic MC-dropout evaluation of a single configuration
+//! (the golden-file determinism suite diffs its bytes across
+//! `NDS_THREADS` settings); `analyze` prints the csynth-style report for
+//! one design point; `hls` writes the generated project to disk; `space`
+//! lists the search space.
 
 use neural_dropout_search::core::{run, LatencySource, Specification};
 use neural_dropout_search::hls::generate_project;
@@ -28,6 +33,8 @@ nds — hardware-aware neural dropout search (DAC'24 reproduction)
 USAGE:
     nds run     --arch <lenet|vgg|resnet|vit> [--aim <accuracy|ece|ape|latency>]
                 [--seed <N>] [--gp <train-points>] [--extended]
+    nds eval    --arch <lenet|vgg|resnet|vit> --config <CODES> [--seed <N>]
+                [--samples <S>] [--val <N>]
     nds analyze --arch <lenet|vgg|resnet|vit> --config <CODES> [--spatial] [--samples <S>]
     nds hls     --arch <lenet|vgg|resnet|vit> --config <CODES> --out <DIR>
     nds space   --arch <lenet|vgg|resnet|vit> [--extended]
@@ -60,6 +67,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(&args[1..])?;
     match command.as_str() {
         "run" => cmd_run(&flags),
+        "eval" => cmd_eval(&flags),
         "analyze" => cmd_analyze(&flags),
         "hls" => cmd_hls(&flags),
         "space" => cmd_space(&flags),
@@ -168,6 +176,108 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         outcome.timings.training_s, outcome.timings.search_s
     );
     Ok(())
+}
+
+/// Fast deterministic single-configuration evaluation: builds the
+/// (untrained) supernet, activates `--config`, runs MC-dropout inference
+/// over a synthetic validation split and prints metrics plus a
+/// predictive-distribution digest at full precision.
+///
+/// Every number printed is a pure function of the flags — independent of
+/// `NDS_THREADS`, core count and weight-sharing strategy. The golden
+/// determinism tests assert this by diffing the command's bytes across
+/// environments.
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    use neural_dropout_search::data::{cifar_like, mnist_like, svhn_like, DatasetConfig};
+    use neural_dropout_search::dropout::mc::mc_predict_with_workers;
+    use neural_dropout_search::metrics::{
+        accuracy, average_predictive_entropy, ece, nll, EceConfig,
+    };
+    use neural_dropout_search::supernet::Supernet;
+    use neural_dropout_search::tensor::rng::Rng64;
+    use neural_dropout_search::tensor::Workspace;
+
+    let config = config_for(flags)?;
+    let seed: u64 = parse_flag(flags, "seed", 42)?;
+    let samples: usize = parse_flag(flags, "samples", 3)?;
+    let val: usize = parse_flag(flags, "val", 32)?;
+    let arch_name = flags.get("arch").map(String::as_str).unwrap_or("lenet");
+    // Width-scaled CPU variants, paired with their paper datasets (§4.1).
+    let (arch, splits) = {
+        let data_config = DatasetConfig {
+            train: 16,
+            val,
+            test: 8,
+            seed: seed ^ 0xDA7A,
+            noise: 0.05,
+        };
+        match arch_name {
+            "lenet" => (zoo::lenet(), mnist_like(&data_config)),
+            "vgg" | "vgg11" => (zoo::vgg11(8), svhn_like(&data_config)),
+            "resnet" | "resnet18" => (zoo::resnet18(8), cifar_like(&data_config)),
+            "vit" | "transformer" => (zoo::tiny_vit(16, 4, 2), mnist_like(&data_config)),
+            other => return Err(format!("unknown arch `{other}`")),
+        }
+    };
+    let spec = if flags.contains_key("extended") {
+        SupernetSpec::extended_default(arch, seed)
+    } else {
+        SupernetSpec::paper_default(arch, seed)
+    }
+    .map_err(|e| e.to_string())?;
+    let mut supernet = Supernet::build(&spec).map_err(|e| e.to_string())?;
+    supernet.set_config(&config).map_err(|e| e.to_string())?;
+    supernet.set_sampling_number(samples);
+    let mut rng = Rng64::new(seed ^ 0x00D);
+    let ood = splits.val.ood_noise(val.max(1), &mut rng);
+    let (images, labels) = splits.val.full_batch();
+    let workers = neural_dropout_search::tensor::parallel::worker_count();
+    let mut ws = Workspace::new();
+    let net = supernet.net_mut();
+    let pred = mc_predict_with_workers(net, &images, samples, 16, workers, &mut ws)
+        .map_err(|e| e.to_string())?;
+    let ood_pred = mc_predict_with_workers(net, &ood, samples, 16, workers, &mut ws)
+        .map_err(|e| e.to_string())?;
+    let acc = accuracy(&pred.mean_probs, &labels).map_err(|e| e.to_string())?;
+    let cal = ece(&pred.mean_probs, &labels, EceConfig::default()).map_err(|e| e.to_string())?;
+    let neg_ll = nll(&pred.mean_probs, &labels).map_err(|e| e.to_string())?;
+    let ape = average_predictive_entropy(&ood_pred.mean_probs).map_err(|e| e.to_string())?;
+    println!(
+        "eval arch={} config={config} seed={seed} samples={samples} val={val}",
+        spec.arch.name
+    );
+    println!("accuracy {acc:.12e}");
+    println!("ece      {cal:.12e}");
+    println!("nll      {neg_ll:.12e}");
+    println!("ape      {ape:.12e}");
+    // Digest of the full predictive distribution: any single changed bit
+    // anywhere in the pipeline shows up here.
+    let digest: f64 = pred
+        .mean_probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as f64 + 1.0) * p as f64)
+        .sum();
+    println!("digest   {digest:.12e}");
+    let row0: Vec<String> = pred.mean_probs.as_slice()[..pred.mean_probs.shape().dim(1).min(10)]
+        .iter()
+        .map(|p| format!("{p:.9e}"))
+        .collect();
+    println!("probs[0] {}", row0.join(" "));
+    Ok(())
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad --{key} value `{raw}`")),
+        None => Ok(default),
+    }
 }
 
 fn hw_arch_for(
