@@ -8,6 +8,12 @@
 //! trajectory.
 //!
 //! Run with: `cargo run --release -p nds-bench --bin perf_baseline`
+//!
+//! Pass `--smoke` for the CI smoke mode: the same code paths at tiny
+//! shapes with minimal repetitions, printing the JSON without touching
+//! `BENCH_inference.json`. It exists so the bench binary is exercised
+//! (and fails on panic) in every CI leg, keeping this code from
+//! bit-rotting between perf-focused PRs.
 
 use nds_dropout::mc::mc_predict_with_workers;
 use nds_supernet::{Supernet, SupernetSpec};
@@ -33,27 +39,37 @@ fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 fn main() {
+    // Smoke mode: same code paths, tiny shapes, no baseline-file write —
+    // CI runs this in every NDS_THREADS leg so the bench cannot rot.
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let workers = worker_count();
     let mut rng = Rng64::new(1);
-    let a = Tensor::rand_normal(Shape::d2(256, 256), 0.0, 1.0, &mut rng);
-    let b = Tensor::rand_normal(Shape::d2(256, 256), 0.0, 1.0, &mut rng);
+    let (mm_dim, reps) = if smoke { (48, 3) } else { (256, 15) };
+    let a = Tensor::rand_normal(Shape::d2(mm_dim, mm_dim), 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(Shape::d2(mm_dim, mm_dim), 0.0, 1.0, &mut rng);
     let bt = b.transpose().unwrap();
 
-    let naive = time_median(15, || a.matmul_naive(&b).unwrap());
-    let blocked = time_median(15, || a.matmul(&b).unwrap());
-    let transb = time_median(15, || a.matmul_transb(&bt).unwrap());
+    let naive = time_median(reps, || a.matmul_naive(&b).unwrap());
+    let blocked = time_median(reps, || a.matmul(&b).unwrap());
+    let transb = time_median(reps, || a.matmul_transb(&bt).unwrap());
 
     // Gemm-lowered conv2d at ResNet-block scale (64 -> 64 channels,
     // 3x3/s1p1 over 16x16 maps, batch 4) against the direct oracle.
-    let conv_input = Tensor::rand_normal(Shape::d4(4, 64, 16, 16), 0.0, 1.0, &mut rng);
-    let conv_weight = Tensor::rand_normal(Shape::d4(64, 64, 3, 3), 0.0, 0.1, &mut rng);
-    let conv_bias = Tensor::rand_normal(Shape::d1(64), 0.0, 0.1, &mut rng);
+    let (conv_c, conv_hw, conv_n) = if smoke { (8, 8, 1) } else { (64, 16, 4) };
+    let conv_input = Tensor::rand_normal(
+        Shape::d4(conv_n, conv_c, conv_hw, conv_hw),
+        0.0,
+        1.0,
+        &mut rng,
+    );
+    let conv_weight = Tensor::rand_normal(Shape::d4(conv_c, conv_c, 3, 3), 0.0, 0.1, &mut rng);
+    let conv_bias = Tensor::rand_normal(Shape::d1(conv_c), 0.0, 0.1, &mut rng);
     let g = ConvGeometry::new(3, 1, 1);
     let mut conv_ws = Workspace::new();
-    let conv_direct = time_median(5, || {
+    let conv_direct = time_median(if smoke { 2 } else { 5 }, || {
         conv2d_direct(&conv_input, &conv_weight, Some(&conv_bias), g).unwrap()
     });
-    let conv_gemm = time_median(15, || {
+    let conv_gemm = time_median(reps, || {
         conv2d_ws(&conv_input, &conv_weight, Some(&conv_bias), g, &mut conv_ws).unwrap()
     });
 
@@ -62,30 +78,71 @@ fn main() {
     supernet
         .set_config(&"BBB".parse().expect("valid"))
         .expect("in space");
-    let images = Tensor::rand_normal(Shape::d4(32, 1, 28, 28), 0.0, 1.0, &mut rng);
+    let (mc_batch, mc_samples) = if smoke { (4, 2) } else { (32, 3) };
+    let images = Tensor::rand_normal(Shape::d4(mc_batch, 1, 28, 28), 0.0, 1.0, &mut rng);
     let mut ws = Workspace::new();
-    let mc_serial = time_median(5, || {
-        mc_predict_with_workers(supernet.net_mut(), &images, 3, 32, 1, &mut ws).unwrap()
+    let mc_serial = time_median(if smoke { 2 } else { 5 }, || {
+        mc_predict_with_workers(
+            supernet.net_mut(),
+            &images,
+            mc_samples,
+            mc_batch,
+            1,
+            &mut ws,
+        )
+        .map(|pred| pred.recycle_into(&mut ws))
+        .unwrap()
     });
-    let mc_parallel = time_median(5, || {
-        mc_predict_with_workers(supernet.net_mut(), &images, 3, 32, workers, &mut ws).unwrap()
+    let mc_parallel = time_median(if smoke { 2 } else { 5 }, || {
+        mc_predict_with_workers(
+            supernet.net_mut(),
+            &images,
+            mc_samples,
+            mc_batch,
+            workers,
+            &mut ws,
+        )
+        .map(|pred| pred.recycle_into(&mut ws))
+        .unwrap()
     });
 
     // ResNet-scale MC prediction: width-8 ResNet18 supernet over
     // CIFAR-shaped inputs — the configuration the zero-copy weight
-    // sharing and the gemm-lowered conv path are aimed at.
-    let resnet_spec = SupernetSpec::paper_default(nds_nn::zoo::resnet18(8), 7).expect("valid spec");
+    // sharing and the gemm-lowered conv path are aimed at. Smoke mode
+    // shrinks the width and batch but still walks the full residual
+    // topology (batch-norm, shortcuts, all four slots).
+    let (resnet_width, resnet_batch) = if smoke { (2, 2) } else { (8, 16) };
+    let resnet_spec =
+        SupernetSpec::paper_default(nds_nn::zoo::resnet18(resnet_width), 7).expect("valid spec");
     let mut resnet = Supernet::build(&resnet_spec).expect("builds");
     resnet
         .set_config(&"BBBB".parse().expect("valid"))
         .expect("in space");
-    let cifar = Tensor::rand_normal(Shape::d4(16, 3, 32, 32), 0.0, 1.0, &mut rng);
+    let cifar = Tensor::rand_normal(Shape::d4(resnet_batch, 3, 32, 32), 0.0, 1.0, &mut rng);
     let mut resnet_ws = Workspace::new();
-    let resnet_serial = time_median(3, || {
-        mc_predict_with_workers(resnet.net_mut(), &cifar, 3, 16, 1, &mut resnet_ws).unwrap()
+    let resnet_serial = time_median(if smoke { 2 } else { 3 }, || {
+        mc_predict_with_workers(
+            resnet.net_mut(),
+            &cifar,
+            mc_samples,
+            resnet_batch,
+            1,
+            &mut resnet_ws,
+        )
+        .map(|pred| pred.recycle_into(&mut resnet_ws))
+        .unwrap()
     });
-    let resnet_parallel = time_median(3, || {
-        mc_predict_with_workers(resnet.net_mut(), &cifar, 3, 16, workers, &mut resnet_ws).unwrap()
+    let resnet_parallel = time_median(if smoke { 2 } else { 3 }, || {
+        mc_predict_with_workers(
+            resnet.net_mut(),
+            &cifar,
+            mc_samples,
+            resnet_batch,
+            workers,
+            &mut resnet_ws,
+        )
+        .map(|pred| pred.recycle_into(&mut resnet_ws))
+        .unwrap()
     });
 
     let json = format!(
@@ -123,12 +180,19 @@ fn main() {
         mc_serial * 1e3,
         mc_parallel * 1e3,
         mc_serial / mc_parallel,
-        32.0 / mc_parallel,
+        mc_batch as f64 / mc_parallel,
         resnet_serial * 1e3,
         resnet_parallel * 1e3,
         resnet_serial / resnet_parallel,
-        16.0 / resnet_parallel,
+        resnet_batch as f64 / resnet_parallel,
     );
+    if smoke {
+        // Smoke runs exist to catch panics/bit-rot, not to record
+        // numbers: print and leave the committed baseline untouched.
+        println!("{json}");
+        println!("smoke mode: skipped writing BENCH_inference.json");
+        return;
+    }
     let path = nds_bench::results_dir()
         .parent()
         .expect("results dir has a parent")

@@ -1,10 +1,10 @@
-use crate::masks::{self, bernoulli_mask, block_mask, random_mask};
+use crate::masks::{self, bernoulli_mask_fill, block_mask_fill, random_mask_fill};
 use crate::masksembles::MaskSet;
 use crate::{DropoutError, DropoutKind};
 use nds_nn::arch::{FeatureShape, SlotInfo};
 use nds_nn::{Layer, Mode, NnError, Result as NnResult};
 use nds_tensor::rng::Rng64;
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::{Shape, Tensor, Workspace};
 
 /// Tunable parameters shared by the dropout designs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,7 +58,7 @@ impl Default for DropoutSettings {
 /// staying bit-identical to a serial run. Within a pass the stream
 /// advances once per batch *item*, so chunking the batch differently
 /// doesn't move it either (covered by the crate's tests).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DropoutLayer {
     kind: DropoutKind,
     settings: DropoutSettings,
@@ -68,6 +68,30 @@ pub struct DropoutLayer {
     rng: Rng64,
     mc_cursor: usize,
     cache: Option<Tensor>,
+    /// State stashed by [`Layer::save_mc_state`] so an in-place MC round
+    /// can hand the layer back untouched: stream RNG, mask cursor, and
+    /// the pending backward mask (moved, not copied) — so save/restore
+    /// never allocates.
+    saved: Option<(Rng64, usize, Option<Tensor>)>,
+}
+
+impl Clone for DropoutLayer {
+    /// Clones the stream state (clones must reproduce the original's
+    /// masks sample-for-sample) but not the training cache or a pending
+    /// save — clones serve inference workers and supernet forks.
+    fn clone(&self) -> Self {
+        DropoutLayer {
+            kind: self.kind,
+            settings: self.settings,
+            slot: self.slot.clone(),
+            mask_set: self.mask_set.clone(),
+            stream_seed: self.stream_seed,
+            rng: self.rng.clone(),
+            mc_cursor: self.mc_cursor,
+            cache: None,
+            saved: None,
+        }
+    }
 }
 
 impl DropoutLayer {
@@ -138,6 +162,7 @@ impl DropoutLayer {
             rng,
             mc_cursor: 0,
             cache: None,
+            saved: None,
         })
     }
 
@@ -168,33 +193,36 @@ impl DropoutLayer {
         self.mc_cursor = 0;
     }
 
-    /// Builds the per-sample mask for one forward pass.
-    fn sample_mask(&mut self, mode: Mode) -> Vec<f32> {
-        let per_sample = self.slot.shape.len();
+    /// Fills `out` (one `slot.shape.len()`-wide row) with the mask for
+    /// one forward pass. `idx_scratch` backs the Random design's
+    /// Fisher–Yates selection and may be empty for every other kind.
+    /// RNG consumption is identical to the allocating mask generators.
+    fn sample_mask_fill(&mut self, mode: Mode, out: &mut [f32], idx_scratch: &mut [f32]) {
         match self.kind {
-            DropoutKind::Bernoulli => bernoulli_mask(per_sample, self.settings.rate, &mut self.rng),
-            DropoutKind::Random => random_mask(per_sample, self.settings.rate, &mut self.rng),
+            DropoutKind::Bernoulli => bernoulli_mask_fill(out, self.settings.rate, &mut self.rng),
+            DropoutKind::Random => {
+                random_mask_fill(out, self.settings.rate, &mut self.rng, idx_scratch)
+            }
             DropoutKind::Gaussian => {
-                masks::gaussian_mask(per_sample, self.settings.rate, &mut self.rng)
+                masks::gaussian_mask_fill(out, self.settings.rate, &mut self.rng)
             }
             DropoutKind::Block => match self.slot.shape {
-                FeatureShape::Map { c, h, w } => {
-                    let mut mask = Vec::with_capacity(c * h * w);
-                    for _ in 0..c {
-                        mask.extend(block_mask(
+                FeatureShape::Map { c: _, h, w } => {
+                    for plane in out.chunks_mut(h * w) {
+                        block_mask_fill(
+                            plane,
                             h,
                             w,
                             self.settings.rate,
                             self.settings.block_size,
                             &mut self.rng,
-                        ));
+                        );
                     }
-                    mask
                 }
                 // Unreachable by construction (Block is conv-only), but a
                 // pointwise fallback keeps the function total.
-                FeatureShape::Vector { features } => {
-                    bernoulli_mask(features, self.settings.rate, &mut self.rng)
+                FeatureShape::Vector { .. } => {
+                    bernoulli_mask_fill(out, self.settings.rate, &mut self.rng)
                 }
             },
             DropoutKind::Masksembles => {
@@ -215,13 +243,11 @@ impl DropoutLayer {
                     FeatureShape::Map { c, h, w } => {
                         // Channel mask broadcast over the spatial plane.
                         debug_assert_eq!(unit.len(), c);
-                        let mut mask = Vec::with_capacity(c * h * w);
-                        for &m in unit {
-                            mask.extend(std::iter::repeat_n(m, h * w));
+                        for (plane, &m) in out.chunks_mut(h * w).zip(unit.iter()) {
+                            plane.fill(m);
                         }
-                        mask
                     }
-                    FeatureShape::Vector { .. } => unit.to_vec(),
+                    FeatureShape::Vector { .. } => out.copy_from_slice(unit),
                 }
             }
         }
@@ -229,7 +255,7 @@ impl DropoutLayer {
 }
 
 impl Layer for DropoutLayer {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> NnResult<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> NnResult<Tensor> {
         let per_sample = self.slot.shape.len();
         let n = input.shape().dim(0);
         if input.len() != n * per_sample {
@@ -240,20 +266,37 @@ impl Layer for DropoutLayer {
                 input.shape()
             )));
         }
+        // The previous pass's mask (if any) goes back to the pool before
+        // a replacement is (maybe) written, so steady-state passes cycle
+        // the same buffers.
+        if let Some(old) = self.cache.take() {
+            ws.recycle_tensor(old);
+        }
         if !mode.dropout_active() {
-            self.cache = None;
-            return Ok(input.clone());
+            // Standard inference: identity, via a pooled copy.
+            return Ok(ws.take_copy(input));
         }
         // One independent mask per batch sample, matching framework
         // semantics (masks differ across MC samples *and* batch items).
-        let mut mask = Vec::with_capacity(input.len());
-        for _ in 0..n {
-            mask.extend(self.sample_mask(mode));
+        let mut mask = ws.take_dirty(input.len());
+        let mut idx_scratch = if self.kind == DropoutKind::Random {
+            ws.take_dirty(per_sample)
+        } else {
+            Vec::new()
+        };
+        for row in mask.chunks_mut(per_sample.max(1)) {
+            self.sample_mask_fill(mode, row, &mut idx_scratch);
         }
-        let mask = Tensor::from_vec(mask, input.shape().clone())?;
-        let out = input.mul(&mask)?;
-        self.cache = Some(mask);
-        Ok(out)
+        ws.recycle(idx_scratch);
+        let mut out = ws.take_dirty(input.len());
+        for ((o, &x), &m) in out.iter_mut().zip(input.iter()).zip(mask.iter()) {
+            *o = x * m;
+        }
+        // Both active modes keep the mask for a possible backward (the
+        // MC-mask gradient is part of the layer contract); the buffer is
+        // pooled, recycled by the next pass or by `restore_mc_state`.
+        self.cache = Some(Tensor::from_vec(mask, input.shape().clone())?);
+        Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
     }
 
     fn backward(&mut self, grad: &Tensor) -> NnResult<Tensor> {
@@ -274,6 +317,23 @@ impl Layer for DropoutLayer {
         // history-free, so serial and parallel MC sampling coincide.
         self.rng = Rng64::new(self.stream_seed).fork(sample ^ 0x4D43_5341_4D50);
         self.mc_cursor = sample as usize;
+    }
+
+    fn save_mc_state(&mut self) {
+        self.saved = Some((self.rng.clone(), self.mc_cursor, self.cache.take()));
+    }
+
+    fn restore_mc_state(&mut self, ws: &mut Workspace) {
+        if let Some((rng, cursor, cache)) = self.saved.take() {
+            self.rng = rng;
+            self.mc_cursor = cursor;
+            // The round's last mask is displaced by the caller's pending
+            // one (or by nothing); recycle it instead of dropping it so
+            // rounds stay allocation-neutral.
+            if let Some(displaced) = std::mem::replace(&mut self.cache, cache) {
+                ws.recycle_tensor(displaced);
+            }
+        }
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -14,20 +14,31 @@ use nds_tensor::rng::Rng64;
 ///
 /// Panics if `rate` is outside `[0, 1)`.
 pub fn bernoulli_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
+    let mut mask = vec![0.0f32; n];
+    bernoulli_mask_fill(&mut mask, rate, rng);
+    mask
+}
+
+/// [`bernoulli_mask`] writing into a caller-supplied slice — identical
+/// RNG consumption and values, no allocation (the hot MC loop fills
+/// workspace-pooled mask rows with this).
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)`.
+pub fn bernoulli_mask_fill(out: &mut [f32], rate: f32, rng: &mut Rng64) {
     assert!(
         (0.0..1.0).contains(&rate),
         "bernoulli rate {rate} must be in [0, 1)"
     );
     let scale = 1.0 / (1.0 - rate);
-    (0..n)
-        .map(|_| {
-            if rng.bernoulli(rate as f64) {
-                0.0
-            } else {
-                scale
-            }
-        })
-        .collect()
+    for v in out.iter_mut() {
+        *v = if rng.bernoulli(rate as f64) {
+            0.0
+        } else {
+            scale
+        };
+    }
 }
 
 /// Random-dropout mask: drops *exactly* `floor(rate * n)` positions chosen
@@ -39,10 +50,30 @@ pub fn bernoulli_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
 ///
 /// Panics if `rate` is outside `[0, 1)`.
 pub fn random_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
+    let mut mask = vec![0.0f32; n];
+    let mut idx = vec![0.0f32; n];
+    random_mask_fill(&mut mask, rate, rng, &mut idx);
+    mask
+}
+
+/// [`random_mask`] writing into a caller-supplied slice.
+///
+/// `idx_scratch` must be at least as long as `out`; it holds the partial
+/// Fisher–Yates index permutation (as `f32`, exact for any realistic
+/// feature count) so the selection needs no allocation. The RNG draw
+/// sequence — and therefore the chosen drop set — is identical to
+/// [`Rng64::sample_indices`], which this replaces on the hot path.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)` or the scratch is too short.
+pub fn random_mask_fill(out: &mut [f32], rate: f32, rng: &mut Rng64, idx_scratch: &mut [f32]) {
     assert!(
         (0.0..1.0).contains(&rate),
         "random rate {rate} must be in [0, 1)"
     );
+    let n = out.len();
+    assert!(idx_scratch.len() >= n, "index scratch shorter than mask");
     let drop = ((rate as f64) * n as f64).floor() as usize;
     let kept = n - drop;
     let scale = if kept > 0 {
@@ -50,13 +81,22 @@ pub fn random_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
     } else {
         0.0
     };
-    let mut mask = vec![scale; n];
-    if drop > 0 {
-        for ix in rng.sample_indices(n, drop) {
-            mask[ix] = 0.0;
-        }
+    out.fill(scale);
+    if drop == 0 {
+        return;
     }
-    mask
+    // Partial Fisher–Yates, drawing the same `below(n - i)` sequence as
+    // `Rng64::sample_indices` (the sort there only orders the returned
+    // list — it does not affect which indices drop).
+    let idx = &mut idx_scratch[..n];
+    for (i, slot) in idx.iter_mut().enumerate() {
+        *slot = i as f32;
+    }
+    for i in 0..drop {
+        let j = i + rng.below(n - i);
+        idx.swap(i, j);
+        out[idx[i] as usize] = 0.0;
+    }
 }
 
 /// DropBlock mask over one `h × w` feature-map channel.
@@ -78,42 +118,67 @@ pub fn random_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
 ///
 /// Panics if `rate` is outside `[0, 1)` or `block == 0`.
 pub fn block_mask(h: usize, w: usize, rate: f32, block: usize, rng: &mut Rng64) -> Vec<f32> {
+    let mut mask = vec![0.0f32; h * w];
+    block_mask_fill(&mut mask, h, w, rate, block, rng);
+    mask
+}
+
+/// [`block_mask`] writing into a caller-supplied slice — identical RNG
+/// consumption and values, no allocation. The drop markers live in the
+/// output slice itself (`1.0` kept / `0.0` dropped during seeding, then
+/// kept entries are rescaled), so no side buffer is needed.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)`, `block == 0`, or the slice
+/// length differs from `h * w`.
+pub fn block_mask_fill(
+    out: &mut [f32],
+    h: usize,
+    w: usize,
+    rate: f32,
+    block: usize,
+    rng: &mut Rng64,
+) {
     assert!(
         (0.0..1.0).contains(&rate),
         "block rate {rate} must be in [0, 1)"
     );
     assert!(block > 0, "block size must be positive");
     let n = h * w;
+    assert_eq!(out.len(), n, "block mask slice must cover the h x w grid");
     let bh = block.min(h);
     let bw = block.min(w);
     if bh * bw <= 1 {
-        return bernoulli_mask(n, rate, rng);
+        bernoulli_mask_fill(out, rate, rng);
+        return;
     }
     let valid_h = h - bh + 1;
     let valid_w = w - bw + 1;
     let gamma = (rate as f64) * (n as f64) / ((bh * bw) as f64 * (valid_h * valid_w) as f64);
-    let mut dropped = vec![false; n];
+    out.fill(1.0);
     for sy in 0..valid_h {
         for sx in 0..valid_w {
             if rng.bernoulli(gamma) {
                 for dy in 0..bh {
                     for dx in 0..bw {
-                        dropped[(sy + dy) * w + (sx + dx)] = true;
+                        out[(sy + dy) * w + (sx + dx)] = 0.0;
                     }
                 }
             }
         }
     }
-    let kept = dropped.iter().filter(|&&d| !d).count();
+    let kept = out.iter().filter(|&&v| v != 0.0).count();
     let scale = if kept > 0 {
         n as f32 / kept as f32
     } else {
         0.0
     };
-    dropped
-        .into_iter()
-        .map(|d| if d { 0.0 } else { scale })
-        .collect()
+    for v in out.iter_mut() {
+        if *v != 0.0 {
+            *v = scale;
+        }
+    }
 }
 
 /// Multiplicative Gaussian dropout mask (Srivastava et al., 2014): each
@@ -128,14 +193,26 @@ pub fn block_mask(h: usize, w: usize, rate: f32, block: usize, rng: &mut Rng64) 
 ///
 /// Panics if `rate` is outside `[0, 1)`.
 pub fn gaussian_mask(n: usize, rate: f32, rng: &mut Rng64) -> Vec<f32> {
+    let mut mask = vec![0.0f32; n];
+    gaussian_mask_fill(&mut mask, rate, rng);
+    mask
+}
+
+/// [`gaussian_mask`] writing into a caller-supplied slice — identical
+/// RNG consumption and values, no allocation.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1)`.
+pub fn gaussian_mask_fill(out: &mut [f32], rate: f32, rng: &mut Rng64) {
     assert!(
         (0.0..1.0).contains(&rate),
         "gaussian rate {rate} must be in [0, 1)"
     );
     let sigma = (rate / (1.0 - rate)).sqrt();
-    (0..n)
-        .map(|_| rng.normal_with(1.0, sigma).max(0.0))
-        .collect()
+    for v in out.iter_mut() {
+        *v = rng.normal_with(1.0, sigma).max(0.0);
+    }
 }
 
 /// Fraction of zeroed entries in a mask — a test/diagnostic helper.
@@ -279,6 +356,38 @@ mod tests {
         let mut rng = Rng64::new(9);
         let mask = block_mask(1, 1, 0.5, 3, &mut rng);
         assert_eq!(mask.len(), 1);
+    }
+
+    #[test]
+    fn fill_variants_match_allocating_variants_bitwise() {
+        // Same seed → same RNG consumption → same mask, for every design.
+        let n = 96;
+        let a = bernoulli_mask(n, 0.3, &mut Rng64::new(21));
+        let mut b = vec![9.0f32; n];
+        bernoulli_mask_fill(&mut b, 0.3, &mut Rng64::new(21));
+        assert_eq!(a, b);
+
+        let a = random_mask(n, 0.25, &mut Rng64::new(22));
+        let mut b = vec![9.0f32; n];
+        let mut scratch = vec![0.0f32; n];
+        random_mask_fill(&mut b, 0.25, &mut Rng64::new(22), &mut scratch);
+        assert_eq!(a, b);
+
+        let a = block_mask(8, 12, 0.3, 3, &mut Rng64::new(23));
+        let mut b = vec![9.0f32; 96];
+        block_mask_fill(&mut b, 8, 12, 0.3, 3, &mut Rng64::new(23));
+        assert_eq!(a, b);
+
+        let a = gaussian_mask(n, 0.25, &mut Rng64::new(24));
+        let mut b = vec![9.0f32; n];
+        gaussian_mask_fill(&mut b, 0.25, &mut Rng64::new(24));
+        assert_eq!(a, b);
+
+        // And the degenerate block (1x1) falls back identically.
+        let a = block_mask(1, 1, 0.5, 3, &mut Rng64::new(25));
+        let mut b = vec![9.0f32; 1];
+        block_mask_fill(&mut b, 1, 1, 0.5, 3, &mut Rng64::new(25));
+        assert_eq!(a, b);
     }
 
     #[test]

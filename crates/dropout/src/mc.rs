@@ -24,7 +24,7 @@
 
 use nds_metrics::entropy_nats;
 use nds_nn::layers::Sequential;
-use nds_nn::train::predict_probs;
+use nds_nn::train::predict_probs_ws;
 use nds_nn::{Layer, Mode, Result};
 use nds_tensor::parallel::worker_count;
 use nds_tensor::{Shape, Tensor, Workspace};
@@ -43,6 +43,14 @@ impl McPrediction {
     /// Number of MC samples that produced this prediction.
     pub fn samples(&self) -> usize {
         self.sample_probs.len()
+    }
+
+    /// Hands every buffer of this prediction (mean, per-sample tensors,
+    /// and the sample container itself) back to a [`Workspace`], so the
+    /// next prediction round reuses them instead of allocating.
+    pub fn recycle_into(self, ws: &mut Workspace) {
+        ws.recycle_tensor(self.mean_probs);
+        ws.recycle_tensor_list(self.sample_probs);
     }
 
     /// Predictive entropy (nats) of each input's mean distribution —
@@ -149,66 +157,10 @@ pub fn mc_predict_with_workers(
     workers: usize,
     workspace: &mut Workspace,
 ) -> Result<McPrediction> {
+    let sample_probs = mc_sample_rounds(net, samples, workers, workspace, &|net, ws| {
+        predict_probs_ws(net, images, Mode::McInference, batch_size, ws)
+    })?;
     let samples = samples.max(1);
-    // All passes run on clones, so the caller's network keeps its
-    // stochastic state (dropout RNGs, mask cursors) untouched — a
-    // training loop or manual MC forward that follows a prediction round
-    // behaves the same on every machine, whatever the worker count.
-    // begin_mc_round therefore also fires on the clones, not the caller.
-    // Cloning is cheap: weights live in copy-on-write shared storage, so
-    // a clone copies layer bookkeeping but not a single parameter.
-    let sample_probs: Vec<Tensor> = if workers <= 1 || samples <= 1 {
-        let mut worker_net = net.clone();
-        worker_net.begin_mc_round();
-        let mut probs = Vec::with_capacity(samples);
-        for s in 0..samples {
-            worker_net.begin_mc_sample(s as u64);
-            probs.push(predict_probs(
-                &mut worker_net,
-                images,
-                Mode::McInference,
-                batch_size,
-            )?);
-        }
-        probs
-    } else {
-        // Fan sample chunks out over the persistent worker pool, each
-        // task on its own clone of the network. Chunk ordering keeps the
-        // output order equal to the serial path's, and each sample's
-        // masks depend only on its index, so any chunking of any pool
-        // size produces identical bytes. When this runs nested inside a
-        // population-evaluation task, the chunks simply queue on the
-        // same pool instead of degrading to serial.
-        let mut slots: Vec<Option<Result<Tensor>>> = (0..samples).map(|_| None).collect();
-        let per_worker = samples.div_ceil(workers);
-        let net_ref: &Sequential = net;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
-            .chunks_mut(per_worker)
-            .enumerate()
-            .map(|(w, chunk)| {
-                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let mut worker_net = net_ref.clone();
-                    worker_net.begin_mc_round();
-                    for (i, slot) in chunk.iter_mut().enumerate() {
-                        let s = (w * per_worker + i) as u64;
-                        worker_net.begin_mc_sample(s);
-                        *slot = Some(predict_probs(
-                            &mut worker_net,
-                            images,
-                            Mode::McInference,
-                            batch_size,
-                        ));
-                    }
-                });
-                task
-            })
-            .collect();
-        nds_tensor::parallel::run_scoped(tasks);
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every sample slot is filled"))
-            .collect::<Result<Vec<_>>>()?
-    };
     let (n, c) = (
         sample_probs[0].shape().dim(0),
         sample_probs[0].shape().dim(1),
@@ -227,6 +179,94 @@ pub fn mc_predict_with_workers(
         mean_probs: Tensor::from_vec(mean, Shape::d2(n, c))?,
         sample_probs,
     })
+}
+
+/// The Monte-Carlo round harness shared by every MC driver (the float
+/// path above and the quantised datapath in `nds-hw`): runs `run_pass`
+/// once per sample with the sample's stream pinned via
+/// [`Layer::begin_mc_sample`], returning the per-sample outputs in
+/// sample order.
+///
+/// This function owns the determinism-critical scheduling in one place:
+///
+/// * **Serial (`workers <= 1` or a single sample)** — runs **in place**
+///   on the caller's net, bracketed by
+///   [`Layer::save_mc_state`]/[`Layer::restore_mc_state`] so the
+///   caller's stochastic state (dropout RNGs, mask cursors, pending
+///   backward mask) comes back untouched — no network clone, and with a
+///   workspace-pooled pass, zero steady-state allocations. The output
+///   list container is pooled too; on error it is recycled and the
+///   state still restored.
+/// * **Parallel** — fans contiguous sample chunks out over the
+///   persistent worker pool, each task on its own copy-on-write clone
+///   of the net with a private workspace. Chunk ordering preserves
+///   sample order, and each sample's masks depend only on its index, so
+///   any chunking of any pool size produces bytes identical to the
+///   serial path. Nested inside a population-evaluation task, the
+///   chunks simply queue on the same pool instead of degrading to
+///   serial.
+///
+/// # Errors
+///
+/// Returns the first failing pass's error (in sample order for the
+/// parallel path).
+pub fn mc_sample_rounds<E: Send>(
+    net: &mut Sequential,
+    samples: usize,
+    workers: usize,
+    workspace: &mut Workspace,
+    run_pass: &(dyn Fn(&mut Sequential, &mut Workspace) -> std::result::Result<Tensor, E> + Sync),
+) -> std::result::Result<Vec<Tensor>, E> {
+    let samples = samples.max(1);
+    if workers <= 1 || samples <= 1 {
+        net.save_mc_state();
+        net.begin_mc_round();
+        let mut outputs = workspace.take_tensor_list();
+        let mut first_err = None;
+        for s in 0..samples {
+            net.begin_mc_sample(s as u64);
+            match run_pass(net, workspace) {
+                Ok(out) => outputs.push(out),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Restore even on error: the caller's net comes back untouched.
+        net.restore_mc_state(workspace);
+        if let Some(e) = first_err {
+            workspace.recycle_tensor_list(outputs);
+            return Err(e);
+        }
+        return Ok(outputs);
+    }
+    let mut slots: Vec<Option<std::result::Result<Tensor, E>>> =
+        (0..samples).map(|_| None).collect();
+    let per_worker = samples.div_ceil(workers);
+    let net_ref: &Sequential = net;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+        .chunks_mut(per_worker)
+        .enumerate()
+        .map(|(w, chunk)| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let mut worker_net = net_ref.clone();
+                let mut worker_ws = Workspace::new();
+                worker_net.begin_mc_round();
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let s = (w * per_worker + i) as u64;
+                    worker_net.begin_mc_sample(s);
+                    *slot = Some(run_pass(&mut worker_net, &mut worker_ws));
+                }
+            });
+            task
+        })
+        .collect();
+    nds_tensor::parallel::run_scoped(tasks);
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every sample slot is filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -375,17 +415,46 @@ mod tests {
         let x = Tensor::zeros(Shape::d4(4, 1, 4, 4));
         let mut ws = Workspace::new();
         let first = mc_predict_with_workers(&mut net, &x, 3, 4, 1, &mut ws).unwrap();
-        ws.recycle_tensor(first.mean_probs);
+        first.recycle_into(&mut ws);
         let allocations = ws.allocations();
         let second = mc_predict_with_workers(&mut net, &x, 3, 4, 1, &mut ws).unwrap();
         assert_eq!(
             ws.allocations(),
             allocations,
-            "second round must not allocate"
+            "second round must not take fresh buffers"
         );
         assert!(ws.reuses() >= 1);
         // Same seed-derived streams: the two rounds agree exactly.
         assert_eq!(second.samples(), 3);
+    }
+
+    #[test]
+    fn every_dropout_design_reuses_workspace_buffers_in_steady_state() {
+        // The Workspace-pooled mask path covers all four designs
+        // (including Random's Fisher–Yates scratch): after one warm-up
+        // round, further rounds take nothing fresh from the allocator.
+        for kind in [
+            DropoutKind::Bernoulli,
+            DropoutKind::Random,
+            DropoutKind::Gaussian,
+            DropoutKind::Masksembles,
+        ] {
+            let mut net = stochastic_net(kind, 22);
+            let x = Tensor::zeros(Shape::d4(4, 1, 4, 4));
+            let mut ws = Workspace::new();
+            let warmup = mc_predict_with_workers(&mut net, &x, 3, 2, 1, &mut ws).unwrap();
+            warmup.recycle_into(&mut ws);
+            let allocations = ws.allocations();
+            for _ in 0..3 {
+                let round = mc_predict_with_workers(&mut net, &x, 3, 2, 1, &mut ws).unwrap();
+                round.recycle_into(&mut ws);
+            }
+            assert_eq!(
+                ws.allocations(),
+                allocations,
+                "{kind}: steady-state rounds must be served from the pool"
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,8 @@ use crate::Result;
 use nds_nn::layers::Sequential;
 use nds_nn::{Layer, Mode};
 use nds_quant::{fake_quantize, FixedFormat};
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::parallel::worker_count;
+use nds_tensor::{Shape, Tensor, Workspace};
 
 /// Quantises every parameter of the network to `format`, in place.
 /// Returns the number of scalars that changed value.
@@ -73,6 +74,9 @@ pub fn quantized_forward(
 /// Convenience: Monte-Carlo prediction through the quantised datapath
 /// (S stochastic passes, mean probabilities).
 ///
+/// Equivalent to [`quantized_mc_predict_with_workers`] with the pool
+/// size from [`worker_count`].
+///
 /// # Errors
 ///
 /// Propagates network execution errors.
@@ -82,24 +86,54 @@ pub fn quantized_mc_predict(
     format: FixedFormat,
     samples: usize,
 ) -> Result<Tensor> {
+    quantized_mc_predict_with_workers(net, images, format, samples, worker_count())
+}
+
+/// Monte-Carlo prediction through the quantised datapath with an
+/// explicit worker count.
+///
+/// Uses the same clone-and-stream scheme as `nds_dropout::mc::mc_predict`:
+/// every pass draws its dropout masks from a stream derived purely from
+/// the sample index via [`Layer::begin_mc_sample`], so the masks are
+/// independent of execution order and **bit-identical for any `workers`
+/// value** — the quantisation-error comparison isolates quantisation
+/// from mask drift. The caller's network comes back with its stochastic
+/// state untouched (the serial path brackets the round with
+/// [`Layer::save_mc_state`]/[`Layer::restore_mc_state`]; the parallel
+/// path runs on clones), so running a quantised round no longer
+/// advances the caller's RNG.
+///
+/// # Errors
+///
+/// Propagates network execution errors.
+pub fn quantized_mc_predict_with_workers(
+    net: &mut Sequential,
+    images: &Tensor,
+    format: FixedFormat,
+    samples: usize,
+    workers: usize,
+) -> Result<Tensor> {
     let samples = samples.max(1);
-    net.begin_mc_round();
     let n = images.shape().dim(0);
-    let mut mean: Option<Vec<f32>> = None;
-    let mut classes = 0;
-    for _ in 0..samples {
-        let probs = quantized_forward(net, images, format, Mode::McInference)?;
-        classes = probs.shape().dim(1);
-        match &mut mean {
-            None => mean = Some(probs.as_slice().to_vec()),
-            Some(m) => {
-                for (a, &b) in m.iter_mut().zip(probs.as_slice()) {
-                    *a += b;
-                }
-            }
+    // The round scheduling (save/restore bracketing, sample-index
+    // streams, chunked fan-out) is the float engine's harness — shared
+    // so the two datapaths can never drift apart in their determinism
+    // guarantees. `quantized_forward` allocates per layer anyway, so the
+    // workspace is throwaway.
+    let sample_probs = nds_dropout::mc::mc_sample_rounds(
+        net,
+        samples,
+        workers,
+        &mut Workspace::new(),
+        &|net, _ws| quantized_forward(net, images, format, Mode::McInference),
+    )?;
+    let classes = sample_probs[0].shape().dim(1);
+    let mut mean = vec![0.0f32; n * classes];
+    for probs in &sample_probs {
+        for (a, &b) in mean.iter_mut().zip(probs.as_slice()) {
+            *a += b;
         }
     }
-    let mut mean = mean.expect("at least one sample");
     let inv = 1.0 / samples as f32;
     for v in &mut mean {
         *v *= inv;
@@ -181,6 +215,71 @@ mod tests {
         assert!(
             fine < coarse,
             "Q3.12 error {fine} should beat Q7.8 {coarse}"
+        );
+    }
+
+    fn stochastic_net(rng: &mut Rng64) -> Sequential {
+        use nds_nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+        let mut net = Sequential::new();
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(8, 16, true, rng)));
+        let slot = SlotInfo {
+            id: 0,
+            shape: FeatureShape::Vector { features: 16 },
+            position: SlotPosition::FullyConnected,
+        };
+        net.push(Box::new(
+            nds_dropout::DropoutLayer::for_slot(
+                nds_dropout::DropoutKind::Bernoulli,
+                &slot,
+                &nds_dropout::DropoutSettings {
+                    rate: 0.5,
+                    ..nds_dropout::DropoutSettings::default()
+                },
+                9,
+            )
+            .unwrap(),
+        ));
+        net.push(Box::new(Linear::new(16, 4, true, rng)));
+        net
+    }
+
+    #[test]
+    fn quantized_mc_is_byte_identical_across_worker_counts() {
+        // Per-sample streams make the quantised MC path independent of
+        // execution order, mirroring the float path's golden guarantee.
+        let mut rng = Rng64::new(5);
+        let mut net = stochastic_net(&mut rng);
+        quantize_network(&mut net, Q7_8);
+        let x = Tensor::rand_normal(Shape::d4(5, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let serial = quantized_mc_predict_with_workers(&mut net, &x, Q7_8, 4, 1).unwrap();
+        for workers in [2, 3, 4, 8] {
+            let parallel =
+                quantized_mc_predict_with_workers(&mut net, &x, Q7_8, 4, workers).unwrap();
+            assert_eq!(
+                serial.as_slice(),
+                parallel.as_slice(),
+                "quantized MC bytes diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_mc_does_not_advance_caller_rng() {
+        // A quantised MC round must leave the caller's stochastic state
+        // untouched, exactly like the float mc_predict: a Train-mode
+        // forward afterwards draws the same masks either way.
+        let mut rng = Rng64::new(6);
+        let mut with_mc = stochastic_net(&mut rng);
+        let mut rng2 = Rng64::new(6);
+        let mut without_mc = stochastic_net(&mut rng2);
+        let x = Tensor::rand_normal(Shape::d4(3, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let _ = quantized_mc_predict(&mut with_mc, &x, Q7_8, 3).unwrap();
+        let a = with_mc.forward(&x, Mode::Train).unwrap();
+        let b = without_mc.forward(&x, Mode::Train).unwrap();
+        assert_eq!(
+            a, b,
+            "quantized MC round must not advance the caller's RNG state"
         );
     }
 

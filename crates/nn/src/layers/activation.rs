@@ -1,12 +1,20 @@
 use crate::{Layer, Mode, NnError, Result};
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::{Shape, Tensor, Workspace};
 
 /// Rectified linear unit.
 ///
-/// Stateless apart from the backward mask cached during forward.
-#[derive(Debug, Default, Clone)]
+/// Stateless apart from the backward mask cached during training-mode
+/// forwards (inference never calls backward, so no mask is kept and
+/// clones start mask-free).
+#[derive(Debug, Default)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
+}
+
+impl Clone for Relu {
+    fn clone(&self) -> Self {
+        Relu { mask: None }
+    }
 }
 
 impl Relu {
@@ -20,9 +28,17 @@ impl Layer for Relu {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        self.mask = Some(input.iter().map(|&v| v > 0.0).collect());
-        Ok(input.relu())
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if matches!(mode, Mode::Train) {
+            self.mask = Some(input.iter().map(|&v| v > 0.0).collect());
+        }
+        let mut out = ws.take_dirty(input.len());
+        // Same rule as `Tensor::relu`: NaN propagates instead of being
+        // laundered to zero.
+        for (o, &v) in out.iter_mut().zip(input.iter()) {
+            *o = if v > 0.0 || v.is_nan() { v } else { 0.0 };
+        }
+        Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {

@@ -19,7 +19,7 @@
 use crate::{Layer, Mode, NnError, Param, Result};
 use nds_tensor::parallel::worker_count;
 use nds_tensor::rng::Rng64;
-use nds_tensor::{Shape, Tensor, TensorError};
+use nds_tensor::{Shape, Tensor, TensorError, Workspace};
 
 fn as_tokens(shape: &Shape, op: &'static str) -> Result<(usize, usize, usize)> {
     let (n, t, h, d) = shape.as_nchw().ok_or(TensorError::RankMismatch {
@@ -37,13 +37,30 @@ fn as_tokens(shape: &Shape, op: &'static str) -> Result<(usize, usize, usize)> {
 
 /// Layer normalisation over the embedding axis of `[n, tokens, 1, dim]`
 /// tensors, with learned per-dimension gain and shift.
-#[derive(Debug, Clone)]
+///
+/// The normalised-activation cache feeding the backward pass is written
+/// only by training-mode forwards; MC/standard inference computes row
+/// statistics on the fly into a pooled output buffer, and clones start
+/// cache-free.
+#[derive(Debug)]
 pub struct LayerNorm {
     gamma: Param,
     beta: Param,
     dim: usize,
     eps: f32,
     cache: Option<LnCache>,
+}
+
+impl Clone for LayerNorm {
+    fn clone(&self) -> Self {
+        LayerNorm {
+            gamma: self.gamma.clone(),
+            beta: self.beta.clone(),
+            dim: self.dim,
+            eps: self.eps,
+            cache: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -75,7 +92,7 @@ impl Layer for LayerNorm {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let (n, t, d) = as_tokens(input.shape(), "layer_norm forward")?;
         if d != self.dim {
             return Err(NnError::BadConfig(format!(
@@ -85,9 +102,20 @@ impl Layer for LayerNorm {
         }
         let x = input.as_slice();
         let rows = n * t;
-        let mut out = vec![0.0f32; x.len()];
-        let mut x_hat = vec![0.0f32; x.len()];
-        let mut inv_std = vec![0.0f32; rows];
+        let train = matches!(mode, Mode::Train);
+        let mut out = ws.take_dirty(x.len());
+        // Backward needs x̂ and the per-row inverse stddev; inference
+        // computes the same values transiently and keeps nothing.
+        let mut x_hat = if train {
+            vec![0.0f32; x.len()]
+        } else {
+            Vec::new()
+        };
+        let mut inv_std = if train {
+            vec![0.0f32; rows]
+        } else {
+            Vec::new()
+        };
         let gamma = self.gamma.value.as_slice();
         let beta = self.beta.value.as_slice();
         for r in 0..rows {
@@ -99,18 +127,24 @@ impl Layer for LayerNorm {
                 .sum::<f64>()
                 / d as f64;
             let istd = 1.0 / (var + self.eps as f64).sqrt();
-            inv_std[r] = istd as f32;
+            if train {
+                inv_std[r] = istd as f32;
+            }
             for k in 0..d {
                 let xh = ((row[k] as f64 - mean) * istd) as f32;
-                x_hat[r * d + k] = xh;
+                if train {
+                    x_hat[r * d + k] = xh;
+                }
                 out[r * d + k] = gamma[k] * xh + beta[k];
             }
         }
-        self.cache = Some(LnCache {
-            x_hat,
-            inv_std,
-            shape: input.shape().clone(),
-        });
+        if train {
+            self.cache = Some(LnCache {
+                x_hat,
+                inv_std,
+                shape: input.shape().clone(),
+            });
+        }
         Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
     }
 
@@ -183,7 +217,7 @@ impl Layer for LayerNorm {
 /// `[n, tokens, 1, dim]` token sequences via a learned linear projection
 /// of each `patch × patch` tile (equivalent to a stride-`patch`
 /// convolution).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PatchEmbed {
     weight: Param, // [dim, c * p * p]
     bias: Param,   // [dim]
@@ -195,6 +229,22 @@ pub struct PatchEmbed {
     patch: usize,
     dim: usize,
     cache: Option<(Tensor, Shape)>, // input, input shape
+}
+
+impl Clone for PatchEmbed {
+    /// Clones parameters (copy-on-write shares) but not the training
+    /// cache — clones serve inference workers and supernet forks.
+    fn clone(&self) -> Self {
+        PatchEmbed {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            pos: self.pos.clone(),
+            in_channels: self.in_channels,
+            patch: self.patch,
+            dim: self.dim,
+            cache: None,
+        }
+    }
 }
 
 impl PatchEmbed {
@@ -265,7 +315,7 @@ impl Layer for PatchEmbed {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let (n, c, th, tw) = self.geometry(input.shape())?;
         let p = self.patch;
         let d = self.dim;
@@ -275,8 +325,8 @@ impl Layer for PatchEmbed {
         let x = input.as_slice();
         let wgt = self.weight.value.as_slice();
         let b = self.bias.value.as_slice();
-        let mut out = vec![0.0f32; n * tokens * d];
-        let mut patch_buf = vec![0.0f32; patch_len];
+        let mut out = ws.take_dirty(n * tokens * d);
+        let mut patch_buf = ws.take_dirty(patch_len);
         for ni in 0..n {
             for ty in 0..th {
                 for tx in 0..tw {
@@ -318,7 +368,10 @@ impl Layer for PatchEmbed {
                 }
             }
         }
-        self.cache = Some((input.clone(), input.shape().clone()));
+        ws.recycle(patch_buf);
+        if matches!(mode, Mode::Train) {
+            self.cache = Some((input.clone(), input.shape().clone()));
+        }
         Tensor::from_vec(out, Shape::d4(n, tokens, 1, d)).map_err(NnError::from)
     }
 
@@ -430,7 +483,12 @@ impl Layer for PatchEmbed {
 
 /// Multi-head scaled-dot-product self-attention over
 /// `[n, tokens, 1, dim]` sequences (bias-free Q/K/V/O projections).
-#[derive(Debug, Clone)]
+///
+/// The Q/K/V/attention caches feeding the backward pass are written only
+/// by training-mode forwards — MC inference runs entirely on pooled
+/// scratch — and clones start cache-free, so fanning a ViT out across MC
+/// workers no longer deep-copies per-pass activations.
+#[derive(Debug)]
 pub struct MultiHeadAttention {
     wq: Param,
     wk: Param,
@@ -439,6 +497,20 @@ pub struct MultiHeadAttention {
     dim: usize,
     heads: usize,
     cache: Option<AttnCache>,
+}
+
+impl Clone for MultiHeadAttention {
+    fn clone(&self) -> Self {
+        MultiHeadAttention {
+            wq: self.wq.clone(),
+            wk: self.wk.clone(),
+            wv: self.wv.clone(),
+            wo: self.wo.clone(),
+            dim: self.dim,
+            heads: self.heads,
+            cache: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -513,7 +585,7 @@ impl Layer for MultiHeadAttention {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let (n, t, d) = as_tokens(input.shape(), "attention forward")?;
         if d != self.dim {
             return Err(NnError::BadConfig(format!(
@@ -526,15 +598,15 @@ impl Layer for MultiHeadAttention {
         let scale = 1.0 / (dh as f32).sqrt();
         let rows = n * t;
         let x = input.as_slice();
-        let mut q = vec![0.0f32; rows * d];
-        let mut k = vec![0.0f32; rows * d];
-        let mut v = vec![0.0f32; rows * d];
+        let mut q = ws.take_dirty(rows * d);
+        let mut k = ws.take_dirty(rows * d);
+        let mut v = ws.take_dirty(rows * d);
         project(x, self.wq.value.as_slice(), rows, d, d, &mut q);
         project(x, self.wk.value.as_slice(), rows, d, d, &mut k);
         project(x, self.wv.value.as_slice(), rows, d, d, &mut v);
 
-        let mut attn = vec![0.0f32; n * heads * t * t];
-        let mut o = vec![0.0f32; rows * d];
+        let mut attn = ws.take_dirty(n * heads * t * t);
+        let mut o = ws.take(rows * d);
         for ni in 0..n {
             for h in 0..heads {
                 let col = h * dh;
@@ -575,16 +647,24 @@ impl Layer for MultiHeadAttention {
                 }
             }
         }
-        let mut y = vec![0.0f32; rows * d];
+        let mut y = ws.take_dirty(rows * d);
         project(&o, self.wo.value.as_slice(), rows, d, d, &mut y);
-        self.cache = Some(AttnCache {
-            x: input.clone(),
-            q,
-            k,
-            v,
-            attn,
-            o,
-        });
+        if matches!(mode, Mode::Train) {
+            self.cache = Some(AttnCache {
+                x: input.clone(),
+                q,
+                k,
+                v,
+                attn,
+                o,
+            });
+        } else {
+            ws.recycle(q);
+            ws.recycle(k);
+            ws.recycle(v);
+            ws.recycle(attn);
+            ws.recycle(o);
+        }
         Tensor::from_vec(y, input.shape().clone()).map_err(NnError::from)
     }
 
@@ -734,7 +814,7 @@ impl Layer for MultiHeadAttention {
 
 /// Token-wise two-layer MLP (`dim → hidden → dim` with ReLU), applied
 /// independently to every token of `[n, tokens, 1, dim]`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TokenMlp {
     w1: Param, // [hidden, dim]
     b1: Param,
@@ -743,6 +823,22 @@ pub struct TokenMlp {
     dim: usize,
     hidden: usize,
     cache: Option<MlpCache>,
+}
+
+impl Clone for TokenMlp {
+    /// Clones parameters (copy-on-write shares) but not the training
+    /// cache — clones serve inference workers and supernet forks.
+    fn clone(&self) -> Self {
+        TokenMlp {
+            w1: self.w1.clone(),
+            b1: self.b1.clone(),
+            w2: self.w2.clone(),
+            b2: self.b2.clone(),
+            dim: self.dim,
+            hidden: self.hidden,
+            cache: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -781,7 +877,7 @@ impl Layer for TokenMlp {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let (n, t, d) = as_tokens(input.shape(), "token_mlp forward")?;
         if d != self.dim {
             return Err(NnError::BadConfig(format!(
@@ -792,7 +888,7 @@ impl Layer for TokenMlp {
         let rows = n * t;
         let hid = self.hidden;
         let x = input.as_slice();
-        let mut h = vec![0.0f32; rows * hid];
+        let mut h = ws.take_dirty(rows * hid);
         project(x, self.w1.value.as_slice(), rows, d, hid, &mut h);
         let b1 = self.b1.value.as_slice();
         for r in 0..rows {
@@ -801,7 +897,7 @@ impl Layer for TokenMlp {
                 h[r * hid + j] = if v > 0.0 { v } else { 0.0 };
             }
         }
-        let mut y = vec![0.0f32; rows * d];
+        let mut y = ws.take_dirty(rows * d);
         project(&h, self.w2.value.as_slice(), rows, hid, d, &mut y);
         let b2 = self.b2.value.as_slice();
         for r in 0..rows {
@@ -809,10 +905,14 @@ impl Layer for TokenMlp {
                 y[r * d + j] += b2[j];
             }
         }
-        self.cache = Some(MlpCache {
-            x: input.clone(),
-            h,
-        });
+        if matches!(mode, Mode::Train) {
+            self.cache = Some(MlpCache {
+                x: input.clone(),
+                h,
+            });
+        } else {
+            ws.recycle(h);
+        }
         Tensor::from_vec(y, input.shape().clone()).map_err(NnError::from)
     }
 
@@ -930,10 +1030,23 @@ impl<L: Layer + Clone + 'static> Layer for PreNorm<L> {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let normed = self.norm.forward(input, mode)?;
-        let fx = self.inner.forward(&normed, mode)?;
-        input.add(&fx).map_err(NnError::from)
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let normed = self.norm.forward_ws(input, mode, ws)?;
+        let mut fx = self.inner.forward_ws(&normed, mode, ws)?;
+        ws.recycle_tensor(normed);
+        if fx.shape() != input.shape() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "pre_norm residual add",
+                lhs: input.shape().clone(),
+                rhs: fx.shape().clone(),
+            }));
+        }
+        // `input + fx` accumulated into fx's buffer — float addition is
+        // commutative, so this matches the old `input.add(&fx)` exactly.
+        for (f, &a) in fx.iter_mut().zip(input.iter()) {
+            *f += a;
+        }
+        Ok(fx)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
@@ -961,8 +1074,23 @@ impl<L: Layer + Clone + 'static> Layer for PreNorm<L> {
         self.inner.begin_mc_sample(sample);
     }
 
+    fn save_mc_state(&mut self) {
+        self.norm.save_mc_state();
+        self.inner.save_mc_state();
+    }
+
+    fn restore_mc_state(&mut self, ws: &mut Workspace) {
+        self.norm.restore_mc_state(ws);
+        self.inner.restore_mc_state(ws);
+    }
+
     fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut super::BatchNorm2d)) {
         self.inner.visit_batch_norms(f);
+    }
+
+    fn visit_any(&mut self, f: &mut dyn FnMut(&mut dyn std::any::Any)) {
+        self.norm.visit_any(f);
+        self.inner.visit_any(f);
     }
 
     fn name(&self) -> String {
@@ -992,10 +1120,10 @@ impl Layer for TokenMeanPool {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let (n, t, d) = as_tokens(input.shape(), "token_mean_pool forward")?;
         let x = input.as_slice();
-        let mut out = vec![0.0f32; n * d];
+        let mut out = ws.take(n * d);
         for ni in 0..n {
             for ti in 0..t {
                 let row = &x[(ni * t + ti) * d..(ni * t + ti + 1) * d];

@@ -98,22 +98,24 @@ impl Layer for Conv2d {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        // Recycle the previous training cache before (maybe) replacing it.
-        if let Some(old) = self.cache.take() {
-            self.workspace.recycle(old.cols);
-        }
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         if !matches!(mode, Mode::Train) {
             // Inference: no backward coming, so no patch cache — one
-            // im2col per image, scratch recycled inside conv2d_ws.
+            // im2col per image, scratch and output drawn from (and the
+            // scratch returned to) the caller's pool. A pending training
+            // cache, if any, is left in place for its backward pass.
             return conv2d_ws(
                 input,
                 &self.weight.value,
                 self.bias.as_ref().map(|b| &*b.value),
                 self.geometry,
-                &mut self.workspace,
+                ws,
             )
             .map_err(NnError::from);
+        }
+        // Recycle the previous training cache before replacing it.
+        if let Some(old) = self.cache.take() {
+            self.workspace.recycle(old.cols);
         }
         // Training: unroll each image once into the (pooled, image-major)
         // patch cache and gemm straight from it — the same kernel and
@@ -133,7 +135,7 @@ impl Layer for Conv2d {
         let wt = self.weight.value.as_slice();
         let bias = self.bias.as_ref().map(|b| b.value.as_slice());
         let workers = worker_count();
-        let mut cols = self.workspace.take(n * per_image);
+        let mut cols = self.workspace.take_dirty(n * per_image);
         let mut out = vec![0.0f32; n * oc * spatial];
         for ni in 0..n {
             let slab = &mut cols[ni * per_image..(ni + 1) * per_image];

@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, Result};
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::{Shape, Tensor, Workspace};
 
 /// Pass-through layer.
 ///
@@ -19,8 +19,10 @@ impl Layer for Identity {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(*self)
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        Ok(input.clone())
+    fn forward_ws(&mut self, input: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        // The contract hands back an owned tensor; the copy rides a
+        // pooled buffer so even pass-through slots stay allocation-free.
+        Ok(ws.take_copy(input))
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {

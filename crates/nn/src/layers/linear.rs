@@ -1,18 +1,36 @@
 use crate::{Layer, Mode, NnError, Param, Result};
+use nds_tensor::ops::{add_bias_rows, gemm_transb};
+use nds_tensor::parallel::worker_count;
 use nds_tensor::rng::Rng64;
-use nds_tensor::{Shape, Tensor, TensorError};
+use nds_tensor::{Shape, Tensor, TensorError, Workspace};
 
 /// Fully-connected layer: `y = x · Wᵀ + b`.
 ///
 /// Weights have shape `[out_features, in_features]` (He-initialised);
 /// inputs are `[batch, in_features]`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Linear {
     weight: Param,
     bias: Option<Param>,
     in_features: usize,
     out_features: usize,
     cache: Option<Tensor>,
+}
+
+impl Clone for Linear {
+    /// Clones parameters (a cheap copy-on-write share) but never the
+    /// training cache: clones exist to fan inference out across workers
+    /// or to fork the supernet, where a deep-copied backward cache would
+    /// be dead weight.
+    fn clone(&self) -> Self {
+        Linear {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            in_features: self.in_features,
+            out_features: self.out_features,
+            cache: None,
+        }
+    }
 }
 
 impl Linear {
@@ -43,7 +61,7 @@ impl Layer for Linear {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         if input.shape().rank() != 2 || input.shape().dim(1) != self.in_features {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 op: "linear forward",
@@ -51,17 +69,30 @@ impl Layer for Linear {
                 rhs: input.shape().clone(),
             }));
         }
-        // Fused kernels: weights stay in their natural [out, in] layout —
-        // no transposed copy per forward — and the bias add rides the
-        // same output traversal.
-        let out = match &self.bias {
-            Some(b) => input.matmul_transb_bias(&self.weight.value, &b.value)?,
-            None => input.matmul_transb(&self.weight.value)?,
-        };
+        // Same fused dataflow as `matmul_transb_bias`: weights stay in
+        // their natural [out, in] layout — no transposed copy — and the
+        // bias rides a second pass over the pooled output buffer.
+        let m = input.shape().dim(0);
+        let n = self.out_features;
+        let mut out = ws.take_dirty(m * n);
+        gemm_transb(
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            m,
+            self.in_features,
+            n,
+            &mut out,
+            worker_count(),
+        );
+        if let Some(b) = &self.bias {
+            add_bias_rows(&mut out, b.value.as_slice(), n);
+        }
         // Only training forwards arm the backward pass; inference skips
         // the activation copy (the MC engine never calls backward).
-        self.cache = matches!(mode, Mode::Train).then(|| input.clone());
-        Ok(out)
+        if matches!(mode, Mode::Train) {
+            self.cache = Some(input.clone());
+        }
+        Tensor::from_vec(out, Shape::d2(m, n)).map_err(NnError::from)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {

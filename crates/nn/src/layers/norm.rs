@@ -1,12 +1,14 @@
 use crate::{Layer, Mode, NnError, Param, Result};
-use nds_tensor::{Shape, Tensor, TensorError};
+use nds_tensor::{Shape, Tensor, TensorError, Workspace};
 
 /// 2-D batch normalisation over the channel axis of NCHW tensors.
 ///
 /// Training mode normalises with per-batch statistics and maintains
 /// exponential running estimates; inference modes use the running
-/// estimates, as usual.
-#[derive(Debug, Clone)]
+/// estimates, as usual. The backward cache is written only by
+/// training-mode forwards, and clones start cache-free (they exist to
+/// fan inference out across workers).
+#[derive(Debug)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -17,6 +19,25 @@ pub struct BatchNorm2d {
     eps: f32,
     cache: Option<Cache>,
     accumulator: Option<StatAccumulator>,
+}
+
+impl Clone for BatchNorm2d {
+    /// Clones parameters and running statistics but neither the backward
+    /// cache nor a mid-flight statistics accumulator: clones serve
+    /// inference workers and supernet forks, which must start clean.
+    fn clone(&self) -> Self {
+        BatchNorm2d {
+            gamma: self.gamma.clone(),
+            beta: self.beta.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            channels: self.channels,
+            momentum: self.momentum,
+            eps: self.eps,
+            cache: None,
+            accumulator: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -125,7 +146,7 @@ impl Layer for BatchNorm2d {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
             op: "batch_norm forward",
             expected: 4,
@@ -140,8 +161,33 @@ impl Layer for BatchNorm2d {
         }
         let m = (n * h * w) as f32;
         let x = input.as_slice();
+        if !mode.batch_stats() {
+            // Inference: normalise straight from the running estimates
+            // into a pooled buffer — no statistics copies, no backward
+            // cache. Arithmetic matches the training-path affine exactly
+            // (centre, scale by 1/sqrt(var + eps), then gamma/beta).
+            let gamma = self.gamma.value.as_slice();
+            let beta = self.beta.value.as_slice();
+            let mut out = ws.take_dirty(x.len());
+            // Channel-outer nest: each channel's inverse stddev is
+            // computed once, not once per batch image (the per-element
+            // arithmetic is unchanged, so outputs are bit-identical).
+            for ci in 0..c {
+                let inv_std = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let mean = self.running_mean[ci];
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for s in 0..h * w {
+                        let idx = base + s;
+                        let xh = (x[idx] - mean) * inv_std;
+                        out[idx] = gamma[ci] * xh + beta[ci];
+                    }
+                }
+            }
+            return Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from);
+        }
         // Select statistics.
-        let (mean, var) = if mode.batch_stats() {
+        let (mean, var) = {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for (ci, mu) in mean.iter_mut().enumerate() {
@@ -184,8 +230,6 @@ impl Layer for BatchNorm2d {
                 }
             }
             (mean, var)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
         };
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let gamma = self.gamma.value.as_slice();
@@ -206,16 +250,11 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        if mode.batch_stats() {
-            self.cache = Some(Cache {
-                x_hat: Tensor::from_vec(x_hat, input.shape().clone())?,
-                inv_std,
-                centered: Tensor::from_vec(centered, input.shape().clone())?,
-            });
-        } else {
-            // Inference backward is not needed; drop any stale cache.
-            self.cache = None;
-        }
+        self.cache = Some(Cache {
+            x_hat: Tensor::from_vec(x_hat, input.shape().clone())?,
+            inv_std,
+            centered: Tensor::from_vec(centered, input.shape().clone())?,
+        });
         Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
     }
 

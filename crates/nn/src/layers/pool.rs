@@ -1,12 +1,23 @@
 use crate::{Layer, Mode, NnError, Result};
-use nds_tensor::conv::{global_avg_pool, max_pool2d, ConvGeometry};
-use nds_tensor::{Shape, Tensor, TensorError};
+use nds_tensor::conv::{global_avg_pool_ws, max_pool2d, max_pool2d_ws, ConvGeometry};
+use nds_tensor::{Shape, Tensor, TensorError, Workspace};
 
 /// Max pooling layer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MaxPool2d {
     geometry: ConvGeometry,
     cache: Option<Cache>,
+}
+
+impl Clone for MaxPool2d {
+    /// Clones the geometry but not the argmax cache: clones fan
+    /// inference out across workers, where backward never runs.
+    fn clone(&self) -> Self {
+        MaxPool2d {
+            geometry: self.geometry,
+            cache: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -34,7 +45,12 @@ impl Layer for MaxPool2d {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        if !matches!(mode, Mode::Train) {
+            // Inference: identical pooling without the argmax cache, on
+            // a pooled output buffer.
+            return max_pool2d_ws(input, self.geometry, ws).map_err(NnError::from);
+        }
         let pooled = max_pool2d(input, self.geometry)?;
         self.cache = Some(Cache {
             argmax: pooled.argmax,
@@ -102,8 +118,9 @@ impl Layer for GlobalAvgPool {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let out = global_avg_pool(input)?;
+    fn forward_ws(&mut self, input: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let out = global_avg_pool_ws(input, ws)?;
+        // The shape cache is inline (no heap); kept in every mode.
         self.input_shape = Some(input.shape().clone());
         Ok(out)
     }

@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, NnError, Result};
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::{Shape, Tensor, Workspace};
 
 /// Flattens `[N, C, H, W]` (or any rank ≥ 2) to `[N, features]`.
 #[derive(Debug, Default, Clone)]
@@ -29,10 +29,14 @@ impl Layer for Flatten {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
         let target = Self::flat_shape(input.shape())?;
+        // The shape cache is inline (no heap), so it is kept in every
+        // mode — backward after any forward keeps working as before.
         self.input_shape = Some(input.shape().clone());
-        input.reshape(target).map_err(NnError::from)
+        let mut out = ws.take_dirty(input.len());
+        out.copy_from_slice(input.as_slice());
+        Tensor::from_vec(out, target).map_err(NnError::from)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {

@@ -1,16 +1,28 @@
 use crate::layers::Sequential;
 use crate::{Layer, Mode, NnError, Param, Result};
-use nds_tensor::{Shape, Tensor, TensorError};
+use nds_tensor::{Shape, Tensor, TensorError, Workspace};
 
 /// A residual block: `y = relu(main(x) + shortcut(x))`.
 ///
 /// The shortcut defaults to identity (empty [`Sequential`]); downsampling
 /// blocks use a 1×1 stride-2 convolution there, as in ResNet-18.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Residual {
     main: Sequential,
     shortcut: Sequential,
     relu_mask: Option<Vec<bool>>,
+}
+
+impl Clone for Residual {
+    /// Clones both paths (their layers reset their own caches) but not
+    /// the ReLU gate mask — clones serve inference workers.
+    fn clone(&self) -> Self {
+        Residual {
+            main: self.main.clone(),
+            shortcut: self.shortcut.clone(),
+            relu_mask: None,
+        }
+    }
 }
 
 impl Residual {
@@ -40,9 +52,9 @@ impl Layer for Residual {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let main_out = self.main.forward(input, mode)?;
-        let short_out = self.shortcut.forward(input, mode)?;
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        let mut main_out = self.main.forward_ws(input, mode, ws)?;
+        let short_out = self.shortcut.forward_ws(input, mode, ws)?;
         if main_out.shape() != short_out.shape() {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 op: "residual add",
@@ -50,9 +62,23 @@ impl Layer for Residual {
                 rhs: short_out.shape().clone(),
             }));
         }
-        let sum = main_out.add(&short_out)?;
-        self.relu_mask = Some(sum.iter().map(|&v| v > 0.0).collect());
-        Ok(sum.relu())
+        // Sum in place into the main path's buffer (float addition is
+        // commutative, so `main + short` matches the old `add` exactly),
+        // gate-mask only when training, then ReLU in place with the same
+        // NaN-propagating rule as `Tensor::relu`.
+        for (a, &b) in main_out.iter_mut().zip(short_out.iter()) {
+            *a += b;
+        }
+        ws.recycle_tensor(short_out);
+        if matches!(mode, Mode::Train) {
+            self.relu_mask = Some(main_out.iter().map(|&v| v > 0.0).collect());
+        }
+        for v in main_out.iter_mut() {
+            if !(*v > 0.0 || v.is_nan()) {
+                *v = 0.0;
+            }
+        }
+        Ok(main_out)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
@@ -92,6 +118,21 @@ impl Layer for Residual {
     fn begin_mc_sample(&mut self, sample: u64) {
         self.main.begin_mc_sample(sample);
         self.shortcut.begin_mc_sample(sample);
+    }
+
+    fn save_mc_state(&mut self) {
+        self.main.save_mc_state();
+        self.shortcut.save_mc_state();
+    }
+
+    fn restore_mc_state(&mut self, ws: &mut Workspace) {
+        self.main.restore_mc_state(ws);
+        self.shortcut.restore_mc_state(ws);
+    }
+
+    fn visit_any(&mut self, f: &mut dyn FnMut(&mut dyn std::any::Any)) {
+        self.main.visit_any(f);
+        self.shortcut.visit_any(f);
     }
 
     fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {

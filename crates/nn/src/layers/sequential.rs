@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, Param, Result};
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::{Shape, Tensor, Workspace};
 
 /// An ordered chain of layers executed front to back.
 ///
@@ -78,12 +78,27 @@ impl Layer for Sequential {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut x = input.clone();
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        // Chain the layers, recycling each intermediate activation as
+        // soon as the next layer has consumed it — layers clone whatever
+        // they need into their own caches (training mode only), so no
+        // recycled buffer is ever still referenced. The borrowed `input`
+        // itself is never recycled.
+        let mut x: Option<Tensor> = None;
         for layer in &mut self.layers {
-            x = layer.forward(&x, mode)?;
+            let y = match &x {
+                Some(t) => layer.forward_ws(t, mode, ws)?,
+                None => layer.forward_ws(input, mode, ws)?,
+            };
+            if let Some(consumed) = x.replace(y) {
+                ws.recycle_tensor(consumed);
+            }
         }
-        Ok(x)
+        match x {
+            Some(out) => Ok(out),
+            // Empty chain: identity, via a pooled copy.
+            None => Ok(ws.take_copy(input)),
+        }
     }
 
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
@@ -113,9 +128,27 @@ impl Layer for Sequential {
         }
     }
 
+    fn save_mc_state(&mut self) {
+        for layer in &mut self.layers {
+            layer.save_mc_state();
+        }
+    }
+
+    fn restore_mc_state(&mut self, ws: &mut Workspace) {
+        for layer in &mut self.layers {
+            layer.restore_mc_state(ws);
+        }
+    }
+
     fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {
         for layer in &mut self.layers {
             layer.visit_batch_norms(f);
+        }
+    }
+
+    fn visit_any(&mut self, f: &mut dyn FnMut(&mut dyn std::any::Any)) {
+        for layer in &mut self.layers {
+            layer.visit_any(f);
         }
     }
 

@@ -45,7 +45,7 @@ pub mod prune;
 pub mod train;
 pub mod zoo;
 
-use nds_tensor::{Shape, SharedTensor, Tensor, TensorError};
+use nds_tensor::{Shape, SharedTensor, Tensor, TensorError, Workspace};
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -185,12 +185,35 @@ impl Param {
 /// the Monte-Carlo engine clones whole networks across worker threads to
 /// run stochastic forward passes in parallel.
 pub trait Layer: fmt::Debug + Send + Sync {
-    /// Computes the layer output for `input` under the given [`Mode`].
+    /// Computes the layer output for `input` under the given [`Mode`],
+    /// drawing every scratch and output buffer from `ws`.
+    ///
+    /// This is the primary forward entry point. Inference-mode forwards
+    /// (`Mode::McInference` / `Mode::Standard`) follow the [`Workspace`]
+    /// ownership contract (see `nds_tensor::Workspace`): the returned
+    /// tensor's buffer comes from the pool, all intermediate scratch is
+    /// recycled before returning, and **no backward cache is written** —
+    /// so a steady-state prediction loop that recycles consumed
+    /// activations performs zero heap allocations. Training-mode
+    /// forwards may allocate freely and arm the backward pass.
     ///
     /// # Errors
     ///
     /// Returns an error when the input shape is incompatible.
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Result<Tensor>;
+
+    /// Convenience [`Layer::forward_ws`] with a throwaway [`Workspace`].
+    ///
+    /// Training loops and tests use this; hot inference loops thread a
+    /// persistent workspace through `forward_ws` instead so buffers are
+    /// reused across passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.forward_ws(input, mode, &mut Workspace::new())
+    }
 
     /// Propagates `grad` (∂loss/∂output) backwards, accumulating parameter
     /// gradients and returning ∂loss/∂input.
@@ -229,6 +252,41 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// passes ran before or on which thread runs this one. That property
     /// is what makes parallel MC sampling bit-identical to serial.
     fn begin_mc_sample(&mut self, _sample: u64) {}
+
+    /// Stashes the layer's stochastic stream state (dropout RNGs, mask
+    /// cursors, the pending backward mask) so an in-place Monte-Carlo
+    /// round can run on this network and then hand it back exactly as
+    /// it was.
+    ///
+    /// Container layers must forward the call to their children;
+    /// stateless layers need nothing. Paired with
+    /// [`Layer::restore_mc_state`], this is what lets the serial MC
+    /// driver predict **without cloning the network** — the caller's
+    /// subsequent forwards draw the same masks (and a pending backward
+    /// still sees its own cache) whether or not a prediction round ran
+    /// in between. The stash is a move into an inline slot, so the
+    /// save/restore pair allocates nothing.
+    fn save_mc_state(&mut self) {}
+
+    /// Restores the state stashed by [`Layer::save_mc_state`], handing
+    /// any buffer the round displaced (the last MC mask) back to `ws`.
+    ///
+    /// A restore without a preceding save is a no-op. Container layers
+    /// must forward the call to their children.
+    fn restore_mc_state(&mut self, ws: &mut Workspace) {
+        let _ = ws;
+    }
+
+    /// Visits every layer in this subtree that opted in to dynamic
+    /// introspection, as `&mut dyn Any`.
+    ///
+    /// Container layers forward the call to their children; leaf layers
+    /// that want to be reachable (the supernet's `SlotLayer`, so
+    /// `Supernet::fork` can rewire selection state on a cheap
+    /// copy-on-write clone instead of rebuilding from the spec) call
+    /// `f(self)`. The default — used by every ordinary layer — visits
+    /// nothing.
+    fn visit_any(&mut self, _f: &mut dyn FnMut(&mut dyn std::any::Any)) {}
 
     /// Returns a boxed deep copy of this layer.
     ///

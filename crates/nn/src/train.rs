@@ -9,7 +9,7 @@ use crate::loss::softmax_cross_entropy;
 use crate::optim::{LrSchedule, Sgd};
 use crate::{Layer, Mode, Result};
 use nds_tensor::rng::Rng64;
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::{Shape, Tensor, Workspace};
 
 /// Configuration for [`fit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,6 +152,9 @@ fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
 /// Runs the network over `images` in batches and returns softmax
 /// probabilities `[n, classes]` under the given mode.
 ///
+/// Equivalent to [`predict_probs_ws`] with a throwaway [`Workspace`];
+/// hot loops call that directly so every buffer is reused across calls.
+///
 /// # Errors
 ///
 /// Propagates forward errors from the network.
@@ -161,20 +164,68 @@ pub fn predict_probs(
     mode: Mode,
     batch_size: usize,
 ) -> Result<Tensor> {
+    predict_probs_ws(net, images, mode, batch_size, &mut Workspace::new())
+}
+
+/// [`predict_probs`] with an explicit scratch [`Workspace`].
+///
+/// The batch slices, every layer activation (via `Layer::forward_ws`),
+/// the softmax (in place on the logits) and the assembled probability
+/// matrix all ride pooled buffers, so a steady-state prediction loop
+/// that recycles the returned tensor performs **zero heap allocations**
+/// after its first (warm-up) call — the property `tests/alloc_free.rs`
+/// pins. Results are bit-identical to the allocating path.
+///
+/// # Errors
+///
+/// Propagates forward errors from the network.
+pub fn predict_probs_ws(
+    net: &mut Sequential,
+    images: &Tensor,
+    mode: Mode,
+    batch_size: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
     let n = images.shape().dim(0);
-    let mut rows: Vec<f32> = Vec::new();
-    let mut classes = 0;
+    if n == 0 {
+        return Tensor::from_vec(Vec::new(), Shape::d2(0, 1)).map_err(Into::into);
+    }
+    let out_shape = net.out_shape(images.shape())?;
+    if out_shape.rank() != 2 {
+        // Same failure the softmax would report, raised before any
+        // forward runs (and without indexing past the rank).
+        return Err(nds_tensor::TensorError::RankMismatch {
+            op: "softmax_rows_inplace",
+            expected: 2,
+            actual: out_shape.rank(),
+        }
+        .into());
+    }
+    let classes = out_shape.dim(1).max(1);
+    let mut rows = ws.take_dirty(n * classes);
     let mut start = 0;
     while start < n {
         let end = (start + batch_size.max(1)).min(n);
-        let batch = slice_batch(images, start, end)?;
-        let logits = net.forward(&batch, mode)?;
-        let probs = logits.softmax_rows()?;
-        classes = probs.shape().dim(1);
-        rows.extend_from_slice(probs.as_slice());
+        let batch = slice_batch_ws(images, start, end, ws)?;
+        let mut probs = net.forward_ws(&batch, mode, ws)?;
+        ws.recycle_tensor(batch);
+        probs.softmax_rows_inplace()?;
+        if probs.len() != (end - start) * classes {
+            // A layer whose forward output disagrees with its out_shape
+            // is misimplemented; report it instead of panicking on the
+            // row copy.
+            return Err(nds_tensor::TensorError::ShapeMismatch {
+                op: "predict_probs row assembly",
+                lhs: Shape::d2(end - start, classes),
+                rhs: probs.shape().clone(),
+            }
+            .into());
+        }
+        rows[start * classes..end * classes].copy_from_slice(probs.as_slice());
+        ws.recycle_tensor(probs);
         start = end;
     }
-    Tensor::from_vec(rows, Shape::d2(n, classes.max(1))).map_err(Into::into)
+    Tensor::from_vec(rows, Shape::d2(n, classes)).map_err(Into::into)
 }
 
 /// Extracts samples `[start, end)` of an NCHW tensor as a new batch.
@@ -194,6 +245,32 @@ pub fn slice_batch(images: &Tensor, start: usize, end: usize) -> Result<Tensor> 
     }
     let item = c * h * w;
     let data = images.as_slice()[start * item..end * item].to_vec();
+    Tensor::from_vec(data, Shape::d4(end - start, c, h, w)).map_err(Into::into)
+}
+
+/// [`slice_batch`] with the copy landing in a workspace-pooled buffer.
+///
+/// # Errors
+///
+/// Returns a tensor error when `images` is not rank 4 or the range is out
+/// of bounds.
+pub fn slice_batch_ws(
+    images: &Tensor,
+    start: usize,
+    end: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let (n, c, h, w) = images.shape().as_nchw().ok_or_else(|| {
+        crate::NnError::BadConfig(format!("slice_batch needs rank-4, got {}", images.shape()))
+    })?;
+    if start > end || end > n {
+        return Err(crate::NnError::BadConfig(format!(
+            "slice range {start}..{end} out of bounds for batch of {n}"
+        )));
+    }
+    let item = c * h * w;
+    let mut data = ws.take_dirty((end - start) * item);
+    data.copy_from_slice(&images.as_slice()[start * item..end * item]);
     Tensor::from_vec(data, Shape::d4(end - start, c, h, w)).map_err(Into::into)
 }
 

@@ -1,0 +1,155 @@
+//! Property tests for train-gated backward caches.
+//!
+//! The allocation-free inference path rests on two invariants:
+//!
+//! 1. **Inference forwards leave no cached activations behind.** Only
+//!    `Mode::Train` arms a backward pass; after an MC-inference forward
+//!    the layer must refuse `backward` with `NoForwardCache` (it has
+//!    nothing cached), instead of silently holding — and on the ViT
+//!    path, deep-cloning — per-pass activations.
+//! 2. **`clone_box` of a just-trained layer is cache-free.** Worker
+//!    clones exist to fan inference out; a clone must not carry the
+//!    original's backward cache, yet must predict byte-identical
+//!    outputs.
+//!
+//! Exercised property-style over ragged shapes for the attention/norm
+//! layers (the ones that used to cache in every mode) plus the other
+//! cached layers for completeness.
+
+use nds_nn::layers::{
+    BatchNorm2d, Conv2d, LayerNorm, Linear, MultiHeadAttention, PatchEmbed, Relu, TokenMlp,
+};
+use nds_nn::{Layer, Mode, NnError};
+use nds_tensor::conv::ConvGeometry;
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+/// Asserts the two invariants for one layer/input pair.
+fn check_layer(layer: &mut dyn Layer, x: &Tensor) -> Result<(), String> {
+    // (1) MC-inference forwards must not arm backward.
+    let y_mc = layer.forward(x, Mode::McInference).unwrap();
+    let upstream = Tensor::ones(y_mc.shape().clone());
+    prop_assert!(
+        matches!(
+            layer.backward(&upstream),
+            Err(NnError::NoForwardCache { .. })
+        ),
+        "{}: McInference forward must leave no backward cache",
+        layer.name()
+    );
+    // Standard-mode forwards likewise.
+    let y_std = layer.forward(x, Mode::Standard).unwrap();
+    prop_assert!(
+        matches!(
+            layer.backward(&Tensor::ones(y_std.shape().clone())),
+            Err(NnError::NoForwardCache { .. })
+        ),
+        "{}: Standard forward must leave no backward cache",
+        layer.name()
+    );
+
+    // (2) A just-trained layer's clone is cache-free and predicts the
+    // same bytes.
+    let y_train = layer.forward(x, Mode::Train).unwrap();
+    let mut clone = layer.clone_box();
+    prop_assert!(
+        matches!(
+            clone.backward(&Tensor::ones(y_train.shape().clone())),
+            Err(NnError::NoForwardCache { .. })
+        ),
+        "{}: clone of a just-trained layer must be cache-free",
+        layer.name()
+    );
+    let from_clone = clone.forward(x, Mode::Standard).unwrap();
+    let from_original = layer.forward(x, Mode::Standard).unwrap();
+    prop_assert_eq!(
+        from_clone.as_slice(),
+        from_original.as_slice(),
+        "{}: clone must predict identical bytes",
+        layer.name()
+    );
+    // The original still owns its training cache: its armed backward
+    // must succeed (the clone took nothing away).
+    layer.forward(x, Mode::Train).unwrap();
+    prop_assert!(
+        layer
+            .backward(&Tensor::ones(y_train.shape().clone()))
+            .is_ok(),
+        "{}: the original's training cache must survive cloning",
+        layer.name()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Attention / layer-norm / token-MLP stack (the ViT path that used
+    /// to cache in every mode and deep-clone those caches per worker).
+    #[test]
+    fn attention_stack_caches_are_train_gated(
+        seed in 0u64..10_000,
+        n in 1usize..4,
+        t in 1usize..6,
+        heads in 1usize..4,
+        dh in 1usize..5,
+        hidden in 1usize..9,
+    ) {
+        let d = heads * dh;
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::rand_normal(Shape::d4(n, t, 1, d), 0.0, 1.0, &mut rng);
+        check_layer(&mut LayerNorm::new(d), &x)?;
+        check_layer(&mut MultiHeadAttention::new(d, heads, &mut rng), &x)?;
+        check_layer(&mut TokenMlp::new(d, hidden, &mut rng), &x)?;
+    }
+
+    /// Batch-norm over ragged NCHW shapes.
+    #[test]
+    fn batch_norm_cache_is_train_gated(
+        seed in 0u64..10_000,
+        n in 1usize..5,
+        c in 1usize..5,
+        hw in 1usize..6,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::rand_normal(Shape::d4(n, c, hw, hw), 0.0, 1.0, &mut rng);
+        check_layer(&mut BatchNorm2d::new(c), &x)?;
+    }
+
+    /// Patch embedding (input cache) over tileable images.
+    #[test]
+    fn patch_embed_cache_is_train_gated(
+        seed in 0u64..10_000,
+        n in 1usize..3,
+        c in 1usize..3,
+        patch in 1usize..4,
+        tiles in 1usize..4,
+        dim in 1usize..6,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let side = patch * tiles;
+        let x = Tensor::rand_normal(Shape::d4(n, c, side, side), 0.0, 1.0, &mut rng);
+        check_layer(&mut PatchEmbed::new(c, patch, dim, &mut rng), &x)?;
+    }
+
+    /// Conv / linear / ReLU — already train-gated before this suite;
+    /// pinned here so the invariant covers every cached layer.
+    #[test]
+    fn conv_linear_relu_caches_are_train_gated(
+        seed in 0u64..10_000,
+        n in 1usize..4,
+        c in 1usize..4,
+        features in 1usize..8,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let img = Tensor::rand_normal(Shape::d4(n, c, 5, 5), 0.0, 1.0, &mut rng);
+        check_layer(
+            &mut Conv2d::new(c, 2, ConvGeometry::new(3, 1, 1), true, &mut rng),
+            &img,
+        )?;
+        let vec = Tensor::rand_normal(Shape::d2(n, features), 0.0, 1.0, &mut rng);
+        check_layer(&mut Linear::new(features, 3, true, &mut rng), &vec)?;
+        check_layer(&mut Relu::new(), &vec)?;
+    }
+}

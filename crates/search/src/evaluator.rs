@@ -179,6 +179,15 @@ pub struct SupernetEvaluator<'a> {
     batch_size: usize,
     cache: HashMap<String, Candidate>,
     fresh: usize,
+    /// Worker forks kept across `evaluate_many` calls. Forking is
+    /// O(layers) (copy-on-write weights), but each fork also owns the
+    /// `Workspace` its MC rounds pool scratch in — reusing the forks
+    /// keeps those pools warm across generations, so population
+    /// evaluation allocates per *worker*, not per candidate or call.
+    /// Sound because this evaluator exclusively borrows the supernet:
+    /// nothing can train (and thereby detach) the shared weights while
+    /// the forks are alive.
+    forks: Vec<Supernet>,
 }
 
 impl std::fmt::Debug for SupernetEvaluator<'_> {
@@ -211,6 +220,7 @@ impl<'a> SupernetEvaluator<'a> {
             batch_size: batch_size.max(1),
             cache: HashMap::new(),
             fresh: 0,
+            forks: Vec::new(),
         }
     }
 
@@ -243,10 +253,10 @@ impl<'a> SupernetEvaluator<'a> {
         let workers = workers.min(pending.len());
         if workers > 1 {
             let chunk = pending.len().div_ceil(workers);
-            let mut forks = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                forks.push(self.supernet.fork()?);
+            while self.forks.len() < workers {
+                self.forks.push(self.supernet.fork()?);
             }
+            let forks = &mut self.forks[..workers];
             let mut results: Vec<Option<CandidateMetricsResult>> =
                 (0..pending.len()).map(|_| None).collect();
             let (val, ood, batch_size) = (self.val, &self.ood, self.batch_size);

@@ -25,6 +25,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `SearchError` transitively embeds two inline-array `Shape`s (via
+// SupernetError → NnError → TensorError), pushing the cold error path a
+// few bytes past clippy's 128-byte heuristic. Boxing would touch every
+// error construction site in three crates for a path taken only on
+// misconfiguration; the hot Ok path is unaffected.
+#![allow(clippy::result_large_err)]
 
 mod evaluator;
 mod evolution;

@@ -1,7 +1,7 @@
 use nds_dropout::{DropoutKind, DropoutLayer, DropoutSettings};
 use nds_nn::arch::SlotInfo;
 use nds_nn::{Layer, Mode, Result as NnResult};
-use nds_tensor::{Shape, Tensor};
+use nds_tensor::{Shape, Tensor, Workspace};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -116,6 +116,15 @@ impl SlotLayer {
         &self.slot
     }
 
+    /// Rewires this slot onto a different [`SelectionState`] handle.
+    ///
+    /// `Supernet::fork` uses this (through [`Layer::visit_any`]) to give
+    /// a copy-on-write clone of the network its own selection vector —
+    /// the whole point of forking — without rebuilding a single layer.
+    pub fn rebind_selection(&mut self, selection: SelectionState) {
+        self.selection = selection;
+    }
+
     fn active_index(&self) -> usize {
         let ix = self.selection.get(self.slot.id);
         debug_assert!(ix < self.candidates.len(), "selection out of range");
@@ -134,9 +143,9 @@ impl fmt::Debug for SlotLayer {
 }
 
 impl Layer for SlotLayer {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> NnResult<Tensor> {
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> NnResult<Tensor> {
         let ix = self.active_index();
-        self.candidates[ix].forward(input, mode)
+        self.candidates[ix].forward_ws(input, mode, ws)
     }
 
     fn backward(&mut self, grad: &Tensor) -> NnResult<Tensor> {
@@ -154,6 +163,22 @@ impl Layer for SlotLayer {
         for candidate in &mut self.candidates {
             candidate.begin_mc_sample(sample);
         }
+    }
+
+    fn save_mc_state(&mut self) {
+        for candidate in &mut self.candidates {
+            candidate.save_mc_state();
+        }
+    }
+
+    fn restore_mc_state(&mut self, ws: &mut Workspace) {
+        for candidate in &mut self.candidates {
+            candidate.restore_mc_state(ws);
+        }
+    }
+
+    fn visit_any(&mut self, f: &mut dyn FnMut(&mut dyn std::any::Any)) {
+        f(self);
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -47,7 +47,9 @@ pub struct Supernet {
     net: Sequential,
     selection: SelectionState,
     sampling_number: usize,
-    calibration: Vec<Tensor>,
+    /// Shared (`Arc`) so forking never copies the calibration images —
+    /// a fork reads the same batches it would have been handed anyway.
+    calibration: std::sync::Arc<Vec<Tensor>>,
     /// Scratch-buffer pool threaded through every MC prediction round so
     /// repeated candidate evaluations stop re-allocating their buffers.
     workspace: Workspace,
@@ -88,7 +90,7 @@ impl Supernet {
             spec: spec.clone(),
             net,
             selection,
-            calibration: Vec::new(),
+            calibration: std::sync::Arc::new(Vec::new()),
             workspace: Workspace::new(),
         })
     }
@@ -103,42 +105,42 @@ impl Supernet {
     /// active configuration — but its own selection state, so the fork
     /// can switch paths without affecting the original.
     ///
-    /// Implemented by rebuilding from the spec (which wires a fresh
-    /// [`SelectionState`] through fresh dropout slots) and transplanting
-    /// the trained state. Weights are **shared, not copied**: the fork's
-    /// parameters point at the original's copy-on-write
-    /// [`nds_tensor::SharedTensor`] storage, so no trained weight is
-    /// ever duplicated, and training either side afterwards detaches a
-    /// private copy without disturbing the other. (The rebuild still
-    /// He-initialises throwaway weights before the transplant — see the
-    /// ROADMAP open item on an init-free build path.) Optimizer momentum
-    /// is *not* copied: forks are for parallel evaluation, not training.
+    /// Implemented **init-free**, in O(layers): the network is cloned —
+    /// a copy-on-write share, since parameters live in
+    /// [`nds_tensor::SharedTensor`] storage and every layer's `Clone`
+    /// resets its forward caches — and a [`Layer::visit_any`] sweep
+    /// rewires each [`SlotLayer`] onto a fresh [`SelectionState`]
+    /// carrying the original's active configuration. No spec rebuild, no
+    /// throwaway He-initialised parameter set, not a single weight
+    /// copied; batch-norm running statistics (plain per-layer vectors)
+    /// ride the clone, and training either side afterwards detaches a
+    /// private copy without disturbing the other. Optimizer momentum is
+    /// shared copy-on-write like every other parameter tensor and
+    /// detaches on first write; forks are for parallel evaluation, not
+    /// training.
     ///
     /// # Errors
     ///
-    /// Propagates construction errors (cannot happen for a spec that
-    /// already built once).
+    /// Infallible in practice; the `Result` is kept for API stability.
     pub fn fork(&mut self) -> Result<Supernet, SupernetError> {
-        let mut fresh = Supernet::build(&self.spec)?;
-        let weights: Vec<nds_tensor::SharedTensor> =
-            self.net.params().iter().map(|p| p.value.clone()).collect();
-        for (dst, src) in fresh.net.params_mut().into_iter().zip(weights) {
-            dst.value = src;
+        let selection = SelectionState::new(self.spec.slot_count());
+        for slot in 0..selection.len() {
+            selection.set(slot, self.selection.get(slot));
         }
-        let mut stats: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
-        self.net.visit_batch_norms(&mut |bn| {
-            stats.push((bn.running_mean().to_vec(), bn.running_var().to_vec()));
-        });
-        let mut stats = stats.into_iter();
-        fresh.net.visit_batch_norms(&mut |bn| {
-            if let Some((mean, var)) = stats.next() {
-                bn.set_running_stats(&mean, &var);
+        let mut net = self.net.clone();
+        net.visit_any(&mut |layer| {
+            if let Some(slot) = layer.downcast_mut::<SlotLayer>() {
+                slot.rebind_selection(selection.clone());
             }
         });
-        fresh.sampling_number = self.sampling_number;
-        fresh.calibration = self.calibration.clone();
-        fresh.set_config(&self.active_config())?;
-        Ok(fresh)
+        Ok(Supernet {
+            spec: self.spec.clone(),
+            net,
+            selection,
+            sampling_number: self.sampling_number,
+            calibration: std::sync::Arc::clone(&self.calibration),
+            workspace: Workspace::new(),
+        })
     }
 
     /// The MC sampling number S used for evaluation (defaults to the
@@ -168,7 +170,7 @@ impl Supernet {
     /// evaluation; installing calibration batches here makes
     /// [`Supernet::evaluate`] do exactly that.
     pub fn set_calibration_batches(&mut self, batches: Vec<Tensor>) {
-        self.calibration = batches;
+        self.calibration = std::sync::Arc::new(batches);
     }
 
     /// Convenience over [`Supernet::set_calibration_batches`]: draws up to
@@ -191,7 +193,7 @@ impl Supernet {
     /// Discards any installed calibration batches (evaluation reverts to
     /// the raw training-time running statistics).
     pub fn clear_calibration(&mut self) {
-        self.calibration.clear();
+        self.calibration = std::sync::Arc::new(Vec::new());
     }
 
     /// Re-estimates every batch-norm layer's running statistics under the
@@ -219,7 +221,8 @@ impl Supernet {
         self.net
             .visit_batch_norms(&mut |bn| bn.begin_stat_accumulation());
         let mut first_err = None;
-        for images in &self.calibration {
+        let calibration = std::sync::Arc::clone(&self.calibration);
+        for images in calibration.iter() {
             if let Err(e) = self.net.forward(images, nds_nn::Mode::Train) {
                 first_err = Some(e);
                 break;

@@ -381,10 +381,17 @@ pub fn conv2d_ws(
     let wt = weight.as_slice();
     let bias = bias.map(|b| b.as_slice());
     let workers = worker_count();
-    let mut cols = workspace.take(ckk * spatial);
-    // The output escapes to the caller, so it is a plain allocation —
-    // pooling it would drain scratch buffers from the workspace instead.
-    let mut out = vec![0.0f32; n * oc * spatial];
+    let mut cols = workspace.take_dirty(ckk * spatial);
+    // The output buffer also comes from the pool: under the Workspace
+    // ownership contract the caller recycles consumed activations, so
+    // steady-state forwards cycle the same buffers instead of draining
+    // the pool. With a bias, every output row is seeded before the gemm
+    // accumulates, so the zero-fill can be skipped entirely.
+    let mut out = if bias.is_some() {
+        workspace.take_dirty(n * oc * spatial)
+    } else {
+        workspace.take(n * oc * spatial)
+    };
     for ni in 0..n {
         im2col_image(
             &x[ni * c * h * w..(ni + 1) * c * h * w],
@@ -537,6 +544,61 @@ pub fn max_pool2d(input: &Tensor, g: ConvGeometry) -> Result<MaxPoolOutput> {
     })
 }
 
+/// Inference-path max pooling: identical outputs to [`max_pool2d`]
+/// (same window walk, same NaN-wins rule) but skips the argmax
+/// bookkeeping — backward never runs at inference — and draws the output
+/// from the workspace pool so steady-state forwards do not allocate.
+///
+/// # Errors
+///
+/// Returns shape errors when the window does not fit.
+pub fn max_pool2d_ws(input: &Tensor, g: ConvGeometry, workspace: &mut Workspace) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        op: "max_pool2d",
+        expected: 4,
+        actual: input.shape().rank(),
+    })?;
+    let oh = g.out_dim(h);
+    let ow = g.out_dim(w);
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "max_pool2d",
+            msg: format!("window {} does not fit input {h}x{w}", g.kernel),
+        });
+    }
+    let x = input.as_slice();
+    let mut out = workspace.take_dirty(n * c * oh * ow);
+    for ni in 0..n {
+        for ci in 0..c {
+            let img_base = (ni * c + ci) * h * w;
+            let out_base = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = img_base + iy as usize * w + ix as usize;
+                            if x[idx] > best || x[idx].is_nan() {
+                                best = x[idx];
+                            }
+                        }
+                    }
+                    out[out_base + oy * ow + ox] = best;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::d4(n, c, oh, ow))
+}
+
 /// Global average pooling: `[N, C, H, W] → [N, C]`.
 ///
 /// # Errors
@@ -551,6 +613,31 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
     let x = input.as_slice();
     let spatial = (h * w) as f32;
     let mut out = vec![0.0f32; n * c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let sum: f32 = x[base..base + h * w].iter().sum();
+            out[ni * c + ci] = sum / spatial;
+        }
+    }
+    Tensor::from_vec(out, Shape::d2(n, c))
+}
+
+/// [`global_avg_pool`] with the output drawn from the workspace pool —
+/// bit-identical results, no allocation after warm-up.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 inputs.
+pub fn global_avg_pool_ws(input: &Tensor, workspace: &mut Workspace) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        op: "global_avg_pool",
+        expected: 4,
+        actual: input.shape().rank(),
+    })?;
+    let x = input.as_slice();
+    let spatial = (h * w) as f32;
+    let mut out = workspace.take_dirty(n * c);
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;

@@ -48,7 +48,7 @@ mod shared;
 mod tensor;
 mod workspace;
 
-pub use shape::Shape;
+pub use shape::{Shape, MAX_RANK};
 pub use shared::SharedTensor;
 pub use tensor::Tensor;
 pub use workspace::Workspace;

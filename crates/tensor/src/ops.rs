@@ -96,22 +96,82 @@ pub fn gemm_acc(
                 for r in 0..rows {
                     let arow = &a[(row0 + r) * k + kb..(row0 + r) * k + kend];
                     let orow = &mut out_rows[r * n + jb..r * n + jend];
-                    for (pi, &av) in arow.iter().enumerate() {
-                        // Skipping zero A entries keeps magnitude-pruned
-                        // networks cheap and never reorders the k-sum.
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let p = kb + pi;
-                        let brow = &b[p * n + jb..p * n + jend];
-                        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                            *o += av * bv;
-                        }
-                    }
+                    gemm_acc_panel(arow, b, kb, n, jb, jend, orow);
                 }
             }
         }
     });
+}
+
+/// One `out_row += arowᵀ · B[kb.., jb..jend]` panel of [`gemm_acc`]:
+/// four A-elements fused per pass over the output row (quartering the
+/// row's load/store traffic), falling back to one-at-a-time whenever a
+/// quad contains a zero so magnitude-pruned weights keep their skip.
+///
+/// **Bit-identical to the naive ikj walk**: each output element receives
+/// its contributions one addition at a time in strictly ascending `k`
+/// order — the fused body runs `o += a0·b0; o += a1·b1; …` sequentially
+/// per element, never as a re-associated sum.
+#[inline]
+fn gemm_acc_panel(
+    arow: &[f32],
+    b: &[f32],
+    kb: usize,
+    n: usize,
+    jb: usize,
+    jend: usize,
+    orow: &mut [f32],
+) {
+    let klen = arow.len();
+    let mut p = 0;
+    while p + 4 <= klen {
+        let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+            let base = (kb + p) * n;
+            let b0 = &b[base + jb..base + jend];
+            let b1 = &b[base + n + jb..base + n + jend];
+            let b2 = &b[base + 2 * n + jb..base + 2 * n + jend];
+            let b3 = &b[base + 3 * n + jb..base + 3 * n + jend];
+            for ((((o, &v0), &v1), &v2), &v3) in orow
+                .iter_mut()
+                .zip(b0.iter())
+                .zip(b1.iter())
+                .zip(b2.iter())
+                .zip(b3.iter())
+            {
+                let mut acc = *o;
+                acc += a0 * v0;
+                acc += a1 * v1;
+                acc += a2 * v2;
+                acc += a3 * v3;
+                *o = acc;
+            }
+        } else {
+            for (q, &av) in arow[p..p + 4].iter().enumerate() {
+                // Skipping zero A entries keeps magnitude-pruned
+                // networks cheap and never reorders the k-sum.
+                if av == 0.0 {
+                    continue;
+                }
+                let base = (kb + p + q) * n;
+                let brow = &b[base + jb..base + jend];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        p += 4;
+    }
+    for (q, &av) in arow[p..].iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let base = (kb + p + q) * n;
+        let brow = &b[base + jb..base + jend];
+        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+            *o += av * bv;
+        }
+    }
 }
 
 /// `out[m, n] = a[m, k] × bt[n, k]ᵀ` on raw row-major slices — `bt` holds
@@ -545,6 +605,44 @@ impl Tensor {
         Tensor::from_vec(out, Shape::d2(m, n))
     }
 
+    /// In-place [`Tensor::softmax_rows`]: overwrites the tensor with its
+    /// row-wise softmax without allocating an output buffer.
+    ///
+    /// Bit-identical to the allocating variant (same shift, exponential
+    /// and `f64` row-sum order) — the allocation-free inference path uses
+    /// this on logits it already owns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 tensors.
+    pub fn softmax_rows_inplace(&mut self) -> Result<()> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "softmax_rows_inplace",
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        let n = self.shape().dim(1);
+        if n == 0 {
+            return Ok(());
+        }
+        for row in self.as_mut_slice().chunks_mut(n) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f64;
+            for v in row.iter_mut() {
+                let e = (*v - max).exp();
+                *v = e;
+                sum += e as f64;
+            }
+            let inv = (1.0 / sum) as f32;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        Ok(())
+    }
+
     /// Log-softmax along the last axis of a rank-2 tensor.
     ///
     /// # Errors
@@ -698,8 +796,11 @@ fn check_bias(bias: &Tensor, n: usize, op: &'static str, lhs: &Tensor) -> Result
     Ok(())
 }
 
-fn add_bias_rows(out: &mut [f32], bias: &[f32], n: usize) {
-    for row in out.chunks_mut(n) {
+/// Adds `bias` (length `n`) to every `n`-wide row of `out` — the bias
+/// pass shared by the fused matmul variants and the pooled linear-layer
+/// forward, kept in one place so both add in the same element order.
+pub fn add_bias_rows(out: &mut [f32], bias: &[f32], n: usize) {
+    for row in out.chunks_mut(n.max(1)) {
         for (o, &b) in row.iter_mut().zip(bias.iter()) {
             *o += b;
         }
@@ -880,6 +981,28 @@ mod tests {
         for j in 0..3 {
             assert!((s.get(&[1, j]).unwrap() - 1.0 / 3.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn softmax_inplace_is_bit_identical_to_allocating() {
+        let a = t2(
+            3,
+            4,
+            &[
+                1.0, 2.0, 3.0, 4.0, -1.5, 0.0, 7.25, -3.0, 1000.0, 999.0, 1000.0, 998.5,
+            ],
+        );
+        let reference = a.softmax_rows().unwrap();
+        let mut inplace = a.clone();
+        inplace.softmax_rows_inplace().unwrap();
+        assert_eq!(
+            inplace.as_slice(),
+            reference.as_slice(),
+            "must match bitwise"
+        );
+        assert_eq!(inplace.shape(), reference.shape());
+        let mut bad = Tensor::zeros(Shape::d1(3));
+        assert!(bad.softmax_rows_inplace().is_err());
     }
 
     #[test]

@@ -1,10 +1,21 @@
 use std::fmt;
 
+/// Maximum rank an inline [`Shape`] can hold. Everything in the
+/// workspace is rank ≤ 4 (NCHW); the spare slot keeps
+/// `stack_batch`-style rank bumps safe.
+pub const MAX_RANK: usize = 5;
+
 /// A tensor shape: an ordered list of dimension sizes.
 ///
-/// Shapes are cheap to clone (they are a small `Vec<usize>`) and compare by
-/// value. Image tensors follow the NCHW convention `[batch, channels,
-/// height, width]`.
+/// Dimensions are stored **inline** (`[usize; MAX_RANK]` plus a rank), so
+/// constructing or cloning a `Shape` never touches the heap — a property
+/// the allocation-free inference path relies on: every layer forward
+/// builds its output tensor's shape, and with heap-backed shapes those
+/// constructions alone would defeat the [`crate::Workspace`] buffer pool.
+/// (Deliberately `Clone`-not-`Copy`: shapes are passed and stored by
+/// reference or explicit clone, and the clone is a flat 48-byte copy.)
+/// Image tensors follow the NCHW convention `[batch, channels, height,
+/// width]`.
 ///
 /// # Examples
 ///
@@ -14,48 +25,88 @@ use std::fmt;
 /// assert_eq!(s.len(), 8 * 3 * 32 * 32);
 /// assert_eq!(s.rank(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct Shape(Vec<usize>);
+#[derive(Debug, Clone, Eq)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: usize,
+}
+
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims() == other.dims()
+    }
+}
+
+impl std::hash::Hash for Shape {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only the live prefix so equal shapes hash equally
+        // regardless of stale data in the unused slots.
+        self.dims().hash(state);
+    }
+}
+
+impl Default for Shape {
+    fn default() -> Self {
+        Shape::scalar()
+    }
+}
 
 impl Shape {
     /// Creates a shape from a slice of dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len()` exceeds [`MAX_RANK`].
     pub fn new(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        assert!(
+            dims.len() <= MAX_RANK,
+            "shape rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            rank: dims.len(),
+        }
     }
 
     /// A scalar shape (rank 0, one element).
     pub fn scalar() -> Self {
-        Shape(Vec::new())
+        Shape {
+            dims: [0; MAX_RANK],
+            rank: 0,
+        }
     }
 
     /// A rank-1 shape.
     pub fn d1(n: usize) -> Self {
-        Shape(vec![n])
+        Shape::new(&[n])
     }
 
     /// A rank-2 shape `[rows, cols]`.
     pub fn d2(rows: usize, cols: usize) -> Self {
-        Shape(vec![rows, cols])
+        Shape::new(&[rows, cols])
     }
 
     /// A rank-3 shape `[channels, height, width]`.
     pub fn d3(c: usize, h: usize, w: usize) -> Self {
-        Shape(vec![c, h, w])
+        Shape::new(&[c, h, w])
     }
 
     /// A rank-4 NCHW shape `[batch, channels, height, width]`.
     pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
-        Shape(vec![n, c, h, w])
+        Shape::new(&[n, c, h, w])
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank
     }
 
     /// Total number of elements (product of all dimensions; 1 for scalars).
     pub fn len(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Returns `true` if the shape contains zero elements.
@@ -65,7 +116,7 @@ impl Shape {
 
     /// The dimension sizes as a slice.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank]
     }
 
     /// Size of dimension `axis`.
@@ -74,7 +125,7 @@ impl Shape {
     ///
     /// Panics if `axis >= rank()`.
     pub fn dim(&self, axis: usize) -> usize {
-        self.0[axis]
+        self.dims()[axis]
     }
 
     /// Row-major strides for this shape.
@@ -84,9 +135,9 @@ impl Shape {
     /// assert_eq!(Shape::d3(2, 3, 4).strides(), vec![12, 4, 1]);
     /// ```
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1; self.0.len()];
-        for i in (0..self.0.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+        let mut strides = vec![1; self.rank];
+        for i in (0..self.rank.saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
     }
@@ -96,16 +147,18 @@ impl Shape {
     /// Returns `None` if the index rank does not match or any coordinate is
     /// out of bounds.
     pub fn offset(&self, index: &[usize]) -> Option<usize> {
-        if index.len() != self.0.len() {
+        if index.len() != self.rank {
             return None;
         }
         let mut off = 0;
-        let strides = self.strides();
-        for (i, (&ix, &bound)) in index.iter().zip(self.0.iter()).enumerate() {
+        let mut stride = 1usize;
+        // Walk axes from the innermost out so no stride buffer is needed.
+        for (&ix, &bound) in index.iter().zip(self.dims().iter()).rev() {
             if ix >= bound {
                 return None;
             }
-            off += ix * strides[i];
+            off += ix * stride;
+            stride *= bound;
         }
         Some(off)
     }
@@ -114,8 +167,8 @@ impl Shape {
     ///
     /// Returns `None` unless the rank is exactly 4.
     pub fn as_nchw(&self) -> Option<(usize, usize, usize, usize)> {
-        if self.0.len() == 4 {
-            Some((self.0[0], self.0[1], self.0[2], self.0[3]))
+        if self.rank == 4 {
+            Some((self.dims[0], self.dims[1], self.dims[2], self.dims[3]))
         } else {
             None
         }
@@ -125,7 +178,7 @@ impl Shape {
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -137,19 +190,19 @@ impl fmt::Display for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        Shape::new(&dims)
     }
 }
 
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        Shape::new(dims)
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape(dims.to_vec())
+        Shape::new(&dims)
     }
 }
 
@@ -206,5 +259,28 @@ mod tests {
     fn as_nchw_requires_rank_4() {
         assert_eq!(Shape::d4(1, 2, 3, 4).as_nchw(), Some((1, 2, 3, 4)));
         assert_eq!(Shape::d3(2, 3, 4).as_nchw(), None);
+    }
+
+    #[test]
+    fn equality_ignores_unused_inline_slots() {
+        // Two rank-2 shapes built through different paths must compare
+        // (and hash) equal even if their spare inline slots differ.
+        let a = Shape::d2(3, 4);
+        let b = Shape::from(vec![3, 4]);
+        assert_eq!(a, b);
+        let mut hasher_a = std::collections::hash_map::DefaultHasher::new();
+        let mut hasher_b = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        a.hash(&mut hasher_a);
+        b.hash(&mut hasher_b);
+        assert_eq!(hasher_a.finish(), hasher_b.finish());
+        assert_ne!(a, Shape::d2(4, 3));
+        assert_ne!(a, Shape::d1(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn over_max_rank_is_rejected() {
+        let _ = Shape::new(&[1usize; MAX_RANK + 1]);
     }
 }

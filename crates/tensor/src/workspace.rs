@@ -13,6 +13,37 @@
 //! `Workspace` is cheap to create, so per-thread pools in parallel
 //! drivers avoid any locking.
 //!
+//! # The ownership contract for layer authors
+//!
+//! `Layer::forward_ws` in `nds-nn` threads one `&mut Workspace` down an
+//! entire forward pass. Layers that want the allocation-free guarantee
+//! follow three rules:
+//!
+//! 1. **Outputs come from the pool.** Build the returned tensor from
+//!    [`Workspace::take`]/[`Workspace::take_tensor`]. Ownership of the
+//!    buffer transfers to the caller with the tensor — the layer must
+//!    not keep a handle to it.
+//! 2. **Scratch goes back before returning.** Any intermediate buffer
+//!    taken from the pool that does not escape in the output (im2col
+//!    slabs, attention score matrices, per-item mask rows) is returned
+//!    via [`Workspace::recycle`] before `forward_ws` returns, so the
+//!    next layer in the chain can reuse it.
+//! 3. **Callers recycle what they consume.** A container that feeds
+//!    layer N's output into layer N+1 recycles that intermediate once
+//!    layer N+1 has produced its own output (`Sequential` does this);
+//!    drivers that loop (`predict_probs_ws`, `mc_predict_with_workers`)
+//!    recycle final outputs they no longer need. Whoever lets a pooled
+//!    tensor drop instead merely loses the reuse, never correctness.
+//!
+//! Training-mode forwards are exempt: backward passes consume caches
+//! whose lifetime outlives a single forward, so `Mode::Train` may
+//! allocate freely (and the per-layer backward caches are gated on that
+//! mode precisely to keep inference on the pooled path).
+//!
+//! After one warm-up pass every `take` in a steady-state inference loop
+//! is served from the pool: the `tests/alloc_free.rs` suite at the
+//! workspace root pins that property with a counting global allocator.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,6 +64,10 @@ use crate::{Shape, Tensor};
 #[derive(Debug, Default)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
+    /// Emptied `Vec<Tensor>` containers (capacity retained), so drivers
+    /// that collect per-sample tensors each round reuse the container
+    /// allocation too.
+    lists: Vec<Vec<Tensor>>,
     allocations: usize,
     reuses: usize,
 }
@@ -46,6 +81,24 @@ impl Workspace {
     /// Returns a zero-filled buffer of exactly `len` elements, reusing
     /// the smallest pooled buffer whose capacity suffices.
     pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_dirty(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns a buffer of exactly `len` elements **without** the
+    /// zero-fill of [`Workspace::take`]: contents are unspecified (stale
+    /// values from whatever last recycled the buffer, zeros where it had
+    /// to grow).
+    ///
+    /// For hot-path consumers that provably write every element before
+    /// reading any — copies, `gemm_transb`-style full overwrites, im2col
+    /// with explicit padding writes — where the memset would be the only
+    /// remaining per-pass memory traffic. Accumulating consumers
+    /// (`gemm_acc` targets, reduction buffers) must use `take` instead:
+    /// reading a stale value would make results depend on pool history
+    /// and break the bit-identity guarantee.
+    pub fn take_dirty(&mut self, len: usize) -> Vec<f32> {
         let best = self
             .pool
             .iter()
@@ -57,7 +110,8 @@ impl Workspace {
             Some(i) => {
                 self.reuses += 1;
                 let mut buf = self.pool.swap_remove(i);
-                buf.clear();
+                // Grow (zero-filling only the extension) or shrink the
+                // logical length; existing contents stay untouched.
                 buf.resize(len, 0.0);
                 buf
             }
@@ -80,6 +134,16 @@ impl Workspace {
         Tensor::from_vec(buf, shape).expect("workspace buffer length matches shape")
     }
 
+    /// Returns a pooled copy of `src`: same shape, same bytes, owned
+    /// buffer from the pool — the idiom every pass-through layer
+    /// (identity, empty chains, inactive dropout) uses to satisfy the
+    /// "outputs come from the pool" contract without allocating.
+    pub fn take_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut buf = self.take_dirty(src.len());
+        buf.copy_from_slice(src.as_slice());
+        Tensor::from_vec(buf, src.shape().clone()).expect("copy preserves shape")
+    }
+
     /// Hands a buffer back to the pool for future reuse.
     pub fn recycle(&mut self, buf: Vec<f32>) {
         if buf.capacity() > 0 {
@@ -90,6 +154,23 @@ impl Workspace {
     /// Hands a tensor's backing buffer back to the pool.
     pub fn recycle_tensor(&mut self, tensor: Tensor) {
         self.recycle(tensor.into_vec());
+    }
+
+    /// Returns an empty `Vec<Tensor>` container, reusing a pooled one
+    /// (with its capacity) when available.
+    pub fn take_tensor_list(&mut self) -> Vec<Tensor> {
+        self.lists.pop().unwrap_or_default()
+    }
+
+    /// Recycles every tensor in `list` back into the buffer pool, then
+    /// pools the emptied container itself for [`Workspace::take_tensor_list`].
+    pub fn recycle_tensor_list(&mut self, mut list: Vec<Tensor>) {
+        for tensor in list.drain(..) {
+            self.recycle_tensor(tensor);
+        }
+        if list.capacity() > 0 {
+            self.lists.push(list);
+        }
     }
 
     /// Number of buffers currently pooled.
@@ -162,5 +243,38 @@ mod tests {
         let mut ws = Workspace::new();
         ws.recycle(Vec::new());
         assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn take_dirty_skips_the_zero_fill_but_sizes_exactly() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(8);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        ws.recycle(buf);
+        let dirty = ws.take_dirty(6);
+        assert_eq!(dirty.len(), 6);
+        assert!(dirty.iter().all(|&v| v == 7.0), "stale contents retained");
+        ws.recycle(dirty);
+        let grown = ws.take_dirty(8);
+        assert_eq!(grown.len(), 8);
+        assert!(grown[6..].iter().all(|&v| v == 0.0), "extension zeroed");
+        assert_eq!(ws.allocations(), 1, "both dirty takes reused the pool");
+    }
+
+    #[test]
+    fn tensor_lists_round_trip_container_and_buffers() {
+        let mut ws = Workspace::new();
+        let mut list = ws.take_tensor_list();
+        list.push(ws.take_tensor(Shape::d1(8)));
+        list.push(ws.take_tensor(Shape::d1(4)));
+        let cap = list.capacity();
+        ws.recycle_tensor_list(list);
+        assert_eq!(ws.pooled(), 2, "both tensor buffers return to the pool");
+        let again = ws.take_tensor_list();
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap, "container capacity is retained");
+        let t = ws.take(6);
+        assert_eq!(ws.reuses(), 1, "buffer takes are served from the pool");
+        let _ = t;
     }
 }

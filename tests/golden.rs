@@ -20,10 +20,12 @@
 //! git diff tests/golden/   # review, then commit
 //! ```
 
+use neural_dropout_search::hw::simulator::{quantize_network, quantized_forward};
 use neural_dropout_search::metrics::{
     accuracy, apply_temperature, brier_score, ece, nll, EceConfig,
 };
 use neural_dropout_search::nn::{zoo, Layer, Mode};
+use neural_dropout_search::quant::Q7_8;
 use neural_dropout_search::supernet::{Supernet, SupernetSpec};
 use neural_dropout_search::tensor::rng::Rng64;
 use neural_dropout_search::tensor::{Shape, Tensor};
@@ -127,6 +129,33 @@ fn lenet_logits_match_committed_fixture() {
         out.push_str(&format!("logits[{i}] {}\n", cells.join(" ")));
     }
     assert_golden("lenet_logits.txt", &out);
+}
+
+#[test]
+fn quantized_forward_q78_matches_committed_fixture() {
+    // The fixed-point datapath pinned alongside the float path: a toy
+    // MLP with Q7.8-snapped weights, Standard-mode forward with
+    // activations rounded to Q7.8 between layers. Quantisation is pure
+    // arithmetic (scale, round, clamp); only the final softmax touches
+    // libm, exactly like the float CLI fixture.
+    use neural_dropout_search::nn::layers::{Flatten, Linear, Relu, Sequential};
+    let mut rng = Rng64::new(20_240_102);
+    let mut net = Sequential::new();
+    net.push(Box::new(Flatten::new()));
+    net.push(Box::new(Linear::new(8, 16, true, &mut rng)));
+    net.push(Box::new(Relu::new()));
+    net.push(Box::new(Linear::new(16, 4, true, &mut rng)));
+    let changed = quantize_network(&mut net, Q7_8);
+    assert!(changed > 0, "He-normal weights rarely sit on the Q7.8 grid");
+    let images = Tensor::rand_normal(Shape::d4(3, 2, 2, 2), 0.0, 1.0, &mut rng);
+    let probs = quantized_forward(&mut net, &images, Q7_8, Mode::Standard).unwrap();
+    assert_eq!(probs.shape(), &Shape::d2(3, 4));
+    let mut out = String::new();
+    for (i, row) in probs.as_slice().chunks(4).enumerate() {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.9e}")).collect();
+        out.push_str(&format!("q78_probs[{i}] {}\n", cells.join(" ")));
+    }
+    assert_golden("quantized_forward_q78.txt", &out);
 }
 
 fn eval_bytes(threads: &str, args: &[&str]) -> (bool, Vec<u8>) {
