@@ -12,6 +12,12 @@
 //!
 //! Run with: `cargo bench --bench ablation`
 
+// The ablations deliberately measure through the deprecated mc_predict /
+// quantized_mc_predict wrappers: they are byte-identical to the engine
+// path (equivalence-tested at the workspace root), and keeping them here
+// exercises the compatibility shims until removal.
+#![allow(deprecated)]
+
 use nds_bench::{dataset_splits, spearman, write_csv, BenchScale};
 use nds_data::DatasetKind;
 use nds_dropout::masksembles::MaskSet;

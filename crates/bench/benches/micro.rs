@@ -1,13 +1,19 @@
 //! Criterion micro-benchmarks for the performance-critical kernels:
-//! convolution, matmul, the four mask generators, MC inference, the GP
-//! surrogate, the accelerator analyzer and the fixed-point datapath.
+//! convolution, matmul, the four mask generators, MC inference (legacy
+//! wrappers *and* the serving engine), the GP surrogate, the accelerator
+//! analyzer and the fixed-point datapath.
 //!
 //! Run with: `cargo bench --bench micro`
+
+// The deprecated mc_predict wrappers are benchmarked on purpose: they
+// are the baseline the engine's cached path is compared against.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nds_dropout::masks::{bernoulli_mask, block_mask, random_mask};
 use nds_dropout::masksembles::MaskSet;
 use nds_dropout::mc::{mc_predict, mc_predict_with_workers};
+use nds_engine::{EngineBuilder, PredictRequest};
 use nds_gp::{GpRegressor, Kernel};
 use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
 use nds_hw::lfsr::Lfsr16;
@@ -104,6 +110,21 @@ fn bench_inference(c: &mut Criterion) {
                 mc_predict_with_workers(supernet.net_mut(), &big, 3, 32, workers, &mut ws).unwrap();
             ws.recycle_tensor(pred.mean_probs);
             black_box(pred.sample_probs.len())
+        })
+    });
+
+    // The serving engine on the same workload: persistent clone cache +
+    // warm workspace, so steady-state rounds are allocation-free even on
+    // the parallel path.
+    let mut engine = EngineBuilder::new(supernet.net_mut().clone())
+        .samples(3)
+        .build();
+    c.bench_function("engine_predict_lenet_s3_b32", |bench| {
+        bench.iter(|| {
+            let resp = engine.predict(&PredictRequest::new(&big)).unwrap();
+            let n = resp.probs.shape().dim(0);
+            engine.recycle(resp);
+            black_box(n)
         })
     });
 }

@@ -15,7 +15,12 @@
 //! (and fails on panic) in every CI leg, keeping this code from
 //! bit-rotting between perf-focused PRs.
 
+// The legacy mc_predict rows are kept on purpose: they are the PR 1-3
+// baseline series the engine rows are compared against.
+#![allow(deprecated)]
+
 use nds_dropout::mc::mc_predict_with_workers;
+use nds_engine::{Backend, EngineBuilder, PredictRequest};
 use nds_supernet::{Supernet, SupernetSpec};
 use nds_tensor::conv::{conv2d_direct, conv2d_ws, ConvGeometry};
 use nds_tensor::parallel::worker_count;
@@ -145,6 +150,33 @@ fn main() {
         .unwrap()
     });
 
+    // ------------------------------------------------------------------
+    // Engine throughput: the unified serving facade end to end, per
+    // backend, at a small and a large request batch. The float backend
+    // runs the same passes as mc_predict (plus the persistent clone
+    // cache); the quantized backend adds the fake-quantisation of every
+    // inter-layer activation.
+    // ------------------------------------------------------------------
+    let (eng_small, eng_large) = if smoke { (4, 8) } else { (32, 256) };
+    let small_images = Tensor::rand_normal(Shape::d4(eng_small, 1, 28, 28), 0.0, 1.0, &mut rng);
+    let large_images = Tensor::rand_normal(Shape::d4(eng_large, 1, 28, 28), 0.0, 1.0, &mut rng);
+    let mut engine_ips = |backend: Backend| -> (f64, f64) {
+        let mut engine = EngineBuilder::new(supernet.net_mut().clone())
+            .backend(backend)
+            .samples(mc_samples)
+            .build();
+        let mut ips = |images: &Tensor, batch: usize| {
+            let secs = time_median(if smoke { 2 } else { 5 }, || {
+                let resp = engine.predict(&PredictRequest::new(images)).unwrap();
+                engine.recycle(resp);
+            });
+            batch as f64 / secs
+        };
+        (ips(&small_images, eng_small), ips(&large_images, eng_large))
+    };
+    let (float_small_ips, float_large_ips) = engine_ips(Backend::Float32);
+    let (quant_small_ips, quant_large_ips) = engine_ips(Backend::quantized_q78());
+
     let json = format!(
         "{{\n  \
          \"bench\": \"inference-engine baseline\",\n  \
@@ -168,7 +200,12 @@ fn main() {
          \"serial_ms\": {:.3},\n    \
          \"parallel_ms\": {:.3},\n    \
          \"speedup\": {:.3},\n    \
-         \"images_per_sec\": {:.1}\n  }}\n}}\n",
+         \"images_per_sec\": {:.1}\n  }},\n  \
+         \"engine_throughput_lenet_s3\": {{\n    \
+         \"float32_b32_images_per_sec\": {:.1},\n    \
+         \"float32_b256_images_per_sec\": {:.1},\n    \
+         \"quantized_q78_b32_images_per_sec\": {:.1},\n    \
+         \"quantized_q78_b256_images_per_sec\": {:.1}\n  }}\n}}\n",
         naive * 1e3,
         blocked * 1e3,
         transb * 1e3,
@@ -185,6 +222,10 @@ fn main() {
         resnet_parallel * 1e3,
         resnet_serial / resnet_parallel,
         resnet_batch as f64 / resnet_parallel,
+        float_small_ips,
+        float_large_ips,
+        quant_small_ips,
+        quant_large_ips,
     );
     if smoke {
         // Smoke runs exist to catch panics/bit-rot, not to record

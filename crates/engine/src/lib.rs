@@ -1,0 +1,826 @@
+//! Unified uncertainty-serving engine.
+//!
+//! The paper's deliverable is a *deployed* MC-dropout predictor:
+//! FPGA-style quantised inference with calibrated uncertainty, behind a
+//! single inference entry point (in the lineage of the FPGA BNN
+//! accelerators it cites). This crate is that entry point for the
+//! reproduction: an [`UncertaintyEngine`] owns the network, a warm
+//! [`Workspace`] and a persistent per-worker clone cache
+//! ([`nds_dropout::mc::McCloneCache`]), and serves typed
+//! [`PredictRequest`] → [`PredictResponse`] calls over three backends:
+//!
+//! | Backend | Datapath | Per pass |
+//! |---------|----------|----------|
+//! | [`Backend::Float32`] | full-precision float | `predict_probs_ws` |
+//! | [`Backend::Quantized`] | fake-quantised fixed point | [`quantized::quantized_predict_probs_ws`] |
+//! | [`Backend::HwSim`] | fixed point + modelled hardware timing | [`quantized::quantized_predict_probs_ws`] |
+//!
+//! All three route through the *same* Monte-Carlo round harness
+//! ([`nds_dropout::mc::mc_sample_rounds_into`]), so the determinism
+//! guarantees are shared: every sample's dropout masks derive only from
+//! `(seed, sample index)`, results are **bit-identical** for any worker
+//! count, any chunk size, and identical to the legacy free functions
+//! (`mc_predict`, `quantized_mc_predict`) the engine supersedes.
+//!
+//! # Execution model
+//!
+//! * **Chunked / streaming.** Arbitrarily large request batches are
+//!   executed in engine-chosen micro-batches (override with
+//!   [`EngineBuilder::chunk_size`]); per-item mask streams make chunked
+//!   results byte-identical to one-shot execution (property-tested at
+//!   the workspace root).
+//! * **Allocation-free steady state.** The serial MC path has been
+//!   allocation-free since PR 3; the engine extends that to the
+//!   *parallel* path: worker clones (copy-on-write weights) and their
+//!   workspaces persist across rounds, keyed by weight identity
+//!   (`SharedTensor::ptr_eq`) with batch-norm staleness detection, so a
+//!   steady-state `predict` performs zero heap allocations after
+//!   warm-up (pinned by `tests/alloc_free.rs`). Recycle responses via
+//!   [`UncertaintyEngine::recycle`] to complete the loop.
+//! * **Uncertainty on demand.** [`UncertaintyFlags`] select which
+//!   diagnostics (predictive entropy, mutual information, predictive
+//!   variance) are computed from the per-sample probabilities; the
+//!   mean distribution is always returned.
+//!
+//! # Examples
+//!
+//! ```
+//! use nds_engine::{EngineBuilder, PredictRequest, UncertaintyFlags};
+//! use nds_nn::layers::{Flatten, Linear, Sequential};
+//! use nds_tensor::rng::Rng64;
+//! use nds_tensor::{Shape, Tensor};
+//!
+//! let mut rng = Rng64::new(0);
+//! let mut net = Sequential::new();
+//! net.push(Box::new(Flatten::new()));
+//! net.push(Box::new(Linear::new(4, 3, true, &mut rng)));
+//!
+//! let mut engine = EngineBuilder::new(net).samples(4).build();
+//! let images = Tensor::zeros(Shape::d4(2, 1, 2, 2));
+//! let request = PredictRequest::new(&images).with_outputs(UncertaintyFlags::ENTROPY);
+//! let response = engine.predict(&request)?;
+//! assert_eq!(response.probs.shape().dims(), &[2, 3]);
+//! assert_eq!(response.entropy.as_ref().map(Vec::len), Some(2));
+//! engine.recycle(response); // hand the buffers back for the next round
+//! # Ok::<(), nds_engine::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod quantized;
+
+use nds_dropout::mc::{mc_sample_rounds_into, mean_over_samples, McCloneCache};
+use nds_metrics::entropy_nats;
+use nds_nn::layers::Sequential;
+use nds_nn::train::{output_classes, predict_probs_ws};
+use nds_nn::{Mode, NnError};
+use nds_quant::FixedFormat;
+use nds_tensor::{Shape, Tensor, TensorError, Workspace};
+use std::error::Error as StdError;
+use std::fmt;
+use std::ops::BitOr;
+use std::time::Instant;
+
+/// Default micro-batch size when the builder leaves chunking to the
+/// engine (the paper's evaluation batch scale; results are
+/// byte-invariant to this choice, it only tunes working-set size).
+const DEFAULT_CHUNK: usize = 32;
+
+/// Errors from engine construction and serving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An underlying network/tensor operation failed.
+    Nn(NnError),
+    /// The request or engine configuration was inconsistent.
+    BadRequest(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Nn(e) => write!(f, "network error: {e}"),
+            EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl StdError for EngineError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            EngineError::Nn(e) => Some(e),
+            EngineError::BadRequest(_) => None,
+        }
+    }
+}
+
+impl From<NnError> for EngineError {
+    fn from(e: NnError) -> Self {
+        EngineError::Nn(e)
+    }
+}
+
+impl From<TensorError> for EngineError {
+    fn from(e: TensorError) -> Self {
+        EngineError::Nn(NnError::Tensor(e))
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Which uncertainty diagnostics a [`PredictRequest`] asks for.
+///
+/// Combine with `|`: `UncertaintyFlags::ENTROPY | UncertaintyFlags::VARIANCE`.
+/// The mean predictive distribution is always computed; flags only
+/// control the optional per-input scalar diagnostics derived from the
+/// per-sample probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UncertaintyFlags(u8);
+
+impl UncertaintyFlags {
+    /// Mean probabilities only.
+    pub const NONE: UncertaintyFlags = UncertaintyFlags(0);
+    /// Predictive entropy (nats) of each input's mean distribution —
+    /// the quantity averaged into the paper's aPE metric.
+    pub const ENTROPY: UncertaintyFlags = UncertaintyFlags(1);
+    /// Mutual information (BALD): `H(mean) − mean(H(sample))`, the
+    /// epistemic part of the predictive uncertainty.
+    pub const MUTUAL_INFORMATION: UncertaintyFlags = UncertaintyFlags(2);
+    /// Variance of the class probabilities across samples, averaged
+    /// over classes.
+    pub const VARIANCE: UncertaintyFlags = UncertaintyFlags(4);
+    /// Every diagnostic.
+    pub const ALL: UncertaintyFlags = UncertaintyFlags(7);
+
+    /// `true` when every flag in `other` is set in `self`.
+    pub fn contains(self, other: UncertaintyFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` when no diagnostic is requested.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for UncertaintyFlags {
+    type Output = UncertaintyFlags;
+    fn bitor(self, rhs: UncertaintyFlags) -> UncertaintyFlags {
+        UncertaintyFlags(self.0 | rhs.0)
+    }
+}
+
+/// A hardware platform the [`Backend::HwSim`] backend emulates: the
+/// fixed-point datapath plus a modelled per-image latency, reported in
+/// [`PredictTiming::modelled_latency_ms`].
+///
+/// Build one by hand, or from the analytical models in `nds-hw`
+/// (`ComputePlatform::sim_platform`, `AcceleratorModel::sim_platform`) —
+/// that crate sits above this one, so the adapter lives there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPlatform {
+    /// Display name (e.g. `"XCKU115 @ 181 MHz"`).
+    pub name: String,
+    /// Fixed-point format of the emulated datapath.
+    pub format: FixedFormat,
+    /// Modelled latency of one full S-sample MC inference for a single
+    /// image (milliseconds).
+    pub latency_ms_per_image: f64,
+}
+
+/// Which datapath the engine serves predictions through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// Full-precision float MC-dropout (the software reference).
+    Float32,
+    /// Fake-quantised fixed-point datapath: input and inter-layer
+    /// activations rounded to `format`, softmax at full precision.
+    /// Quantise the weights first (`nds_hw::simulator::quantize_network`)
+    /// for a faithful emulation.
+    Quantized {
+        /// The 16-bit fixed-point format (e.g. [`nds_quant::Q7_8`]).
+        format: FixedFormat,
+    },
+    /// The quantised datapath plus a modelled hardware latency in the
+    /// response timing — serving as the FPGA/CPU/GPU stand-in.
+    HwSim(SimPlatform),
+}
+
+impl Backend {
+    /// The paper's Q7.8 quantised datapath.
+    pub fn quantized_q78() -> Backend {
+        Backend::Quantized {
+            format: nds_quant::Q7_8,
+        }
+    }
+
+    /// A quantised backend from a fraction-bit count (`1 + (15-frac) + frac`
+    /// bit fixed point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadRequest`] when `frac_bits > 15`.
+    pub fn quantized(frac_bits: u32) -> Result<Backend> {
+        if frac_bits > 15 {
+            return Err(EngineError::BadRequest(format!(
+                "frac_bits {frac_bits} does not fit a 16-bit signed container"
+            )));
+        }
+        let format =
+            FixedFormat::new(15 - frac_bits, frac_bits).expect("int + frac == 15 by construction");
+        Ok(Backend::Quantized { format })
+    }
+
+    /// Short static label for logs and timing rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Float32 => "float32",
+            Backend::Quantized { .. } => "quantized",
+            Backend::HwSim(_) => "hw-sim",
+        }
+    }
+
+    /// The fixed-point format of a quantised datapath, if any.
+    fn format(&self) -> Option<FixedFormat> {
+        match self {
+            Backend::Float32 => None,
+            Backend::Quantized { format } => Some(*format),
+            Backend::HwSim(platform) => Some(platform.format),
+        }
+    }
+}
+
+/// One typed prediction request: the input batch plus the uncertainty
+/// diagnostics to compute.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictRequest<'a> {
+    /// Input batch, NCHW.
+    pub images: &'a Tensor,
+    /// Which optional diagnostics to derive from the per-sample
+    /// probabilities.
+    pub outputs: UncertaintyFlags,
+}
+
+impl<'a> PredictRequest<'a> {
+    /// A request for the mean probabilities only.
+    pub fn new(images: &'a Tensor) -> Self {
+        PredictRequest {
+            images,
+            outputs: UncertaintyFlags::NONE,
+        }
+    }
+
+    /// Adds uncertainty diagnostics to the request.
+    pub fn with_outputs(mut self, outputs: UncertaintyFlags) -> Self {
+        self.outputs = outputs;
+        self
+    }
+}
+
+/// Execution metadata of one [`UncertaintyEngine::predict`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictTiming {
+    /// Backend label (`"float32"`, `"quantized"`, `"hw-sim"`).
+    pub backend: &'static str,
+    /// MC samples averaged.
+    pub samples: usize,
+    /// Worker split used for the sample fan-out.
+    pub workers: usize,
+    /// Micro-batch size chosen by the engine.
+    pub chunk_size: usize,
+    /// Number of micro-batches each pass streamed through.
+    pub chunks: usize,
+    /// Wall-clock seconds spent serving the request.
+    pub elapsed_s: f64,
+    /// Modelled hardware latency for the whole batch ([`Backend::HwSim`]
+    /// only): `latency_ms_per_image × batch`.
+    pub modelled_latency_ms: Option<f64>,
+}
+
+/// The response to a [`PredictRequest`]: the predictive distribution,
+/// the requested diagnostics, and execution timing.
+///
+/// Hand the response back to the engine via
+/// [`UncertaintyEngine::recycle`] when its buffers are no longer needed;
+/// the next round then reuses them instead of allocating.
+#[derive(Debug, Clone)]
+pub struct PredictResponse {
+    /// Mean softmax probabilities `[n, classes]` across the S samples —
+    /// the BayesNN's predictive distribution.
+    pub probs: Tensor,
+    /// Predictive entropy (nats) per input, when requested.
+    pub entropy: Option<Vec<f64>>,
+    /// Mutual information (BALD) per input, when requested.
+    pub mutual_information: Option<Vec<f64>>,
+    /// Predictive variance per input, when requested.
+    pub variance: Option<Vec<f64>>,
+    /// Execution metadata.
+    pub timing: PredictTiming,
+}
+
+/// Builder for [`UncertaintyEngine`].
+///
+/// ```
+/// use nds_engine::{Backend, EngineBuilder};
+/// use nds_nn::layers::Sequential;
+///
+/// let engine = EngineBuilder::new(Sequential::new())
+///     .backend(Backend::quantized_q78())
+///     .samples(3)
+///     .seed(7)
+///     .workers(4)
+///     .build();
+/// assert_eq!(engine.samples(), 3);
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    net: Sequential,
+    backend: Backend,
+    samples: usize,
+    seed: u64,
+    workers: usize,
+    chunk: usize,
+}
+
+impl EngineBuilder {
+    /// Starts a builder around `net` with the paper's defaults: float
+    /// backend, S = 3 samples, seed 0 (the historical stream base, so
+    /// engine results are byte-identical to the legacy free functions),
+    /// pool-sized workers and engine-chosen chunking.
+    pub fn new(net: Sequential) -> Self {
+        EngineBuilder {
+            net,
+            backend: Backend::Float32,
+            samples: 3,
+            seed: 0,
+            workers: 0,
+            chunk: 0,
+        }
+    }
+
+    /// Selects the serving datapath.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the MC sampling number S (clamped to at least 1).
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Sets the sample-stream base: sample `s` draws its masks from
+    /// stream `seed + s`. Seed 0 reproduces the legacy free functions
+    /// byte for byte; distinct seeds give independent mask draws.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the worker split for the sample fan-out (0 = the pool size
+    /// from [`nds_tensor::parallel::worker_count`]). Results are
+    /// byte-identical for every value; this only tunes parallelism.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Pins the micro-batch size for streaming execution (0 = engine
+    /// default). Results are byte-identical for every value.
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> UncertaintyEngine {
+        UncertaintyEngine {
+            net: self.net,
+            backend: self.backend,
+            samples: self.samples.max(1),
+            seed: self.seed,
+            workers: self.workers,
+            chunk: self.chunk,
+            ws: Workspace::new(),
+            cache: McCloneCache::new(),
+        }
+    }
+}
+
+/// The unified serving facade: one entry point
+/// ([`UncertaintyEngine::predict`]) over float, quantised and hw-sim
+/// MC-dropout inference. See the crate docs for the execution model.
+#[derive(Debug)]
+pub struct UncertaintyEngine {
+    net: Sequential,
+    backend: Backend,
+    samples: usize,
+    seed: u64,
+    workers: usize,
+    chunk: usize,
+    ws: Workspace,
+    cache: McCloneCache,
+}
+
+impl UncertaintyEngine {
+    /// Serves one prediction: S stochastic passes over the request batch
+    /// (chunked into micro-batches), averaged into the predictive
+    /// distribution, with the requested uncertainty diagnostics.
+    ///
+    /// Deterministic: the response bytes depend only on the network
+    /// state, the backend, `(seed, samples)` and the input — never on
+    /// worker count, chunk size, pool size or what ran before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network execution errors.
+    pub fn predict(&mut self, request: &PredictRequest<'_>) -> Result<PredictResponse> {
+        let started = Instant::now();
+        let images = request.images;
+        if images.shape().rank() == 0 {
+            // A scalar has no batch dimension to iterate; reject it
+            // before any pass can index past the rank.
+            return Err(EngineError::BadRequest(
+                "predict needs a batched input (rank >= 1), got a rank-0 tensor".to_string(),
+            ));
+        }
+        let n = images.shape().dim(0);
+        let classes = output_classes(&self.net, images.shape())?;
+        let samples = self.samples;
+        let chunk = if self.chunk == 0 {
+            DEFAULT_CHUNK
+        } else {
+            self.chunk
+        };
+        let workers = if self.workers == 0 {
+            nds_tensor::parallel::worker_count()
+        } else {
+            self.workers
+        };
+        let pass_len = n * classes;
+        let mut slab = self.ws.take_dirty(samples * pass_len);
+        // Split the engine's fields so the pass closure (which reads the
+        // backend) can run while the harness holds the net/cache/ws.
+        let UncertaintyEngine {
+            ref mut net,
+            ref backend,
+            ref mut ws,
+            ref mut cache,
+            seed,
+            ..
+        } = *self;
+        let outcome = match backend.format() {
+            None => mc_sample_rounds_into(
+                net,
+                samples,
+                workers,
+                seed,
+                cache,
+                ws,
+                pass_len,
+                &mut slab,
+                &|net, ws| predict_probs_ws(net, images, Mode::McInference, chunk, ws),
+            ),
+            Some(format) => mc_sample_rounds_into(
+                net,
+                samples,
+                workers,
+                seed,
+                cache,
+                ws,
+                pass_len,
+                &mut slab,
+                &|net, ws| {
+                    quantized::quantized_predict_probs_ws(
+                        net,
+                        images,
+                        format,
+                        Mode::McInference,
+                        chunk,
+                        ws,
+                    )
+                },
+            ),
+        };
+        if let Err(e) = outcome {
+            self.ws.recycle(slab);
+            return Err(e.into());
+        }
+        let mut mean = self.ws.take(pass_len);
+        mean_over_samples(&slab, samples, &mut mean);
+        let entropy = request
+            .outputs
+            .contains(UncertaintyFlags::ENTROPY)
+            .then(|| {
+                let mut out = self.ws.take_f64();
+                for i in 0..n {
+                    out.push(entropy_nats(&mean[i * classes..(i + 1) * classes]));
+                }
+                out
+            });
+        let mutual_information = request
+            .outputs
+            .contains(UncertaintyFlags::MUTUAL_INFORMATION)
+            .then(|| {
+                let mut out = self.ws.take_f64();
+                for i in 0..n {
+                    let total = entropy_nats(&mean[i * classes..(i + 1) * classes]);
+                    let aleatoric: f64 = (0..samples)
+                        .map(|s| {
+                            let row = &slab[s * pass_len + i * classes..];
+                            entropy_nats(&row[..classes])
+                        })
+                        .sum::<f64>()
+                        / samples as f64;
+                    out.push((total - aleatoric).max(0.0));
+                }
+                out
+            });
+        let variance = request
+            .outputs
+            .contains(UncertaintyFlags::VARIANCE)
+            .then(|| {
+                let mut out = self.ws.take_f64();
+                for i in 0..n {
+                    let mut var = 0.0f64;
+                    for j in 0..classes {
+                        let m = mean[i * classes + j] as f64;
+                        for s in 0..samples {
+                            let d = slab[s * pass_len + i * classes + j] as f64 - m;
+                            var += d * d;
+                        }
+                    }
+                    out.push(var / (samples as f64 * classes as f64));
+                }
+                out
+            });
+        self.ws.recycle(slab);
+        let probs = Tensor::from_vec(mean, Shape::d2(n, classes))?;
+        let modelled_latency_ms = match &self.backend {
+            Backend::HwSim(platform) => Some(platform.latency_ms_per_image * n as f64),
+            _ => None,
+        };
+        Ok(PredictResponse {
+            probs,
+            entropy,
+            mutual_information,
+            variance,
+            timing: PredictTiming {
+                backend: self.backend.label(),
+                samples,
+                workers,
+                chunk_size: chunk,
+                chunks: if n == 0 { 0 } else { n.div_ceil(chunk.max(1)) },
+                elapsed_s: started.elapsed().as_secs_f64(),
+                modelled_latency_ms,
+            },
+        })
+    }
+
+    /// Hands a response's buffers back to the engine's pools so the next
+    /// round reuses them instead of allocating.
+    pub fn recycle(&mut self, response: PredictResponse) {
+        self.ws.recycle_tensor(response.probs);
+        for buf in [
+            response.entropy,
+            response.mutual_information,
+            response.variance,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            self.ws.recycle_f64(buf);
+        }
+    }
+
+    /// The MC sampling number S.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Overrides the MC sampling number (clamped to at least 1).
+    pub fn set_samples(&mut self, samples: usize) {
+        self.samples = samples.max(1);
+    }
+
+    /// The serving backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Swaps the serving backend (the clone cache and workspaces carry
+    /// over — both datapaths share them).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The configured sample-stream base.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Overrides the micro-batch size (0 = engine default). Results are
+    /// byte-identical for every value; this only tunes working-set size.
+    pub fn set_chunk_size(&mut self, chunk: usize) {
+        self.chunk = chunk;
+    }
+
+    /// Shared access to the served network.
+    pub fn net(&self) -> &Sequential {
+        &self.net
+    }
+
+    /// Mutable access to the served network (training loops, config
+    /// switches, quantisation). Weight and batch-norm mutations are
+    /// detected automatically by the clone cache's fingerprint; after
+    /// *structural* surgery (inserting or removing layers) call
+    /// [`UncertaintyEngine::invalidate_cache`].
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Consumes the engine, returning the network.
+    pub fn into_net(self) -> Sequential {
+        self.net
+    }
+
+    /// Drops the cached worker clones; the next parallel round rebuilds
+    /// them from the current network state.
+    pub fn invalidate_cache(&mut self) {
+        self.cache.invalidate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+    use nds_nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+    use nds_nn::layers::{Flatten, Linear};
+    use nds_tensor::rng::Rng64;
+
+    fn stochastic_net(seed: u64) -> Sequential {
+        let mut rng = Rng64::new(seed);
+        let mut net = Sequential::new();
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(16, 12, true, &mut rng)));
+        let slot = SlotInfo {
+            id: 0,
+            shape: FeatureShape::Vector { features: 12 },
+            position: SlotPosition::FullyConnected,
+        };
+        net.push(Box::new(
+            DropoutLayer::for_slot(
+                DropoutKind::Bernoulli,
+                &slot,
+                &DropoutSettings {
+                    rate: 0.5,
+                    ..DropoutSettings::default()
+                },
+                seed,
+            )
+            .unwrap(),
+        ));
+        net.push(Box::new(Linear::new(12, 4, true, &mut rng)));
+        net
+    }
+
+    #[test]
+    fn flags_compose_and_query() {
+        let flags = UncertaintyFlags::ENTROPY | UncertaintyFlags::VARIANCE;
+        assert!(flags.contains(UncertaintyFlags::ENTROPY));
+        assert!(flags.contains(UncertaintyFlags::VARIANCE));
+        assert!(!flags.contains(UncertaintyFlags::MUTUAL_INFORMATION));
+        assert!(UncertaintyFlags::ALL.contains(flags));
+        assert!(UncertaintyFlags::NONE.is_empty());
+        assert!(!flags.is_empty());
+    }
+
+    #[test]
+    fn response_carries_requested_diagnostics_only() {
+        let mut engine = EngineBuilder::new(stochastic_net(1)).samples(4).build();
+        let mut rng = Rng64::new(2);
+        let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let bare = engine.predict(&PredictRequest::new(&x)).unwrap();
+        assert!(bare.entropy.is_none());
+        assert!(bare.mutual_information.is_none());
+        assert!(bare.variance.is_none());
+        assert_eq!(bare.probs.shape(), &Shape::d2(3, 4));
+        engine.recycle(bare);
+        let full = engine
+            .predict(&PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL))
+            .unwrap();
+        assert_eq!(full.entropy.as_ref().unwrap().len(), 3);
+        assert_eq!(full.mutual_information.as_ref().unwrap().len(), 3);
+        assert_eq!(full.variance.as_ref().unwrap().len(), 3);
+        for i in 0..3 {
+            assert!(full.entropy.as_ref().unwrap()[i] >= 0.0);
+            assert!(full.mutual_information.as_ref().unwrap()[i] >= 0.0);
+            assert!(full.variance.as_ref().unwrap()[i] >= 0.0);
+        }
+        engine.recycle(full);
+    }
+
+    #[test]
+    fn seeds_move_the_mask_streams() {
+        let mut rng = Rng64::new(3);
+        let x = Tensor::rand_normal(Shape::d4(2, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut base = EngineBuilder::new(stochastic_net(5)).samples(3).build();
+        let mut seeded = EngineBuilder::new(stochastic_net(5))
+            .samples(3)
+            .seed(1_000)
+            .build();
+        let a = base.predict(&PredictRequest::new(&x)).unwrap();
+        let b = seeded.predict(&PredictRequest::new(&x)).unwrap();
+        assert_ne!(
+            a.probs.as_slice(),
+            b.probs.as_slice(),
+            "distinct seeds must draw distinct masks"
+        );
+        // Same seed: reproducible.
+        let mut again = EngineBuilder::new(stochastic_net(5))
+            .samples(3)
+            .seed(1_000)
+            .build();
+        let c = again.predict(&PredictRequest::new(&x)).unwrap();
+        assert_eq!(b.probs.as_slice(), c.probs.as_slice());
+    }
+
+    #[test]
+    fn hw_sim_reports_modelled_latency() {
+        let platform = SimPlatform {
+            name: "test-fpga".to_string(),
+            format: nds_quant::Q7_8,
+            latency_ms_per_image: 0.25,
+        };
+        let mut engine = EngineBuilder::new(stochastic_net(7))
+            .backend(Backend::HwSim(platform))
+            .samples(2)
+            .build();
+        let x = Tensor::zeros(Shape::d4(4, 1, 4, 4));
+        let resp = engine.predict(&PredictRequest::new(&x)).unwrap();
+        assert_eq!(resp.timing.backend, "hw-sim");
+        assert_eq!(resp.timing.modelled_latency_ms, Some(1.0));
+        assert_eq!(resp.probs.shape(), &Shape::d2(4, 4));
+    }
+
+    #[test]
+    fn scalar_inputs_are_rejected_not_panicked() {
+        let mut engine = EngineBuilder::new(stochastic_net(8)).build();
+        let scalar = Tensor::from_vec(vec![1.0], Shape::scalar()).unwrap();
+        let err = engine.predict(&PredictRequest::new(&scalar)).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_batches_are_served() {
+        let mut engine = EngineBuilder::new(stochastic_net(9)).build();
+        let x = Tensor::zeros(Shape::d4(0, 1, 4, 4));
+        let resp = engine
+            .predict(&PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL))
+            .unwrap();
+        assert_eq!(resp.probs.len(), 0);
+        assert_eq!(resp.entropy.as_ref().unwrap().len(), 0);
+        assert_eq!(resp.timing.chunks, 0);
+    }
+
+    #[test]
+    fn quantized_backend_constructors() {
+        assert_eq!(
+            Backend::quantized_q78(),
+            Backend::Quantized {
+                format: nds_quant::Q7_8
+            }
+        );
+        assert!(Backend::quantized(8).is_ok());
+        assert!(Backend::quantized(16).is_err());
+        assert_eq!(Backend::Float32.label(), "float32");
+        assert_eq!(Backend::quantized_q78().label(), "quantized");
+    }
+
+    #[test]
+    fn steady_state_predict_reuses_engine_pools() {
+        let mut engine = EngineBuilder::new(stochastic_net(11))
+            .samples(3)
+            .workers(1)
+            .build();
+        let x = Tensor::zeros(Shape::d4(4, 1, 4, 4));
+        let req = PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL);
+        for _ in 0..2 {
+            let warm = engine.predict(&req).unwrap();
+            engine.recycle(warm);
+        }
+        let allocations = engine.ws.allocations();
+        for _ in 0..3 {
+            let resp = engine.predict(&req).unwrap();
+            engine.recycle(resp);
+        }
+        assert_eq!(
+            engine.ws.allocations(),
+            allocations,
+            "steady-state rounds must be served from the pools"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Workspace-pooled emulation of the fixed-point accelerator datapath.
+//!
+//! The FPGA computes in 16-bit fixed point (1 sign + `int` + `frac`
+//! bits); this module emulates that datapath on a network whose weights
+//! have already been snapped to the grid (see `quantize_network` in
+//! `nds-hw`): the input and every inter-layer activation are rounded to
+//! the target format, while accumulation inside a layer engine stays
+//! wide and the final softmax runs at full precision on the host/output
+//! stage — the standard fake-quantisation model.
+//!
+//! These are the engine's quantized/hw-sim pass primitives; `nds-hw`'s
+//! historical `quantized_forward` delegates here so the two crates can
+//! never drift apart numerically. Every buffer rides the [`Workspace`]
+//! pool, so MC rounds over the quantised datapath reuse their scratch
+//! exactly like the float path.
+
+use nds_nn::layers::Sequential;
+use nds_nn::train::{output_classes, slice_batch_ws};
+use nds_nn::{Mode, Result};
+use nds_quant::{fake_quantize_into, FixedFormat};
+use nds_tensor::{Shape, Tensor, TensorError, Workspace};
+
+/// Runs one forward pass with the input and every inter-layer activation
+/// rounded to `format`, returning softmax probabilities `[n, classes]`.
+///
+/// Bit-identical to the historical `nds_hw::simulator::quantized_forward`
+/// (same elementwise scale/round/clamp, same full-precision softmax);
+/// the only difference is that every intermediate buffer comes from the
+/// pool, so steady-state rounds stop allocating.
+///
+/// # Errors
+///
+/// Propagates network execution errors.
+pub fn quantized_forward_ws(
+    net: &mut Sequential,
+    images: &Tensor,
+    format: FixedFormat,
+    mode: Mode,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let mut x = quantize_copy(images, format, ws);
+    for layer in net.layers_mut() {
+        let y = layer.forward_ws(&x, mode, ws)?;
+        ws.recycle_tensor(x);
+        x = quantize_copy(&y, format, ws);
+        ws.recycle_tensor(y);
+    }
+    // Softmax runs at full precision on the host/output stage.
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "softmax_rows_inplace",
+            expected: 2,
+            actual: x.shape().rank(),
+        }
+        .into());
+    }
+    x.softmax_rows_inplace().map_err(nds_nn::NnError::from)?;
+    Ok(x)
+}
+
+/// `predict_probs_ws` for the quantised datapath: runs the network over
+/// `images` in `batch_size` micro-batches through
+/// [`quantized_forward_ws`] and assembles the probability rows
+/// `[n, classes]`. Chunking is byte-invariant (masks are drawn per batch
+/// item, quantisation is elementwise), matching the float path's
+/// guarantee.
+///
+/// # Errors
+///
+/// Propagates forward errors from the network.
+pub fn quantized_predict_probs_ws(
+    net: &mut Sequential,
+    images: &Tensor,
+    format: FixedFormat,
+    mode: Mode,
+    batch_size: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let n = images.shape().dim(0);
+    if n == 0 {
+        return Tensor::from_vec(Vec::new(), Shape::d2(0, 1)).map_err(Into::into);
+    }
+    let classes = output_classes(net, images.shape())?;
+    let mut rows = ws.take_dirty(n * classes);
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_size.max(1)).min(n);
+        let batch = slice_batch_ws(images, start, end, ws)?;
+        let probs = quantized_forward_ws(net, &batch, format, mode, ws)?;
+        ws.recycle_tensor(batch);
+        if probs.len() != (end - start) * classes {
+            return Err(TensorError::ShapeMismatch {
+                op: "quantized_predict_probs row assembly",
+                lhs: Shape::d2(end - start, classes),
+                rhs: probs.shape().clone(),
+            }
+            .into());
+        }
+        rows[start * classes..end * classes].copy_from_slice(probs.as_slice());
+        ws.recycle_tensor(probs);
+        start = end;
+    }
+    Tensor::from_vec(rows, Shape::d2(n, classes)).map_err(Into::into)
+}
+
+/// Pooled copy of `src` with every element rounded to `format`.
+fn quantize_copy(src: &Tensor, format: FixedFormat, ws: &mut Workspace) -> Tensor {
+    let mut buf = ws.take_dirty(src.len());
+    fake_quantize_into(src.as_slice(), format, &mut buf);
+    Tensor::from_vec(buf, src.shape().clone()).expect("quantisation preserves shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::layers::{Flatten, Linear, Relu};
+    use nds_quant::{fake_quantize, Q7_8};
+    use nds_tensor::rng::Rng64;
+
+    fn toy_net(rng: &mut Rng64) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(8, 16, true, rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Linear::new(16, 4, true, rng)));
+        net
+    }
+
+    /// Reference re-implementation with fresh allocations everywhere —
+    /// the shape the historical `nds_hw::simulator::quantized_forward`
+    /// had. The pooled path must agree byte for byte.
+    fn quantized_forward_alloc(
+        net: &mut Sequential,
+        images: &Tensor,
+        format: FixedFormat,
+        mode: Mode,
+    ) -> Tensor {
+        let mut x = Tensor::from_vec(
+            fake_quantize(images.as_slice(), format),
+            images.shape().clone(),
+        )
+        .unwrap();
+        for layer in net.layers_mut() {
+            let y = layer.forward(&x, mode).unwrap();
+            x = Tensor::from_vec(fake_quantize(y.as_slice(), format), y.shape().clone()).unwrap();
+        }
+        let (n, c) = (x.shape().dim(0), x.shape().dim(1));
+        x.reshape(Shape::d2(n, c)).unwrap().softmax_rows().unwrap()
+    }
+
+    #[test]
+    fn pooled_path_matches_allocating_reference_bytes() {
+        let mut rng = Rng64::new(7);
+        let mut net = toy_net(&mut rng);
+        let x = Tensor::rand_normal(Shape::d4(5, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let expect = quantized_forward_alloc(&mut net, &x, Q7_8, Mode::Standard);
+        let mut ws = Workspace::new();
+        let got = quantized_forward_ws(&mut net, &x, Q7_8, Mode::Standard, &mut ws).unwrap();
+        assert_eq!(expect.as_slice(), got.as_slice());
+    }
+
+    #[test]
+    fn chunking_does_not_change_quantized_probs() {
+        let mut rng = Rng64::new(8);
+        let mut net = toy_net(&mut rng);
+        let x = Tensor::rand_normal(Shape::d4(7, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let mut ws = Workspace::new();
+        let one_shot =
+            quantized_predict_probs_ws(&mut net, &x, Q7_8, Mode::Standard, 7, &mut ws).unwrap();
+        for chunk in [1, 2, 3, 5] {
+            let chunked =
+                quantized_predict_probs_ws(&mut net, &x, Q7_8, Mode::Standard, chunk, &mut ws)
+                    .unwrap();
+            assert_eq!(one_shot.as_slice(), chunked.as_slice(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn steady_state_rounds_reuse_the_pool() {
+        let mut rng = Rng64::new(9);
+        let mut net = toy_net(&mut rng);
+        let x = Tensor::rand_normal(Shape::d4(4, 2, 2, 2), 0.0, 1.0, &mut rng);
+        let mut ws = Workspace::new();
+        let warm =
+            quantized_predict_probs_ws(&mut net, &x, Q7_8, Mode::Standard, 2, &mut ws).unwrap();
+        ws.recycle_tensor(warm);
+        let allocations = ws.allocations();
+        for _ in 0..3 {
+            let probs =
+                quantized_predict_probs_ws(&mut net, &x, Q7_8, Mode::Standard, 2, &mut ws).unwrap();
+            ws.recycle_tensor(probs);
+        }
+        assert_eq!(
+            ws.allocations(),
+            allocations,
+            "steady-state quantized rounds must be served from the pool"
+        );
+    }
+}

@@ -483,6 +483,31 @@ impl AcceleratorModel {
     pub fn latency_ms(&self, arch: &Architecture, config: &DropoutConfig) -> Result<f64> {
         Ok(self.analyze(arch, config)?.latency_ms)
     }
+
+    /// Adapts this accelerator design point into an `nds-engine` hw-sim
+    /// backend descriptor: the datapath emulated at the design's
+    /// precision, with the modelled FPGA latency for `(arch, config)`
+    /// reported in the response timing. Feed the result to
+    /// `nds_engine::Backend::HwSim` — the serving engine then *is* the
+    /// software twin of this accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AcceleratorModel::analyze`].
+    pub fn sim_platform(
+        &self,
+        arch: &Architecture,
+        config: &DropoutConfig,
+    ) -> Result<nds_engine::SimPlatform> {
+        Ok(nds_engine::SimPlatform {
+            name: format!(
+                "{} @ {:.0} MHz ({config})",
+                self.config.device.name, self.config.clock_mhz
+            ),
+            format: self.config.precision,
+            latency_ms_per_image: self.latency_ms(arch, config)?,
+        })
+    }
 }
 
 #[cfg(test)]

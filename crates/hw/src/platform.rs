@@ -108,9 +108,35 @@ impl ComputePlatform {
     ///
     /// Propagates architecture shape-inference errors.
     pub fn latency_ms(&self, arch: &Architecture, samples: usize) -> crate::Result<f64> {
-        let macs = arch.total_macs()? as f64;
+        Ok(self.latency_ms_for_macs(arch.total_macs()? as f64, samples))
+    }
+
+    /// [`ComputePlatform::latency_ms`] for a known MAC count.
+    pub fn latency_ms_for_macs(&self, macs: f64, samples: usize) -> f64 {
         let samples = samples.max(1) as f64;
-        Ok(samples * (macs / self.effective_macs_per_s * 1e3 + self.overhead_ms_per_pass))
+        samples * (macs / self.effective_macs_per_s * 1e3 + self.overhead_ms_per_pass)
+    }
+
+    /// Adapts this platform into an `nds-engine` hw-sim backend
+    /// descriptor: the quantised datapath emulated at `format`, with
+    /// this platform's modelled S-sample latency reported in the
+    /// response timing. Feed the result to
+    /// `nds_engine::Backend::HwSim`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture shape-inference errors.
+    pub fn sim_platform(
+        &self,
+        format: nds_quant::FixedFormat,
+        arch: &Architecture,
+        samples: usize,
+    ) -> crate::Result<nds_engine::SimPlatform> {
+        Ok(nds_engine::SimPlatform {
+            name: format!("{} ({})", self.name, self.platform),
+            format,
+            latency_ms_per_image: self.latency_ms(arch, samples)?,
+        })
     }
 
     /// A Table-3 row for this platform running the given workload.

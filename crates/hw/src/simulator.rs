@@ -11,9 +11,18 @@
 //!   fake-quantisation emulation of a fixed-point pipeline. (Inside one
 //!   engine, accumulation is wide — see [`nds_quant::MacUnit`] — so only
 //!   inter-engine activations quantise, which is what this models.)
+//!
+//! The datapath itself lives in [`nds_engine::quantized`] — the engine's
+//! `Backend::Quantized`/`Backend::HwSim` serve it behind the unified
+//! request/response API — and the functions here are compatibility
+//! shims over that single implementation, so the two crates cannot
+//! drift apart numerically.
 
 use crate::Result;
+use nds_dropout::mc::{mc_sample_rounds_into, mean_over_samples, McCloneCache};
+use nds_engine::quantized::quantized_predict_probs_ws;
 use nds_nn::layers::Sequential;
+use nds_nn::train::output_classes;
 use nds_nn::{Layer, Mode};
 use nds_quant::{fake_quantize, FixedFormat};
 use nds_tensor::parallel::worker_count;
@@ -42,7 +51,9 @@ pub fn quantize_network(net: &mut Sequential, format: FixedFormat) -> usize {
 /// layers, returning softmax probabilities `[n, classes]`.
 ///
 /// Weights should already be quantised (see [`quantize_network`]) for a
-/// faithful emulation.
+/// faithful emulation. Delegates to the engine's pooled
+/// [`nds_engine::quantized::quantized_forward_ws`] (the single
+/// implementation of the datapath) with a throwaway [`Workspace`].
 ///
 /// # Errors
 ///
@@ -53,22 +64,13 @@ pub fn quantized_forward(
     format: FixedFormat,
     mode: Mode,
 ) -> Result<Tensor> {
-    let mut x = Tensor::from_vec(
-        fake_quantize(images.as_slice(), format),
-        images.shape().clone(),
-    )
-    .expect("quantisation preserves shape");
-    let n_layers = net.layers_mut().len();
-    for i in 0..n_layers {
-        let layer = &mut net.layers_mut()[i];
-        let y = layer.forward(&x, mode)?;
-        x = Tensor::from_vec(fake_quantize(y.as_slice(), format), y.shape().clone())
-            .expect("quantisation preserves shape");
-    }
-    // Softmax runs at full precision on the host/output stage.
-    let (n, c) = (x.shape().dim(0), x.shape().dim(1));
-    let probs = x.reshape(Shape::d2(n, c)).map_err(nds_nn::NnError::from)?;
-    Ok(probs.softmax_rows().map_err(nds_nn::NnError::from)?)
+    Ok(nds_engine::quantized::quantized_forward_ws(
+        net,
+        images,
+        format,
+        mode,
+        &mut Workspace::new(),
+    )?)
 }
 
 /// Convenience: Monte-Carlo prediction through the quantised datapath
@@ -77,35 +79,50 @@ pub fn quantized_forward(
 /// Equivalent to [`quantized_mc_predict_with_workers`] with the pool
 /// size from [`worker_count`].
 ///
+/// Deprecated for serving: build an `nds_engine::UncertaintyEngine` with
+/// `Backend::Quantized` (or `Backend::HwSim`) instead — same datapath,
+/// same bytes, plus the persistent clone cache, chunked streaming and
+/// typed uncertainty outputs.
+///
 /// # Errors
 ///
 /// Propagates network execution errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through nds_engine::UncertaintyEngine with Backend::Quantized"
+)]
 pub fn quantized_mc_predict(
     net: &mut Sequential,
     images: &Tensor,
     format: FixedFormat,
     samples: usize,
 ) -> Result<Tensor> {
+    #[allow(deprecated)]
     quantized_mc_predict_with_workers(net, images, format, samples, worker_count())
 }
 
 /// Monte-Carlo prediction through the quantised datapath with an
 /// explicit worker count.
 ///
-/// Uses the same clone-and-stream scheme as `nds_dropout::mc::mc_predict`:
-/// every pass draws its dropout masks from a stream derived purely from
-/// the sample index via [`Layer::begin_mc_sample`], so the masks are
-/// independent of execution order and **bit-identical for any `workers`
-/// value** — the quantisation-error comparison isolates quantisation
-/// from mask drift. The caller's network comes back with its stochastic
-/// state untouched (the serial path brackets the round with
-/// [`Layer::save_mc_state`]/[`Layer::restore_mc_state`]; the parallel
-/// path runs on clones), so running a quantised round no longer
-/// advances the caller's RNG.
+/// Runs the exact harness the float path runs
+/// ([`nds_dropout::mc::mc_sample_rounds_into`]): every pass draws its
+/// dropout masks from a stream derived purely from the sample index via
+/// [`Layer::begin_mc_sample`], so the masks are independent of execution
+/// order and **bit-identical for any `workers` value** — the
+/// quantisation-error comparison isolates quantisation from mask drift.
+/// The caller's network comes back with its stochastic state untouched.
+///
+/// Deprecated for serving: `nds_engine::UncertaintyEngine` with
+/// `Backend::Quantized` is the same code path with a persistent clone
+/// cache; this wrapper re-clones per call.
 ///
 /// # Errors
 ///
 /// Propagates network execution errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through nds_engine::UncertaintyEngine with Backend::Quantized"
+)]
 pub fn quantized_mc_predict_with_workers(
     net: &mut Sequential,
     images: &Tensor,
@@ -115,33 +132,36 @@ pub fn quantized_mc_predict_with_workers(
 ) -> Result<Tensor> {
     let samples = samples.max(1);
     let n = images.shape().dim(0);
-    // The round scheduling (save/restore bracketing, sample-index
-    // streams, chunked fan-out) is the float engine's harness — shared
-    // so the two datapaths can never drift apart in their determinism
-    // guarantees. `quantized_forward` allocates per layer anyway, so the
-    // workspace is throwaway.
-    let sample_probs = nds_dropout::mc::mc_sample_rounds(
+    let classes = output_classes(net, images.shape()).map_err(crate::HwError::Nn)?;
+    let pass_len = n * classes;
+    let mut ws = Workspace::new();
+    let mut cache = McCloneCache::new();
+    let mut slab = ws.take_dirty(samples * pass_len);
+    mc_sample_rounds_into(
         net,
         samples,
         workers,
-        &mut Workspace::new(),
-        &|net, _ws| quantized_forward(net, images, format, Mode::McInference),
-    )?;
-    let classes = sample_probs[0].shape().dim(1);
-    let mut mean = vec![0.0f32; n * classes];
-    for probs in &sample_probs {
-        for (a, &b) in mean.iter_mut().zip(probs.as_slice()) {
-            *a += b;
-        }
-    }
-    let inv = 1.0 / samples as f32;
-    for v in &mut mean {
-        *v *= inv;
-    }
+        0,
+        &mut cache,
+        &mut ws,
+        pass_len,
+        &mut slab,
+        // Whole batch in one micro-batch, like the historical
+        // whole-images `quantized_forward` pass (chunking would be
+        // byte-identical anyway).
+        &|net, ws| quantized_predict_probs_ws(net, images, format, Mode::McInference, n.max(1), ws),
+    )
+    .map_err(crate::HwError::Nn)?;
+    let mut mean = vec![0.0f32; pass_len];
+    mean_over_samples(&slab, samples, &mut mean);
     Ok(Tensor::from_vec(mean, Shape::d2(n, classes)).expect("shape-consistent by construction"))
 }
 
 #[cfg(test)]
+// The deprecated wrappers stay under test until removal: they are the
+// byte-identity reference the engine's quantized backend is checked
+// against.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nds_nn::layers::{Flatten, Linear, Relu};

@@ -204,6 +204,11 @@ impl Layer for LayerNorm {
         vec![&self.gamma, &self.beta]
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+
     fn name(&self) -> String {
         format!("layer_norm({})", self.dim)
     }
@@ -466,6 +471,14 @@ impl Layer for PatchEmbed {
             ps.push(pos);
         }
         ps
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+        if let Some(pos) = &self.pos {
+            f(pos);
+        }
     }
 
     fn name(&self) -> String {
@@ -802,6 +815,13 @@ impl Layer for MultiHeadAttention {
         vec![&self.wq, &self.wk, &self.wv, &self.wo]
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.wq);
+        f(&self.wk);
+        f(&self.wv);
+        f(&self.wo);
+    }
+
     fn name(&self) -> String {
         format!("attention({}d, {}h)", self.dim, self.heads)
     }
@@ -992,6 +1012,13 @@ impl Layer for TokenMlp {
         vec![&self.w1, &self.b1, &self.w2, &self.b2]
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w1);
+        f(&self.b1);
+        f(&self.w2);
+        f(&self.b2);
+    }
+
     fn name(&self) -> String {
         format!("token_mlp({}->{}->{})", self.dim, self.hidden, self.dim)
     }
@@ -1064,6 +1091,11 @@ impl<L: Layer + Clone + 'static> Layer for PreNorm<L> {
         let mut ps = self.norm.params();
         ps.extend(self.inner.params());
         ps
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.norm.visit_params(f);
+        self.inner.visit_params(f);
     }
 
     fn begin_mc_round(&mut self) {

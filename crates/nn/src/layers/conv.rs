@@ -247,6 +247,13 @@ impl Layer for Conv2d {
         ps
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        if let Some(b) = &self.bias {
+            f(b);
+        }
+    }
+
     fn name(&self) -> String {
         format!(
             "conv2d({}->{}, {}x{}/s{} p{})",

@@ -128,6 +128,13 @@ impl Layer for Linear {
         ps
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        if let Some(b) = &self.bias {
+            f(b);
+        }
+    }
+
     fn name(&self) -> String {
         format!("linear({}->{})", self.in_features, self.out_features)
     }

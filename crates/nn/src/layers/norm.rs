@@ -17,6 +17,12 @@ pub struct BatchNorm2d {
     channels: usize,
     momentum: f32,
     eps: f32,
+    /// Bumped on every mutation of the running statistics (EMA updates,
+    /// committed recalibration, explicit transplants). Inference caches
+    /// that hold clones of this layer — the MC clone cache in
+    /// `nds-dropout` — compare epochs to detect that their copies of the
+    /// (non-`Param`, therefore not pointer-shared) statistics went stale.
+    stats_epoch: u64,
     cache: Option<Cache>,
     accumulator: Option<StatAccumulator>,
 }
@@ -34,6 +40,7 @@ impl Clone for BatchNorm2d {
             channels: self.channels,
             momentum: self.momentum,
             eps: self.eps,
+            stats_epoch: self.stats_epoch,
             cache: None,
             accumulator: None,
         }
@@ -71,9 +78,19 @@ impl BatchNorm2d {
             channels,
             momentum: 0.1,
             eps: 1e-5,
+            stats_epoch: 0,
             cache: None,
             accumulator: None,
         }
+    }
+
+    /// Monotonic counter identifying the current running-statistics
+    /// state: any mutation of the running estimates bumps it. Two layers
+    /// (an original and its clone) with equal epochs and a shared
+    /// history hold identical statistics; an epoch mismatch means a
+    /// cached clone is serving stale normalisation.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
     }
 
     /// The number of channels this layer normalises.
@@ -99,6 +116,7 @@ impl BatchNorm2d {
         assert_eq!(var.len(), self.running_var.len(), "var length");
         self.running_mean.copy_from_slice(mean);
         self.running_var.copy_from_slice(var);
+        self.stats_epoch += 1;
     }
 
     /// Current running variance estimates (one per channel).
@@ -138,6 +156,7 @@ impl BatchNorm2d {
             self.running_mean[ci] = mean as f32;
             self.running_var[ci] = var as f32;
         }
+        self.stats_epoch += 1;
         true
     }
 }
@@ -228,6 +247,7 @@ impl Layer for BatchNorm2d {
                     self.running_var[ci] =
                         (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
                 }
+                self.stats_epoch += 1;
             }
             (mean, var)
         };
@@ -313,6 +333,11 @@ impl Layer for BatchNorm2d {
 
     fn params(&self) -> Vec<&Param> {
         vec![&self.gamma, &self.beta]
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
     }
 
     fn visit_batch_norms(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {

@@ -146,6 +146,11 @@ impl Layer for Residual {
         ps
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.main.visit_params(f);
+        self.shortcut.visit_params(f);
+    }
+
     fn name(&self) -> String {
         format!(
             "residual(main[{}], shortcut[{}])",

@@ -156,6 +156,12 @@ impl Layer for Sequential {
         self.layers.iter().flat_map(|l| l.params()).collect()
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params(f);
+        }
+    }
+
     fn name(&self) -> String {
         format!("sequential[{}]", self.layers.len())
     }

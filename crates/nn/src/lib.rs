@@ -235,6 +235,24 @@ pub trait Layer: fmt::Debug + Send + Sync {
         Vec::new()
     }
 
+    /// Visits every trainable parameter in this subtree **without
+    /// allocating**.
+    ///
+    /// The allocation-free counterpart of [`Layer::params`]: container
+    /// layers forward the call to their children and parameter-owning
+    /// layers invoke `f` on each [`Param`] directly, so steady-state
+    /// consumers — the MC clone cache's weight-identity fingerprint in
+    /// `nds-dropout` — can walk the parameter set every round without
+    /// the `Vec` that `params()` collects into. The default delegates to
+    /// [`Layer::params`] (correct for any layer, allocation-free only
+    /// for parameterless ones); every layer that overrides `params()`
+    /// overrides this too.
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for p in self.params() {
+            f(p);
+        }
+    }
+
     /// Hook invoked once before each Monte-Carlo prediction round.
     ///
     /// Container layers must forward the call to their children. Stateful

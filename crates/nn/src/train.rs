@@ -155,9 +155,20 @@ fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
 /// Equivalent to [`predict_probs_ws`] with a throwaway [`Workspace`];
 /// hot loops call that directly so every buffer is reused across calls.
 ///
+/// Deprecated for serving: route inference through
+/// `nds_engine::UncertaintyEngine`, which holds the network plus warm
+/// workspaces and serves every backend (float, quantized, hw-sim)
+/// through one request/response API. This wrapper is kept so existing
+/// callers keep producing byte-identical results; internally the engine
+/// runs the same [`predict_probs_ws`] per pass.
+///
 /// # Errors
 ///
 /// Propagates forward errors from the network.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through nds_engine::UncertaintyEngine (or call predict_probs_ws with a persistent Workspace)"
+)]
 pub fn predict_probs(
     net: &mut Sequential,
     images: &Tensor,
@@ -165,6 +176,41 @@ pub fn predict_probs(
     batch_size: usize,
 ) -> Result<Tensor> {
     predict_probs_ws(net, images, mode, batch_size, &mut Workspace::new())
+}
+
+/// Number of probability columns a [`predict_probs_ws`]-style pass over
+/// `input` produces — the single definition of the output-shape
+/// conventions every probability driver (the float path here, the
+/// quantised datapath and the serving engine in `nds-engine`, the MC
+/// wrappers in `nds-dropout`/`nds-hw`) shares:
+///
+/// * an empty batch (leading dimension 0, or a rank-0 input) reports 1
+///   column, matching the `[0, 1]`-shaped tensor the drivers return
+///   without running the network;
+/// * a network whose output is not rank 2 raises the same
+///   [`TensorError::RankMismatch`] the row softmax would, before any
+///   forward runs;
+/// * otherwise the output's second dimension, floored at 1.
+///
+/// # Errors
+///
+/// Propagates shape-inference errors and the rank-2 requirement.
+///
+/// [`TensorError::RankMismatch`]: nds_tensor::TensorError
+pub fn output_classes(net: &Sequential, input: &Shape) -> Result<usize> {
+    if input.rank() == 0 || input.dim(0) == 0 {
+        return Ok(1);
+    }
+    let out_shape = net.out_shape(input)?;
+    if out_shape.rank() != 2 {
+        return Err(nds_tensor::TensorError::RankMismatch {
+            op: "softmax_rows_inplace",
+            expected: 2,
+            actual: out_shape.rank(),
+        }
+        .into());
+    }
+    Ok(out_shape.dim(1).max(1))
 }
 
 /// [`predict_probs`] with an explicit scratch [`Workspace`].
@@ -190,18 +236,7 @@ pub fn predict_probs_ws(
     if n == 0 {
         return Tensor::from_vec(Vec::new(), Shape::d2(0, 1)).map_err(Into::into);
     }
-    let out_shape = net.out_shape(images.shape())?;
-    if out_shape.rank() != 2 {
-        // Same failure the softmax would report, raised before any
-        // forward runs (and without indexing past the rank).
-        return Err(nds_tensor::TensorError::RankMismatch {
-            op: "softmax_rows_inplace",
-            expected: 2,
-            actual: out_shape.rank(),
-        }
-        .into());
-    }
-    let classes = out_shape.dim(1).max(1);
+    let classes = output_classes(net, images.shape())?;
     let mut rows = ws.take_dirty(n * classes);
     let mut start = 0;
     while start < n {
@@ -275,6 +310,8 @@ pub fn slice_batch_ws(
 }
 
 #[cfg(test)]
+// The deprecated convenience wrappers stay under test until removal.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::layers::{Flatten, Linear, Relu};

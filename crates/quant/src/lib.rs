@@ -378,6 +378,24 @@ pub fn fake_quantize(values: &[f32], format: FixedFormat) -> Vec<f32> {
         .collect()
 }
 
+/// [`fake_quantize`] into a caller-provided buffer — the allocation-free
+/// variant the pooled quantised datapath (`nds-engine`) runs on. Bytes
+/// are identical to [`fake_quantize`] element for element.
+///
+/// # Panics
+///
+/// Panics when `out.len() != values.len()` — a driver programming error.
+pub fn fake_quantize_into(values: &[f32], format: FixedFormat, out: &mut [f32]) {
+    assert_eq!(
+        values.len(),
+        out.len(),
+        "fake_quantize_into output length must match the input"
+    );
+    for (o, &v) in out.iter_mut().zip(values) {
+        *o = Fixed::from_f32(v, format).to_f32();
+    }
+}
+
 /// Signal-to-quantisation-noise ratio in dB between a reference signal and
 /// its quantised reconstruction.
 ///

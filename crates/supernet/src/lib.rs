@@ -87,6 +87,15 @@ impl From<DropoutError> for SupernetError {
     }
 }
 
+impl From<nds_engine::EngineError> for SupernetError {
+    fn from(e: nds_engine::EngineError) -> Self {
+        match e {
+            nds_engine::EngineError::Nn(nn) => SupernetError::Nn(nn),
+            nds_engine::EngineError::BadRequest(msg) => SupernetError::BadSpec(msg),
+        }
+    }
+}
+
 impl From<NnError> for SupernetError {
     fn from(e: NnError) -> Self {
         SupernetError::Nn(e)

@@ -10,8 +10,8 @@
 
 use crate::{CandidateMetrics, DropoutConfig, SupernetError};
 use nds_data::Dataset;
-use nds_dropout::mc::mc_predict;
 use nds_dropout::{DropoutLayer, DropoutSettings};
+use nds_engine::{EngineBuilder, PredictRequest};
 use nds_metrics::{accuracy, average_predictive_entropy, ece, EceConfig};
 use nds_nn::arch::Architecture;
 use nds_nn::layers::Sequential;
@@ -106,17 +106,25 @@ pub fn train_standalone(
             .collect::<Vec<_>>()
             .into_iter()
     })?;
+    // Evaluate through the serving engine — the same code path (and the
+    // same bytes) the supernet's shared-weight evaluation uses.
+    let mut engine = EngineBuilder::new(net)
+        .samples(samples.max(1))
+        .chunk_size(batch_size)
+        .build();
     let (images, labels) = val.full_batch();
-    let pred = mc_predict(&mut net, &images, samples.max(1), batch_size)?;
-    let acc = accuracy(&pred.mean_probs, &labels)
+    let pred = engine.predict(&PredictRequest::new(&images))?;
+    let acc = accuracy(&pred.probs, &labels)
         .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
-    let cal = ece(&pred.mean_probs, &labels, EceConfig::default())
+    let cal = ece(&pred.probs, &labels, EceConfig::default())
         .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
-    let ood_pred = mc_predict(&mut net, ood, samples.max(1), batch_size)?;
-    let ape = average_predictive_entropy(&ood_pred.mean_probs)
+    engine.recycle(pred);
+    let ood_pred = engine.predict(&PredictRequest::new(ood))?;
+    let ape = average_predictive_entropy(&ood_pred.probs)
         .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
+    engine.recycle(ood_pred);
     Ok(StandaloneResult {
-        net,
+        net: engine.into_net(),
         history,
         metrics: CandidateMetrics {
             accuracy: acc,

@@ -1,6 +1,6 @@
 use crate::{DropoutConfig, SelectionState, SlotLayer, SupernetError, SupernetSpec};
 use nds_data::Dataset;
-use nds_dropout::mc::mc_predict_with_workers;
+use nds_engine::{EngineBuilder, PredictRequest, UncertaintyEngine};
 use nds_metrics::{accuracy, average_predictive_entropy, ece, EceConfig};
 use nds_nn::layers::Sequential;
 use nds_nn::loss::softmax_cross_entropy;
@@ -8,7 +8,7 @@ use nds_nn::optim::Sgd;
 use nds_nn::train::TrainConfig;
 use nds_nn::Layer;
 use nds_tensor::rng::Rng64;
-use nds_tensor::{Tensor, Workspace};
+use nds_tensor::Tensor;
 
 /// Distinguished MC-sample stream used for batch-norm calibration
 /// forwards, far away from the real sample indices `0..S`.
@@ -44,15 +44,17 @@ pub struct CandidateMetrics {
 #[derive(Debug)]
 pub struct Supernet {
     spec: SupernetSpec,
-    net: Sequential,
     selection: SelectionState,
-    sampling_number: usize,
     /// Shared (`Arc`) so forking never copies the calibration images —
     /// a fork reads the same batches it would have been handed anyway.
     calibration: std::sync::Arc<Vec<Tensor>>,
-    /// Scratch-buffer pool threaded through every MC prediction round so
-    /// repeated candidate evaluations stop re-allocating their buffers.
-    workspace: Workspace,
+    /// The serving facade that owns the built network: every candidate
+    /// evaluation routes its MC prediction rounds through
+    /// [`UncertaintyEngine::predict`], so the supernet inherits the
+    /// engine's warm workspace, persistent worker-clone cache and
+    /// serial/parallel byte-identity guarantees. The engine also holds
+    /// the MC sampling number S.
+    engine: UncertaintyEngine,
 }
 
 impl Supernet {
@@ -86,12 +88,12 @@ impl Supernet {
             return Err(e);
         }
         Ok(Supernet {
-            sampling_number: spec.settings.n_masks,
             spec: spec.clone(),
-            net,
             selection,
             calibration: std::sync::Arc::new(Vec::new()),
-            workspace: Workspace::new(),
+            engine: EngineBuilder::new(net)
+                .samples(spec.settings.n_masks)
+                .build(),
         })
     }
 
@@ -127,7 +129,7 @@ impl Supernet {
         for slot in 0..selection.len() {
             selection.set(slot, self.selection.get(slot));
         }
-        let mut net = self.net.clone();
+        let mut net = self.engine.net().clone();
         net.visit_any(&mut |layer| {
             if let Some(slot) = layer.downcast_mut::<SlotLayer>() {
                 slot.rebind_selection(selection.clone());
@@ -135,29 +137,36 @@ impl Supernet {
         });
         Ok(Supernet {
             spec: self.spec.clone(),
-            net,
             selection,
-            sampling_number: self.sampling_number,
             calibration: std::sync::Arc::clone(&self.calibration),
-            workspace: Workspace::new(),
+            engine: EngineBuilder::new(net)
+                .samples(self.engine.samples())
+                .build(),
         })
     }
 
     /// The MC sampling number S used for evaluation (defaults to the
     /// Masksembles mask count, 3 in the paper).
     pub fn sampling_number(&self) -> usize {
-        self.sampling_number
+        self.engine.samples()
     }
 
     /// Overrides the MC sampling number.
     pub fn set_sampling_number(&mut self, samples: usize) {
-        self.sampling_number = samples.max(1);
+        self.engine.set_samples(samples);
     }
 
     /// Mutable access to the underlying network (examples use this for
     /// custom loops).
     pub fn net_mut(&mut self) -> &mut Sequential {
-        &mut self.net
+        self.engine.net_mut()
+    }
+
+    /// The serving engine that owns this supernet's network — the entry
+    /// point for custom prediction requests (`nds eval`, examples) that
+    /// should share the supernet's warm workspaces and clone cache.
+    pub fn engine_mut(&mut self) -> &mut UncertaintyEngine {
+        &mut self.engine
     }
 
     /// Installs batch-norm recalibration batches.
@@ -212,23 +221,23 @@ impl Supernet {
         if self.calibration.is_empty() {
             return Ok(false);
         }
+        let net = self.engine.net_mut();
         let mut bn_layers = 0usize;
-        self.net.visit_batch_norms(&mut |_| bn_layers += 1);
+        net.visit_batch_norms(&mut |_| bn_layers += 1);
         if bn_layers == 0 {
             // Nothing to recalibrate (e.g. LeNet) — skip the forwards.
             return Ok(false);
         }
-        self.net
-            .visit_batch_norms(&mut |bn| bn.begin_stat_accumulation());
+        net.visit_batch_norms(&mut |bn| bn.begin_stat_accumulation());
         let mut first_err = None;
         let calibration = std::sync::Arc::clone(&self.calibration);
         for images in calibration.iter() {
-            if let Err(e) = self.net.forward(images, nds_nn::Mode::Train) {
+            if let Err(e) = net.forward(images, nds_nn::Mode::Train) {
                 first_err = Some(e);
                 break;
             }
         }
-        self.net.visit_batch_norms(&mut |bn| {
+        net.visit_batch_norms(&mut |bn| {
             bn.finish_stat_accumulation();
         });
         match first_err {
@@ -305,10 +314,11 @@ impl Supernet {
             for (images, labels) in train.iter_batches(config.batch_size, &mut batch_rng) {
                 let path = self.sample_uniform(rng);
                 paths.insert(path.compact());
-                let logits = self.net.forward(&images, nds_nn::Mode::Train)?;
+                let net = self.engine.net_mut();
+                let logits = net.forward(&images, nds_nn::Mode::Train)?;
                 let (loss, dlogits) = softmax_cross_entropy(&logits, &labels)?;
-                self.net.backward(&dlogits)?;
-                let mut params = self.net.params_mut();
+                net.backward(&dlogits)?;
+                let mut params = net.params_mut();
                 nds_nn::optim::clip_grad_norm(&mut params, config.clip_norm);
                 sgd.step(&mut params);
                 sgd.zero_grad(&mut params);
@@ -359,35 +369,23 @@ impl Supernet {
         // function of (weights, config) — independent of what ran
         // before, and therefore identical whether candidates are
         // evaluated serially or on forked copies across worker threads.
-        self.net.begin_mc_sample(CALIBRATION_STREAM);
+        self.engine.net_mut().begin_mc_sample(CALIBRATION_STREAM);
         self.recalibrate()?;
-        let samples = self.sampling_number;
-        let workers = nds_tensor::parallel::worker_count();
+        // The engine's chunk choice is byte-invariant; honour the
+        // caller's batch size anyway so memory behaviour matches the
+        // historical evaluation loop.
+        self.engine.set_chunk_size(batch_size.max(1));
         let (images, labels) = val.full_batch();
-        let pred = mc_predict_with_workers(
-            &mut self.net,
-            &images,
-            samples,
-            batch_size,
-            workers,
-            &mut self.workspace,
-        )?;
-        let acc = accuracy(&pred.mean_probs, &labels)
+        let pred = self.engine.predict(&PredictRequest::new(&images))?;
+        let acc = accuracy(&pred.probs, &labels)
             .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
-        let cal = ece(&pred.mean_probs, &labels, EceConfig::default())
+        let cal = ece(&pred.probs, &labels, EceConfig::default())
             .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
-        self.workspace.recycle_tensor(pred.mean_probs);
-        let ood_pred = mc_predict_with_workers(
-            &mut self.net,
-            ood,
-            samples,
-            batch_size,
-            workers,
-            &mut self.workspace,
-        )?;
-        let ape = average_predictive_entropy(&ood_pred.mean_probs)
+        self.engine.recycle(pred);
+        let ood_pred = self.engine.predict(&PredictRequest::new(ood))?;
+        let ape = average_predictive_entropy(&ood_pred.probs)
             .map_err(|e| SupernetError::BadSpec(format!("metric failure: {e}")))?;
-        self.workspace.recycle_tensor(ood_pred.mean_probs);
+        self.engine.recycle(ood_pred);
         Ok(CandidateMetrics {
             accuracy: acc,
             ece: cal,

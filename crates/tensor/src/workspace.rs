@@ -68,6 +68,10 @@ pub struct Workspace {
     /// that collect per-sample tensors each round reuse the container
     /// allocation too.
     lists: Vec<Vec<Tensor>>,
+    /// Emptied `Vec<f64>` buffers (capacity retained) for drivers that
+    /// emit per-input scalar diagnostics (entropies, mutual information)
+    /// each round without re-allocating the result vectors.
+    f64s: Vec<Vec<f64>>,
     allocations: usize,
     reuses: usize,
 }
@@ -173,6 +177,23 @@ impl Workspace {
         }
     }
 
+    /// Returns an empty `Vec<f64>` scalar buffer, reusing a pooled one
+    /// (with its capacity) when available. Pair with
+    /// [`Workspace::recycle_f64`] so steady-state diagnostic loops stop
+    /// allocating their per-input result vectors.
+    pub fn take_f64(&mut self) -> Vec<f64> {
+        self.f64s.pop().unwrap_or_default()
+    }
+
+    /// Hands a `Vec<f64>` back to the pool for [`Workspace::take_f64`];
+    /// contents are cleared, capacity is retained.
+    pub fn recycle_f64(&mut self, mut buf: Vec<f64>) {
+        buf.clear();
+        if buf.capacity() > 0 {
+            self.f64s.push(buf);
+        }
+    }
+
     /// Number of buffers currently pooled.
     pub fn pooled(&self) -> usize {
         self.pool.len()
@@ -259,6 +280,23 @@ mod tests {
         assert_eq!(grown.len(), 8);
         assert!(grown[6..].iter().all(|&v| v == 0.0), "extension zeroed");
         assert_eq!(ws.allocations(), 1, "both dirty takes reused the pool");
+    }
+
+    #[test]
+    fn f64_buffers_round_trip_with_retained_capacity() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take_f64();
+        assert!(buf.is_empty());
+        buf.extend([1.0, 2.0, 3.0]);
+        let cap = buf.capacity();
+        ws.recycle_f64(buf);
+        let again = ws.take_f64();
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(again.capacity(), cap, "capacity is retained");
+        // Zero-capacity buffers are not worth pooling.
+        ws.recycle_f64(Vec::new());
+        let fresh = ws.take_f64();
+        assert_eq!(fresh.capacity(), 0);
     }
 
     #[test]

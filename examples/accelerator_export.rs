@@ -9,10 +9,10 @@
 
 use neural_dropout_search::core::Specification;
 use neural_dropout_search::data::generate;
-use neural_dropout_search::dropout::mc::mc_predict;
+use neural_dropout_search::engine::{Backend, PredictRequest};
 use neural_dropout_search::hls::generate_project;
 use neural_dropout_search::hw::accel::{AcceleratorConfig, AcceleratorModel};
-use neural_dropout_search::hw::simulator::{quantize_network, quantized_mc_predict};
+use neural_dropout_search::hw::simulator::quantize_network;
 use neural_dropout_search::metrics::accuracy;
 use neural_dropout_search::quant::Q7_8;
 use neural_dropout_search::supernet::{DropoutConfig, Supernet};
@@ -32,13 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     supernet.train_spos(&splits.train, &spec.train, &mut rng)?;
     supernet.set_config(&config)?;
 
-    // Float vs fixed-point accuracy through the functional simulator.
+    // Float vs fixed-point accuracy through one serving engine: same
+    // network, same request shape — only the backend switches.
     let (images, labels) = splits.test.full_batch();
-    let float_pred = mc_predict(supernet.net_mut(), &images, 3, 64)?;
-    let float_acc = accuracy(&float_pred.mean_probs, &labels)?;
-    let changed = quantize_network(supernet.net_mut(), Q7_8);
-    let q_probs = quantized_mc_predict(supernet.net_mut(), &images, Q7_8, 3)?;
-    let q_acc = accuracy(&q_probs, &labels)?;
+    let engine = supernet.engine_mut();
+    engine.set_samples(3);
+    let float_pred = engine.predict(&PredictRequest::new(&images))?;
+    let float_acc = accuracy(&float_pred.probs, &labels)?;
+    let changed = quantize_network(engine.net_mut(), Q7_8);
+    engine.set_backend(Backend::quantized_q78());
+    let q_pred = engine.predict(&PredictRequest::new(&images))?;
+    let q_acc = accuracy(&q_pred.probs, &labels)?;
     println!(
         "design {config}: float accuracy {:.2}%, Q7.8 accuracy {:.2}%",
         100.0 * float_acc,
@@ -51,6 +55,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = AcceleratorModel::new(accel.clone());
     let report = model.analyze(&spec.arch, &config)?;
     println!("\n{report}");
+
+    // Hw-sim backend: the same quantised datapath, now reporting the
+    // modelled FPGA latency alongside the computed probabilities — the
+    // engine as software twin of the accelerator.
+    let platform = model.sim_platform(&spec.arch, &config)?;
+    let engine = supernet.engine_mut();
+    engine.set_backend(Backend::HwSim(platform));
+    let sim = engine.predict(&PredictRequest::new(&images))?;
+    println!(
+        "hw-sim: {} images served; modelled accelerator latency {:.3} ms (wall {:.1} ms)",
+        sim.probs.shape().dim(0),
+        sim.timing.modelled_latency_ms.unwrap_or(0.0),
+        1e3 * sim.timing.elapsed_s
+    );
 
     // Emit the HLS project (with quantised weights) to disk.
     let out_dir = Path::new("target/hls_export");

@@ -16,8 +16,8 @@
 //! ```
 
 use neural_dropout_search::data::{mnist_like, DatasetConfig};
-use neural_dropout_search::dropout::mc::mc_predict;
 use neural_dropout_search::dropout::DropoutKind;
+use neural_dropout_search::engine::PredictRequest;
 use neural_dropout_search::metrics::{
     accuracy, apply_temperature, ece, fit_temperature, EceConfig,
 };
@@ -102,12 +102,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw_ece = ece(&raw_probs, &test_labels, EceConfig::default())?;
     let cooled_ece = ece(&cooled_probs, &test_labels, EceConfig::default())?;
 
-    // --- Searched ECE-optimal config, measured on the same test set. ---
+    // --- Searched ECE-optimal config, measured on the same test set
+    //     through the serving engine (slot switches propagate to the
+    //     engine's network; no rebuild needed). ---
     let (winner, _) = best_ece.expect("space is non-empty");
     supernet.set_config(&winner)?;
-    let pred = mc_predict(supernet.net_mut(), &test_images, 3, 64)?;
-    let searched_ece = ece(&pred.mean_probs, &test_labels, EceConfig::default())?;
-    let searched_acc = accuracy(&pred.mean_probs, &test_labels)?;
+    let engine = supernet.engine_mut();
+    engine.set_samples(3);
+    let pred = engine.predict(&PredictRequest::new(&test_images))?;
+    let searched_ece = ece(&pred.probs, &test_labels, EceConfig::default())?;
+    let searched_acc = accuracy(&pred.probs, &test_labels)?;
 
     println!("\n-- test-set ECE comparison --");
     println!(

@@ -3,6 +3,11 @@
 //! the paper's Figure 4, run here on the LeNet space (32 configurations)
 //! so it finishes in about a minute on one core.
 //!
+//! Every candidate evaluation here routes through the supernet's
+//! `UncertaintyEngine` (one per worker fork), so the sweep inherits the
+//! engine's warm workspaces, persistent MC clone cache and
+//! serial-vs-parallel byte identity.
+//!
 //! ```sh
 //! cargo run --release --example pareto_exploration
 //! ```

@@ -2,7 +2,9 @@
 //!
 //! Runs Specification → SPOS supernet training → evolutionary search →
 //! accelerator generation, then prints the winning dropout configuration,
-//! its metrics, and the csynth-style hardware report.
+//! its metrics, and the csynth-style hardware report. Every MC-dropout
+//! evaluation inside the search serves through the supernet's
+//! `UncertaintyEngine` (see `uncertainty_demo` for driving it directly).
 //!
 //! ```sh
 //! cargo run --release --example quickstart

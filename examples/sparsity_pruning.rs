@@ -9,8 +9,8 @@
 //! ```
 
 use neural_dropout_search::data::{mnist_like, DatasetConfig};
-use neural_dropout_search::dropout::mc::mc_predict;
 use neural_dropout_search::dropout::DropoutSettings;
+use neural_dropout_search::engine::{EngineBuilder, PredictRequest};
 use neural_dropout_search::hw::accel::{AcceleratorConfig, AcceleratorModel, SparsitySupport};
 use neural_dropout_search::metrics::accuracy;
 use neural_dropout_search::nn::optim::LrSchedule;
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Train the dense all-Bernoulli LeNet.
     println!("training dense LeNet ({} images)...", splits.train.len());
-    let mut result = train_standalone(
+    let result = train_standalone(
         &zoo::lenet(),
         &config,
         &DropoutSettings::default(),
@@ -56,50 +56,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         7,
     )?;
     let (test_images, test_labels) = splits.test.full_batch();
-    let dense = mc_predict(&mut result.net, &test_images, 3, 64)?;
-    let dense_acc = accuracy(&dense.mean_probs, &test_labels)?;
+    // One engine serves every checkpoint of this walkthrough; its clone
+    // cache re-fingerprints automatically when pruning/fine-tuning
+    // detach the weights.
+    let mut engine = EngineBuilder::new(result.net).samples(3).build();
+    let request = PredictRequest::new(&test_images);
+    let dense = engine.predict(&request)?;
+    let dense_acc = accuracy(&dense.probs, &test_labels)?;
+    engine.recycle(dense);
     println!("dense test accuracy: {:.2}%\n", 100.0 * dense_acc);
 
     // 2. Prune 60% of the weights by magnitude.
-    let stats = prune_magnitude(&mut result.net, 0.6);
+    let stats = prune_magnitude(engine.net_mut(), 0.6);
     println!(
         "pruned {} of {} weights ({:.1}% sparsity)",
         stats.pruned,
         stats.total,
         100.0 * stats.sparsity()
     );
-    let pruned = mc_predict(&mut result.net, &test_images, 3, 64)?;
-    let pruned_acc = accuracy(&pruned.mean_probs, &test_labels)?;
+    let pruned = engine.predict(&request)?;
+    let pruned_acc = accuracy(&pruned.probs, &test_labels)?;
+    engine.recycle(pruned);
     println!(
         "pruned test accuracy (no fine-tuning): {:.2}%",
         100.0 * pruned_acc
     );
 
     // 3. Fine-tune for one epoch with the zero pattern pinned.
-    let mask = PruneMask::capture(&result.net);
+    let mask = PruneMask::capture(engine.net());
     {
         use neural_dropout_search::nn::loss::softmax_cross_entropy;
         use neural_dropout_search::nn::optim::Sgd;
         use neural_dropout_search::nn::Layer as _;
         let sgd = Sgd::with_momentum(0.01, 0.9, 5e-4);
+        let net = engine.net_mut();
         for (images, labels) in splits.train.iter_batches(32, &mut rng) {
-            let logits = result
-                .net
-                .forward(&images, neural_dropout_search::nn::Mode::Train)?;
+            let logits = net.forward(&images, neural_dropout_search::nn::Mode::Train)?;
             let (_, dlogits) = softmax_cross_entropy(&logits, &labels)?;
-            result.net.backward(&dlogits)?;
-            let mut params = result.net.params_mut();
+            net.backward(&dlogits)?;
+            let mut params = net.params_mut();
             sgd.step(&mut params);
             sgd.zero_grad(&mut params);
-            mask.reapply(&mut result.net);
+            mask.reapply(net);
         }
     }
-    let tuned = mc_predict(&mut result.net, &test_images, 3, 64)?;
-    let tuned_acc = accuracy(&tuned.mean_probs, &test_labels)?;
+    let tuned = engine.predict(&request)?;
+    let tuned_acc = accuracy(&tuned.probs, &test_labels)?;
+    engine.recycle(tuned);
     println!(
         "pruned test accuracy (1 fine-tuning epoch): {:.2}% (sparsity held at {:.1}%)\n",
         100.0 * tuned_acc,
-        100.0 * measured_sparsity(&result.net)
+        100.0 * measured_sparsity(engine.net())
     );
 
     // 4. What the sparsity buys in hardware.

@@ -8,6 +8,10 @@
 //! contiguous spans of embedding dimensions, and Masksembles drops whole
 //! tokens with its precomputed mask set.
 //!
+//! The four-phase pipeline (and therefore this example) serves every MC
+//! evaluation through the supernet's `UncertaintyEngine` — the same
+//! request/response path the CNN experiments and `nds eval` use.
+//!
 //! ```sh
 //! cargo run --release --example transformer_search
 //! ```

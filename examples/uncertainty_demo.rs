@@ -12,13 +12,14 @@
 //! ```
 
 use neural_dropout_search::data::{mnist_like, DatasetConfig};
-use neural_dropout_search::dropout::mc::mc_predict;
 use neural_dropout_search::dropout::DropoutKind;
+use neural_dropout_search::engine::{PredictRequest, UncertaintyFlags};
 use neural_dropout_search::metrics::{accuracy, average_predictive_entropy, ece, EceConfig};
-use neural_dropout_search::nn::train::TrainConfig;
+use neural_dropout_search::nn::train::{predict_probs_ws, TrainConfig};
 use neural_dropout_search::nn::zoo;
 use neural_dropout_search::supernet::{DropoutConfig, Supernet, SupernetSpec};
 use neural_dropout_search::tensor::rng::Rng64;
+use neural_dropout_search::tensor::Workspace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let splits = mnist_like(&DatasetConfig::experiment(99));
@@ -52,31 +53,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ood = splits.train.ood_noise(512, &mut rng);
 
     // Deterministic single-pass baseline: dropout disabled.
-    let det_probs = neural_dropout_search::nn::train::predict_probs(
+    let mut ws = Workspace::new();
+    let det_probs = predict_probs_ws(
         supernet.net_mut(),
         &test_images,
         neural_dropout_search::nn::Mode::Standard,
         64,
+        &mut ws,
     )?;
-    let det_ood = neural_dropout_search::nn::train::predict_probs(
+    let det_ood = predict_probs_ws(
         supernet.net_mut(),
         &ood,
         neural_dropout_search::nn::Mode::Standard,
         64,
+        &mut ws,
     )?;
 
-    // MC-dropout BayesNN: S = 3 stochastic passes, averaged.
-    let mc_test = mc_predict(supernet.net_mut(), &test_images, 3, 64)?;
-    let mc_ood = mc_predict(supernet.net_mut(), &ood, 3, 64)?;
+    // MC-dropout BayesNN: S = 3 stochastic passes through the serving
+    // engine, with the epistemic diagnostics requested as typed outputs.
+    let engine = supernet.engine_mut();
+    engine.set_samples(3);
+    let outputs = UncertaintyFlags::ENTROPY | UncertaintyFlags::MUTUAL_INFORMATION;
+    let mc_test = engine.predict(&PredictRequest::new(&test_images).with_outputs(outputs))?;
+    let mc_ood = engine.predict(&PredictRequest::new(&ood).with_outputs(outputs))?;
 
     let det_acc = accuracy(&det_probs, &test_labels)?;
-    let mc_acc = accuracy(&mc_test.mean_probs, &test_labels)?;
+    let mc_acc = accuracy(&mc_test.probs, &test_labels)?;
     let det_ece = ece(&det_probs, &test_labels, EceConfig::default())?;
-    let mc_ece = ece(&mc_test.mean_probs, &test_labels, EceConfig::default())?;
+    let mc_ece = ece(&mc_test.probs, &test_labels, EceConfig::default())?;
     let det_id_entropy = average_predictive_entropy(&det_probs)?;
     let det_ood_entropy = average_predictive_entropy(&det_ood)?;
-    let mc_id_entropy = average_predictive_entropy(&mc_test.mean_probs)?;
-    let mc_ood_entropy = average_predictive_entropy(&mc_ood.mean_probs)?;
+    let mc_id_entropy = average_predictive_entropy(&mc_test.probs)?;
+    let mc_ood_entropy = average_predictive_entropy(&mc_ood.probs)?;
 
     println!("\n                      deterministic   MC-dropout (S=3)");
     println!(
@@ -105,10 +113,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Epistemic/aleatoric decomposition: mutual information between the
     // prediction and the (dropout-sampled) weights is the *epistemic*
-    // share of the predictive entropy; the remainder is aleatoric.
+    // share of the predictive entropy; the remainder is aleatoric. The
+    // engine computed it alongside the prediction (one request, typed
+    // outputs) instead of a second pass over stored sample tensors.
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
-    let mi_id = mean(&mc_test.mutual_information());
-    let mi_ood = mean(&mc_ood.mutual_information());
+    let mi_id = mean(mc_test.mutual_information.as_deref().unwrap_or(&[]));
+    let mi_ood = mean(mc_ood.mutual_information.as_deref().unwrap_or(&[]));
     println!("\nMC-dropout uncertainty decomposition (nats):");
     println!("                      in-dist      OOD");
     println!("epistemic (MI)        {:>7.4}  {:>7.4}", mi_id, mi_ood);

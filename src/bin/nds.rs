@@ -189,13 +189,12 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 /// environments.
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     use neural_dropout_search::data::{cifar_like, mnist_like, svhn_like, DatasetConfig};
-    use neural_dropout_search::dropout::mc::mc_predict_with_workers;
+    use neural_dropout_search::engine::PredictRequest;
     use neural_dropout_search::metrics::{
         accuracy, average_predictive_entropy, ece, nll, EceConfig,
     };
     use neural_dropout_search::supernet::Supernet;
     use neural_dropout_search::tensor::rng::Rng64;
-    use neural_dropout_search::tensor::Workspace;
 
     let config = config_for(flags)?;
     let seed: u64 = parse_flag(flags, "seed", 42)?;
@@ -231,17 +230,22 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut rng = Rng64::new(seed ^ 0x00D);
     let ood = splits.val.ood_noise(val.max(1), &mut rng);
     let (images, labels) = splits.val.full_batch();
-    let workers = neural_dropout_search::tensor::parallel::worker_count();
-    let mut ws = Workspace::new();
-    let net = supernet.net_mut();
-    let pred = mc_predict_with_workers(net, &images, samples, 16, workers, &mut ws)
+    // One serving entry point for the whole evaluation: the supernet's
+    // engine (float backend) holds the warm workspace and clone cache;
+    // its bytes are identical for any worker count, chunk size or pool
+    // size — the property the golden suite pins.
+    let engine = supernet.engine_mut();
+    engine.set_chunk_size(16);
+    let pred = engine
+        .predict(&PredictRequest::new(&images))
         .map_err(|e| e.to_string())?;
-    let ood_pred = mc_predict_with_workers(net, &ood, samples, 16, workers, &mut ws)
+    let ood_pred = engine
+        .predict(&PredictRequest::new(&ood))
         .map_err(|e| e.to_string())?;
-    let acc = accuracy(&pred.mean_probs, &labels).map_err(|e| e.to_string())?;
-    let cal = ece(&pred.mean_probs, &labels, EceConfig::default()).map_err(|e| e.to_string())?;
-    let neg_ll = nll(&pred.mean_probs, &labels).map_err(|e| e.to_string())?;
-    let ape = average_predictive_entropy(&ood_pred.mean_probs).map_err(|e| e.to_string())?;
+    let acc = accuracy(&pred.probs, &labels).map_err(|e| e.to_string())?;
+    let cal = ece(&pred.probs, &labels, EceConfig::default()).map_err(|e| e.to_string())?;
+    let neg_ll = nll(&pred.probs, &labels).map_err(|e| e.to_string())?;
+    let ape = average_predictive_entropy(&ood_pred.probs).map_err(|e| e.to_string())?;
     println!(
         "eval arch={} config={config} seed={seed} samples={samples} val={val}",
         spec.arch.name
@@ -253,13 +257,13 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     // Digest of the full predictive distribution: any single changed bit
     // anywhere in the pipeline shows up here.
     let digest: f64 = pred
-        .mean_probs
+        .probs
         .iter()
         .enumerate()
         .map(|(i, &p)| (i as f64 + 1.0) * p as f64)
         .sum();
     println!("digest   {digest:.12e}");
-    let row0: Vec<String> = pred.mean_probs.as_slice()[..pred.mean_probs.shape().dim(1).min(10)]
+    let row0: Vec<String> = pred.probs.as_slice()[..pred.probs.shape().dim(1).min(10)]
         .iter()
         .map(|p| format!("{p:.9e}"))
         .collect();

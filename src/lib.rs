@@ -15,6 +15,7 @@
 //! | [`data`] | `nds-data` | synthetic MNIST/SVHN/CIFAR-like datasets + OOD |
 //! | [`nn`] | `nds-nn` | layers, backprop, SGD, LeNet/VGG11/ResNet18 zoo |
 //! | [`dropout`] | `nds-dropout` | the four dropout designs + MC inference |
+//! | [`engine`] | `nds-engine` | the unified `UncertaintyEngine` serving facade |
 //! | [`gp`] | `nds-gp` | Gaussian-process regression (Matérn kernels) |
 //! | [`hw`] | `nds-hw` | FPGA accelerator model, power, CPU/GPU platforms |
 //! | [`hls`] | `nds-hls` | hls4ml-style project generation |
@@ -43,6 +44,7 @@
 pub use nds_core as core;
 pub use nds_data as data;
 pub use nds_dropout as dropout;
+pub use nds_engine as engine;
 pub use nds_gp as gp;
 pub use nds_hls as hls;
 pub use nds_hw as hw;

@@ -9,14 +9,27 @@
 //!
 //! Everything runs inside **one** `#[test]` so no concurrent test thread
 //! can pollute the counters, and `NDS_THREADS` is pinned to `1` before
-//! the worker pool resolves so the measured path is the in-place serial
-//! one (the parallel path amortises per-worker clones instead — covered
-//! by the determinism suites).
+//! the worker pool resolves so every measured chunk runs inline on this
+//! thread. That covers the in-place serial path *and* — since the
+//! engine's per-worker clone cache — the **parallel** code path: with an
+//! explicit `workers = 4` split, the harness takes its cached-clone
+//! parallel branch (chunk boundaries, per-worker nets and workspaces all
+//! exercised), and after warm-up it too must stay off the allocator.
+//! Thread-pool dispatch itself is the one part serial execution cannot
+//! measure; the `NDS_THREADS=4` CI leg runs the same suite for
+//! correctness (byte identity), while the allocation counters stay
+//! meaningful in this pinned-serial leg.
+
+// The deprecated mc_predict wrapper is measured on purpose: its serial
+// zero-allocation guarantee (PR 3) must survive the delegation to the
+// engine harness.
+#![allow(deprecated)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use neural_dropout_search::dropout::mc::mc_predict_with_workers;
+use neural_dropout_search::engine::{EngineBuilder, PredictRequest};
 use neural_dropout_search::nn::train::predict_probs_ws;
 use neural_dropout_search::nn::{zoo, Layer, Mode};
 use neural_dropout_search::supernet::{Supernet, SupernetSpec};
@@ -136,6 +149,34 @@ fn steady_state_inference_and_forking_stay_off_the_allocator() {
     assert_eq!(
         allocs, 0,
         "steady-state mc_predict must not allocate ({allocs} allocations, {bytes} bytes)"
+    );
+
+    // ------------------------------------------------------------------
+    // Engine, parallel path: with an explicit 4-way worker split the
+    // harness runs its parallel branch on the persistent clone cache —
+    // after warm-up (cache built, per-worker workspaces warm), steady-
+    // state rounds must perform zero heap allocations too. This is the
+    // ROADMAP item PR 3 left open ("the parallel MC path still clones
+    // the net per worker task").
+    // ------------------------------------------------------------------
+    let mut engine = EngineBuilder::new(supernet.net_mut().clone())
+        .samples(3)
+        .workers(4)
+        .chunk_size(4)
+        .build();
+    let request = PredictRequest::new(&images);
+    for _ in 0..2 {
+        let warm = engine.predict(&request).unwrap();
+        engine.recycle(warm);
+    }
+    let (allocs, bytes, resp) = count_allocs(|| engine.predict(&request).unwrap());
+    assert_eq!(resp.probs.shape(), &Shape::d2(8, 10));
+    assert_eq!(resp.timing.workers, 4);
+    engine.recycle(resp);
+    assert_eq!(
+        allocs, 0,
+        "steady-state parallel engine predict must not allocate \
+         ({allocs} allocations, {bytes} bytes)"
     );
 
     // ------------------------------------------------------------------

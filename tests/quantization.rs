@@ -2,6 +2,10 @@
 //! network — the fixed-point datapath must not wreck accuracy (the paper
 //! deploys all designs at 16-bit fixed point).
 
+// Deliberately exercises the deprecated wrappers; they are byte-identical
+// to the engine backends (equivalence-tested in tests/engine.rs).
+#![allow(deprecated)]
+
 use neural_dropout_search::data::{mnist_like, DatasetConfig};
 use neural_dropout_search::dropout::mc::mc_predict;
 use neural_dropout_search::hw::simulator::{quantize_network, quantized_mc_predict};

@@ -8,6 +8,11 @@
 //! — and verify the flip side, that training a fork detaches its weights
 //! instead of corrupting the original's.
 
+// Deliberately exercises the deprecated mc_predict wrapper: its sharing
+// behaviour (throwaway per-call clone cache) is part of what these
+// regressions pin. The engine path has its own suite in tests/engine.rs.
+#![allow(deprecated)]
+
 use neural_dropout_search::dropout::mc::mc_predict;
 use neural_dropout_search::nn::optim::Sgd;
 use neural_dropout_search::nn::{zoo, Layer, Mode};
