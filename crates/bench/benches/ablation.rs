@@ -12,18 +12,17 @@
 //!
 //! Run with: `cargo bench --bench ablation`
 
-// The ablations deliberately measure through the deprecated mc_predict /
-// quantized_mc_predict wrappers: they are byte-identical to the engine
-// path (equivalence-tested at the workspace root), and keeping them here
-// exercises the compatibility shims until removal.
-#![allow(deprecated)]
+// Every MC evaluation here routes through the serving engine (the
+// supernet's own `UncertaintyEngine`, or a standalone `EngineBuilder`
+// engine) — byte-identical to the retired free-function wrappers, with
+// persistent clone caches across the sweeps.
 
 use nds_bench::{dataset_splits, spearman, write_csv, BenchScale};
 use nds_data::DatasetKind;
 use nds_dropout::masksembles::MaskSet;
-use nds_dropout::mc::mc_predict;
+use nds_engine::{Backend, EngineBuilder, PredictRequest};
 use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
-use nds_hw::simulator::{quantize_network, quantized_mc_predict};
+use nds_hw::simulator::quantize_network;
 use nds_metrics::accuracy;
 use nds_nn::optim::LrSchedule;
 use nds_nn::train::TrainConfig;
@@ -169,8 +168,12 @@ fn precision_sweep() {
         .expect("in space");
 
     let (images, labels) = splits.test.full_batch();
-    let float_pred = mc_predict(supernet.net_mut(), &images, 3, 64).expect("runs");
-    let float_acc = accuracy(&float_pred.mean_probs, &labels).expect("valid");
+    let float_engine = supernet.engine_mut();
+    float_engine.set_chunk_size(64);
+    let float_pred = float_engine
+        .predict(&PredictRequest::new(&images))
+        .expect("runs");
+    let float_acc = accuracy(&float_pred.probs, &labels).expect("valid");
     println!("{:<8} {:>10} {:>12}", "format", "accuracy", "drop vs f32");
     println!("{:<8} {:>9.2}% {:>12}", "float32", 100.0 * float_acc, "-");
     let mut csv = vec![format!("float32,{float_acc},0")];
@@ -183,7 +186,12 @@ fn precision_sweep() {
             .set_config(&"BBB".parse().expect("valid"))
             .expect("in space");
         let _ = quantize_network(clone_net.net_mut(), format);
-        let probs = quantized_mc_predict(clone_net.net_mut(), &images, format, 3).expect("runs");
+        let engine = clone_net.engine_mut();
+        engine.set_backend(Backend::Quantized { format });
+        let probs = engine
+            .predict(&PredictRequest::new(&images))
+            .expect("runs")
+            .probs;
         let acc = accuracy(&probs, &labels).expect("valid");
         println!(
             "{:<8} {:>9.2}% {:>11.2}pp",
@@ -297,7 +305,6 @@ fn mc_mapping() {
 /// S = 3; this sweep shows the algorithmic return (aPE stabilises) against
 /// the hardware cost (latency grows as fill + S x bottleneck).
 fn sampling_number_sweep() {
-    use nds_dropout::mc::mc_predict;
     use nds_metrics::average_predictive_entropy;
     println!("\n=== Ablation 6: MC sampling number S (LeNet, all-Bernoulli) ===\n");
     let scale = BenchScale {
@@ -340,10 +347,13 @@ fn sampling_number_sweep() {
         "S", "accuracy", "aPE (nats)", "latency (ms)"
     );
     for samples in [1usize, 2, 3, 5, 8] {
-        let pred = mc_predict(supernet.net_mut(), &images, samples, 64).expect("runs");
-        let acc = accuracy(&pred.mean_probs, &labels).expect("valid");
-        let ood_pred = mc_predict(supernet.net_mut(), &ood, samples, 64).expect("runs");
-        let ape = average_predictive_entropy(&ood_pred.mean_probs).expect("valid");
+        supernet.set_sampling_number(samples);
+        let engine = supernet.engine_mut();
+        engine.set_chunk_size(64);
+        let pred = engine.predict(&PredictRequest::new(&images)).expect("runs");
+        let acc = accuracy(&pred.probs, &labels).expect("valid");
+        let ood_pred = engine.predict(&PredictRequest::new(&ood)).expect("runs");
+        let ape = average_predictive_entropy(&ood_pred.probs).expect("valid");
         let mut accel = AcceleratorConfig::lenet_paper();
         accel.samples = samples;
         let model = AcceleratorModel::new(accel);
@@ -373,7 +383,9 @@ fn sampling_number_sweep() {
 fn ea_vs_random_search() {
     use nds_bench::{resnet_space, ReplayEvaluator};
     use nds_search::pareto::{figure4_objectives, hypervolume};
-    use nds_search::{evolve, random_search, EvolutionConfig, RandomSearchConfig, SearchAim};
+    use nds_search::{
+        EvolutionConfig, EvolutionResult, RandomSearchConfig, SearchAim, SearchBuilder, Strategy,
+    };
 
     println!("\n=== Ablation 7: evolutionary search vs random search (ResNet space, replay) ===\n");
     let space = resnet_space(2024);
@@ -411,28 +423,30 @@ fn ea_vs_random_search() {
     for seed in [1u64, 2, 3, 4, 5] {
         // EA first; its fresh-evaluation count sets the random budget.
         let mut ea_eval = ReplayEvaluator::new(&space.archive);
-        let ea = evolve(
-            &space.spec,
-            &mut ea_eval,
-            &aim,
-            &EvolutionConfig {
+        let ea: EvolutionResult = SearchBuilder::with_evaluator(&mut ea_eval, space.spec.clone())
+            .strategy(Strategy::Evolution(EvolutionConfig {
                 population: 12,
                 generations: 5,
                 parents: 4,
                 seed,
                 ..Default::default()
-            },
-        )
-        .expect("EA runs");
+            }))
+            .aim(aim.clone())
+            .build()
+            .expect("EA session builds")
+            .run()
+            .expect("EA runs")
+            .into();
         let budget = nds_search::Evaluator::fresh_evaluations(&ea_eval);
         let mut rs_eval = ReplayEvaluator::new(&space.archive);
-        let rs = random_search(
-            &space.spec,
-            &mut rs_eval,
-            &aim,
-            &RandomSearchConfig { budget, seed },
-        )
-        .expect("random search runs");
+        let rs: EvolutionResult = SearchBuilder::with_evaluator(&mut rs_eval, space.spec.clone())
+            .strategy(Strategy::Random(RandomSearchConfig { budget, seed }))
+            .aim(aim.clone())
+            .build()
+            .expect("random session builds")
+            .run()
+            .expect("random search runs")
+            .into();
         for (name, result) in [("EA", &ea), ("random", &rs)] {
             let best = aim.score(&result.best);
             let hv = hypervolume(&result.archive, &objectives, &reference);
@@ -605,7 +619,7 @@ fn sparsity_codesign() {
     let mut rng = Rng64::new(91);
     let ood = splits.train.ood_noise(scale.ood, &mut rng);
     let config: nds_supernet::DropoutConfig = "BBB".parse().expect("valid");
-    let mut result = train_standalone(
+    let result = train_standalone(
         &zoo::lenet(),
         &config,
         &DropoutSettings::default(),
@@ -637,6 +651,13 @@ fn sparsity_codesign() {
         .map(|p| p.value.clone())
         .collect();
     let (test_images, test_labels) = splits.test.full_batch();
+    // One serving engine owns the net for the whole sweep: weight
+    // restores/prunes/fine-tunes below are detected by its clone-cache
+    // fingerprint, so every MC measurement sees the current weights.
+    let mut engine = EngineBuilder::new(result.net)
+        .samples(3)
+        .chunk_size(64)
+        .build();
 
     let mut csv = Vec::new();
     println!(
@@ -651,35 +672,37 @@ fn sparsity_codesign() {
         };
         for target in [0.0, 0.25, 0.5, 0.75, 0.9] {
             // Restore the dense weights, prune, measure, fine-tune, measure.
-            for (dst, src) in result.net.params_mut().into_iter().zip(&snapshot) {
+            for (dst, src) in engine.net_mut().params_mut().into_iter().zip(&snapshot) {
                 dst.value = src.clone();
             }
             if structured {
-                prune_channels(&mut result.net, target);
+                prune_channels(engine.net_mut(), target);
             } else {
-                prune_magnitude(&mut result.net, target);
+                prune_magnitude(engine.net_mut(), target);
             }
-            let sparsity = measured_sparsity(&result.net);
-            let raw = mc_predict(&mut result.net, &test_images, 3, 64).expect("runs");
-            let raw_acc = accuracy(&raw.mean_probs, &test_labels).expect("valid");
+            let sparsity = measured_sparsity(engine.net());
+            let raw = engine
+                .predict(&PredictRequest::new(&test_images))
+                .expect("runs");
+            let raw_acc = accuracy(&raw.probs, &test_labels).expect("valid");
             // One fine-tuning epoch with the mask re-applied per step.
-            let mask = PruneMask::capture(&result.net);
+            let mask = PruneMask::capture(engine.net());
             let sgd = Sgd::with_momentum(0.01, 0.9, 5e-4);
             let mut tune_rng = rng.fork(0x7E * (1 + (target * 100.0) as u64));
             for (images, labels) in splits.train.iter_batches(32, &mut tune_rng) {
-                let logits = result
-                    .net
-                    .forward(&images, nds_nn::Mode::Train)
-                    .expect("runs");
+                let net = engine.net_mut();
+                let logits = net.forward(&images, nds_nn::Mode::Train).expect("runs");
                 let (_, dlogits) = softmax_cross_entropy(&logits, &labels).expect("runs");
-                result.net.backward(&dlogits).expect("runs");
-                let mut params = result.net.params_mut();
+                net.backward(&dlogits).expect("runs");
+                let mut params = net.params_mut();
                 sgd.step(&mut params);
                 sgd.zero_grad(&mut params);
-                mask.reapply(&mut result.net);
+                mask.reapply(net);
             }
-            let tuned = mc_predict(&mut result.net, &test_images, 3, 64).expect("runs");
-            let tuned_acc = accuracy(&tuned.mean_probs, &test_labels).expect("valid");
+            let tuned = engine
+                .predict(&PredictRequest::new(&test_images))
+                .expect("runs");
+            let tuned_acc = accuracy(&tuned.probs, &test_labels).expect("valid");
             // Hardware side: the sparse accelerator at this operating point.
             let mut accel = AcceleratorConfig::lenet_paper();
             accel.sparsity = if structured {
@@ -724,7 +747,7 @@ fn transformer_space() {
     use nds_data::mnist_like;
     use nds_data::DatasetConfig;
     use nds_hw::accel::{AcceleratorConfig as AC, AcceleratorModel as AM};
-    use nds_search::{evaluate_all, LatencyProvider, SupernetEvaluator};
+    use nds_search::{LatencyProvider, SearchBuilder, Strategy};
     use nds_supernet::Supernet;
 
     println!("\n=== Ablation 10: dropout search over a tiny vision transformer ===\n");
@@ -763,8 +786,18 @@ fn transformer_space() {
         model,
         arch: arch.clone(),
     };
-    let mut evaluator = SupernetEvaluator::new(&mut supernet, &splits.val, ood, latency, 64);
-    let archive = evaluate_all(&spec, &mut evaluator).expect("evaluation runs");
+    let archive = SearchBuilder::new(&mut supernet)
+        .strategy(Strategy::Exhaustive)
+        .validation(&splits.val)
+        .ood(ood)
+        .latency(latency)
+        .batch_size(64)
+        .build()
+        .expect("session builds")
+        .run()
+        .expect("evaluation runs")
+        .archive
+        .into_candidates();
 
     let mut csv = Vec::new();
     println!(

@@ -1,18 +1,18 @@
 //! Criterion micro-benchmarks for the performance-critical kernels:
-//! convolution, matmul, the four mask generators, MC inference (legacy
-//! wrappers *and* the serving engine), the GP surrogate, the accelerator
-//! analyzer and the fixed-point datapath.
+//! convolution, matmul, the four mask generators, MC inference through
+//! the serving engine, the GP surrogate, the accelerator analyzer and
+//! the fixed-point datapath.
 //!
 //! Run with: `cargo bench --bench micro`
-
-// The deprecated mc_predict wrappers are benchmarked on purpose: they
-// are the baseline the engine's cached path is compared against.
-#![allow(deprecated)]
+//!
+//! The `mc_predict_*` bench IDs keep their historical names (the PR 1-3
+//! trajectory) but measure through the `UncertaintyEngine`, which runs
+//! the same MC harness byte for byte — the deprecated free-function
+//! wrappers are no longer exercised here.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nds_dropout::masks::{bernoulli_mask, block_mask, random_mask};
 use nds_dropout::masksembles::MaskSet;
-use nds_dropout::mc::{mc_predict, mc_predict_with_workers};
 use nds_engine::{EngineBuilder, PredictRequest};
 use nds_gp::{GpRegressor, Kernel};
 use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
@@ -95,28 +95,43 @@ fn bench_inference(c: &mut Criterion) {
         .expect("in space");
     let mut rng = Rng64::new(7);
     let images = Tensor::rand_normal(Shape::d4(8, 1, 28, 28), 0.0, 1.0, &mut rng);
+    // Small-batch MC prediction through the engine (pool-wide workers,
+    // chunk 8 — the settings the historical mc_predict wrapper used).
+    let mut small_engine = EngineBuilder::new(supernet.net().clone())
+        .samples(3)
+        .chunk_size(8)
+        .build();
     c.bench_function("mc_predict_lenet_s3_b8", |bench| {
-        bench.iter(|| black_box(mc_predict(supernet.net_mut(), &images, 3, 8).unwrap()))
-    });
-
-    // End-to-end MC throughput at a heavier batch, with a reused
-    // workspace — the shape of the supernet-evaluation inner loop.
-    let big = Tensor::rand_normal(Shape::d4(32, 1, 28, 28), 0.0, 1.0, &mut rng);
-    let mut ws = nds_tensor::Workspace::new();
-    let workers = nds_tensor::parallel::worker_count();
-    c.bench_function("mc_predict_lenet_s3_b32_pooled", |bench| {
         bench.iter(|| {
-            let pred =
-                mc_predict_with_workers(supernet.net_mut(), &big, 3, 32, workers, &mut ws).unwrap();
-            ws.recycle_tensor(pred.mean_probs);
-            black_box(pred.sample_probs.len())
+            let resp = small_engine.predict(&PredictRequest::new(&images)).unwrap();
+            let n = resp.probs.shape().dim(0);
+            small_engine.recycle(resp);
+            black_box(n)
         })
     });
 
-    // The serving engine on the same workload: persistent clone cache +
-    // warm workspace, so steady-state rounds are allocation-free even on
-    // the parallel path.
-    let mut engine = EngineBuilder::new(supernet.net_mut().clone())
+    // End-to-end MC throughput at a heavier batch — the shape of the
+    // supernet-evaluation inner loop. The engine's persistent clone
+    // cache and warm workspace make steady-state rounds allocation-free
+    // even on the parallel path.
+    let big = Tensor::rand_normal(Shape::d4(32, 1, 28, 28), 0.0, 1.0, &mut rng);
+    let workers = nds_tensor::parallel::worker_count();
+    let mut pooled_engine = EngineBuilder::new(supernet.net().clone())
+        .samples(3)
+        .workers(workers)
+        .chunk_size(32)
+        .build();
+    c.bench_function("mc_predict_lenet_s3_b32_pooled", |bench| {
+        bench.iter(|| {
+            let resp = pooled_engine.predict(&PredictRequest::new(&big)).unwrap();
+            let n = resp.probs.shape().dim(0);
+            pooled_engine.recycle(resp);
+            black_box(n)
+        })
+    });
+
+    // Engine-default scheduling on the same workload (the serving shape).
+    let mut engine = EngineBuilder::new(supernet.net().clone())
         .samples(3)
         .build();
     c.bench_function("engine_predict_lenet_s3_b32", |bench| {

@@ -14,7 +14,7 @@ use nds_bench::{pct, resnet_space, write_csv};
 use nds_dropout::DropoutKind;
 use nds_hw::accel::{AcceleratorConfig, AcceleratorModel};
 use nds_nn::zoo;
-use nds_search::{evolve, Candidate, EvolutionConfig, SearchAim};
+use nds_search::{Candidate, EvolutionConfig, SearchAim, SearchBuilder, Strategy};
 use nds_supernet::DropoutConfig;
 
 fn main() {
@@ -114,16 +114,16 @@ fn main() {
             archive: &space.archive,
             fresh: 0,
         };
-        let result = evolve(
-            &space.spec,
-            &mut evaluator,
-            aim,
-            &EvolutionConfig {
+        let result = SearchBuilder::with_evaluator(&mut evaluator, space.spec.clone())
+            .strategy(Strategy::Evolution(EvolutionConfig {
                 seed: 7,
                 ..EvolutionConfig::default()
-            },
-        )
-        .expect("EA runs");
+            }))
+            .aim(aim.clone())
+            .build()
+            .expect("session builds")
+            .run()
+            .expect("EA runs");
         let exhaustive_best = space
             .archive
             .iter()

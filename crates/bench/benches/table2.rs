@@ -16,7 +16,9 @@ use nds_nn::arch::Architecture;
 use nds_nn::optim::LrSchedule;
 use nds_nn::train::TrainConfig;
 use nds_nn::zoo;
-use nds_search::{evolve, EvolutionConfig, LatencyProvider, SearchAim, SupernetEvaluator};
+use nds_search::{
+    EvolutionConfig, LatencyProvider, SearchAim, SearchBuilder, Strategy, SupernetEvaluator,
+};
 use nds_supernet::{Supernet, SupernetSpec};
 use nds_tensor::rng::Rng64;
 use std::time::Instant;
@@ -103,24 +105,27 @@ fn main() {
             model,
             arch: case.hw_arch.clone(),
         };
+        // One evaluator shared by all four per-aim sessions: candidate
+        // metrics are aim-independent, so its memo cache carries
+        // evaluations from one aim's search to the next.
         let mut evaluator = SupernetEvaluator::new(&mut supernet, &val, ood, latency, 64);
 
         let t0 = Instant::now();
         let mut configs = Vec::new();
         for aim in SearchAim::table1_presets() {
-            let result = evolve(
-                &spec,
-                &mut evaluator,
-                &aim,
-                &EvolutionConfig {
+            let result = SearchBuilder::with_evaluator(&mut evaluator, spec.clone())
+                .strategy(Strategy::Evolution(EvolutionConfig {
                     population: 12,
                     generations: 5,
                     parents: 5,
                     seed: seed ^ 0xA1,
                     ..EvolutionConfig::default()
-                },
-            )
-            .expect("search runs");
+                }))
+                .aim(aim.clone())
+                .build()
+                .expect("session builds")
+                .run()
+                .expect("search runs");
             configs.push((aim.name.clone(), result.best.config.clone()));
         }
         let search_s = t0.elapsed().as_secs_f64();

@@ -14,13 +14,16 @@
 //! `BENCH_inference.json`. It exists so the bench binary is exercised
 //! (and fails on panic) in every CI leg, keeping this code from
 //! bit-rotting between perf-focused PRs.
+//!
+//! The `mc_predict_*` rows keep their historical names (the PR 1-3
+//! trajectory series) but measure through the `UncertaintyEngine` since
+//! the deprecated free-function wrappers were retired from the benches:
+//! the engine runs the identical MC harness (byte-identical output) with
+//! its persistent clone cache. The `search_smoke` row times the
+//! `SearchSession` end to end (tiny supernet, 2 generations).
 
-// The legacy mc_predict rows are kept on purpose: they are the PR 1-3
-// baseline series the engine rows are compared against.
-#![allow(deprecated)]
-
-use nds_dropout::mc::mc_predict_with_workers;
-use nds_engine::{Backend, EngineBuilder, PredictRequest};
+use nds_engine::{Backend, EngineBuilder, PredictRequest, UncertaintyEngine};
+use nds_search::{EvolutionConfig, SearchBuilder, Strategy};
 use nds_supernet::{Supernet, SupernetSpec};
 use nds_tensor::conv::{conv2d_direct, conv2d_ws, ConvGeometry};
 use nds_tensor::parallel::worker_count;
@@ -85,31 +88,25 @@ fn main() {
         .expect("in space");
     let (mc_batch, mc_samples) = if smoke { (4, 2) } else { (32, 3) };
     let images = Tensor::rand_normal(Shape::d4(mc_batch, 1, 28, 28), 0.0, 1.0, &mut rng);
-    let mut ws = Workspace::new();
-    let mc_serial = time_median(if smoke { 2 } else { 5 }, || {
-        mc_predict_with_workers(
-            supernet.net_mut(),
-            &images,
-            mc_samples,
-            mc_batch,
-            1,
-            &mut ws,
-        )
-        .map(|pred| pred.recycle_into(&mut ws))
-        .unwrap()
-    });
-    let mc_parallel = time_median(if smoke { 2 } else { 5 }, || {
-        mc_predict_with_workers(
-            supernet.net_mut(),
-            &images,
-            mc_samples,
-            mc_batch,
-            workers,
-            &mut ws,
-        )
-        .map(|pred| pred.recycle_into(&mut ws))
-        .unwrap()
-    });
+    // Engine-served MC prediction at an explicit serial vs pool-wide
+    // worker split (byte-identical outputs; only scheduling differs).
+    let mc_engine = |net: &Supernet, w: usize, chunk: usize| -> UncertaintyEngine {
+        EngineBuilder::new(net.net().clone())
+            .samples(mc_samples)
+            .workers(w)
+            .chunk_size(chunk)
+            .build()
+    };
+    let time_engine = |engine: &mut UncertaintyEngine, images: &Tensor, reps: usize| {
+        time_median(reps, || {
+            let resp = engine.predict(&PredictRequest::new(images)).unwrap();
+            engine.recycle(resp);
+        })
+    };
+    let mut serial_engine = mc_engine(&supernet, 1, mc_batch);
+    let mut parallel_engine = mc_engine(&supernet, workers, mc_batch);
+    let mc_serial = time_engine(&mut serial_engine, &images, if smoke { 2 } else { 5 });
+    let mc_parallel = time_engine(&mut parallel_engine, &images, if smoke { 2 } else { 5 });
 
     // ResNet-scale MC prediction: width-8 ResNet18 supernet over
     // CIFAR-shaped inputs — the configuration the zero-copy weight
@@ -124,31 +121,14 @@ fn main() {
         .set_config(&"BBBB".parse().expect("valid"))
         .expect("in space");
     let cifar = Tensor::rand_normal(Shape::d4(resnet_batch, 3, 32, 32), 0.0, 1.0, &mut rng);
-    let mut resnet_ws = Workspace::new();
-    let resnet_serial = time_median(if smoke { 2 } else { 3 }, || {
-        mc_predict_with_workers(
-            resnet.net_mut(),
-            &cifar,
-            mc_samples,
-            resnet_batch,
-            1,
-            &mut resnet_ws,
-        )
-        .map(|pred| pred.recycle_into(&mut resnet_ws))
-        .unwrap()
-    });
-    let resnet_parallel = time_median(if smoke { 2 } else { 3 }, || {
-        mc_predict_with_workers(
-            resnet.net_mut(),
-            &cifar,
-            mc_samples,
-            resnet_batch,
-            workers,
-            &mut resnet_ws,
-        )
-        .map(|pred| pred.recycle_into(&mut resnet_ws))
-        .unwrap()
-    });
+    let mut resnet_serial_engine = mc_engine(&resnet, 1, resnet_batch);
+    let mut resnet_parallel_engine = mc_engine(&resnet, workers, resnet_batch);
+    let resnet_serial = time_engine(&mut resnet_serial_engine, &cifar, if smoke { 2 } else { 3 });
+    let resnet_parallel = time_engine(
+        &mut resnet_parallel_engine,
+        &cifar,
+        if smoke { 2 } else { 3 },
+    );
 
     // ------------------------------------------------------------------
     // Engine throughput: the unified serving facade end to end, per
@@ -176,6 +156,40 @@ fn main() {
     };
     let (float_small_ips, float_large_ips) = engine_ips(Backend::Float32);
     let (quant_small_ips, quant_large_ips) = engine_ips(Backend::quantized_q78());
+
+    // ------------------------------------------------------------------
+    // Search-session throughput: the Phase-3 `SearchSession` end to end
+    // on a tiny LeNet supernet (untrained weights — the per-candidate
+    // evaluation cost is identical), 2 evolutionary generations. Reported
+    // as fresh candidate evaluations per second.
+    // ------------------------------------------------------------------
+    let (search_pop, search_val) = if smoke { (4, 16) } else { (8, 64) };
+    let search_generations = 2usize;
+    let splits = nds_data::mnist_like(&nds_data::DatasetConfig {
+        train: 32,
+        val: search_val,
+        test: 8,
+        seed: 0x5EA2C4,
+        noise: 0.05,
+    });
+    let search_spec = SupernetSpec::paper_default(nds_nn::zoo::lenet(), 8).expect("valid spec");
+    let mut search_supernet = Supernet::build(&search_spec).expect("builds");
+    let search_t0 = Instant::now();
+    let mut session = SearchBuilder::new(&mut search_supernet)
+        .strategy(Strategy::Evolution(EvolutionConfig {
+            population: search_pop,
+            generations: search_generations,
+            parents: search_pop.div_ceil(2),
+            ..EvolutionConfig::default()
+        }))
+        .validation(&splits.val)
+        .build()
+        .expect("session builds");
+    let search_outcome = session.run().expect("search runs");
+    let search_elapsed = search_t0.elapsed().as_secs_f64();
+    drop(session);
+    let search_evals = search_outcome.budget_spent;
+    let search_cps = search_evals as f64 / search_elapsed;
 
     let json = format!(
         "{{\n  \
@@ -205,7 +219,13 @@ fn main() {
          \"float32_b32_images_per_sec\": {:.1},\n    \
          \"float32_b256_images_per_sec\": {:.1},\n    \
          \"quantized_q78_b32_images_per_sec\": {:.1},\n    \
-         \"quantized_q78_b256_images_per_sec\": {:.1}\n  }}\n}}\n",
+         \"quantized_q78_b256_images_per_sec\": {:.1}\n  }},\n  \
+         \"search_smoke\": {{\n    \
+         \"generations\": {search_generations},\n    \
+         \"population\": {search_pop},\n    \
+         \"fresh_evaluations\": {search_evals},\n    \
+         \"elapsed_ms\": {:.3},\n    \
+         \"candidates_per_sec\": {:.2}\n  }}\n}}\n",
         naive * 1e3,
         blocked * 1e3,
         transb * 1e3,
@@ -226,6 +246,8 @@ fn main() {
         float_large_ips,
         quant_small_ips,
         quant_large_ips,
+        search_elapsed * 1e3,
+        search_cps,
     );
     if smoke {
         // Smoke runs exist to catch panics/bit-rot, not to record

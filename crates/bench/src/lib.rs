@@ -12,7 +12,7 @@ use nds_nn::arch::Architecture;
 use nds_nn::optim::LrSchedule;
 use nds_nn::train::TrainConfig;
 use nds_nn::zoo;
-use nds_search::{evaluate_all, Candidate, LatencyProvider, SupernetEvaluator};
+use nds_search::{Candidate, LatencyProvider, SearchBuilder, Strategy};
 use nds_supernet::{CandidateMetrics, DropoutConfig, Supernet, SupernetSpec};
 use nds_tensor::rng::Rng64;
 use std::fs;
@@ -225,13 +225,22 @@ pub fn evaluated_space(
         model,
         arch: hw_arch,
     };
-    let mut evaluator = SupernetEvaluator::new(&mut supernet, &val, ood, latency, 64);
     println!(
         "[eval] exhaustively evaluating {} configurations…",
         spec.space_size()
     );
     let t0 = std::time::Instant::now();
-    let archive = evaluate_all(&spec, &mut evaluator).expect("evaluation succeeds");
+    let mut session = SearchBuilder::new(&mut supernet)
+        .strategy(Strategy::Exhaustive)
+        .validation(&val)
+        .ood(ood)
+        .latency(latency)
+        .batch_size(64)
+        .build()
+        .expect("session builds");
+    let outcome = session.run().expect("evaluation succeeds");
+    drop(session);
+    let archive = outcome.archive.into_candidates();
     let eval_seconds = t0.elapsed().as_secs_f64();
     println!("[eval] done in {eval_seconds:.1}s");
 

@@ -43,8 +43,8 @@ use nds_nn::optim::LrSchedule;
 use nds_nn::train::TrainConfig;
 use nds_nn::zoo;
 use nds_search::{
-    evolve, fit_latency_gp, Candidate, EvolutionConfig, EvolutionResult, LatencyProvider,
-    SearchAim, SearchError, SupernetEvaluator,
+    Candidate, EvolutionConfig, EvolutionResult, LatencyProvider, SearchAim, SearchBuilder,
+    SearchError, SearchEvent, Strategy,
 };
 use nds_supernet::{SposStats, Supernet, SupernetError, SupernetSpec};
 use nds_tensor::rng::Rng64;
@@ -314,6 +314,21 @@ pub struct FrameworkOutcome {
 ///
 /// Propagates the first phase failure; see [`FrameworkError`].
 pub fn run(specification: &Specification) -> Result<FrameworkOutcome> {
+    run_with_observer(specification, |_| {})
+}
+
+/// [`run`] with a search observer: the callback receives every
+/// [`SearchEvent`] the Phase-3 [`nds_search::SearchSession`] emits
+/// (per-generation stats, archive growth, hypervolume, budget), so CLIs
+/// can stream progress during long searches.
+///
+/// # Errors
+///
+/// Propagates the first phase failure; see [`FrameworkError`].
+pub fn run_with_observer(
+    specification: &Specification,
+    mut observer: impl FnMut(&SearchEvent),
+) -> Result<FrameworkOutcome> {
     let mut timings = PhaseTimings::default();
 
     // Phase 1: Specification.
@@ -329,7 +344,8 @@ pub fn run(specification: &Specification) -> Result<FrameworkOutcome> {
     let training = supernet.train_spos(&splits.train, &specification.train, &mut rng)?;
     timings.training_s = t0.elapsed().as_secs_f64();
 
-    // Phase 3: Search.
+    // Phase 3: Search, through the unified `SearchSession` API — all
+    // candidate scoring routes through the supernet's UncertaintyEngine.
     let t0 = Instant::now();
     let hw_arch = specification.hardware_arch().clone();
     let model = AcceleratorModel::new(specification.accel.clone());
@@ -342,7 +358,7 @@ pub fn run(specification: &Specification) -> Result<FrameworkOutcome> {
             None,
         ),
         LatencySource::Gp { train_points } => {
-            let (gp, rmse) = fit_latency_gp(
+            let (provider, rmse) = LatencyProvider::fit_gp(
                 &model,
                 &hw_arch,
                 &spec,
@@ -350,13 +366,7 @@ pub fn run(specification: &Specification) -> Result<FrameworkOutcome> {
                 (train_points / 4).max(4),
                 specification.seed ^ 0x69,
             )?;
-            (
-                LatencyProvider::Gp {
-                    gp,
-                    slots: spec.slots().to_vec(),
-                },
-                Some(rmse),
-            )
+            (provider, Some(rmse))
         }
     };
     if specification.calibration_batches > 0 {
@@ -370,19 +380,16 @@ pub fn run(specification: &Specification) -> Result<FrameworkOutcome> {
     let ood = splits
         .train
         .ood_noise(specification.ood_samples, &mut rng.fork(0x00D));
-    let mut evaluator = SupernetEvaluator::new(
-        &mut supernet,
-        &splits.val,
-        ood,
-        latency,
-        specification.batch_size,
-    );
-    let search = evolve(
-        &spec,
-        &mut evaluator,
-        &specification.aim,
-        &specification.evolution,
-    )?;
+    let mut session = SearchBuilder::new(&mut supernet)
+        .strategy(Strategy::Evolution(specification.evolution))
+        .aim(specification.aim.clone())
+        .validation(&splits.val)
+        .ood(ood)
+        .latency(latency)
+        .batch_size(specification.batch_size)
+        .build()?;
+    let search: EvolutionResult = session.run_with(&mut observer)?.into();
+    drop(session);
     timings.search_s = t0.elapsed().as_secs_f64();
 
     // Phase 4: Accelerator generation.

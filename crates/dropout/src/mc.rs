@@ -284,12 +284,19 @@ struct WorkerSlot {
 ///   recalibration commit, or transplant) and a mismatch invalidates the
 ///   cached clones.
 ///
-/// Both checks are allocation-free, so a steady-state round costs two
-/// visitor sweeps and no heap traffic. The fingerprint also records the
-/// top-level layer count, so pushing or removing layers invalidates the
-/// cache; the one edit it cannot see is a *same-count* swap of
-/// parameterless layers through `layers_mut` — call
-/// [`McCloneCache::invalidate`] after such surgery.
+/// * **Structural surgery** — the fingerprint records the network's
+///   [`nds_nn::Layer::structural_epoch`] (bumped by every
+///   `Sequential::push` and every `Sequential::layers_mut` borrow,
+///   summed across nested chains) plus the top-level layer count, so
+///   layer insertion, removal or *same-count replacement* all
+///   invalidate the cached clones without the caller doing anything.
+///
+/// All checks are allocation-free, so a steady-state round costs two
+/// visitor sweeps and no heap traffic. The one edit the fingerprint
+/// still cannot see is mutating a leaf layer's *internal* fields
+/// through `visit_any` downcasts — call [`McCloneCache::invalidate`]
+/// after that kind of surgery (supernet slot switches don't need it:
+/// selection state is shared with the clones by handle).
 ///
 /// Cached clones share the source's selection-state handles (supernet
 /// slot switches propagate) and re-derive every dropout stream from the
@@ -299,11 +306,12 @@ pub struct McCloneCache {
     slots: Vec<WorkerSlot>,
     params: Vec<SharedTensor>,
     bn_epochs: Vec<u64>,
-    /// Top-level layer count at fingerprint time — catches the common
-    /// parameterless structural edits (pushing/removing an activation)
-    /// that the weight fingerprint cannot see. Same-count swaps still
-    /// need [`McCloneCache::invalidate`].
+    /// Top-level layer count at fingerprint time.
     top_layers: usize,
+    /// [`nds_nn::Layer::structural_epoch`] at fingerprint time — catches
+    /// every `Sequential`-level structural edit (push/remove/swap, at
+    /// any nesting depth) that the weight fingerprint cannot see.
+    struct_epoch: u64,
     dirty: bool,
 }
 
@@ -319,16 +327,18 @@ impl McCloneCache {
     }
 
     /// Forces the next parallel round to rebuild its clones from the
-    /// source network. Required only after structural surgery the weight
-    /// fingerprint cannot see (layer insertion/removal/replacement that
-    /// leaves every parameter tensor and batch-norm stat untouched).
+    /// source network. Since the structural-epoch fingerprint catches
+    /// all `Sequential`-level surgery automatically, this is required
+    /// only after mutating a leaf layer's internals through `visit_any`
+    /// downcasts — an escape hatch, not part of the normal workflow.
     pub fn invalidate(&mut self) {
         self.dirty = true;
     }
 
     /// `true` when the fingerprint still matches `net` (allocation-free).
     fn matches(&self, net: &mut Sequential) -> bool {
-        if self.dirty || net.len() != self.top_layers {
+        if self.dirty || net.len() != self.top_layers || net.structural_epoch() != self.struct_epoch
+        {
             return false;
         }
         let mut ok = true;
@@ -357,6 +367,7 @@ impl McCloneCache {
         if !self.matches(net) {
             self.dirty = false;
             self.top_layers = net.len();
+            self.struct_epoch = net.structural_epoch();
             self.params.clear();
             self.bn_epochs.clear();
             let params = &mut self.params;

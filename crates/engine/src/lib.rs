@@ -633,10 +633,11 @@ impl UncertaintyEngine {
     }
 
     /// Mutable access to the served network (training loops, config
-    /// switches, quantisation). Weight and batch-norm mutations are
-    /// detected automatically by the clone cache's fingerprint; after
-    /// *structural* surgery (inserting or removing layers) call
-    /// [`UncertaintyEngine::invalidate_cache`].
+    /// switches, quantisation). Weight mutations, batch-norm updates and
+    /// structural surgery (layer pushes, removals or swaps through
+    /// `Sequential::layers_mut`, which advances the network's
+    /// `structural_epoch`) are all detected automatically by the clone
+    /// cache's fingerprint — no manual invalidation needed.
     pub fn net_mut(&mut self) -> &mut Sequential {
         &mut self.net
     }
@@ -648,6 +649,14 @@ impl UncertaintyEngine {
 
     /// Drops the cached worker clones; the next parallel round rebuilds
     /// them from the current network state.
+    ///
+    /// **Escape hatch only.** Since `Sequential` grew a structural epoch
+    /// counter, the cache fingerprint already sees every layer push,
+    /// removal or swap (plus weight and batch-norm mutations), so in the
+    /// normal workflow calling this is a no-op-equivalent: the next
+    /// round would have rebuilt anyway. It remains for the one edit the
+    /// fingerprint cannot observe — mutating a leaf layer's internal
+    /// fields through `visit_any` downcasts.
     pub fn invalidate_cache(&mut self) {
         self.cache.invalidate();
     }

@@ -39,7 +39,10 @@ pub fn quantized_forward_ws(
     ws: &mut Workspace,
 ) -> Result<Tensor> {
     let mut x = quantize_copy(images, format, ws);
-    for layer in net.layers_mut() {
+    // `each_layer_mut`, not `layers_mut`: this per-pass walk must not
+    // count as structural surgery (it would bump the structural epoch
+    // and invalidate the MC clone cache every round).
+    for layer in net.each_layer_mut() {
         let y = layer.forward_ws(&x, mode, ws)?;
         ws.recycle_tensor(x);
         x = quantize_copy(&y, format, ws);

@@ -484,6 +484,26 @@ impl AcceleratorModel {
         Ok(self.analyze(arch, config)?.latency_ms)
     }
 
+    /// Batch latency query: one modelled figure per configuration, in
+    /// input order — the adapter the search layer's GP-surrogate fitting
+    /// and exhaustive latency sweeps use so they make one call per
+    /// design-point set instead of hand-rolling the loop.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first configuration [`AcceleratorModel::analyze`]
+    /// rejects.
+    pub fn latency_ms_batch(
+        &self,
+        arch: &Architecture,
+        configs: &[DropoutConfig],
+    ) -> Result<Vec<f64>> {
+        configs
+            .iter()
+            .map(|config| self.latency_ms(arch, config))
+            .collect()
+    }
+
     /// Adapts this accelerator design point into an `nds-engine` hw-sim
     /// backend descriptor: the datapath emulated at the design's
     /// precision, with the modelled FPGA latency for `(arch, config)`

@@ -151,6 +151,12 @@ impl Layer for Residual {
         self.shortcut.visit_params(f);
     }
 
+    fn structural_epoch(&self) -> u64 {
+        self.main
+            .structural_epoch()
+            .wrapping_add(self.shortcut.structural_epoch())
+    }
+
     fn name(&self) -> String {
         format!(
             "residual(main[{}], shortcut[{}])",

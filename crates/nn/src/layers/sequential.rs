@@ -8,16 +8,25 @@ use nds_tensor::{Shape, Tensor, Workspace};
 #[derive(Debug, Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Structural-surgery counter: bumped whenever the layer *list* may
+    /// have changed (`push`, any `layers_mut` borrow). Consumed through
+    /// [`Layer::structural_epoch`] by the MC clone cache so cached
+    /// worker clones cannot survive surgery that touches no parameter.
+    epoch: u64,
 }
 
 impl Sequential {
     /// An empty chain (acts as identity).
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            epoch: 0,
+        }
     }
 
     /// Appends a layer, builder-style.
     pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.epoch = self.epoch.wrapping_add(1);
         self.layers.push(layer);
         self
     }
@@ -39,8 +48,25 @@ impl Sequential {
 
     /// Mutable access to the contained layers (used by the supernet to
     /// reach dropout slots).
+    ///
+    /// A `&mut Box<dyn Layer>` can *replace* a layer outright, so every
+    /// borrow conservatively counts as structural surgery and bumps the
+    /// [`Layer::structural_epoch`] counter. Hot loops that only need to
+    /// *call* each layer should use [`Sequential::each_layer_mut`],
+    /// which cannot swap layers and therefore leaves the epoch alone.
     pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        self.epoch = self.epoch.wrapping_add(1);
         &mut self.layers
+    }
+
+    /// Iterates the layers as `&mut dyn Layer` — enough to run forwards
+    /// or mutate a layer's internals, but structurally read-only (a
+    /// trait-object borrow cannot replace the box), so unlike
+    /// [`Sequential::layers_mut`] this does **not** advance the
+    /// structural epoch. The quantised datapath walks the chain through
+    /// this every pass.
+    pub fn each_layer_mut(&mut self) -> impl Iterator<Item = &mut (dyn Layer + 'static)> {
+        self.layers.iter_mut().map(|layer| layer.as_mut())
     }
 
     /// Total scalar parameter count across all layers.
@@ -70,6 +96,7 @@ impl FromIterator<Box<dyn Layer>> for Sequential {
     fn from_iter<I: IntoIterator<Item = Box<dyn Layer>>>(iter: I) -> Self {
         Sequential {
             layers: iter.into_iter().collect(),
+            epoch: 0,
         }
     }
 }
@@ -160,6 +187,14 @@ impl Layer for Sequential {
         for layer in &self.layers {
             layer.visit_params(f);
         }
+    }
+
+    fn structural_epoch(&self) -> u64 {
+        // Sum the subtree so surgery on a nested chain (a residual
+        // block's main path, say) propagates to the root fingerprint.
+        self.layers.iter().fold(self.epoch, |acc, layer| {
+            acc.wrapping_add(layer.structural_epoch())
+        })
     }
 
     fn name(&self) -> String {

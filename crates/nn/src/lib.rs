@@ -253,6 +253,27 @@ pub trait Layer: fmt::Debug + Send + Sync {
         }
     }
 
+    /// Monotonic counter of *structural* edits in this layer's subtree —
+    /// layer insertions, removals or replacements that may leave every
+    /// parameter tensor and batch-norm statistic untouched.
+    ///
+    /// Weight mutations are already visible to consumers through
+    /// copy-on-write pointer identity and batch-norm `stats_epoch`
+    /// counters; this counter covers the one blind spot: surgery on a
+    /// [`layers::Sequential`]'s layer list (each `push` or `layers_mut`
+    /// borrow bumps it). Container layers sum their own counter with
+    /// their children's so nested surgery propagates to the root. Leaf
+    /// layers return 0 (the default): mutating a leaf's *internal*
+    /// fields through `visit_any` is behavioural, not structural, and
+    /// remains the caller's responsibility to invalidate.
+    ///
+    /// The MC clone cache (`McCloneCache` in `nds-dropout`) records this
+    /// value in its fingerprint, so cached worker clones can never serve
+    /// a pre-surgery architecture.
+    fn structural_epoch(&self) -> u64 {
+        0
+    }
+
     /// Hook invoked once before each Monte-Carlo prediction round.
     ///
     /// Container layers must forward the call to their children. Stateful

@@ -1,0 +1,956 @@
+//! Versioned, deterministic search checkpoints.
+//!
+//! A [`SearchCheckpoint`] is the complete state of a
+//! [`crate::SearchSession`] at a step boundary: the strategy's progress
+//! (population / draw cursor / enumeration cursor), the RNG state, the
+//! memoised evaluation cache, the archive (as ordered keys into the
+//! cache), the per-generation history, the running best and the budget
+//! counter. Restoring it through [`crate::SearchBuilder::resume`] and
+//! running to completion produces **byte-for-byte** the same result as
+//! the uninterrupted run — pinned by `tests/search_session.rs` at the
+//! workspace root.
+//!
+//! # File format
+//!
+//! Checkpoints serialise to a single JSON object:
+//!
+//! ```json
+//! {
+//!   "format": "nds-search-checkpoint",
+//!   "version": 1,
+//!   "aim": {"name": "...", "eta": <bits>, ...},
+//!   "objectives": "figure4",
+//!   "rng": [<u64>, <u64>, <u64>, <u64>],
+//!   "strategy": {"kind": "evolution", ...},
+//!   "memo": [{"config": "BKM", "accuracy": <bits>, ...}, ...],
+//!   "archive": ["BKM", ...],
+//!   "history": [{"generation": 0, "best_score": <bits>, ...}, ...],
+//!   "best": {"score": <bits>, "config": "BKM"},
+//!   "budget_spent": 12,
+//!   "ood_seed": 42
+//! }
+//! ```
+//!
+//! Two deliberate deviations from "pretty" JSON keep the byte-for-byte
+//! resume guarantee honest:
+//!
+//! * **Floats are stored as IEEE-754 bit patterns** (`f64::to_bits`,
+//!   emitted as decimal `u64`). Decimal float printing would have to
+//!   prove 17-significant-digit round-tripping on every platform;
+//!   the bit pattern is exact by construction.
+//! * **All numbers are unsigned integers.** The parser accepts exactly
+//!   that subset — a checkpoint is machine state, not a config file.
+//!
+//! # Versioning policy
+//!
+//! `version` is bumped on **any** change to the schema (fields added,
+//! removed, or reinterpreted). Loading rejects both an unknown `format`
+//! marker and a version mismatch with a typed
+//! [`SearchError::Checkpoint`] — never a panic — so an old binary fails
+//! fast on a new checkpoint and vice versa. There is no migration
+//! machinery: checkpoints are short-lived artifacts of a single search
+//! campaign, not long-term storage.
+
+use crate::{Candidate, Result, SearchAim, SearchError};
+use nds_supernet::{CandidateMetrics, DropoutConfig};
+use std::fmt::Write as _;
+
+/// Current checkpoint schema version. Bump on any schema change.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// The `format` marker distinguishing search checkpoints from arbitrary
+/// JSON handed to the loader.
+pub const CHECKPOINT_FORMAT: &str = "nds-search-checkpoint";
+
+/// Serialised strategy progress — the strategy-specific half of a
+/// checkpoint. Mirrors the session's internal state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyProgress {
+    /// Evolutionary search: hyperparameters + current population +
+    /// 0-based index of the next generation to evaluate.
+    Evolution {
+        /// The evolutionary hyperparameters (seed already resolved).
+        config: crate::EvolutionConfig,
+        /// The population the next generation will evaluate.
+        population: Vec<DropoutConfig>,
+        /// Index of the next generation.
+        generation: usize,
+    },
+    /// Random search: resolved config + the pre-drawn distinct
+    /// configurations + evaluation cursor.
+    Random {
+        /// The random-search hyperparameters (seed already resolved).
+        config: crate::RandomSearchConfig,
+        /// All distinct draws, in draw order.
+        draws: Vec<DropoutConfig>,
+        /// Index of the next draw to evaluate.
+        cursor: usize,
+    },
+    /// Exhaustive enumeration: evaluation cursor into
+    /// `SupernetSpec::enumerate` order.
+    Exhaustive {
+        /// Index of the next configuration to evaluate.
+        cursor: usize,
+    },
+}
+
+/// A complete, resumable snapshot of a [`crate::SearchSession`].
+///
+/// Produced by [`crate::SearchSession::snapshot`], consumed by
+/// [`crate::SearchBuilder::resume`]; serialises to the versioned JSON
+/// format documented at the [module level](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCheckpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`] when produced by this
+    /// build).
+    pub version: u64,
+    /// The search aim (Eq. 2 weights).
+    pub aim: SearchAim,
+    /// The archive's objective set.
+    pub objectives: crate::pareto::ObjectiveSet,
+    /// Raw RNG state (Xoshiro256** words).
+    pub rng: [u64; 4],
+    /// Strategy-specific progress.
+    pub strategy: StrategyProgress,
+    /// Every candidate evaluated so far (the memo cache), sorted by
+    /// configuration for deterministic bytes.
+    pub memo: Vec<Candidate>,
+    /// Archive contents as compact config codes, in first-evaluation
+    /// order; every key must resolve in `memo`.
+    pub archive: Vec<String>,
+    /// Per-generation progress so far.
+    pub history: Vec<crate::GenerationStats>,
+    /// Running best, as `(aim score, compact config code)`; the code
+    /// must resolve in `memo`.
+    pub best: Option<(f64, String)>,
+    /// Fresh (memo-missing) evaluations performed so far.
+    pub budget_spent: usize,
+    /// Base stream of the builder's default OOD-probe derivation (used
+    /// when the resumed builder is not handed an explicit probe
+    /// tensor), so a resumed session regenerates identical probes.
+    pub ood_seed: u64,
+}
+
+impl SearchCheckpoint {
+    /// Serialises the checkpoint to its versioned JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format\": {},", json_str(CHECKPOINT_FORMAT));
+        let _ = writeln!(out, "  \"version\": {},", self.version);
+        let _ = writeln!(
+            out,
+            "  \"aim\": {{\"name\": {}, \"eta\": {}, \"mu\": {}, \"beta\": {}, \"lambda\": {}}},",
+            json_str(&self.aim.name),
+            self.aim.eta.to_bits(),
+            self.aim.mu.to_bits(),
+            self.aim.beta.to_bits(),
+            self.aim.lambda.to_bits()
+        );
+        let _ = writeln!(
+            out,
+            "  \"objectives\": {},",
+            json_str(self.objectives.code())
+        );
+        let _ = writeln!(
+            out,
+            "  \"rng\": [{}, {}, {}, {}],",
+            self.rng[0], self.rng[1], self.rng[2], self.rng[3]
+        );
+        out.push_str("  \"strategy\": ");
+        match &self.strategy {
+            StrategyProgress::Evolution {
+                config,
+                population,
+                generation,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\": \"evolution\", \"population_size\": {}, \"generations\": {}, \
+                     \"parents\": {}, \"mutation_prob\": {}, \"crossover_fraction\": {}, \
+                     \"seed\": {}, \"generation\": {}, \"population\": {}}}",
+                    config.population,
+                    config.generations,
+                    config.parents,
+                    config.mutation_prob.to_bits(),
+                    config.crossover_fraction.to_bits(),
+                    config.seed,
+                    generation,
+                    json_config_list(population)
+                );
+            }
+            StrategyProgress::Random {
+                config,
+                draws,
+                cursor,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\": \"random\", \"budget\": {}, \"seed\": {}, \"cursor\": {}, \
+                     \"draws\": {}}}",
+                    config.budget,
+                    config.seed,
+                    cursor,
+                    json_config_list(draws)
+                );
+            }
+            StrategyProgress::Exhaustive { cursor } => {
+                let _ = write!(out, "{{\"kind\": \"exhaustive\", \"cursor\": {cursor}}}");
+            }
+        }
+        out.push_str(",\n  \"memo\": [");
+        for (i, candidate) in self.memo.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"config\": {}, \"accuracy\": {}, \"ece\": {}, \"ape\": {}, \
+                 \"latency_ms\": {}}}",
+                json_str(&candidate.config.compact()),
+                candidate.metrics.accuracy.to_bits(),
+                candidate.metrics.ece.to_bits(),
+                candidate.metrics.ape.to_bits(),
+                candidate.latency_ms.to_bits()
+            );
+        }
+        out.push_str("\n  ],\n  \"archive\": [");
+        for (i, key) in self.archive.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(key));
+        }
+        out.push_str("],\n  \"history\": [");
+        for (i, stats) in self.history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"generation\": {}, \"best_score\": {}, \"mean_score\": {}, \
+                 \"best_config\": {}}}",
+                stats.generation,
+                stats.best_score.to_bits(),
+                stats.mean_score.to_bits(),
+                json_str(&stats.best_config.compact())
+            );
+        }
+        out.push_str("\n  ],\n  \"best\": ");
+        match &self.best {
+            Some((score, config)) => {
+                let _ = write!(
+                    out,
+                    "{{\"score\": {}, \"config\": {}}}",
+                    score.to_bits(),
+                    json_str(config)
+                );
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\n  \"budget_spent\": {},\n  \"ood_seed\": {}\n}}\n",
+            self.budget_spent, self.ood_seed
+        );
+        out
+    }
+
+    /// Parses a checkpoint from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] for malformed JSON, an
+    /// unknown format marker, a version mismatch, or internally
+    /// inconsistent state (archive/best keys missing from the memo) —
+    /// never panics on untrusted input.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let value = Json::parse(text)?;
+        let obj = value.as_obj("checkpoint root")?;
+        let format = obj.get_str("format")?;
+        if format != CHECKPOINT_FORMAT {
+            return Err(SearchError::Checkpoint(format!(
+                "not a search checkpoint (format marker `{format}`)"
+            )));
+        }
+        let version = obj.get_u64("version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(SearchError::Checkpoint(format!(
+                "checkpoint version {version} is not supported (this build reads \
+                 version {CHECKPOINT_VERSION}); re-run the search or use a matching build"
+            )));
+        }
+        let aim_obj = obj.get("aim")?.as_obj("aim")?;
+        let aim = SearchAim {
+            name: aim_obj.get_str("name")?.to_string(),
+            eta: f64::from_bits(aim_obj.get_u64("eta")?),
+            mu: f64::from_bits(aim_obj.get_u64("mu")?),
+            beta: f64::from_bits(aim_obj.get_u64("beta")?),
+            lambda: f64::from_bits(aim_obj.get_u64("lambda")?),
+        };
+        let objectives = crate::pareto::ObjectiveSet::from_code(obj.get_str("objectives")?)
+            .ok_or_else(|| {
+                SearchError::Checkpoint(format!(
+                    "unknown objective set `{}`",
+                    obj.get_str("objectives").unwrap_or_default()
+                ))
+            })?;
+        let rng_arr = obj.get("rng")?.as_arr("rng")?;
+        if rng_arr.len() != 4 {
+            return Err(SearchError::Checkpoint(format!(
+                "rng state must have 4 words, found {}",
+                rng_arr.len()
+            )));
+        }
+        let mut rng = [0u64; 4];
+        for (slot, value) in rng.iter_mut().zip(rng_arr) {
+            *slot = value.as_u64("rng word")?;
+        }
+        let strat_obj = obj.get("strategy")?.as_obj("strategy")?;
+        let strategy = match strat_obj.get_str("kind")? {
+            "evolution" => StrategyProgress::Evolution {
+                config: crate::EvolutionConfig {
+                    population: strat_obj.get_usize("population_size")?,
+                    generations: strat_obj.get_usize("generations")?,
+                    parents: strat_obj.get_usize("parents")?,
+                    mutation_prob: f64::from_bits(strat_obj.get_u64("mutation_prob")?),
+                    crossover_fraction: f64::from_bits(strat_obj.get_u64("crossover_fraction")?),
+                    seed: strat_obj.get_u64("seed")?,
+                },
+                population: parse_config_list(strat_obj.get("population")?, "population")?,
+                generation: strat_obj.get_usize("generation")?,
+            },
+            "random" => StrategyProgress::Random {
+                config: crate::RandomSearchConfig {
+                    budget: strat_obj.get_usize("budget")?,
+                    seed: strat_obj.get_u64("seed")?,
+                },
+                draws: parse_config_list(strat_obj.get("draws")?, "draws")?,
+                cursor: strat_obj.get_usize("cursor")?,
+            },
+            "exhaustive" => StrategyProgress::Exhaustive {
+                cursor: strat_obj.get_usize("cursor")?,
+            },
+            other => {
+                return Err(SearchError::Checkpoint(format!(
+                    "unknown strategy kind `{other}`"
+                )))
+            }
+        };
+        let mut memo = Vec::new();
+        for entry in obj.get("memo")?.as_arr("memo")? {
+            let entry = entry.as_obj("memo entry")?;
+            memo.push(Candidate {
+                config: parse_config(entry.get_str("config")?)?,
+                metrics: CandidateMetrics {
+                    accuracy: f64::from_bits(entry.get_u64("accuracy")?),
+                    ece: f64::from_bits(entry.get_u64("ece")?),
+                    ape: f64::from_bits(entry.get_u64("ape")?),
+                },
+                latency_ms: f64::from_bits(entry.get_u64("latency_ms")?),
+            });
+        }
+        let archive = obj
+            .get("archive")?
+            .as_arr("archive")?
+            .iter()
+            .map(|v| v.as_str("archive key").map(str::to_string))
+            .collect::<Result<Vec<_>>>()?;
+        let mut history = Vec::new();
+        for entry in obj.get("history")?.as_arr("history")? {
+            let entry = entry.as_obj("history entry")?;
+            history.push(crate::GenerationStats {
+                generation: entry.get_usize("generation")?,
+                best_score: f64::from_bits(entry.get_u64("best_score")?),
+                mean_score: f64::from_bits(entry.get_u64("mean_score")?),
+                best_config: parse_config(entry.get_str("best_config")?)?,
+            });
+        }
+        let best = match obj.get("best")? {
+            Json::Null => None,
+            value => {
+                let entry = value.as_obj("best")?;
+                Some((
+                    f64::from_bits(entry.get_u64("score")?),
+                    entry.get_str("config")?.to_string(),
+                ))
+            }
+        };
+        let budget_spent = obj.get_usize("budget_spent")?;
+        let ood_seed = obj.get_u64("ood_seed")?;
+        let checkpoint = SearchCheckpoint {
+            version,
+            aim,
+            objectives,
+            rng,
+            strategy,
+            memo,
+            archive,
+            history,
+            best,
+            budget_spent,
+            ood_seed,
+        };
+        checkpoint.validate()?;
+        Ok(checkpoint)
+    }
+
+    /// Writes the checkpoint's JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] on I/O failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_json()).map_err(|e| {
+            SearchError::Checkpoint(format!("cannot write checkpoint {}: {e}", path.display()))
+        })
+    }
+
+    /// Loads a checkpoint from a JSON file written by
+    /// [`SearchCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] on I/O failure or any parse /
+    /// validation failure (see [`SearchCheckpoint::from_json`]).
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            SearchError::Checkpoint(format!("cannot read checkpoint {}: {e}", path.display()))
+        })?;
+        Self::from_json(&text)
+    }
+
+    /// Internal-consistency checks shared by the loader and the session.
+    ///
+    /// Beyond archive/best key resolution, this re-asserts the strategy
+    /// invariants a fresh `SearchBuilder::build` would have enforced —
+    /// a hand-edited checkpoint with, say, an empty parent pool or an
+    /// out-of-range cursor must fail here with a typed error, never
+    /// panic later inside a step.
+    pub(crate) fn validate(&self) -> Result<()> {
+        let known: std::collections::HashSet<String> =
+            self.memo.iter().map(|c| c.config.compact()).collect();
+        for key in &self.archive {
+            if !known.contains(key) {
+                return Err(SearchError::Checkpoint(format!(
+                    "archive references `{key}` which is missing from the memo cache"
+                )));
+            }
+        }
+        if let Some((_, key)) = &self.best {
+            if !known.contains(key) {
+                return Err(SearchError::Checkpoint(format!(
+                    "best candidate `{key}` is missing from the memo cache"
+                )));
+            }
+        }
+        match &self.strategy {
+            StrategyProgress::Evolution {
+                config,
+                population,
+                generation,
+            } => {
+                if config.population == 0 || config.generations == 0 {
+                    return Err(SearchError::Checkpoint(
+                        "evolution checkpoint has a zero population or generation count"
+                            .to_string(),
+                    ));
+                }
+                if config.parents == 0 || config.parents > config.population {
+                    return Err(SearchError::Checkpoint(format!(
+                        "evolution checkpoint parent pool {} is outside 1..={}",
+                        config.parents, config.population
+                    )));
+                }
+                if *generation > config.generations {
+                    return Err(SearchError::Checkpoint(format!(
+                        "evolution checkpoint generation {generation} exceeds the budget {}",
+                        config.generations
+                    )));
+                }
+                if population.is_empty() && *generation < config.generations {
+                    return Err(SearchError::Checkpoint(
+                        "evolution checkpoint has generations left but an empty population"
+                            .to_string(),
+                    ));
+                }
+            }
+            StrategyProgress::Random {
+                config,
+                draws,
+                cursor,
+            } => {
+                if config.budget == 0 {
+                    return Err(SearchError::Checkpoint(
+                        "random-search checkpoint has a zero budget".to_string(),
+                    ));
+                }
+                if *cursor > draws.len() {
+                    return Err(SearchError::Checkpoint(format!(
+                        "random-search checkpoint cursor {cursor} is past its {} draws",
+                        draws.len()
+                    )));
+                }
+            }
+            // Exhaustive: any cursor is safe — at or past the space size
+            // the session simply reports Finished.
+            StrategyProgress::Exhaustive { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+fn parse_config(code: &str) -> Result<DropoutConfig> {
+    code.parse()
+        .map_err(|e| SearchError::Checkpoint(format!("bad dropout config `{code}`: {e}")))
+}
+
+fn parse_config_list(value: &Json, what: &str) -> Result<Vec<DropoutConfig>> {
+    value
+        .as_arr(what)?
+        .iter()
+        .map(|v| parse_config(v.as_str(what)?))
+        .collect()
+}
+
+fn json_config_list(configs: &[DropoutConfig]) -> String {
+    let mut out = String::from("[");
+    for (i, config) in configs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(&config.compact()));
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string into a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (the subset the writer above emits: objects,
+// arrays, strings, unsigned integers, null). Self-contained because the
+// build environment has no network access for a real JSON dependency;
+// every malformed input is a typed `SearchError::Checkpoint`.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (checkpoint subset).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Str(String),
+    U64(u64),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Borrowed view of an object with typed field accessors.
+struct ObjView<'a>(&'a [(String, Json)]);
+
+impl Json {
+    fn parse(text: &str) -> Result<Json> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing data after the top-level value"));
+        }
+        Ok(value)
+    }
+
+    fn as_obj(&self, what: &str) -> Result<ObjView<'_>> {
+        match self {
+            Json::Obj(fields) => Ok(ObjView(fields)),
+            other => Err(type_err(what, "an object", other)),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(type_err(what, "an array", other)),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(type_err(what, "a string", other)),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64> {
+        match self {
+            Json::U64(n) => Ok(*n),
+            other => Err(type_err(what, "an unsigned integer", other)),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Str(_) => "a string",
+            Json::U64(_) => "a number",
+            Json::Arr(_) => "an array",
+            Json::Obj(_) => "an object",
+        }
+    }
+}
+
+fn type_err(what: &str, expected: &str, got: &Json) -> SearchError {
+    SearchError::Checkpoint(format!("{what}: expected {expected}, found {}", got.kind()))
+}
+
+impl ObjView<'_> {
+    fn get(&self, key: &str) -> Result<&Json> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| SearchError::Checkpoint(format!("missing field `{key}`")))
+    }
+
+    fn get_str(&self, key: &str) -> Result<&str> {
+        self.get(key)?.as_str(key)
+    }
+
+    fn get_u64(&self, key: &str) -> Result<u64> {
+        self.get(key)?.as_u64(key)
+    }
+
+    fn get_usize(&self, key: &str) -> Result<usize> {
+        usize::try_from(self.get_u64(key)?)
+            .map_err(|_| SearchError::Checkpoint(format!("field `{key}` overflows usize")))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> SearchError {
+        SearchError::Checkpoint(format!("malformed checkpoint at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(self.err("bad literal"))
+                }
+            }
+            Some(b'0'..=b'9') => self.number(),
+            Some(b'-') => Err(self.err(
+                "negative numbers are not part of the checkpoint format \
+                 (floats are stored as u64 bit patterns)",
+            )),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let mut n: u64 = 0;
+        let start = self.pos;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u64::from(b - b'0')))
+                .ok_or_else(|| self.err("integer overflows u64"))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digits"));
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(self.err(
+                "decimal floats are not part of the checkpoint format \
+                 (floats are stored as u64 bit patterns)",
+            ));
+        }
+        Ok(Json::U64(n))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 3; // +1 below covers the 4th digit
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // the bytes are valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::ObjectiveSet;
+    use crate::{EvolutionConfig, GenerationStats};
+
+    fn sample_checkpoint() -> SearchCheckpoint {
+        let candidate = |code: &str, acc: f64| Candidate {
+            config: code.parse().unwrap(),
+            metrics: CandidateMetrics {
+                accuracy: acc,
+                ece: 0.125,
+                ape: 0.5,
+            },
+            latency_ms: 1.5,
+        };
+        SearchCheckpoint {
+            version: CHECKPOINT_VERSION,
+            aim: SearchAim::weighted("blend \"x\"", 1.0, 0.5, 0.25, 0.1),
+            objectives: ObjectiveSet::Figure4,
+            rng: [1, u64::MAX, 3, 4],
+            strategy: StrategyProgress::Evolution {
+                config: EvolutionConfig::default(),
+                population: vec!["BBB".parse().unwrap(), "RKM".parse().unwrap()],
+                generation: 2,
+            },
+            memo: vec![candidate("BBB", 0.75), candidate("RKM", 0.5)],
+            archive: vec!["BBB".to_string(), "RKM".to_string()],
+            history: vec![GenerationStats {
+                generation: 0,
+                best_score: 0.75,
+                mean_score: 0.625,
+                best_config: "BBB".parse().unwrap(),
+            }],
+            best: Some((0.75, "BBB".to_string())),
+            budget_spent: 2,
+            ood_seed: 0xA5,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let checkpoint = sample_checkpoint();
+        let json = checkpoint.to_json();
+        let back = SearchCheckpoint::from_json(&json).unwrap();
+        assert_eq!(checkpoint, back);
+        // Exactness includes f64 bit patterns.
+        assert_eq!(
+            checkpoint.memo[0].metrics.accuracy.to_bits(),
+            back.memo[0].metrics.accuracy.to_bits()
+        );
+    }
+
+    #[test]
+    fn round_trips_random_and_exhaustive_progress() {
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.strategy = StrategyProgress::Random {
+            config: crate::RandomSearchConfig::default(),
+            draws: vec!["MMM".parse().unwrap()],
+            cursor: 1,
+        };
+        let back = SearchCheckpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(checkpoint, back);
+        checkpoint.strategy = StrategyProgress::Exhaustive { cursor: 7 };
+        checkpoint.best = None;
+        let back = SearchCheckpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(checkpoint, back);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let json = sample_checkpoint()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        match SearchCheckpoint::from_json(&json) {
+            Err(SearchError::Checkpoint(msg)) => {
+                assert!(msg.contains("version 99"), "{msg}");
+            }
+            other => panic!("expected a checkpoint error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_json_is_rejected_without_panicking() {
+        for bad in [
+            "",
+            "{",
+            "not json at all",
+            "{\"format\": \"something-else\", \"version\": 1}",
+            "{\"version\": 1}",
+            "[1, 2, 3]",
+            "{\"format\": \"nds-search-checkpoint\", \"version\": 1, \"aim\": 3}",
+            "{\"format\": \"nds-search-checkpoint\"}",
+            "{\"x\": -1}",
+            "{\"x\": 1.5}",
+            "{\"x\": 99999999999999999999999999}",
+            "{\"x\": \"unterminated",
+        ] {
+            match SearchCheckpoint::from_json(bad) {
+                Err(SearchError::Checkpoint(_)) => {}
+                other => panic!("input {bad:?}: expected checkpoint error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_archive_keys_are_rejected() {
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.archive.push("MMM".to_string());
+        let json = checkpoint.to_json();
+        match SearchCheckpoint::from_json(&json) {
+            Err(SearchError::Checkpoint(msg)) => assert!(msg.contains("MMM"), "{msg}"),
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let checkpoint = sample_checkpoint();
+        let path = std::env::temp_dir().join("nds_search_checkpoint_test.json");
+        checkpoint.save(&path).unwrap();
+        let back = SearchCheckpoint::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(checkpoint, back);
+        assert!(
+            SearchCheckpoint::load(std::path::Path::new("/nonexistent/nds_checkpoint.json"))
+                .is_err()
+        );
+    }
+}

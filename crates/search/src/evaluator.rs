@@ -92,6 +92,34 @@ impl LatencyProvider {
             LatencyProvider::Constant(ms) => Ok(*ms),
         }
     }
+
+    /// Builds the GP-surrogate provider in one call — the paper's
+    /// Phase-4 cost model as a first-class latency strategy for
+    /// [`crate::SearchBuilder::latency`]: fits the surrogate on
+    /// `n_train` random design points (see [`fit_latency_gp`]) and
+    /// returns the provider together with its held-out RMSE in
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator and GP fitting errors.
+    pub fn fit_gp(
+        model: &AcceleratorModel,
+        arch: &Architecture,
+        spec: &SupernetSpec,
+        n_train: usize,
+        n_test: usize,
+        seed: u64,
+    ) -> Result<(LatencyProvider, f64)> {
+        let (gp, rmse) = fit_latency_gp(model, arch, spec, n_train, n_test, seed)?;
+        Ok((
+            LatencyProvider::Gp {
+                gp,
+                slots: spec.slots().to_vec(),
+            },
+            rmse,
+        ))
+    }
 }
 
 /// Encodes a dropout configuration as GP features: per slot, a one-hot of
@@ -135,19 +163,22 @@ pub fn fit_latency_gp(
     let slots = spec.slots().to_vec();
     let mut rng = Rng64::new(seed);
     let sample = |rng: &mut Rng64, n: usize| -> Result<(Vec<Vec<f64>>, Vec<f64>)> {
-        let mut xs = Vec::with_capacity(n);
-        let mut ys = Vec::with_capacity(n);
+        let mut configs = Vec::with_capacity(n);
         let mut seen = std::collections::HashSet::new();
         let mut guard = 0;
-        while xs.len() < n && guard < n * 50 {
+        while configs.len() < n && guard < n * 50 {
             guard += 1;
             let config = spec.sample_config(rng);
             if !seen.insert(config.compact()) && seen.len() < spec.space_size() {
                 continue;
             }
-            xs.push(encode_config(&config, &slots));
-            ys.push(model.latency_ms(arch, &config)?);
+            configs.push(config);
         }
+        let xs = configs
+            .iter()
+            .map(|config| encode_config(config, &slots))
+            .collect();
+        let ys = model.latency_ms_batch(arch, &configs)?;
         Ok((xs, ys))
     };
     let (train_x, train_y) = sample(&mut rng, n_train)?;
@@ -340,14 +371,25 @@ type CandidateMetricsResult =
 /// Figure-4 reference ("We iterate through and evaluate all configurations
 /// on the validation sets").
 ///
+/// Deprecated: a thin wrapper over [`crate::SearchBuilder`] with
+/// [`crate::Strategy::Exhaustive`]. The session variant additionally
+/// fans cache-missing evaluations out across worker forks (results are
+/// byte-identical to this historical serial sweep) and maintains the
+/// Pareto archive as it goes.
+///
 /// # Errors
 ///
 /// Propagates evaluation errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a SearchSession via SearchBuilder::with_evaluator(...).strategy(Strategy::Exhaustive) instead"
+)]
 pub fn evaluate_all(spec: &SupernetSpec, evaluator: &mut dyn Evaluator) -> Result<Vec<Candidate>> {
-    spec.enumerate()
-        .iter()
-        .map(|config| evaluator.evaluate(config))
-        .collect()
+    let mut session = crate::SearchBuilder::with_evaluator(evaluator, spec.clone())
+        .strategy(crate::Strategy::Exhaustive)
+        .build()?;
+    let outcome = session.run()?;
+    Ok(outcome.archive.into_candidates())
 }
 
 #[cfg(test)]

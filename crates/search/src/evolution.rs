@@ -1,6 +1,11 @@
 //! The evolutionary algorithm of Figure 3.
+//!
+//! The loop itself now lives in [`crate::SearchSession`] (strategy
+//! [`crate::Strategy::Evolution`]); this module keeps the configuration
+//! and result types, the crossover/mutation operators the session calls
+//! into, and the deprecated [`evolve`] wrapper.
 
-use crate::{Candidate, Evaluator, Result, SearchAim, SearchError};
+use crate::{Candidate, Evaluator, Result, SearchAim, Strategy};
 use nds_supernet::{DropoutConfig, SupernetSpec};
 use nds_tensor::rng::Rng64;
 use std::collections::HashSet;
@@ -63,118 +68,94 @@ pub struct EvolutionResult {
 /// evaluation on the validation set → top-k selection → crossover &
 /// mutation → repeat.
 ///
+/// Deprecated: a thin wrapper over [`crate::SearchBuilder`] with
+/// [`Strategy::Evolution`] — the session API adds a first-class Pareto
+/// archive, streaming [`crate::SearchEvent`]s and checkpoint/resume,
+/// and this wrapper's bytes never change (pinned by
+/// `tests/search_session.rs`).
+///
 /// # Errors
 ///
-/// Returns [`SearchError::BadConfig`] for degenerate hyperparameters and
-/// propagates evaluation errors.
+/// Returns [`crate::SearchError::BadConfig`] for degenerate
+/// hyperparameters and propagates evaluation errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a SearchSession via SearchBuilder::with_evaluator(...).strategy(Strategy::Evolution(config)) instead"
+)]
 pub fn evolve(
     spec: &SupernetSpec,
     evaluator: &mut dyn Evaluator,
     aim: &SearchAim,
     config: &EvolutionConfig,
 ) -> Result<EvolutionResult> {
-    if config.population == 0 || config.generations == 0 {
-        return Err(SearchError::BadConfig(
-            "population and generations must be positive".to_string(),
-        ));
-    }
-    if config.parents == 0 || config.parents > config.population {
-        return Err(SearchError::BadConfig(format!(
-            "parent pool {} must be in 1..={}",
-            config.parents, config.population
-        )));
-    }
-    let mut rng = Rng64::new(config.seed);
-    let space = spec.space_size();
-    let population_target = config.population.min(space);
+    let mut session = crate::SearchBuilder::with_evaluator(evaluator, spec.clone())
+        .strategy(Strategy::Evolution(*config))
+        .aim(aim.clone())
+        .build()?;
+    session.run().map(EvolutionResult::from)
+}
 
-    // --- Population initialisation (distinct configs). ---
-    let mut population: Vec<DropoutConfig> = Vec::with_capacity(population_target);
+/// Draws up to `target` *distinct* configurations uniformly from the
+/// space (bounded retries so a tiny space cannot loop forever). The RNG
+/// consumption pattern is shared by the session's evolutionary
+/// population initialisation and the random-search draw list — and is
+/// identical to what the historical free functions consumed, which is
+/// what keeps the deprecated wrappers byte-stable.
+pub(crate) fn sample_distinct(
+    spec: &SupernetSpec,
+    rng: &mut Rng64,
+    target: usize,
+) -> Vec<DropoutConfig> {
+    let mut out: Vec<DropoutConfig> = Vec::with_capacity(target);
     let mut seen = HashSet::new();
     let mut guard = 0;
-    while population.len() < population_target && guard < population_target * 200 {
+    while out.len() < target && guard < target * 200 {
         guard += 1;
-        let candidate = spec.sample_config(&mut rng);
+        let candidate = spec.sample_config(rng);
         if seen.insert(candidate.compact()) {
-            population.push(candidate);
+            out.push(candidate);
         }
     }
+    out
+}
 
-    let mut archive: Vec<Candidate> = Vec::new();
-    let mut archived: HashSet<String> = HashSet::new();
-    let mut history = Vec::with_capacity(config.generations);
-    let mut best: Option<(f64, Candidate)> = None;
-
-    for generation in 0..config.generations {
-        // --- Evaluation (parallel across the population when the
-        // evaluator supports it; results are identical to serial). ---
-        let candidates = evaluator.evaluate_many(&population)?;
-        let mut scored: Vec<(f64, Candidate)> = Vec::with_capacity(population.len());
-        for candidate in candidates {
-            let score = aim.score(&candidate);
-            if archived.insert(candidate.config.compact()) {
-                archive.push(candidate.clone());
-            }
-            if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
-                best = Some((score, candidate.clone()));
-            }
-            scored.push((score, candidate));
+/// Breeds the next generation from the parent pool: elitism, then
+/// crossover/mutation children until `population_target` distinct
+/// configs (bounded attempts), then uniform-random padding. Extracted
+/// verbatim from the historical `evolve` loop so the session's RNG
+/// stream matches it exactly.
+pub(crate) fn breed_next_population(
+    spec: &SupernetSpec,
+    parents: &[DropoutConfig],
+    config: &EvolutionConfig,
+    population_target: usize,
+    rng: &mut Rng64,
+) -> Vec<DropoutConfig> {
+    let mut next: Vec<DropoutConfig> = Vec::with_capacity(population_target);
+    let mut next_seen = HashSet::new();
+    // Elitism: carry the best forward unchanged.
+    next_seen.insert(parents[0].compact());
+    next.push(parents[0].clone());
+    let mut attempts = 0;
+    while next.len() < population_target && attempts < population_target * 300 {
+        attempts += 1;
+        let child = if rng.uniform() < config.crossover_fraction && parents.len() >= 2 {
+            crossover(parents, rng)
+        } else {
+            mutate(spec, parents, config.mutation_prob, rng)
+        };
+        if next_seen.insert(child.compact()) {
+            next.push(child);
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mean_score = scored.iter().map(|(s, _)| s).sum::<f64>() / scored.len().max(1) as f64;
-        let (top_score, top) = &scored[0];
-        history.push(GenerationStats {
-            generation,
-            best_score: *top_score,
-            mean_score,
-            best_config: top.config.clone(),
-        });
-
-        if generation + 1 == config.generations {
-            break;
-        }
-
-        // --- Selection: top-k parents. ---
-        let parents: Vec<DropoutConfig> = scored
-            .iter()
-            .take(config.parents.min(scored.len()))
-            .map(|(_, c)| c.config.clone())
-            .collect();
-
-        // --- Crossover & mutation produce the next population. ---
-        let mut next: Vec<DropoutConfig> = Vec::with_capacity(population_target);
-        let mut next_seen = HashSet::new();
-        // Elitism: carry the best forward unchanged.
-        next_seen.insert(parents[0].compact());
-        next.push(parents[0].clone());
-        let mut attempts = 0;
-        while next.len() < population_target && attempts < population_target * 300 {
-            attempts += 1;
-            let child = if rng.uniform() < config.crossover_fraction && parents.len() >= 2 {
-                crossover(&parents, &mut rng)
-            } else {
-                mutate(spec, &parents, config.mutation_prob, &mut rng)
-            };
-            if next_seen.insert(child.compact()) {
-                next.push(child);
-            }
-        }
-        // Fallback: pad with fresh random samples if diversity ran dry.
-        while next.len() < population_target {
-            let child = spec.sample_config(&mut rng);
-            if next_seen.insert(child.compact()) {
-                next.push(child);
-            }
-        }
-        population = next;
     }
-
-    let (_, best) = best.expect("at least one generation evaluated");
-    Ok(EvolutionResult {
-        best,
-        archive,
-        history,
-    })
+    // Fallback: pad with fresh random samples if diversity ran dry.
+    while next.len() < population_target {
+        let child = spec.sample_config(rng);
+        if next_seen.insert(child.compact()) {
+            next.push(child);
+        }
+    }
+    next
 }
 
 /// Uniform crossover: for each slot, inherit the gene from one of two
@@ -218,6 +199,9 @@ fn mutate(
 }
 
 #[cfg(test)]
+// The deprecated wrapper stays under test until removal: it is the
+// byte-identity reference the session API is checked against.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nds_nn::zoo;

@@ -11,17 +11,28 @@
 //! weights (population → evaluation → selection → crossover & mutation,
 //! Figure 3). This crate provides:
 //!
+//! * [`SearchBuilder`] / [`SearchSession`] — **the search API**: one
+//!   builder configures the strategy ([`Strategy::Evolution`] /
+//!   [`Strategy::Random`] / [`Strategy::Exhaustive`]), the aim and the
+//!   latency source over a trained supernet (all candidate scoring then
+//!   routes through its `UncertaintyEngine`) or a custom [`Evaluator`];
+//!   the session streams [`SearchEvent`]s, owns the memoised evaluation
+//!   cache and the [`pareto::ParetoArchive`], and checkpoints to a
+//!   versioned JSON file ([`SearchCheckpoint`]) from which
+//!   [`SearchBuilder::resume`] reproduces the uninterrupted run byte
+//!   for byte,
 //! * [`SearchAim`] — the weighted aim with the four single-metric presets
 //!   used by Table 1 (Accuracy / ECE / aPE / Latency optimal),
 //! * [`Evaluator`] / [`SupernetEvaluator`] — candidate scoring on the
 //!   validation set plus a latency provider that is either the exact
-//!   accelerator model or the paper's GP surrogate,
-//! * [`evolve`] — the evolutionary loop, with memoised evaluations,
-//! * [`random_search`] — the budget-matched uniform baseline,
-//! * [`evaluate_all`] — exhaustive enumeration (the paper's Figure-4
-//!   reference frontier),
+//!   accelerator model, the paper's GP surrogate
+//!   ([`LatencyProvider::fit_gp`]) or a constant,
 //! * [`pareto::pareto_front`] — non-dominated filtering and the
-//!   [`pareto::hypervolume`] quality indicator.
+//!   [`pareto::hypervolume`] quality indicator, packaged with
+//!   deduplication into [`pareto::ParetoArchive`],
+//! * [`evolve`] / [`random_search`] / [`evaluate_all`] — the historical
+//!   free functions, now deprecated byte-stable wrappers over the
+//!   session.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,16 +43,26 @@
 // misconfiguration; the hot Ok path is unaffected.
 #![allow(clippy::result_large_err)]
 
+pub mod checkpoint;
 mod evaluator;
 mod evolution;
 pub mod pareto;
 mod random;
+mod session;
 
-pub use evaluator::{
-    encode_config, evaluate_all, fit_latency_gp, Evaluator, LatencyProvider, SupernetEvaluator,
-};
-pub use evolution::{evolve, EvolutionConfig, EvolutionResult, GenerationStats};
-pub use random::{random_search, RandomSearchConfig};
+#[allow(deprecated)]
+pub use evaluator::evaluate_all;
+pub use evaluator::{encode_config, fit_latency_gp, Evaluator, LatencyProvider, SupernetEvaluator};
+#[allow(deprecated)]
+pub use evolution::evolve;
+pub use evolution::{EvolutionConfig, EvolutionResult, GenerationStats};
+#[allow(deprecated)]
+pub use random::random_search;
+pub use random::RandomSearchConfig;
+
+pub use checkpoint::{SearchCheckpoint, StrategyProgress, CHECKPOINT_VERSION};
+pub use pareto::{ObjectiveSet, ParetoArchive};
+pub use session::{SearchBuilder, SearchEvent, SearchOutcome, SearchSession, StepStats, Strategy};
 
 use nds_hw::HwError;
 use nds_supernet::{CandidateMetrics, DropoutConfig, SupernetError};
@@ -59,6 +80,10 @@ pub enum SearchError {
     Gp(String),
     /// The search was configured inconsistently.
     BadConfig(String),
+    /// A search checkpoint could not be read, parsed or validated
+    /// (malformed JSON, wrong format marker, version mismatch,
+    /// internally inconsistent state).
+    Checkpoint(String),
 }
 
 impl fmt::Display for SearchError {
@@ -68,6 +93,7 @@ impl fmt::Display for SearchError {
             SearchError::Hw(e) => write!(f, "hardware model error: {e}"),
             SearchError::Gp(msg) => write!(f, "GP surrogate error: {msg}"),
             SearchError::BadConfig(msg) => write!(f, "bad search configuration: {msg}"),
+            SearchError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -3,9 +3,12 @@
 //! The paper plots every configuration in (ECE, aPE, accuracy) space and
 //! shows that the searched designs sit on the reference Pareto frontier.
 //! [`pareto_front`] reproduces that filtering for arbitrary objective
-//! sets.
+//! sets, and [`ParetoArchive`] packages the filtering, deduplication and
+//! the [`hypervolume`] quality indicator into the first-class archive the
+//! [`crate::SearchSession`] maintains as it runs.
 
 use crate::Candidate;
+use std::collections::HashSet;
 
 /// Whether an objective should be maximised or minimised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +226,170 @@ fn hv_oriented(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
     }
 }
 
+/// A named, serialisable choice of objective set — what [`ParetoArchive`]
+/// (and therefore the search checkpoints) store instead of the raw
+/// function-pointer [`Objective`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObjectiveSet {
+    /// The paper's Figure-4 set: maximise accuracy and aPE, minimise ECE.
+    #[default]
+    Figure4,
+    /// Figure 4 plus minimise latency.
+    Full,
+}
+
+impl ObjectiveSet {
+    /// Materialises the actual objective list.
+    pub fn objectives(self) -> Vec<Objective> {
+        match self {
+            ObjectiveSet::Figure4 => figure4_objectives(),
+            ObjectiveSet::Full => full_objectives(),
+        }
+    }
+
+    /// Stable code used by the checkpoint format.
+    pub fn code(self) -> &'static str {
+        match self {
+            ObjectiveSet::Figure4 => "figure4",
+            ObjectiveSet::Full => "full",
+        }
+    }
+
+    /// Inverse of [`ObjectiveSet::code`].
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "figure4" => Some(ObjectiveSet::Figure4),
+            "full" => Some(ObjectiveSet::Full),
+            _ => None,
+        }
+    }
+
+    /// The default hypervolume reference point: the worst representable
+    /// value of each objective (accuracy 0, ECE 1, aPE 0, latency capped
+    /// at 10 s), so every plausible candidate dominates it.
+    pub fn default_reference(self) -> Vec<f64> {
+        match self {
+            ObjectiveSet::Figure4 => vec![0.0, 1.0, 0.0],
+            ObjectiveSet::Full => vec![0.0, 1.0, 0.0, 10_000.0],
+        }
+    }
+}
+
+/// The first-class search archive: every distinct candidate evaluated so
+/// far (in first-evaluation order), with non-dominated filtering and
+/// hypervolume tracking over a fixed [`ObjectiveSet`].
+///
+/// Replaces the ad-hoc `Vec<Candidate>` + `HashSet<String>` pairs the
+/// free-function search loops used to carry: the [`crate::SearchSession`]
+/// owns one, every strategy inserts into it, and checkpoints serialise it
+/// so a resumed search continues with the identical archive.
+#[derive(Debug, Default, Clone)]
+pub struct ParetoArchive {
+    objectives: ObjectiveSet,
+    candidates: Vec<Candidate>,
+    keys: HashSet<String>,
+}
+
+impl ParetoArchive {
+    /// An empty archive over the given objective set.
+    pub fn new(objectives: ObjectiveSet) -> Self {
+        ParetoArchive {
+            objectives,
+            candidates: Vec::new(),
+            keys: HashSet::new(),
+        }
+    }
+
+    /// The objective set this archive filters and measures against.
+    pub fn objective_set(&self) -> ObjectiveSet {
+        self.objectives
+    }
+
+    /// Inserts a candidate, deduplicating by configuration; returns
+    /// `true` when the candidate was new. The first evaluation of a
+    /// configuration wins (evaluations are deterministic, so duplicates
+    /// carry identical data anyway).
+    pub fn insert(&mut self, candidate: &Candidate) -> bool {
+        if self.keys.insert(candidate.config.compact()) {
+            self.candidates.push(candidate.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of distinct candidates archived.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// `true` when nothing has been archived yet.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// `true` when a configuration with this compact code is archived.
+    pub fn contains(&self, compact: &str) -> bool {
+        self.keys.contains(compact)
+    }
+
+    /// Every archived candidate, in first-evaluation order.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The non-dominated subset under the archive's objectives,
+    /// preserving first-evaluation order.
+    pub fn front(&self) -> Vec<&Candidate> {
+        pareto_front(&self.candidates, &self.objectives.objectives())
+    }
+
+    /// Size of the current non-dominated front.
+    pub fn front_len(&self) -> usize {
+        self.front().len()
+    }
+
+    /// `true` when `candidate` would sit on the archive's frontier.
+    pub fn on_frontier(&self, candidate: &Candidate) -> bool {
+        on_frontier(candidate, &self.candidates, &self.objectives.objectives())
+    }
+
+    /// The hypervolume dominated by the archive, measured from the
+    /// objective set's [`ObjectiveSet::default_reference`] point.
+    ///
+    /// For [`ObjectiveSet::Full`] (four objectives) the indicator is
+    /// computed over the three Figure-4 objectives — the exact sweep
+    /// supports up to three dimensions — which keeps the number
+    /// comparable across both sets.
+    pub fn hypervolume(&self) -> f64 {
+        let set = match self.objectives {
+            ObjectiveSet::Figure4 | ObjectiveSet::Full => ObjectiveSet::Figure4,
+        };
+        hypervolume(
+            &self.candidates,
+            &set.objectives(),
+            &set.default_reference(),
+        )
+    }
+
+    /// The hypervolume from an explicit reference point over the
+    /// Figure-4 objectives (see [`ParetoArchive::hypervolume`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reference.len() != 3` (propagated from
+    /// [`hypervolume`]).
+    pub fn hypervolume_from(&self, reference: &[f64]) -> f64 {
+        hypervolume(&self.candidates, &figure4_objectives(), reference)
+    }
+
+    /// Consumes the archive into its candidate list (first-evaluation
+    /// order) — the shape the legacy [`crate::EvolutionResult`] carries.
+    pub fn into_candidates(self) -> Vec<Candidate> {
+        self.candidates
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,5 +549,82 @@ mod tests {
         let weak = candidate(0.1, 0.9, 0.1, 1.0);
         let hv = hypervolume(&[weak], &acc_objective(), &[0.5]);
         assert_eq!(hv, 0.0);
+    }
+
+    fn archive_candidate(code: &str, acc: f64, ece: f64, ape: f64, lat: f64) -> Candidate {
+        Candidate {
+            config: code.parse().unwrap(),
+            metrics: CandidateMetrics {
+                accuracy: acc,
+                ece,
+                ape,
+            },
+            latency_ms: lat,
+        }
+    }
+
+    #[test]
+    fn archive_deduplicates_and_preserves_order() {
+        let mut archive = ParetoArchive::new(ObjectiveSet::Figure4);
+        assert!(archive.is_empty());
+        assert!(archive.insert(&archive_candidate("BBB", 0.9, 0.05, 0.5, 1.0)));
+        assert!(archive.insert(&archive_candidate("RBM", 0.8, 0.03, 0.4, 1.0)));
+        // Re-inserting the same config is a no-op (first evaluation wins).
+        assert!(!archive.insert(&archive_candidate("BBB", 0.1, 0.99, 0.0, 9.0)));
+        assert_eq!(archive.len(), 2);
+        assert!(archive.contains("BBB"));
+        assert!(!archive.contains("KKK"));
+        assert_eq!(archive.candidates()[0].config.compact(), "BBB");
+        assert_eq!(archive.candidates()[0].metrics.accuracy, 0.9);
+        assert_eq!(
+            archive.into_candidates().len(),
+            2,
+            "into_candidates keeps everything"
+        );
+    }
+
+    #[test]
+    fn archive_front_and_hypervolume_track_inserts() {
+        let mut archive = ParetoArchive::new(ObjectiveSet::Figure4);
+        archive.insert(&archive_candidate("BBB", 0.9, 0.05, 0.5, 1.0));
+        let hv_one = archive.hypervolume();
+        assert!(hv_one > 0.0);
+        assert_eq!(archive.front_len(), 1);
+        // A dominated point joins the archive but not the front, and
+        // leaves the hypervolume untouched.
+        archive.insert(&archive_candidate("RBM", 0.7, 0.20, 0.3, 1.0));
+        assert_eq!(archive.len(), 2);
+        assert_eq!(archive.front_len(), 1);
+        assert!((archive.hypervolume() - hv_one).abs() < 1e-12);
+        // A non-dominated point grows both.
+        archive.insert(&archive_candidate("MMM", 0.5, 0.01, 0.9, 1.0));
+        assert_eq!(archive.front_len(), 2);
+        assert!(archive.hypervolume() > hv_one);
+        assert!(archive.on_frontier(&archive_candidate("KKK", 0.95, 0.04, 0.6, 1.0)));
+        assert!(!archive.on_frontier(&archive_candidate("KKK", 0.1, 0.9, 0.1, 1.0)));
+    }
+
+    #[test]
+    fn full_objective_set_front_sees_latency() {
+        let mut archive = ParetoArchive::new(ObjectiveSet::Full);
+        archive.insert(&archive_candidate("BBB", 0.9, 0.05, 0.5, 10.0));
+        archive.insert(&archive_candidate("RBM", 0.9, 0.05, 0.5, 2.0));
+        // Same algorithmic metrics; only latency separates them.
+        assert_eq!(archive.front_len(), 1);
+        assert_eq!(archive.front()[0].config.compact(), "RBM");
+        // Hypervolume stays the 3-objective indicator (comparable across
+        // sets), so identical algo metrics mean identical HV.
+        let fig4 = ParetoArchive::new(ObjectiveSet::Figure4);
+        assert_eq!(fig4.hypervolume(), 0.0);
+        assert!(archive.hypervolume() > 0.0);
+    }
+
+    #[test]
+    fn objective_set_codes_round_trip() {
+        for set in [ObjectiveSet::Figure4, ObjectiveSet::Full] {
+            assert_eq!(ObjectiveSet::from_code(set.code()), Some(set));
+            assert_eq!(set.default_reference().len(), set.objectives().len());
+        }
+        assert_eq!(ObjectiveSet::from_code("nope"), None);
     }
 }

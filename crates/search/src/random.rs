@@ -6,10 +6,8 @@
 //! evaluation budget for the search machinery to be worth its complexity;
 //! the `ablation` bench measures exactly that comparison.
 
-use crate::{Evaluator, EvolutionResult, GenerationStats, Result, SearchAim, SearchError};
+use crate::{Evaluator, EvolutionResult, Result, SearchAim, Strategy};
 use nds_supernet::SupernetSpec;
-use nds_tensor::rng::Rng64;
-use std::collections::HashSet;
 
 /// Hyperparameters of the random-search baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,73 +38,42 @@ impl Default for RandomSearchConfig {
 /// makes budget-matched anytime comparisons against [`crate::evolve`]
 /// straightforward.
 ///
+/// Deprecated: a thin wrapper over [`crate::SearchBuilder`] with
+/// [`Strategy::Random`]; its bytes never change (pinned by
+/// `tests/search_session.rs`).
+///
 /// # Errors
 ///
-/// Returns [`SearchError::BadConfig`] for a zero budget and propagates
-/// evaluation errors.
+/// Returns [`crate::SearchError::BadConfig`] for a zero budget and
+/// propagates evaluation errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a SearchSession via SearchBuilder::with_evaluator(...).strategy(Strategy::Random(config)) instead"
+)]
 pub fn random_search(
     spec: &SupernetSpec,
     evaluator: &mut dyn Evaluator,
     aim: &SearchAim,
     config: &RandomSearchConfig,
 ) -> Result<EvolutionResult> {
-    if config.budget == 0 {
-        return Err(SearchError::BadConfig(
-            "random-search budget must be positive".to_string(),
-        ));
-    }
-    let mut rng = Rng64::new(config.seed);
-    let target = config.budget.min(spec.space_size());
-
-    // Draw the distinct configurations first, then hand the whole batch
-    // to the evaluator so it can fan out across workers.
-    let mut seen = HashSet::new();
-    let mut draws = Vec::with_capacity(target);
-    let mut guard = 0usize;
-    while draws.len() < target && guard < target * 200 {
-        guard += 1;
-        let draw = spec.sample_config(&mut rng);
-        if seen.insert(draw.compact()) {
-            draws.push(draw);
-        }
-    }
-    let candidates = evaluator.evaluate_many(&draws)?;
-
-    let mut archive = Vec::with_capacity(target);
-    let mut history = Vec::with_capacity(target);
-    let mut best: Option<(f64, crate::Candidate)> = None;
-    for candidate in candidates {
-        let score = aim.score(&candidate);
-        if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
-            best = Some((score, candidate.clone()));
-        }
-        let (best_score, best_candidate) = best.as_ref().expect("just set");
-        history.push(GenerationStats {
-            generation: archive.len(),
-            best_score: *best_score,
-            mean_score: score,
-            best_config: best_candidate.config.clone(),
-        });
-        archive.push(candidate);
-    }
-
-    let (_, best) = best.ok_or_else(|| {
-        SearchError::BadConfig("random search drew no distinct configurations".to_string())
-    })?;
-    Ok(EvolutionResult {
-        best,
-        archive,
-        history,
-    })
+    let mut session = crate::SearchBuilder::with_evaluator(evaluator, spec.clone())
+        .strategy(Strategy::Random(*config))
+        .aim(aim.clone())
+        .build()?;
+    session.run().map(EvolutionResult::from)
 }
 
 #[cfg(test)]
+// The deprecated wrapper stays under test until removal: it is the
+// byte-identity reference the session API is checked against.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{Candidate, Evaluator};
     use nds_nn::zoo;
     use nds_supernet::{CandidateMetrics, DropoutConfig};
     use std::collections::HashMap;
+    use std::collections::HashSet;
 
     /// Scores configurations by similarity to a planted target.
     struct PlantedEvaluator {

@@ -1,0 +1,952 @@
+//! The unified search session API.
+//!
+//! PR 4 folded float, quantised and parallel MC inference behind one
+//! `UncertaintyEngine`; this module does the same for the search phase.
+//! One builder configures *what* to search (strategy + aim + latency
+//! source) over *which* evaluation backend (a trained [`Supernet`] — all
+//! candidate scoring then routes through its `UncertaintyEngine` — or
+//! any custom [`Evaluator`]), and the resulting [`SearchSession`] owns
+//! everything the loose free functions used to scatter:
+//!
+//! * a first-class [`ParetoArchive`] (non-dominated set + hypervolume),
+//! * a memoised evaluation cache keyed by encoded configuration,
+//! * the strategy state machine ([`Strategy::Evolution`] /
+//!   [`Strategy::Random`] / [`Strategy::Exhaustive`]) and its RNG,
+//! * deterministic [`SearchSession::snapshot`] /
+//!   [`SearchBuilder::resume`] checkpointing: resuming mid-run
+//!   reproduces the uninterrupted run **byte for byte**.
+//!
+//! ```no_run
+//! use nds_search::{SearchAim, SearchBuilder, Strategy, EvolutionConfig};
+//! # fn main() -> nds_search::Result<()> {
+//! # let spec = nds_supernet::SupernetSpec::paper_default(nds_nn::zoo::lenet(), 1).unwrap();
+//! # let mut supernet = nds_supernet::Supernet::build(&spec).unwrap();
+//! # let splits = nds_data::mnist_like(&nds_data::DatasetConfig::experiment(1));
+//! let mut session = SearchBuilder::new(&mut supernet)
+//!     .strategy(Strategy::Evolution(EvolutionConfig::default()))
+//!     .aim(SearchAim::ece_optimal())
+//!     .validation(&splits.val)
+//!     .build()?;
+//! let outcome = session.run_with(|event| println!("{event:?}"))?;
+//! println!("best: {} (front {})", outcome.best.config, outcome.archive.front_len());
+//! # Ok(()) }
+//! ```
+//!
+//! The legacy free functions ([`crate::evolve`], [`crate::random_search`],
+//! [`crate::evaluate_all`]) survive as deprecated thin wrappers over this
+//! session and keep their exact bytes.
+
+use crate::checkpoint::{SearchCheckpoint, StrategyProgress, CHECKPOINT_VERSION};
+use crate::evolution::{breed_next_population, sample_distinct};
+use crate::pareto::{ObjectiveSet, ParetoArchive};
+use crate::{
+    Candidate, Evaluator, EvolutionConfig, EvolutionResult, GenerationStats, LatencyProvider,
+    RandomSearchConfig, Result, SearchAim, SearchError, SupernetEvaluator,
+};
+use nds_data::Dataset;
+use nds_supernet::{DropoutConfig, Supernet, SupernetSpec};
+use nds_tensor::rng::Rng64;
+use nds_tensor::Tensor;
+use std::collections::HashMap;
+
+/// How many draws a [`Strategy::Random`] or [`Strategy::Exhaustive`]
+/// session evaluates per [`SearchSession::step`]. Purely a progress /
+/// checkpoint granularity — results are identical for any value because
+/// candidate evaluation is memoised and order-preserving.
+const BASELINE_STEP_CHUNK: usize = 16;
+
+/// Default number of OOD probe images when a supernet-backed builder is
+/// given a validation set but no explicit probe tensor.
+const DEFAULT_OOD_PROBES: usize = 64;
+
+/// Which search algorithm a [`SearchSession`] runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// The paper's evolutionary loop (Figure 3).
+    Evolution(EvolutionConfig),
+    /// The budget-matched uniform random baseline.
+    Random(RandomSearchConfig),
+    /// Exhaustive enumeration of the space (the Figure-4 reference).
+    Exhaustive,
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Evolution(EvolutionConfig::default())
+    }
+}
+
+/// What [`SearchSession::step`] reports back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchEvent {
+    /// One step (a generation, or a baseline chunk) completed.
+    Step(StepStats),
+    /// The strategy's budget is exhausted; [`SearchSession::outcome`]
+    /// is final. Further `step` calls keep returning this.
+    Finished,
+}
+
+/// Progress of one completed [`SearchSession::step`], streamed to
+/// [`SearchSession::run_with`] observers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepStats {
+    /// The step's [`GenerationStats`] (for baselines: the last candidate
+    /// evaluated this chunk).
+    pub stats: GenerationStats,
+    /// Distinct candidates this step added to the archive.
+    pub archive_added: usize,
+    /// Archive size after the step.
+    pub archive_len: usize,
+    /// Non-dominated front size after the step.
+    pub front_len: usize,
+    /// Archive hypervolume after the step (see
+    /// [`ParetoArchive::hypervolume`]).
+    pub hypervolume: f64,
+    /// Fresh (memo-missing) evaluations spent so far, across the whole
+    /// session — the search budget consumed.
+    pub budget_spent: usize,
+}
+
+/// The final state of a finished (or stopped) session: the winning
+/// candidate plus the full archive and progress history.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best candidate by aim score.
+    pub best: Candidate,
+    /// Every distinct candidate evaluated, with Pareto bookkeeping.
+    pub archive: ParetoArchive,
+    /// Per-step progress.
+    pub history: Vec<GenerationStats>,
+    /// Fresh evaluations spent.
+    pub budget_spent: usize,
+}
+
+impl From<SearchOutcome> for EvolutionResult {
+    /// Collapses the outcome into the legacy result shape (archive in
+    /// first-evaluation order).
+    fn from(outcome: SearchOutcome) -> EvolutionResult {
+        EvolutionResult {
+            best: outcome.best,
+            archive: outcome.archive.into_candidates(),
+            history: outcome.history,
+        }
+    }
+}
+
+/// The evaluation backend a session drives.
+enum SessionEvaluator<'a> {
+    /// A supernet the session wraps in a [`SupernetEvaluator`]; every
+    /// candidate scoring runs through the supernet's
+    /// `UncertaintyEngine` (warm workspaces, persistent clone caches,
+    /// serial/parallel byte identity).
+    Supernet(Box<SupernetEvaluator<'a>>),
+    /// A caller-provided evaluator (tests, replay archives).
+    External(&'a mut dyn Evaluator),
+}
+
+impl SessionEvaluator<'_> {
+    fn evaluate_many(
+        &mut self,
+        configs: &[DropoutConfig],
+        workers: usize,
+    ) -> Result<Vec<Candidate>> {
+        match self {
+            SessionEvaluator::Supernet(evaluator) => {
+                if workers > 0 {
+                    evaluator.evaluate_many_with_workers(configs, workers)
+                } else {
+                    evaluator.evaluate_many(configs)
+                }
+            }
+            SessionEvaluator::External(evaluator) => evaluator.evaluate_many(configs),
+        }
+    }
+}
+
+/// Strategy-specific progress (the mutable half of the state machine;
+/// serialised verbatim into checkpoints).
+#[derive(Debug, Clone)]
+enum StrategyState {
+    Evolution {
+        config: EvolutionConfig,
+        population: Vec<DropoutConfig>,
+        generation: usize,
+    },
+    Random {
+        config: RandomSearchConfig,
+        draws: Vec<DropoutConfig>,
+        cursor: usize,
+    },
+    Exhaustive {
+        /// The full enumeration, materialised once per session (it is
+        /// deterministic, so checkpoints serialise only the cursor).
+        configs: Vec<DropoutConfig>,
+        cursor: usize,
+    },
+}
+
+/// Builder for [`SearchSession`] — the search-phase mirror of
+/// `EngineBuilder`.
+///
+/// Two entry points:
+///
+/// * [`SearchBuilder::new`] over a trained [`Supernet`] — requires
+///   [`SearchBuilder::validation`]; candidate metrics then come from the
+///   supernet's engine, latency from [`SearchBuilder::latency`].
+/// * [`SearchBuilder::with_evaluator`] over any [`Evaluator`] — the
+///   evaluator owns metric *and* latency production; the
+///   validation/ood/latency/batch-size knobs are ignored.
+pub struct SearchBuilder<'a> {
+    source: Source<'a>,
+    strategy: Strategy,
+    aim: SearchAim,
+    objectives: ObjectiveSet,
+    latency: Option<LatencyProvider>,
+    val: Option<&'a Dataset>,
+    ood: Option<Tensor>,
+    batch_size: usize,
+    workers: usize,
+    seed: Option<u64>,
+    checkpoint: Option<SearchCheckpoint>,
+}
+
+enum Source<'a> {
+    Supernet(&'a mut Supernet),
+    Evaluator {
+        evaluator: &'a mut dyn Evaluator,
+        spec: SupernetSpec,
+    },
+}
+
+impl<'a> SearchBuilder<'a> {
+    /// Starts a builder over a trained supernet. The search space comes
+    /// from the supernet's spec; candidate scoring routes through the
+    /// supernet's `UncertaintyEngine`.
+    pub fn new(supernet: &'a mut Supernet) -> Self {
+        SearchBuilder {
+            source: Source::Supernet(supernet),
+            strategy: Strategy::default(),
+            aim: SearchAim::accuracy_optimal(),
+            objectives: ObjectiveSet::Figure4,
+            latency: None,
+            val: None,
+            ood: None,
+            batch_size: 64,
+            workers: 0,
+            seed: None,
+            checkpoint: None,
+        }
+    }
+
+    /// Starts a builder over a custom evaluator and an explicit search
+    /// space.
+    pub fn with_evaluator(evaluator: &'a mut dyn Evaluator, spec: SupernetSpec) -> Self {
+        SearchBuilder {
+            source: Source::Evaluator { evaluator, spec },
+            strategy: Strategy::default(),
+            aim: SearchAim::accuracy_optimal(),
+            objectives: ObjectiveSet::Figure4,
+            latency: None,
+            val: None,
+            ood: None,
+            batch_size: 64,
+            workers: 0,
+            seed: None,
+            checkpoint: None,
+        }
+    }
+
+    /// Selects the search strategy (default:
+    /// [`Strategy::Evolution`] with [`EvolutionConfig::default`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the scalarised search aim (default: accuracy-optimal).
+    pub fn aim(mut self, aim: SearchAim) -> Self {
+        self.aim = aim;
+        self
+    }
+
+    /// Selects the archive's objective set (default: the paper's
+    /// Figure-4 objectives).
+    pub fn objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
+    /// Installs the latency source for supernet-backed sessions
+    /// (default: [`LatencyProvider::Constant`] 0 ms — latency plays no
+    /// role in the aim). Ignored for [`SearchBuilder::with_evaluator`]
+    /// sessions, whose evaluator produces latency itself.
+    pub fn latency(mut self, latency: LatencyProvider) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Installs the validation split candidate metrics are computed on.
+    /// **Required** for supernet-backed sessions.
+    pub fn validation(mut self, val: &'a Dataset) -> Self {
+        self.val = Some(val);
+        self
+    }
+
+    /// Installs the OOD probe tensor for the aPE metric. Defaults to
+    /// [`DEFAULT_OOD_PROBES`] Gaussian-noise probes drawn from the
+    /// validation split with a stream derived from the search seed.
+    pub fn ood(mut self, ood: Tensor) -> Self {
+        self.ood = Some(ood);
+        self
+    }
+
+    /// Evaluation batch size for supernet-backed sessions (default 64).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Pins the worker split for population evaluation (0 = the worker
+    /// pool size). Results are byte-identical for every value.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the strategy config's RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Resumes from a checkpoint instead of starting fresh. The
+    /// checkpoint's strategy, aim, objective set, RNG state, archive,
+    /// memo cache and history **replace** whatever the builder was
+    /// configured with — the builder only contributes the evaluation
+    /// backend and runtime knobs (workers, batch size, latency source).
+    pub fn resume(mut self, checkpoint: SearchCheckpoint) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Builds the session (and, for a fresh evolutionary or random
+    /// session, consumes the RNG draws that initialise the population /
+    /// draw list, so a snapshot taken before the first step already
+    /// resumes exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::BadConfig`] for degenerate strategy
+    /// hyperparameters or a supernet-backed builder without a validation
+    /// split, and [`SearchError::Checkpoint`] for an inconsistent
+    /// checkpoint.
+    pub fn build(self) -> Result<SearchSession<'a>> {
+        let SearchBuilder {
+            source,
+            strategy,
+            aim,
+            objectives,
+            latency,
+            val,
+            ood,
+            batch_size,
+            workers,
+            seed,
+            checkpoint,
+        } = self;
+        // The base stream for the *default* OOD probe set. On resume it
+        // must come from the checkpoint — not from whatever strategy the
+        // builder happens to carry — or the resumed evaluations would
+        // silently probe different noise and diverge from the
+        // uninterrupted run.
+        let ood_seed = match &checkpoint {
+            Some(checkpoint) => checkpoint.ood_seed,
+            None => seed.unwrap_or(match &strategy {
+                Strategy::Evolution(c) => c.seed,
+                Strategy::Random(c) => c.seed,
+                Strategy::Exhaustive => 0,
+            }),
+        };
+        let (evaluator, spec) = match source {
+            Source::Supernet(supernet) => {
+                let spec = supernet.spec().clone();
+                let val = val.ok_or_else(|| {
+                    SearchError::BadConfig(
+                        "a supernet-backed search needs a validation split \
+                         (SearchBuilder::validation)"
+                            .to_string(),
+                    )
+                })?;
+                let ood = match ood {
+                    Some(ood) => ood,
+                    None => {
+                        // Deterministic default probe set: derived from
+                        // the effective seed so the whole session stays
+                        // a pure function of its configuration.
+                        let mut rng = Rng64::new(ood_seed ^ 0x00D);
+                        val.ood_noise(DEFAULT_OOD_PROBES, &mut rng)
+                    }
+                };
+                let latency = latency.unwrap_or(LatencyProvider::Constant(0.0));
+                (
+                    SessionEvaluator::Supernet(Box::new(SupernetEvaluator::new(
+                        supernet, val, ood, latency, batch_size,
+                    ))),
+                    spec,
+                )
+            }
+            Source::Evaluator { evaluator, spec } => (SessionEvaluator::External(evaluator), spec),
+        };
+        match checkpoint {
+            Some(checkpoint) => SearchSession::restore(evaluator, spec, workers, checkpoint),
+            None => SearchSession::fresh(
+                evaluator, spec, workers, strategy, aim, objectives, seed, ood_seed,
+            ),
+        }
+    }
+}
+
+/// A running search: strategy state machine + archive + memo cache over
+/// one evaluation backend. Create through [`SearchBuilder`].
+pub struct SearchSession<'a> {
+    spec: SupernetSpec,
+    evaluator: SessionEvaluator<'a>,
+    aim: SearchAim,
+    workers: usize,
+    rng: Rng64,
+    state: StrategyState,
+    memo: HashMap<String, Candidate>,
+    archive: ParetoArchive,
+    history: Vec<GenerationStats>,
+    best: Option<(f64, Candidate)>,
+    budget_spent: usize,
+    /// Base stream of the builder's *default* OOD probe derivation —
+    /// carried in checkpoints so a resumed session regenerates the
+    /// identical probes.
+    ood_seed: u64,
+}
+
+impl std::fmt::Debug for SearchSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchSession")
+            .field("aim", &self.aim.name)
+            .field("archive", &self.archive.len())
+            .field("memo", &self.memo.len())
+            .field("budget_spent", &self.budget_spent)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl<'a> SearchSession<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn fresh(
+        evaluator: SessionEvaluator<'a>,
+        spec: SupernetSpec,
+        workers: usize,
+        strategy: Strategy,
+        aim: SearchAim,
+        objectives: ObjectiveSet,
+        seed_override: Option<u64>,
+        ood_seed: u64,
+    ) -> Result<Self> {
+        let (state, rng) = match strategy {
+            Strategy::Evolution(mut config) => {
+                if let Some(seed) = seed_override {
+                    config.seed = seed;
+                }
+                if config.population == 0 || config.generations == 0 {
+                    return Err(SearchError::BadConfig(
+                        "population and generations must be positive".to_string(),
+                    ));
+                }
+                if config.parents == 0 || config.parents > config.population {
+                    return Err(SearchError::BadConfig(format!(
+                        "parent pool {} must be in 1..={}",
+                        config.parents, config.population
+                    )));
+                }
+                let mut rng = Rng64::new(config.seed);
+                // Initial population: distinct uniform draws, identical
+                // RNG consumption to the historical `evolve`.
+                let target = config.population.min(spec.space_size());
+                let population = sample_distinct(&spec, &mut rng, target);
+                (
+                    StrategyState::Evolution {
+                        config,
+                        population,
+                        generation: 0,
+                    },
+                    rng,
+                )
+            }
+            Strategy::Random(mut config) => {
+                if let Some(seed) = seed_override {
+                    config.seed = seed;
+                }
+                if config.budget == 0 {
+                    return Err(SearchError::BadConfig(
+                        "random-search budget must be positive".to_string(),
+                    ));
+                }
+                let mut rng = Rng64::new(config.seed);
+                let target = config.budget.min(spec.space_size());
+                let draws = sample_distinct(&spec, &mut rng, target);
+                (
+                    StrategyState::Random {
+                        config,
+                        draws,
+                        cursor: 0,
+                    },
+                    rng,
+                )
+            }
+            Strategy::Exhaustive => (
+                StrategyState::Exhaustive {
+                    // Enumerated once; only the cursor is serialised
+                    // (enumeration order is deterministic).
+                    configs: spec.enumerate(),
+                    cursor: 0,
+                },
+                Rng64::new(seed_override.unwrap_or(0)),
+            ),
+        };
+        Ok(SearchSession {
+            spec,
+            evaluator,
+            aim,
+            workers,
+            rng,
+            state,
+            memo: HashMap::new(),
+            archive: ParetoArchive::new(objectives),
+            history: Vec::new(),
+            best: None,
+            budget_spent: 0,
+            ood_seed,
+        })
+    }
+
+    fn restore(
+        evaluator: SessionEvaluator<'a>,
+        spec: SupernetSpec,
+        workers: usize,
+        checkpoint: SearchCheckpoint,
+    ) -> Result<Self> {
+        // JSON-loaded checkpoints were validated at parse time, but a
+        // hand-constructed one reaches here directly — re-assert the
+        // invariants so a bad resume is a typed error, not a later panic.
+        checkpoint.validate()?;
+        let mut memo = HashMap::with_capacity(checkpoint.memo.len());
+        for candidate in checkpoint.memo {
+            memo.insert(candidate.config.compact(), candidate);
+        }
+        let mut archive = ParetoArchive::new(checkpoint.objectives);
+        for key in &checkpoint.archive {
+            let candidate = memo.get(key).ok_or_else(|| {
+                SearchError::Checkpoint(format!(
+                    "archive references `{key}` which is missing from the memo cache"
+                ))
+            })?;
+            archive.insert(candidate);
+        }
+        let best = match checkpoint.best {
+            Some((score, key)) => {
+                let candidate = memo.get(&key).ok_or_else(|| {
+                    SearchError::Checkpoint(format!(
+                        "best candidate `{key}` is missing from the memo cache"
+                    ))
+                })?;
+                Some((score, candidate.clone()))
+            }
+            None => None,
+        };
+        let state = match checkpoint.strategy {
+            StrategyProgress::Evolution {
+                config,
+                population,
+                generation,
+            } => StrategyState::Evolution {
+                config,
+                population,
+                generation,
+            },
+            StrategyProgress::Random {
+                config,
+                draws,
+                cursor,
+            } => StrategyState::Random {
+                config,
+                draws,
+                cursor,
+            },
+            StrategyProgress::Exhaustive { cursor } => StrategyState::Exhaustive {
+                configs: spec.enumerate(),
+                cursor,
+            },
+        };
+        Ok(SearchSession {
+            spec,
+            evaluator,
+            aim: checkpoint.aim,
+            workers,
+            rng: Rng64::from_state(checkpoint.rng),
+            state,
+            memo,
+            archive,
+            history: checkpoint.history,
+            best,
+            budget_spent: checkpoint.budget_spent,
+            ood_seed: checkpoint.ood_seed,
+        })
+    }
+
+    /// The search space this session explores.
+    pub fn spec(&self) -> &SupernetSpec {
+        &self.spec
+    }
+
+    /// The scalarised aim candidates are ranked by.
+    pub fn aim(&self) -> &SearchAim {
+        &self.aim
+    }
+
+    /// Read access to the archive as it stands.
+    pub fn archive(&self) -> &ParetoArchive {
+        &self.archive
+    }
+
+    /// Per-step progress so far.
+    pub fn history(&self) -> &[GenerationStats] {
+        &self.history
+    }
+
+    /// Fresh (memo-missing) evaluations spent so far.
+    pub fn budget_spent(&self) -> usize {
+        self.budget_spent
+    }
+
+    /// `true` once the strategy's budget is exhausted.
+    pub fn is_finished(&self) -> bool {
+        match &self.state {
+            StrategyState::Evolution {
+                config, generation, ..
+            } => *generation >= config.generations,
+            StrategyState::Random { draws, cursor, .. } => *cursor >= draws.len(),
+            StrategyState::Exhaustive { configs, cursor } => *cursor >= configs.len(),
+        }
+    }
+
+    /// Runs one step — a full generation for [`Strategy::Evolution`], a
+    /// chunk of draws for the baselines — and reports progress.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; the session stays at the failed
+    /// step and can be retried or snapshotted.
+    pub fn step(&mut self) -> Result<SearchEvent> {
+        if self.is_finished() {
+            return Ok(SearchEvent::Finished);
+        }
+        let archive_before = self.archive.len();
+        // Take the state out so strategy code can borrow `self` freely;
+        // every exit path below reinstalls it.
+        let state = std::mem::replace(
+            &mut self.state,
+            StrategyState::Exhaustive {
+                configs: Vec::new(),
+                cursor: 0,
+            },
+        );
+        let outcome = match state {
+            StrategyState::Evolution {
+                config,
+                population,
+                generation,
+            } => self.step_evolution(config, population, generation),
+            StrategyState::Random {
+                config,
+                draws,
+                cursor,
+            } => match self.step_baseline_chunk(draws, cursor) {
+                Ok((draws, cursor)) => Ok(StrategyState::Random {
+                    config,
+                    draws,
+                    cursor,
+                }),
+                Err((draws, cursor, e)) => Err((
+                    StrategyState::Random {
+                        config,
+                        draws,
+                        cursor,
+                    },
+                    e,
+                )),
+            },
+            StrategyState::Exhaustive { configs, cursor } => {
+                match self.step_baseline_chunk(configs, cursor) {
+                    Ok((configs, cursor)) => Ok(StrategyState::Exhaustive { configs, cursor }),
+                    Err((configs, cursor, e)) => {
+                        Err((StrategyState::Exhaustive { configs, cursor }, e))
+                    }
+                }
+            }
+        };
+        match outcome {
+            Ok(state) => {
+                self.state = state;
+                let stats = self
+                    .history
+                    .last()
+                    .cloned()
+                    .expect("a completed step records history");
+                Ok(SearchEvent::Step(StepStats {
+                    stats,
+                    archive_added: self.archive.len() - archive_before,
+                    archive_len: self.archive.len(),
+                    front_len: self.archive.front_len(),
+                    hypervolume: self.archive.hypervolume(),
+                    budget_spent: self.budget_spent,
+                }))
+            }
+            Err((state, e)) => {
+                self.state = state;
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs the remaining steps to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error, or [`SearchError::BadConfig`]
+    /// when the strategy produced no candidate at all.
+    pub fn run(&mut self) -> Result<SearchOutcome> {
+        self.run_with(|_| {})
+    }
+
+    /// [`SearchSession::run`] with an observer invoked after every step
+    /// — streaming progress for CLIs and long searches.
+    ///
+    /// # Errors
+    ///
+    /// See [`SearchSession::run`].
+    pub fn run_with(&mut self, mut observer: impl FnMut(&SearchEvent)) -> Result<SearchOutcome> {
+        loop {
+            let event = self.step()?;
+            let finished = matches!(event, SearchEvent::Finished);
+            observer(&event);
+            if finished {
+                return self.outcome();
+            }
+        }
+    }
+
+    /// The session's current result: best candidate, archive and
+    /// history. Callable mid-run (an anytime result) or after
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::BadConfig`] when nothing has been
+    /// evaluated yet.
+    pub fn outcome(&self) -> Result<SearchOutcome> {
+        let (_, best) = self.best.as_ref().ok_or_else(|| {
+            SearchError::BadConfig("the search has not evaluated any candidate yet".to_string())
+        })?;
+        Ok(SearchOutcome {
+            best: best.clone(),
+            archive: self.archive.clone(),
+            history: self.history.clone(),
+            budget_spent: self.budget_spent,
+        })
+    }
+
+    /// Captures the complete session state as a versioned, serialisable
+    /// [`SearchCheckpoint`]. Resuming from it (same spec, same trained
+    /// weights, same evaluation backend) and running to completion
+    /// reproduces the uninterrupted run byte for byte.
+    pub fn snapshot(&self) -> SearchCheckpoint {
+        let mut memo: Vec<Candidate> = self.memo.values().cloned().collect();
+        memo.sort_by(|a, b| a.config.cmp(&b.config));
+        let strategy = match &self.state {
+            StrategyState::Evolution {
+                config,
+                population,
+                generation,
+            } => StrategyProgress::Evolution {
+                config: *config,
+                population: population.clone(),
+                generation: *generation,
+            },
+            StrategyState::Random {
+                config,
+                draws,
+                cursor,
+            } => StrategyProgress::Random {
+                config: *config,
+                draws: draws.clone(),
+                cursor: *cursor,
+            },
+            StrategyState::Exhaustive { cursor, .. } => {
+                StrategyProgress::Exhaustive { cursor: *cursor }
+            }
+        };
+        SearchCheckpoint {
+            version: CHECKPOINT_VERSION,
+            aim: self.aim.clone(),
+            objectives: self.archive.objective_set(),
+            rng: self.rng.state(),
+            strategy,
+            memo,
+            archive: self
+                .archive
+                .candidates()
+                .iter()
+                .map(|c| c.config.compact())
+                .collect(),
+            history: self.history.clone(),
+            best: self
+                .best
+                .as_ref()
+                .map(|(score, c)| (*score, c.config.compact())),
+            budget_spent: self.budget_spent,
+            ood_seed: self.ood_seed,
+        }
+    }
+
+    // -- internals ----------------------------------------------------
+
+    /// Memoised batch evaluation: only configurations the session has
+    /// never scored reach the evaluator (deduplicated, first-occurrence
+    /// order), and results come back in input order.
+    fn evaluate_batch(&mut self, configs: &[DropoutConfig]) -> Result<Vec<Candidate>> {
+        let mut pending = Vec::new();
+        let mut queued = std::collections::HashSet::new();
+        for config in configs {
+            let key = config.compact();
+            if !self.memo.contains_key(&key) && queued.insert(key) {
+                pending.push(config.clone());
+            }
+        }
+        if !pending.is_empty() {
+            let fresh = self.evaluator.evaluate_many(&pending, self.workers)?;
+            self.budget_spent += fresh.len();
+            for candidate in fresh {
+                self.memo.insert(candidate.config.compact(), candidate);
+            }
+        }
+        Ok(configs
+            .iter()
+            .map(|config| {
+                self.memo
+                    .get(&config.compact())
+                    .expect("just evaluated")
+                    .clone()
+            })
+            .collect())
+    }
+
+    /// One evolutionary generation, replicating the historical `evolve`
+    /// loop exactly (same scoring, same RNG consumption for breeding).
+    #[allow(clippy::type_complexity)]
+    fn step_evolution(
+        &mut self,
+        config: EvolutionConfig,
+        population: Vec<DropoutConfig>,
+        generation: usize,
+    ) -> std::result::Result<StrategyState, (StrategyState, SearchError)> {
+        let candidates = match self.evaluate_batch(&population) {
+            Ok(candidates) => candidates,
+            Err(e) => {
+                return Err((
+                    StrategyState::Evolution {
+                        config,
+                        population,
+                        generation,
+                    },
+                    e,
+                ))
+            }
+        };
+        let mut scored: Vec<(f64, Candidate)> = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            let score = self.aim.score(&candidate);
+            self.archive.insert(&candidate);
+            if self.best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                self.best = Some((score, candidate.clone()));
+            }
+            scored.push((score, candidate));
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mean_score = scored.iter().map(|(s, _)| s).sum::<f64>() / scored.len().max(1) as f64;
+        let (top_score, top) = &scored[0];
+        self.history.push(GenerationStats {
+            generation,
+            best_score: *top_score,
+            mean_score,
+            best_config: top.config.clone(),
+        });
+        if generation + 1 == config.generations {
+            // Last generation: no breeding, the RNG stays untouched —
+            // exactly like the historical loop.
+            return Ok(StrategyState::Evolution {
+                config,
+                population,
+                generation: generation + 1,
+            });
+        }
+        let parents: Vec<DropoutConfig> = scored
+            .iter()
+            .take(config.parents.min(scored.len()))
+            .map(|(_, c)| c.config.clone())
+            .collect();
+        let population_target = config.population.min(self.spec.space_size());
+        let next = breed_next_population(
+            &self.spec,
+            &parents,
+            &config,
+            population_target,
+            &mut self.rng,
+        );
+        Ok(StrategyState::Evolution {
+            config,
+            population: next,
+            generation: generation + 1,
+        })
+    }
+
+    /// One chunk of a baseline (random / exhaustive) strategy: evaluates
+    /// up to [`BASELINE_STEP_CHUNK`] draws, recording one history entry
+    /// per candidate exactly like the historical `random_search`.
+    #[allow(clippy::type_complexity)]
+    fn step_baseline_chunk(
+        &mut self,
+        draws: Vec<DropoutConfig>,
+        cursor: usize,
+    ) -> std::result::Result<(Vec<DropoutConfig>, usize), (Vec<DropoutConfig>, usize, SearchError)>
+    {
+        let end = (cursor + BASELINE_STEP_CHUNK).min(draws.len());
+        let chunk = draws[cursor..end].to_vec();
+        let candidates = match self.evaluate_batch(&chunk) {
+            Ok(candidates) => candidates,
+            Err(e) => return Err((draws, cursor, e)),
+        };
+        for candidate in candidates {
+            let score = self.aim.score(&candidate);
+            if self.best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                self.best = Some((score, candidate.clone()));
+            }
+            let (best_score, best_candidate) = self.best.as_ref().expect("just set");
+            self.history.push(GenerationStats {
+                generation: self.archive.len(),
+                best_score: *best_score,
+                mean_score: score,
+                best_config: best_candidate.config.clone(),
+            });
+            self.archive.insert(&candidate);
+        }
+        Ok((draws, end))
+    }
+}

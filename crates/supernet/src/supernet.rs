@@ -156,6 +156,12 @@ impl Supernet {
         self.engine.set_samples(samples);
     }
 
+    /// Shared access to the underlying network (benchmarks snapshot it
+    /// into standalone serving engines).
+    pub fn net(&self) -> &Sequential {
+        self.engine.net()
+    }
+
     /// Mutable access to the underlying network (examples use this for
     /// custom loops).
     pub fn net_mut(&mut self) -> &mut Sequential {

@@ -24,6 +24,7 @@ use neural_dropout_search::metrics::{
 use neural_dropout_search::nn::train::TrainConfig;
 use neural_dropout_search::nn::zoo;
 use neural_dropout_search::nn::{Layer, Mode};
+use neural_dropout_search::search::{SearchAim, SearchBuilder, Strategy};
 use neural_dropout_search::supernet::{DropoutConfig, Supernet, SupernetSpec};
 use neural_dropout_search::tensor::rng::Rng64;
 
@@ -48,25 +49,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     supernet.train_spos(&splits.train, &train_config, &mut rng)?;
 
-    // Exhaustive evaluation on the validation set.
+    // Exhaustive evaluation on the validation set, through one
+    // ECE-optimal search session — the session's memoised cache and
+    // Pareto archive replace the hand-rolled evaluation loop, and every
+    // candidate scoring routes through the supernet's engine.
     let val_subset: Vec<usize> = (0..128.min(splits.val.len())).collect();
     let val = splits.val.subset(&val_subset);
     let ood = splits.train.ood_noise(128, &mut rng);
     println!("evaluating all {} configurations…", spec.space_size());
-    let mut best_ece: Option<(DropoutConfig, f64)> = None;
+    let mut session = SearchBuilder::new(&mut supernet)
+        .strategy(Strategy::Exhaustive)
+        .aim(SearchAim::ece_optimal())
+        .validation(&val)
+        .ood(ood)
+        .batch_size(64)
+        .build()?;
+    let outcome = session.run()?;
+    drop(session);
+    // The ECE-optimal aim maximises -ECE, so the session's winner is the
+    // minimum-ECE configuration of the whole space.
+    let winner = outcome.best.config.clone();
     let mut gaussian_in_top5 = 0usize;
-    let mut scored: Vec<(DropoutConfig, f64, f64)> = Vec::new();
-    for config in spec.enumerate() {
-        let metrics = supernet.evaluate(&config, &val, &ood, 64)?;
-        scored.push((config.clone(), metrics.ece, metrics.accuracy));
-        if best_ece
-            .as_ref()
-            .map(|(_, e)| metrics.ece < *e)
-            .unwrap_or(true)
-        {
-            best_ece = Some((config, metrics.ece));
-        }
-    }
+    let mut scored: Vec<(DropoutConfig, f64, f64)> = outcome
+        .archive
+        .candidates()
+        .iter()
+        .map(|c| (c.config.clone(), c.metrics.ece, c.metrics.accuracy))
+        .collect();
     scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     println!("\nbest five configs by validation ECE:");
     for (config, ece_val, acc) in scored.iter().take(5) {
@@ -105,7 +114,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Searched ECE-optimal config, measured on the same test set
     //     through the serving engine (slot switches propagate to the
     //     engine's network; no rebuild needed). ---
-    let (winner, _) = best_ece.expect("space is non-empty");
     supernet.set_config(&winner)?;
     let engine = supernet.engine_mut();
     engine.set_samples(3);

@@ -3,10 +3,12 @@
 //! the paper's Figure 4, run here on the LeNet space (32 configurations)
 //! so it finishes in about a minute on one core.
 //!
-//! Every candidate evaluation here routes through the supernet's
-//! `UncertaintyEngine` (one per worker fork), so the sweep inherits the
-//! engine's warm workspaces, persistent MC clone cache and
-//! serial-vs-parallel byte identity.
+//! The sweep runs through the unified `SearchSession` API
+//! (`Strategy::Exhaustive`): every candidate evaluation routes through
+//! the supernet's `UncertaintyEngine` (one per worker fork) — warm
+//! workspaces, persistent MC clone cache, serial-vs-parallel byte
+//! identity — and the session's first-class `ParetoArchive` delivers the
+//! frontier and hypervolume directly.
 //!
 //! ```sh
 //! cargo run --release --example pareto_exploration
@@ -15,8 +17,7 @@
 use neural_dropout_search::core::Specification;
 use neural_dropout_search::data::generate;
 use neural_dropout_search::hw::accel::{AcceleratorConfig, AcceleratorModel};
-use neural_dropout_search::search::pareto::{figure4_objectives, on_frontier, pareto_front};
-use neural_dropout_search::search::{evaluate_all, LatencyProvider, SupernetEvaluator};
+use neural_dropout_search::search::{LatencyProvider, SearchBuilder, Strategy};
 use neural_dropout_search::supernet::Supernet;
 use neural_dropout_search::tensor::rng::Rng64;
 
@@ -33,18 +34,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     supernet.train_spos(&splits.train, &spec.train, &mut rng)?;
     let ood = splits.train.ood_noise(spec.ood_samples, &mut rng);
 
-    // Exhaustive evaluation (the paper's reference for Figure 4).
+    // Exhaustive evaluation (the paper's reference for Figure 4) through
+    // one search session.
     let model = AcceleratorModel::new(AcceleratorConfig::lenet_paper());
     let latency = LatencyProvider::Exact {
         model,
         arch: spec.arch.clone(),
     };
-    let mut evaluator =
-        SupernetEvaluator::new(&mut supernet, &splits.val, ood, latency, spec.batch_size);
-    let archive = evaluate_all(&supernet_spec, &mut evaluator)?;
+    let mut session = SearchBuilder::new(&mut supernet)
+        .strategy(Strategy::Exhaustive)
+        .validation(&splits.val)
+        .ood(ood)
+        .latency(latency)
+        .batch_size(spec.batch_size)
+        .build()?;
+    let outcome = session.run()?;
+    drop(session);
+    let archive = outcome.archive;
 
     println!("config      acc%    ECE%   aPE(nats)  latency(ms)  uniform");
-    for candidate in &archive {
+    for candidate in archive.candidates() {
         println!(
             "{:<10} {:6.2}  {:6.2}   {:8.3}   {:10.3}  {}",
             candidate.config.to_string(),
@@ -60,11 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let objectives = figure4_objectives();
-    let frontier = pareto_front(&archive, &objectives);
+    let frontier = archive.front();
     println!(
-        "\nPareto frontier (max accuracy, min ECE, max aPE): {} points",
-        frontier.len()
+        "\nPareto frontier (max accuracy, min ECE, max aPE): {} points, hypervolume {:.4}",
+        frontier.len(),
+        archive.hypervolume()
     );
     for point in &frontier {
         println!("  {}", point.config);
@@ -74,6 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // exhaustive frontier. Check it for the four single-metric optima.
     let best_by = |f: &dyn Fn(&neural_dropout_search::search::Candidate) -> f64, maximise: bool| {
         archive
+            .candidates()
             .iter()
             .max_by(|a, b| {
                 let (va, vb) = if maximise {
@@ -92,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     println!();
     for (name, candidate) in optima {
-        let on = on_frontier(candidate, &archive, &objectives);
+        let on = archive.on_frontier(candidate);
         println!(
             "{name}-optimal {} is {} the reference Pareto frontier",
             candidate.config,

@@ -16,10 +16,10 @@
 //! cargo run --release --example transformer_search
 //! ```
 
-use neural_dropout_search::core::{run, Specification};
+use neural_dropout_search::core::{run_with_observer, Specification};
 use neural_dropout_search::data::DatasetConfig;
 use neural_dropout_search::nn::zoo;
-use neural_dropout_search::search::{EvolutionConfig, SearchAim};
+use neural_dropout_search::search::{EvolutionConfig, SearchAim, SearchEvent};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Same entry point as the paper's CNN experiments; only the
@@ -48,7 +48,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let s = spec.supernet_spec()?;
         s.space_size()
     });
-    let outcome = run(&spec)?;
+    // The four-phase pipeline streams its Phase-3 SearchSession events
+    // as the evolutionary loop steps through generations.
+    let outcome = run_with_observer(&spec, |event| {
+        if let SearchEvent::Step(step) = event {
+            println!(
+                "  gen {}: best aim {:.4}, archive {} configs (front {}, hv {:.4}), {} evals",
+                step.stats.generation,
+                step.stats.best_score,
+                step.archive_len,
+                step.front_len,
+                step.hypervolume,
+                step.budget_spent
+            );
+        }
+    })?;
 
     println!("SPOS training:");
     for epoch in &outcome.training {

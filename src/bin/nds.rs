@@ -3,6 +3,9 @@
 //! ```text
 //! nds run     --arch lenet|vgg|resnet|vit [--aim accuracy|ece|ape|latency]
 //!             [--seed N] [--gp N] [--extended]
+//! nds search  --arch lenet|vgg|resnet|vit [--aim ...] [--strategy evolution|random|exhaustive]
+//!             [--generations N] [--population N] [--budget N] [--epochs N]
+//!             [--checkpoint FILE] [--resume] [--stop-after K] [--seed N] [--gp N]
 //! nds eval    --arch lenet|vgg|resnet|vit --config BKM [--seed N]
 //!             [--samples S] [--val N]
 //! nds analyze --arch lenet|vgg|resnet|vit --config BKM [--spatial] [--samples S]
@@ -10,14 +13,17 @@
 //! nds space   --arch lenet|vgg|resnet|vit [--extended]
 //! ```
 //!
-//! `run` executes the full four-phase framework; `eval` runs one fast,
-//! fully deterministic MC-dropout evaluation of a single configuration
-//! (the golden-file determinism suite diffs its bytes across
-//! `NDS_THREADS` settings); `analyze` prints the csynth-style report for
-//! one design point; `hls` writes the generated project to disk; `space`
-//! lists the search space.
+//! `run` executes the full four-phase framework; `search` trains the
+//! supernet and drives the Phase-3 `SearchSession` directly — streaming
+//! per-generation progress, and writing/resuming versioned JSON
+//! checkpoints (a resumed run reproduces the uninterrupted one byte for
+//! byte); `eval` runs one fast, fully deterministic MC-dropout
+//! evaluation of a single configuration (the golden-file determinism
+//! suite diffs its bytes across `NDS_THREADS` settings); `analyze`
+//! prints the csynth-style report for one design point; `hls` writes
+//! the generated project to disk; `space` lists the search space.
 
-use neural_dropout_search::core::{run, LatencySource, Specification};
+use neural_dropout_search::core::{LatencySource, Specification};
 use neural_dropout_search::hls::generate_project;
 use neural_dropout_search::hw::accel::{AcceleratorConfig, AcceleratorModel, McMapping};
 use neural_dropout_search::nn::zoo;
@@ -33,6 +39,11 @@ nds — hardware-aware neural dropout search (DAC'24 reproduction)
 USAGE:
     nds run     --arch <lenet|vgg|resnet|vit> [--aim <accuracy|ece|ape|latency>]
                 [--seed <N>] [--gp <train-points>] [--extended]
+    nds search  --arch <lenet|vgg|resnet|vit> [--aim <accuracy|ece|ape|latency>]
+                [--strategy <evolution|random|exhaustive>] [--generations <N>]
+                [--population <N>] [--parents <N>] [--budget <N>] [--epochs <N>]
+                [--train <N>] [--val <N>] [--checkpoint <FILE>] [--resume]
+                [--stop-after <K>] [--seed <N>] [--gp <train-points>] [--extended]
     nds eval    --arch <lenet|vgg|resnet|vit> --config <CODES> [--seed <N>]
                 [--samples <S>] [--val <N>]
     nds analyze --arch <lenet|vgg|resnet|vit> --config <CODES> [--spatial] [--samples <S>]
@@ -44,6 +55,8 @@ CONFIG CODES: one letter per dropout slot —
 
 EXAMPLES:
     nds run --arch lenet --aim ece --seed 7
+    nds search --arch lenet --aim ece --generations 6 --checkpoint search.json
+    nds search --arch lenet --aim ece --checkpoint search.json --resume
     nds analyze --arch resnet --config KMBM
     nds hls --arch lenet --config RRB --out ./hls_out
 ";
@@ -67,6 +80,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(&args[1..])?;
     match command.as_str() {
         "run" => cmd_run(&flags),
+        "search" => cmd_search(&flags),
         "eval" => cmd_eval(&flags),
         "analyze" => cmd_analyze(&flags),
         "hls" => cmd_hls(&flags),
@@ -87,7 +101,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
         // Boolean flags take no value.
-        if matches!(key, "extended" | "spatial") {
+        if matches!(key, "extended" | "spatial" | "resume") {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -147,12 +161,27 @@ fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, String> {
 }
 
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    use neural_dropout_search::core::run_with_observer;
+    use neural_dropout_search::search::SearchEvent;
     let spec = spec_for(flags)?;
     println!(
         "running 4-phase search: arch={} dataset={} aim={}",
         spec.arch.name, spec.dataset, spec.aim.name
     );
-    let outcome = run(&spec).map_err(|e| e.to_string())?;
+    // Stream Phase-3 progress as the session steps through generations.
+    let outcome = run_with_observer(&spec, |event| {
+        if let SearchEvent::Step(step) = event {
+            println!(
+                "  search gen {}: best {:.4}, mean {:.4}, archive {} (front {})",
+                step.stats.generation,
+                step.stats.best_score,
+                step.stats.mean_score,
+                step.archive_len,
+                step.front_len
+            );
+        }
+    })
+    .map_err(|e| e.to_string())?;
     for epoch in &outcome.training {
         println!(
             "  train epoch {}: loss {:.4}, accuracy {:.1}%",
@@ -175,6 +204,195 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         "timings: train {:.1}s, search {:.1}s",
         outcome.timings.training_s, outcome.timings.search_s
     );
+    Ok(())
+}
+
+/// Phase-3 search through the unified `SearchSession` API: trains the
+/// supernet (SPOS), then drives the chosen strategy with streaming
+/// per-step progress. `--checkpoint FILE` writes a versioned JSON
+/// snapshot (after `--stop-after K` steps, or at the end);
+/// `--resume` restores it and continues — the resumed run reproduces
+/// the uninterrupted one byte for byte, so the final summary lines are
+/// identical either way (the CI resume smoke diffs exactly that).
+fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
+    use neural_dropout_search::data::generate;
+    use neural_dropout_search::hw::accel::AcceleratorModel;
+    use neural_dropout_search::search::{
+        LatencyProvider, SearchBuilder, SearchCheckpoint, SearchEvent, Strategy,
+    };
+    use neural_dropout_search::supernet::Supernet;
+    use neural_dropout_search::tensor::rng::Rng64;
+
+    let mut spec = spec_for(flags)?;
+    if let Some(train) = flags.get("train") {
+        spec.dataset_config.train = train
+            .parse()
+            .map_err(|_| format!("bad --train `{train}`"))?;
+    }
+    if let Some(val) = flags.get("val") {
+        spec.dataset_config.val = val.parse().map_err(|_| format!("bad --val `{val}`"))?;
+    }
+    spec.train.epochs = parse_flag(flags, "epochs", spec.train.epochs)?;
+    spec.evolution.population = parse_flag(flags, "population", spec.evolution.population)?;
+    spec.evolution.generations = parse_flag(flags, "generations", spec.evolution.generations)?;
+    spec.evolution.parents = parse_flag(flags, "parents", spec.evolution.parents)?;
+    let strategy = match flags
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("evolution")
+    {
+        "evolution" | "ea" => Strategy::Evolution(spec.evolution),
+        "random" | "rs" => Strategy::Random(neural_dropout_search::search::RandomSearchConfig {
+            budget: parse_flag(flags, "budget", 16usize)?,
+            seed: spec.evolution.seed,
+        }),
+        "exhaustive" | "all" => Strategy::Exhaustive,
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    let checkpoint_path = flags.get("checkpoint").map(std::path::PathBuf::from);
+    let stop_after: usize = parse_flag(flags, "stop-after", 0usize)?;
+    let resume = flags.contains_key("resume");
+    if resume && checkpoint_path.is_none() {
+        return Err("--resume needs --checkpoint <FILE>".to_string());
+    }
+    // Validate before any expensive work: failing after training and K
+    // search steps would throw the whole run away.
+    if stop_after > 0 && checkpoint_path.is_none() {
+        return Err("--stop-after needs --checkpoint <FILE>".to_string());
+    }
+
+    // Phases 1-2: data + SPOS supernet training (deterministic from the
+    // seed, so a resumed process reconstructs identical weights).
+    let supernet_spec = spec.supernet_spec().map_err(|e| e.to_string())?;
+    let splits = generate(spec.dataset, &spec.dataset_config);
+    let mut supernet = Supernet::build(&supernet_spec).map_err(|e| e.to_string())?;
+    let mut rng = Rng64::new(spec.seed ^ 0x7EA1);
+    println!(
+        "training supernet: arch={} dataset={} epochs={}",
+        spec.arch.name, spec.dataset, spec.train.epochs
+    );
+    supernet
+        .train_spos(&splits.train, &spec.train, &mut rng)
+        .map_err(|e| e.to_string())?;
+    if spec.calibration_batches > 0 {
+        supernet.set_calibration_from(
+            &splits.train,
+            spec.calibration_batches,
+            spec.batch_size,
+            &mut rng.fork(0xCA11B),
+        );
+    }
+    let ood = splits
+        .train
+        .ood_noise(spec.ood_samples, &mut rng.fork(0x00D));
+    let hw_arch = spec.hardware_arch().clone();
+    let model = AcceleratorModel::new(spec.accel.clone());
+    let latency = match spec.latency_source {
+        LatencySource::Exact => LatencyProvider::Exact {
+            model,
+            arch: hw_arch,
+        },
+        LatencySource::Gp { train_points } => {
+            let (provider, rmse) = LatencyProvider::fit_gp(
+                &model,
+                &hw_arch,
+                &supernet_spec,
+                train_points,
+                (train_points / 4).max(4),
+                spec.seed ^ 0x69,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("gp surrogate fitted: rmse {rmse:.4} ms over {train_points} points");
+            provider
+        }
+    };
+
+    // Phase 3: the session.
+    let mut builder = SearchBuilder::new(&mut supernet)
+        .strategy(strategy)
+        .aim(spec.aim.clone())
+        .validation(&splits.val)
+        .ood(ood)
+        .latency(latency)
+        .batch_size(spec.batch_size);
+    if resume {
+        let path = checkpoint_path.as_deref().expect("checked above");
+        let checkpoint = SearchCheckpoint::load(path).map_err(|e| e.to_string())?;
+        println!(
+            "resuming from {} (archive {}, budget {} evals)",
+            path.display(),
+            checkpoint.archive.len(),
+            checkpoint.budget_spent
+        );
+        builder = builder.resume(checkpoint);
+    }
+    let mut session = builder.build().map_err(|e| e.to_string())?;
+
+    let print_step = |event: &SearchEvent| {
+        if let SearchEvent::Step(step) = event {
+            println!(
+                "gen {:>3}  best {:.6}  mean {:.6}  config {:<12}  archive {:>3}  front {:>2}  hv {:.6}  evals {}",
+                step.stats.generation,
+                step.stats.best_score,
+                step.stats.mean_score,
+                step.stats.best_config.to_string(),
+                step.archive_len,
+                step.front_len,
+                step.hypervolume,
+                step.budget_spent
+            );
+        }
+    };
+
+    if stop_after > 0 {
+        let mut steps = 0usize;
+        while steps < stop_after {
+            let event = session.step().map_err(|e| e.to_string())?;
+            if matches!(event, SearchEvent::Finished) {
+                break;
+            }
+            print_step(&event);
+            steps += 1;
+        }
+        let path = checkpoint_path.as_deref().expect("validated up front");
+        session.snapshot().save(path).map_err(|e| e.to_string())?;
+        println!(
+            "checkpoint written to {} after {steps} step(s); continue with --resume",
+            path.display()
+        );
+        if !session.is_finished() {
+            return Ok(());
+        }
+    } else {
+        session.run_with(print_step).map_err(|e| e.to_string())?;
+    }
+
+    let outcome = session.outcome().map_err(|e| e.to_string())?;
+    if stop_after == 0 {
+        if let Some(path) = checkpoint_path.as_deref() {
+            session.snapshot().save(path).map_err(|e| e.to_string())?;
+            println!("final checkpoint written to {}", path.display());
+        }
+    }
+    // Full-precision summary: byte-identical between an uninterrupted
+    // run and a stop/resume pair (the CI smoke diffs these lines).
+    println!("\n-- search result --");
+    println!(
+        "winner {}  acc {:.12e}  ece {:.12e}  ape {:.12e}  latency {:.12e} ms",
+        outcome.best.config,
+        outcome.best.metrics.accuracy,
+        outcome.best.metrics.ece,
+        outcome.best.metrics.ape,
+        outcome.best.latency_ms
+    );
+    println!("aim score {:.12e}", spec.aim.score(&outcome.best));
+    println!(
+        "archive {} configs, front {}, hypervolume {:.12e}",
+        outcome.archive.len(),
+        outcome.archive.front_len(),
+        outcome.archive.hypervolume()
+    );
+    println!("budget {} fresh evaluations", outcome.budget_spent);
     Ok(())
 }
 

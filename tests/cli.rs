@@ -89,6 +89,66 @@ fn vit_space_and_analysis_work() {
 }
 
 #[test]
+fn search_stop_resume_reproduces_the_uninterrupted_summary() {
+    let dir = std::env::temp_dir().join("nds_cli_search_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint = dir.join("cp.json");
+    let base = [
+        "search",
+        "--arch",
+        "lenet",
+        "--epochs",
+        "1",
+        "--train",
+        "96",
+        "--val",
+        "32",
+        "--generations",
+        "3",
+        "--population",
+        "5",
+        "--parents",
+        "2",
+        "--seed",
+        "11",
+    ];
+    let (ok, full, err) = nds(&base);
+    assert!(ok, "{full}\n{err}");
+    assert!(full.contains("winner"), "{full}");
+    fn with<'a>(base: &[&'a str], extra: &[&'a str]) -> Vec<&'a str> {
+        let mut args: Vec<&'a str> = base.to_vec();
+        args.extend_from_slice(extra);
+        args
+    }
+    let cp = checkpoint.to_str().unwrap();
+    let (ok, _, err) = nds(&with(&base, &["--checkpoint", cp, "--stop-after", "1"]));
+    assert!(ok, "{err}");
+    assert!(checkpoint.exists(), "checkpoint file written");
+    let (ok, resumed, err) = nds(&with(&base, &["--checkpoint", cp, "--resume"]));
+    assert!(ok, "{err}");
+    // The full-precision final summaries must be byte-identical.
+    let summary = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("-- search result --"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert!(!summary(&full).is_empty());
+    assert_eq!(
+        summary(&full),
+        summary(&resumed),
+        "resumed summary must equal the uninterrupted one byte for byte"
+    );
+    // A corrupted checkpoint is a clean error, not a panic.
+    std::fs::write(&checkpoint, "{ not a checkpoint").unwrap();
+    let (ok, _, stderr) = nds(&with(&base, &["--checkpoint", cp, "--resume"]));
+    assert!(!ok);
+    assert!(stderr.contains("checkpoint"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_input_fails_with_usage() {
     let (ok, _, stderr) = nds(&["frobnicate"]);
     assert!(!ok);

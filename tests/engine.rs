@@ -1,39 +1,38 @@
-//! `UncertaintyEngine` integration suite: the unified serving facade
-//! must be a *drop-in* replacement for the legacy free functions.
+//! `UncertaintyEngine` integration suite: the unified serving facade's
+//! scheduling and caching can never change the bytes it serves.
 //!
-//! Four groups of guarantees:
+//! Four groups of guarantees, all **engine-vs-engine golden checks** (a
+//! serial one-shot engine is the reference computation; the benches and
+//! `perf_baseline` migrated off the deprecated free-function wrappers,
+//! whose own byte-stability is pinned in their home crates):
 //!
-//! 1. **Legacy equivalence** — `engine.predict` produces byte-identical
-//!    mean probabilities to the deprecated wrappers it supersedes
-//!    (`mc_predict[_with_workers]`, `quantized_mc_predict`), and the
-//!    typed uncertainty outputs equal `McPrediction`'s methods exactly.
-//! 2. **Serial vs parallel** — any explicit worker split produces the
-//!    same bytes (the CI `NDS_THREADS={1,4}` matrix re-runs this whole
-//!    suite under both pool sizes, covering the pool dimension too).
+//! 1. **Worker splits** — any explicit worker split produces the same
+//!    bytes as the serial reference engine (the CI `NDS_THREADS={1,4}`
+//!    matrix re-runs this whole suite under both pool sizes, covering
+//!    the pool dimension too).
+//! 2. **Uncertainty diagnostics** — entropy / mutual information /
+//!    variance are exactly equal across scheduling choices and obey
+//!    their analytic invariants.
 //! 3. **Chunked streaming** — property test: engine-chosen micro-batch
 //!    execution is byte-identical to one-shot execution across ragged
 //!    batch sizes, all three backends, and worker counts.
 //! 4. **Clone-cache staleness** — weight mutations (copy-on-write
-//!    detach) and batch-norm running-stat updates both invalidate the
-//!    persistent worker clones, so cached parallel rounds can never
-//!    serve stale state.
+//!    detach), batch-norm running-stat updates and structural surgery
+//!    (push or same-count swap, via the `Sequential` structural epoch)
+//!    all invalidate the persistent worker clones, so cached parallel
+//!    rounds can never serve stale state.
 
-// The deprecated wrappers are exactly what the engine is being compared
-// against here.
-#![allow(deprecated)]
-
-use neural_dropout_search::dropout::mc::{mc_predict_with_workers, McPrediction};
 use neural_dropout_search::dropout::{DropoutKind, DropoutLayer, DropoutSettings};
 use neural_dropout_search::engine::{
     Backend, EngineBuilder, PredictRequest, SimPlatform, UncertaintyEngine, UncertaintyFlags,
 };
-use neural_dropout_search::hw::simulator::{quantize_network, quantized_mc_predict_with_workers};
+use neural_dropout_search::hw::simulator::quantize_network;
 use neural_dropout_search::nn::arch::{FeatureShape, SlotInfo, SlotPosition};
 use neural_dropout_search::nn::layers::{BatchNorm2d, Flatten, Linear, Sequential};
 use neural_dropout_search::nn::Layer;
 use neural_dropout_search::quant::Q7_8;
 use neural_dropout_search::tensor::rng::Rng64;
-use neural_dropout_search::tensor::{Shape, Tensor, Workspace};
+use neural_dropout_search::tensor::{Shape, Tensor};
 use proptest::prelude::*;
 
 /// A small stochastic net: Flatten → Linear → Bernoulli dropout → Linear.
@@ -80,12 +79,16 @@ fn images(seed: u64, n: usize) -> Tensor {
 }
 
 #[test]
-fn engine_float_backend_is_byte_identical_to_legacy_wrappers() {
+fn engine_float_backend_worker_splits_are_byte_identical() {
     let x = images(2, 5);
-    for workers in [1, 2, 4, 8] {
-        let mut ws = Workspace::new();
-        let legacy =
-            mc_predict_with_workers(&mut stochastic_net(1), &x, 4, 2, workers, &mut ws).unwrap();
+    // Golden reference: serial one-shot execution of the same network.
+    let mut reference = EngineBuilder::new(stochastic_net(1))
+        .samples(4)
+        .workers(1)
+        .chunk_size(5)
+        .build();
+    let expect = reference.predict(&PredictRequest::new(&x)).unwrap();
+    for workers in [2, 4, 8] {
         let mut engine = EngineBuilder::new(stochastic_net(1))
             .samples(4)
             .workers(workers)
@@ -93,61 +96,82 @@ fn engine_float_backend_is_byte_identical_to_legacy_wrappers() {
             .build();
         let resp = engine.predict(&PredictRequest::new(&x)).unwrap();
         assert_eq!(
-            legacy.mean_probs.as_slice(),
+            expect.probs.as_slice(),
             resp.probs.as_slice(),
-            "engine vs legacy diverged at {workers} workers"
+            "parallel engine diverged from the serial reference at {workers} workers"
         );
     }
 }
 
 #[test]
-fn engine_uncertainty_outputs_equal_mc_prediction_methods() {
+fn engine_uncertainty_outputs_are_schedule_invariant_and_consistent() {
     let x = images(4, 6);
-    let mut ws = Workspace::new();
-    let legacy: McPrediction =
-        mc_predict_with_workers(&mut stochastic_net(3), &x, 5, 3, 1, &mut ws).unwrap();
-    let mut engine = EngineBuilder::new(stochastic_net(3)).samples(5).build();
+    // Golden reference: serial one-shot; candidate: parallel + chunked.
+    let mut reference = EngineBuilder::new(stochastic_net(3))
+        .samples(5)
+        .workers(1)
+        .chunk_size(6)
+        .build();
+    let expect = reference
+        .predict(&PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL))
+        .unwrap();
+    let mut engine = EngineBuilder::new(stochastic_net(3))
+        .samples(5)
+        .workers(4)
+        .chunk_size(2)
+        .build();
     let resp = engine
         .predict(&PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL))
         .unwrap();
-    assert_eq!(legacy.mean_probs.as_slice(), resp.probs.as_slice());
+    assert_eq!(expect.probs.as_slice(), resp.probs.as_slice());
     assert_eq!(
-        legacy.predictive_entropy(),
-        resp.entropy.clone().unwrap(),
-        "entropy must match McPrediction exactly"
+        expect.entropy, resp.entropy,
+        "entropy must be exactly schedule-invariant"
     );
     assert_eq!(
-        legacy.mutual_information(),
-        resp.mutual_information.clone().unwrap(),
-        "mutual information must match McPrediction exactly"
+        expect.mutual_information, resp.mutual_information,
+        "mutual information must be exactly schedule-invariant"
     );
     assert_eq!(
-        legacy.predictive_variance(),
-        resp.variance.clone().unwrap(),
-        "variance must match McPrediction exactly"
+        expect.variance, resp.variance,
+        "variance must be exactly schedule-invariant"
     );
+    // Analytic invariants: all diagnostics non-negative, and mutual
+    // information (epistemic part) can never exceed total entropy.
+    let entropy = resp.entropy.unwrap();
+    let mi = resp.mutual_information.unwrap();
+    let variance = resp.variance.unwrap();
+    for i in 0..entropy.len() {
+        assert!(entropy[i] >= 0.0);
+        assert!((0.0..=entropy[i] + 1e-12).contains(&mi[i]));
+        assert!(variance[i] >= 0.0);
+    }
 }
 
 #[test]
-fn engine_quantized_backend_is_byte_identical_to_legacy_wrapper() {
+fn engine_quantized_backend_worker_splits_are_byte_identical() {
     let x = images(6, 5);
-    for workers in [1, 3, 4] {
-        let mut legacy_net = stochastic_net(5);
-        quantize_network(&mut legacy_net, Q7_8);
-        let legacy =
-            quantized_mc_predict_with_workers(&mut legacy_net, &x, Q7_8, 3, workers).unwrap();
-        let mut engine_net = stochastic_net(5);
-        quantize_network(&mut engine_net, Q7_8);
-        let mut engine = EngineBuilder::new(engine_net)
+    let quantized_engine = |workers: usize, chunk: usize| {
+        let mut net = stochastic_net(5);
+        quantize_network(&mut net, Q7_8);
+        EngineBuilder::new(net)
             .backend(Backend::quantized_q78())
             .samples(3)
             .workers(workers)
-            .build();
-        let resp = engine.predict(&PredictRequest::new(&x)).unwrap();
+            .chunk_size(chunk)
+            .build()
+    };
+    let expect = quantized_engine(1, 5)
+        .predict(&PredictRequest::new(&x))
+        .unwrap();
+    for workers in [3, 4] {
+        let resp = quantized_engine(workers, 2)
+            .predict(&PredictRequest::new(&x))
+            .unwrap();
         assert_eq!(
-            legacy.as_slice(),
+            expect.probs.as_slice(),
             resp.probs.as_slice(),
-            "quantized engine vs legacy diverged at {workers} workers"
+            "quantized engine diverged from the serial reference at {workers} workers"
         );
     }
 }
@@ -241,6 +265,45 @@ fn layer_push_invalidates_cached_parallel_clones() {
         expect.probs.as_slice(),
         after.probs.as_slice(),
         "cached clones must not serve the pre-surgery architecture"
+    );
+}
+
+#[test]
+fn same_count_layer_swap_invalidates_cached_parallel_clones() {
+    // Replacing one parameterless layer with another keeps the layer
+    // count, every weight pointer and every batch-norm epoch identical —
+    // historically the one edit that required a manual
+    // `invalidate_cache`. The `Sequential` structural epoch (bumped by
+    // the `layers_mut` borrow) must now catch it automatically.
+    use neural_dropout_search::nn::layers::{Identity, Relu};
+    let x = images(16, 4);
+    let with_tail = |tail: Box<dyn Layer>| -> Sequential {
+        let mut net = stochastic_net(15);
+        net.push(tail);
+        net
+    };
+    let mut engine = EngineBuilder::new(with_tail(Box::new(Relu::new())))
+        .samples(4)
+        .workers(4)
+        .build();
+    let before = engine.predict(&PredictRequest::new(&x)).unwrap();
+    let last = engine.net_mut().len() - 1;
+    engine.net_mut().layers_mut()[last] = Box::new(Identity::new());
+    let after = engine.predict(&PredictRequest::new(&x)).unwrap();
+    assert_ne!(
+        before.probs.as_slice(),
+        after.probs.as_slice(),
+        "dropping the logits ReLU must change the softmax"
+    );
+    let mut fresh = EngineBuilder::new(with_tail(Box::new(Identity::new())))
+        .samples(4)
+        .workers(1)
+        .build();
+    let expect = fresh.predict(&PredictRequest::new(&x)).unwrap();
+    assert_eq!(
+        expect.probs.as_slice(),
+        after.probs.as_slice(),
+        "cached clones must not survive a same-count layer swap"
     );
 }
 

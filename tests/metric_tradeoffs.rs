@@ -6,7 +6,7 @@ use neural_dropout_search::hw::accel::{AcceleratorConfig, AcceleratorModel};
 use neural_dropout_search::nn::train::TrainConfig;
 use neural_dropout_search::nn::zoo;
 use neural_dropout_search::search::pareto::{figure4_objectives, on_frontier};
-use neural_dropout_search::search::{evaluate_all, LatencyProvider, SupernetEvaluator};
+use neural_dropout_search::search::{LatencyProvider, SearchBuilder, Strategy};
 use neural_dropout_search::supernet::{DropoutConfig, Supernet, SupernetSpec};
 use neural_dropout_search::tensor::rng::Rng64;
 
@@ -41,8 +41,18 @@ fn evaluated_archive() -> (SupernetSpec, Vec<neural_dropout_search::search::Cand
         model,
         arch: zoo::lenet(),
     };
-    let mut evaluator = SupernetEvaluator::new(&mut supernet, &splits.val, ood, latency, 64);
-    let archive = evaluate_all(&spec, &mut evaluator).unwrap();
+    let archive = SearchBuilder::new(&mut supernet)
+        .strategy(Strategy::Exhaustive)
+        .validation(&splits.val)
+        .ood(ood)
+        .latency(latency)
+        .batch_size(64)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .archive
+        .into_candidates();
     (spec, archive)
 }
 
