@@ -158,6 +158,36 @@ fn main() {
     let (quant_small_ips, quant_large_ips) = engine_ips(Backend::quantized_q78());
 
     // ------------------------------------------------------------------
+    // Deadline-aware degradation: the float engine against a latency
+    // budget of roughly half its unbudgeted p50, serial workers (the
+    // budgeted path runs rounds serially). Reports how many MC samples
+    // the engine got inside the budget and the resulting p50 — the cost
+    // model for trading samples against tail latency.
+    // ------------------------------------------------------------------
+    let deg_samples = if smoke { 4 } else { 8 };
+    let mut deg_engine = EngineBuilder::new(supernet.net_mut().clone())
+        .samples(deg_samples)
+        .workers(1)
+        .build();
+    let deg_full_secs = time_median(if smoke { 2 } else { 5 }, || {
+        let resp = deg_engine
+            .predict(&PredictRequest::new(&small_images))
+            .unwrap();
+        deg_engine.recycle(resp);
+    });
+    let deg_budget_ms = (deg_full_secs * 1e3 / 2.0).max(0.01);
+    let mut deg_achieved = deg_samples;
+    let mut deg_degraded = false;
+    let deg_budgeted_secs = time_median(if smoke { 2 } else { 5 }, || {
+        let resp = deg_engine
+            .predict(&PredictRequest::new(&small_images).with_latency_budget(deg_budget_ms))
+            .unwrap();
+        deg_achieved = resp.achieved_samples;
+        deg_degraded = resp.degraded;
+        deg_engine.recycle(resp);
+    });
+
+    // ------------------------------------------------------------------
     // Search-session throughput: the Phase-3 `SearchSession` end to end
     // on a tiny LeNet supernet (untrained weights — the per-candidate
     // evaluation cost is identical), 2 evolutionary generations. Reported
@@ -220,6 +250,13 @@ fn main() {
          \"float32_b256_images_per_sec\": {:.1},\n    \
          \"quantized_q78_b32_images_per_sec\": {:.1},\n    \
          \"quantized_q78_b256_images_per_sec\": {:.1}\n  }},\n  \
+         \"degraded_latency_lenet_b32\": {{\n    \
+         \"requested_samples\": {deg_samples},\n    \
+         \"unbudgeted_ms\": {:.3},\n    \
+         \"budget_ms\": {:.3},\n    \
+         \"budgeted_ms\": {:.3},\n    \
+         \"achieved_samples\": {deg_achieved},\n    \
+         \"degraded\": {deg_degraded}\n  }},\n  \
          \"search_smoke\": {{\n    \
          \"generations\": {search_generations},\n    \
          \"population\": {search_pop},\n    \
@@ -246,6 +283,9 @@ fn main() {
         float_large_ips,
         quant_small_ips,
         quant_large_ips,
+        deg_full_secs * 1e3,
+        deg_budget_ms,
+        deg_budgeted_secs * 1e3,
         search_elapsed * 1e3,
         search_cps,
     );

@@ -36,7 +36,7 @@ use nds_metrics::entropy_nats;
 use nds_nn::layers::Sequential;
 use nds_nn::train::predict_probs_ws;
 use nds_nn::{Layer, Mode, Result};
-use nds_tensor::parallel::worker_count;
+use nds_tensor::parallel::{worker_count, PoolError};
 use nds_tensor::{Shape, SharedTensor, Tensor, Workspace};
 
 /// Result of a Monte-Carlo prediction round.
@@ -423,7 +423,15 @@ impl McCloneCache {
 /// # Errors
 ///
 /// Returns the failing pass's error with the smallest sample index
-/// (workers past the error may be skipped).
+/// (workers past the error may be skipped). A pass that *panics* —
+/// whether from an injected fault or a runtime bug — is converted into
+/// a typed [`PoolError`] via the `E: From<PoolError>` bound instead of
+/// unwinding through the harness, on every path (pooled, serial pool,
+/// and in-place serial), so serving layers can fail one request and
+/// keep running. On any error the whole `out` slab is unspecified and
+/// must be discarded by the caller: panic isolation guarantees no
+/// partial result is ever *interpreted*, not that no bytes were
+/// written.
 ///
 /// # Panics
 ///
@@ -431,7 +439,7 @@ impl McCloneCache {
 /// returns a tensor whose length disagrees with `pass_len` — both
 /// driver programming errors.
 #[allow(clippy::too_many_arguments)]
-pub fn mc_sample_rounds_into<E: Send>(
+pub fn mc_sample_rounds_into<E: Send + From<PoolError>>(
     net: &mut Sequential,
     samples: usize,
     workers: usize,
@@ -454,14 +462,24 @@ pub fn mc_sample_rounds_into<E: Send>(
         let mut first_err = None;
         for s in 0..samples {
             net.begin_mc_sample(stream_base.wrapping_add(s as u64));
-            match run_pass(net, workspace) {
-                Ok(t) => {
+            // Same panic isolation as the pool path: a pass that
+            // unwinds becomes a typed PoolError, not a crash. The
+            // pass_len assert stays *outside* the catch — it is a
+            // driver bug and must keep panicking.
+            let passed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_pass(net, workspace)));
+            match passed {
+                Ok(Ok(t)) => {
                     assert_eq!(t.len(), pass_len, "pass output length must match pass_len");
                     out[s * pass_len..(s + 1) * pass_len].copy_from_slice(t.as_slice());
                     workspace.recycle_tensor(t);
                 }
-                Err(e) => {
+                Ok(Err(e)) => {
                     first_err = Some(e);
+                    break;
+                }
+                Err(payload) => {
+                    first_err = Some(E::from(PoolError::from_payload(payload.as_ref())));
                     break;
                 }
             }
@@ -499,15 +517,42 @@ pub fn mc_sample_rounds_into<E: Send>(
         }
     };
     let chunk_elems = per_worker * pass_len;
+    // A chunk that panics is recorded at its first sample index (the
+    // exact failing sample inside the chunk is unknowable once the
+    // stack has unwound); typed pass errors keep their precise index
+    // and the smallest index still wins overall.
+    let record_panic = |first_sample: usize, payload: Box<dyn std::any::Any + Send>| {
+        let mut slot_err = first_err.lock().unwrap_or_else(|p| p.into_inner());
+        if slot_err
+            .as_ref()
+            .is_none_or(|(prev, _)| first_sample < *prev)
+        {
+            *slot_err = Some((
+                first_sample,
+                E::from(PoolError::from_payload(payload.as_ref())),
+            ));
+        }
+    };
     if nds_tensor::parallel::worker_count() <= 1 {
         // Serial pool: run the same chunks inline — identical bytes,
-        // zero steady-state allocations (no task boxing).
+        // zero steady-state allocations (no task boxing) — with the
+        // same per-chunk panic isolation the pool provides.
         for (w, (chunk, slot)) in out
             .chunks_mut(chunk_elems)
             .zip(cache.slots.iter_mut())
             .enumerate()
         {
-            run_chunk(w, slot, chunk);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Each inline chunk counts as one pool task, exactly as
+                // it would on a multi-worker pool, so injected pool
+                // faults reproduce under NDS_THREADS=1 too.
+                nds_fault::on_pool_task();
+                run_chunk(w, slot, chunk)
+            }));
+            if let Err(payload) = outcome {
+                record_panic(w * per_worker, payload);
+                break;
+            }
         }
     } else {
         let run_chunk = &run_chunk;
@@ -521,7 +566,14 @@ pub fn mc_sample_rounds_into<E: Send>(
                 task
             })
             .collect();
-        nds_tensor::parallel::run_scoped(tasks);
+        if let Err(pool_err) = nds_tensor::parallel::run_scoped_checked(tasks) {
+            // The pool already rendered the payload; the panicking
+            // chunk is unknown, so this ranks after any typed error.
+            let mut slot_err = first_err.lock().unwrap_or_else(|p| p.into_inner());
+            if slot_err.is_none() {
+                *slot_err = Some((usize::MAX, E::from(pool_err)));
+            }
+        }
     }
     match first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
         Some((_, e)) => Err(e),

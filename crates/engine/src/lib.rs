@@ -42,6 +42,36 @@
 //!   variance) are computed from the per-sample probabilities; the
 //!   mean distribution is always returned.
 //!
+//! # Failure handling
+//!
+//! `predict` never panics on bad input; every failure is a typed
+//! [`EngineError`], split into two families:
+//!
+//! * **Rejects** — the request was malformed and a retry cannot help:
+//!   shapeless inputs ([`EngineError::BadShape`]), NaN/Inf input values
+//!   ([`EngineError::NonFiniteInput`], caught up front so corruption
+//!   never reaches the datapath), inconsistent configuration
+//!   ([`EngineError::BadRequest`]).
+//! * **Faults** — the request was fine but serving it hit trouble:
+//!   non-finite probabilities out of a pass
+//!   ([`EngineError::NonFiniteOutput`]; the engine refuses to average
+//!   corrupted rounds into the response) and worker-pool task deaths
+//!   ([`EngineError::Pool`]). Pool faults are *transient*
+//!   ([`EngineError::is_transient`]): the pool survives and respawns,
+//!   and [`EngineBuilder::transient_retries`] makes the engine retry
+//!   the request itself — invalidating the clone cache first, so a
+//!   successful retry is byte-identical to a run that never faulted.
+//!
+//! On any error the request's working buffers are recycled, the engine
+//! stays serviceable, and no partial result escapes.
+//!
+//! Deadline-aware serving is the graceful middle ground:
+//! [`PredictRequest::with_latency_budget`] lets the engine *degrade*
+//! (average fewer MC rounds — never below one — reported via
+//! [`PredictResponse::achieved_samples`] / [`PredictResponse::degraded`])
+//! instead of either blowing the deadline or failing outright. The
+//! rounds that are averaged keep their unbudgeted bytes exactly.
+//!
 //! # Examples
 //!
 //! ```
@@ -88,12 +118,44 @@ use std::time::Instant;
 const DEFAULT_CHUNK: usize = 32;
 
 /// Errors from engine construction and serving.
+///
+/// The taxonomy follows the failure-handling policy (crate docs): the
+/// caller can tell *reject* errors (their request was malformed —
+/// [`BadRequest`](EngineError::BadRequest),
+/// [`BadShape`](EngineError::BadShape),
+/// [`NonFiniteInput`](EngineError::NonFiniteInput)) from *fault* errors
+/// (the engine hit trouble serving a well-formed request —
+/// [`NonFiniteOutput`](EngineError::NonFiniteOutput),
+/// [`Pool`](EngineError::Pool), [`Nn`](EngineError::Nn)). Only
+/// [`Pool`](EngineError::Pool) is transient; everything else will fail
+/// the same way on retry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// An underlying network/tensor operation failed.
     Nn(NnError),
     /// The request or engine configuration was inconsistent.
     BadRequest(String),
+    /// The input tensor's shape cannot be served (e.g. a rank-0 scalar
+    /// with no batch dimension).
+    BadShape(String),
+    /// The input contained a NaN or infinity at flat element `index`.
+    /// Rejected up front: non-finite inputs silently corrupt every
+    /// downstream probability and uncertainty diagnostic.
+    NonFiniteInput {
+        /// Flat index of the first non-finite input element.
+        index: usize,
+    },
+    /// A Monte-Carlo pass produced a NaN or infinite probability —
+    /// a numeric fault in the datapath (or an injected one). The
+    /// response was discarded rather than served.
+    NonFiniteOutput {
+        /// Index of the first MC sample whose output was non-finite.
+        sample: usize,
+    },
+    /// A worker-pool task died mid-request; the request's buffers were
+    /// discarded. Transient: the pool survives, and the engine retries
+    /// automatically when [`EngineBuilder::transient_retries`] is set.
+    Pool(nds_tensor::parallel::PoolError),
 }
 
 impl fmt::Display for EngineError {
@@ -101,6 +163,14 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Nn(e) => write!(f, "network error: {e}"),
             EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            EngineError::BadShape(msg) => write!(f, "bad input shape: {msg}"),
+            EngineError::NonFiniteInput { index } => {
+                write!(f, "non-finite input value at flat index {index}")
+            }
+            EngineError::NonFiniteOutput { sample } => {
+                write!(f, "non-finite probabilities in MC sample {sample}")
+            }
+            EngineError::Pool(e) => write!(f, "{e}"),
         }
     }
 }
@@ -109,14 +179,27 @@ impl StdError for EngineError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             EngineError::Nn(e) => Some(e),
-            EngineError::BadRequest(_) => None,
+            EngineError::Pool(e) => Some(e),
+            _ => None,
         }
     }
 }
 
 impl From<NnError> for EngineError {
     fn from(e: NnError) -> Self {
-        EngineError::Nn(e)
+        match e {
+            // Surface pool faults at the top level so callers can match
+            // on transience without digging through the Nn wrapper.
+            NnError::Pool(p) => EngineError::Pool(p),
+            other => EngineError::Nn(other),
+        }
+    }
+}
+
+impl EngineError {
+    /// Whether a retry of the same request could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Pool(_))
     }
 }
 
@@ -227,6 +310,8 @@ impl Backend {
                 "frac_bits {frac_bits} does not fit a 16-bit signed container"
             )));
         }
+        // Panic-audit: invariant-only. The range check above guarantees
+        // `15 - frac_bits + frac_bits == 15`, the only way `new` fails.
         let format =
             FixedFormat::new(15 - frac_bits, frac_bits).expect("int + frac == 15 by construction");
         Ok(Backend::Quantized { format })
@@ -260,6 +345,15 @@ pub struct PredictRequest<'a> {
     /// Which optional diagnostics to derive from the per-sample
     /// probabilities.
     pub outputs: UncertaintyFlags,
+    /// Optional serving deadline in milliseconds. When set, the engine
+    /// degrades gracefully instead of blowing the budget: MC samples
+    /// run one round at a time, and once the projected cost of the next
+    /// round exceeds the budget the engine stops early and averages the
+    /// rounds it finished (never fewer than one). The response reports
+    /// what happened in [`PredictResponse::achieved_samples`] and
+    /// [`PredictResponse::degraded`]. `None` (the default) always runs
+    /// all S samples.
+    pub latency_budget_ms: Option<f64>,
 }
 
 impl<'a> PredictRequest<'a> {
@@ -268,12 +362,20 @@ impl<'a> PredictRequest<'a> {
         PredictRequest {
             images,
             outputs: UncertaintyFlags::NONE,
+            latency_budget_ms: None,
         }
     }
 
     /// Adds uncertainty diagnostics to the request.
     pub fn with_outputs(mut self, outputs: UncertaintyFlags) -> Self {
         self.outputs = outputs;
+        self
+    }
+
+    /// Sets a serving deadline (milliseconds); see
+    /// [`PredictRequest::latency_budget_ms`].
+    pub fn with_latency_budget(mut self, budget_ms: f64) -> Self {
+        self.latency_budget_ms = Some(budget_ms);
         self
     }
 }
@@ -315,6 +417,12 @@ pub struct PredictResponse {
     pub mutual_information: Option<Vec<f64>>,
     /// Predictive variance per input, when requested.
     pub variance: Option<Vec<f64>>,
+    /// MC samples actually averaged into `probs`. Equal to the
+    /// configured S unless a latency budget forced early stopping.
+    pub achieved_samples: usize,
+    /// `true` when a latency budget cut the round count below the
+    /// configured S ([`PredictRequest::latency_budget_ms`]).
+    pub degraded: bool,
     /// Execution metadata.
     pub timing: PredictTiming,
 }
@@ -341,6 +449,7 @@ pub struct EngineBuilder {
     seed: u64,
     workers: usize,
     chunk: usize,
+    transient_retries: usize,
 }
 
 impl EngineBuilder {
@@ -356,6 +465,7 @@ impl EngineBuilder {
             seed: 0,
             workers: 0,
             chunk: 0,
+            transient_retries: 0,
         }
     }
 
@@ -394,6 +504,17 @@ impl EngineBuilder {
         self
     }
 
+    /// How many times a request that failed with a *transient* fault
+    /// (a pool-task death, [`EngineError::Pool`]) is retried before the
+    /// error is returned. Default 0: fail fast. Retries invalidate the
+    /// worker-clone cache first and back off exponentially; because
+    /// results depend only on `(seed, sample index)`, a retried request
+    /// is byte-identical to one that never faulted.
+    pub fn transient_retries(mut self, retries: usize) -> Self {
+        self.transient_retries = retries;
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> UncertaintyEngine {
         UncertaintyEngine {
@@ -403,6 +524,7 @@ impl EngineBuilder {
             seed: self.seed,
             workers: self.workers,
             chunk: self.chunk,
+            transient_retries: self.transient_retries,
             ws: Workspace::new(),
             cache: McCloneCache::new(),
         }
@@ -420,8 +542,70 @@ pub struct UncertaintyEngine {
     seed: u64,
     workers: usize,
     chunk: usize,
+    transient_retries: usize,
     ws: Workspace,
     cache: McCloneCache,
+}
+
+/// Runs the MC rounds for one request into `slab`, honouring an
+/// optional latency budget, and reports how many samples completed.
+///
+/// * **Unbudgeted** — one harness call over all S samples: the
+///   historical path, byte for byte (including its parallel fan-out).
+/// * **Budgeted** — samples run one *round* (one sample) at a time,
+///   serially; after each round the engine projects the next round's
+///   cost from the running average and stops early when it would bust
+///   the budget. At least one round always completes. Because round `s`
+///   pins stream `seed + s` exactly as the unbudgeted harness would,
+///   every completed round is byte-identical to the corresponding
+///   sample of an unbudgeted call — degradation changes *how many*
+///   samples are averaged, never their bytes.
+#[allow(clippy::too_many_arguments)]
+fn serve_rounds(
+    net: &mut Sequential,
+    samples: usize,
+    workers: usize,
+    seed: u64,
+    cache: &mut McCloneCache,
+    ws: &mut Workspace,
+    pass_len: usize,
+    slab: &mut [f32],
+    budget_ms: Option<f64>,
+    started: Instant,
+    run_pass: &(dyn Fn(&mut Sequential, &mut Workspace) -> std::result::Result<Tensor, NnError>
+          + Sync),
+) -> std::result::Result<usize, NnError> {
+    let budget = match budget_ms {
+        // An empty pass has nothing to degrade — serve it whole.
+        Some(b) if pass_len > 0 && samples > 1 => b,
+        _ => {
+            mc_sample_rounds_into(
+                net, samples, workers, seed, cache, ws, pass_len, slab, run_pass,
+            )?;
+            return Ok(samples);
+        }
+    };
+    let mut achieved = 0;
+    for s in 0..samples {
+        mc_sample_rounds_into(
+            net,
+            1,
+            1,
+            seed.wrapping_add(s as u64),
+            cache,
+            ws,
+            pass_len,
+            &mut slab[s * pass_len..(s + 1) * pass_len],
+            run_pass,
+        )?;
+        achieved = s + 1;
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let projected_ms = elapsed_ms + elapsed_ms / achieved as f64;
+        if achieved < samples && projected_ms > budget {
+            break;
+        }
+    }
+    Ok(achieved)
 }
 
 impl UncertaintyEngine {
@@ -431,20 +615,38 @@ impl UncertaintyEngine {
     ///
     /// Deterministic: the response bytes depend only on the network
     /// state, the backend, `(seed, samples)` and the input — never on
-    /// worker count, chunk size, pool size or what ran before.
+    /// worker count, chunk size, pool size or what ran before. A
+    /// latency budget can reduce the number of samples averaged, but
+    /// every sample that *is* averaged keeps its unbudgeted bytes.
     ///
     /// # Errors
     ///
-    /// Propagates network execution errors.
+    /// Rejects malformed requests up front ([`EngineError::BadShape`],
+    /// [`EngineError::NonFiniteInput`], [`EngineError::BadRequest`]);
+    /// surfaces datapath faults as [`EngineError::NonFiniteOutput`] or
+    /// [`EngineError::Pool`] (retried per
+    /// [`EngineBuilder::transient_retries`]); propagates network
+    /// execution errors as [`EngineError::Nn`]. Never panics on bad
+    /// input.
     pub fn predict(&mut self, request: &PredictRequest<'_>) -> Result<PredictResponse> {
         let started = Instant::now();
         let images = request.images;
         if images.shape().rank() == 0 {
             // A scalar has no batch dimension to iterate; reject it
             // before any pass can index past the rank.
-            return Err(EngineError::BadRequest(
+            return Err(EngineError::BadShape(
                 "predict needs a batched input (rank >= 1), got a rank-0 tensor".to_string(),
             ));
+        }
+        if let Some(index) = images.as_slice().iter().position(|v| !v.is_finite()) {
+            return Err(EngineError::NonFiniteInput { index });
+        }
+        if let Some(budget) = request.latency_budget_ms {
+            if !budget.is_finite() || budget <= 0.0 {
+                return Err(EngineError::BadRequest(format!(
+                    "latency budget must be positive and finite, got {budget}"
+                )));
+            }
         }
         let n = images.shape().dim(0);
         let classes = output_classes(&self.net, images.shape())?;
@@ -469,47 +671,86 @@ impl UncertaintyEngine {
             ref mut ws,
             ref mut cache,
             seed,
+            transient_retries,
             ..
         } = *self;
-        let outcome = match backend.format() {
-            None => mc_sample_rounds_into(
-                net,
-                samples,
-                workers,
-                seed,
-                cache,
-                ws,
-                pass_len,
-                &mut slab,
-                &|net, ws| predict_probs_ws(net, images, Mode::McInference, chunk, ws),
-            ),
-            Some(format) => mc_sample_rounds_into(
-                net,
-                samples,
-                workers,
-                seed,
-                cache,
-                ws,
-                pass_len,
-                &mut slab,
-                &|net, ws| {
-                    quantized::quantized_predict_probs_ws(
+        let budget_ms = request.latency_budget_ms;
+        let policy = nds_tensor::parallel::RetryPolicy::with_retries(transient_retries);
+        let outcome = nds_tensor::parallel::retry_transient(
+            policy,
+            |e: &NnError| matches!(e, NnError::Pool(_)),
+            |attempt| {
+                if attempt > 0 {
+                    // A worker died mid-round: the cached clones may
+                    // hold half-advanced stochastic state. Rebuild them
+                    // so the retry reproduces a clean round.
+                    cache.invalidate();
+                }
+                match backend.format() {
+                    None => serve_rounds(
                         net,
-                        images,
-                        format,
-                        Mode::McInference,
-                        chunk,
+                        samples,
+                        workers,
+                        seed,
+                        cache,
                         ws,
-                    )
-                },
-            ),
+                        pass_len,
+                        &mut slab,
+                        budget_ms,
+                        started,
+                        &|net, ws| {
+                            nds_fault::pass_delay();
+                            predict_probs_ws(net, images, Mode::McInference, chunk, ws)
+                        },
+                    ),
+                    Some(format) => serve_rounds(
+                        net,
+                        samples,
+                        workers,
+                        seed,
+                        cache,
+                        ws,
+                        pass_len,
+                        &mut slab,
+                        budget_ms,
+                        started,
+                        &|net, ws| {
+                            nds_fault::pass_delay();
+                            quantized::quantized_predict_probs_ws(
+                                net,
+                                images,
+                                format,
+                                Mode::McInference,
+                                chunk,
+                                ws,
+                            )
+                        },
+                    ),
+                }
+            },
+        );
+        let achieved = match outcome {
+            Ok(achieved) => achieved,
+            Err(e) => {
+                self.ws.recycle(slab);
+                return Err(e.into());
+            }
         };
-        if let Err(e) = outcome {
-            self.ws.recycle(slab);
-            return Err(e.into());
+        // Serve no NaNs: a non-finite probability means a datapath
+        // fault corrupted the round — fail the request rather than
+        // launder the corruption into the mean and its diagnostics.
+        if pass_len > 0 {
+            if let Some(pos) = slab[..achieved * pass_len]
+                .iter()
+                .position(|v| !v.is_finite())
+            {
+                let sample = pos / pass_len;
+                self.ws.recycle(slab);
+                return Err(EngineError::NonFiniteOutput { sample });
+            }
         }
         let mut mean = self.ws.take(pass_len);
-        mean_over_samples(&slab, samples, &mut mean);
+        mean_over_samples(&slab[..achieved * pass_len], achieved, &mut mean);
         let entropy = request
             .outputs
             .contains(UncertaintyFlags::ENTROPY)
@@ -527,13 +768,13 @@ impl UncertaintyEngine {
                 let mut out = self.ws.take_f64();
                 for i in 0..n {
                     let total = entropy_nats(&mean[i * classes..(i + 1) * classes]);
-                    let aleatoric: f64 = (0..samples)
+                    let aleatoric: f64 = (0..achieved)
                         .map(|s| {
                             let row = &slab[s * pass_len + i * classes..];
                             entropy_nats(&row[..classes])
                         })
                         .sum::<f64>()
-                        / samples as f64;
+                        / achieved as f64;
                     out.push((total - aleatoric).max(0.0));
                 }
                 out
@@ -547,12 +788,12 @@ impl UncertaintyEngine {
                     let mut var = 0.0f64;
                     for j in 0..classes {
                         let m = mean[i * classes + j] as f64;
-                        for s in 0..samples {
+                        for s in 0..achieved {
                             let d = slab[s * pass_len + i * classes + j] as f64 - m;
                             var += d * d;
                         }
                     }
-                    out.push(var / (samples as f64 * classes as f64));
+                    out.push(var / (achieved as f64 * classes as f64));
                 }
                 out
             });
@@ -567,9 +808,11 @@ impl UncertaintyEngine {
             entropy,
             mutual_information,
             variance,
+            achieved_samples: achieved,
+            degraded: achieved < samples,
             timing: PredictTiming {
                 backend: self.backend.label(),
-                samples,
+                samples: achieved,
                 workers,
                 chunk_size: chunk,
                 chunks: if n == 0 { 0 } else { n.div_ceil(chunk.max(1)) },
@@ -780,7 +1023,52 @@ mod tests {
         let mut engine = EngineBuilder::new(stochastic_net(8)).build();
         let scalar = Tensor::from_vec(vec![1.0], Shape::scalar()).unwrap();
         let err = engine.predict(&PredictRequest::new(&scalar)).unwrap_err();
-        assert!(matches!(err, EngineError::BadRequest(_)), "{err}");
+        assert!(matches!(err, EngineError::BadShape(_)), "{err}");
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_up_front() {
+        let mut engine = EngineBuilder::new(stochastic_net(8)).build();
+        let mut v = vec![0.0f32; 16];
+        v[5] = f32::NAN;
+        let x = Tensor::from_vec(v, Shape::d4(1, 1, 4, 4)).unwrap();
+        let err = engine.predict(&PredictRequest::new(&x)).unwrap_err();
+        assert_eq!(err, EngineError::NonFiniteInput { index: 5 });
+        let mut v = vec![0.0f32; 16];
+        v[9] = f32::INFINITY;
+        let x = Tensor::from_vec(v, Shape::d4(1, 1, 4, 4)).unwrap();
+        let err = engine.predict(&PredictRequest::new(&x)).unwrap_err();
+        assert_eq!(err, EngineError::NonFiniteInput { index: 9 });
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn invalid_latency_budgets_are_rejected() {
+        let mut engine = EngineBuilder::new(stochastic_net(8)).build();
+        let x = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let err = engine
+                .predict(&PredictRequest::new(&x).with_latency_budget(bad))
+                .unwrap_err();
+            assert!(matches!(err, EngineError::BadRequest(_)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn generous_budgets_serve_all_samples_byte_identically() {
+        let mut rng = Rng64::new(21);
+        let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut unbudgeted = EngineBuilder::new(stochastic_net(13)).samples(4).build();
+        let mut budgeted = EngineBuilder::new(stochastic_net(13)).samples(4).build();
+        let a = unbudgeted.predict(&PredictRequest::new(&x)).unwrap();
+        let b = budgeted
+            .predict(&PredictRequest::new(&x).with_latency_budget(60_000.0))
+            .unwrap();
+        assert_eq!(a.probs.as_slice(), b.probs.as_slice());
+        assert_eq!(b.achieved_samples, 4);
+        assert!(!b.degraded);
+        assert!(!a.degraded);
+        assert_eq!(a.achieved_samples, 4);
     }
 
     #[test]

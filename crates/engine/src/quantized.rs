@@ -110,6 +110,9 @@ pub fn quantized_predict_probs_ws(
 fn quantize_copy(src: &Tensor, format: FixedFormat, ws: &mut Workspace) -> Tensor {
     let mut buf = ws.take_dirty(src.len());
     fake_quantize_into(src.as_slice(), format, &mut buf);
+    // Panic-audit: invariant-only. `buf` was sized to `src.len()` two
+    // lines up and `from_vec` only fails on a length/shape mismatch, so
+    // no request input can reach this expect.
     Tensor::from_vec(buf, src.shape().clone()).expect("quantisation preserves shape")
 }
 

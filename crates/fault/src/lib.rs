@@ -1,0 +1,368 @@
+//! Deterministic fault injection for the whole workspace.
+//!
+//! The fault-tolerance claims this codebase makes — a panicking pool
+//! task surfaces as a typed error and the pool survives, a NaN appearing
+//! mid-network is caught before it reaches a caller, a torn checkpoint
+//! write falls back to the last good `.bak` — are only worth anything if
+//! they are *provable on demand*. This crate is the lever: a seeded
+//! [`FaultPlan`] describes exactly which fault to inject (a worker panic
+//! at pool task *k*, a worker-thread death, NaN poisoning at layer *l*,
+//! a checkpoint write torn at byte *n*, artificially slow MC passes) and
+//! [`FaultPlan::activate`] arms it process-wide until the returned
+//! [`FaultGuard`] drops.
+//!
+//! The production crates call tiny hook functions at their fault points
+//! ([`on_pool_task`] in the worker pool's job runner, [`on_worker_tick`]
+//! in the worker loop, [`wants_poison`] in `Sequential::forward_ws`,
+//! [`torn_checkpoint_len`] in `SearchCheckpoint::save`, [`pass_delay`]
+//! in the engine's MC pass closures). Every hook's fast path is a single
+//! relaxed atomic load of a global "armed" flag — when no plan is active
+//! (i.e. always, outside the fault-injection test suites) the hooks cost
+//! one predictable branch and touch nothing else. There is no `cfg`
+//! gate to keep test and production binaries identical: what the fault
+//! suite proves is exactly what ships.
+//!
+//! # Determinism
+//!
+//! A plan is seeded: [`FaultPlan::derive`] turns `(seed, salt)` into a
+//! reproducible index via SplitMix64, so a test that injects "a panic at
+//! a seed-chosen task" replays the identical fault on every run. Each
+//! destructive fault (panic, kill, poison, torn write) fires **once**
+//! per activation and then disarms — so a bounded retry after the fault
+//! observes a clean system, exactly like a transient production fault.
+//! The throttling fault ([`FaultPlan::slow_pass`]) stays active for the
+//! plan's whole lifetime, since deadline-pressure tests need sustained
+//! slowness.
+//!
+//! Plans are process-global and do not nest: activating a second plan
+//! replaces the first. Fault-injection tests therefore serialise
+//! themselves (a `static Mutex` in the test file) — ordinary tests are
+//! unaffected because they never activate a plan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Fast-path flag: `true` while a [`FaultPlan`] is armed. Every hook
+/// checks this first with a relaxed load and returns immediately when
+/// clear.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The active plan plus its firing state. Only locked when [`ARMED`] is
+/// set, i.e. inside the fault-injection suites.
+static ACTIVE: Mutex<Option<ActivePlan>> = Mutex::new(None);
+
+fn active_lock() -> std::sync::MutexGuard<'static, Option<ActivePlan>> {
+    // An injected panic may unwind through a hook while the lock is
+    // held; recover from the poison rather than cascade.
+    ACTIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct ActivePlan {
+    plan: FaultPlan,
+    /// Pool jobs started since activation (drives `panic_on_pool_task`).
+    tasks_started: AtomicU64,
+    kill_armed: AtomicBool,
+    poison_armed: AtomicBool,
+    torn_armed: AtomicBool,
+}
+
+/// A seeded description of one injected fault campaign.
+///
+/// Build with [`FaultPlan::new`], select faults with the builder
+/// methods, then [`FaultPlan::activate`]. See the crate docs for firing
+/// semantics (destructive faults are one-shot; throttling persists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    panic_on_task: Option<u64>,
+    kill_worker: bool,
+    poison_layer: Option<usize>,
+    torn_checkpoint_at: Option<usize>,
+    slow_pass: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) carrying `seed` for
+    /// [`FaultPlan::derive`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_on_task: None,
+            kill_worker: false,
+            poison_layer: None,
+            torn_checkpoint_at: None,
+            slow_pass: None,
+        }
+    }
+
+    /// Derives a reproducible value in `0..bound` from `(seed, salt)`
+    /// via SplitMix64 — how tests pick "task *k*" or "byte *n*"
+    /// deterministically from the plan seed.
+    pub fn derive(&self, salt: u64, bound: u64) -> u64 {
+        assert!(bound > 0, "derive needs a positive bound");
+        let mut z = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % bound
+    }
+
+    /// Panic inside the `k`-th pool job started after activation
+    /// (0-based, one-shot). Surfaces to the submitter as a
+    /// `PoolError` through the checked pool APIs.
+    pub fn panic_on_pool_task(mut self, k: u64) -> Self {
+        self.panic_on_task = Some(k);
+        self
+    }
+
+    /// Kill one pool worker *thread* (panic outside any job, one-shot):
+    /// exercises the pool's respawn path rather than per-job isolation.
+    pub fn kill_worker(mut self) -> Self {
+        self.kill_worker = true;
+        self
+    }
+
+    /// Overwrite the first element of layer `l`'s output with NaN on
+    /// the next forward pass that reaches it (one-shot).
+    pub fn poison_layer(mut self, l: usize) -> Self {
+        self.poison_layer = Some(l);
+        self
+    }
+
+    /// Truncate the next checkpoint write to `n` bytes, emulating a
+    /// `kill -9` (or power loss) mid-write of a non-atomic writer
+    /// (one-shot).
+    pub fn torn_checkpoint_at(mut self, n: usize) -> Self {
+        self.torn_checkpoint_at = Some(n);
+        self
+    }
+
+    /// Sleep `delay` at the start of every MC pass while the plan is
+    /// active — an artificially slow worker, for deadline-degradation
+    /// tests. Persists (not one-shot).
+    pub fn slow_pass(mut self, delay: Duration) -> Self {
+        self.slow_pass = Some(delay);
+        self
+    }
+
+    /// Arms the plan process-wide. The faults stay armed until the
+    /// returned guard drops; a second activation replaces the first.
+    #[must_use = "the plan disarms when the guard drops"]
+    pub fn activate(self) -> FaultGuard {
+        let mut slot = active_lock();
+        *slot = Some(ActivePlan {
+            plan: self,
+            tasks_started: AtomicU64::new(0),
+            kill_armed: AtomicBool::new(true),
+            poison_armed: AtomicBool::new(true),
+            torn_armed: AtomicBool::new(true),
+        });
+        ARMED.store(true, Ordering::SeqCst);
+        FaultGuard { _private: () }
+    }
+}
+
+/// Disarms the active [`FaultPlan`] on drop.
+#[derive(Debug)]
+pub struct FaultGuard {
+    _private: (),
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *active_lock() = None;
+    }
+}
+
+/// `true` while a plan is armed. Hooks and hot paths may use this to
+/// skip any per-call preparation work when no fault campaign is running.
+#[inline]
+pub fn active() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Pool hook: called by the worker pool once per job, *inside* the
+/// job's panic isolation. Panics when the armed plan's task index comes
+/// up (one firing per activation).
+#[inline]
+pub fn on_pool_task() {
+    if !active() {
+        return;
+    }
+    let fire = {
+        let slot = active_lock();
+        match slot.as_ref() {
+            Some(active) => match active.plan.panic_on_task {
+                Some(k) => active.tasks_started.fetch_add(1, Ordering::SeqCst) == k,
+                None => false,
+            },
+            None => false,
+        }
+    };
+    if fire {
+        panic!("injected fault: pool task panicked (FaultPlan::panic_on_pool_task)");
+    }
+}
+
+/// Pool hook: called by each worker thread once per scheduling
+/// iteration, *outside* any job's panic isolation — a firing here
+/// unwinds the whole worker loop, which the pool must survive by
+/// respawning the worker.
+#[inline]
+pub fn on_worker_tick() {
+    if !active() {
+        return;
+    }
+    let fire = {
+        let slot = active_lock();
+        match slot.as_ref() {
+            Some(active) => {
+                active.plan.kill_worker && active.kill_armed.swap(false, Ordering::SeqCst)
+            }
+            None => false,
+        }
+    };
+    if fire {
+        panic!("injected fault: worker thread killed (FaultPlan::kill_worker)");
+    }
+}
+
+/// Network hook: `true` exactly once when the armed plan poisons layer
+/// `layer_index` — the caller then writes NaN into that layer's output.
+#[inline]
+pub fn wants_poison(layer_index: usize) -> bool {
+    if !active() {
+        return false;
+    }
+    let slot = active_lock();
+    match slot.as_ref() {
+        Some(active) => {
+            active.plan.poison_layer == Some(layer_index)
+                && active.poison_armed.swap(false, Ordering::SeqCst)
+        }
+        None => false,
+    }
+}
+
+/// Checkpoint hook: the truncation length for the next checkpoint
+/// write, once, when the armed plan tears it.
+#[inline]
+pub fn torn_checkpoint_len() -> Option<usize> {
+    if !active() {
+        return None;
+    }
+    let slot = active_lock();
+    match slot.as_ref() {
+        Some(active) if active.torn_armed.load(Ordering::SeqCst) => {
+            active.plan.torn_checkpoint_at.inspect(|_| {
+                active.torn_armed.store(false, Ordering::SeqCst);
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Engine hook: sleeps the armed plan's per-pass delay (every pass, for
+/// as long as the plan is active).
+#[inline]
+pub fn pass_delay() {
+    if !active() {
+        return;
+    }
+    let delay = {
+        let slot = active_lock();
+        slot.as_ref().and_then(|active| active.plan.slow_pass)
+    };
+    if let Some(delay) = delay {
+        std::thread::sleep(delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The hooks are process-global; these tests serialise on one lock.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn inactive_hooks_are_inert() {
+        let _g = serial();
+        assert!(!active());
+        on_pool_task();
+        on_worker_tick();
+        assert!(!wants_poison(0));
+        assert_eq!(torn_checkpoint_len(), None);
+        pass_delay();
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_bounded() {
+        let plan = FaultPlan::new(42);
+        let a = plan.derive(1, 100);
+        assert_eq!(a, plan.derive(1, 100), "same (seed, salt) replays");
+        assert!(a < 100);
+        assert_ne!(plan.derive(1, 1 << 60), plan.derive(2, 1 << 60));
+        assert_ne!(
+            FaultPlan::new(1).derive(0, 1 << 60),
+            FaultPlan::new(2).derive(0, 1 << 60)
+        );
+    }
+
+    #[test]
+    fn pool_task_fault_fires_exactly_once_at_k() {
+        let _g = serial();
+        let guard = FaultPlan::new(7).panic_on_pool_task(2).activate();
+        on_pool_task(); // task 0
+        on_pool_task(); // task 1
+        let hit = std::panic::catch_unwind(on_pool_task); // task 2
+        assert!(hit.is_err(), "task 2 must panic");
+        on_pool_task(); // task 3: disarmed by the counter moving past k
+        drop(guard);
+        assert!(!active());
+    }
+
+    #[test]
+    fn poison_and_torn_are_one_shot() {
+        let _g = serial();
+        let guard = FaultPlan::new(3)
+            .poison_layer(1)
+            .torn_checkpoint_at(10)
+            .activate();
+        assert!(!wants_poison(0));
+        assert!(wants_poison(1));
+        assert!(!wants_poison(1), "poison is one-shot");
+        assert_eq!(torn_checkpoint_len(), Some(10));
+        assert_eq!(torn_checkpoint_len(), None, "torn write is one-shot");
+        drop(guard);
+    }
+
+    #[test]
+    fn worker_kill_fires_once() {
+        let _g = serial();
+        let guard = FaultPlan::new(5).kill_worker().activate();
+        assert!(std::panic::catch_unwind(on_worker_tick).is_err());
+        on_worker_tick(); // disarmed
+        drop(guard);
+    }
+
+    #[test]
+    fn guard_drop_disarms_everything() {
+        let _g = serial();
+        let guard = FaultPlan::new(9).poison_layer(0).activate();
+        drop(guard);
+        assert!(!active());
+        assert!(!wants_poison(0));
+    }
+}

@@ -112,11 +112,20 @@ impl Layer for Sequential {
         // recycled buffer is ever still referenced. The borrowed `input`
         // itself is never recycled.
         let mut x: Option<Tensor> = None;
-        for layer in &mut self.layers {
-            let y = match &x {
+        for (index, layer) in self.layers.iter_mut().enumerate() {
+            let mut y = match &x {
                 Some(t) => layer.forward_ws(t, mode, ws)?,
                 None => layer.forward_ws(input, mode, ws)?,
             };
+            // Fault-injection point: an armed FaultPlan::poison_layer
+            // corrupts this layer's activation exactly once, modelling a
+            // transient numeric fault (bit flip / overflow) inside the
+            // accelerator datapath. Free when no plan is armed.
+            if nds_fault::wants_poison(index) {
+                if let Some(v) = y.as_mut_slice().first_mut() {
+                    *v = f32::NAN;
+                }
+            }
             if let Some(consumed) = x.replace(y) {
                 ws.recycle_tensor(consumed);
             }

@@ -45,7 +45,7 @@ pub mod prune;
 pub mod train;
 pub mod zoo;
 
-use nds_tensor::{Shape, SharedTensor, Tensor, TensorError, Workspace};
+use nds_tensor::{parallel::PoolError, Shape, SharedTensor, Tensor, TensorError, Workspace};
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -61,6 +61,9 @@ pub enum NnError {
     },
     /// A layer or architecture was configured inconsistently.
     BadConfig(String),
+    /// A worker-pool task died mid-batch; the batch's outputs were
+    /// discarded. Transient: the pool survives and a retry may succeed.
+    Pool(PoolError),
 }
 
 impl fmt::Display for NnError {
@@ -71,6 +74,7 @@ impl fmt::Display for NnError {
                 write!(f, "backward called on `{layer}` before forward")
             }
             NnError::BadConfig(msg) => write!(f, "bad network configuration: {msg}"),
+            NnError::Pool(e) => write!(f, "{e}"),
         }
     }
 }
@@ -79,6 +83,7 @@ impl StdError for NnError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             NnError::Tensor(e) => Some(e),
+            NnError::Pool(e) => Some(e),
             _ => None,
         }
     }
@@ -87,6 +92,12 @@ impl StdError for NnError {
 impl From<TensorError> for NnError {
     fn from(e: TensorError) -> Self {
         NnError::Tensor(e)
+    }
+}
+
+impl From<PoolError> for NnError {
+    fn from(e: PoolError) -> Self {
+        NnError::Pool(e)
     }
 }
 

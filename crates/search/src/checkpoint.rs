@@ -131,6 +131,21 @@ pub struct SearchCheckpoint {
     pub ood_seed: u64,
 }
 
+/// Which file a [`SearchCheckpoint::load_with_fallback`] call actually
+/// recovered the checkpoint from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointSource {
+    /// The primary checkpoint file loaded cleanly.
+    Primary,
+    /// The primary was missing or corrupted; the `<path>.bak` rotation
+    /// loaded instead. Callers should surface a warning — the resumed
+    /// state is the *previous* save, so some work will be repeated.
+    Backup {
+        /// Why the primary failed, for the warning text.
+        primary_error: String,
+    },
+}
+
 impl SearchCheckpoint {
     /// Serialises the checkpoint to its versioned JSON format.
     pub fn to_json(&self) -> String {
@@ -395,15 +410,74 @@ impl SearchCheckpoint {
         Ok(checkpoint)
     }
 
-    /// Writes the checkpoint's JSON to `path`.
+    /// The sibling backup a successful [`SearchCheckpoint::save`]
+    /// rotates the previous checkpoint into: `<path>.bak`.
+    pub fn backup_path(path: &std::path::Path) -> std::path::PathBuf {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".bak");
+        std::path::PathBuf::from(os)
+    }
+
+    /// Writes the checkpoint's JSON to `path`, crash-safely.
+    ///
+    /// The write is atomic — JSON goes to `<path>.tmp`, is fsynced,
+    /// then renamed over `path` — so a crash (or `kill -9`) at any
+    /// instant leaves either the old complete checkpoint or the new
+    /// complete checkpoint on disk, never a torn hybrid. Before the
+    /// rename, any existing checkpoint rotates to `<path>.bak`
+    /// ([`SearchCheckpoint::backup_path`]), giving
+    /// [`SearchCheckpoint::load_with_fallback`] a last-known-good file
+    /// even if the primary is later corrupted by external causes.
     ///
     /// # Errors
     ///
     /// Returns [`SearchError::Checkpoint`] on I/O failure.
     pub fn save(&self, path: &std::path::Path) -> Result<()> {
-        std::fs::write(path, self.to_json()).map_err(|e| {
-            SearchError::Checkpoint(format!("cannot write checkpoint {}: {e}", path.display()))
-        })
+        let ckpt_err = |what: &str, e: std::io::Error| {
+            SearchError::Checkpoint(format!("cannot {what} checkpoint {}: {e}", path.display()))
+        };
+        let json = self.to_json();
+        // Fault-injection point: a torn write models a crash *without*
+        // the atomic protocol (the failure mode this save exists to
+        // prevent) — the corruption-recovery suites use it to prove
+        // load_with_fallback's .bak path end to end.
+        if let Some(n) = nds_fault::torn_checkpoint_len() {
+            let cut = n.min(json.len());
+            return std::fs::write(path, &json.as_bytes()[..cut]).map_err(|e| ckpt_err("write", e));
+        }
+        let tmp = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(|e| ckpt_err("create", e))?;
+            file.write_all(json.as_bytes())
+                .map_err(|e| ckpt_err("write", e))?;
+            // fsync before the rename: otherwise the rename can hit the
+            // disk before the data and a power cut yields an empty file
+            // under the final name — exactly the torn state the
+            // protocol exists to rule out.
+            file.sync_all().map_err(|e| ckpt_err("sync", e))?;
+        }
+        if path.exists() {
+            std::fs::rename(path, Self::backup_path(path)).map_err(|e| ckpt_err("rotate", e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| ckpt_err("commit", e))?;
+        // Best-effort directory sync so the renames themselves are
+        // durable; some filesystems don't support fsync on directories,
+        // which is fine — the data content is already safe.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(if dir.as_os_str().is_empty() {
+                std::path::Path::new(".")
+            } else {
+                dir
+            }) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Loads a checkpoint from a JSON file written by
@@ -418,6 +492,34 @@ impl SearchCheckpoint {
             SearchError::Checkpoint(format!("cannot read checkpoint {}: {e}", path.display()))
         })?;
         Self::from_json(&text)
+    }
+
+    /// Loads `path`, falling back to its `<path>.bak` rotation when the
+    /// primary is missing or corrupted.
+    ///
+    /// Returns where the checkpoint actually came from so callers can
+    /// warn the operator when a corrupted primary was silently healed
+    /// from the backup ([`CheckpointSource::Backup`] carries the primary
+    /// failure for the warning text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] only when *both* files fail
+    /// to load; the message reports both failures.
+    pub fn load_with_fallback(path: &std::path::Path) -> Result<(Self, CheckpointSource)> {
+        let primary_error = match Self::load(path) {
+            Ok(ckpt) => return Ok((ckpt, CheckpointSource::Primary)),
+            Err(SearchError::Checkpoint(msg)) => msg,
+            Err(other) => return Err(other),
+        };
+        match Self::load(&Self::backup_path(path)) {
+            Ok(ckpt) => Ok((ckpt, CheckpointSource::Backup { primary_error })),
+            Err(SearchError::Checkpoint(backup_error)) => Err(SearchError::Checkpoint(format!(
+                "checkpoint unrecoverable: primary failed ({primary_error}); \
+                     backup failed ({backup_error})"
+            ))),
+            Err(other) => Err(other),
+        }
     }
 
     /// Internal-consistency checks shared by the loader and the session.

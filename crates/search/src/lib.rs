@@ -60,7 +60,7 @@ pub use evolution::{EvolutionConfig, EvolutionResult, GenerationStats};
 pub use random::random_search;
 pub use random::RandomSearchConfig;
 
-pub use checkpoint::{SearchCheckpoint, StrategyProgress, CHECKPOINT_VERSION};
+pub use checkpoint::{CheckpointSource, SearchCheckpoint, StrategyProgress, CHECKPOINT_VERSION};
 pub use pareto::{ObjectiveSet, ParetoArchive};
 pub use session::{SearchBuilder, SearchEvent, SearchOutcome, SearchSession, StepStats, Strategy};
 

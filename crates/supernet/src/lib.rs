@@ -92,6 +92,12 @@ impl From<nds_engine::EngineError> for SupernetError {
         match e {
             nds_engine::EngineError::Nn(nn) => SupernetError::Nn(nn),
             nds_engine::EngineError::BadRequest(msg) => SupernetError::BadSpec(msg),
+            // The remaining engine errors (shape/finiteness rejects,
+            // pool faults) have no structured counterpart here; the
+            // supernet drives the engine with internally-generated
+            // requests, so any of them reaching this layer is a spec
+            // problem — keep the message, fold into BadSpec.
+            other => SupernetError::BadSpec(other.to_string()),
         }
     }
 }

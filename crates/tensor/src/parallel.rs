@@ -30,9 +30,25 @@
 //!   other threads — which always terminate (leaf tasks run to
 //!   completion; nested submitters can likewise finish their own
 //!   batches unaided).
-//! * **Panics propagate.** A panicking task poisons its batch; the
-//!   submitter re-raises the payload after the batch drains, matching
-//!   `std::thread::scope` semantics.
+//! * **Panics propagate — or surface as typed errors.** A panicking
+//!   task poisons its batch; [`run_scoped`] re-raises the payload after
+//!   the batch drains, matching `std::thread::scope` semantics, while
+//!   [`run_scoped_checked`] converts it into a typed [`PoolError`] so
+//!   serving layers can reject one request instead of unwinding. Either
+//!   way the poisoned batch's outputs are discarded by the caller as a
+//!   unit — no partial results ever escape — and the pool itself
+//!   survives: job panics are caught per job, and a panic that escapes
+//!   a worker's scheduling loop (only possible via injected faults or a
+//!   runtime bug) respawns the worker in place
+//!   ([`pool_respawn_count`] observes this).
+//!
+//! # Fault injection
+//!
+//! The pool hosts two `nds-fault` hooks: one inside each job's panic
+//! isolation (`on_pool_task`, proving panic→`PoolError` conversion) and
+//! one in the worker scheduling loop (`on_worker_tick`, proving worker
+//! respawn). Both are single relaxed atomic loads when no
+//! `FaultPlan` is armed — i.e. always, outside the fault suites.
 //!
 //! # Thread-count configuration
 //!
@@ -82,9 +98,59 @@ mod pool {
     use std::any::Any;
     use std::collections::VecDeque;
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
     type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    /// A pool task panicked: the typed form a submitter receives from
+    /// [`run_scoped_checked`] instead of an unwinding panic.
+    ///
+    /// Carries the panic payload rendered to a string (`&str` and
+    /// `String` payloads verbatim; anything else as an opaque marker).
+    /// The whole batch's outputs must be discarded on this error — the
+    /// pool guarantees every task has stopped running before the error
+    /// is returned, but not which tasks completed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct PoolError {
+        /// The first panicking task's payload, as text.
+        pub message: String,
+    }
+
+    impl PoolError {
+        /// Renders a caught panic payload. Public so serial fallback
+        /// paths elsewhere in the workspace (which catch pass panics
+        /// themselves instead of going through the pool) produce the
+        /// same typed error as the pool path.
+        pub fn from_payload(payload: &(dyn Any + Send)) -> PoolError {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_string()
+            };
+            PoolError { message }
+        }
+    }
+
+    impl std::fmt::Display for PoolError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "worker pool task panicked: {}", self.message)
+        }
+    }
+
+    impl std::error::Error for PoolError {}
+
+    /// Worker threads respawned after a panic escaped their scheduling
+    /// loop (only injected faults or runtime bugs can do that — job
+    /// panics are caught per job and never kill a worker).
+    static RESPAWNS: AtomicUsize = AtomicUsize::new(0);
+
+    /// How many pool workers have died and been respawned in place.
+    pub fn pool_respawn_count() -> usize {
+        RESPAWNS.load(Ordering::SeqCst)
+    }
 
     /// One `run_scoped` call: its not-yet-claimed jobs plus completion
     /// state. Jobs live on the batch (not in a global task list) so the
@@ -120,7 +186,19 @@ mod pool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("nds-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        // Self-respawning worker: a job panic never
+                        // reaches here (run_job catches it), so an
+                        // unwind out of the scheduling loop means the
+                        // worker itself died — log it in the respawn
+                        // counter and re-enter the loop with the same
+                        // shared state. Unclaimed jobs are untouched
+                        // (the tick hook fires before claiming), so no
+                        // batch is ever stranded by a worker death.
+                        while catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).is_err() {
+                            RESPAWNS.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
                     .expect("worker thread spawns");
             }
             shared
@@ -136,6 +214,11 @@ mod pool {
     fn worker_loop(shared: &Shared) {
         let mut queue = lock(&shared.queue);
         loop {
+            // Worker-death injection point: fires before any job is
+            // claimed, so a killed worker strands nothing — the job it
+            // would have taken stays queued for its sibling workers (or
+            // the submitter, or this worker's respawned self).
+            nds_fault::on_worker_tick();
             match claim(&mut queue) {
                 Some((batch, job)) => {
                     drop(queue);
@@ -175,7 +258,12 @@ mod pool {
     }
 
     fn run_job(batch: &Batch, job: Job) {
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+        // The fault hook runs inside the job's panic isolation: an
+        // injected task panic takes exactly the path a real one takes.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            nds_fault::on_pool_task();
+            job()
+        })) {
             let mut slot = lock(&batch.panic);
             slot.get_or_insert(payload);
         }
@@ -201,11 +289,46 @@ mod pool {
     /// Re-raises the first panic raised by any task, after the whole
     /// batch has drained.
     pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        if let Some(payload) = run_scoped_inner(tasks) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// [`run_scoped`] with panic-to-error conversion: the first task
+    /// panic is returned as a typed [`PoolError`] after the whole batch
+    /// has stopped running, instead of re-raising.
+    ///
+    /// On `Err` the caller must discard every output buffer the batch
+    /// wrote into — completion of individual tasks is unspecified. The
+    /// pool itself is unaffected and serves later batches normally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError`] carrying the first panic's payload.
+    pub fn run_scoped_checked(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) -> Result<(), PoolError> {
+        match run_scoped_inner(tasks) {
+            Some(payload) => Err(PoolError::from_payload(payload.as_ref())),
+            None => Ok(()),
+        }
+    }
+
+    /// Shared core: runs the batch to completion and hands back the
+    /// first panic payload, if any, for the caller to re-raise or type.
+    fn run_scoped_inner(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) -> Option<Box<dyn Any + Send>> {
         if tasks.len() <= 1 || worker_count() <= 1 {
+            // Serial path: same isolation as the pool path (hook inside
+            // the catch), first panic stops the batch — the remaining
+            // tasks are skipped, which is fine because the caller
+            // discards the whole batch's outputs on failure.
             for task in tasks {
-                task();
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                    nds_fault::on_pool_task();
+                    task()
+                })) {
+                    return Some(payload);
+                }
             }
-            return;
+            return None;
         }
         let jobs: VecDeque<Job> = tasks
             .into_iter()
@@ -252,13 +375,86 @@ mod pool {
         }
         drop(remaining);
         let payload = lock(&batch.panic).take();
-        if let Some(payload) = payload {
-            resume_unwind(payload);
+        #[allow(clippy::let_and_return)]
+        payload
+    }
+
+    /// Bounded retry with exponential backoff for transient failures
+    /// (worker deaths, injected faults). Deliberately dumb: attempts and
+    /// base delay only, doubling per retry — enough for a serving layer
+    /// to ride out a one-shot fault without hiding persistent bugs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RetryPolicy {
+        /// Total attempts including the first (0 and 1 both mean "no
+        /// retries").
+        pub attempts: usize,
+        /// Sleep before the first retry; doubles for each further one.
+        pub base_backoff: std::time::Duration,
+    }
+
+    impl RetryPolicy {
+        /// No retries: fail on the first error.
+        pub fn none() -> RetryPolicy {
+            RetryPolicy {
+                attempts: 1,
+                base_backoff: std::time::Duration::ZERO,
+            }
+        }
+
+        /// `retries` extra attempts after the first, starting from a
+        /// 1 ms backoff.
+        pub fn with_retries(retries: usize) -> RetryPolicy {
+            RetryPolicy {
+                attempts: retries.saturating_add(1),
+                base_backoff: std::time::Duration::from_millis(1),
+            }
+        }
+
+        /// Backoff to sleep after failed attempt `attempt` (0-based):
+        /// `base << attempt`, saturating.
+        pub fn backoff_for(&self, attempt: usize) -> std::time::Duration {
+            self.base_backoff
+                .saturating_mul(1u32.checked_shl(attempt.min(31) as u32).unwrap_or(u32::MAX))
+        }
+    }
+
+    /// Runs `op` up to `policy.attempts` times, retrying (with backoff)
+    /// only while `is_transient` says the error is worth retrying. The
+    /// attempt index (0-based) is passed to `op` so callers can reset
+    /// caches or vary diagnostics per attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last error once attempts are exhausted or the error
+    /// is not transient.
+    pub fn retry_transient<T, E>(
+        policy: RetryPolicy,
+        is_transient: impl Fn(&E) -> bool,
+        mut op: impl FnMut(usize) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let attempts = policy.attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt + 1 >= attempts || !is_transient(&e) {
+                        return Err(e);
+                    }
+                    let backoff = policy.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+            }
         }
     }
 }
 
-pub use pool::run_scoped;
+pub use pool::{
+    pool_respawn_count, retry_transient, run_scoped, run_scoped_checked, PoolError, RetryPolicy,
+};
 
 /// Runs `body(start, end)` over disjoint sub-ranges covering `0..n`,
 /// potentially in parallel.
@@ -529,6 +725,113 @@ mod tests {
             counter.fetch_add(e - s, Ordering::SeqCst);
         });
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn checked_run_surfaces_task_panics_as_typed_errors() {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|i| {
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    if i == 3 {
+                        panic!("boom at {i}");
+                    }
+                });
+                task
+            })
+            .collect();
+        let err = run_scoped_checked(tasks).expect_err("task panic must surface");
+        assert!(err.message.contains("boom"), "payload text kept: {err}");
+        assert!(err.to_string().contains("worker pool task panicked"));
+        // Pool still serves later batches after the failure.
+        let counter = AtomicUsize::new(0);
+        chunked_for_workers(50, 4, |s, e| {
+            counter.fetch_add(e - s, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn checked_run_is_ok_when_no_task_panics() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..5)
+            .map(|_| {
+                let counter = &counter;
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                task
+            })
+            .collect();
+        assert!(run_scoped_checked(tasks).is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn retry_transient_retries_until_success() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_backoff: std::time::Duration::ZERO,
+        };
+        let mut seen = Vec::new();
+        let result: Result<&str, &str> = retry_transient(
+            policy,
+            |_| true,
+            |attempt| {
+                seen.push(attempt);
+                if attempt < 2 {
+                    Err("transient")
+                } else {
+                    Ok("done")
+                }
+            },
+        );
+        assert_eq!(result, Ok("done"));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn retry_transient_stops_on_persistent_errors() {
+        let calls = AtomicUsize::new(0);
+        let result: Result<(), &str> = retry_transient(
+            RetryPolicy::with_retries(5),
+            |e| *e != "fatal",
+            |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err("fatal")
+            },
+        );
+        assert_eq!(result, Err("fatal"));
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "fatal errors never retry");
+    }
+
+    #[test]
+    fn retry_transient_exhausts_attempts() {
+        let calls = AtomicUsize::new(0);
+        let result: Result<(), &str> = retry_transient(
+            RetryPolicy {
+                attempts: 3,
+                base_backoff: std::time::Duration::ZERO,
+            },
+            |_| true,
+            |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err("still broken")
+            },
+        );
+        assert_eq!(result, Err("still broken"));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_backoff: std::time::Duration::from_millis(2),
+        };
+        assert_eq!(policy.backoff_for(0), std::time::Duration::from_millis(2));
+        assert_eq!(policy.backoff_for(1), std::time::Duration::from_millis(4));
+        assert_eq!(policy.backoff_for(2), std::time::Duration::from_millis(8));
+        assert_eq!(RetryPolicy::none().attempts, 1);
     }
 
     #[test]

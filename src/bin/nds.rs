@@ -5,7 +5,8 @@
 //!             [--seed N] [--gp N] [--extended]
 //! nds search  --arch lenet|vgg|resnet|vit [--aim ...] [--strategy evolution|random|exhaustive]
 //!             [--generations N] [--population N] [--budget N] [--epochs N]
-//!             [--checkpoint FILE] [--resume] [--stop-after K] [--seed N] [--gp N]
+//!             [--checkpoint FILE] [--resume] [--stop-after K] [--checkpoint-every K]
+//!             [--seed N] [--gp N]
 //! nds eval    --arch lenet|vgg|resnet|vit --config BKM [--seed N]
 //!             [--samples S] [--val N]
 //! nds analyze --arch lenet|vgg|resnet|vit --config BKM [--spatial] [--samples S]
@@ -43,7 +44,8 @@ USAGE:
                 [--strategy <evolution|random|exhaustive>] [--generations <N>]
                 [--population <N>] [--parents <N>] [--budget <N>] [--epochs <N>]
                 [--train <N>] [--val <N>] [--checkpoint <FILE>] [--resume]
-                [--stop-after <K>] [--seed <N>] [--gp <train-points>] [--extended]
+                [--stop-after <K>] [--checkpoint-every <K>]
+                [--seed <N>] [--gp <train-points>] [--extended]
     nds eval    --arch <lenet|vgg|resnet|vit> --config <CODES> [--seed <N>]
                 [--samples <S>] [--val <N>]
     nds analyze --arch <lenet|vgg|resnet|vit> --config <CODES> [--spatial] [--samples <S>]
@@ -53,6 +55,14 @@ USAGE:
 CONFIG CODES: one letter per dropout slot —
     B Bernoulli, R Random, K Block, M Masksembles, G Gaussian (extension)
 
+CHECKPOINTS: saves are atomic (tmp + fsync + rename) and rotate the
+    previous save to <FILE>.bak; --resume falls back to the backup
+    (with a warning) when the primary is corrupted.
+    --checkpoint-every K saves after every K completed steps so a
+    killed run resumes from the last completed step.
+
+EXIT CODES: 0 success, 1 runtime failure, 2 usage error
+
 EXAMPLES:
     nds run --arch lenet --aim ece --seed 7
     nds search --arch lenet --aim ece --generations 6 --checkpoint search.json
@@ -61,21 +71,49 @@ EXAMPLES:
     nds hls --arch lenet --config RRB --out ./hls_out
 ";
 
+/// Typed CLI failure, split by whose fault it is: usage errors (the
+/// invocation was malformed — exit code 2, usage text printed) versus
+/// runtime errors (the invocation was fine but the work failed — exit
+/// code 1, no usage dump drowning the actual message).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+/// The invocation itself was wrong (unknown flag, missing value, flag
+/// combination that can never work).
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+// Library errors bubbled up with `map_err(|e| e.to_string())?` are
+// runtime failures: the command was well-formed, the work failed.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}\n");
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err("missing command".to_string());
+        return Err(usage("missing command"));
     };
     let flags = parse_flags(&args[1..])?;
     match command.as_str() {
@@ -89,17 +127,17 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+            .ok_or_else(|| usage(format!("expected a --flag, got `{}`", args[i])))?;
         // Boolean flags take no value.
         if matches!(key, "extended" | "spatial" | "resume") {
             flags.insert(key.to_string(), "true".to_string());
@@ -108,17 +146,17 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         }
         let value = args
             .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+            .ok_or_else(|| usage(format!("--{key} needs a value")))?;
         flags.insert(key.to_string(), value.clone());
         i += 2;
     }
     Ok(flags)
 }
 
-fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, String> {
+fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, CliError> {
     let seed: u64 = flags
         .get("seed")
-        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .map(|s| s.parse().map_err(|_| usage(format!("bad seed `{s}`"))))
         .transpose()?
         .unwrap_or(42);
     let arch = flags.get("arch").map(String::as_str).unwrap_or("lenet");
@@ -132,9 +170,9 @@ fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, String> {
             spec
         }
         other => {
-            return Err(format!(
+            return Err(usage(format!(
                 "unknown arch `{other}` (lenet | vgg | resnet | vit)"
-            ))
+            )))
         }
     };
     if let Some(aim) = flags.get("aim") {
@@ -143,13 +181,13 @@ fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, String> {
             "ece" => SearchAim::ece_optimal(),
             "ape" => SearchAim::ape_optimal(),
             "latency" | "lat" => SearchAim::latency_optimal(),
-            other => return Err(format!("unknown aim `{other}`")),
+            other => return Err(usage(format!("unknown aim `{other}`"))),
         };
     }
     if let Some(points) = flags.get("gp") {
         let train_points = points
             .parse()
-            .map_err(|_| format!("bad --gp value `{points}`"))?;
+            .map_err(|_| usage(format!("bad --gp value `{points}`")))?;
         spec.latency_source = LatencySource::Gp { train_points };
     }
     if flags.contains_key("extended") {
@@ -160,7 +198,7 @@ fn spec_for(flags: &HashMap<String, String>) -> Result<Specification, String> {
     Ok(spec)
 }
 
-fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use neural_dropout_search::core::run_with_observer;
     use neural_dropout_search::search::SearchEvent;
     let spec = spec_for(flags)?;
@@ -214,11 +252,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `--resume` restores it and continues — the resumed run reproduces
 /// the uninterrupted one byte for byte, so the final summary lines are
 /// identical either way (the CI resume smoke diffs exactly that).
-fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_search(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use neural_dropout_search::data::generate;
     use neural_dropout_search::hw::accel::AcceleratorModel;
     use neural_dropout_search::search::{
-        LatencyProvider, SearchBuilder, SearchCheckpoint, SearchEvent, Strategy,
+        CheckpointSource, LatencyProvider, SearchBuilder, SearchCheckpoint, SearchEvent, Strategy,
     };
     use neural_dropout_search::supernet::Supernet;
     use neural_dropout_search::tensor::rng::Rng64;
@@ -227,10 +265,12 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(train) = flags.get("train") {
         spec.dataset_config.train = train
             .parse()
-            .map_err(|_| format!("bad --train `{train}`"))?;
+            .map_err(|_| usage(format!("bad --train `{train}`")))?;
     }
     if let Some(val) = flags.get("val") {
-        spec.dataset_config.val = val.parse().map_err(|_| format!("bad --val `{val}`"))?;
+        spec.dataset_config.val = val
+            .parse()
+            .map_err(|_| usage(format!("bad --val `{val}`")))?;
     }
     spec.train.epochs = parse_flag(flags, "epochs", spec.train.epochs)?;
     spec.evolution.population = parse_flag(flags, "population", spec.evolution.population)?;
@@ -247,19 +287,55 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
             seed: spec.evolution.seed,
         }),
         "exhaustive" | "all" => Strategy::Exhaustive,
-        other => return Err(format!("unknown strategy `{other}`")),
+        other => return Err(usage(format!("unknown strategy `{other}`"))),
     };
-    let checkpoint_path = flags.get("checkpoint").map(std::path::PathBuf::from);
+    // Validate the whole checkpoint flag cluster up front, into one
+    // struct the step loop consumes — failing after training and K
+    // search steps would throw the whole run away, and the plan's
+    // invariants (a path exists whenever anything needs one) are
+    // enforced here once instead of re-checked with `expect` later.
+    struct CheckpointPlan {
+        path: std::path::PathBuf,
+        /// Save every K completed steps (0 = only at stop/end).
+        every: usize,
+    }
     let stop_after: usize = parse_flag(flags, "stop-after", 0usize)?;
+    let every: usize = parse_flag(flags, "checkpoint-every", 0usize)?;
     let resume = flags.contains_key("resume");
-    if resume && checkpoint_path.is_none() {
-        return Err("--resume needs --checkpoint <FILE>".to_string());
-    }
-    // Validate before any expensive work: failing after training and K
-    // search steps would throw the whole run away.
-    if stop_after > 0 && checkpoint_path.is_none() {
-        return Err("--stop-after needs --checkpoint <FILE>".to_string());
-    }
+    let plan = match flags.get("checkpoint").map(std::path::PathBuf::from) {
+        Some(path) => Some(CheckpointPlan { path, every }),
+        None => {
+            if resume {
+                return Err(usage("--resume needs --checkpoint <FILE>"));
+            }
+            if stop_after > 0 {
+                return Err(usage("--stop-after needs --checkpoint <FILE>"));
+            }
+            if every > 0 {
+                return Err(usage("--checkpoint-every needs --checkpoint <FILE>"));
+            }
+            None
+        }
+    };
+
+    // Load the resume checkpoint *before* the (potentially long)
+    // training phase: an unrecoverable checkpoint should fail in
+    // milliseconds, not after minutes of SPOS training.
+    let resume_state = match (resume, plan.as_ref()) {
+        (true, Some(plan)) => {
+            let (checkpoint, source) =
+                SearchCheckpoint::load_with_fallback(&plan.path).map_err(|e| e.to_string())?;
+            if let CheckpointSource::Backup { primary_error } = &source {
+                eprintln!(
+                    "warning: checkpoint {} unusable ({primary_error}); resumed from last-good backup {}",
+                    plan.path.display(),
+                    SearchCheckpoint::backup_path(&plan.path).display()
+                );
+            }
+            Some(checkpoint)
+        }
+        _ => None,
+    };
 
     // Phases 1-2: data + SPOS supernet training (deterministic from the
     // seed, so a resumed process reconstructs identical weights).
@@ -315,12 +391,10 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         .ood(ood)
         .latency(latency)
         .batch_size(spec.batch_size);
-    if resume {
-        let path = checkpoint_path.as_deref().expect("checked above");
-        let checkpoint = SearchCheckpoint::load(path).map_err(|e| e.to_string())?;
+    if let (Some(checkpoint), Some(plan)) = (resume_state, plan.as_ref()) {
         println!(
             "resuming from {} (archive {}, budget {} evals)",
-            path.display(),
+            plan.path.display(),
             checkpoint.archive.len(),
             checkpoint.budget_spent
         );
@@ -344,36 +418,49 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
 
-    if stop_after > 0 {
-        let mut steps = 0usize;
-        while steps < stop_after {
-            let event = session.step().map_err(|e| e.to_string())?;
-            if matches!(event, SearchEvent::Finished) {
-                break;
+    // One unified step loop: streams progress, honours --stop-after,
+    // and (with --checkpoint-every K) saves a crash-safe checkpoint
+    // every K steps so a killed process resumes from the last completed
+    // step instead of from scratch.
+    let mut steps = 0usize;
+    loop {
+        if stop_after > 0 && steps >= stop_after {
+            break;
+        }
+        let event = session.step().map_err(|e| e.to_string())?;
+        if matches!(event, SearchEvent::Finished) {
+            break;
+        }
+        print_step(&event);
+        steps += 1;
+        if let Some(plan) = plan.as_ref() {
+            if plan.every > 0 && steps.is_multiple_of(plan.every) {
+                session
+                    .snapshot()
+                    .save(&plan.path)
+                    .map_err(|e| e.to_string())?;
             }
-            print_step(&event);
-            steps += 1;
         }
-        let path = checkpoint_path.as_deref().expect("validated up front");
-        session.snapshot().save(path).map_err(|e| e.to_string())?;
-        println!(
-            "checkpoint written to {} after {steps} step(s); continue with --resume",
-            path.display()
-        );
-        if !session.is_finished() {
-            return Ok(());
+    }
+    if let Some(plan) = plan.as_ref() {
+        session
+            .snapshot()
+            .save(&plan.path)
+            .map_err(|e| e.to_string())?;
+        if stop_after > 0 {
+            println!(
+                "checkpoint written to {} after {steps} step(s); continue with --resume",
+                plan.path.display()
+            );
+            if !session.is_finished() {
+                return Ok(());
+            }
+        } else {
+            println!("final checkpoint written to {}", plan.path.display());
         }
-    } else {
-        session.run_with(print_step).map_err(|e| e.to_string())?;
     }
 
     let outcome = session.outcome().map_err(|e| e.to_string())?;
-    if stop_after == 0 {
-        if let Some(path) = checkpoint_path.as_deref() {
-            session.snapshot().save(path).map_err(|e| e.to_string())?;
-            println!("final checkpoint written to {}", path.display());
-        }
-    }
     // Full-precision summary: byte-identical between an uninterrupted
     // run and a stop/resume pair (the CI smoke diffs these lines).
     println!("\n-- search result --");
@@ -405,7 +492,7 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `NDS_THREADS`, core count and weight-sharing strategy. The golden
 /// determinism tests assert this by diffing the command's bytes across
 /// environments.
-fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use neural_dropout_search::data::{cifar_like, mnist_like, svhn_like, DatasetConfig};
     use neural_dropout_search::engine::PredictRequest;
     use neural_dropout_search::metrics::{
@@ -433,7 +520,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
             "vgg" | "vgg11" => (zoo::vgg11(8), svhn_like(&data_config)),
             "resnet" | "resnet18" => (zoo::resnet18(8), cifar_like(&data_config)),
             "vit" | "transformer" => (zoo::tiny_vit(16, 4, 2), mnist_like(&data_config)),
-            other => return Err(format!("unknown arch `{other}`")),
+            other => return Err(usage(format!("unknown arch `{other}`"))),
         }
     };
     let spec = if flags.contains_key("extended") {
@@ -493,36 +580,36 @@ fn parse_flag<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match flags.get(key) {
         Some(raw) => raw
             .parse()
-            .map_err(|_| format!("bad --{key} value `{raw}`")),
+            .map_err(|_| usage(format!("bad --{key} value `{raw}`"))),
         None => Ok(default),
     }
 }
 
 fn hw_arch_for(
     flags: &HashMap<String, String>,
-) -> Result<neural_dropout_search::nn::arch::Architecture, String> {
+) -> Result<neural_dropout_search::nn::arch::Architecture, CliError> {
     match flags.get("arch").map(String::as_str).unwrap_or("lenet") {
         "lenet" => Ok(zoo::lenet()),
         "vgg" | "vgg11" => Ok(zoo::vgg11_paper()),
         "resnet" | "resnet18" => Ok(zoo::resnet18_paper()),
         "vit" | "transformer" => Ok(zoo::tiny_vit(16, 4, 2)),
-        other => Err(format!("unknown arch `{other}`")),
+        other => Err(usage(format!("unknown arch `{other}`"))),
     }
 }
 
-fn config_for(flags: &HashMap<String, String>) -> Result<DropoutConfig, String> {
+fn config_for(flags: &HashMap<String, String>) -> Result<DropoutConfig, CliError> {
     flags
         .get("config")
-        .ok_or_else(|| "--config is required".to_string())?
+        .ok_or_else(|| usage("--config is required"))?
         .parse()
-        .map_err(|e: neural_dropout_search::supernet::SupernetError| e.to_string())
+        .map_err(|e: neural_dropout_search::supernet::SupernetError| usage(e.to_string()))
 }
 
-fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let arch = hw_arch_for(flags)?;
     let config = config_for(flags)?;
     let mut accel = AcceleratorConfig::for_arch(&arch);
@@ -532,7 +619,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(samples) = flags.get("samples") {
         accel.samples = samples
             .parse()
-            .map_err(|_| format!("bad --samples `{samples}`"))?;
+            .map_err(|_| usage(format!("bad --samples `{samples}`")))?;
     }
     let model = AcceleratorModel::new(accel);
     let report = model.analyze(&arch, &config).map_err(|e| e.to_string())?;
@@ -540,12 +627,12 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_hls(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_hls(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let arch = hw_arch_for(flags)?;
     let config = config_for(flags)?;
     let out: PathBuf = flags
         .get("out")
-        .ok_or_else(|| "--out is required".to_string())?
+        .ok_or_else(|| usage("--out is required"))?
         .into();
     let accel = AcceleratorConfig::for_arch(&arch);
     let project = generate_project(&arch, &config, &accel, None).map_err(|e| e.to_string())?;
@@ -559,14 +646,14 @@ fn cmd_hls(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_space(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_space(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let seed = 0;
     let arch = match flags.get("arch").map(String::as_str).unwrap_or("lenet") {
         "lenet" => zoo::lenet(),
         "vgg" | "vgg11" => zoo::vgg11(8),
         "resnet" | "resnet18" => zoo::resnet18(8),
         "vit" | "transformer" => zoo::tiny_vit(16, 4, 2),
-        other => return Err(format!("unknown arch `{other}`")),
+        other => return Err(usage(format!("unknown arch `{other}`"))),
     };
     let spec = if flags.contains_key("extended") {
         SupernetSpec::extended_default(arch, seed)

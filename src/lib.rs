@@ -22,6 +22,7 @@
 //! | [`supernet`] | `nds-supernet` | SPOS supernet with dropout slots |
 //! | [`search`] | `nds-search` | evolutionary search, aims, Pareto tools |
 //! | [`core`] | `nds-core` | the four-phase framework entry point |
+//! | [`fault`] | `nds-fault` | deterministic fault-injection harness |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use nds_core as core;
 pub use nds_data as data;
 pub use nds_dropout as dropout;
 pub use nds_engine as engine;
+pub use nds_fault as fault;
 pub use nds_gp as gp;
 pub use nds_hls as hls;
 pub use nds_hw as hw;

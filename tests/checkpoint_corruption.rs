@@ -1,0 +1,205 @@
+//! Checkpoint corruption and recovery: any byte-level damage to a
+//! search checkpoint must surface as a typed [`SearchError::Checkpoint`]
+//! — never a panic — and the `.bak` rotation written by the atomic save
+//! protocol must heal a corrupted primary byte for byte.
+
+// Same waiver as `nds-search` itself: `SearchError` is a few bytes over
+// clippy's 128-byte heuristic on a cold path.
+#![allow(clippy::result_large_err)]
+
+use neural_dropout_search::fault::FaultPlan;
+use neural_dropout_search::search::{
+    self, Candidate, CheckpointSource, SearchBuilder, SearchCheckpoint, SearchError, Strategy,
+};
+use neural_dropout_search::supernet::{CandidateMetrics, DropoutConfig, SupernetSpec};
+use neural_dropout_search::{nn::zoo, search::EvolutionConfig};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serialises the tests that call [`SearchCheckpoint::save`]: the torn
+/// write fault plan is process-global, so a concurrent clean save could
+/// otherwise consume another test's injection.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Deterministic synthetic evaluator — the checkpoint, not the
+/// evaluator, carries all search state, so a plain function suffices.
+struct SyntheticEvaluator;
+
+impl search::Evaluator for SyntheticEvaluator {
+    fn evaluate(&mut self, config: &DropoutConfig) -> search::Result<Candidate> {
+        let spread = config.compact().bytes().map(u64::from).sum::<u64>() as f64;
+        Ok(Candidate {
+            config: config.clone(),
+            metrics: CandidateMetrics {
+                accuracy: (spread % 13.0) / 13.0,
+                ece: 0.02 + (spread % 7.0) / 100.0,
+                ape: 0.3 + (spread % 11.0) / 20.0,
+            },
+            latency_ms: 1.0 + (spread % 5.0) / 10.0,
+        })
+    }
+
+    fn fresh_evaluations(&self) -> usize {
+        0
+    }
+}
+
+/// Two consecutive mid-run snapshots of the same session (after one and
+/// two steps), so rotation tests have distinct known-good states.
+fn snapshot_pair() -> (SearchCheckpoint, SearchCheckpoint) {
+    let spec = SupernetSpec::paper_default(zoo::lenet(), 1).unwrap();
+    let mut evaluator = SyntheticEvaluator;
+    let mut session = SearchBuilder::with_evaluator(&mut evaluator, spec)
+        .strategy(Strategy::Evolution(EvolutionConfig {
+            population: 4,
+            generations: 3,
+            parents: 2,
+            seed: 0xC0FFEE,
+            ..Default::default()
+        }))
+        .build()
+        .unwrap();
+    session.step().unwrap();
+    let first = session.snapshot();
+    session.step().unwrap();
+    let second = session.snapshot();
+    (first, second)
+}
+
+fn checkpoint_json() -> &'static str {
+    static JSON: OnceLock<String> = OnceLock::new();
+    JSON.get_or_init(|| snapshot_pair().0.to_json())
+}
+
+#[test]
+fn truncation_at_every_byte_offset_is_a_typed_error_never_a_panic() {
+    let json = checkpoint_json();
+    let bytes = json.as_bytes();
+    // A prefix may end mid-UTF-8-sequence; lossy conversion models what
+    // a reader of the torn file would feed the parser.
+    for cut in 0..bytes.len() {
+        let torn = String::from_utf8_lossy(&bytes[..cut]).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| SearchCheckpoint::from_json(&torn)));
+        match outcome {
+            Ok(Err(SearchError::Checkpoint(_))) => {}
+            Ok(Err(other)) => panic!("cut at {cut}: wrong error type: {other:?}"),
+            // A cut that only sheds trailing whitespace leaves the
+            // document complete; anything shorter must fail typed.
+            Ok(Ok(_)) => assert_eq!(
+                torn.trim_end(),
+                json.trim_end(),
+                "cut at {cut}: a truncated checkpoint must not parse"
+            ),
+            Err(_) => panic!("cut at {cut}: the parser panicked on a truncated checkpoint"),
+        }
+    }
+    // Sanity: the untruncated text still parses.
+    assert!(SearchCheckpoint::from_json(json).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Single-bit flips anywhere in the serialised checkpoint must
+    /// never panic the parser: either a typed checkpoint error, or — if
+    /// the flip lands inside a numeric literal and stays syntactically
+    /// valid — a clean parse of the (semantically different) state.
+    #[test]
+    fn single_bit_flips_never_panic_the_parser(pos in 0usize..1_000_000, bit in 0usize..8) {
+        let json = checkpoint_json();
+        let mut bytes = json.as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| SearchCheckpoint::from_json(&mutated)));
+        match outcome {
+            Ok(Ok(_)) | Ok(Err(SearchError::Checkpoint(_))) => {}
+            Ok(Err(other)) => prop_assert!(false, "flip at {pos}.{bit}: wrong error type: {other:?}"),
+            Err(_) => prop_assert!(false, "flip at {pos}.{bit}: parser panicked"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_primary_heals_from_the_backup_byte_identically() {
+    let _serial = serial();
+    let dir = std::env::temp_dir().join("nds_ckpt_backup_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cp.json");
+    let (first, second) = snapshot_pair();
+    assert_ne!(first.to_json(), second.to_json(), "distinct states");
+    first.save(&path).unwrap();
+    assert!(
+        !SearchCheckpoint::backup_path(&path).exists(),
+        "the first save has nothing to rotate"
+    );
+    second.save(&path).unwrap();
+    // The rotation preserved the first save's exact bytes.
+    let rotated = std::fs::read_to_string(SearchCheckpoint::backup_path(&path)).unwrap();
+    assert_eq!(rotated, first.to_json());
+    // An intact primary loads as Primary.
+    let (loaded, source) = SearchCheckpoint::load_with_fallback(&path).unwrap();
+    assert_eq!(source, CheckpointSource::Primary);
+    assert_eq!(loaded.to_json(), second.to_json());
+    // Corrupt the primary: the fallback serves the rotated state and
+    // reports why the primary was unusable.
+    std::fs::write(&path, "{ definitely not a checkpoint").unwrap();
+    let (healed, source) = SearchCheckpoint::load_with_fallback(&path).unwrap();
+    match source {
+        CheckpointSource::Backup { primary_error } => {
+            assert!(!primary_error.is_empty(), "the warning needs a cause");
+        }
+        other => panic!("expected a backup recovery, got {other:?}"),
+    }
+    assert_eq!(
+        healed.to_json(),
+        first.to_json(),
+        "backup recovery must be byte-identical to the rotated save"
+    );
+    // With both files corrupted the failure is typed and names both.
+    std::fs::write(SearchCheckpoint::backup_path(&path), "also garbage").unwrap();
+    let err = SearchCheckpoint::load_with_fallback(&path).unwrap_err();
+    match err {
+        SearchError::Checkpoint(msg) => {
+            assert!(msg.contains("checkpoint unrecoverable"), "{msg}");
+            assert!(msg.contains("primary failed"), "{msg}");
+            assert!(msg.contains("backup failed"), "{msg}");
+        }
+        other => panic!("expected a checkpoint error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_torn_write_is_survivable_via_the_rotation() {
+    let _serial = serial();
+    let dir = std::env::temp_dir().join("nds_ckpt_torn_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cp.json");
+    let (first, second) = snapshot_pair();
+    first.save(&path).unwrap();
+    second.save(&path).unwrap(); // rotates `first` into cp.json.bak
+                                 // A torn write models a crash mid-save *without* the atomic
+                                 // protocol: the primary ends up truncated in place.
+    let injected = FaultPlan::new(29).torn_checkpoint_at(40).activate();
+    second.save(&path).unwrap();
+    drop(injected);
+    let torn = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(torn.len(), 40, "the fault must actually tear the write");
+    assert!(matches!(
+        SearchCheckpoint::load(&path),
+        Err(SearchError::Checkpoint(_))
+    ));
+    // The rotation still holds the last complete pre-crash state.
+    let (healed, source) = SearchCheckpoint::load_with_fallback(&path).unwrap();
+    assert!(matches!(source, CheckpointSource::Backup { .. }));
+    assert_eq!(healed.to_json(), first.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
