@@ -24,6 +24,7 @@
 
 use nds_engine::{Backend, EngineBuilder, PredictRequest, UncertaintyEngine};
 use nds_search::{EvolutionConfig, SearchBuilder, Strategy};
+use nds_serve::{ServeRequest, ServerBuilder, TenantSpec};
 use nds_supernet::{Supernet, SupernetSpec};
 use nds_tensor::conv::{conv2d_direct, conv2d_ws, ConvGeometry};
 use nds_tensor::parallel::worker_count;
@@ -188,6 +189,74 @@ fn main() {
     });
 
     // ------------------------------------------------------------------
+    // Serving front-end: deadline-aware dynamic batching over the
+    // engine. Batch-1 serial = submit one request, wait, repeat — every
+    // request pays the client/dispatcher handoff plus a coalescing
+    // window that never fills. Saturation = submit the whole request
+    // set up front, then collect — the size trigger fires full
+    // micro-batches and the dispatch pipeline stays busy. Response
+    // bytes are identical in both phases (pinned by tests/serving.rs);
+    // only scheduling differs, and the gap between the two rows is the
+    // price/payoff of dynamic batching.
+    // ------------------------------------------------------------------
+    let (serve_serial_reqs, serve_sat_reqs, serve_max_batch) =
+        if smoke { (6, 12, 4) } else { (48, 192, 32) };
+    let serve_image = |i: u64| {
+        let mut r = Rng64::new(0x5E21 + i);
+        Tensor::rand_normal(Shape::d4(1, 1, 28, 28), 0.0, 1.0, &mut r)
+    };
+    let mut serve_builder = ServerBuilder::new(supernet.net_mut().clone())
+        .max_batch(serve_max_batch)
+        .max_wait_ms(0.5);
+    let serve_tenant = serve_builder.tenant(TenantSpec {
+        seed: 0,
+        samples: mc_samples,
+    });
+    let server = serve_builder.build();
+    // Warm-up: the first request populates the caches on the dispatch path.
+    server
+        .submit(serve_tenant, ServeRequest::new(serve_image(0)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let mut serve_lat_ms: Vec<f64> = Vec::with_capacity(serve_serial_reqs);
+    let serve_serial_t0 = Instant::now();
+    for i in 0..serve_serial_reqs {
+        let t = Instant::now();
+        server
+            .submit(serve_tenant, ServeRequest::new(serve_image(1 + i as u64)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        serve_lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let serve_serial_elapsed = serve_serial_t0.elapsed().as_secs_f64();
+    serve_lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let serve_p50 = serve_lat_ms[serve_lat_ms.len() / 2];
+    let serve_p99 = serve_lat_ms
+        [((serve_lat_ms.len() as f64 * 0.99).ceil() as usize).clamp(1, serve_lat_ms.len()) - 1];
+    let serve_serial_rps = serve_serial_reqs as f64 / serve_serial_elapsed;
+    let serve_sat_t0 = Instant::now();
+    let serve_tickets: Vec<_> = (0..serve_sat_reqs)
+        .map(|i| {
+            server
+                .submit(
+                    serve_tenant,
+                    ServeRequest::new(serve_image(1000 + i as u64)),
+                )
+                .unwrap()
+        })
+        .collect();
+    let mut serve_batch_sum = 0usize;
+    for ticket in serve_tickets {
+        serve_batch_sum += ticket.wait().unwrap().timing.batch_size;
+    }
+    let serve_sat_elapsed = serve_sat_t0.elapsed().as_secs_f64();
+    let serve_sat_rps = serve_sat_reqs as f64 / serve_sat_elapsed;
+    let serve_mean_batch = serve_batch_sum as f64 / serve_sat_reqs as f64;
+    server.shutdown();
+
+    // ------------------------------------------------------------------
     // Search-session throughput: the Phase-3 `SearchSession` end to end
     // on a tiny LeNet supernet (untrained weights — the per-candidate
     // evaluation cost is identical), 2 evolutionary generations. Reported
@@ -257,6 +326,16 @@ fn main() {
          \"budgeted_ms\": {:.3},\n    \
          \"achieved_samples\": {deg_achieved},\n    \
          \"degraded\": {deg_degraded}\n  }},\n  \
+         \"serving_lenet_s3\": {{\n    \
+         \"max_batch\": {serve_max_batch},\n    \
+         \"batch1_requests\": {serve_serial_reqs},\n    \
+         \"batch1_p50_ms\": {:.3},\n    \
+         \"batch1_p99_ms\": {:.3},\n    \
+         \"batch1_requests_per_sec\": {:.1},\n    \
+         \"saturation_requests\": {serve_sat_reqs},\n    \
+         \"saturated_requests_per_sec\": {:.1},\n    \
+         \"saturated_mean_batch\": {:.2},\n    \
+         \"speedup_vs_batch1\": {:.3}\n  }},\n  \
          \"search_smoke\": {{\n    \
          \"generations\": {search_generations},\n    \
          \"population\": {search_pop},\n    \
@@ -286,6 +365,12 @@ fn main() {
         deg_full_secs * 1e3,
         deg_budget_ms,
         deg_budgeted_secs * 1e3,
+        serve_p50,
+        serve_p99,
+        serve_serial_rps,
+        serve_sat_rps,
+        serve_mean_batch,
+        serve_sat_rps / serve_serial_rps,
         search_elapsed * 1e3,
         search_cps,
     );

@@ -54,7 +54,7 @@ impl Default for DropoutSettings {
 /// cursor at mask `sample`. Every MC pass therefore draws its masks from
 /// a stream determined solely by `(seed, slot, sample)` — independent of
 /// pass ordering and of the thread executing it — which is what lets
-/// [`crate::mc::mc_predict`] fan samples out across workers while
+/// [`crate::mc::mc_sample_rounds_into`] fan samples out across workers while
 /// staying bit-identical to a serial run. Within a pass the stream
 /// advances once per batch *item*, so chunking the batch differently
 /// doesn't move it either (covered by the crate's tests).

@@ -21,216 +21,32 @@
 //! detection, so steady-state parallel rounds stop cloning entirely.
 //! Because every sample's masks depend only on its index — never on
 //! execution order or thread assignment — the parallel result is
-//! **bit-identical** to a serial run (see [`mc_predict_with_workers`]
-//! and the crate's tests). Scratch buffers for the sample slab and the
-//! mean reduction come from a [`Workspace`] so steady-state prediction
-//! rounds allocate nothing beyond the per-pass activations.
+//! **bit-identical** to a serial run (pinned by the crate's tests).
+//! Scratch buffers for the sample slab and the mean reduction come from
+//! a [`Workspace`] so steady-state prediction rounds allocate nothing
+//! beyond the per-pass activations.
 //!
 //! This module is the *harness*; the serving front end is
 //! `nds_engine::UncertaintyEngine`, which routes the float and quantised
 //! datapaths through [`mc_sample_rounds_into`] behind one
-//! request/response API. The free functions here are kept as thin
-//! deprecated wrappers so existing callers keep their exact bytes.
+//! request/response API (the historical `mc_predict*` free functions
+//! were retired once every caller had migrated onto it), and
+//! `nds_serve::Server` multiplexes many tenants over engines whose
+//! clone caches all share one net's weights copy-on-write.
 
-use nds_metrics::entropy_nats;
 use nds_nn::layers::Sequential;
-use nds_nn::train::predict_probs_ws;
-use nds_nn::{Layer, Mode, Result};
-use nds_tensor::parallel::{worker_count, PoolError};
-use nds_tensor::{Shape, SharedTensor, Tensor, Workspace};
-
-/// Result of a Monte-Carlo prediction round.
-#[derive(Debug, Clone)]
-pub struct McPrediction {
-    /// Mean softmax probabilities `[n, classes]` across the S samples —
-    /// the BayesNN's predictive distribution.
-    pub mean_probs: Tensor,
-    /// The individual per-sample probability tensors (length S).
-    pub sample_probs: Vec<Tensor>,
-}
-
-impl McPrediction {
-    /// Number of MC samples that produced this prediction.
-    pub fn samples(&self) -> usize {
-        self.sample_probs.len()
-    }
-
-    /// Hands every buffer of this prediction (mean, per-sample tensors,
-    /// and the sample container itself) back to a [`Workspace`], so the
-    /// next prediction round reuses them instead of allocating.
-    pub fn recycle_into(self, ws: &mut Workspace) {
-        ws.recycle_tensor(self.mean_probs);
-        ws.recycle_tensor_list(self.sample_probs);
-    }
-
-    /// Predictive entropy (nats) of each input's mean distribution —
-    /// the quantity averaged into the paper's aPE metric.
-    pub fn predictive_entropy(&self) -> Vec<f64> {
-        let (n, c) = (
-            self.mean_probs.shape().dim(0),
-            self.mean_probs.shape().dim(1),
-        );
-        let data = self.mean_probs.as_slice();
-        (0..n)
-            .map(|i| entropy_nats(&data[i * c..(i + 1) * c]))
-            .collect()
-    }
-
-    /// Mutual information (BALD): `H(mean) − mean(H(sample))`, the
-    /// epistemic part of the predictive uncertainty. Not used by the
-    /// paper's search aim but a standard companion diagnostic.
-    pub fn mutual_information(&self) -> Vec<f64> {
-        let (n, c) = (
-            self.mean_probs.shape().dim(0),
-            self.mean_probs.shape().dim(1),
-        );
-        let mean_data = self.mean_probs.as_slice();
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let total = entropy_nats(&mean_data[i * c..(i + 1) * c]);
-            let aleatoric: f64 = self
-                .sample_probs
-                .iter()
-                .map(|s| entropy_nats(&s.as_slice()[i * c..(i + 1) * c]))
-                .sum::<f64>()
-                / self.sample_probs.len().max(1) as f64;
-            out.push((total - aleatoric).max(0.0));
-        }
-        out
-    }
-
-    /// Per-input disagreement: variance of the predicted class probability
-    /// across samples, averaged over classes.
-    pub fn predictive_variance(&self) -> Vec<f64> {
-        let (n, c) = (
-            self.mean_probs.shape().dim(0),
-            self.mean_probs.shape().dim(1),
-        );
-        let s = self.sample_probs.len().max(1) as f64;
-        let mean = self.mean_probs.as_slice();
-        (0..n)
-            .map(|i| {
-                let mut var = 0.0;
-                for j in 0..c {
-                    let m = mean[i * c + j] as f64;
-                    for sample in &self.sample_probs {
-                        let d = sample.as_slice()[i * c + j] as f64 - m;
-                        var += d * d;
-                    }
-                }
-                var / (s * c as f64)
-            })
-            .collect()
-    }
-}
-
-/// Runs `samples` stochastic forward passes over `images` and averages the
-/// probabilities, parallelising across samples when workers are available.
-///
-/// Equivalent to [`mc_predict_with_workers`] with the pool size from
-/// [`worker_count`] and a throwaway [`Workspace`].
-///
-/// Deprecated for serving: route prediction through
-/// `nds_engine::UncertaintyEngine`, which holds the network, a warm
-/// workspace *and* a persistent [`McCloneCache`], so repeated parallel
-/// rounds stop cloning the network. This wrapper runs the exact same
-/// harness ([`mc_sample_rounds_into`]) with a throwaway cache, so its
-/// bytes never change.
-///
-/// # Errors
-///
-/// Propagates network execution errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through nds_engine::UncertaintyEngine for cached, allocation-free MC rounds"
-)]
-pub fn mc_predict(
-    net: &mut Sequential,
-    images: &Tensor,
-    samples: usize,
-    batch_size: usize,
-) -> Result<McPrediction> {
-    let mut ws = Workspace::new();
-    #[allow(deprecated)]
-    mc_predict_with_workers(net, images, samples, batch_size, worker_count(), &mut ws)
-}
-
-/// Runs `samples` stochastic forward passes over `images` with an explicit
-/// worker count and scratch workspace, and averages the probabilities.
-///
-/// Every pass draws its dropout masks from a stream derived purely from
-/// the sample index (via [`Layer::begin_mc_sample`]), so results are
-/// **bit-identical for any `workers` value** — a serial run and an 8-way
-/// parallel run produce the same bytes. Workers beyond `samples` are
-/// idle; each busy worker runs a [`Layer::clone_box`] copy of the net.
-///
-/// Deprecated for serving: `nds_engine::UncertaintyEngine` runs the same
-/// [`mc_sample_rounds_into`] harness with a *persistent* clone cache
-/// (this wrapper's cache is per-call, so every round still clones),
-/// exposes the uncertainty diagnostics through typed request flags, and
-/// serves the quantized datapath through the identical code path.
-///
-/// # Errors
-///
-/// Propagates network execution errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through nds_engine::UncertaintyEngine for cached, allocation-free MC rounds"
-)]
-pub fn mc_predict_with_workers(
-    net: &mut Sequential,
-    images: &Tensor,
-    samples: usize,
-    batch_size: usize,
-    workers: usize,
-    workspace: &mut Workspace,
-) -> Result<McPrediction> {
-    let samples = samples.max(1);
-    let n = images.shape().dim(0);
-    // Per-call cache: parity with the historical clone-per-round cost.
-    let mut cache = McCloneCache::new();
-    let classes = nds_nn::train::output_classes(net, images.shape())?;
-    let pass_len = n * classes;
-    let mut slab = workspace.take_dirty(samples * pass_len);
-    let outcome = mc_sample_rounds_into(
-        net,
-        samples,
-        workers,
-        0,
-        &mut cache,
-        workspace,
-        pass_len,
-        &mut slab,
-        &|net, ws| predict_probs_ws(net, images, Mode::McInference, batch_size, ws),
-    );
-    if let Err(e) = outcome {
-        workspace.recycle(slab);
-        return Err(e);
-    }
-    let mut sample_probs = workspace.take_tensor_list();
-    for s in 0..samples {
-        let mut row = workspace.take_dirty(pass_len);
-        row.copy_from_slice(&slab[s * pass_len..(s + 1) * pass_len]);
-        sample_probs.push(
-            Tensor::from_vec(row, Shape::d2(n, classes)).expect("slab rows match the pass shape"),
-        );
-    }
-    let mut mean = workspace.take(pass_len);
-    mean_over_samples(&slab, samples, &mut mean);
-    workspace.recycle(slab);
-    Ok(McPrediction {
-        mean_probs: Tensor::from_vec(mean, Shape::d2(n, classes))?,
-        sample_probs,
-    })
-}
+use nds_nn::Layer;
+use nds_tensor::parallel::PoolError;
+use nds_tensor::{SharedTensor, Tensor, Workspace};
 
 /// Reduces a sample slab (`samples` rows of `out.len()` elements, as
 /// filled by [`mc_sample_rounds_into`]) into the mean distribution:
 /// sums the rows into `out` — which must arrive zero-filled — in
 /// **ascending sample order**, then scales by `1/samples`. Every MC
-/// driver (the wrappers here, the quantised adapter in `nds-hw`, the
-/// serving engine) shares this one reduction so the accumulation order,
-/// and therefore the bytes, can never drift between them.
+/// driver (the serving engine's float and quantised backends, and any
+/// test harness over [`mc_sample_rounds_into`]) shares this one
+/// reduction so the accumulation order, and therefore the bytes, can
+/// never drift between them.
 ///
 /// # Panics
 ///
@@ -335,6 +151,17 @@ impl McCloneCache {
         self.dirty = true;
     }
 
+    /// Populates (or refreshes) the cache with `workers` clones of `net`
+    /// *before* the first parallel round, moving the one-off clone cost
+    /// off the serving path. A no-op when the fingerprint already
+    /// matches and enough clones are cached. Multi-tenant serving
+    /// front-ends prewarm one cache per tenant engine: the clones share
+    /// the tenant net's weights copy-on-write, so T warm caches cost
+    /// T × O(layers) — the parameter storage exists once.
+    pub fn prewarm(&mut self, net: &mut Sequential, workers: usize) {
+        self.sync(net, workers.max(1));
+    }
+
     /// `true` when the fingerprint still matches `net` (allocation-free).
     fn matches(&self, net: &mut Sequential) -> bool {
         if self.dirty || net.len() != self.top_layers || net.structural_epoch() != self.struct_epoch
@@ -394,9 +221,8 @@ impl McCloneCache {
     }
 }
 
-/// The Monte-Carlo round harness shared by every MC driver — the float
-/// path (`UncertaintyEngine`, the [`mc_predict`] wrappers) and the
-/// quantised datapath adapter in `nds-hw`: runs `run_pass` once per
+/// The Monte-Carlo round harness shared by every MC driver — the
+/// `UncertaintyEngine`'s float and quantised datapaths: runs `run_pass` once per
 /// sample with the sample's stream pinned via [`Layer::begin_mc_sample`]
 /// (stream `stream_base + s` for sample `s`), writing each pass's output
 /// into `out[s * pass_len .. (s + 1) * pass_len]` in sample order.
@@ -582,15 +408,48 @@ pub fn mc_sample_rounds_into<E: Send + From<PoolError>>(
 }
 
 #[cfg(test)]
-// The deprecated wrappers stay under test until removal: they are the
-// byte-identity reference the engine is checked against.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{DropoutKind, DropoutLayer, DropoutSettings};
+    use nds_metrics::entropy_nats;
     use nds_nn::arch::{FeatureShape, SlotInfo, SlotPosition};
     use nds_nn::layers::{Flatten, Linear};
+    use nds_nn::train::predict_probs_ws;
+    use nds_nn::{Mode, NnError};
     use nds_tensor::rng::Rng64;
+    use nds_tensor::Shape;
+
+    /// Test driver over the public harness: runs `samples` MC passes of
+    /// `net` over `x` and returns the raw sample slab (`samples` rows of
+    /// `n × classes` probabilities) plus the pass length.
+    fn mc_slab(
+        net: &mut Sequential,
+        x: &Tensor,
+        samples: usize,
+        batch: usize,
+        workers: usize,
+        ws: &mut Workspace,
+    ) -> (Vec<f32>, usize) {
+        let samples = samples.max(1);
+        let n = x.shape().dim(0);
+        let classes = nds_nn::train::output_classes(net, x.shape()).unwrap();
+        let pass_len = n * classes;
+        let mut cache = McCloneCache::new();
+        let mut slab = ws.take_dirty(samples * pass_len);
+        mc_sample_rounds_into::<NnError>(
+            net,
+            samples,
+            workers,
+            0,
+            &mut cache,
+            ws,
+            pass_len,
+            &mut slab,
+            &|net, ws| predict_probs_ws(net, x, Mode::McInference, batch, ws),
+        )
+        .unwrap();
+        (slab, pass_len)
+    }
 
     fn stochastic_net(kind: DropoutKind, seed: u64) -> Sequential {
         let mut rng = Rng64::new(seed);
@@ -623,11 +482,12 @@ mod tests {
         let mut net = stochastic_net(DropoutKind::Bernoulli, 1);
         let mut rng = Rng64::new(2);
         let x = Tensor::rand_normal(Shape::d4(6, 1, 4, 4), 0.0, 1.0, &mut rng);
-        let pred = mc_predict(&mut net, &x, 5, 3).unwrap();
-        assert_eq!(pred.samples(), 5);
-        assert_eq!(pred.mean_probs.shape(), &Shape::d2(6, 4));
+        let mut ws = Workspace::new();
+        let (slab, pass_len) = mc_slab(&mut net, &x, 5, 3, 1, &mut ws);
+        let mut mean = vec![0.0f32; pass_len];
+        mean_over_samples(&slab, 5, &mut mean);
         for i in 0..6 {
-            let s: f32 = pred.mean_probs.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+            let s: f32 = mean[i * 4..(i + 1) * 4].iter().sum();
             assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
         }
     }
@@ -637,8 +497,9 @@ mod tests {
         let mut net = stochastic_net(DropoutKind::Bernoulli, 3);
         let mut rng = Rng64::new(4);
         let x = Tensor::rand_normal(Shape::d4(2, 1, 4, 4), 0.0, 1.0, &mut rng);
-        let pred = mc_predict(&mut net, &x, 3, 2).unwrap();
-        assert_ne!(pred.sample_probs[0], pred.sample_probs[1]);
+        let mut ws = Workspace::new();
+        let (slab, pass_len) = mc_slab(&mut net, &x, 3, 2, 1, &mut ws);
+        assert_ne!(slab[..pass_len], slab[pass_len..2 * pass_len]);
     }
 
     #[test]
@@ -646,27 +507,33 @@ mod tests {
         let mut net = stochastic_net(DropoutKind::Masksembles, 5);
         let mut rng = Rng64::new(6);
         let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
-        let a = mc_predict(&mut net, &x, 3, 3).unwrap();
-        let b = mc_predict(&mut net, &x, 3, 3).unwrap();
+        let mut ws = Workspace::new();
+        let (a, _) = mc_slab(&mut net, &x, 3, 3, 1, &mut ws);
+        let (b, _) = mc_slab(&mut net, &x, 3, 3, 1, &mut ws);
         // Static masks + cursor reset: identical prediction rounds.
-        assert_eq!(a.mean_probs, b.mean_probs);
+        assert_eq!(a, b);
     }
 
     #[test]
     fn mc_entropy_exceeds_single_pass_confidence_on_noise() {
         // On pure-noise inputs, MC averaging should not *reduce* entropy
-        // below the per-sample average.
+        // below the per-sample average (Jensen).
         let mut net = stochastic_net(DropoutKind::Bernoulli, 7);
         let mut rng = Rng64::new(8);
         let x = Tensor::rand_normal(Shape::d4(16, 1, 4, 4), 0.0, 1.0, &mut rng);
-        let pred = mc_predict(&mut net, &x, 8, 8).unwrap();
-        let mean_entropy: f64 = pred.predictive_entropy().iter().sum::<f64>() / 16.0;
-        let per_sample: f64 = pred
-            .sample_probs
-            .iter()
+        let mut ws = Workspace::new();
+        let (slab, pass_len) = mc_slab(&mut net, &x, 8, 8, 1, &mut ws);
+        let mut mean = vec![0.0f32; pass_len];
+        mean_over_samples(&slab, 8, &mut mean);
+        let mean_entropy: f64 = (0..16)
+            .map(|i| entropy_nats(&mean[i * 4..(i + 1) * 4]))
+            .sum::<f64>()
+            / 16.0;
+        let per_sample: f64 = (0..8)
             .map(|s| {
+                let row = &slab[s * pass_len..(s + 1) * pass_len];
                 (0..16)
-                    .map(|i| entropy_nats(&s.as_slice()[i * 4..(i + 1) * 4]))
+                    .map(|i| entropy_nats(&row[i * 4..(i + 1) * 4]))
                     .sum::<f64>()
                     / 16.0
             })
@@ -676,23 +543,6 @@ mod tests {
             mean_entropy >= per_sample - 1e-9,
             "Jensen: H(mean) {mean_entropy} >= mean(H) {per_sample}"
         );
-        // And mutual information is the (non-negative) gap.
-        let mi: f64 = pred.mutual_information().iter().sum::<f64>() / 16.0;
-        assert!((mi - (mean_entropy - per_sample)).abs() < 1e-9);
-    }
-
-    #[test]
-    fn variance_is_zero_without_stochasticity() {
-        // Standard-mode network (no dropout active): use a plain net and
-        // sample twice — variance must be ~0 only if dropout is static...
-        // here we exercise the McPrediction math directly.
-        let probs = Tensor::from_vec(vec![0.7, 0.3], Shape::d2(1, 2)).unwrap();
-        let pred = McPrediction {
-            mean_probs: probs.clone(),
-            sample_probs: vec![probs.clone(), probs],
-        };
-        assert!(pred.predictive_variance()[0] < 1e-12);
-        assert!(pred.mutual_information()[0] < 1e-12);
     }
 
     #[test]
@@ -708,17 +558,12 @@ mod tests {
             let mut rng = Rng64::new(12);
             let x = Tensor::rand_normal(Shape::d4(5, 1, 4, 4), 0.0, 1.0, &mut rng);
             let mut ws = Workspace::new();
-            let serial = mc_predict_with_workers(&mut serial_net, &x, 4, 2, 1, &mut ws).unwrap();
+            let (serial, _) = mc_slab(&mut serial_net, &x, 4, 2, 1, &mut ws);
             for workers in [2, 3, 4, 8] {
-                let parallel =
-                    mc_predict_with_workers(&mut parallel_net, &x, 4, 2, workers, &mut ws).unwrap();
+                let (parallel, _) = mc_slab(&mut parallel_net, &x, 4, 2, workers, &mut ws);
                 assert_eq!(
-                    serial.sample_probs, parallel.sample_probs,
-                    "{kind}: sample probs diverged at {workers} workers"
-                );
-                assert_eq!(
-                    serial.mean_probs, parallel.mean_probs,
-                    "{kind}: mean probs diverged at {workers} workers"
+                    serial, parallel,
+                    "{kind}: sample slab diverged at {workers} workers"
                 );
             }
         }
@@ -729,18 +574,17 @@ mod tests {
         let mut net = stochastic_net(DropoutKind::Bernoulli, 21);
         let x = Tensor::zeros(Shape::d4(4, 1, 4, 4));
         let mut ws = Workspace::new();
-        let first = mc_predict_with_workers(&mut net, &x, 3, 4, 1, &mut ws).unwrap();
-        first.recycle_into(&mut ws);
+        let (first, _) = mc_slab(&mut net, &x, 3, 4, 1, &mut ws);
+        ws.recycle(first);
         let allocations = ws.allocations();
-        let second = mc_predict_with_workers(&mut net, &x, 3, 4, 1, &mut ws).unwrap();
+        let (second, _) = mc_slab(&mut net, &x, 3, 4, 1, &mut ws);
         assert_eq!(
             ws.allocations(),
             allocations,
             "second round must not take fresh buffers"
         );
         assert!(ws.reuses() >= 1);
-        // Same seed-derived streams: the two rounds agree exactly.
-        assert_eq!(second.samples(), 3);
+        ws.recycle(second);
     }
 
     #[test]
@@ -757,12 +601,12 @@ mod tests {
             let mut net = stochastic_net(kind, 22);
             let x = Tensor::zeros(Shape::d4(4, 1, 4, 4));
             let mut ws = Workspace::new();
-            let warmup = mc_predict_with_workers(&mut net, &x, 3, 2, 1, &mut ws).unwrap();
-            warmup.recycle_into(&mut ws);
+            let (warmup, _) = mc_slab(&mut net, &x, 3, 2, 1, &mut ws);
+            ws.recycle(warmup);
             let allocations = ws.allocations();
             for _ in 0..3 {
-                let round = mc_predict_with_workers(&mut net, &x, 3, 2, 1, &mut ws).unwrap();
-                round.recycle_into(&mut ws);
+                let (round, _) = mc_slab(&mut net, &x, 3, 2, 1, &mut ws);
+                ws.recycle(round);
             }
             assert_eq!(
                 ws.allocations(),
@@ -781,46 +625,87 @@ mod tests {
             let mut net_b = stochastic_net(kind, 31);
             let mut rng = Rng64::new(32);
             let x = Tensor::rand_normal(Shape::d4(6, 1, 4, 4), 0.0, 1.0, &mut rng);
-            let a = mc_predict(&mut net_a, &x, 3, 2).unwrap();
-            let b = mc_predict(&mut net_b, &x, 3, 6).unwrap();
-            assert_eq!(a.sample_probs, b.sample_probs, "{kind}");
+            let mut ws = Workspace::new();
+            let (a, _) = mc_slab(&mut net_a, &x, 3, 2, 1, &mut ws);
+            let (b, _) = mc_slab(&mut net_b, &x, 3, 6, 1, &mut ws);
+            assert_eq!(a, b, "{kind}");
         }
     }
 
     #[test]
     fn original_net_state_is_untouched_by_mc_rounds() {
-        // mc_predict runs passes on clones: a Train-mode forward after an
+        // The serial harness runs in place bracketed by save/restore, the
+        // parallel harness runs on clones: a Train-mode forward after an
         // MC round draws the same masks whether or not the round ran, so
         // downstream training cannot depend on the machine's core count.
-        let mut with_mc = stochastic_net(DropoutKind::Bernoulli, 41);
-        let mut without_mc = stochastic_net(DropoutKind::Bernoulli, 41);
-        let mut rng = Rng64::new(42);
-        let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
-        let _ = mc_predict(&mut with_mc, &x, 4, 3).unwrap();
-        let a = with_mc.forward(&x, Mode::Train).unwrap();
-        let b = without_mc.forward(&x, Mode::Train).unwrap();
-        assert_eq!(a, b, "MC round must not advance the caller's RNG state");
+        for workers in [1, 4] {
+            let mut with_mc = stochastic_net(DropoutKind::Bernoulli, 41);
+            let mut without_mc = stochastic_net(DropoutKind::Bernoulli, 41);
+            let mut rng = Rng64::new(42);
+            let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+            let mut ws = Workspace::new();
+            let _ = mc_slab(&mut with_mc, &x, 4, 3, workers, &mut ws);
+            let a = with_mc.forward(&x, Mode::Train).unwrap();
+            let b = without_mc.forward(&x, Mode::Train).unwrap();
+            assert_eq!(
+                a, b,
+                "MC round ({workers} workers) must not advance the caller's RNG state"
+            );
 
-        // Same for the Masksembles cursor under manual MC forwards: an
-        // mc_predict between two of the caller's own passes must not
-        // reset or advance its cycle.
-        let mut with_mc = stochastic_net(DropoutKind::Masksembles, 43);
-        let mut without_mc = stochastic_net(DropoutKind::Masksembles, 43);
-        let x1 = Tensor::rand_normal(Shape::d4(1, 1, 4, 4), 0.0, 1.0, &mut rng);
-        let m0 = with_mc.forward(&x1, Mode::McInference).unwrap();
-        let _ = mc_predict(&mut with_mc, &x1, 3, 1).unwrap();
-        let m1 = with_mc.forward(&x1, Mode::McInference).unwrap();
-        let n0 = without_mc.forward(&x1, Mode::McInference).unwrap();
-        let n1 = without_mc.forward(&x1, Mode::McInference).unwrap();
-        assert_eq!(m0, n0);
-        assert_eq!(m1, n1, "MC round must not move the caller's mask cursor");
+            // Same for the Masksembles cursor under manual MC forwards:
+            // a round between two of the caller's own passes must not
+            // reset or advance its cycle.
+            let mut with_mc = stochastic_net(DropoutKind::Masksembles, 43);
+            let mut without_mc = stochastic_net(DropoutKind::Masksembles, 43);
+            let x1 = Tensor::rand_normal(Shape::d4(1, 1, 4, 4), 0.0, 1.0, &mut rng);
+            let m0 = with_mc.forward(&x1, Mode::McInference).unwrap();
+            let _ = mc_slab(&mut with_mc, &x1, 3, 1, workers, &mut ws);
+            let m1 = with_mc.forward(&x1, Mode::McInference).unwrap();
+            let n0 = without_mc.forward(&x1, Mode::McInference).unwrap();
+            let n1 = without_mc.forward(&x1, Mode::McInference).unwrap();
+            assert_eq!(m0, n0);
+            assert_eq!(m1, n1, "MC round must not move the caller's mask cursor");
+        }
     }
 
     #[test]
     fn single_sample_is_allowed() {
         let mut net = stochastic_net(DropoutKind::Random, 9);
         let x = Tensor::zeros(Shape::d4(1, 1, 4, 4));
-        let pred = mc_predict(&mut net, &x, 0, 1).unwrap(); // clamped to 1
-        assert_eq!(pred.samples(), 1);
+        let mut ws = Workspace::new();
+        let (slab, pass_len) = mc_slab(&mut net, &x, 0, 1, 1, &mut ws); // clamped to 1
+        assert_eq!(slab.len(), pass_len);
+    }
+
+    #[test]
+    fn prewarmed_cache_serves_identical_bytes_without_resyncing() {
+        let mut cold_net = stochastic_net(DropoutKind::Bernoulli, 51);
+        let mut warm_net = stochastic_net(DropoutKind::Bernoulli, 51);
+        let mut rng = Rng64::new(52);
+        let x = Tensor::rand_normal(Shape::d4(4, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut ws = Workspace::new();
+        let classes = nds_nn::train::output_classes(&cold_net, x.shape()).unwrap();
+        let pass_len = 4 * classes;
+        let run = |net: &mut Sequential, cache: &mut McCloneCache, ws: &mut Workspace| {
+            let mut slab = vec![0.0f32; 3 * pass_len];
+            mc_sample_rounds_into::<NnError>(net, 3, 3, 0, cache, ws, pass_len, &mut slab, &{
+                let x = x.clone();
+                move |net: &mut Sequential, ws: &mut Workspace| {
+                    predict_probs_ws(net, &x, Mode::McInference, 4, ws)
+                }
+            })
+            .unwrap();
+            slab
+        };
+        let mut cold_cache = McCloneCache::new();
+        let cold = run(&mut cold_net, &mut cold_cache, &mut ws);
+        let mut warm_cache = McCloneCache::new();
+        warm_cache.prewarm(&mut warm_net, 3);
+        assert_eq!(warm_cache.cached_workers(), 3);
+        let warm = run(&mut warm_net, &mut warm_cache, &mut ws);
+        assert_eq!(cold, warm, "prewarming must only move work, never bytes");
+        // A second prewarm at the same width is a no-op.
+        warm_cache.prewarm(&mut warm_net, 3);
+        assert_eq!(warm_cache.cached_workers(), 3);
     }
 }

@@ -20,7 +20,8 @@
 //! guarantees are shared: every sample's dropout masks derive only from
 //! `(seed, sample index)`, results are **bit-identical** for any worker
 //! count, any chunk size, and identical to the legacy free functions
-//! (`mc_predict`, `quantized_mc_predict`) the engine supersedes.
+//! (`mc_predict`, `quantized_mc_predict`, now removed) the engine
+//! superseded.
 //!
 //! # Execution model
 //!
@@ -554,8 +555,11 @@ pub struct UncertaintyEngine {
 ///   historical path, byte for byte (including its parallel fan-out).
 /// * **Budgeted** — samples run one *round* (one sample) at a time,
 ///   serially; after each round the engine projects the next round's
-///   cost from the running average and stops early when it would bust
-///   the budget. At least one round always completes. Because round `s`
+///   cost from the **most recent round's measured cost** and stops
+///   early when it would bust the budget. (The lifetime average would
+///   let a slow first round — worker-clone cache population — inflate
+///   every later projection and stop a warm engine earlier than the
+///   budget requires.) At least one round always completes. Because round `s`
 ///   pins stream `seed + s` exactly as the unbudgeted harness would,
 ///   every completed round is byte-identical to the corresponding
 ///   sample of an unbudgeted call — degradation changes *how many*
@@ -586,6 +590,7 @@ fn serve_rounds(
         }
     };
     let mut achieved = 0;
+    let mut prev_elapsed_ms = 0.0f64;
     for s in 0..samples {
         mc_sample_rounds_into(
             net,
@@ -600,12 +605,24 @@ fn serve_rounds(
         )?;
         achieved = s + 1;
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-        let projected_ms = elapsed_ms + elapsed_ms / achieved as f64;
-        if achieved < samples && projected_ms > budget {
+        let last_round_ms = elapsed_ms - prev_elapsed_ms;
+        prev_elapsed_ms = elapsed_ms;
+        if achieved < samples && project_next_round_ms(elapsed_ms, last_round_ms) > budget {
             break;
         }
     }
     Ok(achieved)
+}
+
+/// Deadline projection for the budgeted round loop: the expected total
+/// elapsed time if one more round runs, estimated from the **most
+/// recent** round's measured cost. The lifetime average is deliberately
+/// not used — the first round pays one-off costs (worker-clone cache
+/// population, cold workspace pools) that an average would smear over
+/// every later projection, stopping a warm engine earlier than the
+/// budget requires.
+fn project_next_round_ms(elapsed_ms: f64, last_round_ms: f64) -> f64 {
+    elapsed_ms + last_round_ms
 }
 
 impl UncertaintyEngine {
@@ -903,6 +920,25 @@ impl UncertaintyEngine {
     pub fn invalidate_cache(&mut self) {
         self.cache.invalidate();
     }
+
+    /// Builds (or refreshes) the persistent worker clones for the
+    /// engine's configured worker split *now*, so the first parallel
+    /// request doesn't pay the cache-population cost on the serving
+    /// path. Serving front-ends call this once per tenant at
+    /// construction; the clones share the tenant net's weights
+    /// copy-on-write, so prewarming T tenants costs T × O(layers), not
+    /// T × O(parameters). A no-op when the cache is already warm for
+    /// the current network state.
+    pub fn prewarm(&mut self) {
+        let workers = if self.workers == 0 {
+            nds_tensor::parallel::worker_count()
+        } else {
+            self.workers
+        };
+        if workers > 1 {
+            self.cache.prewarm(&mut self.net, workers);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -937,6 +973,53 @@ mod tests {
         ));
         net.push(Box::new(Linear::new(12, 4, true, &mut rng)));
         net
+    }
+
+    #[test]
+    fn deadline_projection_uses_the_most_recent_round_not_the_average() {
+        // Cold first round (cache population) of 9 ms, warm rounds of
+        // 1 ms, budget 12 ms. After round 2 (elapsed 10 ms) the lifetime
+        // average (5 ms/round) would project 15 ms and stop at 2 samples;
+        // the most-recent-round projection (10 + 1 = 11 ms) correctly
+        // keeps sampling, and only stops once the budget is truly spent.
+        let budget = 12.0;
+        assert!(
+            project_next_round_ms(10.0, 1.0) <= budget,
+            "a warm engine must not be stopped by the cold first round"
+        );
+        assert!(
+            project_next_round_ms(11.0, 1.0) <= budget,
+            "elapsed 11 ms + warm round 1 ms still fits a 12 ms budget"
+        );
+        assert!(
+            project_next_round_ms(12.0, 1.0) > budget,
+            "once the budget is spent the projection must stop the loop"
+        );
+        // Steady state (all rounds equal) projects identically to the
+        // historical average, so unbudgeted byte-identity is unaffected.
+        assert_eq!(project_next_round_ms(4.0, 2.0), 4.0 + 4.0 / 2.0);
+    }
+
+    #[test]
+    fn prewarm_matches_cold_start_bytes() {
+        let mut rng = Rng64::new(17);
+        let x = Tensor::rand_normal(Shape::d4(4, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut cold = EngineBuilder::new(stochastic_net(19))
+            .samples(3)
+            .workers(4)
+            .build();
+        let mut warm = EngineBuilder::new(stochastic_net(19))
+            .samples(3)
+            .workers(4)
+            .build();
+        warm.prewarm();
+        let a = cold.predict(&PredictRequest::new(&x)).unwrap();
+        let b = warm.predict(&PredictRequest::new(&x)).unwrap();
+        assert_eq!(
+            a.probs.as_slice(),
+            b.probs.as_slice(),
+            "prewarming must only move work, never change bytes"
+        );
     }
 
     #[test]

@@ -19,14 +19,10 @@
 //! drift apart numerically.
 
 use crate::Result;
-use nds_dropout::mc::{mc_sample_rounds_into, mean_over_samples, McCloneCache};
-use nds_engine::quantized::quantized_predict_probs_ws;
 use nds_nn::layers::Sequential;
-use nds_nn::train::output_classes;
 use nds_nn::{Layer, Mode};
 use nds_quant::{fake_quantize, FixedFormat};
-use nds_tensor::parallel::worker_count;
-use nds_tensor::{Shape, Tensor, Workspace};
+use nds_tensor::{Tensor, Workspace};
 
 /// Quantises every parameter of the network to `format`, in place.
 /// Returns the number of scalars that changed value.
@@ -73,100 +69,14 @@ pub fn quantized_forward(
     )?)
 }
 
-/// Convenience: Monte-Carlo prediction through the quantised datapath
-/// (S stochastic passes, mean probabilities).
-///
-/// Equivalent to [`quantized_mc_predict_with_workers`] with the pool
-/// size from [`worker_count`].
-///
-/// Deprecated for serving: build an `nds_engine::UncertaintyEngine` with
-/// `Backend::Quantized` (or `Backend::HwSim`) instead — same datapath,
-/// same bytes, plus the persistent clone cache, chunked streaming and
-/// typed uncertainty outputs.
-///
-/// # Errors
-///
-/// Propagates network execution errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through nds_engine::UncertaintyEngine with Backend::Quantized"
-)]
-pub fn quantized_mc_predict(
-    net: &mut Sequential,
-    images: &Tensor,
-    format: FixedFormat,
-    samples: usize,
-) -> Result<Tensor> {
-    #[allow(deprecated)]
-    quantized_mc_predict_with_workers(net, images, format, samples, worker_count())
-}
-
-/// Monte-Carlo prediction through the quantised datapath with an
-/// explicit worker count.
-///
-/// Runs the exact harness the float path runs
-/// ([`nds_dropout::mc::mc_sample_rounds_into`]): every pass draws its
-/// dropout masks from a stream derived purely from the sample index via
-/// [`Layer::begin_mc_sample`], so the masks are independent of execution
-/// order and **bit-identical for any `workers` value** — the
-/// quantisation-error comparison isolates quantisation from mask drift.
-/// The caller's network comes back with its stochastic state untouched.
-///
-/// Deprecated for serving: `nds_engine::UncertaintyEngine` with
-/// `Backend::Quantized` is the same code path with a persistent clone
-/// cache; this wrapper re-clones per call.
-///
-/// # Errors
-///
-/// Propagates network execution errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through nds_engine::UncertaintyEngine with Backend::Quantized"
-)]
-pub fn quantized_mc_predict_with_workers(
-    net: &mut Sequential,
-    images: &Tensor,
-    format: FixedFormat,
-    samples: usize,
-    workers: usize,
-) -> Result<Tensor> {
-    let samples = samples.max(1);
-    let n = images.shape().dim(0);
-    let classes = output_classes(net, images.shape()).map_err(crate::HwError::Nn)?;
-    let pass_len = n * classes;
-    let mut ws = Workspace::new();
-    let mut cache = McCloneCache::new();
-    let mut slab = ws.take_dirty(samples * pass_len);
-    mc_sample_rounds_into(
-        net,
-        samples,
-        workers,
-        0,
-        &mut cache,
-        &mut ws,
-        pass_len,
-        &mut slab,
-        // Whole batch in one micro-batch, like the historical
-        // whole-images `quantized_forward` pass (chunking would be
-        // byte-identical anyway).
-        &|net, ws| quantized_predict_probs_ws(net, images, format, Mode::McInference, n.max(1), ws),
-    )
-    .map_err(crate::HwError::Nn)?;
-    let mut mean = vec![0.0f32; pass_len];
-    mean_over_samples(&slab, samples, &mut mean);
-    Ok(Tensor::from_vec(mean, Shape::d2(n, classes)).expect("shape-consistent by construction"))
-}
-
 #[cfg(test)]
-// The deprecated wrappers stay under test until removal: they are the
-// byte-identity reference the engine's quantized backend is checked
-// against.
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use nds_engine::{Backend, EngineBuilder};
     use nds_nn::layers::{Flatten, Linear, Relu};
     use nds_quant::{Q3_12, Q7_8};
     use nds_tensor::rng::Rng64;
+    use nds_tensor::Shape;
 
     fn toy_net(rng: &mut Rng64) -> Sequential {
         let mut net = Sequential::new();
@@ -272,13 +182,23 @@ mod tests {
         let mut net = stochastic_net(&mut rng);
         quantize_network(&mut net, Q7_8);
         let x = Tensor::rand_normal(Shape::d4(5, 2, 2, 2), 0.0, 1.0, &mut rng);
-        let serial = quantized_mc_predict_with_workers(&mut net, &x, Q7_8, 4, 1).unwrap();
+        let request = nds_engine::PredictRequest::new(&x);
+        let mut serial_engine = EngineBuilder::new(net.clone())
+            .backend(Backend::quantized_q78())
+            .samples(4)
+            .workers(1)
+            .build();
+        let serial = serial_engine.predict(&request).unwrap();
         for workers in [2, 3, 4, 8] {
-            let parallel =
-                quantized_mc_predict_with_workers(&mut net, &x, Q7_8, 4, workers).unwrap();
+            let mut engine = EngineBuilder::new(net.clone())
+                .backend(Backend::quantized_q78())
+                .samples(4)
+                .workers(workers)
+                .build();
+            let parallel = engine.predict(&request).unwrap();
             assert_eq!(
-                serial.as_slice(),
-                parallel.as_slice(),
+                serial.probs.as_slice(),
+                parallel.probs.as_slice(),
                 "quantized MC bytes diverged at {workers} workers"
             );
         }
@@ -287,14 +207,20 @@ mod tests {
     #[test]
     fn quantized_mc_does_not_advance_caller_rng() {
         // A quantised MC round must leave the caller's stochastic state
-        // untouched, exactly like the float mc_predict: a Train-mode
-        // forward afterwards draws the same masks either way.
+        // untouched: the engine runs on its own clone of the network, so
+        // a Train-mode forward afterwards draws the same masks either way.
         let mut rng = Rng64::new(6);
         let mut with_mc = stochastic_net(&mut rng);
         let mut rng2 = Rng64::new(6);
         let mut without_mc = stochastic_net(&mut rng2);
         let x = Tensor::rand_normal(Shape::d4(3, 2, 2, 2), 0.0, 1.0, &mut rng);
-        let _ = quantized_mc_predict(&mut with_mc, &x, Q7_8, 3).unwrap();
+        let mut engine = EngineBuilder::new(with_mc.clone())
+            .backend(Backend::quantized_q78())
+            .samples(3)
+            .build();
+        let _ = engine
+            .predict(&nds_engine::PredictRequest::new(&x))
+            .unwrap();
         let a = with_mc.forward(&x, Mode::Train).unwrap();
         let b = without_mc.forward(&x, Mode::Train).unwrap();
         assert_eq!(
@@ -309,10 +235,16 @@ mod tests {
         let mut net = toy_net(&mut rng);
         quantize_network(&mut net, Q7_8);
         let x = Tensor::rand_normal(Shape::d4(3, 2, 2, 2), 0.0, 1.0, &mut rng);
-        let probs = quantized_mc_predict(&mut net, &x, Q7_8, 3).unwrap();
-        assert_eq!(probs.shape(), &Shape::d2(3, 4));
+        let mut engine = EngineBuilder::new(net)
+            .backend(Backend::quantized_q78())
+            .samples(3)
+            .build();
+        let response = engine
+            .predict(&nds_engine::PredictRequest::new(&x))
+            .unwrap();
+        assert_eq!(response.probs.shape(), &Shape::d2(3, 4));
         for i in 0..3 {
-            let s: f32 = probs.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+            let s: f32 = response.probs.as_slice()[i * 4..(i + 1) * 4].iter().sum();
             assert!((s - 1.0).abs() < 1e-4);
         }
     }

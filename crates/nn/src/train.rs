@@ -149,40 +149,11 @@ fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
         .count()
 }
 
-/// Runs the network over `images` in batches and returns softmax
-/// probabilities `[n, classes]` under the given mode.
-///
-/// Equivalent to [`predict_probs_ws`] with a throwaway [`Workspace`];
-/// hot loops call that directly so every buffer is reused across calls.
-///
-/// Deprecated for serving: route inference through
-/// `nds_engine::UncertaintyEngine`, which holds the network plus warm
-/// workspaces and serves every backend (float, quantized, hw-sim)
-/// through one request/response API. This wrapper is kept so existing
-/// callers keep producing byte-identical results; internally the engine
-/// runs the same [`predict_probs_ws`] per pass.
-///
-/// # Errors
-///
-/// Propagates forward errors from the network.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through nds_engine::UncertaintyEngine (or call predict_probs_ws with a persistent Workspace)"
-)]
-pub fn predict_probs(
-    net: &mut Sequential,
-    images: &Tensor,
-    mode: Mode,
-    batch_size: usize,
-) -> Result<Tensor> {
-    predict_probs_ws(net, images, mode, batch_size, &mut Workspace::new())
-}
-
 /// Number of probability columns a [`predict_probs_ws`]-style pass over
 /// `input` produces — the single definition of the output-shape
 /// conventions every probability driver (the float path here, the
 /// quantised datapath and the serving engine in `nds-engine`, the MC
-/// wrappers in `nds-dropout`/`nds-hw`) shares:
+/// round harness in `nds-dropout`) shares:
 ///
 /// * an empty batch (leading dimension 0, or a rank-0 input) reports 1
 ///   column, matching the `[0, 1]`-shaped tensor the drivers return
@@ -213,7 +184,9 @@ pub fn output_classes(net: &Sequential, input: &Shape) -> Result<usize> {
     Ok(out_shape.dim(1).max(1))
 }
 
-/// [`predict_probs`] with an explicit scratch [`Workspace`].
+/// Runs the network over `images` in batches and returns softmax
+/// probabilities `[n, classes]` under the given mode, using an explicit
+/// scratch [`Workspace`].
 ///
 /// The batch slices, every layer activation (via `Layer::forward_ws`),
 /// the softmax (in place on the logits) and the assembled probability
@@ -310,8 +283,6 @@ pub fn slice_batch_ws(
 }
 
 #[cfg(test)]
-// The deprecated convenience wrappers stay under test until removal.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::layers::{Flatten, Linear, Relu};
@@ -395,7 +366,8 @@ mod tests {
         let mut rng = Rng64::new(1);
         let mut net = toy_net(&mut rng);
         let (images, _) = toy_batch(&mut rng, 10);
-        let probs = predict_probs(&mut net, &images, Mode::Standard, 4).unwrap();
+        let mut ws = Workspace::new();
+        let probs = predict_probs_ws(&mut net, &images, Mode::Standard, 4, &mut ws).unwrap();
         assert_eq!(probs.shape(), &Shape::d2(10, 2));
         for i in 0..10 {
             let s: f32 = probs.as_slice()[i * 2..(i + 1) * 2].iter().sum();
@@ -408,8 +380,9 @@ mod tests {
         let mut rng = Rng64::new(2);
         let mut net = toy_net(&mut rng);
         let (images, _) = toy_batch(&mut rng, 7);
-        let a = predict_probs(&mut net, &images, Mode::Standard, 3).unwrap();
-        let b = predict_probs(&mut net, &images, Mode::Standard, 7).unwrap();
+        let mut ws = Workspace::new();
+        let a = predict_probs_ws(&mut net, &images, Mode::Standard, 3, &mut ws).unwrap();
+        let b = predict_probs_ws(&mut net, &images, Mode::Standard, 7, &mut ws).unwrap();
         for (x, y) in a.iter().zip(b.iter()) {
             assert!((x - y).abs() < 1e-6);
         }

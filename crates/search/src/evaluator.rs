@@ -367,31 +367,6 @@ impl Evaluator for SupernetEvaluator<'_> {
 type CandidateMetricsResult =
     std::result::Result<nds_supernet::CandidateMetrics, nds_supernet::SupernetError>;
 
-/// Exhaustively evaluates every configuration of the space — the paper's
-/// Figure-4 reference ("We iterate through and evaluate all configurations
-/// on the validation sets").
-///
-/// Deprecated: a thin wrapper over [`crate::SearchBuilder`] with
-/// [`crate::Strategy::Exhaustive`]. The session variant additionally
-/// fans cache-missing evaluations out across worker forks (results are
-/// byte-identical to this historical serial sweep) and maintains the
-/// Pareto archive as it goes.
-///
-/// # Errors
-///
-/// Propagates evaluation errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a SearchSession via SearchBuilder::with_evaluator(...).strategy(Strategy::Exhaustive) instead"
-)]
-pub fn evaluate_all(spec: &SupernetSpec, evaluator: &mut dyn Evaluator) -> Result<Vec<Candidate>> {
-    let mut session = crate::SearchBuilder::with_evaluator(evaluator, spec.clone())
-        .strategy(crate::Strategy::Exhaustive)
-        .build()?;
-    let outcome = session.run()?;
-    Ok(outcome.archive.into_candidates())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,11 +1,11 @@
 //! The evolutionary algorithm of Figure 3.
 //!
-//! The loop itself now lives in [`crate::SearchSession`] (strategy
+//! The loop itself lives in [`crate::SearchSession`] (strategy
 //! [`crate::Strategy::Evolution`]); this module keeps the configuration
-//! and result types, the crossover/mutation operators the session calls
-//! into, and the deprecated [`evolve`] wrapper.
+//! and result types plus the crossover/mutation operators the session
+//! calls into.
 
-use crate::{Candidate, Evaluator, Result, SearchAim, Strategy};
+use crate::Candidate;
 use nds_supernet::{DropoutConfig, SupernetSpec};
 use nds_tensor::rng::Rng64;
 use std::collections::HashSet;
@@ -53,7 +53,8 @@ pub struct GenerationStats {
     pub best_config: DropoutConfig,
 }
 
-/// Output of [`evolve`].
+/// Evolution-shaped view of a search outcome (best candidate, archive,
+/// per-generation history); converts from [`crate::SearchOutcome`].
 #[derive(Debug, Clone)]
 pub struct EvolutionResult {
     /// The best candidate found, by aim score.
@@ -64,43 +65,12 @@ pub struct EvolutionResult {
     pub history: Vec<GenerationStats>,
 }
 
-/// Runs the evolutionary search of Figure 3: random population →
-/// evaluation on the validation set → top-k selection → crossover &
-/// mutation → repeat.
-///
-/// Deprecated: a thin wrapper over [`crate::SearchBuilder`] with
-/// [`Strategy::Evolution`] — the session API adds a first-class Pareto
-/// archive, streaming [`crate::SearchEvent`]s and checkpoint/resume,
-/// and this wrapper's bytes never change (pinned by
-/// `tests/search_session.rs`).
-///
-/// # Errors
-///
-/// Returns [`crate::SearchError::BadConfig`] for degenerate
-/// hyperparameters and propagates evaluation errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a SearchSession via SearchBuilder::with_evaluator(...).strategy(Strategy::Evolution(config)) instead"
-)]
-pub fn evolve(
-    spec: &SupernetSpec,
-    evaluator: &mut dyn Evaluator,
-    aim: &SearchAim,
-    config: &EvolutionConfig,
-) -> Result<EvolutionResult> {
-    let mut session = crate::SearchBuilder::with_evaluator(evaluator, spec.clone())
-        .strategy(Strategy::Evolution(*config))
-        .aim(aim.clone())
-        .build()?;
-    session.run().map(EvolutionResult::from)
-}
-
 /// Draws up to `target` *distinct* configurations uniformly from the
 /// space (bounded retries so a tiny space cannot loop forever). The RNG
 /// consumption pattern is shared by the session's evolutionary
 /// population initialisation and the random-search draw list — and is
 /// identical to what the historical free functions consumed, which is
-/// what keeps the deprecated wrappers byte-stable.
+/// what keeps resumed and restarted runs byte-stable.
 pub(crate) fn sample_distinct(
     spec: &SupernetSpec,
     rng: &mut Rng64,
@@ -199,13 +169,26 @@ fn mutate(
 }
 
 #[cfg(test)]
-// The deprecated wrapper stays under test until removal: it is the
-// byte-identity reference the session API is checked against.
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::{Evaluator, Result, SearchAim, SearchBuilder, Strategy};
     use nds_nn::zoo;
     use nds_supernet::CandidateMetrics;
+
+    /// The historical `evolve` entry point, expressed over the session —
+    /// the shape every test in this module drives.
+    fn evolve(
+        spec: &SupernetSpec,
+        evaluator: &mut dyn Evaluator,
+        aim: &SearchAim,
+        config: &EvolutionConfig,
+    ) -> Result<EvolutionResult> {
+        let mut session = SearchBuilder::with_evaluator(evaluator, spec.clone())
+            .strategy(Strategy::Evolution(*config))
+            .aim(aim.clone())
+            .build()?;
+        session.run().map(EvolutionResult::from)
+    }
 
     /// A synthetic evaluator with a planted optimum: score peaks when the
     /// config matches a target string.

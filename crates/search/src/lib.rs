@@ -29,10 +29,11 @@
 //!   ([`LatencyProvider::fit_gp`]) or a constant,
 //! * [`pareto::pareto_front`] — non-dominated filtering and the
 //!   [`pareto::hypervolume`] quality indicator, packaged with
-//!   deduplication into [`pareto::ParetoArchive`],
-//! * [`evolve`] / [`random_search`] / [`evaluate_all`] — the historical
-//!   free functions, now deprecated byte-stable wrappers over the
-//!   session.
+//!   deduplication into [`pareto::ParetoArchive`].
+//!
+//! The historical `evolve` / `random_search` / `evaluate_all` free
+//! functions have been removed; the session produces their results byte
+//! for byte (pinned by `tests/search_session.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,14 +51,8 @@ pub mod pareto;
 mod random;
 mod session;
 
-#[allow(deprecated)]
-pub use evaluator::evaluate_all;
 pub use evaluator::{encode_config, fit_latency_gp, Evaluator, LatencyProvider, SupernetEvaluator};
-#[allow(deprecated)]
-pub use evolution::evolve;
 pub use evolution::{EvolutionConfig, EvolutionResult, GenerationStats};
-#[allow(deprecated)]
-pub use random::random_search;
 pub use random::RandomSearchConfig;
 
 pub use checkpoint::{CheckpointSource, SearchCheckpoint, StrategyProgress, CHECKPOINT_VERSION};

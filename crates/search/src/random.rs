@@ -6,9 +6,6 @@
 //! evaluation budget for the search machinery to be worth its complexity;
 //! the `ablation` bench measures exactly that comparison.
 
-use crate::{Evaluator, EvolutionResult, Result, SearchAim, Strategy};
-use nds_supernet::SupernetSpec;
-
 /// Hyperparameters of the random-search baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RandomSearchConfig {
@@ -28,52 +25,33 @@ impl Default for RandomSearchConfig {
     }
 }
 
-/// Uniform random search over the dropout space: evaluates up to
-/// `config.budget` distinct uniformly-sampled configurations and returns
-/// the best by aim score.
-///
-/// The result reuses [`EvolutionResult`] so downstream analysis (archives,
-/// progress curves, Pareto filtering) works identically for both search
-/// strategies; each "generation" in the history is one evaluation, which
-/// makes budget-matched anytime comparisons against [`crate::evolve`]
-/// straightforward.
-///
-/// Deprecated: a thin wrapper over [`crate::SearchBuilder`] with
-/// [`Strategy::Random`]; its bytes never change (pinned by
-/// `tests/search_session.rs`).
-///
-/// # Errors
-///
-/// Returns [`crate::SearchError::BadConfig`] for a zero budget and
-/// propagates evaluation errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a SearchSession via SearchBuilder::with_evaluator(...).strategy(Strategy::Random(config)) instead"
-)]
-pub fn random_search(
-    spec: &SupernetSpec,
-    evaluator: &mut dyn Evaluator,
-    aim: &SearchAim,
-    config: &RandomSearchConfig,
-) -> Result<EvolutionResult> {
-    let mut session = crate::SearchBuilder::with_evaluator(evaluator, spec.clone())
-        .strategy(Strategy::Random(*config))
-        .aim(aim.clone())
-        .build()?;
-    session.run().map(EvolutionResult::from)
-}
-
 #[cfg(test)]
-// The deprecated wrapper stays under test until removal: it is the
-// byte-identity reference the session API is checked against.
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::{Candidate, Evaluator};
+    use crate::{
+        Candidate, Evaluator, EvolutionResult, Result, SearchAim, SearchBuilder, Strategy,
+    };
     use nds_nn::zoo;
-    use nds_supernet::{CandidateMetrics, DropoutConfig};
+    use nds_supernet::{CandidateMetrics, DropoutConfig, SupernetSpec};
     use std::collections::HashMap;
     use std::collections::HashSet;
+
+    /// The historical `random_search` entry point, expressed over the
+    /// session. The result reuses [`EvolutionResult`] so downstream
+    /// analysis works identically for both strategies; each "generation"
+    /// in the history is one evaluation.
+    fn random_search(
+        spec: &SupernetSpec,
+        evaluator: &mut dyn Evaluator,
+        aim: &SearchAim,
+        config: &RandomSearchConfig,
+    ) -> Result<EvolutionResult> {
+        let mut session = SearchBuilder::with_evaluator(evaluator, spec.clone())
+            .strategy(Strategy::Random(*config))
+            .aim(aim.clone())
+            .build()?;
+        session.run().map(EvolutionResult::from)
+    }
 
     /// Scores configurations by similarity to a planted target.
     struct PlantedEvaluator {

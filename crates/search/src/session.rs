@@ -32,9 +32,9 @@
 //! # Ok(()) }
 //! ```
 //!
-//! The legacy free functions ([`crate::evolve`], [`crate::random_search`],
-//! [`crate::evaluate_all`]) survive as deprecated thin wrappers over this
-//! session and keep their exact bytes.
+//! The legacy `evolve` / `random_search` / `evaluate_all` free functions
+//! have been removed; this session produces their exact bytes (strategy
+//! RNG streams are unchanged, pinned by `tests/search_session.rs`).
 
 use crate::checkpoint::{SearchCheckpoint, StrategyProgress, CHECKPOINT_VERSION};
 use crate::evolution::{breed_next_population, sample_distinct};

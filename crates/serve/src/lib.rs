@@ -1,0 +1,909 @@
+//! In-process serving front-end over the [`UncertaintyEngine`].
+//!
+//! The paper deploys its searched BayesNN as an *accelerator*: many
+//! request streams share one set of trained weights, and the datapath
+//! amortises per-invocation overhead by running back-to-back. This
+//! crate is the software analogue for the reproduction — a [`Server`]
+//! that accepts typed requests from many concurrent callers, coalesces
+//! them into micro-batches on a dedicated dispatcher thread, and serves
+//! each through a **multi-tenant pool** of [`UncertaintyEngine`]s that
+//! all share the trained network's weights copy-on-write.
+//!
+//! # Dispatch policy
+//!
+//! Admission is a FIFO queue. The dispatcher collects pending requests
+//! and fires a micro-batch when either trigger arrives, whichever is
+//! first:
+//!
+//! * **Size** — [`ServerBuilder::max_batch`] requests are waiting.
+//! * **Deadline** — the oldest admissible wait has expired. Each
+//!   request may wait at most
+//!   `min(max_wait_ms, latency_budget_ms / 2)` in the queue
+//!   ([`dispatch_wait_cap_ms`]): an explicit per-request SLO halves the
+//!   coalescing window so queueing can never consume the whole budget.
+//!
+//! Within a batch, requests are served oldest-first, and the queue wait
+//! a request actually paid is subtracted from its latency budget before
+//! the engine sees it ([`remaining_budget_ms`]) — the engine's
+//! deadline-aware degradation then acts on the *remaining* time, so an
+//! SLO covers queue + service, not service alone. A request that is
+//! already overdue when dispatched is still served (with a vanishing
+//! budget, so the engine degrades to its one-round minimum) rather than
+//! dropped; [`ServeResponse::timing`] reports the queue wait so callers
+//! can see where the time went.
+//!
+//! # Determinism: why coalescing never concatenates tensors
+//!
+//! Within one MC pass the dropout mask stream advances once per batch
+//! *item*, sequentially — concatenating two callers' tensors into one
+//! forward pass would shift the second caller's stream positions and
+//! change its bytes. The server therefore coalesces at the **dispatch**
+//! level: one wake-up of the dispatcher serves many requests
+//! back-to-back, but every request runs as its own engine call on its
+//! own tenant's engine. Batched execution is byte-identical to batch-1
+//! *by construction* (and property-tested at the workspace root); the
+//! throughput win comes from pipelining away the per-request
+//! client/dispatcher handoff and keeping the engines' workspaces and
+//! worker-clone caches hot across consecutive requests.
+//!
+//! # Tenants
+//!
+//! A tenant is one logical client of the shared model: its own MC
+//! sample count and mask-stream seed ([`TenantSpec`]), served by its
+//! own prewarmed engine. Engines clone the network copy-on-write
+//! ([`nds_tensor::SharedTensor`]), so a T-tenant pool costs T × O(layers)
+//! handles, not T × O(parameters) bytes — and one tenant's stream
+//! position can never perturb another's (per-sample mask streams are
+//! derived purely from `(seed, sample index)`). Queue fairness is
+//! inherited from the worker pool: batches are claimed oldest-first and
+//! no submitter drains another's jobs (regression-tested in
+//! `nds-tensor`).
+//!
+//! # Failure handling
+//!
+//! The PR 6 fault policy extends through the front-end: a request that
+//! fails — malformed input, non-finite datapath output, a worker-pool
+//! fault that outlived its retries — fails *only itself*. The error is
+//! delivered through that request's [`Ticket`] as a typed
+//! [`ServeError`]; every other request in the batch, and the server
+//! itself, proceed untouched. Dropping the [`Server`] performs a clean
+//! shutdown: the queue is drained (every accepted request gets its
+//! response or error), then the dispatcher thread is joined.
+//!
+//! # Example
+//!
+//! ```
+//! use nds_nn::layers::{Flatten, Linear, Sequential};
+//! use nds_serve::{ServeRequest, ServerBuilder, TenantSpec};
+//! use nds_tensor::rng::Rng64;
+//! use nds_tensor::{Shape, Tensor};
+//!
+//! let mut rng = Rng64::new(0);
+//! let mut net = Sequential::new();
+//! net.push(Box::new(Flatten::new()));
+//! net.push(Box::new(Linear::new(4, 3, true, &mut rng)));
+//!
+//! let mut builder = ServerBuilder::new(net).max_batch(4).max_wait_ms(1.0);
+//! let tenant = builder.tenant(TenantSpec { seed: 7, samples: 3 });
+//! let server = builder.build();
+//!
+//! let images = Tensor::zeros(Shape::d4(2, 1, 2, 2));
+//! let ticket = server.submit(tenant, ServeRequest::new(images))?;
+//! let response = ticket.wait()?;
+//! assert_eq!(response.prediction.probs.shape().dims(), &[2, 3]);
+//! # Ok::<(), nds_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::error::Error as StdError;
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nds_engine::{
+    Backend, EngineBuilder, EngineError, PredictRequest, PredictResponse, UncertaintyEngine,
+    UncertaintyFlags,
+};
+use nds_nn::layers::Sequential;
+use nds_tensor::Tensor;
+
+/// Budget floor handed to the engine when a request's queue wait has
+/// already consumed its whole SLO: the engine contract requires a
+/// positive budget, and this value is small enough that it always
+/// degrades to the one-round minimum instead of dropping the request.
+const MIN_BUDGET_MS: f64 = 1e-3;
+
+/// Errors from submitting to or waiting on the serving front-end.
+///
+/// The reject/fault split of the engine's failure-handling policy
+/// carries through: [`UnknownTenant`](ServeError::UnknownTenant) and
+/// [`BadRequest`](ServeError::BadRequest) are front-end rejects caught
+/// at submission, [`Engine`](ServeError::Engine) wraps whatever the
+/// engine reported for this request alone, and
+/// [`Shutdown`](ServeError::Shutdown) means the server went away before
+/// the request could be accepted or answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The engine failed this request; see [`EngineError`] for the
+    /// reject/fault taxonomy. Other requests in the batch are
+    /// unaffected.
+    Engine(EngineError),
+    /// The tenant id was not registered with this server's builder.
+    UnknownTenant(TenantId),
+    /// The request was malformed (e.g. a non-positive latency budget);
+    /// rejected at submission, before it could occupy the queue.
+    BadRequest(String),
+    /// The server shut down before this request was accepted or
+    /// answered.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::UnknownTenant(t) => {
+                write!(f, "tenant {} is not registered with this server", t.index())
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Shutdown => write!(f, "server shut down"),
+        }
+    }
+}
+
+impl StdError for ServeError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl ServeError {
+    /// Whether a retry of the same request could plausibly succeed
+    /// (delegates to [`EngineError::is_transient`]; front-end rejects
+    /// and shutdown are never transient).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServeError::Engine(e) if e.is_transient())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Handle to one registered tenant, returned by
+/// [`ServerBuilder::tenant`] (and recoverable later via
+/// [`Server::tenant_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(usize);
+
+impl TenantId {
+    /// The tenant's registration index (order of
+    /// [`ServerBuilder::tenant`] calls).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Per-tenant serving configuration: the knobs that must stay isolated
+/// between clients of the shared model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Mask-stream base for this tenant's engine: sample `s` draws its
+    /// dropout masks from stream `seed + s`, independent of every other
+    /// tenant.
+    pub seed: u64,
+    /// MC sampling number S for this tenant (clamped to at least 1).
+    pub samples: usize,
+}
+
+impl Default for TenantSpec {
+    /// The engine's defaults: seed 0 (the historical stream base),
+    /// S = 3 samples.
+    fn default() -> Self {
+        TenantSpec {
+            seed: 0,
+            samples: 3,
+        }
+    }
+}
+
+/// One serving request: the input batch, which uncertainty diagnostics
+/// to compute, and an optional end-to-end latency SLO.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Input batch, NCHW. Owned, because the request crosses into the
+    /// dispatcher thread.
+    pub images: Tensor,
+    /// Which optional diagnostics to derive from the per-sample
+    /// probabilities.
+    pub outputs: UncertaintyFlags,
+    /// Optional end-to-end deadline in milliseconds, covering queue
+    /// wait *plus* service. When set, the coalescing window shrinks to
+    /// at most half the budget, and the engine degrades gracefully
+    /// inside whatever remains after queueing (see the crate docs).
+    pub latency_budget_ms: Option<f64>,
+}
+
+impl ServeRequest {
+    /// A request for the mean probabilities only.
+    pub fn new(images: Tensor) -> Self {
+        ServeRequest {
+            images,
+            outputs: UncertaintyFlags::NONE,
+            latency_budget_ms: None,
+        }
+    }
+
+    /// Adds uncertainty diagnostics to the request.
+    pub fn with_outputs(mut self, outputs: UncertaintyFlags) -> Self {
+        self.outputs = outputs;
+        self
+    }
+
+    /// Sets an end-to-end latency SLO (milliseconds); see
+    /// [`ServeRequest::latency_budget_ms`].
+    pub fn with_latency_budget(mut self, budget_ms: f64) -> Self {
+        self.latency_budget_ms = Some(budget_ms);
+        self
+    }
+}
+
+/// Front-end timing of one served request, alongside the engine's own
+/// [`nds_engine::PredictTiming`] inside the prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeTiming {
+    /// Milliseconds the request spent in the admission queue before its
+    /// batch dispatched.
+    pub queue_wait_ms: f64,
+    /// Milliseconds the engine spent serving the request once
+    /// dispatched.
+    pub service_ms: f64,
+    /// How many requests the dispatching micro-batch contained (1 =
+    /// the request went out alone).
+    pub batch_size: usize,
+}
+
+/// The response to a [`ServeRequest`]: the engine's prediction plus
+/// front-end timing.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The tenant that served the request.
+    pub tenant: TenantId,
+    /// The engine's full response — probabilities, requested
+    /// diagnostics, achieved samples, degradation flag and engine
+    /// timing.
+    pub prediction: PredictResponse,
+    /// Queue and service timing observed by the front-end.
+    pub timing: ServeTiming,
+}
+
+/// A claim on one in-flight request, returned by [`Server::submit`].
+///
+/// Dropping the ticket abandons the response (the server still serves
+/// the request and discards the result); [`Ticket::wait`] blocks until
+/// the response or error arrives.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<ServeResponse>>,
+}
+
+impl Ticket {
+    /// Blocks until this request's response (or its typed error)
+    /// arrives. Returns [`ServeError::Shutdown`] if the server went
+    /// away without answering.
+    pub fn wait(self) -> Result<ServeResponse> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+/// One queued request inside the dispatcher.
+struct Job {
+    tenant: TenantId,
+    images: Tensor,
+    outputs: UncertaintyFlags,
+    budget_ms: Option<f64>,
+    enqueued: Instant,
+    reply: Sender<Result<ServeResponse>>,
+}
+
+/// Builder for [`Server`].
+///
+/// Chain the policy knobs, register tenants with
+/// [`ServerBuilder::tenant`] (at least one; a default tenant is added
+/// when none is registered), then [`ServerBuilder::build`].
+#[derive(Debug)]
+pub struct ServerBuilder {
+    net: Sequential,
+    backend: Backend,
+    max_batch: usize,
+    max_wait_ms: f64,
+    workers: usize,
+    transient_retries: usize,
+    tenants: Vec<TenantSpec>,
+}
+
+impl ServerBuilder {
+    /// Starts a builder around the trained network with the default
+    /// policy: float backend, micro-batches of up to 8, a 2 ms
+    /// coalescing window, pool-sized engine workers, fail-fast on
+    /// transient faults.
+    pub fn new(net: Sequential) -> Self {
+        ServerBuilder {
+            net,
+            backend: Backend::Float32,
+            max_batch: 8,
+            max_wait_ms: 2.0,
+            workers: 0,
+            transient_retries: 0,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Selects the datapath every tenant engine serves through.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Dispatch-size trigger: a micro-batch fires as soon as this many
+    /// requests are waiting (clamped to at least 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Dispatch-deadline trigger: no request waits in the queue longer
+    /// than this many milliseconds (clamped to at least 0; a request's
+    /// own latency budget can shorten its wait further, never extend
+    /// it).
+    pub fn max_wait_ms(mut self, max_wait_ms: f64) -> Self {
+        self.max_wait_ms = if max_wait_ms.is_finite() {
+            max_wait_ms.max(0.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Pins the worker split of every tenant engine (0 = the pool size
+    /// from [`nds_tensor::parallel::worker_count`]). Response bytes are
+    /// identical for every value.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Per-request transient-fault retries, forwarded to
+    /// [`EngineBuilder::transient_retries`] on every tenant engine.
+    pub fn transient_retries(mut self, retries: usize) -> Self {
+        self.transient_retries = retries;
+        self
+    }
+
+    /// Registers a tenant and returns its id. Ids are assigned in
+    /// registration order, starting at 0.
+    pub fn tenant(&mut self, spec: TenantSpec) -> TenantId {
+        self.tenants.push(spec);
+        TenantId(self.tenants.len() - 1)
+    }
+
+    /// Builds the server: constructs and prewarms one engine per tenant
+    /// on a dedicated dispatcher thread, then opens the admission
+    /// queue. When no tenant was registered, a single
+    /// [`TenantSpec::default`] tenant (id 0) is added so the server is
+    /// usable out of the box.
+    pub fn build(self) -> Server {
+        let max_batch = self.max_batch.max(1);
+        let max_wait_ms = self.max_wait_ms;
+        let mut tenants = self.tenants;
+        if tenants.is_empty() {
+            tenants.push(TenantSpec::default());
+        }
+        let tenant_count = tenants.len();
+        let (tx, rx) = mpsc::channel::<Job>();
+        let net = self.net;
+        let backend = self.backend;
+        let workers = self.workers;
+        let retries = self.transient_retries;
+        let dispatcher = std::thread::Builder::new()
+            .name("nds-serve-dispatch".to_string())
+            .spawn(move || {
+                let mut engines: Vec<UncertaintyEngine> = tenants
+                    .iter()
+                    .map(|spec| {
+                        let mut engine = EngineBuilder::new(net.clone())
+                            .backend(backend.clone())
+                            .samples(spec.samples)
+                            .seed(spec.seed)
+                            .workers(workers)
+                            .transient_retries(retries)
+                            .build();
+                        engine.prewarm();
+                        engine
+                    })
+                    .collect();
+                dispatch_loop(&rx, &mut engines, max_batch, max_wait_ms);
+            })
+            // Panic-audit: invariant-only. `spawn` fails only when the OS
+            // refuses a thread, which no input to this crate can cause.
+            .expect("spawn the nds-serve dispatcher thread");
+        Server {
+            tx: Some(tx),
+            dispatcher: Some(dispatcher),
+            tenant_count,
+            max_batch,
+            max_wait_ms,
+        }
+    }
+}
+
+/// The serving front-end: accepts requests from any thread, coalesces
+/// them into micro-batches on its dispatcher thread, and answers each
+/// through its [`Ticket`]. See the crate docs for the dispatch policy
+/// and determinism guarantees.
+#[derive(Debug)]
+pub struct Server {
+    tx: Option<Sender<Job>>,
+    dispatcher: Option<JoinHandle<()>>,
+    tenant_count: usize,
+    max_batch: usize,
+    max_wait_ms: f64,
+}
+
+impl Server {
+    /// Submits a request on behalf of `tenant` and returns the ticket
+    /// to wait on. Cheap and non-blocking (the queue is unbounded);
+    /// callable concurrently from any number of threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for an id this server never
+    /// registered, [`ServeError::BadRequest`] for a non-positive or
+    /// non-finite latency budget, [`ServeError::Shutdown`] when the
+    /// dispatcher is gone.
+    pub fn submit(&self, tenant: TenantId, request: ServeRequest) -> Result<Ticket> {
+        if tenant.0 >= self.tenant_count {
+            return Err(ServeError::UnknownTenant(tenant));
+        }
+        if let Some(budget) = request.latency_budget_ms {
+            if !budget.is_finite() || budget <= 0.0 {
+                return Err(ServeError::BadRequest(format!(
+                    "latency budget must be positive and finite, got {budget}"
+                )));
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            tenant,
+            images: request.images,
+            outputs: request.outputs,
+            budget_ms: request.latency_budget_ms,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match &self.tx {
+            Some(tx) => tx.send(job).map_err(|_| ServeError::Shutdown)?,
+            None => return Err(ServeError::Shutdown),
+        }
+        Ok(Ticket { rx })
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenant_count
+    }
+
+    /// Recovers the [`TenantId`] for a registration index, when it
+    /// exists (ids are assigned in [`ServerBuilder::tenant`] order).
+    pub fn tenant_id(&self, index: usize) -> Option<TenantId> {
+        (index < self.tenant_count).then_some(TenantId(index))
+    }
+
+    /// The dispatch-size trigger.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The dispatch-deadline trigger (milliseconds).
+    pub fn max_wait_ms(&self) -> f64 {
+        self.max_wait_ms
+    }
+
+    /// Shuts the server down cleanly: closes admission, drains every
+    /// already-accepted request (each still receives its response or
+    /// error), then joins the dispatcher thread. Dropping the server
+    /// does the same; this method just makes the point explicit.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.dispatcher.take() {
+            // A dispatcher panic would already have failed the run's
+            // requests; surfacing it here would abort the caller's
+            // unwinding, so a best-effort join is the right teardown.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// How long a request may sit in the admission queue: the server-wide
+/// coalescing window, halved to the request's own latency budget when
+/// that is tighter — queueing must never consume a whole SLO before the
+/// engine gets a chance to serve within it.
+fn dispatch_wait_cap_ms(max_wait_ms: f64, budget_ms: Option<f64>) -> f64 {
+    match budget_ms {
+        Some(budget) => max_wait_ms.min(budget * 0.5),
+        None => max_wait_ms,
+    }
+}
+
+/// The budget forwarded to the engine after queueing: the request's SLO
+/// minus the queue wait it already paid, floored at [`MIN_BUDGET_MS`]
+/// so an overdue request degrades to the engine's one-round minimum
+/// instead of being rejected.
+fn remaining_budget_ms(budget_ms: f64, queue_wait_ms: f64) -> f64 {
+    (budget_ms - queue_wait_ms).max(MIN_BUDGET_MS)
+}
+
+/// The dispatcher: collects jobs until a size or deadline trigger,
+/// then serves the oldest `max_batch` jobs back-to-back. Returns when
+/// every [`Server`] sender is gone *and* the queue is drained.
+fn dispatch_loop(
+    rx: &Receiver<Job>,
+    engines: &mut [UncertaintyEngine],
+    max_batch: usize,
+    max_wait_ms: f64,
+) {
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    loop {
+        if pending.is_empty() {
+            match rx.recv() {
+                Ok(job) => pending.push_back(job),
+                // Admission closed and nothing left to drain: clean exit.
+                Err(_) => return,
+            }
+        }
+        // First pull everything already queued, without consulting the
+        // clock: requests that arrived while the previous batch was
+        // being served coalesce immediately instead of trickling out
+        // one per dispatch (their wait caps are typically long expired,
+        // which would otherwise cut every saturated batch to size 1).
+        while pending.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => pending.push_back(job),
+                Err(_) => break,
+            }
+        }
+        // Then coalesce until the batch is full or the earliest
+        // per-request wait cap expires. Disconnection stops coalescing
+        // but not serving — the drain continues through the outer loop.
+        while pending.len() < max_batch {
+            let deadline = pending
+                .iter()
+                .map(|job| {
+                    job.enqueued
+                        + Duration::from_secs_f64(
+                            dispatch_wait_cap_ms(max_wait_ms, job.budget_ms) / 1e3,
+                        )
+                })
+                .min()
+                // Panic-audit: invariant-only. The outer loop guarantees
+                // `pending` is non-empty on entry.
+                .expect("pending queue is non-empty while coalescing");
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => pending.push_back(job),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let batch_size = pending.len().min(max_batch);
+        for _ in 0..batch_size {
+            // Panic-audit: invariant-only. `batch_size <= pending.len()`.
+            let job = pending.pop_front().expect("batched job present");
+            serve_one(engines, job, batch_size);
+        }
+    }
+}
+
+/// Serves one job on its tenant's engine and delivers the result
+/// through the job's reply channel. A failure is delivered as this
+/// request's typed error and touches nothing else (the PR 6 policy); a
+/// dropped ticket makes delivery a no-op.
+fn serve_one(engines: &mut [UncertaintyEngine], job: Job, batch_size: usize) {
+    let started = Instant::now();
+    let queue_wait_ms = started.duration_since(job.enqueued).as_secs_f64() * 1e3;
+    let engine = &mut engines[job.tenant.0];
+    let mut request = PredictRequest::new(&job.images).with_outputs(job.outputs);
+    if let Some(budget) = job.budget_ms {
+        request = request.with_latency_budget(remaining_budget_ms(budget, queue_wait_ms));
+    }
+    let result = engine
+        .predict(&request)
+        .map(|prediction| ServeResponse {
+            tenant: job.tenant,
+            prediction,
+            timing: ServeTiming {
+                queue_wait_ms,
+                service_ms: started.elapsed().as_secs_f64() * 1e3,
+                batch_size,
+            },
+        })
+        .map_err(ServeError::Engine);
+    let _ = job.reply.send(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+    use nds_nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+    use nds_nn::layers::{Flatten, Linear};
+    use nds_tensor::rng::Rng64;
+    use nds_tensor::Shape;
+
+    /// A tiny network with a live dropout layer, so per-tenant seeds
+    /// actually change bytes.
+    fn stochastic_net(seed: u64) -> Sequential {
+        let mut rng = Rng64::new(seed);
+        let mut net = Sequential::new();
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(16, 12, true, &mut rng)));
+        let slot = SlotInfo {
+            id: 0,
+            shape: FeatureShape::Vector { features: 12 },
+            position: SlotPosition::FullyConnected,
+        };
+        net.push(Box::new(
+            DropoutLayer::for_slot(
+                DropoutKind::Bernoulli,
+                &slot,
+                &DropoutSettings {
+                    rate: 0.4,
+                    ..DropoutSettings::default()
+                },
+                seed,
+            )
+            .unwrap(),
+        ));
+        net.push(Box::new(Linear::new(12, 4, true, &mut rng)));
+        net
+    }
+
+    fn images(seed: u64, n: usize) -> Tensor {
+        let mut rng = Rng64::new(seed);
+        Tensor::rand_normal(Shape::d4(n, 1, 4, 4), 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn wait_cap_is_halved_by_a_tighter_budget() {
+        assert_eq!(dispatch_wait_cap_ms(2.0, None), 2.0);
+        assert_eq!(dispatch_wait_cap_ms(2.0, Some(100.0)), 2.0);
+        assert_eq!(dispatch_wait_cap_ms(2.0, Some(1.0)), 0.5);
+        assert_eq!(dispatch_wait_cap_ms(0.0, Some(1.0)), 0.0);
+    }
+
+    #[test]
+    fn remaining_budget_subtracts_queue_wait_and_never_hits_zero() {
+        assert_eq!(remaining_budget_ms(10.0, 4.0), 6.0);
+        assert_eq!(remaining_budget_ms(10.0, 10.0), MIN_BUDGET_MS);
+        assert_eq!(remaining_budget_ms(10.0, 25.0), MIN_BUDGET_MS);
+    }
+
+    #[test]
+    fn round_trip_serves_probabilities_with_timing() {
+        let mut builder = ServerBuilder::new(stochastic_net(1)).max_batch(4);
+        let tenant = builder.tenant(TenantSpec {
+            seed: 3,
+            samples: 2,
+        });
+        let server = builder.build();
+        let ticket = server
+            .submit(
+                tenant,
+                ServeRequest::new(images(2, 5)).with_outputs(UncertaintyFlags::ENTROPY),
+            )
+            .unwrap();
+        let response = ticket.wait().unwrap();
+        assert_eq!(response.tenant, tenant);
+        assert_eq!(response.prediction.probs.shape(), &Shape::d2(5, 4));
+        assert_eq!(response.prediction.entropy.as_ref().map(Vec::len), Some(5));
+        assert_eq!(response.prediction.achieved_samples, 2);
+        assert!(!response.prediction.degraded);
+        assert!(response.timing.batch_size >= 1);
+        assert!(response.timing.queue_wait_ms >= 0.0);
+        assert!(response.timing.service_ms >= 0.0);
+    }
+
+    #[test]
+    fn server_bytes_match_a_standalone_engine() {
+        let net = stochastic_net(7);
+        let mut engine = EngineBuilder::new(net.clone()).samples(3).seed(11).build();
+        let x = images(8, 6);
+        let direct = engine.predict(&PredictRequest::new(&x)).unwrap();
+
+        let mut builder = ServerBuilder::new(net);
+        let tenant = builder.tenant(TenantSpec {
+            seed: 11,
+            samples: 3,
+        });
+        let server = builder.build();
+        let served = server
+            .submit(tenant, ServeRequest::new(x.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            served.prediction.probs.as_slice(),
+            direct.probs.as_slice(),
+            "front-end must add zero numeric surface over the engine"
+        );
+    }
+
+    #[test]
+    fn tenants_are_isolated_by_seed_and_sample_count() {
+        let mut builder = ServerBuilder::new(stochastic_net(4)).max_batch(4);
+        let a = builder.tenant(TenantSpec {
+            seed: 0,
+            samples: 3,
+        });
+        let b = builder.tenant(TenantSpec {
+            seed: 99,
+            samples: 3,
+        });
+        let c = builder.tenant(TenantSpec {
+            seed: 0,
+            samples: 3,
+        });
+        let server = builder.build();
+        let x = images(5, 4);
+        let ta = server.submit(a, ServeRequest::new(x.clone())).unwrap();
+        let tb = server.submit(b, ServeRequest::new(x.clone())).unwrap();
+        let tc = server.submit(c, ServeRequest::new(x.clone())).unwrap();
+        let ra = ta.wait().unwrap();
+        let rb = tb.wait().unwrap();
+        let rc = tc.wait().unwrap();
+        assert_ne!(
+            ra.prediction.probs.as_slice(),
+            rb.prediction.probs.as_slice(),
+            "different seeds must draw different mask streams"
+        );
+        assert_eq!(
+            ra.prediction.probs.as_slice(),
+            rc.prediction.probs.as_slice(),
+            "identical tenant specs must serve identical bytes"
+        );
+    }
+
+    #[test]
+    fn a_poisoned_request_fails_alone() {
+        let mut builder = ServerBuilder::new(stochastic_net(6)).max_batch(4);
+        let tenant = builder.tenant(TenantSpec::default());
+        let server = builder.build();
+        let good = images(9, 3);
+        let mut bad = images(9, 3);
+        bad.as_mut_slice()[5] = f32::NAN;
+        let t1 = server
+            .submit(tenant, ServeRequest::new(good.clone()))
+            .unwrap();
+        let t2 = server.submit(tenant, ServeRequest::new(bad)).unwrap();
+        let t3 = server.submit(tenant, ServeRequest::new(good)).unwrap();
+        assert!(t1.wait().is_ok());
+        match t2.wait() {
+            Err(ServeError::Engine(EngineError::NonFiniteInput { index })) => {
+                assert_eq!(index, 5)
+            }
+            other => panic!("expected a NonFiniteInput reject, got {other:?}"),
+        }
+        assert!(
+            t3.wait().is_ok(),
+            "a poisoned batch-mate must not fail this request"
+        );
+    }
+
+    #[test]
+    fn submission_rejects_unknown_tenants_and_bad_budgets() {
+        let server = ServerBuilder::new(stochastic_net(2)).build();
+        assert_eq!(server.tenant_count(), 1, "default tenant when none given");
+        let tenant = server.tenant_id(0).unwrap();
+        assert!(server.tenant_id(1).is_none());
+        match server.submit(TenantId(3), ServeRequest::new(images(1, 2))) {
+            Err(ServeError::UnknownTenant(t)) => assert_eq!(t.index(), 3),
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            match server.submit(
+                tenant,
+                ServeRequest::new(images(1, 2)).with_latency_budget(bad),
+            ) {
+                Err(ServeError::BadRequest(_)) => {}
+                other => panic!("budget {bad} should be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn an_slo_degrades_instead_of_dropping() {
+        // A budget far below one round's cost: the engine must still
+        // answer (one-round minimum) and flag the degradation.
+        let mut builder = ServerBuilder::new(stochastic_net(3)).max_batch(1);
+        let tenant = builder.tenant(TenantSpec {
+            seed: 0,
+            samples: 8,
+        });
+        let server = builder.build();
+        let response = server
+            .submit(
+                tenant,
+                ServeRequest::new(images(4, 16)).with_latency_budget(0.005),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(response.prediction.achieved_samples >= 1);
+        assert!(response.prediction.achieved_samples <= 8);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let mut builder = ServerBuilder::new(stochastic_net(5)).max_batch(2);
+        let tenant = builder.tenant(TenantSpec {
+            seed: 1,
+            samples: 2,
+        });
+        let server = builder.build();
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|i| {
+                server
+                    .submit(tenant, ServeRequest::new(images(10 + i, 2)))
+                    .unwrap()
+            })
+            .collect();
+        server.shutdown();
+        for ticket in tickets {
+            assert!(
+                ticket.wait().is_ok(),
+                "every accepted request must be answered before the dispatcher exits"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_tickets_do_not_wedge_the_server() {
+        let mut builder = ServerBuilder::new(stochastic_net(8)).max_batch(2);
+        let tenant = builder.tenant(TenantSpec::default());
+        let server = builder.build();
+        drop(
+            server
+                .submit(tenant, ServeRequest::new(images(3, 2)))
+                .unwrap(),
+        );
+        let kept = server
+            .submit(tenant, ServeRequest::new(images(4, 2)))
+            .unwrap();
+        assert!(kept.wait().is_ok());
+        server.shutdown();
+    }
+}

@@ -30,6 +30,13 @@
 //!   other threads — which always terminate (leaf tasks run to
 //!   completion; nested submitters can likewise finish their own
 //!   batches unaided).
+//! * **No cross-submitter starvation.** Batches are claimed oldest-first
+//!   from one FIFO queue, and a submitter's draining is confined to its
+//!   *own* batch — it never steals another submitter's queued jobs. With
+//!   several concurrent submitters (the serving front-end's tenants),
+//!   one tenant's nested fan-out therefore cannot push another tenant's
+//!   batch back in line: the older batch's jobs are always claimed
+//!   first by whichever worker frees up.
 //! * **Panics propagate — or surface as typed errors.** A panicking
 //!   task poisons its batch; [`run_scoped`] re-raises the payload after
 //!   the batch drains, matching `std::thread::scope` semantics, while
@@ -707,6 +714,42 @@ mod tests {
             }
         });
         assert_eq!(count.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn interleaved_tenant_batches_all_complete_without_starvation() {
+        // Fairness regression for the serving scenario: two tenants
+        // submit interleaved batches from their own threads, one of them
+        // fanning out nested sub-batches. Batches are claimed
+        // oldest-first and a submitter drains only its *own* batch
+        // before blocking, so neither tenant's work can be starved
+        // behind the other's fan-out. Each tenant's count proves every
+        // one of its cells ran exactly once; the test terminating at all
+        // proves no cross-tenant deadlock or starvation.
+        let tenant_a = AtomicUsize::new(0);
+        let tenant_b = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for _ in 0..20 {
+                    chunked_for_workers(16, 4, |s, e| {
+                        for _ in s..e {
+                            chunked_for_workers(4, 2, |s2, e2| {
+                                tenant_a.fetch_add(e2 - s2, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                }
+            });
+            scope.spawn(|| {
+                for _ in 0..20 {
+                    chunked_for_workers(64, 4, |s, e| {
+                        tenant_b.fetch_add(e - s, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(tenant_a.load(Ordering::SeqCst), 20 * 16 * 4);
+        assert_eq!(tenant_b.load(Ordering::SeqCst), 20 * 64);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! 3. **Callers recycle what they consume.** A container that feeds
 //!    layer N's output into layer N+1 recycles that intermediate once
 //!    layer N+1 has produced its own output (`Sequential` does this);
-//!    drivers that loop (`predict_probs_ws`, `mc_predict_with_workers`)
+//!    drivers that loop (`predict_probs_ws`, the MC round harness)
 //!    recycle final outputs they no longer need. Whoever lets a pooled
 //!    tensor drop instead merely loses the reuse, never correctness.
 //!

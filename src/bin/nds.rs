@@ -12,6 +12,8 @@
 //! nds analyze --arch lenet|vgg|resnet|vit --config BKM [--spatial] [--samples S]
 //! nds hls     --arch lenet|vgg|resnet|vit --config BKM --out DIR
 //! nds space   --arch lenet|vgg|resnet|vit [--extended]
+//! nds serve-bench [--arch ...] [--samples S] [--tenants T] [--max-batch M]
+//!             [--wait-ms W] [--serial N] [--requests N] [--seed N]
 //! ```
 //!
 //! `run` executes the full four-phase framework; `search` trains the
@@ -22,7 +24,9 @@
 //! evaluation of a single configuration (the golden-file determinism
 //! suite diffs its bytes across `NDS_THREADS` settings); `analyze`
 //! prints the csynth-style report for one design point; `hls` writes
-//! the generated project to disk; `space` lists the search space.
+//! the generated project to disk; `space` lists the search space;
+//! `serve-bench` drives the dynamic-batching serving front-end and
+//! reports batch-1 p50/p99 latency against saturation throughput.
 
 use neural_dropout_search::core::{LatencySource, Specification};
 use neural_dropout_search::hls::generate_project;
@@ -51,6 +55,9 @@ USAGE:
     nds analyze --arch <lenet|vgg|resnet|vit> --config <CODES> [--spatial] [--samples <S>]
     nds hls     --arch <lenet|vgg|resnet|vit> --config <CODES> --out <DIR>
     nds space   --arch <lenet|vgg|resnet|vit> [--extended]
+    nds serve-bench [--arch <lenet|vgg|resnet|vit>] [--samples <S>] [--tenants <T>]
+                [--max-batch <M>] [--wait-ms <W>] [--serial <N>] [--requests <N>]
+                [--seed <N>]
 
 CONFIG CODES: one letter per dropout slot —
     B Bernoulli, R Random, K Block, M Masksembles, G Gaussian (extension)
@@ -69,6 +76,7 @@ EXAMPLES:
     nds search --arch lenet --aim ece --checkpoint search.json --resume
     nds analyze --arch resnet --config KMBM
     nds hls --arch lenet --config RRB --out ./hls_out
+    nds serve-bench --tenants 2 --max-batch 16 --requests 128
 ";
 
 /// Typed CLI failure, split by whose fault it is: usage errors (the
@@ -123,6 +131,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "analyze" => cmd_analyze(&flags),
         "hls" => cmd_hls(&flags),
         "space" => cmd_space(&flags),
+        "serve-bench" => cmd_serve_bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -684,5 +693,95 @@ fn cmd_space(flags: &HashMap<String, String>) -> Result<(), CliError> {
             println!("  {config}");
         }
     }
+    Ok(())
+}
+
+fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use neural_dropout_search::serve::{ServeRequest, ServerBuilder, TenantSpec};
+    use neural_dropout_search::supernet::Supernet;
+    use neural_dropout_search::tensor::rng::Rng64;
+    use neural_dropout_search::tensor::{Shape, Tensor};
+    use std::time::Instant;
+
+    let seed: u64 = parse_flag(flags, "seed", 42)?;
+    let samples: usize = parse_flag(flags, "samples", 3)?;
+    let tenants: usize = parse_flag::<usize>(flags, "tenants", 1)?.max(1);
+    let max_batch: usize = parse_flag(flags, "max-batch", 8)?;
+    let wait_ms: f64 = parse_flag(flags, "wait-ms", 0.5)?;
+    let serial_reqs: usize = parse_flag::<usize>(flags, "serial", 16)?.max(2);
+    let sat_reqs: usize = parse_flag::<usize>(flags, "requests", 64)?.max(1);
+    let arch_name = flags.get("arch").map(String::as_str).unwrap_or("lenet");
+    // Width-scaled CPU variants, as in `eval`; the request payload is
+    // one image of the architecture's input shape.
+    let (arch, c, hw) = match arch_name {
+        "lenet" => (zoo::lenet(), 1, 28),
+        "vgg" | "vgg11" => (zoo::vgg11(8), 3, 32),
+        "resnet" | "resnet18" => (zoo::resnet18(8), 3, 32),
+        "vit" | "transformer" => (zoo::tiny_vit(16, 4, 2), 1, 28),
+        other => return Err(usage(format!("unknown arch `{other}`"))),
+    };
+    let spec = SupernetSpec::paper_default(arch, seed).map_err(|e| e.to_string())?;
+    let mut supernet = Supernet::build(&spec).map_err(|e| e.to_string())?;
+    let image = |i: u64| {
+        let mut rng = Rng64::new(seed ^ (0x5E21 + i));
+        Tensor::rand_normal(Shape::d4(1, c, hw, hw), 0.0, 1.0, &mut rng)
+    };
+
+    let mut builder = ServerBuilder::new(supernet.net_mut().clone())
+        .max_batch(max_batch)
+        .max_wait_ms(wait_ms);
+    let tenant_ids: Vec<_> = (0..tenants)
+        .map(|t| {
+            builder.tenant(TenantSpec {
+                seed: seed.wrapping_add(1000 * t as u64),
+                samples,
+            })
+        })
+        .collect();
+    let server = builder.build();
+    println!(
+        "serve-bench arch={} samples={samples} tenants={tenants} max_batch={max_batch} \
+         wait_ms={wait_ms}",
+        spec.arch.name
+    );
+
+    // Warm-up, then batch-1 serial: one request in flight at a time —
+    // each pays the full handoff plus the (empty) coalescing window.
+    let submit = |t: usize, i: u64| {
+        server
+            .submit(tenant_ids[t % tenants], ServeRequest::new(image(i)))
+            .map_err(|e| e.to_string())
+    };
+    submit(0, 0)?.wait().map_err(|e| e.to_string())?;
+    let mut lat_ms = Vec::with_capacity(serial_reqs);
+    let serial_t0 = Instant::now();
+    for i in 0..serial_reqs {
+        let t = Instant::now();
+        submit(i, 1 + i as u64)?.wait().map_err(|e| e.to_string())?;
+        lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let serial_rps = serial_reqs as f64 / serial_t0.elapsed().as_secs_f64();
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p50 = lat_ms[lat_ms.len() / 2];
+    let p99 = lat_ms[((lat_ms.len() as f64 * 0.99).ceil() as usize).clamp(1, lat_ms.len()) - 1];
+
+    // Saturation: every request queued up front, tenants round-robin.
+    let sat_t0 = Instant::now();
+    let tickets: Result<Vec<_>, _> = (0..sat_reqs).map(|i| submit(i, 2000 + i as u64)).collect();
+    let mut batch_sum = 0usize;
+    for ticket in tickets? {
+        batch_sum += ticket.wait().map_err(|e| e.to_string())?.timing.batch_size;
+    }
+    let sat_rps = sat_reqs as f64 / sat_t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    println!(
+        "batch-1   {serial_reqs} requests: p50 {p50:.3} ms, p99 {p99:.3} ms, {serial_rps:.1} req/s"
+    );
+    println!(
+        "saturated {sat_reqs} requests: {sat_rps:.1} req/s, mean batch {:.2}, speedup {:.3}x",
+        batch_sum as f64 / sat_reqs as f64,
+        sat_rps / serial_rps
+    );
     Ok(())
 }

@@ -21,6 +21,7 @@
 //! | [`hls`] | `nds-hls` | hls4ml-style project generation |
 //! | [`supernet`] | `nds-supernet` | SPOS supernet with dropout slots |
 //! | [`search`] | `nds-search` | evolutionary search, aims, Pareto tools |
+//! | [`serve`] | `nds-serve` | dynamic-batching, multi-tenant serving front-end |
 //! | [`core`] | `nds-core` | the four-phase framework entry point |
 //! | [`fault`] | `nds-fault` | deterministic fault-injection harness |
 //!
@@ -54,5 +55,6 @@ pub use nds_metrics as metrics;
 pub use nds_nn as nn;
 pub use nds_quant as quant;
 pub use nds_search as search;
+pub use nds_serve as serve;
 pub use nds_supernet as supernet;
 pub use nds_tensor as tensor;

@@ -3,9 +3,10 @@
 //!
 //! The engine's throughput claim rests on fully-buffered, allocation-free
 //! pipelines (the discipline of the FPGA dataflow it models): after one
-//! warm-up round, `predict_probs` and `mc_predict` must run entirely out
-//! of the [`Workspace`] pool, and `Supernet::fork` must be O(layers) —
-//! a copy-on-write rewire, not a fresh He-initialised parameter set.
+//! warm-up round, `predict_probs_ws` and the MC round harness must run
+//! entirely out of the [`Workspace`] pool, and `Supernet::fork` must be
+//! O(layers) — a copy-on-write rewire, not a fresh He-initialised
+//! parameter set.
 //!
 //! Everything runs inside **one** `#[test]` so no concurrent test thread
 //! can pollute the counters, and `NDS_THREADS` is pinned to `1` before
@@ -20,18 +21,13 @@
 //! correctness (byte identity), while the allocation counters stay
 //! meaningful in this pinned-serial leg.
 
-// The deprecated mc_predict wrapper is measured on purpose: its serial
-// zero-allocation guarantee (PR 3) must survive the delegation to the
-// engine harness.
-#![allow(deprecated)]
-
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use neural_dropout_search::dropout::mc::mc_predict_with_workers;
+use neural_dropout_search::dropout::mc::{mc_sample_rounds_into, McCloneCache};
 use neural_dropout_search::engine::{EngineBuilder, PredictRequest};
 use neural_dropout_search::nn::train::predict_probs_ws;
-use neural_dropout_search::nn::{zoo, Layer, Mode};
+use neural_dropout_search::nn::{zoo, Layer, Mode, NnError};
 use neural_dropout_search::supernet::{Supernet, SupernetSpec};
 use neural_dropout_search::tensor::rng::Rng64;
 use neural_dropout_search::tensor::{Shape, SharedTensor, Tensor, Workspace};
@@ -135,20 +131,48 @@ fn steady_state_inference_and_forking_stay_off_the_allocator() {
     );
 
     // ------------------------------------------------------------------
-    // mc_predict (serial): zero allocations after one warm-up round.
+    // MC round harness (serial, in place): zero allocations after one
+    // warm-up round.
     // ------------------------------------------------------------------
+    let pass_len = 8 * 10;
+    let mut cache = McCloneCache::new();
     for _ in 0..2 {
-        let pred = mc_predict_with_workers(supernet.net_mut(), &images, 3, 4, 1, &mut ws).unwrap();
-        pred.recycle_into(&mut ws);
+        let mut slab = ws.take_dirty(3 * pass_len);
+        mc_sample_rounds_into::<NnError>(
+            supernet.net_mut(),
+            3,
+            1,
+            0,
+            &mut cache,
+            &mut ws,
+            pass_len,
+            &mut slab,
+            &|net, ws| predict_probs_ws(net, &images, Mode::McInference, 4, ws),
+        )
+        .unwrap();
+        ws.recycle(slab);
     }
-    let (allocs, bytes, pred) = count_allocs(|| {
-        mc_predict_with_workers(supernet.net_mut(), &images, 3, 4, 1, &mut ws).unwrap()
+    let (allocs, bytes, slab) = count_allocs(|| {
+        let mut slab = ws.take_dirty(3 * pass_len);
+        mc_sample_rounds_into::<NnError>(
+            supernet.net_mut(),
+            3,
+            1,
+            0,
+            &mut cache,
+            &mut ws,
+            pass_len,
+            &mut slab,
+            &|net, ws| predict_probs_ws(net, &images, Mode::McInference, 4, ws),
+        )
+        .unwrap();
+        slab
     });
-    assert_eq!(pred.samples(), 3);
-    pred.recycle_into(&mut ws);
+    assert_eq!(slab.len(), 3 * pass_len);
+    ws.recycle(slab);
     assert_eq!(
         allocs, 0,
-        "steady-state mc_predict must not allocate ({allocs} allocations, {bytes} bytes)"
+        "steady-state serial MC round must not allocate ({allocs} allocations, {bytes} bytes)"
     );
 
     // ------------------------------------------------------------------
@@ -217,11 +241,28 @@ fn steady_state_inference_and_forking_stay_off_the_allocator() {
     );
 
     // The fork evaluates with the same bytes as the original (CoW share,
-    // not a copy): one MC round each, identical outputs.
-    let a = mc_predict_with_workers(supernet.net_mut(), &images, 3, 4, 1, &mut ws).unwrap();
+    // not a copy): one MC round each, identical sample slabs.
+    let mc_round = |net: &mut neural_dropout_search::nn::layers::Sequential, ws: &mut Workspace| {
+        let mut cache = McCloneCache::new();
+        let mut slab = ws.take_dirty(3 * pass_len);
+        mc_sample_rounds_into::<NnError>(
+            net,
+            3,
+            1,
+            0,
+            &mut cache,
+            ws,
+            pass_len,
+            &mut slab,
+            &|net, ws| predict_probs_ws(net, &images, Mode::McInference, 4, ws),
+        )
+        .unwrap();
+        slab
+    };
+    let a = mc_round(supernet.net_mut(), &mut ws);
     let mut fork_ws = Workspace::new();
-    let b = mc_predict_with_workers(fork.net_mut(), &images, 3, 4, 1, &mut fork_ws).unwrap();
-    assert_eq!(a.mean_probs.as_slice(), b.mean_probs.as_slice());
-    a.recycle_into(&mut ws);
-    b.recycle_into(&mut fork_ws);
+    let b = mc_round(fork.net_mut(), &mut fork_ws);
+    assert_eq!(a, b);
+    ws.recycle(a);
+    fork_ws.recycle(b);
 }

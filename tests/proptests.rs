@@ -1,10 +1,5 @@
 //! Property-based tests over the workspace's core invariants.
 
-// The mc_predict determinism property deliberately runs through the
-// deprecated wrapper (the engine's own chunk/backend/worker properties
-// live in tests/engine.rs).
-#![allow(deprecated)]
-
 use neural_dropout_search::dropout::masks::{
     bernoulli_mask, block_mask, drop_fraction, random_mask,
 };
@@ -371,7 +366,7 @@ proptest! {
 
     // ---- Monte-Carlo inference ---------------------------------------------
 
-    /// MC prediction is byte-identical between a serial run and any
+    /// MC prediction is byte-identical between a serial engine and any
     /// parallel fan-out, for any seed and sampling number — the
     /// guarantee the parallel sampling engine is built around.
     #[test]
@@ -381,11 +376,10 @@ proptest! {
         workers in 2usize..6,
         kind_ix in 0usize..4,
     ) {
-        use neural_dropout_search::dropout::mc::mc_predict_with_workers;
         use neural_dropout_search::dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+        use neural_dropout_search::engine::{EngineBuilder, PredictRequest};
         use neural_dropout_search::nn::arch::{FeatureShape, SlotInfo, SlotPosition};
         use neural_dropout_search::nn::layers::{Flatten, Linear, Sequential};
-        use neural_dropout_search::tensor::Workspace;
 
         let kind = [
             DropoutKind::Bernoulli,
@@ -417,13 +411,20 @@ proptest! {
         };
         let mut rng = Rng64::new(seed ^ 0xA11CE);
         let x = Tensor::rand_normal(Shape::d4(4, 1, 4, 4), 0.0, 1.0, &mut rng);
-        let mut ws = Workspace::new();
-        let serial =
-            mc_predict_with_workers(&mut build(), &x, samples, 2, 1, &mut ws).unwrap();
-        let parallel =
-            mc_predict_with_workers(&mut build(), &x, samples, 2, workers, &mut ws).unwrap();
-        prop_assert_eq!(&serial.sample_probs, &parallel.sample_probs);
-        prop_assert_eq!(&serial.mean_probs, &parallel.mean_probs);
+        let request = PredictRequest::new(&x);
+        let mut serial_engine = EngineBuilder::new(build())
+            .samples(samples)
+            .workers(1)
+            .chunk_size(2)
+            .build();
+        let serial = serial_engine.predict(&request).unwrap();
+        let mut parallel_engine = EngineBuilder::new(build())
+            .samples(samples)
+            .workers(workers)
+            .chunk_size(2)
+            .build();
+        let parallel = parallel_engine.predict(&request).unwrap();
+        prop_assert_eq!(serial.probs.as_slice(), parallel.probs.as_slice());
     }
 
     // ---- GP --------------------------------------------------------------------

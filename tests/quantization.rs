@@ -2,13 +2,9 @@
 //! network — the fixed-point datapath must not wreck accuracy (the paper
 //! deploys all designs at 16-bit fixed point).
 
-// Deliberately exercises the deprecated wrappers; they are byte-identical
-// to the engine backends (equivalence-tested in tests/engine.rs).
-#![allow(deprecated)]
-
 use neural_dropout_search::data::{mnist_like, DatasetConfig};
-use neural_dropout_search::dropout::mc::mc_predict;
-use neural_dropout_search::hw::simulator::{quantize_network, quantized_mc_predict};
+use neural_dropout_search::engine::{Backend, EngineBuilder, PredictRequest};
+use neural_dropout_search::hw::simulator::quantize_network;
 use neural_dropout_search::metrics::accuracy;
 use neural_dropout_search::nn::train::TrainConfig;
 use neural_dropout_search::nn::zoo;
@@ -47,13 +43,22 @@ fn q78_inference_tracks_float_inference() {
     supernet.set_config(&"BBB".parse().unwrap()).unwrap();
 
     let (images, labels) = splits.test.full_batch();
-    let float_pred = mc_predict(supernet.net_mut(), &images, 3, 64).unwrap();
-    let float_acc = accuracy(&float_pred.mean_probs, &labels).unwrap();
+    let request = PredictRequest::new(&images);
+    let mut float_engine = EngineBuilder::new(supernet.net_mut().clone())
+        .samples(3)
+        .chunk_size(64)
+        .build();
+    let float_pred = float_engine.predict(&request).unwrap();
+    let float_acc = accuracy(&float_pred.probs, &labels).unwrap();
 
     let changed = quantize_network(supernet.net_mut(), Q7_8);
     assert!(changed > 0, "weights should move when snapped to Q7.8");
-    let q_probs = quantized_mc_predict(supernet.net_mut(), &images, Q7_8, 3).unwrap();
-    let q_acc = accuracy(&q_probs, &labels).unwrap();
+    let mut q_engine = EngineBuilder::new(supernet.net_mut().clone())
+        .backend(Backend::quantized_q78())
+        .samples(3)
+        .build();
+    let q_pred = q_engine.predict(&request).unwrap();
+    let q_acc = accuracy(&q_pred.probs, &labels).unwrap();
 
     assert!(
         float_acc > 0.4,
@@ -79,7 +84,11 @@ fn quantized_predictions_are_valid_distributions() {
     supernet.set_config(&"MMM".parse().unwrap()).unwrap();
     quantize_network(supernet.net_mut(), Q7_8);
     let (images, _) = splits.test.full_batch();
-    let probs = quantized_mc_predict(supernet.net_mut(), &images, Q7_8, 3).unwrap();
+    let mut engine = EngineBuilder::new(supernet.net_mut().clone())
+        .backend(Backend::quantized_q78())
+        .samples(3)
+        .build();
+    let probs = engine.predict(&PredictRequest::new(&images)).unwrap().probs;
     assert!(probs.all_finite());
     let c = probs.shape().dim(1);
     for i in 0..probs.shape().dim(0) {

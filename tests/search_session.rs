@@ -1,13 +1,14 @@
-//! `SearchSession` integration suite: the unified search API must be a
-//! drop-in replacement for the legacy free functions, and its
-//! checkpoint/resume must be byte-exact.
+//! `SearchSession` integration suite: the unified search API is the sole
+//! entry point to the search phase (the legacy `evolve` / `random_search`
+//! / `evaluate_all` free functions are gone), and its checkpoint/resume
+//! must be byte-exact.
 //!
 //! Three groups of guarantees:
 //!
-//! 1. **Wrapper equivalence** — the deprecated `evolve` /
-//!    `random_search` / `evaluate_all` wrappers return byte-identical
-//!    results to an explicitly-built session (best candidate, archive
-//!    order and contents, per-generation history).
+//! 1. **Run determinism** — rebuilding a session with the same strategy,
+//!    aim and seed reproduces byte-identical results (best candidate,
+//!    archive order and contents, per-generation history) with the same
+//!    evaluation budget; exhaustive runs follow `enumerate` order.
 //! 2. **Resume determinism** — property test: snapshotting after *k*
 //!    steps, serialising through the JSON checkpoint format, and
 //!    resuming with a *fresh* evaluator reproduces the uninterrupted
@@ -18,14 +19,10 @@
 //! 3. **Typed checkpoint failures** — corrupted JSON and version
 //!    mismatches surface as `SearchError::Checkpoint`, never a panic.
 
-// The deprecated wrappers are compared against the session on purpose.
-#![allow(deprecated)]
-
 use neural_dropout_search::data::{mnist_like, DatasetConfig};
 use neural_dropout_search::search::{
-    evaluate_all, evolve, random_search, Candidate, Evaluator, EvolutionConfig, EvolutionResult,
-    GenerationStats, RandomSearchConfig, SearchAim, SearchBuilder, SearchError, SearchEvent,
-    SearchOutcome, Strategy,
+    Candidate, Evaluator, EvolutionConfig, EvolutionResult, GenerationStats, RandomSearchConfig,
+    SearchAim, SearchBuilder, SearchError, SearchEvent, SearchOutcome, Strategy,
 };
 use neural_dropout_search::supernet::{CandidateMetrics, DropoutConfig, Supernet, SupernetSpec};
 use neural_dropout_search::{nn::zoo, search};
@@ -99,7 +96,7 @@ fn outcome_as_result(outcome: SearchOutcome) -> EvolutionResult {
 }
 
 #[test]
-fn legacy_evolve_wrapper_is_byte_identical_to_the_session() {
+fn evolution_runs_are_byte_identical_across_session_rebuilds() {
     let spec = lenet_spec();
     let config = EvolutionConfig {
         population: 10,
@@ -109,48 +106,62 @@ fn legacy_evolve_wrapper_is_byte_identical_to_the_session() {
         ..Default::default()
     };
     let aim = SearchAim::weighted("blend", 1.0, 2.0, 0.5, 0.1);
-    let mut legacy_eval = PlantedEvaluator::new("KRM");
-    let legacy = evolve(&spec, &mut legacy_eval, &aim, &config).unwrap();
-    let mut session_eval = PlantedEvaluator::new("KRM");
-    let mut session = SearchBuilder::with_evaluator(&mut session_eval, spec.clone())
+    let mut first_eval = PlantedEvaluator::new("KRM");
+    let mut first = SearchBuilder::with_evaluator(&mut first_eval, spec.clone())
+        .strategy(Strategy::Evolution(config))
+        .aim(aim.clone())
+        .build()
+        .unwrap();
+    let first = outcome_as_result(first.run().unwrap());
+    let mut second_eval = PlantedEvaluator::new("KRM");
+    let mut second = SearchBuilder::with_evaluator(&mut second_eval, spec.clone())
         .strategy(Strategy::Evolution(config))
         .aim(aim)
         .build()
         .unwrap();
-    let outcome = outcome_as_result(session.run().unwrap());
-    assert_results_identical(&legacy, &outcome, "evolve wrapper");
+    let second = outcome_as_result(second.run().unwrap());
+    assert_results_identical(&first, &second, "evolution rebuild");
     assert_eq!(
-        legacy_eval.fresh_evaluations(),
-        session_eval.fresh_evaluations(),
-        "both paths must consume the same evaluation budget"
+        first_eval.fresh_evaluations(),
+        second_eval.fresh_evaluations(),
+        "both runs must consume the same evaluation budget"
     );
 }
 
 #[test]
-fn legacy_random_search_wrapper_is_byte_identical_to_the_session() {
+fn random_runs_are_byte_identical_across_session_rebuilds() {
     let spec = lenet_spec();
     let config = RandomSearchConfig {
         budget: 20,
         seed: 0x5EED,
     };
     let aim = SearchAim::ece_optimal();
-    let mut legacy_eval = PlantedEvaluator::new("BKM");
-    let legacy = random_search(&spec, &mut legacy_eval, &aim, &config).unwrap();
-    let mut session_eval = PlantedEvaluator::new("BKM");
-    let mut session = SearchBuilder::with_evaluator(&mut session_eval, spec.clone())
+    let mut first_eval = PlantedEvaluator::new("BKM");
+    let mut first = SearchBuilder::with_evaluator(&mut first_eval, spec.clone())
+        .strategy(Strategy::Random(config))
+        .aim(aim.clone())
+        .build()
+        .unwrap();
+    let first = outcome_as_result(first.run().unwrap());
+    let mut second_eval = PlantedEvaluator::new("BKM");
+    let mut second = SearchBuilder::with_evaluator(&mut second_eval, spec.clone())
         .strategy(Strategy::Random(config))
         .aim(aim)
         .build()
         .unwrap();
-    let outcome = outcome_as_result(session.run().unwrap());
-    assert_results_identical(&legacy, &outcome, "random_search wrapper");
+    let second = outcome_as_result(second.run().unwrap());
+    assert_results_identical(&first, &second, "random rebuild");
 }
 
 #[test]
-fn legacy_evaluate_all_wrapper_preserves_enumeration_order() {
+fn exhaustive_session_preserves_enumeration_order() {
     let spec = lenet_spec();
     let mut evaluator = PlantedEvaluator::new("MKB");
-    let archive = evaluate_all(&spec, &mut evaluator).unwrap();
+    let mut session = SearchBuilder::with_evaluator(&mut evaluator, spec.clone())
+        .strategy(Strategy::Exhaustive)
+        .build()
+        .unwrap();
+    let archive = session.run().unwrap().archive.into_candidates();
     let expect: Vec<String> = spec.enumerate().iter().map(|c| c.compact()).collect();
     let got: Vec<String> = archive.iter().map(|c| c.config.compact()).collect();
     assert_eq!(

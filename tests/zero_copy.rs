@@ -8,12 +8,7 @@
 //! — and verify the flip side, that training a fork detaches its weights
 //! instead of corrupting the original's.
 
-// Deliberately exercises the deprecated mc_predict wrapper: its sharing
-// behaviour (throwaway per-call clone cache) is part of what these
-// regressions pin. The engine path has its own suite in tests/engine.rs.
-#![allow(deprecated)]
-
-use neural_dropout_search::dropout::mc::mc_predict;
+use neural_dropout_search::engine::{EngineBuilder, PredictRequest};
 use neural_dropout_search::nn::optim::Sgd;
 use neural_dropout_search::nn::{zoo, Layer, Mode};
 use neural_dropout_search::supernet::{Supernet, SupernetSpec};
@@ -71,11 +66,12 @@ fn supernet_fork_shares_weights_without_copying() {
 }
 
 #[test]
-fn mc_predict_leaves_caller_weight_storage_untouched() {
-    // mc_predict runs every pass on clones; with shared storage the
-    // caller's parameter allocations must come back byte- and
-    // pointer-identical — proof that no path wrote to (and therefore
-    // copy-on-write-detached) the weights, and none were reallocated.
+fn engine_rounds_leave_caller_weight_storage_untouched() {
+    // The engine runs every pass on clones of its own clone of the
+    // caller's network; with shared storage the caller's parameter
+    // allocations must come back byte- and pointer-identical — proof
+    // that no path wrote to (and therefore copy-on-write-detached) the
+    // weights, and none were reallocated.
     let mut supernet = lenet_supernet(3);
     let before: Vec<SharedTensor> = supernet
         .net_mut()
@@ -85,8 +81,14 @@ fn mc_predict_leaves_caller_weight_storage_untouched() {
         .collect();
     let mut rng = Rng64::new(4);
     let images = Tensor::rand_normal(Shape::d4(6, 1, 28, 28), 0.0, 1.0, &mut rng);
-    let pred = mc_predict(supernet.net_mut(), &images, 4, 3).unwrap();
-    assert_eq!(pred.samples(), 4);
+    let mut engine = EngineBuilder::new(supernet.net_mut().clone())
+        .samples(4)
+        .workers(3)
+        .chunk_size(3)
+        .build();
+    let response = engine.predict(&PredictRequest::new(&images)).unwrap();
+    assert_eq!(response.achieved_samples, 4);
+    drop(engine); // releases the engine's net plus its worker clone cache
     for (p, held) in supernet.net_mut().params().iter().zip(before.iter()) {
         assert!(
             SharedTensor::ptr_eq(&p.value, held),
@@ -95,7 +97,7 @@ fn mc_predict_leaves_caller_weight_storage_untouched() {
         assert_eq!(
             p.value.strong_count(),
             2, // the param itself + the handle this test holds
-            "worker clones must all have been dropped without copying"
+            "engine and worker clones must all have been dropped without copying"
         );
     }
 }
@@ -166,11 +168,16 @@ fn shared_and_deep_copied_nets_predict_identical_bytes() {
     }
     let mut rng = Rng64::new(7);
     let images = Tensor::rand_normal(Shape::d4(5, 1, 28, 28), 0.0, 1.0, &mut rng);
-    let shared_pred = mc_predict(fork.net_mut(), &images, 3, 2).unwrap();
-    let deep_pred = mc_predict(deep.net_mut(), &images, 3, 2).unwrap();
-    assert_eq!(shared_pred.sample_probs, deep_pred.sample_probs);
-    assert_eq!(
-        shared_pred.mean_probs.as_slice(),
-        deep_pred.mean_probs.as_slice()
-    );
+    let request = PredictRequest::new(&images);
+    let mut shared_engine = EngineBuilder::new(fork.net_mut().clone())
+        .samples(3)
+        .chunk_size(2)
+        .build();
+    let mut deep_engine = EngineBuilder::new(deep.net_mut().clone())
+        .samples(3)
+        .chunk_size(2)
+        .build();
+    let shared_pred = shared_engine.predict(&request).unwrap();
+    let deep_pred = deep_engine.predict(&request).unwrap();
+    assert_eq!(shared_pred.probs.as_slice(), deep_pred.probs.as_slice());
 }
