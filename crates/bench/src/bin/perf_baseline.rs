@@ -15,6 +15,13 @@
 //! (and fails on panic) in every CI leg, keeping this code from
 //! bit-rotting between perf-focused PRs.
 //!
+//! Pass `--execution <round-major|sample-major>` to run every
+//! engine-served row under that MC execution order (bytes are
+//! identical; only the schedule differs). The dedicated
+//! `mask_bank_lenet_s3` row always measures *both* orders head-to-head
+//! — serial round-major vs the fused sample-major path — and asserts
+//! their byte identity before timing.
+//!
 //! The `mc_predict_*` rows keep their historical names (the PR 1-3
 //! trajectory series) but measure through the `UncertaintyEngine` since
 //! the deprecated free-function wrappers were retired from the benches:
@@ -22,7 +29,7 @@
 //! its persistent clone cache. The `search_smoke` row times the
 //! `SearchSession` end to end (tiny supernet, 2 generations).
 
-use nds_engine::{Backend, EngineBuilder, PredictRequest, UncertaintyEngine};
+use nds_engine::{Backend, EngineBuilder, Execution, PredictRequest, UncertaintyEngine};
 use nds_search::{EvolutionConfig, SearchBuilder, Strategy};
 use nds_serve::{ServeRequest, ServerBuilder, TenantSpec};
 use nds_supernet::{Supernet, SupernetSpec};
@@ -50,7 +57,19 @@ fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 fn main() {
     // Smoke mode: same code paths, tiny shapes, no baseline-file write —
     // CI runs this in every NDS_THREADS leg so the bench cannot rot.
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    // Execution order for every engine-served row; the mask_bank row
+    // below ignores it and always measures both orders head-to-head.
+    let execution: Execution = argv
+        .iter()
+        .position(|a| a == "--execution")
+        .and_then(|i| argv.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .expect("--execution is round-major or sample-major")
+        })
+        .unwrap_or(Execution::RoundMajor);
     let workers = worker_count();
     let mut rng = Rng64::new(1);
     let (mm_dim, reps) = if smoke { (48, 3) } else { (256, 15) };
@@ -96,6 +115,7 @@ fn main() {
             .samples(mc_samples)
             .workers(w)
             .chunk_size(chunk)
+            .execution(execution)
             .build()
     };
     let time_engine = |engine: &mut UncertaintyEngine, images: &Tensor, reps: usize| {
@@ -108,6 +128,42 @@ fn main() {
     let mut parallel_engine = mc_engine(&supernet, workers, mc_batch);
     let mc_serial = time_engine(&mut serial_engine, &images, if smoke { 2 } else { 5 });
     let mc_parallel = time_engine(&mut parallel_engine, &images, if smoke { 2 } else { 5 });
+
+    // ------------------------------------------------------------------
+    // Sample-major fused MC (PR 8): serial round-major S passes vs one
+    // fused (S·B)-row pass per layer with the precomputed mask bank.
+    // Both engines run serial workers on the same chunking, so the gap
+    // is purely the execution order (batched gemm efficiency + the
+    // cached mask bank). Byte identity is asserted before timing — the
+    // row is meaningless if the fused path changed the bytes.
+    // ------------------------------------------------------------------
+    let order_engine = |net: &Supernet, order: Execution| -> UncertaintyEngine {
+        EngineBuilder::new(net.net().clone())
+            .samples(mc_samples)
+            .workers(1)
+            .chunk_size(mc_batch)
+            .execution(order)
+            .build()
+    };
+    let mut bank_round_engine = order_engine(&supernet, Execution::RoundMajor);
+    let mut bank_fused_engine = order_engine(&supernet, Execution::SampleMajor);
+    {
+        let round = bank_round_engine
+            .predict(&PredictRequest::new(&images))
+            .unwrap();
+        let fused = bank_fused_engine
+            .predict(&PredictRequest::new(&images))
+            .unwrap();
+        assert_eq!(
+            round.probs.as_slice(),
+            fused.probs.as_slice(),
+            "sample-major must be byte-identical to round-major"
+        );
+        bank_round_engine.recycle(round);
+        bank_fused_engine.recycle(fused);
+    }
+    let bank_round = time_engine(&mut bank_round_engine, &images, if smoke { 2 } else { 5 });
+    let bank_fused = time_engine(&mut bank_fused_engine, &images, if smoke { 2 } else { 5 });
 
     // ResNet-scale MC prediction: width-8 ResNet18 supernet over
     // CIFAR-shaped inputs — the configuration the zero-copy weight
@@ -145,6 +201,7 @@ fn main() {
         let mut engine = EngineBuilder::new(supernet.net_mut().clone())
             .backend(backend)
             .samples(mc_samples)
+            .execution(execution)
             .build();
         let mut ips = |images: &Tensor, batch: usize| {
             let secs = time_median(if smoke { 2 } else { 5 }, || {
@@ -207,7 +264,8 @@ fn main() {
     };
     let mut serve_builder = ServerBuilder::new(supernet.net_mut().clone())
         .max_batch(serve_max_batch)
-        .max_wait_ms(0.5);
+        .max_wait_ms(0.5)
+        .execution(execution);
     let serve_tenant = serve_builder.tenant(TenantSpec {
         seed: 0,
         samples: mc_samples,
@@ -309,6 +367,12 @@ fn main() {
          \"parallel_ms\": {:.3},\n    \
          \"speedup\": {:.3},\n    \
          \"images_per_sec\": {:.1}\n  }},\n  \
+         \"mask_bank_lenet_s3\": {{\n    \
+         \"round_major_ms\": {:.3},\n    \
+         \"sample_major_ms\": {:.3},\n    \
+         \"speedup\": {:.3},\n    \
+         \"images_per_sec\": {:.1},\n    \
+         \"byte_identical\": true\n  }},\n  \
          \"mc_predict_resnet18w8_s3_b16\": {{\n    \
          \"serial_ms\": {:.3},\n    \
          \"parallel_ms\": {:.3},\n    \
@@ -354,6 +418,10 @@ fn main() {
         mc_parallel * 1e3,
         mc_serial / mc_parallel,
         mc_batch as f64 / mc_parallel,
+        bank_round * 1e3,
+        bank_fused * 1e3,
+        bank_round / bank_fused,
+        mc_batch as f64 / bank_fused,
         resnet_serial * 1e3,
         resnet_parallel * 1e3,
         resnet_serial / resnet_parallel,

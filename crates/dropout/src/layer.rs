@@ -36,6 +36,111 @@ impl Default for DropoutSettings {
     }
 }
 
+/// Stream-fork constant shared by [`Layer::begin_mc_sample`] and the
+/// fused per-sample streams: both derive sample `k`'s generator as
+/// `Rng64::new(stream_seed).fork(k ^ MC_SAMPLE_STREAM)`, which is the
+/// equivalence that makes sample-major execution byte-identical to
+/// round-major.
+const MC_SAMPLE_STREAM: u64 = 0x4D43_5341_4D50;
+
+/// Precomputed per-sample mask bank backing the fused sample-major
+/// Monte-Carlo path.
+///
+/// The bank holds, for each of the round's `samples` MC samples, the
+/// masks of a contiguous run of batch items — laid out sample-major
+/// (`[samples][items][mask_len]`) so it lines up element-for-element
+/// with a fused `(samples·items)`-row activation and applies as a single
+/// elementwise multiply. Contents are a pure function of
+/// `(stream_seed, stream_base, sample, item)`: they are drawn by the
+/// same `sample_mask_fill` generators, from the same per-sample forked
+/// streams, in the same per-item order as the round-major path, so bank
+/// masks are byte-identical to streamed draws. The layer keeps the bank
+/// (and each sample's post-draw stream snapshot) across rounds, so a
+/// steady-state serving loop that replays the same
+/// `(stream_base, chunk)` reuses the precomputed masks instead of
+/// re-drawing them.
+#[derive(Debug, Clone)]
+pub struct MaskBank {
+    stream_base: u64,
+    samples: usize,
+    offset: usize,
+    items: usize,
+    mask_len: usize,
+    data: Vec<f32>,
+    /// Per-sample `(rng, cursor)` stream state *after* drawing the
+    /// covered items, so a cache hit can fast-forward the live streams
+    /// without replaying the draws.
+    post: Vec<(Rng64, usize)>,
+}
+
+impl MaskBank {
+    fn empty() -> Self {
+        MaskBank {
+            stream_base: 0,
+            samples: 0,
+            offset: 0,
+            items: 0,
+            mask_len: 0,
+            data: Vec::new(),
+            post: Vec::new(),
+        }
+    }
+
+    fn covers(
+        &self,
+        stream_base: u64,
+        samples: usize,
+        offset: usize,
+        items: usize,
+        mask_len: usize,
+    ) -> bool {
+        self.stream_base == stream_base
+            && self.samples == samples
+            && self.offset == offset
+            && self.items == items
+            && self.mask_len == mask_len
+            && self.post.len() == samples
+    }
+
+    /// Number of MC samples the bank covers.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of consecutive batch items the bank covers.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Index of the first covered batch item within its pass.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Per-item mask width (the slot's feature count).
+    pub fn mask_len(&self) -> usize {
+        self.mask_len
+    }
+
+    /// The mask applied to batch item `offset() + item` in sample
+    /// `sample`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sample >= samples()` or `item >= items()`.
+    pub fn mask(&self, sample: usize, item: usize) -> &[f32] {
+        assert!(sample < self.samples && item < self.items);
+        let start = (sample * self.items + item) * self.mask_len;
+        &self.data[start..start + self.mask_len]
+    }
+
+    /// The whole bank, sample-major: element `i` multiplies element `i`
+    /// of the fused `(samples·items)`-row activation.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
 /// One concrete dropout layer occupying a dropout slot.
 ///
 /// All four designs share this type so the supernet can swap them without
@@ -73,6 +178,18 @@ pub struct DropoutLayer {
     /// the pending backward mask (moved, not copied) — so save/restore
     /// never allocates.
     saved: Option<(Rng64, usize, Option<Tensor>)>,
+    /// Live per-sample `(rng, cursor)` streams for the fused sample-major
+    /// path, prepared by [`Layer::begin_mc_fused`] and advanced chunk by
+    /// chunk so multi-chunk fused passes draw exactly the masks the
+    /// round-major path would (stream `s` advances once per batch item,
+    /// in item order, across the whole pass).
+    fused: Vec<(Rng64, usize)>,
+    /// `stream_base` of the fused round being executed.
+    fused_base: u64,
+    /// Next batch item (pass-global index) the fused streams will draw.
+    fused_next: usize,
+    /// Precomputed mask bank retained across rounds (see [`MaskBank`]).
+    bank: Option<MaskBank>,
 }
 
 impl Clone for DropoutLayer {
@@ -90,6 +207,10 @@ impl Clone for DropoutLayer {
             mc_cursor: self.mc_cursor,
             cache: None,
             saved: None,
+            fused: Vec::new(),
+            fused_base: 0,
+            fused_next: 0,
+            bank: None,
         }
     }
 }
@@ -163,6 +284,10 @@ impl DropoutLayer {
             mc_cursor: 0,
             cache: None,
             saved: None,
+            fused: Vec::new(),
+            fused_base: 0,
+            fused_next: 0,
+            bank: None,
         })
     }
 
@@ -315,8 +440,109 @@ impl Layer for DropoutLayer {
     fn begin_mc_sample(&mut self, sample: u64) {
         // Derive this pass's mask stream purely from (seed, slot, sample):
         // history-free, so serial and parallel MC sampling coincide.
-        self.rng = Rng64::new(self.stream_seed).fork(sample ^ 0x4D43_5341_4D50);
+        self.rng = Rng64::new(self.stream_seed).fork(sample ^ MC_SAMPLE_STREAM);
         self.mc_cursor = sample as usize;
+    }
+
+    fn mc_is_stochastic(&self) -> bool {
+        true
+    }
+
+    fn begin_mc_fused(&mut self, samples: usize, stream_base: u64) {
+        // One stream per sample, seeded exactly as begin_mc_sample seeds
+        // sample `stream_base + s` — the fused pass then advances stream
+        // `s` once per batch item in item order, matching the round-major
+        // draw sequence draw for draw.
+        self.fused_base = stream_base;
+        self.fused_next = 0;
+        self.fused.clear();
+        for s in 0..samples {
+            let sample = stream_base.wrapping_add(s as u64);
+            self.fused.push((
+                Rng64::new(self.stream_seed).fork(sample ^ MC_SAMPLE_STREAM),
+                sample as usize,
+            ));
+        }
+    }
+
+    fn forward_mc_fused(
+        &mut self,
+        input: &Tensor,
+        samples: usize,
+        ws: &mut Workspace,
+    ) -> NnResult<Tensor> {
+        let per_sample = self.slot.shape.len();
+        let rows = input.shape().dim(0);
+        if input.len() != rows * per_sample {
+            return Err(NnError::BadConfig(format!(
+                "dropout slot {} expected {} features/sample, input is {}",
+                self.slot.id,
+                per_sample,
+                input.shape()
+            )));
+        }
+        if samples == 0 || !rows.is_multiple_of(samples) {
+            return Err(NnError::BadConfig(format!(
+                "fused pass at slot {}: {rows} rows do not fold {samples} samples",
+                self.slot.id
+            )));
+        }
+        if self.fused.len() != samples {
+            return Err(NnError::BadConfig(format!(
+                "fused pass at slot {} without begin_mc_fused for {samples} samples",
+                self.slot.id
+            )));
+        }
+        let items = rows / samples;
+        let hit = self.bank.as_ref().is_some_and(|b| {
+            b.covers(self.fused_base, samples, self.fused_next, items, per_sample)
+        });
+        if hit {
+            // The bank already holds these exact draws: fast-forward the
+            // live streams to their post-draw snapshots instead of
+            // replaying the generators.
+            let bank = self.bank.as_ref().expect("hit implies a bank");
+            for (state, post) in self.fused.iter_mut().zip(bank.post.iter()) {
+                *state = post.clone();
+            }
+        } else {
+            let mut bank = self.bank.take().unwrap_or_else(MaskBank::empty);
+            bank.stream_base = self.fused_base;
+            bank.samples = samples;
+            bank.offset = self.fused_next;
+            bank.items = items;
+            bank.mask_len = per_sample;
+            bank.data.resize(samples * items * per_sample, 0.0);
+            bank.post.clear();
+            let mut idx_scratch = if self.kind == DropoutKind::Random {
+                ws.take_dirty(per_sample)
+            } else {
+                Vec::new()
+            };
+            for s in 0..samples {
+                // Run sample s's stream through this chunk's items with
+                // the very generators the streamed path uses.
+                let (rng, cursor) = self.fused[s].clone();
+                self.rng = rng;
+                self.mc_cursor = cursor;
+                let rows_s = &mut bank.data[s * items * per_sample..(s + 1) * items * per_sample];
+                for row in rows_s.chunks_mut(per_sample.max(1)) {
+                    self.sample_mask_fill(Mode::McInference, row, &mut idx_scratch);
+                }
+                let post = (self.rng.clone(), self.mc_cursor);
+                self.fused[s] = post.clone();
+                bank.post.push(post);
+            }
+            ws.recycle(idx_scratch);
+            self.bank = Some(bank);
+        }
+        self.fused_next += items;
+        let bank = self.bank.as_ref().expect("bank was just filled or hit");
+        let mut out = ws.take_dirty(input.len());
+        for ((o, &x), &m) in out.iter_mut().zip(input.iter()).zip(bank.data.iter()) {
+            *o = x * m;
+        }
+        Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
     }
 
     fn save_mc_state(&mut self) {
@@ -550,6 +776,199 @@ mod tests {
         let g = Tensor::ones(Shape::d4(1, 8, 8, 8));
         let dx = layer.backward(&g).unwrap();
         assert_eq!(dx, y, "for all-ones input and grad, dx equals the mask");
+    }
+
+    /// Streamed round-major reference: `begin_mc_round`, then per sample
+    /// `begin_mc_sample(base + s)` followed by the batch in `chunks`-sized
+    /// pieces. Returns the concatenated `[samples][n][per]` outputs.
+    fn round_major_reference(
+        layer: &mut DropoutLayer,
+        x: &Tensor,
+        samples: u64,
+        base: u64,
+        chunks: &[usize],
+        ws: &mut Workspace,
+    ) -> Vec<f32> {
+        let per = layer.slot().shape.len();
+        let n = x.shape().dim(0);
+        let mut out = vec![0.0f32; samples as usize * n * per];
+        layer.begin_mc_round();
+        for s in 0..samples {
+            layer.begin_mc_sample(base + s);
+            let mut start = 0usize;
+            for &cb in chunks {
+                let piece = Tensor::from_vec(
+                    x.as_slice()[start * per..(start + cb) * per].to_vec(),
+                    Shape::d2(cb, per),
+                )
+                .unwrap();
+                let y = layer.forward_ws(&piece, Mode::McInference, ws).unwrap();
+                let dst = (s as usize * n + start) * per;
+                out[dst..dst + cb * per].copy_from_slice(y.as_slice());
+                start += cb;
+            }
+            assert_eq!(start, n);
+        }
+        out
+    }
+
+    #[test]
+    fn fused_pass_matches_streamed_samples_bytewise() {
+        let samples = 3u64;
+        let base = 7u64;
+        for kind in DropoutKind::all() {
+            for slot in [conv_slot(2, 3, 3), fc_slot(18)] {
+                if !kind.supports(slot.position) {
+                    continue;
+                }
+                let settings = DropoutSettings {
+                    rate: 0.4,
+                    ..DropoutSettings::default()
+                };
+                let mut ws = Workspace::new();
+                let n = 5usize;
+                let per = slot.shape.len();
+                let mut rng = Rng64::new(99);
+                let x = Tensor::rand_normal(Shape::d2(n, per), 0.0, 1.0, &mut rng);
+                let mut streamed = DropoutLayer::for_slot(kind, &slot, &settings, 42).unwrap();
+                let want =
+                    round_major_reference(&mut streamed, &x, samples, base, &[2, 3], &mut ws);
+
+                // Fused: same chunking, each chunk tiled sample-major.
+                let mut fused = DropoutLayer::for_slot(kind, &slot, &settings, 42).unwrap();
+                fused.begin_mc_round();
+                fused.begin_mc_fused(samples as usize, base);
+                let mut start = 0usize;
+                for &cb in &[2usize, 3] {
+                    let chunk = &x.as_slice()[start * per..(start + cb) * per];
+                    let mut tiled = Vec::new();
+                    for _ in 0..samples {
+                        tiled.extend_from_slice(chunk);
+                    }
+                    let tiled =
+                        Tensor::from_vec(tiled, Shape::d2(samples as usize * cb, per)).unwrap();
+                    let y = fused
+                        .forward_mc_fused(&tiled, samples as usize, &mut ws)
+                        .unwrap();
+                    for s in 0..samples as usize {
+                        let got = &y.as_slice()[s * cb * per..(s + 1) * cb * per];
+                        let dst = (s * n + start) * per;
+                        assert_eq!(
+                            got,
+                            &want[dst..dst + cb * per],
+                            "{kind} slot {} sample {s} items {start}..{}",
+                            slot.id,
+                            start + cb
+                        );
+                    }
+                    start += cb;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bank_reuse_is_deterministic() {
+        // Steady-state serving: the same (stream_base, chunk) round twice
+        // in a row hits the bank and must reproduce the draws exactly.
+        let slot = conv_slot(3, 4, 4);
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Bernoulli,
+            &slot,
+            &DropoutSettings::default(),
+            11,
+        )
+        .unwrap();
+        let mut ws = Workspace::new();
+        let per = slot.shape.len();
+        let mut rng = Rng64::new(5);
+        let x = Tensor::rand_normal(Shape::d2(2 * 4, per), 0.0, 1.0, &mut rng);
+        layer.begin_mc_round();
+        layer.begin_mc_fused(2, 3);
+        let first = layer.forward_mc_fused(&x, 2, &mut ws).unwrap();
+        layer.begin_mc_round();
+        layer.begin_mc_fused(2, 3);
+        let second = layer.forward_mc_fused(&x, 2, &mut ws).unwrap();
+        assert_eq!(first, second, "bank hit must replay identical masks");
+    }
+
+    #[test]
+    fn masksembles_uses_each_mask_once_in_both_orders() {
+        // S MC passes must use each of the S masks exactly once per batch
+        // item — in round-major *and* sample-major order — and the cycle
+        // must restart identically when the engine reuses the layer for
+        // another round.
+        let features = 12usize;
+        let slot = fc_slot(features);
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Masksembles,
+            &slot,
+            &DropoutSettings::default(),
+            21,
+        )
+        .unwrap();
+        let s_count = layer.settings().n_masks;
+        let set: Vec<Vec<f32>> = (0..s_count)
+            .map(|i| layer.mask_set().unwrap().mask(i).to_vec())
+            .collect();
+        let identify = |row: &[f32]| -> usize {
+            set.iter()
+                .position(|m| m.as_slice() == row)
+                .expect("output row must equal one of the set's masks")
+        };
+        let mut ws = Workspace::new();
+        let n = 2usize;
+        let x = Tensor::ones(Shape::d2(n, features));
+
+        // Round-major: seen[item] collects the mask index per sample.
+        let mut round_major = vec![Vec::new(); n];
+        layer.begin_mc_round();
+        for s in 0..s_count as u64 {
+            layer.begin_mc_sample(s);
+            let y = layer.forward_ws(&x, Mode::McInference, &mut ws).unwrap();
+            for (item, seen) in round_major.iter_mut().enumerate() {
+                seen.push(identify(
+                    &y.as_slice()[item * features..(item + 1) * features],
+                ));
+            }
+        }
+
+        // Sample-major: one fused pass covers all samples at once.
+        let tiled = Tensor::ones(Shape::d2(s_count * n, features));
+        layer.begin_mc_round();
+        layer.begin_mc_fused(s_count, 0);
+        let y = layer.forward_mc_fused(&tiled, s_count, &mut ws).unwrap();
+        let mut sample_major = vec![Vec::new(); n];
+        for s in 0..s_count {
+            for (item, seen) in sample_major.iter_mut().enumerate() {
+                let row = (s * n + item) * features;
+                seen.push(identify(&y.as_slice()[row..row + features]));
+            }
+        }
+
+        for item in 0..n {
+            assert_eq!(
+                round_major[item], sample_major[item],
+                "item {item}: orders disagree on mask schedule"
+            );
+            let mut seen = round_major[item].clone();
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                (0..s_count).collect::<Vec<_>>(),
+                "item {item} must see every mask exactly once"
+            );
+        }
+
+        // Engine reuse: a fresh round must restart the cycle exactly.
+        layer.begin_mc_round();
+        layer.begin_mc_sample(0);
+        let y = layer.forward_ws(&x, Mode::McInference, &mut ws).unwrap();
+        assert_eq!(
+            identify(&y.as_slice()[..features]),
+            round_major[0][0],
+            "cursor must reset across engine reuse"
+        );
     }
 
     #[test]

@@ -17,6 +17,22 @@
 //! on-chip RNG plus comparators every pass, while Masksembles reads its
 //! pre-generated masks from BRAM (see `nds-hw`).
 //!
+//! # Execution orders
+//!
+//! MC inference runs in one of two byte-identical orders. *Round-major*
+//! streams S sequential passes, with [`Layer::begin_mc_sample`] re-seeding
+//! each pass's mask stream from `(seed, slot, sample)`
+//! ([`mc::mc_sample_rounds_into`]). *Sample-major* folds the sample
+//! dimension into the batch — one `(S·B)`-row pass with a per-sample
+//! [`MaskBank`] applied in place ([`mc::mc_sample_rounds_fused_into`]).
+//! Both orders draw every mask from the same per-sample forked streams in
+//! the same per-item order, so outputs agree bit for bit; the fused order
+//! amortises layer traversal and widens every gemm by S, and its bank
+//! caches the drawn masks (plus post-draw stream snapshots) so
+//! steady-state serving rounds skip the redraw entirely.
+//!
+//! [`Layer::begin_mc_sample`]: nds_nn::Layer::begin_mc_sample
+//!
 //! # Examples
 //!
 //! ```
@@ -47,7 +63,7 @@ pub mod masks;
 pub mod masksembles;
 pub mod mc;
 
-pub use layer::{DropoutLayer, DropoutSettings};
+pub use layer::{DropoutLayer, DropoutSettings, MaskBank};
 
 use nds_nn::arch::SlotPosition;
 use nds_nn::NnError;

@@ -50,10 +50,13 @@ use nds_tensor::{SharedTensor, Tensor, Workspace};
 ///
 /// # Panics
 ///
-/// Panics when `slab.len() != samples.max(1) * out.len()` — a driver
-/// programming error.
+/// Panics when `samples == 0` or `slab.len() != samples * out.len()` —
+/// driver programming errors. (Historically a zero sample count was
+/// silently clamped to 1 here; every driver now validates its sample
+/// count up front with a typed error, so a zero reaching the reduction
+/// is a bug worth crashing on.)
 pub fn mean_over_samples(slab: &[f32], samples: usize, out: &mut [f32]) {
-    let samples = samples.max(1);
+    assert!(samples > 0, "sample count must be positive");
     let pass_len = out.len();
     assert_eq!(
         slab.len(),
@@ -261,9 +264,10 @@ impl McCloneCache {
 ///
 /// # Panics
 ///
-/// Panics when `out.len() != samples.max(1) * pass_len` or when a pass
-/// returns a tensor whose length disagrees with `pass_len` — both
-/// driver programming errors.
+/// Panics when `samples == 0`, when `out.len() != samples * pass_len`,
+/// or when a pass returns a tensor whose length disagrees with
+/// `pass_len` — all driver programming errors (drivers reject a zero
+/// sample count with a typed error before reaching the harness).
 #[allow(clippy::too_many_arguments)]
 pub fn mc_sample_rounds_into<E: Send + From<PoolError>>(
     net: &mut Sequential,
@@ -276,7 +280,7 @@ pub fn mc_sample_rounds_into<E: Send + From<PoolError>>(
     out: &mut [f32],
     run_pass: &(dyn Fn(&mut Sequential, &mut Workspace) -> std::result::Result<Tensor, E> + Sync),
 ) -> std::result::Result<(), E> {
-    let samples = samples.max(1);
+    assert!(samples > 0, "sample count must be positive");
     assert_eq!(
         out.len(),
         samples * pass_len,
@@ -407,6 +411,67 @@ pub fn mc_sample_rounds_into<E: Send + From<PoolError>>(
     }
 }
 
+/// Driver callback for [`mc_sample_rounds_fused_into`]: runs the single
+/// `(S·B)`-row forward on the primed net, writing every sample's pass
+/// into the output slab.
+pub type FusedRunner<'a, E> =
+    &'a dyn Fn(&mut Sequential, &mut Workspace, &mut [f32]) -> std::result::Result<(), E>;
+
+/// The sample-major (fused) Monte-Carlo round harness: instead of S
+/// sequential passes, the whole round is **one** pass whose batch is the
+/// sample dimension folded into the item dimension — `run_fused` sees a
+/// net primed by [`Layer::begin_mc_fused`] and executes one
+/// `(S·B)`-row forward per layer, writing all S samples' outputs into
+/// `out` itself (sample `s`'s pass occupying
+/// `out[s * pass_len .. (s + 1) * pass_len]`, exactly the slab layout
+/// [`mc_sample_rounds_into`] produces, so [`mean_over_samples`] applies
+/// unchanged).
+///
+/// Byte identity with the round-major harness is a layer contract:
+/// `begin_mc_fused(samples, stream_base)` seeds one stream per sample
+/// with the *same* derivation [`Layer::begin_mc_sample`] uses for sample
+/// `stream_base + s`, and fused forwards advance stream `s` once per
+/// batch item in item order — so every mask equals the streamed draw and
+/// the two orders agree bit for bit (pinned by this crate's tests and
+/// the workspace-root `tests/sample_major.rs` bridge).
+///
+/// Like the serial branch of [`mc_sample_rounds_into`], the round runs
+/// **in place** on the caller's net, bracketed by
+/// [`Layer::save_mc_state`]/[`Layer::restore_mc_state`], and a panicking
+/// pass is converted into a typed [`PoolError`] after the restore. On
+/// any error `out` is unspecified and must be discarded.
+///
+/// [`Layer::begin_mc_fused`]: nds_nn::Layer::begin_mc_fused
+/// [`Layer::begin_mc_sample`]: nds_nn::Layer::begin_mc_sample
+/// [`Layer::save_mc_state`]: nds_nn::Layer::save_mc_state
+/// [`Layer::restore_mc_state`]: nds_nn::Layer::restore_mc_state
+///
+/// # Panics
+///
+/// Panics when `samples == 0` — a driver programming error.
+pub fn mc_sample_rounds_fused_into<E: Send + From<PoolError>>(
+    net: &mut Sequential,
+    samples: usize,
+    stream_base: u64,
+    workspace: &mut Workspace,
+    out: &mut [f32],
+    run_fused: FusedRunner<'_, E>,
+) -> std::result::Result<(), E> {
+    assert!(samples > 0, "sample count must be positive");
+    net.save_mc_state();
+    net.begin_mc_round();
+    net.begin_mc_fused(samples, stream_base);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_fused(net, workspace, &mut *out)
+    }));
+    // Restore even on error/panic: the caller's net comes back untouched.
+    net.restore_mc_state(workspace);
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(E::from(PoolError::from_payload(payload.as_ref()))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,7 +495,6 @@ mod tests {
         workers: usize,
         ws: &mut Workspace,
     ) -> (Vec<f32>, usize) {
-        let samples = samples.max(1);
         let n = x.shape().dim(0);
         let classes = nds_nn::train::output_classes(net, x.shape()).unwrap();
         let pass_len = n * classes;
@@ -673,8 +737,100 @@ mod tests {
         let mut net = stochastic_net(DropoutKind::Random, 9);
         let x = Tensor::zeros(Shape::d4(1, 1, 4, 4));
         let mut ws = Workspace::new();
-        let (slab, pass_len) = mc_slab(&mut net, &x, 0, 1, 1, &mut ws); // clamped to 1
+        let (slab, pass_len) = mc_slab(&mut net, &x, 1, 1, 1, &mut ws);
         assert_eq!(slab.len(), pass_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be positive")]
+    fn zero_samples_panics_in_the_harness() {
+        // Drivers reject samples == 0 with a typed error before the
+        // harness; a zero reaching this far is a bug, not a request.
+        let mut net = stochastic_net(DropoutKind::Random, 9);
+        let mut ws = Workspace::new();
+        let mut cache = McCloneCache::new();
+        let mut out: [f32; 0] = [];
+        let _ = mc_sample_rounds_into::<NnError>(
+            &mut net,
+            0,
+            1,
+            0,
+            &mut cache,
+            &mut ws,
+            0,
+            &mut out,
+            &|_, _| Ok(Tensor::zeros(Shape::d1(0))),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be positive")]
+    fn zero_samples_panics_in_the_mean_reduction() {
+        let mut out = [0.0f32; 4];
+        mean_over_samples(&[], 0, &mut out);
+    }
+
+    #[test]
+    fn fused_rounds_match_round_major_bytes() {
+        // The sample-major harness must reproduce the round-major slab
+        // bit for bit, for every dropout design and a chunked batch.
+        for kind in [
+            DropoutKind::Bernoulli,
+            DropoutKind::Random,
+            DropoutKind::Gaussian,
+            DropoutKind::Masksembles,
+        ] {
+            let mut round_net = stochastic_net(kind, 61);
+            let mut fused_net = stochastic_net(kind, 61);
+            let mut rng = Rng64::new(62);
+            let x = Tensor::rand_normal(Shape::d4(5, 1, 4, 4), 0.0, 1.0, &mut rng);
+            let mut ws = Workspace::new();
+            let (round_major, pass_len) = mc_slab(&mut round_net, &x, 3, 2, 1, &mut ws);
+            let mut fused = vec![0.0f32; round_major.len()];
+            mc_sample_rounds_fused_into::<NnError>(
+                &mut fused_net,
+                3,
+                0,
+                &mut ws,
+                &mut fused,
+                &|net, ws, out| {
+                    nds_nn::train::predict_probs_fused_into_ws(net, &x, 3, 2, ws, out, None)
+                },
+            )
+            .unwrap();
+            assert_eq!(round_major, fused, "{kind}: fused slab diverged");
+            let _ = pass_len;
+        }
+    }
+
+    #[test]
+    fn fused_rounds_leave_caller_state_untouched() {
+        // Same guarantee the serial harness gives: a fused round between
+        // two of the caller's own passes must not move any stream.
+        let mut with_mc = stochastic_net(DropoutKind::Masksembles, 63);
+        let mut without_mc = stochastic_net(DropoutKind::Masksembles, 63);
+        let mut rng = Rng64::new(64);
+        let x = Tensor::rand_normal(Shape::d4(2, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut ws = Workspace::new();
+        let m0 = with_mc.forward(&x, Mode::McInference).unwrap();
+        let classes = nds_nn::train::output_classes(&with_mc, x.shape()).unwrap();
+        let mut slab = vec![0.0f32; 3 * 2 * classes];
+        mc_sample_rounds_fused_into::<NnError>(
+            &mut with_mc,
+            3,
+            0,
+            &mut ws,
+            &mut slab,
+            &|net, ws, out| {
+                nds_nn::train::predict_probs_fused_into_ws(net, &x, 3, 2, ws, out, None)
+            },
+        )
+        .unwrap();
+        let m1 = with_mc.forward(&x, Mode::McInference).unwrap();
+        let n0 = without_mc.forward(&x, Mode::McInference).unwrap();
+        let n1 = without_mc.forward(&x, Mode::McInference).unwrap();
+        assert_eq!(m0, n0);
+        assert_eq!(m1, n1, "fused round must not move the caller's streams");
     }
 
     #[test]

@@ -30,6 +30,13 @@
 //!   [`EngineBuilder::chunk_size`]); per-item mask streams make chunked
 //!   results byte-identical to one-shot execution (property-tested at
 //!   the workspace root).
+//! * **Round-major or sample-major.** [`EngineBuilder::execution`]
+//!   picks the MC schedule: S sequential passes (the default,
+//!   [`Execution::RoundMajor`]) or one fused `(S·B)`-row pass per chunk
+//!   with precomputed per-sample mask banks
+//!   ([`Execution::SampleMajor`], the serial-throughput path). The two
+//!   orders serve **byte-identical** responses, so golden fixtures and
+//!   downstream consumers never notice the switch.
 //! * **Allocation-free steady state.** The serial MC path has been
 //!   allocation-free since PR 3; the engine extends that to the
 //!   *parallel* path: worker clones (copy-on-write weights) and their
@@ -101,10 +108,12 @@
 
 pub mod quantized;
 
-use nds_dropout::mc::{mc_sample_rounds_into, mean_over_samples, McCloneCache};
+use nds_dropout::mc::{
+    mc_sample_rounds_fused_into, mc_sample_rounds_into, mean_over_samples, McCloneCache,
+};
 use nds_metrics::entropy_nats;
 use nds_nn::layers::Sequential;
-use nds_nn::train::{output_classes, predict_probs_ws};
+use nds_nn::train::{output_classes, predict_probs_fused_into_ws, predict_probs_ws};
 use nds_nn::{Mode, NnError};
 use nds_quant::FixedFormat;
 use nds_tensor::{Shape, Tensor, TensorError, Workspace};
@@ -337,6 +346,63 @@ impl Backend {
     }
 }
 
+/// How the engine schedules the S Monte-Carlo samples of one request.
+///
+/// Both orders serve **byte-identical** responses — every mask derives
+/// from `(seed, slot, sample, item)` regardless of scheduling — so this
+/// knob trades nothing but throughput:
+///
+/// * [`Execution::RoundMajor`] (default) runs S sequential passes over
+///   the batch, fanning samples out across the worker pool. It is the
+///   historical path and the only granularity the latency-budget
+///   degradation loop can use (degradation drops whole rounds).
+/// * [`Execution::SampleMajor`] folds the sample dimension into the
+///   batch: one `(S·B)`-row pass per chunk with precomputed per-sample
+///   mask banks applied in place ([`nds_dropout::MaskBank`]). Layers
+///   before the first stochastic one run **once** instead of S times,
+///   every gemm widens by S, and steady-state rounds reuse the banks —
+///   the serial-throughput path. Budgeted requests that can degrade
+///   fall back to round-major execution (the fused round is
+///   all-or-nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// S sequential passes, one per MC sample (the historical order).
+    #[default]
+    RoundMajor,
+    /// One fused `(S·B)`-row pass per chunk with per-sample mask banks.
+    SampleMajor,
+}
+
+impl Execution {
+    /// Short static label for logs and timing rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Execution::RoundMajor => "round-major",
+            Execution::SampleMajor => "sample-major",
+        }
+    }
+}
+
+impl fmt::Display for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Execution {
+    type Err = EngineError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "round-major" | "round" | "serial" => Ok(Execution::RoundMajor),
+            "sample-major" | "sample" | "fused" => Ok(Execution::SampleMajor),
+            other => Err(EngineError::BadRequest(format!(
+                "unknown execution mode `{other}` (expected `round-major` or `sample-major`)"
+            ))),
+        }
+    }
+}
+
 /// One typed prediction request: the input batch plus the uncertainty
 /// diagnostics to compute.
 #[derive(Debug, Clone, Copy)]
@@ -451,6 +517,7 @@ pub struct EngineBuilder {
     workers: usize,
     chunk: usize,
     transient_retries: usize,
+    execution: Execution,
 }
 
 impl EngineBuilder {
@@ -467,6 +534,7 @@ impl EngineBuilder {
             workers: 0,
             chunk: 0,
             transient_retries: 0,
+            execution: Execution::RoundMajor,
         }
     }
 
@@ -476,9 +544,20 @@ impl EngineBuilder {
         self
     }
 
-    /// Sets the MC sampling number S (clamped to at least 1).
+    /// Selects the MC execution order (default
+    /// [`Execution::RoundMajor`]); see [`Execution`] for the trade-off.
+    /// Both orders serve byte-identical responses.
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Sets the MC sampling number S. A zero is **not** clamped: it is
+    /// rejected by [`UncertaintyEngine::predict`] with a typed
+    /// [`EngineError::BadRequest`] (historically it was silently served
+    /// as 1, masking caller bugs).
     pub fn samples(mut self, samples: usize) -> Self {
-        self.samples = samples.max(1);
+        self.samples = samples;
         self
     }
 
@@ -521,11 +600,12 @@ impl EngineBuilder {
         UncertaintyEngine {
             net: self.net,
             backend: self.backend,
-            samples: self.samples.max(1),
+            samples: self.samples,
             seed: self.seed,
             workers: self.workers,
             chunk: self.chunk,
             transient_retries: self.transient_retries,
+            execution: self.execution,
             ws: Workspace::new(),
             cache: McCloneCache::new(),
         }
@@ -544,6 +624,7 @@ pub struct UncertaintyEngine {
     workers: usize,
     chunk: usize,
     transient_retries: usize,
+    execution: Execution,
     ws: Workspace,
     cache: McCloneCache,
 }
@@ -665,6 +746,14 @@ impl UncertaintyEngine {
                 )));
             }
         }
+        if self.samples == 0 {
+            // A zero sampling number has no predictive distribution to
+            // serve; reject it instead of silently promoting it to 1
+            // (the historical clamp, which masked caller bugs).
+            return Err(EngineError::BadRequest(
+                "sample count must be at least 1, got 0".to_string(),
+            ));
+        }
         let n = images.shape().dim(0);
         let classes = output_classes(&self.net, images.shape())?;
         let samples = self.samples;
@@ -689,9 +778,16 @@ impl UncertaintyEngine {
             ref mut cache,
             seed,
             transient_retries,
+            execution,
             ..
         } = *self;
         let budget_ms = request.latency_budget_ms;
+        // The fused order is all-or-nothing, so a budgeted request that
+        // could actually degrade (a non-empty pass with S > 1 rounds to
+        // drop) falls back to round-major execution — degradation is
+        // inherently round-granular.
+        let fused = execution == Execution::SampleMajor
+            && !(budget_ms.is_some() && pass_len > 0 && samples > 1);
         let policy = nds_tensor::parallel::RetryPolicy::with_retries(transient_retries);
         let outcome = nds_tensor::parallel::retry_transient(
             policy,
@@ -702,6 +798,53 @@ impl UncertaintyEngine {
                     // hold half-advanced stochastic state. Rebuild them
                     // so the retry reproduces a clean round.
                     cache.invalidate();
+                }
+                if fused {
+                    // Sample-major: the whole round is ONE fused pass,
+                    // so an injected pass delay fires once per round
+                    // (not once per sample) — the fused pass is the
+                    // schedulable unit.
+                    return match backend.format() {
+                        None => mc_sample_rounds_fused_into(
+                            net,
+                            samples,
+                            seed,
+                            ws,
+                            &mut slab,
+                            &|net, ws, out| {
+                                nds_fault::pass_delay();
+                                predict_probs_fused_into_ws(
+                                    net, images, samples, chunk, ws, out, None,
+                                )
+                            },
+                        ),
+                        Some(format) => mc_sample_rounds_fused_into(
+                            net,
+                            samples,
+                            seed,
+                            ws,
+                            &mut slab,
+                            &|net, ws, out| {
+                                nds_fault::pass_delay();
+                                let mut tap =
+                                    |t: Tensor, ws: &mut Workspace| -> nds_nn::Result<Tensor> {
+                                        let q = quantized::quantize_copy(&t, format, ws);
+                                        ws.recycle_tensor(t);
+                                        Ok(q)
+                                    };
+                                predict_probs_fused_into_ws(
+                                    net,
+                                    images,
+                                    samples,
+                                    chunk,
+                                    ws,
+                                    out,
+                                    Some(&mut tap),
+                                )
+                            },
+                        ),
+                    }
+                    .map(|()| samples);
                 }
                 match backend.format() {
                     None => serve_rounds(
@@ -860,9 +1003,22 @@ impl UncertaintyEngine {
         self.samples
     }
 
-    /// Overrides the MC sampling number (clamped to at least 1).
+    /// Overrides the MC sampling number. As with
+    /// [`EngineBuilder::samples`], a zero is rejected at `predict` time
+    /// with [`EngineError::BadRequest`] rather than silently clamped.
     pub fn set_samples(&mut self, samples: usize) {
-        self.samples = samples.max(1);
+        self.samples = samples;
+    }
+
+    /// The MC execution order.
+    pub fn execution(&self) -> Execution {
+        self.execution
+    }
+
+    /// Switches the MC execution order; both orders serve byte-identical
+    /// responses, so this can flip freely between requests.
+    pub fn set_execution(&mut self, execution: Execution) {
+        self.execution = execution;
     }
 
     /// The serving backend.
@@ -1164,6 +1320,119 @@ mod tests {
         assert_eq!(resp.probs.len(), 0);
         assert_eq!(resp.entropy.as_ref().unwrap().len(), 0);
         assert_eq!(resp.timing.chunks, 0);
+    }
+
+    #[test]
+    fn zero_sample_requests_are_rejected_not_clamped() {
+        let mut engine = EngineBuilder::new(stochastic_net(8)).samples(0).build();
+        let x = Tensor::zeros(Shape::d4(1, 1, 4, 4));
+        let err = engine.predict(&PredictRequest::new(&x)).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(_)), "{err}");
+        assert!(!err.is_transient());
+        // The same engine recovers once given a legal sampling number.
+        engine.set_samples(2);
+        assert!(engine.predict(&PredictRequest::new(&x)).is_ok());
+        engine.set_samples(0);
+        let err = engine.predict(&PredictRequest::new(&x)).unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn sample_major_execution_matches_round_major_bytes() {
+        let mut rng = Rng64::new(23);
+        let x = Tensor::rand_normal(Shape::d4(5, 1, 4, 4), 0.0, 1.0, &mut rng);
+        for backend in [Backend::Float32, Backend::quantized_q78()] {
+            let mut round = EngineBuilder::new(stochastic_net(29))
+                .samples(3)
+                .backend(backend.clone())
+                .build();
+            let mut fused = EngineBuilder::new(stochastic_net(29))
+                .samples(3)
+                .backend(backend.clone())
+                .execution(Execution::SampleMajor)
+                .build();
+            assert_eq!(fused.execution(), Execution::SampleMajor);
+            let req = PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL);
+            let a = round.predict(&req).unwrap();
+            let b = fused.predict(&req).unwrap();
+            assert_eq!(
+                a.probs.as_slice(),
+                b.probs.as_slice(),
+                "{}: fused probs diverged",
+                backend.label()
+            );
+            assert_eq!(a.entropy, b.entropy, "{}", backend.label());
+            assert_eq!(a.mutual_information, b.mutual_information);
+            assert_eq!(a.variance, b.variance);
+            assert_eq!(b.achieved_samples, 3);
+            assert!(!b.degraded);
+            // Steady state: the fused engine replays identical bytes.
+            let c = fused.predict(&req).unwrap();
+            assert_eq!(a.probs.as_slice(), c.probs.as_slice());
+            // Empty batches are served in either order.
+            let empty = Tensor::zeros(Shape::d4(0, 1, 4, 4));
+            assert_eq!(
+                fused
+                    .predict(&PredictRequest::new(&empty))
+                    .unwrap()
+                    .probs
+                    .len(),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn set_execution_flips_the_order_between_requests() {
+        let mut rng = Rng64::new(31);
+        let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut engine = EngineBuilder::new(stochastic_net(37)).samples(3).build();
+        let a = engine.predict(&PredictRequest::new(&x)).unwrap();
+        engine.set_execution(Execution::SampleMajor);
+        let b = engine.predict(&PredictRequest::new(&x)).unwrap();
+        engine.set_execution(Execution::RoundMajor);
+        let c = engine.predict(&PredictRequest::new(&x)).unwrap();
+        assert_eq!(a.probs.as_slice(), b.probs.as_slice());
+        assert_eq!(a.probs.as_slice(), c.probs.as_slice());
+    }
+
+    #[test]
+    fn budgeted_degradable_requests_fall_back_to_round_major() {
+        // A fused engine with a latency budget that can degrade serves
+        // through the round-major loop — bytes still identical for every
+        // round that completes (here the budget is generous, so all of
+        // them).
+        let mut rng = Rng64::new(41);
+        let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut round = EngineBuilder::new(stochastic_net(43)).samples(4).build();
+        let mut fused = EngineBuilder::new(stochastic_net(43))
+            .samples(4)
+            .execution(Execution::SampleMajor)
+            .build();
+        let a = round.predict(&PredictRequest::new(&x)).unwrap();
+        let b = fused
+            .predict(&PredictRequest::new(&x).with_latency_budget(60_000.0))
+            .unwrap();
+        assert_eq!(a.probs.as_slice(), b.probs.as_slice());
+        assert_eq!(b.achieved_samples, 4);
+    }
+
+    #[test]
+    fn execution_labels_and_parsing() {
+        assert_eq!(Execution::default(), Execution::RoundMajor);
+        assert_eq!(Execution::RoundMajor.label(), "round-major");
+        assert_eq!(Execution::SampleMajor.label(), "sample-major");
+        for (text, want) in [
+            ("round-major", Execution::RoundMajor),
+            ("round", Execution::RoundMajor),
+            ("serial", Execution::RoundMajor),
+            ("sample-major", Execution::SampleMajor),
+            ("Sample", Execution::SampleMajor),
+            ("fused", Execution::SampleMajor),
+        ] {
+            assert_eq!(text.parse::<Execution>().unwrap(), want, "{text}");
+        }
+        assert!("banana".parse::<Execution>().is_err());
     }
 
     #[test]

@@ -107,7 +107,12 @@ pub fn quantized_predict_probs_ws(
 }
 
 /// Pooled copy of `src` with every element rounded to `format`.
-fn quantize_copy(src: &Tensor, format: FixedFormat, ws: &mut Workspace) -> Tensor {
+///
+/// Crate-visible: the engine's fused sample-major walker taps this at
+/// exactly the points [`quantized_forward_ws`] quantises (chunk input +
+/// every top-level layer output), so the two execution orders share one
+/// rounding definition.
+pub(crate) fn quantize_copy(src: &Tensor, format: FixedFormat, ws: &mut Workspace) -> Tensor {
     let mut buf = ws.take_dirty(src.len());
     fake_quantize_into(src.as_slice(), format, &mut buf);
     // Panic-audit: invariant-only. `buf` was sized to `src.len()` two

@@ -155,6 +155,29 @@ impl Layer for Conv2d {
         Tensor::from_vec(out, out_shape).map_err(NnError::from)
     }
 
+    fn forward_mc_fused(
+        &mut self,
+        input: &Tensor,
+        samples: usize,
+        ws: &mut Workspace,
+    ) -> Result<Tensor> {
+        // The fused sample-major pass just runs `samples × batch` rows
+        // through the same per-image lowering inference uses — byte
+        // identity with the round-major path for free, and the narrow
+        // per-image gemms keep their column stride cache-friendly (a
+        // single batch-wide gemm strides B by `N·OH·OW` floats, which
+        // aliases L1 sets on power-of-two spatial sizes).
+        let _ = samples;
+        conv2d_ws(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &*b.value),
+            self.geometry,
+            ws,
+        )
+        .map_err(NnError::from)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
         let cache = self
             .cache

@@ -120,6 +120,45 @@ impl Layer for Residual {
         self.shortcut.begin_mc_sample(sample);
     }
 
+    fn mc_is_stochastic(&self) -> bool {
+        self.main.mc_is_stochastic() || self.shortcut.mc_is_stochastic()
+    }
+
+    fn begin_mc_fused(&mut self, samples: usize, stream_base: u64) {
+        self.main.begin_mc_fused(samples, stream_base);
+        self.shortcut.begin_mc_fused(samples, stream_base);
+    }
+
+    fn forward_mc_fused(
+        &mut self,
+        input: &Tensor,
+        samples: usize,
+        ws: &mut Workspace,
+    ) -> Result<Tensor> {
+        // Fused counterpart of `forward_ws`: both paths run sample-major,
+        // then the same in-place add + NaN-propagating ReLU (McInference
+        // never arms the training gate mask).
+        let mut main_out = self.main.forward_mc_fused(input, samples, ws)?;
+        let short_out = self.shortcut.forward_mc_fused(input, samples, ws)?;
+        if main_out.shape() != short_out.shape() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "residual add",
+                lhs: main_out.shape().clone(),
+                rhs: short_out.shape().clone(),
+            }));
+        }
+        for (a, &b) in main_out.iter_mut().zip(short_out.iter()) {
+            *a += b;
+        }
+        ws.recycle_tensor(short_out);
+        for v in main_out.iter_mut() {
+            if !(*v > 0.0 || v.is_nan()) {
+                *v = 0.0;
+            }
+        }
+        Ok(main_out)
+    }
+
     fn save_mc_state(&mut self) {
         self.main.save_mc_state();
         self.shortcut.save_mc_state();

@@ -164,6 +164,47 @@ impl Layer for Sequential {
         }
     }
 
+    fn mc_is_stochastic(&self) -> bool {
+        self.layers.iter().any(|layer| layer.mc_is_stochastic())
+    }
+
+    fn begin_mc_fused(&mut self, samples: usize, stream_base: u64) {
+        for layer in &mut self.layers {
+            layer.begin_mc_fused(samples, stream_base);
+        }
+    }
+
+    fn forward_mc_fused(
+        &mut self,
+        input: &Tensor,
+        samples: usize,
+        ws: &mut Workspace,
+    ) -> Result<Tensor> {
+        // Mirror of `forward_ws` for the fused sample-major pass: chain
+        // the children's fused forwards, recycle intermediates, and keep
+        // the same per-layer fault-poisoning point so an armed plan hits
+        // the same layer index in either execution order.
+        let mut x: Option<Tensor> = None;
+        for (index, layer) in self.layers.iter_mut().enumerate() {
+            let mut y = match &x {
+                Some(t) => layer.forward_mc_fused(t, samples, ws)?,
+                None => layer.forward_mc_fused(input, samples, ws)?,
+            };
+            if nds_fault::wants_poison(index) {
+                if let Some(v) = y.as_mut_slice().first_mut() {
+                    *v = f32::NAN;
+                }
+            }
+            if let Some(consumed) = x.replace(y) {
+                ws.recycle_tensor(consumed);
+            }
+        }
+        match x {
+            Some(out) => Ok(out),
+            None => Ok(ws.take_copy(input)),
+        }
+    }
+
     fn save_mc_state(&mut self) {
         for layer in &mut self.layers {
             layer.save_mc_state();

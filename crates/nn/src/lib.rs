@@ -303,6 +303,57 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// is what makes parallel MC sampling bit-identical to serial.
     fn begin_mc_sample(&mut self, _sample: u64) {}
 
+    /// Whether this layer (or any layer in its subtree) draws stochastic
+    /// Monte-Carlo dropout masks when `Mode::McInference` is active.
+    ///
+    /// The sample-major executor uses this to find the first stochastic
+    /// layer in a chain: everything before it is deterministic and can be
+    /// evaluated once per image instead of once per `(sample, image)`
+    /// pair. Container layers report whether any child is stochastic;
+    /// dropout layers return `true`; everything else keeps the default
+    /// `false`.
+    fn mc_is_stochastic(&self) -> bool {
+        false
+    }
+
+    /// Hook invoked once before a *fused* sample-major Monte-Carlo round:
+    /// one pass whose batch dimension folds all `samples` MC samples.
+    ///
+    /// Container layers must forward the call to their children.
+    /// Stochastic layers prepare `samples` independent mask streams, one
+    /// per sample, seeded exactly as [`Layer::begin_mc_sample`] would seed
+    /// sample `stream_base + s` — that equivalence is what makes the fused
+    /// pass byte-identical to `samples` round-major passes.
+    fn begin_mc_fused(&mut self, samples: usize, stream_base: u64) {
+        let _ = (samples, stream_base);
+    }
+
+    /// Sample-major fused forward pass: `input`'s leading dimension holds
+    /// `samples * items` rows, sample-major (row `s * items + j` is MC
+    /// sample `s` of batch item `j`).
+    ///
+    /// Deterministic layers treat the fused batch like any other batch —
+    /// the default delegates to [`Layer::forward_ws`] under
+    /// [`Mode::McInference`], which is exact because their output rows are
+    /// independent. Stochastic layers override this to apply their
+    /// per-sample mask bank (advancing the per-sample streams prepared by
+    /// [`Layer::begin_mc_fused`] by `items` draws each); container layers
+    /// chain their children's fused forwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible or when the
+    /// fused streams were not prepared by [`Layer::begin_mc_fused`].
+    fn forward_mc_fused(
+        &mut self,
+        input: &Tensor,
+        samples: usize,
+        ws: &mut Workspace,
+    ) -> Result<Tensor> {
+        let _ = samples;
+        self.forward_ws(input, Mode::McInference, ws)
+    }
+
     /// Stashes the layer's stochastic stream state (dropout RNGs, mask
     /// cursors, the pending backward mask) so an in-place Monte-Carlo
     /// round can run on this network and then hand it back exactly as

@@ -236,6 +236,127 @@ pub fn predict_probs_ws(
     Tensor::from_vec(rows, Shape::d2(n, classes)).map_err(Into::into)
 }
 
+/// Activation post-processing hook for the fused sample-major walker:
+/// takes ownership of a chunk input or top-level layer output and
+/// returns the (possibly replaced) tensor. See
+/// [`predict_probs_fused_into_ws`]'s `tap` parameter.
+pub type ActivationTap<'a> = &'a mut dyn FnMut(Tensor, &mut Workspace) -> Result<Tensor>;
+
+/// Sample-major (fused) Monte-Carlo prediction: runs **one** forward per
+/// chunk with the sample dimension folded into the batch, writing all
+/// `samples` passes' softmax probabilities into `out` — sample `s`
+/// occupying `out[s * n * classes .. (s + 1) * n * classes]`, the exact
+/// slab layout the round-major harness produces, so the caller's mean
+/// reduction applies unchanged.
+///
+/// The walker iterates the network's **top-level** layers through
+/// [`Sequential::each_layer_mut`] (structurally read-only, so cached MC
+/// clones survive) and defers tiling until the first layer whose subtree
+/// is stochastic ([`Layer::mc_is_stochastic`]): every layer before that
+/// point sees the plain `B`-row chunk **once** instead of `S` times —
+/// the prefix-sharing win — and every layer from there on sees the
+/// `(S·B)`-row tiling (row `s·B + j` = sample `s`, item `j`) produced by
+/// [`Workspace::take_tiled`]. A fully deterministic network tiles its
+/// output instead. Per-layer outputs pass the same top-level
+/// fault-poisoning point as [`Sequential::forward_ws`], so an armed
+/// fault plan corrupts the same layer index in either execution order.
+///
+/// `tap`, when present, post-processes the chunk input and every
+/// top-level layer output (receiving ownership and returning the, possibly
+/// replaced, tensor) — the quantised datapath uses it to fake-quantise
+/// activations at exactly the points its round-major walker does.
+///
+/// Callers must prime the network with [`Layer::begin_mc_fused`] (the
+/// `nds-dropout` round harness does); byte identity with round-major
+/// execution is then a layer contract — see that crate's docs.
+///
+/// # Errors
+///
+/// Propagates forward errors, and rejects a network whose output is not
+/// `[rows, classes]`.
+///
+/// # Panics
+///
+/// Panics when `samples == 0` or when `out.len() != samples * n *
+/// classes` — driver programming errors.
+pub fn predict_probs_fused_into_ws(
+    net: &mut Sequential,
+    images: &Tensor,
+    samples: usize,
+    batch_size: usize,
+    ws: &mut Workspace,
+    out: &mut [f32],
+    mut tap: Option<ActivationTap<'_>>,
+) -> Result<()> {
+    assert!(samples > 0, "sample count must be positive");
+    let n = images.shape().dim(0);
+    if n == 0 {
+        assert_eq!(out.len(), 0, "empty batch produces an empty slab");
+        return Ok(());
+    }
+    let classes = output_classes(net, images.shape())?;
+    let pass_len = n * classes;
+    assert_eq!(
+        out.len(),
+        samples * pass_len,
+        "output slab must hold samples x pass_len elements"
+    );
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_size.max(1)).min(n);
+        let cb = end - start;
+        let mut x = slice_batch_ws(images, start, end, ws)?;
+        if let Some(t) = tap.as_mut() {
+            x = t(x, ws)?;
+        }
+        let mut fused = false;
+        for (index, layer) in net.each_layer_mut().enumerate() {
+            if !fused && layer.mc_is_stochastic() {
+                let tiled = ws.take_tiled(&x, samples)?;
+                ws.recycle_tensor(x);
+                x = tiled;
+                fused = true;
+            }
+            let mut y = layer.forward_mc_fused(&x, samples, ws)?;
+            if nds_fault::wants_poison(index) {
+                if let Some(v) = y.as_mut_slice().first_mut() {
+                    *v = f32::NAN;
+                }
+            }
+            if let Some(t) = tap.as_mut() {
+                y = t(y, ws)?;
+            }
+            ws.recycle_tensor(std::mem::replace(&mut x, y));
+        }
+        if !fused {
+            // Deterministic network: all samples agree, so one pass's
+            // output tiles into every sample's slab row.
+            let tiled = ws.take_tiled(&x, samples)?;
+            ws.recycle_tensor(x);
+            x = tiled;
+        }
+        x.softmax_rows_inplace()?;
+        if x.len() != samples * cb * classes {
+            return Err(nds_tensor::TensorError::ShapeMismatch {
+                op: "predict_probs row assembly",
+                lhs: Shape::d2(samples * cb, classes),
+                rhs: x.shape().clone(),
+            }
+            .into());
+        }
+        // Scatter: fused row block s lands in sample s's slab pass at
+        // this chunk's item offset — one contiguous copy per sample.
+        for s in 0..samples {
+            let src = &x.as_slice()[s * cb * classes..(s + 1) * cb * classes];
+            let dst = s * pass_len + start * classes;
+            out[dst..dst + cb * classes].copy_from_slice(src);
+        }
+        ws.recycle_tensor(x);
+        start = end;
+    }
+    Ok(())
+}
+
 /// Extracts samples `[start, end)` of an NCHW tensor as a new batch.
 ///
 /// # Errors

@@ -11,7 +11,20 @@
 //!
 //! # Dispatch policy
 //!
-//! Admission is a FIFO queue. The dispatcher collects pending requests
+//! Admission is a FIFO queue, **bounded by projected wait**: the
+//! front-end tracks the queue depth and an EWMA of observed service
+//! time, and rejects a submission with
+//! [`ServeError::Overloaded`] — carrying a `retry_after_ms` hint —
+//! once `(depth + 1) × observed_service_ms` exceeds the worst
+//! admissible SLO ([`ServerBuilder::admission_slo_ms`]). Rejecting at
+//! the door is the point: an unbounded queue converts overload into
+//! unbounded latency for *every* caller, while typed backpressure lets
+//! callers shed or retry. Before the first service-time observation a
+//! hard depth cap ([`BOOTSTRAP_DEPTH_CAP`]) bounds the queue instead.
+//! With the default (infinite) admission SLO the queue is unbounded,
+//! matching the historical behaviour.
+//!
+//! The dispatcher collects pending requests
 //! and fires a micro-batch when either trigger arrives, whichever is
 //! first:
 //!
@@ -100,13 +113,15 @@
 use std::collections::VecDeque;
 use std::error::Error as StdError;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nds_engine::{
-    Backend, EngineBuilder, EngineError, PredictRequest, PredictResponse, UncertaintyEngine,
-    UncertaintyFlags,
+    Backend, EngineBuilder, EngineError, Execution, PredictRequest, PredictResponse,
+    UncertaintyEngine, UncertaintyFlags,
 };
 use nds_nn::layers::Sequential;
 use nds_tensor::Tensor;
@@ -116,6 +131,18 @@ use nds_tensor::Tensor;
 /// positive budget, and this value is small enough that it always
 /// degrades to the one-round minimum instead of dropping the request.
 const MIN_BUDGET_MS: f64 = 1e-3;
+
+/// Hard queue-depth cap applied while the admission controller has no
+/// service-time observation yet (a finite
+/// [`ServerBuilder::admission_slo_ms`] is set but nothing has been
+/// served). Without it a burst ahead of the first completion would be
+/// admitted unbounded — exactly the window backpressure exists for.
+pub const BOOTSTRAP_DEPTH_CAP: usize = 32;
+
+/// EWMA smoothing factor for the observed per-request service time:
+/// `est ← (1 - α)·est + α·observed`. 0.2 follows a workload shift in a
+/// handful of requests without letting one outlier swing admission.
+const SERVICE_EWMA_ALPHA: f64 = 0.2;
 
 /// Errors from submitting to or waiting on the serving front-end.
 ///
@@ -137,6 +164,16 @@ pub enum ServeError {
     /// The request was malformed (e.g. a non-positive latency budget);
     /// rejected at submission, before it could occupy the queue.
     BadRequest(String),
+    /// The admission queue is full: the projected queue wait
+    /// (`depth × observed service time`) exceeds the server's worst
+    /// admissible SLO ([`ServerBuilder::admission_slo_ms`]). Rejected
+    /// at submission; the request never occupied the queue.
+    Overloaded {
+        /// Suggested client-side backoff before retrying, in
+        /// milliseconds: roughly how long the queue needs to drain back
+        /// under the admission SLO at the observed service rate.
+        retry_after_ms: f64,
+    },
     /// The server shut down before this request was accepted or
     /// answered.
     Shutdown,
@@ -150,6 +187,9 @@ impl fmt::Display for ServeError {
                 write!(f, "tenant {} is not registered with this server", t.index())
             }
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms:.1} ms")
+            }
             ServeError::Shutdown => write!(f, "server shut down"),
         }
     }
@@ -172,10 +212,16 @@ impl From<EngineError> for ServeError {
 
 impl ServeError {
     /// Whether a retry of the same request could plausibly succeed
-    /// (delegates to [`EngineError::is_transient`]; front-end rejects
-    /// and shutdown are never transient).
+    /// (delegates to [`EngineError::is_transient`];
+    /// [`Overloaded`](ServeError::Overloaded) is transient by
+    /// definition — back off for `retry_after_ms` and resubmit; other
+    /// front-end rejects and shutdown are never transient).
     pub fn is_transient(&self) -> bool {
-        matches!(self, ServeError::Engine(e) if e.is_transient())
+        match self {
+            ServeError::Engine(e) => e.is_transient(),
+            ServeError::Overloaded { .. } => true,
+            _ => false,
+        }
     }
 }
 
@@ -308,6 +354,113 @@ impl Ticket {
     }
 }
 
+/// Shared admission state: queue depth and the observed service-time
+/// EWMA, updated lock-free from both sides (submitters increment depth
+/// and read the estimate; the dispatcher decrements depth and feeds the
+/// estimate after each served request).
+#[derive(Debug)]
+struct Admission {
+    /// Requests admitted but not yet served to completion.
+    depth: AtomicUsize,
+    /// EWMA of per-request service time in milliseconds, stored as
+    /// `f64` bits. `0` (the bits of `+0.0`) means "no observation yet"
+    /// — real observations are floored just above zero so the sentinel
+    /// is unambiguous.
+    service_ewma_bits: AtomicU64,
+}
+
+impl Admission {
+    fn new() -> Self {
+        Admission {
+            depth: AtomicUsize::new(0),
+            service_ewma_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// The current service-time estimate, if at least one request has
+    /// completed.
+    fn service_estimate_ms(&self) -> Option<f64> {
+        let bits = self.service_ewma_bits.load(Ordering::Relaxed);
+        (bits != 0).then(|| f64::from_bits(bits))
+    }
+
+    /// Folds one observed service time into the EWMA. The first
+    /// observation seeds the estimate directly.
+    fn observe_service_ms(&self, observed_ms: f64) {
+        // Floor just above zero: 0.0 bits are the "no estimate"
+        // sentinel, and a zero estimate would disable backpressure.
+        let observed = observed_ms.max(MIN_BUDGET_MS);
+        let next = match self.service_estimate_ms() {
+            Some(est) => (1.0 - SERVICE_EWMA_ALPHA) * est + SERVICE_EWMA_ALPHA * observed,
+            None => observed,
+        };
+        self.service_ewma_bits
+            .store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Admission decision for one more request against `slo_ms` (the
+    /// worst admissible SLO). `Ok` reserves a queue slot (depth is
+    /// already incremented on return); `Err` carries the backoff hint.
+    /// Concurrent submitters may transiently overshoot the projection
+    /// by their own count — backpressure is a bound on expected wait,
+    /// not a semaphore — but depth itself is reserved atomically, so
+    /// the bootstrap cap is never exceeded.
+    fn try_admit(&self, slo_ms: f64) -> std::result::Result<(), ServeError> {
+        if slo_ms.is_infinite() {
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        match self.service_estimate_ms() {
+            Some(est) => {
+                let depth = self.depth.load(Ordering::Relaxed);
+                let projected_ms = (depth + 1) as f64 * est;
+                if projected_ms > slo_ms {
+                    return Err(ServeError::Overloaded {
+                        // Time for the excess queue to drain at the
+                        // observed rate, floored at one service slot so
+                        // the hint is never a busy-loop invitation.
+                        retry_after_ms: (projected_ms - slo_ms).max(est),
+                    });
+                }
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => {
+                // No throughput observation yet: bound the queue by
+                // depth alone. CAS-reserve so a burst cannot race past
+                // the cap.
+                let mut depth = self.depth.load(Ordering::Relaxed);
+                loop {
+                    if depth >= BOOTSTRAP_DEPTH_CAP {
+                        return Err(ServeError::Overloaded {
+                            // No rate estimate to derive a hint from;
+                            // suggest the admission SLO itself — the
+                            // longest wait the server considers
+                            // serviceable.
+                            retry_after_ms: slo_ms,
+                        });
+                    }
+                    match self.depth.compare_exchange_weak(
+                        depth,
+                        depth + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return Ok(()),
+                        Err(actual) => depth = actual,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases the queue slot of a completed (or undeliverable)
+    /// request.
+    fn release(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// One queued request inside the dispatcher.
 struct Job {
     tenant: TenantId,
@@ -327,10 +480,12 @@ struct Job {
 pub struct ServerBuilder {
     net: Sequential,
     backend: Backend,
+    execution: Execution,
     max_batch: usize,
     max_wait_ms: f64,
     workers: usize,
     transient_retries: usize,
+    admission_slo_ms: f64,
     tenants: Vec<TenantSpec>,
 }
 
@@ -343,10 +498,12 @@ impl ServerBuilder {
         ServerBuilder {
             net,
             backend: Backend::Float32,
+            execution: Execution::default(),
             max_batch: 8,
             max_wait_ms: 2.0,
             workers: 0,
             transient_retries: 0,
+            admission_slo_ms: f64::INFINITY,
             tenants: Vec::new(),
         }
     }
@@ -354,6 +511,29 @@ impl ServerBuilder {
     /// Selects the datapath every tenant engine serves through.
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the MC execution order of every tenant engine —
+    /// round-major (default) or sample-major fused. Response bytes are
+    /// identical either way; see [`nds_engine::Execution`].
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Worst admissible SLO for the admission controller: a submission
+    /// is rejected with [`ServeError::Overloaded`] once
+    /// `(depth + 1) × observed_service_ms` exceeds this many
+    /// milliseconds. Non-finite or non-positive values (the default is
+    /// `+∞`) disable backpressure — the queue is unbounded, the
+    /// historical behaviour.
+    pub fn admission_slo_ms(mut self, slo_ms: f64) -> Self {
+        self.admission_slo_ms = if slo_ms.is_finite() && slo_ms > 0.0 {
+            slo_ms
+        } else {
+            f64::INFINITY
+        };
         self
     }
 
@@ -415,8 +595,11 @@ impl ServerBuilder {
         let (tx, rx) = mpsc::channel::<Job>();
         let net = self.net;
         let backend = self.backend;
+        let execution = self.execution;
         let workers = self.workers;
         let retries = self.transient_retries;
+        let admission = Arc::new(Admission::new());
+        let admission_for_dispatch = Arc::clone(&admission);
         let dispatcher = std::thread::Builder::new()
             .name("nds-serve-dispatch".to_string())
             .spawn(move || {
@@ -425,7 +608,8 @@ impl ServerBuilder {
                     .map(|spec| {
                         let mut engine = EngineBuilder::new(net.clone())
                             .backend(backend.clone())
-                            .samples(spec.samples)
+                            .execution(execution)
+                            .samples(spec.samples.max(1))
                             .seed(spec.seed)
                             .workers(workers)
                             .transient_retries(retries)
@@ -434,7 +618,13 @@ impl ServerBuilder {
                         engine
                     })
                     .collect();
-                dispatch_loop(&rx, &mut engines, max_batch, max_wait_ms);
+                dispatch_loop(
+                    &rx,
+                    &mut engines,
+                    max_batch,
+                    max_wait_ms,
+                    &admission_for_dispatch,
+                );
             })
             // Panic-audit: invariant-only. `spawn` fails only when the OS
             // refuses a thread, which no input to this crate can cause.
@@ -445,6 +635,8 @@ impl ServerBuilder {
             tenant_count,
             max_batch,
             max_wait_ms,
+            admission,
+            admission_slo_ms: self.admission_slo_ms,
         }
     }
 }
@@ -460,19 +652,26 @@ pub struct Server {
     tenant_count: usize,
     max_batch: usize,
     max_wait_ms: f64,
+    admission: Arc<Admission>,
+    admission_slo_ms: f64,
 }
 
 impl Server {
     /// Submits a request on behalf of `tenant` and returns the ticket
-    /// to wait on. Cheap and non-blocking (the queue is unbounded);
-    /// callable concurrently from any number of threads.
+    /// to wait on. Cheap and non-blocking; callable concurrently from
+    /// any number of threads. With a finite
+    /// [`ServerBuilder::admission_slo_ms`] the queue is bounded and a
+    /// submission that would overload it is rejected here, before it
+    /// occupies a slot.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownTenant`] for an id this server never
     /// registered, [`ServeError::BadRequest`] for a non-positive or
-    /// non-finite latency budget, [`ServeError::Shutdown`] when the
-    /// dispatcher is gone.
+    /// non-finite latency budget, [`ServeError::Overloaded`] when the
+    /// projected queue wait exceeds the admission SLO (carries a
+    /// `retry_after_ms` backoff hint), [`ServeError::Shutdown`] when
+    /// the dispatcher is gone.
     pub fn submit(&self, tenant: TenantId, request: ServeRequest) -> Result<Ticket> {
         if tenant.0 >= self.tenant_count {
             return Err(ServeError::UnknownTenant(tenant));
@@ -484,6 +683,7 @@ impl Server {
                 )));
             }
         }
+        self.admission.try_admit(self.admission_slo_ms)?;
         let (reply, rx) = mpsc::channel();
         let job = Job {
             tenant,
@@ -493,9 +693,15 @@ impl Server {
             enqueued: Instant::now(),
             reply,
         };
-        match &self.tx {
-            Some(tx) => tx.send(job).map_err(|_| ServeError::Shutdown)?,
-            None => return Err(ServeError::Shutdown),
+        let sent = match &self.tx {
+            Some(tx) => tx.send(job).map_err(|_| ServeError::Shutdown),
+            None => Err(ServeError::Shutdown),
+        };
+        if let Err(e) = sent {
+            // The slot was reserved but the request never entered the
+            // queue; give it back so shutdown races don't leak depth.
+            self.admission.release();
+            return Err(e);
         }
         Ok(Ticket { rx })
     }
@@ -519,6 +725,17 @@ impl Server {
     /// The dispatch-deadline trigger (milliseconds).
     pub fn max_wait_ms(&self) -> f64 {
         self.max_wait_ms
+    }
+
+    /// The worst admissible SLO bounding the queue (`+∞` = unbounded).
+    pub fn admission_slo_ms(&self) -> f64 {
+        self.admission_slo_ms
+    }
+
+    /// Requests currently admitted but not yet served (a point-in-time
+    /// observation; concurrent submitters move it immediately).
+    pub fn queue_depth(&self) -> usize {
+        self.admission.depth.load(Ordering::Relaxed)
     }
 
     /// Shuts the server down cleanly: closes admission, drains every
@@ -573,6 +790,7 @@ fn dispatch_loop(
     engines: &mut [UncertaintyEngine],
     max_batch: usize,
     max_wait_ms: f64,
+    admission: &Admission,
 ) {
     let mut pending: VecDeque<Job> = VecDeque::new();
     loop {
@@ -623,7 +841,7 @@ fn dispatch_loop(
         for _ in 0..batch_size {
             // Panic-audit: invariant-only. `batch_size <= pending.len()`.
             let job = pending.pop_front().expect("batched job present");
-            serve_one(engines, job, batch_size);
+            serve_one(engines, job, batch_size, admission);
         }
     }
 }
@@ -632,7 +850,12 @@ fn dispatch_loop(
 /// through the job's reply channel. A failure is delivered as this
 /// request's typed error and touches nothing else (the PR 6 policy); a
 /// dropped ticket makes delivery a no-op.
-fn serve_one(engines: &mut [UncertaintyEngine], job: Job, batch_size: usize) {
+fn serve_one(
+    engines: &mut [UncertaintyEngine],
+    job: Job,
+    batch_size: usize,
+    admission: &Admission,
+) {
     let started = Instant::now();
     let queue_wait_ms = started.duration_since(job.enqueued).as_secs_f64() * 1e3;
     let engine = &mut engines[job.tenant.0];
@@ -652,6 +875,12 @@ fn serve_one(engines: &mut [UncertaintyEngine], job: Job, batch_size: usize) {
             },
         })
         .map_err(ServeError::Engine);
+    // Feed the admission controller before delivery: the slot frees and
+    // the EWMA learns even when the caller dropped its ticket. Failed
+    // requests count too — a failing request occupied the engine just
+    // the same.
+    admission.observe_service_ms(started.elapsed().as_secs_f64() * 1e3);
+    admission.release();
     let _ = job.reply.send(result);
 }
 
@@ -888,6 +1117,140 @@ mod tests {
                 "every accepted request must be answered before the dispatcher exits"
             );
         }
+    }
+
+    #[test]
+    fn admission_controller_math() {
+        let admission = Admission::new();
+        // Bootstrap: no estimate yet, depth-capped.
+        for _ in 0..BOOTSTRAP_DEPTH_CAP {
+            assert!(admission.try_admit(10.0).is_ok());
+        }
+        match admission.try_admit(10.0) {
+            Err(ServeError::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 10.0),
+            other => panic!("expected bootstrap-cap rejection, got {other:?}"),
+        }
+        for _ in 0..BOOTSTRAP_DEPTH_CAP {
+            admission.release();
+        }
+        // With an estimate: (depth + 1) × est against the SLO.
+        admission.observe_service_ms(2.0);
+        assert_eq!(admission.service_estimate_ms(), Some(2.0));
+        for _ in 0..5 {
+            assert!(admission.try_admit(10.0).is_ok(), "5 × 2 ms fits 10 ms");
+        }
+        match admission.try_admit(10.0) {
+            Err(ServeError::Overloaded { retry_after_ms }) => {
+                assert_eq!(retry_after_ms, 2.0, "6 × 2 − 10 = 2, floored at est");
+            }
+            other => panic!("expected projection rejection, got {other:?}"),
+        }
+        // An infinite SLO never rejects, regardless of depth.
+        assert!(admission.try_admit(f64::INFINITY).is_ok());
+        // The EWMA folds new observations toward the new level.
+        admission.observe_service_ms(12.0);
+        let est = admission.service_estimate_ms().unwrap();
+        assert!((est - 4.0).abs() < 1e-9, "0.8·2 + 0.2·12 = 4, got {est}");
+        assert!(ServeError::Overloaded {
+            retry_after_ms: 1.0
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn overload_hammer_rejects_with_retry_hint_and_serves_the_rest() {
+        // An admission SLO far below one request's service time: a
+        // burst must be bounded (bootstrap depth cap, then the
+        // service-time projection) and every rejection must carry a
+        // positive backoff hint, while every *admitted* request is
+        // still served to completion.
+        let mut builder = ServerBuilder::new(stochastic_net(12)).admission_slo_ms(0.01);
+        let tenant = builder.tenant(TenantSpec {
+            seed: 5,
+            samples: 4,
+        });
+        let server = builder.build();
+        assert_eq!(server.admission_slo_ms(), 0.01);
+
+        let mut admitted = Vec::new();
+        let mut rejected = 0usize;
+        let total = 8 * BOOTSTRAP_DEPTH_CAP;
+        for i in 0..total {
+            match server.submit(tenant, ServeRequest::new(images(100 + i as u64, 32))) {
+                Ok(ticket) => admitted.push(ticket),
+                Err(ServeError::Overloaded { retry_after_ms }) => {
+                    assert!(
+                        retry_after_ms > 0.0 && retry_after_ms.is_finite(),
+                        "backoff hint must be a positive finite wait, got {retry_after_ms}"
+                    );
+                    rejected += 1;
+                }
+                Err(other) => panic!("only Overloaded is expected here, got {other:?}"),
+            }
+        }
+        assert!(rejected > 0, "the hammer must trip backpressure");
+        assert!(
+            !admitted.is_empty(),
+            "the first submission is always admissible"
+        );
+        assert!(
+            admitted.len() <= total - rejected,
+            "accounting: every submission is admitted or rejected"
+        );
+        let count = admitted.len();
+        for ticket in admitted {
+            assert!(
+                ticket.wait().is_ok(),
+                "an admitted request must be served despite the overload"
+            );
+        }
+        server.shutdown();
+        assert!(count + rejected == total);
+    }
+
+    #[test]
+    fn default_admission_is_unbounded() {
+        let mut builder = ServerBuilder::new(stochastic_net(13)).max_batch(2);
+        let tenant = builder.tenant(TenantSpec::default());
+        let server = builder.build();
+        assert!(server.admission_slo_ms().is_infinite());
+        let tickets: Vec<Ticket> = (0..2 * BOOTSTRAP_DEPTH_CAP)
+            .map(|i| {
+                server
+                    .submit(tenant, ServeRequest::new(images(200 + i as u64, 1)))
+                    .expect("unbounded admission never rejects")
+            })
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        assert_eq!(server.queue_depth(), 0, "all slots released after serving");
+    }
+
+    #[test]
+    fn sample_major_server_bytes_match_round_major() {
+        let net = stochastic_net(14);
+        let x = images(15, 6);
+        let mut responses = Vec::new();
+        for execution in [Execution::RoundMajor, Execution::SampleMajor] {
+            let mut builder = ServerBuilder::new(net.clone()).execution(execution);
+            let tenant = builder.tenant(TenantSpec {
+                seed: 21,
+                samples: 3,
+            });
+            let server = builder.build();
+            let response = server
+                .submit(tenant, ServeRequest::new(x.clone()))
+                .unwrap()
+                .wait()
+                .unwrap();
+            responses.push(response.prediction.probs);
+        }
+        assert_eq!(
+            responses[0].as_slice(),
+            responses[1].as_slice(),
+            "execution order must not change served bytes"
+        );
     }
 
     #[test]

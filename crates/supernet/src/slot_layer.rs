@@ -165,6 +165,31 @@ impl Layer for SlotLayer {
         }
     }
 
+    fn mc_is_stochastic(&self) -> bool {
+        // Every candidate is a dropout layer, so the slot is stochastic
+        // regardless of which candidate the selection picks.
+        true
+    }
+
+    fn begin_mc_fused(&mut self, samples: usize, stream_base: u64) {
+        // All candidates, mirroring begin_mc_sample: the selection may
+        // switch mid-round in principle, and keeping every candidate's
+        // streams primed is what keeps slot semantics order-independent.
+        for candidate in &mut self.candidates {
+            candidate.begin_mc_fused(samples, stream_base);
+        }
+    }
+
+    fn forward_mc_fused(
+        &mut self,
+        input: &Tensor,
+        samples: usize,
+        ws: &mut Workspace,
+    ) -> NnResult<Tensor> {
+        let ix = self.active_index();
+        self.candidates[ix].forward_mc_fused(input, samples, ws)
+    }
+
     fn save_mc_state(&mut self) {
         for candidate in &mut self.candidates {
             candidate.save_mc_state();

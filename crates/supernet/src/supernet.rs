@@ -151,9 +151,11 @@ impl Supernet {
         self.engine.samples()
     }
 
-    /// Overrides the MC sampling number.
+    /// Overrides the MC sampling number (clamped to at least 1 — search
+    /// and evaluation loops have no error channel for a zero S, unlike
+    /// the serving engine, which rejects it with a typed error).
     pub fn set_sampling_number(&mut self, samples: usize) {
-        self.engine.set_samples(samples);
+        self.engine.set_samples(samples.max(1));
     }
 
     /// Shared access to the underlying network (benchmarks snapshot it

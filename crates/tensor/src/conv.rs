@@ -568,6 +568,31 @@ pub fn max_pool2d_ws(input: &Tensor, g: ConvGeometry, workspace: &mut Workspace)
     }
     let x = input.as_slice();
     let mut out = workspace.take_dirty(n * c * oh * ow);
+    if g.padding == 0 {
+        // Unpadded windows are fully in-bounds by `out_dim` construction,
+        // so the per-tap boundary tests vanish: walk each window row as a
+        // slice. Same `(ky, kx)`-ascending compare order and NaN-wins
+        // rule as the general path — identical outputs.
+        for chan in 0..n * c {
+            let img = &x[chan * h * w..(chan + 1) * h * w];
+            let orows = &mut out[chan * oh * ow..(chan + 1) * oh * ow];
+            for oy in 0..oh {
+                let iy0 = oy * g.stride;
+                for (ox, o) in orows[oy * ow..(oy + 1) * ow].iter_mut().enumerate() {
+                    let ix0 = ox * g.stride;
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..g.kernel {
+                        let row = &img[(iy0 + ky) * w + ix0..(iy0 + ky) * w + ix0 + g.kernel];
+                        for &v in row {
+                            best = if v > best || v.is_nan() { v } else { best };
+                        }
+                    }
+                    *o = best;
+                }
+            }
+        }
+        return Tensor::from_vec(out, Shape::d4(n, c, oh, ow));
+    }
     for ni in 0..n {
         for ci in 0..c {
             let img_base = (ni * c + ci) * h * w;

@@ -104,14 +104,18 @@ pub fn gemm_acc(
 }
 
 /// One `out_row += arowᵀ · B[kb.., jb..jend]` panel of [`gemm_acc`]:
-/// four A-elements fused per pass over the output row (quartering the
-/// row's load/store traffic), falling back to one-at-a-time whenever a
-/// quad contains a zero so magnitude-pruned weights keep their skip.
+/// the output row is walked in register tiles (64 columns, then 16,
+/// then a scalar tail), each accumulating every `k` contribution of the
+/// panel before touching memory again. Wide tiles matter beyond the
+/// saved output traffic: each column's accumulator is a loop-carried
+/// dependency with FP-add latency, so a 64-wide tile gives the core
+/// four independent 16-lane chains to interleave per `k` step. Zero `A`
+/// entries are skipped so magnitude-pruned weights keep their discount.
 ///
 /// **Bit-identical to the naive ikj walk**: each output element receives
 /// its contributions one addition at a time in strictly ascending `k`
-/// order — the fused body runs `o += a0·b0; o += a1·b1; …` sequentially
-/// per element, never as a re-associated sum.
+/// order — the tile holds one independent accumulator per column, never
+/// a re-associated sum.
 #[inline]
 fn gemm_acc_panel(
     arow: &[f32],
@@ -122,56 +126,69 @@ fn gemm_acc_panel(
     jend: usize,
     orow: &mut [f32],
 ) {
-    let klen = arow.len();
-    let mut p = 0;
-    while p + 4 <= klen {
-        let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
-        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
-            let base = (kb + p) * n;
-            let b0 = &b[base + jb..base + jend];
-            let b1 = &b[base + n + jb..base + n + jend];
-            let b2 = &b[base + 2 * n + jb..base + 2 * n + jend];
-            let b3 = &b[base + 3 * n + jb..base + 3 * n + jend];
-            for ((((o, &v0), &v1), &v2), &v3) in orow
-                .iter_mut()
-                .zip(b0.iter())
-                .zip(b1.iter())
-                .zip(b2.iter())
-                .zip(b3.iter())
-            {
-                let mut acc = *o;
-                acc += a0 * v0;
-                acc += a1 * v1;
-                acc += a2 * v2;
-                acc += a3 * v3;
-                *o = acc;
+    let width = jend - jb;
+    let mut j0 = 0;
+    while j0 + 64 <= width {
+        gemm_acc_tile::<64>(arow, b, kb * n + jb + j0, n, &mut orow[j0..j0 + 64]);
+        j0 += 64;
+    }
+    while j0 + 16 <= width {
+        gemm_acc_tile::<16>(arow, b, kb * n + jb + j0, n, &mut orow[j0..j0 + 16]);
+        j0 += 16;
+    }
+    if j0 < width {
+        // Ragged tail narrower than a tile: plain per-k row walk.
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
             }
-        } else {
-            for (q, &av) in arow[p..p + 4].iter().enumerate() {
-                // Skipping zero A entries keeps magnitude-pruned
-                // networks cheap and never reorders the k-sum.
-                if av == 0.0 {
-                    continue;
-                }
-                let base = (kb + p + q) * n;
-                let brow = &b[base + jb..base + jend];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
-                }
+            let base = (kb + p) * n + jb;
+            let brow = &b[base + j0..base + width];
+            for (o, &bv) in orow[j0..width].iter_mut().zip(brow.iter()) {
+                *o += av * bv;
             }
         }
-        p += 4;
     }
-    for (q, &av) in arow[p..].iter().enumerate() {
+}
+
+/// One `T`-wide register tile of [`gemm_acc_panel`]: loads `T` output
+/// columns once, folds in every `arow` element in ascending `k` order,
+/// stores once. `bbase` is the flat index of the tile's first column in
+/// the panel's first `B` row; successive `k` rows sit `n` floats apart.
+#[inline]
+fn gemm_acc_tile<const T: usize>(
+    arow: &[f32],
+    b: &[f32],
+    bbase: usize,
+    n: usize,
+    otile: &mut [f32],
+) {
+    let mut acc = [0.0f32; T];
+    acc.copy_from_slice(otile);
+    let klen = arow.len();
+    // `chunks_exact(n)` walks the B rows without per-k bounds checks,
+    // but drops the final row when the tile does not reach the end of
+    // the matrix — peel the last k step and handle it explicitly.
+    let (head, last) = arow.split_at(klen - 1);
+    for (&av, brow) in head.iter().zip(b[bbase..].chunks_exact(n)) {
+        // Skipping zero A entries keeps magnitude-pruned networks
+        // cheap and never reorders the k-sum.
         if av == 0.0 {
             continue;
         }
-        let base = (kb + p + q) * n;
-        let brow = &b[base + jb..base + jend];
-        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+        for (o, &bv) in acc.iter_mut().zip(brow.iter()) {
             *o += av * bv;
         }
     }
+    let av = last[0];
+    if av != 0.0 {
+        let base = bbase + (klen - 1) * n;
+        let brow = &b[base..base + T];
+        for (o, &bv) in acc.iter_mut().zip(brow.iter()) {
+            *o += av * bv;
+        }
+    }
+    otile.copy_from_slice(&acc);
 }
 
 /// `out[m, n] = a[m, k] × bt[n, k]ᵀ` on raw row-major slices — `bt` holds

@@ -58,7 +58,7 @@
 //! # let _ = again;
 //! ```
 
-use crate::{Shape, Tensor};
+use crate::{Result, Shape, Tensor, TensorError, MAX_RANK};
 
 /// A pool of reusable `f32` scratch buffers.
 #[derive(Debug, Default)]
@@ -146,6 +146,46 @@ impl Workspace {
         let mut buf = self.take_dirty(src.len());
         buf.copy_from_slice(src.as_slice());
         Tensor::from_vec(buf, src.shape().clone()).expect("copy preserves shape")
+    }
+
+    /// Returns a pooled tensor holding `reps` back-to-back copies of
+    /// `src`, with the leading dimension widened `reps`-fold.
+    ///
+    /// This is the sample-major MC executor's tiling step: a `[B, ...]`
+    /// activation becomes `[reps·B, ...]` where block `r` (rows
+    /// `r·B .. (r+1)·B`) is a byte-exact copy of `src` — so row
+    /// `r·B + j` of the result is replica `r` of item `j`. No heap
+    /// allocation happens once the pool is warm (the shape is built
+    /// inline and the buffer comes from the pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 inputs and
+    /// [`TensorError::InvalidArgument`] when `reps == 0`.
+    pub fn take_tiled(&mut self, src: &Tensor, reps: usize) -> Result<Tensor> {
+        if src.shape().rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                op: "take_tiled",
+                expected: 1,
+                actual: 0,
+            });
+        }
+        if reps == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "take_tiled",
+                msg: "tile count must be at least 1".to_string(),
+            });
+        }
+        let len = src.len();
+        let mut buf = self.take_dirty(len * reps);
+        for rep in buf.chunks_mut(len.max(1)) {
+            rep.copy_from_slice(src.as_slice());
+        }
+        let d = src.shape().dims();
+        let mut dims = [0usize; MAX_RANK];
+        dims[..d.len()].copy_from_slice(d);
+        dims[0] *= reps;
+        Tensor::from_vec(buf, Shape::new(&dims[..d.len()]))
     }
 
     /// Hands a buffer back to the pool for future reuse.
@@ -297,6 +337,31 @@ mod tests {
         ws.recycle_f64(Vec::new());
         let fresh = ws.take_f64();
         assert_eq!(fresh.capacity(), 0);
+    }
+
+    #[test]
+    fn take_tiled_replicates_rows_and_reuses_the_pool() {
+        let mut ws = Workspace::new();
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::d2(2, 2)).unwrap();
+        let tiled = ws.take_tiled(&src, 3).unwrap();
+        assert_eq!(tiled.shape(), &Shape::d2(6, 2));
+        assert_eq!(
+            tiled.as_slice(),
+            &[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0]
+        );
+        ws.recycle_tensor(tiled);
+        let allocations = ws.allocations();
+        let again = ws.take_tiled(&src, 3).unwrap();
+        assert_eq!(
+            ws.allocations(),
+            allocations,
+            "steady-state tiling is pooled"
+        );
+        assert_eq!(again.shape(), &Shape::d2(6, 2));
+        // Degenerate cases: rank-0 and zero reps are typed errors.
+        let scalar = Tensor::from_vec(vec![5.0], Shape::scalar()).unwrap();
+        assert!(ws.take_tiled(&scalar, 2).is_err());
+        assert!(ws.take_tiled(&src, 0).is_err());
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //!             [--checkpoint FILE] [--resume] [--stop-after K] [--checkpoint-every K]
 //!             [--seed N] [--gp N]
 //! nds eval    --arch lenet|vgg|resnet|vit --config BKM [--seed N]
-//!             [--samples S] [--val N]
+//!             [--samples S] [--val N] [--execution round-major|sample-major]
 //! nds analyze --arch lenet|vgg|resnet|vit --config BKM [--spatial] [--samples S]
 //! nds hls     --arch lenet|vgg|resnet|vit --config BKM --out DIR
 //! nds space   --arch lenet|vgg|resnet|vit [--extended]
 //! nds serve-bench [--arch ...] [--samples S] [--tenants T] [--max-batch M]
 //!             [--wait-ms W] [--serial N] [--requests N] [--seed N]
+//!             [--execution round-major|sample-major]
 //! ```
 //!
 //! `run` executes the full four-phase framework; `search` trains the
@@ -52,12 +53,18 @@ USAGE:
                 [--seed <N>] [--gp <train-points>] [--extended]
     nds eval    --arch <lenet|vgg|resnet|vit> --config <CODES> [--seed <N>]
                 [--samples <S>] [--val <N>]
+                [--execution <round-major|sample-major>]
     nds analyze --arch <lenet|vgg|resnet|vit> --config <CODES> [--spatial] [--samples <S>]
     nds hls     --arch <lenet|vgg|resnet|vit> --config <CODES> --out <DIR>
     nds space   --arch <lenet|vgg|resnet|vit> [--extended]
     nds serve-bench [--arch <lenet|vgg|resnet|vit>] [--samples <S>] [--tenants <T>]
                 [--max-batch <M>] [--wait-ms <W>] [--serial <N>] [--requests <N>]
-                [--seed <N>]
+                [--seed <N>] [--execution <round-major|sample-major>]
+
+EXECUTION: `round-major` (default) runs the S MC samples as S
+    sequential passes; `sample-major` fuses them into one (S·B)-row
+    pass per layer with a precomputed mask bank. The bytes are
+    identical either way; sample-major trades memory for throughput.
 
 CONFIG CODES: one letter per dropout slot —
     B Bernoulli, R Random, K Block, M Masksembles, G Gaussian (extension)
@@ -503,7 +510,7 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), CliError> {
 /// environments.
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use neural_dropout_search::data::{cifar_like, mnist_like, svhn_like, DatasetConfig};
-    use neural_dropout_search::engine::PredictRequest;
+    use neural_dropout_search::engine::{Execution, PredictRequest};
     use neural_dropout_search::metrics::{
         accuracy, average_predictive_entropy, ece, nll, EceConfig,
     };
@@ -514,6 +521,10 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let seed: u64 = parse_flag(flags, "seed", 42)?;
     let samples: usize = parse_flag(flags, "samples", 3)?;
     let val: usize = parse_flag(flags, "val", 32)?;
+    // Scheduling only — the printed bytes are identical for both
+    // orders (the golden suite diffs exactly that), so the choice is
+    // deliberately absent from the output.
+    let execution: Execution = parse_flag(flags, "execution", Execution::RoundMajor)?;
     let arch_name = flags.get("arch").map(String::as_str).unwrap_or("lenet");
     // Width-scaled CPU variants, paired with their paper datasets (§4.1).
     let (arch, splits) = {
@@ -550,6 +561,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     // size — the property the golden suite pins.
     let engine = supernet.engine_mut();
     engine.set_chunk_size(16);
+    engine.set_execution(execution);
     let pred = engine
         .predict(&PredictRequest::new(&images))
         .map_err(|e| e.to_string())?;
@@ -697,6 +709,7 @@ fn cmd_space(flags: &HashMap<String, String>) -> Result<(), CliError> {
 }
 
 fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use neural_dropout_search::engine::Execution;
     use neural_dropout_search::serve::{ServeRequest, ServerBuilder, TenantSpec};
     use neural_dropout_search::supernet::Supernet;
     use neural_dropout_search::tensor::rng::Rng64;
@@ -710,6 +723,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let wait_ms: f64 = parse_flag(flags, "wait-ms", 0.5)?;
     let serial_reqs: usize = parse_flag::<usize>(flags, "serial", 16)?.max(2);
     let sat_reqs: usize = parse_flag::<usize>(flags, "requests", 64)?.max(1);
+    let execution: Execution = parse_flag(flags, "execution", Execution::RoundMajor)?;
     let arch_name = flags.get("arch").map(String::as_str).unwrap_or("lenet");
     // Width-scaled CPU variants, as in `eval`; the request payload is
     // one image of the architecture's input shape.
@@ -729,7 +743,8 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
 
     let mut builder = ServerBuilder::new(supernet.net_mut().clone())
         .max_batch(max_batch)
-        .max_wait_ms(wait_ms);
+        .max_wait_ms(wait_ms)
+        .execution(execution);
     let tenant_ids: Vec<_> = (0..tenants)
         .map(|t| {
             builder.tenant(TenantSpec {
@@ -741,7 +756,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let server = builder.build();
     println!(
         "serve-bench arch={} samples={samples} tenants={tenants} max_batch={max_batch} \
-         wait_ms={wait_ms}",
+         wait_ms={wait_ms} execution={execution}",
         spec.arch.name
     );
 

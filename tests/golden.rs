@@ -191,6 +191,24 @@ fn cli_eval_bytes_identical_across_thread_counts() {
 }
 
 #[test]
+fn cli_eval_bytes_identical_across_execution_orders() {
+    // The sample-major fused path (PR 8) is a pure scheduling choice:
+    // `nds eval --execution sample-major` must print byte-for-byte what
+    // the round-major default prints — which is also why the committed
+    // fixture below needed no regeneration when the knob landed.
+    let base = &["eval", "--arch", "lenet", "--config", "RKM", "--seed", "11"];
+    let (ok_round, round) = eval_bytes("4", &[&base[..], &["--execution", "round-major"]].concat());
+    let (ok_fused, fused) =
+        eval_bytes("4", &[&base[..], &["--execution", "sample-major"]].concat());
+    assert!(ok_round && ok_fused, "eval must succeed in both orders");
+    assert!(!round.is_empty());
+    assert_eq!(
+        round, fused,
+        "`nds eval` bytes diverged between round-major and sample-major execution"
+    );
+}
+
+#[test]
 fn cli_eval_bytes_match_committed_fixture() {
     // The full CLI output is itself a fixture: metrics, digest and the
     // leading probability row. MC sampling goes through softmax (libm

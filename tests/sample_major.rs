@@ -1,0 +1,215 @@
+//! Sample-major ↔ round-major byte-identity bridge.
+//!
+//! The fused sample-major execution path (PR 8) folds the MC sample
+//! dimension into the batch: one (S·B)-row pass per layer with a
+//! precomputed per-sample mask bank, instead of S sequential passes.
+//! Its whole value rests on one contract — **the bytes do not change**:
+//! the fused pass must reproduce the round-major reference exactly, so
+//! golden fixtures recorded round-major stay valid forever and the
+//! execution knob is a pure scheduling choice.
+//!
+//! This suite is the permanent bridge pinning that contract at the
+//! engine level, across the axes that could plausibly break it:
+//!
+//! * **ragged batch sizes** interacting with micro-batch chunking (the
+//!   mask streams advance per batch item, so any chunking slip shifts
+//!   every later item's masks);
+//! * **every dropout design** (Bernoulli / Random / Block /
+//!   Masksembles / Gaussian — each draws its masks differently, and
+//!   Masksembles additionally carries a mask-set cursor across
+//!   samples);
+//! * **both numeric backends** (float and the quantized datapath, whose
+//!   fused path quantizes through a tap at exactly the round-major
+//!   points);
+//! * **worker splits** (the CI `NDS_THREADS={1,4}` matrix re-runs this
+//!   whole suite under both pool sizes).
+
+use neural_dropout_search::dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+use neural_dropout_search::engine::{
+    Backend, EngineBuilder, Execution, PredictRequest, UncertaintyEngine, UncertaintyFlags,
+};
+use neural_dropout_search::hw::simulator::quantize_network;
+use neural_dropout_search::nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+use neural_dropout_search::nn::layers::{Conv2d, Flatten, Linear, Sequential};
+use neural_dropout_search::quant::Q7_8;
+use neural_dropout_search::tensor::conv::ConvGeometry;
+use neural_dropout_search::tensor::rng::Rng64;
+use neural_dropout_search::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+/// A small net with one live dropout slot of the given design. Block is
+/// conv-only, so it gets a conv trunk; every other kind rides the
+/// fully-connected trunk.
+fn net_with(kind: DropoutKind, seed: u64) -> Sequential {
+    let mut rng = Rng64::new(seed);
+    let settings = DropoutSettings {
+        rate: 0.4,
+        ..DropoutSettings::default()
+    };
+    let mut net = Sequential::new();
+    if kind == DropoutKind::Block {
+        net.push(Box::new(Conv2d::new(
+            1,
+            2,
+            ConvGeometry::new(3, 1, 0),
+            true,
+            &mut rng,
+        )));
+        let slot = SlotInfo {
+            id: 0,
+            shape: FeatureShape::Map { c: 2, h: 2, w: 2 },
+            position: SlotPosition::Conv,
+        };
+        net.push(Box::new(
+            DropoutLayer::for_slot(kind, &slot, &settings, seed).unwrap(),
+        ));
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(8, 4, true, &mut rng)));
+    } else {
+        net.push(Box::new(Flatten::new()));
+        net.push(Box::new(Linear::new(16, 12, true, &mut rng)));
+        let slot = SlotInfo {
+            id: 0,
+            shape: FeatureShape::Vector { features: 12 },
+            position: SlotPosition::FullyConnected,
+        };
+        net.push(Box::new(
+            DropoutLayer::for_slot(kind, &slot, &settings, seed).unwrap(),
+        ));
+        net.push(Box::new(Linear::new(12, 4, true, &mut rng)));
+    }
+    net
+}
+
+fn images(seed: u64, n: usize) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_normal(Shape::d4(n, 1, 4, 4), 0.0, 1.0, &mut rng)
+}
+
+fn engine_for(
+    kind: DropoutKind,
+    backend: &Backend,
+    execution: Execution,
+    seed: u64,
+    samples: usize,
+    workers: usize,
+    chunk: usize,
+) -> UncertaintyEngine {
+    let mut net = net_with(kind, seed);
+    if !matches!(backend, Backend::Float32) {
+        quantize_network(&mut net, Q7_8);
+    }
+    EngineBuilder::new(net)
+        .backend(backend.clone())
+        .execution(execution)
+        .samples(samples)
+        .workers(workers)
+        .chunk_size(chunk)
+        .build()
+}
+
+const KINDS: [DropoutKind; 5] = [
+    DropoutKind::Bernoulli,
+    DropoutKind::Random,
+    DropoutKind::Block,
+    DropoutKind::Masksembles,
+    DropoutKind::Gaussian,
+];
+
+/// Deterministic exhaustive sweep: every dropout design × both
+/// backends, with diagnostics requested, so no design ever depends on
+/// the proptest sampler to get covered.
+#[test]
+fn every_design_and_backend_is_execution_order_invariant() {
+    for (i, kind) in KINDS.into_iter().enumerate() {
+        for backend in [Backend::Float32, Backend::quantized_q78()] {
+            let seed = 40 + i as u64;
+            let x = images(seed ^ 0xABCD, 5);
+            let request = PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL);
+            let mut round = engine_for(kind, &backend, Execution::RoundMajor, seed, 3, 1, 2);
+            let mut fused = engine_for(kind, &backend, Execution::SampleMajor, seed, 3, 1, 2);
+            let expect = round.predict(&request).unwrap();
+            let got = fused.predict(&request).unwrap();
+            assert_eq!(
+                expect.probs.as_slice(),
+                got.probs.as_slice(),
+                "{kind:?}/{} diverged between execution orders",
+                backend.label()
+            );
+            assert_eq!(expect.entropy, got.entropy, "{kind:?} entropy");
+            assert_eq!(
+                expect.mutual_information, got.mutual_information,
+                "{kind:?} mutual information"
+            );
+            assert_eq!(expect.variance, got.variance, "{kind:?} variance");
+        }
+    }
+}
+
+/// A warm engine flipped between orders mid-stream serves the same
+/// bytes either way — the mask-bank cache and the MC clone cache must
+/// not leak state across the switch.
+#[test]
+fn switching_orders_on_a_warm_engine_is_invisible() {
+    let x = images(77, 6);
+    let mut engine = engine_for(
+        DropoutKind::Masksembles,
+        &Backend::Float32,
+        Execution::RoundMajor,
+        7,
+        4,
+        1,
+        3,
+    );
+    let expect = engine.predict(&PredictRequest::new(&x)).unwrap();
+    engine.set_execution(Execution::SampleMajor);
+    let fused = engine.predict(&PredictRequest::new(&x)).unwrap();
+    assert_eq!(expect.probs.as_slice(), fused.probs.as_slice());
+    engine.set_execution(Execution::RoundMajor);
+    let back = engine.predict(&PredictRequest::new(&x)).unwrap();
+    assert_eq!(expect.probs.as_slice(), back.probs.as_slice());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The bridge property: for any (design, backend, ragged batch,
+    /// chunking, sample count, worker split), sample-major fused
+    /// execution is byte-identical to the round-major reference — and
+    /// a second (cache-warm) fused round replays the same bytes.
+    #[test]
+    fn sample_major_matches_round_major_bytes(
+        seed in 0u64..200,
+        kind_ix in 0usize..5,
+        backend_ix in 0usize..2,
+        n in 1usize..9,
+        chunk in 1usize..10,
+        samples in 1usize..5,
+        workers in 1usize..5,
+    ) {
+        let kind = KINDS[kind_ix];
+        let backend = if backend_ix == 0 {
+            Backend::Float32
+        } else {
+            Backend::quantized_q78()
+        };
+        let x = images(seed ^ 0xF00D, n);
+        let mut round = engine_for(kind, &backend, Execution::RoundMajor, seed, samples, 1, n);
+        let expect = round.predict(&PredictRequest::new(&x)).unwrap();
+        let mut fused =
+            engine_for(kind, &backend, Execution::SampleMajor, seed, samples, workers, chunk);
+        let got = fused.predict(&PredictRequest::new(&x)).unwrap();
+        prop_assert_eq!(
+            expect.probs.as_slice(),
+            got.probs.as_slice(),
+            "{:?}/{} diverged (n={}, chunk={}, samples={}, workers={})",
+            kind, backend.label(), n, chunk, samples, workers
+        );
+        let again = fused.predict(&PredictRequest::new(&x)).unwrap();
+        prop_assert_eq!(
+            expect.probs.as_slice(),
+            again.probs.as_slice(),
+            "warm mask-bank replay changed bytes"
+        );
+    }
+}
