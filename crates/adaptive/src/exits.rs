@@ -1,0 +1,389 @@
+//! Multi-exit inference: attaching, training and walking
+//! [`ExitHead`] layers.
+//!
+//! A head is attached *between* two layers of a [`Sequential`] chain and
+//! is the identity on the main path, so attachment never changes the
+//! backbone's bytes (pinned by this module's tests). The exit-aware
+//! walker ([`predict_probs_exits_ws`]) runs one forward pass, asks each
+//! head for calibrated probabilities, retires rows whose confidence
+//! clears the head's threshold, and stops walking early once every row
+//! has exited — that early stop is where the latency is won.
+//!
+//! The walker composes with Monte-Carlo sampling: it is a *single-pass*
+//! primitive, so an MC caller drives it once per sample exactly like any
+//! other pass body, and the per-sample mask streams are untouched by an
+//! early stop (streams are re-derived per sample from `(seed, sample)`).
+
+use crate::{AdaptiveError, Result};
+use nds_nn::layers::{ExitHead, Sequential};
+use nds_nn::train::output_classes;
+use nds_nn::Mode;
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor, Workspace};
+
+/// Attaches an [`ExitHead`] of `classes` classes before each layer index
+/// in `positions` (position `p` sees the out-flow of layers `0..p`).
+/// Positions must be strictly ascending and at most `net.len()`;
+/// insertion happens back-to-front so the given indices all refer to the
+/// *original* chain.
+///
+/// Returns the number of heads attached.
+///
+/// # Errors
+///
+/// [`AdaptiveError::Exit`] for out-of-range or non-ascending positions,
+/// or when the activation flowing at a position has a rank the head
+/// cannot classify.
+pub fn attach_exit_heads(
+    net: &mut Sequential,
+    input: &Shape,
+    positions: &[usize],
+    classes: usize,
+    rng: &mut Rng64,
+) -> Result<usize> {
+    for pair in positions.windows(2) {
+        if pair[1] <= pair[0] {
+            return Err(AdaptiveError::Exit(format!(
+                "exit positions must be strictly ascending, got {} then {}",
+                pair[0], pair[1]
+            )));
+        }
+    }
+    if let Some(&last) = positions.last() {
+        if last > net.len() {
+            return Err(AdaptiveError::Exit(format!(
+                "exit position {last} out of range for a {}-layer chain",
+                net.len()
+            )));
+        }
+    }
+    // Resolve every in-flow shape first (the walk reads the unmodified
+    // chain), then insert back-to-front so earlier indices stay valid.
+    let mut heads = Vec::with_capacity(positions.len());
+    let mut shape = input.clone();
+    let mut next = 0usize;
+    for (i, layer) in net.layers().iter().enumerate() {
+        while next < positions.len() && positions[next] == i {
+            heads.push((i, ExitHead::for_shape(&shape, classes, rng)?));
+            next += 1;
+        }
+        shape = layer.out_shape(&shape)?;
+    }
+    while next < positions.len() {
+        // Only position == net.len() can remain (range-checked above).
+        heads.push((net.len(), ExitHead::for_shape(&shape, classes, rng)?));
+        next += 1;
+    }
+    let attached = heads.len();
+    for (pos, head) in heads.into_iter().rev() {
+        net.insert(pos, Box::new(head));
+    }
+    Ok(attached)
+}
+
+/// Number of [`ExitHead`] layers in the chain's top level.
+pub fn exit_head_count(net: &mut Sequential) -> usize {
+    net.each_layer_mut()
+        .filter_map(|l| l.as_exit_head())
+        .count()
+}
+
+/// Walks the chain in [`Mode::Standard`], handing each head its in-flow
+/// activation.
+fn for_each_head_activation(
+    net: &mut Sequential,
+    images: &Tensor,
+    mut f: impl FnMut(&mut ExitHead, &Tensor) -> Result<()>,
+) -> Result<()> {
+    let mut ws = Workspace::new();
+    let mut t = ws.take_copy(images);
+    for layer in net.each_layer_mut() {
+        if let Some(head) = layer.as_exit_head() {
+            f(head, &t)?;
+            // The head is the identity — the in-flow continues unchanged.
+            continue;
+        }
+        let next = layer.forward_ws(&t, Mode::Standard, &mut ws)?;
+        ws.recycle_tensor(t);
+        t = next;
+    }
+    Ok(())
+}
+
+/// Fits every head in the chain as a linear probe on the (frozen)
+/// activations `images` produces in [`Mode::Standard`]. Returns each
+/// head's final training loss, in network order.
+///
+/// # Errors
+///
+/// Propagates forward and shape errors.
+pub fn fit_exit_heads(
+    net: &mut Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    epochs: usize,
+    lr: f32,
+) -> Result<Vec<f64>> {
+    let mut losses = Vec::new();
+    for_each_head_activation(net, images, |head, t| {
+        losses.push(head.fit(t, labels, epochs, lr)?);
+        Ok(())
+    })?;
+    Ok(losses)
+}
+
+/// Temperature-calibrates every head on held-out data (see
+/// [`ExitHead::calibrate`]). Returns each head's chosen temperature, in
+/// network order.
+///
+/// # Errors
+///
+/// Propagates forward and shape errors.
+pub fn calibrate_exit_heads(
+    net: &mut Sequential,
+    images: &Tensor,
+    labels: &[usize],
+) -> Result<Vec<f32>> {
+    let mut temps = Vec::new();
+    for_each_head_activation(net, images, |head, t| {
+        temps.push(head.calibrate(t, labels)?);
+        Ok(())
+    })?;
+    Ok(temps)
+}
+
+/// One exit-aware forward pass: softmax probabilities `[n, classes]`
+/// where each row comes from the first exit whose calibrated confidence
+/// (max class probability) reached that head's threshold, or from the
+/// final classifier.
+///
+/// `thresholds[k]` gates the `k`-th head in network order (`>=` is an
+/// exit, so `1.0` all but disables a head); heads beyond
+/// `thresholds.len()` are left ungated. `exit_of[r]` records row `r`'s
+/// exit: the head index, or `thresholds.len()` for the final classifier.
+/// The walk **stops** at the first head where every row has exited —
+/// later layers never run, which is the latency win the exit-placement
+/// search measures.
+///
+/// The pass is full-batch (no row compaction), so layer execution and —
+/// in MC modes — mask-stream consumption are identical to a plain pass;
+/// only the *outputs* are taken early. One call is one pass: MC callers
+/// drive it once per sample like any other pass body.
+///
+/// # Errors
+///
+/// Propagates forward errors; rejects heads whose class count differs
+/// from the network's, and `exit_of.len() != n`.
+pub fn predict_probs_exits_ws(
+    net: &mut Sequential,
+    images: &Tensor,
+    mode: Mode,
+    thresholds: &[f64],
+    ws: &mut Workspace,
+    exit_of: &mut [usize],
+) -> Result<Tensor> {
+    let n = images.shape().dim(0);
+    let final_exit = thresholds.len();
+    if exit_of.len() != n {
+        return Err(AdaptiveError::Exit(format!(
+            "exit_of holds {} slots for {n} rows",
+            exit_of.len()
+        )));
+    }
+    if n == 0 {
+        return Ok(Tensor::from_vec(Vec::new(), Shape::d2(0, 1)).map_err(nds_nn::NnError::from)?);
+    }
+    let classes = output_classes(net, images.shape())?;
+    let mut out = ws.take_dirty(n * classes);
+    let mut done = vec![false; n];
+    let mut remaining = n;
+    let mut head_idx = 0usize;
+    let mut t = ws.take_copy(images);
+    for layer in net.each_layer_mut() {
+        if let Some(head) = layer.as_exit_head() {
+            let k = head_idx;
+            head_idx += 1;
+            if k >= thresholds.len() {
+                continue; // ungated head: identity, nothing to decide
+            }
+            if head.classes() != classes {
+                ws.recycle_tensor(t);
+                ws.recycle(out);
+                return Err(AdaptiveError::Exit(format!(
+                    "head {k} predicts {} classes, network predicts {classes}",
+                    head.classes()
+                )));
+            }
+            let probs = head.exit_probs_ws(&t, ws)?;
+            for (r, taken) in done.iter_mut().enumerate() {
+                if *taken {
+                    continue;
+                }
+                let row = &probs.as_slice()[r * classes..(r + 1) * classes];
+                let top = row.iter().fold(0.0f32, |a, &b| a.max(b));
+                if f64::from(top) >= thresholds[k] {
+                    out[r * classes..(r + 1) * classes].copy_from_slice(row);
+                    exit_of[r] = k;
+                    *taken = true;
+                    remaining -= 1;
+                }
+            }
+            ws.recycle_tensor(probs);
+            if remaining == 0 {
+                // Every row has exited: the rest of the chain never runs.
+                ws.recycle_tensor(t);
+                return Ok(
+                    Tensor::from_vec(out, Shape::d2(n, classes)).map_err(nds_nn::NnError::from)?
+                );
+            }
+            continue;
+        }
+        let next = layer.forward_ws(&t, mode, ws)?;
+        ws.recycle_tensor(t);
+        t = next;
+    }
+    let mut probs = t;
+    probs
+        .softmax_rows_inplace()
+        .map_err(nds_nn::NnError::from)?;
+    if probs.len() != n * classes {
+        ws.recycle(out);
+        return Err(AdaptiveError::Exit(format!(
+            "final output {} disagrees with [{n}, {classes}]",
+            probs.shape()
+        )));
+    }
+    for (r, taken) in done.iter().enumerate() {
+        if !taken {
+            out[r * classes..(r + 1) * classes]
+                .copy_from_slice(&probs.as_slice()[r * classes..(r + 1) * classes]);
+            exit_of[r] = final_exit;
+        }
+    }
+    ws.recycle_tensor(probs);
+    Ok(Tensor::from_vec(out, Shape::d2(n, classes)).map_err(nds_nn::NnError::from)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::layers::{Linear, Relu};
+    use nds_nn::Layer;
+
+    /// One plain full-batch pass, softmaxed — the exit-free reference.
+    fn plain_probs(net: &mut Sequential, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut p = net.forward_ws(x, Mode::Standard, ws).unwrap();
+        p.softmax_rows_inplace().unwrap();
+        p
+    }
+
+    /// Linear(4→8) → Relu → Linear(8→3).
+    fn backbone(seed: u64) -> Sequential {
+        let mut rng = Rng64::new(seed);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(4, 8, true, &mut rng)))
+            .push(Box::new(Relu::default()))
+            .push(Box::new(Linear::new(8, 3, true, &mut rng)));
+        net
+    }
+
+    /// Three separable blobs in the 4-d input space.
+    fn blobs(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Rng64::new(seed);
+        let mut data = Vec::with_capacity(n * 4);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 3;
+            for d in 0..4 {
+                let centre = if d == label { 3.0 } else { -1.0 };
+                data.push(centre + 0.3 * rng.normal() as f32);
+            }
+            labels.push(label);
+        }
+        (Tensor::from_vec(data, Shape::d2(n, 4)).unwrap(), labels)
+    }
+
+    #[test]
+    fn attaching_heads_leaves_backbone_bytes_untouched() {
+        let (x, _) = blobs(6, 1);
+        let mut plain = backbone(7);
+        let mut ws = Workspace::new();
+        let want = plain_probs(&mut plain, &x, &mut ws);
+
+        let mut rigged = backbone(7);
+        let mut rng = Rng64::new(2);
+        let attached = attach_exit_heads(&mut rigged, x.shape(), &[1, 2], 3, &mut rng).unwrap();
+        assert_eq!(attached, 2);
+        assert_eq!(exit_head_count(&mut rigged), 2);
+        assert_eq!(rigged.len(), 5);
+        let got = plain_probs(&mut rigged, &x, &mut ws);
+        assert_eq!(got.as_slice(), want.as_slice(), "heads must be identity");
+    }
+
+    #[test]
+    fn attach_rejects_bad_positions() {
+        let (x, _) = blobs(2, 3);
+        let mut rng = Rng64::new(4);
+        let mut net = backbone(8);
+        assert!(attach_exit_heads(&mut net, x.shape(), &[2, 1], 3, &mut rng).is_err());
+        assert!(attach_exit_heads(&mut net, x.shape(), &[9], 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn ungated_walk_matches_plain_pass_bytes() {
+        let (x, _) = blobs(5, 5);
+        let mut net = backbone(9);
+        let mut rng = Rng64::new(6);
+        attach_exit_heads(&mut net, x.shape(), &[2], 3, &mut rng).unwrap();
+        let mut ws = Workspace::new();
+        let want = plain_probs(&mut net, &x, &mut ws);
+        // Threshold 1.0 on an untrained head: no float max-prob reaches
+        // it here, so every row runs to the final classifier.
+        let mut exit_of = vec![usize::MAX; 5];
+        let got =
+            predict_probs_exits_ws(&mut net, &x, Mode::Standard, &[1.0], &mut ws, &mut exit_of)
+                .unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        assert!(exit_of.iter().all(|&e| e == 1), "all rows exit at final");
+    }
+
+    #[test]
+    fn confident_rows_exit_early_after_fitting() {
+        let (x, labels) = blobs(30, 7);
+        let mut net = backbone(10);
+        let mut rng = Rng64::new(8);
+        attach_exit_heads(&mut net, x.shape(), &[2], 3, &mut rng).unwrap();
+        let losses = fit_exit_heads(&mut net, &x, &labels, 300, 0.5).unwrap();
+        assert_eq!(losses.len(), 1);
+        assert!(
+            losses[0] < 0.3,
+            "probe must fit separable blobs: {losses:?}"
+        );
+        let temps = calibrate_exit_heads(&mut net, &x, &labels).unwrap();
+        assert_eq!(temps.len(), 1);
+
+        let mut ws = Workspace::new();
+        let mut exit_of = vec![usize::MAX; 30];
+        let probs =
+            predict_probs_exits_ws(&mut net, &x, Mode::Standard, &[0.6], &mut ws, &mut exit_of)
+                .unwrap();
+        let early = exit_of.iter().filter(|&&e| e == 0).count();
+        assert!(
+            early > 15,
+            "most separable rows should exit early: {early}/30"
+        );
+        // Early-exit rows carry the head's (correct) predictions.
+        let correct = labels
+            .iter()
+            .enumerate()
+            .filter(|&(r, &l)| {
+                let row = &probs.as_slice()[r * 3..(r + 1) * 3];
+                let top = (0..3)
+                    .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                    .unwrap();
+                top == l
+            })
+            .count();
+        assert!(correct >= 27, "exit predictions accurate: {correct}/30");
+    }
+}

@@ -1,0 +1,497 @@
+//! Uncertainty-gated adaptive inference policies.
+//!
+//! The source paper buys *reliable* uncertainty by running S Monte-Carlo
+//! dropout passes per input — but most inputs do not need the full
+//! budget. This crate is the policy layer that decides, per input, how
+//! much inference to spend, behind one typed [`AdaptivePolicy`] with two
+//! composable gates:
+//!
+//! * **Sample escalation** ([`EscalationPolicy`]) — the engine runs a
+//!   cheap pilot round (S = 1 by default), scores every input with a
+//!   confidence gate ([`GateMetric`]), and escalates only above-threshold
+//!   rows to the full sampling number. The escalated samples are
+//!   **byte-identical** to the corresponding samples of an unbudgeted
+//!   run: every sample's masks derive only from `(seed, sample index)`,
+//!   so pilot samples are the full run's first samples and escalated
+//!   samples replay streams `pilot..S` exactly (the gathered-pass
+//!   machinery in `nds-nn`/`nds-dropout` fast-forwards the per-item
+//!   streams over rows that stayed at the pilot count).
+//! * **Multi-exit heads** ([`ExitPolicy`]) — `nds_nn::layers::ExitHead`
+//!   layers emit calibrated logits mid-network; a pass exits a row at
+//!   the first head whose confidence clears that head's threshold, and
+//!   the walk stops early once every row has exited ([`exits`]).
+//!
+//! Both gates are *reliability-preserving by construction*: an uncertain
+//! (e.g. out-of-distribution) input fails the confidence tests, so it
+//! escalates to the full sampling number and runs to the final
+//! classifier — the regression suite pins exactly that (OOD inputs must
+//! not exit early or stay at S = 1).
+//!
+//! A disabled policy ([`AdaptivePolicy::disabled`], the default) runs no
+//! adaptive code at all: the engine's bytes are identical to a build
+//! without the policy, pinned by the golden fixtures and a proptest.
+//!
+//! The scoring math here operates on raw sample slabs (`samples` rows of
+//! `rows × classes` probabilities, the layout every MC harness in
+//! `nds-dropout` produces) so the engine, the benches and the tests all
+//! share one implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exits;
+
+use nds_metrics::entropy_nats;
+use std::error::Error as StdError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors raised by adaptive-policy validation and the exit helpers.
+#[derive(Debug)]
+pub enum AdaptiveError {
+    /// The policy itself is malformed (non-finite threshold, zero pilot
+    /// count, …). Policies are validated before any work starts — this
+    /// is a *reject*, never a mid-flight fault.
+    BadPolicy(String),
+    /// An exit-head operation failed (bad placement, shape mismatch).
+    Exit(String),
+    /// An underlying network error.
+    Nn(nds_nn::NnError),
+}
+
+impl fmt::Display for AdaptiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptiveError::BadPolicy(msg) => write!(f, "bad adaptive policy: {msg}"),
+            AdaptiveError::Exit(msg) => write!(f, "exit-head error: {msg}"),
+            AdaptiveError::Nn(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl StdError for AdaptiveError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            AdaptiveError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nds_nn::NnError> for AdaptiveError {
+    fn from(e: nds_nn::NnError) -> Self {
+        AdaptiveError::Nn(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, AdaptiveError>;
+
+/// The per-input confidence signal the escalation gate thresholds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMetric {
+    /// Predictive entropy (nats) of the pilot-mean distribution. Works
+    /// from a single pilot sample; the natural S = 1 gate.
+    PredictiveEntropy,
+    /// Variance, across the pilot samples, of the probability assigned
+    /// to the pilot-mean's argmax class — the `subfunctions`
+    /// unreliability metric. Needs at least two pilot samples.
+    TopClassVariance,
+}
+
+impl fmt::Display for GateMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateMetric::PredictiveEntropy => write!(f, "entropy"),
+            GateMetric::TopClassVariance => write!(f, "top-var"),
+        }
+    }
+}
+
+impl FromStr for GateMetric {
+    type Err = AdaptiveError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "entropy" | "predictive-entropy" => Ok(GateMetric::PredictiveEntropy),
+            "top-var" | "variance" | "top-class-variance" => Ok(GateMetric::TopClassVariance),
+            other => Err(AdaptiveError::BadPolicy(format!(
+                "unknown gate metric `{other}` (entropy | top-var)"
+            ))),
+        }
+    }
+}
+
+/// Sample-escalation gate: run `pilot` MC samples, escalate rows whose
+/// gate score reaches `threshold` to the engine's full sampling number.
+///
+/// `threshold` is inclusive (`score >= threshold` escalates), so a
+/// threshold of `0.0` escalates every row — the configuration the byte-
+/// identity assertions use, since both gate metrics are non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EscalationPolicy {
+    /// The confidence signal to threshold.
+    pub metric: GateMetric,
+    /// Escalate rows with `score >= threshold`. Must be finite and
+    /// non-negative.
+    pub threshold: f64,
+    /// Pilot samples to spend on every row before gating (≥ 1; the
+    /// variance gate needs ≥ 2).
+    pub pilot: usize,
+}
+
+impl EscalationPolicy {
+    /// The paper-default gate: predictive entropy over a single pilot
+    /// sample.
+    pub fn entropy(threshold: f64) -> Self {
+        EscalationPolicy {
+            metric: GateMetric::PredictiveEntropy,
+            threshold,
+            pilot: 1,
+        }
+    }
+
+    /// Checks the policy's own invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptiveError::BadPolicy`] for non-finite or negative
+    /// thresholds, a zero pilot count, or a variance gate with fewer
+    /// than two pilot samples.
+    pub fn validate(&self) -> Result<()> {
+        if !self.threshold.is_finite() || self.threshold < 0.0 {
+            return Err(AdaptiveError::BadPolicy(format!(
+                "escalation threshold {} must be finite and >= 0",
+                self.threshold
+            )));
+        }
+        if self.pilot == 0 {
+            return Err(AdaptiveError::BadPolicy(
+                "pilot sample count must be >= 1".into(),
+            ));
+        }
+        if self.metric == GateMetric::TopClassVariance && self.pilot < 2 {
+            return Err(AdaptiveError::BadPolicy(
+                "the top-class-variance gate needs at least 2 pilot samples".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Multi-exit gate: one confidence threshold per [`ExitHead`] in network
+/// order. A pass exits a row at the first head whose calibrated maximum
+/// class probability reaches that head's threshold.
+///
+/// [`ExitHead`]: nds_nn::layers::ExitHead
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitPolicy {
+    /// Per-head exit thresholds on the calibrated max-probability, in
+    /// the order the heads appear in the network. Each must lie in
+    /// `(0, 1]`; a threshold of `1.0` effectively disables that head
+    /// (probabilities only reach 1.0 on a degenerate one-hot output).
+    pub thresholds: Vec<f64>,
+}
+
+impl ExitPolicy {
+    /// The same threshold for every head.
+    pub fn uniform(threshold: f64, heads: usize) -> Self {
+        ExitPolicy {
+            thresholds: vec![threshold; heads],
+        }
+    }
+
+    /// Checks the policy's own invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptiveError::BadPolicy`] when empty or when any threshold is
+    /// non-finite or outside `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.thresholds.is_empty() {
+            return Err(AdaptiveError::BadPolicy(
+                "exit policy needs at least one threshold".into(),
+            ));
+        }
+        for (i, &t) in self.thresholds.iter().enumerate() {
+            if !t.is_finite() || t <= 0.0 || t > 1.0 {
+                return Err(AdaptiveError::BadPolicy(format!(
+                    "exit threshold {t} (head {i}) must be finite and in (0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The one typed policy behind both gates. `Default`/[`disabled`] is the
+/// inert policy: no adaptive code runs and the engine's bytes are
+/// untouched.
+///
+/// [`disabled`]: AdaptivePolicy::disabled
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaptivePolicy {
+    /// Sample-escalation gate (None = every row gets the full S).
+    pub escalation: Option<EscalationPolicy>,
+    /// Multi-exit gate (None = every pass runs to the final classifier).
+    pub exits: Option<ExitPolicy>,
+}
+
+impl AdaptivePolicy {
+    /// The inert policy: no gating, byte-identical to no policy at all.
+    pub const fn disabled() -> Self {
+        AdaptivePolicy {
+            escalation: None,
+            exits: None,
+        }
+    }
+
+    /// Escalation-only convenience constructor.
+    pub fn escalate(policy: EscalationPolicy) -> Self {
+        AdaptivePolicy {
+            escalation: Some(policy),
+            exits: None,
+        }
+    }
+
+    /// `true` when either gate is configured.
+    pub fn enabled(&self) -> bool {
+        self.escalation.is_some() || self.exits.is_some()
+    }
+
+    /// Validates every configured gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first gate's [`AdaptiveError::BadPolicy`].
+    pub fn validate(&self) -> Result<()> {
+        if let Some(escalation) = &self.escalation {
+            escalation.validate()?;
+        }
+        if let Some(exits) = &self.exits {
+            exits.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-row gate scores over a pilot sample slab.
+///
+/// `slab` holds `pilot` sample rows of `rows × classes` probabilities
+/// (sample-major, the layout every `nds-dropout` harness produces) and
+/// may be longer than `pilot * rows * classes` — only the pilot prefix
+/// is read. Scores are written into `scores` (length `rows`).
+///
+/// Both metrics are computed in `f64` in fixed (ascending) order, so the
+/// scores — and therefore the escalation decisions — are independent of
+/// thread count and execution order.
+///
+/// # Panics
+///
+/// Panics when `slab` is shorter than the pilot prefix or when
+/// `scores.len() != rows` — driver programming errors.
+pub fn gate_scores(
+    slab: &[f32],
+    pilot: usize,
+    rows: usize,
+    classes: usize,
+    metric: GateMetric,
+    scores: &mut [f64],
+) {
+    assert!(pilot > 0, "pilot sample count must be positive");
+    let pass_len = rows * classes;
+    assert!(
+        slab.len() >= pilot * pass_len,
+        "slab must hold the pilot prefix"
+    );
+    assert_eq!(scores.len(), rows, "one score per row");
+    let mut mean = vec![0.0f32; classes];
+    for (r, score) in scores.iter_mut().enumerate() {
+        mean.fill(0.0);
+        for s in 0..pilot {
+            let row = &slab[s * pass_len + r * classes..s * pass_len + (r + 1) * classes];
+            for (m, &p) in mean.iter_mut().zip(row) {
+                *m += p;
+            }
+        }
+        let inv = 1.0 / pilot as f32;
+        for m in mean.iter_mut() {
+            *m *= inv;
+        }
+        *score = match metric {
+            GateMetric::PredictiveEntropy => entropy_nats(&mean),
+            GateMetric::TopClassVariance => {
+                // Argmax of the pilot mean (first maximum wins — fixed
+                // tie-break), then the variance across pilot samples of
+                // that class's probability.
+                let top = mean
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let mu = mean[top] as f64;
+                (0..pilot)
+                    .map(|s| {
+                        let p = slab[s * pass_len + r * classes + top] as f64;
+                        (p - mu) * (p - mu)
+                    })
+                    .sum::<f64>()
+                    / pilot as f64
+            }
+        };
+    }
+}
+
+/// Applies an [`EscalationPolicy`] to a pilot slab: `mask[r]` is `true`
+/// when row `r` must escalate to the full sampling number
+/// (`score >= threshold`, inclusive so threshold `0.0` escalates all).
+///
+/// # Panics
+///
+/// Panics on the same slab/shape violations as [`gate_scores`].
+pub fn escalation_mask(
+    slab: &[f32],
+    pilot: usize,
+    rows: usize,
+    classes: usize,
+    policy: &EscalationPolicy,
+    mask: &mut [bool],
+) {
+    assert_eq!(mask.len(), rows, "one decision per row");
+    let mut scores = vec![0.0f64; rows];
+    gate_scores(slab, pilot, rows, classes, policy.metric, &mut scores);
+    for (m, s) in mask.iter_mut().zip(&scores) {
+        *m = *s >= policy.threshold;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_is_inert_and_valid() {
+        let policy = AdaptivePolicy::disabled();
+        assert!(!policy.enabled());
+        policy.validate().unwrap();
+        assert_eq!(policy, AdaptivePolicy::default());
+    }
+
+    #[test]
+    fn escalation_validation_rejects_bad_thresholds() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+            let policy = EscalationPolicy::entropy(bad);
+            assert!(policy.validate().is_err(), "threshold {bad} must reject");
+        }
+        EscalationPolicy::entropy(0.0).validate().unwrap();
+        let zero_pilot = EscalationPolicy {
+            pilot: 0,
+            ..EscalationPolicy::entropy(0.1)
+        };
+        assert!(zero_pilot.validate().is_err());
+        let var_one_pilot = EscalationPolicy {
+            metric: GateMetric::TopClassVariance,
+            threshold: 0.1,
+            pilot: 1,
+        };
+        assert!(var_one_pilot.validate().is_err());
+        let var_two_pilot = EscalationPolicy {
+            pilot: 2,
+            ..var_one_pilot
+        };
+        var_two_pilot.validate().unwrap();
+    }
+
+    #[test]
+    fn exit_validation_rejects_out_of_range() {
+        assert!(ExitPolicy { thresholds: vec![] }.validate().is_err());
+        for bad in [0.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let policy = ExitPolicy::uniform(bad, 2);
+            assert!(policy.validate().is_err(), "threshold {bad} must reject");
+        }
+        ExitPolicy::uniform(0.9, 3).validate().unwrap();
+        ExitPolicy::uniform(1.0, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn gate_metric_parses_and_displays() {
+        assert_eq!(
+            "entropy".parse::<GateMetric>().unwrap(),
+            GateMetric::PredictiveEntropy
+        );
+        assert_eq!(
+            "top-var".parse::<GateMetric>().unwrap(),
+            GateMetric::TopClassVariance
+        );
+        assert!("bogus".parse::<GateMetric>().is_err());
+        assert_eq!(GateMetric::PredictiveEntropy.to_string(), "entropy");
+    }
+
+    #[test]
+    fn entropy_gate_ranks_uniform_above_peaked() {
+        // Two rows, one pilot sample: a peaked row and a uniform row.
+        let slab = [0.97f32, 0.01, 0.01, 0.01, 0.25, 0.25, 0.25, 0.25];
+        let mut scores = [0.0f64; 2];
+        gate_scores(&slab, 1, 2, 4, GateMetric::PredictiveEntropy, &mut scores);
+        assert!(
+            scores[1] > scores[0],
+            "uniform {} must outscore peaked {}",
+            scores[1],
+            scores[0]
+        );
+        // A threshold between the two splits the batch.
+        let policy = EscalationPolicy::entropy((scores[0] + scores[1]) / 2.0);
+        let mut mask = [false; 2];
+        escalation_mask(&slab, 1, 2, 4, &policy, &mut mask);
+        assert_eq!(mask, [false, true]);
+        // Threshold 0 escalates everything (scores are non-negative).
+        escalation_mask(&slab, 1, 2, 4, &EscalationPolicy::entropy(0.0), &mut mask);
+        assert_eq!(mask, [true, true]);
+    }
+
+    #[test]
+    fn variance_gate_ranks_unstable_above_stable() {
+        // One row, two pilot samples. Stable row: top-class prob barely
+        // moves; unstable row: it swings.
+        let stable = [0.9f32, 0.1, 0.88, 0.12];
+        let unstable = [0.9f32, 0.1, 0.2, 0.8];
+        let mut s_stable = [0.0f64];
+        let mut s_unstable = [0.0f64];
+        gate_scores(
+            &stable,
+            2,
+            1,
+            2,
+            GateMetric::TopClassVariance,
+            &mut s_stable,
+        );
+        gate_scores(
+            &unstable,
+            2,
+            1,
+            2,
+            GateMetric::TopClassVariance,
+            &mut s_unstable,
+        );
+        assert!(
+            s_unstable[0] > s_stable[0],
+            "unstable {} must outscore stable {}",
+            s_unstable[0],
+            s_stable[0]
+        );
+    }
+
+    #[test]
+    fn gate_scores_ignore_samples_past_the_pilot() {
+        // The slab may hold the full S rows; only the pilot prefix may
+        // influence the scores.
+        let pilot_only = [0.6f32, 0.4];
+        let full = [0.6f32, 0.4, 0.1, 0.9, 0.5, 0.5];
+        let mut a = [0.0f64];
+        let mut b = [0.0f64];
+        gate_scores(&pilot_only, 1, 1, 2, GateMetric::PredictiveEntropy, &mut a);
+        gate_scores(&full, 1, 1, 2, GateMetric::PredictiveEntropy, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -29,7 +29,9 @@
 //! its persistent clone cache. The `search_smoke` row times the
 //! `SearchSession` end to end (tiny supernet, 2 generations).
 
+use nds_adaptive::{AdaptivePolicy, EscalationPolicy, GateMetric};
 use nds_engine::{Backend, EngineBuilder, Execution, PredictRequest, UncertaintyEngine};
+use nds_metrics::{accuracy, ece, escalation_rate, EceConfig};
 use nds_search::{EvolutionConfig, SearchBuilder, Strategy};
 use nds_serve::{ServeRequest, ServerBuilder, TenantSpec};
 use nds_supernet::{Supernet, SupernetSpec};
@@ -246,6 +248,109 @@ fn main() {
     });
 
     // ------------------------------------------------------------------
+    // Uncertainty-gated sample escalation: a pilot S=1 entropy gate in
+    // front of the full S=3 budget, on labelled MNIST-like validation
+    // rows. The escalate-everything policy is asserted byte-identical
+    // to the unbudgeted engine *before* any timing — the row is
+    // meaningless if gating changed escalated bytes. The reported
+    // configuration then gates at the batch's median pilot entropy, so
+    // roughly half the rows stay at the pilot budget; the row records
+    // the escalation rate, the accuracy/ECE deltas vs the full-S run,
+    // and the measured expected-latency speedup.
+    // ------------------------------------------------------------------
+    let adapt_val = if smoke { 8 } else { 32 };
+    let adapt_splits = nds_data::mnist_like(&nds_data::DatasetConfig {
+        train: 16,
+        val: adapt_val,
+        test: 8,
+        seed: 0xADA9,
+        noise: 0.05,
+    });
+    let (adapt_images, adapt_labels) = adapt_splits.val.full_batch();
+    let mut adapt_full_engine = EngineBuilder::new(supernet.net_mut().clone())
+        .samples(mc_samples)
+        .workers(1)
+        .execution(execution)
+        .build();
+    let adapt_full_resp = adapt_full_engine
+        .predict(&PredictRequest::new(&adapt_images))
+        .unwrap();
+    {
+        let mut all_engine = EngineBuilder::new(supernet.net_mut().clone())
+            .samples(mc_samples)
+            .workers(1)
+            .execution(execution)
+            .adaptive(AdaptivePolicy::escalate(EscalationPolicy::entropy(0.0)))
+            .build();
+        let all = all_engine
+            .predict(&PredictRequest::new(&adapt_images))
+            .unwrap();
+        assert_eq!(
+            all.probs.as_slice(),
+            adapt_full_resp.probs.as_slice(),
+            "escalate-all must be byte-identical to the unbudgeted engine"
+        );
+        all_engine.recycle(all);
+    }
+    let adapt_threshold = {
+        let mut pilot_engine = EngineBuilder::new(supernet.net_mut().clone())
+            .samples(1)
+            .workers(1)
+            .execution(execution)
+            .build();
+        let pilot = pilot_engine
+            .predict(&PredictRequest::new(&adapt_images))
+            .unwrap();
+        let classes = pilot.probs.shape().dim(1);
+        let mut scores: Vec<f64> = pilot
+            .probs
+            .as_slice()
+            .chunks(classes)
+            .map(|row| {
+                -row.iter()
+                    .map(|&p| {
+                        let p = f64::from(p);
+                        if p > 0.0 {
+                            p * p.ln()
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum::<f64>()
+            })
+            .collect();
+        pilot_engine.recycle(pilot);
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        scores[scores.len() / 2]
+    };
+    let mut adapt_engine = EngineBuilder::new(supernet.net_mut().clone())
+        .samples(mc_samples)
+        .workers(1)
+        .execution(execution)
+        .adaptive(AdaptivePolicy::escalate(EscalationPolicy {
+            metric: GateMetric::PredictiveEntropy,
+            threshold: adapt_threshold,
+            pilot: 1,
+        }))
+        .build();
+    let adapt_resp = adapt_engine
+        .predict(&PredictRequest::new(&adapt_images))
+        .unwrap();
+    let adapt_rate = escalation_rate(adapt_resp.row_samples.as_ref().unwrap(), 1);
+    let adapt_full_acc = accuracy(&adapt_full_resp.probs, &adapt_labels).unwrap();
+    let adapt_full_ece = ece(&adapt_full_resp.probs, &adapt_labels, EceConfig::default()).unwrap();
+    let adapt_acc = accuracy(&adapt_resp.probs, &adapt_labels).unwrap();
+    let adapt_ece = ece(&adapt_resp.probs, &adapt_labels, EceConfig::default()).unwrap();
+    adapt_full_engine.recycle(adapt_full_resp);
+    adapt_engine.recycle(adapt_resp);
+    let adapt_full_secs = time_engine(
+        &mut adapt_full_engine,
+        &adapt_images,
+        if smoke { 2 } else { 5 },
+    );
+    let adapt_gated_secs = time_engine(&mut adapt_engine, &adapt_images, if smoke { 2 } else { 5 });
+
+    // ------------------------------------------------------------------
     // Serving front-end: deadline-aware dynamic batching over the
     // engine. Batch-1 serial = submit one request, wait, repeat — every
     // request pays the client/dispatcher handoff plus a coalescing
@@ -269,6 +374,7 @@ fn main() {
     let serve_tenant = serve_builder.tenant(TenantSpec {
         seed: 0,
         samples: mc_samples,
+        ..TenantSpec::default()
     });
     let server = serve_builder.build();
     // Warm-up: the first request populates the caches on the dispatch path.
@@ -390,6 +496,17 @@ fn main() {
          \"budgeted_ms\": {:.3},\n    \
          \"achieved_samples\": {deg_achieved},\n    \
          \"degraded\": {deg_degraded}\n  }},\n  \
+         \"adaptive_lenet_s3\": {{\n    \
+         \"pilot\": 1,\n    \
+         \"gate\": \"entropy\",\n    \
+         \"threshold\": {:.4},\n    \
+         \"escalation_rate\": {:.3},\n    \
+         \"full_ms\": {:.3},\n    \
+         \"gated_ms\": {:.3},\n    \
+         \"expected_latency_speedup\": {:.3},\n    \
+         \"accuracy_delta\": {:.4},\n    \
+         \"ece_delta\": {:.4},\n    \
+         \"byte_identical_escalate_all\": true\n  }},\n  \
          \"serving_lenet_s3\": {{\n    \
          \"max_batch\": {serve_max_batch},\n    \
          \"batch1_requests\": {serve_serial_reqs},\n    \
@@ -433,6 +550,13 @@ fn main() {
         deg_full_secs * 1e3,
         deg_budget_ms,
         deg_budgeted_secs * 1e3,
+        adapt_threshold,
+        adapt_rate,
+        adapt_full_secs * 1e3,
+        adapt_gated_secs * 1e3,
+        adapt_full_secs / adapt_gated_secs,
+        adapt_acc - adapt_full_acc,
+        adapt_ece - adapt_full_ece,
         serve_p50,
         serve_p99,
         serve_serial_rps,

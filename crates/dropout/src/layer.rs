@@ -188,6 +188,12 @@ pub struct DropoutLayer {
     fused_base: u64,
     /// Next batch item (pass-global index) the fused streams will draw.
     fused_next: usize,
+    /// Next pass-global item index the *gathered* path will draw, reset
+    /// by [`Layer::begin_mc_sample`]. Gathered passes keep the per-item
+    /// stream contract by drawing (and discarding) the masks of skipped
+    /// items, so a kept item's mask is byte-identical to the mask the
+    /// same `(sample, item)` gets in a full pass.
+    gathered_next: usize,
     /// Precomputed mask bank retained across rounds (see [`MaskBank`]).
     bank: Option<MaskBank>,
 }
@@ -210,6 +216,7 @@ impl Clone for DropoutLayer {
             fused: Vec::new(),
             fused_base: 0,
             fused_next: 0,
+            gathered_next: 0,
             bank: None,
         }
     }
@@ -287,6 +294,7 @@ impl DropoutLayer {
             fused: Vec::new(),
             fused_base: 0,
             fused_next: 0,
+            gathered_next: 0,
             bank: None,
         })
     }
@@ -442,6 +450,7 @@ impl Layer for DropoutLayer {
         // history-free, so serial and parallel MC sampling coincide.
         self.rng = Rng64::new(self.stream_seed).fork(sample ^ MC_SAMPLE_STREAM);
         self.mc_cursor = sample as usize;
+        self.gathered_next = 0;
     }
 
     fn mc_is_stochastic(&self) -> bool {
@@ -542,6 +551,68 @@ impl Layer for DropoutLayer {
         for ((o, &x), &m) in out.iter_mut().zip(input.iter()).zip(bank.data.iter()) {
             *o = x * m;
         }
+        Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
+    }
+
+    fn forward_mc_gathered(
+        &mut self,
+        input: &Tensor,
+        kept: &[usize],
+        ws: &mut Workspace,
+    ) -> NnResult<Tensor> {
+        let per_sample = self.slot.shape.len();
+        let n = input.shape().dim(0);
+        if input.len() != n * per_sample {
+            return Err(NnError::BadConfig(format!(
+                "dropout slot {} expected {} features/sample, input is {}",
+                self.slot.id,
+                per_sample,
+                input.shape()
+            )));
+        }
+        if kept.len() != n {
+            return Err(NnError::BadConfig(format!(
+                "gathered pass at slot {}: {} kept indices for {n} rows",
+                self.slot.id,
+                kept.len()
+            )));
+        }
+        let mut mask = ws.take_dirty(input.len());
+        // Discarded draws land here: skipped items still consume exactly
+        // one mask row from the sample's stream, in item order, so kept
+        // items see the masks a full pass would deal them.
+        let mut skip = ws.take_dirty(per_sample);
+        let mut idx_scratch = if self.kind == DropoutKind::Random {
+            ws.take_dirty(per_sample)
+        } else {
+            Vec::new()
+        };
+        for (row, &item) in mask.chunks_mut(per_sample.max(1)).zip(kept) {
+            if item < self.gathered_next {
+                ws.recycle(idx_scratch);
+                ws.recycle(skip);
+                ws.recycle(mask);
+                return Err(NnError::BadConfig(format!(
+                    "gathered pass at slot {}: kept index {item} is behind the \
+                     stream cursor {} (indices must be strictly ascending \
+                     within a sample)",
+                    self.slot.id, self.gathered_next
+                )));
+            }
+            while self.gathered_next < item {
+                self.sample_mask_fill(Mode::McInference, &mut skip, &mut idx_scratch);
+                self.gathered_next += 1;
+            }
+            self.sample_mask_fill(Mode::McInference, row, &mut idx_scratch);
+            self.gathered_next += 1;
+        }
+        ws.recycle(idx_scratch);
+        ws.recycle(skip);
+        let mut out = ws.take_dirty(input.len());
+        for ((o, &x), &m) in out.iter_mut().zip(input.iter()).zip(mask.iter()) {
+            *o = x * m;
+        }
+        ws.recycle(mask);
         Tensor::from_vec(out, input.shape().clone()).map_err(NnError::from)
     }
 
@@ -865,6 +936,84 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn gathered_pass_matches_streamed_rows_bytewise() {
+        let samples = 3u64;
+        let base = 5u64;
+        for kind in DropoutKind::all() {
+            for slot in [conv_slot(2, 3, 3), fc_slot(18)] {
+                if !kind.supports(slot.position) {
+                    continue;
+                }
+                let settings = DropoutSettings {
+                    rate: 0.4,
+                    ..DropoutSettings::default()
+                };
+                let mut ws = Workspace::new();
+                let n = 6usize;
+                let per = slot.shape.len();
+                let mut rng = Rng64::new(17);
+                let x = Tensor::rand_normal(Shape::d2(n, per), 0.0, 1.0, &mut rng);
+                let mut streamed = DropoutLayer::for_slot(kind, &slot, &settings, 23).unwrap();
+                let want = round_major_reference(&mut streamed, &x, samples, base, &[n], &mut ws);
+
+                // Gather a sparse subset and run it per sample: every kept
+                // row must reproduce the full pass's row for the same
+                // (sample, item), and splitting the kept set across two
+                // gathered calls must not move the streams.
+                let kept = [1usize, 2, 5];
+                let mut layer = DropoutLayer::for_slot(kind, &slot, &settings, 23).unwrap();
+                layer.begin_mc_round();
+                for s in 0..samples {
+                    layer.begin_mc_sample(base + s);
+                    let (split, rest) = if s == 1 { (1usize, 2usize) } else { (3, 0) };
+                    for (lo, hi) in [(0usize, split), (split, split + rest)] {
+                        if lo == hi {
+                            continue;
+                        }
+                        let part = &kept[lo..hi];
+                        let mut data = Vec::new();
+                        for &k in part {
+                            data.extend_from_slice(&x.as_slice()[k * per..(k + 1) * per]);
+                        }
+                        let gx = Tensor::from_vec(data, Shape::d2(part.len(), per)).unwrap();
+                        let y = layer.forward_mc_gathered(&gx, part, &mut ws).unwrap();
+                        for (i, &k) in part.iter().enumerate() {
+                            let got = &y.as_slice()[i * per..(i + 1) * per];
+                            let dst = (s as usize * n + k) * per;
+                            assert_eq!(
+                                got,
+                                &want[dst..dst + per],
+                                "{kind} slot {} sample {s} item {k}",
+                                slot.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gathered_pass_rejects_regressing_indices() {
+        let slot = fc_slot(8);
+        let mut layer = DropoutLayer::for_slot(
+            DropoutKind::Bernoulli,
+            &slot,
+            &DropoutSettings::default(),
+            9,
+        )
+        .unwrap();
+        let mut ws = Workspace::new();
+        let x = Tensor::ones(Shape::d2(2, 8));
+        layer.begin_mc_round();
+        layer.begin_mc_sample(0);
+        assert!(layer.forward_mc_gathered(&x, &[3, 1], &mut ws).is_err());
+        // Wrong kept-count is rejected too.
+        layer.begin_mc_sample(0);
+        assert!(layer.forward_mc_gathered(&x, &[0], &mut ws).is_err());
     }
 
     #[test]

@@ -108,18 +108,23 @@
 
 pub mod quantized;
 
+use nds_adaptive::exits::predict_probs_exits_ws;
+use nds_adaptive::{escalation_mask, AdaptiveError, AdaptivePolicy};
 use nds_dropout::mc::{
     mc_sample_rounds_fused_into, mc_sample_rounds_into, mean_over_samples, McCloneCache,
 };
 use nds_metrics::entropy_nats;
 use nds_nn::layers::Sequential;
-use nds_nn::train::{output_classes, predict_probs_fused_into_ws, predict_probs_ws};
+use nds_nn::train::{
+    output_classes, predict_probs_fused_into_ws, predict_probs_gathered_ws, predict_probs_ws,
+};
 use nds_nn::{Mode, NnError};
 use nds_quant::FixedFormat;
 use nds_tensor::{Shape, Tensor, TensorError, Workspace};
 use std::error::Error as StdError;
 use std::fmt;
 use std::ops::BitOr;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Default micro-batch size when the builder leaves chunking to the
@@ -485,11 +490,24 @@ pub struct PredictResponse {
     /// Predictive variance per input, when requested.
     pub variance: Option<Vec<f64>>,
     /// MC samples actually averaged into `probs`. Equal to the
-    /// configured S unless a latency budget forced early stopping.
+    /// configured S unless a latency budget forced early stopping, or an
+    /// adaptive escalation gate kept every row at the pilot count (then
+    /// this is the **maximum** over [`PredictResponse::row_samples`]).
     pub achieved_samples: usize,
     /// `true` when a latency budget cut the round count below the
-    /// configured S ([`PredictRequest::latency_budget_ms`]).
+    /// configured S ([`PredictRequest::latency_budget_ms`]). Adaptive
+    /// gating is *not* degradation: a row held at the pilot count passed
+    /// a confidence test, so `degraded` stays `false`.
     pub degraded: bool,
+    /// Per-row MC samples averaged, when sample escalation ran
+    /// ([`EngineBuilder::adaptive`]): the pilot count for rows the gate
+    /// kept, the full S for escalated rows. `None` when no escalation
+    /// gate was active (every row then got `achieved_samples`).
+    pub row_samples: Option<Vec<usize>>,
+    /// Counts of which exit served each `(pass, row)`, when a multi-exit
+    /// gate was active: index `k` counts exits at head `k`, the last bin
+    /// counts rows that ran to the final classifier. `None` otherwise.
+    pub exit_histogram: Option<Vec<usize>>,
     /// Execution metadata.
     pub timing: PredictTiming,
 }
@@ -518,6 +536,7 @@ pub struct EngineBuilder {
     chunk: usize,
     transient_retries: usize,
     execution: Execution,
+    adaptive: AdaptivePolicy,
 }
 
 impl EngineBuilder {
@@ -535,6 +554,7 @@ impl EngineBuilder {
             chunk: 0,
             transient_retries: 0,
             execution: Execution::RoundMajor,
+            adaptive: AdaptivePolicy::disabled(),
         }
     }
 
@@ -595,6 +615,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the adaptive-inference policy (default
+    /// [`AdaptivePolicy::disabled`], which runs no adaptive code and
+    /// serves bytes identical to an engine without the policy).
+    ///
+    /// With a sample-escalation gate, `predict` runs the policy's pilot
+    /// samples for every row, scores each row's confidence, and spends
+    /// the remaining `S - pilot` samples **only** on rows that fail the
+    /// test — every sample served keeps the exact bytes of the
+    /// corresponding sample of an unbudgeted full-S run (same
+    /// `(seed, sample index)` stream contract). With a multi-exit gate,
+    /// each pass takes confident rows' outputs from calibrated
+    /// [`nds_nn::layers::ExitHead`]s and stops walking once all rows
+    /// exit. An invalid policy is rejected by `predict` with
+    /// [`EngineError::BadRequest`]; adaptive serving requires the
+    /// [`Backend::Float32`] datapath; requests carrying a latency budget
+    /// use deadline degradation instead (the budget wins).
+    pub fn adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.adaptive = policy;
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> UncertaintyEngine {
         UncertaintyEngine {
@@ -606,6 +647,7 @@ impl EngineBuilder {
             chunk: self.chunk,
             transient_retries: self.transient_retries,
             execution: self.execution,
+            adaptive: self.adaptive,
             ws: Workspace::new(),
             cache: McCloneCache::new(),
         }
@@ -625,6 +667,7 @@ pub struct UncertaintyEngine {
     chunk: usize,
     transient_retries: usize,
     execution: Execution,
+    adaptive: AdaptivePolicy,
     ws: Workspace,
     cache: McCloneCache,
 }
@@ -706,6 +749,48 @@ fn project_next_round_ms(elapsed_ms: f64, last_round_ms: f64) -> f64 {
     elapsed_ms + last_round_ms
 }
 
+/// Maps an exit-walker error into the pass closures' [`NnError`] domain.
+fn adaptive_to_nn(e: AdaptiveError) -> NnError {
+    match e {
+        AdaptiveError::Nn(e) => e,
+        other => NnError::BadConfig(other.to_string()),
+    }
+}
+
+/// The compact batch shape for `rows` gathered rows of `shape`.
+fn shape_with_rows(shape: &Shape, rows: usize) -> Result<Shape> {
+    match shape.rank() {
+        2 => Ok(Shape::d2(rows, shape.dim(1))),
+        4 => Ok(Shape::d4(rows, shape.dim(1), shape.dim(2), shape.dim(3))),
+        rank => Err(EngineError::BadShape(format!(
+            "adaptive escalation supports rank-2/rank-4 batches, got rank {rank}"
+        ))),
+    }
+}
+
+/// Row `r`'s probabilities for sample `s` in the adaptive layout: pilot
+/// samples live in the full-batch pilot slab, escalated samples in the
+/// compacted escalation slab at the row's gather `rank`.
+#[allow(clippy::too_many_arguments)]
+fn adaptive_row<'a>(
+    slab: &'a [f32],
+    esc_slab: &'a [f32],
+    pilot: usize,
+    pass_len: usize,
+    esc_stride: usize,
+    classes: usize,
+    s: usize,
+    r: usize,
+    rank: usize,
+) -> &'a [f32] {
+    if s < pilot {
+        &slab[s * pass_len + r * classes..s * pass_len + (r + 1) * classes]
+    } else {
+        let base = (s - pilot) * esc_stride + rank * classes;
+        &esc_slab[base..base + classes]
+    }
+}
+
 impl UncertaintyEngine {
     /// Serves one prediction: S stochastic passes over the request batch
     /// (chunked into micro-batches), averaged into the predictive
@@ -768,6 +853,33 @@ impl UncertaintyEngine {
             self.workers
         };
         let pass_len = n * classes;
+        if self.adaptive.enabled() {
+            // A malformed policy is a reject even when the adaptive path
+            // does not run this request (budget present, empty batch).
+            self.adaptive
+                .validate()
+                .map_err(|e| EngineError::BadRequest(e.to_string()))?;
+            // A latency budget wins over adaptive gating: deadline
+            // degradation is round-granular and already byte-preserving,
+            // and mixing the two would make `achieved_samples` ambiguous.
+            if request.latency_budget_ms.is_none() && pass_len > 0 {
+                if self.backend != Backend::Float32 {
+                    return Err(EngineError::BadRequest(format!(
+                        "adaptive policy requires the float32 backend, engine uses {}",
+                        self.backend.label()
+                    )));
+                }
+                let escalates = self
+                    .adaptive
+                    .escalation
+                    .is_some_and(|e| e.pilot < self.samples);
+                if escalates || self.adaptive.exits.is_some() {
+                    return self.predict_adaptive(request, started, n, classes, workers, chunk);
+                }
+                // Escalation with pilot >= S is inert: the full-S path
+                // below already serves exactly what it asks for.
+            }
+        }
         let mut slab = self.ws.take_dirty(samples * pass_len);
         // Split the engine's fields so the pass closure (which reads the
         // backend) can run while the harness holds the net/cache/ws.
@@ -970,6 +1082,8 @@ impl UncertaintyEngine {
             variance,
             achieved_samples: achieved,
             degraded: achieved < samples,
+            row_samples: None,
+            exit_histogram: None,
             timing: PredictTiming {
                 backend: self.backend.label(),
                 samples: achieved,
@@ -978,6 +1092,302 @@ impl UncertaintyEngine {
                 chunks: if n == 0 { 0 } else { n.div_ceil(chunk.max(1)) },
                 elapsed_s: started.elapsed().as_secs_f64(),
                 modelled_latency_ms,
+            },
+        })
+    }
+
+    /// The adaptive serving path ([`EngineBuilder::adaptive`]): pilot
+    /// rounds for every row, a confidence gate, then gathered escalation
+    /// rounds for the rows that failed it; exit heads, when configured,
+    /// serve confident rows mid-network during every pass.
+    ///
+    /// Byte contract: pilot sample `s` **is** sample `s` of a full-S run
+    /// (same stream base and same walkers), and escalated rows' extra
+    /// samples replay streams `seed + pilot .. seed + S` with skipped
+    /// rows' per-item mask draws burned (`Layer::forward_mc_gathered`),
+    /// so an escalated row's mean is byte-identical to the full engine's
+    /// mean for that row. Only the *set of samples averaged per row*
+    /// changes — never any sample's bytes.
+    fn predict_adaptive(
+        &mut self,
+        request: &PredictRequest<'_>,
+        started: Instant,
+        n: usize,
+        classes: usize,
+        workers: usize,
+        chunk: usize,
+    ) -> Result<PredictResponse> {
+        let images = request.images;
+        let policy = self.adaptive.clone();
+        let UncertaintyEngine {
+            ref mut net,
+            ref backend,
+            ref mut ws,
+            ref mut cache,
+            seed,
+            transient_retries,
+            execution,
+            samples,
+            ..
+        } = *self;
+        let pass_len = n * classes;
+        let escalation = policy.escalation.filter(|e| e.pilot < samples);
+        let pilot = escalation.map_or(samples, |e| e.pilot);
+        let exit_thresholds = policy.exits.map(|e| e.thresholds);
+        let exit_hist = Mutex::new(exit_thresholds.as_ref().map(|t| vec![0usize; t.len() + 1]));
+        let retry = nds_tensor::parallel::RetryPolicy::with_retries(transient_retries);
+        let transient = |e: &NnError| matches!(e, NnError::Pool(_));
+
+        // Stage 1 — pilot rounds over the whole batch, streams
+        // `seed .. seed + pilot`: exactly the first `pilot` samples of a
+        // full run, via the same walkers the standard path uses (fused
+        // sample-major reuses the mask banks when the engine is
+        // configured for it; the exit walker is round-granular).
+        let mut slab = ws.take_dirty(pilot * pass_len);
+        let outcome = nds_tensor::parallel::retry_transient(retry, transient, |attempt| {
+            if attempt > 0 {
+                cache.invalidate();
+            }
+            match &exit_thresholds {
+                None if execution == Execution::SampleMajor => {
+                    mc_sample_rounds_fused_into(net, pilot, seed, ws, &mut slab, &|net, ws, out| {
+                        nds_fault::pass_delay();
+                        predict_probs_fused_into_ws(net, images, pilot, chunk, ws, out, None)
+                    })
+                }
+                None => mc_sample_rounds_into(
+                    net,
+                    pilot,
+                    workers,
+                    seed,
+                    cache,
+                    ws,
+                    pass_len,
+                    &mut slab,
+                    &|net, ws| {
+                        nds_fault::pass_delay();
+                        predict_probs_ws(net, images, Mode::McInference, chunk, ws)
+                    },
+                ),
+                Some(thresholds) => mc_sample_rounds_into(
+                    net,
+                    pilot,
+                    workers,
+                    seed,
+                    cache,
+                    ws,
+                    pass_len,
+                    &mut slab,
+                    &|net, ws| {
+                        nds_fault::pass_delay();
+                        let mut exit_of = vec![0usize; n];
+                        let probs = predict_probs_exits_ws(
+                            net,
+                            images,
+                            Mode::McInference,
+                            thresholds,
+                            ws,
+                            &mut exit_of,
+                        )
+                        .map_err(adaptive_to_nn)?;
+                        let mut hist = exit_hist.lock().expect("exit histogram poisoned");
+                        if let Some(hist) = hist.as_mut() {
+                            for &e in &exit_of {
+                                hist[e.min(thresholds.len())] += 1;
+                            }
+                        }
+                        Ok(probs)
+                    },
+                ),
+            }
+        });
+        if let Err(e) = outcome {
+            ws.recycle(slab);
+            return Err(e.into());
+        }
+        if let Some(pos) = slab.iter().position(|v| !v.is_finite()) {
+            let sample = pos / pass_len;
+            ws.recycle(slab);
+            return Err(EngineError::NonFiniteOutput { sample });
+        }
+
+        // Stage 2 — gate, then gathered escalation rounds for the rows
+        // that failed the confidence test (streams `seed + pilot ..`).
+        let mut row_samples = vec![pilot; n];
+        let mut kept: Vec<usize> = Vec::new();
+        if let Some(esc) = escalation {
+            let mut mask = vec![false; n];
+            escalation_mask(&slab, pilot, n, classes, &esc, &mut mask);
+            kept = mask
+                .iter()
+                .enumerate()
+                .filter_map(|(r, &m)| m.then_some(r))
+                .collect();
+            for &r in &kept {
+                row_samples[r] = samples;
+            }
+        }
+        let k = kept.len();
+        let esc_rounds = samples - pilot;
+        let esc_stride = k * classes;
+        let mut esc_slab = Vec::new();
+        if k > 0 && esc_rounds > 0 {
+            let per_row = images.len() / n;
+            let compact_shape = match shape_with_rows(images.shape(), k) {
+                Ok(shape) => shape,
+                Err(e) => {
+                    ws.recycle(slab);
+                    return Err(e);
+                }
+            };
+            let mut data = ws.take_dirty(k * per_row);
+            for (i, &r) in kept.iter().enumerate() {
+                data[i * per_row..(i + 1) * per_row]
+                    .copy_from_slice(&images.as_slice()[r * per_row..(r + 1) * per_row]);
+            }
+            let compact = match Tensor::from_vec(data, compact_shape) {
+                Ok(t) => t,
+                Err(e) => {
+                    ws.recycle(slab);
+                    return Err(e.into());
+                }
+            };
+            esc_slab = ws.take_dirty(esc_rounds * esc_stride);
+            let kept_ref = &kept;
+            let outcome = nds_tensor::parallel::retry_transient(retry, transient, |attempt| {
+                if attempt > 0 {
+                    cache.invalidate();
+                }
+                mc_sample_rounds_into(
+                    net,
+                    esc_rounds,
+                    workers,
+                    seed.wrapping_add(pilot as u64),
+                    cache,
+                    ws,
+                    esc_stride,
+                    &mut esc_slab,
+                    &|net, ws| {
+                        nds_fault::pass_delay();
+                        predict_probs_gathered_ws(net, &compact, kept_ref, ws)
+                    },
+                )
+            });
+            ws.recycle_tensor(compact);
+            if let Err(e) = outcome {
+                ws.recycle(slab);
+                ws.recycle(esc_slab);
+                return Err(e.into());
+            }
+            if let Some(pos) = esc_slab.iter().position(|v| !v.is_finite()) {
+                let sample = pilot + pos / esc_stride;
+                ws.recycle(slab);
+                ws.recycle(esc_slab);
+                return Err(EngineError::NonFiniteOutput { sample });
+            }
+        }
+        let mut rank_of = vec![usize::MAX; n];
+        for (i, &r) in kept.iter().enumerate() {
+            rank_of[r] = i;
+        }
+
+        // Stage 3 — per-row mean and diagnostics over each row's own
+        // sample set, with exactly the arithmetic (f32 ascending sum,
+        // one scale; f64 diagnostics) `mean_over_samples` and the
+        // standard path apply, so unescalated and escalate-all batches
+        // reproduce pilot-only and full-S responses byte for byte.
+        let mut mean = ws.take(pass_len);
+        for r in 0..n {
+            let total = row_samples[r];
+            for s in 0..total {
+                let row = adaptive_row(
+                    &slab, &esc_slab, pilot, pass_len, esc_stride, classes, s, r, rank_of[r],
+                );
+                for (m, &p) in mean[r * classes..(r + 1) * classes].iter_mut().zip(row) {
+                    *m += p;
+                }
+            }
+            let inv = 1.0 / total as f32;
+            for m in &mut mean[r * classes..(r + 1) * classes] {
+                *m *= inv;
+            }
+        }
+        let entropy = request
+            .outputs
+            .contains(UncertaintyFlags::ENTROPY)
+            .then(|| {
+                let mut out = ws.take_f64();
+                for i in 0..n {
+                    out.push(entropy_nats(&mean[i * classes..(i + 1) * classes]));
+                }
+                out
+            });
+        let mutual_information = request
+            .outputs
+            .contains(UncertaintyFlags::MUTUAL_INFORMATION)
+            .then(|| {
+                let mut out = ws.take_f64();
+                for i in 0..n {
+                    let total = entropy_nats(&mean[i * classes..(i + 1) * classes]);
+                    let achieved = row_samples[i];
+                    let aleatoric: f64 = (0..achieved)
+                        .map(|s| {
+                            entropy_nats(adaptive_row(
+                                &slab, &esc_slab, pilot, pass_len, esc_stride, classes, s, i,
+                                rank_of[i],
+                            ))
+                        })
+                        .sum::<f64>()
+                        / achieved as f64;
+                    out.push((total - aleatoric).max(0.0));
+                }
+                out
+            });
+        let variance = request
+            .outputs
+            .contains(UncertaintyFlags::VARIANCE)
+            .then(|| {
+                let mut out = ws.take_f64();
+                for i in 0..n {
+                    let achieved = row_samples[i];
+                    let mut var = 0.0f64;
+                    for j in 0..classes {
+                        let m = mean[i * classes + j] as f64;
+                        for s in 0..achieved {
+                            let row = adaptive_row(
+                                &slab, &esc_slab, pilot, pass_len, esc_stride, classes, s, i,
+                                rank_of[i],
+                            );
+                            let d = row[j] as f64 - m;
+                            var += d * d;
+                        }
+                    }
+                    out.push(var / (achieved as f64 * classes as f64));
+                }
+                out
+            });
+        ws.recycle(slab);
+        ws.recycle(esc_slab);
+        let probs = Tensor::from_vec(mean, Shape::d2(n, classes))?;
+        let achieved = row_samples.iter().copied().max().unwrap_or(pilot);
+        let exit_histogram = exit_hist.into_inner().expect("exit histogram poisoned");
+        Ok(PredictResponse {
+            probs,
+            entropy,
+            mutual_information,
+            variance,
+            achieved_samples: achieved,
+            degraded: false,
+            row_samples: escalation.map(|_| row_samples),
+            exit_histogram,
+            timing: PredictTiming {
+                backend: backend.label(),
+                samples: achieved,
+                workers,
+                chunk_size: chunk,
+                chunks: if n == 0 { 0 } else { n.div_ceil(chunk.max(1)) },
+                elapsed_s: started.elapsed().as_secs_f64(),
+                modelled_latency_ms: None,
             },
         })
     }
@@ -1035,6 +1445,17 @@ impl UncertaintyEngine {
     /// The configured sample-stream base.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The adaptive-inference policy.
+    pub fn adaptive(&self) -> &AdaptivePolicy {
+        &self.adaptive
+    }
+
+    /// Swaps the adaptive-inference policy (see
+    /// [`EngineBuilder::adaptive`]); validation happens at `predict`.
+    pub fn set_adaptive(&mut self, policy: AdaptivePolicy) {
+        self.adaptive = policy;
     }
 
     /// Overrides the micro-batch size (0 = engine default). Results are
@@ -1471,5 +1892,183 @@ mod tests {
             allocations,
             "steady-state rounds must be served from the pools"
         );
+    }
+
+    #[test]
+    fn escalate_all_matches_full_run_bytes() {
+        // Threshold 0.0 escalates every row (gate scores are
+        // non-negative): the adaptive mean — pilot samples plus gathered
+        // escalation samples — must reproduce the full-S engine byte for
+        // byte, in both execution orders and with parallel workers.
+        let mut rng = Rng64::new(3);
+        let x = Tensor::rand_normal(Shape::d4(5, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let req = PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL);
+        for execution in [Execution::RoundMajor, Execution::SampleMajor] {
+            for workers in [1usize, 4] {
+                let mut plain = EngineBuilder::new(stochastic_net(21))
+                    .samples(4)
+                    .workers(workers)
+                    .execution(execution)
+                    .build();
+                let want = plain.predict(&req).unwrap();
+                let mut gated = EngineBuilder::new(stochastic_net(21))
+                    .samples(4)
+                    .workers(workers)
+                    .execution(execution)
+                    .adaptive(AdaptivePolicy::escalate(
+                        nds_adaptive::EscalationPolicy::entropy(0.0),
+                    ))
+                    .build();
+                let got = gated.predict(&req).unwrap();
+                assert_eq!(
+                    got.probs.as_slice(),
+                    want.probs.as_slice(),
+                    "escalate-all must equal full-S bytes ({execution:?}, {workers} workers)"
+                );
+                assert_eq!(got.entropy, want.entropy);
+                assert_eq!(got.mutual_information, want.mutual_information);
+                assert_eq!(got.variance, want.variance);
+                assert_eq!(got.achieved_samples, 4);
+                assert!(!got.degraded);
+                assert_eq!(got.row_samples, Some(vec![4; 5]));
+            }
+        }
+    }
+
+    #[test]
+    fn keep_all_matches_pilot_run_bytes() {
+        // An unreachable threshold keeps every row at the pilot count:
+        // the response must equal a pilot-sized engine's byte for byte.
+        let mut rng = Rng64::new(4);
+        let x = Tensor::rand_normal(Shape::d4(3, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let req = PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL);
+        let mut pilot_engine = EngineBuilder::new(stochastic_net(23)).samples(2).build();
+        let want = pilot_engine.predict(&req).unwrap();
+        let mut gated = EngineBuilder::new(stochastic_net(23))
+            .samples(4)
+            .adaptive(AdaptivePolicy::escalate(nds_adaptive::EscalationPolicy {
+                metric: nds_adaptive::GateMetric::PredictiveEntropy,
+                threshold: 1e9,
+                pilot: 2,
+            }))
+            .build();
+        let got = gated.predict(&req).unwrap();
+        assert_eq!(got.probs.as_slice(), want.probs.as_slice());
+        assert_eq!(got.entropy, want.entropy);
+        assert_eq!(got.variance, want.variance);
+        assert_eq!(got.achieved_samples, 2);
+        assert!(!got.degraded, "gating is a choice, not degradation");
+        assert_eq!(got.row_samples, Some(vec![2; 3]));
+    }
+
+    #[test]
+    fn disabled_policy_is_byte_identical_to_no_policy() {
+        let mut rng = Rng64::new(5);
+        let x = Tensor::rand_normal(Shape::d4(4, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let req = PredictRequest::new(&x).with_outputs(UncertaintyFlags::ALL);
+        let mut plain = EngineBuilder::new(stochastic_net(29)).samples(3).build();
+        let mut disabled = EngineBuilder::new(stochastic_net(29))
+            .samples(3)
+            .adaptive(AdaptivePolicy::disabled())
+            .build();
+        let a = plain.predict(&req).unwrap();
+        let b = disabled.predict(&req).unwrap();
+        assert_eq!(a.probs.as_slice(), b.probs.as_slice());
+        assert_eq!(b.row_samples, None);
+        assert_eq!(b.exit_histogram, None);
+    }
+
+    #[test]
+    fn adaptive_rejects_bad_policy_and_backend() {
+        let x = Tensor::zeros(Shape::d4(2, 1, 4, 4));
+        let req = PredictRequest::new(&x);
+        // Non-finite threshold: typed reject before any work.
+        let mut bad = EngineBuilder::new(stochastic_net(31))
+            .samples(3)
+            .adaptive(AdaptivePolicy::escalate(
+                nds_adaptive::EscalationPolicy::entropy(f64::NAN),
+            ))
+            .build();
+        assert!(matches!(bad.predict(&req), Err(EngineError::BadRequest(_))));
+        // Quantized backend: adaptive gating is float-only.
+        let mut quantized = EngineBuilder::new(stochastic_net(31))
+            .samples(3)
+            .backend(Backend::quantized_q78())
+            .adaptive(AdaptivePolicy::escalate(
+                nds_adaptive::EscalationPolicy::entropy(0.5),
+            ))
+            .build();
+        assert!(matches!(
+            quantized.predict(&req),
+            Err(EngineError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn budget_wins_over_adaptive_gating() {
+        // A budgeted request must take the deadline-degradation path:
+        // adaptive gating never runs (row_samples stays None) and the
+        // served samples keep their unbudgeted bytes.
+        let mut rng = Rng64::new(6);
+        let x = Tensor::rand_normal(Shape::d4(2, 1, 4, 4), 0.0, 1.0, &mut rng);
+        let mut engine = EngineBuilder::new(stochastic_net(37))
+            .samples(3)
+            .adaptive(AdaptivePolicy::escalate(
+                nds_adaptive::EscalationPolicy::entropy(0.0),
+            ))
+            .build();
+        let req = PredictRequest::new(&x).with_latency_budget(1e9);
+        let resp = engine.predict(&req).unwrap();
+        assert_eq!(resp.row_samples, None, "budgeted requests skip gating");
+        let mut plain = EngineBuilder::new(stochastic_net(37)).samples(3).build();
+        let want = plain.predict(&PredictRequest::new(&x)).unwrap();
+        assert_eq!(resp.probs.as_slice(), want.probs.as_slice());
+    }
+
+    #[test]
+    fn selective_escalation_splits_rows_per_policy() {
+        // Mixed batch: rows whose pilot entropy clears the median
+        // escalate, the rest stay at the pilot count — and each side's
+        // probabilities match the matching uniform engine's bytes.
+        let mut rng = Rng64::new(7);
+        let x = Tensor::rand_normal(Shape::d4(6, 1, 4, 4), 0.0, 1.5, &mut rng);
+        let req = PredictRequest::new(&x);
+        let mut pilot_engine = EngineBuilder::new(stochastic_net(41)).samples(1).build();
+        let pilot_resp = pilot_engine.predict(&req).unwrap();
+        let mut scores = vec![0.0f64; 6];
+        nds_adaptive::gate_scores(
+            pilot_resp.probs.as_slice(),
+            1,
+            6,
+            4,
+            nds_adaptive::GateMetric::PredictiveEntropy,
+            &mut scores,
+        );
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let threshold = (sorted[2] + sorted[3]) / 2.0;
+        let mut full_engine = EngineBuilder::new(stochastic_net(41)).samples(3).build();
+        let full = full_engine.predict(&req).unwrap();
+        let mut gated = EngineBuilder::new(stochastic_net(41))
+            .samples(3)
+            .adaptive(AdaptivePolicy::escalate(nds_adaptive::EscalationPolicy {
+                metric: nds_adaptive::GateMetric::PredictiveEntropy,
+                threshold,
+                pilot: 1,
+            }))
+            .build();
+        let got = gated.predict(&req).unwrap();
+        let row_samples = got.row_samples.as_ref().unwrap();
+        let escalated = row_samples.iter().filter(|&&s| s == 3).count();
+        assert_eq!(escalated, 3, "median threshold escalates half the batch");
+        for (r, &row_s) in row_samples.iter().enumerate() {
+            let got_row = &got.probs.as_slice()[r * 4..(r + 1) * 4];
+            let want_row = if row_s == 3 {
+                &full.probs.as_slice()[r * 4..(r + 1) * 4]
+            } else {
+                &pilot_resp.probs.as_slice()[r * 4..(r + 1) * 4]
+            };
+            assert_eq!(got_row, want_row, "row {r} bytes");
+        }
     }
 }

@@ -371,6 +371,31 @@ pub fn uniform_probs(n: usize, classes: usize) -> Tensor {
     Tensor::full(Shape::d2(n, classes), 1.0 / classes.max(1) as f32)
 }
 
+/// Fraction of rows an adaptive escalation gate promoted past the pilot
+/// sample count: `row_samples` is the per-row achieved-sample vector an
+/// adaptive engine response reports, `pilot` the gate's pilot count. An
+/// empty batch has escalated nothing (rate 0).
+pub fn escalation_rate(row_samples: &[usize], pilot: usize) -> f64 {
+    if row_samples.is_empty() {
+        return 0.0;
+    }
+    let escalated = row_samples.iter().filter(|&&s| s > pilot).count();
+    escalated as f64 / row_samples.len() as f64
+}
+
+/// Histogram of exit decisions for a multi-exit pass: `exit_of[i]` is
+/// the exit index row `i` took (`heads` = the final classifier), the
+/// result counts rows per exit over `heads + 1` bins. Out-of-range
+/// indices are clamped into the final bin, so a walker that reports the
+/// final classifier as "one past the last head" needs no translation.
+pub fn exit_histogram(exit_of: &[usize], heads: usize) -> Vec<usize> {
+    let mut bins = vec![0usize; heads + 1];
+    for &e in exit_of {
+        bins[e.min(heads)] += 1;
+    }
+    bins
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,5 +513,23 @@ mod tests {
         assert_eq!(nll(&p, &[]).unwrap(), 0.0);
         assert_eq!(brier_score(&p, &[]).unwrap(), 0.0);
         assert_eq!(ece(&p, &[], EceConfig::default()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn escalation_rate_counts_promoted_rows() {
+        assert_eq!(escalation_rate(&[], 1), 0.0);
+        assert_eq!(escalation_rate(&[1, 1, 1], 1), 0.0);
+        assert_eq!(escalation_rate(&[3, 1, 3, 1], 1), 0.5);
+        assert_eq!(escalation_rate(&[3, 3], 1), 1.0);
+        // Rows at the pilot count are not escalations.
+        assert_eq!(escalation_rate(&[2, 2, 5], 2), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn exit_histogram_bins_and_clamps() {
+        assert_eq!(exit_histogram(&[], 2), vec![0, 0, 0]);
+        assert_eq!(exit_histogram(&[0, 1, 2, 1, 0, 0], 2), vec![3, 2, 1]);
+        // Indices past the head count land in the final bin.
+        assert_eq!(exit_histogram(&[9, 0], 1), vec![1, 1]);
     }
 }

@@ -1,0 +1,349 @@
+use crate::layers::Linear;
+use crate::loss::softmax_cross_entropy;
+use crate::optim::Sgd;
+use crate::{Layer, Mode, NnError, Param, Result};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Shape, Tensor, Workspace};
+
+/// A side classifier attachable mid-chain for multi-exit inference.
+///
+/// On the main path the layer is the **identity** — inserting a head
+/// changes no downstream activation, no mask stream and no golden byte,
+/// in any mode or execution order. The head itself (global-average pool
+/// over spatial dims when the in-flow is a feature map, then a linear
+/// classifier with temperature scaling) is evaluated only on demand via
+/// [`ExitHead::exit_probs_ws`], which is how the exit-aware walker in
+/// `nds-adaptive` asks "how confident would this exit be?" without the
+/// ordinary forward paths paying for the extra GEMM.
+///
+/// Heads are trained *after* the backbone (a linear probe on frozen
+/// features, [`ExitHead::fit`]) and calibrated by temperature scaling
+/// ([`ExitHead::calibrate`]), so the confidence their probabilities
+/// express is meaningful enough to gate on. Head parameters are exposed
+/// through [`Layer::visit_params`], so the MC clone cache's weight
+/// fingerprint sees a refit and invalidates cached worker clones.
+#[derive(Debug, Clone)]
+pub struct ExitHead {
+    head: Linear,
+    /// `true` when the in-flow is a rank-4 feature map that must be
+    /// global-average-pooled before the classifier.
+    pooled: bool,
+    in_features: usize,
+    classes: usize,
+    /// Calibrated softmax temperature (logits are divided by it).
+    temperature: f32,
+}
+
+impl ExitHead {
+    /// Creates a head for the activation `shape` flowing at the
+    /// attachment point (batch dimension included): rank-4 maps pool to
+    /// their channel count, rank-2 vectors classify directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for other ranks or zero classes.
+    pub fn for_shape(shape: &Shape, classes: usize, rng: &mut Rng64) -> Result<Self> {
+        if classes == 0 {
+            return Err(NnError::BadConfig("exit head needs >= 1 class".into()));
+        }
+        let (pooled, in_features) = match shape.rank() {
+            4 => (true, shape.dim(1)),
+            2 => (false, shape.dim(1)),
+            _ => {
+                return Err(NnError::BadConfig(format!(
+                    "exit head supports rank-2/rank-4 in-flows, got {shape}"
+                )))
+            }
+        };
+        Ok(ExitHead {
+            head: Linear::new(in_features, classes, true, rng),
+            pooled,
+            in_features,
+            classes,
+            temperature: 1.0,
+        })
+    }
+
+    /// Number of classes the head predicts.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The calibrated softmax temperature.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Overrides the calibrated temperature (must be positive and
+    /// finite; out-of-range values are clamped to 1.0).
+    pub fn set_temperature(&mut self, temperature: f32) {
+        self.temperature = if temperature.is_finite() && temperature > 0.0 {
+            temperature
+        } else {
+            1.0
+        };
+    }
+
+    /// Pools `input` into the head's `[n, in_features]` feature matrix.
+    fn features(&self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        let n = input.shape().dim(0);
+        if self.pooled {
+            if input.shape().rank() != 4 || input.shape().dim(1) != self.in_features {
+                return Err(NnError::BadConfig(format!(
+                    "exit head expected [n, {}, h, w] in-flow, got {}",
+                    self.in_features,
+                    input.shape()
+                )));
+            }
+            let (c, h, w) = (
+                input.shape().dim(1),
+                input.shape().dim(2),
+                input.shape().dim(3),
+            );
+            let plane = h * w;
+            let mut out = ws.take_dirty(n * c);
+            let inv = 1.0 / plane.max(1) as f32;
+            for (i, feature) in out.iter_mut().enumerate() {
+                let start = i * plane;
+                let sum: f32 = input.as_slice()[start..start + plane].iter().sum();
+                *feature = sum * inv;
+            }
+            Tensor::from_vec(out, Shape::d2(n, c)).map_err(NnError::from)
+        } else {
+            if input.shape().rank() != 2 || input.shape().dim(1) != self.in_features {
+                return Err(NnError::BadConfig(format!(
+                    "exit head expected [n, {}] in-flow, got {}",
+                    self.in_features,
+                    input.shape()
+                )));
+            }
+            Ok(ws.take_copy(input))
+        }
+    }
+
+    /// Calibrated exit probabilities for the activation flowing at this
+    /// head's position: pooled features → linear logits → temperature
+    /// scaling → softmax. Returns an `[n, classes]` tensor drawn from
+    /// `ws`; scratch is recycled.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `input` is not the in-flow shape the head
+    /// was built for.
+    pub fn exit_probs_ws(&mut self, input: &Tensor, ws: &mut Workspace) -> Result<Tensor> {
+        let feats = self.features(input, ws)?;
+        let mut logits = self.head.forward_ws(&feats, Mode::Standard, ws)?;
+        ws.recycle_tensor(feats);
+        if self.temperature != 1.0 {
+            let inv = 1.0 / self.temperature;
+            for v in logits.as_mut_slice() {
+                *v *= inv;
+            }
+        }
+        logits.softmax_rows_inplace()?;
+        Ok(logits)
+    }
+
+    /// Fits the head as a linear probe on frozen features: full-batch
+    /// softmax cross-entropy SGD over the head's own parameters only
+    /// (the backbone is never touched). Returns the final loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches between `inputs`, the head,
+    /// and `labels`.
+    pub fn fit(
+        &mut self,
+        inputs: &Tensor,
+        labels: &[usize],
+        epochs: usize,
+        lr: f32,
+    ) -> Result<f64> {
+        let mut ws = Workspace::new();
+        let feats = self.features(inputs, &mut ws)?;
+        let sgd = Sgd::new(lr);
+        let mut last = f64::NAN;
+        for _ in 0..epochs.max(1) {
+            let logits = self.head.forward(&feats, Mode::Train)?;
+            let (loss, grad) = softmax_cross_entropy(&logits, labels)?;
+            self.head.backward(&grad)?;
+            let mut params = self.head.params_mut();
+            sgd.step(&mut params);
+            sgd.zero_grad(&mut params);
+            last = loss;
+        }
+        Ok(last)
+    }
+
+    /// Temperature-scales the head on held-out data: a deterministic
+    /// grid search over `T ∈ [0.25, 4]` minimising the NLL of
+    /// `softmax(logits / T)`. Returns the chosen temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches.
+    pub fn calibrate(&mut self, inputs: &Tensor, labels: &[usize]) -> Result<f32> {
+        let mut ws = Workspace::new();
+        let feats = self.features(inputs, &mut ws)?;
+        let logits = self.head.forward_ws(&feats, Mode::Standard, &mut ws)?;
+        let n = logits.shape().dim(0);
+        if labels.len() != n {
+            return Err(NnError::BadConfig(format!(
+                "calibrate: {} labels for {n} rows",
+                labels.len()
+            )));
+        }
+        let classes = logits.shape().dim(1);
+        let mut best = (f64::INFINITY, 1.0f32);
+        // 0.25, 0.30, … 4.00 — fixed ascending grid, first minimum wins.
+        for step in 0..=75 {
+            let t = 0.25 + 0.05 * step as f32;
+            let mut nll = 0.0f64;
+            for (row, &label) in labels.iter().enumerate() {
+                let row = &logits.as_slice()[row * classes..(row + 1) * classes];
+                // log-softmax of row / t at the label index.
+                let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b / t));
+                let lse: f64 = row
+                    .iter()
+                    .map(|&v| ((v / t - m) as f64).exp())
+                    .sum::<f64>()
+                    .ln()
+                    + m as f64;
+                nll -= (row[label] / t) as f64 - lse;
+            }
+            nll /= n as f64;
+            if nll < best.0 {
+                best = (nll, t);
+            }
+        }
+        self.temperature = best.1;
+        Ok(best.1)
+    }
+}
+
+impl Layer for ExitHead {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, _mode: Mode, ws: &mut Workspace) -> Result<Tensor> {
+        // Identity on the main path, via a pooled copy: attaching a
+        // head never changes downstream bytes.
+        Ok(ws.take_copy(input))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        // The head is trained as a standalone probe (`fit`); the main
+        // path's gradient passes through unchanged.
+        Ok(grad.clone())
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.head.params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.head.params_mut()
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.head.visit_params(f);
+    }
+
+    fn as_exit_head(&mut self) -> Option<&mut ExitHead> {
+        Some(self)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "exit_head({}->{}, t={:.2})",
+            self.in_features, self.classes, self.temperature
+        )
+    }
+
+    fn out_shape(&self, input: &Shape) -> Result<Shape> {
+        Ok(input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_on_main_path_in_every_mode() {
+        let mut rng = Rng64::new(1);
+        let shape = Shape::d4(2, 3, 4, 4);
+        let mut head = ExitHead::for_shape(&shape, 5, &mut rng).unwrap();
+        let x = Tensor::rand_normal(shape.clone(), 0.0, 1.0, &mut rng);
+        for mode in [Mode::Train, Mode::McInference, Mode::Standard] {
+            let y = head.forward(&x, mode).unwrap();
+            assert_eq!(y, x, "{mode:?} must be identity");
+        }
+        assert_eq!(head.out_shape(x.shape()).unwrap(), *x.shape());
+        let g = Tensor::rand_normal(shape, 0.0, 1.0, &mut rng);
+        assert_eq!(head.backward(&g).unwrap(), g);
+    }
+
+    #[test]
+    fn exit_probs_are_distributions() {
+        let mut rng = Rng64::new(2);
+        let shape = Shape::d4(3, 4, 5, 5);
+        let mut head = ExitHead::for_shape(&shape, 6, &mut rng).unwrap();
+        let x = Tensor::rand_normal(shape, 0.0, 1.0, &mut rng);
+        let mut ws = Workspace::new();
+        let p = head.exit_probs_ws(&x, &mut ws).unwrap();
+        assert_eq!(p.shape().dims(), &[3, 6]);
+        for row in 0..3 {
+            let s: f32 = p.as_slice()[row * 6..(row + 1) * 6].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {row} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn fit_separates_separable_features() {
+        // Two well-separated Gaussian blobs in feature space: a fitted
+        // probe must classify them and grow confident.
+        let mut rng = Rng64::new(3);
+        let n = 32usize;
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            let centre = if label == 0 { -2.0 } else { 2.0 };
+            data.push(centre + 0.1 * rng.normal() as f32);
+            data.push(-centre + 0.1 * rng.normal() as f32);
+            labels.push(label);
+        }
+        let x = Tensor::from_vec(data, Shape::d2(n, 2)).unwrap();
+        let mut head = ExitHead::for_shape(x.shape(), 2, &mut rng).unwrap();
+        let loss0 = head.fit(&x, &labels, 1, 0.5).unwrap();
+        let loss = head.fit(&x, &labels, 200, 0.5).unwrap();
+        assert!(loss < loss0, "training must reduce loss: {loss0} -> {loss}");
+        let mut ws = Workspace::new();
+        let p = head.exit_probs_ws(&x, &mut ws).unwrap();
+        let correct = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| {
+                let row = &p.as_slice()[i * 2..(i + 1) * 2];
+                (row[1] > row[0]) == (l == 1)
+            })
+            .count();
+        assert!(correct >= n - 1, "probe got {correct}/{n} right");
+        let t = head.calibrate(&x, &labels).unwrap();
+        assert!((0.2..=4.0).contains(&t));
+        assert_eq!(t, head.temperature());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut rng = Rng64::new(4);
+        assert!(ExitHead::for_shape(&Shape::d1(8), 3, &mut rng).is_err());
+        assert!(ExitHead::for_shape(&Shape::d2(2, 8), 0, &mut rng).is_err());
+        let mut head = ExitHead::for_shape(&Shape::d2(2, 8), 3, &mut rng).unwrap();
+        let wrong = Tensor::zeros(Shape::d2(2, 9));
+        let mut ws = Workspace::new();
+        assert!(head.exit_probs_ws(&wrong, &mut ws).is_err());
+    }
+}

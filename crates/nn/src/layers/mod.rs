@@ -3,6 +3,7 @@
 mod activation;
 mod attention;
 mod conv;
+mod exit_head;
 mod identity;
 mod linear;
 mod norm;
@@ -14,6 +15,7 @@ mod sequential;
 pub use activation::Relu;
 pub use attention::{LayerNorm, MultiHeadAttention, PatchEmbed, PreNorm, TokenMeanPool, TokenMlp};
 pub use conv::Conv2d;
+pub use exit_head::ExitHead;
 pub use identity::Identity;
 pub use linear::Linear;
 pub use norm::BatchNorm2d;

@@ -31,6 +31,20 @@ impl Sequential {
         self
     }
 
+    /// Inserts a layer at `index`, shifting later layers back — the
+    /// surgery multi-exit attachment uses to place an
+    /// [`crate::layers::ExitHead`] mid-chain. Structural surgery: bumps
+    /// the [`Layer::structural_epoch`] counter like [`Sequential::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index > len()` (same contract as `Vec::insert`).
+    pub fn insert(&mut self, index: usize, layer: Box<dyn Layer>) -> &mut Self {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.layers.insert(index, layer);
+        self
+    }
+
     /// Number of layers in the chain.
     pub fn len(&self) -> usize {
         self.layers.len()
@@ -189,6 +203,37 @@ impl Layer for Sequential {
             let mut y = match &x {
                 Some(t) => layer.forward_mc_fused(t, samples, ws)?,
                 None => layer.forward_mc_fused(input, samples, ws)?,
+            };
+            if nds_fault::wants_poison(index) {
+                if let Some(v) = y.as_mut_slice().first_mut() {
+                    *v = f32::NAN;
+                }
+            }
+            if let Some(consumed) = x.replace(y) {
+                ws.recycle_tensor(consumed);
+            }
+        }
+        match x {
+            Some(out) => Ok(out),
+            None => Ok(ws.take_copy(input)),
+        }
+    }
+
+    fn forward_mc_gathered(
+        &mut self,
+        input: &Tensor,
+        kept: &[usize],
+        ws: &mut Workspace,
+    ) -> Result<Tensor> {
+        // Mirror of `forward_ws` for the gathered (escalation) pass:
+        // chain the children's gathered forwards so stochastic layers
+        // can fast-forward their streams over the skipped rows, with the
+        // same per-layer fault-poisoning point as the other orders.
+        let mut x: Option<Tensor> = None;
+        for (index, layer) in self.layers.iter_mut().enumerate() {
+            let mut y = match &x {
+                Some(t) => layer.forward_mc_gathered(t, kept, ws)?,
+                None => layer.forward_mc_gathered(input, kept, ws)?,
             };
             if nds_fault::wants_poison(index) {
                 if let Some(v) = y.as_mut_slice().first_mut() {

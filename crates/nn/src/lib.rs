@@ -354,6 +354,51 @@ pub trait Layer: fmt::Debug + Send + Sync {
         self.forward_ws(input, Mode::McInference, ws)
     }
 
+    /// Gathered Monte-Carlo forward pass: `input` holds only the batch
+    /// items listed in `kept` (pass-global indices, strictly ascending),
+    /// compacted into `kept.len()` rows.
+    ///
+    /// This is the escalation primitive behind adaptive sampling: after
+    /// a pilot round, only above-threshold rows re-run for the remaining
+    /// samples — but the byte-identity contract requires every kept
+    /// row's masks to equal the masks a *full* pass would have drawn for
+    /// that row. Within a pass, stochastic layers advance their stream
+    /// once per batch item in item order, so they override this to
+    /// draw-and-discard the skipped items' masks (fast-forwarding the
+    /// stream) before drawing each kept item's mask. Deterministic
+    /// layers are row-independent, so the default — an ordinary
+    /// [`Mode::McInference`] forward over the compacted batch — is
+    /// exact. Container layers whose subtree may hold stochastic layers
+    /// ([`layers::Sequential`], the supernet's `SlotLayer`) chain their
+    /// children's gathered forwards.
+    ///
+    /// Stream bookkeeping resets with [`Layer::begin_mc_sample`]; one
+    /// gathered pass covers one sample and is not chunked.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible with
+    /// `kept.len()` rows.
+    fn forward_mc_gathered(
+        &mut self,
+        input: &Tensor,
+        kept: &[usize],
+        ws: &mut Workspace,
+    ) -> Result<Tensor> {
+        let _ = kept;
+        self.forward_ws(input, Mode::McInference, ws)
+    }
+
+    /// Downcast hook for multi-exit networks: returns the layer as an
+    /// [`layers::ExitHead`] when it is one.
+    ///
+    /// The exit-aware walker in `nds-adaptive` uses this to find the
+    /// heads while streaming activations through the chain; every other
+    /// layer keeps the `None` default.
+    fn as_exit_head(&mut self) -> Option<&mut layers::ExitHead> {
+        None
+    }
+
     /// Stashes the layer's stochastic stream state (dropout RNGs, mask
     /// cursors, the pending backward mask) so an in-place Monte-Carlo
     /// round can run on this network and then hand it back exactly as

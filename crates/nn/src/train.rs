@@ -7,7 +7,7 @@
 use crate::layers::Sequential;
 use crate::loss::softmax_cross_entropy;
 use crate::optim::{LrSchedule, Sgd};
-use crate::{Layer, Mode, Result};
+use crate::{Layer, Mode, NnError, Result};
 use nds_tensor::rng::Rng64;
 use nds_tensor::{Shape, Tensor, Workspace};
 
@@ -234,6 +234,56 @@ pub fn predict_probs_ws(
         start = end;
     }
     Tensor::from_vec(rows, Shape::d2(n, classes)).map_err(Into::into)
+}
+
+/// Gathered Monte-Carlo prediction for one sample pass: runs the compact
+/// `images` tensor (the kept rows of a larger pass, gathered together)
+/// through the network via [`Layer::forward_mc_gathered`] and returns
+/// softmax probabilities `[kept.len(), classes]`.
+///
+/// `kept` holds the kept rows' **pass-global** item indices, strictly
+/// ascending. Stochastic layers burn the skipped items' mask draws so
+/// every kept row sees exactly the mask it would in a full pass of the
+/// same sample — the byte-identity contract sample escalation relies on.
+/// The caller drives the per-sample stream state exactly as the
+/// round-major harness does: `begin_mc_round`, then `begin_mc_sample`
+/// before each sample's gathered pass(es). The pass is **not** chunked —
+/// chunking is expressed by calling this repeatedly with consecutive
+/// `kept` slices within one sample.
+///
+/// # Errors
+///
+/// Propagates forward errors; rejects `kept.len() != images.dim(0)`,
+/// non-ascending indices (via the dropout layer), and networks whose
+/// output is not `[rows, classes]`.
+pub fn predict_probs_gathered_ws(
+    net: &mut Sequential,
+    images: &Tensor,
+    kept: &[usize],
+    ws: &mut Workspace,
+) -> Result<Tensor> {
+    let n = images.shape().dim(0);
+    if n == 0 {
+        return Tensor::from_vec(Vec::new(), Shape::d2(0, 1)).map_err(Into::into);
+    }
+    if kept.len() != n {
+        return Err(NnError::BadConfig(format!(
+            "gathered pass: {} kept indices for {n} rows",
+            kept.len()
+        )));
+    }
+    let classes = output_classes(net, images.shape())?;
+    let mut probs = net.forward_mc_gathered(images, kept, ws)?;
+    probs.softmax_rows_inplace()?;
+    if probs.len() != n * classes {
+        return Err(nds_tensor::TensorError::ShapeMismatch {
+            op: "predict_probs_gathered row assembly",
+            lhs: Shape::d2(n, classes),
+            rhs: probs.shape().clone(),
+        }
+        .into());
+    }
+    Ok(probs)
 }
 
 /// Activation post-processing hook for the fused sample-major walker:

@@ -1,0 +1,376 @@
+//! Exit-placement search: the multi-exit dimension of the design space.
+//!
+//! [`sweep_exit_placements`] evaluates candidate [`ExitPlacement`]s on a
+//! trained backbone: each placement clones the backbone, attaches
+//! [`nds_adaptive`] exit heads, fits and temperature-calibrates them on
+//! the calibration split, then scores the gated walk on the validation
+//! split. Accuracy and ECE come from the gated probabilities; latency is
+//! **measured wall-clock** of the runtime's actual gated walk (early
+//! chain termination included), not a model. Measured time is
+//! machine-dependent and non-deterministic, so exit-placement results
+//! are deliberately excluded from the byte-exact checkpoint contract —
+//! re-running a sweep reproduces accuracy/ECE/histogram bytes but not
+//! latency bytes.
+//!
+//! [`best_exit_placement`] ranks candidates with the same scalarised aim
+//! the dropout search uses (η·Accuracy − μ·ECE − λ·Latency; aPE carries
+//! no meaning for a single deterministic pass and enters as zero).
+
+use crate::{Result, SearchAim, SearchError};
+use nds_adaptive::exits::{
+    attach_exit_heads, calibrate_exit_heads, fit_exit_heads, predict_probs_exits_ws,
+};
+use nds_metrics::{accuracy, ece, exit_histogram, EceConfig};
+use nds_nn::layers::Sequential;
+use nds_nn::{Layer, Mode};
+use nds_tensor::rng::Rng64;
+use nds_tensor::{Tensor, Workspace};
+use std::time::Instant;
+
+/// One point in the exit-placement space: where the heads go and the
+/// shared confidence threshold that gates them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitPlacement {
+    /// Backbone layer indices (strictly ascending) to insert heads at.
+    pub positions: Vec<usize>,
+    /// Calibrated max-probability threshold in `(0, 1]` applied at every
+    /// head; a row exits at the first head that clears it.
+    pub threshold: f64,
+}
+
+/// Evaluation knobs shared by every placement in a sweep.
+#[derive(Debug, Clone)]
+pub struct ExitSweepConfig {
+    /// RNG seed for head initialisation (placements share it, so two
+    /// sweeps over the same space are comparable).
+    pub seed: u64,
+    /// Linear-probe epochs per head.
+    pub fit_epochs: usize,
+    /// Linear-probe learning rate.
+    pub fit_lr: f32,
+    /// Wall-clock repetitions per timing figure; the minimum over reps
+    /// is reported to suppress scheduler noise.
+    pub timing_reps: usize,
+}
+
+impl Default for ExitSweepConfig {
+    fn default() -> Self {
+        ExitSweepConfig {
+            seed: 0,
+            fit_epochs: 120,
+            fit_lr: 0.3,
+            timing_reps: 3,
+        }
+    }
+}
+
+/// A scored exit placement.
+#[derive(Debug, Clone)]
+pub struct ExitCandidate {
+    /// The placement that was evaluated.
+    pub placement: ExitPlacement,
+    /// Validation accuracy of the gated walk (early-exited rows use
+    /// their head's calibrated probabilities).
+    pub accuracy: f64,
+    /// Validation ECE of the gated walk.
+    pub ece: f64,
+    /// Measured expected per-row latency of the gated walk, in ms
+    /// (min over `timing_reps`, divided by the batch size).
+    pub expected_latency_ms: f64,
+    /// Measured per-row latency of the plain (head-free) backbone pass,
+    /// in ms, under the same timing discipline.
+    pub full_latency_ms: f64,
+    /// Rows per exit: `histogram[k]` counts rows that left at head `k`;
+    /// the last bin is the final classifier.
+    pub exit_histogram: Vec<usize>,
+}
+
+impl ExitCandidate {
+    /// Measured speedup of the gated walk over the plain pass
+    /// (`full / expected`; > 1 means the exits pay for themselves).
+    pub fn speedup(&self) -> f64 {
+        if self.expected_latency_ms > 0.0 {
+            self.full_latency_ms / self.expected_latency_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+fn adaptive_err(e: impl std::fmt::Display) -> SearchError {
+    SearchError::BadConfig(format!("exit placement evaluation failed: {e}"))
+}
+
+/// Evaluates one placement on a trained backbone.
+///
+/// `calib` fits and temperature-scales the heads; `val` scores the gated
+/// walk. The backbone itself is never mutated — each call works on a
+/// clone, so sweeps are order-independent.
+///
+/// # Errors
+///
+/// [`SearchError::BadConfig`] when the placement is invalid for the
+/// backbone (positions out of range or not ascending, threshold outside
+/// `(0, 1]`) or when head fitting/inference fails.
+pub fn evaluate_exit_placement(
+    backbone: &Sequential,
+    input_shape: &nds_tensor::Shape,
+    calib: (&Tensor, &[usize]),
+    val: (&Tensor, &[usize]),
+    placement: &ExitPlacement,
+    config: &ExitSweepConfig,
+) -> Result<ExitCandidate> {
+    if !(placement.threshold > 0.0 && placement.threshold <= 1.0) {
+        return Err(SearchError::BadConfig(format!(
+            "exit threshold must lie in (0, 1], got {}",
+            placement.threshold
+        )));
+    }
+    let (calib_x, calib_y) = calib;
+    let (val_x, val_y) = val;
+    let classes =
+        nds_nn::train::output_classes(&backbone.clone(), input_shape).map_err(adaptive_err)?;
+
+    let mut gated = backbone.clone();
+    let mut rng = Rng64::new(config.seed);
+    let heads = attach_exit_heads(
+        &mut gated,
+        input_shape,
+        &placement.positions,
+        classes,
+        &mut rng,
+    )
+    .map_err(adaptive_err)?;
+    fit_exit_heads(
+        &mut gated,
+        calib_x,
+        calib_y,
+        config.fit_epochs,
+        config.fit_lr,
+    )
+    .map_err(adaptive_err)?;
+    calibrate_exit_heads(&mut gated, calib_x, calib_y).map_err(adaptive_err)?;
+
+    let thresholds = vec![placement.threshold; heads];
+    let n = val_x.shape().dims()[0];
+    let mut ws = Workspace::new();
+    let mut exit_of = vec![0usize; n];
+    let probs = predict_probs_exits_ws(
+        &mut gated,
+        val_x,
+        Mode::Standard,
+        &thresholds,
+        &mut ws,
+        &mut exit_of,
+    )
+    .map_err(adaptive_err)?;
+
+    let acc = accuracy(&probs, val_y).map_err(adaptive_err)?;
+    let cal = ece(&probs, val_y, EceConfig::default()).map_err(adaptive_err)?;
+    let histogram = exit_histogram(&exit_of, heads);
+
+    let reps = config.timing_reps.max(1);
+    let rows = n.max(1) as f64;
+    let mut gated_ms = f64::INFINITY;
+    let mut scratch = vec![0usize; n];
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = predict_probs_exits_ws(
+            &mut gated,
+            val_x,
+            Mode::Standard,
+            &thresholds,
+            &mut ws,
+            &mut scratch,
+        )
+        .map_err(adaptive_err)?;
+        gated_ms = gated_ms.min(start.elapsed().as_secs_f64() * 1e3 / rows);
+        ws.recycle_tensor(out);
+    }
+    let mut plain = backbone.clone();
+    let mut full_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = plain
+            .forward_ws(val_x, Mode::Standard, &mut ws)
+            .map_err(adaptive_err)?;
+        full_ms = full_ms.min(start.elapsed().as_secs_f64() * 1e3 / rows);
+        ws.recycle_tensor(out);
+    }
+
+    Ok(ExitCandidate {
+        placement: placement.clone(),
+        accuracy: acc,
+        ece: cal,
+        expected_latency_ms: gated_ms,
+        full_latency_ms: full_ms,
+        exit_histogram: histogram,
+    })
+}
+
+/// Sweeps a set of placements and returns one candidate per placement,
+/// in input order.
+///
+/// # Errors
+///
+/// Propagates the first placement's evaluation error.
+pub fn sweep_exit_placements(
+    backbone: &Sequential,
+    input_shape: &nds_tensor::Shape,
+    calib: (&Tensor, &[usize]),
+    val: (&Tensor, &[usize]),
+    placements: &[ExitPlacement],
+    config: &ExitSweepConfig,
+) -> Result<Vec<ExitCandidate>> {
+    placements
+        .iter()
+        .map(|p| evaluate_exit_placement(backbone, input_shape, calib, val, p, config))
+        .collect()
+}
+
+/// Index of the aim-optimal candidate (η·Accuracy − μ·ECE −
+/// λ·ExpectedLatency; aPE enters as zero). Ties keep the earliest
+/// candidate; returns `None` for an empty slice.
+pub fn best_exit_placement(candidates: &[ExitCandidate], aim: &SearchAim) -> Option<usize> {
+    let score = |c: &ExitCandidate| {
+        aim.eta * c.accuracy - aim.mu * c.ece - aim.lambda * c.expected_latency_ms
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        let s = score(c);
+        if best.is_none_or(|(_, b)| s > b) {
+            best = Some((i, s));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_nn::layers::{Linear, Relu};
+    use nds_tensor::Shape;
+
+    fn backbone(seed: u64) -> Sequential {
+        let mut rng = Rng64::new(seed);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(4, 8, true, &mut rng)));
+        net.push(Box::new(Relu::default()));
+        net.push(Box::new(Linear::new(8, 3, true, &mut rng)));
+        net
+    }
+
+    fn blobs(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Rng64::new(seed);
+        let mut x = Tensor::rand_normal(Shape::d2(n, 4), 0.0, 0.3, &mut rng);
+        let mut y = Vec::with_capacity(n);
+        for (r, row) in x.as_mut_slice().chunks_mut(4).enumerate() {
+            let class = r % 3;
+            row[class] += 2.5;
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn sweep_scores_placements_with_monotone_threshold_gating() {
+        let net = backbone(3);
+        let (cx, cy) = blobs(30, 10);
+        let (vx, vy) = blobs(24, 11);
+        let shape = Shape::d2(1, 4);
+        let placements = [
+            ExitPlacement {
+                positions: vec![2],
+                threshold: 0.5,
+            },
+            ExitPlacement {
+                positions: vec![2],
+                threshold: 0.95,
+            },
+        ];
+        let config = ExitSweepConfig {
+            fit_epochs: 200,
+            fit_lr: 0.5,
+            timing_reps: 1,
+            ..ExitSweepConfig::default()
+        };
+        let out = sweep_exit_placements(&net, &shape, (&cx, &cy), (&vx, &vy), &placements, &config)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        for c in &out {
+            assert_eq!(c.exit_histogram.iter().sum::<usize>(), 24);
+            assert!(c.accuracy >= 0.0 && c.accuracy <= 1.0);
+            assert!(c.ece >= 0.0);
+            assert!(c.expected_latency_ms.is_finite() && c.expected_latency_ms >= 0.0);
+            assert!(c.speedup().is_finite());
+        }
+        assert!(
+            out[0].exit_histogram[0] > 0,
+            "a fitted head at threshold 0.5 should take some separable rows"
+        );
+        assert!(
+            out[1].exit_histogram[0] <= out[0].exit_histogram[0],
+            "raising the threshold must not increase early exits"
+        );
+    }
+
+    #[test]
+    fn best_placement_follows_the_aim() {
+        let mk = |acc: f64, ece: f64, lat: f64| ExitCandidate {
+            placement: ExitPlacement {
+                positions: vec![1],
+                threshold: 0.5,
+            },
+            accuracy: acc,
+            ece,
+            expected_latency_ms: lat,
+            full_latency_ms: lat * 2.0,
+            exit_histogram: vec![0, 0],
+        };
+        let cands = [mk(0.9, 0.10, 5.0), mk(0.8, 0.01, 1.0)];
+        assert_eq!(
+            best_exit_placement(&cands, &SearchAim::accuracy_optimal()),
+            Some(0)
+        );
+        let latency_aim = SearchAim {
+            name: "Latency".into(),
+            eta: 0.0,
+            mu: 0.0,
+            beta: 0.0,
+            lambda: 1.0,
+        };
+        assert_eq!(best_exit_placement(&cands, &latency_aim), Some(1));
+        assert_eq!(best_exit_placement(&[], &latency_aim), None);
+    }
+
+    #[test]
+    fn rejects_bad_thresholds_and_positions() {
+        let net = backbone(5);
+        let (cx, cy) = blobs(9, 1);
+        let shape = Shape::d2(1, 4);
+        let config = ExitSweepConfig::default();
+        let bad_threshold = ExitPlacement {
+            positions: vec![1],
+            threshold: 0.0,
+        };
+        assert!(matches!(
+            evaluate_exit_placement(
+                &net,
+                &shape,
+                (&cx, &cy),
+                (&cx, &cy),
+                &bad_threshold,
+                &config
+            ),
+            Err(SearchError::BadConfig(_))
+        ));
+        let bad_position = ExitPlacement {
+            positions: vec![9],
+            threshold: 0.5,
+        };
+        assert!(matches!(
+            evaluate_exit_placement(&net, &shape, (&cx, &cy), (&cx, &cy), &bad_position, &config),
+            Err(SearchError::BadConfig(_))
+        ));
+    }
+}

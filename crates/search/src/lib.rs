@@ -47,6 +47,7 @@
 pub mod checkpoint;
 mod evaluator;
 mod evolution;
+pub mod exits;
 pub mod pareto;
 mod random;
 mod session;

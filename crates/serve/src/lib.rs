@@ -97,7 +97,11 @@
 //! net.push(Box::new(Linear::new(4, 3, true, &mut rng)));
 //!
 //! let mut builder = ServerBuilder::new(net).max_batch(4).max_wait_ms(1.0);
-//! let tenant = builder.tenant(TenantSpec { seed: 7, samples: 3 });
+//! let tenant = builder.tenant(TenantSpec {
+//!     seed: 7,
+//!     samples: 3,
+//!     ..TenantSpec::default()
+//! });
 //! let server = builder.build();
 //!
 //! let images = Tensor::zeros(Shape::d4(2, 1, 2, 2));
@@ -119,6 +123,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use nds_adaptive::AdaptivePolicy;
 use nds_engine::{
     Backend, EngineBuilder, EngineError, Execution, PredictRequest, PredictResponse,
     UncertaintyEngine, UncertaintyFlags,
@@ -244,7 +249,7 @@ impl TenantId {
 
 /// Per-tenant serving configuration: the knobs that must stay isolated
 /// between clients of the shared model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantSpec {
     /// Mask-stream base for this tenant's engine: sample `s` draws its
     /// dropout masks from stream `seed + s`, independent of every other
@@ -252,15 +257,23 @@ pub struct TenantSpec {
     pub seed: u64,
     /// MC sampling number S for this tenant (clamped to at least 1).
     pub samples: usize,
+    /// Adaptive-inference policy for this tenant's engine
+    /// ([`nds_engine::EngineBuilder::adaptive`]): sample escalation and
+    /// multi-exit gating, isolated per tenant like the seed and sample
+    /// count. Default [`AdaptivePolicy::disabled`] — byte-identical to a
+    /// tenant without the field. Requests carrying a latency SLO use
+    /// deadline degradation instead (the budget wins inside the engine).
+    pub adaptive: AdaptivePolicy,
 }
 
 impl Default for TenantSpec {
     /// The engine's defaults: seed 0 (the historical stream base),
-    /// S = 3 samples.
+    /// S = 3 samples, no adaptive gating.
     fn default() -> Self {
         TenantSpec {
             seed: 0,
             samples: 3,
+            adaptive: AdaptivePolicy::disabled(),
         }
     }
 }
@@ -613,6 +626,7 @@ impl ServerBuilder {
                             .seed(spec.seed)
                             .workers(workers)
                             .transient_retries(retries)
+                            .adaptive(spec.adaptive.clone())
                             .build();
                         engine.prewarm();
                         engine
@@ -947,6 +961,7 @@ mod tests {
         let tenant = builder.tenant(TenantSpec {
             seed: 3,
             samples: 2,
+            ..TenantSpec::default()
         });
         let server = builder.build();
         let ticket = server
@@ -977,6 +992,7 @@ mod tests {
         let tenant = builder.tenant(TenantSpec {
             seed: 11,
             samples: 3,
+            ..TenantSpec::default()
         });
         let server = builder.build();
         let served = server
@@ -997,14 +1013,17 @@ mod tests {
         let a = builder.tenant(TenantSpec {
             seed: 0,
             samples: 3,
+            ..TenantSpec::default()
         });
         let b = builder.tenant(TenantSpec {
             seed: 99,
             samples: 3,
+            ..TenantSpec::default()
         });
         let c = builder.tenant(TenantSpec {
             seed: 0,
             samples: 3,
+            ..TenantSpec::default()
         });
         let server = builder.build();
         let x = images(5, 4);
@@ -1023,6 +1042,43 @@ mod tests {
             ra.prediction.probs.as_slice(),
             rc.prediction.probs.as_slice(),
             "identical tenant specs must serve identical bytes"
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_is_isolated_per_tenant() {
+        use nds_adaptive::EscalationPolicy;
+        let net = stochastic_net(13);
+        let mut builder = ServerBuilder::new(net.clone()).max_batch(4);
+        let gated = builder.tenant(TenantSpec {
+            seed: 21,
+            samples: 3,
+            adaptive: AdaptivePolicy::escalate(EscalationPolicy::entropy(0.0)),
+        });
+        let plain = builder.tenant(TenantSpec {
+            seed: 21,
+            samples: 3,
+            ..TenantSpec::default()
+        });
+        let server = builder.build();
+        let x = images(6, 5);
+        let tg = server.submit(gated, ServeRequest::new(x.clone())).unwrap();
+        let tp = server.submit(plain, ServeRequest::new(x.clone())).unwrap();
+        let rg = tg.wait().unwrap();
+        let rp = tp.wait().unwrap();
+        assert_eq!(
+            rg.prediction.row_samples,
+            Some(vec![3; 5]),
+            "escalate-all tenant must promote every row to full S"
+        );
+        assert_eq!(
+            rp.prediction.row_samples, None,
+            "a disabled-policy tenant must not report per-row sampling"
+        );
+        assert_eq!(
+            rg.prediction.probs.as_slice(),
+            rp.prediction.probs.as_slice(),
+            "escalate-all gating must serve the exact full-S bytes"
         );
     }
 
@@ -1081,6 +1137,7 @@ mod tests {
         let tenant = builder.tenant(TenantSpec {
             seed: 0,
             samples: 8,
+            ..TenantSpec::default()
         });
         let server = builder.build();
         let response = server
@@ -1101,6 +1158,7 @@ mod tests {
         let tenant = builder.tenant(TenantSpec {
             seed: 1,
             samples: 2,
+            ..TenantSpec::default()
         });
         let server = builder.build();
         let tickets: Vec<Ticket> = (0..5)
@@ -1168,6 +1226,7 @@ mod tests {
         let tenant = builder.tenant(TenantSpec {
             seed: 5,
             samples: 4,
+            ..TenantSpec::default()
         });
         let server = builder.build();
         assert_eq!(server.admission_slo_ms(), 0.01);
@@ -1237,6 +1296,7 @@ mod tests {
             let tenant = builder.tenant(TenantSpec {
                 seed: 21,
                 samples: 3,
+                ..TenantSpec::default()
             });
             let server = builder.build();
             let response = server

@@ -190,6 +190,16 @@ impl Layer for SlotLayer {
         self.candidates[ix].forward_mc_fused(input, samples, ws)
     }
 
+    fn forward_mc_gathered(
+        &mut self,
+        input: &Tensor,
+        kept: &[usize],
+        ws: &mut Workspace,
+    ) -> NnResult<Tensor> {
+        let ix = self.active_index();
+        self.candidates[ix].forward_mc_gathered(input, kept, ws)
+    }
+
     fn save_mc_state(&mut self) {
         for candidate in &mut self.candidates {
             candidate.save_mc_state();

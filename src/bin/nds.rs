@@ -54,17 +54,28 @@ USAGE:
     nds eval    --arch <lenet|vgg|resnet|vit> --config <CODES> [--seed <N>]
                 [--samples <S>] [--val <N>]
                 [--execution <round-major|sample-major>]
+                [--adaptive <off|THRESHOLD>] [--gate <entropy|top-var>]
+                [--pilot <N>]
     nds analyze --arch <lenet|vgg|resnet|vit> --config <CODES> [--spatial] [--samples <S>]
     nds hls     --arch <lenet|vgg|resnet|vit> --config <CODES> --out <DIR>
     nds space   --arch <lenet|vgg|resnet|vit> [--extended]
     nds serve-bench [--arch <lenet|vgg|resnet|vit>] [--samples <S>] [--tenants <T>]
                 [--max-batch <M>] [--wait-ms <W>] [--serial <N>] [--requests <N>]
                 [--seed <N>] [--execution <round-major|sample-major>]
+                [--adaptive <off|THRESHOLD>] [--gate <entropy|top-var>]
+                [--pilot <N>]
 
 EXECUTION: `round-major` (default) runs the S MC samples as S
     sequential passes; `sample-major` fuses them into one (S·B)-row
     pass per layer with a precomputed mask bank. The bytes are
     identical either way; sample-major trades memory for throughput.
+
+ADAPTIVE: `--adaptive <THRESHOLD>` spends `--pilot` (default 1) MC
+    samples on every row, scores each row with `--gate` (default
+    `entropy`), and escalates only rows at or above the threshold to
+    the full `--samples` budget; escalated rows are byte-identical
+    to the unbudgeted run. `--adaptive off` (or omitting the flag)
+    disables gating and reproduces the standard engine bytes.
 
 CONFIG CODES: one letter per dropout slot —
     B Bernoulli, R Random, K Block, M Masksembles, G Gaussian (extension)
@@ -512,7 +523,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     use neural_dropout_search::data::{cifar_like, mnist_like, svhn_like, DatasetConfig};
     use neural_dropout_search::engine::{Execution, PredictRequest};
     use neural_dropout_search::metrics::{
-        accuracy, average_predictive_entropy, ece, nll, EceConfig,
+        accuracy, average_predictive_entropy, ece, escalation_rate, nll, EceConfig,
     };
     use neural_dropout_search::supernet::Supernet;
     use neural_dropout_search::tensor::rng::Rng64;
@@ -525,6 +536,9 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     // orders (the golden suite diffs exactly that), so the choice is
     // deliberately absent from the output.
     let execution: Execution = parse_flag(flags, "execution", Execution::RoundMajor)?;
+    // Validated up front: a malformed gate exits 2 before any dataset
+    // or supernet work happens.
+    let adaptive = adaptive_policy_from_flags(flags)?;
     let arch_name = flags.get("arch").map(String::as_str).unwrap_or("lenet");
     // Width-scaled CPU variants, paired with their paper datasets (§4.1).
     let (arch, splits) = {
@@ -562,6 +576,9 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let engine = supernet.engine_mut();
     engine.set_chunk_size(16);
     engine.set_execution(execution);
+    if let Some(policy) = &adaptive {
+        engine.set_adaptive(policy.clone());
+    }
     let pred = engine
         .predict(&PredictRequest::new(&images))
         .map_err(|e| e.to_string())?;
@@ -594,7 +611,74 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .map(|p| format!("{p:.9e}"))
         .collect();
     println!("probs[0] {}", row0.join(" "));
+    // Gating report, printed strictly after the golden-pinned lines so
+    // `--adaptive off` (and no flag at all) stays byte-identical to the
+    // committed golden transcript.
+    if let Some(esc) = adaptive
+        .as_ref()
+        .filter(|p| p.enabled())
+        .and_then(|p| p.escalation.as_ref())
+    {
+        println!(
+            "adaptive gate={} threshold={:.6e} pilot={}",
+            esc.metric, esc.threshold, esc.pilot
+        );
+        if let Some(rows) = &pred.row_samples {
+            println!("escalation id  {:.12e}", escalation_rate(rows, esc.pilot));
+        }
+        if let Some(rows) = &ood_pred.row_samples {
+            println!("escalation ood {:.12e}", escalation_rate(rows, esc.pilot));
+        }
+    }
     Ok(())
+}
+
+/// Parses the `--adaptive` / `--gate` / `--pilot` flag family into an
+/// escalation policy. Validation happens here, before any dataset or
+/// supernet work starts: a non-finite or negative threshold, an unknown
+/// gate metric or a zero pilot count is a usage error (exit 2), never a
+/// mid-run fault. Returns `None` when `--adaptive` is absent and an
+/// inert policy for `--adaptive off` (byte-identical to no policy).
+fn adaptive_policy_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<Option<neural_dropout_search::adaptive::AdaptivePolicy>, CliError> {
+    use neural_dropout_search::adaptive::{AdaptivePolicy, EscalationPolicy, GateMetric};
+
+    let Some(raw) = flags.get("adaptive") else {
+        for stray in ["gate", "pilot"] {
+            if flags.contains_key(stray) {
+                return Err(usage(format!("--{stray} requires --adaptive")));
+            }
+        }
+        return Ok(None);
+    };
+    if raw == "off" {
+        return Ok(Some(AdaptivePolicy::disabled()));
+    }
+    let threshold: f64 = raw.parse().map_err(|_| {
+        usage(format!(
+            "bad --adaptive value `{raw}` (expected `off` or a threshold)"
+        ))
+    })?;
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err(usage(format!(
+            "--adaptive threshold must be finite and non-negative, got `{raw}`"
+        )));
+    }
+    let metric: GateMetric = match flags.get("gate") {
+        None => GateMetric::PredictiveEntropy,
+        Some(g) => g
+            .parse()
+            .map_err(|_| usage(format!("bad --gate value `{g}` (entropy | top-var)")))?,
+    };
+    let pilot: usize = parse_flag(flags, "pilot", 1)?;
+    let policy = AdaptivePolicy::escalate(EscalationPolicy {
+        metric,
+        threshold,
+        pilot,
+    });
+    policy.validate().map_err(|e| usage(e.to_string()))?;
+    Ok(Some(policy))
 }
 
 fn parse_flag<T: std::str::FromStr>(
@@ -724,6 +808,9 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let serial_reqs: usize = parse_flag::<usize>(flags, "serial", 16)?.max(2);
     let sat_reqs: usize = parse_flag::<usize>(flags, "requests", 64)?.max(1);
     let execution: Execution = parse_flag(flags, "execution", Execution::RoundMajor)?;
+    // Validated up front, like every other flag: exit 2 before the
+    // supernet is built or any request is accepted.
+    let adaptive = adaptive_policy_from_flags(flags)?;
     let arch_name = flags.get("arch").map(String::as_str).unwrap_or("lenet");
     // Width-scaled CPU variants, as in `eval`; the request payload is
     // one image of the architecture's input shape.
@@ -750,6 +837,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
             builder.tenant(TenantSpec {
                 seed: seed.wrapping_add(1000 * t as u64),
                 samples,
+                adaptive: adaptive.clone().unwrap_or_default(),
             })
         })
         .collect();
@@ -759,6 +847,16 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
          wait_ms={wait_ms} execution={execution}",
         spec.arch.name
     );
+    if let Some(esc) = adaptive
+        .as_ref()
+        .filter(|p| p.enabled())
+        .and_then(|p| p.escalation.as_ref())
+    {
+        println!(
+            "adaptive gate={} threshold={:.6e} pilot={}",
+            esc.metric, esc.threshold, esc.pilot
+        );
+    }
 
     // Warm-up, then batch-1 serial: one request in flight at a time —
     // each pays the full handoff plus the (empty) coalescing window.

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use nds_adaptive as adaptive;
 pub use nds_core as core;
 pub use nds_data as data;
 pub use nds_dropout as dropout;

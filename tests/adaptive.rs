@@ -1,0 +1,287 @@
+//! Integration suite for the uncertainty-gated adaptive subsystem.
+//!
+//! Two load-bearing claims from the crate contract:
+//!
+//! 1. **OOD reliability** — the gates must not treat out-of-distribution
+//!    inputs as easy: under the escalation gate, in-distribution rows
+//!    mostly stay at the pilot budget while OOD rows (pure noise and
+//!    sign-flipped data) escalate to the full sample count; under the
+//!    exit gate, in-distribution rows exit at the early head while OOD
+//!    rows fall through to the final classifier.
+//! 2. **Byte invisibility when disabled** — property test: an engine
+//!    carrying [`AdaptivePolicy::disabled`] serves bytes identical to an
+//!    engine with no policy at all, across backends, execution orders,
+//!    worker counts and batch shapes; and the escalate-everything gate
+//!    reproduces the unbudgeted engine's bytes exactly.
+
+use neural_dropout_search::adaptive::exits::attach_exit_heads;
+use neural_dropout_search::adaptive::{AdaptivePolicy, EscalationPolicy, ExitPolicy, GateMetric};
+use neural_dropout_search::dropout::{DropoutKind, DropoutLayer, DropoutSettings};
+use neural_dropout_search::engine::{Backend, EngineBuilder, Execution, PredictRequest};
+use neural_dropout_search::metrics::escalation_rate;
+use neural_dropout_search::nn::arch::{FeatureShape, SlotInfo, SlotPosition};
+use neural_dropout_search::nn::layers::{Flatten, Linear, Sequential};
+use neural_dropout_search::nn::Layer;
+use neural_dropout_search::tensor::rng::Rng64;
+use neural_dropout_search::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+/// A 4-class classifier with hand-set weights: class `c`'s logit sums
+/// input block `[4c, 4c+4)`. In-distribution inputs elevate exactly one
+/// block, so the classifier is confident by construction; inputs without
+/// that structure land near-uniform.
+fn crafted_classifier() -> Linear {
+    let mut rng = Rng64::new(0);
+    let mut fc = Linear::new(16, 4, true, &mut rng);
+    let mut params = fc.params_mut();
+    let w = params[0].value.as_mut_slice();
+    assert_eq!(w.len(), 64);
+    w.fill(0.0);
+    for c in 0..4 {
+        for j in 0..4 {
+            w[c * 16 + c * 4 + j] = 1.5;
+        }
+    }
+    drop(params);
+    fc
+}
+
+/// Flatten → Bernoulli dropout → crafted classifier: a stochastic net
+/// whose in-distribution pilot entropy is near zero.
+fn crafted_net(seed: u64, rate: f32) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Box::new(Flatten::new()));
+    let slot = SlotInfo {
+        id: 0,
+        shape: FeatureShape::Vector { features: 16 },
+        position: SlotPosition::FullyConnected,
+    };
+    net.push(Box::new(
+        DropoutLayer::for_slot(
+            DropoutKind::Bernoulli,
+            &slot,
+            &DropoutSettings {
+                rate,
+                ..DropoutSettings::default()
+            },
+            seed,
+        )
+        .unwrap(),
+    ));
+    net.push(Box::new(crafted_classifier()));
+    net
+}
+
+/// In-distribution batch: low noise plus a +2.5 bump on block `r % 4`.
+fn id_images(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = Rng64::new(seed);
+    let mut x = Tensor::rand_normal(Shape::d4(n, 1, 4, 4), 0.0, 0.1, &mut rng);
+    let mut labels = Vec::with_capacity(n);
+    for (r, row) in x.as_mut_slice().chunks_mut(16).enumerate() {
+        let class = r % 4;
+        for v in &mut row[class * 4..class * 4 + 4] {
+            *v += 2.5;
+        }
+        labels.push(class);
+    }
+    (x, labels)
+}
+
+/// OOD by content: pure noise with no block structure.
+fn ood_noise(n: usize, seed: u64) -> Tensor {
+    let mut rng = Rng64::new(seed);
+    Tensor::rand_normal(Shape::d4(n, 1, 4, 4), 0.0, 0.3, &mut rng)
+}
+
+/// OOD by shift: in-distribution images sign-flipped, which turns the
+/// confident block into strong negative evidence and leaves the other
+/// three classes competing near-uniformly.
+fn ood_shifted(n: usize, seed: u64) -> Tensor {
+    let (mut x, _) = id_images(n, seed);
+    for v in x.as_mut_slice() {
+        *v = -*v;
+    }
+    x
+}
+
+#[test]
+fn escalation_gate_spends_samples_on_ood_not_id() {
+    let policy = AdaptivePolicy::escalate(EscalationPolicy {
+        metric: GateMetric::PredictiveEntropy,
+        threshold: 0.5,
+        pilot: 1,
+    });
+    let mut engine = EngineBuilder::new(crafted_net(3, 0.2))
+        .samples(4)
+        .seed(17)
+        .adaptive(policy)
+        .build();
+
+    let (id, _) = id_images(32, 5);
+    let id_pred = engine.predict(&PredictRequest::new(&id)).unwrap();
+    let id_rate = escalation_rate(id_pred.row_samples.as_ref().unwrap(), 1);
+
+    let noise_pred = engine
+        .predict(&PredictRequest::new(&ood_noise(32, 6)))
+        .unwrap();
+    let noise_rate = escalation_rate(noise_pred.row_samples.as_ref().unwrap(), 1);
+
+    let shift_pred = engine
+        .predict(&PredictRequest::new(&ood_shifted(32, 5)))
+        .unwrap();
+    let shift_rate = escalation_rate(shift_pred.row_samples.as_ref().unwrap(), 1);
+
+    assert!(
+        id_rate <= 0.25,
+        "in-distribution rows must mostly stay at the pilot budget, got {id_rate}"
+    );
+    assert!(
+        noise_rate >= 0.9,
+        "noise OOD must escalate to the full budget, got {noise_rate}"
+    );
+    assert!(
+        shift_rate >= 0.9,
+        "shifted OOD must escalate to the full budget, got {shift_rate}"
+    );
+    assert_eq!(
+        noise_pred.achieved_samples, 4,
+        "escalated rows reach full S"
+    );
+}
+
+#[test]
+fn exit_gate_keeps_ood_on_the_full_path() {
+    // Head placed after Flatten, sharing the crafted classifier's
+    // weights (temperature 1): confident exactly on block-structured
+    // inputs, near-uniform elsewhere.
+    let mut net = crafted_net(4, 0.2);
+    let heads = attach_exit_heads(
+        &mut net,
+        &Shape::d4(1, 1, 4, 4),
+        &[1],
+        4,
+        &mut Rng64::new(9),
+    )
+    .unwrap();
+    assert_eq!(heads, 1);
+    for layer in net.each_layer_mut() {
+        if layer.as_exit_head().is_some() {
+            let mut params = layer.params_mut();
+            let w = params[0].value.as_mut_slice();
+            w.fill(0.0);
+            for c in 0..4 {
+                for j in 0..4 {
+                    w[c * 16 + c * 4 + j] = 1.5;
+                }
+            }
+        }
+    }
+    let policy = AdaptivePolicy {
+        escalation: None,
+        exits: Some(ExitPolicy {
+            thresholds: vec![0.85],
+        }),
+    };
+    let mut engine = EngineBuilder::new(net)
+        .samples(2)
+        .seed(23)
+        .adaptive(policy)
+        .build();
+
+    let early_share = |hist: &Vec<usize>| {
+        let total: usize = hist.iter().sum();
+        hist[0] as f64 / total.max(1) as f64
+    };
+    let (id, _) = id_images(24, 8);
+    let id_pred = engine.predict(&PredictRequest::new(&id)).unwrap();
+    let id_share = early_share(id_pred.exit_histogram.as_ref().unwrap());
+
+    let noise_pred = engine
+        .predict(&PredictRequest::new(&ood_noise(24, 9)))
+        .unwrap();
+    let noise_share = early_share(noise_pred.exit_histogram.as_ref().unwrap());
+
+    let shift_pred = engine
+        .predict(&PredictRequest::new(&ood_shifted(24, 8)))
+        .unwrap();
+    let shift_share = early_share(shift_pred.exit_histogram.as_ref().unwrap());
+
+    assert!(
+        id_share >= 0.9,
+        "in-distribution rows should take the early exit, got {id_share}"
+    );
+    assert!(
+        noise_share <= 0.25,
+        "noise OOD must not exit early, got {noise_share}"
+    );
+    assert!(
+        shift_share <= 0.25,
+        "shifted OOD must not exit early, got {shift_share}"
+    );
+}
+
+#[test]
+fn escalate_everything_reproduces_the_unbudgeted_bytes() {
+    let x = ood_noise(7, 11);
+    for execution in [Execution::RoundMajor, Execution::SampleMajor] {
+        let mut plain = EngineBuilder::new(crafted_net(6, 0.3))
+            .samples(3)
+            .seed(31)
+            .execution(execution)
+            .build();
+        let expect = plain.predict(&PredictRequest::new(&x)).unwrap();
+        let mut gated = EngineBuilder::new(crafted_net(6, 0.3))
+            .samples(3)
+            .seed(31)
+            .execution(execution)
+            .adaptive(AdaptivePolicy::escalate(EscalationPolicy::entropy(0.0)))
+            .build();
+        let got = gated.predict(&PredictRequest::new(&x)).unwrap();
+        assert_eq!(got.probs.as_slice(), expect.probs.as_slice());
+        assert_eq!(got.entropy, expect.entropy);
+        assert_eq!(got.mutual_information, expect.mutual_information);
+        assert_eq!(got.row_samples, Some(vec![3; 7]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `AdaptivePolicy::disabled()` is byte-invisible across backends,
+    /// execution orders, worker counts and batch shapes.
+    #[test]
+    fn disabled_gate_is_byte_invisible(
+        seed in 0u64..40,
+        n in 1usize..6,
+        samples in 1usize..4,
+        fused in 0usize..2,
+        quantized in 0usize..2,
+        workers in 1usize..4,
+    ) {
+        let execution = if fused == 1 { Execution::SampleMajor } else { Execution::RoundMajor };
+        let backend = if quantized == 1 { Backend::quantized_q78() } else { Backend::Float32 };
+        let x = ood_noise(n, seed ^ 0xAB);
+        let mut plain = EngineBuilder::new(crafted_net(seed, 0.4))
+            .samples(samples)
+            .seed(seed)
+            .workers(workers)
+            .execution(execution)
+            .backend(backend.clone())
+            .build();
+        let expect = plain.predict(&PredictRequest::new(&x)).unwrap();
+        let mut gated = EngineBuilder::new(crafted_net(seed, 0.4))
+            .samples(samples)
+            .seed(seed)
+            .workers(workers)
+            .execution(execution)
+            .backend(backend)
+            .adaptive(AdaptivePolicy::disabled())
+            .build();
+        let got = gated.predict(&PredictRequest::new(&x)).unwrap();
+        prop_assert_eq!(got.probs.as_slice(), expect.probs.as_slice());
+        prop_assert_eq!(got.entropy, expect.entropy);
+        prop_assert_eq!(got.variance, expect.variance);
+        prop_assert_eq!(got.row_samples, None);
+        prop_assert_eq!(got.exit_histogram, None);
+    }
+}

@@ -271,6 +271,83 @@ fn bad_input_fails_with_usage() {
 }
 
 #[test]
+fn adaptive_flags_reject_bad_values_before_any_work() {
+    // Satellite of the PR 6 rejects-vs-faults policy: a malformed gate
+    // is a usage error (exit 2, usage dumped, nothing computed), never
+    // a mid-run fault. `f64::from_str` happily parses "inf"/"nan", so
+    // these must be caught by explicit validation, not the parser.
+    let eval = ["eval", "--arch", "lenet", "--config", "RKM"];
+    let bad: &[&[&str]] = &[
+        &["--adaptive", "nan"],
+        &["--adaptive", "inf"],
+        &["--adaptive", "-inf"],
+        &["--adaptive", "-0.5"],
+        &["--adaptive", "bogus"],
+        &["--adaptive", "0.5", "--gate", "bogus"],
+        &["--adaptive", "0.5", "--pilot", "0"],
+        &["--adaptive", "0.5", "--gate", "top-var", "--pilot", "1"],
+        &["--gate", "entropy"],
+        &["--pilot", "2"],
+    ];
+    for extra in bad {
+        let args: Vec<&str> = eval.iter().chain(extra.iter()).copied().collect();
+        let (code, stdout, stderr) = nds_status(&args);
+        assert_eq!(code, Some(2), "{extra:?} must exit 2: {stderr}");
+        assert!(stderr.contains("USAGE"), "{extra:?}: {stderr}");
+        assert!(
+            stdout.is_empty(),
+            "{extra:?} must fail before any work starts: {stdout}"
+        );
+        // The same family guards serve-bench.
+        let args: Vec<&str> = ["serve-bench"]
+            .iter()
+            .chain(extra.iter())
+            .copied()
+            .collect();
+        let (code, stdout, _) = nds_status(&args);
+        assert_eq!(code, Some(2), "serve-bench {extra:?} must exit 2");
+        assert!(stdout.is_empty(), "serve-bench {extra:?} started work");
+    }
+}
+
+#[test]
+fn adaptive_eval_reports_the_gate_after_the_pinned_lines() {
+    let (ok, stdout, stderr) = nds(&[
+        "eval",
+        "--arch",
+        "lenet",
+        "--config",
+        "RKM",
+        "--seed",
+        "11",
+        "--adaptive",
+        "0.5",
+    ]);
+    assert!(ok, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    let gate = lines
+        .iter()
+        .position(|l| l.starts_with("adaptive gate=entropy"))
+        .expect("gate line present");
+    let probs = lines
+        .iter()
+        .position(|l| l.starts_with("probs[0]"))
+        .expect("probs line present");
+    assert!(
+        gate > probs,
+        "gating report must print after the golden-pinned lines: {stdout}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("escalation id")),
+        "{stdout}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("escalation ood")),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn runtime_failures_exit_1_without_usage_dump() {
     // A well-formed invocation whose work fails: writing the HLS
     // project under a path blocked by a regular file.

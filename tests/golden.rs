@@ -221,3 +221,26 @@ fn cli_eval_bytes_match_committed_fixture() {
     assert!(ok);
     assert_golden("cli_eval_lenet_rkm.txt", &String::from_utf8(bytes).unwrap());
 }
+
+#[test]
+fn cli_eval_adaptive_off_matches_the_same_fixture() {
+    // `--adaptive off` must be byte-invisible: the disabled gate takes
+    // the standard engine path and prints no extra lines, so the output
+    // is the exact committed fixture of the flagless invocation.
+    let (ok, bytes) = eval_bytes(
+        "4",
+        &[
+            "eval",
+            "--arch",
+            "lenet",
+            "--config",
+            "RKM",
+            "--seed",
+            "11",
+            "--adaptive",
+            "off",
+        ],
+    );
+    assert!(ok);
+    assert_golden("cli_eval_lenet_rkm.txt", &String::from_utf8(bytes).unwrap());
+}

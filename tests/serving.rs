@@ -9,6 +9,7 @@
 //! coalesces at the dispatch level (it never concatenates tensors), so
 //! this holds by construction; these tests pin it against regressions.
 
+use neural_dropout_search::adaptive::AdaptivePolicy;
 use neural_dropout_search::dropout::{DropoutKind, DropoutLayer, DropoutSettings};
 use neural_dropout_search::engine::{
     EngineBuilder, PredictRequest, UncertaintyEngine, UncertaintyFlags,
@@ -76,14 +77,17 @@ const TENANTS: [TenantSpec; 3] = [
     TenantSpec {
         seed: 0,
         samples: 3,
+        adaptive: AdaptivePolicy::disabled(),
     },
     TenantSpec {
         seed: 101,
         samples: 2,
+        adaptive: AdaptivePolicy::disabled(),
     },
     TenantSpec {
         seed: 202,
         samples: 4,
+        adaptive: AdaptivePolicy::disabled(),
     },
 ];
 
@@ -105,7 +109,7 @@ proptest! {
         let mut builder = ServerBuilder::new(net.clone())
             .max_batch(max_batch)
             .max_wait_ms(0.5);
-        let tenant_ids: Vec<_> = TENANTS.iter().map(|s| builder.tenant(*s)).collect();
+        let tenant_ids: Vec<_> = TENANTS.iter().map(|s| builder.tenant(s.clone())).collect();
         let server = builder.build();
 
         // Derive each request's shape from the case seed: tenant,
@@ -195,7 +199,7 @@ fn concurrent_clients_all_get_their_own_answers() {
     let mut builder = ServerBuilder::new(net.clone())
         .max_batch(4)
         .max_wait_ms(0.5);
-    let tenant_ids: Vec<_> = TENANTS.iter().map(|s| builder.tenant(*s)).collect();
+    let tenant_ids: Vec<_> = TENANTS.iter().map(|s| builder.tenant(s.clone())).collect();
     let server = builder.build();
 
     let responses = std::thread::scope(|scope| {
