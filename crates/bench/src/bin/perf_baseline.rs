@@ -30,6 +30,7 @@
 //! `SearchSession` end to end (tiny supernet, 2 generations).
 
 use nds_adaptive::{AdaptivePolicy, EscalationPolicy, GateMetric};
+use nds_campaign::{island_seed, Campaign};
 use nds_engine::{Backend, EngineBuilder, Execution, PredictRequest, UncertaintyEngine};
 use nds_metrics::{accuracy, ece, escalation_rate, EceConfig};
 use nds_search::{EvolutionConfig, SearchBuilder, Strategy};
@@ -454,6 +455,52 @@ fn main() {
     let search_evals = search_outcome.budget_spent;
     let search_cps = search_evals as f64 / search_elapsed;
 
+    // ------------------------------------------------------------------
+    // Island-model campaign throughput: the same Phase-3 search split
+    // across N islands at a fixed total generation budget (so every row
+    // spends comparable evaluation work), elites exchanged every epoch.
+    // Caveat: this container is single-core, so islands time-slice one
+    // worker and candidates/sec stays near-flat with island count; the
+    // row exists to track per-island overhead (merge + migration), not
+    // parallel speedup.
+    // ------------------------------------------------------------------
+    let campaign_total_generations = 4usize;
+    let mut island_rows = String::new();
+    for &islands in &[1usize, 2, 4] {
+        let per_island = campaign_total_generations / islands;
+        let mut nets: Vec<Supernet> = (0..islands)
+            .map(|_| Supernet::build(&search_spec).expect("island supernet builds"))
+            .collect();
+        let t0 = Instant::now();
+        let mut sessions: Vec<_> = nets
+            .iter_mut()
+            .enumerate()
+            .map(|(index, net)| {
+                SearchBuilder::new(net)
+                    .strategy(Strategy::Evolution(EvolutionConfig {
+                        population: search_pop,
+                        generations: per_island,
+                        parents: search_pop.div_ceil(2),
+                        seed: island_seed(0x15_1A2D, index),
+                        ..EvolutionConfig::default()
+                    }))
+                    .validation(&splits.val)
+                    .build()
+                    .expect("island session builds")
+            })
+            .collect();
+        let mut campaign = Campaign::new(&mut sessions, 1).expect("campaign builds");
+        let outcome = campaign.run().expect("campaign runs");
+        let elapsed = t0.elapsed().as_secs_f64();
+        island_rows.push_str(&format!(
+            "    \"islands_{islands}\": {{ \"fresh_evaluations\": {}, \
+             \"elapsed_ms\": {:.3}, \"candidates_per_sec\": {:.2} }},\n",
+            outcome.budget_spent,
+            elapsed * 1e3,
+            outcome.budget_spent as f64 / elapsed,
+        ));
+    }
+
     let json = format!(
         "{{\n  \
          \"bench\": \"inference-engine baseline\",\n  \
@@ -522,7 +569,14 @@ fn main() {
          \"population\": {search_pop},\n    \
          \"fresh_evaluations\": {search_evals},\n    \
          \"elapsed_ms\": {:.3},\n    \
-         \"candidates_per_sec\": {:.2}\n  }}\n}}\n",
+         \"candidates_per_sec\": {:.2}\n  }},\n  \
+         \"search_islands\": {{\n    \
+         \"total_generations\": {campaign_total_generations},\n    \
+         \"population\": {search_pop},\n    \
+         \"migrate_every\": 1,\n    \
+         \"note\": \"single-core container: islands time-slice one worker, so near-flat candidates/sec with island count is expected\",\n\
+{island_rows}    \
+         \"islands\": [1, 2, 4]\n  }}\n}}\n",
         naive * 1e3,
         blocked * 1e3,
         transb * 1e3,

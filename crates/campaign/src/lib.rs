@@ -1,0 +1,344 @@
+//! Distributed search campaigns: island-model evolution over
+//! deterministic archive merging.
+//!
+//! The paper's dropout search (Phase 3) is the compute-hungry phase of
+//! the pipeline; the classic way to scale evolutionary NAS beyond one
+//! population is the **island model** — N independent searches with
+//! periodic elite exchange. This crate runs N
+//! [`nds_search::SearchSession`] islands (distinct seeds derived with
+//! [`nds_tensor::rng::Rng64::derive`], typically over copy-on-write
+//! forks of one trained supernet), and every `migrate_every` steps
+//! folds their archives together through the commutative, canonically
+//! ordered [`ParetoArchive::merge`] and adopts the merged Pareto front
+//! back into every island ([`nds_search::SearchSession::adopt_elites`]).
+//!
+//! # Determinism contract
+//!
+//! A campaign with a fixed spec and seed produces **byte-identical**
+//! final state across repeated runs, worker counts and stop/resume
+//! cycles:
+//!
+//! * island steps are byte-exact already (the per-session guarantee);
+//! * [`ParetoArchive::merge`] re-orders its union canonically, so *any*
+//!   fold order over island archives yields identical bytes
+//!   (commutative + associative + idempotent — pinned by the merge-law
+//!   proptests in `tests/campaign.rs`);
+//! * elite adoption is RNG-neutral: it consumes no random draws and no
+//!   budget, so migration cannot perturb an island's own search stream;
+//! * the epoch barrier is synchronous — every island completes the same
+//!   number of steps between exchanges regardless of thread count.
+//!
+//! # Checkpointing
+//!
+//! [`Campaign::save`] writes one [`nds_search::SearchCheckpoint`] per
+//! island plus a [`CampaignManifest`], all through the crash-safe
+//! atomic-write protocol; the manifest is written last and is the
+//! commit point. [`load_campaign`] heals a crash *between* those writes
+//! from the `.bak` rotations (see [`manifest`] for the layout and the
+//! exact crash-window argument).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Same rationale as nds-search (whose error type this crate reuses):
+// `SearchError` is a few bytes past clippy's 128-byte heuristic on the
+// cold path only.
+#![allow(clippy::result_large_err)]
+
+pub mod manifest;
+
+pub use manifest::{
+    island_path, load_campaign, manifest_path, strategy_progress, CampaignManifest, CampaignResume,
+    CAMPAIGN_FORMAT, CAMPAIGN_VERSION,
+};
+
+use nds_search::pareto::ParetoArchive;
+use nds_search::{Candidate, Result, SearchError, SearchEvent, SearchSession, StepStats};
+use nds_tensor::rng::Rng64;
+use std::path::Path;
+
+/// Builds a typed campaign error (the campaign shares `nds-search`'s
+/// checkpoint error channel rather than growing a parallel enum).
+pub(crate) fn campaign_err(msg: impl Into<String>) -> SearchError {
+    SearchError::Checkpoint(msg.into())
+}
+
+/// The seed for island `index` of a campaign with base seed `base`:
+/// a documented [`Rng64::derive`] split, so island streams are
+/// statistically independent without ad-hoc seed arithmetic.
+pub fn island_seed(base: u64, index: usize) -> u64 {
+    Rng64::derive(base, index as u64)
+}
+
+/// Progress of a running [`Campaign`], streamed to observers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignEvent {
+    /// One island completed one search step.
+    IslandStep {
+        /// Which island stepped (0-based).
+        island: usize,
+        /// The island's own [`StepStats`] for the step.
+        stats: StepStats,
+    },
+    /// An epoch barrier completed: archives were merged and the merged
+    /// front adopted back into every island.
+    Migration {
+        /// The 1-based epoch that just completed.
+        epoch: usize,
+        /// Size of the merged archive at the barrier.
+        merged_len: usize,
+        /// Size of the merged front — the elites exchanged.
+        elites: usize,
+        /// Front candidates newly archived across all islands (0 once
+        /// the islands have converged on a shared front).
+        adopted: usize,
+    },
+}
+
+/// The final state of a finished (or stopped) campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The best candidate by aim score over the merged archive, ties
+    /// broken toward canonical (merge) order.
+    pub best: Candidate,
+    /// The canonically ordered merge of every island's archive.
+    pub archive: ParetoArchive,
+    /// Migration epochs completed.
+    pub epochs: usize,
+    /// Fresh evaluations spent, summed over islands.
+    pub budget_spent: usize,
+}
+
+/// An island-model search campaign over caller-built sessions.
+///
+/// The campaign borrows its islands rather than owning them so the
+/// caller controls their construction (supernet forks, evaluators,
+/// resume state) and can snapshot or inspect them afterwards.
+pub struct Campaign<'c, 'a> {
+    islands: &'c mut [SearchSession<'a>],
+    migrate_every: usize,
+    epoch: usize,
+}
+
+impl<'c, 'a> Campaign<'c, 'a> {
+    /// A fresh campaign over `islands`, exchanging elites every
+    /// `migrate_every` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error when `islands` is empty, `migrate_every`
+    /// is zero, or the islands disagree on their objective set or aim
+    /// (their archives could not be merged / their scores compared).
+    pub fn new(islands: &'c mut [SearchSession<'a>], migrate_every: usize) -> Result<Self> {
+        Self::resumed(islands, migrate_every, 0)
+    }
+
+    /// A campaign resumed at `epoch` completed migration epochs — the
+    /// entry point [`load_campaign`] feeds after rebuilding the island
+    /// sessions from their checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::new`].
+    pub fn resumed(
+        islands: &'c mut [SearchSession<'a>],
+        migrate_every: usize,
+        epoch: usize,
+    ) -> Result<Self> {
+        if islands.is_empty() {
+            return Err(campaign_err("a campaign needs at least one island"));
+        }
+        if migrate_every == 0 {
+            return Err(campaign_err("migrate_every must be at least 1"));
+        }
+        let objectives = islands[0].archive().objective_set();
+        let aim = islands[0].aim().clone();
+        for (index, island) in islands.iter().enumerate().skip(1) {
+            if island.archive().objective_set() != objectives {
+                return Err(campaign_err(format!(
+                    "island {index} searches objective set {} but island 0 searches {}",
+                    island.archive().objective_set().code(),
+                    objectives.code()
+                )));
+            }
+            if island.aim() != &aim {
+                return Err(campaign_err(format!(
+                    "island {index} scores aim `{}` but island 0 scores `{}`",
+                    island.aim().name,
+                    aim.name
+                )));
+            }
+        }
+        Ok(Campaign {
+            islands,
+            migrate_every,
+            epoch,
+        })
+    }
+
+    /// Read access to the islands as they stand.
+    pub fn islands(&self) -> &[SearchSession<'a>] {
+        self.islands
+    }
+
+    /// Steps per island between elite exchanges.
+    pub fn migrate_every(&self) -> usize {
+        self.migrate_every
+    }
+
+    /// Completed migration epochs.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// `true` once every island's strategy budget is exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.islands.iter().all(SearchSession::is_finished)
+    }
+
+    /// Fresh evaluations spent so far, summed over islands.
+    pub fn budget_spent(&self) -> usize {
+        self.islands.iter().map(SearchSession::budget_spent).sum()
+    }
+
+    /// The canonically ordered merge of every island's archive — the
+    /// campaign's global view. Folding left over island order, but any
+    /// order produces identical bytes ([`ParetoArchive::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates merge errors (impossible for a validated campaign,
+    /// whose islands share one objective set).
+    pub fn merged_archive(&self) -> Result<ParetoArchive> {
+        let mut merged = ParetoArchive::new(self.islands[0].archive().objective_set());
+        for island in self.islands.iter() {
+            merged = merged.merge(island.archive())?;
+        }
+        Ok(merged)
+    }
+
+    /// Runs one migration epoch: every unfinished island takes
+    /// `migrate_every` steps, then the merged Pareto front is adopted
+    /// back into every island. Steps round-robin across islands so an
+    /// observer sees interleaved progress, but the epoch barrier is
+    /// synchronous — determinism never depends on interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first island evaluation error; the campaign stays
+    /// at the failed epoch and can be retried or checkpointed.
+    pub fn run_epoch(&mut self, mut observer: impl FnMut(&CampaignEvent)) -> Result<()> {
+        for _ in 0..self.migrate_every {
+            for (index, island) in self.islands.iter_mut().enumerate() {
+                if island.is_finished() {
+                    continue;
+                }
+                if let SearchEvent::Step(stats) = island.step()? {
+                    observer(&CampaignEvent::IslandStep {
+                        island: index,
+                        stats,
+                    });
+                }
+            }
+        }
+        let merged = self.merged_archive()?;
+        let elites: Vec<Candidate> = merged.front().into_iter().cloned().collect();
+        let mut adopted = 0;
+        for island in self.islands.iter_mut() {
+            adopted += island.adopt_elites(&elites);
+        }
+        self.epoch += 1;
+        observer(&CampaignEvent::Migration {
+            epoch: self.epoch,
+            merged_len: merged.len(),
+            elites: elites.len(),
+            adopted,
+        });
+        Ok(())
+    }
+
+    /// Runs epochs until every island is finished, then returns the
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::run_epoch`] / [`Campaign::outcome`].
+    pub fn run_with(
+        &mut self,
+        mut observer: impl FnMut(&CampaignEvent),
+    ) -> Result<CampaignOutcome> {
+        while !self.is_finished() {
+            self.run_epoch(&mut observer)?;
+        }
+        self.outcome()
+    }
+
+    /// Runs to completion without observation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::run_with`].
+    pub fn run(&mut self) -> Result<CampaignOutcome> {
+        self.run_with(|_| {})
+    }
+
+    /// The campaign's outcome as it stands: the globally best candidate
+    /// by aim score over the merged archive (first in canonical order
+    /// on ties, so the result is interleaving-independent), the merged
+    /// archive itself, and the spent budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error when no island has evaluated anything yet.
+    pub fn outcome(&self) -> Result<CampaignOutcome> {
+        let archive = self.merged_archive()?;
+        let aim = self.islands[0].aim();
+        let mut best: Option<(f64, &Candidate)> = None;
+        for candidate in archive.candidates() {
+            let score = aim.score(candidate);
+            if best.map(|(incumbent, _)| score > incumbent).unwrap_or(true) {
+                best = Some((score, candidate));
+            }
+        }
+        let (_, best) =
+            best.ok_or_else(|| campaign_err("campaign has no evaluated candidates yet"))?;
+        Ok(CampaignOutcome {
+            best: best.clone(),
+            archive: self.merged_archive()?,
+            epochs: self.epoch,
+            budget_spent: self.budget_spent(),
+        })
+    }
+
+    /// Checkpoints the whole campaign into `dir`: every island's
+    /// [`nds_search::SearchCheckpoint`] first, the [`CampaignManifest`]
+    /// last (the commit point) — all through the crash-safe atomic
+    /// protocol. See [`manifest`] for the layout and crash-window
+    /// reasoning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] on I/O failure.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            campaign_err(format!(
+                "cannot create campaign directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+        let mut progress = Vec::with_capacity(self.islands.len());
+        for (index, island) in self.islands.iter().enumerate() {
+            let snapshot = island.snapshot();
+            snapshot.save(&island_path(dir, index))?;
+            progress.push(strategy_progress(&snapshot));
+        }
+        let manifest = CampaignManifest {
+            version: CAMPAIGN_VERSION,
+            islands: self.islands.len(),
+            migrate_every: self.migrate_every,
+            epoch: self.epoch,
+            progress,
+        };
+        manifest.validate()?;
+        manifest.save(&manifest_path(dir))
+    }
+}

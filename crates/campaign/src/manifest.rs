@@ -1,0 +1,412 @@
+//! The campaign manifest: the versioned-JSON commit record of a
+//! checkpointed campaign.
+//!
+//! # Checkpoint layout
+//!
+//! A campaign checkpoints into a *directory*:
+//!
+//! ```text
+//! <dir>/island_0.json      per-island SearchCheckpoint (+ .bak rotation)
+//! <dir>/island_1.json
+//! <dir>/...
+//! <dir>/campaign.json      CampaignManifest (+ .bak rotation)  ← commit point
+//! ```
+//!
+//! Island files are written **first** (each through the crash-safe
+//! [`nds_search::checkpoint::atomic_write`] protocol, which rotates the
+//! previous save to `.bak`), and the manifest is written **last**: the
+//! manifest rename is the campaign's commit point. The manifest records
+//! each island's expected strategy progress (generation / draw cursor),
+//! so [`load_campaign`] can detect the one crash window the per-file
+//! protocol cannot — a `kill -9` *between* island saves and the
+//! manifest save — and heal it from the islands' `.bak` rotations,
+//! which still hold the state the (old) manifest committed.
+
+use crate::{campaign_err, Result};
+use nds_search::checkpoint::{atomic_write, Json, StrategyProgress};
+use nds_search::{SearchCheckpoint, SearchError};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Current campaign-manifest schema version. Bump on any schema change.
+pub const CAMPAIGN_VERSION: u64 = 1;
+
+/// The `format` marker distinguishing campaign manifests from the
+/// per-island search checkpoints that share the directory.
+pub const CAMPAIGN_FORMAT: &str = "nds-campaign-manifest";
+
+/// The manifest file inside a campaign checkpoint directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("campaign.json")
+}
+
+/// The checkpoint file of island `index` inside a campaign directory.
+pub fn island_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("island_{index}.json"))
+}
+
+/// A single scalar summarising how far a checkpointed strategy has
+/// advanced: the generation for evolution, the cursor for the
+/// baselines. The manifest pins one per island so resume can tell a
+/// committed island save from one written *after* the manifest's
+/// commit point (see the [module docs](self)).
+pub fn strategy_progress(checkpoint: &SearchCheckpoint) -> u64 {
+    match &checkpoint.strategy {
+        StrategyProgress::Evolution { generation, .. } => *generation as u64,
+        StrategyProgress::Random { cursor, .. } => *cursor as u64,
+        StrategyProgress::Exhaustive { cursor } => *cursor as u64,
+    }
+}
+
+/// The campaign-level half of a campaign checkpoint: topology, epoch
+/// counter and the per-island progress fingerprints that make resume
+/// crash-consistent. Serialises through the same minimal
+/// unsigned-integer JSON subset as [`SearchCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignManifest {
+    /// Schema version ([`CAMPAIGN_VERSION`] when produced by this
+    /// build).
+    pub version: u64,
+    /// Number of islands (and of `island_<i>.json` files).
+    pub islands: usize,
+    /// Steps per island between elite exchanges.
+    pub migrate_every: usize,
+    /// Completed migration epochs at the time of the save.
+    pub epoch: usize,
+    /// Per-island [`strategy_progress`] fingerprint, in island order.
+    pub progress: Vec<u64>,
+}
+
+impl CampaignManifest {
+    /// Serialises the manifest to its versioned JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"format\": {},",
+            nds_search::checkpoint::json_str(CAMPAIGN_FORMAT)
+        );
+        let _ = writeln!(out, "  \"version\": {},", self.version);
+        let _ = writeln!(out, "  \"islands\": {},", self.islands);
+        let _ = writeln!(out, "  \"migrate_every\": {},", self.migrate_every);
+        let _ = writeln!(out, "  \"epoch\": {},", self.epoch);
+        out.push_str("  \"progress\": [");
+        for (i, p) in self.progress.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{p}");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a manifest from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] for malformed JSON, an
+    /// unknown format marker, a version mismatch, or an inconsistent
+    /// island count — never panics on untrusted input.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let value = Json::parse(text)?;
+        let obj = value.as_obj("campaign manifest root")?;
+        let format = obj.get_str("format")?;
+        if format != CAMPAIGN_FORMAT {
+            return Err(campaign_err(format!(
+                "not a campaign manifest (format marker `{format}`)"
+            )));
+        }
+        let version = obj.get_u64("version")?;
+        if version != CAMPAIGN_VERSION {
+            return Err(campaign_err(format!(
+                "campaign manifest version {version} is not supported (this build \
+                 reads version {CAMPAIGN_VERSION})"
+            )));
+        }
+        let manifest = CampaignManifest {
+            version,
+            islands: obj.get_usize("islands")?,
+            migrate_every: obj.get_usize("migrate_every")?,
+            epoch: obj.get_usize("epoch")?,
+            progress: obj
+                .get("progress")?
+                .as_arr("progress")?
+                .iter()
+                .map(|v| v.as_u64("progress entry"))
+                .collect::<Result<Vec<_>>>()?,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Internal-consistency checks shared by the loader and the saver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the topology is
+    /// degenerate or the progress list disagrees with the island count.
+    pub fn validate(&self) -> Result<()> {
+        if self.islands == 0 {
+            return Err(campaign_err("campaign manifest has zero islands"));
+        }
+        if self.migrate_every == 0 {
+            return Err(campaign_err("campaign manifest has migrate_every == 0"));
+        }
+        if self.progress.len() != self.islands {
+            return Err(campaign_err(format!(
+                "campaign manifest lists {} progress entries for {} islands",
+                self.progress.len(),
+                self.islands
+            )));
+        }
+        Ok(())
+    }
+
+    /// Writes the manifest to `path` through the shared crash-safe
+    /// [`atomic_write`] protocol (tmp + fsync + `.bak` rotation +
+    /// rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        atomic_write(path, &self.to_json())
+    }
+
+    /// Loads a manifest, falling back to its `.bak` rotation when the
+    /// primary is missing or corrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when both files fail.
+    pub fn load(path: &Path) -> Result<Self> {
+        let read = |p: &Path| -> Result<Self> {
+            let text = std::fs::read_to_string(p).map_err(|e| {
+                campaign_err(format!(
+                    "cannot read campaign manifest {}: {e}",
+                    p.display()
+                ))
+            })?;
+            Self::from_json(&text)
+        };
+        let primary_error = match read(path) {
+            Ok(manifest) => return Ok(manifest),
+            Err(SearchError::Checkpoint(msg)) => msg,
+            Err(other) => return Err(other),
+        };
+        match read(&SearchCheckpoint::backup_path(path)) {
+            Ok(manifest) => Ok(manifest),
+            Err(SearchError::Checkpoint(backup_error)) => Err(campaign_err(format!(
+                "campaign manifest unrecoverable: primary failed ({primary_error}); \
+                 backup failed ({backup_error})"
+            ))),
+            Err(other) => Err(other),
+        }
+    }
+}
+
+/// A campaign checkpoint directory loaded back into memory, with any
+/// backup-fallback healing that happened on the way.
+#[derive(Debug, Clone)]
+pub struct CampaignResume {
+    /// The committed campaign manifest.
+    pub manifest: CampaignManifest,
+    /// One resumable checkpoint per island, in island order, each
+    /// consistent with the manifest's progress fingerprint.
+    pub islands: Vec<SearchCheckpoint>,
+    /// Operator-facing notes about files healed from `.bak` rotations;
+    /// empty on a clean load.
+    pub warnings: Vec<String>,
+}
+
+/// Loads a whole campaign checkpoint directory, healing the
+/// island-saved-but-manifest-not-committed crash window from `.bak`
+/// rotations (see the [module docs](self) for why that window exists).
+///
+/// # Errors
+///
+/// Returns [`SearchError::Checkpoint`] when the manifest is
+/// unrecoverable or any island has no saved state consistent with the
+/// manifest's committed progress.
+pub fn load_campaign(dir: &Path) -> Result<CampaignResume> {
+    let manifest = CampaignManifest::load(&manifest_path(dir))?;
+    let mut islands = Vec::with_capacity(manifest.islands);
+    let mut warnings = Vec::new();
+    for index in 0..manifest.islands {
+        let expected = manifest.progress[index];
+        let path = island_path(dir, index);
+        let primary_error = match SearchCheckpoint::load(&path) {
+            Ok(ckpt) if strategy_progress(&ckpt) == expected => {
+                islands.push(ckpt);
+                continue;
+            }
+            Ok(ckpt) => format!(
+                "progress {} does not match the manifest's committed {expected} \
+                 (crash between island saves and the manifest commit)",
+                strategy_progress(&ckpt)
+            ),
+            Err(SearchError::Checkpoint(msg)) => msg,
+            Err(other) => return Err(other),
+        };
+        match SearchCheckpoint::load(&SearchCheckpoint::backup_path(&path)) {
+            Ok(ckpt) if strategy_progress(&ckpt) == expected => {
+                warnings.push(format!(
+                    "island {index}: primary checkpoint rejected ({primary_error}); \
+                     resumed from its .bak rotation"
+                ));
+                islands.push(ckpt);
+            }
+            Ok(ckpt) => {
+                return Err(campaign_err(format!(
+                    "island {index} unrecoverable: primary rejected ({primary_error}); \
+                     backup progress {} also differs from the committed {expected}",
+                    strategy_progress(&ckpt)
+                )))
+            }
+            Err(SearchError::Checkpoint(backup_error)) => {
+                return Err(campaign_err(format!(
+                    "island {index} unrecoverable: primary rejected ({primary_error}); \
+                     backup failed ({backup_error})"
+                )))
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(CampaignResume {
+        manifest,
+        islands,
+        warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nds_search::checkpoint::CHECKPOINT_VERSION;
+    use nds_search::pareto::ObjectiveSet;
+    use nds_search::{EvolutionConfig, SearchAim};
+
+    fn island_checkpoint(generation: usize) -> SearchCheckpoint {
+        SearchCheckpoint {
+            version: CHECKPOINT_VERSION,
+            aim: SearchAim::weighted("test", 1.0, 0.5, 0.25, 0.1),
+            objectives: ObjectiveSet::Figure4,
+            rng: [1, 2, 3, 4],
+            strategy: StrategyProgress::Evolution {
+                config: EvolutionConfig::default(),
+                population: vec!["BBB".parse().unwrap()],
+                generation,
+            },
+            memo: Vec::new(),
+            archive: Vec::new(),
+            history: Vec::new(),
+            best: None,
+            budget_spent: 0,
+            ood_seed: 7,
+        }
+    }
+
+    fn sample_manifest() -> CampaignManifest {
+        CampaignManifest {
+            version: CAMPAIGN_VERSION,
+            islands: 2,
+            migrate_every: 3,
+            epoch: 4,
+            progress: vec![12, 12],
+        }
+    }
+
+    fn temp_campaign_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nds_campaign_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_json_round_trips() {
+        let manifest = sample_manifest();
+        let back = CampaignManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(manifest, back);
+    }
+
+    #[test]
+    fn manifest_rejects_foreign_and_inconsistent_json() {
+        let version_bumped = sample_manifest()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        for bad in [
+            "",
+            "{\"format\": \"something-else\", \"version\": 1}",
+            version_bumped.as_str(),
+        ] {
+            assert!(CampaignManifest::from_json(bad).is_err(), "input {bad:?}");
+        }
+        let mut short = sample_manifest();
+        short.progress.pop();
+        assert!(short.validate().is_err());
+        let mut degenerate = sample_manifest();
+        degenerate.migrate_every = 0;
+        assert!(degenerate.validate().is_err());
+    }
+
+    #[test]
+    fn manifest_load_falls_back_to_backup() {
+        let dir = temp_campaign_dir("manifest_bak");
+        let path = manifest_path(&dir);
+        let old = sample_manifest();
+        old.save(&path).unwrap();
+        let mut new = sample_manifest();
+        new.epoch += 1;
+        new.save(&path).unwrap(); // rotates `old` to .bak
+        std::fs::write(&path, "torn{").unwrap();
+        assert_eq!(CampaignManifest::load(&path).unwrap(), old);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_campaign_heals_the_island_manifest_crash_window() {
+        let dir = temp_campaign_dir("crash_window");
+        // Epoch N committed: island files + manifest agree at progress 2.
+        island_checkpoint(2).save(&island_path(&dir, 0)).unwrap();
+        CampaignManifest {
+            version: CAMPAIGN_VERSION,
+            islands: 1,
+            migrate_every: 1,
+            epoch: 2,
+            progress: vec![2],
+        }
+        .save(&manifest_path(&dir))
+        .unwrap();
+        // Crash window: epoch N+1 island save landed (rotating the old
+        // primary to .bak), manifest commit did not.
+        island_checkpoint(3).save(&island_path(&dir, 0)).unwrap();
+        let resumed = load_campaign(&dir).unwrap();
+        assert_eq!(resumed.manifest.epoch, 2);
+        assert_eq!(strategy_progress(&resumed.islands[0]), 2);
+        assert_eq!(resumed.warnings.len(), 1, "{:?}", resumed.warnings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_campaign_rejects_an_unrecoverable_island() {
+        let dir = temp_campaign_dir("unrecoverable");
+        island_checkpoint(5).save(&island_path(&dir, 0)).unwrap();
+        CampaignManifest {
+            version: CAMPAIGN_VERSION,
+            islands: 1,
+            migrate_every: 1,
+            epoch: 1,
+            progress: vec![4],
+        }
+        .save(&manifest_path(&dir))
+        .unwrap();
+        // Primary disagrees with the committed progress and there is no
+        // backup: resume must fail with a typed error, not guess.
+        let err = load_campaign(&dir).unwrap_err();
+        assert!(matches!(err, SearchError::Checkpoint(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

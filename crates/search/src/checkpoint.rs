@@ -433,51 +433,7 @@ impl SearchCheckpoint {
     ///
     /// Returns [`SearchError::Checkpoint`] on I/O failure.
     pub fn save(&self, path: &std::path::Path) -> Result<()> {
-        let ckpt_err = |what: &str, e: std::io::Error| {
-            SearchError::Checkpoint(format!("cannot {what} checkpoint {}: {e}", path.display()))
-        };
-        let json = self.to_json();
-        // Fault-injection point: a torn write models a crash *without*
-        // the atomic protocol (the failure mode this save exists to
-        // prevent) — the corruption-recovery suites use it to prove
-        // load_with_fallback's .bak path end to end.
-        if let Some(n) = nds_fault::torn_checkpoint_len() {
-            let cut = n.min(json.len());
-            return std::fs::write(path, &json.as_bytes()[..cut]).map_err(|e| ckpt_err("write", e));
-        }
-        let tmp = {
-            let mut os = path.as_os_str().to_os_string();
-            os.push(".tmp");
-            std::path::PathBuf::from(os)
-        };
-        {
-            use std::io::Write;
-            let mut file = std::fs::File::create(&tmp).map_err(|e| ckpt_err("create", e))?;
-            file.write_all(json.as_bytes())
-                .map_err(|e| ckpt_err("write", e))?;
-            // fsync before the rename: otherwise the rename can hit the
-            // disk before the data and a power cut yields an empty file
-            // under the final name — exactly the torn state the
-            // protocol exists to rule out.
-            file.sync_all().map_err(|e| ckpt_err("sync", e))?;
-        }
-        if path.exists() {
-            std::fs::rename(path, Self::backup_path(path)).map_err(|e| ckpt_err("rotate", e))?;
-        }
-        std::fs::rename(&tmp, path).map_err(|e| ckpt_err("commit", e))?;
-        // Best-effort directory sync so the renames themselves are
-        // durable; some filesystems don't support fsync on directories,
-        // which is fine — the data content is already safe.
-        if let Some(dir) = path.parent() {
-            if let Ok(d) = std::fs::File::open(if dir.as_os_str().is_empty() {
-                std::path::Path::new(".")
-            } else {
-                dir
-            }) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(())
+        atomic_write(path, &self.to_json())
     }
 
     /// Loads a checkpoint from a JSON file written by
@@ -602,6 +558,67 @@ impl SearchCheckpoint {
     }
 }
 
+/// Writes `text` to `path` with the crash-safe protocol every
+/// checkpoint-shaped artifact in this workspace shares: content goes to
+/// `<path>.tmp`, is fsynced, any existing file rotates to `<path>.bak`
+/// ([`SearchCheckpoint::backup_path`]), then the tmp renames over
+/// `path` and the directory is synced best-effort. A crash (or
+/// `kill -9`) at any instant leaves either the old complete file or the
+/// new complete file — never a torn hybrid.
+///
+/// Honours the `nds_fault::torn_checkpoint_len` injection hook: when
+/// armed, the write is deliberately truncated *without* the atomic
+/// protocol, modelling the failure mode this function exists to prevent
+/// (the corruption-recovery suites drive `load_with_fallback`'s `.bak`
+/// path through it).
+///
+/// # Errors
+///
+/// Returns [`SearchError::Checkpoint`] on I/O failure.
+pub fn atomic_write(path: &std::path::Path, text: &str) -> Result<()> {
+    let ckpt_err = |what: &str, e: std::io::Error| {
+        SearchError::Checkpoint(format!("cannot {what} checkpoint {}: {e}", path.display()))
+    };
+    if let Some(n) = nds_fault::torn_checkpoint_len() {
+        let cut = n.min(text.len());
+        return std::fs::write(path, &text.as_bytes()[..cut]).map_err(|e| ckpt_err("write", e));
+    }
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp).map_err(|e| ckpt_err("create", e))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| ckpt_err("write", e))?;
+        // fsync before the rename: otherwise the rename can hit the
+        // disk before the data and a power cut yields an empty file
+        // under the final name — exactly the torn state the
+        // protocol exists to rule out.
+        file.sync_all().map_err(|e| ckpt_err("sync", e))?;
+    }
+    if path.exists() {
+        std::fs::rename(path, SearchCheckpoint::backup_path(path))
+            .map_err(|e| ckpt_err("rotate", e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| ckpt_err("commit", e))?;
+    // Best-effort directory sync so the renames themselves are
+    // durable; some filesystems don't support fsync on directories,
+    // which is fine — the data content is already safe.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(if dir.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            dir
+        }) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 fn parse_config(code: &str) -> Result<DropoutConfig> {
     code.parse()
         .map_err(|e| SearchError::Checkpoint(format!("bad dropout config `{code}`: {e}")))
@@ -627,8 +644,10 @@ fn json_config_list(configs: &[DropoutConfig]) -> String {
     out
 }
 
-/// Escapes a string into a JSON literal.
-fn json_str(s: &str) -> String {
+/// Escapes a string into a JSON literal (quotes included) — the writer
+/// half of the checkpoint-subset JSON toolkit, shared with the campaign
+/// manifest writer in `nds-campaign`.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -649,24 +668,40 @@ fn json_str(s: &str) -> String {
 // Minimal JSON reader (the subset the writer above emits: objects,
 // arrays, strings, unsigned integers, null). Self-contained because the
 // build environment has no network access for a real JSON dependency;
-// every malformed input is a typed `SearchError::Checkpoint`.
+// every malformed input is a typed `SearchError::Checkpoint`. Public so
+// sibling checkpoint-shaped formats (the `nds-campaign` manifest) parse
+// through the same machinery instead of growing a second parser.
 // ---------------------------------------------------------------------
 
-/// A parsed JSON value (checkpoint subset).
+/// A parsed JSON value (checkpoint subset: objects, arrays, strings,
+/// unsigned integers, `null` — no signed numbers, no decimal floats).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum Json {
+    /// The `null` literal.
     Null,
+    /// A string literal.
     Str(String),
+    /// An unsigned integer (floats travel as `f64::to_bits` patterns).
     U64(u64),
+    /// An array of values.
     Arr(Vec<Json>),
+    /// An object, as key/value pairs in document order.
     Obj(Vec<(String, Json)>),
 }
 
-/// Borrowed view of an object with typed field accessors.
-struct ObjView<'a>(&'a [(String, Json)]);
+/// Borrowed view of a parsed object with typed field accessors; every
+/// missing or mistyped field is a [`SearchError::Checkpoint`].
+pub struct ObjView<'a>(&'a [(String, Json)]);
 
 impl Json {
-    fn parse(text: &str) -> Result<Json> {
+    /// Parses `text` as a single checkpoint-subset JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] on any syntax error, on
+    /// numbers outside the unsigned-integer subset, and on trailing
+    /// data after the top-level value.
+    pub fn parse(text: &str) -> Result<Json> {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -680,28 +715,53 @@ impl Json {
         Ok(value)
     }
 
-    fn as_obj(&self, what: &str) -> Result<ObjView<'_>> {
+    /// Views the value as an object; `what` names it in error text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the value is not an
+    /// object.
+    pub fn as_obj(&self, what: &str) -> Result<ObjView<'_>> {
         match self {
             Json::Obj(fields) => Ok(ObjView(fields)),
             other => Err(type_err(what, "an object", other)),
         }
     }
 
-    fn as_arr(&self, what: &str) -> Result<&[Json]> {
+    /// Views the value as an array; `what` names it in error text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the value is not an
+    /// array.
+    pub fn as_arr(&self, what: &str) -> Result<&[Json]> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(type_err(what, "an array", other)),
         }
     }
 
-    fn as_str(&self, what: &str) -> Result<&str> {
+    /// Views the value as a string; `what` names it in error text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the value is not a
+    /// string.
+    pub fn as_str(&self, what: &str) -> Result<&str> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(type_err(what, "a string", other)),
         }
     }
 
-    fn as_u64(&self, what: &str) -> Result<u64> {
+    /// Reads the value as an unsigned integer; `what` names it in error
+    /// text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the value is not an
+    /// unsigned integer.
+    pub fn as_u64(&self, what: &str) -> Result<u64> {
         match self {
             Json::U64(n) => Ok(*n),
             other => Err(type_err(what, "an unsigned integer", other)),
@@ -724,7 +784,12 @@ fn type_err(what: &str, expected: &str, got: &Json) -> SearchError {
 }
 
 impl ObjView<'_> {
-    fn get(&self, key: &str) -> Result<&Json> {
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the field is missing.
+    pub fn get(&self, key: &str) -> Result<&Json> {
         self.0
             .iter()
             .find(|(k, _)| k == key)
@@ -732,15 +797,33 @@ impl ObjView<'_> {
             .ok_or_else(|| SearchError::Checkpoint(format!("missing field `{key}`")))
     }
 
-    fn get_str(&self, key: &str) -> Result<&str> {
+    /// Looks up `key` as a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the field is missing or
+    /// not a string.
+    pub fn get_str(&self, key: &str) -> Result<&str> {
         self.get(key)?.as_str(key)
     }
 
-    fn get_u64(&self, key: &str) -> Result<u64> {
+    /// Looks up `key` as an unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the field is missing or
+    /// not an unsigned integer.
+    pub fn get_u64(&self, key: &str) -> Result<u64> {
         self.get(key)?.as_u64(key)
     }
 
-    fn get_usize(&self, key: &str) -> Result<usize> {
+    /// Looks up `key` as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Checkpoint`] when the field is missing,
+    /// not an unsigned integer, or overflows `usize`.
+    pub fn get_usize(&self, key: &str) -> Result<usize> {
         usize::try_from(self.get_u64(key)?)
             .map_err(|_| SearchError::Checkpoint(format!("field `{key}` overflows usize")))
     }

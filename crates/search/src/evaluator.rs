@@ -43,7 +43,10 @@ pub trait Evaluator {
     fn fresh_evaluations(&self) -> usize;
 }
 
-/// Where candidate latency figures come from.
+/// Where candidate latency figures come from. `Clone` so a campaign can
+/// hand every island its own copy of one fitted provider (a GP refit
+/// would reproduce identical bytes, but fitting once is cheaper).
+#[derive(Clone)]
 pub enum LatencyProvider {
     /// Query the analytical accelerator model exactly.
     Exact {

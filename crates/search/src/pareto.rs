@@ -388,6 +388,68 @@ impl ParetoArchive {
     pub fn into_candidates(self) -> Vec<Candidate> {
         self.candidates
     }
+
+    /// Deterministically merges two archives over the same objective
+    /// set: the union of both candidate lists, deduplicated by compact
+    /// configuration code and **re-ordered canonically** (ascending
+    /// configuration order, full bit-pattern tiebreak).
+    ///
+    /// The canonical re-ordering is the load-bearing property: it makes
+    /// the operation commutative, associative and idempotent, so a
+    /// distributed search campaign may fold island archives together in
+    /// *any* completion order and obtain a byte-identical merged
+    /// archive (pinned by the merge-law proptests in
+    /// `tests/campaign.rs`). Duplicate configurations carry identical
+    /// data in practice (evaluations are deterministic); if they ever
+    /// disagreed, the candidate with the smallest metric bit pattern
+    /// wins, keeping the result independent of argument order even
+    /// then.
+    ///
+    /// Note the merged archive's iteration order is canonical, not
+    /// first-evaluation order — callers that need trajectory order must
+    /// keep the per-island archives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SearchError::BadConfig`] when the two archives
+    /// disagree on their objective set (their fronts and hypervolumes
+    /// would not be comparable).
+    pub fn merge(&self, other: &ParetoArchive) -> crate::Result<ParetoArchive> {
+        if self.objectives != other.objectives {
+            return Err(crate::SearchError::BadConfig(format!(
+                "cannot merge archives over different objective sets ({} vs {})",
+                self.objectives.code(),
+                other.objectives.code()
+            )));
+        }
+        let mut union: Vec<&Candidate> = self
+            .candidates
+            .iter()
+            .chain(other.candidates.iter())
+            .collect();
+        union.sort_by(|a, b| {
+            a.config
+                .cmp(&b.config)
+                .then_with(|| candidate_bits(a).cmp(&candidate_bits(b)))
+        });
+        let mut merged = ParetoArchive::new(self.objectives);
+        for candidate in union {
+            merged.insert(candidate);
+        }
+        Ok(merged)
+    }
+}
+
+/// The metric payload of a candidate as raw IEEE-754 bit patterns — the
+/// total, representation-exact order [`ParetoArchive::merge`] uses to
+/// break ties between equal configurations.
+fn candidate_bits(c: &Candidate) -> [u64; 4] {
+    [
+        c.metrics.accuracy.to_bits(),
+        c.metrics.ece.to_bits(),
+        c.metrics.ape.to_bits(),
+        c.latency_ms.to_bits(),
+    ]
 }
 
 #[cfg(test)]
@@ -617,6 +679,40 @@ mod tests {
         let fig4 = ParetoArchive::new(ObjectiveSet::Figure4);
         assert_eq!(fig4.hypervolume(), 0.0);
         assert!(archive.hypervolume() > 0.0);
+    }
+
+    #[test]
+    fn merge_unions_deduplicates_and_canonicalises() {
+        let mut a = ParetoArchive::new(ObjectiveSet::Figure4);
+        a.insert(&archive_candidate("RBM", 0.8, 0.03, 0.4, 1.0));
+        a.insert(&archive_candidate("BBB", 0.9, 0.05, 0.5, 1.0));
+        let mut b = ParetoArchive::new(ObjectiveSet::Figure4);
+        b.insert(&archive_candidate("MMM", 0.5, 0.01, 0.9, 1.0));
+        b.insert(&archive_candidate("BBB", 0.9, 0.05, 0.5, 1.0));
+        let ab = a.merge(&b).unwrap();
+        let ba = b.merge(&a).unwrap();
+        assert_eq!(ab.len(), 3, "union deduplicates the shared BBB");
+        assert_eq!(ab.candidates(), ba.candidates(), "merge is commutative");
+        assert!(
+            ab.candidates()
+                .windows(2)
+                .all(|w| w[0].config < w[1].config),
+            "merged order is canonical (ascending configuration order)"
+        );
+        // Idempotence on canonical archives.
+        let again = ab.merge(&ab).unwrap();
+        assert_eq!(again.candidates(), ab.candidates());
+        // Merging with an empty archive canonicalises without loss.
+        let empty = ParetoArchive::new(ObjectiveSet::Figure4);
+        assert_eq!(a.merge(&empty).unwrap().len(), a.len());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_objective_sets() {
+        let a = ParetoArchive::new(ObjectiveSet::Figure4);
+        let b = ParetoArchive::new(ObjectiveSet::Full);
+        let err = a.merge(&b).unwrap_err();
+        assert!(matches!(err, crate::SearchError::BadConfig(_)), "{err}");
     }
 
     #[test]

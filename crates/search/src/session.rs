@@ -616,6 +616,29 @@ impl<'a> SearchSession<'a> {
         &self.archive
     }
 
+    /// Adopts already-evaluated elites from a sibling island: each
+    /// candidate enters the evaluation memo (so this island never
+    /// re-spends budget on it) and the archive. Returns how many were
+    /// new to the archive.
+    ///
+    /// Adoption is deliberately *RNG-neutral*: it consumes no random
+    /// draws and no evaluation budget, and it never touches the
+    /// session's incumbent best (which tracks this island's own
+    /// trajectory), so a campaign's migration step cannot perturb the
+    /// byte-exact determinism of the islands' own search streams.
+    pub fn adopt_elites(&mut self, elites: &[Candidate]) -> usize {
+        let mut adopted = 0;
+        for elite in elites {
+            self.memo
+                .entry(elite.config.compact())
+                .or_insert_with(|| elite.clone());
+            if self.archive.insert(elite) {
+                adopted += 1;
+            }
+        }
+        adopted
+    }
+
     /// Per-step progress so far.
     pub fn history(&self) -> &[GenerationStats] {
         &self.history

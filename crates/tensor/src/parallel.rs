@@ -20,23 +20,33 @@
 //! once per process (plus the submitting thread, which always
 //! participates). Key properties:
 //!
+//! * **Sharded queues + work stealing.** Earlier revisions funnelled
+//!   every batch through one mutex-guarded `VecDeque` injector, so
+//!   island × MC × gemm fan-outs all contended on a single lock. Each
+//!   worker now owns a shard (a deque of batches): submitters push onto
+//!   their *own* shard (pool workers push nested batches locally;
+//!   external threads round-robin), a worker pops its own shard LIFO
+//!   (newest batch first — depth-first through nested fan-outs, which
+//!   keeps the working set hot and bounds queue growth) and steals from
+//!   sibling shards FIFO (oldest batch first — the fairness order).
+//!   Within a batch, jobs always run front-to-back.
 //! * **Nesting composes.** A population-evaluation task may fan out MC
-//!   samples, whose forwards fan out gemm row-blocks — all batches share
-//!   the one queue, so total thread count never exceeds the pool size.
-//!   No fan-out level degrades to serial; idle workers steal whatever
-//!   level has work.
+//!   samples, whose forwards fan out gemm row-blocks — all batches land
+//!   on the same shard set, so total thread count never exceeds the
+//!   pool size. No fan-out level degrades to serial; idle workers steal
+//!   whatever level has work.
 //! * **No deadlock.** A submitter first drains every still-queued task
 //!   of its *own* batch, then blocks only on tasks already claimed by
 //!   other threads — which always terminate (leaf tasks run to
 //!   completion; nested submitters can likewise finish their own
 //!   batches unaided).
-//! * **No cross-submitter starvation.** Batches are claimed oldest-first
-//!   from one FIFO queue, and a submitter's draining is confined to its
-//!   *own* batch — it never steals another submitter's queued jobs. With
-//!   several concurrent submitters (the serving front-end's tenants),
-//!   one tenant's nested fan-out therefore cannot push another tenant's
-//!   batch back in line: the older batch's jobs are always claimed
-//!   first by whichever worker frees up.
+//! * **No cross-submitter starvation.** Steals take the *oldest* batch
+//!   of the victim shard, and a submitter's draining is confined to its
+//!   *own* batch — it never executes another submitter's queued jobs.
+//!   With several concurrent submitters (the serving front-end's
+//!   tenants), one tenant's nested fan-out therefore cannot push
+//!   another tenant's batch back in line: an idle worker always steals
+//!   the oldest waiting batch from whichever shard holds one.
 //! * **Panics propagate — or surface as typed errors.** A panicking
 //!   task poisons its batch; [`run_scoped`] re-raises the payload after
 //!   the batch drains, matching `std::thread::scope` semantics, while
@@ -162,7 +172,7 @@ mod pool {
     /// One `run_scoped` call: its not-yet-claimed jobs plus completion
     /// state. Jobs live on the batch (not in a global task list) so the
     /// submitting thread drains its own batch in O(1) per job without
-    /// touching — or scanning — the shared queue.
+    /// touching — or scanning — the shared shards.
     struct Batch {
         /// Jobs submitted but not yet claimed by any thread.
         jobs: Mutex<VecDeque<Job>>,
@@ -173,27 +183,62 @@ mod pool {
         panic: Mutex<Option<Box<dyn Any + Send>>>,
     }
 
-    struct Shared {
-        /// Batches that may still hold unclaimed jobs, oldest first.
-        /// Drained batches are removed lazily by the workers.
+    /// One worker's deque of batches, oldest first. The owning worker
+    /// pops from the back (LIFO — newest batch, depth-first through
+    /// nested fan-outs); thieves pop from the front (FIFO — oldest
+    /// batch, so no submitter's work can be starved behind newer
+    /// batches). Drained batches are removed lazily by whoever scans
+    /// past them.
+    struct Shard {
         queue: Mutex<VecDeque<Arc<Batch>>>,
+    }
+
+    struct Shared {
+        /// Per-worker batch deques; external submitters round-robin
+        /// across them, pool workers push nested batches to their own.
+        shards: Vec<Shard>,
+        /// Bumped on every batch push; sleepers re-scan when it moves.
+        /// The snapshot-scan-recheck dance prevents lost wakeups
+        /// without holding any lock across the shard scan.
+        epoch: Mutex<u64>,
         work: Condvar,
+        /// Round-robin cursor for submitters with no shard of their own.
+        external_cursor: AtomicUsize,
+    }
+
+    std::thread_local! {
+        /// The shard this thread owns, if it is a pool worker. Nested
+        /// submissions from inside a pool task land on the worker's own
+        /// shard, which is what makes the local LIFO pop depth-first.
+        static WORKER_SLOT: std::cell::Cell<Option<usize>> =
+            const { std::cell::Cell::new(None) };
     }
 
     fn shared() -> &'static Arc<Shared> {
         static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
         POOL.get_or_init(|| {
+            let nshards = worker_count().max(1);
             let shared = Arc::new(Shared {
-                queue: Mutex::new(VecDeque::new()),
+                shards: (0..nshards)
+                    .map(|_| Shard {
+                        queue: Mutex::new(VecDeque::new()),
+                    })
+                    .collect(),
+                epoch: Mutex::new(0),
                 work: Condvar::new(),
+                external_cursor: AtomicUsize::new(0),
             });
             // The submitting thread always participates, so the pool only
-            // needs `workers - 1` threads to reach full parallelism.
+            // needs `workers - 1` threads to reach full parallelism. The
+            // last shard has no dedicated worker; external submitters
+            // rotate over every shard and workers steal from all of
+            // them, so nothing queued there can be stranded.
             for i in 0..worker_count().saturating_sub(1) {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("nds-worker-{i}"))
                     .spawn(move || {
+                        WORKER_SLOT.with(|slot| slot.set(Some(i)));
                         // Self-respawning worker: a job panic never
                         // reaches here (run_job catches it), so an
                         // unwind out of the scheduling loop means the
@@ -202,7 +247,7 @@ mod pool {
                         // shared state. Unclaimed jobs are untouched
                         // (the tick hook fires before claiming), so no
                         // batch is ever stranded by a worker death.
-                        while catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).is_err() {
+                        while catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, i))).is_err() {
                             RESPAWNS.fetch_add(1, Ordering::SeqCst);
                         }
                     })
@@ -218,32 +263,56 @@ mod pool {
         m.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn worker_loop(shared: &Shared) {
-        let mut queue = lock(&shared.queue);
+    fn worker_loop(shared: &Shared, slot: usize) {
         loop {
             // Worker-death injection point: fires before any job is
             // claimed, so a killed worker strands nothing — the job it
             // would have taken stays queued for its sibling workers (or
             // the submitter, or this worker's respawned self).
             nds_fault::on_worker_tick();
-            match claim(&mut queue) {
-                Some((batch, job)) => {
-                    drop(queue);
-                    run_job(&batch, job);
-                    queue = lock(&shared.queue);
-                }
-                None => {
-                    queue = shared.work.wait(queue).unwrap_or_else(|e| e.into_inner());
-                }
+            // Snapshot the push epoch *before* scanning: if a batch
+            // arrives after the scan started, the epoch moves and the
+            // recheck below refuses to sleep — no lost wakeup.
+            let seen = *lock(&shared.epoch);
+            if let Some((batch, job)) = claim(shared, slot) {
+                run_job(&batch, job);
+                continue;
+            }
+            let guard = lock(&shared.epoch);
+            if *guard == seen {
+                drop(shared.work.wait(guard).unwrap_or_else(|e| e.into_inner()));
             }
         }
     }
 
-    /// Claims the oldest unclaimed job across all live batches, removing
-    /// batches whose jobs are exhausted (their submitter drains them
-    /// directly, so a queued batch may already be empty).
-    fn claim(queue: &mut VecDeque<Arc<Batch>>) -> Option<(Arc<Batch>, Job)> {
-        while let Some(batch) = queue.front() {
+    /// Claims one job for worker `slot`: LIFO from its own shard first
+    /// (newest batch — depth-first nested work), then a FIFO steal from
+    /// sibling shards (oldest batch — fairness order), scanning victims
+    /// starting just after `slot` so thieves spread out.
+    fn claim(shared: &Shared, slot: usize) -> Option<(Arc<Batch>, Job)> {
+        if let Some(found) = take_from(&shared.shards[slot], true) {
+            return Some(found);
+        }
+        let n = shared.shards.len();
+        for offset in 1..n {
+            if let Some(found) = take_from(&shared.shards[(slot + offset) % n], false) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// Pops one job from a shard — from the newest batch (`lifo`) or the
+    /// oldest — removing batches whose jobs are exhausted (their
+    /// submitter drains them directly, so a queued batch may already be
+    /// empty). Within a batch, jobs always come off the front, so job
+    /// order inside a batch is submission order regardless of who runs
+    /// it.
+    fn take_from(shard: &Shard, lifo: bool) -> Option<(Arc<Batch>, Job)> {
+        let mut queue = lock(&shard.queue);
+        loop {
+            let batch = if lifo { queue.back() } else { queue.front() };
+            let batch = batch?;
             let mut jobs = lock(&batch.jobs);
             match jobs.pop_front() {
                 Some(job) => {
@@ -251,17 +320,37 @@ mod pool {
                     drop(jobs);
                     let batch = Arc::clone(batch);
                     if empty {
-                        queue.pop_front();
+                        if lifo {
+                            queue.pop_back();
+                        } else {
+                            queue.pop_front();
+                        }
                     }
                     return Some((batch, job));
                 }
                 None => {
                     drop(jobs);
-                    queue.pop_front();
+                    if lifo {
+                        queue.pop_back();
+                    } else {
+                        queue.pop_front();
+                    }
                 }
             }
         }
-        None
+    }
+
+    /// Enqueues a batch on the submitting thread's home shard (its own
+    /// shard for pool workers, round-robin for external threads) and
+    /// wakes sleeping workers via the push epoch.
+    fn push_batch(shared: &Shared, batch: &Arc<Batch>) {
+        let slot = WORKER_SLOT
+            .with(|slot| slot.get())
+            .unwrap_or_else(|| shared.external_cursor.fetch_add(1, Ordering::Relaxed))
+            % shared.shards.len();
+        lock(&shared.shards[slot].queue).push_back(Arc::clone(batch));
+        *lock(&shared.epoch) += 1;
+        shared.work.notify_all();
     }
 
     fn run_job(batch: &Batch, job: Job) {
@@ -361,8 +450,7 @@ mod pool {
             panic: Mutex::new(None),
         });
         let shared = shared();
-        lock(&shared.queue).push_back(Arc::clone(&batch));
-        shared.work.notify_all();
+        push_batch(shared, &batch);
         // Drain our own batch — O(1) per job, no shared-queue traffic —
         // which guarantees completion even if every pool worker is busy
         // (or blocked submitting batches of its own).
@@ -750,6 +838,69 @@ mod tests {
         });
         assert_eq!(tenant_a.load(Ordering::SeqCst), 20 * 16 * 4);
         assert_eq!(tenant_b.load(Ordering::SeqCst), 20 * 64);
+    }
+
+    #[test]
+    fn stealing_under_nested_fan_out_completes_without_theft() {
+        // The evaluate_many → MC → gemm shape: several external
+        // submitters each drive a three-level nested fan-out through
+        // the sharded queues at once. Completion of the scope proves no
+        // deadlock; the per-submitter counters prove every leaf cell
+        // ran exactly once; and the executor check proves the
+        // no-cross-submitter-theft guarantee — every job of a
+        // submitter's batch runs either on a pool worker thread or on
+        // that submitter's own thread, never on another submitter's.
+        use std::sync::Mutex;
+        let cells: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let foreign_executions = Mutex::new(Vec::<String>::new());
+        std::thread::scope(|scope| {
+            for (t, cell) in cells.iter().enumerate() {
+                let foreign = &foreign_executions;
+                std::thread::Builder::new()
+                    .name(format!("submitter-{t}"))
+                    .spawn_scoped(scope, move || {
+                        let me = format!("submitter-{t}");
+                        for _ in 0..8 {
+                            chunked_for_workers(4, 4, |s, e| {
+                                // Pool workers and this submitter may
+                                // run this job; any other submitter
+                                // thread here would be cross-batch
+                                // theft.
+                                let who = std::thread::current();
+                                let name = who.name().unwrap_or("<unnamed>");
+                                if !name.starts_with("nds-worker-") && name != me {
+                                    foreign
+                                        .lock()
+                                        .unwrap()
+                                        .push(format!("{name} ran {me}'s job"));
+                                }
+                                for _ in s..e {
+                                    chunked_for_workers(4, 2, |s2, e2| {
+                                        for _ in s2..e2 {
+                                            chunked_for_workers(4, 2, |s3, e3| {
+                                                cell.fetch_add(e3 - s3, Ordering::SeqCst);
+                                            });
+                                        }
+                                    });
+                                }
+                            });
+                        }
+                    })
+                    .expect("submitter thread spawns");
+            }
+        });
+        for (t, cell) in cells.iter().enumerate() {
+            assert_eq!(
+                cell.load(Ordering::SeqCst),
+                8 * 4 * 4 * 4,
+                "submitter {t} lost leaf cells"
+            );
+        }
+        let foreign = foreign_executions.into_inner().unwrap();
+        assert!(
+            foreign.is_empty(),
+            "cross-submitter batch theft observed: {foreign:?}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! nds search  --arch lenet|vgg|resnet|vit [--aim ...] [--strategy evolution|random|exhaustive]
 //!             [--generations N] [--population N] [--budget N] [--epochs N]
 //!             [--checkpoint FILE] [--resume] [--stop-after K] [--checkpoint-every K]
-//!             [--seed N] [--gp N]
+//!             [--islands N] [--migrate-every K] [--seed N] [--gp N]
 //! nds eval    --arch lenet|vgg|resnet|vit --config BKM [--seed N]
 //!             [--samples S] [--val N] [--execution round-major|sample-major]
 //! nds analyze --arch lenet|vgg|resnet|vit --config BKM [--spatial] [--samples S]
@@ -21,7 +21,12 @@
 //! supernet and drives the Phase-3 `SearchSession` directly — streaming
 //! per-generation progress, and writing/resuming versioned JSON
 //! checkpoints (a resumed run reproduces the uninterrupted one byte for
-//! byte); `eval` runs one fast, fully deterministic MC-dropout
+//! byte); with `--islands N` it instead runs an island-model campaign:
+//! N sessions with derived seeds over copy-on-write forks of the one
+//! trained supernet, exchanging Pareto elites every `--migrate-every`
+//! steps through the deterministic archive merge, and checkpointing the
+//! whole campaign into a directory; `eval` runs one fast, fully
+//! deterministic MC-dropout
 //! evaluation of a single configuration (the golden-file determinism
 //! suite diffs its bytes across `NDS_THREADS` settings); `analyze`
 //! prints the csynth-style report for one design point; `hls` writes
@@ -48,8 +53,9 @@ USAGE:
     nds search  --arch <lenet|vgg|resnet|vit> [--aim <accuracy|ece|ape|latency>]
                 [--strategy <evolution|random|exhaustive>] [--generations <N>]
                 [--population <N>] [--parents <N>] [--budget <N>] [--epochs <N>]
-                [--train <N>] [--val <N>] [--checkpoint <FILE>] [--resume]
+                [--train <N>] [--val <N>] [--checkpoint <FILE|DIR>] [--resume]
                 [--stop-after <K>] [--checkpoint-every <K>]
+                [--islands <N>] [--migrate-every <K>]
                 [--seed <N>] [--gp <train-points>] [--extended]
     nds eval    --arch <lenet|vgg|resnet|vit> --config <CODES> [--seed <N>]
                 [--samples <S>] [--val <N>]
@@ -86,12 +92,24 @@ CHECKPOINTS: saves are atomic (tmp + fsync + rename) and rotate the
     --checkpoint-every K saves after every K completed steps so a
     killed run resumes from the last completed step.
 
+CAMPAIGNS: `--islands N` runs N independent search sessions with
+    derived seeds over one trained supernet, merging their Pareto
+    archives (deterministically — any merge order yields identical
+    bytes) and adopting the merged front back into every island
+    every `--migrate-every` K steps (default 1). With --islands,
+    --checkpoint names a DIRECTORY (per-island snapshots + a
+    campaign manifest), and --stop-after / --checkpoint-every count
+    migration epochs instead of steps. The final campaign summary is
+    byte-identical across repeated runs, NDS_THREADS settings and
+    stop/resume cycles.
+
 EXIT CODES: 0 success, 1 runtime failure, 2 usage error
 
 EXAMPLES:
     nds run --arch lenet --aim ece --seed 7
     nds search --arch lenet --aim ece --generations 6 --checkpoint search.json
     nds search --arch lenet --aim ece --checkpoint search.json --resume
+    nds search --arch lenet --islands 4 --migrate-every 2 --checkpoint camp_dir
     nds analyze --arch resnet --config KMBM
     nds hls --arch lenet --config RRB --out ./hls_out
     nds serve-bench --tenants 2 --max-batch 16 --requests 128
@@ -345,11 +363,51 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), CliError> {
         }
     };
 
-    // Load the resume checkpoint *before* the (potentially long)
-    // training phase: an unrecoverable checkpoint should fail in
-    // milliseconds, not after minutes of SPOS training.
+    // Island-model campaign topology. `--islands 0` (the default) is
+    // the classic single-session path; any N >= 1 routes through the
+    // campaign subsystem (N == 1 is a degenerate campaign, useful for
+    // comparing the two paths at fixed budget).
+    let islands: usize = parse_flag(flags, "islands", 0usize)?;
+    let migrate_every: usize = parse_flag(flags, "migrate-every", 1usize)?;
+    if migrate_every == 0 {
+        return Err(usage("--migrate-every must be at least 1"));
+    }
+    if islands == 0 && flags.contains_key("migrate-every") {
+        return Err(usage("--migrate-every needs --islands"));
+    }
+
+    // Load resume state *before* the (potentially long) training
+    // phase: an unrecoverable checkpoint should fail in milliseconds,
+    // not after minutes of SPOS training. A campaign resumes from a
+    // directory (per-island snapshots + manifest), a single session
+    // from one file.
+    let campaign_resume = match (resume, plan.as_ref()) {
+        (true, Some(plan)) if islands > 0 => {
+            let resumed = neural_dropout_search::campaign::load_campaign(&plan.path)
+                .map_err(|e| e.to_string())?;
+            for warning in &resumed.warnings {
+                eprintln!("warning: {warning}");
+            }
+            if resumed.manifest.islands != islands {
+                return Err(CliError::Runtime(format!(
+                    "checkpoint {} holds a {}-island campaign but --islands is {islands}",
+                    plan.path.display(),
+                    resumed.manifest.islands
+                )));
+            }
+            if resumed.manifest.migrate_every != migrate_every {
+                return Err(CliError::Runtime(format!(
+                    "checkpoint {} migrates every {} steps but --migrate-every is {migrate_every}",
+                    plan.path.display(),
+                    resumed.manifest.migrate_every
+                )));
+            }
+            Some(resumed)
+        }
+        _ => None,
+    };
     let resume_state = match (resume, plan.as_ref()) {
-        (true, Some(plan)) => {
+        (true, Some(plan)) if islands == 0 => {
             let (checkpoint, source) =
                 SearchCheckpoint::load_with_fallback(&plan.path).map_err(|e| e.to_string())?;
             if let CheckpointSource::Backup { primary_error } = &source {
@@ -409,6 +467,141 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), CliError> {
             provider
         }
     };
+
+    // Phase 3, campaign topology: N islands over copy-on-write forks
+    // of the one trained supernet, each with its own derived seed
+    // stream; elite exchange and whole-campaign checkpointing happen
+    // at the epoch barrier.
+    if islands > 0 {
+        use neural_dropout_search::campaign::{island_seed, Campaign, CampaignEvent};
+        let mut forks = Vec::with_capacity(islands);
+        for _ in 0..islands {
+            forks.push(supernet.fork().map_err(|e| e.to_string())?);
+        }
+        let mut sessions = Vec::with_capacity(islands);
+        for (index, fork) in forks.iter_mut().enumerate() {
+            let mut builder = SearchBuilder::new(fork)
+                .strategy(strategy.clone())
+                .aim(spec.aim.clone())
+                .validation(&splits.val)
+                .ood(ood.clone())
+                .latency(latency.clone())
+                .batch_size(spec.batch_size)
+                .seed(island_seed(spec.seed, index));
+            if let Some(resumed) = campaign_resume.as_ref() {
+                builder = builder.resume(resumed.islands[index].clone());
+            }
+            sessions.push(builder.build().map_err(|e| e.to_string())?);
+        }
+        let start_epoch = campaign_resume
+            .as_ref()
+            .map(|r| r.manifest.epoch)
+            .unwrap_or(0);
+        if let Some(resumed) = campaign_resume.as_ref() {
+            println!(
+                "resuming campaign from {} (epoch {}, budget {} evals)",
+                plan.as_ref()
+                    .expect("campaign resume implies a plan")
+                    .path
+                    .display(),
+                resumed.manifest.epoch,
+                resumed
+                    .islands
+                    .iter()
+                    .map(|c| c.budget_spent)
+                    .sum::<usize>()
+            );
+        }
+        let mut campaign = Campaign::resumed(&mut sessions, migrate_every, start_epoch)
+            .map_err(|e| e.to_string())?;
+
+        let print_event = |event: &CampaignEvent| match event {
+            CampaignEvent::IslandStep { island, stats } => {
+                println!(
+                    "isl {island} gen {:>3}  best {:.6}  mean {:.6}  config {:<12}  archive {:>3}  front {:>2}  evals {}",
+                    stats.stats.generation,
+                    stats.stats.best_score,
+                    stats.stats.mean_score,
+                    stats.stats.best_config.to_string(),
+                    stats.archive_len,
+                    stats.front_len,
+                    stats.budget_spent
+                );
+            }
+            CampaignEvent::Migration {
+                epoch,
+                merged_len,
+                elites,
+                adopted,
+            } => {
+                println!(
+                    "epoch {epoch}: merged archive {merged_len}, elites {elites}, adopted {adopted}"
+                );
+            }
+        };
+
+        // The epoch loop mirrors the single-session step loop below:
+        // streams progress, honours --stop-after (epochs here), and
+        // checkpoints the whole campaign every --checkpoint-every
+        // epochs through the crash-safe directory protocol.
+        let mut epochs_run = 0usize;
+        while !campaign.is_finished() {
+            if stop_after > 0 && epochs_run >= stop_after {
+                break;
+            }
+            campaign.run_epoch(print_event).map_err(|e| e.to_string())?;
+            epochs_run += 1;
+            if let Some(plan) = plan.as_ref() {
+                if plan.every > 0 && epochs_run.is_multiple_of(plan.every) {
+                    campaign.save(&plan.path).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        if let Some(plan) = plan.as_ref() {
+            campaign.save(&plan.path).map_err(|e| e.to_string())?;
+            if stop_after > 0 {
+                println!(
+                    "campaign checkpoint written to {} after {epochs_run} epoch(s); \
+                     continue with --resume",
+                    plan.path.display()
+                );
+                if !campaign.is_finished() {
+                    return Ok(());
+                }
+            } else {
+                println!(
+                    "final campaign checkpoint written to {}",
+                    plan.path.display()
+                );
+            }
+        }
+
+        let outcome = campaign.outcome().map_err(|e| e.to_string())?;
+        // Full-precision summary: byte-identical across repeated runs,
+        // worker counts and stop/resume cycles (the CI campaign smoke
+        // diffs these lines).
+        println!("\n-- campaign result --");
+        println!(
+            "winner {}  acc {:.12e}  ece {:.12e}  ape {:.12e}  latency {:.12e} ms",
+            outcome.best.config,
+            outcome.best.metrics.accuracy,
+            outcome.best.metrics.ece,
+            outcome.best.metrics.ape,
+            outcome.best.latency_ms
+        );
+        println!("aim score {:.12e}", spec.aim.score(&outcome.best));
+        println!(
+            "merged archive {} configs, front {}, hypervolume {:.12e}",
+            outcome.archive.len(),
+            outcome.archive.front_len(),
+            outcome.archive.hypervolume()
+        );
+        println!(
+            "budget {} fresh evaluations across {islands} island(s), {} epoch(s)",
+            outcome.budget_spent, outcome.epochs
+        );
+        return Ok(());
+    }
 
     // Phase 3: the session.
     let mut builder = SearchBuilder::new(&mut supernet)
@@ -823,8 +1016,12 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     };
     let spec = SupernetSpec::paper_default(arch, seed).map_err(|e| e.to_string())?;
     let mut supernet = Supernet::build(&spec).map_err(|e| e.to_string())?;
+    // Per-request and per-tenant streams come from the split helper so
+    // the domains cannot collide with each other (or with the search
+    // campaign's per-island streams) the way ad-hoc xor/add offsets can.
+    let image_stream = Rng64::derive(seed, 0x5E21);
     let image = |i: u64| {
-        let mut rng = Rng64::new(seed ^ (0x5E21 + i));
+        let mut rng = Rng64::new(Rng64::derive(image_stream, i));
         Tensor::rand_normal(Shape::d4(1, c, hw, hw), 0.0, 1.0, &mut rng)
     };
 
@@ -835,7 +1032,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let tenant_ids: Vec<_> = (0..tenants)
         .map(|t| {
             builder.tenant(TenantSpec {
-                seed: seed.wrapping_add(1000 * t as u64),
+                seed: Rng64::derive(Rng64::derive(seed, 0x7E4A), t as u64),
                 samples,
                 adaptive: adaptive.clone().unwrap_or_default(),
             })

@@ -21,6 +21,7 @@
 //! | [`hls`] | `nds-hls` | hls4ml-style project generation |
 //! | [`supernet`] | `nds-supernet` | SPOS supernet with dropout slots |
 //! | [`search`] | `nds-search` | evolutionary search, aims, Pareto tools |
+//! | [`campaign`] | `nds-campaign` | island-model search campaigns, archive merging |
 //! | [`serve`] | `nds-serve` | dynamic-batching, multi-tenant serving front-end |
 //! | [`core`] | `nds-core` | the four-phase framework entry point |
 //! | [`fault`] | `nds-fault` | deterministic fault-injection harness |
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use nds_adaptive as adaptive;
+pub use nds_campaign as campaign;
 pub use nds_core as core;
 pub use nds_data as data;
 pub use nds_dropout as dropout;

@@ -1,0 +1,395 @@
+//! Campaign integration suite: the island-model subsystem's determinism
+//! contract.
+//!
+//! Three groups of guarantees:
+//!
+//! 1. **Merge laws** — `ParetoArchive::merge` is commutative,
+//!    associative and idempotent over random candidate sets and both
+//!    objective sets, and merging archives round-tripped through the
+//!    JSON checkpoint format equals merging the live archives. These
+//!    laws are what make a campaign's merged state independent of
+//!    island completion order.
+//! 2. **Campaign determinism** — re-running a campaign reproduces
+//!    byte-identical state (the CI `NDS_THREADS={1,4}` matrix re-runs
+//!    this under both pool sizes); a stop/save/resume cycle through the
+//!    campaign directory protocol equals the uninterrupted run; and
+//!    elite adoption is trajectory-neutral — an island inside a
+//!    campaign walks exactly the generation history it would walk
+//!    alone, because adoption consumes no RNG draws.
+//! 3. **Typed failures** — degenerate topologies and mismatched island
+//!    configurations surface as typed errors, never panics.
+
+use neural_dropout_search::campaign::{load_campaign, Campaign, CampaignManifest};
+use neural_dropout_search::search::pareto::{ObjectiveSet, ParetoArchive};
+use neural_dropout_search::search::{
+    Candidate, Evaluator, EvolutionConfig, SearchAim, SearchBuilder, SearchCheckpoint,
+    SearchSession, Strategy,
+};
+use neural_dropout_search::supernet::{CandidateMetrics, DropoutConfig, SupernetSpec};
+use neural_dropout_search::{nn::zoo, search};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Synthetic evaluator with a planted optimum, mirroring the one in
+/// `tests/search_session.rs`: deterministic, memoised, config-dependent
+/// metrics so the Pareto machinery has structure to chew on.
+struct PlantedEvaluator {
+    target: DropoutConfig,
+    fresh: usize,
+    cache: HashMap<String, Candidate>,
+}
+
+impl PlantedEvaluator {
+    fn new(target: &str) -> Self {
+        PlantedEvaluator {
+            target: target.parse().unwrap(),
+            fresh: 0,
+            cache: HashMap::new(),
+        }
+    }
+}
+
+impl Evaluator for PlantedEvaluator {
+    fn evaluate(&mut self, config: &DropoutConfig) -> search::Result<Candidate> {
+        if let Some(hit) = self.cache.get(&config.compact()) {
+            return Ok(hit.clone());
+        }
+        self.fresh += 1;
+        let matches = config
+            .kinds()
+            .iter()
+            .zip(self.target.kinds())
+            .filter(|(a, b)| a == b)
+            .count();
+        let candidate = synth_candidate_with_accuracy(config, matches as f64 / config.len() as f64);
+        self.cache.insert(config.compact(), candidate.clone());
+        Ok(candidate)
+    }
+
+    fn fresh_evaluations(&self) -> usize {
+        self.fresh
+    }
+}
+
+fn synth_candidate_with_accuracy(config: &DropoutConfig, accuracy: f64) -> Candidate {
+    let spread = config.compact().bytes().map(u64::from).sum::<u64>() as f64;
+    Candidate {
+        config: config.clone(),
+        metrics: CandidateMetrics {
+            accuracy,
+            ece: 0.02 + (spread % 7.0) / 100.0,
+            ape: 0.3 + (spread % 11.0) / 20.0,
+        },
+        latency_ms: 1.0 + (spread % 5.0) / 10.0,
+    }
+}
+
+/// A 3-slot config from a base-4 encoded index (0..64).
+fn config_from_code(n: usize) -> DropoutConfig {
+    let letters = ['B', 'R', 'K', 'M'];
+    let code: String = (0..3).map(|slot| letters[(n >> (2 * slot)) & 3]).collect();
+    code.parse().unwrap()
+}
+
+fn archive_from_codes(objectives: ObjectiveSet, codes: &[usize]) -> ParetoArchive {
+    let mut archive = ParetoArchive::new(objectives);
+    for &n in codes {
+        let config = config_from_code(n);
+        let accuracy = ((n * 7) % 13) as f64 / 13.0;
+        archive.insert(&synth_candidate_with_accuracy(&config, accuracy));
+    }
+    archive
+}
+
+fn lenet_spec() -> SupernetSpec {
+    SupernetSpec::paper_default(zoo::lenet(), 1).unwrap()
+}
+
+fn campaign_aim() -> SearchAim {
+    SearchAim::weighted("blend", 1.0, 1.0, 0.25, 0.05)
+}
+
+fn island_strategy(seed: u64, generations: usize) -> Strategy {
+    Strategy::Evolution(EvolutionConfig {
+        population: 6,
+        generations,
+        parents: 3,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// One campaign island per evaluator, with derived per-island seeds.
+fn build_islands<'a>(
+    evaluators: &'a mut [PlantedEvaluator],
+    base_seed: u64,
+    generations: usize,
+) -> Vec<SearchSession<'a>> {
+    evaluators
+        .iter_mut()
+        .enumerate()
+        .map(|(index, evaluator)| {
+            SearchBuilder::with_evaluator(evaluator, lenet_spec())
+                .strategy(island_strategy(
+                    neural_dropout_search::campaign::island_seed(base_seed, index),
+                    generations,
+                ))
+                .aim(campaign_aim())
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Round-trips a snapshot through the JSON checkpoint format and
+/// rebuilds a session from it with a fresh evaluator.
+fn restore_session<'a>(
+    snap: &SearchCheckpoint,
+    evaluator: &'a mut PlantedEvaluator,
+) -> SearchSession<'a> {
+    let checkpoint = SearchCheckpoint::from_json(&snap.to_json()).unwrap();
+    SearchBuilder::with_evaluator(evaluator, lenet_spec())
+        .resume(checkpoint)
+        .build()
+        .unwrap()
+}
+
+fn temp_campaign_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nds_campaign_it_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Commutativity, associativity and idempotence of the archive
+    /// merge, over random candidate sets (with overlap) and both
+    /// objective sets. These are exactly the laws that make the merged
+    /// campaign state independent of fold order.
+    #[test]
+    fn merge_laws_hold(
+        a in proptest::collection::vec(0usize..64, 0..12),
+        b in proptest::collection::vec(0usize..64, 0..12),
+        c in proptest::collection::vec(0usize..64, 0..12),
+        objective_ix in 0usize..2,
+    ) {
+        let objectives = [ObjectiveSet::Figure4, ObjectiveSet::Full][objective_ix];
+        let a = archive_from_codes(objectives, &a);
+        let b = archive_from_codes(objectives, &b);
+        let c = archive_from_codes(objectives, &c);
+        let ab = a.merge(&b).unwrap();
+        let ba = b.merge(&a).unwrap();
+        prop_assert_eq!(ab.candidates(), ba.candidates(), "commutativity");
+        let ab_c = ab.merge(&c).unwrap();
+        let a_bc = a.merge(&b.merge(&c).unwrap()).unwrap();
+        prop_assert_eq!(ab_c.candidates(), a_bc.candidates(), "associativity");
+        let twice = ab_c.merge(&ab_c).unwrap();
+        prop_assert_eq!(twice.candidates(), ab_c.candidates(), "idempotence");
+        // The union loses nobody: every input key is in the merge.
+        for key in a.candidates().iter().chain(b.candidates()).chain(c.candidates()) {
+            prop_assert!(ab_c.contains(&key.config.compact()));
+        }
+    }
+
+    /// Merging archives that travelled through the JSON checkpoint
+    /// format equals merging the live archives — the property campaign
+    /// resume leans on when it rebuilds islands from disk and keeps
+    /// folding their archives.
+    #[test]
+    fn merge_of_checkpointed_equals_merge_of_live(
+        seed_a in 0u64..200,
+        seed_b in 0u64..200,
+        generations in 1usize..4,
+    ) {
+        let run = |seed: u64, evaluator: &mut PlantedEvaluator| {
+            let mut session = SearchBuilder::with_evaluator(evaluator, lenet_spec())
+                .strategy(island_strategy(seed, generations))
+                .aim(campaign_aim())
+                .build()
+                .unwrap();
+            session.run().unwrap();
+            session.snapshot()
+        };
+        let mut eval_a = PlantedEvaluator::new("KRM");
+        let mut eval_b = PlantedEvaluator::new("BBM");
+        let snap_a = run(seed_a, &mut eval_a);
+        let snap_b = run(seed_b, &mut eval_b);
+
+        // Live merge: rebuild archives straight from the snapshots.
+        let rebuild_live = |snap: &SearchCheckpoint| {
+            let memo: HashMap<String, Candidate> =
+                snap.memo.iter().map(|c| (c.config.compact(), c.clone())).collect();
+            let mut archive = ParetoArchive::new(snap.objectives);
+            for key in &snap.archive {
+                archive.insert(&memo[key]);
+            }
+            archive
+        };
+        let live = rebuild_live(&snap_a).merge(&rebuild_live(&snap_b)).unwrap();
+
+        // Checkpointed merge: the same archives after a JSON round trip
+        // and a full session resume with fresh evaluators.
+        let mut fresh_a = PlantedEvaluator::new("KRM");
+        let mut fresh_b = PlantedEvaluator::new("BBM");
+        let restored_a = restore_session(&snap_a, &mut fresh_a);
+        let restored_b = restore_session(&snap_b, &mut fresh_b);
+        let restored = restored_a.archive().merge(restored_b.archive()).unwrap();
+        prop_assert_eq!(live.candidates(), restored.candidates());
+    }
+}
+
+#[test]
+fn campaign_reruns_are_byte_identical() {
+    let run_campaign = || {
+        let mut evaluators = vec![PlantedEvaluator::new("KRM"), PlantedEvaluator::new("KRM")];
+        let mut islands = build_islands(&mut evaluators, 0xCA4411, 4);
+        let mut campaign = Campaign::new(&mut islands, 2).unwrap();
+        let outcome = campaign.run().unwrap();
+        let snapshots: Vec<String> = islands.iter().map(|s| s.snapshot().to_json()).collect();
+        (outcome, snapshots)
+    };
+    let (first, first_snaps) = run_campaign();
+    let (second, second_snaps) = run_campaign();
+    assert_eq!(first.best, second.best, "best diverged");
+    assert_eq!(
+        first.archive.candidates(),
+        second.archive.candidates(),
+        "merged archive diverged"
+    );
+    assert_eq!(first.budget_spent, second.budget_spent);
+    assert_eq!(first_snaps, second_snaps, "island snapshots diverged");
+}
+
+#[test]
+fn campaign_stop_resume_equals_uninterrupted() {
+    let generations = 4;
+    let migrate_every = 2;
+    // Uninterrupted reference run.
+    let mut full_evals = vec![PlantedEvaluator::new("MKB"), PlantedEvaluator::new("MKB")];
+    let mut full_islands = build_islands(&mut full_evals, 0x5709, generations);
+    let mut full_campaign = Campaign::new(&mut full_islands, migrate_every).unwrap();
+    let full_outcome = full_campaign.run().unwrap();
+    let full_snaps: Vec<String> = full_islands
+        .iter()
+        .map(|s| s.snapshot().to_json())
+        .collect();
+
+    // Stop after one epoch, checkpoint the whole campaign to disk.
+    let dir = temp_campaign_dir("stop_resume");
+    {
+        let mut part_evals = vec![PlantedEvaluator::new("MKB"), PlantedEvaluator::new("MKB")];
+        let mut part_islands = build_islands(&mut part_evals, 0x5709, generations);
+        let mut part_campaign = Campaign::new(&mut part_islands, migrate_every).unwrap();
+        part_campaign.run_epoch(|_| {}).unwrap();
+        part_campaign.save(&dir).unwrap();
+    }
+
+    // Resume from the directory with fresh evaluators and finish.
+    let resumed = load_campaign(&dir).unwrap();
+    assert!(resumed.warnings.is_empty(), "{:?}", resumed.warnings);
+    assert_eq!(resumed.manifest.epoch, 1);
+    let mut resumed_evals = [PlantedEvaluator::new("MKB"), PlantedEvaluator::new("MKB")];
+    let mut resumed_islands: Vec<SearchSession> = resumed_evals
+        .iter_mut()
+        .zip(resumed.islands.iter())
+        .map(|(evaluator, checkpoint)| {
+            SearchBuilder::with_evaluator(evaluator, lenet_spec())
+                .resume(checkpoint.clone())
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let mut resumed_campaign =
+        Campaign::resumed(&mut resumed_islands, migrate_every, resumed.manifest.epoch).unwrap();
+    let resumed_outcome = resumed_campaign.run().unwrap();
+    let resumed_snaps: Vec<String> = resumed_islands
+        .iter()
+        .map(|s| s.snapshot().to_json())
+        .collect();
+
+    assert_eq!(full_outcome.best, resumed_outcome.best, "best diverged");
+    assert_eq!(
+        full_outcome.archive.candidates(),
+        resumed_outcome.archive.candidates(),
+        "merged archive diverged"
+    );
+    assert_eq!(full_outcome.epochs, resumed_outcome.epochs);
+    assert_eq!(full_snaps, resumed_snaps, "island snapshots diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Elite adoption must not perturb an island's own search stream: the
+/// per-generation history of an island inside a campaign is identical
+/// to the history of the same session run alone, because adoption
+/// enters the memo and archive without consuming RNG draws or budget.
+#[test]
+fn migration_is_trajectory_neutral() {
+    let generations = 5;
+    let mut solo_eval = PlantedEvaluator::new("KRM");
+    let mut solo = SearchBuilder::with_evaluator(&mut solo_eval, lenet_spec())
+        .strategy(island_strategy(
+            neural_dropout_search::campaign::island_seed(0xF00D, 0),
+            generations,
+        ))
+        .aim(campaign_aim())
+        .build()
+        .unwrap();
+    solo.run().unwrap();
+    let solo_history = solo.history().to_vec();
+
+    let mut evaluators = vec![PlantedEvaluator::new("KRM"), PlantedEvaluator::new("KRM")];
+    let mut islands = build_islands(&mut evaluators, 0xF00D, generations);
+    let mut campaign = Campaign::new(&mut islands, 1).unwrap();
+    campaign.run().unwrap();
+    assert_eq!(
+        islands[0].history(),
+        solo_history.as_slice(),
+        "campaign island 0 must walk the exact trajectory it walks alone"
+    );
+}
+
+#[test]
+fn degenerate_campaigns_are_typed_errors() {
+    let mut none: [SearchSession; 0] = [];
+    assert!(Campaign::new(&mut none, 1).is_err(), "empty island set");
+
+    let mut evaluators = vec![PlantedEvaluator::new("KRM")];
+    let mut islands = build_islands(&mut evaluators, 1, 2);
+    assert!(
+        Campaign::new(&mut islands, 0).is_err(),
+        "migrate_every == 0"
+    );
+
+    // Mismatched aims across islands cannot be scored together.
+    let mut eval_a = PlantedEvaluator::new("KRM");
+    let mut eval_b = PlantedEvaluator::new("KRM");
+    let mut mixed = vec![
+        SearchBuilder::with_evaluator(&mut eval_a, lenet_spec())
+            .strategy(island_strategy(1, 2))
+            .aim(SearchAim::accuracy_optimal())
+            .build()
+            .unwrap(),
+        SearchBuilder::with_evaluator(&mut eval_b, lenet_spec())
+            .strategy(island_strategy(2, 2))
+            .aim(SearchAim::ece_optimal())
+            .build()
+            .unwrap(),
+    ];
+    assert!(Campaign::new(&mut mixed, 1).is_err(), "mismatched aims");
+}
+
+/// The manifest rejects foreign JSON and inconsistent topology with
+/// typed errors (the directory protocol's version gate).
+#[test]
+fn manifest_gate_is_typed() {
+    assert!(CampaignManifest::from_json("{\"format\": \"other\"}").is_err());
+    let manifest = CampaignManifest {
+        version: neural_dropout_search::campaign::CAMPAIGN_VERSION,
+        islands: 2,
+        migrate_every: 1,
+        epoch: 0,
+        progress: vec![0], // wrong length
+    };
+    assert!(manifest.validate().is_err());
+}
